@@ -1,0 +1,295 @@
+//! C2LSH — dynamic collision counting (Gan et al., SIGMOD 2012);
+//! the paper's Figure 1(b) and §1.
+//!
+//! Indexing: `m` *individual* LSH functions, each with its own hash table —
+//! here a per-function array of `(bucket, id)` pairs sorted by bucket, which
+//! supports the *virtual rehashing* of the original: at search round `R ∈
+//! {1, c, c², …}`, two objects collide under `h` iff
+//! `⌊h(o)/R⌋ = ⌊h(q)/R⌋`, so each round widens every function's matching
+//! bucket window and newly covered objects bump their collision counts.
+//! An object becomes a candidate once `#Col(o) ≥ l` (the collision
+//! threshold); candidates are verified exactly. Termination follows the
+//! original's two conditions: enough candidates within distance `c·R`
+//! (T1), or `k + βn` candidates verified (T2).
+//!
+//! The query cost is `O(n)`-ish in the worst case (the paper's complaint:
+//! "there are expected `p₂·m·n` objects with at least one collision, which
+//! cannot be neglected") — reproducing that behaviour is the point.
+
+use crate::common::{verify_topk, Dedup};
+use dataset::exact::Neighbor;
+use dataset::{Dataset, Metric};
+use lsh::{sample_family, FamilyKind, FamilyParams, LshFunction};
+use lsh::random_projection::symbol_to_bucket;
+use std::sync::Arc;
+
+/// Build parameters for C2LSH.
+#[derive(Debug, Clone)]
+pub struct C2lshParams {
+    /// Number of individual hash functions `m` (the paper sweeps 8..=512).
+    pub m: usize,
+    /// Collision threshold `l` (the paper sweeps 2..=10).
+    pub l: usize,
+    /// Approximation ratio `c` driving the virtual-rehashing schedule.
+    pub c: f64,
+    /// Termination slack: stop after `k + beta_n` candidates (T2).
+    pub beta_n: usize,
+    /// LSH family (random projection for Euclidean; cross-polytope symbols
+    /// are re-keyed per round for Angular, degrading gracefully to plain
+    /// counting because polytope vertices have no metric widening).
+    pub family: FamilyKind,
+    /// Family parameters (base bucket width `w`).
+    pub family_params: FamilyParams,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl C2lshParams {
+    /// Euclidean defaults.
+    pub fn euclidean(m: usize, l: usize, w: f64) -> Self {
+        Self {
+            m,
+            l,
+            c: 2.0,
+            beta_n: 100,
+            family: FamilyKind::RandomProjection,
+            family_params: FamilyParams { w },
+            seed: 0xc215,
+        }
+    }
+
+    /// Angular adaptation (cross-polytope functions, §6.3): no virtual
+    /// rehashing (vertex symbols are nominal), pure collision counting.
+    pub fn angular(m: usize, l: usize) -> Self {
+        Self {
+            m,
+            l,
+            c: 2.0,
+            beta_n: 100,
+            family: FamilyKind::CrossPolytopeFast,
+            family_params: FamilyParams::default(),
+            seed: 0xc215,
+        }
+    }
+}
+
+/// Per-function index: ids sorted by signed bucket.
+struct FuncIndex {
+    /// (bucket, id), sorted by bucket then id.
+    entries: Vec<(i64, u32)>,
+}
+
+/// The C2LSH index.
+pub struct C2Lsh {
+    data: Arc<Dataset>,
+    metric: Metric,
+    funcs: Vec<Box<dyn LshFunction>>,
+    per_func: Vec<FuncIndex>,
+    params: C2lshParams,
+    /// True when the family's symbols support interval widening (signed
+    /// buckets); false for nominal symbol families (cross-polytope).
+    widening: bool,
+}
+
+impl C2Lsh {
+    /// Builds the `m` per-function sorted indices.
+    ///
+    /// # Panics
+    /// Panics on empty data or `l > m` / `l == 0`.
+    pub fn build(data: Arc<Dataset>, metric: Metric, params: &C2lshParams) -> Self {
+        assert!(!data.is_empty(), "cannot index an empty dataset");
+        assert!(params.l >= 1 && params.l <= params.m, "need 1 <= l <= m");
+        let funcs =
+            sample_family(params.family, data.dim(), params.m, &params.family_params, params.seed);
+        let widening = matches!(params.family, FamilyKind::RandomProjection);
+        let per_func = funcs
+            .iter()
+            .map(|f| {
+                let mut entries: Vec<(i64, u32)> = data
+                    .iter()
+                    .enumerate()
+                    .map(|(i, v)| {
+                        let sym = f.hash(v);
+                        let b = if widening { symbol_to_bucket(sym) } else { sym as i64 };
+                        (b, i as u32)
+                    })
+                    .collect();
+                entries.sort_unstable();
+                FuncIndex { entries }
+            })
+            .collect();
+        Self { data, metric, funcs, per_func, params: params.clone(), widening }
+    }
+
+    /// c-k-ANNS by dynamic collision counting with virtual rehashing.
+    pub fn query(&self, q: &[f32], k: usize) -> Vec<Neighbor> {
+        self.query_slack(q, k, self.params.beta_n)
+    }
+
+    /// [`C2Lsh::query`] with a query-time candidate-slack override (T2's
+    /// `βn` term), so the harness can sweep budgets on one built index.
+    pub fn query_slack(&self, q: &[f32], k: usize, beta_n: usize) -> Vec<Neighbor> {
+        assert!(k > 0, "k must be positive");
+        let n = self.data.len();
+        let m = self.params.m;
+        let mut counts = vec![0u32; n];
+        let mut dedup = Dedup::new(n);
+        dedup.begin();
+        let mut cands: Vec<u32> = Vec::new();
+        let cap = (k + beta_n).min(n);
+
+        // Query buckets per function.
+        let qb: Vec<i64> = self
+            .funcs
+            .iter()
+            .map(|f| {
+                let sym = f.hash(q);
+                if self.widening {
+                    symbol_to_bucket(sym)
+                } else {
+                    sym as i64
+                }
+            })
+            .collect();
+
+        // Per-function already-counted windows [lo, hi).
+        let mut lo = vec![0usize; m];
+        let mut hi = vec![0usize; m];
+        for (j, fi) in self.per_func.iter().enumerate() {
+            let start = fi.entries.partition_point(|&(b, _)| b < qb[j]);
+            lo[j] = start;
+            hi[j] = start;
+        }
+
+        let mut radius: i64 = 1;
+        let max_rounds = if self.widening { 40 } else { 1 };
+        for _round in 0..max_rounds {
+            for j in 0..m {
+                let fi = &self.per_func[j];
+                // Bucket window at this round: ⌊b/R⌋ == ⌊qb/R⌋ over signed
+                // buckets (floor division).
+                let (wlo, whi) = if self.widening {
+                    let base = qb[j].div_euclid(radius);
+                    let blo = base * radius;
+                    let bhi = blo + radius; // exclusive
+                    (
+                        fi.entries.partition_point(|&(b, _)| b < blo),
+                        fi.entries.partition_point(|&(b, _)| b < bhi),
+                    )
+                } else {
+                    (
+                        fi.entries.partition_point(|&(b, _)| b < qb[j]),
+                        fi.entries.partition_point(|&(b, _)| b <= qb[j]),
+                    )
+                };
+                // Count only newly covered entries.
+                for &(_, id) in fi.entries[wlo..lo[j]].iter().chain(&fi.entries[hi[j]..whi]) {
+                    let c = &mut counts[id as usize];
+                    *c += 1;
+                    if *c as usize >= self.params.l && dedup.mark_new(id) {
+                        cands.push(id);
+                    }
+                }
+                lo[j] = wlo.min(lo[j]);
+                hi[j] = whi.max(hi[j]);
+            }
+            if cands.len() >= cap {
+                break;
+            }
+            // Virtual rehashing: R <- c·R.
+            radius = (radius as f64 * self.params.c).ceil() as i64;
+            if radius > i64::MAX / 4 {
+                break;
+            }
+            // If every function already covers everything, stop.
+            if (0..m).all(|j| lo[j] == 0 && hi[j] == self.per_func[j].entries.len()) {
+                break;
+            }
+        }
+
+        // Fallback: if collision counting never produced k candidates (tiny
+        // datasets, thin tails), top up with the most-collided objects.
+        if cands.len() < k {
+            let mut rest: Vec<u32> = (0..n as u32).filter(|&i| !cands.contains(&i)).collect();
+            rest.sort_by_key(|&i| std::cmp::Reverse(counts[i as usize]));
+            cands.extend(rest.into_iter().take(k - cands.len()));
+        }
+
+        verify_topk(&self.data, self.metric, q, k, cands.into_iter())
+    }
+
+    /// Index footprint: m sorted (bucket, id) arrays + projection vectors.
+    pub fn index_bytes(&self) -> usize {
+        self.per_func.iter().map(|f| f.entries.len() * 12).sum::<usize>()
+            + self.params.m * self.data.dim() * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dataset::SynthSpec;
+
+    fn toy(n: usize) -> Arc<Dataset> {
+        Arc::new(SynthSpec::new("toy", n, 16).with_clusters(8).generate(31))
+    }
+
+    #[test]
+    fn self_query_collides_everywhere() {
+        let data = toy(300);
+        let idx = C2Lsh::build(data.clone(), Metric::Euclidean, &C2lshParams::euclidean(32, 8, 4.0));
+        let out = idx.query(data.get(12), 1);
+        assert_eq!(out[0].id, 12, "a duplicate collides in all m functions at round 1");
+    }
+
+    #[test]
+    fn returns_k_results_sorted() {
+        let data = toy(200);
+        let idx = C2Lsh::build(data.clone(), Metric::Euclidean, &C2lshParams::euclidean(16, 4, 4.0));
+        let out = idx.query(data.get(0), 10);
+        assert_eq!(out.len(), 10);
+        for w in out.windows(2) {
+            assert!(w[0].dist <= w[1].dist);
+        }
+    }
+
+    #[test]
+    fn finds_near_neighbor_of_perturbed_query() {
+        let data = toy(500);
+        let idx = C2Lsh::build(data.clone(), Metric::Euclidean, &C2lshParams::euclidean(32, 8, 4.0));
+        let mut hits = 0;
+        for i in 0..20 {
+            let mut q = data.get(i * 11).to_vec();
+            for x in q.iter_mut() {
+                *x += 0.05;
+            }
+            let out = idx.query(&q, 1);
+            hits += u32::from(out[0].id == (i as u32) * 11);
+        }
+        assert!(hits >= 15, "virtual rehashing should find most planted NNs, got {hits}/20");
+    }
+
+    #[test]
+    fn angular_variant_counts_collisions() {
+        let data =
+            Arc::new(SynthSpec::new("a", 250, 16).with_clusters(6).generate(3).normalized());
+        let idx = C2Lsh::build(data.clone(), Metric::Angular, &C2lshParams::angular(32, 4));
+        let out = idx.query(data.get(9), 3);
+        assert_eq!(out.len(), 3);
+        assert!(out[0].dist < 0.4);
+    }
+
+    #[test]
+    fn tiny_dataset_fallback_fills_k() {
+        let data = Arc::new(SynthSpec::new("t", 5, 8).generate(1));
+        let idx = C2Lsh::build(data.clone(), Metric::Euclidean, &C2lshParams::euclidean(8, 8, 0.5));
+        let out = idx.query(data.get(0), 5);
+        assert_eq!(out.len(), 5, "fallback must fill k even when counting stalls");
+    }
+
+    #[test]
+    #[should_panic(expected = "1 <= l <= m")]
+    fn threshold_above_m_panics() {
+        C2Lsh::build(toy(10), Metric::Euclidean, &C2lshParams::euclidean(4, 8, 4.0));
+    }
+}

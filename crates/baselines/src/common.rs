@@ -1,0 +1,134 @@
+//! Shared plumbing for the baseline schemes: candidate verification,
+//! query-epoch dedup, and the bucket-key mixer used by the table-based
+//! methods.
+
+use dataset::exact::Neighbor;
+use dataset::{Dataset, Metric};
+
+/// Verifies candidate ids against the exact metric, returning the `k`
+/// nearest ascending (ties by id) — the common final phase of every scheme.
+pub fn verify_topk(
+    data: &Dataset,
+    metric: Metric,
+    q: &[f32],
+    k: usize,
+    ids: impl Iterator<Item = u32>,
+) -> Vec<Neighbor> {
+    let mut heap: std::collections::BinaryHeap<Neighbor> =
+        std::collections::BinaryHeap::with_capacity(k + 1);
+    for id in ids {
+        let s = metric.surrogate(data.get(id as usize), q);
+        let cand = Neighbor { id, dist: s };
+        if heap.len() < k {
+            heap.push(cand);
+        } else if cand < *heap.peek().expect("non-empty") {
+            heap.pop();
+            heap.push(cand);
+        }
+    }
+    let mut out = heap.into_sorted_vec();
+    for n in &mut out {
+        n.dist = metric.from_surrogate(n.dist);
+    }
+    out
+}
+
+/// O(1)-reset seen-set over object ids (query-epoch stamps).
+#[derive(Debug, Clone)]
+pub struct Dedup {
+    stamp: Vec<u32>,
+    epoch: u32,
+}
+
+impl Dedup {
+    /// Seen-set for ids `0..n`.
+    pub fn new(n: usize) -> Self {
+        Self { stamp: vec![0; n], epoch: 0 }
+    }
+
+    /// Starts a new query.
+    pub fn begin(&mut self) {
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            self.stamp.fill(0);
+            self.epoch = 1;
+        }
+    }
+
+    /// Marks `id`; returns true the first time it is seen this query.
+    #[inline]
+    pub fn mark_new(&mut self, id: u32) -> bool {
+        let slot = &mut self.stamp[id as usize];
+        if *slot == self.epoch {
+            false
+        } else {
+            *slot = self.epoch;
+            true
+        }
+    }
+}
+
+/// Mixes a sequence of `u64` symbols into one 64-bit bucket key (an FxHash-
+/// style multiply-xor chain). Table-based schemes key their buckets on this;
+/// a 64-bit collision merges two buckets, which only ever *adds* candidates
+/// that verification then filters — it can never drop a true collision.
+#[inline]
+pub fn mix_key(symbols: impl IntoIterator<Item = u64>) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for s in symbols {
+        h = (h ^ s).wrapping_mul(0x0100_0000_01b3)
+            ^ (h.rotate_left(29)).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    }
+    // final avalanche
+    let mut z = h;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dataset::SynthSpec;
+
+    #[test]
+    fn verify_topk_orders_and_truncates() {
+        let data = SynthSpec::new("t", 50, 8).generate(1);
+        let q = data.get(0).to_vec();
+        let got = verify_topk(&data, Metric::Euclidean, &q, 5, 0..50u32);
+        assert_eq!(got.len(), 5);
+        assert_eq!(got[0].id, 0);
+        for w in got.windows(2) {
+            assert!(w[0].dist <= w[1].dist);
+        }
+    }
+
+    #[test]
+    fn dedup_epochs() {
+        let mut d = Dedup::new(4);
+        d.begin();
+        assert!(d.mark_new(2));
+        assert!(!d.mark_new(2));
+        d.begin();
+        assert!(d.mark_new(2), "new query resets the seen-set");
+    }
+
+    #[test]
+    fn dedup_epoch_wrap() {
+        let mut d = Dedup::new(2);
+        d.epoch = u32::MAX;
+        d.begin();
+        assert!(d.mark_new(0));
+        assert!(!d.mark_new(0));
+    }
+
+    #[test]
+    fn mix_key_sensitivity() {
+        let a = mix_key([1u64, 2, 3]);
+        let b = mix_key([1u64, 2, 4]);
+        let c = mix_key([3u64, 2, 1]);
+        assert_ne!(a, b);
+        assert_ne!(a, c, "order must matter");
+        assert_eq!(a, mix_key([1u64, 2, 3]));
+    }
+}

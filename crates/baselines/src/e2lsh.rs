@@ -1,0 +1,227 @@
+//! E2LSH — the static concatenating search framework (§1, Figure 1(a)).
+//!
+//! Indexing: sample `K · L` i.i.d. functions; table `t` keys each object on
+//! the compound hash `G_t(o) = (h_{t,1}(o), …, h_{t,K}(o))`. Querying: look
+//! up the query's bucket in each of the `L` tables and verify the union of
+//! the bucket contents. Increasing `K` suppresses false positives (`p₂ᴷ`)
+//! but also true positives (`p₁ᴷ`), which is why `L` must be large — the
+//! indexing-overhead weakness the paper's Figure 6 exposes.
+//!
+//! The compound key is mixed to a `u64` (see [`crate::common::mix_key`]);
+//! the paper's experiments adapt E2LSH to Angular distance by drawing the
+//! functions from the cross-polytope family, which this implementation
+//! supports through the `family` parameter.
+
+use crate::common::{mix_key, verify_topk, Dedup};
+use dataset::exact::Neighbor;
+use dataset::{Dataset, Metric};
+use lsh::{sample_family, FamilyKind, FamilyParams, LshFunction};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Build parameters for E2LSH.
+#[derive(Debug, Clone)]
+pub struct E2lshParams {
+    /// Concatenation length `K` (the paper sweeps 1..=10).
+    pub k_funcs: usize,
+    /// Number of hash tables `L` (the paper sweeps 8..=512, `K·L ≤ 512`).
+    pub l_tables: usize,
+    /// LSH family (random projection for Euclidean, cross-polytope for
+    /// Angular, per §6.3).
+    pub family: FamilyKind,
+    /// Family parameters.
+    pub family_params: FamilyParams,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl E2lshParams {
+    /// Euclidean defaults.
+    pub fn euclidean(k_funcs: usize, l_tables: usize, w: f64) -> Self {
+        Self {
+            k_funcs,
+            l_tables,
+            family: FamilyKind::RandomProjection,
+            family_params: FamilyParams { w },
+            seed: 0xe215,
+        }
+    }
+
+    /// Angular defaults (cross-polytope functions).
+    pub fn angular(k_funcs: usize, l_tables: usize) -> Self {
+        Self {
+            k_funcs,
+            l_tables,
+            family: FamilyKind::CrossPolytopeFast,
+            family_params: FamilyParams::default(),
+            seed: 0xe215,
+        }
+    }
+}
+
+/// The E2LSH index.
+pub struct E2Lsh {
+    data: Arc<Dataset>,
+    metric: Metric,
+    /// `L × K` functions, table-major.
+    funcs: Vec<Box<dyn LshFunction>>,
+    tables: Vec<HashMap<u64, Vec<u32>>>,
+    params: E2lshParams,
+    bucket_entries: usize,
+}
+
+impl E2Lsh {
+    /// Builds the `L` tables.
+    ///
+    /// # Panics
+    /// Panics on an empty dataset or `K == 0` / `L == 0`.
+    pub fn build(data: Arc<Dataset>, metric: Metric, params: &E2lshParams) -> Self {
+        assert!(!data.is_empty(), "cannot index an empty dataset");
+        assert!(params.k_funcs > 0 && params.l_tables > 0, "K and L must be positive");
+        let total = params.k_funcs * params.l_tables;
+        let funcs = sample_family(params.family, data.dim(), total, &params.family_params, params.seed);
+        let mut tables = Vec::with_capacity(params.l_tables);
+        let mut bucket_entries = 0usize;
+        let mut key_buf = vec![0u64; params.k_funcs];
+        for t in 0..params.l_tables {
+            let tf = &funcs[t * params.k_funcs..(t + 1) * params.k_funcs];
+            let mut table: HashMap<u64, Vec<u32>> = HashMap::new();
+            for (i, v) in data.iter().enumerate() {
+                for (slot, f) in key_buf.iter_mut().zip(tf) {
+                    *slot = f.hash(v);
+                }
+                table.entry(mix_key(key_buf.iter().copied())).or_default().push(i as u32);
+                bucket_entries += 1;
+            }
+            tables.push(table);
+        }
+        Self { data, metric, funcs, tables, params: params.clone(), bucket_entries }
+    }
+
+    /// c-k-ANNS: union of the query's `L` buckets, verified, capped at
+    /// `max_candidates` distance computations (the per-method budget knob
+    /// the recall/time sweeps turn).
+    pub fn query(&self, q: &[f32], k: usize, max_candidates: usize) -> Vec<Neighbor> {
+        let mut dedup = Dedup::new(self.data.len());
+        self.query_with(q, k, max_candidates, &mut dedup)
+    }
+
+    /// [`E2Lsh::query`] with reusable dedup scratch.
+    pub fn query_with(
+        &self,
+        q: &[f32],
+        k: usize,
+        max_candidates: usize,
+        dedup: &mut Dedup,
+    ) -> Vec<Neighbor> {
+        assert!(k > 0, "k must be positive");
+        dedup.begin();
+        let mut cands: Vec<u32> = Vec::new();
+        let cap = max_candidates.max(k);
+        let mut key_buf = vec![0u64; self.params.k_funcs];
+        'tables: for (t, table) in self.tables.iter().enumerate() {
+            let tf = &self.funcs[t * self.params.k_funcs..(t + 1) * self.params.k_funcs];
+            for (slot, f) in key_buf.iter_mut().zip(tf) {
+                *slot = f.hash(q);
+            }
+            if let Some(bucket) = table.get(&mix_key(key_buf.iter().copied())) {
+                for &id in bucket {
+                    if dedup.mark_new(id) {
+                        cands.push(id);
+                        if cands.len() >= cap {
+                            break 'tables;
+                        }
+                    }
+                }
+            }
+        }
+        verify_topk(&self.data, self.metric, q, k, cands.into_iter())
+    }
+
+    /// Index footprint: bucket entries + per-bucket overhead + function
+    /// parameters (d floats per projection).
+    pub fn index_bytes(&self) -> usize {
+        let entries = self.bucket_entries * 4;
+        let buckets: usize = self.tables.iter().map(|t| t.len() * 16).sum();
+        let funcs = self.params.k_funcs * self.params.l_tables * self.data.dim() * 4;
+        entries + buckets + funcs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dataset::SynthSpec;
+
+    fn toy(n: usize) -> Arc<Dataset> {
+        Arc::new(SynthSpec::new("toy", n, 16).with_clusters(8).generate(11))
+    }
+
+    #[test]
+    fn self_query_hits_itself() {
+        let data = toy(400);
+        let idx = E2Lsh::build(data.clone(), Metric::Euclidean, &E2lshParams::euclidean(4, 16, 8.0));
+        let out = idx.query(data.get(33), 1, 1000);
+        assert_eq!(out[0].id, 33, "the query collides with itself in every table");
+        assert!(out[0].dist < 1e-6);
+    }
+
+    #[test]
+    fn longer_concatenation_shrinks_buckets() {
+        let data = toy(500);
+        let loose = E2Lsh::build(data.clone(), Metric::Euclidean, &E2lshParams::euclidean(1, 1, 8.0));
+        let tight = E2Lsh::build(data.clone(), Metric::Euclidean, &E2lshParams::euclidean(8, 1, 8.0));
+        let avg_bucket = |idx: &E2Lsh| {
+            let t = &idx.tables[0];
+            t.values().map(Vec::len).sum::<usize>() as f64 / t.len() as f64
+        };
+        assert!(avg_bucket(&tight) < avg_bucket(&loose), "K=8 buckets must be finer than K=1");
+    }
+
+    #[test]
+    fn candidate_cap_is_respected() {
+        let data = toy(300);
+        let idx = E2Lsh::build(data.clone(), Metric::Euclidean, &E2lshParams::euclidean(1, 8, 50.0));
+        // Huge w => near-degenerate buckets; the cap keeps verification bounded.
+        let out = idx.query(data.get(0), 5, 10);
+        assert!(out.len() <= 5);
+    }
+
+    #[test]
+    fn angular_variant_works() {
+        let data =
+            Arc::new(SynthSpec::new("a", 300, 16).with_clusters(8).generate(2).normalized());
+        let idx = E2Lsh::build(data.clone(), Metric::Angular, &E2lshParams::angular(2, 16));
+        let out = idx.query(data.get(5), 1, 500);
+        assert!(!out.is_empty());
+        assert!(out[0].dist < 0.5, "should find something in the query's cluster");
+    }
+
+    #[test]
+    fn deterministic() {
+        let data = toy(100);
+        let p = E2lshParams::euclidean(3, 4, 8.0);
+        let a = E2Lsh::build(data.clone(), Metric::Euclidean, &p);
+        let b = E2Lsh::build(data.clone(), Metric::Euclidean, &p);
+        let qa = a.query(data.get(7), 5, 100);
+        let qb = b.query(data.get(7), 5, 100);
+        assert_eq!(
+            qa.iter().map(|n| n.id).collect::<Vec<_>>(),
+            qb.iter().map(|n| n.id).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn index_bytes_grow_with_l() {
+        let data = toy(100);
+        let small = E2Lsh::build(data.clone(), Metric::Euclidean, &E2lshParams::euclidean(2, 2, 8.0));
+        let large = E2Lsh::build(data.clone(), Metric::Euclidean, &E2lshParams::euclidean(2, 16, 8.0));
+        assert!(large.index_bytes() > small.index_bytes());
+    }
+
+    #[test]
+    #[should_panic(expected = "K and L must be positive")]
+    fn zero_k_panics() {
+        E2Lsh::build(toy(10), Metric::Euclidean, &E2lshParams::euclidean(0, 4, 8.0));
+    }
+}

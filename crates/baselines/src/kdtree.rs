@@ -1,0 +1,240 @@
+//! kd-tree with best-bin-first incremental nearest-neighbor iteration —
+//! the low-dimensional substrate SRS searches its projected space with.
+//!
+//! Median-split construction over ids (O(n log n) with `select_nth`),
+//! queries via a single priority queue holding both subtrees (keyed by the
+//! minimum possible distance to their bounding slab) and points (keyed by
+//! exact distance). Popping yields points in exactly ascending Euclidean
+//! distance — the "incremental NN" interface `Srs` consumes.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A kd-tree over `n` points of (low) dimension `d`.
+pub struct KdTree {
+    dim: usize,
+    points: Vec<f32>,
+    nodes: Vec<Node>,
+    root: u32,
+}
+
+const LEAF_SIZE: usize = 8;
+
+enum Node {
+    Leaf {
+        ids: Vec<u32>,
+    },
+    Split {
+        axis: u8,
+        value: f32,
+        left: u32,
+        right: u32,
+    },
+}
+
+impl KdTree {
+    /// Builds over row-major `points` (n×d).
+    ///
+    /// # Panics
+    /// Panics if `dim == 0`, the buffer is ragged, or there are no points.
+    pub fn build(dim: usize, points: Vec<f32>) -> Self {
+        assert!(dim > 0, "dimension must be positive");
+        assert!(
+            !points.is_empty() && points.len().is_multiple_of(dim),
+            "ragged or empty point buffer"
+        );
+        let n = points.len() / dim;
+        let mut ids: Vec<u32> = (0..n as u32).collect();
+        let mut tree = Self { dim, points, nodes: Vec::new(), root: 0 };
+        let root = tree.build_rec(&mut ids, 0);
+        tree.root = root;
+        tree
+    }
+
+    fn coord(&self, id: u32, axis: usize) -> f32 {
+        self.points[id as usize * self.dim + axis]
+    }
+
+    fn build_rec(&mut self, ids: &mut [u32], depth: usize) -> u32 {
+        if ids.len() <= LEAF_SIZE {
+            self.nodes.push(Node::Leaf { ids: ids.to_vec() });
+            return (self.nodes.len() - 1) as u32;
+        }
+        let axis = depth % self.dim;
+        let mid = ids.len() / 2;
+        ids.select_nth_unstable_by(mid, |&a, &b| {
+            self.points[a as usize * self.dim + axis]
+                .total_cmp(&self.points[b as usize * self.dim + axis])
+        });
+        let value = self.coord(ids[mid], axis);
+        let (l, r) = ids.split_at_mut(mid);
+        let left = self.build_rec(l, depth + 1);
+        let right = self.build_rec(r, depth + 1);
+        self.nodes.push(Node::Split { axis: axis as u8, value, left, right });
+        (self.nodes.len() - 1) as u32
+    }
+
+    /// Iterator producing `(id, squared_distance)` in ascending distance.
+    pub fn nearest_iter<'a>(&'a self, q: &'a [f32]) -> NearestIter<'a> {
+        assert_eq!(q.len(), self.dim, "query dimension mismatch");
+        let mut heap = BinaryHeap::new();
+        heap.push(Entry { dist: 0.0, item: Item::Node(self.root) });
+        NearestIter { tree: self, q, heap }
+    }
+
+    /// Memory footprint in bytes (points + nodes).
+    pub fn nbytes(&self) -> usize {
+        self.points.len() * 4
+            + self
+                .nodes
+                .iter()
+                .map(|n| match n {
+                    Node::Leaf { ids } => 24 + ids.len() * 4,
+                    Node::Split { .. } => 16,
+                })
+                .sum::<usize>()
+    }
+}
+
+enum Item {
+    Node(u32),
+    Point(u32),
+}
+
+struct Entry {
+    dist: f64,
+    item: Item,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.dist == other.dist
+    }
+}
+impl Eq for Entry {}
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other.dist.total_cmp(&self.dist) // min-heap
+    }
+}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// See [`KdTree::nearest_iter`].
+pub struct NearestIter<'a> {
+    tree: &'a KdTree,
+    q: &'a [f32],
+    heap: BinaryHeap<Entry>,
+}
+
+impl Iterator for NearestIter<'_> {
+    /// `(point id, squared Euclidean distance)`, ascending by distance.
+    type Item = (u32, f64);
+
+    fn next(&mut self) -> Option<(u32, f64)> {
+        while let Some(Entry { dist, item }) = self.heap.pop() {
+            match item {
+                Item::Point(id) => return Some((id, dist)),
+                Item::Node(nid) => match &self.tree.nodes[nid as usize] {
+                    Node::Leaf { ids } => {
+                        for &id in ids {
+                            let p = &self.tree.points
+                                [id as usize * self.tree.dim..(id as usize + 1) * self.tree.dim];
+                            let d = dataset::metric::squared_euclidean(p, self.q);
+                            self.heap.push(Entry { dist: d, item: Item::Point(id) });
+                        }
+                    }
+                    Node::Split { axis, value, left, right } => {
+                        let delta = f64::from(self.q[*axis as usize] - value);
+                        // `dist` is the parent's lower bound; the child on
+                        // the query's side inherits it, the other side adds
+                        // the slab distance.
+                        let (near, far) = if delta < 0.0 { (left, right) } else { (right, left) };
+                        self.heap.push(Entry { dist, item: Item::Node(*near) });
+                        self.heap
+                            .push(Entry { dist: dist.max(delta * delta), item: Item::Node(*far) });
+                    }
+                },
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid2d() -> KdTree {
+        // 5×5 grid of points (x, y) in 0..5
+        let mut pts = Vec::new();
+        for x in 0..5 {
+            for y in 0..5 {
+                pts.push(x as f32);
+                pts.push(y as f32);
+            }
+        }
+        KdTree::build(2, pts)
+    }
+
+    #[test]
+    fn nearest_is_exact_and_ascending() {
+        let tree = grid2d();
+        let q = [2.2f32, 2.7];
+        let got: Vec<(u32, f64)> = tree.nearest_iter(&q).collect();
+        assert_eq!(got.len(), 25);
+        for w in got.windows(2) {
+            assert!(w[0].1 <= w[1].1, "distances must ascend");
+        }
+        // Nearest grid point to (2.2, 2.7) is (2, 3) = id 2*5+3 = 13.
+        assert_eq!(got[0].0, 13);
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_points() {
+        let mut seed = 987u64;
+        let mut next = move || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((seed >> 33) as f32) / (1u32 << 30) as f32
+        };
+        let n = 300;
+        let d = 4;
+        let pts: Vec<f32> = (0..n * d).map(|_| next()).collect();
+        let tree = KdTree::build(d, pts.clone());
+        let q: Vec<f32> = (0..d).map(|_| next()).collect();
+        let mut brute: Vec<(u32, f64)> = (0..n)
+            .map(|i| {
+                (i as u32, dataset::metric::squared_euclidean(&pts[i * d..(i + 1) * d], &q))
+            })
+            .collect();
+        brute.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+        let got: Vec<(u32, f64)> = tree.nearest_iter(&q).take(20).collect();
+        for (g, b) in got.iter().zip(&brute) {
+            assert!((g.1 - b.1).abs() < 1e-9, "distance mismatch");
+        }
+    }
+
+    #[test]
+    fn single_point_tree() {
+        let tree = KdTree::build(3, vec![1.0, 2.0, 3.0]);
+        let got: Vec<(u32, f64)> = tree.nearest_iter(&[1.0, 2.0, 3.0]).collect();
+        assert_eq!(got, vec![(0, 0.0)]);
+    }
+
+    #[test]
+    fn duplicate_points_all_emitted() {
+        let tree = KdTree::build(1, vec![5.0; 20]);
+        let got: Vec<(u32, f64)> = tree.nearest_iter(&[5.0]).collect();
+        assert_eq!(got.len(), 20);
+        assert!(got.iter().all(|&(_, d)| d == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "query dimension mismatch")]
+    fn wrong_dim_panics() {
+        grid2d().nearest_iter(&[1.0, 2.0, 3.0]).next();
+    }
+}

@@ -1,0 +1,58 @@
+//! Linear scan — the exact, index-free baseline.
+//!
+//! The cost reference for the α = 0 row of the paper's Table 1 (LCCS-LSH
+//! with constant m degenerates to `O(nd)` per query, i.e. a linear scan).
+
+use crate::common::verify_topk;
+use dataset::exact::Neighbor;
+use dataset::{Dataset, Metric};
+use std::sync::Arc;
+
+/// The trivial exact scanner.
+pub struct LinearScan {
+    data: Arc<Dataset>,
+    metric: Metric,
+}
+
+impl LinearScan {
+    /// "Builds" the (empty) index.
+    pub fn build(data: Arc<Dataset>, metric: Metric) -> Self {
+        Self { data, metric }
+    }
+
+    /// Exact k-NN by full scan.
+    pub fn query(&self, q: &[f32], k: usize) -> Vec<Neighbor> {
+        verify_topk(&self.data, self.metric, q, k, 0..self.data.len() as u32)
+    }
+
+    /// A linear scan stores nothing.
+    pub fn index_bytes(&self) -> usize {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dataset::{ExactKnn, SynthSpec};
+
+    #[test]
+    fn matches_exact_oracle() {
+        let data = Arc::new(SynthSpec::new("t", 200, 12).generate(3));
+        let scan = LinearScan::build(data.clone(), Metric::Euclidean);
+        let q = data.get(17);
+        let got = scan.query(q, 7);
+        let want = ExactKnn::single_query(&data, q, 7, Metric::Euclidean);
+        assert_eq!(got.len(), 7);
+        for (g, w) in got.iter().zip(&want) {
+            assert_eq!(g.id, w.id);
+            assert!((g.dist - w.dist).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn zero_index_size() {
+        let data = Arc::new(SynthSpec::new("t", 10, 4).generate(1));
+        assert_eq!(LinearScan::build(data, Metric::Euclidean).index_bytes(), 0);
+    }
+}

@@ -1,0 +1,253 @@
+//! LSH-Forest (Bawa, Condie, Ganesan — WWW 2005), memory version.
+//!
+//! The paper's §7 positions LCCS-LSH as an extension of this scheme:
+//! "LSH-Forest concatenates hash values into a sequence instead of a single
+//! hash value, so that the LCP between the hash values of query and data
+//! objects can be found via a trie structure … LCCS-LSH can be considered to
+//! extend them by virtually building more trees" (one per rotation).
+//!
+//! Implementation: each of the `l` trees draws `depth` i.i.d. functions and
+//! labels every object with its hash sequence. A sorted array of labels is
+//! an implicit trie: the objects with the longest common *prefix* with the
+//! query's label are the neighbors of its insertion position, found by one
+//! binary search and two outward-expanding cursors per tree (the standard
+//! array-backed variant of the paper's "synchronous descend"). This is
+//! exactly a *non-circular, multi-tree* CSA — which is what makes it the
+//! natural ablation partner for the LCCS framework.
+
+use crate::common::{verify_topk, Dedup};
+use dataset::exact::Neighbor;
+use dataset::{Dataset, Metric};
+use lsh::{sample_family, FamilyKind, FamilyParams, LshFunction};
+use std::sync::Arc;
+
+/// Build parameters for LSH-Forest.
+#[derive(Debug, Clone)]
+pub struct LshForestParams {
+    /// Trees (the paper's `l`).
+    pub trees: usize,
+    /// Label length / maximum trie depth (the paper's `k_m`).
+    pub depth: usize,
+    /// LSH family.
+    pub family: FamilyKind,
+    /// Family parameters.
+    pub family_params: FamilyParams,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl LshForestParams {
+    /// Euclidean defaults.
+    pub fn euclidean(trees: usize, depth: usize, w: f64) -> Self {
+        Self {
+            trees,
+            depth,
+            family: FamilyKind::RandomProjection,
+            family_params: FamilyParams { w },
+            seed: 0xf03e,
+        }
+    }
+}
+
+struct Tree {
+    /// Per-object labels, row-major n × depth (in id order).
+    labels: Vec<u64>,
+    /// Object ids sorted by label.
+    sorted: Vec<u32>,
+    funcs: Vec<Box<dyn LshFunction>>,
+}
+
+impl Tree {
+    fn label(&self, id: u32, depth: usize) -> &[u64] {
+        &self.labels[id as usize * depth..(id as usize + 1) * depth]
+    }
+}
+
+/// The LSH-Forest index.
+pub struct LshForest {
+    data: Arc<Dataset>,
+    metric: Metric,
+    trees: Vec<Tree>,
+    params: LshForestParams,
+}
+
+fn lcp(a: &[u64], b: &[u64]) -> usize {
+    a.iter().zip(b).take_while(|(x, y)| x == y).count()
+}
+
+impl LshForest {
+    /// Builds the `l` sorted label arrays.
+    ///
+    /// # Panics
+    /// Panics on empty data or zero trees/depth.
+    pub fn build(data: Arc<Dataset>, metric: Metric, params: &LshForestParams) -> Self {
+        assert!(!data.is_empty(), "cannot index an empty dataset");
+        assert!(params.trees > 0 && params.depth > 0, "trees and depth must be positive");
+        let trees = (0..params.trees)
+            .map(|t| {
+                let funcs = sample_family(
+                    params.family,
+                    data.dim(),
+                    params.depth,
+                    &params.family_params,
+                    params.seed.wrapping_add(t as u64).wrapping_mul(0x9e37_79b9),
+                );
+                let mut labels = vec![0u64; data.len() * params.depth];
+                for (i, v) in data.iter().enumerate() {
+                    for (j, f) in funcs.iter().enumerate() {
+                        labels[i * params.depth + j] = f.hash(v);
+                    }
+                }
+                let mut sorted: Vec<u32> = (0..data.len() as u32).collect();
+                let d = params.depth;
+                sorted.sort_unstable_by(|&a, &b| {
+                    labels[a as usize * d..(a as usize + 1) * d]
+                        .cmp(&labels[b as usize * d..(b as usize + 1) * d])
+                });
+                Tree { labels, sorted, funcs }
+            })
+            .collect();
+        Self { data, metric, trees, params: params.clone() }
+    }
+
+    /// c-k-ANNS: per tree, binary search for the query label, then expand
+    /// outward in descending-LCP order; candidates across trees merge by
+    /// prefix length ("synchronous descend" over the implicit tries); at
+    /// most `max_candidates` verified.
+    pub fn query(&self, q: &[f32], k: usize, max_candidates: usize) -> Vec<Neighbor> {
+        assert!(k > 0, "k must be positive");
+        let depth = self.params.depth;
+        let n = self.data.len();
+        let cap = max_candidates.max(k);
+        let mut dedup = Dedup::new(n);
+        dedup.begin();
+
+        // Cursor per (tree, direction) with current prefix length, merged by
+        // a max-heap on prefix length — the array-backed synchronous descend.
+        struct Cursor {
+            tree: usize,
+            pos: i64,
+            dir: i64,
+            lcp: usize,
+        }
+        let mut heap: Vec<Cursor> = Vec::with_capacity(self.trees.len() * 2);
+        let mut qlabels: Vec<Vec<u64>> = Vec::with_capacity(self.trees.len());
+        for (t, tree) in self.trees.iter().enumerate() {
+            let qlabel: Vec<u64> = tree.funcs.iter().map(|f| f.hash(q)).collect();
+            let ip = tree
+                .sorted
+                .partition_point(|&id| tree.label(id, depth) <= &qlabel[..]);
+            for (pos, dir) in [(ip as i64 - 1, -1i64), (ip as i64, 1)] {
+                if pos >= 0 && (pos as usize) < n {
+                    let id = tree.sorted[pos as usize];
+                    let l = lcp(tree.label(id, depth), &qlabel);
+                    heap.push(Cursor { tree: t, pos, dir, lcp: l });
+                }
+            }
+            qlabels.push(qlabel);
+        }
+
+        let mut cands: Vec<u32> = Vec::new();
+        while cands.len() < cap && !heap.is_empty() {
+            // Take the cursor with the longest current prefix.
+            let best = heap
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, c)| c.lcp)
+                .map(|(i, _)| i)
+                .expect("non-empty");
+            let c = &mut heap[best];
+            let tree = &self.trees[c.tree];
+            let id = tree.sorted[c.pos as usize];
+            if dedup.mark_new(id) {
+                cands.push(id);
+            }
+            let next = c.pos + c.dir;
+            if next >= 0 && (next as usize) < n {
+                let nid = tree.sorted[next as usize];
+                c.lcp = lcp(tree.label(nid, depth), &qlabels[c.tree]);
+                c.pos = next;
+            } else {
+                heap.swap_remove(best);
+            }
+        }
+        verify_topk(&self.data, self.metric, q, k, cands.into_iter())
+    }
+
+    /// Index footprint: labels + sorted ids + function parameters.
+    pub fn index_bytes(&self) -> usize {
+        self.trees
+            .iter()
+            .map(|t| t.labels.len() * 8 + t.sorted.len() * 4)
+            .sum::<usize>()
+            + self.params.trees * self.params.depth * self.data.dim() * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dataset::SynthSpec;
+
+    fn toy(n: usize) -> Arc<Dataset> {
+        Arc::new(SynthSpec::new("toy", n, 16).with_clusters(8).generate(61))
+    }
+
+    #[test]
+    fn self_query_is_top() {
+        let data = toy(300);
+        let idx =
+            LshForest::build(data.clone(), Metric::Euclidean, &LshForestParams::euclidean(4, 16, 4.0));
+        let out = idx.query(data.get(42), 1, 200);
+        assert_eq!(out[0].id, 42, "identical label ⇒ full-depth prefix ⇒ first candidate");
+    }
+
+    #[test]
+    fn candidates_come_in_descending_prefix_order_per_tree() {
+        // With one tree, the first candidates must have the globally longest
+        // prefixes: verify the top candidate's LCP is maximal.
+        let data = toy(200);
+        let idx =
+            LshForest::build(data.clone(), Metric::Euclidean, &LshForestParams::euclidean(1, 12, 4.0));
+        let q = data.get(7);
+        let tree = &idx.trees[0];
+        let qlabel: Vec<u64> = tree.funcs.iter().map(|f| f.hash(q)).collect();
+        let out = idx.query(q, 1, 1);
+        let top = out[0].id;
+        let top_lcp = lcp(tree.label(top, 12), &qlabel);
+        for id in 0..200u32 {
+            assert!(
+                lcp(tree.label(id, 12), &qlabel) <= top_lcp,
+                "id {id} has longer prefix than the first candidate"
+            );
+        }
+    }
+
+    #[test]
+    fn recall_grows_with_candidates() {
+        let data = toy(600);
+        let queries = SynthSpec::new("toy", 600, 16).with_clusters(8).generate_queries(15, 61);
+        let gt = dataset::ExactKnn::compute(&data, &queries, 5, Metric::Euclidean);
+        let idx =
+            LshForest::build(data.clone(), Metric::Euclidean, &LshForestParams::euclidean(4, 16, 4.0));
+        let recall = |cap: usize| {
+            let mut hits = 0usize;
+            for (qi, q) in queries.iter().enumerate() {
+                let out = idx.query(q, 5, cap);
+                let truth: Vec<u32> = gt.neighbors(qi).iter().map(|n| n.id).collect();
+                hits += out.iter().filter(|n| truth.contains(&n.id)).count();
+            }
+            hits as f64 / (5.0 * queries.len() as f64)
+        };
+        let lo = recall(8);
+        let hi = recall(400);
+        assert!(hi >= lo);
+        assert!(hi > 0.5, "large budget should recall > 50%, got {hi}");
+    }
+
+    #[test]
+    #[should_panic(expected = "trees and depth")]
+    fn zero_depth_panics() {
+        LshForest::build(toy(10), Metric::Euclidean, &LshForestParams::euclidean(2, 0, 4.0));
+    }
+}

@@ -1,0 +1,321 @@
+//! Multi-Probe LSH (Lv et al., VLDB 2007).
+//!
+//! E2LSH's table structure plus *query-directed probing*: after the `L` home
+//! buckets, additional buckets are probed in ascending perturbation-score
+//! order, letting a small `L` behave like a much larger one — the scheme the
+//! paper credits with the best space trade-off among the static-framework
+//! baselines (§6.4). Probes from different tables are interleaved through a
+//! global score heap, matching the original's query-directed ordering.
+
+use crate::common::{mix_key, verify_topk, Dedup};
+use crate::probing::{Probe, ProbeSequence};
+use dataset::exact::Neighbor;
+use dataset::{Dataset, Metric};
+use lsh::{sample_family, FamilyKind, FamilyParams, LshFunction, ScoredAlt};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Build parameters for Multi-Probe LSH.
+#[derive(Debug, Clone)]
+pub struct MultiProbeLshParams {
+    /// Concatenation length `K`.
+    pub k_funcs: usize,
+    /// Number of tables `L` (multi-probe keeps this small).
+    pub l_tables: usize,
+    /// Extra probes per query across all tables (0 = plain E2LSH).
+    pub probes: usize,
+    /// Alternatives fetched per position.
+    pub max_alts: usize,
+    /// LSH family.
+    pub family: FamilyKind,
+    /// Family parameters.
+    pub family_params: FamilyParams,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl MultiProbeLshParams {
+    /// Euclidean defaults (random projection).
+    pub fn euclidean(k_funcs: usize, l_tables: usize, probes: usize, w: f64) -> Self {
+        Self {
+            k_funcs,
+            l_tables,
+            probes,
+            max_alts: 4,
+            family: FamilyKind::RandomProjection,
+            family_params: FamilyParams { w },
+            seed: 0x3b15,
+        }
+    }
+}
+
+/// The Multi-Probe LSH index.
+pub struct MultiProbeLsh {
+    data: Arc<Dataset>,
+    metric: Metric,
+    funcs: Vec<Box<dyn LshFunction>>,
+    tables: Vec<HashMap<u64, Vec<u32>>>,
+    params: MultiProbeLshParams,
+    bucket_entries: usize,
+}
+
+impl MultiProbeLsh {
+    /// Builds the `L` tables (identical to E2LSH's indexing phase).
+    ///
+    /// # Panics
+    /// Panics on an empty dataset or zero `K`/`L`.
+    pub fn build(data: Arc<Dataset>, metric: Metric, params: &MultiProbeLshParams) -> Self {
+        assert!(!data.is_empty(), "cannot index an empty dataset");
+        assert!(params.k_funcs > 0 && params.l_tables > 0, "K and L must be positive");
+        let total = params.k_funcs * params.l_tables;
+        let funcs = sample_family(params.family, data.dim(), total, &params.family_params, params.seed);
+        let mut tables = Vec::with_capacity(params.l_tables);
+        let mut bucket_entries = 0usize;
+        let mut key_buf = vec![0u64; params.k_funcs];
+        for t in 0..params.l_tables {
+            let tf = &funcs[t * params.k_funcs..(t + 1) * params.k_funcs];
+            let mut table: HashMap<u64, Vec<u32>> = HashMap::new();
+            for (i, v) in data.iter().enumerate() {
+                for (slot, f) in key_buf.iter_mut().zip(tf) {
+                    *slot = f.hash(v);
+                }
+                table.entry(mix_key(key_buf.iter().copied())).or_default().push(i as u32);
+                bucket_entries += 1;
+            }
+            tables.push(table);
+        }
+        Self { data, metric, funcs, tables, params: params.clone(), bucket_entries }
+    }
+
+    fn table_funcs(&self, t: usize) -> &[Box<dyn LshFunction>] {
+        &self.funcs[t * self.params.k_funcs..(t + 1) * self.params.k_funcs]
+    }
+
+    /// c-k-ANNS: home buckets of all tables, then `probes` perturbed buckets
+    /// in global ascending score order; at most `max_candidates` verified.
+    pub fn query(&self, q: &[f32], k: usize, max_candidates: usize) -> Vec<Neighbor> {
+        let mut dedup = Dedup::new(self.data.len());
+        self.query_with(q, k, max_candidates, &mut dedup)
+    }
+
+    /// Fresh reusable dedup scratch sized for this index's dataset.
+    pub fn scratch(&self) -> Dedup {
+        Dedup::new(self.data.len())
+    }
+
+    /// [`MultiProbeLsh::query`] with reusable scratch.
+    pub fn query_with(
+        &self,
+        q: &[f32],
+        k: usize,
+        max_candidates: usize,
+        dedup: &mut Dedup,
+    ) -> Vec<Neighbor> {
+        self.query_probes(q, k, max_candidates, self.params.probes, dedup)
+    }
+
+    /// [`MultiProbeLsh::query_with`] with a query-time probe-count override
+    /// (lets the harness sweep probes without rebuilding the tables).
+    pub fn query_probes(
+        &self,
+        q: &[f32],
+        k: usize,
+        max_candidates: usize,
+        probes: usize,
+        dedup: &mut Dedup,
+    ) -> Vec<Neighbor> {
+        assert!(k > 0, "k must be positive");
+        dedup.begin();
+        let cap = max_candidates.max(k);
+        let mut cands: Vec<u32> = Vec::new();
+        let kf = self.params.k_funcs;
+
+        // Home buckets + per-table base keys and alternatives.
+        let mut base_keys: Vec<Vec<u64>> = Vec::with_capacity(self.tables.len());
+        for (t, table) in self.tables.iter().enumerate() {
+            let key: Vec<u64> = self.table_funcs(t).iter().map(|f| f.hash(q)).collect();
+            if let Some(bucket) = table.get(&mix_key(key.iter().copied())) {
+                for &id in bucket {
+                    if dedup.mark_new(id) && cands.len() < cap {
+                        cands.push(id);
+                    }
+                }
+            }
+            base_keys.push(key);
+        }
+
+        if probes > 0 && cands.len() < cap {
+            // Per-table probe sequences, globally interleaved by score.
+            let alt_lists: Vec<Vec<Vec<ScoredAlt>>> = (0..self.tables.len())
+                .map(|t| {
+                    self.table_funcs(t)
+                        .iter()
+                        .map(|f| f.alternatives(q, self.params.max_alts))
+                        .collect()
+                })
+                .collect();
+            let mut seqs: Vec<ProbeSequence> =
+                alt_lists.iter().map(|a| ProbeSequence::new(a)).collect();
+
+            // (score, table, probe) min-ordering via sort keys in a heap.
+            struct Pending {
+                score: f64,
+                table: usize,
+                probe: Probe,
+            }
+            impl PartialEq for Pending {
+                fn eq(&self, o: &Self) -> bool {
+                    self.score == o.score && self.table == o.table
+                }
+            }
+            impl Eq for Pending {}
+            impl Ord for Pending {
+                fn cmp(&self, o: &Self) -> std::cmp::Ordering {
+                    o.score.total_cmp(&self.score).then_with(|| o.table.cmp(&self.table))
+                }
+            }
+            impl PartialOrd for Pending {
+                fn partial_cmp(&self, o: &Self) -> Option<std::cmp::Ordering> {
+                    Some(self.cmp(o))
+                }
+            }
+
+            let mut heap = std::collections::BinaryHeap::new();
+            for (t, seq) in seqs.iter_mut().enumerate() {
+                if let Some(p) = seq.next() {
+                    heap.push(Pending { score: p.score, table: t, probe: p });
+                }
+            }
+            let mut key_buf = vec![0u64; kf];
+            for _ in 0..probes {
+                let Some(Pending { table: t, probe, .. }) = heap.pop() else { break };
+                key_buf.copy_from_slice(&base_keys[t]);
+                for e in &probe.entries {
+                    key_buf[e.pos as usize] = e.symbol;
+                }
+                if let Some(bucket) = self.tables[t].get(&mix_key(key_buf.iter().copied())) {
+                    for &id in bucket {
+                        if dedup.mark_new(id) && cands.len() < cap {
+                            cands.push(id);
+                        }
+                    }
+                }
+                if cands.len() >= cap {
+                    break;
+                }
+                if let Some(p) = seqs[t].next() {
+                    heap.push(Pending { score: p.score, table: t, probe: p });
+                }
+            }
+        }
+
+        verify_topk(&self.data, self.metric, q, k, cands.into_iter())
+    }
+
+    /// Index footprint (same accounting as E2LSH).
+    pub fn index_bytes(&self) -> usize {
+        let entries = self.bucket_entries * 4;
+        let buckets: usize = self.tables.iter().map(|t| t.len() * 16).sum();
+        let funcs = self.params.k_funcs * self.params.l_tables * self.data.dim() * 4;
+        entries + buckets + funcs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dataset::SynthSpec;
+
+    fn toy(n: usize) -> Arc<Dataset> {
+        Arc::new(SynthSpec::new("toy", n, 16).with_clusters(8).generate(21))
+    }
+
+    #[test]
+    fn self_query_hits_itself() {
+        let data = toy(300);
+        let idx = MultiProbeLsh::build(
+            data.clone(),
+            Metric::Euclidean,
+            &MultiProbeLshParams::euclidean(4, 4, 16, 8.0),
+        );
+        let out = idx.query(data.get(8), 1, 500);
+        assert_eq!(out[0].id, 8);
+    }
+
+    #[test]
+    fn probing_recovers_what_few_tables_miss() {
+        // With K large and a single table, the home bucket often misses the
+        // true NN of a *perturbed* query; probing must recover many of them.
+        let data = toy(800);
+        let noisy: Vec<Vec<f32>> = (0..40)
+            .map(|i| {
+                let mut v = data.get(i * 7).to_vec();
+                for (j, x) in v.iter_mut().enumerate() {
+                    *x += ((i * 31 + j * 17) % 13) as f32 * 0.02 - 0.12;
+                }
+                v
+            })
+            .collect();
+        let home_only = MultiProbeLsh::build(
+            data.clone(),
+            Metric::Euclidean,
+            &MultiProbeLshParams::euclidean(6, 1, 0, 2.0),
+        );
+        let probing = MultiProbeLsh::build(
+            data.clone(),
+            Metric::Euclidean,
+            &MultiProbeLshParams::euclidean(6, 1, 64, 2.0),
+        );
+        let hits = |idx: &MultiProbeLsh| {
+            noisy
+                .iter()
+                .enumerate()
+                .filter(|(i, q)| {
+                    idx.query(q, 1, 2000).first().map(|n| n.id) == Some((*i as u32) * 7)
+                })
+                .count()
+        };
+        let h0 = hits(&home_only);
+        let h1 = hits(&probing);
+        assert!(h1 >= h0, "probing cannot hurt: {h0} -> {h1}");
+        assert!(h1 > h0, "probing should recover at least one miss ({h0} -> {h1})");
+    }
+
+    #[test]
+    fn zero_probes_equals_e2lsh() {
+        let data = toy(200);
+        let mp = MultiProbeLsh::build(
+            data.clone(),
+            Metric::Euclidean,
+            &MultiProbeLshParams {
+                seed: 0xe215,
+                ..MultiProbeLshParams::euclidean(3, 4, 0, 8.0)
+            },
+        );
+        let e2 = crate::e2lsh::E2Lsh::build(
+            data.clone(),
+            Metric::Euclidean,
+            &crate::e2lsh::E2lshParams::euclidean(3, 4, 8.0),
+        );
+        for i in [0usize, 50, 123] {
+            let a = mp.query(data.get(i), 5, 100);
+            let b = e2.query(data.get(i), 5, 100);
+            assert_eq!(
+                a.iter().map(|n| n.id).collect::<Vec<_>>(),
+                b.iter().map(|n| n.id).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn candidate_cap_respected() {
+        let data = toy(300);
+        let idx = MultiProbeLsh::build(
+            data.clone(),
+            Metric::Euclidean,
+            &MultiProbeLshParams::euclidean(2, 4, 32, 20.0),
+        );
+        let out = idx.query(data.get(0), 3, 5);
+        assert!(out.len() <= 3);
+    }
+}

@@ -1,0 +1,209 @@
+//! Query-directed probe-sequence generation (Lv et al., VLDB 2007) — the
+//! shared engine of [`crate::multiprobe_lsh`] and [`crate::falconn`].
+//!
+//! Given, for each of the `K` positions of a compound hash, a list of
+//! *alternative* symbols with perturbation scores (ascending), the generator
+//! enumerates perturbation sets — subsets picking at most one alternative
+//! per position — in non-decreasing total score. It is the classic
+//! min-heap/shift/expand construction over the globally score-sorted entry
+//! list `z₁ ≤ z₂ ≤ …`:
+//!
+//! * `shift(A)`: replace the maximum entry index `i` of `A` by `i + 1`;
+//! * `expand(A)`: add entry index `max(A) + 1` to `A`.
+//!
+//! Both successors have a score no smaller than `A`'s, so heap pops are
+//! globally ordered; every subset has a unique generation path, so nothing
+//! repeats. Subsets that pick two alternatives of the same position are
+//! *invalid*: they are skipped at emission but still expanded, exactly as in
+//! the original algorithm.
+
+use lsh::ScoredAlt;
+
+/// One flattened perturbation entry: position `pos` replaced by `symbol`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProbeEntry {
+    /// Which compound-hash position to replace.
+    pub pos: u32,
+    /// Replacement symbol.
+    pub symbol: u64,
+    /// Perturbation score (smaller probes first).
+    pub score: f64,
+}
+
+/// A generated probe: the set of (position, symbol) replacements to apply.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Probe {
+    /// Replacements, at most one per position.
+    pub entries: Vec<ProbeEntry>,
+    /// Total score.
+    pub score: f64,
+}
+
+#[derive(Debug)]
+struct State {
+    /// Sorted entry indices into the flattened z-list.
+    idx: Vec<u32>,
+    score: f64,
+}
+
+impl PartialEq for State {
+    fn eq(&self, other: &Self) -> bool {
+        self.idx == other.idx
+    }
+}
+impl Eq for State {}
+impl Ord for State {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other.score.total_cmp(&self.score).then_with(|| other.idx.cmp(&self.idx))
+    }
+}
+impl PartialOrd for State {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Streaming generator of [`Probe`]s in ascending score order (the base,
+/// unperturbed probe is *not* emitted — callers look up the home bucket
+/// themselves first).
+pub struct ProbeSequence {
+    z: Vec<ProbeEntry>,
+    heap: std::collections::BinaryHeap<State>,
+}
+
+impl ProbeSequence {
+    /// `alts[i]` = ascending-score alternatives of position `i` (from
+    /// [`lsh::LshFunction::alternatives`]).
+    pub fn new(alts: &[Vec<ScoredAlt>]) -> Self {
+        let mut z: Vec<ProbeEntry> = alts
+            .iter()
+            .enumerate()
+            .flat_map(|(pos, list)| {
+                list.iter().map(move |a| ProbeEntry {
+                    pos: pos as u32,
+                    symbol: a.symbol,
+                    score: a.score,
+                })
+            })
+            .collect();
+        z.sort_by(|a, b| a.score.total_cmp(&b.score));
+        let mut heap = std::collections::BinaryHeap::new();
+        if !z.is_empty() {
+            heap.push(State { idx: vec![0], score: z[0].score });
+        }
+        Self { z, heap }
+    }
+
+    fn emit(&self, s: &State) -> Option<Probe> {
+        // Valid iff all positions distinct.
+        let mut positions: Vec<u32> = s.idx.iter().map(|&i| self.z[i as usize].pos).collect();
+        positions.sort_unstable();
+        for w in positions.windows(2) {
+            if w[0] == w[1] {
+                return None;
+            }
+        }
+        Some(Probe {
+            entries: s.idx.iter().map(|&i| self.z[i as usize]).collect(),
+            score: s.score,
+        })
+    }
+}
+
+impl Iterator for ProbeSequence {
+    type Item = Probe;
+
+    fn next(&mut self) -> Option<Probe> {
+        loop {
+            let s = self.heap.pop()?;
+            let max = *s.idx.last().expect("states are non-empty") as usize;
+            if max + 1 < self.z.len() {
+                // shift
+                let mut idx = s.idx.clone();
+                *idx.last_mut().expect("non-empty") = (max + 1) as u32;
+                let score = s.score - self.z[max].score + self.z[max + 1].score;
+                self.heap.push(State { idx, score });
+                // expand
+                let mut idx = s.idx.clone();
+                idx.push((max + 1) as u32);
+                let score = s.score + self.z[max + 1].score;
+                self.heap.push(State { idx, score });
+            }
+            if let Some(p) = self.emit(&s) {
+                return Some(p);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn alts(rows: &[&[f64]]) -> Vec<Vec<ScoredAlt>> {
+        rows.iter()
+            .map(|r| {
+                r.iter()
+                    .enumerate()
+                    .map(|(j, &s)| ScoredAlt { symbol: j as u64, score: s })
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn scores_ascend() {
+        let a = alts(&[&[0.1, 0.4], &[0.2, 0.3], &[0.15]]);
+        let probes: Vec<Probe> = ProbeSequence::new(&a).take(20).collect();
+        assert!(!probes.is_empty());
+        for w in probes.windows(2) {
+            assert!(w[0].score <= w[1].score + 1e-12);
+        }
+    }
+
+    #[test]
+    fn first_probe_is_single_cheapest() {
+        let a = alts(&[&[0.5], &[0.1], &[0.3]]);
+        let first = ProbeSequence::new(&a).next().unwrap();
+        assert_eq!(first.entries.len(), 1);
+        assert_eq!(first.entries[0].pos, 1);
+        assert!((first.score - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_position_used_twice() {
+        let a = alts(&[&[0.1, 0.11, 0.12], &[0.2]]);
+        for p in ProbeSequence::new(&a).take(16) {
+            let mut pos: Vec<u32> = p.entries.iter().map(|e| e.pos).collect();
+            pos.sort_unstable();
+            pos.dedup();
+            assert_eq!(pos.len(), p.entries.len(), "{p:?}");
+        }
+    }
+
+    #[test]
+    fn no_duplicates_and_exhaustive_for_small_case() {
+        // 2 positions × 1 alt each: valid non-empty subsets = {a}, {b}, {a,b}.
+        let a = alts(&[&[0.1], &[0.2]]);
+        let got: Vec<Probe> = ProbeSequence::new(&a).collect();
+        assert_eq!(got.len(), 3);
+        let sizes: Vec<usize> = got.iter().map(|p| p.entries.len()).collect();
+        assert_eq!(sizes, vec![1, 1, 2]);
+        assert!((got[2].score - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_alternatives_yield_nothing() {
+        let a: Vec<Vec<ScoredAlt>> = vec![vec![], vec![]];
+        assert_eq!(ProbeSequence::new(&a).count(), 0);
+    }
+
+    #[test]
+    fn scores_are_entry_sums() {
+        let a = alts(&[&[0.1, 0.4], &[0.25]]);
+        for p in ProbeSequence::new(&a).take(10) {
+            let want: f64 = p.entries.iter().map(|e| e.score).sum();
+            assert!((p.score - want).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,223 @@
+//! QALSH — query-aware LSH (Huang et al., PVLDB 2015 / VLDBJ 2017),
+//! memory version.
+//!
+//! Where C2LSH quantizes projections into buckets at indexing time, QALSH
+//! keeps the *raw* projections `h_a(o) = a·o` in sorted order (the paper's
+//! B⁺-tree; a sorted array in memory) and anchors the bucket on the query:
+//! at round `R`, object `o` collides with `q` under `h_a` iff
+//! `|a·o − a·q| ≤ w·R/2`. Collision counting and the `l` threshold then
+//! work exactly as in C2LSH, with two-pointer windows widening per round —
+//! the "query-aware" part removes the random bucket-offset misalignment.
+
+use crate::common::{verify_topk, Dedup};
+use dataset::exact::Neighbor;
+use dataset::{Dataset, Metric};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rand_distr::{Distribution, StandardNormal};
+use std::sync::Arc;
+
+/// Build parameters for QALSH.
+#[derive(Debug, Clone)]
+pub struct QalshParams {
+    /// Number of projections `m`.
+    pub m: usize,
+    /// Collision threshold `l`.
+    pub l: usize,
+    /// Bucket width `w` (full width; the query-anchored half-width is w/2).
+    pub w: f64,
+    /// Approximation ratio `c` driving round widening.
+    pub c: f64,
+    /// Termination slack: stop after `k + beta_n` candidates.
+    pub beta_n: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl QalshParams {
+    /// Defaults mirroring the authors' memory version.
+    pub fn new(m: usize, l: usize, w: f64) -> Self {
+        Self { m, l, w, c: 2.0, beta_n: 100, seed: 0x9a15 }
+    }
+}
+
+/// One projection line: the Gaussian vector and the sorted projections.
+struct Line {
+    a: Vec<f32>,
+    /// (projection, id) sorted ascending by projection.
+    entries: Vec<(f32, u32)>,
+}
+
+/// The QALSH index.
+pub struct Qalsh {
+    data: Arc<Dataset>,
+    metric: Metric,
+    lines: Vec<Line>,
+    params: QalshParams,
+}
+
+impl Qalsh {
+    /// Builds `m` sorted projection lines.
+    ///
+    /// # Panics
+    /// Panics on empty data or `l > m` / `l == 0` / non-positive `w`.
+    pub fn build(data: Arc<Dataset>, metric: Metric, params: &QalshParams) -> Self {
+        assert!(!data.is_empty(), "cannot index an empty dataset");
+        assert!(params.l >= 1 && params.l <= params.m, "need 1 <= l <= m");
+        assert!(params.w > 0.0, "bucket width must be positive");
+        let mut rng = StdRng::seed_from_u64(params.seed);
+        let lines = (0..params.m)
+            .map(|_| {
+                let a: Vec<f32> = (0..data.dim())
+                    .map(|_| {
+                        let g: f64 = StandardNormal.sample(&mut rng);
+                        g as f32
+                    })
+                    .collect();
+                let mut entries: Vec<(f32, u32)> = data
+                    .iter()
+                    .enumerate()
+                    .map(|(i, v)| (dataset::metric::dot(&a, v) as f32, i as u32))
+                    .collect();
+                entries.sort_by(|x, y| x.0.total_cmp(&y.0).then(x.1.cmp(&y.1)));
+                Line { a, entries }
+            })
+            .collect();
+        Self { data, metric, lines, params: params.clone() }
+    }
+
+    /// c-k-ANNS by query-aware collision counting.
+    pub fn query(&self, q: &[f32], k: usize) -> Vec<Neighbor> {
+        self.query_slack(q, k, self.params.beta_n)
+    }
+
+    /// [`Qalsh::query`] with a query-time candidate-slack override.
+    pub fn query_slack(&self, q: &[f32], k: usize, beta_n: usize) -> Vec<Neighbor> {
+        assert!(k > 0, "k must be positive");
+        let n = self.data.len();
+        let m = self.params.m;
+        let mut counts = vec![0u32; n];
+        let mut dedup = Dedup::new(n);
+        dedup.begin();
+        let mut cands: Vec<u32> = Vec::new();
+        let cap = (k + beta_n).min(n);
+
+        // Anchor: the query's projection on every line; windows start empty
+        // at the anchor's insertion point.
+        let anchors: Vec<f32> =
+            self.lines.iter().map(|l| dataset::metric::dot(&l.a, q) as f32).collect();
+        let mut lo: Vec<usize> = self
+            .lines
+            .iter()
+            .zip(&anchors)
+            .map(|(l, &p)| l.entries.partition_point(|&(x, _)| x < p))
+            .collect();
+        let mut hi = lo.clone();
+
+        let mut radius = 1.0f64;
+        for _round in 0..48 {
+            let half = self.params.w * radius / 2.0;
+            for j in 0..m {
+                let line = &self.lines[j];
+                let lo_bound = anchors[j] - half as f32;
+                let hi_bound = anchors[j] + half as f32;
+                // widen left
+                while lo[j] > 0 && line.entries[lo[j] - 1].0 >= lo_bound {
+                    lo[j] -= 1;
+                    let id = line.entries[lo[j]].1;
+                    let c = &mut counts[id as usize];
+                    *c += 1;
+                    if *c as usize >= self.params.l && dedup.mark_new(id) {
+                        cands.push(id);
+                    }
+                }
+                // widen right
+                while hi[j] < line.entries.len() && line.entries[hi[j]].0 <= hi_bound {
+                    let id = line.entries[hi[j]].1;
+                    hi[j] += 1;
+                    let c = &mut counts[id as usize];
+                    *c += 1;
+                    if *c as usize >= self.params.l && dedup.mark_new(id) {
+                        cands.push(id);
+                    }
+                }
+            }
+            if cands.len() >= cap {
+                break;
+            }
+            radius *= self.params.c;
+            if (0..m).all(|j| lo[j] == 0 && hi[j] == self.lines[j].entries.len()) {
+                break;
+            }
+        }
+
+        if cands.len() < k {
+            let mut rest: Vec<u32> = (0..n as u32).filter(|&i| !cands.contains(&i)).collect();
+            rest.sort_by_key(|&i| std::cmp::Reverse(counts[i as usize]));
+            cands.extend(rest.into_iter().take(k - cands.len()));
+        }
+
+        verify_topk(&self.data, self.metric, q, k, cands.into_iter())
+    }
+
+    /// Index footprint: m sorted (f32, u32) arrays + projection vectors.
+    pub fn index_bytes(&self) -> usize {
+        self.lines.iter().map(|l| l.entries.len() * 8 + l.a.len() * 4).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dataset::SynthSpec;
+
+    fn toy(n: usize) -> Arc<Dataset> {
+        Arc::new(SynthSpec::new("toy", n, 16).with_clusters(8).generate(41))
+    }
+
+    #[test]
+    fn self_query_is_top() {
+        let data = toy(300);
+        let idx = Qalsh::build(data.clone(), Metric::Euclidean, &QalshParams::new(32, 8, 2.0));
+        let out = idx.query(data.get(77), 1);
+        assert_eq!(out[0].id, 77);
+    }
+
+    #[test]
+    fn query_aware_buckets_beat_round_one_width() {
+        // At round 1 the query-anchored window [p−w/2, p+w/2] must already
+        // cover near projections, so near duplicates become candidates fast.
+        let data = toy(400);
+        let idx = Qalsh::build(data.clone(), Metric::Euclidean, &QalshParams::new(24, 12, 4.0));
+        let mut q = data.get(10).to_vec();
+        for x in q.iter_mut() {
+            *x += 0.02;
+        }
+        let out = idx.query(&q, 1);
+        assert_eq!(out[0].id, 10);
+    }
+
+    #[test]
+    fn returns_sorted_k() {
+        let data = toy(250);
+        let idx = Qalsh::build(data.clone(), Metric::Euclidean, &QalshParams::new(16, 4, 2.0));
+        let out = idx.query(data.get(0), 8);
+        assert_eq!(out.len(), 8);
+        for w in out.windows(2) {
+            assert!(w[0].dist <= w[1].dist);
+        }
+    }
+
+    #[test]
+    fn fallback_fills_k_on_tiny_data() {
+        let data = Arc::new(SynthSpec::new("t", 6, 8).generate(2));
+        let idx = Qalsh::build(data.clone(), Metric::Euclidean, &QalshParams::new(4, 4, 0.01));
+        assert_eq!(idx.query(data.get(1), 6).len(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket width")]
+    fn bad_w_panics() {
+        Qalsh::build(toy(10), Metric::Euclidean, &QalshParams::new(4, 2, 0.0));
+    }
+}

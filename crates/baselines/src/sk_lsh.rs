@@ -1,0 +1,218 @@
+//! SK-LSH (Liu, Cui, Huang, Li, Shen — PVLDB 2014), memory version.
+//!
+//! The paper's §7: "SK-LSH sorts the compound keys in alphabetical order,
+//! and thus it can reduce the I/O costs for external storages." Each of the
+//! `l` indexes concatenates `k_funcs` hash values into a *compound key*,
+//! sorts all objects by the key's linear order, and answers a query by
+//! locating the query key's insertion position and scanning outward — the
+//! objects with the closest compound keys (longest common key prefix and
+//! smallest divergence at the first differing component) are probed first.
+//!
+//! SK-LSH's ordering carries strictly less information than the CSA: it
+//! sorts only one rotation of the key, so prefixes that start later in the
+//! key are invisible to it. Comparing it against LCCS-LSH at matched memory
+//! isolates exactly what the circular-shift machinery buys — see the
+//! `frameworks` ablation experiment.
+
+use crate::common::{verify_topk, Dedup};
+use dataset::exact::Neighbor;
+use dataset::{Dataset, Metric};
+use lsh::{sample_family, FamilyKind, FamilyParams, LshFunction};
+use std::sync::Arc;
+
+/// Build parameters for SK-LSH.
+#[derive(Debug, Clone)]
+pub struct SkLshParams {
+    /// Compound-key length.
+    pub k_funcs: usize,
+    /// Number of sorted indexes.
+    pub l_indexes: usize,
+    /// LSH family.
+    pub family: FamilyKind,
+    /// Family parameters.
+    pub family_params: FamilyParams,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl SkLshParams {
+    /// Euclidean defaults.
+    pub fn euclidean(k_funcs: usize, l_indexes: usize, w: f64) -> Self {
+        Self {
+            k_funcs,
+            l_indexes,
+            family: FamilyKind::RandomProjection,
+            family_params: FamilyParams { w },
+            seed: 0x5c15,
+        }
+    }
+}
+
+struct SortedIndex {
+    /// Compound keys, row-major n × k (in id order).
+    keys: Vec<u64>,
+    /// Ids sorted by compound key.
+    sorted: Vec<u32>,
+    funcs: Vec<Box<dyn LshFunction>>,
+}
+
+impl SortedIndex {
+    fn key(&self, id: u32, k: usize) -> &[u64] {
+        &self.keys[id as usize * k..(id as usize + 1) * k]
+    }
+}
+
+/// The SK-LSH index.
+pub struct SkLsh {
+    data: Arc<Dataset>,
+    metric: Metric,
+    indexes: Vec<SortedIndex>,
+    params: SkLshParams,
+}
+
+impl SkLsh {
+    /// Builds the `l` sorted compound-key arrays.
+    ///
+    /// # Panics
+    /// Panics on empty data or zero `k`/`l`.
+    pub fn build(data: Arc<Dataset>, metric: Metric, params: &SkLshParams) -> Self {
+        assert!(!data.is_empty(), "cannot index an empty dataset");
+        assert!(params.k_funcs > 0 && params.l_indexes > 0, "K and L must be positive");
+        let indexes = (0..params.l_indexes)
+            .map(|t| {
+                let funcs = sample_family(
+                    params.family,
+                    data.dim(),
+                    params.k_funcs,
+                    &params.family_params,
+                    params.seed.wrapping_add(t as u64).wrapping_mul(0x517c_c1b7),
+                );
+                let k = params.k_funcs;
+                let mut keys = vec![0u64; data.len() * k];
+                for (i, v) in data.iter().enumerate() {
+                    for (j, f) in funcs.iter().enumerate() {
+                        keys[i * k + j] = f.hash(v);
+                    }
+                }
+                let mut sorted: Vec<u32> = (0..data.len() as u32).collect();
+                sorted.sort_unstable_by(|&a, &b| {
+                    keys[a as usize * k..(a as usize + 1) * k]
+                        .cmp(&keys[b as usize * k..(b as usize + 1) * k])
+                });
+                SortedIndex { keys, sorted, funcs }
+            })
+            .collect();
+        Self { data, metric, indexes, params: params.clone() }
+    }
+
+    /// c-k-ANNS: per index, locate the query's compound key and scan outward
+    /// alternately (the paper's bidirectional page expansion), interleaving
+    /// indexes round-robin; at most `max_candidates` verified.
+    pub fn query(&self, q: &[f32], k: usize, max_candidates: usize) -> Vec<Neighbor> {
+        assert!(k > 0, "k must be positive");
+        let kf = self.params.k_funcs;
+        let n = self.data.len();
+        let cap = max_candidates.max(k);
+        let mut dedup = Dedup::new(n);
+        dedup.begin();
+        let mut cands: Vec<u32> = Vec::new();
+
+        // (lo, hi) scan windows per index, expanded alternately.
+        let mut windows: Vec<(i64, i64)> = Vec::with_capacity(self.indexes.len());
+        for idx in &self.indexes {
+            let qkey: Vec<u64> = idx.funcs.iter().map(|f| f.hash(q)).collect();
+            let ip = idx.sorted.partition_point(|&id| idx.key(id, kf) <= &qkey[..]) as i64;
+            windows.push((ip - 1, ip));
+        }
+        let mut progressed = true;
+        while cands.len() < cap && progressed {
+            progressed = false;
+            for (t, (lo, hi)) in windows.iter_mut().enumerate() {
+                let idx = &self.indexes[t];
+                if *lo >= 0 {
+                    let id = idx.sorted[*lo as usize];
+                    *lo -= 1;
+                    progressed = true;
+                    if dedup.mark_new(id) {
+                        cands.push(id);
+                        if cands.len() >= cap {
+                            break;
+                        }
+                    }
+                }
+                if (*hi as usize) < n {
+                    let id = idx.sorted[*hi as usize];
+                    *hi += 1;
+                    progressed = true;
+                    if dedup.mark_new(id) {
+                        cands.push(id);
+                        if cands.len() >= cap {
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        verify_topk(&self.data, self.metric, q, k, cands.into_iter())
+    }
+
+    /// Index footprint: keys + sorted ids + function parameters.
+    pub fn index_bytes(&self) -> usize {
+        self.indexes
+            .iter()
+            .map(|i| i.keys.len() * 8 + i.sorted.len() * 4)
+            .sum::<usize>()
+            + self.params.l_indexes * self.params.k_funcs * self.data.dim() * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dataset::SynthSpec;
+
+    fn toy(n: usize) -> Arc<Dataset> {
+        Arc::new(SynthSpec::new("toy", n, 16).with_clusters(8).generate(71))
+    }
+
+    #[test]
+    fn self_query_found_immediately() {
+        let data = toy(300);
+        let idx = SkLsh::build(data.clone(), Metric::Euclidean, &SkLshParams::euclidean(8, 3, 4.0));
+        let out = idx.query(data.get(9), 1, 16);
+        assert_eq!(out[0].id, 9, "identical compound key sits adjacent to the insertion point");
+    }
+
+    #[test]
+    fn recall_grows_with_candidates() {
+        let data = toy(600);
+        let queries = SynthSpec::new("toy", 600, 16).with_clusters(8).generate_queries(15, 71);
+        let gt = dataset::ExactKnn::compute(&data, &queries, 5, Metric::Euclidean);
+        let idx = SkLsh::build(data.clone(), Metric::Euclidean, &SkLshParams::euclidean(6, 4, 4.0));
+        let recall = |cap: usize| {
+            let mut hits = 0usize;
+            for (qi, q) in queries.iter().enumerate() {
+                let out = idx.query(q, 5, cap);
+                let truth: Vec<u32> = gt.neighbors(qi).iter().map(|n| n.id).collect();
+                hits += out.iter().filter(|n| truth.contains(&n.id)).count();
+            }
+            hits as f64 / (5.0 * queries.len() as f64)
+        };
+        assert!(recall(400) >= recall(8));
+        assert!(recall(400) > 0.4, "large budget should recall > 40%, got {}", recall(400));
+    }
+
+    #[test]
+    fn budget_is_respected() {
+        let data = toy(200);
+        let idx = SkLsh::build(data.clone(), Metric::Euclidean, &SkLshParams::euclidean(4, 2, 4.0));
+        let out = idx.query(data.get(0), 3, 5);
+        assert!(out.len() <= 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "K and L must be positive")]
+    fn zero_l_panics() {
+        SkLsh::build(toy(10), Metric::Euclidean, &SkLshParams::euclidean(4, 0, 4.0));
+    }
+}

@@ -1,0 +1,205 @@
+//! SRS — c-ANNS with a tiny index (Sun et al., PVLDB 2014), memory version.
+//!
+//! SRS projects the dataset to `d′ ∈ [4, 10]` dimensions with Gaussian
+//! random projections and answers queries by *incremental* nearest-neighbor
+//! search in the projected space (here over [`crate::kdtree`], standing in
+//! for the paper-version R-tree / the authors' memory-version cover tree).
+//! Each projected hit is verified in the original space; the search stops
+//! when either
+//!
+//! * `max_verify` objects have been verified (the `t·n` budget knob), or
+//! * the *early-termination test* fires: the squared projected distance of
+//!   the next candidate exceeds `threshold² · best²`, where `threshold` is
+//!   calibrated from the χ²(d′) concentration of Gaussian projections —
+//!   once projected distances are this large, the probability any remaining
+//!   object beats the current best is below the target failure rate.
+//!
+//! The index is d′ floats per object — the "tiny index" that gives SRS its
+//! name and its place in the paper's Figure 6 trade-off.
+
+use crate::common::verify_topk;
+use crate::kdtree::KdTree;
+use dataset::exact::Neighbor;
+use dataset::{Dataset, Metric};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rand_distr::{Distribution, StandardNormal};
+use std::sync::Arc;
+
+/// Build parameters for SRS.
+#[derive(Debug, Clone)]
+pub struct SrsParams {
+    /// Projected dimensionality `d′` (the paper sweeps 4..=10).
+    pub d_proj: usize,
+    /// Hard verification budget per query (the `t·n` knob).
+    pub max_verify: usize,
+    /// Early-termination slack multiplier on the χ² calibration (≥ 1;
+    /// larger = more accurate, slower).
+    pub slack: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl SrsParams {
+    /// Defaults matching the paper's memory configuration.
+    pub fn new(d_proj: usize, max_verify: usize) -> Self {
+        Self { d_proj, max_verify, slack: 1.0, seed: 0x5125 }
+    }
+}
+
+/// The SRS index.
+pub struct Srs {
+    data: Arc<Dataset>,
+    metric: Metric,
+    proj: Vec<f32>, // d_proj × dim, row-major
+    tree: KdTree,
+    params: SrsParams,
+    threshold_sq: f64,
+}
+
+impl Srs {
+    /// Projects the dataset and builds the kd-tree.
+    ///
+    /// # Panics
+    /// Panics on empty data or `d_proj == 0`.
+    pub fn build(data: Arc<Dataset>, metric: Metric, params: &SrsParams) -> Self {
+        assert!(!data.is_empty(), "cannot index an empty dataset");
+        assert!(params.d_proj >= 1, "projected dimension must be positive");
+        let d = data.dim();
+        let mut rng = StdRng::seed_from_u64(params.seed);
+        let mut proj = vec![0.0f32; params.d_proj * d];
+        for x in &mut proj {
+            let g: f64 = StandardNormal.sample(&mut rng);
+            // 1/sqrt(d') scaling makes projected distances unbiased
+            // estimators of original distances.
+            *x = (g / (params.d_proj as f64).sqrt()) as f32;
+        }
+        let mut projected = vec![0.0f32; data.len() * params.d_proj];
+        for (i, v) in data.iter().enumerate() {
+            for r in 0..params.d_proj {
+                projected[i * params.d_proj + r] =
+                    dataset::metric::dot(&proj[r * d..(r + 1) * d], v) as f32;
+            }
+        }
+        let tree = KdTree::build(params.d_proj, projected);
+        // χ²(d′) upper-quantile calibration: a Gaussian projection of a
+        // vector at true distance τ has E[proj²] = τ² and is concentrated;
+        // stopping when proj² > (q_{0.99}/d′)·slack·best² keeps the miss
+        // probability per object below ~1%. q_{0.99}(χ²_k) ≈ k + 2√(2k·ln100)
+        // + 2·ln100 (Laurent–Massart).
+        let kf = params.d_proj as f64;
+        let ln100 = 100.0f64.ln();
+        let q99 = kf + 2.0 * (2.0 * kf * ln100).sqrt() + 2.0 * ln100;
+        let threshold_sq = q99 / kf * params.slack;
+        Self { data, metric, proj, tree, params: params.clone(), threshold_sq }
+    }
+
+    /// c-k-ANNS by incremental projected NN + verification.
+    pub fn query(&self, q: &[f32], k: usize) -> Vec<Neighbor> {
+        self.query_budget(q, k, self.params.max_verify)
+    }
+
+    /// [`Srs::query`] with a query-time verification-budget override.
+    pub fn query_budget(&self, q: &[f32], k: usize, max_verify: usize) -> Vec<Neighbor> {
+        assert!(k > 0, "k must be positive");
+        let d = self.data.dim();
+        let qp: Vec<f32> = (0..self.params.d_proj)
+            .map(|r| dataset::metric::dot(&self.proj[r * d..(r + 1) * d], q) as f32)
+            .collect();
+        let mut cands: Vec<u32> = Vec::new();
+        let mut best_sq = f64::INFINITY;
+        let budget = max_verify.max(k).min(self.data.len());
+        for (id, proj_sq) in self.tree.nearest_iter(&qp) {
+            if cands.len() >= budget {
+                break;
+            }
+            // Early termination: projected distances are now provably (w.h.p.)
+            // beyond the current best true distance.
+            if best_sq.is_finite() && proj_sq > self.threshold_sq * best_sq {
+                break;
+            }
+            let true_sq = dataset::metric::squared_euclidean(self.data.get(id as usize), q);
+            best_sq = best_sq.min(true_sq);
+            cands.push(id);
+        }
+        verify_topk(&self.data, self.metric, q, k, cands.into_iter())
+    }
+
+    /// Index footprint: the kd-tree over n·d′ floats + the projection matrix.
+    pub fn index_bytes(&self) -> usize {
+        self.tree.nbytes() + self.proj.len() * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dataset::SynthSpec;
+
+    fn toy(n: usize) -> Arc<Dataset> {
+        Arc::new(SynthSpec::new("toy", n, 32).with_clusters(10).generate(51))
+    }
+
+    #[test]
+    fn self_query_tops() {
+        let data = toy(300);
+        let idx = Srs::build(data.clone(), Metric::Euclidean, &SrsParams::new(6, 100));
+        let out = idx.query(data.get(21), 1);
+        assert_eq!(out[0].id, 21, "projected distance 0 is visited first");
+    }
+
+    #[test]
+    fn high_budget_approaches_exact() {
+        let data = toy(400);
+        let queries = SynthSpec::new("toy", 400, 32).with_clusters(10).generate_queries(15, 5);
+        let gt = dataset::ExactKnn::compute(&data, &queries, 5, Metric::Euclidean);
+        let idx = Srs::build(data.clone(), Metric::Euclidean, &SrsParams::new(8, 400));
+        let mut hits = 0usize;
+        for (qi, q) in queries.iter().enumerate() {
+            let out = idx.query(q, 5);
+            let truth: Vec<u32> = gt.neighbors(qi).iter().map(|n| n.id).collect();
+            hits += out.iter().filter(|n| truth.contains(&n.id)).count();
+        }
+        let recall = hits as f64 / (5.0 * queries.len() as f64);
+        assert!(recall > 0.85, "full-budget SRS should be near-exact, recall {recall}");
+    }
+
+    #[test]
+    fn budget_monotonicity() {
+        let data = toy(500);
+        let queries = SynthSpec::new("toy", 500, 32).with_clusters(10).generate_queries(10, 9);
+        let gt = dataset::ExactKnn::compute(&data, &queries, 10, Metric::Euclidean);
+        let recall = |budget: usize| {
+            let idx = Srs::build(data.clone(), Metric::Euclidean, &SrsParams::new(6, budget));
+            let mut hits = 0usize;
+            for (qi, q) in queries.iter().enumerate() {
+                let out = idx.query(q, 10);
+                let truth: Vec<u32> = gt.neighbors(qi).iter().map(|n| n.id).collect();
+                hits += out.iter().filter(|n| truth.contains(&n.id)).count();
+            }
+            hits as f64 / (10.0 * queries.len() as f64)
+        };
+        assert!(recall(250) >= recall(20) - 1e-9);
+    }
+
+    #[test]
+    fn index_is_tiny_relative_to_data() {
+        let data = toy(1000);
+        let idx = Srs::build(data.clone(), Metric::Euclidean, &SrsParams::new(6, 100));
+        assert!(
+            idx.index_bytes() < data.nbytes(),
+            "SRS's selling point is the tiny index: {} vs {}",
+            idx.index_bytes(),
+            data.nbytes()
+        );
+    }
+
+    #[test]
+    fn early_termination_caps_work() {
+        let data = toy(400);
+        let idx = Srs::build(data.clone(), Metric::Euclidean, &SrsParams::new(6, 5));
+        let out = idx.query(data.get(0), 3);
+        assert!(out.len() <= 3);
+        assert_eq!(out[0].id, 0);
+    }
+}

@@ -1,0 +1,87 @@
+//! Property tests of the query-directed probe-sequence generator shared by
+//! Multi-Probe LSH and FALCONN: exhaustiveness, uniqueness, and global
+//! score ordering, checked against brute-force enumeration of all valid
+//! perturbation sets.
+
+use baselines::probing::ProbeSequence;
+use lsh::ScoredAlt;
+use proptest::prelude::*;
+
+/// All valid perturbation sets (at most one alternative per position) for
+/// tiny alternative tables, by brute force.
+fn brute_force(alts: &[Vec<ScoredAlt>]) -> Vec<(Vec<(u32, u64)>, f64)> {
+    // Choice per position: None or one of its alternatives.
+    let mut sets: Vec<(Vec<(u32, u64)>, f64)> = vec![(Vec::new(), 0.0)];
+    for (pos, list) in alts.iter().enumerate() {
+        let mut next = Vec::new();
+        for (chosen, score) in &sets {
+            next.push((chosen.clone(), *score));
+            for a in list {
+                let mut c = chosen.clone();
+                c.push((pos as u32, a.symbol));
+                next.push((c, score + a.score));
+            }
+        }
+        sets = next;
+    }
+    sets.retain(|(c, _)| !c.is_empty());
+    sets
+}
+
+fn alt_tables() -> impl Strategy<Value = Vec<Vec<ScoredAlt>>> {
+    proptest::collection::vec(
+        proptest::collection::vec(0.01f64..2.0, 0..3).prop_map(|scores| {
+            let mut sorted = scores;
+            sorted.sort_by(|a, b| a.total_cmp(b));
+            sorted
+                .into_iter()
+                .enumerate()
+                .map(|(j, s)| ScoredAlt { symbol: 100 + j as u64, score: s })
+                .collect::<Vec<_>>()
+        }),
+        1..5,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The generator enumerates *every* valid perturbation set exactly once.
+    #[test]
+    fn generator_is_exhaustive_and_unique(alts in alt_tables()) {
+        let want = brute_force(&alts);
+        let got: Vec<_> = ProbeSequence::new(&alts).collect();
+        prop_assert_eq!(got.len(), want.len(), "must enumerate all valid sets");
+        // Compare as normalized sets of (pos, symbol) lists.
+        let norm = |entries: Vec<(u32, u64)>| {
+            let mut v = entries;
+            v.sort_unstable();
+            v
+        };
+        let mut got_sets: Vec<Vec<(u32, u64)>> = got
+            .iter()
+            .map(|p| norm(p.entries.iter().map(|e| (e.pos, e.symbol)).collect()))
+            .collect();
+        let mut want_sets: Vec<Vec<(u32, u64)>> = want.into_iter().map(|(c, _)| norm(c)).collect();
+        got_sets.sort();
+        want_sets.sort();
+        let before = got_sets.len();
+        got_sets.dedup();
+        prop_assert_eq!(got_sets.len(), before, "no duplicates");
+        prop_assert_eq!(got_sets, want_sets);
+    }
+
+    /// Probes come out in non-decreasing score order, and each score is the
+    /// sum of its entries'.
+    #[test]
+    fn generator_orders_by_score(alts in alt_tables()) {
+        let got: Vec<_> = ProbeSequence::new(&alts).collect();
+        for w in got.windows(2) {
+            prop_assert!(w[0].score <= w[1].score + 1e-12);
+        }
+        for p in &got {
+            let sum: f64 = p.entries.iter().map(|e| e.score).sum();
+            prop_assert!((p.score - sum).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! Criterion micro-benches of the CSA kernels: Algorithm 1 (build) and
+//! Algorithm 2 (k-LCCS search), across n and m — the `O(m n log n)` /
+//! `O(log n + (m + k) log m)` costs of Theorem 3.1.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use csa::{Csa, SearchScratch, StringSet};
+
+fn random_strings(n: usize, m: usize, alphabet: u64, seed: u64) -> StringSet {
+    let mut s = seed;
+    let mut next = move || {
+        s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (s >> 33) % alphabet
+    };
+    let data: Vec<u64> = (0..n * m).map(|_| next()).collect();
+    StringSet::from_flat(n, m, data)
+}
+
+fn bench_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("csa_build");
+    g.sample_size(10);
+    for &n in &[1_000usize, 10_000] {
+        for &m in &[32usize, 128] {
+            g.bench_with_input(
+                BenchmarkId::new(format!("n{n}"), format!("m{m}")),
+                &(n, m),
+                |b, &(n, m)| {
+                    let set = random_strings(n, m, 16, 7);
+                    b.iter(|| Csa::build(black_box(set.clone())));
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_search(c: &mut Criterion) {
+    let mut g = c.benchmark_group("csa_search");
+    g.sample_size(20);
+    for &n in &[10_000usize, 50_000] {
+        for &m in &[64usize, 256] {
+            let set = random_strings(n, m, 16, 11);
+            let csa = Csa::build(set);
+            let query = random_strings(1, m, 16, 99).row(0).to_vec();
+            let mut scratch = SearchScratch::for_csa(&csa);
+            g.bench_with_input(
+                BenchmarkId::new(format!("n{n}_m{m}"), "k100"),
+                &(),
+                |b, ()| {
+                    b.iter(|| csa.search_with(black_box(&query), 100, &mut scratch));
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+/// Ablation: the Lemma 3.1 next-link narrowing vs the §3.2 "simple method"
+/// (m independent full binary searches). The paper's claimed win is
+/// `O(log n + m)` vs `O(m (m + log n))` for the anchoring phase.
+fn bench_anchor_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("anchor_ablation");
+    g.sample_size(30);
+    let (n, m) = (50_000usize, 128usize);
+    let set = random_strings(n, m, 16, 21);
+    let csa = Csa::build(set);
+    let query = random_strings(1, m, 16, 77).row(0).to_vec();
+    g.bench_function("narrowed_lemma_3_1", |b| b.iter(|| csa.anchor(black_box(&query))));
+    g.bench_function("simple_full_searches", |b| {
+        b.iter(|| csa.anchor_simple(black_box(&query)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_build, bench_search, bench_anchor_ablation);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Criterion micro-benches of the per-family hashing cost η(d) (§5.2):
+//! random projection is O(d), dense cross-polytope is O(d²), the fast
+//! pseudo-rotation is O(d log d), bit sampling is O(1).
+
+use bench::bench_data;
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use lsh::{sample_family, FamilyKind, FamilyParams};
+
+fn bench_hashing(c: &mut Criterion) {
+    let mut g = c.benchmark_group("family_hash");
+    for &dim in &[128usize, 960] {
+        let data = bench_data(64, dim);
+        let v = data.get(0);
+        for kind in [
+            FamilyKind::RandomProjection,
+            FamilyKind::CrossPolytope,
+            FamilyKind::CrossPolytopeFast,
+            FamilyKind::BitSampling,
+            FamilyKind::MinHash,
+        ] {
+            let funcs = sample_family(kind, dim, 1, &FamilyParams::default(), 3);
+            g.bench_with_input(
+                BenchmarkId::new(format!("{kind:?}"), format!("d{dim}")),
+                &(),
+                |b, ()| b.iter(|| funcs[0].hash(black_box(v))),
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_hash_string(c: &mut Criterion) {
+    // The indexing-phase cost of one object: m hash values (m = 128).
+    let mut g = c.benchmark_group("hash_string_m128");
+    let dim = 128;
+    let data = bench_data(64, dim);
+    let v = data.get(0);
+    for kind in [FamilyKind::RandomProjection, FamilyKind::CrossPolytopeFast] {
+        let funcs = sample_family(kind, dim, 128, &FamilyParams::default(), 5);
+        g.bench_with_input(BenchmarkId::new(format!("{kind:?}"), "d128"), &(), |b, ()| {
+            b.iter(|| lsh::hash_query(&funcs, black_box(v)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_hashing, bench_hash_string);
+criterion_main!(benches);

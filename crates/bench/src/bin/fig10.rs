@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig10. See `eval::experiments::fig10`.
+fn main() {
+    let opts = eval::experiments::ExpOptions::parse(std::env::args().skip(1));
+    eval::experiments::fig10::run(&opts).expect("experiment failed");
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig4. See `eval::experiments::fig4`.
+fn main() {
+    let opts = eval::experiments::ExpOptions::parse(std::env::args().skip(1));
+    eval::experiments::fig4::run(&opts).expect("experiment failed");
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig5. See `eval::experiments::fig5`.
+fn main() {
+    let opts = eval::experiments::ExpOptions::parse(std::env::args().skip(1));
+    eval::experiments::fig5::run(&opts).expect("experiment failed");
+}

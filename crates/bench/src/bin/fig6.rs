@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig6. See `eval::experiments::fig6`.
+fn main() {
+    let opts = eval::experiments::ExpOptions::parse(std::env::args().skip(1));
+    eval::experiments::fig6::run(&opts).expect("experiment failed");
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig7. See `eval::experiments::fig7`.
+fn main() {
+    let opts = eval::experiments::ExpOptions::parse(std::env::args().skip(1));
+    eval::experiments::fig7::run(&opts).expect("experiment failed");
+}

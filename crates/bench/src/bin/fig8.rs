@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig8. See `eval::experiments::fig8`.
+fn main() {
+    let opts = eval::experiments::ExpOptions::parse(std::env::args().skip(1));
+    eval::experiments::fig8::run(&opts).expect("experiment failed");
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig9. See `eval::experiments::fig9`.
+fn main() {
+    let opts = eval::experiments::ExpOptions::parse(std::env::args().skip(1));
+    eval::experiments::fig9::run(&opts).expect("experiment failed");
+}

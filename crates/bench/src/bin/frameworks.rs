@@ -1,0 +1,7 @@
+//! Framework ablation: LCCS-LSH vs its §7 sorted-key ancestors (LSH-Forest,
+//! SK-LSH) and E2LSH at matched hash budgets. See
+//! `eval::experiments::frameworks`.
+fn main() {
+    let opts = eval::experiments::ExpOptions::parse(std::env::args().skip(1));
+    eval::experiments::frameworks::run(&opts).expect("experiment failed");
+}

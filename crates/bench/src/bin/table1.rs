@@ -1,0 +1,5 @@
+//! Regenerates the paper's table1. See `eval::experiments::table1`.
+fn main() {
+    let opts = eval::experiments::ExpOptions::parse(std::env::args().skip(1));
+    eval::experiments::table1::run(&opts).expect("experiment failed");
+}

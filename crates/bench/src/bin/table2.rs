@@ -1,0 +1,5 @@
+//! Regenerates the paper's table2. See `eval::experiments::table2`.
+fn main() {
+    let opts = eval::experiments::ExpOptions::parse(std::env::args().skip(1));
+    eval::experiments::table2::run(&opts).expect("experiment failed");
+}

@@ -1,0 +1,406 @@
+//! Single-probe LCCS-LSH (§4.1).
+//!
+//! **Indexing**: sample `m` i.i.d. functions from the chosen family, hash
+//! every object into a length-`m` string, build the CSA (Algorithm 1).
+//!
+//! **Query**: hash `q`, run a `(λ + k − 1)`-LCCS search (Algorithm 2) to
+//! obtain candidates, verify each candidate's true distance, return the
+//! nearest `k` — exactly the two-phase flow of §4.1. The single tuning
+//! parameter is `m`; λ trades query time against recall and is the knob the
+//! paper's recall/time curves sweep.
+
+use csa::{Csa, SearchScratch, StringSet};
+use dataset::exact::Neighbor;
+use dataset::{Dataset, Metric};
+use lsh::{hash_dataset, hash_query, sample_family, FamilyKind, FamilyParams, LshFunction};
+use std::sync::Arc;
+
+/// Build-time parameters of LCCS-LSH.
+#[derive(Debug, Clone)]
+pub struct LccsParams {
+    /// Hash-string length `m` — the paper's single tuning parameter
+    /// (§6.3 sweeps m ∈ {8, 16, …, 512}).
+    pub m: usize,
+    /// LSH family to draw the `m` functions from.
+    pub family: FamilyKind,
+    /// Family parameters (bucket width `w` for random projection).
+    pub family_params: FamilyParams,
+    /// RNG seed for function sampling.
+    pub seed: u64,
+}
+
+impl LccsParams {
+    /// Euclidean setup: random-projection family with bucket width `w`.
+    pub fn euclidean(w: f64) -> Self {
+        Self {
+            m: 128,
+            family: FamilyKind::RandomProjection,
+            family_params: FamilyParams { w },
+            seed: 0x1cc5,
+        }
+    }
+
+    /// Angular setup: fast cross-polytope family.
+    pub fn angular() -> Self {
+        Self {
+            m: 128,
+            family: FamilyKind::CrossPolytopeFast,
+            family_params: FamilyParams::default(),
+            seed: 0x1cc5,
+        }
+    }
+
+    /// Hamming setup: bit-sampling family.
+    pub fn hamming() -> Self {
+        Self {
+            m: 128,
+            family: FamilyKind::BitSampling,
+            family_params: FamilyParams::default(),
+            seed: 0x1cc5,
+        }
+    }
+
+    /// Jaccard setup: MinHash family.
+    pub fn jaccard() -> Self {
+        Self {
+            m: 128,
+            family: FamilyKind::MinHash,
+            family_params: FamilyParams::default(),
+            seed: 0x1cc5,
+        }
+    }
+
+    /// Overrides `m`.
+    pub fn with_m(mut self, m: usize) -> Self {
+        self.m = m;
+        self
+    }
+
+    /// Overrides the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Result of one c-k-ANNS query, with the verification count the complexity
+/// analysis of §5.2 charges `O(λ d)` for.
+#[derive(Debug, Clone)]
+pub struct QueryOutput {
+    /// The k nearest verified candidates, ascending by true distance.
+    pub neighbors: Vec<Neighbor>,
+    /// How many distinct candidates were verified (≤ λ + k − 1).
+    pub verified: usize,
+}
+
+/// Reusable per-query scratch (CSA cursor state + hash-string buffer).
+#[derive(Debug)]
+pub struct QueryScratch {
+    pub(crate) csa: SearchScratch,
+    pub(crate) hash: Vec<u64>,
+}
+
+/// The single-probe LCCS-LSH index.
+pub struct LccsLsh {
+    data: Arc<Dataset>,
+    metric: Metric,
+    funcs: Vec<Box<dyn LshFunction>>,
+    csa: Csa,
+    params: LccsParams,
+}
+
+impl LccsLsh {
+    /// Indexing phase (§4.1): hash all of `data` and build the CSA.
+    ///
+    /// # Panics
+    /// Panics if the dataset is empty or `m == 0`.
+    pub fn build(data: Arc<Dataset>, metric: Metric, params: &LccsParams) -> Self {
+        assert!(!data.is_empty(), "cannot index an empty dataset");
+        assert!(params.m >= 2, "hash-string length m must be at least 2");
+        let funcs =
+            sample_family(params.family, data.dim(), params.m, &params.family_params, params.seed);
+        let strings = hash_dataset(&funcs, &data);
+        let set = StringSet::from_flat(data.len(), params.m, strings);
+        let csa = Csa::build(set);
+        Self { data, metric, funcs, csa, params: params.clone() }
+    }
+
+    /// Hash-string length `m`.
+    pub fn m(&self) -> usize {
+        self.params.m
+    }
+
+    /// The metric the index verifies with.
+    pub fn metric(&self) -> Metric {
+        self.metric
+    }
+
+    /// The indexed dataset.
+    pub fn data(&self) -> &Arc<Dataset> {
+        &self.data
+    }
+
+    /// Index footprint in bytes (CSA arrays + hash strings; the raw vectors
+    /// are charged to the dataset, as in the paper's index-size metric).
+    pub fn index_bytes(&self) -> usize {
+        self.csa.nbytes()
+    }
+
+    /// Access to the underlying CSA (exposed for MP-LCCS-LSH and tests).
+    pub fn csa(&self) -> &Csa {
+        &self.csa
+    }
+
+    /// The sampled hash functions (exposed for MP-LCCS-LSH).
+    pub fn functions(&self) -> &[Box<dyn LshFunction>] {
+        &self.funcs
+    }
+
+    /// The build parameters.
+    pub fn params(&self) -> &LccsParams {
+        &self.params
+    }
+
+    /// Reassembles an index from previously constructed parts (used by the
+    /// persistence layer; the caller guarantees consistency of the parts).
+    pub(crate) fn from_parts(
+        data: Arc<Dataset>,
+        metric: Metric,
+        funcs: Vec<Box<dyn LshFunction>>,
+        csa: Csa,
+        params: LccsParams,
+    ) -> Self {
+        Self { data, metric, funcs, csa, params }
+    }
+
+    /// The `(R, c)`-NNS decision problem (Definition 2.2): returns some
+    /// object within distance `c·R` of `q` if one within `R` exists; returns
+    /// `None` when nothing within `c·R` is found among the λ candidates.
+    /// By Theorem 5.1, with λ set per [`crate::theory::lambda`] the promise
+    /// case succeeds with probability ≥ 1/4 per index; callers amplify by
+    /// repetition as usual.
+    pub fn query_rnn(&self, q: &[f32], radius: f64, c: f64, lambda: usize) -> Option<Neighbor> {
+        assert!(radius > 0.0, "radius must be positive");
+        assert!(c > 1.0, "approximation ratio must exceed 1");
+        let out = self.query(q, 1, lambda);
+        out.neighbors.into_iter().next().filter(|n| n.dist <= c * radius)
+    }
+
+    /// Fresh scratch for [`LccsLsh::query_with`].
+    pub fn scratch(&self) -> QueryScratch {
+        QueryScratch { csa: SearchScratch::for_csa(&self.csa), hash: vec![0; self.params.m] }
+    }
+
+    /// c-k-ANNS query (§4.1): `(λ + k − 1)`-LCCS search, then verification.
+    /// Convenience wrapper allocating fresh scratch.
+    pub fn query(&self, q: &[f32], k: usize, lambda: usize) -> QueryOutput {
+        let mut scratch = self.scratch();
+        self.query_with(q, k, lambda, &mut scratch)
+    }
+
+    /// c-k-ANNS query reusing scratch.
+    ///
+    /// # Panics
+    /// Panics if `k == 0` or `q` has the wrong dimension.
+    pub fn query_with(
+        &self,
+        q: &[f32],
+        k: usize,
+        lambda: usize,
+        scratch: &mut QueryScratch,
+    ) -> QueryOutput {
+        assert!(k > 0, "k must be positive");
+        assert_eq!(q.len(), self.data.dim(), "query dimension mismatch");
+        let budget = lambda.max(1) + k - 1;
+        scratch.hash.clear();
+        scratch.hash.extend(hash_query(&self.funcs, q));
+        let (cands, _anchors) = self.csa.search_with(&scratch.hash, budget, &mut scratch.csa);
+        let neighbors = self.verify(q, k, cands.iter().map(|c| c.id));
+        QueryOutput { verified: cands.len(), neighbors }
+    }
+
+    /// Answers a whole query set in parallel (one scratch per thread). The
+    /// paper's measurements are single-threaded; this is the deployment
+    /// convenience for throughput-oriented users. Results are returned in
+    /// query order.
+    pub fn query_batch(&self, queries: &Dataset, k: usize, lambda: usize) -> Vec<QueryOutput> {
+        assert_eq!(queries.dim(), self.data.dim(), "query dimension mismatch");
+        let nq = queries.len();
+        let mut out: Vec<Option<QueryOutput>> = (0..nq).map(|_| None).collect();
+        let threads = std::thread::available_parallelism().map_or(4, |p| p.get()).min(16);
+        let chunk = nq.div_ceil(threads).max(1);
+        std::thread::scope(|scope| {
+            for (t, slab) in out.chunks_mut(chunk).enumerate() {
+                scope.spawn(move || {
+                    let mut scratch = self.scratch();
+                    for (r, slot) in slab.iter_mut().enumerate() {
+                        let q = queries.get(t * chunk + r);
+                        *slot = Some(self.query_with(q, k, lambda, &mut scratch));
+                    }
+                });
+            }
+        });
+        out.into_iter().map(|o| o.expect("all queries answered")).collect()
+    }
+
+    /// Verification phase: exact distances for the candidate ids, keep the
+    /// nearest `k` (ascending by distance, ties by id).
+    pub(crate) fn verify(
+        &self,
+        q: &[f32],
+        k: usize,
+        ids: impl Iterator<Item = u32>,
+    ) -> Vec<Neighbor> {
+        let mut heap: std::collections::BinaryHeap<Neighbor> =
+            std::collections::BinaryHeap::with_capacity(k + 1);
+        for id in ids {
+            let s = self.metric.surrogate(self.data.get(id as usize), q);
+            let cand = Neighbor { id, dist: s };
+            if heap.len() < k {
+                heap.push(cand);
+            } else if cand < *heap.peek().expect("non-empty") {
+                heap.pop();
+                heap.push(cand);
+            }
+        }
+        let mut out = heap.into_sorted_vec();
+        for n in &mut out {
+            n.dist = self.metric.from_surrogate(n.dist);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dataset::{ExactKnn, SynthSpec};
+
+    fn toy(n: usize, seed: u64) -> Arc<Dataset> {
+        Arc::new(SynthSpec::new("toy", n, 24).with_clusters(12).generate(seed))
+    }
+
+    #[test]
+    fn self_query_returns_self_first() {
+        let data = toy(500, 1);
+        let idx = LccsLsh::build(data.clone(), Metric::Euclidean, &LccsParams::euclidean(8.0).with_m(16));
+        for i in [0usize, 100, 499] {
+            let out = idx.query(data.get(i), 3, 32);
+            assert_eq!(out.neighbors[0].id, i as u32, "exact duplicate must top the list");
+            assert!(out.neighbors[0].dist < 1e-6);
+        }
+    }
+
+    #[test]
+    fn neighbors_sorted_ascending() {
+        let data = toy(300, 2);
+        let idx = LccsLsh::build(data.clone(), Metric::Euclidean, &LccsParams::euclidean(8.0).with_m(16));
+        let out = idx.query(data.get(5), 10, 64);
+        for w in out.neighbors.windows(2) {
+            assert!(w[0].dist <= w[1].dist);
+        }
+        assert!(out.verified >= out.neighbors.len());
+    }
+
+    #[test]
+    fn recall_improves_with_lambda() {
+        // Statistical sanity: a larger candidate budget cannot hurt recall.
+        let data = toy(2000, 3);
+        let queries = SynthSpec::new("toy", 2000, 24).with_clusters(12).generate_queries(20, 3);
+        let gt = ExactKnn::compute(&data, &queries, 10, Metric::Euclidean);
+        let idx = LccsLsh::build(data.clone(), Metric::Euclidean, &LccsParams::euclidean(8.0).with_m(32));
+        let recall = |lambda: usize| {
+            let mut hits = 0usize;
+            let mut scratch = idx.scratch();
+            for (qi, q) in queries.iter().enumerate() {
+                let out = idx.query_with(q, 10, lambda, &mut scratch);
+                let truth: Vec<u32> = gt.neighbors(qi).iter().map(|n| n.id).collect();
+                hits += out.neighbors.iter().filter(|n| truth.contains(&n.id)).count();
+            }
+            hits as f64 / (10.0 * queries.len() as f64)
+        };
+        let lo = recall(4);
+        let hi = recall(512);
+        assert!(hi >= lo, "recall must not degrade with budget: {lo} -> {hi}");
+        assert!(hi > 0.5, "λ=512 on n=2000 clustered data should recall well, got {hi}");
+    }
+
+    #[test]
+    fn angular_family_works() {
+        let data = Arc::new(
+            SynthSpec::new("ang", 400, 32).with_clusters(8).generate(4).normalized(),
+        );
+        let idx = LccsLsh::build(data.clone(), Metric::Angular, &LccsParams::angular().with_m(16));
+        let out = idx.query(data.get(7), 5, 64);
+        assert_eq!(out.neighbors[0].id, 7);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let data = toy(200, 5);
+        let p = LccsParams::euclidean(8.0).with_m(16).with_seed(99);
+        let a = LccsLsh::build(data.clone(), Metric::Euclidean, &p);
+        let b = LccsLsh::build(data.clone(), Metric::Euclidean, &p);
+        let qa = a.query(data.get(3), 5, 32);
+        let qb = b.query(data.get(3), 5, 32);
+        assert_eq!(qa.neighbors.iter().map(|n| n.id).collect::<Vec<_>>(),
+                   qb.neighbors.iter().map(|n| n.id).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn index_bytes_scales_with_m() {
+        let data = toy(100, 6);
+        let small = LccsLsh::build(data.clone(), Metric::Euclidean, &LccsParams::euclidean(8.0).with_m(8));
+        let large = LccsLsh::build(data.clone(), Metric::Euclidean, &LccsParams::euclidean(8.0).with_m(32));
+        assert!(large.index_bytes() > 3 * small.index_bytes());
+    }
+
+    #[test]
+    fn batch_query_matches_sequential() {
+        let data = toy(600, 12);
+        let idx =
+            LccsLsh::build(data.clone(), Metric::Euclidean, &LccsParams::euclidean(8.0).with_m(16));
+        let queries = data.sample_queries(23, 8);
+        let batch = idx.query_batch(&queries, 5, 32);
+        assert_eq!(batch.len(), 23);
+        let mut scratch = idx.scratch();
+        for (qi, q) in queries.iter().enumerate() {
+            let seq = idx.query_with(q, 5, 32, &mut scratch);
+            assert_eq!(
+                batch[qi].neighbors.iter().map(|n| n.id).collect::<Vec<_>>(),
+                seq.neighbors.iter().map(|n| n.id).collect::<Vec<_>>(),
+                "query {qi}"
+            );
+        }
+    }
+
+    #[test]
+    fn rnn_decision_semantics() {
+        let data = toy(800, 11);
+        let idx =
+            LccsLsh::build(data.clone(), Metric::Euclidean, &LccsParams::euclidean(8.0).with_m(32));
+        // Promise case: query = database member, so B(q, R) is non-empty for
+        // any R; the answer must be within c·R of q.
+        let q = data.get(5);
+        let hit = idx.query_rnn(q, 0.5, 2.0, 64).expect("duplicate must be found");
+        assert!(hit.dist <= 1.0);
+        // Far case: a query far beyond the data returns nothing at tiny R.
+        let far = vec![1e6f32; data.dim()];
+        assert!(idx.query_rnn(&far, 0.5, 2.0, 64).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_panics() {
+        let data = toy(50, 7);
+        let idx = LccsLsh::build(data.clone(), Metric::Euclidean, &LccsParams::euclidean(8.0).with_m(8));
+        idx.query(data.get(0), 0, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn tiny_m_panics() {
+        let data = toy(50, 8);
+        LccsLsh::build(data, Metric::Euclidean, &LccsParams::euclidean(8.0).with_m(1));
+    }
+}

@@ -1,0 +1,42 @@
+//! **LCCS-LSH** — the paper's primary contribution (§4–§5).
+//!
+//! The scheme hashes every data object into a length-`m` *hash string*
+//! `H(o) = [h_1(o), …, h_m(o)]` using `m` i.i.d. functions from any LSH
+//! family, indexes the strings in a [Circular Shift Array](csa), and answers
+//! c-k-ANNS queries by retrieving the objects whose hash strings share the
+//! longest circular co-substring with `H(q)` — a *dynamic concatenating*
+//! search framework: the effective concatenation length adapts per object
+//! instead of being fixed to `K` as in E2LSH.
+//!
+//! * [`index`] — the single-probe scheme (§4.1): indexing + λ-LCCS query.
+//! * [`multiprobe`] — MP-LCCS-LSH (§4.2): perturbation-vector generation
+//!   (Algorithm 3) with `p_shift`/`p_expand`, gap cap `MAX_GAP`, and the
+//!   skip-unaffected-positions probing rule.
+//! * [`theory`] — §5: the extreme-value model of `F_{m,p}`, the λ setting of
+//!   Theorem 5.1, and the α-parameterized complexity rows of Table 1.
+//!
+//! ```
+//! use dataset::{Metric, SynthSpec};
+//! use lccs_lsh::{LccsLsh, LccsParams};
+//! use std::sync::Arc;
+//!
+//! let data = Arc::new(SynthSpec::sift_like().with_n(2000).generate(7));
+//! let index = LccsLsh::build(data.clone(), Metric::Euclidean, &LccsParams {
+//!     m: 32,
+//!     ..LccsParams::euclidean(8.0)
+//! });
+//! let out = index.query(data.get(0), 5, 64);
+//! assert_eq!(out.neighbors[0].id, 0); // the object itself is its own NN
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod index;
+pub mod multiprobe;
+pub mod persist;
+pub mod theory;
+
+pub use index::{LccsLsh, LccsParams, QueryOutput, QueryScratch};
+pub use persist::LoadError;
+pub use multiprobe::{MpLccsLsh, MpParams, Perturbation, PerturbationGenerator, MAX_GAP};

@@ -1,0 +1,227 @@
+//! Index persistence for LCCS-LSH.
+//!
+//! The hash functions are trait objects, but every family is sampled
+//! deterministically from `(family, dim, m, params, seed)` — so the payload
+//! only stores the build parameters, the metric, and the CSA bytes; loading
+//! re-samples the identical functions and attaches the caller's dataset.
+//! The expensive part (the `O(m n log n)` CSA build plus the `O(n m η(d))`
+//! hashing pass) is skipped entirely on load, which is what makes the
+//! indexing-time amortization of Figures 6–7 practical across runs.
+
+use crate::index::{LccsLsh, LccsParams};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use csa::Csa;
+use dataset::{Dataset, Metric};
+use lsh::{sample_family, FamilyKind};
+use std::sync::Arc;
+
+const MAGIC: &[u8; 4] = b"LCC1";
+
+/// Errors raised when loading a serialized index.
+#[derive(Debug)]
+pub enum LoadError {
+    /// Magic/version mismatch.
+    BadMagic,
+    /// Payload too short or field out of range.
+    Malformed(String),
+    /// The CSA section failed to decode.
+    Csa(csa::serialize::DecodeError),
+    /// The supplied dataset does not match the serialized index shape.
+    DatasetMismatch(String),
+}
+
+impl std::fmt::Display for LoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LoadError::BadMagic => write!(f, "not an LCC1 payload"),
+            LoadError::Malformed(m) => write!(f, "malformed index payload: {m}"),
+            LoadError::Csa(e) => write!(f, "bad CSA section: {e}"),
+            LoadError::DatasetMismatch(m) => write!(f, "dataset mismatch: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+fn metric_tag(m: Metric) -> u8 {
+    match m {
+        Metric::Euclidean => 0,
+        Metric::Angular => 1,
+        Metric::Hamming => 2,
+        Metric::Jaccard => 3,
+    }
+}
+
+fn metric_from_tag(t: u8) -> Option<Metric> {
+    Some(match t {
+        0 => Metric::Euclidean,
+        1 => Metric::Angular,
+        2 => Metric::Hamming,
+        3 => Metric::Jaccard,
+        _ => return None,
+    })
+}
+
+fn family_tag(f: FamilyKind) -> u8 {
+    match f {
+        FamilyKind::RandomProjection => 0,
+        FamilyKind::CrossPolytope => 1,
+        FamilyKind::CrossPolytopeFast => 2,
+        FamilyKind::BitSampling => 3,
+        FamilyKind::MinHash => 4,
+    }
+}
+
+fn family_from_tag(t: u8) -> Option<FamilyKind> {
+    Some(match t {
+        0 => FamilyKind::RandomProjection,
+        1 => FamilyKind::CrossPolytope,
+        2 => FamilyKind::CrossPolytopeFast,
+        3 => FamilyKind::BitSampling,
+        4 => FamilyKind::MinHash,
+        _ => return None,
+    })
+}
+
+impl LccsLsh {
+    /// Serializes the index (parameters + CSA). The dataset itself is *not*
+    /// stored; [`LccsLsh::load`] re-attaches it.
+    pub fn save(&self) -> Bytes {
+        let csa_bytes = self.csa().to_bytes();
+        let p = self.params();
+        let mut buf = BytesMut::with_capacity(csa_bytes.len() + 64);
+        buf.put_slice(MAGIC);
+        buf.put_u8(metric_tag(self.metric()));
+        buf.put_u8(family_tag(p.family));
+        buf.put_u64_le(p.m as u64);
+        buf.put_u64_le(p.seed);
+        buf.put_f64_le(p.family_params.w);
+        buf.put_u64_le(self.data().dim() as u64);
+        buf.put_slice(&csa_bytes);
+        buf.freeze()
+    }
+
+    /// Loads an index saved by [`LccsLsh::save`], re-sampling the hash
+    /// functions deterministically and attaching `data` (which must be the
+    /// dataset the index was built over — shape is validated, contents are
+    /// the caller's responsibility, as with any external index file).
+    pub fn load(mut buf: impl Buf, data: Arc<Dataset>) -> Result<LccsLsh, LoadError> {
+        if buf.remaining() < 4 + 2 + 8 * 4 {
+            return Err(LoadError::Malformed("payload too short".into()));
+        }
+        let mut magic = [0u8; 4];
+        buf.copy_to_slice(&mut magic);
+        if &magic != MAGIC {
+            return Err(LoadError::BadMagic);
+        }
+        let metric = metric_from_tag(buf.get_u8())
+            .ok_or_else(|| LoadError::Malformed("unknown metric tag".into()))?;
+        let family = family_from_tag(buf.get_u8())
+            .ok_or_else(|| LoadError::Malformed("unknown family tag".into()))?;
+        let m = buf.get_u64_le() as usize;
+        let seed = buf.get_u64_le();
+        let w = buf.get_f64_le();
+        let dim = buf.get_u64_le() as usize;
+        if dim != data.dim() {
+            return Err(LoadError::DatasetMismatch(format!(
+                "index built for dim {dim}, dataset has {}",
+                data.dim()
+            )));
+        }
+        if !(w.is_finite() && w > 0.0) {
+            return Err(LoadError::Malformed(format!("bad bucket width {w}")));
+        }
+        let csa = Csa::from_bytes(buf).map_err(LoadError::Csa)?;
+        if csa.len() != data.len() {
+            return Err(LoadError::DatasetMismatch(format!(
+                "index holds {} strings, dataset has {} vectors",
+                csa.len(),
+                data.len()
+            )));
+        }
+        if csa.m() != m {
+            return Err(LoadError::Malformed("CSA m disagrees with header".into()));
+        }
+        let params = LccsParams { m, family, family_params: lsh::FamilyParams { w }, seed };
+        let funcs = sample_family(family, dim, m, &params.family_params, seed);
+        Ok(LccsLsh::from_parts(data, metric, funcs, csa, params))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dataset::SynthSpec;
+
+    fn build() -> (Arc<Dataset>, LccsLsh) {
+        let data = Arc::new(SynthSpec::sift_like().with_n(400).generate(3));
+        let idx = LccsLsh::build(
+            data.clone(),
+            Metric::Euclidean,
+            &LccsParams::euclidean(30.0).with_m(16).with_seed(77),
+        );
+        (data, idx)
+    }
+
+    #[test]
+    fn save_load_round_trip_answers_identically() {
+        let (data, idx) = build();
+        let payload = idx.save();
+        let back = LccsLsh::load(payload, data.clone()).expect("load");
+        for i in [0usize, 100, 399] {
+            let a = idx.query(data.get(i), 5, 64);
+            let b = back.query(data.get(i), 5, 64);
+            assert_eq!(
+                a.neighbors.iter().map(|n| n.id).collect::<Vec<_>>(),
+                b.neighbors.iter().map(|n| n.id).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn load_rejects_wrong_dataset_shape() {
+        let (_, idx) = build();
+        let payload = idx.save();
+        let wrong_dim = Arc::new(SynthSpec::new("x", 400, 64).generate(1));
+        assert!(matches!(
+            LccsLsh::load(payload.clone(), wrong_dim),
+            Err(LoadError::DatasetMismatch(_))
+        ));
+        let wrong_n = Arc::new(SynthSpec::sift_like().with_n(100).generate(1));
+        assert!(matches!(
+            LccsLsh::load(payload, wrong_n),
+            Err(LoadError::DatasetMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn load_rejects_corrupt_headers() {
+        let (data, idx) = build();
+        let good = idx.save().to_vec();
+        // magic
+        let mut bad = good.clone();
+        bad[0] = b'X';
+        assert!(matches!(LccsLsh::load(&bad[..], data.clone()), Err(LoadError::BadMagic)));
+        // metric tag
+        let mut bad = good.clone();
+        bad[4] = 99;
+        assert!(LccsLsh::load(&bad[..], data.clone()).is_err());
+        // family tag
+        let mut bad = good.clone();
+        bad[5] = 99;
+        assert!(LccsLsh::load(&bad[..], data.clone()).is_err());
+        // truncated
+        assert!(LccsLsh::load(&good[..10], data).is_err());
+    }
+
+    #[test]
+    fn angular_index_round_trips() {
+        let data = Arc::new(SynthSpec::glove_like().with_n(200).generate(4).normalized());
+        let idx = LccsLsh::build(data.clone(), Metric::Angular, &LccsParams::angular().with_m(8));
+        let back = LccsLsh::load(idx.save(), data.clone()).unwrap();
+        assert_eq!(back.metric(), Metric::Angular);
+        let a = idx.query(data.get(7), 3, 32);
+        let b = back.query(data.get(7), 3, 32);
+        assert_eq!(a.neighbors[0].id, b.neighbors[0].id);
+    }
+}

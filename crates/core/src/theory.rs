@@ -1,0 +1,254 @@
+//! Theoretical analysis (§5): the extreme-value model of the LCCS length
+//! distribution, the λ setting of Theorem 5.1, and the α-parameterized
+//! complexity rows of Table 1.
+
+use lsh::prob::rho;
+
+/// Lemma 5.2's limiting CDF: `F̂_p(x) = exp(−p^x)` shifted by
+/// `log_{1/p}(m(1−p))`, i.e.
+/// `F_{m,p}(x) ≈ exp(−p^{x − log_{1/p}(m(1−p))})` — the Gumbel-type law of
+/// the longest head run in `m` coin tosses with `Pr[head] = p`
+/// (Gordon–Schilling–Waterman).
+///
+/// # Panics
+/// Panics unless `0 < p < 1` and `m ≥ 1`.
+pub fn lccs_len_cdf(m: usize, p: f64, x: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "p must lie in (0,1)");
+    assert!(m >= 1);
+    let shift = (m as f64 * (1.0 - p)).ln() / (1.0 / p).ln(); // log_{1/p}(m(1-p))
+    (-p.powf(x - shift)).exp()
+}
+
+/// Eq. (6): the median of `F̂_{m,p}`,
+/// `x_{1/2,p} = log_p(ln 2) + log_{1/p}(m(1−p))`.
+pub fn median_lccs_len(m: usize, p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0);
+    let lnp = p.ln();
+    (2.0f64.ln()).ln() / lnp + (m as f64 * (1.0 - p)).ln() / -lnp
+}
+
+/// Eq. (7): the `(1 − k/n)` quantile of `F̂_{m,p}`,
+/// `x_{1−k/n,p} = log_p(−ln(1 − k/n)) + log_{1/p}(m(1−p))`.
+///
+/// # Panics
+/// Panics unless `0 < k < n`.
+pub fn quantile_lccs_len(m: usize, p: f64, k: usize, n: usize) -> f64 {
+    assert!(p > 0.0 && p < 1.0);
+    assert!(k > 0 && k < n, "need 0 < k < n");
+    let lnp = p.ln();
+    let q = -(1.0 - k as f64 / n as f64).ln();
+    q.ln() / lnp + (m as f64 * (1.0 - p)).ln() / -lnp
+}
+
+/// Theorem 5.1's λ:
+/// `λ = m^{1−1/ρ} · n · (1−p₁)^{−1/ρ} · (1−p₂) · (ln 2)^{1/ρ} / p₂`,
+/// the candidate budget for which the λ-LCCS search answers `(R, c)`-NNS
+/// with probability ≥ 1/4. Clamped to `[1, n]`.
+///
+/// # Panics
+/// Panics unless `0 < p2 < p1 < 1` and `m, n ≥ 1`.
+pub fn lambda(m: usize, n: usize, p1: f64, p2: f64) -> usize {
+    assert!(m >= 1 && n >= 1);
+    let r = rho(p1, p2);
+    let v = (m as f64).powf(1.0 - 1.0 / r)
+        * n as f64
+        * (1.0 - p1).powf(-1.0 / r)
+        * (1.0 - p2)
+        * (2.0f64.ln()).powf(1.0 / r)
+        / p2;
+    (v.ceil() as usize).clamp(1, n)
+}
+
+/// One row of Table 1: asymptotic space/time complexities of LCCS-LSH under
+/// a given α (`m = Θ(n^{αρ})`, Corollary 5.1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComplexityRow {
+    /// The α knob (0 ⇒ linear-scan-like, 1 ⇒ E2LSH-like space, 1/(1−ρ) ⇒
+    /// constant candidates).
+    pub alpha: f64,
+    /// Exponent of n in `m` (= αρ).
+    pub m_exponent: f64,
+    /// Exponent of n in `λ` (= α(ρ−1) + 1).
+    pub lambda_exponent: f64,
+    /// Exponent of n in the space complexity (= 1 + αρ).
+    pub space_exponent: f64,
+}
+
+/// Computes the Table 1 row for a given α and hash quality ρ.
+///
+/// # Panics
+/// Panics unless `0 < ρ < 1` and `0 ≤ α ≤ 1/(1−ρ)`.
+pub fn complexity_row(alpha: f64, rho_val: f64) -> ComplexityRow {
+    assert!(rho_val > 0.0 && rho_val < 1.0, "rho must be in (0,1)");
+    let alpha_max = 1.0 / (1.0 - rho_val);
+    assert!(
+        (0.0..=alpha_max + 1e-9).contains(&alpha),
+        "alpha must be in [0, 1/(1-rho) = {alpha_max}]"
+    );
+    ComplexityRow {
+        alpha,
+        m_exponent: alpha * rho_val,
+        lambda_exponent: alpha * (rho_val - 1.0) + 1.0,
+        space_exponent: 1.0 + alpha * rho_val,
+    }
+}
+
+/// The three canonical α settings of Table 1: 0, 1, and 1/(1−ρ).
+pub fn table1_rows(rho_val: f64) -> [ComplexityRow; 3] {
+    [
+        complexity_row(0.0, rho_val),
+        complexity_row(1.0, rho_val),
+        complexity_row(1.0 / (1.0 - rho_val), rho_val),
+    ]
+}
+
+/// Empirically samples `|LCCS(T, Q)|` for random strings with i.i.d.
+/// per-position collision probability `p` (test/bench helper for validating
+/// Lemma 5.2's approximation).
+pub fn sample_lccs_lengths(m: usize, p: f64, samples: usize, seed: u64) -> Vec<usize> {
+    assert!(p > 0.0 && p < 1.0);
+    let mut s = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1);
+    let mut next_f = move || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        (s >> 11) as f64 / (1u64 << 53) as f64
+    };
+    (0..samples)
+        .map(|_| {
+            // T and Q agree at position i independently w.p. p: encode the
+            // agreement pattern directly and measure the longest circular
+            // run of agreements (capped at m).
+            let agree: Vec<bool> = (0..m).map(|_| next_f() < p).collect();
+            if agree.iter().all(|&a| a) {
+                return m;
+            }
+            // longest circular run of `true`
+            let mut best = 0usize;
+            let mut cur = 0usize;
+            for &a in agree.iter().chain(agree.iter()) {
+                if a {
+                    cur += 1;
+                    best = best.max(cur);
+                } else {
+                    cur = 0;
+                }
+            }
+            best.min(m)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cdf_is_monotone_and_bounded() {
+        let mut prev = 0.0;
+        for i in 0..60 {
+            let x = i as f64 * 0.5;
+            let f = lccs_len_cdf(128, 0.5, x);
+            assert!((0.0..=1.0).contains(&f));
+            assert!(f >= prev - 1e-12);
+            prev = f;
+        }
+    }
+
+    #[test]
+    fn cdf_decreases_with_p() {
+        // F_{m,p}(x) decreases monotonically as p increases (§5.1): higher
+        // collision probability ⇒ longer runs ⇒ less mass below x.
+        let f_lo = lccs_len_cdf(128, 0.3, 6.0);
+        let f_hi = lccs_len_cdf(128, 0.7, 6.0);
+        assert!(f_lo > f_hi);
+    }
+
+    #[test]
+    fn median_matches_cdf_half() {
+        for (m, p) in [(64usize, 0.5f64), (256, 0.7), (512, 0.3)] {
+            let med = median_lccs_len(m, p);
+            let f = lccs_len_cdf(m, p, med);
+            assert!((f - 0.5).abs() < 1e-9, "median of F̂ must sit at 1/2, got {f}");
+        }
+    }
+
+    #[test]
+    fn quantile_matches_cdf() {
+        let (m, p, k, n) = (128usize, 0.6f64, 10usize, 10_000usize);
+        let x = quantile_lccs_len(m, p, k, n);
+        let f = lccs_len_cdf(m, p, x);
+        assert!((f - (1.0 - k as f64 / n as f64)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empirical_median_close_to_model() {
+        // Lemma 5.2: for large m the longest circular agreement run follows
+        // the shifted Gumbel law; check the empirical median is within ±1.5
+        // symbols of Eq. (6).
+        let (m, p) = (512usize, 0.5f64);
+        let mut lens = sample_lccs_lengths(m, p, 4001, 7);
+        lens.sort_unstable();
+        let emp_median = lens[lens.len() / 2] as f64;
+        let model = median_lccs_len(m, p);
+        assert!(
+            (emp_median - model).abs() < 1.5,
+            "empirical {emp_median} vs model {model}"
+        );
+    }
+
+    #[test]
+    fn lambda_shrinks_with_m() {
+        // Theorem 5.1: λ ∝ m^{1−1/ρ} with 1−1/ρ < 0, so larger m ⇒ fewer
+        // candidates to verify.
+        let (p1, p2) = (0.9, 0.5);
+        let l_small = lambda(8, 100_000, p1, p2);
+        let l_big = lambda(512, 100_000, p1, p2);
+        assert!(l_big < l_small, "λ(8)={l_small} vs λ(512)={l_big}");
+    }
+
+    #[test]
+    fn lambda_clamped_to_n() {
+        assert_eq!(lambda(2, 10, 0.9, 0.889), 10);
+        assert!(lambda(1 << 20, 1000, 0.9, 0.2) >= 1);
+    }
+
+    #[test]
+    fn table1_alpha_zero_is_linear_scan() {
+        let rows = table1_rows(0.5);
+        let r0 = &rows[0];
+        assert_eq!(r0.m_exponent, 0.0); // m = O(1)
+        assert_eq!(r0.lambda_exponent, 1.0); // λ = O(n)
+        assert_eq!(r0.space_exponent, 1.0); // space O(n)
+    }
+
+    #[test]
+    fn table1_alpha_one_matches_e2lsh_space() {
+        let rho_val = 0.5;
+        let r1 = &table1_rows(rho_val)[1];
+        assert!((r1.m_exponent - rho_val).abs() < 1e-12); // m = O(n^ρ)
+        assert!((r1.lambda_exponent - rho_val).abs() < 1e-12); // λ = O(n^ρ)
+        assert!((r1.space_exponent - (1.0 + rho_val)).abs() < 1e-12); // O(n^{1+ρ})
+    }
+
+    #[test]
+    fn table1_alpha_max_gives_constant_lambda() {
+        let rho_val = 0.4;
+        let r2 = &table1_rows(rho_val)[2];
+        assert!(r2.lambda_exponent.abs() < 1e-12, "λ = O(1) at α = 1/(1−ρ)");
+        // space O(n^{1/(1−ρ)})
+        assert!((r2.space_exponent - 1.0 / (1.0 - rho_val)).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be in")]
+    fn alpha_beyond_max_panics() {
+        complexity_row(10.0, 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "need 0 < k < n")]
+    fn bad_quantile_panics() {
+        quantile_lccs_len(8, 0.5, 5, 5);
+    }
+}

@@ -1,0 +1,226 @@
+//! Algorithm 1 — building the Circular Shift Array.
+//!
+//! For each rotation `s ∈ {0..m-1}` the CSA stores:
+//!
+//! * `I_s` (`sorted`): the ids of all `n` strings, sorted by the
+//!   lexicographic order of their rotation-`s` views;
+//! * `N_s` (`next`): for each *position* `j` in `I_s`, the position of the
+//!   same string in `I_{(s+1) % m}` — the "next links" that let Algorithm 2
+//!   narrow its binary search range from one rotation to the next
+//!   (Lemma 3.1).
+//!
+//! Space is `O(n m)` (two `u32` per string per rotation, Theorem 3.1) and
+//! indexing time `O(m n log n)` string comparisons, each `O(1)` expected for
+//! strings of i.i.d. symbols.
+
+use crate::circ::StringSet;
+
+/// The Circular Shift Array over a [`StringSet`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Csa {
+    pub(crate) set: StringSet,
+    /// `m × n`, rotation-major: `sorted[s*n + j]` = id at position j of I_s.
+    pub(crate) sorted: Vec<u32>,
+    /// `m × n`: `next[s*n + j]` = position in I_{(s+1)%m} of the string at
+    /// position j of I_s.
+    pub(crate) next: Vec<u32>,
+}
+
+impl Csa {
+    /// Builds the CSA (Algorithm 1). Rotations are sorted in parallel.
+    ///
+    /// # Panics
+    /// Panics if the set is empty or `n` exceeds `u32::MAX`.
+    pub fn build(set: StringSet) -> Self {
+        assert!(!set.is_empty(), "cannot build a CSA over zero strings");
+        assert!(set.len() <= u32::MAX as usize, "string ids must fit in u32");
+        let n = set.len();
+        let m = set.m();
+
+        // Line 2: I_s = argsort(shift(T, s)) for every rotation, in parallel.
+        let mut sorted = vec![0u32; m * n];
+        let threads = std::thread::available_parallelism().map_or(4, |p| p.get()).min(16);
+        let per = m.div_ceil(threads).max(1);
+        std::thread::scope(|scope| {
+            for (t, slab) in sorted.chunks_mut(per * n).enumerate() {
+                let set = &set;
+                scope.spawn(move || {
+                    for (r, idx) in slab.chunks_exact_mut(n).enumerate() {
+                        let s = t * per + r;
+                        for (j, v) in idx.iter_mut().enumerate() {
+                            *v = j as u32;
+                        }
+                        idx.sort_unstable_by(|&a, &b| {
+                            set.cmp_rows(a as usize, b as usize, s)
+                        });
+                    }
+                });
+            }
+        });
+
+        // Lines 3–7: next links via the position-of-id table of the
+        // following rotation.
+        let mut next = vec![0u32; m * n];
+        let mut pos = vec![0u32; n];
+        for s in 0..m {
+            let succ = (s + 1) % m;
+            for j in 0..n {
+                pos[sorted[succ * n + j] as usize] = j as u32;
+            }
+            for j in 0..n {
+                next[s * n + j] = pos[sorted[s * n + j] as usize];
+            }
+        }
+
+        Self { set, sorted, next }
+    }
+
+    /// Number of indexed strings `n`.
+    pub fn len(&self) -> usize {
+        self.set.len()
+    }
+
+    /// True when empty (never: construction requires n ≥ 1).
+    pub fn is_empty(&self) -> bool {
+        self.set.is_empty()
+    }
+
+    /// String length `m`.
+    pub fn m(&self) -> usize {
+        self.set.m()
+    }
+
+    /// The indexed strings.
+    pub fn strings(&self) -> &StringSet {
+        &self.set
+    }
+
+    /// Id at position `j` of sorted index `I_s` (s is 0-based rotation).
+    #[inline]
+    pub(crate) fn id_at(&self, s: usize, j: usize) -> u32 {
+        self.sorted[s * self.set.len() + j]
+    }
+
+    /// Next-link of position `j` in `I_s`.
+    #[inline]
+    pub(crate) fn next_at(&self, s: usize, j: usize) -> u32 {
+        self.next[s * self.set.len() + j]
+    }
+
+    /// Total index footprint in bytes (sorted + next links + the hash
+    /// strings themselves) — the "Index Size" axis of Figures 6–7.
+    pub fn nbytes(&self) -> usize {
+        self.sorted.len() * 4 + self.next.len() * 4 + self.set.nbytes()
+    }
+
+    /// Checks the structural invariants (every `I_s` is a permutation sorted
+    /// by rotation-s order; every next link points at the same string).
+    /// Test/debug helper; `O(n m)` comparisons.
+    pub fn validate(&self) -> Result<(), String> {
+        let n = self.set.len();
+        let m = self.set.m();
+        for s in 0..m {
+            let mut seen = vec![false; n];
+            for j in 0..n {
+                let id = self.id_at(s, j) as usize;
+                if seen[id] {
+                    return Err(format!("I_{s} repeats id {id}"));
+                }
+                seen[id] = true;
+                if j > 0 {
+                    let prev = self.id_at(s, j - 1) as usize;
+                    if self.set.cmp_rows(prev, id, s) == std::cmp::Ordering::Greater {
+                        return Err(format!("I_{s} not sorted at position {j}"));
+                    }
+                }
+                let succ = (s + 1) % m;
+                let np = self.next_at(s, j) as usize;
+                if self.id_at(succ, np) != id as u32 {
+                    return Err(format!("N_{s}[{j}] does not track id {id}"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circ::rotate;
+
+    fn paper_set() -> StringSet {
+        StringSet::from_rows(&[
+            vec![1, 2, 4, 5, 6, 6, 7, 8], // o1
+            vec![5, 2, 2, 4, 3, 6, 7, 8], // o2
+            vec![3, 1, 3, 5, 5, 6, 4, 9], // o3
+        ])
+    }
+
+    #[test]
+    fn example_3_2_first_index_and_links() {
+        // The paper's Example 3.2: I_1 = [1, 3, 2] and N_1 = [3, 1, 2]
+        // (1-based ids and positions; ours are 0-based).
+        let csa = Csa::build(paper_set());
+        let i1: Vec<u32> = (0..3).map(|j| csa.id_at(0, j)).collect();
+        assert_eq!(i1, vec![0, 2, 1], "I_1 should order o1 < o3 < o2");
+        let n1: Vec<u32> = (0..3).map(|j| csa.next_at(0, j)).collect();
+        assert_eq!(n1, vec![2, 0, 1], "N_1 = [3,1,2] in the paper's 1-based notation");
+    }
+
+    #[test]
+    fn build_validates_on_random_input() {
+        let mut seed = 0x12345u64;
+        let mut next = || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (seed >> 33) % 5
+        };
+        let rows: Vec<Vec<u64>> = (0..40).map(|_| (0..6).map(|_| next()).collect()).collect();
+        let csa = Csa::build(StringSet::from_rows(&rows));
+        csa.validate().expect("invariants must hold");
+    }
+
+    #[test]
+    fn sorted_indices_follow_rotated_order() {
+        let csa = Csa::build(paper_set());
+        for s in 0..8 {
+            let mut prev: Option<Vec<u64>> = None;
+            for j in 0..3 {
+                let id = csa.id_at(s, j) as usize;
+                let rot = rotate(csa.strings().row(id), s);
+                if let Some(p) = &prev {
+                    assert!(p <= &rot, "I_{s} must be sorted");
+                }
+                prev = Some(rot);
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_strings_are_handled() {
+        let set = StringSet::from_rows(&[vec![1, 1], vec![1, 1], vec![2, 1]]);
+        let csa = Csa::build(set);
+        csa.validate().unwrap();
+    }
+
+    #[test]
+    fn single_string_set() {
+        let csa = Csa::build(StringSet::from_rows(&[vec![7, 7, 7]]));
+        csa.validate().unwrap();
+        assert_eq!(csa.len(), 1);
+        assert_eq!(csa.m(), 3);
+    }
+
+    #[test]
+    fn nbytes_accounts_for_all_arrays() {
+        let csa = Csa::build(paper_set());
+        // 3 strings × 8 symbols × 8B + 2 × (8 rotations × 3 ids × 4B)
+        assert_eq!(csa.nbytes(), 3 * 8 * 8 + 2 * 8 * 3 * 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero strings")]
+    fn empty_set_panics() {
+        Csa::build(StringSet::from_flat(0, 4, vec![]));
+    }
+}

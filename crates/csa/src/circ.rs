@@ -1,0 +1,222 @@
+//! Circular-string primitives: storage, rotation-aware comparison, LCP.
+//!
+//! Definitions 3.1–3.2 of the paper operate on *rotations* of fixed-length
+//! strings. Nothing here materializes a rotation: all comparisons walk the
+//! original rows with a starting offset, split into two linear segments to
+//! keep the inner loops free of modulo operations.
+
+use std::cmp::Ordering;
+
+/// A set of `n` strings of identical length `m` over `u64` symbols, stored
+/// row-major in one flat allocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StringSet {
+    n: usize,
+    m: usize,
+    data: Vec<u64>,
+}
+
+impl StringSet {
+    /// Wraps a flat row-major buffer of `n` strings of length `m`.
+    ///
+    /// # Panics
+    /// Panics if `m == 0` or the buffer length is not `n * m`.
+    pub fn from_flat(n: usize, m: usize, data: Vec<u64>) -> Self {
+        assert!(m > 0, "string length m must be positive");
+        assert_eq!(data.len(), n * m, "buffer must hold exactly n*m symbols");
+        Self { n, m, data }
+    }
+
+    /// Builds from explicit rows.
+    ///
+    /// # Panics
+    /// Panics if rows are empty or have inconsistent lengths.
+    pub fn from_rows(rows: &[Vec<u64>]) -> Self {
+        assert!(!rows.is_empty(), "need at least one string");
+        let m = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * m);
+        for r in rows {
+            assert_eq!(r.len(), m, "inconsistent string lengths");
+            data.extend_from_slice(r);
+        }
+        Self::from_flat(rows.len(), m, data)
+    }
+
+    /// Number of strings `n`.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when the set holds no strings.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// String length `m`.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Row `i` (unrotated).
+    #[inline]
+    pub fn row(&self, i: usize) -> &[u64] {
+        &self.data[i * self.m..(i + 1) * self.m]
+    }
+
+    /// Bytes of symbol storage (for index-size accounting).
+    pub fn nbytes(&self) -> usize {
+        self.data.len() * std::mem::size_of::<u64>()
+    }
+
+    /// The backing flat buffer.
+    pub fn as_flat(&self) -> &[u64] {
+        &self.data
+    }
+
+    /// Compares rotation `s` of row `ia` with rotation `s` of row `ib`
+    /// lexicographically (the order used to build `I_{s+1}`).
+    #[inline]
+    pub fn cmp_rows(&self, ia: usize, ib: usize, s: usize) -> Ordering {
+        cmp_shifted(self.row(ia), self.row(ib), s)
+    }
+
+    /// Compares rotation `s` of row `i` against rotation `s` of an external
+    /// query string.
+    #[inline]
+    pub fn cmp_row_query(&self, i: usize, q: &[u64], s: usize) -> Ordering {
+        cmp_shifted(self.row(i), q, s)
+    }
+
+    /// `|LCP(shift(row_i, s), shift(q, s))|`, capped at `m`.
+    #[inline]
+    pub fn lcp_row_query(&self, i: usize, q: &[u64], s: usize) -> usize {
+        lcp_shifted(self.row(i), q, s)
+    }
+}
+
+/// Lexicographic comparison of `shift(a, s)` vs `shift(b, s)` where both
+/// strings have the same length and `s < len`.
+#[inline]
+pub fn cmp_shifted(a: &[u64], b: &[u64], s: usize) -> Ordering {
+    debug_assert_eq!(a.len(), b.len());
+    debug_assert!(s < a.len());
+    for t in s..a.len() {
+        match a[t].cmp(&b[t]) {
+            Ordering::Equal => {}
+            o => return o,
+        }
+    }
+    for t in 0..s {
+        match a[t].cmp(&b[t]) {
+            Ordering::Equal => {}
+            o => return o,
+        }
+    }
+    Ordering::Equal
+}
+
+/// `|LCP(shift(a, s), shift(b, s))|`, capped at the string length.
+#[inline]
+pub fn lcp_shifted(a: &[u64], b: &[u64], s: usize) -> usize {
+    debug_assert_eq!(a.len(), b.len());
+    debug_assert!(s < a.len());
+    let m = a.len();
+    let mut l = 0;
+    for t in s..m {
+        if a[t] != b[t] {
+            return l;
+        }
+        l += 1;
+    }
+    for t in 0..s {
+        if a[t] != b[t] {
+            return l;
+        }
+        l += 1;
+    }
+    l
+}
+
+/// Materializes `shift(t, s)` — used by tests and the naive reference, never
+/// by the hot path.
+pub fn rotate(t: &[u64], s: usize) -> Vec<u64> {
+    let s = s % t.len();
+    let mut out = Vec::with_capacity(t.len());
+    out.extend_from_slice(&t[s..]);
+    out.extend_from_slice(&t[..s]);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rotate_example_from_paper() {
+        // shift(T, i) = [t_{i+1}, ..., t_m, t_1, ..., t_i]
+        let t = [1u64, 2, 3, 4];
+        assert_eq!(rotate(&t, 0), vec![1, 2, 3, 4]);
+        assert_eq!(rotate(&t, 1), vec![2, 3, 4, 1]);
+        assert_eq!(rotate(&t, 3), vec![4, 1, 2, 3]);
+    }
+
+    #[test]
+    fn cmp_shifted_matches_materialized() {
+        let a = [3u64, 1, 4, 1, 5];
+        let b = [2u64, 7, 1, 8, 2];
+        for s in 0..5 {
+            let want = rotate(&a, s).cmp(&rotate(&b, s));
+            assert_eq!(cmp_shifted(&a, &b, s), want, "shift {s}");
+        }
+    }
+
+    #[test]
+    fn lcp_shifted_matches_materialized() {
+        let a = [1u64, 2, 3, 9, 1, 2];
+        let b = [1u64, 2, 3, 9, 9, 2];
+        for s in 0..6 {
+            let ra = rotate(&a, s);
+            let rb = rotate(&b, s);
+            let want = ra.iter().zip(&rb).take_while(|(x, y)| x == y).count();
+            assert_eq!(lcp_shifted(&a, &b, s), want, "shift {s}");
+        }
+    }
+
+    #[test]
+    fn lcp_of_identical_is_m() {
+        let a = [5u64; 7];
+        assert_eq!(lcp_shifted(&a, &a, 3), 7);
+        assert_eq!(cmp_shifted(&a, &a, 3), Ordering::Equal);
+    }
+
+    #[test]
+    fn stringset_accessors() {
+        let s = StringSet::from_rows(&[vec![1, 2], vec![3, 4], vec![5, 6]]);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.m(), 2);
+        assert_eq!(s.row(1), &[3, 4]);
+        assert_eq!(s.nbytes(), 6 * 8);
+        assert_eq!(s.cmp_rows(0, 1, 0), Ordering::Less);
+        assert_eq!(s.cmp_rows(0, 1, 1), Ordering::Less);
+    }
+
+    #[test]
+    fn cmp_row_query_and_lcp() {
+        let s = StringSet::from_rows(&[vec![1, 2, 4, 5]]);
+        let q = [1u64, 2, 3, 4];
+        assert_eq!(s.cmp_row_query(0, &q, 0), Ordering::Greater);
+        assert_eq!(s.lcp_row_query(0, &q, 0), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "inconsistent string lengths")]
+    fn ragged_rows_panic() {
+        StringSet::from_rows(&[vec![1], vec![1, 2]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "n*m symbols")]
+    fn bad_flat_panics() {
+        StringSet::from_flat(2, 3, vec![0; 5]);
+    }
+}

@@ -1,0 +1,51 @@
+//! Circular Shift Array (CSA) and exact k-LCCS search — §3 of
+//! *"Locality-Sensitive Hashing Scheme based on Longest Circular
+//! Co-Substring"* (SIGMOD 2020).
+//!
+//! Given two strings `T` and `Q` of the same length `m`, a **Circular
+//! Co-Substring** is a common circular substring that starts at the same
+//! position in both (Definition 3.1); the **LCCS** is the longest one
+//! (Definition 3.2). The **k-LCCS search** problem (Definition 3.3) asks,
+//! for a database of `n` strings and a query `Q`, for the `k` strings with
+//! the longest LCCS against `Q`.
+//!
+//! The paper solves it with the **Circular Shift Array**, a suffix-array
+//! inspired structure: `m` sorted indices `I_1..I_m` (one per rotation) plus
+//! `m` next-link arrays `N_1..N_m` connecting consecutive rotations
+//! (Algorithm 1). Queries run one full binary search on `I_1`, then narrowed
+//! binary searches on each subsequent rotation (Lemma 3.1 / Corollary 3.2),
+//! and finally a 2m-way sorted-merge over a max-priority-queue (Algorithm 2).
+//! The expected query cost is `O(log n + (m + k) log m)` (Theorem 3.1).
+//!
+//! This crate is self-contained (strings are plain `u64` symbol rows) and —
+//! as the paper notes — "potentially of separate interest": nothing in here
+//! knows about LSH.
+//!
+//! ```
+//! use csa::{Csa, StringSet};
+//!
+//! // Figure 1(c)'s running example: three length-8 strings.
+//! let set = StringSet::from_rows(&[
+//!     vec![1, 2, 4, 5, 6, 6, 7, 8],  // o1
+//!     vec![5, 2, 2, 4, 3, 6, 7, 8],  // o2
+//!     vec![3, 1, 3, 5, 5, 6, 4, 9],  // o3
+//! ]);
+//! let csa = Csa::build(set);
+//! let q = [1, 2, 3, 4, 5, 6, 7, 8];
+//! let top = csa.search(&q, 1);
+//! assert_eq!(top[0].id, 0);   // o1 has the longest LCCS (= 5) with q
+//! assert_eq!(top[0].len, 5);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod build;
+pub mod circ;
+pub mod naive;
+pub mod search;
+pub mod serialize;
+
+pub use build::Csa;
+pub use circ::StringSet;
+pub use search::{Anchors, Candidate, SearchScratch};

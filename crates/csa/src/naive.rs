@@ -1,0 +1,100 @@
+//! Naive reference implementations of LCCS and k-LCCS search.
+//!
+//! Direct transcriptions of Definitions 3.1–3.3 and Fact 3.1, used as the
+//! oracle for unit and property tests of the CSA fast path. `O(n · m²)` per
+//! query — never use outside tests/benches.
+
+use crate::circ::{lcp_shifted, StringSet};
+
+/// `|LCCS(t, q)|` by Fact 3.1:
+/// `LCCS(T, Q) = max_i LCP(shift(T, i), shift(Q, i))`.
+///
+/// # Panics
+/// Panics if the strings have different lengths or are empty.
+pub fn lccs_len(t: &[u64], q: &[u64]) -> usize {
+    assert_eq!(t.len(), q.len(), "strings must have equal length");
+    assert!(!t.is_empty(), "strings must be non-empty");
+    (0..t.len()).map(|s| lcp_shifted(t, q, s)).max().unwrap_or(0)
+}
+
+/// Brute-force k-LCCS search: ids of the `k` strings with the longest LCCS
+/// against `q`, ties broken by id, descending by length.
+///
+/// # Panics
+/// Panics if `k == 0` or `k > set.len()`.
+pub fn k_lccs_naive(set: &StringSet, q: &[u64], k: usize) -> Vec<(u32, usize)> {
+    assert!(k > 0 && k <= set.len(), "k must be in 1..=n");
+    let mut scored: Vec<(u32, usize)> =
+        (0..set.len()).map(|i| (i as u32, lccs_len(set.row(i), q))).collect();
+    scored.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    scored.truncate(k);
+    scored
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn example_3_1_from_paper() {
+        // T = [1,2,3,4,1,5], Q = [1,1,2,3,4,5]: [5,1] is a circular
+        // co-substring (positions 6,1), so LCCS length is at least 2; the
+        // paper's Example 3.1 shows [1,2,3,4] is NOT a co-substring because
+        // it starts at different positions.
+        let t = [1u64, 2, 3, 4, 1, 5];
+        let q = [1u64, 1, 2, 3, 4, 5];
+        assert_eq!(lccs_len(&t, &q), 2);
+    }
+
+    #[test]
+    fn figure_1c_example() {
+        // |LCCS(H(o1), H(q))| = 5, |LCCS(H(o2), H(q))| = 3,
+        // |LCCS(H(o3), H(q))| = 2 (paper, Figure 1(c)).
+        let q = [1u64, 2, 3, 4, 5, 6, 7, 8];
+        let o1 = [1u64, 2, 4, 5, 6, 6, 7, 8];
+        let o2 = [5u64, 2, 2, 4, 3, 6, 7, 8];
+        let o3 = [3u64, 1, 3, 5, 5, 6, 4, 9];
+        assert_eq!(lccs_len(&o1, &q), 5); // [5,6,7,8,1] wrapping? no: [6,7,8,1,2]
+        assert_eq!(lccs_len(&o2, &q), 3);
+        assert_eq!(lccs_len(&o3, &q), 2);
+    }
+
+    #[test]
+    fn identical_strings_have_full_lccs() {
+        let t = [4u64, 4, 2, 9];
+        assert_eq!(lccs_len(&t, &t), 4);
+    }
+
+    #[test]
+    fn disjoint_alphabets_have_zero_lccs() {
+        let t = [1u64, 2, 3];
+        let q = [4u64, 5, 6];
+        assert_eq!(lccs_len(&t, &q), 0);
+    }
+
+    #[test]
+    fn lccs_is_symmetric() {
+        let t = [1u64, 7, 2, 7, 1, 9, 4, 2];
+        let q = [1u64, 7, 7, 7, 2, 9, 4, 1];
+        assert_eq!(lccs_len(&t, &q), lccs_len(&q, &t));
+    }
+
+    #[test]
+    fn naive_topk_ordering() {
+        let set = StringSet::from_rows(&[
+            vec![1, 2, 3, 4], // LCCS 4 with q
+            vec![9, 9, 9, 9], // LCCS 0
+            vec![1, 2, 9, 9], // LCCS 2
+        ]);
+        let q = [1u64, 2, 3, 4];
+        let got = k_lccs_naive(&set, &q, 3);
+        assert_eq!(got, vec![(0, 4), (2, 2), (1, 0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be in")]
+    fn zero_k_panics() {
+        let set = StringSet::from_rows(&[vec![1]]);
+        k_lccs_naive(&set, &[1], 0);
+    }
+}

@@ -1,0 +1,159 @@
+//! Binary persistence for the CSA.
+//!
+//! Layout (little-endian): magic `b"CSA1"`, `n: u64`, `m: u64`, then the
+//! `n*m` string symbols (`u64`), the `m*n` sorted ids (`u32`) and the `m*n`
+//! next links (`u32`). The format is versioned by the magic so future
+//! layouts can coexist. Round-tripping an index is how the harness measures
+//! and amortizes the paper's indexing-time axis (Figures 6–7) across runs.
+
+use crate::build::Csa;
+use crate::circ::StringSet;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+const MAGIC: &[u8; 4] = b"CSA1";
+
+/// Errors raised when decoding a serialized CSA.
+#[derive(Debug, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The magic header did not match.
+    BadMagic,
+    /// The payload ended before all declared sections were read.
+    Truncated,
+    /// Declared sizes are inconsistent or overflow.
+    BadShape,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::BadMagic => write!(f, "not a CSA1 payload"),
+            DecodeError::Truncated => write!(f, "payload truncated"),
+            DecodeError::BadShape => write!(f, "inconsistent declared shape"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+impl Csa {
+    /// Serializes the full index (strings + both link arrays).
+    pub fn to_bytes(&self) -> Bytes {
+        let n = self.len();
+        let m = self.m();
+        let cap = 4 + 16 + n * m * 8 + 2 * m * n * 4;
+        let mut buf = BytesMut::with_capacity(cap);
+        buf.put_slice(MAGIC);
+        buf.put_u64_le(n as u64);
+        buf.put_u64_le(m as u64);
+        for &sym in self.set.as_flat() {
+            buf.put_u64_le(sym);
+        }
+        for &id in &self.sorted {
+            buf.put_u32_le(id);
+        }
+        for &nx in &self.next {
+            buf.put_u32_le(nx);
+        }
+        buf.freeze()
+    }
+
+    /// Decodes a payload produced by [`Csa::to_bytes`].
+    pub fn from_bytes(mut buf: impl Buf) -> Result<Csa, DecodeError> {
+        if buf.remaining() < 20 {
+            return Err(DecodeError::Truncated);
+        }
+        let mut magic = [0u8; 4];
+        buf.copy_to_slice(&mut magic);
+        if &magic != MAGIC {
+            return Err(DecodeError::BadMagic);
+        }
+        let n = buf.get_u64_le() as usize;
+        let m = buf.get_u64_le() as usize;
+        if n == 0 || m == 0 || n > u32::MAX as usize {
+            return Err(DecodeError::BadShape);
+        }
+        let need = n
+            .checked_mul(m)
+            .and_then(|nm| nm.checked_mul(8 + 4 + 4))
+            .ok_or(DecodeError::BadShape)?;
+        if buf.remaining() < need {
+            return Err(DecodeError::Truncated);
+        }
+        let mut data = Vec::with_capacity(n * m);
+        for _ in 0..n * m {
+            data.push(buf.get_u64_le());
+        }
+        let mut sorted = Vec::with_capacity(m * n);
+        for _ in 0..m * n {
+            let v = buf.get_u32_le();
+            if v as usize >= n {
+                return Err(DecodeError::BadShape);
+            }
+            sorted.push(v);
+        }
+        let mut next = Vec::with_capacity(m * n);
+        for _ in 0..m * n {
+            let v = buf.get_u32_le();
+            if v as usize >= n {
+                return Err(DecodeError::BadShape);
+            }
+            next.push(v);
+        }
+        Ok(Csa { set: StringSet::from_flat(n, m, data), sorted, next })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Csa {
+        Csa::build(StringSet::from_rows(&[
+            vec![1, 2, 4, 5, 6, 6, 7, 8],
+            vec![5, 2, 2, 4, 3, 6, 7, 8],
+            vec![3, 1, 3, 5, 5, 6, 4, 9],
+        ]))
+    }
+
+    #[test]
+    fn round_trip_preserves_index_and_results() {
+        let csa = sample();
+        let bytes = csa.to_bytes();
+        let back = Csa::from_bytes(bytes).unwrap();
+        assert_eq!(back, csa);
+        let q = [1u64, 2, 3, 4, 5, 6, 7, 8];
+        assert_eq!(back.search(&q, 3), csa.search(&q, 3));
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let csa = sample();
+        let mut raw = csa.to_bytes().to_vec();
+        raw[0] = b'X';
+        assert_eq!(Csa::from_bytes(&raw[..]), Err(DecodeError::BadMagic));
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        let csa = sample();
+        let raw = csa.to_bytes();
+        let cut = &raw[..raw.len() - 5];
+        assert_eq!(Csa::from_bytes(cut), Err(DecodeError::Truncated));
+    }
+
+    #[test]
+    fn corrupted_link_rejected() {
+        let csa = sample();
+        let mut raw = csa.to_bytes().to_vec();
+        // Point a sorted id out of range (first id right after the 20-byte
+        // header + 3*8*8 bytes of symbols).
+        let off = 20 + 3 * 8 * 8;
+        raw[off..off + 4].copy_from_slice(&99u32.to_le_bytes());
+        assert_eq!(Csa::from_bytes(&raw[..]), Err(DecodeError::BadShape));
+    }
+
+    #[test]
+    fn empty_payload_rejected() {
+        assert_eq!(Csa::from_bytes(&[][..]), Err(DecodeError::Truncated));
+    }
+}

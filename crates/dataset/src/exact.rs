@@ -1,0 +1,217 @@
+//! Exact k-NN ground truth, the oracle behind the paper's recall and overall
+//! ratio metrics (§6.2).
+//!
+//! Brute force with a bounded max-heap per query, parallelized over queries
+//! with `crossbeam`. For the reproduction's default scales (2·10^4 … 10^6
+//! vectors, 100 queries) this is the fastest correct choice and serves as the
+//! "linear scan" cost reference for the α = 0 row of Table 1.
+
+use crate::metric::Metric;
+use crate::store::Dataset;
+use std::cmp::Ordering;
+
+/// One neighbor in a ground-truth list.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Neighbor {
+    /// Index of the data object in the dataset.
+    pub id: u32,
+    /// True distance to the query under the chosen metric.
+    pub dist: f64,
+}
+
+impl Eq for Neighbor {}
+
+impl Ord for Neighbor {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Total order: by distance, ties by id, NaN pushed last (treated as
+        // +inf; the loaders reject NaN but belt-and-braces for user data).
+        self.dist
+            .partial_cmp(&other.dist)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| self.id.cmp(&other.id))
+    }
+}
+
+impl PartialOrd for Neighbor {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Exact k-NN lists for a whole query set.
+#[derive(Debug, Clone)]
+pub struct GroundTruth {
+    k: usize,
+    /// Row-major: `lists[q * k + i]` is the i-th NN of query q.
+    lists: Vec<Neighbor>,
+}
+
+impl GroundTruth {
+    /// Neighbors requested per query.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of queries covered.
+    pub fn num_queries(&self) -> usize {
+        self.lists.len().checked_div(self.k).unwrap_or(0)
+    }
+
+    /// The exact k-NN list of query `q`, ascending by distance.
+    pub fn neighbors(&self, q: usize) -> &[Neighbor] {
+        &self.lists[q * self.k..(q + 1) * self.k]
+    }
+
+    /// Distance of the i-th exact NN of query `q` (`i` is 0-based).
+    pub fn dist(&self, q: usize, i: usize) -> f64 {
+        self.neighbors(q)[i].dist
+    }
+}
+
+/// Builder/entry point for exact search.
+pub struct ExactKnn;
+
+impl ExactKnn {
+    /// Computes exact k-NN of every query against `data`.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`, `k > data.len()`, or dimensions mismatch.
+    pub fn compute(data: &Dataset, queries: &Dataset, k: usize, metric: Metric) -> GroundTruth {
+        assert!(k > 0, "k must be positive");
+        assert!(k <= data.len(), "k = {} exceeds dataset size {}", k, data.len());
+        assert_eq!(data.dim(), queries.dim(), "data/query dimension mismatch");
+
+        let nq = queries.len();
+        let mut lists = vec![Neighbor { id: 0, dist: f64::INFINITY }; nq * k];
+        let threads = std::thread::available_parallelism().map_or(4, |p| p.get()).min(16);
+        let chunk = nq.div_ceil(threads).max(1);
+
+        crossbeam::scope(|scope| {
+            for (t, out) in lists.chunks_mut(chunk * k).enumerate() {
+                scope.spawn(move |_| {
+                    let q0 = t * chunk;
+                    for (r, slot) in out.chunks_exact_mut(k).enumerate() {
+                        let q = queries.get(q0 + r);
+                        let knn = Self::single_query(data, q, k, metric);
+                        slot.copy_from_slice(&knn);
+                    }
+                });
+            }
+        })
+        .expect("ground-truth thread panicked");
+
+        GroundTruth { k, lists }
+    }
+
+    /// Exact k-NN of one query, ascending by (distance, id).
+    pub fn single_query(data: &Dataset, query: &[f32], k: usize, metric: Metric) -> Vec<Neighbor> {
+        // Bounded max-heap on the surrogate distance.
+        let mut heap: std::collections::BinaryHeap<Neighbor> =
+            std::collections::BinaryHeap::with_capacity(k + 1);
+        for (id, v) in data.iter().enumerate() {
+            let s = metric.surrogate(v, query);
+            if heap.len() < k {
+                heap.push(Neighbor { id: id as u32, dist: s });
+            } else if s < heap.peek().expect("non-empty").dist {
+                heap.pop();
+                heap.push(Neighbor { id: id as u32, dist: s });
+            }
+        }
+        let mut out = heap.into_sorted_vec();
+        for n in &mut out {
+            n.dist = metric.from_surrogate(n.dist);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::SynthSpec;
+
+    fn grid() -> Dataset {
+        // 5 points on a line: 0, 1, 2, 3, 10
+        Dataset::from_rows(
+            "line",
+            &[vec![0.0], vec![1.0], vec![2.0], vec![3.0], vec![10.0]],
+        )
+    }
+
+    #[test]
+    fn single_query_orders_by_distance() {
+        let d = grid();
+        let knn = ExactKnn::single_query(&d, &[1.2], 3, Metric::Euclidean);
+        let ids: Vec<u32> = knn.iter().map(|n| n.id).collect();
+        assert_eq!(ids, vec![1, 2, 0]);
+        assert!((knn[0].dist - 0.2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn compute_matches_single_query() {
+        let data = SynthSpec::new("t", 200, 8).generate(5);
+        let queries = data.sample_queries(7, 3);
+        let gt = ExactKnn::compute(&data, &queries, 4, Metric::Euclidean);
+        assert_eq!(gt.num_queries(), 7);
+        for q in 0..7 {
+            let manual = ExactKnn::single_query(&data, queries.get(q), 4, Metric::Euclidean);
+            assert_eq!(gt.neighbors(q), &manual[..]);
+        }
+    }
+
+    #[test]
+    fn member_query_has_zero_first_distance() {
+        let data = SynthSpec::new("t", 100, 6).generate(1);
+        let queries = data.sample_queries(3, 2);
+        let gt = ExactKnn::compute(&data, &queries, 2, Metric::Euclidean);
+        for q in 0..3 {
+            assert!(gt.dist(q, 0) < 1e-6, "query drawn from data must match itself");
+        }
+    }
+
+    #[test]
+    fn angular_ground_truth() {
+        let data = Dataset::from_rows(
+            "ang",
+            &[vec![1.0, 0.0], vec![0.8, 0.6], vec![0.0, 1.0], vec![-1.0, 0.0]],
+        );
+        let knn = ExactKnn::single_query(&data, &[1.0, 0.1], 2, Metric::Angular);
+        assert_eq!(knn[0].id, 0);
+        assert_eq!(knn[1].id, 1);
+    }
+
+    #[test]
+    fn distances_are_ascending() {
+        let data = SynthSpec::new("t", 300, 4).generate(8);
+        let queries = data.sample_queries(5, 1);
+        let gt = ExactKnn::compute(&data, &queries, 10, Metric::Euclidean);
+        for q in 0..5 {
+            let ns = gt.neighbors(q);
+            for w in ns.windows(2) {
+                assert!(w[0].dist <= w[1].dist);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_panics() {
+        let d = grid();
+        ExactKnn::compute(&d, &d, 0, Metric::Euclidean);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds dataset size")]
+    fn oversized_k_panics() {
+        let d = grid();
+        ExactKnn::compute(&d, &d, 6, Metric::Euclidean);
+    }
+
+    #[test]
+    fn neighbor_ordering_total() {
+        let a = Neighbor { id: 1, dist: 1.0 };
+        let b = Neighbor { id: 2, dist: 1.0 };
+        let c = Neighbor { id: 0, dist: 2.0 };
+        assert!(a < b && b < c);
+    }
+}

@@ -1,0 +1,283 @@
+//! TEXMEX vector-file IO (`.fvecs`, `.ivecs`, `.bvecs`).
+//!
+//! The paper's Sift and Gist datasets ship in this format: every vector is a
+//! little-endian `i32` dimension header followed by `d` payload elements
+//! (`f32`, `i32`, or `u8`). These readers let the real datasets drop into the
+//! reproduction when available; the writers let the harness export its
+//! synthetic surrogates for inspection by other tools.
+//!
+//! All readers validate structure (consistent dimensions, no trailing bytes,
+//! finite floats) and return [`IoError`] rather than panicking, because files
+//! in the wild are routinely truncated.
+
+use crate::store::Dataset;
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Errors raised by the vector-file readers.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying filesystem or stream error.
+    Io(std::io::Error),
+    /// Structural problem in the payload (message explains what).
+    Malformed(String),
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "io error: {e}"),
+            IoError::Malformed(m) => write!(f, "malformed vector file: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+fn read_exact_or_eof(r: &mut impl Read, buf: &mut [u8]) -> Result<bool, IoError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        let n = r.read(&mut buf[filled..])?;
+        if n == 0 {
+            if filled == 0 {
+                return Ok(false); // clean EOF at a record boundary
+            }
+            return Err(IoError::Malformed(format!(
+                "truncated record: expected {} more bytes",
+                buf.len() - filled
+            )));
+        }
+        filled += n;
+    }
+    Ok(true)
+}
+
+fn read_dim_header(r: &mut impl Read) -> Result<Option<usize>, IoError> {
+    let mut hdr = [0u8; 4];
+    if !read_exact_or_eof(r, &mut hdr)? {
+        return Ok(None);
+    }
+    let d = i32::from_le_bytes(hdr);
+    if d <= 0 {
+        return Err(IoError::Malformed(format!("non-positive dimension header {d}")));
+    }
+    Ok(Some(d as usize))
+}
+
+/// Reads an `.fvecs` stream into a [`Dataset`]. `limit` caps the number of
+/// vectors read (`None` reads all), which is how the harness subsamples the
+/// full 10^6-vector files.
+pub fn read_fvecs_from(
+    mut r: impl Read,
+    name: &str,
+    limit: Option<usize>,
+) -> Result<Dataset, IoError> {
+    let mut data: Vec<f32> = Vec::new();
+    let mut dim: Option<usize> = None;
+    let mut count = 0usize;
+    while limit.is_none_or(|l| count < l) {
+        let Some(d) = read_dim_header(&mut r)? else { break };
+        match dim {
+            None => dim = Some(d),
+            Some(d0) if d0 != d => {
+                return Err(IoError::Malformed(format!(
+                    "inconsistent dimensions: {d0} then {d} at record {count}"
+                )))
+            }
+            _ => {}
+        }
+        let mut payload = vec![0u8; d * 4];
+        if !read_exact_or_eof(&mut r, &mut payload)? {
+            return Err(IoError::Malformed("truncated payload".into()));
+        }
+        for c in payload.chunks_exact(4) {
+            let v = f32::from_le_bytes([c[0], c[1], c[2], c[3]]);
+            if !v.is_finite() {
+                return Err(IoError::Malformed(format!(
+                    "non-finite value {v} at record {count}"
+                )));
+            }
+            data.push(v);
+        }
+        count += 1;
+    }
+    let dim = dim.ok_or_else(|| IoError::Malformed("empty file".into()))?;
+    Ok(Dataset::from_flat(name, dim, data))
+}
+
+/// Reads an `.fvecs` file from disk. See [`read_fvecs_from`].
+pub fn read_fvecs(path: impl AsRef<Path>, limit: Option<usize>) -> Result<Dataset, IoError> {
+    let name = path
+        .as_ref()
+        .file_stem()
+        .map_or_else(|| "fvecs".to_string(), |s| s.to_string_lossy().into_owned());
+    read_fvecs_from(BufReader::new(File::open(path.as_ref())?), &name, limit)
+}
+
+/// Reads a `.bvecs` stream (u8 payload, used by the billion-scale Sift sets).
+pub fn read_bvecs_from(
+    mut r: impl Read,
+    name: &str,
+    limit: Option<usize>,
+) -> Result<Dataset, IoError> {
+    let mut data: Vec<f32> = Vec::new();
+    let mut dim: Option<usize> = None;
+    let mut count = 0usize;
+    while limit.is_none_or(|l| count < l) {
+        let Some(d) = read_dim_header(&mut r)? else { break };
+        match dim {
+            None => dim = Some(d),
+            Some(d0) if d0 != d => {
+                return Err(IoError::Malformed(format!(
+                    "inconsistent dimensions: {d0} then {d} at record {count}"
+                )))
+            }
+            _ => {}
+        }
+        let mut payload = vec![0u8; d];
+        if !read_exact_or_eof(&mut r, &mut payload)? {
+            return Err(IoError::Malformed("truncated payload".into()));
+        }
+        data.extend(payload.iter().map(|&b| f32::from(b)));
+        count += 1;
+    }
+    let dim = dim.ok_or_else(|| IoError::Malformed("empty file".into()))?;
+    Ok(Dataset::from_flat(name, dim, data))
+}
+
+/// Reads an `.ivecs` stream (i32 payload — TEXMEX ground-truth id lists).
+pub fn read_ivecs_from(mut r: impl Read, limit: Option<usize>) -> Result<Vec<Vec<i32>>, IoError> {
+    let mut out = Vec::new();
+    while limit.is_none_or(|l| out.len() < l) {
+        let Some(d) = read_dim_header(&mut r)? else { break };
+        let mut payload = vec![0u8; d * 4];
+        if !read_exact_or_eof(&mut r, &mut payload)? {
+            return Err(IoError::Malformed("truncated payload".into()));
+        }
+        out.push(
+            payload
+                .chunks_exact(4)
+                .map(|c| i32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+                .collect(),
+        );
+    }
+    Ok(out)
+}
+
+/// Writes a [`Dataset`] as `.fvecs` to any sink.
+pub fn write_fvecs_to(mut w: impl Write, data: &Dataset) -> Result<(), IoError> {
+    let hdr = (data.dim() as i32).to_le_bytes();
+    for row in data.iter() {
+        w.write_all(&hdr)?;
+        for v in row {
+            w.write_all(&v.to_le_bytes())?;
+        }
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Writes a [`Dataset`] as `.fvecs` to disk.
+pub fn write_fvecs(path: impl AsRef<Path>, data: &Dataset) -> Result<(), IoError> {
+    write_fvecs_to(BufWriter::new(File::create(path)?), data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::SynthSpec;
+
+    #[test]
+    fn fvecs_round_trip() {
+        let d = SynthSpec::new("rt", 23, 7).generate(4);
+        let mut buf = Vec::new();
+        write_fvecs_to(&mut buf, &d).unwrap();
+        let back = read_fvecs_from(&buf[..], "rt", None).unwrap();
+        assert_eq!(back.len(), 23);
+        assert_eq!(back.dim(), 7);
+        assert_eq!(back.as_flat(), d.as_flat());
+    }
+
+    #[test]
+    fn limit_truncates() {
+        let d = SynthSpec::new("rt", 10, 3).generate(4);
+        let mut buf = Vec::new();
+        write_fvecs_to(&mut buf, &d).unwrap();
+        let back = read_fvecs_from(&buf[..], "rt", Some(4)).unwrap();
+        assert_eq!(back.len(), 4);
+    }
+
+    #[test]
+    fn truncated_payload_is_error() {
+        let d = SynthSpec::new("rt", 2, 5).generate(4);
+        let mut buf = Vec::new();
+        write_fvecs_to(&mut buf, &d).unwrap();
+        buf.truncate(buf.len() - 3);
+        let err = read_fvecs_from(&buf[..], "rt", None).unwrap_err();
+        assert!(matches!(err, IoError::Malformed(_)), "{err}");
+    }
+
+    #[test]
+    fn inconsistent_dimension_is_error() {
+        let mut buf = Vec::new();
+        buf.extend(2i32.to_le_bytes());
+        buf.extend(1.0f32.to_le_bytes());
+        buf.extend(2.0f32.to_le_bytes());
+        buf.extend(3i32.to_le_bytes()); // second record claims d=3
+        buf.extend([0u8; 12]);
+        let err = read_fvecs_from(&buf[..], "bad", None).unwrap_err();
+        assert!(err.to_string().contains("inconsistent"), "{err}");
+    }
+
+    #[test]
+    fn nan_is_rejected() {
+        let mut buf = Vec::new();
+        buf.extend(1i32.to_le_bytes());
+        buf.extend(f32::NAN.to_le_bytes());
+        let err = read_fvecs_from(&buf[..], "nan", None).unwrap_err();
+        assert!(err.to_string().contains("non-finite"), "{err}");
+    }
+
+    #[test]
+    fn negative_dim_is_rejected() {
+        let mut buf = Vec::new();
+        buf.extend((-4i32).to_le_bytes());
+        let err = read_fvecs_from(&buf[..], "neg", None).unwrap_err();
+        assert!(err.to_string().contains("non-positive"), "{err}");
+    }
+
+    #[test]
+    fn empty_file_is_error() {
+        let err = read_fvecs_from(&[][..], "empty", None).unwrap_err();
+        assert!(err.to_string().contains("empty"), "{err}");
+    }
+
+    #[test]
+    fn ivecs_reads_id_lists() {
+        let mut buf = Vec::new();
+        for row in [[1i32, 2, 3], [4, 5, 6]] {
+            buf.extend(3i32.to_le_bytes());
+            for v in row {
+                buf.extend(v.to_le_bytes());
+            }
+        }
+        let rows = read_ivecs_from(&buf[..], None).unwrap();
+        assert_eq!(rows, vec![vec![1, 2, 3], vec![4, 5, 6]]);
+    }
+
+    #[test]
+    fn bvecs_reads_bytes() {
+        let mut buf = Vec::new();
+        buf.extend(2i32.to_le_bytes());
+        buf.extend([7u8, 250u8]);
+        let d = read_bvecs_from(&buf[..], "b", None).unwrap();
+        assert_eq!(d.get(0), &[7.0, 250.0]);
+    }
+}

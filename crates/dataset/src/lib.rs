@@ -1,0 +1,41 @@
+//! Vector dataset substrate for the LCCS-LSH (SIGMOD 2020) reproduction.
+//!
+//! The paper evaluates c-k-ANNS over five real-life datasets (Msong, Sift,
+//! Gist, GloVe, Deep) under Euclidean and Angular distance. This crate
+//! provides everything the evaluation needs below the hashing layer:
+//!
+//! * [`metric`] — the distance metrics of §2.1 (Euclidean, Angular) plus
+//!   Hamming and Jaccard, which the paper cites as further LSH-able metrics.
+//! * [`store`] — a cache-friendly row-major container for n×d float vectors.
+//! * [`synth`] — synthetic surrogates for the paper's five datasets with the
+//!   same dimensionality and clustered structure (see DESIGN.md §4).
+//! * [`exact`] — parallel brute-force exact k-NN, the recall/ratio oracle.
+//! * [`io`] — TEXMEX `fvecs`/`ivecs`/`bvecs` readers and writers so that the
+//!   real datasets drop in when available.
+//! * [`stats`] — the dataset statistics reported in the paper's Table 2.
+//!
+//! # Example
+//!
+//! ```
+//! use dataset::{synth::SynthSpec, metric::Metric, exact::ExactKnn};
+//!
+//! let data = SynthSpec::sift_like().with_n(500).generate(7);
+//! let queries = data.sample_queries(10, 42);
+//! let gt = ExactKnn::compute(&data, &queries, 5, Metric::Euclidean);
+//! assert_eq!(gt.k(), 5);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod exact;
+pub mod io;
+pub mod metric;
+pub mod stats;
+pub mod store;
+pub mod synth;
+
+pub use exact::{ExactKnn, GroundTruth};
+pub use metric::Metric;
+pub use store::{Dataset, VectorView};
+pub use synth::SynthSpec;

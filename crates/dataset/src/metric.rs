@@ -1,0 +1,277 @@
+//! Distance metrics of the paper's §2.1.
+//!
+//! The paper's framework is metric-agnostic ("LCCS-LSH is orthogonal to the
+//! LSH family and can handle various kinds of distance metrics"): it supports
+//! any metric that admits an LSH family. The evaluation focuses on Euclidean
+//! and Angular distance; Hamming and Jaccard are provided because the paper
+//! explicitly discusses their families (bit sampling, MinHash).
+
+use serde::{Deserialize, Serialize};
+
+/// A distance metric between two vectors in `R^d`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Metric {
+    /// `||o - q||_2` — the metric of the random-projection family (Eq. 1).
+    Euclidean,
+    /// `θ(o, q) = arccos(o·q / (||o|| ||q||))` — the metric of the
+    /// cross-polytope family (Eq. 3). Monotone in Euclidean distance on the
+    /// unit sphere, which is how the paper (and FALCONN) treat it.
+    Angular,
+    /// Number of differing coordinates after thresholding at 0.5 (vectors are
+    /// interpreted as 0/1 indicators). Matches the bit-sampling family of
+    /// Indyk–Motwani.
+    Hamming,
+    /// `1 - |A ∩ B| / |A ∪ B|` over the supports (non-zero coordinates) of
+    /// the two vectors. Matches the MinHash family.
+    Jaccard,
+}
+
+impl Metric {
+    /// Distance between two equal-length slices.
+    ///
+    /// # Panics
+    /// Panics if the slices have different lengths.
+    #[inline]
+    pub fn distance(self, a: &[f32], b: &[f32]) -> f64 {
+        assert_eq!(a.len(), b.len(), "dimension mismatch: {} vs {}", a.len(), b.len());
+        match self {
+            Metric::Euclidean => euclidean(a, b),
+            Metric::Angular => angular(a, b),
+            Metric::Hamming => hamming(a, b),
+            Metric::Jaccard => jaccard(a, b),
+        }
+    }
+
+    /// A monotone surrogate of [`Metric::distance`] that is cheaper to
+    /// compute and preserves the ordering of candidates. Used by the
+    /// verification phase, where only ranks and ratios matter after a final
+    /// exact pass.
+    #[inline]
+    pub fn surrogate(self, a: &[f32], b: &[f32]) -> f64 {
+        match self {
+            Metric::Euclidean => squared_euclidean(a, b),
+            _ => self.distance(a, b),
+        }
+    }
+
+    /// Converts a surrogate value back to the true distance.
+    #[inline]
+    pub fn from_surrogate(self, s: f64) -> f64 {
+        match self {
+            Metric::Euclidean => s.sqrt(),
+            _ => s,
+        }
+    }
+
+    /// Human-readable name as used in the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            Metric::Euclidean => "Euclidean",
+            Metric::Angular => "Angular",
+            Metric::Hamming => "Hamming",
+            Metric::Jaccard => "Jaccard",
+        }
+    }
+
+    /// Whether the metric only depends on vector directions. Angular data is
+    /// normalized to the unit sphere at load time.
+    pub fn is_angular(self) -> bool {
+        matches!(self, Metric::Angular)
+    }
+}
+
+/// `||a - b||_2^2`, the inner loop of Euclidean verification.
+#[inline]
+pub fn squared_euclidean(a: &[f32], b: &[f32]) -> f64 {
+    // f32 accumulation in 4 lanes keeps the loop auto-vectorizable; the
+    // accumulator is widened to f64 at the end, which is accurate enough for
+    // ranking (the paper's verification phase only ranks candidates).
+    let mut acc = [0.0f32; 4];
+    let chunks = a.len() / 4;
+    for i in 0..chunks {
+        for (lane, slot) in acc.iter_mut().enumerate() {
+            let j = i * 4 + lane;
+            let d = a[j] - b[j];
+            *slot += d * d;
+        }
+    }
+    let mut sum = (acc[0] + acc[1]) as f64 + (acc[2] + acc[3]) as f64;
+    for j in chunks * 4..a.len() {
+        let d = (a[j] - b[j]) as f64;
+        sum += d * d;
+    }
+    sum
+}
+
+/// `||a - b||_2`.
+#[inline]
+pub fn euclidean(a: &[f32], b: &[f32]) -> f64 {
+    squared_euclidean(a, b).sqrt()
+}
+
+/// Inner product `a · b`.
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f64 {
+    let mut acc = [0.0f32; 4];
+    let chunks = a.len() / 4;
+    for i in 0..chunks {
+        for (lane, slot) in acc.iter_mut().enumerate() {
+            let j = i * 4 + lane;
+            *slot += a[j] * b[j];
+        }
+    }
+    let mut sum = (acc[0] + acc[1]) as f64 + (acc[2] + acc[3]) as f64;
+    for j in chunks * 4..a.len() {
+        sum += (a[j] * b[j]) as f64;
+    }
+    sum
+}
+
+/// `||a||_2`.
+#[inline]
+pub fn norm(a: &[f32]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+/// Angular distance `θ(a, b) ∈ [0, π]`.
+#[inline]
+pub fn angular(a: &[f32], b: &[f32]) -> f64 {
+    let na = norm(a);
+    let nb = norm(b);
+    if na == 0.0 || nb == 0.0 {
+        // Zero vectors have no direction; by convention they are maximally
+        // far from everything (the synthetic generators never emit them, but
+        // fvecs files in the wild do contain zero rows).
+        return std::f64::consts::PI;
+    }
+    let cos = (dot(a, b) / (na * nb)).clamp(-1.0, 1.0);
+    cos.acos()
+}
+
+/// Hamming distance over 0/1-thresholded coordinates.
+#[inline]
+pub fn hamming(a: &[f32], b: &[f32]) -> f64 {
+    let mut diff = 0u32;
+    for (x, y) in a.iter().zip(b) {
+        diff += u32::from((*x >= 0.5) != (*y >= 0.5));
+    }
+    f64::from(diff)
+}
+
+/// Jaccard distance over supports.
+#[inline]
+pub fn jaccard(a: &[f32], b: &[f32]) -> f64 {
+    let mut inter = 0u32;
+    let mut union = 0u32;
+    for (x, y) in a.iter().zip(b) {
+        let xa = *x != 0.0;
+        let ya = *y != 0.0;
+        inter += u32::from(xa && ya);
+        union += u32::from(xa || ya);
+    }
+    if union == 0 {
+        0.0
+    } else {
+        1.0 - f64::from(inter) / f64::from(union)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn euclidean_matches_definition() {
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let b = [0.0, 2.0, 5.0, 4.0, 3.0];
+        // diffs: 1, 0, -2, 0, 2 -> sum sq = 9
+        assert!((euclidean(&a, &b) - 3.0).abs() < 1e-9);
+        assert!((squared_euclidean(&a, &b) - 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn euclidean_zero_on_identical() {
+        let a = [0.25f32; 37];
+        assert_eq!(euclidean(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn angular_orthogonal_is_half_pi() {
+        let a = [1.0, 0.0];
+        let b = [0.0, 5.0];
+        assert!((angular(&a, &b) - std::f64::consts::FRAC_PI_2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn angular_same_direction_is_zero() {
+        let a = [1.0, 2.0, -1.0];
+        let b = [2.0, 4.0, -2.0];
+        assert!(angular(&a, &b).abs() < 1e-6);
+    }
+
+    #[test]
+    fn angular_opposite_is_pi() {
+        let a = [1.0, 0.5];
+        let b = [-2.0, -1.0];
+        assert!((angular(&a, &b) - std::f64::consts::PI).abs() < 1e-6);
+    }
+
+    #[test]
+    fn angular_zero_vector_is_max() {
+        let a = [0.0, 0.0];
+        let b = [1.0, 1.0];
+        assert_eq!(angular(&a, &b), std::f64::consts::PI);
+    }
+
+    #[test]
+    fn hamming_counts_threshold_flips() {
+        let a = [0.0, 1.0, 1.0, 0.0];
+        let b = [1.0, 1.0, 0.0, 0.2];
+        assert_eq!(hamming(&a, &b), 2.0);
+    }
+
+    #[test]
+    fn jaccard_on_supports() {
+        let a = [1.0, 1.0, 0.0, 1.0];
+        let b = [1.0, 0.0, 1.0, 1.0];
+        // inter = {0, 3} -> 2; union = {0,1,2,3} -> 4
+        assert!((jaccard(&a, &b) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jaccard_empty_supports_are_identical() {
+        let a = [0.0; 8];
+        assert_eq!(jaccard(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn surrogate_roundtrip_euclidean() {
+        let a = [3.0, 0.0];
+        let b = [0.0, 4.0];
+        let m = Metric::Euclidean;
+        let s = m.surrogate(&a, &b);
+        assert!((m.from_surrogate(s) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn dimension_mismatch_panics() {
+        Metric::Euclidean.distance(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn metric_names() {
+        assert_eq!(Metric::Euclidean.name(), "Euclidean");
+        assert_eq!(Metric::Angular.name(), "Angular");
+        assert!(Metric::Angular.is_angular());
+        assert!(!Metric::Hamming.is_angular());
+    }
+
+    #[test]
+    fn dot_and_norm() {
+        let a = [1.0, 2.0, 2.0];
+        assert!((norm(&a) - 3.0).abs() < 1e-9);
+        let b = [2.0, 0.0, 1.0];
+        assert!((dot(&a, &b) - 4.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,167 @@
+//! Dataset statistics — the columns of the paper's Table 2 plus distance
+//! distribution summaries used to sanity-check the synthetic surrogates.
+
+use crate::metric::Metric;
+use crate::store::Dataset;
+use rand::Rng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Table 2 row: `#Objects`, `#Queries`, `d`, `Data Size`, `Type`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TableRow {
+    /// Dataset name.
+    pub name: String,
+    /// Number of database objects.
+    pub n_objects: usize,
+    /// Number of queries.
+    pub n_queries: usize,
+    /// Dimensionality.
+    pub dim: usize,
+    /// Raw data size in bytes.
+    pub data_bytes: usize,
+    /// Source data type (Audio/Image/Text/Deep), carried through from the
+    /// surrogate spec.
+    pub data_type: String,
+}
+
+impl TableRow {
+    /// Builds the row from a data/query pair.
+    pub fn new(data: &Dataset, queries: &Dataset, data_type: &str) -> Self {
+        Self {
+            name: data.name().to_string(),
+            n_objects: data.len(),
+            n_queries: queries.len(),
+            dim: data.dim(),
+            data_bytes: data.nbytes(),
+            data_type: data_type.to_string(),
+        }
+    }
+
+    /// Human-readable size, like the paper's "488.3 MB".
+    pub fn pretty_size(&self) -> String {
+        let b = self.data_bytes as f64;
+        if b >= 1e9 {
+            format!("{:.1} GB", b / 1e9)
+        } else if b >= 1e6 {
+            format!("{:.1} MB", b / 1e6)
+        } else {
+            format!("{:.1} KB", b / 1e3)
+        }
+    }
+}
+
+/// Summary of the pairwise distance distribution from a random sample.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DistanceProfile {
+    /// Metric profiled.
+    pub metric: Metric,
+    /// Sampled mean pairwise distance.
+    pub mean: f64,
+    /// Sampled standard deviation.
+    pub std: f64,
+    /// Minimum sampled distance (excluding identical pairs).
+    pub min: f64,
+    /// Maximum sampled distance.
+    pub max: f64,
+    /// Relative contrast: mean / mean-nearest-of-sample — a standard
+    /// difficulty indicator for ANN workloads (higher = easier).
+    pub relative_contrast: f64,
+}
+
+impl DistanceProfile {
+    /// Profiles `pairs` random pairs and `probes` nearest-of-sample probes.
+    pub fn sample(data: &Dataset, metric: Metric, pairs: usize, seed: u64) -> Self {
+        assert!(data.len() >= 2, "need at least two vectors");
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut dists = Vec::with_capacity(pairs);
+        for _ in 0..pairs {
+            let i = rng.gen_range(0..data.len());
+            let mut j = rng.gen_range(0..data.len());
+            while j == i {
+                j = rng.gen_range(0..data.len());
+            }
+            dists.push(metric.distance(data.get(i), data.get(j)));
+        }
+        let mean = dists.iter().sum::<f64>() / dists.len() as f64;
+        let var =
+            dists.iter().map(|d| (d - mean) * (d - mean)).sum::<f64>() / dists.len() as f64;
+        let min = dists.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = dists.iter().cloned().fold(0.0f64, f64::max);
+
+        // Nearest-of-sample estimate over a handful of probe points.
+        let probes = 16.min(data.len());
+        let sample_sz = 256.min(data.len());
+        let mut nn_sum = 0.0;
+        for p in 0..probes {
+            let pi = rng.gen_range(0..data.len());
+            let mut best = f64::INFINITY;
+            for _ in 0..sample_sz {
+                let j = rng.gen_range(0..data.len());
+                if j != pi {
+                    best = best.min(metric.distance(data.get(pi), data.get(j)));
+                }
+            }
+            nn_sum += best;
+            let _ = p;
+        }
+        let nn_mean = nn_sum / probes as f64;
+        let relative_contrast = if nn_mean > 0.0 { mean / nn_mean } else { f64::INFINITY };
+
+        Self { metric, mean, std: var.sqrt(), min, max, relative_contrast }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::SynthSpec;
+
+    #[test]
+    fn table_row_matches_dataset() {
+        let d = SynthSpec::sift_like().with_n(50).generate(3);
+        let q = d.sample_queries(5, 1);
+        let row = TableRow::new(&d, &q, "Image");
+        assert_eq!(row.n_objects, 50);
+        assert_eq!(row.n_queries, 5);
+        assert_eq!(row.dim, 128);
+        assert_eq!(row.data_bytes, 50 * 128 * 4);
+        assert_eq!(row.data_type, "Image");
+    }
+
+    #[test]
+    fn pretty_sizes() {
+        let mut row = TableRow {
+            name: "x".into(),
+            n_objects: 0,
+            n_queries: 0,
+            dim: 0,
+            data_bytes: 1_600_000_000,
+            data_type: "Audio".into(),
+        };
+        assert_eq!(row.pretty_size(), "1.6 GB");
+        row.data_bytes = 488_300_000;
+        assert_eq!(row.pretty_size(), "488.3 MB");
+        row.data_bytes = 12_000;
+        assert_eq!(row.pretty_size(), "12.0 KB");
+    }
+
+    #[test]
+    fn profile_is_sane_on_clustered_data() {
+        let d = SynthSpec::new("t", 400, 24).with_clusters(8).generate(5);
+        let p = DistanceProfile::sample(&d, Metric::Euclidean, 500, 7);
+        assert!(p.mean > 0.0);
+        assert!(p.min >= 0.0 && p.min <= p.mean);
+        assert!(p.max >= p.mean);
+        assert!(p.std > 0.0);
+        // Clustered data must show contrast > 1 (NN is closer than average).
+        assert!(p.relative_contrast > 1.0, "contrast = {}", p.relative_contrast);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn profile_needs_two_vectors() {
+        let d = Dataset::from_rows("one", &[vec![1.0]]);
+        DistanceProfile::sample(&d, Metric::Euclidean, 10, 1);
+    }
+}

@@ -1,0 +1,233 @@
+//! Row-major vector store.
+//!
+//! All n×d datasets in the reproduction live in a single contiguous
+//! allocation so that brute-force verification and hashing scan memory
+//! linearly — matching how the original C++ code lays out its data.
+
+use crate::metric::{self, Metric};
+use rand::seq::index::sample;
+use rand::SeedableRng;
+
+/// An immutable collection of `n` vectors of dimension `d` stored row-major.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    name: String,
+    dim: usize,
+    data: Vec<f32>,
+}
+
+/// A borrowed view of one vector in a [`Dataset`].
+pub type VectorView<'a> = &'a [f32];
+
+impl Dataset {
+    /// Wraps a flat row-major buffer.
+    ///
+    /// # Panics
+    /// Panics if `dim == 0` or `data.len()` is not a multiple of `dim`.
+    pub fn from_flat(name: impl Into<String>, dim: usize, data: Vec<f32>) -> Self {
+        assert!(dim > 0, "dimension must be positive");
+        assert_eq!(
+            data.len() % dim,
+            0,
+            "buffer length {} is not a multiple of dim {}",
+            data.len(),
+            dim
+        );
+        Self { name: name.into(), dim, data }
+    }
+
+    /// Builds a dataset from per-vector rows.
+    ///
+    /// # Panics
+    /// Panics if rows have inconsistent dimensions or `rows` is empty.
+    pub fn from_rows(name: impl Into<String>, rows: &[Vec<f32>]) -> Self {
+        assert!(!rows.is_empty(), "dataset must contain at least one vector");
+        let dim = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * dim);
+        for row in rows {
+            assert_eq!(row.len(), dim, "inconsistent row dimension");
+            data.extend_from_slice(row);
+        }
+        Self::from_flat(name, dim, data)
+    }
+
+    /// Dataset name (used in reports; mirrors the paper's Table 2 names).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of vectors `n`.
+    pub fn len(&self) -> usize {
+        self.data.len() / self.dim
+    }
+
+    /// True when the dataset holds no vectors.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Dimensionality `d`.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Borrow vector `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= len()`.
+    #[inline]
+    pub fn get(&self, i: usize) -> VectorView<'_> {
+        &self.data[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// Iterator over all vectors in id order.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = VectorView<'_>> {
+        self.data.chunks_exact(self.dim)
+    }
+
+    /// The backing flat buffer.
+    pub fn as_flat(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// In-memory size in bytes of the raw vectors (Table 2's "Data Size").
+    pub fn nbytes(&self) -> usize {
+        self.data.len() * std::mem::size_of::<f32>()
+    }
+
+    /// Normalizes every vector to unit L2 norm (Angular-distance datasets are
+    /// stored on the unit sphere, as FALCONN and the paper's angular
+    /// experiments do). Zero vectors are left untouched.
+    pub fn normalized(mut self) -> Self {
+        for row in self.data.chunks_exact_mut(self.dim) {
+            let n = metric::norm(row);
+            if n > 0.0 {
+                let inv = (1.0 / n) as f32;
+                for x in row {
+                    *x *= inv;
+                }
+            }
+        }
+        self
+    }
+
+    /// Splits off `q` vectors chosen uniformly at random (without
+    /// replacement) to act as the query set, mirroring the paper's protocol
+    /// of "randomly select 100 objects from their test sets". The returned
+    /// queries are copies; the dataset itself is unchanged (the paper's
+    /// queries come from held-out test sets, so keeping them in the database
+    /// is harmless at these scales and keeps ids stable).
+    ///
+    /// # Panics
+    /// Panics if `q > len()`.
+    pub fn sample_queries(&self, q: usize, seed: u64) -> Dataset {
+        assert!(q <= self.len(), "cannot sample {} queries from {} vectors", q, self.len());
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let idx = sample(&mut rng, self.len(), q);
+        let mut data = Vec::with_capacity(q * self.dim);
+        for i in idx.iter() {
+            data.extend_from_slice(self.get(i));
+        }
+        Dataset::from_flat(format!("{}-queries", self.name), self.dim, data)
+    }
+
+    /// Returns a new dataset containing only the first `n` vectors.
+    ///
+    /// # Panics
+    /// Panics if `n > len()`.
+    pub fn truncated(&self, n: usize) -> Dataset {
+        assert!(n <= self.len());
+        Dataset::from_flat(self.name.clone(), self.dim, self.data[..n * self.dim].to_vec())
+    }
+
+    /// Distance between stored vector `i` and an external query.
+    #[inline]
+    pub fn distance_to(&self, i: usize, query: &[f32], metric: Metric) -> f64 {
+        metric.distance(self.get(i), query)
+    }
+}
+
+impl std::ops::Index<usize> for Dataset {
+    type Output = [f32];
+    fn index(&self, i: usize) -> &[f32] {
+        self.get(i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Dataset {
+        Dataset::from_rows(
+            "unit",
+            &[vec![0.0, 0.0], vec![1.0, 0.0], vec![0.0, 2.0], vec![3.0, 4.0]],
+        )
+    }
+
+    #[test]
+    fn round_trips_rows() {
+        let d = small();
+        assert_eq!(d.len(), 4);
+        assert_eq!(d.dim(), 2);
+        assert_eq!(d.get(3), &[3.0, 4.0]);
+        assert_eq!(&d[1], &[1.0, 0.0]);
+        assert_eq!(d.iter().count(), 4);
+    }
+
+    #[test]
+    fn nbytes_counts_floats() {
+        assert_eq!(small().nbytes(), 4 * 2 * 4);
+    }
+
+    #[test]
+    fn normalization_hits_unit_sphere() {
+        let d = small().normalized();
+        // zero vector untouched
+        assert_eq!(d.get(0), &[0.0, 0.0]);
+        let v = d.get(3);
+        assert!((metric::norm(v) - 1.0).abs() < 1e-6);
+        assert!((v[0] - 0.6).abs() < 1e-6);
+    }
+
+    #[test]
+    fn queries_are_members() {
+        let d = small();
+        let q = d.sample_queries(2, 9);
+        assert_eq!(q.len(), 2);
+        for qv in q.iter() {
+            assert!(d.iter().any(|dv| dv == qv), "query must be drawn from data");
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let d = small();
+        assert_eq!(d.sample_queries(3, 5), d.sample_queries(3, 5));
+    }
+
+    #[test]
+    fn truncation() {
+        let t = small().truncated(2);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.get(1), &[1.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a multiple")]
+    fn bad_flat_buffer_panics() {
+        Dataset::from_flat("x", 3, vec![1.0; 7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "inconsistent row dimension")]
+    fn ragged_rows_panic() {
+        Dataset::from_rows("x", &[vec![1.0], vec![1.0, 2.0]]);
+    }
+
+    #[test]
+    fn distance_to_query() {
+        let d = small();
+        assert!((d.distance_to(3, &[0.0, 0.0], Metric::Euclidean) - 5.0).abs() < 1e-9);
+    }
+}

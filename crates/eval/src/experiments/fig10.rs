@@ -1,0 +1,70 @@
+//! Figure 10 — impact of #probes for MP-LCCS-LSH on Sift, both metrics,
+//! with m = 128 and #probes ∈ {1, m+1, 2m+1, 4m+1, 8m+1}.
+
+use super::{load_sift, ExpOptions, MethodGrid};
+use crate::harness::IndexSpec;
+use crate::pareto::{default_levels, time_recall_frontier};
+use crate::report::{console_table, write_frontier, write_points};
+use dataset::Metric;
+
+/// The fixed hash-string length of the sweep (§6.4 uses m = 128; quick mode
+/// uses 64 to bound runtime).
+pub fn fixed_m(quick: bool) -> usize {
+    if quick {
+        64
+    } else {
+        128
+    }
+}
+
+/// Probe multipliers of the sweep: `#probes = mult·m + 1`.
+pub const MULTS: [usize; 5] = [0, 1, 2, 4, 8];
+
+/// Runs the Figure 10 sweep. Returns the console summary (also printed).
+pub fn run(opts: &ExpOptions) -> std::io::Result<String> {
+    let m = fixed_m(opts.quick);
+    let levels = default_levels();
+    let mut rows = Vec::new();
+    for metric in [Metric::Euclidean, Metric::Angular] {
+        let wl = load_sift(opts, metric);
+        let mut all = Vec::new();
+        for mult in MULTS {
+            let probes = mult * m + 1;
+            eprintln!("[fig10] Sift-{} / #probes={} ...", metric.name(), probes);
+            let grid = MethodGrid {
+                method: "MP-LCCS-LSH",
+                specs: vec![IndexSpec::MpLccs { m }],
+                budgets: super::budget_ladder_pub(opts.quick, opts.n),
+                probes: vec![probes],
+            };
+            let pts = super::sweep(&grid, &wl, metric, opts.k, opts.seed);
+            let frontier = time_recall_frontier(&pts, &levels);
+            write_frontier(
+                &opts.out_dir.join("fig10"),
+                &format!("fig10 sift {} probes{}", metric.name(), probes),
+                &frontier,
+            )?;
+            let at50 = frontier
+                .iter()
+                .find(|p| p.recall_pct >= 50.0)
+                .map_or("-".into(), |p| format!("{:.3} ms", p.query_ms));
+            let best = pts.iter().map(|p| p.recall).fold(0.0f64, f64::max);
+            rows.push(vec![
+                format!("Sift-{}", metric.name()),
+                format!("#probes={probes}"),
+                at50,
+                format!("{:.1}%", best * 100.0),
+            ]);
+            all.extend(pts);
+        }
+        write_points(
+            &opts.out_dir.join("fig10"),
+            &format!("fig10 sift {}", metric.name()),
+            &all,
+        )?;
+    }
+    let table =
+        console_table(&["dataset", "config", "time@50% recall", "max recall"], &rows);
+    println!("{table}");
+    Ok(table)
+}

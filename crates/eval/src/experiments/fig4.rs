@@ -1,0 +1,68 @@
+//! Figure 4 — query time vs recall, top-k NNs, **Euclidean distance**,
+//! five datasets × seven methods.
+//!
+//! For every (dataset, method) the driver grid-searches the method's
+//! parameter space, reduces to the lowest-time-per-recall-level frontier
+//! (§6.4's protocol), writes one TSV per series, and prints the
+//! 50%-recall column as a console summary.
+
+use super::{euclidean_grids, load_suite, ExpOptions};
+use crate::pareto::{default_levels, time_recall_frontier};
+use crate::report::{console_table, write_frontier, write_points};
+use dataset::Metric;
+
+/// Runs the Figure 4 sweep. Returns the console summary (also printed).
+pub fn run(opts: &ExpOptions) -> std::io::Result<String> {
+    run_metric(opts, Metric::Euclidean, "fig4")
+}
+
+/// Shared implementation for Figures 4 (Euclidean) and 5 (Angular).
+pub(crate) fn run_metric(
+    opts: &ExpOptions,
+    metric: Metric,
+    tag: &str,
+) -> std::io::Result<String> {
+    let grids = match metric {
+        Metric::Angular => super::angular_grids(opts.quick, opts.n),
+        _ => euclidean_grids(opts.quick, opts.n),
+    };
+    let suite = load_suite(opts, metric);
+    let levels = default_levels();
+    let mut rows = Vec::new();
+    for wl in &suite {
+        let mut all_points = Vec::new();
+        for grid in &grids {
+            eprintln!("[{tag}] {} / {} ...", wl.name, grid.method);
+            let pts = super::sweep(grid, wl, metric, opts.k, opts.seed);
+            let frontier = time_recall_frontier(&pts, &levels);
+            write_frontier(
+                &opts.out_dir.join(tag),
+                &format!("{} {} {}", tag, wl.name, grid.method),
+                &frontier,
+            )?;
+            // Console summary: best time at the 50% recall level.
+            let at50 = frontier
+                .iter()
+                .find(|p| p.recall_pct >= 50.0)
+                .map_or("-".to_string(), |p| format!("{:.3} ms", p.query_ms));
+            let best = pts
+                .iter()
+                .map(|p| p.recall)
+                .fold(0.0f64, f64::max);
+            rows.push(vec![
+                wl.name.clone(),
+                grid.method.to_string(),
+                at50,
+                format!("{:.1}%", best * 100.0),
+            ]);
+            all_points.extend(pts);
+        }
+        write_points(&opts.out_dir.join(tag), &format!("{tag} {}", wl.name), &all_points)?;
+    }
+    let table = console_table(
+        &["dataset", "method", "time@50% recall", "max recall"],
+        &rows,
+    );
+    println!("{table}");
+    Ok(table)
+}

@@ -1,0 +1,11 @@
+//! Figure 5 — query time vs recall, top-k NNs, **Angular distance**,
+//! five datasets × five methods (LCCS-LSH, MP-LCCS-LSH, E2LSH with
+//! cross-polytope functions, FALCONN, C2LSH with cross-polytope functions).
+
+use super::ExpOptions;
+use dataset::Metric;
+
+/// Runs the Figure 5 sweep (the Angular twin of Figure 4).
+pub fn run(opts: &ExpOptions) -> std::io::Result<String> {
+    super::fig4::run_metric(opts, Metric::Angular, "fig5")
+}

@@ -1,0 +1,61 @@
+//! Figure 6 — query time vs index size and vs indexing time at the 50%
+//! recall level, **Euclidean distance**, five datasets.
+//!
+//! Same grids as Figure 4; each (dataset, method) reduces to two staircase
+//! frontiers: configs reaching ≥ 50% recall, Pareto-optimal in
+//! (index size, query time) and in (indexing time, query time).
+
+use super::{euclidean_grids, load_suite, ExpOptions};
+use crate::pareto::resource_frontier;
+use crate::report::{console_table, write_points, write_tradeoff};
+use dataset::Metric;
+
+/// The recall floor of Figures 6–7.
+pub const RECALL_FLOOR: f64 = 0.5;
+
+/// Runs the Figure 6 sweep. Returns the console summary (also printed).
+pub fn run(opts: &ExpOptions) -> std::io::Result<String> {
+    run_metric(opts, Metric::Euclidean, "fig6")
+}
+
+pub(crate) fn run_metric(
+    opts: &ExpOptions,
+    metric: Metric,
+    tag: &str,
+) -> std::io::Result<String> {
+    let grids = match metric {
+        Metric::Angular => super::angular_grids(opts.quick, opts.n),
+        _ => euclidean_grids(opts.quick, opts.n),
+    };
+    let suite = load_suite(opts, metric);
+    let mut rows = Vec::new();
+    for wl in &suite {
+        let mut all_points = Vec::new();
+        for grid in &grids {
+            eprintln!("[{tag}] {} / {} ...", wl.name, grid.method);
+            let pts = super::sweep(grid, wl, metric, opts.k, opts.seed);
+            let by_size = resource_frontier(&pts, RECALL_FLOOR, |p| p.index_bytes as f64);
+            let by_time = resource_frontier(&pts, RECALL_FLOOR, |p| p.build_secs);
+            write_tradeoff(
+                &opts.out_dir.join(tag),
+                &format!("{tag} {} {} size", wl.name, grid.method),
+                &by_size,
+            )?;
+            write_tradeoff(
+                &opts.out_dir.join(tag),
+                &format!("{tag} {} {} buildtime", wl.name, grid.method),
+                &by_time,
+            )?;
+            let best = by_size
+                .last()
+                .map_or("-".into(), |p| format!("{:.3} ms @ {:.1} MB", p.query_ms, p.resource / 1e6));
+            rows.push(vec![wl.name.clone(), grid.method.to_string(), best]);
+            all_points.extend(pts);
+        }
+        write_points(&opts.out_dir.join(tag), &format!("{tag} {}", wl.name), &all_points)?;
+    }
+    let table =
+        console_table(&["dataset", "method", "fastest config ≥50% recall (size)"], &rows);
+    println!("{table}");
+    Ok(table)
+}

@@ -1,0 +1,10 @@
+//! Figure 7 — query time vs index size / indexing time at 50% recall,
+//! **Angular distance** (the Angular twin of Figure 6).
+
+use super::ExpOptions;
+use dataset::Metric;
+
+/// Runs the Figure 7 sweep.
+pub fn run(opts: &ExpOptions) -> std::io::Result<String> {
+    super::fig6::run_metric(opts, Metric::Angular, "fig7")
+}

@@ -1,0 +1,67 @@
+//! Figure 8 — sensitivity to k ∈ {1, 2, 5, 10, 20, 50, 100} on Sift under
+//! both metrics: recall, ratio, and query time of every method at matched
+//! recall levels.
+//!
+//! Protocol (§6.4): "we present their best query performance vs. k for all
+//! combinations of parameters under the similar recall levels" — for each
+//! k, each method contributes its lowest-query-time point among those
+//! reaching the target recall (50%); methods that can't reach it contribute
+//! their highest-recall point.
+
+use super::{angular_grids, euclidean_grids, load_sift, ExpOptions};
+use crate::harness::RunPoint;
+use crate::report::{console_table, write_points};
+use dataset::Metric;
+
+/// The k values of Figure 8.
+pub const KS: [usize; 7] = [1, 2, 5, 10, 20, 50, 100];
+
+/// Target recall level for "similar recall" matching.
+pub const TARGET_RECALL: f64 = 0.5;
+
+fn best_at_recall(points: &[RunPoint]) -> Option<&RunPoint> {
+    points
+        .iter()
+        .filter(|p| p.recall >= TARGET_RECALL)
+        .min_by(|a, b| a.query_ms.total_cmp(&b.query_ms))
+        .or_else(|| points.iter().max_by(|a, b| a.recall.total_cmp(&b.recall)))
+}
+
+/// Runs the Figure 8 sweep. Returns the console summary (also printed).
+pub fn run(opts: &ExpOptions) -> std::io::Result<String> {
+    let mut rows = Vec::new();
+    let mut all = Vec::new();
+    for metric in [Metric::Euclidean, Metric::Angular] {
+        let wl = load_sift(opts, metric);
+        let grids = match metric {
+            Metric::Angular => angular_grids(opts.quick, opts.n),
+            _ => euclidean_grids(opts.quick, opts.n),
+        };
+        for grid in &grids {
+            eprintln!("[fig8] Sift-{} / {} ...", metric.name(), grid.method);
+            // Build once per spec; evaluate each k over the grid.
+            for &k in &KS {
+                let k = k.min(wl.data.len());
+                let pts = super::sweep(grid, &wl, metric, k, opts.seed);
+                if let Some(best) = best_at_recall(&pts) {
+                    rows.push(vec![
+                        format!("Sift-{}", metric.name()),
+                        grid.method.to_string(),
+                        k.to_string(),
+                        format!("{:.1}%", best.recall * 100.0),
+                        format!("{:.4}", best.ratio),
+                        format!("{:.3}", best.query_ms),
+                    ]);
+                    all.push(best.clone());
+                }
+            }
+        }
+    }
+    write_points(&opts.out_dir.join("fig8"), "fig8 sift", &all)?;
+    let table = console_table(
+        &["dataset", "method", "k", "recall", "ratio", "query ms"],
+        &rows,
+    );
+    println!("{table}");
+    Ok(table)
+}

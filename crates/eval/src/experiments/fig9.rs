@@ -1,0 +1,67 @@
+//! Figure 9 — impact of m for LCCS-LSH on Sift, both metrics: one
+//! query-time/recall curve per m ∈ {8, 16, 32, 64, 128, 256, 512}.
+
+use super::{load_sift, ExpOptions, MethodGrid};
+use crate::harness::IndexSpec;
+use crate::pareto::{default_levels, time_recall_frontier};
+use crate::report::{console_table, write_frontier, write_points};
+use dataset::Metric;
+
+/// The m values swept (§6.4; quick mode trims the tail to bound runtime).
+pub fn ms(quick: bool) -> Vec<usize> {
+    if quick {
+        vec![8, 16, 32, 64, 128]
+    } else {
+        vec![8, 16, 32, 64, 128, 256, 512]
+    }
+}
+
+/// Runs the Figure 9 sweep. Returns the console summary (also printed).
+pub fn run(opts: &ExpOptions) -> std::io::Result<String> {
+    let levels = default_levels();
+    let mut rows = Vec::new();
+    for metric in [Metric::Euclidean, Metric::Angular] {
+        let wl = load_sift(opts, metric);
+        let mut all = Vec::new();
+        for m in ms(opts.quick) {
+            if m >= wl.data.len() {
+                continue;
+            }
+            eprintln!("[fig9] Sift-{} / m={} ...", metric.name(), m);
+            let grid = MethodGrid {
+                method: "LCCS-LSH",
+                specs: vec![IndexSpec::Lccs { m }],
+                budgets: super::budget_ladder_pub(opts.quick, opts.n),
+                probes: vec![0],
+            };
+            let pts = super::sweep(&grid, &wl, metric, opts.k, opts.seed);
+            let frontier = time_recall_frontier(&pts, &levels);
+            write_frontier(
+                &opts.out_dir.join("fig9"),
+                &format!("fig9 sift {} m{}", metric.name(), m),
+                &frontier,
+            )?;
+            let at50 = frontier
+                .iter()
+                .find(|p| p.recall_pct >= 50.0)
+                .map_or("-".into(), |p| format!("{:.3} ms", p.query_ms));
+            let best = pts.iter().map(|p| p.recall).fold(0.0f64, f64::max);
+            rows.push(vec![
+                format!("Sift-{}", metric.name()),
+                format!("m={m}"),
+                at50,
+                format!("{:.1}%", best * 100.0),
+            ]);
+            all.extend(pts);
+        }
+        write_points(
+            &opts.out_dir.join("fig9"),
+            &format!("fig9 sift {}", metric.name()),
+            &all,
+        )?;
+    }
+    let table =
+        console_table(&["dataset", "config", "time@50% recall", "max recall"], &rows);
+    println!("{table}");
+    Ok(table)
+}

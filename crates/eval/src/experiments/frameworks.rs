@@ -1,0 +1,84 @@
+//! Framework ablation (beyond the paper's figures; supports its §7 claims).
+//!
+//! §7 positions LCCS-LSH against the two sorted-key ancestors of the CSA:
+//! LSH-Forest ("the LCP between the hash values of query and data objects
+//! can be found via a trie") and SK-LSH ("sorts the compound keys in
+//! alphabetical order"), arguing that "since CSA can reuse the hash values
+//! in every position, it carries more information than sequence and
+//! curves... LCCS-LSH can be considered to extend them by virtually
+//! building more trees".
+//!
+//! This experiment isolates exactly that claim: at **matched hash-function
+//! budgets** (the same total number of stored hash values per object), it
+//! compares LCCS-LSH's one circular index of length m against LSH-Forest
+//! with l·depth = m and SK-LSH with K·L = m, plus E2LSH as the bucketed
+//! reference — same family, same data, same verification.
+
+use super::{budget_ladder_pub, load_sift, ExpOptions};
+use crate::harness::IndexSpec;
+use crate::pareto::{default_levels, time_recall_frontier};
+use crate::report::{console_table, write_frontier, write_points};
+use dataset::Metric;
+
+/// Runs the framework ablation. Returns the console summary (also printed).
+pub fn run(opts: &ExpOptions) -> std::io::Result<String> {
+    let wl = load_sift(opts, Metric::Euclidean);
+    let levels = default_levels();
+    let budgets = budget_ladder_pub(opts.quick, opts.n);
+    // Matched budget: 64 stored hash values per object for every framework.
+    let m = 64;
+    let contenders: Vec<(&str, Vec<IndexSpec>)> = vec![
+        ("LCCS-LSH (1 circular index, m=64)", vec![IndexSpec::Lccs { m }]),
+        (
+            "LSH-Forest (4 trees x depth 16)",
+            vec![IndexSpec::LshForest { trees: 4, depth: 16 }],
+        ),
+        (
+            "LSH-Forest (8 trees x depth 8)",
+            vec![IndexSpec::LshForest { trees: 8, depth: 8 }],
+        ),
+        ("SK-LSH (4 indexes x K=16)", vec![IndexSpec::SkLsh { k_funcs: 16, l_indexes: 4 }]),
+        ("SK-LSH (8 indexes x K=8)", vec![IndexSpec::SkLsh { k_funcs: 8, l_indexes: 8 }]),
+        ("E2LSH (8 tables x K=8)", vec![IndexSpec::E2lsh { k_funcs: 8, l_tables: 8 }]),
+    ];
+
+    let mut rows = Vec::new();
+    let mut all = Vec::new();
+    for (label, specs) in &contenders {
+        eprintln!("[frameworks] {label} ...");
+        let grid = super::MethodGrid {
+            method: "ablation",
+            specs: specs.clone(),
+            budgets: budgets.clone(),
+            probes: vec![0],
+        };
+        let pts = super::sweep(&grid, &wl, Metric::Euclidean, opts.k, opts.seed);
+        let frontier = time_recall_frontier(&pts, &levels);
+        write_frontier(&opts.out_dir.join("frameworks"), &format!("frameworks {label}"), &frontier)?;
+        let at50 = frontier
+            .iter()
+            .find(|p| p.recall_pct >= 50.0)
+            .map_or("-".into(), |p| format!("{:.3} ms", p.query_ms));
+        let at80 = frontier
+            .iter()
+            .find(|p| p.recall_pct >= 80.0)
+            .map_or("-".into(), |p| format!("{:.3} ms", p.query_ms));
+        let best = pts.iter().map(|p| p.recall).fold(0.0f64, f64::max);
+        let bytes = pts.first().map_or(0, |p| p.index_bytes);
+        rows.push(vec![
+            label.to_string(),
+            at50,
+            at80,
+            format!("{:.1}%", best * 100.0),
+            format!("{:.1} MB", bytes as f64 / 1e6),
+        ]);
+        all.extend(pts);
+    }
+    write_points(&opts.out_dir.join("frameworks"), "frameworks sift", &all)?;
+    let table = console_table(
+        &["framework (64 hash values/object)", "time@50%", "time@80%", "max recall", "index"],
+        &rows,
+    );
+    println!("{table}");
+    Ok(table)
+}

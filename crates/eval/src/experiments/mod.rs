@@ -1,0 +1,377 @@
+//! Experiment drivers — one submodule per table/figure of §6.
+//!
+//! Each driver takes [`ExpOptions`], runs the corresponding grid
+//! search/sweep, writes TSV series into `out_dir`, and prints a console
+//! summary. The `bench` crate exposes one binary per driver
+//! (`cargo run -p bench --release --bin fig4`, …).
+
+pub mod fig10;
+pub mod frameworks;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod table1;
+pub mod table2;
+
+use crate::harness::{run_point, IndexSpec, RunPoint};
+use dataset::stats::DistanceProfile;
+use dataset::{Dataset, ExactKnn, GroundTruth, Metric, SynthSpec};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// Options shared by every experiment binary.
+#[derive(Debug, Clone)]
+pub struct ExpOptions {
+    /// Objects per dataset (the paper uses ~10⁶; surrogate default 20 000).
+    pub n: usize,
+    /// Queries per dataset (paper: 100).
+    pub queries: usize,
+    /// Neighbors per query (paper default: 10).
+    pub k: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// Output directory for TSV series.
+    pub out_dir: PathBuf,
+    /// Reduced grids for fast runs (default true; pass `--full` to use the
+    /// paper-scale grids).
+    pub quick: bool,
+}
+
+impl Default for ExpOptions {
+    fn default() -> Self {
+        Self {
+            n: 20_000,
+            queries: 100,
+            k: 10,
+            seed: 42,
+            out_dir: PathBuf::from("results"),
+            quick: true,
+        }
+    }
+}
+
+impl ExpOptions {
+    /// Parses `--n`, `--queries`, `--k`, `--seed`, `--out`, `--full` from an
+    /// argument iterator (unknown flags are rejected).
+    ///
+    /// # Panics
+    /// Panics with a usage message on malformed arguments.
+    pub fn parse(args: impl Iterator<Item = String>) -> Self {
+        let mut o = Self::default();
+        let mut it = args.peekable();
+        while let Some(a) = it.next() {
+            let mut take = |name: &str| -> String {
+                it.next().unwrap_or_else(|| panic!("{name} requires a value"))
+            };
+            match a.as_str() {
+                "--n" => o.n = take("--n").parse().expect("--n wants an integer"),
+                "--queries" => {
+                    o.queries = take("--queries").parse().expect("--queries wants an integer")
+                }
+                "--k" => o.k = take("--k").parse().expect("--k wants an integer"),
+                "--seed" => o.seed = take("--seed").parse().expect("--seed wants an integer"),
+                "--out" => o.out_dir = PathBuf::from(take("--out")),
+                "--full" => o.quick = false,
+                "--quick" => o.quick = true,
+                other => panic!(
+                    "unknown flag {other}; known: --n --queries --k --seed --out --full --quick"
+                ),
+            }
+        }
+        o
+    }
+}
+
+/// One prepared dataset: data, held-out queries, deep ground truth, and the
+/// per-dataset tuned bucket width (footnote 11's `w`).
+pub struct Workload {
+    /// Dataset name (paper Table 2).
+    pub name: String,
+    /// The indexed objects.
+    pub data: Arc<Dataset>,
+    /// Held-out queries.
+    pub queries: Dataset,
+    /// Exact k-NN lists, k = max(100, opts.k).
+    pub gt: GroundTruth,
+    /// Tuned bucket width for the random-projection family.
+    pub w: f64,
+    /// Source data type (Table 2 column).
+    pub data_type: &'static str,
+}
+
+/// The five surrogate specs in the paper's Table 2 order, with their types.
+pub fn suite_specs(n: usize) -> Vec<(SynthSpec, &'static str)> {
+    vec![
+        (SynthSpec::msong_like().with_n(n), "Audio"),
+        (SynthSpec::sift_like().with_n(n), "Image"),
+        (SynthSpec::gist_like().with_n(n), "Image"),
+        (SynthSpec::glove_like().with_n(n), "Text"),
+        (SynthSpec::deep_like().with_n(n), "Deep"),
+    ]
+}
+
+/// Prepares one workload (generate, normalize for angular, ground truth,
+/// tune w). `gt_k` of at least `max(100, opts.k)` supports the k sweeps.
+pub fn load_workload(
+    spec: &SynthSpec,
+    data_type: &'static str,
+    opts: &ExpOptions,
+    metric: Metric,
+) -> Workload {
+    // Same seed for data and queries: generate_queries derives the mixture
+    // centers from the seed and the query points from an internal distinct
+    // stream, so this yields held-out draws from the *same* mixture.
+    let mut data = spec.generate(opts.seed);
+    let mut queries = spec.generate_queries(opts.queries, opts.seed);
+    if metric.is_angular() {
+        data = data.normalized();
+        queries = queries.normalized();
+    }
+    let data = Arc::new(data);
+    let gt_k = opts.k.max(100).min(data.len());
+    let gt = ExactKnn::compute(&data, &queries, gt_k, metric);
+    // Bucket-width heuristic standing in for the paper's per-dataset
+    // fine-tuning: twice the sampled nearest-of-sample distance puts near
+    // neighbors at collision probability ≈ 0.6 (Eq. 2 at w/τ = 2).
+    let prof = DistanceProfile::sample(&data, metric, 400, opts.seed ^ 0x77);
+    let nn_mean = (prof.mean / prof.relative_contrast).max(1e-9);
+    let w = 2.0 * nn_mean;
+    Workload { name: spec.name.clone(), data, queries, gt, w, data_type }
+}
+
+/// Loads the full five-dataset suite for a metric.
+pub fn load_suite(opts: &ExpOptions, metric: Metric) -> Vec<Workload> {
+    suite_specs(opts.n)
+        .iter()
+        .map(|(spec, ty)| load_workload(spec, ty, opts, metric))
+        .collect()
+}
+
+/// Loads just the Sift surrogate (Figures 8–10 use Sift only).
+pub fn load_sift(opts: &ExpOptions, metric: Metric) -> Workload {
+    load_workload(&SynthSpec::sift_like().with_n(opts.n), "Image", opts, metric)
+}
+
+/// Per-method parameter grids. `budgets` are candidate budgets; `probes`
+/// are probe counts for multi-probe schemes (`[0]` for the rest).
+pub struct MethodGrid {
+    /// Method display name.
+    pub method: &'static str,
+    /// Index-time configurations.
+    pub specs: Vec<IndexSpec>,
+    /// Query-time candidate budgets.
+    pub budgets: Vec<usize>,
+    /// Query-time probe counts.
+    pub probes: Vec<usize>,
+}
+
+/// The candidate-budget ladder shared by the figure drivers.
+pub fn budget_ladder_pub(quick: bool, n: usize) -> Vec<usize> {
+    budget_ladder(quick, n)
+}
+
+fn budget_ladder(quick: bool, n: usize) -> Vec<usize> {
+    let full: &[usize] = &[4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096];
+    let quick_l: &[usize] = &[8, 64, 512, 2048];
+    (if quick { quick_l } else { full }).iter().copied().filter(|&b| b <= n).collect()
+}
+
+/// Grids for the Euclidean benchmark set (Figure 4's seven methods).
+pub fn euclidean_grids(quick: bool, n: usize) -> Vec<MethodGrid> {
+    let budgets = budget_ladder(quick, n);
+    let ms: Vec<usize> = if quick { vec![16, 64] } else { vec![8, 16, 32, 64, 128, 256] };
+    let mut grids = vec![
+        MethodGrid {
+            method: "LCCS-LSH",
+            specs: ms.iter().map(|&m| IndexSpec::Lccs { m }).collect(),
+            budgets: budgets.clone(),
+            probes: vec![0],
+        },
+        MethodGrid {
+            method: "MP-LCCS-LSH",
+            specs: ms.iter().map(|&m| IndexSpec::MpLccs { m }).collect(),
+            budgets: budgets.clone(),
+            probes: if quick { vec![1, 65] } else { vec![1, 17, 65, 257] },
+        },
+    ];
+    let kl: Vec<(usize, usize)> = if quick {
+        vec![(4, 16), (8, 64)]
+    } else {
+        vec![(2, 8), (4, 16), (4, 64), (6, 64), (8, 64), (8, 256), (10, 32)]
+    };
+    grids.push(MethodGrid {
+        method: "E2LSH",
+        specs: kl.iter().map(|&(k, l)| IndexSpec::E2lsh { k_funcs: k, l_tables: l }).collect(),
+        budgets: budgets.clone(),
+        probes: vec![0],
+    });
+    let mp_kl: Vec<(usize, usize)> =
+        if quick { vec![(4, 4), (8, 8)] } else { vec![(4, 4), (6, 8), (8, 8), (10, 16)] };
+    grids.push(MethodGrid {
+        method: "Multi-Probe LSH",
+        specs: mp_kl
+            .iter()
+            .map(|&(k, l)| IndexSpec::MultiProbeLsh { k_funcs: k, l_tables: l })
+            .collect(),
+        budgets: budgets.clone(),
+        probes: if quick { vec![16, 128] } else { vec![8, 32, 128, 512] },
+    });
+    let c2: Vec<(usize, usize)> =
+        if quick { vec![(32, 4)] } else { vec![(16, 2), (32, 4), (64, 6), (128, 8)] };
+    grids.push(MethodGrid {
+        method: "C2LSH",
+        specs: c2.iter().map(|&(m, l)| IndexSpec::C2lsh { m, l }).collect(),
+        budgets: budgets.clone(),
+        probes: vec![0],
+    });
+    let qa: Vec<(usize, usize)> =
+        if quick { vec![(32, 8)] } else { vec![(16, 4), (32, 8), (64, 16), (96, 24)] };
+    grids.push(MethodGrid {
+        method: "QALSH",
+        specs: qa.iter().map(|&(m, l)| IndexSpec::Qalsh { m, l }).collect(),
+        budgets: budgets.clone(),
+        probes: vec![0],
+    });
+    let srs_d: Vec<usize> = if quick { vec![6] } else { vec![4, 6, 8, 10] };
+    grids.push(MethodGrid {
+        method: "SRS",
+        specs: srs_d.iter().map(|&d| IndexSpec::Srs { d_proj: d }).collect(),
+        budgets,
+        probes: vec![0],
+    });
+    grids
+}
+
+/// Grids for the Angular benchmark set (Figure 5's five methods).
+pub fn angular_grids(quick: bool, n: usize) -> Vec<MethodGrid> {
+    let budgets = budget_ladder(quick, n);
+    let ms: Vec<usize> = if quick { vec![16, 64] } else { vec![8, 16, 32, 64, 128, 256] };
+    let kl: Vec<(usize, usize)> = if quick { vec![(2, 16)] } else { vec![(1, 8), (2, 16), (3, 64)] };
+    let f_kl: Vec<(usize, usize)> =
+        if quick { vec![(2, 8)] } else { vec![(1, 4), (2, 8), (3, 16)] };
+    let c2: Vec<(usize, usize)> =
+        if quick { vec![(32, 4)] } else { vec![(16, 2), (32, 4), (64, 6), (128, 8)] };
+    vec![
+        MethodGrid {
+            method: "LCCS-LSH",
+            specs: ms.iter().map(|&m| IndexSpec::Lccs { m }).collect(),
+            budgets: budgets.clone(),
+            probes: vec![0],
+        },
+        MethodGrid {
+            method: "MP-LCCS-LSH",
+            specs: ms.iter().map(|&m| IndexSpec::MpLccs { m }).collect(),
+            budgets: budgets.clone(),
+            probes: if quick { vec![1, 65] } else { vec![1, 17, 65, 257] },
+        },
+        MethodGrid {
+            method: "E2LSH",
+            specs: kl.iter().map(|&(k, l)| IndexSpec::E2lsh { k_funcs: k, l_tables: l }).collect(),
+            budgets: budgets.clone(),
+            probes: vec![0],
+        },
+        MethodGrid {
+            method: "FALCONN",
+            specs: f_kl
+                .iter()
+                .map(|&(k, l)| IndexSpec::Falconn { k_funcs: k, l_tables: l })
+                .collect(),
+            budgets: budgets.clone(),
+            probes: if quick { vec![0, 32] } else { vec![0, 16, 64, 256] },
+        },
+        MethodGrid {
+            method: "C2LSH",
+            specs: c2.iter().map(|&(m, l)| IndexSpec::C2lsh { m, l }).collect(),
+            budgets,
+            probes: vec![0],
+        },
+    ]
+}
+
+/// Runs the full grid of one method on one workload: every index spec ×
+/// budget × probe count.
+pub fn sweep(grid: &MethodGrid, wl: &Workload, metric: Metric, k: usize, seed: u64) -> Vec<RunPoint> {
+    let mut out = Vec::new();
+    for spec in &grid.specs {
+        let built = spec.build(&wl.data, metric, wl.w, seed);
+        for &budget in &grid.budgets {
+            for &probes in &grid.probes {
+                out.push(run_point(&built, &wl.name, &wl.queries, &wl.gt, k, budget, probes));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn options_parse_round_trip() {
+        let o = ExpOptions::parse(
+            ["--n", "500", "--queries", "7", "--k", "3", "--seed", "9", "--out", "/tmp/x", "--full"]
+                .iter()
+                .map(|s| s.to_string()),
+        );
+        assert_eq!(o.n, 500);
+        assert_eq!(o.queries, 7);
+        assert_eq!(o.k, 3);
+        assert_eq!(o.seed, 9);
+        assert_eq!(o.out_dir, PathBuf::from("/tmp/x"));
+        assert!(!o.quick);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown flag")]
+    fn unknown_flag_panics() {
+        ExpOptions::parse(["--bogus"].iter().map(|s| s.to_string()));
+    }
+
+    #[test]
+    fn suite_has_five_paper_datasets() {
+        let s = suite_specs(100);
+        let names: Vec<&str> = s.iter().map(|(sp, _)| sp.name.as_str()).collect();
+        assert_eq!(names, vec!["Msong", "Sift", "Gist", "GloVe", "Deep"]);
+    }
+
+    #[test]
+    fn workload_loads_and_tunes_w() {
+        let opts = ExpOptions { n: 400, queries: 5, ..Default::default() };
+        let wl = load_sift(&opts, Metric::Euclidean);
+        assert_eq!(wl.data.len(), 400);
+        assert_eq!(wl.queries.len(), 5);
+        assert!(wl.w > 0.0);
+        assert!(wl.gt.k() >= 100);
+    }
+
+    #[test]
+    fn grids_cover_paper_method_sets() {
+        let e = euclidean_grids(true, 10_000);
+        let names: Vec<&str> = e.iter().map(|g| g.method).collect();
+        assert_eq!(
+            names,
+            vec!["LCCS-LSH", "MP-LCCS-LSH", "E2LSH", "Multi-Probe LSH", "C2LSH", "QALSH", "SRS"]
+        );
+        let a = angular_grids(true, 10_000);
+        let names: Vec<&str> = a.iter().map(|g| g.method).collect();
+        assert_eq!(names, vec!["LCCS-LSH", "MP-LCCS-LSH", "E2LSH", "FALCONN", "C2LSH"]);
+    }
+
+    #[test]
+    fn sweep_produces_all_combinations() {
+        let opts = ExpOptions { n: 300, queries: 4, ..Default::default() };
+        let wl = load_sift(&opts, Metric::Euclidean);
+        let grid = MethodGrid {
+            method: "LCCS-LSH",
+            specs: vec![IndexSpec::Lccs { m: 8 }, IndexSpec::Lccs { m: 16 }],
+            budgets: vec![4, 32],
+            probes: vec![0],
+        };
+        let pts = sweep(&grid, &wl, Metric::Euclidean, 5, 1);
+        assert_eq!(pts.len(), 4);
+    }
+}

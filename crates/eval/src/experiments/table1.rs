@@ -1,0 +1,120 @@
+//! Table 1 — space and time complexities of E2LSH, C2LSH and LCCS-LSH
+//! under the α settings {0, 1, 1/(1−ρ)}.
+//!
+//! Two parts:
+//!
+//! 1. **Analytic** — the asymptotic rows of the paper's Table 1, instantiated
+//!    with the hash quality ρ computed from the workload's actual collision
+//!    probabilities (Eq. 2 at the tuned `w`, R = sampled NN distance, c = 2).
+//! 2. **Empirical** — a scaling sweep n ∈ {2⁰, 2¹, …}·n₀ measuring LCCS-LSH
+//!    index size, indexing time and query time at the theory-recommended
+//!    λ(m, n), demonstrating the sub-linear query scaling the table claims.
+
+use super::{ExpOptions};
+use crate::harness::IndexSpec;
+use crate::report::console_table;
+use dataset::stats::DistanceProfile;
+use dataset::{ExactKnn, Metric, SynthSpec};
+use lccs_lsh::theory;
+use lsh::prob;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Runs Table 1. Returns the console output (also printed).
+pub fn run(opts: &ExpOptions) -> std::io::Result<String> {
+    let mut out = String::new();
+
+    // --- Part 1: analytic rows with a workload-derived rho. ---
+    let spec = SynthSpec::sift_like().with_n(opts.n.min(8000));
+    let data = Arc::new(spec.generate(opts.seed));
+    let prof = DistanceProfile::sample(&data, Metric::Euclidean, 400, opts.seed);
+    let r = (prof.mean / prof.relative_contrast).max(1e-9);
+    let w = 2.0 * r;
+    let c = 2.0;
+    let p1 = prob::collision_probability_euclidean(r, w);
+    let p2 = prob::collision_probability_euclidean(c * r, w);
+    let rho = prob::rho(p1, p2);
+    out.push_str(&format!(
+        "hash quality on the Sift surrogate: R={r:.3}, w={w:.3}, p1={p1:.3}, p2={p2:.3}, rho={rho:.3}\n\n"
+    ));
+
+    let mut rows = vec![
+        vec![
+            "E2LSH".into(),
+            "-".into(),
+            "-".into(),
+            "-".into(),
+            "O(n^(1+rho))".into(),
+            "O(n^(1+rho) eta(d) log n)".into(),
+            "O(n^rho (eta(d) log n + d))".into(),
+        ],
+        vec![
+            "C2LSH".into(),
+            "-".into(),
+            "-".into(),
+            "-".into(),
+            "O(n log n)".into(),
+            "O(n log n (eta(d)+log n))".into(),
+            "O(n log n)".into(),
+        ],
+    ];
+    for row in theory::table1_rows(rho) {
+        rows.push(vec![
+            "LCCS-LSH".into(),
+            format!("{:.3}", row.alpha),
+            format!("O(n^{:.3})", row.m_exponent),
+            format!("O(n^{:.3})", row.lambda_exponent),
+            format!("O(n^{:.3})", row.space_exponent),
+            format!("O(n^{:.3} (eta(d)+log n))", row.space_exponent),
+            format!("O(n^{:.3} + n^{:.3} d)", row.m_exponent, row.lambda_exponent),
+        ]);
+    }
+    let t1 = console_table(
+        &["method", "alpha", "m", "lambda", "space", "indexing time", "query time"],
+        &rows,
+    );
+    out.push_str(&t1);
+    out.push('\n');
+
+    // --- Part 2: empirical scaling of LCCS-LSH at alpha = 1. ---
+    let base_n = (opts.n / 8).max(500);
+    let mut rows = Vec::new();
+    for scale in [1usize, 2, 4, 8] {
+        let n = base_n * scale;
+        let spec = SynthSpec::sift_like().with_n(n);
+        let data = Arc::new(spec.generate(opts.seed));
+        let queries = spec.generate_queries(opts.queries.min(50), opts.seed + 1);
+        let gt = ExactKnn::compute(&data, &queries, opts.k, Metric::Euclidean);
+        // alpha = 1: m = n^rho (clamped to a sane range), lambda from Thm 5.1.
+        let m = ((n as f64).powf(rho).round() as usize).clamp(8, 512);
+        let lambda = theory::lambda(m, n, p1, p2);
+        let built = IndexSpec::Lccs { m }.build(&data, Metric::Euclidean, w, opts.seed);
+        let start = Instant::now();
+        let mut recall_sum = 0.0;
+        for (qi, q) in queries.iter().enumerate() {
+            let got = built.query(q, opts.k, lambda, 0);
+            recall_sum += crate::metrics::recall(&got, gt.neighbors(qi));
+        }
+        let qms = start.elapsed().as_secs_f64() * 1000.0 / queries.len() as f64;
+        rows.push(vec![
+            n.to_string(),
+            m.to_string(),
+            lambda.to_string(),
+            format!("{:.1} MB", built.index_bytes as f64 / 1e6),
+            format!("{:.3} s", built.build_secs),
+            format!("{qms:.3} ms"),
+            format!("{:.1}%", recall_sum / queries.len() as f64 * 100.0),
+        ]);
+    }
+    let t2 = console_table(
+        &["n", "m=n^rho", "lambda(Thm 5.1)", "index size", "index time", "query time", "recall"],
+        &rows,
+    );
+    out.push_str("empirical scaling at alpha = 1:\n");
+    out.push_str(&t2);
+
+    std::fs::create_dir_all(&opts.out_dir)?;
+    std::fs::write(opts.out_dir.join("table1.txt"), &out)?;
+    println!("{out}");
+    Ok(out)
+}

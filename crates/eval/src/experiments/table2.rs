@@ -1,0 +1,36 @@
+//! Table 2 — statistics of datasets and queries (#objects, #queries, d,
+//! data size, type), extended with the distance-distribution profile that
+//! validates the surrogates (see DESIGN.md §4).
+
+use super::{suite_specs, ExpOptions};
+use crate::report::console_table;
+use dataset::stats::{DistanceProfile, TableRow};
+use dataset::Metric;
+
+/// Runs Table 2. Returns the console output (also printed).
+pub fn run(opts: &ExpOptions) -> std::io::Result<String> {
+    let mut rows = Vec::new();
+    for (spec, ty) in suite_specs(opts.n) {
+        let data = spec.generate(opts.seed);
+        let queries = spec.generate_queries(opts.queries, opts.seed + 1);
+        let row = TableRow::new(&data, &queries, ty);
+        let prof = DistanceProfile::sample(&data, Metric::Euclidean, 300, opts.seed ^ 0x55);
+        rows.push(vec![
+            row.name.clone(),
+            row.n_objects.to_string(),
+            row.n_queries.to_string(),
+            row.dim.to_string(),
+            row.pretty_size(),
+            row.data_type.clone(),
+            format!("{:.2}", prof.relative_contrast),
+        ]);
+    }
+    let table = console_table(
+        &["Datasets", "#Objects", "#Queries", "d", "Data Size", "Type", "contrast"],
+        &rows,
+    );
+    std::fs::create_dir_all(&opts.out_dir)?;
+    std::fs::write(opts.out_dir.join("table2.txt"), &table)?;
+    println!("{table}");
+    Ok(table)
+}

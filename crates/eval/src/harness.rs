@@ -1,0 +1,440 @@
+//! Index-building and query-timing machinery shared by all experiments.
+//!
+//! Every scheme is wrapped behind [`BuiltIndex`] with two query-time knobs:
+//! a *budget* (candidates to verify: λ for the LCCS schemes, bucket-union
+//! cap for the table schemes, βn slack for the counting schemes, the verify
+//! budget for SRS) and an optional *probe count* (multi-probe schemes).
+//! Index-time parameters live in [`IndexSpec`]; the split lets grid search
+//! sweep query knobs without rebuilding.
+
+use baselines::{
+    C2Lsh, C2lshParams, E2Lsh, E2lshParams, Falconn, FalconnParams, LinearScan, LshForest,
+    LshForestParams, MultiProbeLsh, MultiProbeLshParams, Qalsh, QalshParams, SkLsh, SkLshParams,
+    Srs, SrsParams,
+};
+use dataset::exact::Neighbor;
+use dataset::{Dataset, GroundTruth, Metric};
+use lccs_lsh::{LccsLsh, LccsParams, MpLccsLsh, MpParams};
+use lsh::FamilyKind;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Index-time configuration of one method instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IndexSpec {
+    /// LCCS-LSH with hash-string length m.
+    Lccs {
+        /// Hash-string length.
+        m: usize,
+    },
+    /// MP-LCCS-LSH (same index as LCCS; probes are a query knob).
+    MpLccs {
+        /// Hash-string length.
+        m: usize,
+    },
+    /// E2LSH with K-concatenation and L tables.
+    E2lsh {
+        /// Concatenation length K.
+        k_funcs: usize,
+        /// Table count L.
+        l_tables: usize,
+    },
+    /// Multi-Probe LSH (probes are a query knob).
+    MultiProbeLsh {
+        /// Concatenation length K.
+        k_funcs: usize,
+        /// Table count L.
+        l_tables: usize,
+    },
+    /// FALCONN-style cross-polytope multiprobe (Angular only).
+    Falconn {
+        /// Concatenation length K.
+        k_funcs: usize,
+        /// Table count L.
+        l_tables: usize,
+    },
+    /// C2LSH with m functions and collision threshold l.
+    C2lsh {
+        /// Function count m.
+        m: usize,
+        /// Collision threshold l.
+        l: usize,
+    },
+    /// QALSH with m projections and collision threshold l.
+    Qalsh {
+        /// Projection count m.
+        m: usize,
+        /// Collision threshold l.
+        l: usize,
+    },
+    /// SRS with d' projected dimensions.
+    Srs {
+        /// Projected dimensionality.
+        d_proj: usize,
+    },
+    /// LSH-Forest with `trees` sorted label arrays of length `depth`.
+    LshForest {
+        /// Number of trees.
+        trees: usize,
+        /// Label length / max trie depth.
+        depth: usize,
+    },
+    /// SK-LSH with `l_indexes` sorted compound-key arrays of length `k_funcs`.
+    SkLsh {
+        /// Compound-key length.
+        k_funcs: usize,
+        /// Number of sorted indexes.
+        l_indexes: usize,
+    },
+    /// Exact linear scan.
+    Linear,
+}
+
+impl IndexSpec {
+    /// The method name as printed in the paper's legends.
+    pub fn method_name(&self) -> &'static str {
+        match self {
+            IndexSpec::Lccs { .. } => "LCCS-LSH",
+            IndexSpec::MpLccs { .. } => "MP-LCCS-LSH",
+            IndexSpec::E2lsh { .. } => "E2LSH",
+            IndexSpec::MultiProbeLsh { .. } => "Multi-Probe LSH",
+            IndexSpec::Falconn { .. } => "FALCONN",
+            IndexSpec::C2lsh { .. } => "C2LSH",
+            IndexSpec::Qalsh { .. } => "QALSH",
+            IndexSpec::Srs { .. } => "SRS",
+            IndexSpec::LshForest { .. } => "LSH-Forest",
+            IndexSpec::SkLsh { .. } => "SK-LSH",
+            IndexSpec::Linear => "Linear",
+        }
+    }
+
+    /// Short config description for reports.
+    pub fn config_string(&self) -> String {
+        match self {
+            IndexSpec::Lccs { m } | IndexSpec::MpLccs { m } => format!("m={m}"),
+            IndexSpec::E2lsh { k_funcs, l_tables }
+            | IndexSpec::MultiProbeLsh { k_funcs, l_tables }
+            | IndexSpec::Falconn { k_funcs, l_tables } => format!("K={k_funcs},L={l_tables}"),
+            IndexSpec::C2lsh { m, l } | IndexSpec::Qalsh { m, l } => format!("m={m},l={l}"),
+            IndexSpec::Srs { d_proj } => format!("d'={d_proj}"),
+            IndexSpec::LshForest { trees, depth } => format!("l={trees},km={depth}"),
+            IndexSpec::SkLsh { k_funcs, l_indexes } => format!("K={k_funcs},L={l_indexes}"),
+            IndexSpec::Linear => String::new(),
+        }
+    }
+
+    /// Builds the index, timing the indexing phase.
+    ///
+    /// `w` is the random-projection bucket width (fine-tuned per dataset in
+    /// the paper, footnote 11); ignored by angular/CP methods. `metric`
+    /// selects the family for the family-agnostic schemes (§6.3 adapts
+    /// E2LSH and C2LSH to Angular with cross-polytope functions).
+    pub fn build(&self, data: &Arc<Dataset>, metric: Metric, w: f64, seed: u64) -> BuiltIndex {
+        let start = Instant::now();
+        let family = match metric {
+            Metric::Angular => FamilyKind::CrossPolytopeFast,
+            _ => FamilyKind::RandomProjection,
+        };
+        let lccs_params = |m: usize| LccsParams {
+            m,
+            family,
+            family_params: lsh::FamilyParams { w },
+            seed,
+        };
+        let kind = match *self {
+            IndexSpec::Lccs { m } => {
+                Kind::Lccs(LccsLsh::build(data.clone(), metric, &lccs_params(m)))
+            }
+            IndexSpec::MpLccs { m } => Kind::MpLccs(MpLccsLsh::build(
+                data.clone(),
+                metric,
+                &lccs_params(m),
+                MpParams { probes: 1, max_alts: 8 },
+            )),
+            IndexSpec::E2lsh { k_funcs, l_tables } => {
+                let params = E2lshParams {
+                    k_funcs,
+                    l_tables,
+                    family,
+                    family_params: lsh::FamilyParams { w },
+                    seed,
+                };
+                Kind::E2lsh(E2Lsh::build(data.clone(), metric, &params))
+            }
+            IndexSpec::MultiProbeLsh { k_funcs, l_tables } => {
+                let params = MultiProbeLshParams {
+                    k_funcs,
+                    l_tables,
+                    probes: 0,
+                    max_alts: 4,
+                    family,
+                    family_params: lsh::FamilyParams { w },
+                    seed,
+                };
+                Kind::MultiProbe(MultiProbeLsh::build(data.clone(), metric, &params))
+            }
+            IndexSpec::Falconn { k_funcs, l_tables } => {
+                let params = FalconnParams { k_funcs, l_tables, probes: 0, max_alts: 8, seed };
+                Kind::Falconn(Falconn::build(data.clone(), &params))
+            }
+            IndexSpec::C2lsh { m, l } => {
+                let params = C2lshParams {
+                    m,
+                    l,
+                    c: 2.0,
+                    beta_n: 100,
+                    family,
+                    family_params: lsh::FamilyParams { w },
+                    seed,
+                };
+                Kind::C2lsh(C2Lsh::build(data.clone(), metric, &params))
+            }
+            IndexSpec::Qalsh { m, l } => {
+                let params = QalshParams { m, l, w, c: 2.0, beta_n: 100, seed };
+                Kind::Qalsh(Qalsh::build(data.clone(), metric, &params))
+            }
+            IndexSpec::Srs { d_proj } => {
+                let params = SrsParams { d_proj, max_verify: 100, slack: 1.0, seed };
+                Kind::Srs(Srs::build(data.clone(), metric, &params))
+            }
+            IndexSpec::LshForest { trees, depth } => {
+                let params = LshForestParams {
+                    trees,
+                    depth,
+                    family,
+                    family_params: lsh::FamilyParams { w },
+                    seed,
+                };
+                Kind::LshForest(LshForest::build(data.clone(), metric, &params))
+            }
+            IndexSpec::SkLsh { k_funcs, l_indexes } => {
+                let params = SkLshParams {
+                    k_funcs,
+                    l_indexes,
+                    family,
+                    family_params: lsh::FamilyParams { w },
+                    seed,
+                };
+                Kind::SkLsh(SkLsh::build(data.clone(), metric, &params))
+            }
+            IndexSpec::Linear => Kind::Linear(LinearScan::build(data.clone(), metric)),
+        };
+        let build_secs = start.elapsed().as_secs_f64();
+        let index_bytes = kind.index_bytes();
+        BuiltIndex { spec: self.clone(), build_secs, index_bytes, kind }
+    }
+}
+
+enum Kind {
+    Lccs(LccsLsh),
+    MpLccs(MpLccsLsh),
+    E2lsh(E2Lsh),
+    MultiProbe(MultiProbeLsh),
+    Falconn(Falconn),
+    C2lsh(C2Lsh),
+    Qalsh(Qalsh),
+    Srs(Srs),
+    LshForest(LshForest),
+    SkLsh(SkLsh),
+    Linear(LinearScan),
+}
+
+impl Kind {
+    fn index_bytes(&self) -> usize {
+        match self {
+            Kind::Lccs(i) => i.index_bytes(),
+            Kind::MpLccs(i) => i.index_bytes(),
+            Kind::E2lsh(i) => i.index_bytes(),
+            Kind::MultiProbe(i) => i.index_bytes(),
+            Kind::Falconn(i) => i.index_bytes(),
+            Kind::C2lsh(i) => i.index_bytes(),
+            Kind::Qalsh(i) => i.index_bytes(),
+            Kind::Srs(i) => i.index_bytes(),
+            Kind::LshForest(i) => i.index_bytes(),
+            Kind::SkLsh(i) => i.index_bytes(),
+            Kind::Linear(i) => i.index_bytes(),
+        }
+    }
+}
+
+/// One built index with its build-time measurements.
+pub struct BuiltIndex {
+    /// The spec it was built from.
+    pub spec: IndexSpec,
+    /// Wall-clock indexing time in seconds.
+    pub build_secs: f64,
+    /// Index footprint in bytes.
+    pub index_bytes: usize,
+    kind: Kind,
+}
+
+impl BuiltIndex {
+    /// Runs one query. `budget` is the method's candidate knob; `probes`
+    /// applies to the multi-probe schemes (ignored elsewhere; 0 = none).
+    pub fn query(&self, q: &[f32], k: usize, budget: usize, probes: usize) -> Vec<Neighbor> {
+        match &self.kind {
+            Kind::Lccs(i) => i.query(q, k, budget).neighbors,
+            Kind::MpLccs(i) => {
+                let mut s = i.scratch();
+                i.query_probes(q, k, budget, probes.max(1), &mut s).neighbors
+            }
+            Kind::E2lsh(i) => i.query(q, k, budget),
+            Kind::MultiProbe(i) => {
+                let mut dedup = i.scratch();
+                i.query_probes(q, k, budget, probes, &mut dedup)
+            }
+            Kind::Falconn(i) => i.query_probes(q, k, budget, probes),
+            Kind::C2lsh(i) => i.query_slack(q, k, budget),
+            Kind::Qalsh(i) => i.query_slack(q, k, budget),
+            Kind::Srs(i) => i.query_budget(q, k, budget),
+            Kind::LshForest(i) => i.query(q, k, budget),
+            Kind::SkLsh(i) => i.query(q, k, budget),
+            Kind::Linear(i) => i.query(q, k),
+        }
+    }
+}
+
+/// One measured point of a sweep: metrics averaged over the query set.
+#[derive(Debug, Clone)]
+pub struct RunPoint {
+    /// Dataset name.
+    pub dataset: String,
+    /// Method name (paper legend).
+    pub method: String,
+    /// Index + query configuration description.
+    pub config: String,
+    /// Neighbors requested.
+    pub k: usize,
+    /// Mean recall over the query set.
+    pub recall: f64,
+    /// Mean overall ratio.
+    pub ratio: f64,
+    /// Mean single-threaded query time in milliseconds.
+    pub query_ms: f64,
+    /// Index footprint in bytes.
+    pub index_bytes: usize,
+    /// Indexing wall-clock seconds.
+    pub build_secs: f64,
+}
+
+/// Times `built` over every query (single thread, as in §6) and averages
+/// the metrics against `gt` (whose k must be ≥ `k`).
+pub fn run_point(
+    built: &BuiltIndex,
+    dataset_name: &str,
+    queries: &Dataset,
+    gt: &GroundTruth,
+    k: usize,
+    budget: usize,
+    probes: usize,
+) -> RunPoint {
+    assert!(gt.k() >= k, "ground truth too shallow: {} < {k}", gt.k());
+    let mut recall_sum = 0.0;
+    let mut ratio_sum = 0.0;
+    let start = Instant::now();
+    let mut results = Vec::with_capacity(queries.len());
+    for q in queries.iter() {
+        results.push(built.query(q, k, budget, probes));
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    for (qi, got) in results.iter().enumerate() {
+        let truth = &gt.neighbors(qi)[..k];
+        recall_sum += crate::metrics::recall(got, truth);
+        ratio_sum += crate::metrics::overall_ratio(got, truth);
+    }
+    let nq = queries.len() as f64;
+    let mut config = built.spec.config_string();
+    if !config.is_empty() {
+        config.push(',');
+    }
+    config.push_str(&format!("budget={budget}"));
+    if probes > 0 {
+        config.push_str(&format!(",probes={probes}"));
+    }
+    RunPoint {
+        dataset: dataset_name.to_string(),
+        method: built.spec.method_name().to_string(),
+        config,
+        k,
+        recall: recall_sum / nq,
+        ratio: ratio_sum / nq,
+        query_ms: elapsed * 1000.0 / nq,
+        index_bytes: built.index_bytes,
+        build_secs: built.build_secs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dataset::{ExactKnn, SynthSpec};
+
+    fn setup() -> (Arc<Dataset>, Dataset, GroundTruth) {
+        let spec = SynthSpec::new("unit", 600, 16).with_clusters(8);
+        let data = Arc::new(spec.generate(3));
+        let queries = spec.generate_queries(10, 3);
+        let gt = ExactKnn::compute(&data, &queries, 10, Metric::Euclidean);
+        (data, queries, gt)
+    }
+
+    #[test]
+    fn all_specs_build_and_answer() {
+        let (data, queries, gt) = setup();
+        let specs = [
+            IndexSpec::Lccs { m: 16 },
+            IndexSpec::MpLccs { m: 16 },
+            IndexSpec::E2lsh { k_funcs: 2, l_tables: 8 },
+            IndexSpec::MultiProbeLsh { k_funcs: 2, l_tables: 4 },
+            IndexSpec::C2lsh { m: 16, l: 4 },
+            IndexSpec::Qalsh { m: 16, l: 4 },
+            IndexSpec::Srs { d_proj: 6 },
+            IndexSpec::LshForest { trees: 2, depth: 8 },
+            IndexSpec::SkLsh { k_funcs: 8, l_indexes: 2 },
+            IndexSpec::Linear,
+        ];
+        for spec in specs {
+            let built = spec.build(&data, Metric::Euclidean, 4.0, 7);
+            let pt = run_point(&built, "unit", &queries, &gt, 10, 128, 16);
+            assert!(pt.recall >= 0.0 && pt.recall <= 1.0, "{}", pt.method);
+            assert!(pt.ratio >= 1.0 - 1e-9, "{} ratio {}", pt.method, pt.ratio);
+            assert!(pt.query_ms >= 0.0);
+            if !matches!(spec, IndexSpec::Linear) {
+                assert!(pt.index_bytes > 0, "{}", pt.method);
+            }
+        }
+    }
+
+    #[test]
+    fn linear_scan_is_exact() {
+        let (data, queries, gt) = setup();
+        let built = IndexSpec::Linear.build(&data, Metric::Euclidean, 4.0, 1);
+        let pt = run_point(&built, "unit", &queries, &gt, 10, 0, 0);
+        assert!((pt.recall - 1.0).abs() < 1e-12);
+        assert!((pt.ratio - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn falconn_on_angular() {
+        let spec = SynthSpec::new("ang", 500, 16).with_clusters(8);
+        let data = Arc::new(spec.generate(4).normalized());
+        let queries = spec.generate_queries(8, 4).normalized();
+        let gt = ExactKnn::compute(&data, &queries, 10, Metric::Angular);
+        let built = IndexSpec::Falconn { k_funcs: 2, l_tables: 8 }.build(
+            &data,
+            Metric::Angular,
+            1.0,
+            2,
+        );
+        let pt = run_point(&built, "ang", &queries, &gt, 10, 400, 32);
+        assert!(pt.recall > 0.0, "FALCONN should find something, got {}", pt.recall);
+    }
+
+    #[test]
+    fn bigger_budget_helps_lccs() {
+        let (data, queries, gt) = setup();
+        let built = IndexSpec::Lccs { m: 32 }.build(&data, Metric::Euclidean, 4.0, 9);
+        let small = run_point(&built, "unit", &queries, &gt, 10, 4, 0);
+        let large = run_point(&built, "unit", &queries, &gt, 10, 512, 0);
+        assert!(large.recall >= small.recall);
+    }
+}

@@ -1,0 +1,20 @@
+//! Evaluation harness (paper §6).
+//!
+//! Uniform machinery to build every scheme, time single-threaded queries,
+//! compute the paper's metrics (recall, overall ratio, query time, index
+//! size, indexing time — §6.2), grid-search parameter spaces, extract the
+//! lowest-time-per-recall-level Pareto frontiers the figures plot, and write
+//! TSV series. The per-figure drivers live in [`experiments`]; the runnable
+//! binaries wrapping them live in the `bench` crate.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod harness;
+pub mod metrics;
+pub mod pareto;
+pub mod report;
+
+pub use harness::{BuiltIndex, IndexSpec, RunPoint};
+pub use metrics::{overall_ratio, recall};

@@ -1,0 +1,96 @@
+//! Accuracy metrics of §6.2: recall and overall ratio.
+
+use dataset::exact::Neighbor;
+
+/// Recall: the fraction of the exact k-NN ids that appear among the
+/// returned ids. The paper's definition ("the fraction of the total amount
+/// of data objects returned by a method that are appeared in the exact k
+/// NNs") with the conventional k denominator.
+pub fn recall(returned: &[Neighbor], truth: &[Neighbor]) -> f64 {
+    if truth.is_empty() {
+        return 1.0;
+    }
+    let hits = returned
+        .iter()
+        .filter(|r| truth.iter().any(|t| t.id == r.id))
+        .count();
+    hits as f64 / truth.len() as f64
+}
+
+/// Overall ratio: `(1/k) Σ_i Dist(o_i, q) / Dist(o*_i, q)` (§6.2), clamped
+/// below by 1 per term (floating-point ties) and with zero-distance exact
+/// neighbors contributing 1 when matched exactly and being skipped
+/// otherwise. Missing positions (method returned fewer than k) are skipped.
+pub fn overall_ratio(returned: &[Neighbor], truth: &[Neighbor]) -> f64 {
+    let mut sum = 0.0;
+    let mut cnt = 0usize;
+    for (r, t) in returned.iter().zip(truth) {
+        if t.dist <= f64::EPSILON {
+            if r.dist <= f64::EPSILON {
+                sum += 1.0;
+                cnt += 1;
+            }
+            continue;
+        }
+        sum += (r.dist / t.dist).max(1.0);
+        cnt += 1;
+    }
+    if cnt == 0 {
+        1.0
+    } else {
+        sum / cnt as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nb(id: u32, dist: f64) -> Neighbor {
+        Neighbor { id, dist }
+    }
+
+    #[test]
+    fn perfect_recall_and_ratio() {
+        let truth = vec![nb(1, 1.0), nb(2, 2.0), nb(3, 3.0)];
+        assert_eq!(recall(&truth, &truth), 1.0);
+        assert_eq!(overall_ratio(&truth, &truth), 1.0);
+    }
+
+    #[test]
+    fn partial_recall() {
+        let truth = vec![nb(1, 1.0), nb(2, 2.0), nb(3, 3.0), nb(4, 4.0)];
+        let got = vec![nb(2, 2.0), nb(9, 2.5)];
+        assert_eq!(recall(&got, &truth), 0.25);
+    }
+
+    #[test]
+    fn ratio_penalizes_worse_results() {
+        let truth = vec![nb(1, 1.0), nb(2, 2.0)];
+        let got = vec![nb(5, 2.0), nb(6, 3.0)];
+        // (2/1 + 3/2)/2 = 1.75
+        assert!((overall_ratio(&got, &truth) - 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ratio_never_below_one() {
+        let truth = vec![nb(1, 1.0)];
+        let got = vec![nb(1, 0.999_999_999)];
+        assert!(overall_ratio(&got, &truth) >= 1.0);
+    }
+
+    #[test]
+    fn zero_distance_truth_handled() {
+        let truth = vec![nb(1, 0.0), nb(2, 2.0)];
+        let got = vec![nb(1, 0.0), nb(7, 4.0)];
+        // first term contributes 1, second 2.0 -> 1.5
+        assert!((overall_ratio(&got, &truth) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_returned() {
+        let truth = vec![nb(1, 1.0)];
+        assert_eq!(recall(&[], &truth), 0.0);
+        assert_eq!(overall_ratio(&[], &truth), 1.0);
+    }
+}

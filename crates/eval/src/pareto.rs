@@ -1,0 +1,153 @@
+//! Pareto-frontier extraction for the paper's figures.
+//!
+//! §6.4: "To remove the impact of parameters for each method, we report
+//! their lowest query time for all combinations of parameters under each
+//! certain recall level using grid search." This module implements exactly
+//! that reduction, plus the index-size / indexing-time frontiers of
+//! Figures 6–7.
+
+use crate::harness::RunPoint;
+
+/// `(recall_level_percent, best_query_ms, config)` — one point of a
+/// time-recall curve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrontierPoint {
+    /// Recall level in percent (x axis of Figures 4–5).
+    pub recall_pct: f64,
+    /// Lowest mean query time among configs reaching that recall.
+    pub query_ms: f64,
+    /// Config that achieved it.
+    pub config: String,
+}
+
+/// Lowest query time at each recall level (levels in percent, ascending).
+/// Levels no config reaches are omitted.
+pub fn time_recall_frontier(points: &[RunPoint], levels_pct: &[f64]) -> Vec<FrontierPoint> {
+    let mut out = Vec::new();
+    for &lvl in levels_pct {
+        let mut best: Option<&RunPoint> = None;
+        for p in points {
+            if p.recall * 100.0 + 1e-9 >= lvl
+                && best.is_none_or(|b| p.query_ms < b.query_ms)
+            {
+                best = Some(p);
+            }
+        }
+        if let Some(b) = best {
+            out.push(FrontierPoint { recall_pct: lvl, query_ms: b.query_ms, config: b.config.clone() });
+        }
+    }
+    out
+}
+
+/// `(resource, best_query_ms, config)` — one point of the Figures 6–7
+/// trade-off curves (resource = index bytes or indexing seconds).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TradeoffPoint {
+    /// Resource value (bytes or seconds).
+    pub resource: f64,
+    /// Lowest query time among configs at or below this resource that reach
+    /// the recall floor.
+    pub query_ms: f64,
+    /// Config that achieved it.
+    pub config: String,
+}
+
+/// Staircase frontier of query time vs a resource, restricted to points
+/// with `recall ≥ min_recall`: sort by resource ascending, keep points that
+/// strictly improve the best query time seen so far.
+pub fn resource_frontier(
+    points: &[RunPoint],
+    min_recall: f64,
+    resource: impl Fn(&RunPoint) -> f64,
+) -> Vec<TradeoffPoint> {
+    let mut eligible: Vec<&RunPoint> =
+        points.iter().filter(|p| p.recall + 1e-9 >= min_recall).collect();
+    eligible.sort_by(|a, b| {
+        resource(a)
+            .total_cmp(&resource(b))
+            .then_with(|| a.query_ms.total_cmp(&b.query_ms))
+    });
+    let mut out: Vec<TradeoffPoint> = Vec::new();
+    let mut best = f64::INFINITY;
+    for p in eligible {
+        if p.query_ms < best {
+            best = p.query_ms;
+            out.push(TradeoffPoint {
+                resource: resource(p),
+                query_ms: p.query_ms,
+                config: p.config.clone(),
+            });
+        }
+    }
+    out
+}
+
+/// The recall levels used by the figures: 2% steps from 2 to 100.
+pub fn default_levels() -> Vec<f64> {
+    (1..=50).map(|i| i as f64 * 2.0).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt(recall: f64, ms: f64, bytes: usize, cfg: &str) -> RunPoint {
+        RunPoint {
+            dataset: "d".into(),
+            method: "m".into(),
+            config: cfg.into(),
+            k: 10,
+            recall,
+            ratio: 1.0,
+            query_ms: ms,
+            index_bytes: bytes,
+            build_secs: bytes as f64 / 1e6,
+        }
+    }
+
+    #[test]
+    fn frontier_picks_cheapest_at_each_level() {
+        let pts = vec![pt(0.4, 1.0, 0, "a"), pt(0.6, 3.0, 0, "b"), pt(0.9, 10.0, 0, "c")];
+        let f = time_recall_frontier(&pts, &[30.0, 50.0, 80.0, 95.0]);
+        assert_eq!(f.len(), 3, "95% unreachable");
+        assert_eq!(f[0].query_ms, 1.0);
+        assert_eq!(f[1].query_ms, 3.0);
+        assert_eq!(f[2].query_ms, 10.0);
+    }
+
+    #[test]
+    fn faster_high_recall_config_dominates() {
+        // A config with higher recall AND lower time should win lower levels.
+        let pts = vec![pt(0.5, 5.0, 0, "slow"), pt(0.8, 2.0, 0, "fast")];
+        let f = time_recall_frontier(&pts, &[50.0]);
+        assert_eq!(f[0].query_ms, 2.0);
+        assert_eq!(f[0].config, "fast");
+    }
+
+    #[test]
+    fn resource_frontier_is_decreasing_staircase() {
+        let pts = vec![
+            pt(0.6, 10.0, 100, "tiny"),
+            pt(0.6, 4.0, 200, "mid"),
+            pt(0.6, 6.0, 300, "bad"),   // dominated: more memory, slower than mid
+            pt(0.6, 1.0, 400, "big"),
+            pt(0.3, 0.1, 50, "lowrec"), // filtered by recall floor
+        ];
+        let f = resource_frontier(&pts, 0.5, |p| p.index_bytes as f64);
+        let cfgs: Vec<&str> = f.iter().map(|t| t.config.as_str()).collect();
+        assert_eq!(cfgs, vec!["tiny", "mid", "big"]);
+        for w in f.windows(2) {
+            assert!(w[0].query_ms > w[1].query_ms);
+            assert!(w[0].resource <= w[1].resource);
+        }
+    }
+
+    #[test]
+    fn default_levels_span_2_to_100() {
+        let l = default_levels();
+        assert_eq!(l.first().copied(), Some(2.0));
+        assert_eq!(l.last().copied(), Some(100.0));
+        assert_eq!(l.len(), 50);
+    }
+}

@@ -1,0 +1,155 @@
+//! TSV/console reporting for the experiment drivers.
+//!
+//! Each figure binary writes one TSV per (dataset, method) series, named
+//! after the paper's legends, plus a combined `points.tsv` with every raw
+//! grid-search point, so external plotting tools can regenerate the figures.
+
+use crate::harness::RunPoint;
+use crate::pareto::{FrontierPoint, TradeoffPoint};
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Sanitizes a series name into a filename fragment.
+pub fn slug(s: &str) -> String {
+    s.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '-' })
+        .collect::<String>()
+        .split('-')
+        .filter(|p| !p.is_empty())
+        .collect::<Vec<_>>()
+        .join("-")
+}
+
+/// Writes the raw grid-search points.
+pub fn write_points(dir: &Path, name: &str, points: &[RunPoint]) -> std::io::Result<PathBuf> {
+    fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{}-points.tsv", slug(name)));
+    let mut f = fs::File::create(&path)?;
+    writeln!(
+        f,
+        "dataset\tmethod\tconfig\tk\trecall\tratio\tquery_ms\tindex_bytes\tbuild_secs"
+    )?;
+    for p in points {
+        writeln!(
+            f,
+            "{}\t{}\t{}\t{}\t{:.6}\t{:.6}\t{:.6}\t{}\t{:.6}",
+            p.dataset, p.method, p.config, p.k, p.recall, p.ratio, p.query_ms, p.index_bytes,
+            p.build_secs
+        )?;
+    }
+    Ok(path)
+}
+
+/// Writes one time-recall series (Figures 4, 5, 9, 10).
+pub fn write_frontier(
+    dir: &Path,
+    name: &str,
+    series: &[FrontierPoint],
+) -> std::io::Result<PathBuf> {
+    fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{}.tsv", slug(name)));
+    let mut f = fs::File::create(&path)?;
+    writeln!(f, "recall_pct\tquery_ms\tconfig")?;
+    for p in series {
+        writeln!(f, "{:.1}\t{:.6}\t{}", p.recall_pct, p.query_ms, p.config)?;
+    }
+    Ok(path)
+}
+
+/// Writes one resource-tradeoff series (Figures 6, 7).
+pub fn write_tradeoff(
+    dir: &Path,
+    name: &str,
+    series: &[TradeoffPoint],
+) -> std::io::Result<PathBuf> {
+    fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{}.tsv", slug(name)));
+    let mut f = fs::File::create(&path)?;
+    writeln!(f, "resource\tquery_ms\tconfig")?;
+    for p in series {
+        writeln!(f, "{:.6}\t{:.6}\t{}", p.resource, p.query_ms, p.config)?;
+    }
+    Ok(path)
+}
+
+/// Renders an aligned console table.
+pub fn console_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        cells
+            .iter()
+            .zip(widths)
+            .map(|(c, w)| format!("{c:<w$}"))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let head: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
+    out.push_str(&fmt_row(&head, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slug_normalizes() {
+        assert_eq!(slug("Fig 4 / Msong (Euclidean)"), "fig-4-msong-euclidean");
+        assert_eq!(slug("MP-LCCS-LSH"), "mp-lccs-lsh");
+    }
+
+    #[test]
+    fn tsv_files_round_trip() {
+        let dir = std::env::temp_dir().join("lccs-report-test");
+        let pts = vec![RunPoint {
+            dataset: "Sift".into(),
+            method: "LCCS-LSH".into(),
+            config: "m=64".into(),
+            k: 10,
+            recall: 0.5,
+            ratio: 1.01,
+            query_ms: 0.3,
+            index_bytes: 1024,
+            build_secs: 0.1,
+        }];
+        let p = write_points(&dir, "unit", &pts).unwrap();
+        let body = std::fs::read_to_string(p).unwrap();
+        assert!(body.contains("Sift\tLCCS-LSH\tm=64\t10\t0.5"));
+        let f = write_frontier(
+            &dir,
+            "unit-frontier",
+            &[FrontierPoint { recall_pct: 50.0, query_ms: 0.25, config: "m=64".into() }],
+        )
+        .unwrap();
+        assert!(std::fs::read_to_string(f).unwrap().contains("50.0\t0.25"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn table_is_aligned() {
+        let t = console_table(
+            &["method", "recall"],
+            &[vec!["LCCS-LSH".into(), "0.93".into()], vec!["E2LSH".into(), "0.7".into()]],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("method"));
+        assert!(lines[2].starts_with("LCCS-LSH"));
+    }
+}

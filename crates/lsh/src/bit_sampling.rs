@@ -1,0 +1,93 @@
+//! Bit-sampling family for Hamming distance (Indyk–Motwani, STOC 1998).
+//!
+//! `h_i(o) = o_i` for a uniformly random coordinate `i`. Collision
+//! probability at Hamming distance τ is exactly `1 − τ/d`. The paper uses
+//! this family in §5.2 as the example where computing a hash value costs
+//! η(d) = O(1), the regime where the α = 1/(1−ρ) configuration of LCCS-LSH
+//! shines (constant candidates, hash cost dominates).
+
+use crate::family::{LshFunction, ScoredAlt};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One sampled bit-sampling function (a fixed coordinate).
+#[derive(Debug, Clone, Copy)]
+pub struct BitSampling {
+    coord: usize,
+}
+
+impl BitSampling {
+    /// Samples a coordinate uniformly from `0..dim`.
+    ///
+    /// # Panics
+    /// Panics if `dim == 0`.
+    pub fn sample(dim: usize, seed: u64) -> Self {
+        assert!(dim > 0, "dimension must be positive");
+        let mut rng = StdRng::seed_from_u64(seed);
+        Self { coord: rng.gen_range(0..dim) }
+    }
+
+    /// The sampled coordinate.
+    pub fn coord(&self) -> usize {
+        self.coord
+    }
+}
+
+impl LshFunction for BitSampling {
+    #[inline]
+    fn hash(&self, v: &[f32]) -> u64 {
+        u64::from(v[self.coord] >= 0.5)
+    }
+
+    /// The only alternative in a binary alphabet is the flipped bit; its
+    /// score is the constant 1 (one coordinate flip).
+    fn alternatives(&self, v: &[f32], max_alts: usize) -> Vec<ScoredAlt> {
+        if max_alts == 0 {
+            return Vec::new();
+        }
+        vec![ScoredAlt { symbol: 1 - self.hash(v), score: 1.0 }]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_reads_the_sampled_coordinate() {
+        let f = BitSampling { coord: 2 };
+        assert_eq!(f.hash(&[0.0, 0.0, 1.0, 0.0]), 1);
+        assert_eq!(f.hash(&[1.0, 1.0, 0.0, 1.0]), 0);
+    }
+
+    #[test]
+    fn collision_probability_matches_one_minus_tau_over_d() {
+        let d = 50;
+        let a = vec![0.0f32; d];
+        let mut b = vec![0.0f32; d];
+        for x in b.iter_mut().take(10) {
+            *x = 1.0; // Hamming distance 10, expected collision prob 0.8
+        }
+        let trials: u32 = 2000;
+        let mut coll = 0;
+        for s in 0..trials {
+            let f = BitSampling::sample(d, s.into());
+            coll += u32::from(f.hash(&a) == f.hash(&b));
+        }
+        let emp = f64::from(coll) / f64::from(trials);
+        assert!((emp - 0.8).abs() < 0.04, "empirical {emp}");
+    }
+
+    #[test]
+    fn alternative_is_flip() {
+        let f = BitSampling { coord: 0 };
+        let alts = f.alternatives(&[1.0], 4);
+        assert_eq!(alts.len(), 1);
+        assert_eq!(alts[0].symbol, 0);
+    }
+
+    #[test]
+    fn sampling_deterministic() {
+        assert_eq!(BitSampling::sample(100, 5).coord(), BitSampling::sample(100, 5).coord());
+    }
+}

@@ -1,0 +1,184 @@
+//! Family abstraction: sampled hash functions, scored multi-probe
+//! alternatives, and parallel batch hashing.
+
+use crate::{BitSampling, CrossPolytope, MinHash, RandomProjection, Rotation};
+use dataset::Dataset;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// An alternative symbol for multi-probe, with its perturbation score.
+///
+/// Scores follow the Multi-Probe LSH convention: *smaller is better* (a
+/// score approximates the squared distance from the query to the region that
+/// hashes to the alternative symbol). Alternatives are always returned in
+/// ascending score order and never include the base symbol itself.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScoredAlt {
+    /// The alternative symbol.
+    pub symbol: u64,
+    /// Perturbation score (smaller = more likely to contain near neighbors).
+    pub score: f64,
+}
+
+/// One sampled LSH function `h : R^d -> U`, with `U` encoded as `u64`.
+pub trait LshFunction: Send + Sync {
+    /// Hashes a vector to its symbol.
+    fn hash(&self, v: &[f32]) -> u64;
+
+    /// Up to `max_alts` alternative symbols for multi-probe, ascending by
+    /// score. The default implementation returns none, which degrades
+    /// multi-probe schemes to single-probe for families without a natural
+    /// perturbation structure.
+    fn alternatives(&self, _v: &[f32], _max_alts: usize) -> Vec<ScoredAlt> {
+        Vec::new()
+    }
+}
+
+/// Which family to sample from. Carries no parameters; see [`FamilyParams`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FamilyKind {
+    /// p-stable random projection (Euclidean), Eq. (1).
+    RandomProjection,
+    /// Cross-polytope (Angular), Eq. (3), dense Gaussian rotation.
+    CrossPolytope,
+    /// Cross-polytope with the FALCONN-style fast pseudo-rotation.
+    CrossPolytopeFast,
+    /// Bit sampling (Hamming).
+    BitSampling,
+    /// MinHash (Jaccard).
+    MinHash,
+}
+
+/// Sampling parameters shared across families.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FamilyParams {
+    /// Bucket width `w` for random projection (ignored elsewhere). The
+    /// paper fine-tunes w per dataset (§6.3, footnote 11).
+    pub w: f64,
+}
+
+impl Default for FamilyParams {
+    fn default() -> Self {
+        Self { w: 4.0 }
+    }
+}
+
+/// Samples `m` i.i.d. functions from the chosen family.
+///
+/// # Panics
+/// Panics if `dim == 0` or `m == 0`.
+pub fn sample_family(
+    kind: FamilyKind,
+    dim: usize,
+    m: usize,
+    params: &FamilyParams,
+    seed: u64,
+) -> Vec<Box<dyn LshFunction>> {
+    assert!(dim > 0, "dimension must be positive");
+    assert!(m > 0, "must sample at least one function");
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..m)
+        .map(|_| -> Box<dyn LshFunction> {
+            let fseed: u64 = rng.gen();
+            match kind {
+                FamilyKind::RandomProjection => {
+                    Box::new(RandomProjection::sample(dim, params.w, fseed))
+                }
+                FamilyKind::CrossPolytope => {
+                    Box::new(CrossPolytope::sample(dim, Rotation::Dense, fseed))
+                }
+                FamilyKind::CrossPolytopeFast => {
+                    Box::new(CrossPolytope::sample(dim, Rotation::FastHadamard, fseed))
+                }
+                FamilyKind::BitSampling => Box::new(BitSampling::sample(dim, fseed)),
+                FamilyKind::MinHash => Box::new(MinHash::sample(dim, fseed)),
+            }
+        })
+        .collect()
+}
+
+/// Computes the n×m hash-string matrix `H(o)` for a whole dataset, row-major
+/// (`out[i*m + j] = h_j(o_i)`), fanned out over threads. This is the
+/// indexing-phase hashing cost `O(n · m · η(d))` of §5.2.
+pub fn hash_dataset(funcs: &[Box<dyn LshFunction>], data: &Dataset) -> Vec<u64> {
+    let m = funcs.len();
+    let n = data.len();
+    let mut out = vec![0u64; n * m];
+    let threads = std::thread::available_parallelism().map_or(4, |p| p.get()).min(16);
+    let chunk = n.div_ceil(threads).max(1);
+
+    std::thread::scope(|scope| {
+        for (t, slab) in out.chunks_mut(chunk * m).enumerate() {
+            scope.spawn(move || {
+                let start = t * chunk;
+                for (r, row) in slab.chunks_exact_mut(m).enumerate() {
+                    let v = data.get(start + r);
+                    for (j, f) in funcs.iter().enumerate() {
+                        row[j] = f.hash(v);
+                    }
+                }
+            });
+        }
+    });
+    out
+}
+
+/// Hashes one query into its length-m hash string.
+pub fn hash_query(funcs: &[Box<dyn LshFunction>], q: &[f32]) -> Vec<u64> {
+    funcs.iter().map(|f| f.hash(q)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dataset::SynthSpec;
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let p = FamilyParams::default();
+        let d = SynthSpec::new("t", 20, 16).generate(3);
+        for kind in [
+            FamilyKind::RandomProjection,
+            FamilyKind::CrossPolytope,
+            FamilyKind::CrossPolytopeFast,
+            FamilyKind::BitSampling,
+            FamilyKind::MinHash,
+        ] {
+            let f1 = sample_family(kind, 16, 8, &p, 42);
+            let f2 = sample_family(kind, 16, 8, &p, 42);
+            let h1 = hash_dataset(&f1, &d);
+            let h2 = hash_dataset(&f2, &d);
+            assert_eq!(h1, h2, "family {kind:?} must be seed-deterministic");
+        }
+    }
+
+    #[test]
+    fn different_functions_differ() {
+        let p = FamilyParams::default();
+        let funcs = sample_family(FamilyKind::RandomProjection, 32, 4, &p, 1);
+        let d = SynthSpec::new("t", 50, 32).generate(9);
+        let h = hash_dataset(&funcs, &d);
+        // Column j and column j+1 should not be identical across all rows.
+        let col = |j: usize| (0..50).map(|i| h[i * 4 + j]).collect::<Vec<_>>();
+        assert_ne!(col(0), col(1));
+    }
+
+    #[test]
+    fn hash_dataset_matches_hash_query() {
+        let p = FamilyParams::default();
+        let funcs = sample_family(FamilyKind::CrossPolytope, 12, 6, &p, 5);
+        let d = SynthSpec::new("t", 33, 12).generate(2);
+        let h = hash_dataset(&funcs, &d);
+        for i in [0usize, 13, 32] {
+            let row = hash_query(&funcs, d.get(i));
+            assert_eq!(&h[i * 6..(i + 1) * 6], &row[..]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one function")]
+    fn zero_m_panics() {
+        sample_family(FamilyKind::BitSampling, 4, 0, &FamilyParams::default(), 0);
+    }
+}

@@ -1,0 +1,43 @@
+//! LSH function families (paper §2.2).
+//!
+//! An LSH *scheme* = LSH *family* + *search framework*. This crate provides
+//! the family side for the whole reproduction; the search frameworks (the
+//! paper's LCCS framework and the baselines' static-concatenation and
+//! collision-counting frameworks) live in `lccs-lsh` and `baselines`.
+//!
+//! Implemented families:
+//!
+//! * [`random_projection`] — the p-stable family of Datar et al. for
+//!   Euclidean distance, Eq. (1), with the collision probability of Eq. (2).
+//! * [`cross_polytope`] — the family of Terasawa–Tanaka / Andoni et al. for
+//!   Angular distance, Eq. (3)–(5), with both a dense Gaussian rotation and
+//!   the FALCONN-style fast pseudo-random (HD₃HD₂HD₁) rotation.
+//! * [`bit_sampling`] — Indyk–Motwani's family for Hamming distance, the
+//!   η(d) = O(1) case discussed in §5.2.
+//! * [`minhash`] — Broder's family for Jaccard distance, demonstrating the
+//!   "LSH-family-independent" claim on a non-vector-space metric.
+//! * [`prob`] — collision-probability and hash-quality (ρ) math.
+//!
+//! Every sampled function maps a vector to a `u64` **symbol**; a collection
+//! of `m` functions maps a vector to a *hash string* of length `m`, the
+//! object the LCCS framework operates on. Each function can also enumerate
+//! scored *alternative* symbols for multi-probe schemes (Multi-Probe LSH,
+//! FALCONN, and the paper's MP-LCCS-LSH all consume these).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bit_sampling;
+pub mod cross_polytope;
+pub mod family;
+pub mod minhash;
+pub mod prob;
+pub mod random_projection;
+
+pub use bit_sampling::BitSampling;
+pub use cross_polytope::{CrossPolytope, Rotation};
+pub use family::{
+    hash_dataset, hash_query, sample_family, FamilyKind, FamilyParams, LshFunction, ScoredAlt,
+};
+pub use minhash::MinHash;
+pub use random_projection::RandomProjection;

@@ -1,0 +1,151 @@
+//! MinHash family for Jaccard distance (Broder 1997).
+//!
+//! Vectors are interpreted as indicator sets over their non-zero
+//! coordinates. A sampled function applies a random permutation π of the
+//! universe (implemented as a keyed integer mixer, i.e. a random hash
+//! ordering — the standard practical construction) and returns the position
+//! with the smallest π-value inside the support:
+//! `Pr[h(A) = h(B)] = |A ∩ B| / |A ∪ B| = 1 − d_J(A, B)`.
+//!
+//! Included to demonstrate the paper's claim that LCCS-LSH "supports the
+//! distance metrics if and only if there exist LSH families for them" — the
+//! CSA layer is completely agnostic to which family produced the symbols.
+
+use crate::family::{LshFunction, ScoredAlt};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One sampled MinHash function.
+#[derive(Debug, Clone, Copy)]
+pub struct MinHash {
+    key: u64,
+}
+
+#[inline]
+fn mix(key: u64, x: u64) -> u64 {
+    // splitmix64 finalizer keyed by the function's seed: a fast, high-quality
+    // stand-in for a random permutation of coordinate indices.
+    let mut z = x.wrapping_add(key).wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl MinHash {
+    /// Samples a function (the dimension is only used to validate inputs).
+    pub fn sample(_dim: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Self { key: rng.gen() }
+    }
+
+    /// Returns the coordinate of the support with the minimal permuted value,
+    /// together with that value, or `None` for an empty support.
+    fn min_pair(&self, v: &[f32]) -> Option<(u64, u64)> {
+        let mut best: Option<(u64, u64)> = None;
+        for (i, &x) in v.iter().enumerate() {
+            if x != 0.0 {
+                let p = mix(self.key, i as u64);
+                if best.is_none_or(|(bp, _)| p < bp) {
+                    best = Some((p, i as u64));
+                }
+            }
+        }
+        best
+    }
+}
+
+impl LshFunction for MinHash {
+    #[inline]
+    fn hash(&self, v: &[f32]) -> u64 {
+        // Empty supports all hash to a dedicated sentinel (they are mutually
+        // at Jaccard distance 0, so colliding them is correct).
+        match self.min_pair(v) {
+            Some((_, idx)) => idx,
+            None => u64::MAX,
+        }
+    }
+
+    /// The natural alternative is the coordinate with the second-smallest
+    /// permuted value (the min over the support with the winner removed).
+    fn alternatives(&self, v: &[f32], max_alts: usize) -> Vec<ScoredAlt> {
+        if max_alts == 0 {
+            return Vec::new();
+        }
+        let Some((best_p, best_i)) = self.min_pair(v) else { return Vec::new() };
+        let mut second: Option<(u64, u64)> = None;
+        for (i, &x) in v.iter().enumerate() {
+            if x != 0.0 && i as u64 != best_i {
+                let p = mix(self.key, i as u64);
+                if second.is_none_or(|(sp, _)| p < sp) {
+                    second = Some((p, i as u64));
+                }
+            }
+        }
+        second
+            .map(|(p, i)| {
+                vec![ScoredAlt { symbol: i, score: (p - best_p) as f64 / u64::MAX as f64 }]
+            })
+            .unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_sets_always_collide() {
+        let v = [1.0f32, 0.0, 2.0, 0.0, 3.0];
+        for s in 0..50 {
+            let f = MinHash::sample(5, s);
+            assert_eq!(f.hash(&v), f.hash(&v));
+        }
+    }
+
+    #[test]
+    fn hash_is_a_support_member() {
+        let v = [0.0f32, 1.0, 0.0, 1.0, 1.0, 0.0];
+        let f = MinHash::sample(6, 3);
+        let h = f.hash(&v) as usize;
+        assert!(v[h] != 0.0, "minhash must return a support coordinate");
+    }
+
+    #[test]
+    fn collision_rate_estimates_jaccard() {
+        // A = {0..19}, B = {10..29}: |A∩B| = 10, |A∪B| = 30, sim = 1/3.
+        let mut a = vec![0.0f32; 40];
+        let mut b = vec![0.0f32; 40];
+        for x in a.iter_mut().take(20) {
+            *x = 1.0;
+        }
+        for x in b.iter_mut().take(30).skip(10) {
+            *x = 1.0;
+        }
+        let trials: u32 = 3000;
+        let mut coll = 0;
+        for s in 0..trials {
+            let f = MinHash::sample(40, s.into());
+            coll += u32::from(f.hash(&a) == f.hash(&b));
+        }
+        let emp = f64::from(coll) / f64::from(trials);
+        assert!((emp - 1.0 / 3.0).abs() < 0.04, "empirical {emp}");
+    }
+
+    #[test]
+    fn empty_support_sentinel() {
+        let f = MinHash::sample(4, 1);
+        assert_eq!(f.hash(&[0.0; 4]), u64::MAX);
+        assert!(f.alternatives(&[0.0; 4], 3).is_empty());
+    }
+
+    #[test]
+    fn alternative_is_second_min() {
+        let v = [1.0f32, 1.0, 1.0, 0.0];
+        let f = MinHash::sample(4, 9);
+        let h = f.hash(&v);
+        let alts = f.alternatives(&v, 2);
+        assert_eq!(alts.len(), 1);
+        assert_ne!(alts[0].symbol, h);
+        assert!(v[alts[0].symbol as usize] != 0.0);
+    }
+}

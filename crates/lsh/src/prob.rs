@@ -1,0 +1,190 @@
+//! Collision-probability and hash-quality math (paper §2.2 and §5).
+//!
+//! * Eq. (2): collision probability of the random-projection family,
+//!   `p(τ) = 1 − 2Φ(−w/τ) − (2/(√(2π) w/τ)) (1 − e^{−(w/τ)²/2})`.
+//! * Eq. (4): cross-polytope, `ln(1/p(τ)) = (τ²/(4−τ²)) ln d + O_τ(ln ln d)`.
+//! * Eq. (5): cross-polytope hash quality
+//!   `ρ = (1/c²) · (4 − c²R²)/(4 − R²) + o(1)`.
+//! * Bit sampling: `p(τ) = 1 − τ/d`.
+//! * `ρ = ln(1/p₁)/ln(1/p₂)` (Theorem 2.1), used by the λ setting of
+//!   Theorem 5.1 in `lccs-lsh::theory`.
+
+/// Standard normal CDF `Φ(x)`, via `erf` with ≤ 1.2e-7 absolute error
+/// (Abramowitz & Stegun 7.1.26 applied to erfc, accurate everywhere).
+pub fn phi(x: f64) -> f64 {
+    0.5 * (1.0 + erf(x / std::f64::consts::SQRT_2))
+}
+
+/// Error function `erf(x)` with ≤ 1.2e-7 absolute error (A&S 7.1.26).
+pub fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.327_591_1 * x);
+    let poly = t
+        * (0.254_829_592
+            + t * (-0.284_496_736 + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+    sign * (1.0 - poly * (-x * x).exp())
+}
+
+/// Eq. (2): collision probability of `h_{a,b}` for two points at Euclidean
+/// distance `tau` with bucket width `w`.
+///
+/// # Panics
+/// Panics if `tau < 0` or `w <= 0`.
+pub fn collision_probability_euclidean(tau: f64, w: f64) -> f64 {
+    assert!(tau >= 0.0, "distance must be non-negative");
+    assert!(w > 0.0, "bucket width must be positive");
+    if tau == 0.0 {
+        return 1.0;
+    }
+    let r = w / tau;
+    let p = 1.0 - 2.0 * phi(-r)
+        - 2.0 / ((2.0 * std::f64::consts::PI).sqrt() * r) * (1.0 - (-r * r / 2.0).exp());
+    p.clamp(0.0, 1.0)
+}
+
+/// Eq. (4): asymptotic collision probability of the cross-polytope family
+/// for two unit vectors at Euclidean distance `tau ∈ (0, 2)` in dimension
+/// `d` (the `O_τ(ln ln d)` term is dropped, as in FALCONN's own tuning).
+///
+/// # Panics
+/// Panics if `tau` is outside `(0, 2)` or `d < 2`.
+pub fn collision_probability_cross_polytope(tau: f64, d: usize) -> f64 {
+    assert!(tau > 0.0 && tau < 2.0, "tau must lie in (0, 2), got {tau}");
+    assert!(d >= 2, "dimension must be at least 2");
+    let ln_inv_p = tau * tau / (4.0 - tau * tau) * (d as f64).ln();
+    (-ln_inv_p).exp()
+}
+
+/// Bit-sampling collision probability `1 − τ/d` at Hamming distance `tau`.
+pub fn collision_probability_hamming(tau: f64, d: usize) -> f64 {
+    assert!(d > 0);
+    (1.0 - tau / d as f64).clamp(0.0, 1.0)
+}
+
+/// Hash quality `ρ = ln(1/p1) / ln(1/p2)` (Theorem 2.1). Returns a value in
+/// `(0, 1)` for any valid `0 < p2 < p1 < 1`.
+///
+/// # Panics
+/// Panics unless `0 < p2 < p1 < 1`.
+pub fn rho(p1: f64, p2: f64) -> f64 {
+    assert!(0.0 < p2 && p2 < p1 && p1 < 1.0, "need 0 < p2 < p1 < 1, got p1={p1}, p2={p2}");
+    (1.0 / p1).ln() / (1.0 / p2).ln()
+}
+
+/// Eq. (5): cross-polytope hash quality for radius `R` and ratio `c` on the
+/// unit sphere (the `o(1)` term is dropped).
+///
+/// # Panics
+/// Panics unless `0 < R < 2/c` and `c > 1` (so that `cR < 2`).
+pub fn rho_cross_polytope(c: f64, r: f64) -> f64 {
+    assert!(c > 1.0, "approximation ratio must exceed 1");
+    assert!(r > 0.0 && c * r < 2.0, "need 0 < cR < 2");
+    (1.0 / (c * c)) * (4.0 - c * c * r * r) / (4.0 - r * r)
+}
+
+/// The ρ* bound of §5.2 for cross-polytope: `ρ_R ≤ 1/c²` for all R, which is
+/// what lets a single LCCS-LSH index serve all radii.
+pub fn rho_star_cross_polytope(c: f64) -> f64 {
+    assert!(c > 1.0);
+    1.0 / (c * c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erf_reference_values() {
+        // Reference values from standard tables.
+        assert!((erf(0.0)).abs() < 1e-7);
+        assert!((erf(1.0) - 0.842_700_79).abs() < 1e-6);
+        assert!((erf(2.0) - 0.995_322_27).abs() < 1e-6);
+        assert!((erf(-1.0) + 0.842_700_79).abs() < 1e-6);
+    }
+
+    #[test]
+    fn phi_reference_values() {
+        assert!((phi(0.0) - 0.5).abs() < 1e-7);
+        assert!((phi(1.959_963_985) - 0.975).abs() < 1e-5);
+        assert!((phi(-1.0) - 0.158_655_25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn eq2_limits() {
+        // τ → 0 gives certainty; huge τ gives ~0.
+        assert_eq!(collision_probability_euclidean(0.0, 4.0), 1.0);
+        assert!(collision_probability_euclidean(1e6, 4.0) < 1e-3);
+    }
+
+    #[test]
+    fn eq2_monotone_decreasing_in_tau() {
+        let w = 4.0;
+        let mut prev = 1.0;
+        for i in 1..100 {
+            let tau = i as f64 * 0.2;
+            let p = collision_probability_euclidean(tau, w);
+            assert!(p <= prev + 1e-12, "p must decrease with tau");
+            assert!((0.0..=1.0).contains(&p));
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn eq2_known_value() {
+        // At w/τ = 1: p = 1 − 2Φ(−1) − 2/√(2π) (1 − e^{−1/2})
+        //           = 1 − 0.3173105 − 0.7978846·0.3934693 = 0.3687
+        let p = collision_probability_euclidean(4.0, 4.0);
+        assert!((p - 0.3687).abs() < 1e-3, "{p}");
+    }
+
+    #[test]
+    fn cross_polytope_monotone_in_tau_and_d() {
+        let p_close = collision_probability_cross_polytope(0.5, 128);
+        let p_far = collision_probability_cross_polytope(1.5, 128);
+        assert!(p_close > p_far);
+        let p_lo_d = collision_probability_cross_polytope(1.0, 16);
+        let p_hi_d = collision_probability_cross_polytope(1.0, 1024);
+        assert!(p_lo_d > p_hi_d, "collisions get rarer as d grows");
+    }
+
+    #[test]
+    fn hamming_probability() {
+        assert_eq!(collision_probability_hamming(0.0, 10), 1.0);
+        assert!((collision_probability_hamming(2.0, 10) - 0.8).abs() < 1e-12);
+        assert_eq!(collision_probability_hamming(20.0, 10), 0.0);
+    }
+
+    #[test]
+    fn rho_basic_properties() {
+        let r = rho(0.9, 0.5);
+        assert!(r > 0.0 && r < 1.0);
+        // Larger gap -> smaller rho.
+        assert!(rho(0.9, 0.3) < rho(0.9, 0.5));
+    }
+
+    #[test]
+    fn rho_cp_matches_eq5_and_bound() {
+        let c = 2.0;
+        let r = 0.5;
+        let v = rho_cross_polytope(c, r);
+        // (1/4)·(4 − 1)/(4 − 0.25) = 0.25·3/3.75 = 0.2
+        assert!((v - 0.2).abs() < 1e-12);
+        assert!(v <= rho_star_cross_polytope(c) + 1e-12);
+    }
+
+    #[test]
+    fn rho_cp_bounded_by_rho_star_over_grid() {
+        let c = 1.5;
+        for i in 1..100 {
+            let r = i as f64 * (2.0 / c) / 101.0;
+            assert!(rho_cross_polytope(c, r) <= rho_star_cross_polytope(c) + 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "0 < p2 < p1 < 1")]
+    fn rho_rejects_bad_order() {
+        rho(0.3, 0.5);
+    }
+}

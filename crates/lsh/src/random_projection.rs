@@ -1,0 +1,209 @@
+//! The p-stable random-projection family for Euclidean distance
+//! (Datar et al., SoCG 2004) — the paper's Eq. (1):
+//!
+//! ```text
+//! h_{a,b}(o) = floor((a · o + b) / w)
+//! ```
+//!
+//! with `a ~ N(0, I_d)` and `b ~ U[0, w)`. The collision probability for two
+//! objects at Euclidean distance τ is Eq. (2), implemented in
+//! [`crate::prob::collision_probability_euclidean`].
+
+use crate::family::{LshFunction, ScoredAlt};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rand_distr::{Distribution, StandardNormal};
+
+/// One sampled function `h_{a,b}` of the random-projection family.
+#[derive(Debug, Clone)]
+pub struct RandomProjection {
+    a: Vec<f32>,
+    b: f64,
+    w: f64,
+}
+
+/// Maps a signed bucket index to a `u64` symbol (ZigZag encoding), keeping
+/// adjacent buckets adjacent in the *signed* sense while covering the whole
+/// integer range. The CSA only needs symbol equality and a total order; for
+/// multi-probe we need to move to neighbouring buckets, which the encoding
+/// preserves through [`bucket_to_symbol`]/[`symbol_to_bucket`].
+#[inline]
+pub fn bucket_to_symbol(bucket: i64) -> u64 {
+    ((bucket << 1) ^ (bucket >> 63)) as u64
+}
+
+/// Inverse of [`bucket_to_symbol`].
+#[inline]
+pub fn symbol_to_bucket(sym: u64) -> i64 {
+    ((sym >> 1) as i64) ^ -((sym & 1) as i64)
+}
+
+impl RandomProjection {
+    /// Samples a function for dimension `dim` with bucket width `w`.
+    ///
+    /// # Panics
+    /// Panics if `w <= 0` or `dim == 0`.
+    pub fn sample(dim: usize, w: f64, seed: u64) -> Self {
+        assert!(w > 0.0, "bucket width must be positive");
+        assert!(dim > 0, "dimension must be positive");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = (0..dim)
+            .map(|_| {
+                let g: f64 = StandardNormal.sample(&mut rng);
+                g as f32
+            })
+            .collect();
+        let b = rng.gen_range(0.0..w);
+        Self { a, b, w }
+    }
+
+    /// The raw (un-floored) projection `(a·v + b) / w`.
+    #[inline]
+    pub fn projection(&self, v: &[f32]) -> f64 {
+        assert_eq!(v.len(), self.a.len(), "dimension mismatch");
+        (dataset::metric::dot(&self.a, v) + self.b) / self.w
+    }
+
+    /// Signed bucket index `floor((a·v + b)/w)`.
+    #[inline]
+    pub fn bucket(&self, v: &[f32]) -> i64 {
+        self.projection(v).floor() as i64
+    }
+
+    /// Bucket width `w`.
+    pub fn w(&self) -> f64 {
+        self.w
+    }
+}
+
+impl LshFunction for RandomProjection {
+    #[inline]
+    fn hash(&self, v: &[f32]) -> u64 {
+        bucket_to_symbol(self.bucket(v))
+    }
+
+    /// Alternative buckets `h ± 1, h ± 2, …` ranked by the Multi-Probe LSH
+    /// boundary-distance score. With `x` the fractional position of the
+    /// projection inside its bucket (`x ∈ [0, 1)`), the (squared, in units of
+    /// `w²`) distance to bucket `h + j` is `(j - x)²` and to `h - j` is
+    /// `(x + j - 1)²` — Lv et al.'s `x_i(δ)²`.
+    fn alternatives(&self, v: &[f32], max_alts: usize) -> Vec<ScoredAlt> {
+        let proj = self.projection(v);
+        let h = proj.floor();
+        let x = proj - h; // in [0, 1)
+        let h = h as i64;
+        let mut alts = Vec::with_capacity(max_alts);
+        // Generate candidates in pairs of increasing |j| and merge by score;
+        // for a fixed j the scores are (j - x)² (up) vs (x + j - 1)² (down),
+        // so generating j = 1..=ceil(max/2)+1 of each and sorting is exact.
+        let levels = max_alts / 2 + 2;
+        for j in 1..=levels as i64 {
+            let up = (j as f64 - x) * (j as f64 - x);
+            let down = (x + j as f64 - 1.0) * (x + j as f64 - 1.0);
+            alts.push(ScoredAlt { symbol: bucket_to_symbol(h + j), score: up });
+            alts.push(ScoredAlt { symbol: bucket_to_symbol(h - j), score: down });
+        }
+        alts.sort_by(|p, q| p.score.total_cmp(&q.score));
+        alts.truncate(max_alts);
+        alts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zigzag_roundtrip() {
+        for b in [-1_000_000i64, -3, -1, 0, 1, 2, 7, 1_000_000] {
+            assert_eq!(symbol_to_bucket(bucket_to_symbol(b)), b);
+        }
+    }
+
+    #[test]
+    fn zigzag_is_injective_near_zero() {
+        let syms: Vec<u64> = (-4i64..=4).map(bucket_to_symbol).collect();
+        let mut dedup = syms.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), syms.len());
+    }
+
+    #[test]
+    fn close_points_collide_more_often() {
+        // Statistical check of the LSH property (Definition 2.3).
+        let dim = 32;
+        let close = 0.5f32;
+        let far = 8.0f32;
+        let base = vec![0.1f32; dim];
+        let mut close_v = base.clone();
+        close_v[0] += close;
+        let mut far_v = base.clone();
+        far_v[0] += far;
+
+        let mut coll_close = 0;
+        let mut coll_far = 0;
+        let trials = 400;
+        for s in 0..trials {
+            let f = RandomProjection::sample(dim, 4.0, s);
+            let hb = f.hash(&base);
+            coll_close += u32::from(f.hash(&close_v) == hb);
+            coll_far += u32::from(f.hash(&far_v) == hb);
+        }
+        assert!(
+            coll_close > coll_far + trials as u32 / 10,
+            "close {coll_close} vs far {coll_far}"
+        );
+    }
+
+    #[test]
+    fn empirical_collision_matches_eq2() {
+        // Eq. (2) collision probability vs Monte-Carlo at w/τ = 2.
+        let dim = 64;
+        let tau = 2.0;
+        let w = 4.0;
+        let a = vec![0.0f32; dim];
+        let mut b = vec![0.0f32; dim];
+        b[0] = tau;
+        let trials: u32 = 3000;
+        let mut coll = 0;
+        for s in 0..trials {
+            let f = RandomProjection::sample(dim, w, s.into());
+            coll += u32::from(f.hash(&a) == f.hash(&b));
+        }
+        let emp = f64::from(coll) / f64::from(trials);
+        let theo = crate::prob::collision_probability_euclidean(tau.into(), w);
+        assert!((emp - theo).abs() < 0.05, "empirical {emp} vs theoretical {theo}");
+    }
+
+    #[test]
+    fn alternatives_sorted_and_exclude_base() {
+        let f = RandomProjection::sample(8, 2.0, 7);
+        let v = vec![0.3f32; 8];
+        let base = f.hash(&v);
+        let alts = f.alternatives(&v, 6);
+        assert_eq!(alts.len(), 6);
+        for w in alts.windows(2) {
+            assert!(w[0].score <= w[1].score);
+        }
+        assert!(alts.iter().all(|a| a.symbol != base));
+    }
+
+    #[test]
+    fn first_alternative_is_nearest_boundary() {
+        let f = RandomProjection::sample(4, 1.0, 3);
+        let v = vec![0.9f32, -0.2, 0.4, 0.8];
+        let proj = f.projection(&v);
+        let x = proj - proj.floor();
+        let alts = f.alternatives(&v, 2);
+        let expected_first = if x > 0.5 { 1i64 } else { -1 };
+        let base = f.bucket(&v);
+        assert_eq!(symbol_to_bucket(alts[0].symbol), base + expected_first);
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket width")]
+    fn zero_w_panics() {
+        RandomProjection::sample(4, 0.0, 1);
+    }
+}

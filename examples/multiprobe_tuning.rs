@@ -1,0 +1,55 @@
+//! Tuning #probes for MP-LCCS-LSH — a miniature of the paper's Figure 10.
+//! Shows the trade the paper reports: probing helps at high recall where
+//! single-probe LCCS-LSH must burn candidates, and is overhead at low
+//! recall where verification is cheaper than probing.
+//!
+//! ```sh
+//! cargo run --release --example multiprobe_tuning
+//! ```
+
+use dataset::{ExactKnn, Metric, SynthSpec};
+use lccs_lsh::{LccsParams, MpLccsLsh, MpParams};
+use std::sync::Arc;
+use std::time::Instant;
+
+fn main() {
+    let spec = SynthSpec::deep_like().with_n(20_000);
+    let data = Arc::new(spec.generate(3));
+    let queries = spec.generate_queries(50, 3);
+    let k = 10;
+    let gt = ExactKnn::compute(&data, &queries, k, Metric::Euclidean);
+
+    let m = 64;
+    let index = MpLccsLsh::build(
+        data.clone(),
+        Metric::Euclidean,
+        &LccsParams::euclidean(45.0).with_m(m),
+        MpParams { probes: 8 * m + 1, max_alts: 8 },
+    );
+    let mut scratch = index.scratch();
+
+    println!("m = {m}, sweeping #probes x candidate budget (recall% / ms):\n");
+    print!("{:>12}", "#probes\\λ");
+    let lambdas = [8usize, 32, 128, 512];
+    for l in lambdas {
+        print!("{l:>16}");
+    }
+    println!();
+    for mult in [0usize, 1, 2, 4, 8] {
+        let probes = mult * m + 1;
+        print!("{probes:>12}");
+        for lambda in lambdas {
+            let t0 = Instant::now();
+            let mut hits = 0usize;
+            for (qi, q) in queries.iter().enumerate() {
+                let out = index.query_probes(q, k, lambda, probes, &mut scratch);
+                let truth: Vec<u32> = gt.neighbors(qi).iter().map(|n| n.id).collect();
+                hits += out.neighbors.iter().filter(|n| truth.contains(&n.id)).count();
+            }
+            let ms = t0.elapsed().as_secs_f64() * 1000.0 / queries.len() as f64;
+            let recall = hits as f64 / (k * queries.len()) as f64 * 100.0;
+            print!("{:>9.1}%/{:>5.2}", recall, ms);
+        }
+        println!();
+    }
+}

@@ -1,0 +1,56 @@
+//! Quickstart: build an LCCS-LSH index over a synthetic dataset and answer
+//! a few top-10 queries under Euclidean distance.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use dataset::{ExactKnn, Metric, SynthSpec};
+use lccs_lsh::{LccsLsh, LccsParams};
+use std::sync::Arc;
+use std::time::Instant;
+
+fn main() {
+    // 1. A 20k × 128 clustered dataset (a stand-in for Sift) and 20
+    //    held-out queries drawn from the same distribution.
+    let spec = SynthSpec::sift_like().with_n(20_000);
+    let data = Arc::new(spec.generate(42));
+    let queries = spec.generate_queries(20, 42);
+    println!("dataset: {} vectors × {} dims", data.len(), data.dim());
+
+    // 2. Build the index: m = 128 hash functions from the random-projection
+    //    family, one Circular Shift Array over the hash strings.
+    let t0 = Instant::now();
+    let params = LccsParams::euclidean(30.0).with_m(128);
+    let index = LccsLsh::build(data.clone(), Metric::Euclidean, &params);
+    println!(
+        "indexed in {:.2?} ({:.1} MB)",
+        t0.elapsed(),
+        index.index_bytes() as f64 / 1e6
+    );
+
+    // 3. Query: λ = 256 candidates per query, top-10 neighbors.
+    let k = 10;
+    let lambda = 256;
+    let gt = ExactKnn::compute(&data, &queries, k, Metric::Euclidean);
+    let mut scratch = index.scratch();
+    let mut recall_hits = 0usize;
+    let t0 = Instant::now();
+    for (qi, q) in queries.iter().enumerate() {
+        let out = index.query_with(q, k, lambda, &mut scratch);
+        let truth: Vec<u32> = gt.neighbors(qi).iter().map(|n| n.id).collect();
+        recall_hits += out.neighbors.iter().filter(|n| truth.contains(&n.id)).count();
+        if qi == 0 {
+            println!("\nquery 0 results (id, distance):");
+            for n in &out.neighbors {
+                println!("  {:>6}  {:.4}", n.id, n.dist);
+            }
+        }
+    }
+    let per_query = t0.elapsed().as_secs_f64() * 1000.0 / queries.len() as f64;
+    println!(
+        "\nrecall@{k} = {:.1}%  |  {:.3} ms/query (single thread)",
+        recall_hits as f64 / (k * queries.len()) as f64 * 100.0,
+        per_query
+    );
+}

@@ -1,0 +1,57 @@
+//! Index persistence: build once, save, reload instantly.
+//!
+//! The serialized payload stores the build parameters plus the CSA; the
+//! hash functions are re-sampled deterministically from the recorded seed on
+//! load, so reloading skips both the O(n·m·η(d)) hashing pass and the
+//! O(m·n·log n) CSA construction.
+//!
+//! ```sh
+//! cargo run --release --example save_load
+//! ```
+
+use dataset::{Metric, SynthSpec};
+use lccs_lsh::{LccsLsh, LccsParams};
+use std::sync::Arc;
+use std::time::Instant;
+
+fn main() {
+    let spec = SynthSpec::deep_like().with_n(20_000);
+    let data = Arc::new(spec.generate(13));
+
+    let t0 = Instant::now();
+    let index = LccsLsh::build(
+        data.clone(),
+        Metric::Euclidean,
+        &LccsParams::euclidean(45.0).with_m(96),
+    );
+    let build_time = t0.elapsed();
+
+    let t0 = Instant::now();
+    let payload = index.save();
+    let save_time = t0.elapsed();
+
+    let path = std::env::temp_dir().join("lccs-deep.idx");
+    std::fs::write(&path, &payload).expect("write index");
+    println!(
+        "built in {build_time:.2?}, saved {:.1} MB in {save_time:.2?} -> {}",
+        payload.len() as f64 / 1e6,
+        path.display()
+    );
+
+    let t0 = Instant::now();
+    let raw = std::fs::read(&path).expect("read index");
+    let reloaded = LccsLsh::load(&raw[..], data.clone()).expect("load index");
+    println!("reloaded in {:.2?} (vs {:.2?} to rebuild)", t0.elapsed(), build_time);
+
+    // Identical answers, bit for bit.
+    let q = data.get(4242);
+    let a = index.query(q, 5, 128);
+    let b = reloaded.query(q, 5, 128);
+    assert_eq!(
+        a.neighbors.iter().map(|n| n.id).collect::<Vec<_>>(),
+        b.neighbors.iter().map(|n| n.id).collect::<Vec<_>>()
+    );
+    println!("reloaded index answers identically: top-5 = {:?}",
+        b.neighbors.iter().map(|n| n.id).collect::<Vec<_>>());
+    std::fs::remove_file(&path).ok();
+}

@@ -1,0 +1,54 @@
+//! Text-embedding scenario: GloVe-like vectors under **Angular distance**
+//! with the cross-polytope family — semantic search over word/tweet
+//! embeddings, with the multi-probe scheme reducing the index footprint.
+//!
+//! ```sh
+//! cargo run --release --example text_embeddings
+//! ```
+
+use dataset::{ExactKnn, Metric, SynthSpec};
+use lccs_lsh::{LccsParams, MpLccsLsh, MpParams};
+use std::sync::Arc;
+use std::time::Instant;
+
+fn main() {
+    let spec = SynthSpec::glove_like().with_n(20_000);
+    let data = Arc::new(spec.generate(11).normalized());
+    let queries = spec.generate_queries(50, 11).normalized();
+    let k = 10;
+    let gt = ExactKnn::compute(&data, &queries, k, Metric::Angular);
+
+    // A small m with aggressive probing: the multi-probe trade — less
+    // memory, more probes per query (paper §6.4 / Figure 10).
+    let m = 64;
+    let index = MpLccsLsh::build(
+        data.clone(),
+        Metric::Angular,
+        &LccsParams::angular().with_m(m),
+        MpParams { probes: 2 * m + 1, max_alts: 8 },
+    );
+    println!(
+        "MP-LCCS-LSH over {} normalized {}-d embeddings, m={m}, #probes={}",
+        data.len(),
+        data.dim(),
+        2 * m + 1
+    );
+    println!("index: {:.1} MB", index.index_bytes() as f64 / 1e6);
+
+    let mut scratch = index.scratch();
+    for lambda in [16usize, 64, 256] {
+        let t0 = Instant::now();
+        let mut hits = 0usize;
+        for (qi, q) in queries.iter().enumerate() {
+            let out = index.query_with(q, k, lambda, &mut scratch);
+            let truth: Vec<u32> = gt.neighbors(qi).iter().map(|n| n.id).collect();
+            hits += out.neighbors.iter().filter(|n| truth.contains(&n.id)).count();
+        }
+        let ms = t0.elapsed().as_secs_f64() * 1000.0 / queries.len() as f64;
+        println!(
+            "λ={lambda:>4}: recall@{k} = {:>5.1}%  |  {:.3} ms/query",
+            hits as f64 / (k * queries.len()) as f64 * 100.0,
+            ms
+        );
+    }
+}

@@ -1,0 +1,12 @@
+//! Facade crate: re-exports all member crates of the LCCS-LSH reproduction
+//! workspace and hosts the runnable examples and cross-crate integration
+//! tests. See README.md for the tour.
+
+#![forbid(unsafe_code)]
+
+pub use baselines;
+pub use csa;
+pub use dataset;
+pub use eval;
+pub use lccs_lsh;
+pub use lsh;

@@ -1,0 +1,128 @@
+//! Cross-crate integration tests: every scheme end-to-end on every
+//! surrogate dataset, both metrics, against exact ground truth.
+
+use dataset::{ExactKnn, Metric, SynthSpec};
+use eval::harness::{run_point, IndexSpec};
+use eval::experiments::{load_workload, ExpOptions};
+
+fn opts(n: usize) -> ExpOptions {
+    ExpOptions { n, queries: 15, k: 10, seed: 7, ..Default::default() }
+}
+
+#[test]
+fn every_method_reaches_reasonable_recall_on_every_dataset_euclidean() {
+    let o = opts(2_000);
+    for (spec, ty) in eval::experiments::suite_specs(o.n) {
+        let wl = load_workload(&spec, ty, &o, Metric::Euclidean);
+        for (spec, budget, probes, floor) in [
+            (IndexSpec::Lccs { m: 32 }, 512usize, 0usize, 0.5f64),
+            (IndexSpec::MpLccs { m: 32 }, 512, 33, 0.5),
+            (IndexSpec::E2lsh { k_funcs: 4, l_tables: 32 }, 1024, 0, 0.4),
+            (IndexSpec::MultiProbeLsh { k_funcs: 4, l_tables: 8 }, 1024, 64, 0.4),
+            (IndexSpec::C2lsh { m: 32, l: 4 }, 512, 0, 0.5),
+            (IndexSpec::Qalsh { m: 32, l: 8 }, 512, 0, 0.5),
+            (IndexSpec::Srs { d_proj: 8 }, 512, 0, 0.5),
+            (IndexSpec::Linear, 0, 0, 0.999),
+        ] {
+            let built = spec.build(&wl.data, Metric::Euclidean, wl.w, o.seed);
+            let pt = run_point(&built, &wl.name, &wl.queries, &wl.gt, o.k, budget, probes);
+            assert!(
+                pt.recall >= floor,
+                "{} on {}: recall {:.2} below floor {floor}",
+                pt.method,
+                wl.name,
+                pt.recall
+            );
+            assert!(pt.ratio >= 1.0 - 1e-9 && pt.ratio < 2.0, "{} ratio {}", pt.method, pt.ratio);
+        }
+    }
+}
+
+#[test]
+fn angular_methods_work_on_every_dataset() {
+    let o = opts(2_000);
+    for (spec, ty) in eval::experiments::suite_specs(o.n) {
+        let wl = load_workload(&spec, ty, &o, Metric::Angular);
+        for (spec, budget, probes, floor) in [
+            (IndexSpec::Lccs { m: 32 }, 512usize, 0usize, 0.5f64),
+            (IndexSpec::MpLccs { m: 32 }, 512, 33, 0.5),
+            (IndexSpec::Falconn { k_funcs: 2, l_tables: 16 }, 1024, 64, 0.4),
+            (IndexSpec::E2lsh { k_funcs: 1, l_tables: 16 }, 1024, 0, 0.4),
+            (IndexSpec::C2lsh { m: 32, l: 2 }, 1024, 0, 0.4),
+        ] {
+            let built = spec.build(&wl.data, Metric::Angular, wl.w, o.seed);
+            let pt = run_point(&built, &wl.name, &wl.queries, &wl.gt, o.k, budget, probes);
+            assert!(
+                pt.recall >= floor,
+                "{} on {} (angular): recall {:.2} below floor {floor}",
+                pt.method,
+                wl.name,
+                pt.recall
+            );
+        }
+    }
+}
+
+#[test]
+fn lccs_recall_is_budget_monotone_statistically() {
+    let o = opts(3_000);
+    let wl = load_workload(
+        &SynthSpec::sift_like().with_n(o.n),
+        "Image",
+        &o,
+        Metric::Euclidean,
+    );
+    let built = IndexSpec::Lccs { m: 64 }.build(&wl.data, Metric::Euclidean, wl.w, 1);
+    let mut prev = 0.0;
+    for budget in [4usize, 32, 256, 2048] {
+        let pt = run_point(&built, &wl.name, &wl.queries, &wl.gt, 10, budget, 0);
+        assert!(
+            pt.recall + 1e-9 >= prev,
+            "recall degraded with budget: {prev} -> {} at {budget}",
+            pt.recall
+        );
+        prev = pt.recall;
+    }
+    assert!(prev > 0.8, "λ=2048 on n=3000 should recall > 80%, got {prev}");
+}
+
+#[test]
+fn exact_duplicate_queries_always_find_themselves() {
+    // Queries drawn from the database: every method must return the object
+    // itself as the top-1 (distance 0) given a healthy budget.
+    let spec = SynthSpec::deep_like().with_n(1_500);
+    let data = std::sync::Arc::new(spec.generate(9));
+    let queries = data.sample_queries(10, 4);
+    let gt = ExactKnn::compute(&data, &queries, 1, Metric::Euclidean);
+    for spec in [
+        IndexSpec::Lccs { m: 32 },
+        IndexSpec::E2lsh { k_funcs: 4, l_tables: 16 },
+        IndexSpec::C2lsh { m: 32, l: 8 },
+        IndexSpec::Qalsh { m: 32, l: 8 },
+        IndexSpec::Srs { d_proj: 6 },
+    ] {
+        let built = spec.build(&data, Metric::Euclidean, 40.0, 3);
+        for (qi, q) in queries.iter().enumerate() {
+            let got = built.query(q, 1, 256, 0);
+            assert!(
+                !got.is_empty() && got[0].dist < 1e-6,
+                "{:?} failed to find the duplicate of query {qi} (gt id {})",
+                built.spec,
+                gt.neighbors(qi)[0].id
+            );
+        }
+    }
+}
+
+#[test]
+fn metrics_are_consistent_across_facade() {
+    // The facade crate re-exports everything; exercise the full pipeline
+    // through `lccs_repro::` paths only.
+    use lccs_repro::dataset::{Metric as M, SynthSpec as S};
+    use lccs_repro::lccs_lsh::{LccsLsh, LccsParams};
+    let spec = S::glove_like().with_n(800);
+    let data = std::sync::Arc::new(spec.generate(2).normalized());
+    let idx = LccsLsh::build(data.clone(), M::Angular, &LccsParams::angular().with_m(16));
+    let out = idx.query(data.get(3), 5, 64);
+    assert_eq!(out.neighbors[0].id, 3);
+}
