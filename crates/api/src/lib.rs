@@ -1,0 +1,26 @@
+//! Uniform ANN-index interface for the LCCS-LSH reproduction.
+//!
+//! The paper (§6) benchmarks one algorithm against ~10 baselines over
+//! identical query workloads. This crate gives every index in the
+//! workspace — `LccsLsh`, `MpLccsLsh`, and all the baselines — one build
+//! and query contract, [`AnnIndex`], so the evaluation harness, the
+//! figure/table binaries, and serving-style callers drive them
+//! generically (`&dyn AnnIndex` or `impl AnnIndex`) instead of through
+//! per-algorithm signatures.
+//!
+//! * [`AnnIndex`] — object-safe query interface: `query`,
+//!   `query_with(scratch)`, `query_batch`, `index_bytes`, `name`.
+//! * [`BuildAnn`] — the build-from-dataset half, with per-algorithm
+//!   parameter types (not object-safe; used generically).
+//! * [`executor`] — the parallel batch executor behind the default
+//!   [`AnnIndex::query_batch`]: chunked dynamic scheduling over scoped
+//!   threads with one scratch per worker and deterministic, query-order
+//!   output.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod executor;
+mod traits;
+
+pub use traits::{AnnIndex, BuildAnn, Scratch, SearchParams};

@@ -1,0 +1,185 @@
+//! The [`AnnIndex`] / [`BuildAnn`] traits and their support types.
+
+use crate::executor;
+use dataset::exact::Neighbor;
+use dataset::{Dataset, Metric};
+use std::any::Any;
+use std::sync::Arc;
+
+/// Query-time knobs shared by every scheme.
+///
+/// Each algorithm interprets the two knobs through its own native
+/// parameter (the mapping the paper's §6.4 grid searches sweep):
+///
+/// | Scheme | `budget` means | `probes` means |
+/// |--------|----------------|----------------|
+/// | LCCS-LSH | λ, candidates to verify | ignored |
+/// | MP-LCCS-LSH | λ | perturbation probes (≥ 1) |
+/// | E2LSH / LSH-Forest / SK-LSH | bucket-union candidate cap | ignored |
+/// | Multi-Probe LSH / FALCONN | candidate cap | probe-sequence length |
+/// | C2LSH / QALSH | βn collision-count slack | ignored |
+/// | SRS | verification budget | ignored |
+/// | Linear / kd-tree | ignored (exact) | ignored |
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SearchParams {
+    /// Neighbors to return.
+    pub k: usize,
+    /// Candidate budget (per-scheme meaning above).
+    pub budget: usize,
+    /// Probe count for multi-probe schemes; `0` = scheme default.
+    pub probes: usize,
+}
+
+impl SearchParams {
+    /// Top-`k` search with a candidate budget and no probing override.
+    pub fn new(k: usize, budget: usize) -> Self {
+        Self { k, budget, probes: 0 }
+    }
+
+    /// Sets the probe count (multi-probe schemes only).
+    pub fn with_probes(mut self, probes: usize) -> Self {
+        self.probes = probes;
+        self
+    }
+}
+
+/// Opaque per-thread query scratch.
+///
+/// Each index type stores whatever reusable state its query path needs
+/// (CSA cursor arrays, dedup epoch stamps, hash buffers) behind `Any`, so
+/// [`AnnIndex`] stays object-safe while the batch executor still reuses
+/// allocations across the queries a worker thread answers. A scratch
+/// belongs to the index that created it, but handing it to a different
+/// index is safe: impls re-initialize the state when its type — or, via
+/// [`Scratch::get_valid_with`], its shape (e.g. a dedup table sized for a
+/// different dataset) — doesn't fit.
+#[derive(Default)]
+pub struct Scratch(Option<Box<dyn Any + Send>>);
+
+impl Scratch {
+    /// A scratch holding nothing; indexes that need state lazily install it
+    /// on first use via [`Scratch::get_or_insert_with`].
+    pub fn empty() -> Self {
+        Self(None)
+    }
+
+    /// A scratch pre-seeded with `state`.
+    pub fn new<T: Any + Send>(state: T) -> Self {
+        Self(Some(Box::new(state)))
+    }
+
+    /// Returns the state as `T`, installing `make()` if the scratch is
+    /// empty or currently holds a different type.
+    pub fn get_or_insert_with<T: Any + Send>(&mut self, make: impl FnOnce() -> T) -> &mut T {
+        self.get_valid_with(|_| true, make)
+    }
+
+    /// Like [`Scratch::get_or_insert_with`], but also reinstalls when the
+    /// recovered state fails `valid` — the guard indexes use against
+    /// same-typed scratch built for a different dataset (whose epoch-stamp
+    /// tables would be the wrong length).
+    pub fn get_valid_with<T: Any + Send>(
+        &mut self,
+        valid: impl FnOnce(&T) -> bool,
+        make: impl FnOnce() -> T,
+    ) -> &mut T {
+        let compatible = match &self.0 {
+            Some(b) => b.downcast_ref::<T>().is_some_and(valid),
+            None => false,
+        };
+        if !compatible {
+            self.0 = Some(Box::new(make()));
+        }
+        self.0
+            .as_mut()
+            .expect("just installed")
+            .downcast_mut::<T>()
+            .expect("just type-checked")
+    }
+}
+
+/// A built approximate-nearest-neighbor index, queryable uniformly.
+///
+/// Every query follows the paper's two-phase flow (§4.1): a **search
+/// phase** walks the index structure to collect candidate ids under the
+/// scheme's budget (for LCCS-LSH: the `(λ + k − 1)`-LCCS search of
+/// Algorithm 2 over the Circular Shift Array), then a **verification
+/// phase** computes the exact metric distance of each candidate and keeps
+/// the `k` nearest, ascending by true distance with ties broken by id.
+/// Implementations return that verified top-`k` list.
+///
+/// The trait is object-safe: the evaluation harness holds indexes as
+/// `Box<dyn AnnIndex>` and drives the paper's ~11 schemes through one
+/// generic loop. Per-query state lives in an opaque [`Scratch`] so that
+/// hot loops and the parallel batch executor can amortize allocations.
+pub trait AnnIndex: Send + Sync {
+    /// The method name as printed in the paper's legends (e.g.
+    /// `"LCCS-LSH"`, `"E2LSH"`).
+    fn name(&self) -> &'static str;
+
+    /// Index footprint in bytes, excluding the raw vectors (the paper's
+    /// index-size axis, Figures 6–7).
+    fn index_bytes(&self) -> usize;
+
+    /// Fresh reusable scratch for [`AnnIndex::query_with`].
+    fn make_scratch(&self) -> Scratch {
+        Scratch::empty()
+    }
+
+    /// Answers one c-k-ANNS query, reusing `scratch` across calls.
+    ///
+    /// # Panics
+    /// Implementations panic if `params.k == 0` or the query dimension
+    /// does not match the indexed dataset.
+    fn query_with(&self, q: &[f32], params: &SearchParams, scratch: &mut Scratch)
+        -> Vec<Neighbor>;
+
+    /// Answers one query with throwaway scratch.
+    fn query(&self, q: &[f32], params: &SearchParams) -> Vec<Neighbor> {
+        let mut scratch = self.make_scratch();
+        self.query_with(q, params, &mut scratch)
+    }
+
+    /// Answers a whole query set through the parallel batch executor
+    /// (see [`executor::batch_query`]): chunked dynamic scheduling, one
+    /// scratch per worker thread, results in query order and identical to
+    /// sequential [`AnnIndex::query`] calls.
+    fn query_batch(&self, queries: &Dataset, params: &SearchParams) -> Vec<Vec<Neighbor>> {
+        executor::batch_query(self, queries, params)
+    }
+}
+
+/// The build half of the contract: constructing an index over a dataset.
+///
+/// Separate from [`AnnIndex`] because the parameter type is
+/// per-algorithm, which would break object safety; generic call sites
+/// (registries, benchmarks) use `I: BuildAnn` and erase to
+/// `Box<dyn AnnIndex>` afterwards.
+pub trait BuildAnn: AnnIndex + Sized {
+    /// Build-time parameters (hash-string length, table counts, …).
+    type Params;
+
+    /// Indexing phase: builds over `data`, verifying with `metric`.
+    fn build_index(data: Arc<Dataset>, metric: Metric, params: &Self::Params) -> Self;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scratch_reinitializes_on_type_change() {
+        let mut s = Scratch::empty();
+        *s.get_or_insert_with(|| 1u32) += 5;
+        assert_eq!(*s.get_or_insert_with(|| 0u32), 6, "state persists for same type");
+        let v: &mut Vec<u8> = s.get_or_insert_with(|| vec![9u8]);
+        assert_eq!(v, &vec![9u8], "type change reinstalls");
+        assert_eq!(*s.get_or_insert_with(|| 0u32), 0, "and back");
+    }
+
+    #[test]
+    fn search_params_builder() {
+        let p = SearchParams::new(10, 128).with_probes(65);
+        assert_eq!((p.k, p.budget, p.probes), (10, 128, 65));
+    }
+}

@@ -225,6 +225,35 @@ impl C2Lsh {
     }
 }
 
+/// [`ann::AnnIndex`] for C2LSH: `budget` is the βn collision-count slack
+/// (T2's candidate allowance); `probes` is ignored.
+impl ann::AnnIndex for C2Lsh {
+    fn name(&self) -> &'static str {
+        "C2LSH"
+    }
+
+    fn index_bytes(&self) -> usize {
+        C2Lsh::index_bytes(self)
+    }
+
+    fn query_with(
+        &self,
+        q: &[f32],
+        p: &ann::SearchParams,
+        _scratch: &mut ann::Scratch,
+    ) -> Vec<Neighbor> {
+        self.query_slack(q, p.k, p.budget)
+    }
+}
+
+impl ann::BuildAnn for C2Lsh {
+    type Params = C2lshParams;
+
+    fn build_index(data: Arc<Dataset>, metric: Metric, params: &C2lshParams) -> Self {
+        C2Lsh::build(data, metric, params)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

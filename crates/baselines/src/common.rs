@@ -46,6 +46,11 @@ impl Dedup {
         Self { stamp: vec![0; n], epoch: 0 }
     }
 
+    /// The id range this seen-set covers (the `n` it was built for).
+    pub fn capacity(&self) -> usize {
+        self.stamp.len()
+    }
+
     /// Starts a new query.
     pub fn begin(&mut self) {
         self.epoch = self.epoch.wrapping_add(1);

@@ -148,6 +148,43 @@ impl E2Lsh {
     }
 }
 
+/// [`ann::AnnIndex`] for E2LSH: `budget` is the bucket-union candidate cap;
+/// `probes` is ignored (the static concatenating framework has no probing).
+impl ann::AnnIndex for E2Lsh {
+    fn name(&self) -> &'static str {
+        "E2LSH"
+    }
+
+    fn index_bytes(&self) -> usize {
+        E2Lsh::index_bytes(self)
+    }
+
+    fn make_scratch(&self) -> ann::Scratch {
+        ann::Scratch::new(Dedup::new(self.data.len()))
+    }
+
+    fn query_with(
+        &self,
+        q: &[f32],
+        p: &ann::SearchParams,
+        scratch: &mut ann::Scratch,
+    ) -> Vec<Neighbor> {
+        let dedup = scratch.get_valid_with(
+            |d: &Dedup| d.capacity() == self.data.len(),
+            || Dedup::new(self.data.len()),
+        );
+        E2Lsh::query_with(self, q, p.k, p.budget, dedup)
+    }
+}
+
+impl ann::BuildAnn for E2Lsh {
+    type Params = E2lshParams;
+
+    fn build_index(data: Arc<Dataset>, metric: Metric, params: &E2lshParams) -> Self {
+        E2Lsh::build(data, metric, params)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

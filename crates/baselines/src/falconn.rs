@@ -65,6 +65,11 @@ impl Falconn {
         self.inner.query(q, k, max_candidates)
     }
 
+    /// Fresh reusable dedup scratch sized for this index's dataset.
+    pub fn scratch(&self) -> crate::common::Dedup {
+        self.inner.scratch()
+    }
+
     /// [`Falconn::query`] with a query-time probe-count override.
     pub fn query_probes(
         &self,
@@ -74,12 +79,63 @@ impl Falconn {
         probes: usize,
     ) -> Vec<Neighbor> {
         let mut dedup = self.inner.scratch();
-        self.inner.query_probes(q, k, max_candidates, probes, &mut dedup)
+        self.query_probes_with(q, k, max_candidates, probes, &mut dedup)
+    }
+
+    /// [`Falconn::query_probes`] with caller-provided scratch.
+    pub fn query_probes_with(
+        &self,
+        q: &[f32],
+        k: usize,
+        max_candidates: usize,
+        probes: usize,
+        dedup: &mut crate::common::Dedup,
+    ) -> Vec<Neighbor> {
+        self.inner.query_probes(q, k, max_candidates, probes, dedup)
     }
 
     /// Index footprint in bytes.
     pub fn index_bytes(&self) -> usize {
         self.inner.index_bytes()
+    }
+}
+
+/// [`ann::AnnIndex`] for the FALCONN-style index: `budget` is the candidate
+/// cap, `probes` the probe-sequence length (`0` = no extra probes).
+impl ann::AnnIndex for Falconn {
+    fn name(&self) -> &'static str {
+        "FALCONN"
+    }
+
+    fn index_bytes(&self) -> usize {
+        Falconn::index_bytes(self)
+    }
+
+    fn make_scratch(&self) -> ann::Scratch {
+        ann::Scratch::new(self.scratch())
+    }
+
+    fn query_with(
+        &self,
+        q: &[f32],
+        p: &ann::SearchParams,
+        scratch: &mut ann::Scratch,
+    ) -> Vec<Neighbor> {
+        let dedup = scratch.get_valid_with(
+            |d: &crate::common::Dedup| d.capacity() == self.inner.data_len(),
+            || self.scratch(),
+        );
+        self.query_probes_with(q, p.k, p.budget, p.probes, dedup)
+    }
+}
+
+/// Builds under [`ann::BuildAnn`]; the metric argument is ignored — the
+/// cross-polytope family is Angular-only by construction.
+impl ann::BuildAnn for Falconn {
+    type Params = FalconnParams;
+
+    fn build_index(data: Arc<Dataset>, _metric: Metric, params: &FalconnParams) -> Self {
+        Falconn::build(data, params)
     }
 }
 

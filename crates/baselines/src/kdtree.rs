@@ -164,6 +164,33 @@ impl Iterator for NearestIter<'_> {
     }
 }
 
+/// [`ann::AnnIndex`] for the kd-tree substrate: exact k-NN in its own
+/// (projected) space via the incremental iterator; `budget` and `probes`
+/// are ignored. The kd-tree is built from raw points rather than a
+/// [`dataset::Dataset`], so it has no [`ann::BuildAnn`] impl.
+impl ann::AnnIndex for KdTree {
+    fn name(&self) -> &'static str {
+        "kd-tree"
+    }
+
+    fn index_bytes(&self) -> usize {
+        self.nbytes()
+    }
+
+    fn query_with(
+        &self,
+        q: &[f32],
+        p: &ann::SearchParams,
+        _scratch: &mut ann::Scratch,
+    ) -> Vec<dataset::exact::Neighbor> {
+        assert!(p.k > 0, "k must be positive");
+        self.nearest_iter(q)
+            .take(p.k)
+            .map(|(id, sq)| dataset::exact::Neighbor { id, dist: sq.sqrt() })
+            .collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

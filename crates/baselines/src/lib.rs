@@ -20,7 +20,12 @@
 //!
 //! All indices share the conventions of the reproduction: explicit seeds,
 //! `Arc<Dataset>` data handles, candidate verification with exact distances,
-//! and `index_bytes()` accounting for the Figures 6–7 axes.
+//! and `index_bytes()` accounting for the Figures 6–7 axes. Every scheme
+//! also implements the workspace-wide [`ann::AnnIndex`] trait (see each
+//! module's impl for how the generic `budget`/`probes` knobs map onto its
+//! native parameters), so the eval harness and serving callers drive the
+//! whole suite through one interface, including the parallel
+//! `query_batch` executor.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -38,9 +43,11 @@ pub mod qalsh;
 pub mod sk_lsh;
 pub mod srs;
 
+pub use ann::{AnnIndex, BuildAnn, Scratch, SearchParams};
 pub use c2lsh::{C2Lsh, C2lshParams};
 pub use e2lsh::{E2Lsh, E2lshParams};
 pub use falconn::{Falconn, FalconnParams};
+pub use kdtree::KdTree;
 pub use linear::LinearScan;
 pub use lsh_forest::{LshForest, LshForestParams};
 pub use multiprobe_lsh::{MultiProbeLsh, MultiProbeLshParams};

@@ -31,6 +31,35 @@ impl LinearScan {
     }
 }
 
+/// [`ann::AnnIndex`] for the exact linear scan: `budget` and `probes` are
+/// ignored — every query verifies the full dataset.
+impl ann::AnnIndex for LinearScan {
+    fn name(&self) -> &'static str {
+        "Linear"
+    }
+
+    fn index_bytes(&self) -> usize {
+        LinearScan::index_bytes(self)
+    }
+
+    fn query_with(
+        &self,
+        q: &[f32],
+        p: &ann::SearchParams,
+        _scratch: &mut ann::Scratch,
+    ) -> Vec<Neighbor> {
+        self.query(q, p.k)
+    }
+}
+
+impl ann::BuildAnn for LinearScan {
+    type Params = ();
+
+    fn build_index(data: Arc<Dataset>, metric: Metric, _params: &()) -> Self {
+        LinearScan::build(data, metric)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -184,6 +184,35 @@ impl LshForest {
     }
 }
 
+/// [`ann::AnnIndex`] for LSH-Forest: `budget` is the candidate cap of the
+/// descending-prefix cursor merge; `probes` is ignored.
+impl ann::AnnIndex for LshForest {
+    fn name(&self) -> &'static str {
+        "LSH-Forest"
+    }
+
+    fn index_bytes(&self) -> usize {
+        LshForest::index_bytes(self)
+    }
+
+    fn query_with(
+        &self,
+        q: &[f32],
+        p: &ann::SearchParams,
+        _scratch: &mut ann::Scratch,
+    ) -> Vec<Neighbor> {
+        LshForest::query(self, q, p.k, p.budget)
+    }
+}
+
+impl ann::BuildAnn for LshForest {
+    type Params = LshForestParams;
+
+    fn build_index(data: Arc<Dataset>, metric: Metric, params: &LshForestParams) -> Self {
+        LshForest::build(data, metric, params)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -103,6 +103,12 @@ impl MultiProbeLsh {
         Dedup::new(self.data.len())
     }
 
+    /// Indexed object count (scratch-validation hook for the FALCONN
+    /// wrapper).
+    pub(crate) fn data_len(&self) -> usize {
+        self.data.len()
+    }
+
     /// [`MultiProbeLsh::query`] with reusable scratch.
     pub fn query_with(
         &self,
@@ -218,6 +224,44 @@ impl MultiProbeLsh {
         let buckets: usize = self.tables.iter().map(|t| t.len() * 16).sum();
         let funcs = self.params.k_funcs * self.params.l_tables * self.data.dim() * 4;
         entries + buckets + funcs
+    }
+}
+
+/// [`ann::AnnIndex`] for Multi-Probe LSH: `budget` is the candidate cap,
+/// `probes` the probe-sequence length (`0` = no extra probes, matching the
+/// eval harness's historical convention).
+impl ann::AnnIndex for MultiProbeLsh {
+    fn name(&self) -> &'static str {
+        "Multi-Probe LSH"
+    }
+
+    fn index_bytes(&self) -> usize {
+        MultiProbeLsh::index_bytes(self)
+    }
+
+    fn make_scratch(&self) -> ann::Scratch {
+        ann::Scratch::new(self.scratch())
+    }
+
+    fn query_with(
+        &self,
+        q: &[f32],
+        p: &ann::SearchParams,
+        scratch: &mut ann::Scratch,
+    ) -> Vec<Neighbor> {
+        let dedup = scratch.get_valid_with(
+            |d: &Dedup| d.capacity() == self.data.len(),
+            || self.scratch(),
+        );
+        self.query_probes(q, p.k, p.budget, p.probes, dedup)
+    }
+}
+
+impl ann::BuildAnn for MultiProbeLsh {
+    type Params = MultiProbeLshParams;
+
+    fn build_index(data: Arc<Dataset>, metric: Metric, params: &MultiProbeLshParams) -> Self {
+        MultiProbeLsh::build(data, metric, params)
     }
 }
 

@@ -166,6 +166,35 @@ impl Qalsh {
     }
 }
 
+/// [`ann::AnnIndex`] for QALSH: `budget` is the βn collision-count slack;
+/// `probes` is ignored.
+impl ann::AnnIndex for Qalsh {
+    fn name(&self) -> &'static str {
+        "QALSH"
+    }
+
+    fn index_bytes(&self) -> usize {
+        Qalsh::index_bytes(self)
+    }
+
+    fn query_with(
+        &self,
+        q: &[f32],
+        p: &ann::SearchParams,
+        _scratch: &mut ann::Scratch,
+    ) -> Vec<Neighbor> {
+        self.query_slack(q, p.k, p.budget)
+    }
+}
+
+impl ann::BuildAnn for Qalsh {
+    type Params = QalshParams;
+
+    fn build_index(data: Arc<Dataset>, metric: Metric, params: &QalshParams) -> Self {
+        Qalsh::build(data, metric, params)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -166,6 +166,35 @@ impl SkLsh {
     }
 }
 
+/// [`ann::AnnIndex`] for SK-LSH: `budget` is the candidate cap of the
+/// bidirectional sorted-key scans; `probes` is ignored.
+impl ann::AnnIndex for SkLsh {
+    fn name(&self) -> &'static str {
+        "SK-LSH"
+    }
+
+    fn index_bytes(&self) -> usize {
+        SkLsh::index_bytes(self)
+    }
+
+    fn query_with(
+        &self,
+        q: &[f32],
+        p: &ann::SearchParams,
+        _scratch: &mut ann::Scratch,
+    ) -> Vec<Neighbor> {
+        SkLsh::query(self, q, p.k, p.budget)
+    }
+}
+
+impl ann::BuildAnn for SkLsh {
+    type Params = SkLshParams;
+
+    fn build_index(data: Arc<Dataset>, metric: Metric, params: &SkLshParams) -> Self {
+        SkLsh::build(data, metric, params)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

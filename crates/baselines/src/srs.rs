@@ -131,6 +131,35 @@ impl Srs {
     }
 }
 
+/// [`ann::AnnIndex`] for SRS: `budget` is the exact-verification budget of
+/// the projected incremental-NN walk; `probes` is ignored.
+impl ann::AnnIndex for Srs {
+    fn name(&self) -> &'static str {
+        "SRS"
+    }
+
+    fn index_bytes(&self) -> usize {
+        Srs::index_bytes(self)
+    }
+
+    fn query_with(
+        &self,
+        q: &[f32],
+        p: &ann::SearchParams,
+        _scratch: &mut ann::Scratch,
+    ) -> Vec<Neighbor> {
+        self.query_budget(q, p.k, p.budget)
+    }
+}
+
+impl ann::BuildAnn for Srs {
+    type Params = SrsParams;
+
+    fn build_index(data: Arc<Dataset>, metric: Metric, params: &SrsParams) -> Self {
+        Srs::build(data, metric, params)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

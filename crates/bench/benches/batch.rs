@@ -1,0 +1,46 @@
+//! Sequential vs parallel batch-query throughput through the `AnnIndex`
+//! batch executor, at batch sizes {1, 64, 1024} — the serving-path
+//! speedup the executor exists for. Throughput is reported as queries/s;
+//! on a single-core host the parallel path degenerates to the sequential
+//! loop (the executor short-circuits), so the two series should match
+//! there and diverge by ~#cores on multi-core hosts.
+
+use ann::{executor, AnnIndex, SearchParams};
+use bench::bench_data;
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dataset::Metric;
+use lccs_lsh::{LccsLsh, LccsParams};
+use std::sync::Arc;
+
+fn bench_batch(c: &mut Criterion) {
+    let n = 20_000;
+    let data = Arc::new(bench_data(n, 64));
+    let idx = LccsLsh::build(data.clone(), Metric::Euclidean, &LccsParams::euclidean(8.0).with_m(64));
+    let params = SearchParams::new(10, 128);
+    let mut g = c.benchmark_group("batch_query");
+    g.sample_size(10);
+    for &batch in &[1usize, 64, 1024] {
+        let queries = data.sample_queries(batch, 0x5eed);
+        g.throughput(Throughput::Elements(batch as u64));
+        g.bench_with_input(BenchmarkId::new("sequential", batch), &(), |b, ()| {
+            // Disambiguate from the inherent LccsLsh::query_with.
+            let mut scratch = AnnIndex::make_scratch(&idx);
+            b.iter(|| {
+                (0..queries.len())
+                    .map(|i| AnnIndex::query_with(&idx, black_box(queries.get(i)), &params, &mut scratch))
+                    .collect::<Vec<_>>()
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("parallel", batch), &(), |b, ()| {
+            b.iter(|| executor::batch_query(&idx, black_box(&queries), &params));
+        });
+    }
+    g.finish();
+    eprintln!(
+        "note: executor sees {} worker thread(s) at batch 1024 on this host",
+        executor::worker_threads(1024)
+    );
+}
+
+criterion_group!(benches, bench_batch);
+criterion_main!(benches);

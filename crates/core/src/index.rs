@@ -219,28 +219,19 @@ impl LccsLsh {
         QueryOutput { verified: cands.len(), neighbors }
     }
 
-    /// Answers a whole query set in parallel (one scratch per thread). The
-    /// paper's measurements are single-threaded; this is the deployment
-    /// convenience for throughput-oriented users. Results are returned in
-    /// query order.
+    /// Answers a whole query set in parallel through the workspace batch
+    /// executor ([`ann::executor`]): chunked dynamic scheduling, one
+    /// scratch per worker, results in query order and identical to
+    /// sequential [`LccsLsh::query_with`] calls. The paper's measurements
+    /// are single-threaded; this is the deployment path for
+    /// throughput-oriented users.
     pub fn query_batch(&self, queries: &Dataset, k: usize, lambda: usize) -> Vec<QueryOutput> {
         assert_eq!(queries.dim(), self.data.dim(), "query dimension mismatch");
-        let nq = queries.len();
-        let mut out: Vec<Option<QueryOutput>> = (0..nq).map(|_| None).collect();
-        let threads = std::thread::available_parallelism().map_or(4, |p| p.get()).min(16);
-        let chunk = nq.div_ceil(threads).max(1);
-        std::thread::scope(|scope| {
-            for (t, slab) in out.chunks_mut(chunk).enumerate() {
-                scope.spawn(move || {
-                    let mut scratch = self.scratch();
-                    for (r, slot) in slab.iter_mut().enumerate() {
-                        let q = queries.get(t * chunk + r);
-                        *slot = Some(self.query_with(q, k, lambda, &mut scratch));
-                    }
-                });
-            }
-        });
-        out.into_iter().map(|o| o.expect("all queries answered")).collect()
+        ann::executor::par_map_scratch(
+            queries.len(),
+            || self.scratch(),
+            |i, scratch| self.query_with(queries.get(i), k, lambda, scratch),
+        )
     }
 
     /// Verification phase: exact distances for the candidate ids, keep the

@@ -36,7 +36,10 @@ pub mod index;
 pub mod multiprobe;
 pub mod persist;
 pub mod theory;
+pub mod traits;
 
+pub use ann::{AnnIndex, BuildAnn, Scratch, SearchParams};
 pub use index::{LccsLsh, LccsParams, QueryOutput, QueryScratch};
 pub use persist::LoadError;
 pub use multiprobe::{MpLccsLsh, MpParams, Perturbation, PerturbationGenerator, MAX_GAP};
+pub use traits::MpBuildParams;

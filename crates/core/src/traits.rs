@@ -1,0 +1,152 @@
+//! [`AnnIndex`] implementations for the LCCS schemes.
+//!
+//! The trait's `budget` knob is λ, the paper's single query-time
+//! parameter (the recall/time curves of §6 sweep it); `probes` applies
+//! only to MP-LCCS-LSH, where it is the perturbation-probe count of §4.2.
+
+use crate::index::{LccsLsh, LccsParams, QueryScratch};
+use crate::multiprobe::{MpLccsLsh, MpParams};
+use ann::{AnnIndex, BuildAnn, Scratch, SearchParams};
+use dataset::exact::Neighbor;
+use dataset::{Dataset, Metric};
+use std::sync::Arc;
+
+impl AnnIndex for LccsLsh {
+    fn name(&self) -> &'static str {
+        "LCCS-LSH"
+    }
+
+    fn index_bytes(&self) -> usize {
+        LccsLsh::index_bytes(self)
+    }
+
+    fn make_scratch(&self) -> Scratch {
+        Scratch::new(self.scratch())
+    }
+
+    fn query_with(&self, q: &[f32], p: &SearchParams, scratch: &mut Scratch) -> Vec<Neighbor> {
+        let s = scratch.get_valid_with(
+            |s: &QueryScratch| s.csa.capacity() == self.data().len(),
+            || self.scratch(),
+        );
+        LccsLsh::query_with(self, q, p.k, p.budget, s).neighbors
+    }
+}
+
+impl BuildAnn for LccsLsh {
+    type Params = LccsParams;
+
+    fn build_index(data: Arc<Dataset>, metric: Metric, params: &LccsParams) -> Self {
+        LccsLsh::build(data, metric, params)
+    }
+}
+
+impl AnnIndex for MpLccsLsh {
+    fn name(&self) -> &'static str {
+        "MP-LCCS-LSH"
+    }
+
+    fn index_bytes(&self) -> usize {
+        MpLccsLsh::index_bytes(self)
+    }
+
+    fn make_scratch(&self) -> Scratch {
+        Scratch::new(self.scratch())
+    }
+
+    /// `probes == 0` falls back to the build-time [`MpParams::probes`];
+    /// any positive value overrides it per query.
+    fn query_with(&self, q: &[f32], p: &SearchParams, scratch: &mut Scratch) -> Vec<Neighbor> {
+        let s: &mut QueryScratch = scratch.get_valid_with(
+            |s: &QueryScratch| s.csa.capacity() == self.inner().data().len(),
+            || self.scratch(),
+        );
+        if p.probes == 0 {
+            MpLccsLsh::query_with(self, q, p.k, p.budget, s).neighbors
+        } else {
+            self.query_probes(q, p.k, p.budget, p.probes, s).neighbors
+        }
+    }
+}
+
+/// Build parameters of [`MpLccsLsh`] under [`BuildAnn`]: the shared LCCS
+/// parameters plus the multi-probe knobs.
+#[derive(Debug, Clone)]
+pub struct MpBuildParams {
+    /// Single-probe index parameters.
+    pub lccs: LccsParams,
+    /// Multi-probe knobs (default probe count, alternatives per position).
+    pub mp: MpParams,
+}
+
+impl BuildAnn for MpLccsLsh {
+    type Params = MpBuildParams;
+
+    fn build_index(data: Arc<Dataset>, metric: Metric, params: &MpBuildParams) -> Self {
+        MpLccsLsh::build(data, metric, &params.lccs, params.mp.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dataset::SynthSpec;
+
+    fn toy() -> Arc<Dataset> {
+        Arc::new(SynthSpec::new("trait-toy", 400, 16).with_clusters(8).generate(3))
+    }
+
+    #[test]
+    fn trait_query_matches_inherent_query() {
+        let data = toy();
+        let idx = LccsLsh::build(data.clone(), Metric::Euclidean, &LccsParams::euclidean(8.0).with_m(16));
+        let dyn_idx: &dyn AnnIndex = &idx;
+        let p = SearchParams::new(5, 64);
+        for i in [0usize, 123, 399] {
+            let a = dyn_idx.query(data.get(i), &p);
+            let b = idx.query(data.get(i), 5, 64).neighbors;
+            assert_eq!(a, b, "query {i}");
+        }
+        assert_eq!(dyn_idx.name(), "LCCS-LSH");
+        assert_eq!(AnnIndex::index_bytes(dyn_idx), idx.csa().nbytes());
+    }
+
+    #[test]
+    fn mp_trait_probe_override() {
+        let data = toy();
+        let mp = MpLccsLsh::build(
+            data.clone(),
+            Metric::Euclidean,
+            &LccsParams::euclidean(8.0).with_m(16),
+            MpParams { probes: 4, max_alts: 4 },
+        );
+        let q = data.get(7);
+        let mut s1 = mp.scratch();
+        let default_probes = mp.query_with(q, 5, 64, &mut s1).neighbors;
+        let via_trait = AnnIndex::query(&mp, q, &SearchParams::new(5, 64));
+        assert_eq!(via_trait, default_probes, "probes=0 uses the built-in default");
+        let overridden = AnnIndex::query(&mp, q, &SearchParams::new(5, 64).with_probes(9));
+        let mut s2 = mp.scratch();
+        assert_eq!(overridden, mp.query_probes(q, 5, 64, 9, &mut s2).neighbors);
+    }
+
+    #[test]
+    fn build_ann_builds() {
+        let data = toy();
+        let idx = <LccsLsh as BuildAnn>::build_index(
+            data.clone(),
+            Metric::Euclidean,
+            &LccsParams::euclidean(8.0).with_m(16),
+        );
+        assert_eq!(idx.m(), 16);
+        let mp = <MpLccsLsh as BuildAnn>::build_index(
+            data,
+            Metric::Euclidean,
+            &MpBuildParams {
+                lccs: LccsParams::euclidean(8.0).with_m(16),
+                mp: MpParams { probes: 2, max_alts: 4 },
+            },
+        );
+        assert_eq!(mp.name(), "MP-LCCS-LSH");
+    }
+}

@@ -90,6 +90,12 @@ impl SearchScratch {
         Self { stamp: vec![0; csa.len()], epoch: 0, heap: BinaryHeap::new() }
     }
 
+    /// The string count this scratch was sized for; reusing it with a CSA
+    /// of a different size is invalid.
+    pub fn capacity(&self) -> usize {
+        self.stamp.len()
+    }
+
     /// Starts a new logical query: clears the seen-set in O(1).
     pub fn begin_query(&mut self) {
         self.epoch = self.epoch.wrapping_add(1);

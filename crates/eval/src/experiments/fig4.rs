@@ -33,7 +33,7 @@ pub(crate) fn run_metric(
         let mut all_points = Vec::new();
         for grid in &grids {
             eprintln!("[{tag}] {} / {} ...", wl.name, grid.method);
-            let pts = super::sweep(grid, wl, metric, opts.k, opts.seed);
+            let pts = super::sweep(grid, wl, metric, opts.k, opts.seed, opts.parallel);
             let frontier = time_recall_frontier(&pts, &levels);
             write_frontier(
                 &opts.out_dir.join(tag),

@@ -33,7 +33,7 @@ pub(crate) fn run_metric(
         let mut all_points = Vec::new();
         for grid in &grids {
             eprintln!("[{tag}] {} / {} ...", wl.name, grid.method);
-            let pts = super::sweep(grid, wl, metric, opts.k, opts.seed);
+            let pts = super::sweep(grid, wl, metric, opts.k, opts.seed, opts.parallel);
             let by_size = resource_frontier(&pts, RECALL_FLOOR, |p| p.index_bytes as f64);
             let by_time = resource_frontier(&pts, RECALL_FLOOR, |p| p.build_secs);
             write_tradeoff(

@@ -42,7 +42,7 @@ pub fn run(opts: &ExpOptions) -> std::io::Result<String> {
             // Build once per spec; evaluate each k over the grid.
             for &k in &KS {
                 let k = k.min(wl.data.len());
-                let pts = super::sweep(grid, &wl, metric, k, opts.seed);
+                let pts = super::sweep(grid, &wl, metric, k, opts.seed, opts.parallel);
                 if let Some(best) = best_at_recall(&pts) {
                     rows.push(vec![
                         format!("Sift-{}", metric.name()),

@@ -34,7 +34,7 @@ pub fn run(opts: &ExpOptions) -> std::io::Result<String> {
                 budgets: super::budget_ladder_pub(opts.quick, opts.n),
                 probes: vec![0],
             };
-            let pts = super::sweep(&grid, &wl, metric, opts.k, opts.seed);
+            let pts = super::sweep(&grid, &wl, metric, opts.k, opts.seed, opts.parallel);
             let frontier = time_recall_frontier(&pts, &levels);
             write_frontier(
                 &opts.out_dir.join("fig9"),

@@ -52,7 +52,7 @@ pub fn run(opts: &ExpOptions) -> std::io::Result<String> {
             budgets: budgets.clone(),
             probes: vec![0],
         };
-        let pts = super::sweep(&grid, &wl, Metric::Euclidean, opts.k, opts.seed);
+        let pts = super::sweep(&grid, &wl, Metric::Euclidean, opts.k, opts.seed, opts.parallel);
         let frontier = time_recall_frontier(&pts, &levels);
         write_frontier(&opts.out_dir.join("frameworks"), &format!("frameworks {label}"), &frontier)?;
         let at50 = frontier

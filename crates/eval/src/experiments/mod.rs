@@ -16,7 +16,7 @@ pub mod fig9;
 pub mod table1;
 pub mod table2;
 
-use crate::harness::{run_point, IndexSpec, RunPoint};
+use crate::harness::{run_point_mode, IndexSpec, RunPoint};
 use dataset::stats::DistanceProfile;
 use dataset::{Dataset, ExactKnn, GroundTruth, Metric, SynthSpec};
 use std::path::PathBuf;
@@ -38,6 +38,10 @@ pub struct ExpOptions {
     /// Reduced grids for fast runs (default true; pass `--full` to use the
     /// paper-scale grids).
     pub quick: bool,
+    /// Answer query sets through the parallel batch executor instead of
+    /// the single-threaded §6 protocol (`--parallel`); `query_ms` then
+    /// reports wall-clock per query.
+    pub parallel: bool,
 }
 
 impl Default for ExpOptions {
@@ -49,6 +53,7 @@ impl Default for ExpOptions {
             seed: 42,
             out_dir: PathBuf::from("results"),
             quick: true,
+            parallel: false,
         }
     }
 }
@@ -76,8 +81,9 @@ impl ExpOptions {
                 "--out" => o.out_dir = PathBuf::from(take("--out")),
                 "--full" => o.quick = false,
                 "--quick" => o.quick = true,
+                "--parallel" => o.parallel = true,
                 other => panic!(
-                    "unknown flag {other}; known: --n --queries --k --seed --out --full --quick"
+                    "unknown flag {other}; known: --n --queries --k --seed --out --full --quick --parallel"
                 ),
             }
         }
@@ -292,14 +298,25 @@ pub fn angular_grids(quick: bool, n: usize) -> Vec<MethodGrid> {
 }
 
 /// Runs the full grid of one method on one workload: every index spec ×
-/// budget × probe count.
-pub fn sweep(grid: &MethodGrid, wl: &Workload, metric: Metric, k: usize, seed: u64) -> Vec<RunPoint> {
+/// budget × probe count. One generic loop over `dyn AnnIndex` — the
+/// registry behind [`IndexSpec::build`] is the only per-algorithm code
+/// left. With `parallel` the query sets run through the batch executor.
+pub fn sweep(
+    grid: &MethodGrid,
+    wl: &Workload,
+    metric: Metric,
+    k: usize,
+    seed: u64,
+    parallel: bool,
+) -> Vec<RunPoint> {
     let mut out = Vec::new();
     for spec in &grid.specs {
         let built = spec.build(&wl.data, metric, wl.w, seed);
         for &budget in &grid.budgets {
             for &probes in &grid.probes {
-                out.push(run_point(&built, &wl.name, &wl.queries, &wl.gt, k, budget, probes));
+                out.push(run_point_mode(
+                    &built, &wl.name, &wl.queries, &wl.gt, k, budget, probes, parallel,
+                ));
             }
         }
     }
@@ -371,7 +388,7 @@ mod tests {
             budgets: vec![4, 32],
             probes: vec![0],
         };
-        let pts = sweep(&grid, &wl, Metric::Euclidean, 5, 1);
+        let pts = sweep(&grid, &wl, Metric::Euclidean, 5, 1, false);
         assert_eq!(pts.len(), 4);
     }
 }

@@ -1,21 +1,25 @@
 //! Index-building and query-timing machinery shared by all experiments.
 //!
-//! Every scheme is wrapped behind [`BuiltIndex`] with two query-time knobs:
-//! a *budget* (candidates to verify: λ for the LCCS schemes, bucket-union
-//! cap for the table schemes, βn slack for the counting schemes, the verify
-//! budget for SRS) and an optional *probe count* (multi-probe schemes).
-//! Index-time parameters live in [`IndexSpec`]; the split lets grid search
-//! sweep query knobs without rebuilding.
+//! Every scheme is a [`ann::AnnIndex`] trait object built through the
+//! [`crate::registry`] of named factories; the harness drives them with
+//! two query-time knobs packed into [`ann::SearchParams`]: a *budget*
+//! (candidates to verify: λ for the LCCS schemes, bucket-union cap for the
+//! table schemes, βn slack for the counting schemes, the verify budget for
+//! SRS) and an optional *probe count* (multi-probe schemes). Index-time
+//! parameters live in [`IndexSpec`]; the split lets grid search sweep
+//! query knobs without rebuilding.
+//!
+//! Two timing modes:
+//! * [`run_point`] — single-threaded, per-query scratch reuse; this is the
+//!   paper's §6 measurement protocol.
+//! * [`run_point_parallel`] — routes the whole query set through the
+//!   batch executor ([`ann::executor`]); `query_ms` then reports
+//!   wall-clock per query, i.e. the serving-throughput view.
 
-use baselines::{
-    C2Lsh, C2lshParams, E2Lsh, E2lshParams, Falconn, FalconnParams, LinearScan, LshForest,
-    LshForestParams, MultiProbeLsh, MultiProbeLshParams, Qalsh, QalshParams, SkLsh, SkLshParams,
-    Srs, SrsParams,
-};
+use crate::registry::{self, BuildCtx};
+use ann::{AnnIndex, SearchParams};
 use dataset::exact::Neighbor;
 use dataset::{Dataset, GroundTruth, Metric};
-use lccs_lsh::{LccsLsh, LccsParams, MpLccsLsh, MpParams};
-use lsh::FamilyKind;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -123,7 +127,8 @@ impl IndexSpec {
         }
     }
 
-    /// Builds the index, timing the indexing phase.
+    /// Builds the index through the factory registry, timing the indexing
+    /// phase.
     ///
     /// `w` is the random-projection bucket width (fine-tuned per dataset in
     /// the paper, footnote 11); ignored by angular/CP methods. `metric`
@@ -131,129 +136,10 @@ impl IndexSpec {
     /// E2LSH and C2LSH to Angular with cross-polytope functions).
     pub fn build(&self, data: &Arc<Dataset>, metric: Metric, w: f64, seed: u64) -> BuiltIndex {
         let start = Instant::now();
-        let family = match metric {
-            Metric::Angular => FamilyKind::CrossPolytopeFast,
-            _ => FamilyKind::RandomProjection,
-        };
-        let lccs_params = |m: usize| LccsParams {
-            m,
-            family,
-            family_params: lsh::FamilyParams { w },
-            seed,
-        };
-        let kind = match *self {
-            IndexSpec::Lccs { m } => {
-                Kind::Lccs(LccsLsh::build(data.clone(), metric, &lccs_params(m)))
-            }
-            IndexSpec::MpLccs { m } => Kind::MpLccs(MpLccsLsh::build(
-                data.clone(),
-                metric,
-                &lccs_params(m),
-                MpParams { probes: 1, max_alts: 8 },
-            )),
-            IndexSpec::E2lsh { k_funcs, l_tables } => {
-                let params = E2lshParams {
-                    k_funcs,
-                    l_tables,
-                    family,
-                    family_params: lsh::FamilyParams { w },
-                    seed,
-                };
-                Kind::E2lsh(E2Lsh::build(data.clone(), metric, &params))
-            }
-            IndexSpec::MultiProbeLsh { k_funcs, l_tables } => {
-                let params = MultiProbeLshParams {
-                    k_funcs,
-                    l_tables,
-                    probes: 0,
-                    max_alts: 4,
-                    family,
-                    family_params: lsh::FamilyParams { w },
-                    seed,
-                };
-                Kind::MultiProbe(MultiProbeLsh::build(data.clone(), metric, &params))
-            }
-            IndexSpec::Falconn { k_funcs, l_tables } => {
-                let params = FalconnParams { k_funcs, l_tables, probes: 0, max_alts: 8, seed };
-                Kind::Falconn(Falconn::build(data.clone(), &params))
-            }
-            IndexSpec::C2lsh { m, l } => {
-                let params = C2lshParams {
-                    m,
-                    l,
-                    c: 2.0,
-                    beta_n: 100,
-                    family,
-                    family_params: lsh::FamilyParams { w },
-                    seed,
-                };
-                Kind::C2lsh(C2Lsh::build(data.clone(), metric, &params))
-            }
-            IndexSpec::Qalsh { m, l } => {
-                let params = QalshParams { m, l, w, c: 2.0, beta_n: 100, seed };
-                Kind::Qalsh(Qalsh::build(data.clone(), metric, &params))
-            }
-            IndexSpec::Srs { d_proj } => {
-                let params = SrsParams { d_proj, max_verify: 100, slack: 1.0, seed };
-                Kind::Srs(Srs::build(data.clone(), metric, &params))
-            }
-            IndexSpec::LshForest { trees, depth } => {
-                let params = LshForestParams {
-                    trees,
-                    depth,
-                    family,
-                    family_params: lsh::FamilyParams { w },
-                    seed,
-                };
-                Kind::LshForest(LshForest::build(data.clone(), metric, &params))
-            }
-            IndexSpec::SkLsh { k_funcs, l_indexes } => {
-                let params = SkLshParams {
-                    k_funcs,
-                    l_indexes,
-                    family,
-                    family_params: lsh::FamilyParams { w },
-                    seed,
-                };
-                Kind::SkLsh(SkLsh::build(data.clone(), metric, &params))
-            }
-            IndexSpec::Linear => Kind::Linear(LinearScan::build(data.clone(), metric)),
-        };
+        let index = registry::build_index(self, &BuildCtx { data, metric, w, seed });
         let build_secs = start.elapsed().as_secs_f64();
-        let index_bytes = kind.index_bytes();
-        BuiltIndex { spec: self.clone(), build_secs, index_bytes, kind }
-    }
-}
-
-enum Kind {
-    Lccs(LccsLsh),
-    MpLccs(MpLccsLsh),
-    E2lsh(E2Lsh),
-    MultiProbe(MultiProbeLsh),
-    Falconn(Falconn),
-    C2lsh(C2Lsh),
-    Qalsh(Qalsh),
-    Srs(Srs),
-    LshForest(LshForest),
-    SkLsh(SkLsh),
-    Linear(LinearScan),
-}
-
-impl Kind {
-    fn index_bytes(&self) -> usize {
-        match self {
-            Kind::Lccs(i) => i.index_bytes(),
-            Kind::MpLccs(i) => i.index_bytes(),
-            Kind::E2lsh(i) => i.index_bytes(),
-            Kind::MultiProbe(i) => i.index_bytes(),
-            Kind::Falconn(i) => i.index_bytes(),
-            Kind::C2lsh(i) => i.index_bytes(),
-            Kind::Qalsh(i) => i.index_bytes(),
-            Kind::Srs(i) => i.index_bytes(),
-            Kind::LshForest(i) => i.index_bytes(),
-            Kind::SkLsh(i) => i.index_bytes(),
-            Kind::Linear(i) => i.index_bytes(),
-        }
+        let index_bytes = index.index_bytes();
+        BuiltIndex { spec: self.clone(), build_secs, index_bytes, index }
     }
 }
 
@@ -265,32 +151,27 @@ pub struct BuiltIndex {
     pub build_secs: f64,
     /// Index footprint in bytes.
     pub index_bytes: usize,
-    kind: Kind,
+    /// The scheme, erased behind the workspace-wide index trait.
+    pub index: Box<dyn AnnIndex>,
 }
 
 impl BuiltIndex {
     /// Runs one query. `budget` is the method's candidate knob; `probes`
     /// applies to the multi-probe schemes (ignored elsewhere; 0 = none).
     pub fn query(&self, q: &[f32], k: usize, budget: usize, probes: usize) -> Vec<Neighbor> {
-        match &self.kind {
-            Kind::Lccs(i) => i.query(q, k, budget).neighbors,
-            Kind::MpLccs(i) => {
-                let mut s = i.scratch();
-                i.query_probes(q, k, budget, probes.max(1), &mut s).neighbors
-            }
-            Kind::E2lsh(i) => i.query(q, k, budget),
-            Kind::MultiProbe(i) => {
-                let mut dedup = i.scratch();
-                i.query_probes(q, k, budget, probes, &mut dedup)
-            }
-            Kind::Falconn(i) => i.query_probes(q, k, budget, probes),
-            Kind::C2lsh(i) => i.query_slack(q, k, budget),
-            Kind::Qalsh(i) => i.query_slack(q, k, budget),
-            Kind::Srs(i) => i.query_budget(q, k, budget),
-            Kind::LshForest(i) => i.query(q, k, budget),
-            Kind::SkLsh(i) => i.query(q, k, budget),
-            Kind::Linear(i) => i.query(q, k),
-        }
+        self.index.query(q, &SearchParams { k, budget, probes })
+    }
+
+    /// Runs the whole query set through the parallel batch executor,
+    /// returning per-query results in query order.
+    pub fn query_batch(
+        &self,
+        queries: &Dataset,
+        k: usize,
+        budget: usize,
+        probes: usize,
+    ) -> Vec<Vec<Neighbor>> {
+        self.index.query_batch(queries, &SearchParams { k, budget, probes })
     }
 }
 
@@ -309,7 +190,8 @@ pub struct RunPoint {
     pub recall: f64,
     /// Mean overall ratio.
     pub ratio: f64,
-    /// Mean single-threaded query time in milliseconds.
+    /// Mean query time in milliseconds — per-query CPU time in sequential
+    /// mode, wall-clock per query in parallel mode.
     pub query_ms: f64,
     /// Index footprint in bytes.
     pub index_bytes: usize,
@@ -317,8 +199,9 @@ pub struct RunPoint {
     pub build_secs: f64,
 }
 
-/// Times `built` over every query (single thread, as in §6) and averages
-/// the metrics against `gt` (whose k must be ≥ `k`).
+/// Times `built` over every query single-threaded with scratch reuse (the
+/// §6 protocol) and averages the metrics against `gt` (whose k must be
+/// ≥ `k`).
 pub fn run_point(
     built: &BuiltIndex,
     dataset_name: &str,
@@ -328,15 +211,49 @@ pub fn run_point(
     budget: usize,
     probes: usize,
 ) -> RunPoint {
+    run_point_mode(built, dataset_name, queries, gt, k, budget, probes, false)
+}
+
+/// [`run_point`] but answering the query set through the parallel batch
+/// executor; `query_ms` becomes wall-clock per query (throughput view).
+/// Recall/ratio are identical to sequential mode — the executor is
+/// deterministic.
+pub fn run_point_parallel(
+    built: &BuiltIndex,
+    dataset_name: &str,
+    queries: &Dataset,
+    gt: &GroundTruth,
+    k: usize,
+    budget: usize,
+    probes: usize,
+) -> RunPoint {
+    run_point_mode(built, dataset_name, queries, gt, k, budget, probes, true)
+}
+
+/// Shared implementation of the two timing modes.
+#[allow(clippy::too_many_arguments)]
+pub fn run_point_mode(
+    built: &BuiltIndex,
+    dataset_name: &str,
+    queries: &Dataset,
+    gt: &GroundTruth,
+    k: usize,
+    budget: usize,
+    probes: usize,
+    parallel: bool,
+) -> RunPoint {
     assert!(gt.k() >= k, "ground truth too shallow: {} < {k}", gt.k());
+    let params = SearchParams { k, budget, probes };
+    let start = Instant::now();
+    let results: Vec<Vec<Neighbor>> = if parallel {
+        built.index.query_batch(queries, &params)
+    } else {
+        let mut scratch = built.index.make_scratch();
+        queries.iter().map(|q| built.index.query_with(q, &params, &mut scratch)).collect()
+    };
+    let elapsed = start.elapsed().as_secs_f64();
     let mut recall_sum = 0.0;
     let mut ratio_sum = 0.0;
-    let start = Instant::now();
-    let mut results = Vec::with_capacity(queries.len());
-    for q in queries.iter() {
-        results.push(built.query(q, k, budget, probes));
-    }
-    let elapsed = start.elapsed().as_secs_f64();
     for (qi, got) in results.iter().enumerate() {
         let truth = &gt.neighbors(qi)[..k];
         recall_sum += crate::metrics::recall(got, truth);
@@ -351,9 +268,12 @@ pub fn run_point(
     if probes > 0 {
         config.push_str(&format!(",probes={probes}"));
     }
+    if parallel {
+        config.push_str(",par");
+    }
     RunPoint {
         dataset: dataset_name.to_string(),
-        method: built.spec.method_name().to_string(),
+        method: built.index.name().to_string(),
         config,
         k,
         recall: recall_sum / nq,
@@ -436,5 +356,33 @@ mod tests {
         let small = run_point(&built, "unit", &queries, &gt, 10, 4, 0);
         let large = run_point(&built, "unit", &queries, &gt, 10, 512, 0);
         assert!(large.recall >= small.recall);
+    }
+
+    #[test]
+    fn parallel_mode_reproduces_sequential_metrics() {
+        let (data, queries, gt) = setup();
+        for spec in [
+            IndexSpec::Lccs { m: 16 },
+            IndexSpec::MpLccs { m: 16 },
+            IndexSpec::E2lsh { k_funcs: 2, l_tables: 8 },
+            IndexSpec::Qalsh { m: 16, l: 4 },
+        ] {
+            let built = spec.build(&data, Metric::Euclidean, 4.0, 7);
+            let seq = run_point(&built, "unit", &queries, &gt, 10, 64, 8);
+            let par = run_point_parallel(&built, "unit", &queries, &gt, 10, 64, 8);
+            assert_eq!(seq.recall, par.recall, "{}", seq.method);
+            assert_eq!(seq.ratio, par.ratio, "{}", seq.method);
+        }
+    }
+
+    #[test]
+    fn batch_query_equals_sequential_queries() {
+        let (data, queries, gt) = setup();
+        let _ = &gt;
+        let built = IndexSpec::Lccs { m: 16 }.build(&data, Metric::Euclidean, 4.0, 5);
+        let batch = built.query_batch(&queries, 5, 64, 0);
+        for (qi, q) in queries.iter().enumerate() {
+            assert_eq!(batch[qi], built.query(q, 5, 64, 0), "query {qi}");
+        }
     }
 }

@@ -1,11 +1,14 @@
 //! Evaluation harness (paper §6).
 //!
-//! Uniform machinery to build every scheme, time single-threaded queries,
-//! compute the paper's metrics (recall, overall ratio, query time, index
-//! size, indexing time — §6.2), grid-search parameter spaces, extract the
-//! lowest-time-per-recall-level Pareto frontiers the figures plot, and write
-//! TSV series. The per-figure drivers live in [`experiments`]; the runnable
-//! binaries wrapping them live in the `bench` crate.
+//! Uniform machinery to build every scheme as a `Box<dyn AnnIndex>`
+//! (through the [`registry`] of named factories), time queries either
+//! single-threaded (the §6 protocol) or through the parallel batch
+//! executor, compute the paper's metrics (recall, overall ratio, query
+//! time, index size, indexing time — §6.2), grid-search parameter spaces,
+//! extract the lowest-time-per-recall-level Pareto frontiers the figures
+//! plot, and write TSV series. The per-figure drivers live in
+//! [`experiments`]; the runnable binaries wrapping them live in the
+//! `bench` crate.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -14,7 +17,9 @@ pub mod experiments;
 pub mod harness;
 pub mod metrics;
 pub mod pareto;
+pub mod registry;
 pub mod report;
 
-pub use harness::{BuiltIndex, IndexSpec, RunPoint};
+pub use ann::{AnnIndex, SearchParams};
+pub use harness::{run_point, run_point_parallel, BuiltIndex, IndexSpec, RunPoint};
 pub use metrics::{overall_ratio, recall};

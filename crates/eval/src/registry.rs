@@ -1,0 +1,230 @@
+//! Named index factories: the one place that knows how to turn an
+//! [`IndexSpec`] into a concrete scheme.
+//!
+//! Every experiment drives indexes through `Box<dyn AnnIndex>`; this
+//! registry is the only per-algorithm dispatch left in the evaluation
+//! stack. Adding a scheme to the paper suite means adding one
+//! [`Entry`] here (and a spec variant) — the harness, the sweeps, and
+//! the figure drivers pick it up unchanged.
+
+use crate::harness::IndexSpec;
+use ann::{AnnIndex, BuildAnn};
+use baselines::{
+    C2Lsh, C2lshParams, E2Lsh, E2lshParams, Falconn, FalconnParams, LinearScan, LshForest,
+    LshForestParams, MultiProbeLsh, MultiProbeLshParams, Qalsh, QalshParams, SkLsh, SkLshParams,
+    Srs, SrsParams,
+};
+use dataset::{Dataset, Metric};
+use lccs_lsh::{LccsLsh, LccsParams, MpBuildParams, MpLccsLsh, MpParams};
+use lsh::FamilyKind;
+use std::sync::Arc;
+
+/// Everything a factory needs besides its own spec.
+pub struct BuildCtx<'a> {
+    /// The dataset to index.
+    pub data: &'a Arc<Dataset>,
+    /// Verification metric (also selects the hash family for the
+    /// family-agnostic schemes, as §6.3 adapts them to Angular).
+    pub metric: Metric,
+    /// Random-projection bucket width (per-dataset tuned, footnote 11).
+    pub w: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl BuildCtx<'_> {
+    fn family(&self) -> FamilyKind {
+        match self.metric {
+            Metric::Angular => FamilyKind::CrossPolytopeFast,
+            _ => FamilyKind::RandomProjection,
+        }
+    }
+
+    fn lccs_params(&self, m: usize) -> LccsParams {
+        LccsParams {
+            m,
+            family: self.family(),
+            family_params: lsh::FamilyParams { w: self.w },
+            seed: self.seed,
+        }
+    }
+}
+
+/// One named factory: the method label (paper legend) plus its builder.
+/// The builder returns `None` when handed a spec belonging to another
+/// method, which lets [`build_index`] scan the table generically.
+pub struct Entry {
+    /// Method name as printed in the paper's legends.
+    pub method: &'static str,
+    /// Spec-to-index constructor.
+    pub build: fn(&IndexSpec, &BuildCtx) -> Option<Box<dyn AnnIndex>>,
+}
+
+fn build_lccs(spec: &IndexSpec, ctx: &BuildCtx) -> Option<Box<dyn AnnIndex>> {
+    let IndexSpec::Lccs { m } = *spec else { return None };
+    Some(Box::new(LccsLsh::build_index(ctx.data.clone(), ctx.metric, &ctx.lccs_params(m))))
+}
+
+fn build_mp_lccs(spec: &IndexSpec, ctx: &BuildCtx) -> Option<Box<dyn AnnIndex>> {
+    let IndexSpec::MpLccs { m } = *spec else { return None };
+    let params = MpBuildParams {
+        lccs: ctx.lccs_params(m),
+        mp: MpParams { probes: 1, max_alts: 8 },
+    };
+    Some(Box::new(MpLccsLsh::build_index(ctx.data.clone(), ctx.metric, &params)))
+}
+
+fn build_e2lsh(spec: &IndexSpec, ctx: &BuildCtx) -> Option<Box<dyn AnnIndex>> {
+    let IndexSpec::E2lsh { k_funcs, l_tables } = *spec else { return None };
+    let params = E2lshParams {
+        k_funcs,
+        l_tables,
+        family: ctx.family(),
+        family_params: lsh::FamilyParams { w: ctx.w },
+        seed: ctx.seed,
+    };
+    Some(Box::new(E2Lsh::build_index(ctx.data.clone(), ctx.metric, &params)))
+}
+
+fn build_multiprobe(spec: &IndexSpec, ctx: &BuildCtx) -> Option<Box<dyn AnnIndex>> {
+    let IndexSpec::MultiProbeLsh { k_funcs, l_tables } = *spec else { return None };
+    let params = MultiProbeLshParams {
+        k_funcs,
+        l_tables,
+        probes: 0,
+        max_alts: 4,
+        family: ctx.family(),
+        family_params: lsh::FamilyParams { w: ctx.w },
+        seed: ctx.seed,
+    };
+    Some(Box::new(MultiProbeLsh::build_index(ctx.data.clone(), ctx.metric, &params)))
+}
+
+fn build_falconn(spec: &IndexSpec, ctx: &BuildCtx) -> Option<Box<dyn AnnIndex>> {
+    let IndexSpec::Falconn { k_funcs, l_tables } = *spec else { return None };
+    let params = FalconnParams { k_funcs, l_tables, probes: 0, max_alts: 8, seed: ctx.seed };
+    Some(Box::new(Falconn::build_index(ctx.data.clone(), ctx.metric, &params)))
+}
+
+fn build_c2lsh(spec: &IndexSpec, ctx: &BuildCtx) -> Option<Box<dyn AnnIndex>> {
+    let IndexSpec::C2lsh { m, l } = *spec else { return None };
+    let params = C2lshParams {
+        m,
+        l,
+        c: 2.0,
+        beta_n: 100,
+        family: ctx.family(),
+        family_params: lsh::FamilyParams { w: ctx.w },
+        seed: ctx.seed,
+    };
+    Some(Box::new(C2Lsh::build_index(ctx.data.clone(), ctx.metric, &params)))
+}
+
+fn build_qalsh(spec: &IndexSpec, ctx: &BuildCtx) -> Option<Box<dyn AnnIndex>> {
+    let IndexSpec::Qalsh { m, l } = *spec else { return None };
+    let params = QalshParams { m, l, w: ctx.w, c: 2.0, beta_n: 100, seed: ctx.seed };
+    Some(Box::new(Qalsh::build_index(ctx.data.clone(), ctx.metric, &params)))
+}
+
+fn build_srs(spec: &IndexSpec, ctx: &BuildCtx) -> Option<Box<dyn AnnIndex>> {
+    let IndexSpec::Srs { d_proj } = *spec else { return None };
+    let params = SrsParams { d_proj, max_verify: 100, slack: 1.0, seed: ctx.seed };
+    Some(Box::new(Srs::build_index(ctx.data.clone(), ctx.metric, &params)))
+}
+
+fn build_lsh_forest(spec: &IndexSpec, ctx: &BuildCtx) -> Option<Box<dyn AnnIndex>> {
+    let IndexSpec::LshForest { trees, depth } = *spec else { return None };
+    let params = LshForestParams {
+        trees,
+        depth,
+        family: ctx.family(),
+        family_params: lsh::FamilyParams { w: ctx.w },
+        seed: ctx.seed,
+    };
+    Some(Box::new(LshForest::build_index(ctx.data.clone(), ctx.metric, &params)))
+}
+
+fn build_sk_lsh(spec: &IndexSpec, ctx: &BuildCtx) -> Option<Box<dyn AnnIndex>> {
+    let IndexSpec::SkLsh { k_funcs, l_indexes } = *spec else { return None };
+    let params = SkLshParams {
+        k_funcs,
+        l_indexes,
+        family: ctx.family(),
+        family_params: lsh::FamilyParams { w: ctx.w },
+        seed: ctx.seed,
+    };
+    Some(Box::new(SkLsh::build_index(ctx.data.clone(), ctx.metric, &params)))
+}
+
+fn build_linear(spec: &IndexSpec, ctx: &BuildCtx) -> Option<Box<dyn AnnIndex>> {
+    matches!(spec, IndexSpec::Linear)
+        .then(|| Box::new(LinearScan::build_index(ctx.data.clone(), ctx.metric, &())) as _)
+}
+
+/// The full factory table, in the paper's §6.3 method order.
+pub fn entries() -> &'static [Entry] {
+    &[
+        Entry { method: "LCCS-LSH", build: build_lccs },
+        Entry { method: "MP-LCCS-LSH", build: build_mp_lccs },
+        Entry { method: "E2LSH", build: build_e2lsh },
+        Entry { method: "Multi-Probe LSH", build: build_multiprobe },
+        Entry { method: "FALCONN", build: build_falconn },
+        Entry { method: "C2LSH", build: build_c2lsh },
+        Entry { method: "QALSH", build: build_qalsh },
+        Entry { method: "SRS", build: build_srs },
+        Entry { method: "LSH-Forest", build: build_lsh_forest },
+        Entry { method: "SK-LSH", build: build_sk_lsh },
+        Entry { method: "Linear", build: build_linear },
+    ]
+}
+
+/// Builds the index a spec describes, consulting the registry.
+///
+/// # Panics
+/// Panics if no registered factory accepts the spec — which would mean a
+/// spec variant was added without a registry entry.
+pub fn build_index(spec: &IndexSpec, ctx: &BuildCtx) -> Box<dyn AnnIndex> {
+    entries()
+        .iter()
+        .find_map(|e| (e.build)(spec, ctx))
+        .unwrap_or_else(|| panic!("no registered factory for spec {spec:?}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dataset::SynthSpec;
+
+    #[test]
+    fn registry_names_match_trait_names() {
+        let data = Arc::new(SynthSpec::new("reg", 200, 12).with_clusters(4).generate(1));
+        let ctx = BuildCtx { data: &data, metric: Metric::Euclidean, w: 4.0, seed: 7 };
+        let specs = [
+            IndexSpec::Lccs { m: 8 },
+            IndexSpec::MpLccs { m: 8 },
+            IndexSpec::E2lsh { k_funcs: 2, l_tables: 4 },
+            IndexSpec::MultiProbeLsh { k_funcs: 2, l_tables: 2 },
+            IndexSpec::Falconn { k_funcs: 1, l_tables: 2 },
+            IndexSpec::C2lsh { m: 8, l: 2 },
+            IndexSpec::Qalsh { m: 8, l: 2 },
+            IndexSpec::Srs { d_proj: 4 },
+            IndexSpec::LshForest { trees: 2, depth: 4 },
+            IndexSpec::SkLsh { k_funcs: 4, l_indexes: 2 },
+            IndexSpec::Linear,
+        ];
+        for spec in specs {
+            let idx = build_index(&spec, &ctx);
+            assert_eq!(idx.name(), spec.method_name(), "trait/legend name drift");
+        }
+    }
+
+    #[test]
+    fn entry_table_covers_every_method_once() {
+        let mut names: Vec<&str> = entries().iter().map(|e| e.method).collect();
+        let before = names.len();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), before, "duplicate registry entries");
+        assert_eq!(before, 11);
+    }
+}

@@ -1,0 +1,59 @@
+//! Offline stand-in for `crossbeam`'s scoped threads, implemented over
+//! `std::thread::scope` (stable since 1.63, which postdates crossbeam's
+//! API). Only [`scope`] is provided — the one entry point this workspace
+//! uses. Behavioral difference: a panicking child panics the scope
+//! immediately instead of surfacing through the returned `Result`, so the
+//! `Err` arm is never taken; callers' `.expect(...)` remains correct.
+
+#![forbid(unsafe_code)]
+
+use std::any::Any;
+
+/// Scope handle passed to the [`scope`] closure (shim for
+/// `crossbeam::thread::Scope`).
+pub struct Scope<'scope, 'env> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread. Crossbeam hands the closure a nested scope
+    /// handle for recursive spawning; no caller here uses it, so the shim
+    /// passes `()`.
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(()) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        self.inner.spawn(move || f(()))
+    }
+}
+
+/// Runs `f` with a scope in which borrowed-data threads can be spawned;
+/// all threads are joined before `scope` returns.
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_mutate_borrowed_chunks() {
+        let mut data = vec![0u32; 64];
+        super::scope(|scope| {
+            for (t, chunk) in data.chunks_mut(16).enumerate() {
+                scope.spawn(move |_| {
+                    for x in chunk.iter_mut() {
+                        *x = t as u32 + 1;
+                    }
+                });
+            }
+        })
+        .expect("no panics");
+        for (i, x) in data.iter().enumerate() {
+            assert_eq!(*x, (i / 16) as u32 + 1);
+        }
+    }
+}

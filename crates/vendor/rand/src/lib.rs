@@ -1,0 +1,306 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors a minimal, API-compatible subset of `rand`: a deterministic
+//! [`rngs::StdRng`] (xoshiro256** seeded via SplitMix64), the [`Rng`] /
+//! [`SeedableRng`] traits with `gen` / `gen_range`, and
+//! [`seq::index::sample`] for sampling without replacement. Every consumer
+//! in this repo only needs reproducible, well-mixed streams — not
+//! cryptographic quality — and the generator here is the same one the
+//! reference FALCONN/ann-benchmarks harnesses use for seeding.
+//!
+//! If the real `rand` ever becomes available, deleting this crate and
+//! pointing the workspace manifests at crates.io restores the upstream
+//! implementation without source changes.
+
+#![forbid(unsafe_code)]
+
+/// Core source of 64-bit randomness.
+pub trait RngCore {
+    /// Next raw 64 bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction of a generator from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is fully determined by `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Named generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic xoshiro256** generator (shim for `rand::rngs::StdRng`).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion, the canonical xoshiro seeding routine.
+            let mut x = seed;
+            let mut next = move || {
+                x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                z ^ (z >> 31)
+            };
+            Self { s: [next(), next(), next(), next()] }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let out = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            out
+        }
+    }
+}
+
+/// Types producible uniformly from raw bits (shim for `Standard`).
+pub trait Standard {
+    /// Draws one uniform value.
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for u64 {
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+impl Standard for u32 {
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+impl Standard for i64 {
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as i64
+    }
+}
+impl Standard for i32 {
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 32) as i32
+    }
+}
+impl Standard for usize {
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as usize
+    }
+}
+impl Standard for bool {
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+impl Standard for f64 {
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+impl Standard for f32 {
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+/// Ranges samplable by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one value from the range.
+    fn sample_one<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_one<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end as u128).wrapping_sub(self.start as u128) as u64;
+                // Multiply-shift bounded draw (Lemire); bias is < 2^-64.
+                let hi = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                self.start.wrapping_add(hi as $t)
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_one<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range");
+                if lo == <$t>::MIN && hi == <$t>::MAX {
+                    return <$t as Standard>::from_rng(rng);
+                }
+                (lo..hi + 1).sample_one(rng)
+            }
+        }
+    )*};
+}
+int_range!(u64, u32, usize, i64, i32);
+
+macro_rules! float_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_one<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let u = <$t as Standard>::from_rng(rng);
+                self.start + u * (self.end - self.start)
+            }
+        }
+    )*};
+}
+float_range!(f32, f64);
+
+/// Convenience extension over [`RngCore`] (shim for `rand::Rng`).
+pub trait Rng: RngCore {
+    /// Uniform value of a [`Standard`]-samplable type.
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::from_rng(self)
+    }
+
+    /// Uniform value in `range`.
+    fn gen_range<T, Rg: SampleRange<T>>(&mut self, range: Rg) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_one(self)
+    }
+
+    /// True with probability `numerator / denominator`.
+    fn gen_ratio(&mut self, numerator: u32, denominator: u32) -> bool
+    where
+        Self: Sized,
+    {
+        assert!(denominator > 0 && numerator <= denominator, "invalid ratio");
+        self.gen_range(0..denominator) < numerator
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Sequence sampling helpers.
+pub mod seq {
+    /// Index sampling without replacement.
+    pub mod index {
+        use crate::{RngCore, SampleRange};
+
+        /// Sampled index list (shim for `rand::seq::index::IndexVec`).
+        #[derive(Debug, Clone)]
+        pub struct IndexVec(Vec<usize>);
+
+        impl IndexVec {
+            /// Iterates the sampled indices in draw order.
+            pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+                self.0.iter().copied()
+            }
+
+            /// Number of sampled indices.
+            pub fn len(&self) -> usize {
+                self.0.len()
+            }
+
+            /// True when nothing was sampled.
+            pub fn is_empty(&self) -> bool {
+                self.0.is_empty()
+            }
+
+            /// Consumes into a plain vector.
+            pub fn into_vec(self) -> Vec<usize> {
+                self.0
+            }
+        }
+
+        impl IntoIterator for IndexVec {
+            type Item = usize;
+            type IntoIter = std::vec::IntoIter<usize>;
+            fn into_iter(self) -> Self::IntoIter {
+                self.0.into_iter()
+            }
+        }
+
+        /// Samples `amount` distinct indices from `0..length` uniformly
+        /// (partial Fisher–Yates shuffle).
+        ///
+        /// # Panics
+        /// Panics if `amount > length`.
+        pub fn sample<R: RngCore + ?Sized>(
+            rng: &mut R,
+            length: usize,
+            amount: usize,
+        ) -> IndexVec {
+            assert!(amount <= length, "cannot sample {amount} from {length}");
+            let mut pool: Vec<usize> = (0..length).collect();
+            for i in 0..amount {
+                let j = (i..length).sample_one(rng);
+                pool.swap(i, j);
+            }
+            pool.truncate(amount);
+            IndexVec(pool)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(StdRng::seed_from_u64(7).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v: usize = rng.gen_range(3..17);
+            assert!((3..17).contains(&v));
+            let f: f64 = rng.gen_range(0.5..2.0);
+            assert!((0.5..2.0).contains(&f));
+            let i: usize = rng.gen_range(0..=4);
+            assert!(i <= 4);
+        }
+    }
+
+    #[test]
+    fn sample_without_replacement() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let idx = seq::index::sample(&mut rng, 50, 20);
+        let mut v = idx.into_vec();
+        assert_eq!(v.len(), 20);
+        v.sort_unstable();
+        v.dedup();
+        assert_eq!(v.len(), 20, "indices must be distinct");
+        assert!(v.iter().all(|&i| i < 50));
+    }
+
+    #[test]
+    fn full_u64_range_mixes_high_bits() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut high = 0;
+        for _ in 0..64 {
+            if rng.gen::<u64>() > u64::MAX / 2 {
+                high += 1;
+            }
+        }
+        assert!((16..=48).contains(&high), "top bit should be ~balanced, got {high}");
+    }
+}

@@ -1,0 +1,55 @@
+//! Offline stand-in for the `rand_distr` crate: the [`Distribution`] trait
+//! and [`StandardNormal`] (Box–Muller), which is all this workspace draws
+//! from it. See the `rand` shim for why this exists.
+
+#![forbid(unsafe_code)]
+
+use rand::{RngCore, Standard};
+
+/// A sampleable distribution over `T` (shim for `rand_distr::Distribution`).
+pub trait Distribution<T> {
+    /// Draws one value.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The standard normal distribution N(0, 1).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StandardNormal;
+
+fn box_muller<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    // u1 in (0, 1]: shift the [0, 1) draw away from zero so ln is finite.
+    let u1 = 1.0 - f64::from_rng(rng);
+    let u2 = f64::from_rng(rng);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+impl Distribution<f64> for StandardNormal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        box_muller(rng)
+    }
+}
+
+impl Distribution<f32> for StandardNormal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+        box_muller(rng) as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_moments_are_sane() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 20_000;
+        let draws: Vec<f64> = (0..n).map(|_| StandardNormal.sample(&mut rng)).collect();
+        let mean: f64 = draws.iter().sum::<f64>() / n as f64;
+        let var: f64 = draws.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.08, "variance {var}");
+        assert!(draws.iter().all(|x| x.is_finite()));
+    }
+}

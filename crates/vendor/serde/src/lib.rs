@@ -1,0 +1,19 @@
+//! Offline stand-in for `serde`.
+//!
+//! Nothing in this workspace serializes through serde yet — the derives on
+//! config types (`Metric`, `FamilyKind`, `SynthSpec`, …) only declare
+//! intent, and the actual persistence layers (`csa::serialize`,
+//! `lccs_lsh::persist`) use explicit little-endian codecs. This shim keeps
+//! those derives compiling without network access by providing marker
+//! traits and no-op derive macros. Swapping in real serde later requires no
+//! source changes in the member crates.
+
+#![forbid(unsafe_code)]
+
+/// Marker for serializable types (shim; no methods).
+pub trait Serialize {}
+
+/// Marker for deserializable types (shim; no methods).
+pub trait Deserialize<'de> {}
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,52 @@
+//! No-op `Serialize` / `Deserialize` derives for the serde shim.
+//!
+//! The workspace's serde traits are pure markers (see the sibling `serde`
+//! shim crate), so the derives emit marker impls and nothing else. They
+//! parse just enough of the item — the type name after `struct`/`enum` —
+//! to name the impl; generic types fall back to emitting nothing, which is
+//! still sound because no code in this workspace requires the bounds.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the type identifier following the `struct`/`enum` keyword and
+/// reports whether the type has a generic parameter list.
+fn type_name(input: TokenStream) -> Option<(String, bool)> {
+    let mut tokens = input.into_iter().peekable();
+    while let Some(tok) = tokens.next() {
+        if let TokenTree::Ident(ref id) = tok {
+            let kw = id.to_string();
+            if kw == "struct" || kw == "enum" {
+                if let Some(TokenTree::Ident(name)) = tokens.next() {
+                    let generic = matches!(
+                        tokens.peek(),
+                        Some(TokenTree::Punct(p)) if p.as_char() == '<'
+                    );
+                    return Some((name.to_string(), generic));
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Derives the marker `serde::Serialize` impl.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match type_name(input) {
+        Some((name, false)) => format!("impl ::serde::Serialize for {name} {{}}")
+            .parse()
+            .expect("valid impl tokens"),
+        _ => TokenStream::new(),
+    }
+}
+
+/// Derives the marker `serde::Deserialize` impl.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match type_name(input) {
+        Some((name, false)) => format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+            .parse()
+            .expect("valid impl tokens"),
+        _ => TokenStream::new(),
+    }
+}

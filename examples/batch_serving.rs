@@ -1,0 +1,62 @@
+//! Serving-style batch queries through the workspace-wide `AnnIndex`
+//! trait: build three very different schemes, erase them behind
+//! `Box<dyn AnnIndex>`, and answer the same query batch through the
+//! parallel executor — one generic loop, no per-algorithm code.
+//!
+//! Run with: `cargo run --release --example batch_serving`
+
+use baselines::{LinearScan, MultiProbeLsh, MultiProbeLshParams};
+use dataset::{Metric, SynthSpec};
+use lccs_lsh::{AnnIndex, BuildAnn, LccsLsh, LccsParams, SearchParams};
+use std::sync::Arc;
+use std::time::Instant;
+
+fn main() {
+    let spec = SynthSpec::sift_like().with_n(20_000);
+    let data = Arc::new(spec.generate(7));
+    let queries = spec.generate_queries(256, 7);
+    println!("dataset: n={} d={}, batch of {} queries", data.len(), data.dim(), queries.len());
+
+    // Heterogeneous fleet, one interface.
+    let indexes: Vec<Box<dyn AnnIndex>> = vec![
+        Box::new(LccsLsh::build_index(
+            data.clone(),
+            Metric::Euclidean,
+            &LccsParams::euclidean(8.0).with_m(64),
+        )),
+        Box::new(MultiProbeLsh::build_index(
+            data.clone(),
+            Metric::Euclidean,
+            &MultiProbeLshParams {
+                k_funcs: 4,
+                l_tables: 4,
+                probes: 16,
+                max_alts: 4,
+                family: lsh::FamilyKind::RandomProjection,
+                family_params: lsh::FamilyParams { w: 8.0 },
+                seed: 7,
+            },
+        )),
+        Box::new(LinearScan::build_index(data.clone(), Metric::Euclidean, &())),
+    ];
+
+    let params = SearchParams::new(10, 256).with_probes(16);
+    for index in &indexes {
+        let start = Instant::now();
+        let results = index.query_batch(&queries, &params);
+        let elapsed = start.elapsed();
+        let mean_top_dist: f64 = results
+            .iter()
+            .filter_map(|r| r.first().map(|n| n.dist))
+            .sum::<f64>()
+            / results.len() as f64;
+        println!(
+            "{:>16}  {:>8.1} qps  {:>7.3} ms/query (wall)  index {:>6.1} MB  mean d1 {:.3}",
+            index.name(),
+            queries.len() as f64 / elapsed.as_secs_f64(),
+            elapsed.as_secs_f64() * 1000.0 / queries.len() as f64,
+            index.index_bytes() as f64 / 1e6,
+            mean_top_dist,
+        );
+    }
+}

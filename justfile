@@ -1,0 +1,30 @@
+# Task runner for the LCCS-LSH reproduction workspace.
+# Install `just` (https://github.com/casey/just) or copy the commands.
+
+# Build everything in release mode.
+build:
+    cargo build --release --workspace
+
+# Tier-1 gate: release build + full test suite.
+test:
+    cargo test -q --release --workspace
+
+# Lint like CI does.
+clippy:
+    cargo clippy --workspace --all-targets -- -D warnings
+
+# Criterion micro-benches (csa, families, queries, batch).
+bench:
+    cargo bench -p bench
+
+# One-iteration smoke pass over the benches.
+bench-smoke:
+    CRITERION_QUICK=1 cargo bench -p bench
+
+# The paper's figure/table experiments at a reduced scale.
+figures out="results":
+    cargo run -p bench --release --bin table2 -- --out {{out}}
+    cargo run -p bench --release --bin fig4 -- --n 5000 --queries 20 --out {{out}}
+
+# Everything the CI workflow runs.
+verify: build test clippy

@@ -1,0 +1,142 @@
+//! Determinism under parallelism: `query_batch` through the chunked
+//! work-stealing executor must return byte-identical results to sequential
+//! `query` calls, for every scheme and regardless of thread interleaving.
+//! Checked for both LCCS schemes and two structurally different baselines
+//! (a table scheme with dedup scratch and a collision-counting scheme).
+
+use baselines::{E2Lsh, E2lshParams, Qalsh, QalshParams};
+use dataset::{Dataset, Metric, SynthSpec};
+use lccs_lsh::{
+    AnnIndex, LccsLsh, LccsParams, MpBuildParams, MpLccsLsh, MpParams, SearchParams,
+};
+use lccs_lsh::BuildAnn;
+use std::sync::Arc;
+
+fn workload() -> (Arc<Dataset>, Dataset) {
+    let spec = SynthSpec::new("det", 3000, 24).with_clusters(12);
+    let data = Arc::new(spec.generate(0xd37));
+    let queries = spec.generate_queries(177, 0xd38); // odd count: exercises the tail chunk
+    (data, queries)
+}
+
+fn assert_batch_matches_sequential(index: &dyn AnnIndex, queries: &Dataset, params: &SearchParams) {
+    let batch = index.query_batch(queries, params);
+    assert_eq!(batch.len(), queries.len());
+    let mut scratch = index.make_scratch();
+    for (qi, q) in queries.iter().enumerate() {
+        let seq = index.query_with(q, params, &mut scratch);
+        assert_eq!(
+            batch[qi],
+            seq,
+            "{}: parallel result diverged from sequential at query {qi}",
+            index.name()
+        );
+    }
+    // And a second batch run must reproduce the first exactly.
+    assert_eq!(batch, index.query_batch(queries, params), "{}: batch not reproducible", index.name());
+}
+
+#[test]
+fn lccs_batch_is_deterministic() {
+    let (data, queries) = workload();
+    let idx = LccsLsh::build_index(
+        data,
+        Metric::Euclidean,
+        &LccsParams::euclidean(8.0).with_m(32),
+    );
+    assert_batch_matches_sequential(&idx, &queries, &SearchParams::new(10, 64));
+}
+
+#[test]
+fn mp_lccs_batch_is_deterministic() {
+    let (data, queries) = workload();
+    let idx = MpLccsLsh::build_index(
+        data,
+        Metric::Euclidean,
+        &MpBuildParams {
+            lccs: LccsParams::euclidean(8.0).with_m(32),
+            mp: MpParams { probes: 1, max_alts: 8 },
+        },
+    );
+    assert_batch_matches_sequential(&idx, &queries, &SearchParams::new(10, 64).with_probes(17));
+}
+
+#[test]
+fn e2lsh_batch_is_deterministic() {
+    let (data, queries) = workload();
+    let idx = E2Lsh::build_index(
+        data.clone(),
+        Metric::Euclidean,
+        &E2lshParams {
+            k_funcs: 4,
+            l_tables: 8,
+            family: lsh::FamilyKind::RandomProjection,
+            family_params: lsh::FamilyParams { w: 8.0 },
+            seed: 3,
+        },
+    );
+    assert_batch_matches_sequential(&idx, &queries, &SearchParams::new(10, 256));
+}
+
+#[test]
+fn qalsh_batch_is_deterministic() {
+    let (data, queries) = workload();
+    let idx = Qalsh::build_index(
+        data,
+        Metric::Euclidean,
+        &QalshParams { m: 16, l: 4, w: 8.0, c: 2.0, beta_n: 100, seed: 5 },
+    );
+    assert_batch_matches_sequential(&idx, &queries, &SearchParams::new(10, 128));
+}
+
+#[test]
+fn foreign_scratch_is_detected_and_rebuilt() {
+    // A scratch made by a small index must not corrupt (or panic) queries
+    // against a larger index of the same type: the impls validate the
+    // recovered state's shape and reinstall when it doesn't fit.
+    let small_spec = SynthSpec::new("tiny", 100, 24).with_clusters(4);
+    let small = Arc::new(small_spec.generate(1));
+    let (data, queries) = workload();
+    let params = SearchParams::new(5, 64);
+
+    let small_lccs =
+        LccsLsh::build_index(small.clone(), Metric::Euclidean, &LccsParams::euclidean(8.0).with_m(16));
+    let big_lccs =
+        LccsLsh::build_index(data.clone(), Metric::Euclidean, &LccsParams::euclidean(8.0).with_m(16));
+    let mut foreign = small_lccs.make_scratch();
+    let q = queries.get(0);
+    let via_foreign = AnnIndex::query_with(&big_lccs, q, &params, &mut foreign);
+    assert_eq!(via_foreign, AnnIndex::query(&big_lccs, q, &params));
+
+    let e2p = E2lshParams {
+        k_funcs: 4,
+        l_tables: 8,
+        family: lsh::FamilyKind::RandomProjection,
+        family_params: lsh::FamilyParams { w: 8.0 },
+        seed: 3,
+    };
+    let small_e2 = E2Lsh::build_index(small, Metric::Euclidean, &e2p);
+    let big_e2 = E2Lsh::build_index(data.clone(), Metric::Euclidean, &e2p);
+    let mut foreign = small_e2.make_scratch();
+    let via_foreign = AnnIndex::query_with(&big_e2, q, &params, &mut foreign);
+    assert_eq!(via_foreign, AnnIndex::query(&big_e2, q, &params));
+}
+
+#[test]
+fn inherent_query_batch_routes_through_executor() {
+    // The richer QueryOutput-returning inherent batch path must agree with
+    // sequential query_with too (it shares the same executor).
+    let (data, queries) = workload();
+    let idx = LccsLsh::build(
+        data.clone(),
+        Metric::Euclidean,
+        &LccsParams::euclidean(8.0).with_m(32),
+    );
+    let batch = idx.query_batch(&queries, 5, 32);
+    let mut scratch = idx.scratch();
+    for (qi, q) in queries.iter().enumerate() {
+        let seq = idx.query_with(q, 5, 32, &mut scratch);
+        assert_eq!(batch[qi].neighbors, seq.neighbors, "query {qi}");
+        assert_eq!(batch[qi].verified, seq.verified, "query {qi}");
+    }
+}
