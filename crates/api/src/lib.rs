@@ -12,6 +12,9 @@
 //!   `query_with(scratch)`, `query_batch`, `index_bytes`, `name`.
 //! * [`BuildAnn`] — the build-from-dataset half, with per-algorithm
 //!   parameter types (not object-safe; used generically).
+//! * [`PersistAnn`] — the snapshot contract: indexes that round-trip
+//!   through a byte payload so serving processes restore them without
+//!   rebuilding.
 //! * [`executor`] — the parallel batch executor behind the default
 //!   [`AnnIndex::query_batch`]: chunked dynamic scheduling over scoped
 //!   threads with one scratch per worker and deterministic, query-order
@@ -21,6 +24,8 @@
 #![warn(missing_docs)]
 
 pub mod executor;
+mod persist;
 mod traits;
 
+pub use persist::{PersistAnn, PersistError};
 pub use traits::{AnnIndex, BuildAnn, Scratch, SearchParams};

@@ -1,0 +1,71 @@
+//! The [`PersistAnn`] snapshot contract.
+//!
+//! Serving separates index *construction* from index *serving*: an index is
+//! built once (the expensive hashing + CSA pass), snapshotted to a byte
+//! payload, and later restored instantly by any number of serving
+//! processes. The payload carries everything except the raw vectors — the
+//! dataset travels beside it (snapshot containers bundle the two), because
+//! an ANN index is meaningless without the objects it indexes and the
+//! vectors dominate the bytes anyway.
+//!
+//! The save side is object-safe so catalogs holding `Box<dyn PersistAnn>`
+//! can checkpoint uniformly; the restore side is a static constructor
+//! (`where Self: Sized`), dispatched by method name through the snapshot
+//! registry in `eval::registry`.
+
+use crate::traits::AnnIndex;
+use dataset::Dataset;
+use std::sync::Arc;
+
+/// Errors raised when restoring a snapshot payload.
+#[derive(Debug)]
+pub enum PersistError {
+    /// The payload does not start with the expected magic/version.
+    BadMagic,
+    /// The payload is structurally broken (truncated, field out of range).
+    Malformed(String),
+    /// The payload is well-formed but disagrees with the supplied dataset.
+    DatasetMismatch(String),
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::BadMagic => write!(f, "unrecognized snapshot payload"),
+            PersistError::Malformed(m) => write!(f, "malformed snapshot payload: {m}"),
+            PersistError::DatasetMismatch(m) => write!(f, "dataset mismatch: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+/// An [`AnnIndex`] that can round-trip through a byte payload.
+///
+/// Implementations must guarantee that a restored index answers every
+/// query identically to the index it was saved from (given the same
+/// dataset) — the end-to-end serving test enforces this bit for bit.
+pub trait PersistAnn: AnnIndex {
+    /// Serializes the index into a standalone payload. The dataset itself
+    /// is *not* included; [`PersistAnn::restore`] re-attaches it.
+    fn snapshot_bytes(&self) -> Vec<u8>;
+
+    /// Restores an index from a payload produced by
+    /// [`PersistAnn::snapshot_bytes`], attaching `data` (which must be the
+    /// dataset the index was built over; shape is validated).
+    fn restore(payload: &[u8], data: Arc<Dataset>) -> Result<Self, PersistError>
+    where
+        Self: Sized;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn persist_error_displays() {
+        assert_eq!(PersistError::BadMagic.to_string(), "unrecognized snapshot payload");
+        assert!(PersistError::Malformed("x".into()).to_string().contains("x"));
+        assert!(PersistError::DatasetMismatch("dim".into()).to_string().contains("dim"));
+    }
+}

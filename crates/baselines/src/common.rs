@@ -14,10 +14,11 @@ pub fn verify_topk(
     k: usize,
     ids: impl Iterator<Item = u32>,
 ) -> Vec<Neighbor> {
+    assert_eq!(data.dim(), q.len(), "data/query dimension mismatch");
     let mut heap: std::collections::BinaryHeap<Neighbor> =
         std::collections::BinaryHeap::with_capacity(k + 1);
     for id in ids {
-        let s = metric.surrogate(data.get(id as usize), q);
+        let s = metric.surrogate_unchecked(data.get(id as usize), q);
         let cand = Neighbor { id, dist: s };
         if heap.len() < k {
             heap.push(cand);

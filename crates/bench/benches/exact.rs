@@ -1,0 +1,45 @@
+//! Exact-scan throughput (`dataset::exact`) — the brute-force inner loop
+//! every verification phase and ground-truth pass is built on. Guards the
+//! `Metric::surrogate_unchecked` hot path: the per-candidate length
+//! check is a `debug_assert!` there, so release-mode exact scans must
+//! stay at memory-bandwidth speed. Compare this bench before/after any
+//! change to `crates/dataset/src/metric.rs`.
+
+use bench::bench_data;
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dataset::{ExactKnn, Metric};
+
+fn bench_exact_scan(c: &mut Criterion) {
+    let n = 20_000;
+    let mut g = c.benchmark_group("exact_scan");
+    g.sample_size(10);
+    for &dim in &[24usize, 128] {
+        let data = bench_data(n, dim);
+        let queries = data.sample_queries(4, 0x5eed);
+        g.throughput(Throughput::Elements((n * queries.len()) as u64));
+        for metric in [Metric::Euclidean, Metric::Angular] {
+            g.bench_with_input(
+                BenchmarkId::new(format!("{}-d{dim}", metric.name()), n),
+                &(),
+                |b, ()| {
+                    b.iter(|| {
+                        (0..queries.len())
+                            .map(|i| {
+                                ExactKnn::single_query(
+                                    black_box(&data),
+                                    black_box(queries.get(i)),
+                                    10,
+                                    metric,
+                                )
+                            })
+                            .collect::<Vec<_>>()
+                    });
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_exact_scan);
+criterion_main!(benches);

@@ -245,7 +245,9 @@ impl LccsLsh {
         let mut heap: std::collections::BinaryHeap<Neighbor> =
             std::collections::BinaryHeap::with_capacity(k + 1);
         for id in ids {
-            let s = self.metric.surrogate(self.data.get(id as usize), q);
+            // The query dimension is asserted once per query in
+            // `query_with`; the per-candidate check stays debug-only.
+            let s = self.metric.surrogate_unchecked(self.data.get(id as usize), q);
             let cand = Neighbor { id, dist: s };
             if heap.len() < k {
                 heap.push(cand);

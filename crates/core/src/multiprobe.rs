@@ -187,6 +187,11 @@ impl MpLccsLsh {
         &self.inner
     }
 
+    /// The multi-probe knobs (exposed for the persistence layer).
+    pub fn mp_params(&self) -> &MpParams {
+        &self.mp
+    }
+
     /// Index footprint (identical to the single-probe index — multi-probe
     /// adds no memory, which is its whole point).
     pub fn index_bytes(&self) -> usize {

@@ -1,4 +1,4 @@
-//! Index persistence for LCCS-LSH.
+//! Index persistence for LCCS-LSH and MP-LCCS-LSH.
 //!
 //! The hash functions are trait objects, but every family is sampled
 //! deterministically from `(family, dim, m, params, seed)` — so the payload
@@ -6,9 +6,16 @@
 //! re-samples the identical functions and attaches the caller's dataset.
 //! The expensive part (the `O(m n log n)` CSA build plus the `O(n m η(d))`
 //! hashing pass) is skipped entirely on load, which is what makes the
-//! indexing-time amortization of Figures 6–7 practical across runs.
+//! indexing-time amortization of Figures 6–7 practical across runs — and
+//! what makes snapshot-backed serving (`crates/serve`) start instantly.
+//!
+//! Both schemes also implement the workspace-wide [`ann::PersistAnn`]
+//! contract; the serving catalog restores them by method name through
+//! `eval::registry`.
 
 use crate::index::{LccsLsh, LccsParams};
+use crate::multiprobe::{MpLccsLsh, MpParams};
+use ann::{PersistAnn, PersistError};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use csa::Csa;
 use dataset::{Dataset, Metric};
@@ -16,6 +23,7 @@ use lsh::{sample_family, FamilyKind};
 use std::sync::Arc;
 
 const MAGIC: &[u8; 4] = b"LCC1";
+const MP_MAGIC: &[u8; 4] = b"MPL1";
 
 /// Errors raised when loading a serialized index.
 #[derive(Debug)]
@@ -148,6 +156,72 @@ impl LccsLsh {
     }
 }
 
+impl MpLccsLsh {
+    /// Serializes the index: the multi-probe knobs followed by the wrapped
+    /// [`LccsLsh`] payload. Like [`LccsLsh::save`], the dataset is not
+    /// stored; [`MpLccsLsh::load`] re-attaches it.
+    pub fn save(&self) -> Bytes {
+        let inner = self.inner().save();
+        let mp = self.mp_params();
+        let mut buf = BytesMut::with_capacity(inner.len() + 20);
+        buf.put_slice(MP_MAGIC);
+        buf.put_u64_le(mp.probes as u64);
+        buf.put_u64_le(mp.max_alts as u64);
+        buf.put_slice(&inner);
+        buf.freeze()
+    }
+
+    /// Loads an index saved by [`MpLccsLsh::save`].
+    pub fn load(mut buf: impl Buf, data: Arc<Dataset>) -> Result<MpLccsLsh, LoadError> {
+        if buf.remaining() < 4 + 16 {
+            return Err(LoadError::Malformed("payload too short".into()));
+        }
+        let mut magic = [0u8; 4];
+        buf.copy_to_slice(&mut magic);
+        if &magic != MP_MAGIC {
+            return Err(LoadError::BadMagic);
+        }
+        let probes = buf.get_u64_le() as usize;
+        let max_alts = buf.get_u64_le() as usize;
+        if probes == 0 {
+            return Err(LoadError::Malformed("probe count must be at least 1".into()));
+        }
+        let inner = LccsLsh::load(buf, data)?;
+        Ok(MpLccsLsh::from_inner(inner, MpParams { probes, max_alts }))
+    }
+}
+
+impl From<LoadError> for PersistError {
+    fn from(e: LoadError) -> Self {
+        match e {
+            LoadError::BadMagic => PersistError::BadMagic,
+            LoadError::Malformed(m) => PersistError::Malformed(m),
+            LoadError::Csa(e) => PersistError::Malformed(e.to_string()),
+            LoadError::DatasetMismatch(m) => PersistError::DatasetMismatch(m),
+        }
+    }
+}
+
+impl PersistAnn for LccsLsh {
+    fn snapshot_bytes(&self) -> Vec<u8> {
+        self.save().to_vec()
+    }
+
+    fn restore(payload: &[u8], data: Arc<Dataset>) -> Result<Self, PersistError> {
+        LccsLsh::load(payload, data).map_err(PersistError::from)
+    }
+}
+
+impl PersistAnn for MpLccsLsh {
+    fn snapshot_bytes(&self) -> Vec<u8> {
+        self.save().to_vec()
+    }
+
+    fn restore(payload: &[u8], data: Arc<Dataset>) -> Result<Self, PersistError> {
+        MpLccsLsh::load(payload, data).map_err(PersistError::from)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -223,5 +297,141 @@ mod tests {
         let a = idx.query(data.get(7), 3, 32);
         let b = back.query(data.get(7), 3, 32);
         assert_eq!(a.neighbors[0].id, b.neighbors[0].id);
+    }
+
+    /// A dataset suited to `metric`: 0/1 indicator vectors for the
+    /// Hamming/Jaccard families, clustered Gaussians otherwise.
+    fn data_for(metric: Metric) -> Arc<Dataset> {
+        match metric {
+            Metric::Euclidean => Arc::new(SynthSpec::new("e", 300, 24).with_clusters(8).generate(9)),
+            Metric::Angular => {
+                Arc::new(SynthSpec::new("a", 300, 24).with_clusters(8).generate(9).normalized())
+            }
+            Metric::Hamming | Metric::Jaccard => {
+                let raw = SynthSpec::new("b", 300, 32).with_clusters(8).generate(9);
+                let flat: Vec<f32> =
+                    raw.as_flat().iter().map(|&x| f32::from(x > 0.0)).collect();
+                Arc::new(Dataset::from_flat("bits", 32, flat))
+            }
+        }
+    }
+
+    fn params_for(metric: Metric) -> LccsParams {
+        match metric {
+            Metric::Euclidean => LccsParams::euclidean(8.0),
+            Metric::Angular => LccsParams::angular(),
+            Metric::Hamming => LccsParams::hamming(),
+            Metric::Jaccard => LccsParams::jaccard(),
+        }
+        .with_m(16)
+        .with_seed(21)
+    }
+
+    #[test]
+    fn round_trip_covers_every_metric_variant() {
+        for metric in [Metric::Euclidean, Metric::Angular, Metric::Hamming, Metric::Jaccard] {
+            let data = data_for(metric);
+            let idx = LccsLsh::build(data.clone(), metric, &params_for(metric));
+            let back = LccsLsh::load(idx.save(), data.clone())
+                .unwrap_or_else(|e| panic!("{} load failed: {e}", metric.name()));
+            assert_eq!(back.metric(), metric);
+            for i in [0usize, 60, 299] {
+                let a = idx.query(data.get(i), 5, 48);
+                let b = back.query(data.get(i), 5, 48);
+                assert_eq!(
+                    a.neighbors.iter().map(|n| (n.id, n.dist.to_bits())).collect::<Vec<_>>(),
+                    b.neighbors.iter().map(|n| (n.id, n.dist.to_bits())).collect::<Vec<_>>(),
+                    "{} round trip must answer identically",
+                    metric.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mp_round_trip_covers_every_metric_variant() {
+        use crate::multiprobe::{MpLccsLsh, MpParams};
+        for metric in [Metric::Euclidean, Metric::Angular, Metric::Hamming, Metric::Jaccard] {
+            let data = data_for(metric);
+            let mp = MpLccsLsh::build(
+                data.clone(),
+                metric,
+                &params_for(metric),
+                MpParams { probes: 9, max_alts: 4 },
+            );
+            let back = MpLccsLsh::load(mp.save(), data.clone())
+                .unwrap_or_else(|e| panic!("{} load failed: {e}", metric.name()));
+            assert_eq!(back.mp_params().probes, 9);
+            assert_eq!(back.mp_params().max_alts, 4);
+            for i in [3usize, 150] {
+                let a = mp.query(data.get(i), 5, 32);
+                let b = back.query(data.get(i), 5, 32);
+                assert_eq!(
+                    a.neighbors.iter().map(|n| (n.id, n.dist.to_bits())).collect::<Vec<_>>(),
+                    b.neighbors.iter().map(|n| (n.id, n.dist.to_bits())).collect::<Vec<_>>(),
+                    "{} MP round trip must answer identically",
+                    metric.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_csa_section_is_rejected() {
+        let (data, idx) = build();
+        let good = idx.save().to_vec();
+        // The fixed LCC1 header is 4 + 2 + 4*8 bytes; anything cut inside the
+        // CSA section must surface as a decode error, never a panic.
+        let header = 4 + 2 + 8 * 4;
+        for cut in [header, header + 4, good.len() - 1] {
+            match LccsLsh::load(&good[..cut], data.clone()) {
+                Err(LoadError::Csa(_)) | Err(LoadError::Malformed(_)) => {}
+                Err(other) => panic!("cut at {cut}: wrong error kind {other:?}"),
+                Ok(_) => panic!("cut at {cut} must fail with a decode error"),
+            }
+        }
+    }
+
+    #[test]
+    fn mp_payload_corruption_is_rejected() {
+        use crate::multiprobe::{MpLccsLsh, MpParams};
+        let (data, idx) = build();
+        let mp = MpLccsLsh::from_inner(idx, MpParams { probes: 5, max_alts: 4 });
+        let good = mp.save().to_vec();
+        // Wrong magic.
+        let mut bad = good.clone();
+        bad[0] = b'X';
+        assert!(matches!(MpLccsLsh::load(&bad[..], data.clone()), Err(LoadError::BadMagic)));
+        // An LCC1 payload is not an MPL1 payload (and vice versa).
+        let plain = mp.inner().save().to_vec();
+        assert!(matches!(MpLccsLsh::load(&plain[..], data.clone()), Err(LoadError::BadMagic)));
+        assert!(matches!(LccsLsh::load(&good[..], data.clone()), Err(LoadError::BadMagic)));
+        // Zero probes.
+        let mut bad = good.clone();
+        bad[4..12].copy_from_slice(&0u64.to_le_bytes());
+        assert!(matches!(MpLccsLsh::load(&bad[..], data.clone()), Err(LoadError::Malformed(_))));
+        // Truncations anywhere must fail cleanly.
+        for cut in [0usize, 10, 30, good.len() / 2] {
+            assert!(MpLccsLsh::load(&good[..cut], data.clone()).is_err());
+        }
+    }
+
+    #[test]
+    fn persist_ann_contract_round_trips() {
+        use ann::{AnnIndex, PersistAnn, SearchParams};
+        let (data, idx) = build();
+        let payload = PersistAnn::snapshot_bytes(&idx);
+        let back = <LccsLsh as PersistAnn>::restore(&payload, data.clone()).expect("restore");
+        let p = SearchParams::new(5, 64);
+        assert_eq!(AnnIndex::query(&idx, data.get(11), &p), AnnIndex::query(&back, data.get(11), &p));
+        assert!(matches!(
+            <LccsLsh as PersistAnn>::restore(&payload[..8], data.clone()),
+            Err(ann::PersistError::Malformed(_))
+        ));
+        let wrong = Arc::new(SynthSpec::new("w", 400, 64).generate(2));
+        assert!(matches!(
+            <LccsLsh as PersistAnn>::restore(&payload, wrong),
+            Err(ann::PersistError::DatasetMismatch(_))
+        ));
     }
 }

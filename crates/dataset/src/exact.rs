@@ -105,11 +105,13 @@ impl ExactKnn {
 
     /// Exact k-NN of one query, ascending by (distance, id).
     pub fn single_query(data: &Dataset, query: &[f32], k: usize, metric: Metric) -> Vec<Neighbor> {
-        // Bounded max-heap on the surrogate distance.
+        assert_eq!(data.dim(), query.len(), "data/query dimension mismatch");
+        // Bounded max-heap on the surrogate distance; the dimension was
+        // checked once above, so the scan uses the debug-assert variant.
         let mut heap: std::collections::BinaryHeap<Neighbor> =
             std::collections::BinaryHeap::with_capacity(k + 1);
         for (id, v) in data.iter().enumerate() {
-            let s = metric.surrogate(v, query);
+            let s = metric.surrogate_unchecked(v, query);
             if heap.len() < k {
                 heap.push(Neighbor { id: id as u32, dist: s });
             } else if s < heap.peek().expect("non-empty").dist {

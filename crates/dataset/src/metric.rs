@@ -34,6 +34,17 @@ impl Metric {
     #[inline]
     pub fn distance(self, a: &[f32], b: &[f32]) -> f64 {
         assert_eq!(a.len(), b.len(), "dimension mismatch: {} vs {}", a.len(), b.len());
+        self.distance_unchecked(a, b)
+    }
+
+    /// Like [`Metric::distance`], but validates the lengths only in debug
+    /// builds. This is the variant for inner scan loops (exact k-NN, the
+    /// verification phase) whose callers have already checked the query
+    /// dimension once per query — a release-mode `assert!` per candidate
+    /// is pure overhead there.
+    #[inline]
+    pub fn distance_unchecked(self, a: &[f32], b: &[f32]) -> f64 {
+        debug_assert_eq!(a.len(), b.len(), "dimension mismatch: {} vs {}", a.len(), b.len());
         match self {
             Metric::Euclidean => euclidean(a, b),
             Metric::Angular => angular(a, b),
@@ -46,11 +57,23 @@ impl Metric {
     /// compute and preserves the ordering of candidates. Used by the
     /// verification phase, where only ranks and ratios matter after a final
     /// exact pass.
+    ///
+    /// # Panics
+    /// Panics if the slices have different lengths.
     #[inline]
     pub fn surrogate(self, a: &[f32], b: &[f32]) -> f64 {
+        assert_eq!(a.len(), b.len(), "dimension mismatch: {} vs {}", a.len(), b.len());
+        self.surrogate_unchecked(a, b)
+    }
+
+    /// [`Metric::surrogate`] with the length check demoted to a
+    /// `debug_assert!` — see [`Metric::distance_unchecked`].
+    #[inline]
+    pub fn surrogate_unchecked(self, a: &[f32], b: &[f32]) -> f64 {
+        debug_assert_eq!(a.len(), b.len(), "dimension mismatch: {} vs {}", a.len(), b.len());
         match self {
             Metric::Euclidean => squared_euclidean(a, b),
-            _ => self.distance(a, b),
+            _ => self.distance_unchecked(a, b),
         }
     }
 
@@ -257,6 +280,29 @@ mod tests {
     #[should_panic(expected = "dimension mismatch")]
     fn dimension_mismatch_panics() {
         Metric::Euclidean.distance(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn surrogate_dimension_mismatch_panics() {
+        Metric::Euclidean.surrogate(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn unchecked_variants_agree_with_checked() {
+        let a = [1.0f32, -2.0, 0.0, 4.5, 1.0];
+        let b = [0.5f32, 2.0, 1.0, 0.0, 1.0];
+        for m in [Metric::Euclidean, Metric::Angular, Metric::Hamming, Metric::Jaccard] {
+            assert_eq!(m.distance(&a, &b).to_bits(), m.distance_unchecked(&a, &b).to_bits());
+            assert_eq!(m.surrogate(&a, &b).to_bits(), m.surrogate_unchecked(&a, &b).to_bits());
+        }
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "dimension mismatch")]
+    fn unchecked_still_checks_in_debug_builds() {
+        Metric::Euclidean.surrogate_unchecked(&[1.0], &[1.0, 2.0]);
     }
 
     #[test]

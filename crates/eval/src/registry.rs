@@ -8,7 +8,7 @@
 //! the figure drivers pick it up unchanged.
 
 use crate::harness::IndexSpec;
-use ann::{AnnIndex, BuildAnn};
+use ann::{AnnIndex, BuildAnn, PersistAnn, PersistError};
 use baselines::{
     C2Lsh, C2lshParams, E2Lsh, E2lshParams, Falconn, FalconnParams, LinearScan, LshForest,
     LshForestParams, MultiProbeLsh, MultiProbeLshParams, Qalsh, QalshParams, SkLsh, SkLshParams,
@@ -190,6 +190,75 @@ pub fn build_index(spec: &IndexSpec, ctx: &BuildCtx) -> Box<dyn AnnIndex> {
         .unwrap_or_else(|| panic!("no registered factory for spec {spec:?}"))
 }
 
+/// One named snapshot restorer: the method label (matching
+/// [`AnnIndex::name`]) plus the [`PersistAnn::restore`] constructor erased
+/// to `Box<dyn AnnIndex>`. This is the serving-side half of the registry:
+/// `crates/serve` restores catalog entries through it by method name.
+pub struct SnapshotEntry {
+    /// Method name as printed in the paper's legends (and stored in
+    /// snapshot containers).
+    pub method: &'static str,
+    /// Payload-to-index restorer.
+    pub restore: SnapshotRestoreFn,
+}
+
+/// Signature of a [`SnapshotEntry`] restorer: payload + dataset → erased
+/// index.
+pub type SnapshotRestoreFn =
+    fn(&[u8], Arc<Dataset>) -> Result<Box<dyn AnnIndex>, PersistError>;
+
+fn restore_erased<I: PersistAnn + 'static>(
+    payload: &[u8],
+    data: Arc<Dataset>,
+) -> Result<Box<dyn AnnIndex>, PersistError> {
+    I::restore(payload, data).map(|i| Box::new(i) as Box<dyn AnnIndex>)
+}
+
+/// The restorers for every scheme that implements [`PersistAnn`] (the
+/// LCCS schemes; the baselines rebuild from scratch instead).
+pub fn snapshot_entries() -> &'static [SnapshotEntry] {
+    &[
+        SnapshotEntry { method: "LCCS-LSH", restore: restore_erased::<LccsLsh> },
+        SnapshotEntry { method: "MP-LCCS-LSH", restore: restore_erased::<MpLccsLsh> },
+    ]
+}
+
+/// Errors raised when restoring a named snapshot payload.
+#[derive(Debug)]
+pub enum RestoreError {
+    /// No registered restorer for the method name.
+    UnknownMethod(String),
+    /// The payload failed to decode or mismatched the dataset.
+    Persist(PersistError),
+}
+
+impl std::fmt::Display for RestoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RestoreError::UnknownMethod(m) => {
+                write!(f, "no snapshot restorer registered for method {m:?}")
+            }
+            RestoreError::Persist(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for RestoreError {}
+
+/// Restores the index a snapshot payload describes, consulting the
+/// snapshot registry by method name.
+pub fn restore_index(
+    method: &str,
+    payload: &[u8],
+    data: Arc<Dataset>,
+) -> Result<Box<dyn AnnIndex>, RestoreError> {
+    let entry = snapshot_entries()
+        .iter()
+        .find(|e| e.method == method)
+        .ok_or_else(|| RestoreError::UnknownMethod(method.to_string()))?;
+    (entry.restore)(payload, data).map_err(RestoreError::Persist)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -215,6 +284,57 @@ mod tests {
         for spec in specs {
             let idx = build_index(&spec, &ctx);
             assert_eq!(idx.name(), spec.method_name(), "trait/legend name drift");
+        }
+    }
+
+    #[test]
+    fn snapshot_registry_round_trips_by_method_name() {
+        use ann::{PersistAnn, SearchParams};
+        let data = Arc::new(SynthSpec::new("snap", 300, 16).with_clusters(6).generate(2));
+        let ctx = BuildCtx { data: &data, metric: Metric::Euclidean, w: 4.0, seed: 7 };
+        for spec in [IndexSpec::Lccs { m: 8 }, IndexSpec::MpLccs { m: 8 }] {
+            let built = build_index(&spec, &ctx);
+            let payload = match &spec {
+                // The dyn-erased index can't expose PersistAnn (not object
+                // safe end to end), so snapshot through the concrete types.
+                IndexSpec::Lccs { .. } => LccsLsh::build_index(
+                    data.clone(),
+                    ctx.metric,
+                    &ctx.lccs_params(8),
+                )
+                .snapshot_bytes(),
+                _ => MpLccsLsh::build_index(
+                    data.clone(),
+                    ctx.metric,
+                    &MpBuildParams {
+                        lccs: ctx.lccs_params(8),
+                        mp: MpParams { probes: 1, max_alts: 8 },
+                    },
+                )
+                .snapshot_bytes(),
+            };
+            let restored = restore_index(built.name(), &payload, data.clone()).expect("restore");
+            assert_eq!(restored.name(), built.name());
+            let p = SearchParams::new(5, 64);
+            for i in [0usize, 123, 299] {
+                assert_eq!(restored.query(data.get(i), &p), built.query(data.get(i), &p));
+            }
+        }
+        assert!(matches!(
+            restore_index("E2LSH", &[], data.clone()),
+            Err(RestoreError::UnknownMethod(_))
+        ));
+        assert!(matches!(
+            restore_index("LCCS-LSH", &[1, 2, 3], data),
+            Err(RestoreError::Persist(_))
+        ));
+    }
+
+    #[test]
+    fn snapshot_methods_are_registered_build_methods() {
+        let build_names: Vec<&str> = entries().iter().map(|e| e.method).collect();
+        for s in snapshot_entries() {
+            assert!(build_names.contains(&s.method), "{} not in build registry", s.method);
         }
     }
 

@@ -1,0 +1,151 @@
+//! `ann-cli` — client and snapshot tooling for `annd`.
+//!
+//! ```text
+//! ann-cli demo --out DIR [--n 2000] [--dim 32] [--m 16] [--seed 42]
+//! ann-cli ping --addr ADDR
+//! ann-cli list --addr ADDR
+//! ann-cli stats --addr ADDR
+//! ann-cli query --addr ADDR --index NAME --k K --budget B [--probes P] --vec 1.0,2.0,…
+//! ann-cli shutdown --addr ADDR
+//! ```
+//!
+//! `demo` is the build half of the build-once/serve-many split: it
+//! generates a clustered synthetic dataset and snapshots both LCCS
+//! schemes into `--out`, ready for `annd --snapshot-dir`.
+
+use dataset::{Metric, SynthSpec};
+use lccs_lsh::{LccsLsh, LccsParams, MpLccsLsh, MpParams};
+use serve::client::Client;
+use serve::snapshot::write_index_snapshot;
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+const USAGE: &str = "usage: ann-cli <demo|ping|list|stats|query|shutdown> [flags]
+  demo      --out DIR [--n 2000] [--dim 32] [--m 16] [--seed 42]
+  ping      --addr HOST:PORT
+  list      --addr HOST:PORT
+  stats     --addr HOST:PORT
+  query     --addr HOST:PORT --index NAME [--k 10] [--budget 128] [--probes 0] --vec F,F,…
+  shutdown  --addr HOST:PORT";
+
+/// Flat `--key value` flags after the subcommand.
+fn parse_flags(args: impl Iterator<Item = String>) -> HashMap<String, String> {
+    let mut flags = HashMap::new();
+    let mut it = args.peekable();
+    while let Some(a) = it.next() {
+        let key = a.strip_prefix("--").unwrap_or_else(|| panic!("expected --flag, got {a:?}"));
+        let val = it.next().unwrap_or_else(|| panic!("--{key} requires a value"));
+        flags.insert(key.to_string(), val);
+    }
+    flags
+}
+
+fn flag<T: std::str::FromStr>(flags: &HashMap<String, String>, key: &str, default: T) -> T
+where
+    T::Err: std::fmt::Debug,
+{
+    flags.get(key).map_or(default, |v| {
+        v.parse().unwrap_or_else(|e| panic!("--{key} {v:?}: {e:?}"))
+    })
+}
+
+fn required<'a>(flags: &'a HashMap<String, String>, key: &str) -> &'a str {
+    flags.get(key).unwrap_or_else(|| panic!("--{key} is required\n{USAGE}"))
+}
+
+fn connect(flags: &HashMap<String, String>) -> Client {
+    let addr = required(flags, "addr");
+    Client::connect(addr).unwrap_or_else(|e| panic!("cannot connect to {addr}: {e}"))
+}
+
+fn cmd_demo(flags: &HashMap<String, String>) {
+    let out = PathBuf::from(required(flags, "out"));
+    let n: usize = flag(flags, "n", 2000);
+    let dim: usize = flag(flags, "dim", 32);
+    let m: usize = flag(flags, "m", 16);
+    let seed: u64 = flag(flags, "seed", 42);
+    let data = Arc::new(SynthSpec::new("demo", n, dim).with_clusters(16).generate(seed));
+    let params = LccsParams::euclidean(8.0).with_m(m).with_seed(seed);
+    let single = LccsLsh::build(data.clone(), Metric::Euclidean, &params);
+    let mp = MpLccsLsh::build(
+        data.clone(),
+        Metric::Euclidean,
+        &params,
+        MpParams { probes: 2 * m + 1, max_alts: 8 },
+    );
+    for (name, path) in [
+        ("demo-lccs", write_index_snapshot(&out, "demo-lccs", &single, &data)),
+        ("demo-mp-lccs", write_index_snapshot(&out, "demo-mp-lccs", &mp, &data)),
+    ] {
+        match path {
+            Ok(p) => println!("ann-cli: wrote {name} snapshot to {}", p.display()),
+            Err(e) => panic!("writing {name}: {e}"),
+        }
+    }
+}
+
+fn cmd_query(flags: &HashMap<String, String>) {
+    let mut client = connect(flags);
+    let index = required(flags, "index");
+    let k: usize = flag(flags, "k", 10);
+    let budget: usize = flag(flags, "budget", 128);
+    let probes: usize = flag(flags, "probes", 0);
+    let vector: Vec<f32> = required(flags, "vec")
+        .split(',')
+        .map(|s| s.trim().parse().unwrap_or_else(|e| panic!("--vec element {s:?}: {e}")))
+        .collect();
+    let hits = client
+        .query(index, k, budget, probes, &vector)
+        .unwrap_or_else(|e| panic!("query failed: {e}"));
+    for (rank, n) in hits.iter().enumerate() {
+        println!("{rank}\tid={}\tdist={:.6}", n.id, n.dist);
+    }
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(cmd) = args.next() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let flags = parse_flags(args);
+    match cmd.as_str() {
+        "demo" => cmd_demo(&flags),
+        "ping" => {
+            connect(&flags).ping().unwrap_or_else(|e| panic!("ping failed: {e}"));
+            println!("pong");
+        }
+        "list" => {
+            let infos = connect(&flags).list().unwrap_or_else(|e| panic!("list failed: {e}"));
+            for i in infos {
+                println!(
+                    "{}\tmethod={}\tn={}\tdim={}\tindex_bytes={}",
+                    i.name, i.method, i.len, i.dim, i.index_bytes
+                );
+            }
+        }
+        "stats" => {
+            let entries =
+                connect(&flags).stats().unwrap_or_else(|e| panic!("stats failed: {e}"));
+            for s in entries {
+                println!(
+                    "{}\tqueries={}\tbatches={}\tbatch_queries={}\ttotal_us={}\tmax_us={}",
+                    s.name, s.queries, s.batch_requests, s.batch_queries, s.total_micros,
+                    s.max_micros
+                );
+            }
+        }
+        "query" => cmd_query(&flags),
+        "shutdown" => {
+            connect(&flags).shutdown().unwrap_or_else(|e| panic!("shutdown failed: {e}"));
+            println!("server is shutting down");
+        }
+        other => {
+            eprintln!("unknown command {other:?}\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,102 @@
+//! `annd` — the snapshot-backed ANN serving daemon.
+//!
+//! ```text
+//! annd --snapshot-dir DIR [--addr 127.0.0.1:7700] [--workers N]
+//! ```
+//!
+//! Loads every `*.snap` container in `--snapshot-dir`, binds `--addr`
+//! (port `0` picks an ephemeral port), and serves the binary protocol
+//! until a SHUTDOWN request arrives (`ann-cli shutdown --addr …`). The
+//! bound address is printed as `annd: listening on ADDR` so scripts can
+//! discover ephemeral ports; final per-index counters are printed on
+//! exit.
+
+use serve::catalog::Catalog;
+use serve::server::Server;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Opts {
+    snapshot_dir: PathBuf,
+    addr: String,
+    workers: usize,
+}
+
+fn parse_opts(args: impl Iterator<Item = String>) -> Opts {
+    let mut snapshot_dir: Option<PathBuf> = None;
+    let mut addr = "127.0.0.1:7700".to_string();
+    let mut workers = std::thread::available_parallelism().map_or(4, |p| p.get()).min(16);
+    let mut it = args.peekable();
+    while let Some(a) = it.next() {
+        let mut take =
+            |name: &str| it.next().unwrap_or_else(|| panic!("{name} requires a value"));
+        match a.as_str() {
+            "--snapshot-dir" => snapshot_dir = Some(PathBuf::from(take("--snapshot-dir"))),
+            "--addr" => addr = take("--addr"),
+            "--workers" => {
+                workers = take("--workers").parse().expect("--workers wants an integer")
+            }
+            other => panic!("unknown flag {other}; known: --snapshot-dir --addr --workers"),
+        }
+    }
+    Opts {
+        snapshot_dir: snapshot_dir.expect("--snapshot-dir is required"),
+        addr,
+        workers: workers.max(1),
+    }
+}
+
+fn main() -> ExitCode {
+    let opts = parse_opts(std::env::args().skip(1));
+    let catalog = match Catalog::load_dir(&opts.snapshot_dir) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("annd: failed to load {}: {e}", opts.snapshot_dir.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "annd: serving {} index(es) from {}",
+        catalog.len(),
+        opts.snapshot_dir.display()
+    );
+    for served in catalog.iter() {
+        let info = served.info();
+        println!(
+            "annd:   {}  method={}  n={}  dim={}  index={} KiB",
+            info.name,
+            info.method,
+            info.len,
+            info.dim,
+            info.index_bytes / 1024
+        );
+    }
+    let server = match Server::bind(catalog, opts.addr.as_str(), opts.workers) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("annd: failed to bind {}: {e}", opts.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    let catalog = server.catalog();
+    match server.local_addr() {
+        Ok(addr) => println!("annd: listening on {addr} ({} workers)", opts.workers),
+        Err(e) => {
+            eprintln!("annd: no local addr: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Err(e) = server.run() {
+        eprintln!("annd: serving loop failed: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("annd: shutting down; final counters:");
+    for served in catalog.iter() {
+        let s = served.stats.snapshot(&served.name);
+        println!(
+            "annd:   {}  queries={}  batches={} ({} queries)  total={}us  max={}us",
+            s.name, s.queries, s.batch_requests, s.batch_queries, s.total_micros, s.max_micros
+        );
+    }
+    ExitCode::SUCCESS
+}

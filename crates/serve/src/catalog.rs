@@ -1,0 +1,203 @@
+//! The catalog: every index a server instance holds, by name.
+//!
+//! A catalog is immutable once the server starts (snapshots are the unit
+//! of deployment — to change an index, write a new snapshot and restart
+//! or start a second instance), which is what lets query paths run
+//! without any locking: workers share `Arc<Catalog>` and only the
+//! per-index [`IndexStats`] atomics are ever written.
+
+use crate::protocol::IndexInfo;
+use crate::snapshot::{SnapError, Snapshot, SNAPSHOT_EXT};
+use crate::stats::IndexStats;
+use ann::AnnIndex;
+use dataset::Dataset;
+use std::collections::BTreeMap;
+use std::path::Path;
+use std::sync::Arc;
+
+/// One restored, queryable index plus its serving state.
+pub struct ServedIndex {
+    /// Catalog name. Authoritative source is the snapshot *container*
+    /// (not the file name): renaming a `.snap` file does not rename the
+    /// served index. `write_index_snapshot` keeps the two in sync.
+    pub name: String,
+    /// Method name (paper legend).
+    pub method: String,
+    /// The restored index.
+    pub index: Box<dyn AnnIndex>,
+    /// The dataset the index answers over (kept for dimension checks and
+    /// because the index only borrows it via `Arc`).
+    pub data: Arc<Dataset>,
+    /// Serving counters.
+    pub stats: IndexStats,
+}
+
+impl ServedIndex {
+    /// The wire-format description of this entry.
+    pub fn info(&self) -> IndexInfo {
+        IndexInfo {
+            name: self.name.clone(),
+            method: self.method.clone(),
+            len: self.data.len() as u64,
+            dim: self.data.dim() as u32,
+            index_bytes: self.index.index_bytes() as u64,
+        }
+    }
+}
+
+/// A named, immutable collection of served indexes.
+#[derive(Default)]
+pub struct Catalog {
+    items: BTreeMap<String, ServedIndex>,
+}
+
+impl Catalog {
+    /// A catalog serving nothing (still useful: PING/LIST/STATS work, and
+    /// the CI smoke test starts `annd` against an empty directory).
+    pub fn empty() -> Catalog {
+        Catalog::default()
+    }
+
+    /// Restores every `*.snap` file in `dir`, in file-name order.
+    ///
+    /// The directory must exist; a directory with no snapshot files
+    /// yields an empty catalog. Non-snapshot files are ignored.
+    pub fn load_dir(dir: &Path) -> Result<Catalog, SnapError> {
+        let mut paths: Vec<_> = std::fs::read_dir(dir)?
+            .collect::<Result<Vec<_>, _>>()?
+            .into_iter()
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|e| e == SNAPSHOT_EXT))
+            .collect();
+        paths.sort();
+        let mut catalog = Catalog::empty();
+        for path in paths {
+            catalog.insert_snapshot(Snapshot::read_from(&path)?)?;
+        }
+        Ok(catalog)
+    }
+
+    /// Restores one decoded snapshot into the catalog through the method
+    /// registry.
+    pub fn insert_snapshot(&mut self, snap: Snapshot) -> Result<(), SnapError> {
+        let data = Arc::new(snap.data);
+        let index = eval::registry::restore_index(&snap.method, &snap.payload, data.clone())
+            .map_err(SnapError::Restore)?;
+        self.insert(snap.name, snap.method, index, data)
+    }
+
+    /// Inserts an already-built index (used by in-process embedding — the
+    /// example and tests serve without touching disk).
+    pub fn insert(
+        &mut self,
+        name: String,
+        method: String,
+        index: Box<dyn AnnIndex>,
+        data: Arc<Dataset>,
+    ) -> Result<(), SnapError> {
+        // Both strings travel through `put_str` (which asserts the wire
+        // cap) in LIST responses, so reject oversized ones here instead
+        // of panicking a worker later.
+        if name.is_empty() || name.len() > crate::protocol::MAX_NAME {
+            return Err(SnapError::Malformed(format!("bad catalog name {name:?}")));
+        }
+        if method.is_empty() || method.len() > crate::protocol::MAX_NAME {
+            return Err(SnapError::Malformed(format!("bad method name {method:?}")));
+        }
+        if self.items.contains_key(&name) {
+            return Err(SnapError::Malformed(format!("duplicate catalog name {name:?}")));
+        }
+        let stats = IndexStats::default();
+        self.items.insert(name.clone(), ServedIndex { name, method, index, data, stats });
+        Ok(())
+    }
+
+    /// Looks up an index by catalog name.
+    pub fn get(&self, name: &str) -> Option<&ServedIndex> {
+        self.items.get(name)
+    }
+
+    /// All entries in name order (BTreeMap keeps LIST deterministic).
+    pub fn iter(&self) -> impl Iterator<Item = &ServedIndex> {
+        self.items.values()
+    }
+
+    /// Number of served indexes.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when the catalog serves nothing.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::write_index_snapshot;
+    use ann::SearchParams;
+    use dataset::{Metric, SynthSpec};
+    use lccs_lsh::{LccsLsh, LccsParams, MpLccsLsh, MpParams};
+
+    fn tmp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("annd-cat-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn load_dir_restores_in_name_order() {
+        let data = Arc::new(SynthSpec::new("cat", 250, 12).with_clusters(5).generate(8));
+        let params = LccsParams::euclidean(8.0).with_m(8);
+        let single = LccsLsh::build(data.clone(), Metric::Euclidean, &params);
+        let mp = MpLccsLsh::build(
+            data.clone(),
+            Metric::Euclidean,
+            &params,
+            MpParams { probes: 9, max_alts: 4 },
+        );
+        let dir = tmp_dir("order");
+        write_index_snapshot(&dir, "b-mp", &mp, &data).unwrap();
+        write_index_snapshot(&dir, "a-single", &single, &data).unwrap();
+        std::fs::write(dir.join("README.txt"), "not a snapshot").unwrap();
+
+        let catalog = Catalog::load_dir(&dir).unwrap();
+        assert_eq!(catalog.len(), 2);
+        let names: Vec<&str> = catalog.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, ["a-single", "b-mp"], "LIST order is name order");
+        let served = catalog.get("a-single").unwrap();
+        assert_eq!(served.method, "LCCS-LSH");
+        let p = SearchParams::new(3, 32);
+        assert_eq!(
+            served.index.query(data.get(4), &p),
+            AnnIndex::query(&single, data.get(4), &p),
+            "restored index answers identically"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn empty_dir_serves_nothing_and_missing_dir_errors() {
+        let dir = tmp_dir("empty");
+        assert!(Catalog::load_dir(&dir).unwrap().is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+        assert!(matches!(Catalog::load_dir(&dir.join("missing")), Err(SnapError::Io(_))));
+    }
+
+    #[test]
+    fn duplicate_names_are_rejected() {
+        let data = Arc::new(SynthSpec::new("dup", 100, 8).generate(1));
+        let idx = || {
+            Box::new(LccsLsh::build(
+                data.clone(),
+                Metric::Euclidean,
+                &LccsParams::euclidean(8.0).with_m(8),
+            )) as Box<dyn AnnIndex>
+        };
+        let mut c = Catalog::empty();
+        c.insert("x".into(), "LCCS-LSH".into(), idx(), data.clone()).unwrap();
+        assert!(c.insert("x".into(), "LCCS-LSH".into(), idx(), data.clone()).is_err());
+    }
+}

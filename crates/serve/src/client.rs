@@ -1,0 +1,147 @@
+//! Blocking client for the `annd` protocol, used by `ann-cli`, the
+//! end-to-end tests, and any Rust caller that wants remote ANN queries.
+
+use crate::protocol::{
+    read_frame, write_frame, IndexInfo, ProtoError, Request, Response, StatsEntry,
+};
+use dataset::exact::Neighbor;
+use dataset::Dataset;
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// Errors surfaced by [`Client`] calls.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure.
+    Io(io::Error),
+    /// The server sent a frame this client cannot decode.
+    Proto(ProtoError),
+    /// The server answered with an error message.
+    Server(String),
+    /// The server answered with the wrong response variant.
+    Unexpected(&'static str),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io error: {e}"),
+            ClientError::Proto(e) => write!(f, "protocol error: {e}"),
+            ClientError::Server(m) => write!(f, "server error: {m}"),
+            ClientError::Unexpected(what) => write!(f, "unexpected response, wanted {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// One connection to an `annd` instance. Requests are answered in order
+/// on the same connection (the protocol has no pipelining or request
+/// ids), so a `Client` is cheap, single-threaded state.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects to a running server.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        Ok(Client { stream })
+    }
+
+    fn call(&mut self, req: &Request) -> Result<Response, ClientError> {
+        write_frame(&mut self.stream, &req.encode())?;
+        let body = read_frame(&mut self.stream)?.ok_or_else(|| {
+            ClientError::Io(io::Error::new(io::ErrorKind::UnexpectedEof, "server closed"))
+        })?;
+        match Response::decode(&body).map_err(ClientError::Proto)? {
+            Response::Error(msg) => Err(ClientError::Server(msg)),
+            resp => Ok(resp),
+        }
+    }
+
+    /// Liveness check.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        match self.call(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            _ => Err(ClientError::Unexpected("PONG")),
+        }
+    }
+
+    /// Enumerates the served indexes.
+    pub fn list(&mut self) -> Result<Vec<IndexInfo>, ClientError> {
+        match self.call(&Request::List)? {
+            Response::List(infos) => Ok(infos),
+            _ => Err(ClientError::Unexpected("LIST")),
+        }
+    }
+
+    /// Fetches the per-index serving counters.
+    pub fn stats(&mut self) -> Result<Vec<StatsEntry>, ClientError> {
+        match self.call(&Request::Stats)? {
+            Response::Stats(entries) => Ok(entries),
+            _ => Err(ClientError::Unexpected("STATS")),
+        }
+    }
+
+    /// One c-k-ANNS query. `probes = 0` uses the index's default.
+    pub fn query(
+        &mut self,
+        index: &str,
+        k: usize,
+        budget: usize,
+        probes: usize,
+        vector: &[f32],
+    ) -> Result<Vec<Neighbor>, ClientError> {
+        let req = Request::Query {
+            index: index.to_string(),
+            k: k as u32,
+            budget: budget as u32,
+            probes: probes as u32,
+            vector: vector.to_vec(),
+        };
+        match self.call(&req)? {
+            Response::Neighbors(ns) => Ok(ns),
+            _ => Err(ClientError::Unexpected("NEIGHBORS")),
+        }
+    }
+
+    /// A whole query batch; the server answers through its parallel
+    /// executor and returns one list per query, in request order.
+    pub fn query_batch(
+        &mut self,
+        index: &str,
+        k: usize,
+        budget: usize,
+        probes: usize,
+        queries: &Dataset,
+    ) -> Result<Vec<Vec<Neighbor>>, ClientError> {
+        let req = Request::Batch {
+            index: index.to_string(),
+            k: k as u32,
+            budget: budget as u32,
+            probes: probes as u32,
+            dim: queries.dim() as u32,
+            vectors: queries.as_flat().to_vec(),
+        };
+        match self.call(&req)? {
+            Response::Batch(lists) => Ok(lists),
+            _ => Err(ClientError::Unexpected("BATCH")),
+        }
+    }
+
+    /// Asks the server to drain and exit.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        match self.call(&Request::Shutdown)? {
+            Response::ShuttingDown => Ok(()),
+            _ => Err(ClientError::Unexpected("SHUTTING_DOWN")),
+        }
+    }
+}

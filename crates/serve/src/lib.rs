@@ -1,0 +1,46 @@
+//! Snapshot-backed ANN serving (`annd`).
+//!
+//! This crate separates index *construction* from index *serving*, the
+//! split production ANN deployments (and the HTAP designs in PAPERS.md)
+//! converge on: an index is built once, written to an immutable snapshot
+//! container, and any number of serving processes restore it instantly —
+//! `core::persist` skips the `O(m n log n)` CSA rebuild — and answer
+//! queries over a length-prefixed binary TCP protocol.
+//!
+//! * [`snapshot`] — the on-disk container (name + method + vectors +
+//!   [`ann::PersistAnn`] payload) and its atomic writer.
+//! * [`catalog`] — the immutable multi-index catalog a server holds;
+//!   restored through `eval::registry` by method name.
+//! * [`protocol`] — the wire format: framing, requests, responses.
+//! * [`server`] — the worker-pool serving loop behind the `annd` binary:
+//!   one scratch per (worker, index), batches through the parallel
+//!   executor, per-index latency counters, cooperative shutdown.
+//! * [`client`] — the blocking client behind `ann-cli` and the tests.
+//!
+//! Everything runs on `std::net` — no new dependencies, in keeping with
+//! the workspace's fully-vendored offline build.
+//!
+//! ```no_run
+//! use serve::{catalog::Catalog, client::Client, server::Server};
+//!
+//! let catalog = Catalog::load_dir(std::path::Path::new("snapshots"))?;
+//! let server = Server::bind(catalog, "127.0.0.1:0", 4)?;
+//! let addr = server.local_addr()?;
+//! std::thread::spawn(move || server.run());
+//!
+//! let mut client = Client::connect(addr)?;
+//! let hits = client.query("demo", 10, 128, 0, &vec![0.0; 32]).unwrap();
+//! # let _ = hits;
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod client;
+pub mod protocol;
+pub mod server;
+pub mod snapshot;
+pub mod stats;
+mod wire;

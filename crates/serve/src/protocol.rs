@@ -1,0 +1,574 @@
+//! The `annd` wire protocol: length-prefixed binary frames over TCP.
+//!
+//! Every message is a little-endian `u32` body length followed by the
+//! body; bodies are a one-byte tag plus tag-specific fields. The protocol
+//! is deliberately dependency-free (no serde on the wire) and versioned
+//! implicitly by the tag space — unknown tags are rejected, never
+//! misread. Distances travel as raw `f64` bits, so a served result is
+//! byte-identical to the in-process answer, which the end-to-end test
+//! asserts.
+//!
+//! Frames are capped at [`MAX_FRAME`] and names at [`MAX_NAME`] so a
+//! garbage or hostile peer cannot make the server allocate unboundedly.
+
+use crate::wire::Reader;
+use dataset::exact::Neighbor;
+use std::io::{self, Read, Write};
+
+/// Hard cap on one frame body (64 MiB — a 1024-query batch of 960-d
+/// vectors is under 4 MiB, so this leaves ample headroom).
+pub const MAX_FRAME: usize = 64 << 20;
+
+/// Hard cap on index/method name length on the wire.
+pub const MAX_NAME: usize = 255;
+
+/// Errors raised while decoding a frame body.
+#[derive(Debug, PartialEq, Eq)]
+pub enum ProtoError {
+    /// The body ended before all declared fields were read.
+    Truncated,
+    /// Unknown message tag.
+    BadTag(u8),
+    /// A declared size is out of range or internally inconsistent.
+    BadShape(String),
+    /// A name field was not valid UTF-8.
+    BadUtf8,
+}
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtoError::Truncated => write!(f, "frame body truncated"),
+            ProtoError::BadTag(t) => write!(f, "unknown message tag {t}"),
+            ProtoError::BadShape(m) => write!(f, "bad frame shape: {m}"),
+            ProtoError::BadUtf8 => write!(f, "name is not valid UTF-8"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+// ---------------------------------------------------------------- framing
+
+/// Writes one frame (length prefix + body). Oversized bodies are a hard
+/// error, not a `debug_assert`: truncating the length prefix to `u32`
+/// would silently desynchronize the stream.
+pub fn write_frame(w: &mut impl Write, body: &[u8]) -> io::Result<()> {
+    if body.len() > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame body of {} bytes exceeds the {MAX_FRAME}-byte cap", body.len()),
+        ));
+    }
+    w.write_all(&(body.len() as u32).to_le_bytes())?;
+    w.write_all(body)?;
+    w.flush()
+}
+
+/// Reads one frame body. Returns `Ok(None)` on clean EOF at a frame
+/// boundary; mid-frame EOF and oversized frames are errors.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
+    let mut hdr = [0u8; 4];
+    let mut filled = 0;
+    while filled < hdr.len() {
+        let n = r.read(&mut hdr[filled..])?;
+        if n == 0 {
+            if filled == 0 {
+                return Ok(None);
+            }
+            return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "EOF inside frame header"));
+        }
+        filled += n;
+    }
+    let len = u32::from_le_bytes(hdr) as usize;
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds the {MAX_FRAME}-byte cap"),
+        ));
+    }
+    let mut body = vec![0u8; len];
+    r.read_exact(&mut body)?;
+    Ok(Some(body))
+}
+
+// ------------------------------------------------------- encode / decode
+
+impl From<crate::wire::Short> for ProtoError {
+    fn from(_: crate::wire::Short) -> Self {
+        ProtoError::Truncated
+    }
+}
+
+fn get_str(r: &mut Reader) -> Result<String, ProtoError> {
+    let len = r.u8()? as usize;
+    String::from_utf8(r.take(len)?.to_vec()).map_err(|_| ProtoError::BadUtf8)
+}
+
+fn finish(r: &Reader) -> Result<(), ProtoError> {
+    if r.remaining() == 0 {
+        Ok(())
+    } else {
+        Err(ProtoError::BadShape(format!("{} trailing bytes", r.remaining())))
+    }
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    assert!(s.len() <= MAX_NAME, "name {s:?} exceeds {MAX_NAME} bytes");
+    out.push(s.len() as u8);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_f32s(out: &mut Vec<u8>, vs: &[f32]) {
+    out.reserve(vs.len() * 4);
+    for v in vs {
+        out.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+}
+
+fn put_neighbors(out: &mut Vec<u8>, ns: &[Neighbor]) {
+    out.extend_from_slice(&(ns.len() as u32).to_le_bytes());
+    for n in ns {
+        out.extend_from_slice(&n.id.to_le_bytes());
+        out.extend_from_slice(&n.dist.to_bits().to_le_bytes());
+    }
+}
+
+fn get_neighbors(r: &mut Reader) -> Result<Vec<Neighbor>, ProtoError> {
+    let count = r.u32()? as usize;
+    if count > MAX_FRAME / 12 {
+        return Err(ProtoError::BadShape(format!("{count} neighbors")));
+    }
+    let mut ns = Vec::with_capacity(count);
+    for _ in 0..count {
+        let id = r.u32()?;
+        let dist = r.f64()?;
+        ns.push(Neighbor { id, dist });
+    }
+    Ok(ns)
+}
+
+// ---------------------------------------------------------------- request
+
+/// A client-to-server message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Liveness check.
+    Ping,
+    /// Enumerate the served indexes.
+    List,
+    /// One c-k-ANNS query against a named index.
+    Query {
+        /// Catalog name of the target index.
+        index: String,
+        /// Neighbors to return.
+        k: u32,
+        /// Candidate budget (λ for the LCCS schemes).
+        budget: u32,
+        /// Probe override for multi-probe schemes (`0` = index default).
+        probes: u32,
+        /// The query vector.
+        vector: Vec<f32>,
+    },
+    /// A whole query batch, answered through the parallel executor.
+    Batch {
+        /// Catalog name of the target index.
+        index: String,
+        /// Neighbors to return per query.
+        k: u32,
+        /// Candidate budget per query.
+        budget: u32,
+        /// Probe override (`0` = index default).
+        probes: u32,
+        /// Dimensionality of each query row.
+        dim: u32,
+        /// Row-major `nq × dim` query payload.
+        vectors: Vec<f32>,
+    },
+    /// Fetch per-index serving counters.
+    Stats,
+    /// Ask the server to stop accepting and exit once drained.
+    Shutdown,
+}
+
+const REQ_PING: u8 = 1;
+const REQ_LIST: u8 = 2;
+const REQ_QUERY: u8 = 3;
+const REQ_BATCH: u8 = 4;
+const REQ_STATS: u8 = 5;
+const REQ_SHUTDOWN: u8 = 6;
+
+impl Request {
+    /// Serializes into a frame body.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Request::Ping => out.push(REQ_PING),
+            Request::List => out.push(REQ_LIST),
+            Request::Query { index, k, budget, probes, vector } => {
+                out.push(REQ_QUERY);
+                put_str(&mut out, index);
+                out.extend_from_slice(&k.to_le_bytes());
+                out.extend_from_slice(&budget.to_le_bytes());
+                out.extend_from_slice(&probes.to_le_bytes());
+                out.extend_from_slice(&(vector.len() as u32).to_le_bytes());
+                put_f32s(&mut out, vector);
+            }
+            Request::Batch { index, k, budget, probes, dim, vectors } => {
+                assert_eq!(
+                    vectors.len() % (*dim).max(1) as usize,
+                    0,
+                    "batch payload must be a whole number of rows"
+                );
+                out.push(REQ_BATCH);
+                put_str(&mut out, index);
+                out.extend_from_slice(&k.to_le_bytes());
+                out.extend_from_slice(&budget.to_le_bytes());
+                out.extend_from_slice(&probes.to_le_bytes());
+                out.extend_from_slice(&dim.to_le_bytes());
+                out.extend_from_slice(&((vectors.len() / (*dim).max(1) as usize) as u32).to_le_bytes());
+                put_f32s(&mut out, vectors);
+            }
+            Request::Stats => out.push(REQ_STATS),
+            Request::Shutdown => out.push(REQ_SHUTDOWN),
+        }
+        out
+    }
+
+    /// Decodes a frame body.
+    pub fn decode(body: &[u8]) -> Result<Request, ProtoError> {
+        let mut r = Reader::new(body);
+        let req = match r.u8()? {
+            REQ_PING => Request::Ping,
+            REQ_LIST => Request::List,
+            REQ_QUERY => {
+                let index = get_str(&mut r)?;
+                let k = r.u32()?;
+                let budget = r.u32()?;
+                let probes = r.u32()?;
+                let dim = r.u32()? as usize;
+                let vector = r.f32s(dim)?;
+                Request::Query { index, k, budget, probes, vector }
+            }
+            REQ_BATCH => {
+                let index = get_str(&mut r)?;
+                let k = r.u32()?;
+                let budget = r.u32()?;
+                let probes = r.u32()?;
+                let dim = r.u32()?;
+                let nq = r.u32()? as usize;
+                if dim == 0 {
+                    return Err(ProtoError::BadShape("zero-dimensional batch".into()));
+                }
+                let vectors = r.f32s(nq * dim as usize)?;
+                Request::Batch { index, k, budget, probes, dim, vectors }
+            }
+            REQ_STATS => Request::Stats,
+            REQ_SHUTDOWN => Request::Shutdown,
+            t => return Err(ProtoError::BadTag(t)),
+        };
+        finish(&r)?;
+        Ok(req)
+    }
+}
+
+// --------------------------------------------------------------- response
+
+/// One served index as reported by [`Request::List`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IndexInfo {
+    /// Catalog name (stored inside the snapshot container).
+    pub name: String,
+    /// Method name (paper legend, e.g. `"LCCS-LSH"`).
+    pub method: String,
+    /// Number of indexed vectors.
+    pub len: u64,
+    /// Vector dimensionality.
+    pub dim: u32,
+    /// Index footprint in bytes (excluding raw vectors).
+    pub index_bytes: u64,
+}
+
+/// Per-index serving counters as reported by [`Request::Stats`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StatsEntry {
+    /// Catalog name.
+    pub name: String,
+    /// Single queries answered.
+    pub queries: u64,
+    /// Batch requests answered.
+    pub batch_requests: u64,
+    /// Queries answered inside batch requests.
+    pub batch_queries: u64,
+    /// Total serving time across requests, microseconds.
+    pub total_micros: u64,
+    /// Slowest single request, microseconds.
+    pub max_micros: u64,
+}
+
+/// A server-to-client message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Reply to [`Request::Ping`].
+    Pong,
+    /// Reply to [`Request::List`].
+    List(Vec<IndexInfo>),
+    /// Reply to [`Request::Query`].
+    Neighbors(Vec<Neighbor>),
+    /// Reply to [`Request::Batch`], one list per query in request order.
+    Batch(Vec<Vec<Neighbor>>),
+    /// Reply to [`Request::Stats`].
+    Stats(Vec<StatsEntry>),
+    /// Reply to [`Request::Shutdown`]: acknowledged, server is draining.
+    ShuttingDown,
+    /// The request could not be served (unknown index, shape mismatch…).
+    Error(String),
+}
+
+const RESP_PONG: u8 = 1;
+const RESP_LIST: u8 = 2;
+const RESP_NEIGHBORS: u8 = 3;
+const RESP_BATCH: u8 = 4;
+const RESP_STATS: u8 = 5;
+const RESP_SHUTDOWN: u8 = 6;
+const RESP_ERROR: u8 = 255;
+
+impl Response {
+    /// Serializes into a frame body.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Response::Pong => out.push(RESP_PONG),
+            Response::List(infos) => {
+                out.push(RESP_LIST);
+                out.extend_from_slice(&(infos.len() as u32).to_le_bytes());
+                for i in infos {
+                    put_str(&mut out, &i.name);
+                    put_str(&mut out, &i.method);
+                    out.extend_from_slice(&i.len.to_le_bytes());
+                    out.extend_from_slice(&i.dim.to_le_bytes());
+                    out.extend_from_slice(&i.index_bytes.to_le_bytes());
+                }
+            }
+            Response::Neighbors(ns) => {
+                out.push(RESP_NEIGHBORS);
+                put_neighbors(&mut out, ns);
+            }
+            Response::Batch(lists) => {
+                out.push(RESP_BATCH);
+                out.extend_from_slice(&(lists.len() as u32).to_le_bytes());
+                for ns in lists {
+                    put_neighbors(&mut out, ns);
+                }
+            }
+            Response::Stats(entries) => {
+                out.push(RESP_STATS);
+                out.extend_from_slice(&(entries.len() as u32).to_le_bytes());
+                for e in entries {
+                    put_str(&mut out, &e.name);
+                    for v in [e.queries, e.batch_requests, e.batch_queries, e.total_micros, e.max_micros]
+                    {
+                        out.extend_from_slice(&v.to_le_bytes());
+                    }
+                }
+            }
+            Response::ShuttingDown => out.push(RESP_SHUTDOWN),
+            Response::Error(msg) => {
+                out.push(RESP_ERROR);
+                let msg = &msg.as_bytes()[..msg.len().min(1024)];
+                out.extend_from_slice(&(msg.len() as u32).to_le_bytes());
+                out.extend_from_slice(msg);
+            }
+        }
+        out
+    }
+
+    /// Decodes a frame body.
+    pub fn decode(body: &[u8]) -> Result<Response, ProtoError> {
+        let mut r = Reader::new(body);
+        let resp = match r.u8()? {
+            RESP_PONG => Response::Pong,
+            RESP_LIST => {
+                let count = r.u32()? as usize;
+                let mut infos = Vec::with_capacity(count.min(1024));
+                for _ in 0..count {
+                    infos.push(IndexInfo {
+                        name: get_str(&mut r)?,
+                        method: get_str(&mut r)?,
+                        len: r.u64()?,
+                        dim: r.u32()?,
+                        index_bytes: r.u64()?,
+                    });
+                }
+                Response::List(infos)
+            }
+            RESP_NEIGHBORS => Response::Neighbors(get_neighbors(&mut r)?),
+            RESP_BATCH => {
+                let nq = r.u32()? as usize;
+                if nq > MAX_FRAME / 4 {
+                    return Err(ProtoError::BadShape(format!("{nq} result lists")));
+                }
+                let mut lists = Vec::with_capacity(nq.min(65_536));
+                for _ in 0..nq {
+                    lists.push(get_neighbors(&mut r)?);
+                }
+                Response::Batch(lists)
+            }
+            RESP_STATS => {
+                let count = r.u32()? as usize;
+                let mut entries = Vec::with_capacity(count.min(1024));
+                for _ in 0..count {
+                    let name = get_str(&mut r)?;
+                    let queries = r.u64()?;
+                    let batch_requests = r.u64()?;
+                    let batch_queries = r.u64()?;
+                    let total_micros = r.u64()?;
+                    let max_micros = r.u64()?;
+                    entries.push(StatsEntry {
+                        name,
+                        queries,
+                        batch_requests,
+                        batch_queries,
+                        total_micros,
+                        max_micros,
+                    });
+                }
+                Response::Stats(entries)
+            }
+            RESP_SHUTDOWN => Response::ShuttingDown,
+            RESP_ERROR => {
+                let len = r.u32()? as usize;
+                let raw = r.take(len)?;
+                Response::Error(String::from_utf8_lossy(raw).into_owned())
+            }
+            t => return Err(ProtoError::BadTag(t)),
+        };
+        finish(&r)?;
+        Ok(resp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip_request(req: Request) {
+        assert_eq!(Request::decode(&req.encode()).expect("decode"), req);
+    }
+
+    fn round_trip_response(resp: Response) {
+        assert_eq!(Response::decode(&resp.encode()).expect("decode"), resp);
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        round_trip_request(Request::Ping);
+        round_trip_request(Request::List);
+        round_trip_request(Request::Stats);
+        round_trip_request(Request::Shutdown);
+        round_trip_request(Request::Query {
+            index: "glove".into(),
+            k: 10,
+            budget: 128,
+            probes: 0,
+            vector: vec![1.5, -2.25, f32::MIN_POSITIVE, 0.0],
+        });
+        round_trip_request(Request::Batch {
+            index: "sift".into(),
+            k: 5,
+            budget: 64,
+            probes: 17,
+            dim: 3,
+            vectors: vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0],
+        });
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        round_trip_response(Response::Pong);
+        round_trip_response(Response::ShuttingDown);
+        round_trip_response(Response::Error("no such index".into()));
+        round_trip_response(Response::List(vec![IndexInfo {
+            name: "demo".into(),
+            method: "LCCS-LSH".into(),
+            len: 2000,
+            dim: 32,
+            index_bytes: 1 << 20,
+        }]));
+        round_trip_response(Response::Neighbors(vec![
+            Neighbor { id: 7, dist: 0.25 },
+            Neighbor { id: 9, dist: 1.0 / 3.0 },
+        ]));
+        round_trip_response(Response::Batch(vec![
+            vec![Neighbor { id: 1, dist: 1.0 }],
+            vec![],
+            vec![Neighbor { id: 2, dist: 2.0 }, Neighbor { id: 3, dist: 3.0 }],
+        ]));
+        round_trip_response(Response::Stats(vec![StatsEntry {
+            name: "demo".into(),
+            queries: 3,
+            batch_requests: 1,
+            batch_queries: 100,
+            total_micros: 4242,
+            max_micros: 999,
+        }]));
+    }
+
+    #[test]
+    fn nan_distance_is_bit_preserved() {
+        // Distances must survive bit-exactly, including awkward values.
+        let ns = vec![Neighbor { id: 1, dist: f64::from_bits(0x7ff8_0000_0000_0001) }];
+        let back = Response::decode(&Response::Neighbors(ns.clone()).encode()).unwrap();
+        let Response::Neighbors(out) = back else { panic!("wrong variant") };
+        assert_eq!(out[0].dist.to_bits(), ns[0].dist.to_bits());
+    }
+
+    #[test]
+    fn unknown_tags_are_rejected() {
+        assert_eq!(Request::decode(&[99]), Err(ProtoError::BadTag(99)));
+        assert_eq!(Response::decode(&[42]), Err(ProtoError::BadTag(42)));
+        assert_eq!(Request::decode(&[]), Err(ProtoError::Truncated));
+    }
+
+    #[test]
+    fn truncated_bodies_are_rejected() {
+        let good = Request::Query {
+            index: "x".into(),
+            k: 1,
+            budget: 8,
+            probes: 0,
+            vector: vec![1.0, 2.0],
+        }
+        .encode();
+        for cut in 0..good.len() {
+            assert!(Request::decode(&good[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut body = Request::Ping.encode();
+        body.push(0);
+        assert!(matches!(Request::decode(&body), Err(ProtoError::BadShape(_))));
+    }
+
+    #[test]
+    fn frame_round_trips_and_detects_eof() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut r = &buf[..];
+        assert_eq!(read_frame(&mut r).unwrap().as_deref(), Some(&b"hello"[..]));
+        assert_eq!(read_frame(&mut r).unwrap().as_deref(), Some(&b""[..]));
+        assert_eq!(read_frame(&mut r).unwrap(), None);
+        // Mid-frame EOF is an error, not a silent None.
+        let cut = &buf[..3];
+        let mut r = cut;
+        assert!(read_frame(&mut r).is_err());
+        // Oversized declared length is rejected before allocating.
+        let mut huge = Vec::new();
+        huge.extend_from_slice(&(u32::MAX).to_le_bytes());
+        let mut r = &huge[..];
+        assert!(read_frame(&mut r).is_err());
+    }
+}

@@ -1,0 +1,263 @@
+//! The `annd` serving loop: a worker pool over a blocking TCP listener.
+//!
+//! Connections are accepted by the main thread and handed to a fixed pool
+//! of `workers` threads over a channel. Each worker owns one
+//! [`ann::Scratch`] per index it has touched and reuses it for every
+//! single query it answers — the same allocation amortization the batch
+//! executor gets per worker thread. BATCH requests route through
+//! [`ann::AnnIndex::query_batch`] (the parallel executor), so one heavy
+//! batch saturates the cores even with a single connection.
+//!
+//! Shutdown is cooperative: a SHUTDOWN request flips a shared flag and
+//! pokes the accept loop awake with a loopback connection; the acceptor
+//! stops handing out work, the pool drains, and [`Server::run`] returns.
+
+use crate::catalog::{Catalog, ServedIndex};
+use crate::protocol::{read_frame, write_frame, Request, Response};
+use ann::{Scratch, SearchParams};
+use std::collections::HashMap;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Hygiene timeout on connection reads: a peer that goes silent for this
+/// long mid-session is dropped so it cannot pin a worker forever.
+const READ_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// A bound, not-yet-running server.
+pub struct Server {
+    listener: TcpListener,
+    catalog: Arc<Catalog>,
+    workers: usize,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl Server {
+    /// Binds `addr` (use port `0` for an ephemeral port) and prepares a
+    /// pool of `workers` connection handlers.
+    pub fn bind(catalog: Catalog, addr: impl ToSocketAddrs, workers: usize) -> io::Result<Server> {
+        Ok(Server {
+            listener: TcpListener::bind(addr)?,
+            catalog: Arc::new(catalog),
+            workers: workers.max(1),
+            shutdown: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The bound address (the real port when bound with port `0`).
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// The served catalog (for printing summaries and final stats around
+    /// [`Server::run`]).
+    pub fn catalog(&self) -> Arc<Catalog> {
+        self.catalog.clone()
+    }
+
+    /// Serves until a SHUTDOWN request arrives, then drains and returns.
+    pub fn run(self) -> io::Result<()> {
+        let local = self.local_addr()?;
+        // Nonblocking accept + short poll: the loop re-checks the shutdown
+        // flag every tick, so it can never hang on a lost wake-up, and a
+        // transient accept error (ECONNABORTED under load, a brief EMFILE
+        // burst) is retried instead of silently terminating the daemon.
+        self.listener.set_nonblocking(true)?;
+        let (tx, rx): (Sender<TcpStream>, Receiver<TcpStream>) = mpsc::channel();
+        let rx = Arc::new(Mutex::new(rx));
+        std::thread::scope(|scope| {
+            for _ in 0..self.workers {
+                let rx = rx.clone();
+                let catalog = self.catalog.clone();
+                let shutdown = self.shutdown.clone();
+                scope.spawn(move || worker_loop(&rx, &catalog, &shutdown, local));
+            }
+            loop {
+                if self.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                match self.listener.accept() {
+                    Ok((stream, _)) => {
+                        // Some platforms hand the listener's nonblocking
+                        // mode down to accepted sockets; handlers expect
+                        // blocking reads with a timeout.
+                        if stream.set_nonblocking(false).is_err() {
+                            continue;
+                        }
+                        if tx.send(stream).is_err() {
+                            break;
+                        }
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(ACCEPT_POLL);
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                    Err(e) => {
+                        eprintln!("annd: accept failed (retrying): {e}");
+                        std::thread::sleep(ACCEPT_POLL);
+                    }
+                }
+            }
+            drop(tx); // workers drain the queue, then exit
+        });
+        Ok(())
+    }
+}
+
+/// Accept-loop poll interval; also the upper bound SHUTDOWN adds to the
+/// drain latency when the loopback wake-up poke cannot connect.
+const ACCEPT_POLL: Duration = Duration::from_millis(10);
+
+fn worker_loop(
+    rx: &Mutex<Receiver<TcpStream>>,
+    catalog: &Catalog,
+    shutdown: &AtomicBool,
+    local: SocketAddr,
+) {
+    // One scratch per (worker, index): reused across every connection and
+    // single query this worker handles.
+    let mut scratches: HashMap<String, Scratch> = HashMap::new();
+    loop {
+        let stream = {
+            let guard = rx.lock().expect("receiver poisoned");
+            guard.recv()
+        };
+        match stream {
+            Ok(s) => handle_connection(s, catalog, shutdown, local, &mut scratches),
+            Err(_) => break, // channel closed: server is draining
+        }
+    }
+}
+
+fn handle_connection(
+    mut stream: TcpStream,
+    catalog: &Catalog,
+    shutdown: &AtomicBool,
+    local: SocketAddr,
+    scratches: &mut HashMap<String, Scratch>,
+) {
+    stream.set_nodelay(true).ok();
+    stream.set_read_timeout(Some(READ_TIMEOUT)).ok();
+    loop {
+        let body = match read_frame(&mut stream) {
+            Ok(Some(body)) => body,
+            Ok(None) => return,  // clean close
+            Err(_) => return,    // timeout, mid-frame EOF, oversized frame
+        };
+        let (resp, stop) = match Request::decode(&body) {
+            Ok(req) => dispatch(req, catalog, shutdown, local, scratches),
+            Err(e) => (Response::Error(format!("bad request: {e}")), true),
+        };
+        if write_frame(&mut stream, &resp.encode()).is_err() {
+            return;
+        }
+        if stop {
+            return;
+        }
+    }
+}
+
+/// Validates and answers one request. The boolean asks the connection
+/// loop to close afterwards.
+fn dispatch(
+    req: Request,
+    catalog: &Catalog,
+    shutdown: &AtomicBool,
+    local: SocketAddr,
+    scratches: &mut HashMap<String, Scratch>,
+) -> (Response, bool) {
+    match req {
+        Request::Ping => (Response::Pong, false),
+        Request::List => (Response::List(catalog.iter().map(ServedIndex::info).collect()), false),
+        Request::Stats => {
+            (Response::Stats(catalog.iter().map(|s| s.stats.snapshot(&s.name)).collect()), false)
+        }
+        Request::Shutdown => {
+            shutdown.store(true, Ordering::SeqCst);
+            // Poke the accept loop for an instant wake-up; if the connect
+            // fails the nonblocking poll observes the flag within
+            // ACCEPT_POLL anyway. A wildcard bind is not connectable, so
+            // target loopback on the same port.
+            let target: SocketAddr = if local.ip().is_unspecified() {
+                (std::net::Ipv4Addr::LOCALHOST, local.port()).into()
+            } else {
+                local
+            };
+            TcpStream::connect_timeout(&target, Duration::from_millis(100)).ok();
+            (Response::ShuttingDown, true)
+        }
+        Request::Query { index, k, budget, probes, vector } => {
+            let served = match lookup(catalog, &index, vector.len(), k) {
+                Ok(s) => s,
+                Err(e) => return (e, false),
+            };
+            let params =
+                SearchParams::new(k as usize, budget as usize).with_probes(probes as usize);
+            let scratch =
+                scratches.entry(index).or_insert_with(|| served.index.make_scratch());
+            let t0 = Instant::now();
+            let neighbors = served.index.query_with(&vector, &params, scratch);
+            served.stats.record_query(t0.elapsed().as_micros() as u64);
+            (Response::Neighbors(neighbors), false)
+        }
+        Request::Batch { index, k, budget, probes, dim, vectors } => {
+            let served = match lookup(catalog, &index, dim as usize, k) {
+                Ok(s) => s,
+                Err(e) => return (e, false),
+            };
+            // The response must fit one frame: nq lists of up to k
+            // 12-byte neighbors each (k ≤ n is guaranteed by lookup).
+            let nq = vectors.len() / dim.max(1) as usize;
+            let resp_bytes = 5 + nq as u64 * (4 + 12 * u64::from(k));
+            if resp_bytes > crate::protocol::MAX_FRAME as u64 {
+                return (
+                    Response::Error(format!(
+                        "batch of {nq} queries at k={k} would need a {resp_bytes}-byte \
+                         response, over the {}-byte frame cap; split the batch",
+                        crate::protocol::MAX_FRAME
+                    )),
+                    false,
+                );
+            }
+            let params =
+                SearchParams::new(k as usize, budget as usize).with_probes(probes as usize);
+            let queries = dataset::Dataset::from_flat("batch", dim as usize, vectors);
+            let t0 = Instant::now();
+            let lists = served.index.query_batch(&queries, &params);
+            served.stats.record_batch(queries.len() as u64, t0.elapsed().as_micros() as u64);
+            (Response::Batch(lists), false)
+        }
+    }
+}
+
+fn lookup<'a>(
+    catalog: &'a Catalog,
+    name: &str,
+    dim: usize,
+    k: u32,
+) -> Result<&'a ServedIndex, Response> {
+    let served = catalog
+        .get(name)
+        .ok_or_else(|| Response::Error(format!("no such index {name:?}")))?;
+    if k == 0 {
+        return Err(Response::Error("k must be at least 1".into()));
+    }
+    // An untrusted k flows into k-sized allocations (verification heaps);
+    // beyond n it cannot return more neighbors anyway.
+    if k as u64 > served.data.len() as u64 {
+        return Err(Response::Error(format!(
+            "k = {k} exceeds the {} indexed vectors of {name:?}",
+            served.data.len()
+        )));
+    }
+    if dim != served.data.dim() {
+        return Err(Response::Error(format!(
+            "dimension mismatch: index {name:?} has dim {}, query has {dim}",
+            served.data.dim()
+        )));
+    }
+    Ok(served)
+}

@@ -1,0 +1,254 @@
+//! The on-disk snapshot container `annd` serves from.
+//!
+//! A snapshot file bundles everything a serving process needs to answer
+//! queries for one index without rebuilding anything: the catalog name,
+//! the method name (which selects the restorer in
+//! [`eval::registry::snapshot_entries`]), the raw vectors, and the
+//! method's own [`ann::PersistAnn`] payload (parameters + CSA). Layout,
+//! all little-endian:
+//!
+//! ```text
+//! magic    b"ANNSNP01"                    8 bytes
+//! name     u16 length + UTF-8 bytes       catalog name
+//! method   u16 length + UTF-8 bytes       e.g. "LCCS-LSH"
+//! n        u64                            vector count
+//! dim      u32                            dimensionality
+//! vectors  n * dim * f32                  row-major raw bits
+//! payload  u64 length + bytes             PersistAnn payload
+//! ```
+//!
+//! Snapshot files use the `.snap` extension; a snapshot directory is just
+//! a flat directory of them, loaded in name order by
+//! [`crate::catalog::Catalog::load_dir`].
+
+use ann::PersistAnn;
+use dataset::Dataset;
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Magic + version prefix of a snapshot container.
+pub const MAGIC: &[u8; 8] = b"ANNSNP01";
+
+/// Extension of snapshot files inside a `--snapshot-dir`.
+pub const SNAPSHOT_EXT: &str = "snap";
+
+/// Cap on the declared vector payload (guards against a corrupted header
+/// making the loader allocate terabytes): 1 GiB of f32s.
+const MAX_VECTOR_BYTES: u64 = 1 << 30;
+
+/// Errors raised while reading or writing snapshot containers.
+#[derive(Debug)]
+pub enum SnapError {
+    /// Underlying filesystem error.
+    Io(std::io::Error),
+    /// The container is structurally broken (message explains what).
+    Malformed(String),
+    /// The container decoded, but the index payload could not be restored.
+    Restore(eval::registry::RestoreError),
+}
+
+impl std::fmt::Display for SnapError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapError::Io(e) => write!(f, "snapshot io error: {e}"),
+            SnapError::Malformed(m) => write!(f, "malformed snapshot: {m}"),
+            SnapError::Restore(e) => write!(f, "snapshot restore failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapError {}
+
+impl From<std::io::Error> for SnapError {
+    fn from(e: std::io::Error) -> Self {
+        SnapError::Io(e)
+    }
+}
+
+/// A decoded (but not yet restored) snapshot container.
+pub struct Snapshot {
+    /// Catalog name the index is served under.
+    pub name: String,
+    /// Method name selecting the restorer (e.g. `"MP-LCCS-LSH"`).
+    pub method: String,
+    /// The raw vectors the index was built over.
+    pub data: Dataset,
+    /// The method's [`PersistAnn`] payload.
+    pub payload: Vec<u8>,
+}
+
+fn put_str16(out: &mut Vec<u8>, s: &str) -> Result<(), SnapError> {
+    if s.is_empty() || s.len() > u16::MAX as usize {
+        return Err(SnapError::Malformed(format!("bad name length {}", s.len())));
+    }
+    out.extend_from_slice(&(s.len() as u16).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+    Ok(())
+}
+
+/// Maps a [`wire::Short`] underrun onto a contextual decode error.
+fn ctx<T>(res: Result<T, crate::wire::Short>, what: &str) -> Result<T, SnapError> {
+    res.map_err(|_| SnapError::Malformed(format!("truncated in {what}")))
+}
+
+fn get_str16(r: &mut crate::wire::Reader, what: &str) -> Result<String, SnapError> {
+    let len = ctx(r.u16(), what)? as usize;
+    if len == 0 {
+        return Err(SnapError::Malformed(format!("empty {what}")));
+    }
+    String::from_utf8(ctx(r.take(len), what)?.to_vec())
+        .map_err(|_| SnapError::Malformed(format!("{what} is not UTF-8")))
+}
+
+impl Snapshot {
+    /// Builds a container from a built index and its dataset. The method
+    /// name is taken from [`ann::AnnIndex::name`].
+    pub fn of_index(name: &str, index: &dyn PersistAnn, data: &Dataset) -> Snapshot {
+        Snapshot {
+            name: name.to_string(),
+            method: index.name().to_string(),
+            data: data.clone(),
+            payload: index.snapshot_bytes(),
+        }
+    }
+
+    /// Serializes the container.
+    pub fn encode(&self) -> Result<Vec<u8>, SnapError> {
+        let flat = self.data.as_flat();
+        let mut out = Vec::with_capacity(64 + flat.len() * 4 + self.payload.len());
+        out.extend_from_slice(MAGIC);
+        put_str16(&mut out, &self.name)?;
+        put_str16(&mut out, &self.method)?;
+        out.extend_from_slice(&(self.data.len() as u64).to_le_bytes());
+        out.extend_from_slice(&(self.data.dim() as u32).to_le_bytes());
+        for v in flat {
+            out.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+        out.extend_from_slice(&(self.payload.len() as u64).to_le_bytes());
+        out.extend_from_slice(&self.payload);
+        Ok(out)
+    }
+
+    /// Decodes a container produced by [`Snapshot::encode`].
+    pub fn decode(raw: &[u8]) -> Result<Snapshot, SnapError> {
+        let mut r = crate::wire::Reader::new(raw);
+        if ctx(r.take(MAGIC.len()), "magic")? != MAGIC {
+            return Err(SnapError::Malformed("not an ANNSNP01 container".into()));
+        }
+        let name = get_str16(&mut r, "name")?;
+        let method = get_str16(&mut r, "method")?;
+        let n = ctx(r.u64(), "vector count")?;
+        let dim = ctx(r.u32(), "dim")?;
+        if n == 0 || dim == 0 {
+            return Err(SnapError::Malformed(format!("empty shape {n}x{dim}")));
+        }
+        n.checked_mul(u64::from(dim))
+            .and_then(|c| c.checked_mul(4))
+            .filter(|&b| b <= MAX_VECTOR_BYTES)
+            .ok_or_else(|| SnapError::Malformed(format!("vector section {n}x{dim} too large")))?;
+        let flat = ctx(r.f32s((n * u64::from(dim)) as usize), "vector section")?;
+        let payload_len = ctx(r.u64(), "payload length")?;
+        let payload = ctx(r.take(payload_len as usize), "payload")?.to_vec();
+        if r.remaining() != 0 {
+            return Err(SnapError::Malformed(format!("{} trailing bytes", r.remaining())));
+        }
+        let data = Dataset::from_flat(name.clone(), dim as usize, flat);
+        Ok(Snapshot { name, method, data, payload })
+    }
+
+    /// Writes the container to `path` atomically (tmp file + rename, so a
+    /// crashed writer never leaves a half-written `.snap` for `annd`).
+    pub fn write_to(&self, path: &Path) -> Result<(), SnapError> {
+        let bytes = self.encode()?;
+        let tmp = path.with_extension("snap.tmp");
+        {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(&bytes)?;
+            f.sync_all()?;
+        }
+        fs::rename(&tmp, path)?;
+        Ok(())
+    }
+
+    /// Reads a container from disk.
+    pub fn read_from(path: &Path) -> Result<Snapshot, SnapError> {
+        Snapshot::decode(&fs::read(path)?)
+    }
+}
+
+/// Snapshots `index` into `dir/<name>.snap` and returns the path written.
+pub fn write_index_snapshot(
+    dir: &Path,
+    name: &str,
+    index: &dyn PersistAnn,
+    data: &Dataset,
+) -> Result<PathBuf, SnapError> {
+    fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{name}.{SNAPSHOT_EXT}"));
+    Snapshot::of_index(name, index, data).write_to(&path)?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dataset::{Metric, SynthSpec};
+    use lccs_lsh::{LccsLsh, LccsParams};
+    use std::sync::Arc;
+
+    fn built() -> (Arc<Dataset>, LccsLsh) {
+        let data = Arc::new(SynthSpec::new("snap", 200, 12).with_clusters(4).generate(5));
+        let idx = LccsLsh::build(
+            data.clone(),
+            Metric::Euclidean,
+            &LccsParams::euclidean(8.0).with_m(8),
+        );
+        (data, idx)
+    }
+
+    #[test]
+    fn container_round_trips_bit_exactly() {
+        let (data, idx) = built();
+        let snap = Snapshot::of_index("demo", &idx, &data);
+        let back = Snapshot::decode(&snap.encode().unwrap()).unwrap();
+        assert_eq!(back.name, "demo");
+        assert_eq!(back.method, "LCCS-LSH");
+        assert_eq!(back.data.as_flat(), data.as_flat());
+        assert_eq!(back.payload, snap.payload);
+    }
+
+    #[test]
+    fn corrupt_containers_are_rejected() {
+        let (data, idx) = built();
+        let good = Snapshot::of_index("demo", &idx, &data).encode().unwrap();
+        // Bad magic.
+        let mut bad = good.clone();
+        bad[0] = b'X';
+        assert!(Snapshot::decode(&bad).is_err());
+        // Truncations anywhere fail cleanly.
+        for cut in [0usize, 7, 12, good.len() / 2, good.len() - 1] {
+            assert!(Snapshot::decode(&good[..cut]).is_err(), "cut at {cut}");
+        }
+        // Trailing garbage is rejected.
+        let mut bad = good.clone();
+        bad.push(7);
+        assert!(Snapshot::decode(&bad).is_err());
+        // Absurd declared shape is rejected before allocation.
+        let mut bad = good.clone();
+        let shape_off = 8 + 2 + 4 + 2 + "LCCS-LSH".len(); // magic + name + method
+        bad[shape_off..shape_off + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(Snapshot::decode(&bad).is_err());
+    }
+
+    #[test]
+    fn write_read_disk_round_trip() {
+        let (data, idx) = built();
+        let dir = std::env::temp_dir().join(format!("snaptest-{}", std::process::id()));
+        let path = write_index_snapshot(&dir, "demo", &idx, &data).unwrap();
+        assert!(path.ends_with("demo.snap"));
+        let back = Snapshot::read_from(&path).unwrap();
+        assert_eq!(back.method, "LCCS-LSH");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,68 @@
+//! Lock-free per-index serving counters behind the STATS command.
+
+use crate::protocol::StatsEntry;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counters one served index accumulates across all connections. All
+/// fields are relaxed atomics: they are monotone counters read only by
+/// STATS, so cross-field consistency is not required.
+#[derive(Debug, Default)]
+pub struct IndexStats {
+    queries: AtomicU64,
+    batch_requests: AtomicU64,
+    batch_queries: AtomicU64,
+    total_micros: AtomicU64,
+    max_micros: AtomicU64,
+}
+
+impl IndexStats {
+    fn record_latency(&self, micros: u64) {
+        self.total_micros.fetch_add(micros, Ordering::Relaxed);
+        self.max_micros.fetch_max(micros, Ordering::Relaxed);
+    }
+
+    /// Records one single-query request.
+    pub fn record_query(&self, micros: u64) {
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        self.record_latency(micros);
+    }
+
+    /// Records one batch request covering `nq` queries.
+    pub fn record_batch(&self, nq: u64, micros: u64) {
+        self.batch_requests.fetch_add(1, Ordering::Relaxed);
+        self.batch_queries.fetch_add(nq, Ordering::Relaxed);
+        self.record_latency(micros);
+    }
+
+    /// A wire-ready snapshot of the counters.
+    pub fn snapshot(&self, name: &str) -> StatsEntry {
+        StatsEntry {
+            name: name.to_string(),
+            queries: self.queries.load(Ordering::Relaxed),
+            batch_requests: self.batch_requests.load(Ordering::Relaxed),
+            batch_queries: self.batch_queries.load(Ordering::Relaxed),
+            total_micros: self.total_micros.load(Ordering::Relaxed),
+            max_micros: self.max_micros.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let s = IndexStats::default();
+        s.record_query(10);
+        s.record_query(30);
+        s.record_batch(64, 500);
+        let snap = s.snapshot("x");
+        assert_eq!(snap.name, "x");
+        assert_eq!(snap.queries, 2);
+        assert_eq!(snap.batch_requests, 1);
+        assert_eq!(snap.batch_queries, 64);
+        assert_eq!(snap.total_micros, 540);
+        assert_eq!(snap.max_micros, 500);
+    }
+}

@@ -1,0 +1,86 @@
+//! Shared bounds-checked byte reader for the crate's two decoders
+//! (frame bodies in [`crate::protocol`], snapshot containers in
+//! [`crate::snapshot`]). Network and disk input must never panic, and
+//! the vendored `bytes` shim asserts on underrun — so both decode paths
+//! go through this cursor, which reports [`Short`] instead.
+
+/// The cursor ran past the end of the input.
+#[derive(Debug, PartialEq, Eq)]
+pub(crate) struct Short;
+
+/// A consuming cursor over a byte slice; every accessor is
+/// bounds-checked.
+pub(crate) struct Reader<'a>(&'a [u8]);
+
+impl<'a> Reader<'a> {
+    pub(crate) fn new(buf: &'a [u8]) -> Self {
+        Reader(buf)
+    }
+
+    /// Unread bytes.
+    pub(crate) fn remaining(&self) -> usize {
+        self.0.len()
+    }
+
+    pub(crate) fn take(&mut self, n: usize) -> Result<&'a [u8], Short> {
+        if self.0.len() < n {
+            return Err(Short);
+        }
+        let (head, tail) = self.0.split_at(n);
+        self.0 = tail;
+        Ok(head)
+    }
+
+    pub(crate) fn u8(&mut self) -> Result<u8, Short> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub(crate) fn u16(&mut self) -> Result<u16, Short> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2 bytes")))
+    }
+
+    pub(crate) fn u32(&mut self) -> Result<u32, Short> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    pub(crate) fn u64(&mut self) -> Result<u64, Short> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    pub(crate) fn f64(&mut self) -> Result<f64, Short> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// `count` f32 values, bit-exact (via u32 bits).
+    pub(crate) fn f32s(&mut self, count: usize) -> Result<Vec<f32>, Short> {
+        let raw = self.take(count.checked_mul(4).ok_or(Short)?)?;
+        Ok(raw
+            .chunks_exact(4)
+            .map(|c| f32::from_bits(u32::from_le_bytes(c.try_into().expect("4 bytes"))))
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reads_and_reports_short() {
+        let buf = [7u8, 1, 0, 0, 0, 0xff];
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.u8(), Ok(7));
+        assert_eq!(r.u32(), Ok(1));
+        assert_eq!(r.remaining(), 1);
+        assert_eq!(r.u16(), Err(Short));
+        assert_eq!(r.u8(), Ok(0xff));
+        assert_eq!(r.u8(), Err(Short));
+    }
+
+    #[test]
+    fn f32s_overflow_guard() {
+        let mut r = Reader::new(&[0u8; 16]);
+        assert_eq!(r.f32s(usize::MAX), Err(Short));
+        assert_eq!(r.f32s(4).unwrap(), vec![0.0; 4]);
+    }
+}

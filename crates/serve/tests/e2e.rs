@@ -1,0 +1,182 @@
+//! End-to-end serving test: build → snapshot to disk → load by a real
+//! TCP server → query over the wire → results byte-identical to
+//! in-process `query_batch` on the originally built index.
+
+use ann::{AnnIndex, SearchParams};
+use dataset::exact::Neighbor;
+use dataset::{Metric, SynthSpec};
+use lccs_lsh::{LccsLsh, LccsParams, MpLccsLsh, MpParams};
+use serve::catalog::Catalog;
+use serve::client::{Client, ClientError};
+use serve::server::Server;
+use serve::snapshot::write_index_snapshot;
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn bits(lists: &[Vec<Neighbor>]) -> Vec<Vec<(u32, u64)>> {
+    lists
+        .iter()
+        .map(|ns| ns.iter().map(|n| (n.id, n.dist.to_bits())).collect())
+        .collect()
+}
+
+struct Fixture {
+    dir: PathBuf,
+    data: Arc<dataset::Dataset>,
+    single: LccsLsh,
+    mp: MpLccsLsh,
+}
+
+impl Drop for Fixture {
+    fn drop(&mut self) {
+        std::fs::remove_dir_all(&self.dir).ok();
+    }
+}
+
+/// Builds both LCCS schemes over a clustered synthetic dataset and
+/// snapshots them into a fresh temp directory.
+fn fixture(tag: &str) -> Fixture {
+    let dir = std::env::temp_dir().join(format!("annd-e2e-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let data = Arc::new(SynthSpec::new("e2e", 800, 24).with_clusters(12).generate(17));
+    let params = LccsParams::euclidean(8.0).with_m(16).with_seed(99);
+    let single = LccsLsh::build(data.clone(), Metric::Euclidean, &params);
+    let mp = MpLccsLsh::build(
+        data.clone(),
+        Metric::Euclidean,
+        &params,
+        MpParams { probes: 9, max_alts: 8 },
+    );
+    write_index_snapshot(&dir, "e2e-lccs", &single, &data).unwrap();
+    write_index_snapshot(&dir, "e2e-mp", &mp, &data).unwrap();
+    Fixture { dir, data, single, mp }
+}
+
+/// Starts a server over the fixture's snapshot dir on an ephemeral port.
+fn start_server(fx: &Fixture, workers: usize) -> (SocketAddr, std::thread::JoinHandle<()>) {
+    let catalog = Catalog::load_dir(&fx.dir).expect("load snapshot dir");
+    assert_eq!(catalog.len(), 2);
+    let server = Server::bind(catalog, "127.0.0.1:0", workers).expect("bind");
+    let addr = server.local_addr().unwrap();
+    let handle = std::thread::spawn(move || server.run().expect("serving loop"));
+    (addr, handle)
+}
+
+#[test]
+fn served_results_are_byte_identical_to_in_process() {
+    let fx = fixture("identical");
+    let (addr, handle) = start_server(&fx, 2);
+    let mut client = Client::connect(addr).unwrap();
+    client.ping().unwrap();
+
+    // LIST describes both snapshots, in name order.
+    let infos = client.list().unwrap();
+    let names: Vec<&str> = infos.iter().map(|i| i.name.as_str()).collect();
+    assert_eq!(names, ["e2e-lccs", "e2e-mp"]);
+    assert_eq!(infos[0].method, "LCCS-LSH");
+    assert_eq!(infos[1].method, "MP-LCCS-LSH");
+    assert_eq!(infos[0].len, 800);
+    assert_eq!(infos[0].dim, 24);
+
+    let queries = fx.data.sample_queries(37, 5);
+    let params = SearchParams::new(10, 64);
+
+    // Batch over TCP == in-process query_batch on the original index.
+    let local = AnnIndex::query_batch(&fx.single, &queries, &params);
+    let remote = client.query_batch("e2e-lccs", 10, 64, 0, &queries).unwrap();
+    assert_eq!(bits(&remote), bits(&local), "LCCS-LSH batch must be byte-identical");
+
+    let local_mp = AnnIndex::query_batch(&fx.mp, &queries, &params);
+    let remote_mp = client.query_batch("e2e-mp", 10, 64, 0, &queries).unwrap();
+    assert_eq!(bits(&remote_mp), bits(&local_mp), "MP-LCCS-LSH batch must be byte-identical");
+
+    // Single queries too, including a probes override on the MP index.
+    for i in [0usize, 11, 36] {
+        let remote = client.query("e2e-lccs", 5, 48, 0, queries.get(i)).unwrap();
+        let local = AnnIndex::query(&fx.single, queries.get(i), &SearchParams::new(5, 48));
+        assert_eq!(bits(&[remote]), bits(&[local]), "query {i}");
+
+        let remote = client.query("e2e-mp", 5, 48, 17, queries.get(i)).unwrap();
+        let local =
+            AnnIndex::query(&fx.mp, queries.get(i), &SearchParams::new(5, 48).with_probes(17));
+        assert_eq!(bits(&[remote]), bits(&[local]), "mp query {i} with probe override");
+    }
+
+    // STATS saw every request against the right index.
+    let stats = client.stats().unwrap();
+    let lccs = stats.iter().find(|s| s.name == "e2e-lccs").unwrap();
+    assert_eq!(lccs.queries, 3);
+    assert_eq!(lccs.batch_requests, 1);
+    assert_eq!(lccs.batch_queries, 37);
+    let mp = stats.iter().find(|s| s.name == "e2e-mp").unwrap();
+    assert_eq!(mp.queries, 3);
+    assert_eq!(mp.batch_requests, 1);
+
+    // Graceful shutdown: run() returns and the thread joins.
+    client.shutdown().unwrap();
+    handle.join().expect("server thread");
+}
+
+#[test]
+fn bad_requests_get_error_responses_not_disconnects() {
+    let fx = fixture("errors");
+    let (addr, handle) = start_server(&fx, 1);
+    let mut client = Client::connect(addr).unwrap();
+
+    let err = client.query("nope", 5, 32, 0, fx.data.get(0)).unwrap_err();
+    assert!(matches!(&err, ClientError::Server(m) if m.contains("no such index")), "{err}");
+
+    let err = client.query("e2e-lccs", 5, 32, 0, &[1.0, 2.0]).unwrap_err();
+    assert!(matches!(&err, ClientError::Server(m) if m.contains("dimension mismatch")), "{err}");
+
+    let err = client.query("e2e-lccs", 0, 32, 0, fx.data.get(0)).unwrap_err();
+    assert!(matches!(&err, ClientError::Server(m) if m.contains("k must be")), "{err}");
+
+    // A hostile k must be rejected, not allocate a k-sized heap.
+    let err = client.query("e2e-lccs", u32::MAX as usize, 32, 0, fx.data.get(0)).unwrap_err();
+    assert!(matches!(&err, ClientError::Server(m) if m.contains("exceeds")), "{err}");
+
+    // The connection survives all three errors.
+    client.ping().unwrap();
+
+    // Stats counted no queries (validation failures are not served queries).
+    let stats = client.stats().unwrap();
+    assert!(stats.iter().all(|s| s.queries == 0 && s.batch_requests == 0));
+
+    client.shutdown().unwrap();
+    handle.join().expect("server thread");
+}
+
+#[test]
+fn concurrent_connections_share_the_catalog() {
+    let fx = fixture("concurrent");
+    let (addr, handle) = start_server(&fx, 4);
+
+    let queries = fx.data.sample_queries(16, 9);
+    let expected = bits(&AnnIndex::query_batch(&fx.single, &queries, &SearchParams::new(5, 32)));
+    let expected = Arc::new(expected);
+
+    std::thread::scope(|scope| {
+        for _ in 0..4 {
+            let expected = expected.clone();
+            let queries = &queries;
+            scope.spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                for _ in 0..3 {
+                    let got = client.query_batch("e2e-lccs", 5, 32, 0, queries).unwrap();
+                    assert_eq!(&bits(&got), expected.as_ref());
+                }
+            });
+        }
+    });
+
+    let mut client = Client::connect(addr).unwrap();
+    let stats = client.stats().unwrap();
+    let lccs = stats.iter().find(|s| s.name == "e2e-lccs").unwrap();
+    assert_eq!(lccs.batch_requests, 12);
+    assert_eq!(lccs.batch_queries, 12 * 16);
+
+    client.shutdown().unwrap();
+    handle.join().expect("server thread");
+}

@@ -1,0 +1,79 @@
+//! Build-once/serve-many: the snapshot-backed serving flow end to end,
+//! in one process.
+//!
+//! The expensive indexing phase runs once and writes immutable `.snap`
+//! containers; a serving instance (`annd` in production, an in-process
+//! `serve::server::Server` here) restores them instantly — no hashing
+//! pass, no CSA rebuild — and answers single and batch queries over the
+//! binary TCP protocol. A second serving instance over the same
+//! directory shows the "serve-many" half.
+//!
+//! Run with: `cargo run --release --example snapshot_serving`
+
+use dataset::{Metric, SynthSpec};
+use lccs_lsh::{LccsLsh, LccsParams, MpLccsLsh, MpParams};
+use serve::catalog::Catalog;
+use serve::client::Client;
+use serve::server::Server;
+use serve::snapshot::write_index_snapshot;
+use std::sync::Arc;
+use std::time::Instant;
+
+fn main() {
+    let dir = std::env::temp_dir().join(format!("snapshot-serving-{}", std::process::id()));
+
+    // ---- Build once (the expensive part, amortized across every server).
+    let spec = SynthSpec::sift_like().with_n(10_000);
+    let data = Arc::new(spec.generate(7));
+    let params = LccsParams::euclidean(8.0).with_m(32);
+    let t0 = Instant::now();
+    let single = LccsLsh::build(data.clone(), Metric::Euclidean, &params);
+    let mp = MpLccsLsh::build(
+        data.clone(),
+        Metric::Euclidean,
+        &params,
+        MpParams { probes: 65, max_alts: 8 },
+    );
+    println!("built 2 indexes over n={} d={} in {:?}", data.len(), data.dim(), t0.elapsed());
+
+    let t0 = Instant::now();
+    write_index_snapshot(&dir, "sift-lccs", &single, &data).expect("snapshot single");
+    write_index_snapshot(&dir, "sift-mp", &mp, &data).expect("snapshot mp");
+    println!("snapshotted both to {} in {:?}", dir.display(), t0.elapsed());
+    drop((single, mp)); // the builder is done; servers never rebuild
+
+    // ---- Serve many: two independent instances restore the same files.
+    let queries = spec.generate_queries(64, 7);
+    for instance in 1..=2 {
+        let t0 = Instant::now();
+        let catalog = Catalog::load_dir(&dir).expect("load snapshots");
+        let server = Server::bind(catalog, "127.0.0.1:0", 2).expect("bind");
+        let addr = server.local_addr().unwrap();
+        let handle = std::thread::spawn(move || server.run().expect("serve"));
+        println!("\ninstance {instance}: restored catalog + bound {addr} in {:?}", t0.elapsed());
+
+        let mut client = Client::connect(addr).expect("connect");
+        for info in client.list().expect("list") {
+            println!("  serves {} [{}] n={} dim={}", info.name, info.method, info.len, info.dim);
+        }
+
+        let hits = client.query("sift-lccs", 5, 128, 0, queries.get(0)).expect("query");
+        println!("  top-5 for query 0: {:?}", hits.iter().map(|n| n.id).collect::<Vec<_>>());
+
+        let t0 = Instant::now();
+        let lists = client.query_batch("sift-mp", 10, 128, 0, &queries).expect("batch");
+        println!("  batch of {} against sift-mp in {:?}", lists.len(), t0.elapsed());
+
+        for s in client.stats().expect("stats") {
+            println!(
+                "  stats {}: queries={} batches={} total={}us max={}us",
+                s.name, s.queries, s.batch_requests, s.total_micros, s.max_micros
+            );
+        }
+        client.shutdown().expect("shutdown");
+        handle.join().expect("server thread");
+        println!("  instance {instance} drained cleanly");
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -26,5 +26,21 @@ figures out="results":
     cargo run -p bench --release --bin table2 -- --out {{out}}
     cargo run -p bench --release --bin fig4 -- --n 5000 --queries 20 --out {{out}}
 
+# Build demo snapshots and serve them with annd (foreground; stop with
+# `ann-cli shutdown --addr {{addr}}` from another shell).
+serve dir="/tmp/annd-snapshots" addr="127.0.0.1:7700":
+    cargo run --release -p serve --bin ann-cli -- demo --out {{dir}}
+    cargo run --release -p serve --bin annd -- --snapshot-dir {{dir}} --addr {{addr}}
+
+# The CI smoke: demo snapshots -> annd in the background -> ping/list/
+# query/stats over TCP -> graceful shutdown.
+smoke dir="/tmp/annd-smoke" addr="127.0.0.1:38211":
+    bash scripts/annd-smoke.sh {{dir}} {{addr}}
+
+# The offline-guard CI job: build with no network, assert no registry deps.
+offline-guard:
+    cargo build --release --offline --workspace
+    @! grep -qE '^source = ' Cargo.lock || (echo 'non-vendored dependency in Cargo.lock' && exit 1)
+
 # Everything the CI workflow runs.
-verify: build test clippy
+verify: build test clippy offline-guard

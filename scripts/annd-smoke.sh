@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# annd smoke: build demo snapshots, start the daemon, exercise every
+# client command over TCP, shut down gracefully. Used verbatim by the CI
+# test job and by `just smoke`.
+set -euo pipefail
+
+DIR="${1:-/tmp/annd-smoke}"
+ADDR="${2:-127.0.0.1:38211}"
+DIM=16
+
+# Build once and run the binaries directly: $! must be annd's own PID
+# (not a cargo wrapper), so the failure trap really kills the daemon and
+# never leaves an orphan holding the port.
+cargo build --release -p serve
+ANND=target/release/annd
+CLI=target/release/ann-cli
+
+rm -rf "$DIR"
+"$CLI" demo --out "$DIR" --n 500 --dim "$DIM"
+"$ANND" --snapshot-dir "$DIR" --addr "$ADDR" &
+ANND_PID=$!
+trap 'kill "$ANND_PID" 2>/dev/null || true' EXIT
+sleep 2
+
+ZERO_VEC=$(printf '0.0,%.0s' $(seq "$DIM") | sed 's/,$//')
+"$CLI" ping --addr "$ADDR"
+"$CLI" list --addr "$ADDR"
+"$CLI" query --addr "$ADDR" --index demo-lccs --k 5 --budget 64 --vec "$ZERO_VEC"
+"$CLI" stats --addr "$ADDR"
+"$CLI" shutdown --addr "$ADDR"
+
+wait "$ANND_PID"
+trap - EXIT
+echo "annd smoke: OK"
