@@ -15,6 +15,11 @@
 //! * [`PersistAnn`] — the snapshot contract: indexes that round-trip
 //!   through a byte payload so serving processes restore them without
 //!   rebuilding.
+//! * [`spec`] — the construction contract: the self-describing
+//!   [`IndexSpec`] (scheme + knobs + [`spec::BuildOptions`]) with its
+//!   canonical textual grammar (`mp-lccs:m=64,seed=7`) and JSON form,
+//!   consumed by the eval registry, the figure drivers and the serving
+//!   layer's BUILD command.
 //! * [`executor`] — the parallel batch executor behind the default
 //!   [`AnnIndex::query_batch`]: chunked dynamic scheduling over scoped
 //!   threads with one scratch per worker and deterministic, query-order
@@ -25,7 +30,9 @@
 
 pub mod executor;
 mod persist;
+pub mod spec;
 mod traits;
 
 pub use persist::{PersistAnn, PersistError};
+pub use spec::{IndexSpec, Scheme, SpecError};
 pub use traits::{AnnIndex, BuildAnn, Scratch, SearchParams};

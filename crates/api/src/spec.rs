@@ -1,0 +1,1058 @@
+//! Self-describing index construction specs and their textual grammar.
+//!
+//! An [`IndexSpec`] is everything needed to (re)build one index instance:
+//! the scheme with its index-time knobs ([`Scheme`], the paper's §6 grid
+//! dimensions) plus the [`BuildOptions`] — bucket width `w` (footnote 11)
+//! and RNG seed — that make a build bit-reproducible. Specs round-trip
+//! through a canonical textual grammar
+//!
+//! ```text
+//! spec   := scheme [ ":" pair ("," pair)* ]
+//! pair   := key "=" value
+//! scheme := lccs | mp-lccs | e2lsh | mp-lsh | falconn | c2lsh | qalsh
+//!         | srs | lsh-forest | sk-lsh | kdtree | linear
+//! ```
+//!
+//! e.g. `mp-lccs:m=64,seed=7` or `e2lsh:k=12,l=50,w=4`. Every scheme
+//! accepts the common keys `w` (positive float) and `seed` (u64) on top
+//! of its own knobs; [`help`] prints the full table. The same data also
+//! round-trips through a small JSON object ([`IndexSpec::to_json`] /
+//! [`IndexSpec::from_json`]) for config files and HTTP-ish frontends.
+//!
+//! This module is pure data — the factory that turns a spec into a live
+//! index lives in `eval::registry`, and the serving layer embeds the
+//! canonical string in `.snap` containers and the BUILD wire command.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// Default bucket width when a spec does not say (`w=`): the value the
+/// unit suites and quick sweeps use for the synthetic workloads.
+pub const DEFAULT_W: f64 = 4.0;
+
+/// Default RNG seed when a spec does not say (`seed=`).
+pub const DEFAULT_SEED: u64 = 1;
+
+/// Upper sanity bound on every integer knob; a parameter beyond this is
+/// far outside the paper's grids and almost certainly a typo (and would
+/// make a hostile BUILD request allocate absurdly).
+pub const MAX_PARAM: usize = 1 << 20;
+
+/// One scheme with its index-time knobs — the 12 construction variants
+/// the workspace can build (the paper's §6.3 method set plus the exact
+/// references).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Scheme {
+    /// LCCS-LSH with hash-string length m.
+    Lccs {
+        /// Hash-string length.
+        m: usize,
+    },
+    /// MP-LCCS-LSH (same index as LCCS; probes are a query knob).
+    MpLccs {
+        /// Hash-string length.
+        m: usize,
+    },
+    /// E2LSH with K-concatenation and L tables.
+    E2lsh {
+        /// Concatenation length K.
+        k_funcs: usize,
+        /// Table count L.
+        l_tables: usize,
+    },
+    /// Multi-Probe LSH (probes are a query knob).
+    MultiProbeLsh {
+        /// Concatenation length K.
+        k_funcs: usize,
+        /// Table count L.
+        l_tables: usize,
+    },
+    /// FALCONN-style cross-polytope multiprobe (Angular only).
+    Falconn {
+        /// Concatenation length K.
+        k_funcs: usize,
+        /// Table count L.
+        l_tables: usize,
+    },
+    /// C2LSH with m functions and collision threshold l.
+    C2lsh {
+        /// Function count m.
+        m: usize,
+        /// Collision threshold l.
+        l: usize,
+    },
+    /// QALSH with m projections and collision threshold l.
+    Qalsh {
+        /// Projection count m.
+        m: usize,
+        /// Collision threshold l.
+        l: usize,
+    },
+    /// SRS with d' projected dimensions.
+    Srs {
+        /// Projected dimensionality.
+        d_proj: usize,
+    },
+    /// LSH-Forest with `trees` sorted label arrays of length `depth`.
+    LshForest {
+        /// Number of trees.
+        trees: usize,
+        /// Label length / max trie depth.
+        depth: usize,
+    },
+    /// SK-LSH with `l_indexes` sorted compound-key arrays of length `k_funcs`.
+    SkLsh {
+        /// Compound-key length.
+        k_funcs: usize,
+        /// Number of sorted indexes.
+        l_indexes: usize,
+    },
+    /// Exact kd-tree scan (Euclidean only; best-bin-first traversal).
+    KdTree,
+    /// Exact linear scan.
+    Linear,
+}
+
+/// Build-time options shared by every scheme: the random-projection
+/// bucket width (ignored by the angular/cross-polytope families) and the
+/// RNG seed. Carried inside [`IndexSpec`] so one spec string fully
+/// determines the built index, bit for bit.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BuildOptions {
+    /// Random-projection bucket width (per-dataset tuned, footnote 11).
+    pub w: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for BuildOptions {
+    fn default() -> Self {
+        BuildOptions { w: DEFAULT_W, seed: DEFAULT_SEED }
+    }
+}
+
+/// A fully self-describing index construction request: scheme + knobs +
+/// [`BuildOptions`]. See the [module docs](self) for the grammar.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IndexSpec {
+    /// Which scheme to build, with its index-time knobs.
+    pub scheme: Scheme,
+    /// Bucket width and seed.
+    pub build: BuildOptions,
+}
+
+impl From<Scheme> for IndexSpec {
+    fn from(scheme: Scheme) -> Self {
+        IndexSpec { scheme, build: BuildOptions::default() }
+    }
+}
+
+impl IndexSpec {
+    /// Wraps a scheme with default [`BuildOptions`].
+    pub fn new(scheme: Scheme) -> Self {
+        scheme.into()
+    }
+
+    /// LCCS-LSH with hash-string length `m`.
+    pub fn lccs(m: usize) -> Self {
+        Scheme::Lccs { m }.into()
+    }
+
+    /// MP-LCCS-LSH with hash-string length `m`.
+    pub fn mp_lccs(m: usize) -> Self {
+        Scheme::MpLccs { m }.into()
+    }
+
+    /// E2LSH with concatenation `k_funcs` and `l_tables` tables.
+    pub fn e2lsh(k_funcs: usize, l_tables: usize) -> Self {
+        Scheme::E2lsh { k_funcs, l_tables }.into()
+    }
+
+    /// Multi-Probe LSH with concatenation `k_funcs` and `l_tables` tables.
+    pub fn multi_probe(k_funcs: usize, l_tables: usize) -> Self {
+        Scheme::MultiProbeLsh { k_funcs, l_tables }.into()
+    }
+
+    /// FALCONN-style cross-polytope with `k_funcs` rotations × `l_tables`.
+    pub fn falconn(k_funcs: usize, l_tables: usize) -> Self {
+        Scheme::Falconn { k_funcs, l_tables }.into()
+    }
+
+    /// C2LSH with `m` functions and collision threshold `l`.
+    pub fn c2lsh(m: usize, l: usize) -> Self {
+        Scheme::C2lsh { m, l }.into()
+    }
+
+    /// QALSH with `m` projections and collision threshold `l`.
+    pub fn qalsh(m: usize, l: usize) -> Self {
+        Scheme::Qalsh { m, l }.into()
+    }
+
+    /// SRS projecting to `d_proj` dimensions.
+    pub fn srs(d_proj: usize) -> Self {
+        Scheme::Srs { d_proj }.into()
+    }
+
+    /// LSH-Forest with `trees` tries of depth `depth`.
+    pub fn lsh_forest(trees: usize, depth: usize) -> Self {
+        Scheme::LshForest { trees, depth }.into()
+    }
+
+    /// SK-LSH with `l_indexes` sorted arrays of compound keys of length
+    /// `k_funcs`.
+    pub fn sk_lsh(k_funcs: usize, l_indexes: usize) -> Self {
+        Scheme::SkLsh { k_funcs, l_indexes }.into()
+    }
+
+    /// Exact kd-tree scan (Euclidean only).
+    pub fn kd_tree() -> Self {
+        Scheme::KdTree.into()
+    }
+
+    /// Exact linear scan.
+    pub fn linear() -> Self {
+        Scheme::Linear.into()
+    }
+
+    /// Replaces the bucket width.
+    pub fn with_w(mut self, w: f64) -> Self {
+        self.build.w = w;
+        self
+    }
+
+    /// Replaces the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.build.seed = seed;
+        self
+    }
+
+    /// Replaces both build options at once.
+    pub fn with_build(mut self, build: BuildOptions) -> Self {
+        self.build = build;
+        self
+    }
+
+    /// The method name as printed in the paper's legends.
+    pub fn method_name(&self) -> &'static str {
+        self.scheme.method_name()
+    }
+
+    /// Short config description for reports (scheme knobs only — build
+    /// options are reported separately by the harness).
+    pub fn config_string(&self) -> String {
+        self.scheme.config_string()
+    }
+}
+
+impl Scheme {
+    /// The method name as printed in the paper's legends.
+    pub fn method_name(&self) -> &'static str {
+        self.info().method
+    }
+
+    /// The grammar token (`lccs`, `mp-lccs`, …).
+    pub fn token(&self) -> &'static str {
+        self.info().token
+    }
+
+    /// Short config description for reports.
+    pub fn config_string(&self) -> String {
+        self.pairs()
+            .iter()
+            .map(|(k, v)| format!("{k}={v}"))
+            .collect::<Vec<_>>()
+            .join(",")
+    }
+
+    /// The static description of this scheme in [`schemes`].
+    pub fn info(&self) -> &'static SchemeInfo {
+        &schemes()[self.ordinal()]
+    }
+
+    fn ordinal(&self) -> usize {
+        match self {
+            Scheme::Lccs { .. } => 0,
+            Scheme::MpLccs { .. } => 1,
+            Scheme::E2lsh { .. } => 2,
+            Scheme::MultiProbeLsh { .. } => 3,
+            Scheme::Falconn { .. } => 4,
+            Scheme::C2lsh { .. } => 5,
+            Scheme::Qalsh { .. } => 6,
+            Scheme::Srs { .. } => 7,
+            Scheme::LshForest { .. } => 8,
+            Scheme::SkLsh { .. } => 9,
+            Scheme::KdTree => 10,
+            Scheme::Linear => 11,
+        }
+    }
+
+    /// The scheme's knobs as `(key, value)` pairs in canonical order.
+    fn pairs(&self) -> Vec<(&'static str, usize)> {
+        match *self {
+            Scheme::Lccs { m } | Scheme::MpLccs { m } => vec![("m", m)],
+            Scheme::E2lsh { k_funcs, l_tables }
+            | Scheme::MultiProbeLsh { k_funcs, l_tables }
+            | Scheme::Falconn { k_funcs, l_tables } => vec![("k", k_funcs), ("l", l_tables)],
+            Scheme::C2lsh { m, l } | Scheme::Qalsh { m, l } => vec![("m", m), ("l", l)],
+            Scheme::Srs { d_proj } => vec![("d", d_proj)],
+            Scheme::LshForest { trees, depth } => vec![("trees", trees), ("depth", depth)],
+            Scheme::SkLsh { k_funcs, l_indexes } => vec![("k", k_funcs), ("l", l_indexes)],
+            Scheme::KdTree | Scheme::Linear => vec![],
+        }
+    }
+}
+
+/// Static description of one scheme for [`help`] and registry coverage
+/// checks.
+pub struct SchemeInfo {
+    /// Grammar token (`mp-lccs`).
+    pub token: &'static str,
+    /// Paper-legend method name (`MP-LCCS-LSH`).
+    pub method: &'static str,
+    /// The scheme's own grammar keys, in canonical order.
+    pub keys: &'static [&'static str],
+    /// One-line description of the knobs.
+    pub knobs: &'static str,
+}
+
+/// The full scheme table, in the paper's §6.3 method order. One row per
+/// [`Scheme`] variant — [`help`] renders it and the eval registry asserts
+/// coverage against it.
+pub fn schemes() -> &'static [SchemeInfo] {
+    &[
+        SchemeInfo {
+            token: "lccs",
+            method: "LCCS-LSH",
+            keys: &["m"],
+            knobs: "m = hash-string length",
+        },
+        SchemeInfo {
+            token: "mp-lccs",
+            method: "MP-LCCS-LSH",
+            keys: &["m"],
+            knobs: "m = hash-string length (probes are a query knob)",
+        },
+        SchemeInfo {
+            token: "e2lsh",
+            method: "E2LSH",
+            keys: &["k", "l"],
+            knobs: "k = concatenation length, l = table count",
+        },
+        SchemeInfo {
+            token: "mp-lsh",
+            method: "Multi-Probe LSH",
+            keys: &["k", "l"],
+            knobs: "k = concatenation length, l = table count",
+        },
+        SchemeInfo {
+            token: "falconn",
+            method: "FALCONN",
+            keys: &["k", "l"],
+            knobs: "k = concatenation length, l = table count (Angular only)",
+        },
+        SchemeInfo {
+            token: "c2lsh",
+            method: "C2LSH",
+            keys: &["m", "l"],
+            knobs: "m = function count, l = collision threshold",
+        },
+        SchemeInfo {
+            token: "qalsh",
+            method: "QALSH",
+            keys: &["m", "l"],
+            knobs: "m = projection count, l = collision threshold",
+        },
+        SchemeInfo {
+            token: "srs",
+            method: "SRS",
+            keys: &["d"],
+            knobs: "d = projected dimensionality",
+        },
+        SchemeInfo {
+            token: "lsh-forest",
+            method: "LSH-Forest",
+            keys: &["trees", "depth"],
+            knobs: "trees = tree count, depth = label length",
+        },
+        SchemeInfo {
+            token: "sk-lsh",
+            method: "SK-LSH",
+            keys: &["k", "l"],
+            knobs: "k = compound-key length, l = sorted-index count",
+        },
+        SchemeInfo {
+            token: "kdtree",
+            method: "KD-Tree",
+            keys: &[],
+            knobs: "(exact, Euclidean only; no knobs)",
+        },
+        SchemeInfo {
+            token: "linear",
+            method: "Linear",
+            keys: &[],
+            knobs: "(exact; no knobs)",
+        },
+    ]
+}
+
+/// Renders the grammar cheat-sheet: every scheme token, its method name,
+/// and its knobs, plus the common `w=`/`seed=` keys.
+pub fn help() -> String {
+    let mut out = String::from(
+        "index spec grammar: scheme[:key=value,...]\n\
+         common keys on every scheme: w=<float> (bucket width, default 4), \
+         seed=<u64> (default 1)\n\nschemes:\n",
+    );
+    for s in schemes() {
+        out.push_str(&format!("  {:<11} {:<16} {}\n", s.token, s.method, s.knobs));
+    }
+    out.push_str("\nexamples: lccs:m=64   mp-lccs:m=64,seed=7   e2lsh:k=12,l=50,w=3.5\n");
+    out
+}
+
+// ----------------------------------------------------------- parse errors
+
+/// Errors raised while parsing the textual grammar or the JSON form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpecError {
+    /// The scheme token matches no known scheme.
+    UnknownScheme(String),
+    /// A key the scheme does not accept.
+    UnknownKey {
+        /// The scheme token being parsed.
+        scheme: String,
+        /// The offending key.
+        key: String,
+    },
+    /// The same key given twice.
+    DuplicateKey(String),
+    /// A required scheme knob was not given.
+    MissingKey {
+        /// The scheme token being parsed.
+        scheme: String,
+        /// The missing key.
+        key: String,
+    },
+    /// A value failed to parse as its key's type.
+    BadValue {
+        /// The key whose value is malformed.
+        key: String,
+        /// The raw value text.
+        value: String,
+    },
+    /// A value parsed but is outside the accepted range.
+    OutOfRange {
+        /// The key whose value is out of range.
+        key: String,
+        /// The raw value text.
+        value: String,
+        /// What the accepted range is.
+        expected: &'static str,
+    },
+    /// Structurally malformed input (empty spec, `key` with no `=`,
+    /// broken JSON, …).
+    Syntax(String),
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::UnknownScheme(s) => {
+                write!(f, "unknown scheme {s:?} (see ann::spec::help())")
+            }
+            SpecError::UnknownKey { scheme, key } => {
+                write!(f, "scheme {scheme:?} does not accept key {key:?}")
+            }
+            SpecError::DuplicateKey(k) => write!(f, "duplicate key {k:?}"),
+            SpecError::MissingKey { scheme, key } => {
+                write!(f, "scheme {scheme:?} requires key {key:?}")
+            }
+            SpecError::BadValue { key, value } => {
+                write!(f, "key {key:?} has malformed value {value:?}")
+            }
+            SpecError::OutOfRange { key, value, expected } => {
+                write!(f, "key {key:?} value {value:?} out of range (expected {expected})")
+            }
+            SpecError::Syntax(m) => write!(f, "malformed spec: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+// -------------------------------------------------------------- Display
+
+impl fmt::Display for Scheme {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.token())?;
+        let pairs = self.pairs();
+        for (i, (k, v)) in pairs.iter().enumerate() {
+            write!(f, "{}{k}={v}", if i == 0 { ':' } else { ',' })?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for IndexSpec {
+    /// The canonical grammar form. Build options at their defaults are
+    /// omitted, so `lccs:m=64` — not `lccs:m=64,w=4,seed=1` — is the
+    /// canonical spelling of a default-options spec.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.scheme)?;
+        let mut sep = if self.scheme.pairs().is_empty() { ':' } else { ',' };
+        if self.build.w != DEFAULT_W {
+            write!(f, "{sep}w={}", self.build.w)?;
+            sep = ',';
+        }
+        if self.build.seed != DEFAULT_SEED {
+            write!(f, "{sep}seed={}", self.build.seed)?;
+        }
+        Ok(())
+    }
+}
+
+// -------------------------------------------------------------- FromStr
+
+/// Parses a `usize` knob, enforcing `1..=MAX_PARAM`.
+fn parse_knob(key: &str, value: &str) -> Result<usize, SpecError> {
+    let n: usize = value
+        .parse()
+        .map_err(|_| SpecError::BadValue { key: key.into(), value: value.into() })?;
+    if n == 0 || n > MAX_PARAM {
+        return Err(SpecError::OutOfRange {
+            key: key.into(),
+            value: value.into(),
+            expected: "1..=2^20",
+        });
+    }
+    Ok(n)
+}
+
+impl FromStr for IndexSpec {
+    type Err = SpecError;
+
+    fn from_str(s: &str) -> Result<Self, SpecError> {
+        let s = s.trim();
+        if s.is_empty() {
+            return Err(SpecError::Syntax("empty spec".into()));
+        }
+        let (token, rest) = match s.split_once(':') {
+            Some((t, r)) => (t.trim(), Some(r)),
+            None => (s, None),
+        };
+        let token = token.to_ascii_lowercase();
+        let info = schemes()
+            .iter()
+            .find(|i| i.token == token)
+            .ok_or_else(|| SpecError::UnknownScheme(token.clone()))?;
+
+        // Collect pairs, catching duplicates and keys foreign to the scheme.
+        let mut knobs: Vec<(&'static str, usize)> = Vec::new();
+        let mut build = BuildOptions::default();
+        let mut seen: Vec<String> = Vec::new();
+        if let Some(rest) = rest {
+            if rest.trim().is_empty() {
+                return Err(SpecError::Syntax(format!("{token}: trailing ':' with no keys")));
+            }
+            for pair in rest.split(',') {
+                let (key, value) = pair
+                    .split_once('=')
+                    .ok_or_else(|| SpecError::Syntax(format!("{pair:?} is not key=value")))?;
+                let (key, value) = (key.trim().to_ascii_lowercase(), value.trim());
+                if seen.contains(&key) {
+                    return Err(SpecError::DuplicateKey(key));
+                }
+                seen.push(key.clone());
+                match key.as_str() {
+                    "w" => {
+                        let w: f64 = value.parse().map_err(|_| SpecError::BadValue {
+                            key: "w".into(),
+                            value: value.into(),
+                        })?;
+                        if !(w.is_finite() && w > 0.0) {
+                            return Err(SpecError::OutOfRange {
+                                key: "w".into(),
+                                value: value.into(),
+                                expected: "a positive finite float",
+                            });
+                        }
+                        build.w = w;
+                    }
+                    "seed" => {
+                        build.seed = value.parse().map_err(|_| SpecError::BadValue {
+                            key: "seed".into(),
+                            value: value.into(),
+                        })?;
+                    }
+                    _ => {
+                        let canon = info
+                            .keys
+                            .iter()
+                            .find(|k| **k == key)
+                            .ok_or_else(|| SpecError::UnknownKey {
+                                scheme: token.clone(),
+                                key: key.clone(),
+                            })?;
+                        knobs.push((canon, parse_knob(&key, value)?));
+                    }
+                }
+            }
+        }
+
+        let knob = |key: &'static str| -> Result<usize, SpecError> {
+            knobs
+                .iter()
+                .find(|(k, _)| *k == key)
+                .map(|&(_, v)| v)
+                .ok_or(SpecError::MissingKey { scheme: token.clone(), key: key.into() })
+        };
+        let scheme = match info.method {
+            "LCCS-LSH" => Scheme::Lccs { m: knob("m")? },
+            "MP-LCCS-LSH" => Scheme::MpLccs { m: knob("m")? },
+            "E2LSH" => Scheme::E2lsh { k_funcs: knob("k")?, l_tables: knob("l")? },
+            "Multi-Probe LSH" => {
+                Scheme::MultiProbeLsh { k_funcs: knob("k")?, l_tables: knob("l")? }
+            }
+            "FALCONN" => Scheme::Falconn { k_funcs: knob("k")?, l_tables: knob("l")? },
+            "C2LSH" => Scheme::C2lsh { m: knob("m")?, l: knob("l")? },
+            "QALSH" => Scheme::Qalsh { m: knob("m")?, l: knob("l")? },
+            "SRS" => Scheme::Srs { d_proj: knob("d")? },
+            "LSH-Forest" => Scheme::LshForest { trees: knob("trees")?, depth: knob("depth")? },
+            "SK-LSH" => Scheme::SkLsh { k_funcs: knob("k")?, l_indexes: knob("l")? },
+            "KD-Tree" => Scheme::KdTree,
+            "Linear" => Scheme::Linear,
+            other => unreachable!("scheme table row {other:?} not constructed"),
+        };
+        Ok(IndexSpec { scheme, build })
+    }
+}
+
+// ------------------------------------------------------------------ JSON
+
+/// A parsed JSON value — just the subset the spec object needs.
+enum Json {
+    Str(String),
+    /// Raw number text; converted per field so u64 seeds keep full
+    /// precision instead of routing through f64.
+    Num(String),
+    Obj(Vec<(String, Json)>),
+}
+
+/// Minimal recursive-descent JSON parser for the spec object shape.
+/// Workspace rule: no registry dependencies, so no serde_json — this
+/// accepts arbitrary whitespace and key order over strings, numbers and
+/// objects, which is everything [`IndexSpec::to_json`] emits.
+struct JsonParser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> JsonParser<'a> {
+    fn new(s: &'a str) -> Self {
+        JsonParser { bytes: s.as_bytes(), pos: 0 }
+    }
+
+    fn err(&self, m: &str) -> SpecError {
+        SpecError::Syntax(format!("json: {m} at byte {}", self.pos))
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), SpecError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected {:?}", b as char)))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, SpecError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos).copied() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    let esc = self.bytes.get(self.pos + 1).copied();
+                    match esc {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        _ => return Err(self.err("unsupported escape")),
+                    }
+                    self.pos += 2;
+                }
+                Some(b) if b < 0x20 => return Err(self.err("control byte in string")),
+                Some(_) => {
+                    // Multi-byte UTF-8 sequences pass through untouched.
+                    let start = self.pos;
+                    self.pos += 1;
+                    while self.pos < self.bytes.len() && self.bytes[self.pos] & 0xc0 == 0x80 {
+                        self.pos += 1;
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&self.bytes[start..self.pos])
+                            .map_err(|_| self.err("invalid utf-8"))?,
+                    );
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<String, SpecError> {
+        self.skip_ws();
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.pos += 1;
+        }
+        if start == self.pos {
+            return Err(self.err("expected a number"));
+        }
+        Ok(std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii").to_string())
+    }
+
+    fn value(&mut self) -> Result<Json, SpecError> {
+        match self.peek() {
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'{') => self.object(),
+            Some(_) => Ok(Json::Num(self.number()?)),
+            None => Err(self.err("unexpected end")),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, SpecError> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            let key = self.string()?;
+            self.expect(b':')?;
+            if fields.iter().any(|(k, _)| *k == key) {
+                return Err(SpecError::DuplicateKey(key));
+            }
+            fields.push((key, self.value()?));
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+impl IndexSpec {
+    /// Serializes as a JSON object, e.g.
+    /// `{"scheme":"e2lsh","params":{"k":12,"l":50},"w":4,"seed":7}`.
+    /// `params` is omitted for knob-less schemes.
+    pub fn to_json(&self) -> String {
+        let mut out = format!("{{\"scheme\":\"{}\"", json_escape(self.scheme.token()));
+        let pairs = self.scheme.pairs();
+        if !pairs.is_empty() {
+            out.push_str(",\"params\":{");
+            for (i, (k, v)) in pairs.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("\"{k}\":{v}"));
+            }
+            out.push('}');
+        }
+        out.push_str(&format!(",\"w\":{},\"seed\":{}}}", self.build.w, self.build.seed));
+        out
+    }
+
+    /// Parses the [`IndexSpec::to_json`] object form (any key order,
+    /// arbitrary whitespace; `params`, `w` and `seed` optional).
+    pub fn from_json(s: &str) -> Result<IndexSpec, SpecError> {
+        let mut p = JsonParser::new(s);
+        let Json::Obj(fields) = p.object()? else { unreachable!("object() returns Obj") };
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(SpecError::Syntax("json: trailing bytes".into()));
+        }
+
+        // Re-render as the textual grammar and reuse its validation: the
+        // two forms accept exactly the same spec space by construction —
+        // provided no JSON string smuggles grammar metacharacters into
+        // the spliced text (a scheme of `"lccs:m=4"` must be an unknown
+        // scheme, not a reinterpreted spec).
+        let clean = |s: &str| !s.contains([':', ',', '=']) && !s.contains(char::is_whitespace);
+        let mut token: Option<String> = None;
+        let mut text_pairs: Vec<(String, String)> = Vec::new();
+        for (key, value) in fields {
+            match (key.as_str(), value) {
+                ("scheme", Json::Str(t)) => {
+                    if !clean(&t) {
+                        return Err(SpecError::UnknownScheme(t));
+                    }
+                    token = Some(t);
+                }
+                ("scheme", _) => {
+                    return Err(SpecError::BadValue { key, value: "non-string".into() })
+                }
+                ("params", Json::Obj(params)) => {
+                    for (k, v) in params {
+                        let Json::Num(n) = v else {
+                            return Err(SpecError::BadValue { key: k, value: "non-number".into() });
+                        };
+                        if !clean(&k) {
+                            return Err(SpecError::UnknownKey {
+                                scheme: "json params".into(),
+                                key: k,
+                            });
+                        }
+                        text_pairs.push((k, n));
+                    }
+                }
+                ("params", _) => {
+                    return Err(SpecError::BadValue { key, value: "non-object".into() })
+                }
+                ("w" | "seed", Json::Num(n)) => text_pairs.push((key, n)),
+                ("w" | "seed", _) => {
+                    return Err(SpecError::BadValue { key, value: "non-number".into() })
+                }
+                (other, _) => {
+                    return Err(SpecError::UnknownKey {
+                        scheme: "json object".into(),
+                        key: other.into(),
+                    })
+                }
+            }
+        }
+        let token = token.ok_or(SpecError::Syntax("json: missing \"scheme\"".into()))?;
+        let mut text = token;
+        for (i, (k, v)) in text_pairs.iter().enumerate() {
+            text.push(if i == 0 { ':' } else { ',' });
+            text.push_str(&format!("{k}={v}"));
+        }
+        text.parse()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// One spec per scheme, with non-default knobs.
+    fn zoo() -> Vec<IndexSpec> {
+        vec![
+            IndexSpec::lccs(64),
+            IndexSpec::mp_lccs(128).with_seed(7),
+            IndexSpec::e2lsh(12, 50),
+            IndexSpec::multi_probe(4, 8).with_w(3.5),
+            IndexSpec::falconn(2, 16),
+            IndexSpec::c2lsh(32, 4),
+            IndexSpec::qalsh(64, 16).with_w(0.125).with_seed(u64::MAX),
+            IndexSpec::srs(6),
+            IndexSpec::lsh_forest(8, 16),
+            IndexSpec::sk_lsh(16, 4),
+            IndexSpec::kd_tree(),
+            IndexSpec::linear().with_seed(9),
+        ]
+    }
+
+    #[test]
+    fn display_from_str_round_trips_every_scheme() {
+        for spec in zoo() {
+            let text = spec.to_string();
+            let back: IndexSpec = text.parse().unwrap_or_else(|e| panic!("{text}: {e}"));
+            assert_eq!(back, spec, "{text}");
+        }
+    }
+
+    #[test]
+    fn canonical_forms_match_the_issue_examples() {
+        assert_eq!(IndexSpec::lccs(64).to_string(), "lccs:m=64");
+        assert_eq!(IndexSpec::e2lsh(12, 50).to_string(), "e2lsh:k=12,l=50");
+        assert_eq!(IndexSpec::mp_lccs(64).with_seed(7).to_string(), "mp-lccs:m=64,seed=7");
+        assert_eq!(IndexSpec::linear().to_string(), "linear");
+        assert_eq!(IndexSpec::linear().with_w(2.5).to_string(), "linear:w=2.5");
+    }
+
+    #[test]
+    fn parse_accepts_whitespace_case_and_any_key_order() {
+        let spec: IndexSpec = "  E2LSH : l = 50 , K = 12 , SEED=3 ".parse().unwrap();
+        assert_eq!(spec, IndexSpec::e2lsh(12, 50).with_seed(3));
+    }
+
+    #[test]
+    fn unknown_scheme_is_rejected() {
+        for bad in ["hnsw", "", "lccs2:m=4", ":m=4"] {
+            let err = bad.parse::<IndexSpec>().unwrap_err();
+            assert!(
+                matches!(err, SpecError::UnknownScheme(_) | SpecError::Syntax(_)),
+                "{bad:?}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn duplicate_unknown_and_missing_keys_are_rejected() {
+        assert!(matches!(
+            "lccs:m=4,m=8".parse::<IndexSpec>(),
+            Err(SpecError::DuplicateKey(k)) if k == "m"
+        ));
+        assert!(matches!(
+            "lccs:m=4,probes=8".parse::<IndexSpec>(),
+            Err(SpecError::UnknownKey { key, .. }) if key == "probes"
+        ));
+        assert!(matches!(
+            "e2lsh:k=4".parse::<IndexSpec>(),
+            Err(SpecError::MissingKey { key, .. }) if key == "l"
+        ));
+        assert!(matches!(
+            "linear:m=4".parse::<IndexSpec>(),
+            Err(SpecError::UnknownKey { .. })
+        ));
+    }
+
+    #[test]
+    fn out_of_range_values_are_rejected() {
+        assert!(matches!(
+            "lccs:m=0".parse::<IndexSpec>(),
+            Err(SpecError::OutOfRange { .. })
+        ));
+        assert!(matches!(
+            format!("lccs:m={}", MAX_PARAM + 1).parse::<IndexSpec>(),
+            Err(SpecError::OutOfRange { .. })
+        ));
+        assert!(matches!(
+            "lccs:m=4,w=-1".parse::<IndexSpec>(),
+            Err(SpecError::OutOfRange { .. })
+        ));
+        assert!(matches!(
+            "lccs:m=4,w=nan".parse::<IndexSpec>(),
+            Err(SpecError::OutOfRange { .. })
+        ));
+        assert!(matches!(
+            "lccs:m=4.5".parse::<IndexSpec>(),
+            Err(SpecError::BadValue { .. })
+        ));
+        assert!(matches!(
+            "lccs:m=4,seed=-2".parse::<IndexSpec>(),
+            Err(SpecError::BadValue { .. })
+        ));
+    }
+
+    #[test]
+    fn syntax_errors_are_rejected() {
+        for bad in ["lccs:", "lccs:m", "lccs:m=4,", "lccs:=4"] {
+            let err = bad.parse::<IndexSpec>().unwrap_err();
+            assert!(
+                matches!(err, SpecError::Syntax(_) | SpecError::UnknownKey { .. }),
+                "{bad:?}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn json_round_trips_every_scheme() {
+        for spec in zoo() {
+            let json = spec.to_json();
+            let back = IndexSpec::from_json(&json).unwrap_or_else(|e| panic!("{json}: {e}"));
+            assert_eq!(back, spec, "{json}");
+        }
+    }
+
+    #[test]
+    fn json_accepts_whitespace_and_key_reorder_and_defaults() {
+        let spec = IndexSpec::from_json(
+            " { \"seed\" : 7 , \"params\" : { \"m\" : 64 } , \"scheme\" : \"mp-lccs\" } ",
+        )
+        .unwrap();
+        assert_eq!(spec, IndexSpec::mp_lccs(64).with_seed(7));
+        let spec = IndexSpec::from_json("{\"scheme\":\"linear\"}").unwrap();
+        assert_eq!(spec, IndexSpec::linear());
+    }
+
+    #[test]
+    fn json_rejections() {
+        for bad in [
+            "",
+            "{",
+            "{}",
+            "{\"scheme\":\"nope\"}",
+            "{\"scheme\":\"lccs\"}",
+            "{\"scheme\":\"lccs\",\"params\":{\"m\":64},\"extra\":1}",
+            "{\"scheme\":\"lccs\",\"params\":{\"m\":64}} trailing",
+            "{\"scheme\":\"lccs\",\"params\":{\"m\":64,\"m\":65}}",
+            "{\"scheme\":5}",
+        ] {
+            assert!(IndexSpec::from_json(bad).is_err(), "{bad:?} should be rejected");
+        }
+    }
+
+    #[test]
+    fn json_strings_cannot_smuggle_grammar_metacharacters() {
+        // A scheme/key string containing grammar syntax must be rejected
+        // as unknown, not spliced into the text and reinterpreted.
+        assert!(matches!(
+            IndexSpec::from_json("{\"scheme\":\"lccs:m=4\"}"),
+            Err(SpecError::UnknownScheme(s)) if s == "lccs:m=4"
+        ));
+        assert!(matches!(
+            IndexSpec::from_json("{\"scheme\":\"lccs\",\"params\":{\"m=4,seed\":9}}"),
+            Err(SpecError::UnknownKey { key, .. }) if key == "m=4,seed"
+        ));
+        assert!(matches!(
+            IndexSpec::from_json("{\"scheme\":\"lccs\",\"params\":{\"m m\":4}}"),
+            Err(SpecError::UnknownKey { .. })
+        ));
+    }
+
+    #[test]
+    fn json_preserves_u64_seed_precision() {
+        let spec = IndexSpec::lccs(4).with_seed(u64::MAX);
+        assert_eq!(IndexSpec::from_json(&spec.to_json()).unwrap().build.seed, u64::MAX);
+    }
+
+    #[test]
+    fn help_lists_every_scheme_token_and_method() {
+        let h = help();
+        for s in schemes() {
+            assert!(h.contains(s.token), "help() misses token {}", s.token);
+            assert!(h.contains(s.method), "help() misses method {}", s.method);
+        }
+    }
+
+    #[test]
+    fn scheme_table_rows_match_variant_tokens() {
+        for spec in zoo() {
+            let info = spec.scheme.info();
+            assert_eq!(info.token, spec.scheme.token());
+            assert_eq!(info.method, spec.scheme.method_name());
+            let keys: Vec<&str> = spec.scheme.pairs().iter().map(|(k, _)| *k).collect();
+            assert_eq!(keys, info.keys, "{}", info.token);
+        }
+        assert_eq!(zoo().len(), schemes().len(), "one zoo entry per scheme row");
+    }
+}

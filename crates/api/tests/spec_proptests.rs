@@ -1,0 +1,136 @@
+//! Property tests of the spec grammar and JSON codec: for every scheme,
+//! `IndexSpec` → `Display` → `FromStr` → equal spec (and the same through
+//! JSON), plus rejection properties for malformed strings.
+
+use ann::spec::{schemes, IndexSpec, Scheme, SpecError, MAX_PARAM};
+use proptest::prelude::*;
+
+/// Strategy over all 12 scheme variants with in-range knobs.
+fn any_scheme() -> impl Strategy<Value = Scheme> {
+    (0usize..12, 1usize..=MAX_PARAM, 1usize..=MAX_PARAM).prop_map(|(which, a, b)| match which {
+        0 => Scheme::Lccs { m: a },
+        1 => Scheme::MpLccs { m: a },
+        2 => Scheme::E2lsh { k_funcs: a, l_tables: b },
+        3 => Scheme::MultiProbeLsh { k_funcs: a, l_tables: b },
+        4 => Scheme::Falconn { k_funcs: a, l_tables: b },
+        5 => Scheme::C2lsh { m: a, l: b },
+        6 => Scheme::Qalsh { m: a, l: b },
+        7 => Scheme::Srs { d_proj: a },
+        8 => Scheme::LshForest { trees: a, depth: b },
+        9 => Scheme::SkLsh { k_funcs: a, l_indexes: b },
+        10 => Scheme::KdTree,
+        _ => Scheme::Linear,
+    })
+}
+
+/// Strategy over full specs: every scheme × assorted build options,
+/// including the defaults (which Display omits).
+fn any_spec() -> impl Strategy<Value = IndexSpec> {
+    (any_scheme(), 0u32..=6, any::<u64>(), any::<bool>(), any::<bool>()).prop_map(
+        |(scheme, w_exp, seed, default_w, default_seed)| {
+            let mut spec = IndexSpec::new(scheme);
+            if !default_w {
+                // Powers of two are exactly representable, so Display/parse
+                // can't lose bits; the exponent spread covers sub-1 widths.
+                spec = spec.with_w(f64::powi(2.0, w_exp as i32 - 3));
+            }
+            if !default_seed {
+                spec = spec.with_seed(seed);
+            }
+            spec
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn display_parse_round_trip(spec in any_spec()) {
+        let text = spec.to_string();
+        let back: IndexSpec = text.parse().expect("canonical form parses");
+        prop_assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn json_round_trip(spec in any_spec()) {
+        let json = spec.to_json();
+        let back = IndexSpec::from_json(&json).expect("emitted json parses");
+        prop_assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn display_is_canonical(spec in any_spec()) {
+        // Reparsing the display form and re-displaying is a fixed point.
+        let text = spec.to_string();
+        let reparsed: IndexSpec = text.parse().expect("parses");
+        prop_assert_eq!(reparsed.to_string(), text);
+    }
+
+    #[test]
+    fn unknown_scheme_names_are_rejected(spec in any_spec(), tag in 0u32..1000) {
+        // Mangle the scheme token: no valid token ends in a digit group.
+        let text = spec.to_string();
+        let mangled = match text.split_once(':') {
+            Some((tok, rest)) => format!("{tok}{tag}x:{rest}"),
+            None => format!("{text}{tag}x"),
+        };
+        prop_assert!(matches!(
+            mangled.parse::<IndexSpec>(),
+            Err(SpecError::UnknownScheme(_))
+        ));
+    }
+
+    #[test]
+    fn duplicate_keys_are_rejected(spec in any_spec()) {
+        // Append a duplicate of the spec's first key=value pair.
+        let text = spec.to_string();
+        if let Some((_, rest)) = text.split_once(':') {
+            let first = rest.split(',').next().expect("at least one pair");
+            let doubled = format!("{text},{first}");
+            prop_assert!(matches!(
+                doubled.parse::<IndexSpec>(),
+                Err(SpecError::DuplicateKey(_))
+            ));
+        }
+    }
+
+    #[test]
+    fn out_of_range_params_are_rejected(scheme in any_scheme(), over in 1usize..1000) {
+        // Force each of the scheme's own knobs to 0 and to > MAX_PARAM.
+        let token = scheme.token();
+        for key in scheme.info().keys {
+            for bad in [0usize, MAX_PARAM + over] {
+                let text = format!("{token}:{key}={bad}");
+                let err = text.parse::<IndexSpec>().expect_err("out of range");
+                prop_assert!(
+                    matches!(err, SpecError::OutOfRange { .. } | SpecError::MissingKey { .. }),
+                    "{}: {}", text, err
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn foreign_keys_are_rejected(spec in any_spec()) {
+        // `probes` is a query knob, never an index knob — every scheme
+        // must reject it (catches key-table drift).
+        let text = spec.to_string();
+        let with_foreign = if text.contains(':') {
+            format!("{text},probes=8")
+        } else {
+            format!("{text}:probes=8")
+        };
+        prop_assert!(matches!(
+            with_foreign.parse::<IndexSpec>(),
+            Err(SpecError::UnknownKey { .. })
+        ));
+    }
+}
+
+#[test]
+fn every_scheme_table_row_is_reachable_by_the_strategy() {
+    // The strategy above matches on 0..12; if a 13th variant appears this
+    // pins that the table, the strategy, and the enum stay in sync.
+    assert_eq!(schemes().len(), 12);
+}

@@ -191,9 +191,121 @@ impl ann::AnnIndex for KdTree {
     }
 }
 
+/// Exact k-NN over a full [`dataset::Dataset`] through a kd-tree — the
+/// registry-buildable form of the substrate (spec token `kdtree`).
+///
+/// Euclidean only: the best-bin-first bound prunes by squared Euclidean
+/// slab distance, which is not a valid lower bound for the other metrics
+/// (the eval registry rejects non-Euclidean specs with `BadParam`).
+/// Results are canonicalized through [`verify_topk`], so ordering and tie
+/// breaking (ascending distance, then id) match every other scheme.
+pub struct KdTreeScan {
+    data: std::sync::Arc<dataset::Dataset>,
+    tree: KdTree,
+}
+
+impl KdTreeScan {
+    /// Builds the tree over every vector of `data`.
+    pub fn build(data: std::sync::Arc<dataset::Dataset>) -> Self {
+        let tree = KdTree::build(data.dim(), data.as_flat().to_vec());
+        Self { data, tree }
+    }
+}
+
+use crate::common::verify_topk;
+
+impl ann::AnnIndex for KdTreeScan {
+    fn name(&self) -> &'static str {
+        "KD-Tree"
+    }
+
+    fn index_bytes(&self) -> usize {
+        // The tree's own point copy counts; the shared dataset does not.
+        self.tree.nbytes()
+    }
+
+    fn query_with(
+        &self,
+        q: &[f32],
+        p: &ann::SearchParams,
+        _scratch: &mut ann::Scratch,
+    ) -> Vec<dataset::exact::Neighbor> {
+        assert!(p.k > 0, "k must be positive");
+        let k = p.k.min(self.data.len());
+        // Take the exact top-k by squared distance, then keep draining
+        // while candidates tie the kth distance so verify_topk can break
+        // ties by id exactly like the linear scan does.
+        let mut iter = self.tree.nearest_iter(q);
+        let mut ids = Vec::with_capacity(k + 4);
+        let mut kth = f64::INFINITY;
+        for (id, sq) in iter.by_ref() {
+            if ids.len() >= k && sq > kth {
+                break;
+            }
+            if ids.len() == k - 1 {
+                kth = sq;
+            }
+            ids.push(id);
+        }
+        verify_topk(&self.data, dataset::Metric::Euclidean, q, k, ids.into_iter())
+    }
+}
+
+impl ann::BuildAnn for KdTreeScan {
+    type Params = ();
+
+    fn build_index(
+        data: std::sync::Arc<dataset::Dataset>,
+        metric: dataset::Metric,
+        _params: &(),
+    ) -> Self {
+        assert!(
+            matches!(metric, dataset::Metric::Euclidean),
+            "KdTreeScan is Euclidean-only (got {})",
+            metric.name()
+        );
+        KdTreeScan::build(data)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn scan_matches_linear_scan_exactly() {
+        use ann::{AnnIndex, BuildAnn, SearchParams};
+        let data = std::sync::Arc::new(
+            dataset::SynthSpec::new("kdscan", 300, 6).with_clusters(5).generate(11),
+        );
+        let scan = KdTreeScan::build_index(data.clone(), dataset::Metric::Euclidean, &());
+        let linear = crate::LinearScan::build(data.clone(), dataset::Metric::Euclidean);
+        let p = SearchParams::new(7, 0);
+        for qi in [0usize, 17, 123, 299] {
+            let got = scan.query(data.get(qi), &p);
+            let want = linear.query(data.get(qi), 7);
+            assert_eq!(got, want, "query {qi}");
+        }
+        assert!(scan.index_bytes() > 0);
+        assert_eq!(scan.name(), "KD-Tree");
+    }
+
+    #[test]
+    fn scan_caps_k_at_n() {
+        use ann::{AnnIndex, BuildAnn, SearchParams};
+        let data =
+            std::sync::Arc::new(dataset::SynthSpec::new("kdsmall", 5, 3).generate(2));
+        let scan = KdTreeScan::build_index(data.clone(), dataset::Metric::Euclidean, &());
+        assert_eq!(scan.query(data.get(0), &SearchParams::new(50, 0)).len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "Euclidean-only")]
+    fn scan_rejects_other_metrics() {
+        use ann::BuildAnn;
+        let data = std::sync::Arc::new(dataset::SynthSpec::new("kdang", 10, 3).generate(2));
+        let _ = KdTreeScan::build_index(data, dataset::Metric::Angular, &());
+    }
 
     fn grid2d() -> KdTree {
         // 5×5 grid of points (x, y) in 0..5

@@ -47,7 +47,7 @@ pub use ann::{AnnIndex, BuildAnn, Scratch, SearchParams};
 pub use c2lsh::{C2Lsh, C2lshParams};
 pub use e2lsh::{E2Lsh, E2lshParams};
 pub use falconn::{Falconn, FalconnParams};
-pub use kdtree::KdTree;
+pub use kdtree::{KdTree, KdTreeScan};
 pub use linear::LinearScan;
 pub use lsh_forest::{LshForest, LshForestParams};
 pub use multiprobe_lsh::{MultiProbeLsh, MultiProbeLshParams};

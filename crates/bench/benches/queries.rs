@@ -1,10 +1,11 @@
 //! Criterion micro-benches of the end-to-end query paths of every scheme at
 //! a fixed workload — the per-method costs behind Figures 4–5.
 
+use ann::SearchParams;
 use bench::bench_data;
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use dataset::Metric;
-use eval::harness::IndexSpec;
+use eval::harness::{build_spec, IndexSpec};
 use std::sync::Arc;
 
 fn bench_queries(c: &mut Criterion) {
@@ -15,19 +16,21 @@ fn bench_queries(c: &mut Criterion) {
     let mut g = c.benchmark_group("query_top10");
     g.sample_size(20);
     for (label, spec, budget, probes) in [
-        ("lccs_m64", IndexSpec::Lccs { m: 64 }, 128usize, 0usize),
-        ("mp_lccs_m64_p65", IndexSpec::MpLccs { m: 64 }, 128, 65),
-        ("e2lsh_k4_l16", IndexSpec::E2lsh { k_funcs: 4, l_tables: 16 }, 128, 0),
-        ("mplsh_k4_l4_p32", IndexSpec::MultiProbeLsh { k_funcs: 4, l_tables: 4 }, 128, 32),
-        ("c2lsh_m32_l4", IndexSpec::C2lsh { m: 32, l: 4 }, 128, 0),
-        ("qalsh_m32_l8", IndexSpec::Qalsh { m: 32, l: 8 }, 128, 0),
-        ("srs_d6", IndexSpec::Srs { d_proj: 6 }, 128, 0),
-        ("linear", IndexSpec::Linear, 0, 0),
+        ("lccs_m64", IndexSpec::lccs(64), 128usize, 0usize),
+        ("mp_lccs_m64_p65", IndexSpec::mp_lccs(64), 128, 65),
+        ("e2lsh_k4_l16", IndexSpec::e2lsh(4, 16), 128, 0),
+        ("mplsh_k4_l4_p32", IndexSpec::multi_probe(4, 4), 128, 32),
+        ("c2lsh_m32_l4", IndexSpec::c2lsh(32, 4), 128, 0),
+        ("qalsh_m32_l8", IndexSpec::qalsh(32, 8), 128, 0),
+        ("srs_d6", IndexSpec::srs(6), 128, 0),
+        ("kdtree", IndexSpec::kd_tree(), 0, 0),
+        ("linear", IndexSpec::linear(), 0, 0),
     ] {
-        let built = spec.build(&data, Metric::Euclidean, w, 7);
-        g.bench_function(label, |b| {
-            b.iter(|| built.query(black_box(&q), 10, budget, probes))
-        });
+        let spec = spec.with_w(w).with_seed(7);
+        let built = build_spec(&spec, &data, Metric::Euclidean)
+            .unwrap_or_else(|e| panic!("building {spec}: {e}"));
+        let params = SearchParams { k: 10, budget, probes };
+        g.bench_function(label, |b| b.iter(|| built.query(black_box(&q), &params)));
     }
     g.finish();
 }

@@ -59,6 +59,12 @@ fn read_exact_or_eof(r: &mut impl Read, buf: &mut [u8]) -> Result<bool, IoError>
     Ok(true)
 }
 
+/// Upper bound on a record's declared dimensionality. The real TEXMEX
+/// sets top out at 960 (Gist); a header beyond this is a corrupt or
+/// hostile file, and honoring it would allocate the declared size
+/// *before* the payload read can fail.
+pub const MAX_DIM: usize = 1 << 16;
+
 fn read_dim_header(r: &mut impl Read) -> Result<Option<usize>, IoError> {
     let mut hdr = [0u8; 4];
     if !read_exact_or_eof(r, &mut hdr)? {
@@ -67,6 +73,11 @@ fn read_dim_header(r: &mut impl Read) -> Result<Option<usize>, IoError> {
     let d = i32::from_le_bytes(hdr);
     if d <= 0 {
         return Err(IoError::Malformed(format!("non-positive dimension header {d}")));
+    }
+    if d as usize > MAX_DIM {
+        return Err(IoError::Malformed(format!(
+            "dimension header {d} exceeds the {MAX_DIM} sanity cap"
+        )));
     }
     Ok(Some(d as usize))
 }
@@ -251,6 +262,14 @@ mod tests {
         buf.extend((-4i32).to_le_bytes());
         let err = read_fvecs_from(&buf[..], "neg", None).unwrap_err();
         assert!(err.to_string().contains("non-positive"), "{err}");
+    }
+
+    #[test]
+    fn absurd_dim_header_is_rejected_before_allocating() {
+        let mut buf = Vec::new();
+        buf.extend(i32::MAX.to_le_bytes()); // would be an ~8.6 GB record
+        let err = read_fvecs_from(&buf[..], "huge", None).unwrap_err();
+        assert!(err.to_string().contains("sanity cap"), "{err}");
     }
 
     #[test]

@@ -101,6 +101,19 @@ impl Metric {
     pub fn is_angular(self) -> bool {
         matches!(self, Metric::Angular)
     }
+
+    /// Parses a metric from its name, case-insensitively, accepting the
+    /// common aliases (`l2`, `cosine`). Used by config strings and the
+    /// serving layer's BUILD command.
+    pub fn from_name(name: &str) -> Option<Metric> {
+        match name.to_ascii_lowercase().as_str() {
+            "euclidean" | "l2" => Some(Metric::Euclidean),
+            "angular" | "cosine" => Some(Metric::Angular),
+            "hamming" => Some(Metric::Hamming),
+            "jaccard" => Some(Metric::Jaccard),
+            _ => None,
+        }
+    }
 }
 
 /// `||a - b||_2^2`, the inner loop of Euclidean verification.
@@ -303,6 +316,16 @@ mod tests {
     #[should_panic(expected = "dimension mismatch")]
     fn unchecked_still_checks_in_debug_builds() {
         Metric::Euclidean.surrogate_unchecked(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn from_name_round_trips_and_accepts_aliases() {
+        for m in [Metric::Euclidean, Metric::Angular, Metric::Hamming, Metric::Jaccard] {
+            assert_eq!(Metric::from_name(m.name()), Some(m));
+        }
+        assert_eq!(Metric::from_name("l2"), Some(Metric::Euclidean));
+        assert_eq!(Metric::from_name("COSINE"), Some(Metric::Angular));
+        assert_eq!(Metric::from_name("manhattan"), None);
     }
 
     #[test]

@@ -33,7 +33,7 @@ pub fn run(opts: &ExpOptions) -> std::io::Result<String> {
             eprintln!("[fig10] Sift-{} / #probes={} ...", metric.name(), probes);
             let grid = MethodGrid {
                 method: "MP-LCCS-LSH",
-                specs: vec![IndexSpec::MpLccs { m }],
+                specs: vec![IndexSpec::mp_lccs(m)],
                 budgets: super::budget_ladder_pub(opts.quick, opts.n),
                 probes: vec![probes],
             };

@@ -30,7 +30,7 @@ pub fn run(opts: &ExpOptions) -> std::io::Result<String> {
             eprintln!("[fig9] Sift-{} / m={} ...", metric.name(), m);
             let grid = MethodGrid {
                 method: "LCCS-LSH",
-                specs: vec![IndexSpec::Lccs { m }],
+                specs: vec![IndexSpec::lccs(m)],
                 budgets: super::budget_ladder_pub(opts.quick, opts.n),
                 probes: vec![0],
             };

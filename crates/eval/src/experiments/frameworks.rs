@@ -28,18 +28,18 @@ pub fn run(opts: &ExpOptions) -> std::io::Result<String> {
     // Matched budget: 64 stored hash values per object for every framework.
     let m = 64;
     let contenders: Vec<(&str, Vec<IndexSpec>)> = vec![
-        ("LCCS-LSH (1 circular index, m=64)", vec![IndexSpec::Lccs { m }]),
+        ("LCCS-LSH (1 circular index, m=64)", vec![IndexSpec::lccs(m)]),
         (
             "LSH-Forest (4 trees x depth 16)",
-            vec![IndexSpec::LshForest { trees: 4, depth: 16 }],
+            vec![IndexSpec::lsh_forest(4, 16)],
         ),
         (
             "LSH-Forest (8 trees x depth 8)",
-            vec![IndexSpec::LshForest { trees: 8, depth: 8 }],
+            vec![IndexSpec::lsh_forest(8, 8)],
         ),
-        ("SK-LSH (4 indexes x K=16)", vec![IndexSpec::SkLsh { k_funcs: 16, l_indexes: 4 }]),
-        ("SK-LSH (8 indexes x K=8)", vec![IndexSpec::SkLsh { k_funcs: 8, l_indexes: 8 }]),
-        ("E2LSH (8 tables x K=8)", vec![IndexSpec::E2lsh { k_funcs: 8, l_tables: 8 }]),
+        ("SK-LSH (4 indexes x K=16)", vec![IndexSpec::sk_lsh(16, 4)]),
+        ("SK-LSH (8 indexes x K=8)", vec![IndexSpec::sk_lsh(8, 8)]),
+        ("E2LSH (8 tables x K=8)", vec![IndexSpec::e2lsh(8, 8)]),
     ];
 
     let mut rows = Vec::new();

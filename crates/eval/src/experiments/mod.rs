@@ -16,7 +16,7 @@ pub mod fig9;
 pub mod table1;
 pub mod table2;
 
-use crate::harness::{run_point_mode, IndexSpec, RunPoint};
+use crate::harness::{build_spec, run_point_mode, IndexSpec, RunPoint};
 use dataset::stats::DistanceProfile;
 use dataset::{Dataset, ExactKnn, GroundTruth, Metric, SynthSpec};
 use std::path::PathBuf;
@@ -166,7 +166,9 @@ pub fn load_sift(opts: &ExpOptions, metric: Metric) -> Workload {
 pub struct MethodGrid {
     /// Method display name.
     pub method: &'static str,
-    /// Index-time configurations.
+    /// Index-time configurations. Grid specs carry default
+    /// [`ann::spec::BuildOptions`]; [`sweep`] overrides `w` with the
+    /// workload's tuned width and `seed` with the run seed.
     pub specs: Vec<IndexSpec>,
     /// Query-time candidate budgets.
     pub budgets: Vec<usize>,
@@ -192,13 +194,13 @@ pub fn euclidean_grids(quick: bool, n: usize) -> Vec<MethodGrid> {
     let mut grids = vec![
         MethodGrid {
             method: "LCCS-LSH",
-            specs: ms.iter().map(|&m| IndexSpec::Lccs { m }).collect(),
+            specs: ms.iter().map(|&m| IndexSpec::lccs(m)).collect(),
             budgets: budgets.clone(),
             probes: vec![0],
         },
         MethodGrid {
             method: "MP-LCCS-LSH",
-            specs: ms.iter().map(|&m| IndexSpec::MpLccs { m }).collect(),
+            specs: ms.iter().map(|&m| IndexSpec::mp_lccs(m)).collect(),
             budgets: budgets.clone(),
             probes: if quick { vec![1, 65] } else { vec![1, 17, 65, 257] },
         },
@@ -210,7 +212,7 @@ pub fn euclidean_grids(quick: bool, n: usize) -> Vec<MethodGrid> {
     };
     grids.push(MethodGrid {
         method: "E2LSH",
-        specs: kl.iter().map(|&(k, l)| IndexSpec::E2lsh { k_funcs: k, l_tables: l }).collect(),
+        specs: kl.iter().map(|&(k, l)| IndexSpec::e2lsh(k, l)).collect(),
         budgets: budgets.clone(),
         probes: vec![0],
     });
@@ -218,10 +220,7 @@ pub fn euclidean_grids(quick: bool, n: usize) -> Vec<MethodGrid> {
         if quick { vec![(4, 4), (8, 8)] } else { vec![(4, 4), (6, 8), (8, 8), (10, 16)] };
     grids.push(MethodGrid {
         method: "Multi-Probe LSH",
-        specs: mp_kl
-            .iter()
-            .map(|&(k, l)| IndexSpec::MultiProbeLsh { k_funcs: k, l_tables: l })
-            .collect(),
+        specs: mp_kl.iter().map(|&(k, l)| IndexSpec::multi_probe(k, l)).collect(),
         budgets: budgets.clone(),
         probes: if quick { vec![16, 128] } else { vec![8, 32, 128, 512] },
     });
@@ -229,7 +228,7 @@ pub fn euclidean_grids(quick: bool, n: usize) -> Vec<MethodGrid> {
         if quick { vec![(32, 4)] } else { vec![(16, 2), (32, 4), (64, 6), (128, 8)] };
     grids.push(MethodGrid {
         method: "C2LSH",
-        specs: c2.iter().map(|&(m, l)| IndexSpec::C2lsh { m, l }).collect(),
+        specs: c2.iter().map(|&(m, l)| IndexSpec::c2lsh(m, l)).collect(),
         budgets: budgets.clone(),
         probes: vec![0],
     });
@@ -237,14 +236,14 @@ pub fn euclidean_grids(quick: bool, n: usize) -> Vec<MethodGrid> {
         if quick { vec![(32, 8)] } else { vec![(16, 4), (32, 8), (64, 16), (96, 24)] };
     grids.push(MethodGrid {
         method: "QALSH",
-        specs: qa.iter().map(|&(m, l)| IndexSpec::Qalsh { m, l }).collect(),
+        specs: qa.iter().map(|&(m, l)| IndexSpec::qalsh(m, l)).collect(),
         budgets: budgets.clone(),
         probes: vec![0],
     });
     let srs_d: Vec<usize> = if quick { vec![6] } else { vec![4, 6, 8, 10] };
     grids.push(MethodGrid {
         method: "SRS",
-        specs: srs_d.iter().map(|&d| IndexSpec::Srs { d_proj: d }).collect(),
+        specs: srs_d.iter().map(|&d| IndexSpec::srs(d)).collect(),
         budgets,
         probes: vec![0],
     });
@@ -263,34 +262,31 @@ pub fn angular_grids(quick: bool, n: usize) -> Vec<MethodGrid> {
     vec![
         MethodGrid {
             method: "LCCS-LSH",
-            specs: ms.iter().map(|&m| IndexSpec::Lccs { m }).collect(),
+            specs: ms.iter().map(|&m| IndexSpec::lccs(m)).collect(),
             budgets: budgets.clone(),
             probes: vec![0],
         },
         MethodGrid {
             method: "MP-LCCS-LSH",
-            specs: ms.iter().map(|&m| IndexSpec::MpLccs { m }).collect(),
+            specs: ms.iter().map(|&m| IndexSpec::mp_lccs(m)).collect(),
             budgets: budgets.clone(),
             probes: if quick { vec![1, 65] } else { vec![1, 17, 65, 257] },
         },
         MethodGrid {
             method: "E2LSH",
-            specs: kl.iter().map(|&(k, l)| IndexSpec::E2lsh { k_funcs: k, l_tables: l }).collect(),
+            specs: kl.iter().map(|&(k, l)| IndexSpec::e2lsh(k, l)).collect(),
             budgets: budgets.clone(),
             probes: vec![0],
         },
         MethodGrid {
             method: "FALCONN",
-            specs: f_kl
-                .iter()
-                .map(|&(k, l)| IndexSpec::Falconn { k_funcs: k, l_tables: l })
-                .collect(),
+            specs: f_kl.iter().map(|&(k, l)| IndexSpec::falconn(k, l)).collect(),
             budgets: budgets.clone(),
             probes: if quick { vec![0, 32] } else { vec![0, 16, 64, 256] },
         },
         MethodGrid {
             method: "C2LSH",
-            specs: c2.iter().map(|&(m, l)| IndexSpec::C2lsh { m, l }).collect(),
+            specs: c2.iter().map(|&(m, l)| IndexSpec::c2lsh(m, l)).collect(),
             budgets,
             probes: vec![0],
         },
@@ -311,7 +307,9 @@ pub fn sweep(
 ) -> Vec<RunPoint> {
     let mut out = Vec::new();
     for spec in &grid.specs {
-        let built = spec.build(&wl.data, metric, wl.w, seed);
+        let spec = spec.with_w(wl.w).with_seed(seed);
+        let built = build_spec(&spec, &wl.data, metric)
+            .unwrap_or_else(|e| panic!("building {spec}: {e}"));
         for &budget in &grid.budgets {
             for &probes in &grid.probes {
                 out.push(run_point_mode(
@@ -384,7 +382,7 @@ mod tests {
         let wl = load_sift(&opts, Metric::Euclidean);
         let grid = MethodGrid {
             method: "LCCS-LSH",
-            specs: vec![IndexSpec::Lccs { m: 8 }, IndexSpec::Lccs { m: 16 }],
+            specs: vec![IndexSpec::lccs(8), IndexSpec::lccs(16)],
             budgets: vec![4, 32],
             probes: vec![0],
         };

@@ -10,8 +10,8 @@
 //!    index size, indexing time and query time at the theory-recommended
 //!    λ(m, n), demonstrating the sub-linear query scaling the table claims.
 
-use super::{ExpOptions};
-use crate::harness::IndexSpec;
+use super::ExpOptions;
+use crate::harness::{build_spec, IndexSpec};
 use crate::report::console_table;
 use dataset::stats::DistanceProfile;
 use dataset::{ExactKnn, Metric, SynthSpec};
@@ -88,11 +88,12 @@ pub fn run(opts: &ExpOptions) -> std::io::Result<String> {
         // alpha = 1: m = n^rho (clamped to a sane range), lambda from Thm 5.1.
         let m = ((n as f64).powf(rho).round() as usize).clamp(8, 512);
         let lambda = theory::lambda(m, n, p1, p2);
-        let built = IndexSpec::Lccs { m }.build(&data, Metric::Euclidean, w, opts.seed);
+        let spec = IndexSpec::lccs(m).with_w(w).with_seed(opts.seed);
+        let built = build_spec(&spec, &data, Metric::Euclidean).expect("build lccs");
         let start = Instant::now();
         let mut recall_sum = 0.0;
         for (qi, q) in queries.iter().enumerate() {
-            let got = built.query(q, opts.k, lambda, 0);
+            let got = built.query(q, &ann::SearchParams::new(opts.k, lambda));
             recall_sum += crate::metrics::recall(&got, gt.neighbors(qi));
         }
         let qms = start.elapsed().as_secs_f64() * 1000.0 / queries.len() as f64;

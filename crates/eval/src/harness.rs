@@ -1,13 +1,14 @@
 //! Index-building and query-timing machinery shared by all experiments.
 //!
 //! Every scheme is a [`ann::AnnIndex`] trait object built through the
-//! [`crate::registry`] of named factories; the harness drives them with
+//! method-keyed [`crate::registry`]; the harness drives them with
 //! two query-time knobs packed into [`ann::SearchParams`]: a *budget*
 //! (candidates to verify: λ for the LCCS schemes, bucket-union cap for the
 //! table schemes, βn slack for the counting schemes, the verify budget for
 //! SRS) and an optional *probe count* (multi-probe schemes). Index-time
-//! parameters live in [`IndexSpec`]; the split lets grid search sweep
-//! query knobs without rebuilding.
+//! parameters live in [`ann::IndexSpec`] (relocated to the API crate in
+//! PR 3, including its `w`/`seed` [`ann::spec::BuildOptions`]); the split
+//! lets grid search sweep query knobs without rebuilding.
 //!
 //! Two timing modes:
 //! * [`run_point`] — single-threaded, per-query scratch reuse; this is the
@@ -16,131 +17,30 @@
 //!   batch executor ([`ann::executor`]); `query_ms` then reports
 //!   wall-clock per query, i.e. the serving-throughput view.
 
-use crate::registry::{self, BuildCtx};
+use crate::registry::{self, BuildCtx, BuildError};
 use ann::{AnnIndex, SearchParams};
 use dataset::exact::Neighbor;
 use dataset::{Dataset, GroundTruth, Metric};
 use std::sync::Arc;
 use std::time::Instant;
 
-/// Index-time configuration of one method instance.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum IndexSpec {
-    /// LCCS-LSH with hash-string length m.
-    Lccs {
-        /// Hash-string length.
-        m: usize,
-    },
-    /// MP-LCCS-LSH (same index as LCCS; probes are a query knob).
-    MpLccs {
-        /// Hash-string length.
-        m: usize,
-    },
-    /// E2LSH with K-concatenation and L tables.
-    E2lsh {
-        /// Concatenation length K.
-        k_funcs: usize,
-        /// Table count L.
-        l_tables: usize,
-    },
-    /// Multi-Probe LSH (probes are a query knob).
-    MultiProbeLsh {
-        /// Concatenation length K.
-        k_funcs: usize,
-        /// Table count L.
-        l_tables: usize,
-    },
-    /// FALCONN-style cross-polytope multiprobe (Angular only).
-    Falconn {
-        /// Concatenation length K.
-        k_funcs: usize,
-        /// Table count L.
-        l_tables: usize,
-    },
-    /// C2LSH with m functions and collision threshold l.
-    C2lsh {
-        /// Function count m.
-        m: usize,
-        /// Collision threshold l.
-        l: usize,
-    },
-    /// QALSH with m projections and collision threshold l.
-    Qalsh {
-        /// Projection count m.
-        m: usize,
-        /// Collision threshold l.
-        l: usize,
-    },
-    /// SRS with d' projected dimensions.
-    Srs {
-        /// Projected dimensionality.
-        d_proj: usize,
-    },
-    /// LSH-Forest with `trees` sorted label arrays of length `depth`.
-    LshForest {
-        /// Number of trees.
-        trees: usize,
-        /// Label length / max trie depth.
-        depth: usize,
-    },
-    /// SK-LSH with `l_indexes` sorted compound-key arrays of length `k_funcs`.
-    SkLsh {
-        /// Compound-key length.
-        k_funcs: usize,
-        /// Number of sorted indexes.
-        l_indexes: usize,
-    },
-    /// Exact linear scan.
-    Linear,
-}
+pub use ann::spec::{BuildOptions, IndexSpec, Scheme};
 
-impl IndexSpec {
-    /// The method name as printed in the paper's legends.
-    pub fn method_name(&self) -> &'static str {
-        match self {
-            IndexSpec::Lccs { .. } => "LCCS-LSH",
-            IndexSpec::MpLccs { .. } => "MP-LCCS-LSH",
-            IndexSpec::E2lsh { .. } => "E2LSH",
-            IndexSpec::MultiProbeLsh { .. } => "Multi-Probe LSH",
-            IndexSpec::Falconn { .. } => "FALCONN",
-            IndexSpec::C2lsh { .. } => "C2LSH",
-            IndexSpec::Qalsh { .. } => "QALSH",
-            IndexSpec::Srs { .. } => "SRS",
-            IndexSpec::LshForest { .. } => "LSH-Forest",
-            IndexSpec::SkLsh { .. } => "SK-LSH",
-            IndexSpec::Linear => "Linear",
-        }
-    }
-
-    /// Short config description for reports.
-    pub fn config_string(&self) -> String {
-        match self {
-            IndexSpec::Lccs { m } | IndexSpec::MpLccs { m } => format!("m={m}"),
-            IndexSpec::E2lsh { k_funcs, l_tables }
-            | IndexSpec::MultiProbeLsh { k_funcs, l_tables }
-            | IndexSpec::Falconn { k_funcs, l_tables } => format!("K={k_funcs},L={l_tables}"),
-            IndexSpec::C2lsh { m, l } | IndexSpec::Qalsh { m, l } => format!("m={m},l={l}"),
-            IndexSpec::Srs { d_proj } => format!("d'={d_proj}"),
-            IndexSpec::LshForest { trees, depth } => format!("l={trees},km={depth}"),
-            IndexSpec::SkLsh { k_funcs, l_indexes } => format!("K={k_funcs},L={l_indexes}"),
-            IndexSpec::Linear => String::new(),
-        }
-    }
-
-    /// Builds the index through the factory registry, timing the indexing
-    /// phase.
-    ///
-    /// `w` is the random-projection bucket width (fine-tuned per dataset in
-    /// the paper, footnote 11); ignored by angular/CP methods. `metric`
-    /// selects the family for the family-agnostic schemes (§6.3 adapts
-    /// E2LSH and C2LSH to Angular with cross-polytope functions).
-    pub fn build(&self, data: &Arc<Dataset>, metric: Metric, w: f64, seed: u64) -> BuiltIndex {
-        let start = Instant::now();
-        let index = registry::build_index(self, &BuildCtx { data, metric, w, seed });
-        let build_secs = start.elapsed().as_secs_f64();
-        let index_bytes = index.index_bytes();
-        BuiltIndex { spec: self.clone(), build_secs, index_bytes, index }
-    }
+/// Builds the index a spec describes through the factory registry, timing
+/// the indexing phase. Bucket width and seed come from the spec's own
+/// [`BuildOptions`]; `metric` selects the family for the family-agnostic
+/// schemes (§6.3 adapts E2LSH and C2LSH to Angular with cross-polytope
+/// functions).
+pub fn build_spec(
+    spec: &IndexSpec,
+    data: &Arc<Dataset>,
+    metric: Metric,
+) -> Result<BuiltIndex, BuildError> {
+    let start = Instant::now();
+    let index = registry::build_index(spec, &BuildCtx { data, metric })?;
+    let build_secs = start.elapsed().as_secs_f64();
+    let index_bytes = index.index_bytes();
+    Ok(BuiltIndex { spec: *spec, build_secs, index_bytes, index })
 }
 
 /// One built index with its build-time measurements.
@@ -156,22 +56,25 @@ pub struct BuiltIndex {
 }
 
 impl BuiltIndex {
-    /// Runs one query. `budget` is the method's candidate knob; `probes`
-    /// applies to the multi-probe schemes (ignored elsewhere; 0 = none).
-    pub fn query(&self, q: &[f32], k: usize, budget: usize, probes: usize) -> Vec<Neighbor> {
-        self.index.query(q, &SearchParams { k, budget, probes })
+    /// [`build_spec`] as an associated constructor.
+    pub fn build(
+        spec: &IndexSpec,
+        data: &Arc<Dataset>,
+        metric: Metric,
+    ) -> Result<BuiltIndex, BuildError> {
+        build_spec(spec, data, metric)
+    }
+
+    /// Runs one query with the uniform [`SearchParams`] knobs (the same
+    /// contract as [`AnnIndex::query`] — no positional budget/probes).
+    pub fn query(&self, q: &[f32], params: &SearchParams) -> Vec<Neighbor> {
+        self.index.query(q, params)
     }
 
     /// Runs the whole query set through the parallel batch executor,
     /// returning per-query results in query order.
-    pub fn query_batch(
-        &self,
-        queries: &Dataset,
-        k: usize,
-        budget: usize,
-        probes: usize,
-    ) -> Vec<Vec<Neighbor>> {
-        self.index.query_batch(queries, &SearchParams { k, budget, probes })
+    pub fn query_batch(&self, queries: &Dataset, params: &SearchParams) -> Vec<Vec<Neighbor>> {
+        self.index.query_batch(queries, params)
     }
 }
 
@@ -301,36 +204,40 @@ mod tests {
     fn all_specs_build_and_answer() {
         let (data, queries, gt) = setup();
         let specs = [
-            IndexSpec::Lccs { m: 16 },
-            IndexSpec::MpLccs { m: 16 },
-            IndexSpec::E2lsh { k_funcs: 2, l_tables: 8 },
-            IndexSpec::MultiProbeLsh { k_funcs: 2, l_tables: 4 },
-            IndexSpec::C2lsh { m: 16, l: 4 },
-            IndexSpec::Qalsh { m: 16, l: 4 },
-            IndexSpec::Srs { d_proj: 6 },
-            IndexSpec::LshForest { trees: 2, depth: 8 },
-            IndexSpec::SkLsh { k_funcs: 8, l_indexes: 2 },
-            IndexSpec::Linear,
+            IndexSpec::lccs(16),
+            IndexSpec::mp_lccs(16),
+            IndexSpec::e2lsh(2, 8),
+            IndexSpec::multi_probe(2, 4),
+            IndexSpec::c2lsh(16, 4),
+            IndexSpec::qalsh(16, 4),
+            IndexSpec::srs(6),
+            IndexSpec::lsh_forest(2, 8),
+            IndexSpec::sk_lsh(8, 2),
+            IndexSpec::kd_tree(),
+            IndexSpec::linear(),
         ];
         for spec in specs {
-            let built = spec.build(&data, Metric::Euclidean, 4.0, 7);
+            let spec = spec.with_w(4.0).with_seed(7);
+            let built = build_spec(&spec, &data, Metric::Euclidean).expect("build");
             let pt = run_point(&built, "unit", &queries, &gt, 10, 128, 16);
             assert!(pt.recall >= 0.0 && pt.recall <= 1.0, "{}", pt.method);
             assert!(pt.ratio >= 1.0 - 1e-9, "{} ratio {}", pt.method, pt.ratio);
             assert!(pt.query_ms >= 0.0);
-            if !matches!(spec, IndexSpec::Linear) {
+            if !matches!(spec.scheme, Scheme::Linear) {
                 assert!(pt.index_bytes > 0, "{}", pt.method);
             }
         }
     }
 
     #[test]
-    fn linear_scan_is_exact() {
+    fn exact_schemes_have_perfect_recall() {
         let (data, queries, gt) = setup();
-        let built = IndexSpec::Linear.build(&data, Metric::Euclidean, 4.0, 1);
-        let pt = run_point(&built, "unit", &queries, &gt, 10, 0, 0);
-        assert!((pt.recall - 1.0).abs() < 1e-12);
-        assert!((pt.ratio - 1.0).abs() < 1e-9);
+        for spec in [IndexSpec::linear().with_seed(1), IndexSpec::kd_tree()] {
+            let built = build_spec(&spec, &data, Metric::Euclidean).expect("build");
+            let pt = run_point(&built, "unit", &queries, &gt, 10, 0, 0);
+            assert!((pt.recall - 1.0).abs() < 1e-12, "{}", pt.method);
+            assert!((pt.ratio - 1.0).abs() < 1e-9, "{}", pt.method);
+        }
     }
 
     #[test]
@@ -339,20 +246,30 @@ mod tests {
         let data = Arc::new(spec.generate(4).normalized());
         let queries = spec.generate_queries(8, 4).normalized();
         let gt = ExactKnn::compute(&data, &queries, 10, Metric::Angular);
-        let built = IndexSpec::Falconn { k_funcs: 2, l_tables: 8 }.build(
+        let built = build_spec(
+            &IndexSpec::falconn(2, 8).with_w(1.0).with_seed(2),
             &data,
             Metric::Angular,
-            1.0,
-            2,
-        );
+        )
+        .expect("build");
         let pt = run_point(&built, "ang", &queries, &gt, 10, 400, 32);
         assert!(pt.recall > 0.0, "FALCONN should find something, got {}", pt.recall);
     }
 
     #[test]
+    fn build_errors_are_surfaced_not_panicked() {
+        let (data, _, _) = setup();
+        assert!(matches!(
+            build_spec(&IndexSpec::falconn(2, 8), &data, Metric::Euclidean),
+            Err(BuildError::BadParam(_))
+        ));
+    }
+
+    #[test]
     fn bigger_budget_helps_lccs() {
         let (data, queries, gt) = setup();
-        let built = IndexSpec::Lccs { m: 32 }.build(&data, Metric::Euclidean, 4.0, 9);
+        let built = build_spec(&IndexSpec::lccs(32).with_w(4.0).with_seed(9), &data, Metric::Euclidean)
+            .expect("build");
         let small = run_point(&built, "unit", &queries, &gt, 10, 4, 0);
         let large = run_point(&built, "unit", &queries, &gt, 10, 512, 0);
         assert!(large.recall >= small.recall);
@@ -362,12 +279,13 @@ mod tests {
     fn parallel_mode_reproduces_sequential_metrics() {
         let (data, queries, gt) = setup();
         for spec in [
-            IndexSpec::Lccs { m: 16 },
-            IndexSpec::MpLccs { m: 16 },
-            IndexSpec::E2lsh { k_funcs: 2, l_tables: 8 },
-            IndexSpec::Qalsh { m: 16, l: 4 },
+            IndexSpec::lccs(16),
+            IndexSpec::mp_lccs(16),
+            IndexSpec::e2lsh(2, 8),
+            IndexSpec::qalsh(16, 4),
         ] {
-            let built = spec.build(&data, Metric::Euclidean, 4.0, 7);
+            let spec = spec.with_w(4.0).with_seed(7);
+            let built = build_spec(&spec, &data, Metric::Euclidean).expect("build");
             let seq = run_point(&built, "unit", &queries, &gt, 10, 64, 8);
             let par = run_point_parallel(&built, "unit", &queries, &gt, 10, 64, 8);
             assert_eq!(seq.recall, par.recall, "{}", seq.method);
@@ -377,12 +295,30 @@ mod tests {
 
     #[test]
     fn batch_query_equals_sequential_queries() {
-        let (data, queries, gt) = setup();
-        let _ = &gt;
-        let built = IndexSpec::Lccs { m: 16 }.build(&data, Metric::Euclidean, 4.0, 5);
-        let batch = built.query_batch(&queries, 5, 64, 0);
+        let (data, queries, _) = setup();
+        let built = build_spec(&IndexSpec::lccs(16).with_seed(5), &data, Metric::Euclidean)
+            .expect("build");
+        let params = SearchParams::new(5, 64);
+        let batch = built.query_batch(&queries, &params);
         for (qi, q) in queries.iter().enumerate() {
-            assert_eq!(batch[qi], built.query(q, 5, 64, 0), "query {qi}");
+            assert_eq!(batch[qi], built.query(q, &params), "query {qi}");
+        }
+    }
+
+    #[test]
+    fn spec_strings_build_the_same_index_as_constructed_specs() {
+        // The textual grammar is a first-class construction path: a parsed
+        // spec must produce bit-identical answers to the same spec built
+        // from Rust constructors.
+        let (data, queries, _) = setup();
+        let parsed: IndexSpec = "lccs:m=16,seed=7".parse().expect("grammar");
+        let constructed = IndexSpec::lccs(16).with_seed(7);
+        assert_eq!(parsed, constructed);
+        let a = build_spec(&parsed, &data, Metric::Euclidean).expect("build parsed");
+        let b = build_spec(&constructed, &data, Metric::Euclidean).expect("build constructed");
+        let params = SearchParams::new(5, 64);
+        for q in queries.iter() {
+            assert_eq!(a.query(q, &params), b.query(q, &params));
         }
     }
 }

@@ -20,6 +20,7 @@ pub mod pareto;
 pub mod registry;
 pub mod report;
 
-pub use ann::{AnnIndex, SearchParams};
-pub use harness::{run_point, run_point_parallel, BuiltIndex, IndexSpec, RunPoint};
+pub use ann::{AnnIndex, IndexSpec, SearchParams};
+pub use harness::{build_spec, run_point, run_point_parallel, BuiltIndex, RunPoint};
 pub use metrics::{overall_ratio, recall};
+pub use registry::BuildError;

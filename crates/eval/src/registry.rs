@@ -1,35 +1,41 @@
-//! Named index factories: the one place that knows how to turn an
-//! [`IndexSpec`] into a concrete scheme.
+//! Method-keyed index factories: the one place that knows how to turn an
+//! [`ann::IndexSpec`] into a concrete scheme.
 //!
 //! Every experiment drives indexes through `Box<dyn AnnIndex>`; this
 //! registry is the only per-algorithm dispatch left in the evaluation
-//! stack. Adding a scheme to the paper suite means adding one
-//! [`Entry`] here (and a spec variant) — the harness, the sweeps, and
-//! the figure drivers pick it up unchanged.
+//! stack, and the serving layer's BUILD command routes through it too.
+//! Dispatch is keyed on the spec's scheme token (the grammar word from
+//! [`ann::spec`]): [`entry_for`] resolves the one [`Entry`] for a spec
+//! and returns a typed [`BuildError`] — [`BuildError::UnknownSpec`] for a
+//! token with no factory, [`BuildError::BadParam`] when a factory rejects
+//! the spec for the given dataset/metric — instead of the PR-1-era
+//! `Option`-returning linear scan over every factory.
+//!
+//! Adding a scheme to the suite means adding one [`Scheme`] variant (plus
+//! its `ann::spec::schemes()` row) and one [`Entry`] here — the harness,
+//! the sweeps, the figure drivers, and `annd` BUILD pick it up unchanged.
 
-use crate::harness::IndexSpec;
+use ann::spec::{IndexSpec, Scheme};
 use ann::{AnnIndex, BuildAnn, PersistAnn, PersistError};
 use baselines::{
-    C2Lsh, C2lshParams, E2Lsh, E2lshParams, Falconn, FalconnParams, LinearScan, LshForest,
-    LshForestParams, MultiProbeLsh, MultiProbeLshParams, Qalsh, QalshParams, SkLsh, SkLshParams,
-    Srs, SrsParams,
+    C2Lsh, C2lshParams, E2Lsh, E2lshParams, Falconn, FalconnParams, KdTreeScan, LinearScan,
+    LshForest, LshForestParams, MultiProbeLsh, MultiProbeLshParams, Qalsh, QalshParams, SkLsh,
+    SkLshParams, Srs, SrsParams,
 };
 use dataset::{Dataset, Metric};
 use lccs_lsh::{LccsLsh, LccsParams, MpBuildParams, MpLccsLsh, MpParams};
 use lsh::FamilyKind;
 use std::sync::Arc;
 
-/// Everything a factory needs besides its own spec.
+/// Everything a factory needs besides the spec itself. Bucket width and
+/// seed travel *inside* the spec ([`ann::spec::BuildOptions`]), so the
+/// context is down to the data and the verification metric.
 pub struct BuildCtx<'a> {
     /// The dataset to index.
     pub data: &'a Arc<Dataset>,
     /// Verification metric (also selects the hash family for the
     /// family-agnostic schemes, as §6.3 adapts them to Angular).
     pub metric: Metric,
-    /// Random-projection bucket width (per-dataset tuned, footnote 11).
-    pub w: f64,
-    /// RNG seed.
-    pub seed: u64,
 }
 
 impl BuildCtx<'_> {
@@ -40,154 +46,291 @@ impl BuildCtx<'_> {
         }
     }
 
-    fn lccs_params(&self, m: usize) -> LccsParams {
+    fn lccs_params(&self, m: usize, spec: &IndexSpec) -> LccsParams {
         LccsParams {
             m,
             family: self.family(),
-            family_params: lsh::FamilyParams { w: self.w },
-            seed: self.seed,
+            family_params: lsh::FamilyParams { w: spec.build.w },
+            seed: spec.build.seed,
         }
     }
 }
 
-/// One named factory: the method label (paper legend) plus its builder.
-/// The builder returns `None` when handed a spec belonging to another
-/// method, which lets [`build_index`] scan the table generically.
+/// Errors raised when resolving or running a spec's factory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// No registered factory for the scheme token.
+    UnknownSpec(String),
+    /// The factory rejected the spec for this dataset/metric.
+    BadParam(String),
+}
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuildError::UnknownSpec(t) => {
+                write!(f, "no registered factory for scheme {t:?}")
+            }
+            BuildError::BadParam(m) => write!(f, "bad build parameter: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// Spec-to-index constructor.
+pub type BuildFn = fn(&IndexSpec, &BuildCtx) -> Result<Box<dyn AnnIndex>, BuildError>;
+
+/// Spec-to-(index + snapshot payload) constructor, for schemes that
+/// implement [`PersistAnn`]. The payload is captured before type erasure
+/// because `PersistAnn` is not reachable through `dyn AnnIndex`.
+pub type PersistBuildFn =
+    fn(&IndexSpec, &BuildCtx) -> Result<(Box<dyn AnnIndex>, Vec<u8>), BuildError>;
+
+/// One named factory, keyed by the spec grammar token.
 pub struct Entry {
     /// Method name as printed in the paper's legends.
     pub method: &'static str,
+    /// The scheme's grammar token ([`Scheme::token`]) — the dispatch key.
+    pub token: &'static str,
     /// Spec-to-index constructor.
-    pub build: fn(&IndexSpec, &BuildCtx) -> Option<Box<dyn AnnIndex>>,
+    pub build: BuildFn,
+    /// Snapshot-capable constructor, when the scheme persists.
+    pub build_persist: Option<PersistBuildFn>,
 }
 
-fn build_lccs(spec: &IndexSpec, ctx: &BuildCtx) -> Option<Box<dyn AnnIndex>> {
-    let IndexSpec::Lccs { m } = *spec else { return None };
-    Some(Box::new(LccsLsh::build_index(ctx.data.clone(), ctx.metric, &ctx.lccs_params(m))))
-}
-
-fn build_mp_lccs(spec: &IndexSpec, ctx: &BuildCtx) -> Option<Box<dyn AnnIndex>> {
-    let IndexSpec::MpLccs { m } = *spec else { return None };
-    let params = MpBuildParams {
-        lccs: ctx.lccs_params(m),
-        mp: MpParams { probes: 1, max_alts: 8 },
+/// Destructure helper: the registry guarantees a factory only ever sees
+/// its own variant, so a mismatch is a table-wiring bug, not bad input.
+macro_rules! own_scheme {
+    ($spec:expr, $pat:pat) => {
+        let $pat = $spec.scheme else {
+            unreachable!("registry token routed a foreign spec: {:?}", $spec.scheme)
+        };
     };
-    Some(Box::new(MpLccsLsh::build_index(ctx.data.clone(), ctx.metric, &params)))
 }
 
-fn build_e2lsh(spec: &IndexSpec, ctx: &BuildCtx) -> Option<Box<dyn AnnIndex>> {
-    let IndexSpec::E2lsh { k_funcs, l_tables } = *spec else { return None };
+fn build_lccs(spec: &IndexSpec, ctx: &BuildCtx) -> Result<Box<dyn AnnIndex>, BuildError> {
+    own_scheme!(spec, Scheme::Lccs { m });
+    Ok(Box::new(LccsLsh::build_index(ctx.data.clone(), ctx.metric, &ctx.lccs_params(m, spec))))
+}
+
+fn persist_lccs(
+    spec: &IndexSpec,
+    ctx: &BuildCtx,
+) -> Result<(Box<dyn AnnIndex>, Vec<u8>), BuildError> {
+    own_scheme!(spec, Scheme::Lccs { m });
+    let idx = LccsLsh::build_index(ctx.data.clone(), ctx.metric, &ctx.lccs_params(m, spec));
+    let payload = idx.snapshot_bytes();
+    Ok((Box::new(idx), payload))
+}
+
+fn mp_build_params(m: usize, spec: &IndexSpec, ctx: &BuildCtx) -> MpBuildParams {
+    MpBuildParams {
+        lccs: ctx.lccs_params(m, spec),
+        mp: MpParams { probes: 1, max_alts: 8 },
+    }
+}
+
+fn build_mp_lccs(spec: &IndexSpec, ctx: &BuildCtx) -> Result<Box<dyn AnnIndex>, BuildError> {
+    own_scheme!(spec, Scheme::MpLccs { m });
+    let params = mp_build_params(m, spec, ctx);
+    Ok(Box::new(MpLccsLsh::build_index(ctx.data.clone(), ctx.metric, &params)))
+}
+
+fn persist_mp_lccs(
+    spec: &IndexSpec,
+    ctx: &BuildCtx,
+) -> Result<(Box<dyn AnnIndex>, Vec<u8>), BuildError> {
+    own_scheme!(spec, Scheme::MpLccs { m });
+    let params = mp_build_params(m, spec, ctx);
+    let idx = MpLccsLsh::build_index(ctx.data.clone(), ctx.metric, &params);
+    let payload = idx.snapshot_bytes();
+    Ok((Box::new(idx), payload))
+}
+
+fn build_e2lsh(spec: &IndexSpec, ctx: &BuildCtx) -> Result<Box<dyn AnnIndex>, BuildError> {
+    own_scheme!(spec, Scheme::E2lsh { k_funcs, l_tables });
     let params = E2lshParams {
         k_funcs,
         l_tables,
         family: ctx.family(),
-        family_params: lsh::FamilyParams { w: ctx.w },
-        seed: ctx.seed,
+        family_params: lsh::FamilyParams { w: spec.build.w },
+        seed: spec.build.seed,
     };
-    Some(Box::new(E2Lsh::build_index(ctx.data.clone(), ctx.metric, &params)))
+    Ok(Box::new(E2Lsh::build_index(ctx.data.clone(), ctx.metric, &params)))
 }
 
-fn build_multiprobe(spec: &IndexSpec, ctx: &BuildCtx) -> Option<Box<dyn AnnIndex>> {
-    let IndexSpec::MultiProbeLsh { k_funcs, l_tables } = *spec else { return None };
+fn build_multiprobe(spec: &IndexSpec, ctx: &BuildCtx) -> Result<Box<dyn AnnIndex>, BuildError> {
+    own_scheme!(spec, Scheme::MultiProbeLsh { k_funcs, l_tables });
     let params = MultiProbeLshParams {
         k_funcs,
         l_tables,
         probes: 0,
         max_alts: 4,
         family: ctx.family(),
-        family_params: lsh::FamilyParams { w: ctx.w },
-        seed: ctx.seed,
+        family_params: lsh::FamilyParams { w: spec.build.w },
+        seed: spec.build.seed,
     };
-    Some(Box::new(MultiProbeLsh::build_index(ctx.data.clone(), ctx.metric, &params)))
+    Ok(Box::new(MultiProbeLsh::build_index(ctx.data.clone(), ctx.metric, &params)))
 }
 
-fn build_falconn(spec: &IndexSpec, ctx: &BuildCtx) -> Option<Box<dyn AnnIndex>> {
-    let IndexSpec::Falconn { k_funcs, l_tables } = *spec else { return None };
-    let params = FalconnParams { k_funcs, l_tables, probes: 0, max_alts: 8, seed: ctx.seed };
-    Some(Box::new(Falconn::build_index(ctx.data.clone(), ctx.metric, &params)))
+fn build_falconn(spec: &IndexSpec, ctx: &BuildCtx) -> Result<Box<dyn AnnIndex>, BuildError> {
+    own_scheme!(spec, Scheme::Falconn { k_funcs, l_tables });
+    if ctx.metric != Metric::Angular {
+        return Err(BuildError::BadParam(format!(
+            "falconn is Angular-only (cross-polytope hashing), got metric {}",
+            ctx.metric.name()
+        )));
+    }
+    let params =
+        FalconnParams { k_funcs, l_tables, probes: 0, max_alts: 8, seed: spec.build.seed };
+    Ok(Box::new(Falconn::build_index(ctx.data.clone(), ctx.metric, &params)))
 }
 
-fn build_c2lsh(spec: &IndexSpec, ctx: &BuildCtx) -> Option<Box<dyn AnnIndex>> {
-    let IndexSpec::C2lsh { m, l } = *spec else { return None };
+fn build_c2lsh(spec: &IndexSpec, ctx: &BuildCtx) -> Result<Box<dyn AnnIndex>, BuildError> {
+    own_scheme!(spec, Scheme::C2lsh { m, l });
     let params = C2lshParams {
         m,
         l,
         c: 2.0,
         beta_n: 100,
         family: ctx.family(),
-        family_params: lsh::FamilyParams { w: ctx.w },
-        seed: ctx.seed,
+        family_params: lsh::FamilyParams { w: spec.build.w },
+        seed: spec.build.seed,
     };
-    Some(Box::new(C2Lsh::build_index(ctx.data.clone(), ctx.metric, &params)))
+    Ok(Box::new(C2Lsh::build_index(ctx.data.clone(), ctx.metric, &params)))
 }
 
-fn build_qalsh(spec: &IndexSpec, ctx: &BuildCtx) -> Option<Box<dyn AnnIndex>> {
-    let IndexSpec::Qalsh { m, l } = *spec else { return None };
-    let params = QalshParams { m, l, w: ctx.w, c: 2.0, beta_n: 100, seed: ctx.seed };
-    Some(Box::new(Qalsh::build_index(ctx.data.clone(), ctx.metric, &params)))
+fn build_qalsh(spec: &IndexSpec, ctx: &BuildCtx) -> Result<Box<dyn AnnIndex>, BuildError> {
+    own_scheme!(spec, Scheme::Qalsh { m, l });
+    let params =
+        QalshParams { m, l, w: spec.build.w, c: 2.0, beta_n: 100, seed: spec.build.seed };
+    Ok(Box::new(Qalsh::build_index(ctx.data.clone(), ctx.metric, &params)))
 }
 
-fn build_srs(spec: &IndexSpec, ctx: &BuildCtx) -> Option<Box<dyn AnnIndex>> {
-    let IndexSpec::Srs { d_proj } = *spec else { return None };
-    let params = SrsParams { d_proj, max_verify: 100, slack: 1.0, seed: ctx.seed };
-    Some(Box::new(Srs::build_index(ctx.data.clone(), ctx.metric, &params)))
+fn build_srs(spec: &IndexSpec, ctx: &BuildCtx) -> Result<Box<dyn AnnIndex>, BuildError> {
+    own_scheme!(spec, Scheme::Srs { d_proj });
+    if d_proj > ctx.data.dim() {
+        return Err(BuildError::BadParam(format!(
+            "srs d={d_proj} exceeds the dataset dimensionality {}",
+            ctx.data.dim()
+        )));
+    }
+    let params = SrsParams { d_proj, max_verify: 100, slack: 1.0, seed: spec.build.seed };
+    Ok(Box::new(Srs::build_index(ctx.data.clone(), ctx.metric, &params)))
 }
 
-fn build_lsh_forest(spec: &IndexSpec, ctx: &BuildCtx) -> Option<Box<dyn AnnIndex>> {
-    let IndexSpec::LshForest { trees, depth } = *spec else { return None };
+fn build_lsh_forest(spec: &IndexSpec, ctx: &BuildCtx) -> Result<Box<dyn AnnIndex>, BuildError> {
+    own_scheme!(spec, Scheme::LshForest { trees, depth });
     let params = LshForestParams {
         trees,
         depth,
         family: ctx.family(),
-        family_params: lsh::FamilyParams { w: ctx.w },
-        seed: ctx.seed,
+        family_params: lsh::FamilyParams { w: spec.build.w },
+        seed: spec.build.seed,
     };
-    Some(Box::new(LshForest::build_index(ctx.data.clone(), ctx.metric, &params)))
+    Ok(Box::new(LshForest::build_index(ctx.data.clone(), ctx.metric, &params)))
 }
 
-fn build_sk_lsh(spec: &IndexSpec, ctx: &BuildCtx) -> Option<Box<dyn AnnIndex>> {
-    let IndexSpec::SkLsh { k_funcs, l_indexes } = *spec else { return None };
+fn build_sk_lsh(spec: &IndexSpec, ctx: &BuildCtx) -> Result<Box<dyn AnnIndex>, BuildError> {
+    own_scheme!(spec, Scheme::SkLsh { k_funcs, l_indexes });
     let params = SkLshParams {
         k_funcs,
         l_indexes,
         family: ctx.family(),
-        family_params: lsh::FamilyParams { w: ctx.w },
-        seed: ctx.seed,
+        family_params: lsh::FamilyParams { w: spec.build.w },
+        seed: spec.build.seed,
     };
-    Some(Box::new(SkLsh::build_index(ctx.data.clone(), ctx.metric, &params)))
+    Ok(Box::new(SkLsh::build_index(ctx.data.clone(), ctx.metric, &params)))
 }
 
-fn build_linear(spec: &IndexSpec, ctx: &BuildCtx) -> Option<Box<dyn AnnIndex>> {
-    matches!(spec, IndexSpec::Linear)
-        .then(|| Box::new(LinearScan::build_index(ctx.data.clone(), ctx.metric, &())) as _)
+fn build_kd_tree(_spec: &IndexSpec, ctx: &BuildCtx) -> Result<Box<dyn AnnIndex>, BuildError> {
+    if ctx.metric != Metric::Euclidean {
+        return Err(BuildError::BadParam(format!(
+            "kdtree is Euclidean-only (squared-distance pruning), got metric {}",
+            ctx.metric.name()
+        )));
+    }
+    Ok(Box::new(KdTreeScan::build_index(ctx.data.clone(), ctx.metric, &())))
 }
 
-/// The full factory table, in the paper's §6.3 method order.
+fn build_linear(_spec: &IndexSpec, ctx: &BuildCtx) -> Result<Box<dyn AnnIndex>, BuildError> {
+    Ok(Box::new(LinearScan::build_index(ctx.data.clone(), ctx.metric, &())))
+}
+
+/// The full factory table, in the paper's §6.3 method order (the same
+/// order as `ann::spec::schemes()`, which a unit test pins).
 pub fn entries() -> &'static [Entry] {
     &[
-        Entry { method: "LCCS-LSH", build: build_lccs },
-        Entry { method: "MP-LCCS-LSH", build: build_mp_lccs },
-        Entry { method: "E2LSH", build: build_e2lsh },
-        Entry { method: "Multi-Probe LSH", build: build_multiprobe },
-        Entry { method: "FALCONN", build: build_falconn },
-        Entry { method: "C2LSH", build: build_c2lsh },
-        Entry { method: "QALSH", build: build_qalsh },
-        Entry { method: "SRS", build: build_srs },
-        Entry { method: "LSH-Forest", build: build_lsh_forest },
-        Entry { method: "SK-LSH", build: build_sk_lsh },
-        Entry { method: "Linear", build: build_linear },
+        Entry {
+            method: "LCCS-LSH",
+            token: "lccs",
+            build: build_lccs,
+            build_persist: Some(persist_lccs),
+        },
+        Entry {
+            method: "MP-LCCS-LSH",
+            token: "mp-lccs",
+            build: build_mp_lccs,
+            build_persist: Some(persist_mp_lccs),
+        },
+        Entry { method: "E2LSH", token: "e2lsh", build: build_e2lsh, build_persist: None },
+        Entry {
+            method: "Multi-Probe LSH",
+            token: "mp-lsh",
+            build: build_multiprobe,
+            build_persist: None,
+        },
+        Entry { method: "FALCONN", token: "falconn", build: build_falconn, build_persist: None },
+        Entry { method: "C2LSH", token: "c2lsh", build: build_c2lsh, build_persist: None },
+        Entry { method: "QALSH", token: "qalsh", build: build_qalsh, build_persist: None },
+        Entry { method: "SRS", token: "srs", build: build_srs, build_persist: None },
+        Entry {
+            method: "LSH-Forest",
+            token: "lsh-forest",
+            build: build_lsh_forest,
+            build_persist: None,
+        },
+        Entry { method: "SK-LSH", token: "sk-lsh", build: build_sk_lsh, build_persist: None },
+        Entry { method: "KD-Tree", token: "kdtree", build: build_kd_tree, build_persist: None },
+        Entry { method: "Linear", token: "linear", build: build_linear, build_persist: None },
     ]
 }
 
-/// Builds the index a spec describes, consulting the registry.
-///
-/// # Panics
-/// Panics if no registered factory accepts the spec — which would mean a
-/// spec variant was added without a registry entry.
-pub fn build_index(spec: &IndexSpec, ctx: &BuildCtx) -> Box<dyn AnnIndex> {
+/// Resolves the factory for a grammar token.
+pub fn entry_by_token(token: &str) -> Result<&'static Entry, BuildError> {
     entries()
         .iter()
-        .find_map(|e| (e.build)(spec, ctx))
-        .unwrap_or_else(|| panic!("no registered factory for spec {spec:?}"))
+        .find(|e| e.token == token)
+        .ok_or_else(|| BuildError::UnknownSpec(token.to_string()))
+}
+
+/// Resolves the factory a spec dispatches to (keyed by scheme token).
+pub fn entry_for(spec: &IndexSpec) -> Result<&'static Entry, BuildError> {
+    entry_by_token(spec.scheme.token())
+}
+
+/// Builds the index a spec describes.
+pub fn build_index(spec: &IndexSpec, ctx: &BuildCtx) -> Result<Box<dyn AnnIndex>, BuildError> {
+    (entry_for(spec)?.build)(spec, ctx)
+}
+
+/// What [`build_index_persist`] returns: the erased index plus its
+/// snapshot payload when the scheme supports one (`None` for the
+/// rebuild-from-scratch baselines).
+pub type PersistBuilt = (Box<dyn AnnIndex>, Option<Vec<u8>>);
+
+/// Builds the index a spec describes, also returning its [`PersistAnn`]
+/// snapshot payload when the scheme supports one.
+pub fn build_index_persist(
+    spec: &IndexSpec,
+    ctx: &BuildCtx,
+) -> Result<PersistBuilt, BuildError> {
+    let entry = entry_for(spec)?;
+    match entry.build_persist {
+        Some(f) => f(spec, ctx).map(|(i, p)| (i, Some(p))),
+        None => (entry.build)(spec, ctx).map(|i| (i, None)),
+    }
 }
 
 /// One named snapshot restorer: the method label (matching
@@ -264,55 +407,98 @@ mod tests {
     use super::*;
     use dataset::SynthSpec;
 
+    fn euclid_zoo() -> Vec<IndexSpec> {
+        vec![
+            IndexSpec::lccs(8),
+            IndexSpec::mp_lccs(8),
+            IndexSpec::e2lsh(2, 4),
+            IndexSpec::multi_probe(2, 2),
+            IndexSpec::c2lsh(8, 2),
+            IndexSpec::qalsh(8, 2),
+            IndexSpec::srs(4),
+            IndexSpec::lsh_forest(2, 4),
+            IndexSpec::sk_lsh(4, 2),
+            IndexSpec::kd_tree(),
+            IndexSpec::linear(),
+        ]
+    }
+
     #[test]
     fn registry_names_match_trait_names() {
         let data = Arc::new(SynthSpec::new("reg", 200, 12).with_clusters(4).generate(1));
-        let ctx = BuildCtx { data: &data, metric: Metric::Euclidean, w: 4.0, seed: 7 };
-        let specs = [
-            IndexSpec::Lccs { m: 8 },
-            IndexSpec::MpLccs { m: 8 },
-            IndexSpec::E2lsh { k_funcs: 2, l_tables: 4 },
-            IndexSpec::MultiProbeLsh { k_funcs: 2, l_tables: 2 },
-            IndexSpec::Falconn { k_funcs: 1, l_tables: 2 },
-            IndexSpec::C2lsh { m: 8, l: 2 },
-            IndexSpec::Qalsh { m: 8, l: 2 },
-            IndexSpec::Srs { d_proj: 4 },
-            IndexSpec::LshForest { trees: 2, depth: 4 },
-            IndexSpec::SkLsh { k_funcs: 4, l_indexes: 2 },
-            IndexSpec::Linear,
-        ];
-        for spec in specs {
-            let idx = build_index(&spec, &ctx);
+        let ctx = BuildCtx { data: &data, metric: Metric::Euclidean };
+        for spec in euclid_zoo() {
+            let spec = spec.with_w(4.0).with_seed(7);
+            let idx = build_index(&spec, &ctx).expect("build");
             assert_eq!(idx.name(), spec.method_name(), "trait/legend name drift");
+        }
+        // FALCONN is Angular-only, so it gets its own dataset.
+        let ang = Arc::new(
+            SynthSpec::new("reg-ang", 200, 12).with_clusters(4).generate(1).normalized(),
+        );
+        let ctx = BuildCtx { data: &ang, metric: Metric::Angular };
+        let spec = IndexSpec::falconn(1, 2).with_seed(7);
+        let idx = build_index(&spec, &ctx).expect("build falconn");
+        assert_eq!(idx.name(), spec.method_name());
+    }
+
+    /// `Result<Box<dyn AnnIndex>, _>::unwrap_err` needs `T: Debug`, which
+    /// the trait object doesn't have — unwrap the error by hand.
+    fn expect_err(r: Result<Box<dyn AnnIndex>, BuildError>) -> BuildError {
+        match r {
+            Ok(idx) => panic!("expected a build error, built {}", idx.name()),
+            Err(e) => e,
         }
     }
 
     #[test]
-    fn snapshot_registry_round_trips_by_method_name() {
-        use ann::{PersistAnn, SearchParams};
+    fn dispatch_is_keyed_and_typed() {
+        let data = Arc::new(SynthSpec::new("key", 100, 8).generate(2));
+        let ctx = BuildCtx { data: &data, metric: Metric::Euclidean };
+
+        assert!(matches!(entry_by_token("hnsw"), Err(BuildError::UnknownSpec(t)) if t == "hnsw"));
+        assert_eq!(entry_for(&IndexSpec::lccs(8)).unwrap().method, "LCCS-LSH");
+
+        // BadParam: falconn off-metric, kdtree off-metric, srs over-dim.
+        let err = expect_err(build_index(&IndexSpec::falconn(1, 2), &ctx));
+        assert!(matches!(&err, BuildError::BadParam(m) if m.contains("Angular-only")), "{err}");
+        let ang_ctx = BuildCtx { data: &data, metric: Metric::Angular };
+        let err = expect_err(build_index(&IndexSpec::kd_tree(), &ang_ctx));
+        assert!(matches!(&err, BuildError::BadParam(m) if m.contains("Euclidean-only")), "{err}");
+        let err = expect_err(build_index(&IndexSpec::srs(9), &ctx));
+        assert!(matches!(&err, BuildError::BadParam(m) if m.contains("dimensionality")), "{err}");
+    }
+
+    #[test]
+    fn entry_table_matches_spec_scheme_table() {
+        let entries = entries();
+        let schemes = ann::spec::schemes();
+        assert_eq!(entries.len(), schemes.len(), "one factory per scheme row");
+        assert_eq!(entries.len(), 12);
+        for (e, s) in entries.iter().zip(schemes) {
+            assert_eq!(e.token, s.token, "table order drift");
+            assert_eq!(e.method, s.method, "method name drift for {}", e.token);
+        }
+    }
+
+    #[test]
+    fn every_registry_entry_appears_in_spec_help() {
+        let help = ann::spec::help();
+        for e in entries() {
+            assert!(help.contains(e.token), "help() misses registry token {}", e.token);
+            assert!(help.contains(e.method), "help() misses registry method {}", e.method);
+        }
+    }
+
+    #[test]
+    fn build_persist_payload_restores_identically() {
+        use ann::SearchParams;
         let data = Arc::new(SynthSpec::new("snap", 300, 16).with_clusters(6).generate(2));
-        let ctx = BuildCtx { data: &data, metric: Metric::Euclidean, w: 4.0, seed: 7 };
-        for spec in [IndexSpec::Lccs { m: 8 }, IndexSpec::MpLccs { m: 8 }] {
-            let built = build_index(&spec, &ctx);
-            let payload = match &spec {
-                // The dyn-erased index can't expose PersistAnn (not object
-                // safe end to end), so snapshot through the concrete types.
-                IndexSpec::Lccs { .. } => LccsLsh::build_index(
-                    data.clone(),
-                    ctx.metric,
-                    &ctx.lccs_params(8),
-                )
-                .snapshot_bytes(),
-                _ => MpLccsLsh::build_index(
-                    data.clone(),
-                    ctx.metric,
-                    &MpBuildParams {
-                        lccs: ctx.lccs_params(8),
-                        mp: MpParams { probes: 1, max_alts: 8 },
-                    },
-                )
-                .snapshot_bytes(),
-            };
+        let ctx = BuildCtx { data: &data, metric: Metric::Euclidean };
+        for spec in [IndexSpec::lccs(8), IndexSpec::mp_lccs(8)] {
+            let spec = spec.with_w(4.0).with_seed(7);
+            let (built, payload) = build_index_persist(&spec, &ctx).expect("build");
+            let payload = payload.expect("LCCS schemes persist");
             let restored = restore_index(built.name(), &payload, data.clone()).expect("restore");
             assert_eq!(restored.name(), built.name());
             let p = SearchParams::new(5, 64);
@@ -320,6 +506,10 @@ mod tests {
                 assert_eq!(restored.query(data.get(i), &p), built.query(data.get(i), &p));
             }
         }
+        // Baselines build fine but carry no payload.
+        let (_, payload) = build_index_persist(&IndexSpec::e2lsh(2, 4), &ctx).unwrap();
+        assert!(payload.is_none());
+        // Restore errors stay typed.
         assert!(matches!(
             restore_index("E2LSH", &[], data.clone()),
             Err(RestoreError::UnknownMethod(_))
@@ -345,6 +535,6 @@ mod tests {
         names.sort_unstable();
         names.dedup();
         assert_eq!(names.len(), before, "duplicate registry entries");
-        assert_eq!(before, 11);
+        assert_eq!(before, 12);
     }
 }

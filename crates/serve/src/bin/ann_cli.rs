@@ -2,31 +2,44 @@
 //!
 //! ```text
 //! ann-cli demo --out DIR [--n 2000] [--dim 32] [--m 16] [--seed 42]
+//! ann-cli gen --out FILE.fvecs [--n 2000] [--dim 32] [--seed 42] [--clusters 16]
+//! ann-cli spec-help
+//! ann-cli describe --snap FILE.snap
 //! ann-cli ping --addr ADDR
 //! ann-cli list --addr ADDR
 //! ann-cli stats --addr ADDR
+//! ann-cli build --addr ADDR --index NAME --spec SPEC --data FILE.fvecs
+//!               [--metric euclidean] [--limit 0]
 //! ann-cli query --addr ADDR --index NAME --k K --budget B [--probes P] --vec 1.0,2.0,…
 //! ann-cli shutdown --addr ADDR
 //! ```
 //!
-//! `demo` is the build half of the build-once/serve-many split: it
-//! generates a clustered synthetic dataset and snapshots both LCCS
-//! schemes into `--out`, ready for `annd --snapshot-dir`.
+//! `demo` is the offline build half of the build-once/serve-many split:
+//! it builds both LCCS schemes from spec strings and snapshots them into
+//! `--out`, ready for `annd --snapshot-dir`. `build` is the same thing
+//! over the wire: the server parses the spec, builds, snapshots, and
+//! serves the result without restarting. `describe` prints a snapshot's
+//! header, including the originating spec when the container carries one.
 
 use dataset::{Metric, SynthSpec};
-use lccs_lsh::{LccsLsh, LccsParams, MpLccsLsh, MpParams};
+use eval::registry::{self, BuildCtx};
 use serve::client::Client;
-use serve::snapshot::write_index_snapshot;
+use serve::snapshot::{write_built_snapshot, SnapMeta, Snapshot};
 use std::collections::HashMap;
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::sync::Arc;
+use std::time::Instant;
 
-const USAGE: &str = "usage: ann-cli <demo|ping|list|stats|query|shutdown> [flags]
+const USAGE: &str = "usage: ann-cli <demo|gen|spec-help|describe|ping|list|stats|build|query|shutdown> [flags]
   demo      --out DIR [--n 2000] [--dim 32] [--m 16] [--seed 42]
+  gen       --out FILE.fvecs [--n 2000] [--dim 32] [--seed 42] [--clusters 16]
+  spec-help
+  describe  --snap FILE.snap
   ping      --addr HOST:PORT
   list      --addr HOST:PORT
   stats     --addr HOST:PORT
+  build     --addr HOST:PORT --index NAME --spec SPEC --data FILE.fvecs [--metric euclidean] [--limit 0]
   query     --addr HOST:PORT --index NAME [--k 10] [--budget 128] [--probes 0] --vec F,F,…
   shutdown  --addr HOST:PORT";
 
@@ -60,6 +73,9 @@ fn connect(flags: &HashMap<String, String>) -> Client {
     Client::connect(addr).unwrap_or_else(|e| panic!("cannot connect to {addr}: {e}"))
 }
 
+/// Builds both LCCS schemes from spec strings through the registry —
+/// exactly the path `annd` BUILD takes — and snapshots them with their
+/// provenance meta.
 fn cmd_demo(flags: &HashMap<String, String>) {
     let out = PathBuf::from(required(flags, "out"));
     let n: usize = flag(flags, "n", 2000);
@@ -67,22 +83,79 @@ fn cmd_demo(flags: &HashMap<String, String>) {
     let m: usize = flag(flags, "m", 16);
     let seed: u64 = flag(flags, "seed", 42);
     let data = Arc::new(SynthSpec::new("demo", n, dim).with_clusters(16).generate(seed));
-    let params = LccsParams::euclidean(8.0).with_m(m).with_seed(seed);
-    let single = LccsLsh::build(data.clone(), Metric::Euclidean, &params);
-    let mp = MpLccsLsh::build(
-        data.clone(),
-        Metric::Euclidean,
-        &params,
-        MpParams { probes: 2 * m + 1, max_alts: 8 },
-    );
-    for (name, path) in [
-        ("demo-lccs", write_index_snapshot(&out, "demo-lccs", &single, &data)),
-        ("demo-mp-lccs", write_index_snapshot(&out, "demo-mp-lccs", &mp, &data)),
+    for (name, spec_text) in [
+        ("demo-lccs", format!("lccs:m={m},w=8,seed={seed}")),
+        ("demo-mp-lccs", format!("mp-lccs:m={m},w=8,seed={seed}")),
     ] {
-        match path {
-            Ok(p) => println!("ann-cli: wrote {name} snapshot to {}", p.display()),
+        let spec: ann::IndexSpec =
+            spec_text.parse().unwrap_or_else(|e| panic!("spec {spec_text:?}: {e}"));
+        let t0 = Instant::now();
+        let (index, payload) =
+            registry::build_index_persist(&spec, &BuildCtx { data: &data, metric: Metric::Euclidean })
+                .unwrap_or_else(|e| panic!("building {spec_text}: {e}"));
+        let build_secs = t0.elapsed().as_secs_f64();
+        let meta = SnapMeta::of_build(&spec, build_secs, data.len() as u64);
+        let payload = payload.expect("LCCS schemes persist");
+        match write_built_snapshot(&out, name, index.name(), &data, &payload, &meta) {
+            Ok(path) => println!("ann-cli: wrote {name} ({spec_text}) to {}", path.display()),
             Err(e) => panic!("writing {name}: {e}"),
         }
+    }
+}
+
+/// Writes a clustered synthetic dataset as `.fvecs` — the input format
+/// the BUILD command reads server-side.
+fn cmd_gen(flags: &HashMap<String, String>) {
+    let out = PathBuf::from(required(flags, "out"));
+    let n: usize = flag(flags, "n", 2000);
+    let dim: usize = flag(flags, "dim", 32);
+    let seed: u64 = flag(flags, "seed", 42);
+    let clusters: usize = flag(flags, "clusters", 16);
+    let data = SynthSpec::new("gen", n, dim).with_clusters(clusters).generate(seed);
+    if let Some(parent) = out.parent().filter(|p| !p.as_os_str().is_empty()) {
+        std::fs::create_dir_all(parent).unwrap_or_else(|e| panic!("creating {parent:?}: {e}"));
+    }
+    dataset::io::write_fvecs(&out, &data).unwrap_or_else(|e| panic!("writing {out:?}: {e}"));
+    println!("ann-cli: wrote {n}x{dim} fvecs to {}", out.display());
+}
+
+fn cmd_describe(flags: &HashMap<String, String>) {
+    let path = PathBuf::from(required(flags, "snap"));
+    let snap = Snapshot::read_from(&path).unwrap_or_else(|e| panic!("reading {path:?}: {e}"));
+    println!("name:    {}", snap.name);
+    println!("method:  {}", snap.method);
+    println!("rows:    {}", snap.data.len());
+    println!("dim:     {}", snap.data.dim());
+    println!("payload: {} bytes", snap.payload.len());
+    match &snap.meta {
+        Some(m) => {
+            println!("spec:    {}", m.spec);
+            println!("w:       {}", m.w);
+            println!("seed:    {}", m.seed);
+            println!("built:   {:.3} s over {} source rows", m.build_secs, m.source_rows);
+        }
+        None => println!("spec:    unknown (pre-v2)"),
+    }
+}
+
+fn cmd_build(flags: &HashMap<String, String>) {
+    let mut client = connect(flags);
+    let index = required(flags, "index");
+    let spec = required(flags, "spec");
+    let data = required(flags, "data");
+    let metric = flags.get("metric").map_or("euclidean", String::as_str);
+    let limit: usize = flag(flags, "limit", 0);
+    let (info, build_micros, snapshot_path) = client
+        .build(index, spec, metric, data, limit)
+        .unwrap_or_else(|e| panic!("build failed: {e}"));
+    println!(
+        "built {}\tmethod={}\tspec={}\tn={}\tdim={}\tindex_bytes={}\tbuild_us={}",
+        info.name, info.method, info.spec, info.len, info.dim, info.index_bytes, build_micros
+    );
+    if snapshot_path.is_empty() {
+        println!("snapshot: (none written)");
+    } else {
+        println!("snapshot: {snapshot_path}");
     }
 }
 
@@ -113,6 +186,9 @@ fn main() -> ExitCode {
     let flags = parse_flags(args);
     match cmd.as_str() {
         "demo" => cmd_demo(&flags),
+        "gen" => cmd_gen(&flags),
+        "spec-help" => print!("{}", ann::spec::help()),
+        "describe" => cmd_describe(&flags),
         "ping" => {
             connect(&flags).ping().unwrap_or_else(|e| panic!("ping failed: {e}"));
             println!("pong");
@@ -121,8 +197,13 @@ fn main() -> ExitCode {
             let infos = connect(&flags).list().unwrap_or_else(|e| panic!("list failed: {e}"));
             for i in infos {
                 println!(
-                    "{}\tmethod={}\tn={}\tdim={}\tindex_bytes={}",
-                    i.name, i.method, i.len, i.dim, i.index_bytes
+                    "{}\tmethod={}\tspec={}\tn={}\tdim={}\tindex_bytes={}",
+                    i.name,
+                    i.method,
+                    if i.spec.is_empty() { "unknown" } else { &i.spec },
+                    i.len,
+                    i.dim,
+                    i.index_bytes
                 );
             }
         }
@@ -131,12 +212,18 @@ fn main() -> ExitCode {
                 connect(&flags).stats().unwrap_or_else(|e| panic!("stats failed: {e}"));
             for s in entries {
                 println!(
-                    "{}\tqueries={}\tbatches={}\tbatch_queries={}\ttotal_us={}\tmax_us={}",
-                    s.name, s.queries, s.batch_requests, s.batch_queries, s.total_micros,
+                    "{}\tspec={}\tqueries={}\tbatches={}\tbatch_queries={}\ttotal_us={}\tmax_us={}",
+                    s.name,
+                    if s.spec.is_empty() { "unknown" } else { &s.spec },
+                    s.queries,
+                    s.batch_requests,
+                    s.batch_queries,
+                    s.total_micros,
                     s.max_micros
                 );
             }
         }
+        "build" => cmd_build(&flags),
         "query" => cmd_query(&flags),
         "shutdown" => {
             connect(&flags).shutdown().unwrap_or_else(|e| panic!("shutdown failed: {e}"));

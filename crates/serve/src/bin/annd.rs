@@ -6,10 +6,12 @@
 //!
 //! Loads every `*.snap` container in `--snapshot-dir`, binds `--addr`
 //! (port `0` picks an ephemeral port), and serves the binary protocol
-//! until a SHUTDOWN request arrives (`ann-cli shutdown --addr …`). The
-//! bound address is printed as `annd: listening on ADDR` so scripts can
-//! discover ephemeral ports; final per-index counters are printed on
-//! exit.
+//! until a SHUTDOWN request arrives (`ann-cli shutdown --addr …`). BUILD
+//! requests (`ann-cli build --spec …`) construct new indexes at runtime
+//! and persist them back into `--snapshot-dir`, so a built index survives
+//! a restart. The bound address is printed as `annd: listening on ADDR`
+//! so scripts can discover ephemeral ports; final per-index counters are
+//! printed on exit.
 
 use serve::catalog::Catalog;
 use serve::server::Server;
@@ -63,16 +65,17 @@ fn main() -> ExitCode {
     for served in catalog.iter() {
         let info = served.info();
         println!(
-            "annd:   {}  method={}  n={}  dim={}  index={} KiB",
+            "annd:   {}  method={}  spec={}  n={}  dim={}  index={} KiB",
             info.name,
             info.method,
+            if info.spec.is_empty() { "unknown" } else { &info.spec },
             info.len,
             info.dim,
             info.index_bytes / 1024
         );
     }
     let server = match Server::bind(catalog, opts.addr.as_str(), opts.workers) {
-        Ok(s) => s,
+        Ok(s) => s.with_snapshot_dir(&opts.snapshot_dir),
         Err(e) => {
             eprintln!("annd: failed to bind {}: {e}", opts.addr);
             return ExitCode::FAILURE;
@@ -91,8 +94,8 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     println!("annd: shutting down; final counters:");
-    for served in catalog.iter() {
-        let s = served.stats.snapshot(&served.name);
+    for served in catalog.read().expect("catalog poisoned").iter() {
+        let s = served.stats.snapshot(&served.name, &served.spec);
         println!(
             "annd:   {}  queries={}  batches={} ({} queries)  total={}us  max={}us",
             s.name, s.queries, s.batch_requests, s.batch_queries, s.total_micros, s.max_micros

@@ -1,10 +1,11 @@
 //! The catalog: every index a server instance holds, by name.
 //!
-//! A catalog is immutable once the server starts (snapshots are the unit
-//! of deployment — to change an index, write a new snapshot and restart
-//! or start a second instance), which is what lets query paths run
-//! without any locking: workers share `Arc<Catalog>` and only the
-//! per-index [`IndexStats`] atomics are ever written.
+//! Since PR 3 the catalog is no longer frozen at startup: the BUILD
+//! command constructs an index server-side and [`Catalog::install`]s it.
+//! The server wraps the catalog in an `RwLock` — query paths take cheap,
+//! uncontended read locks (only the per-index [`IndexStats`] atomics are
+//! ever written while serving), and the rare BUILD install takes the
+//! write lock for just the map insertion, never for the build itself.
 
 use crate::protocol::IndexInfo;
 use crate::snapshot::{SnapError, Snapshot, SNAPSHOT_EXT};
@@ -28,6 +29,9 @@ pub struct ServedIndex {
     /// The dataset the index answers over (kept for dimension checks and
     /// because the index only borrows it via `Arc`).
     pub data: Arc<Dataset>,
+    /// Canonical `ann::spec` string the index was built from; empty when
+    /// unknown (pre-meta snapshot, or inserted without provenance).
+    pub spec: String,
     /// Serving counters.
     pub stats: IndexStats,
 }
@@ -41,6 +45,7 @@ impl ServedIndex {
             len: self.data.len() as u64,
             dim: self.data.dim() as u32,
             index_bytes: self.index.index_bytes() as u64,
+            spec: self.spec.clone(),
         }
     }
 }
@@ -78,24 +83,45 @@ impl Catalog {
     }
 
     /// Restores one decoded snapshot into the catalog through the method
-    /// registry.
+    /// registry. The snapshot's meta section (when present) supplies the
+    /// served spec string.
     pub fn insert_snapshot(&mut self, snap: Snapshot) -> Result<(), SnapError> {
         let data = Arc::new(snap.data);
         let index = eval::registry::restore_index(&snap.method, &snap.payload, data.clone())
             .map_err(SnapError::Restore)?;
-        self.insert(snap.name, snap.method, index, data)
+        let spec = snap.meta.map(|m| m.spec).unwrap_or_default();
+        self.insert(snap.name, snap.method, spec, index, data)
     }
 
     /// Inserts an already-built index (used by in-process embedding — the
-    /// example and tests serve without touching disk).
+    /// example and tests serve without touching disk). `spec` is the
+    /// canonical `ann::spec` string, empty when unknown.
     pub fn insert(
         &mut self,
         name: String,
         method: String,
+        spec: String,
         index: Box<dyn AnnIndex>,
         data: Arc<Dataset>,
     ) -> Result<(), SnapError> {
-        // Both strings travel through `put_str` (which asserts the wire
+        if self.items.contains_key(&name) {
+            return Err(SnapError::Malformed(format!("duplicate catalog name {name:?}")));
+        }
+        self.install(name, method, spec, index, data).map(|_| ())
+    }
+
+    /// Inserts or replaces an entry (the BUILD command's semantics:
+    /// rebuilding under an existing name swaps the index in and resets
+    /// its counters). Returns whether an entry was replaced.
+    pub fn install(
+        &mut self,
+        name: String,
+        method: String,
+        spec: String,
+        index: Box<dyn AnnIndex>,
+        data: Arc<Dataset>,
+    ) -> Result<bool, SnapError> {
+        // name and method travel through `put_str` (which asserts the wire
         // cap) in LIST responses, so reject oversized ones here instead
         // of panicking a worker later.
         if name.is_empty() || name.len() > crate::protocol::MAX_NAME {
@@ -104,12 +130,11 @@ impl Catalog {
         if method.is_empty() || method.len() > crate::protocol::MAX_NAME {
             return Err(SnapError::Malformed(format!("bad method name {method:?}")));
         }
-        if self.items.contains_key(&name) {
-            return Err(SnapError::Malformed(format!("duplicate catalog name {name:?}")));
-        }
         let stats = IndexStats::default();
-        self.items.insert(name.clone(), ServedIndex { name, method, index, data, stats });
-        Ok(())
+        let replaced = self
+            .items
+            .insert(name.clone(), ServedIndex { name, method, spec, index, data, stats });
+        Ok(replaced.is_some())
     }
 
     /// Looks up an index by catalog name.
@@ -159,8 +184,13 @@ mod tests {
             MpParams { probes: 9, max_alts: 4 },
         );
         let dir = tmp_dir("order");
-        write_index_snapshot(&dir, "b-mp", &mp, &data).unwrap();
-        write_index_snapshot(&dir, "a-single", &single, &data).unwrap();
+        let meta = crate::snapshot::SnapMeta::of_build(
+            &"mp-lccs:m=8,w=8".parse().unwrap(),
+            0.25,
+            data.len() as u64,
+        );
+        write_index_snapshot(&dir, "b-mp", &mp, &data, Some(meta)).unwrap();
+        write_index_snapshot(&dir, "a-single", &single, &data, None).unwrap();
         std::fs::write(dir.join("README.txt"), "not a snapshot").unwrap();
 
         let catalog = Catalog::load_dir(&dir).unwrap();
@@ -169,6 +199,12 @@ mod tests {
         assert_eq!(names, ["a-single", "b-mp"], "LIST order is name order");
         let served = catalog.get("a-single").unwrap();
         assert_eq!(served.method, "LCCS-LSH");
+        assert_eq!(served.spec, "", "meta-less snapshot serves with an unknown spec");
+        assert_eq!(
+            catalog.get("b-mp").unwrap().spec,
+            "mp-lccs:m=8,w=8",
+            "snapshot meta supplies the served spec string"
+        );
         let p = SearchParams::new(3, 32);
         assert_eq!(
             served.index.query(data.get(4), &p),
@@ -197,7 +233,35 @@ mod tests {
             )) as Box<dyn AnnIndex>
         };
         let mut c = Catalog::empty();
-        c.insert("x".into(), "LCCS-LSH".into(), idx(), data.clone()).unwrap();
-        assert!(c.insert("x".into(), "LCCS-LSH".into(), idx(), data.clone()).is_err());
+        c.insert("x".into(), "LCCS-LSH".into(), "lccs:m=8,w=8".into(), idx(), data.clone())
+            .unwrap();
+        assert!(c
+            .insert("x".into(), "LCCS-LSH".into(), "lccs:m=8,w=8".into(), idx(), data.clone())
+            .is_err());
+    }
+
+    #[test]
+    fn install_replaces_and_resets_counters() {
+        let data = Arc::new(SynthSpec::new("repl", 100, 8).generate(1));
+        let idx = || {
+            Box::new(LccsLsh::build(
+                data.clone(),
+                Metric::Euclidean,
+                &LccsParams::euclidean(8.0).with_m(8),
+            )) as Box<dyn AnnIndex>
+        };
+        let mut c = Catalog::empty();
+        let replaced = c
+            .install("x".into(), "LCCS-LSH".into(), "lccs:m=8,w=8".into(), idx(), data.clone())
+            .unwrap();
+        assert!(!replaced);
+        c.get("x").unwrap().stats.record_query(10);
+        let replaced = c
+            .install("x".into(), "LCCS-LSH".into(), "lccs:m=8,w=8,seed=2".into(), idx(), data.clone())
+            .unwrap();
+        assert!(replaced, "same name swaps the entry");
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.get("x").unwrap().spec, "lccs:m=8,w=8,seed=2");
+        assert_eq!(c.get("x").unwrap().stats.snapshot("x", "").queries, 0, "fresh counters");
     }
 }

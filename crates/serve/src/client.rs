@@ -137,6 +137,37 @@ impl Client {
         }
     }
 
+    /// Builds an index server-side from an `ann::spec` grammar string and
+    /// a server-local `.fvecs` dataset path, installing it under `name`
+    /// (replacing any previous entry of that name). `limit = 0` reads the
+    /// whole dataset; the wire field is `u32`, so larger caps saturate at
+    /// `u32::MAX` rows instead of silently wrapping. Returns the
+    /// installed entry's description, the build wall-time in
+    /// microseconds, and the written snapshot path (empty if the server
+    /// persisted nothing).
+    pub fn build(
+        &mut self,
+        name: &str,
+        spec: &str,
+        metric: &str,
+        data_path: &str,
+        limit: usize,
+    ) -> Result<(IndexInfo, u64, String), ClientError> {
+        let req = Request::Build {
+            name: name.to_string(),
+            spec: spec.to_string(),
+            metric: metric.to_string(),
+            data_path: data_path.to_string(),
+            limit: u32::try_from(limit).unwrap_or(u32::MAX),
+        };
+        match self.call(&req)? {
+            Response::Built { info, build_micros, snapshot_path } => {
+                Ok((info, build_micros, snapshot_path))
+            }
+            _ => Err(ClientError::Unexpected("BUILT")),
+        }
+    }
+
     /// Asks the server to drain and exit.
     pub fn shutdown(&mut self) -> Result<(), ClientError> {
         match self.call(&Request::Shutdown)? {

@@ -7,10 +7,18 @@
 //! `core::persist` skips the `O(m n log n)` CSA rebuild — and answer
 //! queries over a length-prefixed binary TCP protocol.
 //!
+//! Since PR 3 construction is also remotely drivable: the BUILD command
+//! carries an [`ann::spec`] grammar string plus a server-local dataset
+//! path, and `annd` builds through `eval::registry`, embeds the spec in
+//! the written snapshot's meta section, and atomically installs the index
+//! in its catalog — the full build → snapshot → serve lifecycle over one
+//! socket.
+//!
 //! * [`snapshot`] — the on-disk container (name + method + vectors +
-//!   [`ann::PersistAnn`] payload) and its atomic writer.
-//! * [`catalog`] — the immutable multi-index catalog a server holds;
-//!   restored through `eval::registry` by method name.
+//!   [`ann::PersistAnn`] payload + optional spec/provenance meta section)
+//!   and its atomic writer.
+//! * [`catalog`] — the multi-index catalog a server holds; restored
+//!   through `eval::registry` by method name, extended by BUILD installs.
 //! * [`protocol`] — the wire format: framing, requests, responses.
 //! * [`server`] — the worker-pool serving loop behind the `annd` binary:
 //!   one scratch per (worker, index), batches through the parallel

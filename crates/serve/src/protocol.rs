@@ -119,6 +119,15 @@ fn put_str(out: &mut Vec<u8>, s: &str) {
     out.extend_from_slice(s.as_bytes());
 }
 
+/// u16-length strings for fields that can outgrow [`MAX_NAME`] (dataset
+/// paths, spec strings in BUILD requests); framing shared with the
+/// snapshot container via [`crate::wire`].
+use crate::wire::put_str16;
+
+fn get_str16(r: &mut Reader) -> Result<String, ProtoError> {
+    String::from_utf8(r.take16()?.to_vec()).map_err(|_| ProtoError::BadUtf8)
+}
+
 fn put_f32s(out: &mut Vec<u8>, vs: &[f32]) {
     out.reserve(vs.len() * 4);
     for v in vs {
@@ -132,6 +141,26 @@ fn put_neighbors(out: &mut Vec<u8>, ns: &[Neighbor]) {
         out.extend_from_slice(&n.id.to_le_bytes());
         out.extend_from_slice(&n.dist.to_bits().to_le_bytes());
     }
+}
+
+fn put_index_info(out: &mut Vec<u8>, i: &IndexInfo) {
+    put_str(out, &i.name);
+    put_str(out, &i.method);
+    out.extend_from_slice(&i.len.to_le_bytes());
+    out.extend_from_slice(&i.dim.to_le_bytes());
+    out.extend_from_slice(&i.index_bytes.to_le_bytes());
+    put_str16(out, &i.spec);
+}
+
+fn get_index_info(r: &mut Reader) -> Result<IndexInfo, ProtoError> {
+    Ok(IndexInfo {
+        name: get_str(r)?,
+        method: get_str(r)?,
+        len: r.u64()?,
+        dim: r.u32()?,
+        index_bytes: r.u64()?,
+        spec: get_str16(r)?,
+    })
 }
 
 fn get_neighbors(r: &mut Reader) -> Result<Vec<Neighbor>, ProtoError> {
@@ -189,6 +218,22 @@ pub enum Request {
     Stats,
     /// Ask the server to stop accepting and exit once drained.
     Shutdown,
+    /// Build an index server-side from a spec string and a server-local
+    /// dataset path, then install it in the catalog (and snapshot it when
+    /// the scheme persists and the server has a snapshot directory).
+    Build {
+        /// Catalog name to install the index under (replaces an existing
+        /// entry of the same name).
+        name: String,
+        /// `ann::spec` grammar string, e.g. `mp-lccs:m=64,seed=7`.
+        spec: String,
+        /// Verification metric name (`euclidean`, `angular`, …).
+        metric: String,
+        /// Server-side path of an `.fvecs` dataset file.
+        data_path: String,
+        /// Cap on rows read from the dataset (`0` = all).
+        limit: u32,
+    },
 }
 
 const REQ_PING: u8 = 1;
@@ -197,6 +242,7 @@ const REQ_QUERY: u8 = 3;
 const REQ_BATCH: u8 = 4;
 const REQ_STATS: u8 = 5;
 const REQ_SHUTDOWN: u8 = 6;
+const REQ_BUILD: u8 = 7;
 
 impl Request {
     /// Serializes into a frame body.
@@ -231,6 +277,14 @@ impl Request {
             }
             Request::Stats => out.push(REQ_STATS),
             Request::Shutdown => out.push(REQ_SHUTDOWN),
+            Request::Build { name, spec, metric, data_path, limit } => {
+                out.push(REQ_BUILD);
+                put_str(&mut out, name);
+                put_str16(&mut out, spec);
+                put_str(&mut out, metric);
+                put_str16(&mut out, data_path);
+                out.extend_from_slice(&limit.to_le_bytes());
+            }
         }
         out
     }
@@ -265,6 +319,13 @@ impl Request {
             }
             REQ_STATS => Request::Stats,
             REQ_SHUTDOWN => Request::Shutdown,
+            REQ_BUILD => Request::Build {
+                name: get_str(&mut r)?,
+                spec: get_str16(&mut r)?,
+                metric: get_str(&mut r)?,
+                data_path: get_str16(&mut r)?,
+                limit: r.u32()?,
+            },
             t => return Err(ProtoError::BadTag(t)),
         };
         finish(&r)?;
@@ -287,6 +348,9 @@ pub struct IndexInfo {
     pub dim: u32,
     /// Index footprint in bytes (excluding raw vectors).
     pub index_bytes: u64,
+    /// Canonical `ann::spec` string the index was built from; empty when
+    /// unknown (e.g. restored from a pre-meta snapshot).
+    pub spec: String,
 }
 
 /// Per-index serving counters as reported by [`Request::Stats`].
@@ -294,6 +358,9 @@ pub struct IndexInfo {
 pub struct StatsEntry {
     /// Catalog name.
     pub name: String,
+    /// Canonical `ann::spec` string (empty when unknown), so operators
+    /// can see what is actually serving next to its counters.
+    pub spec: String,
     /// Single queries answered.
     pub queries: u64,
     /// Batch requests answered.
@@ -321,6 +388,17 @@ pub enum Response {
     Stats(Vec<StatsEntry>),
     /// Reply to [`Request::Shutdown`]: acknowledged, server is draining.
     ShuttingDown,
+    /// Reply to [`Request::Build`]: the installed index plus build
+    /// measurements.
+    Built {
+        /// The installed catalog entry.
+        info: IndexInfo,
+        /// Indexing wall-clock microseconds.
+        build_micros: u64,
+        /// Path of the written `.snap`, empty if none was written (scheme
+        /// does not persist, or the server has no snapshot directory).
+        snapshot_path: String,
+    },
     /// The request could not be served (unknown index, shape mismatch…).
     Error(String),
 }
@@ -331,6 +409,7 @@ const RESP_NEIGHBORS: u8 = 3;
 const RESP_BATCH: u8 = 4;
 const RESP_STATS: u8 = 5;
 const RESP_SHUTDOWN: u8 = 6;
+const RESP_BUILT: u8 = 7;
 const RESP_ERROR: u8 = 255;
 
 impl Response {
@@ -343,11 +422,7 @@ impl Response {
                 out.push(RESP_LIST);
                 out.extend_from_slice(&(infos.len() as u32).to_le_bytes());
                 for i in infos {
-                    put_str(&mut out, &i.name);
-                    put_str(&mut out, &i.method);
-                    out.extend_from_slice(&i.len.to_le_bytes());
-                    out.extend_from_slice(&i.dim.to_le_bytes());
-                    out.extend_from_slice(&i.index_bytes.to_le_bytes());
+                    put_index_info(&mut out, i);
                 }
             }
             Response::Neighbors(ns) => {
@@ -366,6 +441,7 @@ impl Response {
                 out.extend_from_slice(&(entries.len() as u32).to_le_bytes());
                 for e in entries {
                     put_str(&mut out, &e.name);
+                    put_str16(&mut out, &e.spec);
                     for v in [e.queries, e.batch_requests, e.batch_queries, e.total_micros, e.max_micros]
                     {
                         out.extend_from_slice(&v.to_le_bytes());
@@ -373,9 +449,23 @@ impl Response {
                 }
             }
             Response::ShuttingDown => out.push(RESP_SHUTDOWN),
+            Response::Built { info, build_micros, snapshot_path } => {
+                out.push(RESP_BUILT);
+                put_index_info(&mut out, info);
+                out.extend_from_slice(&build_micros.to_le_bytes());
+                put_str16(&mut out, snapshot_path);
+            }
             Response::Error(msg) => {
                 out.push(RESP_ERROR);
-                let msg = &msg.as_bytes()[..msg.len().min(1024)];
+                // Truncate long messages (BUILD errors interpolate
+                // client-supplied spec strings and paths) on a char
+                // boundary: splitting a multi-byte sequence would make
+                // the whole frame undecodable for the client.
+                let mut end = msg.len().min(1024);
+                while !msg.is_char_boundary(end) {
+                    end -= 1;
+                }
+                let msg = &msg.as_bytes()[..end];
                 out.extend_from_slice(&(msg.len() as u32).to_le_bytes());
                 out.extend_from_slice(msg);
             }
@@ -392,13 +482,7 @@ impl Response {
                 let count = r.u32()? as usize;
                 let mut infos = Vec::with_capacity(count.min(1024));
                 for _ in 0..count {
-                    infos.push(IndexInfo {
-                        name: get_str(&mut r)?,
-                        method: get_str(&mut r)?,
-                        len: r.u64()?,
-                        dim: r.u32()?,
-                        index_bytes: r.u64()?,
-                    });
+                    infos.push(get_index_info(&mut r)?);
                 }
                 Response::List(infos)
             }
@@ -419,6 +503,7 @@ impl Response {
                 let mut entries = Vec::with_capacity(count.min(1024));
                 for _ in 0..count {
                     let name = get_str(&mut r)?;
+                    let spec = get_str16(&mut r)?;
                     let queries = r.u64()?;
                     let batch_requests = r.u64()?;
                     let batch_queries = r.u64()?;
@@ -426,6 +511,7 @@ impl Response {
                     let max_micros = r.u64()?;
                     entries.push(StatsEntry {
                         name,
+                        spec,
                         queries,
                         batch_requests,
                         batch_queries,
@@ -436,6 +522,11 @@ impl Response {
                 Response::Stats(entries)
             }
             RESP_SHUTDOWN => Response::ShuttingDown,
+            RESP_BUILT => Response::Built {
+                info: get_index_info(&mut r)?,
+                build_micros: r.u64()?,
+                snapshot_path: get_str16(&mut r)?,
+            },
             RESP_ERROR => {
                 let len = r.u32()? as usize;
                 let raw = r.take(len)?;
@@ -481,6 +572,13 @@ mod tests {
             dim: 3,
             vectors: vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0],
         });
+        round_trip_request(Request::Build {
+            name: "glove-live".into(),
+            spec: "mp-lccs:m=64,seed=7".into(),
+            metric: "euclidean".into(),
+            data_path: "/very/long/".repeat(40) + "data.fvecs",
+            limit: 10_000,
+        });
     }
 
     #[test]
@@ -494,7 +592,20 @@ mod tests {
             len: 2000,
             dim: 32,
             index_bytes: 1 << 20,
+            spec: "lccs:m=16,seed=42".into(),
         }]));
+        round_trip_response(Response::Built {
+            info: IndexInfo {
+                name: "built".into(),
+                method: "MP-LCCS-LSH".into(),
+                len: 500,
+                dim: 16,
+                index_bytes: 4096,
+                spec: "mp-lccs:m=16".into(),
+            },
+            build_micros: 123_456,
+            snapshot_path: "/tmp/snaps/built.snap".into(),
+        });
         round_trip_response(Response::Neighbors(vec![
             Neighbor { id: 7, dist: 0.25 },
             Neighbor { id: 9, dist: 1.0 / 3.0 },
@@ -506,12 +617,26 @@ mod tests {
         ]));
         round_trip_response(Response::Stats(vec![StatsEntry {
             name: "demo".into(),
+            spec: "e2lsh:k=12,l=50".into(),
             queries: 3,
             batch_requests: 1,
             batch_queries: 100,
             total_micros: 4242,
             max_micros: 999,
         }]));
+    }
+
+    #[test]
+    fn long_error_messages_truncate_on_char_boundaries() {
+        // 1022 ASCII bytes then a 3-byte char straddling the 1024 cap:
+        // the encoder must back up to the boundary, not emit broken UTF-8.
+        let msg = format!("{}€€", "x".repeat(1022));
+        let back = Response::decode(&Response::Error(msg.clone()).encode()).expect("decodable");
+        let Response::Error(out) = back else { panic!("wrong variant") };
+        assert_eq!(out, "x".repeat(1022), "truncated before the split char");
+        // Short messages pass through untouched.
+        let back = Response::decode(&Response::Error("héllo".into()).encode()).unwrap();
+        assert_eq!(back, Response::Error("héllo".into()));
     }
 
     #[test]

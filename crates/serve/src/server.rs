@@ -8,29 +8,45 @@
 //! [`ann::AnnIndex::query_batch`] (the parallel executor), so one heavy
 //! batch saturates the cores even with a single connection.
 //!
+//! The catalog lives behind an `RwLock`: request paths take short read
+//! locks (queries only ever write per-index atomic counters), while the
+//! BUILD command — which constructs an index from an [`ann::IndexSpec`]
+//! string and a server-local dataset path — does all its expensive work
+//! lock-free and takes the write lock only for the final
+//! [`Catalog::install`], so installs are atomic with respect to every
+//! concurrent reader.
+//!
 //! Shutdown is cooperative: a SHUTDOWN request flips a shared flag and
 //! pokes the accept loop awake with a loopback connection; the acceptor
 //! stops handing out work, the pool drains, and [`Server::run`] returns.
 
 use crate::catalog::{Catalog, ServedIndex};
 use crate::protocol::{read_frame, write_frame, Request, Response};
-use ann::{Scratch, SearchParams};
+use crate::snapshot::SnapMeta;
+use ann::{IndexSpec, Scratch, SearchParams};
+use eval::registry::{self, BuildCtx};
 use std::collections::HashMap;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{Receiver, Sender};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::{mpsc, Arc, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
 /// Hygiene timeout on connection reads: a peer that goes silent for this
 /// long mid-session is dropped so it cannot pin a worker forever.
 const READ_TIMEOUT: Duration = Duration::from_secs(30);
 
+/// Cap on the dataset file a BUILD request may ask the server to load
+/// (matches the snapshot loader's 1 GiB vector-section cap).
+const MAX_BUILD_DATASET_BYTES: u64 = 1 << 30;
+
 /// A bound, not-yet-running server.
 pub struct Server {
     listener: TcpListener,
-    catalog: Arc<Catalog>,
+    catalog: Arc<RwLock<Catalog>>,
+    snapshot_dir: Option<PathBuf>,
     workers: usize,
     shutdown: Arc<AtomicBool>,
 }
@@ -41,10 +57,19 @@ impl Server {
     pub fn bind(catalog: Catalog, addr: impl ToSocketAddrs, workers: usize) -> io::Result<Server> {
         Ok(Server {
             listener: TcpListener::bind(addr)?,
-            catalog: Arc::new(catalog),
+            catalog: Arc::new(RwLock::new(catalog)),
+            snapshot_dir: None,
             workers: workers.max(1),
             shutdown: Arc::new(AtomicBool::new(false)),
         })
+    }
+
+    /// Directory where BUILD persists `.snap` containers for schemes that
+    /// support snapshots. Without it BUILD still installs in the catalog,
+    /// it just writes nothing.
+    pub fn with_snapshot_dir(mut self, dir: impl Into<PathBuf>) -> Server {
+        self.snapshot_dir = Some(dir.into());
+        self
     }
 
     /// The bound address (the real port when bound with port `0`).
@@ -54,7 +79,7 @@ impl Server {
 
     /// The served catalog (for printing summaries and final stats around
     /// [`Server::run`]).
-    pub fn catalog(&self) -> Arc<Catalog> {
+    pub fn catalog(&self) -> Arc<RwLock<Catalog>> {
         self.catalog.clone()
     }
 
@@ -68,12 +93,17 @@ impl Server {
         self.listener.set_nonblocking(true)?;
         let (tx, rx): (Sender<TcpStream>, Receiver<TcpStream>) = mpsc::channel();
         let rx = Arc::new(Mutex::new(rx));
+        let shared = Shared {
+            catalog: &self.catalog,
+            snapshot_dir: self.snapshot_dir.as_deref(),
+            shutdown: &self.shutdown,
+            local,
+        };
         std::thread::scope(|scope| {
             for _ in 0..self.workers {
                 let rx = rx.clone();
-                let catalog = self.catalog.clone();
-                let shutdown = self.shutdown.clone();
-                scope.spawn(move || worker_loop(&rx, &catalog, &shutdown, local));
+                let shared = &shared;
+                scope.spawn(move || worker_loop(&rx, shared));
             }
             loop {
                 if self.shutdown.load(Ordering::SeqCst) {
@@ -111,12 +141,15 @@ impl Server {
 /// drain latency when the loopback wake-up poke cannot connect.
 const ACCEPT_POLL: Duration = Duration::from_millis(10);
 
-fn worker_loop(
-    rx: &Mutex<Receiver<TcpStream>>,
-    catalog: &Catalog,
-    shutdown: &AtomicBool,
+/// State every worker shares with the accept loop.
+struct Shared<'a> {
+    catalog: &'a RwLock<Catalog>,
+    snapshot_dir: Option<&'a Path>,
+    shutdown: &'a AtomicBool,
     local: SocketAddr,
-) {
+}
+
+fn worker_loop(rx: &Mutex<Receiver<TcpStream>>, shared: &Shared) {
     // One scratch per (worker, index): reused across every connection and
     // single query this worker handles.
     let mut scratches: HashMap<String, Scratch> = HashMap::new();
@@ -126,7 +159,7 @@ fn worker_loop(
             guard.recv()
         };
         match stream {
-            Ok(s) => handle_connection(s, catalog, shutdown, local, &mut scratches),
+            Ok(s) => handle_connection(s, shared, &mut scratches),
             Err(_) => break, // channel closed: server is draining
         }
     }
@@ -134,9 +167,7 @@ fn worker_loop(
 
 fn handle_connection(
     mut stream: TcpStream,
-    catalog: &Catalog,
-    shutdown: &AtomicBool,
-    local: SocketAddr,
+    shared: &Shared,
     scratches: &mut HashMap<String, Scratch>,
 ) {
     stream.set_nodelay(true).ok();
@@ -148,7 +179,7 @@ fn handle_connection(
             Err(_) => return,    // timeout, mid-frame EOF, oversized frame
         };
         let (resp, stop) = match Request::decode(&body) {
-            Ok(req) => dispatch(req, catalog, shutdown, local, scratches),
+            Ok(req) => dispatch(req, shared, scratches),
             Err(e) => (Response::Error(format!("bad request: {e}")), true),
         };
         if write_frame(&mut stream, &resp.encode()).is_err() {
@@ -164,35 +195,43 @@ fn handle_connection(
 /// loop to close afterwards.
 fn dispatch(
     req: Request,
-    catalog: &Catalog,
-    shutdown: &AtomicBool,
-    local: SocketAddr,
+    shared: &Shared,
     scratches: &mut HashMap<String, Scratch>,
 ) -> (Response, bool) {
     match req {
         Request::Ping => (Response::Pong, false),
-        Request::List => (Response::List(catalog.iter().map(ServedIndex::info).collect()), false),
+        Request::List => {
+            let catalog = shared.catalog.read().expect("catalog poisoned");
+            (Response::List(catalog.iter().map(ServedIndex::info).collect()), false)
+        }
         Request::Stats => {
-            (Response::Stats(catalog.iter().map(|s| s.stats.snapshot(&s.name)).collect()), false)
+            let catalog = shared.catalog.read().expect("catalog poisoned");
+            (
+                Response::Stats(
+                    catalog.iter().map(|s| s.stats.snapshot(&s.name, &s.spec)).collect(),
+                ),
+                false,
+            )
         }
         Request::Shutdown => {
-            shutdown.store(true, Ordering::SeqCst);
+            shared.shutdown.store(true, Ordering::SeqCst);
             // Poke the accept loop for an instant wake-up; if the connect
             // fails the nonblocking poll observes the flag within
             // ACCEPT_POLL anyway. A wildcard bind is not connectable, so
             // target loopback on the same port.
-            let target: SocketAddr = if local.ip().is_unspecified() {
-                (std::net::Ipv4Addr::LOCALHOST, local.port()).into()
+            let target: SocketAddr = if shared.local.ip().is_unspecified() {
+                (std::net::Ipv4Addr::LOCALHOST, shared.local.port()).into()
             } else {
-                local
+                shared.local
             };
             TcpStream::connect_timeout(&target, Duration::from_millis(100)).ok();
             (Response::ShuttingDown, true)
         }
         Request::Query { index, k, budget, probes, vector } => {
-            let served = match lookup(catalog, &index, vector.len(), k) {
+            let catalog = shared.catalog.read().expect("catalog poisoned");
+            let served = match lookup(&catalog, &index, vector.len(), k) {
                 Ok(s) => s,
-                Err(e) => return (e, false),
+                Err(e) => return (Response::Error(e), false),
             };
             let params =
                 SearchParams::new(k as usize, budget as usize).with_probes(probes as usize);
@@ -204,9 +243,10 @@ fn dispatch(
             (Response::Neighbors(neighbors), false)
         }
         Request::Batch { index, k, budget, probes, dim, vectors } => {
-            let served = match lookup(catalog, &index, dim as usize, k) {
+            let catalog = shared.catalog.read().expect("catalog poisoned");
+            let served = match lookup(&catalog, &index, dim as usize, k) {
                 Ok(s) => s,
-                Err(e) => return (e, false),
+                Err(e) => return (Response::Error(e), false),
             };
             // The response must fit one frame: nq lists of up to k
             // 12-byte neighbors each (k ≤ n is guaranteed by lookup).
@@ -230,34 +270,177 @@ fn dispatch(
             served.stats.record_batch(queries.len() as u64, t0.elapsed().as_micros() as u64);
             (Response::Batch(lists), false)
         }
+        Request::Build { name, spec, metric, data_path, limit } => {
+            (handle_build(shared, &name, &spec, &metric, &data_path, limit), false)
+        }
     }
 }
 
+/// BUILD: parse the spec, load the dataset, build through the eval
+/// registry, optionally snapshot, and atomically install in the catalog.
+/// Everything except the final install runs without any lock held.
+fn handle_build(
+    shared: &Shared,
+    name: &str,
+    spec_text: &str,
+    metric_name: &str,
+    data_path: &str,
+    limit: u32,
+) -> Response {
+    // The name becomes a file name under the snapshot dir, so it must be
+    // a plain token: no separators, no leading dot — a hostile
+    // "../../etc/x" must not escape the directory.
+    if !valid_build_name(name) {
+        return Response::Error(format!(
+            "bad catalog name {name:?}: use letters, digits, '-', '_', '.' (not leading), \
+             at most {} bytes",
+            crate::protocol::MAX_NAME
+        ));
+    }
+    let spec: IndexSpec = match spec_text.parse() {
+        Ok(s) => s,
+        Err(e) => return Response::Error(format!("bad spec {spec_text:?}: {e}")),
+    };
+    let Some(metric) = dataset::Metric::from_name(metric_name) else {
+        return Response::Error(format!(
+            "unknown metric {metric_name:?} (euclidean, angular, hamming, jaccard)"
+        ));
+    };
+    // Bound what an unauthenticated request can make the daemon read:
+    // the file size caps total in-memory growth up front (fvecs stores
+    // 4 bytes/element, so memory ≈ file size), and the fvecs reader
+    // itself caps per-record dimension headers.
+    match std::fs::metadata(data_path) {
+        Ok(m) if m.len() > MAX_BUILD_DATASET_BYTES => {
+            return Response::Error(format!(
+                "dataset {data_path:?} is {} bytes, over the {MAX_BUILD_DATASET_BYTES}-byte \
+                 BUILD cap; pass --limit or pre-slice the file",
+                m.len()
+            ));
+        }
+        Ok(_) => {}
+        Err(e) => return Response::Error(format!("loading dataset {data_path:?}: {e}")),
+    }
+    let limit = if limit == 0 { None } else { Some(limit as usize) };
+    let mut data = match dataset::io::read_fvecs(data_path, limit) {
+        Ok(d) => d,
+        Err(e) => return Response::Error(format!("loading dataset {data_path:?}: {e}")),
+    };
+    if metric.is_angular() {
+        data = data.normalized();
+    }
+    let data = Arc::new(data);
+
+    let t0 = Instant::now();
+    // The spec grammar bounds every knob, but individual builders keep
+    // their own stricter invariants as asserts (LCCS wants m ≥ 2, a
+    // family may reject a degenerate dimension, …). A panic from
+    // untrusted BUILD input must become an error response, not a dead
+    // worker thread.
+    let built = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        registry::build_index_persist(&spec, &BuildCtx { data: &data, metric })
+    }));
+    let (index, payload) = match built {
+        Ok(Ok(built)) => built,
+        Ok(Err(e)) => return Response::Error(format!("building {spec_text:?}: {e}")),
+        Err(panic) => {
+            let msg = panic
+                .downcast_ref::<&str>()
+                .copied()
+                .map(str::to_string)
+                .or_else(|| panic.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".into());
+            return Response::Error(format!("building {spec_text:?} rejected: {msg}"));
+        }
+    };
+    let build_secs = t0.elapsed().as_secs_f64();
+    let method = index.name().to_string();
+
+    // Stage the snapshot (encode + write + fsync, the slow part) before
+    // taking any lock; persisting before installing means an
+    // installed-but-unsnapshotted index can't silently vanish on
+    // restart, while the opposite surprise is harmless.
+    let staged = match (&payload, shared.snapshot_dir) {
+        (Some(payload), Some(dir)) => {
+            let meta = SnapMeta::of_build(&spec, build_secs, data.len() as u64);
+            match crate::snapshot::stage_built_snapshot(dir, name, &method, &data, payload, &meta)
+            {
+                Ok(staged) => Some(staged),
+                Err(e) => return Response::Error(format!("snapshotting {name:?}: {e}")),
+            }
+        }
+        _ => None,
+    };
+
+    // Commit + install under one write lock: two concurrent BUILDs of
+    // the same name must not interleave the snapshot rename and the map
+    // insert, or disk and catalog would name different indexes after a
+    // restart. Only this rename/insert section holds the lock.
+    let mut catalog = shared.catalog.write().expect("catalog poisoned");
+    let mut snapshot_path = String::new();
+    match staged {
+        Some(staged) => match staged.commit() {
+            Ok(path) => snapshot_path = path.display().to_string(),
+            Err(e) => return Response::Error(format!("snapshotting {name:?}: {e}")),
+        },
+        // A non-persisting scheme writes nothing — but a *stale*
+        // snapshot from an earlier BUILD of this name would resurrect
+        // the replaced index on restart, so drop it.
+        None => {
+            if let Some(dir) = shared.snapshot_dir {
+                let stale = dir.join(format!("{name}.{}", crate::snapshot::SNAPSHOT_EXT));
+                std::fs::remove_file(&stale).ok();
+            }
+        }
+    }
+    match catalog.install(name.to_string(), method, spec.to_string(), index, data) {
+        Ok(_replaced) => {
+            let info = catalog.get(name).expect("just installed").info();
+            Response::Built {
+                info,
+                build_micros: (build_secs * 1e6) as u64,
+                snapshot_path,
+            }
+        }
+        Err(e) => Response::Error(format!("installing {name:?}: {e}")),
+    }
+}
+
+/// BUILD names double as snapshot file names: plain tokens only.
+fn valid_build_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.len() <= crate::protocol::MAX_NAME
+        && !name.starts_with('.')
+        && name.bytes().all(|b| b.is_ascii_alphanumeric() || matches!(b, b'-' | b'_' | b'.'))
+}
+
+/// The error side is the message for a `Response::Error` (not the
+/// response itself: `Response` grew large enough with BUILT that clippy
+/// rightly objects to it riding in every `Err`).
 fn lookup<'a>(
     catalog: &'a Catalog,
     name: &str,
     dim: usize,
     k: u32,
-) -> Result<&'a ServedIndex, Response> {
-    let served = catalog
-        .get(name)
-        .ok_or_else(|| Response::Error(format!("no such index {name:?}")))?;
+) -> Result<&'a ServedIndex, String> {
+    let served =
+        catalog.get(name).ok_or_else(|| format!("no such index {name:?}"))?;
     if k == 0 {
-        return Err(Response::Error("k must be at least 1".into()));
+        return Err("k must be at least 1".into());
     }
     // An untrusted k flows into k-sized allocations (verification heaps);
     // beyond n it cannot return more neighbors anyway.
     if k as u64 > served.data.len() as u64 {
-        return Err(Response::Error(format!(
+        return Err(format!(
             "k = {k} exceeds the {} indexed vectors of {name:?}",
             served.data.len()
-        )));
+        ));
     }
     if dim != served.data.dim() {
-        return Err(Response::Error(format!(
+        return Err(format!(
             "dimension mismatch: index {name:?} has dim {}, query has {dim}",
             served.data.dim()
-        )));
+        ));
     }
     Ok(served)
 }

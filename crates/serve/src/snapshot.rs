@@ -15,6 +15,20 @@
 //! dim      u32                            dimensionality
 //! vectors  n * dim * f32                  row-major raw bits
 //! payload  u64 length + bytes             PersistAnn payload
+//! meta     (optional) b"META" + u32 len   build provenance, see below
+//! ```
+//!
+//! The trailing **meta section** (added in PR 3, backward compatible: a
+//! container that ends after `payload` — everything written before the
+//! section existed — still decodes, with [`Snapshot::meta`] `None`)
+//! records where the index came from:
+//!
+//! ```text
+//! spec        u16 length + UTF-8 bytes    canonical ann::spec grammar string
+//! w           f64 bits                    bucket width used
+//! seed        u64                         RNG seed used
+//! build_secs  f64 bits                    indexing wall-clock seconds
+//! source_rows u64                         rows of the source dataset
 //! ```
 //!
 //! Snapshot files use the `.snap` extension; a snapshot directory is just
@@ -66,6 +80,40 @@ impl From<std::io::Error> for SnapError {
     }
 }
 
+/// Marker opening the optional build-provenance section.
+pub const META_MARKER: &[u8; 4] = b"META";
+
+/// Build provenance carried in the snapshot's optional meta section: the
+/// originating [`ann::IndexSpec`] (as its canonical grammar string) plus
+/// the measurements `describe` and LIST report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SnapMeta {
+    /// Canonical `ann::spec` grammar string (e.g. `mp-lccs:m=64,seed=7`).
+    pub spec: String,
+    /// Bucket width the build used.
+    pub w: f64,
+    /// RNG seed the build used.
+    pub seed: u64,
+    /// Indexing wall-clock seconds.
+    pub build_secs: f64,
+    /// Rows of the source dataset the index was built over.
+    pub source_rows: u64,
+}
+
+impl SnapMeta {
+    /// Provenance of a freshly built index: the spec supplies the string,
+    /// `w` and `seed`; the caller supplies its measurements.
+    pub fn of_build(spec: &ann::IndexSpec, build_secs: f64, source_rows: u64) -> SnapMeta {
+        SnapMeta {
+            spec: spec.to_string(),
+            w: spec.build.w,
+            seed: spec.build.seed,
+            build_secs,
+            source_rows,
+        }
+    }
+}
+
 /// A decoded (but not yet restored) snapshot container.
 pub struct Snapshot {
     /// Catalog name the index is served under.
@@ -76,14 +124,17 @@ pub struct Snapshot {
     pub data: Dataset,
     /// The method's [`PersistAnn`] payload.
     pub payload: Vec<u8>,
+    /// Build provenance; `None` for pre-meta (PR-2 era) containers.
+    pub meta: Option<SnapMeta>,
 }
 
+/// Container strings reject emptiness before handing off to the shared
+/// [`crate::wire::put_str16`] framing.
 fn put_str16(out: &mut Vec<u8>, s: &str) -> Result<(), SnapError> {
     if s.is_empty() || s.len() > u16::MAX as usize {
         return Err(SnapError::Malformed(format!("bad name length {}", s.len())));
     }
-    out.extend_from_slice(&(s.len() as u16).to_le_bytes());
-    out.extend_from_slice(s.as_bytes());
+    crate::wire::put_str16(out, s);
     Ok(())
 }
 
@@ -93,44 +144,89 @@ fn ctx<T>(res: Result<T, crate::wire::Short>, what: &str) -> Result<T, SnapError
 }
 
 fn get_str16(r: &mut crate::wire::Reader, what: &str) -> Result<String, SnapError> {
-    let len = ctx(r.u16(), what)? as usize;
-    if len == 0 {
+    let raw = ctx(r.take16(), what)?;
+    if raw.is_empty() {
         return Err(SnapError::Malformed(format!("empty {what}")));
     }
-    String::from_utf8(ctx(r.take(len), what)?.to_vec())
+    String::from_utf8(raw.to_vec())
         .map_err(|_| SnapError::Malformed(format!("{what} is not UTF-8")))
+}
+
+/// The shared serializer behind [`Snapshot::encode`] and
+/// [`write_built_snapshot`]: borrowing the dataset means the build path
+/// never clones the vectors just to write them out.
+fn encode_parts(
+    name: &str,
+    method: &str,
+    data: &Dataset,
+    payload: &[u8],
+    meta: Option<&SnapMeta>,
+) -> Result<Vec<u8>, SnapError> {
+    let flat = data.as_flat();
+    let mut out = Vec::with_capacity(64 + flat.len() * 4 + payload.len());
+    out.extend_from_slice(MAGIC);
+    put_str16(&mut out, name)?;
+    put_str16(&mut out, method)?;
+    out.extend_from_slice(&(data.len() as u64).to_le_bytes());
+    out.extend_from_slice(&(data.dim() as u32).to_le_bytes());
+    for v in flat {
+        out.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(payload);
+    if let Some(meta) = meta {
+        let mut section = Vec::with_capacity(40 + meta.spec.len());
+        put_str16(&mut section, &meta.spec)?;
+        section.extend_from_slice(&meta.w.to_bits().to_le_bytes());
+        section.extend_from_slice(&meta.seed.to_le_bytes());
+        section.extend_from_slice(&meta.build_secs.to_bits().to_le_bytes());
+        section.extend_from_slice(&meta.source_rows.to_le_bytes());
+        out.extend_from_slice(META_MARKER);
+        out.extend_from_slice(&(section.len() as u32).to_le_bytes());
+        out.extend_from_slice(&section);
+    }
+    Ok(out)
+}
+
+/// Writes `bytes` to `path` atomically (tmp file + rename).
+fn write_bytes_atomic(path: &Path, bytes: &[u8]) -> Result<(), SnapError> {
+    let tmp = path.with_extension("snap.tmp");
+    {
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+    }
+    fs::rename(&tmp, path)?;
+    Ok(())
 }
 
 impl Snapshot {
     /// Builds a container from a built index and its dataset. The method
-    /// name is taken from [`ann::AnnIndex::name`].
+    /// name is taken from [`ann::AnnIndex::name`]; no provenance is
+    /// attached — chain [`Snapshot::with_meta`] when the spec is known.
     pub fn of_index(name: &str, index: &dyn PersistAnn, data: &Dataset) -> Snapshot {
         Snapshot {
             name: name.to_string(),
             method: index.name().to_string(),
             data: data.clone(),
             payload: index.snapshot_bytes(),
+            meta: None,
         }
+    }
+
+    /// Attaches build provenance (written as the optional meta section).
+    pub fn with_meta(mut self, meta: SnapMeta) -> Snapshot {
+        self.meta = Some(meta);
+        self
     }
 
     /// Serializes the container.
     pub fn encode(&self) -> Result<Vec<u8>, SnapError> {
-        let flat = self.data.as_flat();
-        let mut out = Vec::with_capacity(64 + flat.len() * 4 + self.payload.len());
-        out.extend_from_slice(MAGIC);
-        put_str16(&mut out, &self.name)?;
-        put_str16(&mut out, &self.method)?;
-        out.extend_from_slice(&(self.data.len() as u64).to_le_bytes());
-        out.extend_from_slice(&(self.data.dim() as u32).to_le_bytes());
-        for v in flat {
-            out.extend_from_slice(&v.to_bits().to_le_bytes());
-        }
-        out.extend_from_slice(&(self.payload.len() as u64).to_le_bytes());
-        out.extend_from_slice(&self.payload);
-        Ok(out)
+        encode_parts(&self.name, &self.method, &self.data, &self.payload, self.meta.as_ref())
     }
 
-    /// Decodes a container produced by [`Snapshot::encode`].
+    /// Decodes a container produced by [`Snapshot::encode`] — including
+    /// pre-meta (PR-2 era) containers, which yield `meta: None`.
     pub fn decode(raw: &[u8]) -> Result<Snapshot, SnapError> {
         let mut r = crate::wire::Reader::new(raw);
         if ctx(r.take(MAGIC.len()), "magic")? != MAGIC {
@@ -150,25 +246,42 @@ impl Snapshot {
         let flat = ctx(r.f32s((n * u64::from(dim)) as usize), "vector section")?;
         let payload_len = ctx(r.u64(), "payload length")?;
         let payload = ctx(r.take(payload_len as usize), "payload")?.to_vec();
-        if r.remaining() != 0 {
-            return Err(SnapError::Malformed(format!("{} trailing bytes", r.remaining())));
-        }
+        // Optional meta section: absent on old containers (clean EOF
+        // here), present as marker + length + fields on new ones.
+        let meta = if r.remaining() == 0 {
+            None
+        } else {
+            if ctx(r.take(META_MARKER.len()), "meta marker")? != META_MARKER {
+                return Err(SnapError::Malformed("trailing bytes are not a META section".into()));
+            }
+            let len = ctx(r.u32(), "meta length")? as usize;
+            if len != r.remaining() {
+                return Err(SnapError::Malformed(format!(
+                    "META section declares {len} bytes, {} remain",
+                    r.remaining()
+                )));
+            }
+            let spec = get_str16(&mut r, "meta spec")?;
+            let w = ctx(r.f64(), "meta w")?;
+            let seed = ctx(r.u64(), "meta seed")?;
+            let build_secs = ctx(r.f64(), "meta build_secs")?;
+            let source_rows = ctx(r.u64(), "meta source_rows")?;
+            if r.remaining() != 0 {
+                return Err(SnapError::Malformed(format!(
+                    "{} trailing bytes after META",
+                    r.remaining()
+                )));
+            }
+            Some(SnapMeta { spec, w, seed, build_secs, source_rows })
+        };
         let data = Dataset::from_flat(name.clone(), dim as usize, flat);
-        Ok(Snapshot { name, method, data, payload })
+        Ok(Snapshot { name, method, data, payload, meta })
     }
 
     /// Writes the container to `path` atomically (tmp file + rename, so a
     /// crashed writer never leaves a half-written `.snap` for `annd`).
     pub fn write_to(&self, path: &Path) -> Result<(), SnapError> {
-        let bytes = self.encode()?;
-        let tmp = path.with_extension("snap.tmp");
-        {
-            let mut f = fs::File::create(&tmp)?;
-            f.write_all(&bytes)?;
-            f.sync_all()?;
-        }
-        fs::rename(&tmp, path)?;
-        Ok(())
+        write_bytes_atomic(path, &self.encode()?)
     }
 
     /// Reads a container from disk.
@@ -178,16 +291,87 @@ impl Snapshot {
 }
 
 /// Snapshots `index` into `dir/<name>.snap` and returns the path written.
+/// `meta` attaches build provenance when the originating spec is known.
 pub fn write_index_snapshot(
     dir: &Path,
     name: &str,
     index: &dyn PersistAnn,
     data: &Dataset,
+    meta: Option<SnapMeta>,
 ) -> Result<PathBuf, SnapError> {
     fs::create_dir_all(dir)?;
     let path = dir.join(format!("{name}.{SNAPSHOT_EXT}"));
-    Snapshot::of_index(name, index, data).write_to(&path)?;
+    let bytes = encode_parts(name, index.name(), data, &index.snapshot_bytes(), meta.as_ref())?;
+    write_bytes_atomic(&path, &bytes)?;
     Ok(path)
+}
+
+/// A built snapshot fully written to a unique temp file, awaiting an
+/// atomic [`StagedSnapshot::commit`] (a rename) into its final name.
+///
+/// The split lets `annd`'s BUILD do the expensive encode + write +
+/// fsync without holding the catalog lock, then commit the rename and
+/// the catalog install together under it — so concurrent BUILDs of the
+/// same name can never leave disk and catalog naming different indexes.
+pub struct StagedSnapshot {
+    tmp: PathBuf,
+    path: PathBuf,
+}
+
+impl StagedSnapshot {
+    /// Renames the staged file into place, returning the final path.
+    pub fn commit(self) -> Result<PathBuf, SnapError> {
+        fs::rename(&self.tmp, &self.path)?;
+        Ok(self.path)
+    }
+
+    /// Discards the staged file.
+    pub fn abort(self) {
+        fs::remove_file(&self.tmp).ok();
+    }
+}
+
+/// Encodes and writes a freshly built index's container to a unique
+/// temp file in `dir` — payload captured by
+/// `eval::registry::build_index_persist`, provenance from the spec, and
+/// no dataset clone (the vectors are streamed straight from `data`).
+pub fn stage_built_snapshot(
+    dir: &Path,
+    name: &str,
+    method: &str,
+    data: &Dataset,
+    payload: &[u8],
+    meta: &SnapMeta,
+) -> Result<StagedSnapshot, SnapError> {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static STAGE_TAG: AtomicU64 = AtomicU64::new(0);
+    fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{name}.{SNAPSHOT_EXT}"));
+    // Unique per staging call, so concurrent builders of the same name
+    // never clobber each other's half-written temp file. The extension
+    // is not `.snap`, so `load_dir` ignores stragglers.
+    let tag = STAGE_TAG.fetch_add(1, Ordering::Relaxed);
+    let tmp = dir.join(format!("{name}.snap-stage-{}-{tag}", std::process::id()));
+    let bytes = encode_parts(name, method, data, payload, Some(meta))?;
+    {
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(&bytes)?;
+        f.sync_all()?;
+    }
+    Ok(StagedSnapshot { tmp, path })
+}
+
+/// [`stage_built_snapshot`] + immediate commit, for offline writers
+/// (`ann-cli demo`) with no catalog to synchronize with.
+pub fn write_built_snapshot(
+    dir: &Path,
+    name: &str,
+    method: &str,
+    data: &Dataset,
+    payload: &[u8],
+    meta: &SnapMeta,
+) -> Result<PathBuf, SnapError> {
+    stage_built_snapshot(dir, name, method, data, payload, meta)?.commit()
 }
 
 #[cfg(test)]
@@ -216,6 +400,57 @@ mod tests {
         assert_eq!(back.method, "LCCS-LSH");
         assert_eq!(back.data.as_flat(), data.as_flat());
         assert_eq!(back.payload, snap.payload);
+        assert_eq!(back.meta, None, "of_index attaches no provenance");
+    }
+
+    #[test]
+    fn meta_section_round_trips() {
+        let (data, idx) = built();
+        let spec: ann::IndexSpec = "lccs:m=8,w=8,seed=42".parse().unwrap();
+        let meta = SnapMeta::of_build(&spec, 1.25, data.len() as u64);
+        let snap = Snapshot::of_index("demo", &idx, &data).with_meta(meta.clone());
+        let back = Snapshot::decode(&snap.encode().unwrap()).unwrap();
+        let got = back.meta.expect("meta survives");
+        assert_eq!(got, meta);
+        assert_eq!(got.spec, "lccs:m=8,w=8,seed=42");
+        assert_eq!(got.w, 8.0);
+        assert_eq!(got.seed, 42);
+        assert_eq!(got.source_rows, 200);
+    }
+
+    #[test]
+    fn pre_meta_containers_still_load() {
+        // A PR-2-era container is exactly today's encoding minus the META
+        // section (meta: None reproduces it byte for byte); it must decode
+        // with meta: None rather than erroring on the missing section.
+        let (data, idx) = built();
+        let v1 = Snapshot::of_index("old", &idx, &data).encode().unwrap();
+        let back = Snapshot::decode(&v1).unwrap();
+        assert_eq!(back.name, "old");
+        assert!(back.meta.is_none(), "pre-v2 snapshots have no spec");
+    }
+
+    #[test]
+    fn corrupt_meta_sections_are_rejected() {
+        let (data, idx) = built();
+        let spec: ann::IndexSpec = "lccs:m=8".parse().unwrap();
+        let good = Snapshot::of_index("demo", &idx, &data)
+            .with_meta(SnapMeta::of_build(&spec, 0.5, 200))
+            .encode()
+            .unwrap();
+        // Any truncation inside the meta section fails cleanly.
+        for cut in 1..41 {
+            assert!(Snapshot::decode(&good[..good.len() - cut]).is_err(), "cut {cut}");
+        }
+        // A wrong marker is not silently skipped.
+        let mut bad = good.clone();
+        let marker_at = good.len() - 8 - 4 - (2 + spec.to_string().len()) - 8 - 8 - 8 - 4;
+        bad[marker_at] = b'X';
+        assert!(Snapshot::decode(&bad).is_err());
+        // Trailing garbage after the section is rejected.
+        let mut bad = good;
+        bad.push(0);
+        assert!(Snapshot::decode(&bad).is_err());
     }
 
     #[test]
@@ -245,7 +480,7 @@ mod tests {
     fn write_read_disk_round_trip() {
         let (data, idx) = built();
         let dir = std::env::temp_dir().join(format!("snaptest-{}", std::process::id()));
-        let path = write_index_snapshot(&dir, "demo", &idx, &data).unwrap();
+        let path = write_index_snapshot(&dir, "demo", &idx, &data, None).unwrap();
         assert!(path.ends_with("demo.snap"));
         let back = Snapshot::read_from(&path).unwrap();
         assert_eq!(back.method, "LCCS-LSH");

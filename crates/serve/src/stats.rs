@@ -34,10 +34,12 @@ impl IndexStats {
         self.record_latency(micros);
     }
 
-    /// A wire-ready snapshot of the counters.
-    pub fn snapshot(&self, name: &str) -> StatsEntry {
+    /// A wire-ready snapshot of the counters. `spec` is the served
+    /// entry's spec string (empty when unknown).
+    pub fn snapshot(&self, name: &str, spec: &str) -> StatsEntry {
         StatsEntry {
             name: name.to_string(),
+            spec: spec.to_string(),
             queries: self.queries.load(Ordering::Relaxed),
             batch_requests: self.batch_requests.load(Ordering::Relaxed),
             batch_queries: self.batch_queries.load(Ordering::Relaxed),
@@ -57,8 +59,9 @@ mod tests {
         s.record_query(10);
         s.record_query(30);
         s.record_batch(64, 500);
-        let snap = s.snapshot("x");
+        let snap = s.snapshot("x", "lccs:m=8");
         assert_eq!(snap.name, "x");
+        assert_eq!(snap.spec, "lccs:m=8");
         assert_eq!(snap.queries, 2);
         assert_eq!(snap.batch_requests, 1);
         assert_eq!(snap.batch_queries, 64);

@@ -39,6 +39,14 @@ impl<'a> Reader<'a> {
         Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2 bytes")))
     }
 
+    /// A `u16`-length-prefixed byte run — the string framing shared by
+    /// the protocol and the snapshot container (each layer applies its
+    /// own UTF-8/emptiness policy on top).
+    pub(crate) fn take16(&mut self) -> Result<&'a [u8], Short> {
+        let len = self.u16()? as usize;
+        self.take(len)
+    }
+
     pub(crate) fn u32(&mut self) -> Result<u32, Short> {
         Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
     }
@@ -61,9 +69,30 @@ impl<'a> Reader<'a> {
     }
 }
 
+/// Writes the `u16`-length-prefixed string [`Reader::take16`] reads.
+///
+/// # Panics
+/// Panics if `s` exceeds `u16::MAX` bytes — callers validate first.
+pub(crate) fn put_str16(out: &mut Vec<u8>, s: &str) {
+    assert!(s.len() <= u16::MAX as usize, "string of {} bytes exceeds u16", s.len());
+    out.extend_from_slice(&(s.len() as u16).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn str16_round_trips() {
+        let mut buf = Vec::new();
+        put_str16(&mut buf, "hé");
+        put_str16(&mut buf, "");
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.take16(), Ok("hé".as_bytes()));
+        assert_eq!(r.take16(), Ok(&b""[..]));
+        assert_eq!(r.take16(), Err(Short));
+    }
 
     #[test]
     fn reads_and_reports_short() {

@@ -48,8 +48,13 @@ fn fixture(tag: &str) -> Fixture {
         &params,
         MpParams { probes: 9, max_alts: 8 },
     );
-    write_index_snapshot(&dir, "e2e-lccs", &single, &data).unwrap();
-    write_index_snapshot(&dir, "e2e-mp", &mp, &data).unwrap();
+    let meta = serve::snapshot::SnapMeta::of_build(
+        &"lccs:m=16,w=8,seed=99".parse().unwrap(),
+        0.5,
+        data.len() as u64,
+    );
+    write_index_snapshot(&dir, "e2e-lccs", &single, &data, Some(meta)).unwrap();
+    write_index_snapshot(&dir, "e2e-mp", &mp, &data, None).unwrap();
     Fixture { dir, data, single, mp }
 }
 
@@ -70,7 +75,7 @@ fn served_results_are_byte_identical_to_in_process() {
     let mut client = Client::connect(addr).unwrap();
     client.ping().unwrap();
 
-    // LIST describes both snapshots, in name order.
+    // LIST describes both snapshots, in name order, with their specs.
     let infos = client.list().unwrap();
     let names: Vec<&str> = infos.iter().map(|i| i.name.as_str()).collect();
     assert_eq!(names, ["e2e-lccs", "e2e-mp"]);
@@ -78,6 +83,8 @@ fn served_results_are_byte_identical_to_in_process() {
     assert_eq!(infos[1].method, "MP-LCCS-LSH");
     assert_eq!(infos[0].len, 800);
     assert_eq!(infos[0].dim, 24);
+    assert_eq!(infos[0].spec, "lccs:m=16,w=8,seed=99", "meta spec surfaces in LIST");
+    assert_eq!(infos[1].spec, "", "meta-less snapshot lists an empty spec");
 
     let queries = fx.data.sample_queries(37, 5);
     let params = SearchParams::new(10, 64);
@@ -103,9 +110,10 @@ fn served_results_are_byte_identical_to_in_process() {
         assert_eq!(bits(&[remote]), bits(&[local]), "mp query {i} with probe override");
     }
 
-    // STATS saw every request against the right index.
+    // STATS saw every request against the right index, and carries specs.
     let stats = client.stats().unwrap();
     let lccs = stats.iter().find(|s| s.name == "e2e-lccs").unwrap();
+    assert_eq!(lccs.spec, "lccs:m=16,w=8,seed=99", "spec rides along in STATS");
     assert_eq!(lccs.queries, 3);
     assert_eq!(lccs.batch_requests, 1);
     assert_eq!(lccs.batch_queries, 37);
@@ -146,6 +154,152 @@ fn bad_requests_get_error_responses_not_disconnects() {
 
     client.shutdown().unwrap();
     handle.join().expect("server thread");
+}
+
+#[test]
+fn build_over_the_wire_matches_in_process_build_bit_for_bit() {
+    // The PR-3 acceptance path: gen an .fvecs dataset, BUILD from a spec
+    // string against a live annd, query over the wire, and compare
+    // byte-for-byte with an in-process build of the same spec — then
+    // check the written .snap carries the spec for `describe`.
+    let dir = std::env::temp_dir().join(format!("annd-build-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // Server-side dataset file.
+    let synth = SynthSpec::new("buildset", 600, 20).with_clusters(10);
+    let data = Arc::new(synth.generate(33));
+    let fvecs = dir.join("buildset.fvecs");
+    dataset::io::write_fvecs(&fvecs, &data).unwrap();
+
+    // Empty catalog + snapshot dir: everything arrives via BUILD.
+    let server = Server::bind(Catalog::empty(), "127.0.0.1:0", 2)
+        .expect("bind")
+        .with_snapshot_dir(&dir);
+    let addr = server.local_addr().unwrap();
+    let handle = std::thread::spawn(move || server.run().expect("serving loop"));
+    let mut client = Client::connect(addr).unwrap();
+
+    let spec_text = "mp-lccs:m=16,w=8,seed=123";
+    let (info, build_micros, snapshot_path) = client
+        .build("live-mp", spec_text, "euclidean", fvecs.to_str().unwrap(), 0)
+        .expect("BUILD");
+    assert_eq!(info.name, "live-mp");
+    assert_eq!(info.method, "MP-LCCS-LSH");
+    assert_eq!(info.spec, spec_text, "catalog serves the originating spec");
+    assert_eq!((info.len, info.dim), (600, 20));
+    assert!(build_micros > 0);
+    assert!(snapshot_path.ends_with("live-mp.snap"), "{snapshot_path}");
+
+    // Same spec built in-process through the registry must answer
+    // byte-identically over the wire.
+    let spec: ann::IndexSpec = spec_text.parse().unwrap();
+    let (local, _) = eval::registry::build_index_persist(
+        &spec,
+        &eval::registry::BuildCtx { data: &data, metric: dataset::Metric::Euclidean },
+    )
+    .expect("in-process build");
+    let queries = data.sample_queries(23, 7);
+    let params = SearchParams::new(10, 64).with_probes(17);
+    let expected = bits(&local.query_batch(&queries, &params));
+    let remote = client.query_batch("live-mp", 10, 64, 17, &queries).unwrap();
+    assert_eq!(bits(&remote), expected, "wire answers must be byte-identical");
+
+    // The written snapshot carries the spec and provenance...
+    let snap = serve::snapshot::Snapshot::read_from(std::path::Path::new(&snapshot_path))
+        .expect("read built snapshot");
+    let meta = snap.meta.expect("BUILD attaches meta");
+    assert_eq!(meta.spec, spec_text);
+    assert_eq!(meta.seed, 123);
+    assert_eq!(meta.w, 8.0);
+    assert_eq!(meta.source_rows, 600);
+
+    // ...and a restarted server (fresh catalog off the same dir) serves
+    // the built index with identical answers.
+    let reloaded = Catalog::load_dir(&dir).expect("reload snapshot dir");
+    assert_eq!(reloaded.len(), 1);
+    let served = reloaded.get("live-mp").unwrap();
+    assert_eq!(served.spec, spec_text);
+    assert_eq!(bits(&served.index.query_batch(&queries, &params)), expected);
+
+    // BUILD onto an existing name replaces the entry (new seed, new spec).
+    let (info2, _, _) = client
+        .build("live-mp", "mp-lccs:m=16,w=8,seed=124", "euclidean", fvecs.to_str().unwrap(), 0)
+        .expect("replacing BUILD");
+    assert_eq!(info2.spec, "mp-lccs:m=16,w=8,seed=124");
+    let infos = client.list().unwrap();
+    assert_eq!(infos.len(), 1, "install replaced, not duplicated");
+
+    // Names are file names under the snapshot dir: traversal is rejected.
+    for evil in ["../evil", "a/b", "..", ".hidden", "a\\b"] {
+        let err = client
+            .build(evil, "lccs:m=8", "euclidean", fvecs.to_str().unwrap(), 0)
+            .unwrap_err();
+        assert!(
+            matches!(&err, ClientError::Server(m) if m.contains("bad catalog name")),
+            "{evil:?}: {err}"
+        );
+    }
+    assert!(!dir.join("../evil.snap").exists());
+
+    // Replacing with a non-persisting scheme must also drop the stale
+    // snapshot, or a restart would resurrect the old index under the name.
+    let (info3, _, snap3) = client
+        .build("live-mp", "e2lsh:k=2,l=4,w=8,seed=5", "euclidean", fvecs.to_str().unwrap(), 0)
+        .expect("non-persisting replace");
+    assert_eq!(info3.method, "E2LSH");
+    assert!(snap3.is_empty(), "e2lsh writes no snapshot");
+    assert!(!dir.join("live-mp.snap").exists(), "stale snapshot removed");
+    assert!(Catalog::load_dir(&dir).unwrap().get("live-mp").is_none());
+
+    // Build errors come back as protocol errors, not disconnects.
+    let err = client
+        .build("bad", "hnsw:m=16", "euclidean", fvecs.to_str().unwrap(), 0)
+        .unwrap_err();
+    assert!(matches!(&err, ClientError::Server(m) if m.contains("unknown scheme")), "{err}");
+    // Grammar-valid specs that a builder's own invariants reject (LCCS
+    // wants m >= 2) must error too — a panic here would kill the worker
+    // and drop the connection instead.
+    let err = client
+        .build("bad", "lccs:m=1", "euclidean", fvecs.to_str().unwrap(), 0)
+        .unwrap_err();
+    assert!(matches!(&err, ClientError::Server(m) if m.contains("rejected")), "{err}");
+    // The same worker (pool of 2, same connection) still answers.
+    client.ping().unwrap();
+    let err = client
+        .build("bad", "lccs:m=16", "manhattan", fvecs.to_str().unwrap(), 0)
+        .unwrap_err();
+    assert!(matches!(&err, ClientError::Server(m) if m.contains("unknown metric")), "{err}");
+    let err = client.build("bad", "lccs:m=16", "euclidean", "/no/such/file.fvecs", 0).unwrap_err();
+    assert!(matches!(&err, ClientError::Server(m) if m.contains("loading dataset")), "{err}");
+    client.ping().unwrap();
+
+    client.shutdown().unwrap();
+    handle.join().expect("server thread");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn pre_v2_snapshots_without_spec_still_serve() {
+    // A PR-2-era container (no META section) loads, serves, and reports
+    // an empty/unknown spec everywhere.
+    let fx = fixture("backcompat");
+    // fixture() writes e2e-mp with meta: None — byte-compatible with the
+    // PR-2 writer. Serve it and check the unknown-spec path end to end.
+    let (addr, handle) = start_server(&fx, 1);
+    let mut client = Client::connect(addr).unwrap();
+    let info = client.list().unwrap().into_iter().find(|i| i.name == "e2e-mp").unwrap();
+    assert_eq!(info.spec, "", "pre-v2 snapshot serves with an unknown spec");
+    let remote = client.query("e2e-mp", 5, 48, 0, fx.data.get(3)).unwrap();
+    let local = AnnIndex::query(&fx.mp, fx.data.get(3), &SearchParams::new(5, 48));
+    assert_eq!(bits(&[remote]), bits(&[local]));
+    client.shutdown().unwrap();
+    handle.join().expect("server thread");
+
+    // And `describe`'s decode path agrees: meta is None.
+    let snap =
+        serve::snapshot::Snapshot::read_from(&fx.dir.join("e2e-mp.snap")).expect("read");
+    assert!(snap.meta.is_none());
 }
 
 #[test]

@@ -133,7 +133,7 @@ macro_rules! tuple_strategy {
         }
     )*};
 }
-tuple_strategy!((A)(A, B)(A, B, C)(A, B, C, D));
+tuple_strategy!((A)(A, B)(A, B, C)(A, B, C, D)(A, B, C, D, E)(A, B, C, D, E, F));
 
 /// Types with a canonical full-range strategy (shim for `Arbitrary`).
 pub trait Arbitrary: Sized {

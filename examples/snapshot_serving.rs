@@ -37,8 +37,13 @@ fn main() {
     println!("built 2 indexes over n={} d={} in {:?}", data.len(), data.dim(), t0.elapsed());
 
     let t0 = Instant::now();
-    write_index_snapshot(&dir, "sift-lccs", &single, &data).expect("snapshot single");
-    write_index_snapshot(&dir, "sift-mp", &mp, &data).expect("snapshot mp");
+    let meta = |text: &str| {
+        serve::snapshot::SnapMeta::of_build(&text.parse().expect("spec"), 0.0, data.len() as u64)
+    };
+    write_index_snapshot(&dir, "sift-lccs", &single, &data, Some(meta("lccs:m=32,w=8")))
+        .expect("snapshot single");
+    write_index_snapshot(&dir, "sift-mp", &mp, &data, Some(meta("mp-lccs:m=32,w=8")))
+        .expect("snapshot mp");
     println!("snapshotted both to {} in {:?}", dir.display(), t0.elapsed());
     drop((single, mp)); // the builder is done; servers never rebuild
 
@@ -54,7 +59,10 @@ fn main() {
 
         let mut client = Client::connect(addr).expect("connect");
         for info in client.list().expect("list") {
-            println!("  serves {} [{}] n={} dim={}", info.name, info.method, info.len, info.dim);
+            println!(
+                "  serves {} [{}] spec={} n={} dim={}",
+                info.name, info.method, info.spec, info.len, info.dim
+            );
         }
 
         let hits = client.query("sift-lccs", 5, 128, 0, queries.get(0)).expect("query");

@@ -37,10 +37,17 @@ serve dir="/tmp/annd-snapshots" addr="127.0.0.1:7700":
 smoke dir="/tmp/annd-smoke" addr="127.0.0.1:38211":
     bash scripts/annd-smoke.sh {{dir}} {{addr}}
 
+# Spec-grammar smoke: print the scheme table and assert every registry
+# entry appears in ann::spec::help() (the same invariant CI pins via the
+# eval unit test).
+spec-help:
+    cargo run --release -p serve --bin ann-cli -- spec-help
+    cargo test -q --release -p eval registry::tests::every_registry_entry_appears_in_spec_help
+
 # The offline-guard CI job: build with no network, assert no registry deps.
 offline-guard:
     cargo build --release --offline --workspace
     @! grep -qE '^source = ' Cargo.lock || (echo 'non-vendored dependency in Cargo.lock' && exit 1)
 
 # Everything the CI workflow runs.
-verify: build test clippy offline-guard
+verify: build test clippy spec-help offline-guard

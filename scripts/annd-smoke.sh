@@ -27,6 +27,28 @@ ZERO_VEC=$(printf '0.0,%.0s' $(seq "$DIM") | sed 's/,$//')
 "$CLI" list --addr "$ADDR"
 "$CLI" query --addr "$ADDR" --index demo-lccs --k 5 --budget 64 --vec "$ZERO_VEC"
 "$CLI" stats --addr "$ADDR"
+
+# BUILD over the wire: gen an fvecs dataset, build from a spec string,
+# query the freshly installed index, and check the snapshot + catalog
+# both carry the spec.
+"$CLI" gen --out "$DIR/live.fvecs" --n 400 --dim "$DIM" --seed 7
+"$CLI" build --addr "$ADDR" --index live-mp --spec "mp-lccs:m=8,w=8,seed=7" \
+    --data "$DIR/live.fvecs"
+"$CLI" query --addr "$ADDR" --index live-mp --k 5 --budget 64 --probes 17 --vec "$ZERO_VEC"
+"$CLI" list --addr "$ADDR" | grep -F "live-mp" | grep -F "spec=mp-lccs:m=8,w=8,seed=7" \
+    || (echo "BUILD smoke: spec missing from LIST" && exit 1)
+"$CLI" describe --snap "$DIR/live-mp.snap" | grep -F "spec:    mp-lccs:m=8,w=8,seed=7" \
+    || (echo "BUILD smoke: spec missing from snapshot" && exit 1)
+
+# Back-compat: a PR-2-era container is today's bytes minus the trailing
+# META section (marker 4 + len 4 + u16 spec string (2 + 22 here) + w 8 +
+# seed 8 + build_secs 8 + rows 8 = 64 bytes for this spec). Stripping it
+# must yield a loadable snapshot that describe reports as pre-v2.
+SNAP_SIZE=$(wc -c < "$DIR/live-mp.snap")
+head -c "$((SNAP_SIZE - 64))" "$DIR/live-mp.snap" > "$DIR/prev2.snap"
+"$CLI" describe --snap "$DIR/prev2.snap" | grep -F "spec:    unknown (pre-v2)" \
+    || (echo "BUILD smoke: pre-v2 snapshot not described as unknown" && exit 1)
+
 "$CLI" shutdown --addr "$ADDR"
 
 wait "$ANND_PID"

@@ -1,9 +1,10 @@
 //! Cross-crate integration tests: every scheme end-to-end on every
 //! surrogate dataset, both metrics, against exact ground truth.
 
+use ann::SearchParams;
 use dataset::{ExactKnn, Metric, SynthSpec};
-use eval::harness::{run_point, IndexSpec};
 use eval::experiments::{load_workload, ExpOptions};
+use eval::harness::{build_spec, run_point, IndexSpec};
 
 fn opts(n: usize) -> ExpOptions {
     ExpOptions { n, queries: 15, k: 10, seed: 7, ..Default::default() }
@@ -15,16 +16,19 @@ fn every_method_reaches_reasonable_recall_on_every_dataset_euclidean() {
     for (spec, ty) in eval::experiments::suite_specs(o.n) {
         let wl = load_workload(&spec, ty, &o, Metric::Euclidean);
         for (spec, budget, probes, floor) in [
-            (IndexSpec::Lccs { m: 32 }, 512usize, 0usize, 0.5f64),
-            (IndexSpec::MpLccs { m: 32 }, 512, 33, 0.5),
-            (IndexSpec::E2lsh { k_funcs: 4, l_tables: 32 }, 1024, 0, 0.4),
-            (IndexSpec::MultiProbeLsh { k_funcs: 4, l_tables: 8 }, 1024, 64, 0.4),
-            (IndexSpec::C2lsh { m: 32, l: 4 }, 512, 0, 0.5),
-            (IndexSpec::Qalsh { m: 32, l: 8 }, 512, 0, 0.5),
-            (IndexSpec::Srs { d_proj: 8 }, 512, 0, 0.5),
-            (IndexSpec::Linear, 0, 0, 0.999),
+            (IndexSpec::lccs(32), 512usize, 0usize, 0.5f64),
+            (IndexSpec::mp_lccs(32), 512, 33, 0.5),
+            (IndexSpec::e2lsh(4, 32), 1024, 0, 0.4),
+            (IndexSpec::multi_probe(4, 8), 1024, 64, 0.4),
+            (IndexSpec::c2lsh(32, 4), 512, 0, 0.5),
+            (IndexSpec::qalsh(32, 8), 512, 0, 0.5),
+            (IndexSpec::srs(8), 512, 0, 0.5),
+            (IndexSpec::kd_tree(), 0, 0, 0.999),
+            (IndexSpec::linear(), 0, 0, 0.999),
         ] {
-            let built = spec.build(&wl.data, Metric::Euclidean, wl.w, o.seed);
+            let spec = spec.with_w(wl.w).with_seed(o.seed);
+            let built = build_spec(&spec, &wl.data, Metric::Euclidean)
+                .unwrap_or_else(|e| panic!("building {spec}: {e}"));
             let pt = run_point(&built, &wl.name, &wl.queries, &wl.gt, o.k, budget, probes);
             assert!(
                 pt.recall >= floor,
@@ -44,13 +48,15 @@ fn angular_methods_work_on_every_dataset() {
     for (spec, ty) in eval::experiments::suite_specs(o.n) {
         let wl = load_workload(&spec, ty, &o, Metric::Angular);
         for (spec, budget, probes, floor) in [
-            (IndexSpec::Lccs { m: 32 }, 512usize, 0usize, 0.5f64),
-            (IndexSpec::MpLccs { m: 32 }, 512, 33, 0.5),
-            (IndexSpec::Falconn { k_funcs: 2, l_tables: 16 }, 1024, 64, 0.4),
-            (IndexSpec::E2lsh { k_funcs: 1, l_tables: 16 }, 1024, 0, 0.4),
-            (IndexSpec::C2lsh { m: 32, l: 2 }, 1024, 0, 0.4),
+            (IndexSpec::lccs(32), 512usize, 0usize, 0.5f64),
+            (IndexSpec::mp_lccs(32), 512, 33, 0.5),
+            (IndexSpec::falconn(2, 16), 1024, 64, 0.4),
+            (IndexSpec::e2lsh(1, 16), 1024, 0, 0.4),
+            (IndexSpec::c2lsh(32, 2), 1024, 0, 0.4),
         ] {
-            let built = spec.build(&wl.data, Metric::Angular, wl.w, o.seed);
+            let spec = spec.with_w(wl.w).with_seed(o.seed);
+            let built = build_spec(&spec, &wl.data, Metric::Angular)
+                .unwrap_or_else(|e| panic!("building {spec}: {e}"));
             let pt = run_point(&built, &wl.name, &wl.queries, &wl.gt, o.k, budget, probes);
             assert!(
                 pt.recall >= floor,
@@ -72,7 +78,8 @@ fn lccs_recall_is_budget_monotone_statistically() {
         &o,
         Metric::Euclidean,
     );
-    let built = IndexSpec::Lccs { m: 64 }.build(&wl.data, Metric::Euclidean, wl.w, 1);
+    let spec = IndexSpec::lccs(64).with_w(wl.w).with_seed(1);
+    let built = build_spec(&spec, &wl.data, Metric::Euclidean).expect("build");
     let mut prev = 0.0;
     for budget in [4usize, 32, 256, 2048] {
         let pt = run_point(&built, &wl.name, &wl.queries, &wl.gt, 10, budget, 0);
@@ -95,23 +102,43 @@ fn exact_duplicate_queries_always_find_themselves() {
     let queries = data.sample_queries(10, 4);
     let gt = ExactKnn::compute(&data, &queries, 1, Metric::Euclidean);
     for spec in [
-        IndexSpec::Lccs { m: 32 },
-        IndexSpec::E2lsh { k_funcs: 4, l_tables: 16 },
-        IndexSpec::C2lsh { m: 32, l: 8 },
-        IndexSpec::Qalsh { m: 32, l: 8 },
-        IndexSpec::Srs { d_proj: 6 },
+        IndexSpec::lccs(32),
+        IndexSpec::e2lsh(4, 16),
+        IndexSpec::c2lsh(32, 8),
+        IndexSpec::qalsh(32, 8),
+        IndexSpec::srs(6),
+        IndexSpec::kd_tree(),
     ] {
-        let built = spec.build(&data, Metric::Euclidean, 40.0, 3);
+        let spec = spec.with_w(40.0).with_seed(3);
+        let built = build_spec(&spec, &data, Metric::Euclidean)
+            .unwrap_or_else(|e| panic!("building {spec}: {e}"));
+        let params = SearchParams::new(1, 256);
         for (qi, q) in queries.iter().enumerate() {
-            let got = built.query(q, 1, 256, 0);
+            let got = built.query(q, &params);
             assert!(
                 !got.is_empty() && got[0].dist < 1e-6,
-                "{:?} failed to find the duplicate of query {qi} (gt id {})",
+                "{} failed to find the duplicate of query {qi} (gt id {})",
                 built.spec,
                 gt.neighbors(qi)[0].id
             );
         }
     }
+}
+
+#[test]
+fn spec_grammar_drives_the_full_pipeline() {
+    // The acceptance path of PR 3: a spec *string* is a complete build
+    // recipe — parse it, build through the registry, and answer queries
+    // identically to the hand-constructed spec.
+    let o = opts(1_200);
+    let wl = load_workload(&SynthSpec::sift_like().with_n(o.n), "Image", &o, Metric::Euclidean);
+    let text = format!("mp-lccs:m=32,w={},seed={}", wl.w, o.seed);
+    let parsed: IndexSpec = text.parse().expect("grammar");
+    assert_eq!(parsed, IndexSpec::mp_lccs(32).with_w(wl.w).with_seed(o.seed));
+    assert_eq!(parsed.to_string(), text, "canonical display round-trip");
+    let built = build_spec(&parsed, &wl.data, Metric::Euclidean).expect("build");
+    let pt = run_point(&built, &wl.name, &wl.queries, &wl.gt, o.k, 512, 33);
+    assert!(pt.recall >= 0.5, "parsed spec should serve like the constructed one");
 }
 
 #[test]
