@@ -15,6 +15,9 @@
 //! * [`PersistAnn`] — the snapshot contract: indexes that round-trip
 //!   through a byte payload so serving processes restore them without
 //!   rebuilding.
+//! * [`MutableAnn`] — the write contract: indexes that absorb
+//!   insert/delete while serving and seal their write buffer into
+//!   immutable segments (implemented by `crates/live`'s `LiveIndex`).
 //! * [`spec`] — the construction contract: the self-describing
 //!   [`IndexSpec`] (scheme + knobs + [`spec::BuildOptions`]) with its
 //!   canonical textual grammar (`mp-lccs:m=64,seed=7`) and JSON form,
@@ -29,10 +32,12 @@
 #![warn(missing_docs)]
 
 pub mod executor;
+mod mutable;
 mod persist;
 pub mod spec;
 mod traits;
 
+pub use mutable::{MutableAnn, MutateError};
 pub use persist::{PersistAnn, PersistError};
 pub use spec::{IndexSpec, Scheme, SpecError};
 pub use traits::{AnnIndex, BuildAnn, Scratch, SearchParams};

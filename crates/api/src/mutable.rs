@@ -1,0 +1,112 @@
+//! The [`MutableAnn`] contract: indexes that absorb writes while serving.
+//!
+//! Every structure behind [`AnnIndex`](crate::AnnIndex) so far is frozen
+//! at construction — the CSA-backed schemes cannot take an insert without
+//! a full rebuild. A mutable index layers an update path *around* such
+//! frozen structures (the LSM-style memtable + sealed-segment design in
+//! `crates/live`): writes land in a mutable buffer, reads fan out across
+//! the buffer and the sealed parts, and a background **seal** turns the
+//! buffer into one more frozen structure.
+//!
+//! The trait is object-safe on purpose: a serving catalog holds mutable
+//! entries as `&mut dyn MutableAnn` next to its `Box<dyn AnnIndex>`
+//! statics and drives INSERT/DELETE/FLUSH generically. Mutation takes
+//! `&mut self` — callers that serve concurrently wrap the index in a
+//! `RwLock` (single-writer mutation, shared-read queries), which is
+//! exactly what `serve`'s live catalog entries do.
+
+use crate::traits::AnnIndex;
+use dataset::Dataset;
+
+/// Errors raised by [`MutableAnn`] mutations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MutateError {
+    /// The inserted rows' dimensionality does not match the index.
+    DimMismatch {
+        /// Dimensionality the index was created with.
+        expected: usize,
+        /// Dimensionality of the offered rows.
+        got: usize,
+    },
+    /// An explicit insert id is already live in the index.
+    IdInUse(u32),
+    /// The id space is exhausted (auto-assignment would wrap).
+    IdExhausted,
+    /// The explicit id list is unusable (wrong length, duplicates).
+    BadIds(String),
+    /// Sealing failed: the segment builder rejected the configuration.
+    Build(String),
+    /// A persisted state could not be reassembled into a live index.
+    State(String),
+}
+
+impl std::fmt::Display for MutateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MutateError::DimMismatch { expected, got } => {
+                write!(f, "dimension mismatch: index has dim {expected}, rows have {got}")
+            }
+            MutateError::IdInUse(id) => write!(f, "id {id} is already live in the index"),
+            MutateError::IdExhausted => write!(f, "id space exhausted (u32 ids)"),
+            MutateError::BadIds(m) => write!(f, "bad id list: {m}"),
+            MutateError::Build(m) => write!(f, "segment build failed: {m}"),
+            MutateError::State(m) => write!(f, "bad live-index state: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for MutateError {}
+
+/// An [`AnnIndex`] that also absorbs writes: the contract behind the
+/// serving layer's INSERT / DELETE / FLUSH commands.
+///
+/// Ids are stable, external `u32` handles (the same id space
+/// [`Neighbor`](dataset::exact::Neighbor) reports): once `insert`
+/// assigns or accepts an id, every query returns that id for that row
+/// until it is deleted — across seals and compactions, however the
+/// implementation shuffles rows internally.
+pub trait MutableAnn: AnnIndex {
+    /// Inserts `rows`, returning the id assigned to each row in order.
+    ///
+    /// `ids` supplies explicit external ids (one per row); `None`
+    /// auto-assigns ascending fresh ids. Inserting an id that is
+    /// currently live is an error — delete it first (delete + re-insert
+    /// is the update idiom, and re-using a deleted id is allowed).
+    fn insert(&mut self, rows: &Dataset, ids: Option<&[u32]>) -> Result<Vec<u32>, MutateError>;
+
+    /// Deletes ids, returning how many were actually live. Deleting an
+    /// absent id is not an error — it simply does not count.
+    fn delete(&mut self, ids: &[u32]) -> usize;
+
+    /// Freezes the current write buffer into an immutable searchable
+    /// segment. Returns `true` when a segment was sealed, `false` when
+    /// there was nothing to seal. A no-op seal still discards buffered
+    /// tombstoned rows.
+    fn seal(&mut self) -> Result<bool, MutateError>;
+
+    /// Number of live (inserted and not deleted) rows.
+    fn live_len(&self) -> usize;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The whole point of the trait: it must stay object-safe so catalogs
+    // can hold `&mut dyn MutableAnn`.
+    fn _object_safe(x: &mut dyn MutableAnn) -> usize {
+        x.live_len()
+    }
+
+    #[test]
+    fn errors_display() {
+        assert!(MutateError::DimMismatch { expected: 8, got: 4 }
+            .to_string()
+            .contains("dim 8"));
+        assert!(MutateError::IdInUse(7).to_string().contains("7"));
+        assert!(MutateError::IdExhausted.to_string().contains("exhausted"));
+        assert!(MutateError::BadIds("dup".into()).to_string().contains("dup"));
+        assert!(MutateError::Build("m".into()).to_string().contains("m"));
+        assert!(MutateError::State("s".into()).to_string().contains("s"));
+    }
+}

@@ -1,0 +1,975 @@
+//! LSM-style segmented mutable ANN index.
+//!
+//! Every index in this reproduction of LCCS-LSH is build-once: the
+//! CSA-backed structures freeze at construction. [`LiveIndex`] layers a
+//! write path around that constraint the way LSM trees layer writes over
+//! immutable sorted runs (and the way the HTAP designs in PAPERS.md split
+//! an update-optimized write store from an analytics-optimized read
+//! store):
+//!
+//! * a **memtable** — an append-only exact-scan buffer the writes land
+//!   in, with per-row liveness tracked through the id map;
+//! * N sealed **immutable segments**, each a normal spec-built index
+//!   (any `eval::registry` scheme — LCCS, MP-LCCS, E2LSH, `linear`, …)
+//!   over its own slice of vectors;
+//! * a **seal policy**: once the memtable holds
+//!   [`LiveConfig::seal_threshold`] rows it is frozen and rebuilt through
+//!   the registry into one more segment;
+//! * a **compaction policy**: once more than
+//!   [`LiveConfig::max_segments`] segments exist, the smallest ones are
+//!   merged (rebuilt from their concatenated live vectors, dropping
+//!   tombstoned rows).
+//!
+//! Queries fan out across the memtable and every segment through
+//! [`ann::executor`], merge the per-unit top-k by `(distance, id)` and
+//! filter rows that are no longer live. With an exact segment scheme
+//! (`linear`) the answer is byte-identical to an exact oracle over the
+//! current live rows — the property the crate's proptests pin; with an
+//! approximate scheme it is recall-equivalent to a from-scratch build of
+//! the same spec over the same rows.
+//!
+//! External ids are stable `u32` handles: the id a row gets at insert is
+//! the id every query reports for it, across seals and compactions,
+//! until the row is deleted. Internally a per-index id → (segment, slot)
+//! map tracks where the one live copy of each id currently lives; stale
+//! copies left behind in sealed segments by DELETE are filtered at query
+//! time and physically dropped at the next compaction touching their
+//! segment.
+//!
+//! Concurrency: [`LiveIndex`] itself is single-writer (`&mut self`
+//! mutation, `&self` query) — the serving layer wraps live catalog
+//! entries in an `RwLock` so readers share and writers exclude, while
+//! static entries keep their lock-free path.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use ann::executor;
+use ann::{AnnIndex, IndexSpec, MutableAnn, MutateError, Scratch, SearchParams};
+use dataset::exact::Neighbor;
+use dataset::{Dataset, Metric};
+use eval::registry::{self, BuildCtx};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Method name [`LiveIndex`] reports through [`AnnIndex::name`] (and the
+/// serving layer stores in snapshot containers and LIST responses).
+pub const LIVE_METHOD: &str = "Live";
+
+/// Seal/compaction policy knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LiveConfig {
+    /// Memtable rows (live + tombstoned) that trigger an automatic seal.
+    pub seal_threshold: usize,
+    /// Segment count above which the smallest segments are merged.
+    pub max_segments: usize,
+}
+
+impl Default for LiveConfig {
+    fn default() -> Self {
+        LiveConfig { seal_threshold: 256, max_segments: 8 }
+    }
+}
+
+impl LiveConfig {
+    fn validated(self) -> Result<LiveConfig, MutateError> {
+        if self.seal_threshold == 0 || self.max_segments == 0 {
+            return Err(MutateError::State(format!(
+                "seal_threshold ({}) and max_segments ({}) must be at least 1",
+                self.seal_threshold, self.max_segments
+            )));
+        }
+        Ok(self)
+    }
+}
+
+/// Where the live copy of an external id currently lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Loc {
+    /// Memtable slot.
+    Mem(u32),
+    /// Slot inside the segment with this stable segment id.
+    Seg {
+        /// Stable segment id (not the position in the segment vector —
+        /// compactions remove segments without renumbering survivors).
+        seg: u32,
+        /// Row slot inside that segment.
+        slot: u32,
+    },
+}
+
+/// One sealed, immutable segment: its vectors, the external id of every
+/// slot, and the spec-built index answering over it.
+struct Segment {
+    seg_id: u32,
+    data: Arc<Dataset>,
+    /// `ids[slot]` is the external id of the row at `slot`.
+    ids: Vec<u32>,
+    /// Rows whose external id no longer maps here (DELETE tombstones and
+    /// copies superseded by re-insert). Queries over-fetch by this count
+    /// so filtering stale hits cannot starve the merged top-k.
+    dead: usize,
+    index: Box<dyn AnnIndex>,
+}
+
+impl Segment {
+    fn live_rows(&self) -> usize {
+        self.ids.len() - self.dead
+    }
+}
+
+/// The serializable state of a [`LiveIndex`]: everything needed to
+/// reassemble an identically-answering index after a restart.
+///
+/// Segment *indexes* are deliberately absent — every segment build is
+/// bit-reproducible from `(spec, rows, metric)` (the spec carries the
+/// RNG seed), so [`LiveIndex::from_state`] rebuilds them through the
+/// registry instead of shipping payload bytes. Dead rows are kept: a
+/// sealed segment's approximate answers depend on every row it was built
+/// over, so dropping tombstoned rows at save time would change answers
+/// across a restart.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LiveState {
+    /// Spec every sealed segment is built with.
+    pub spec: IndexSpec,
+    /// Verification metric.
+    pub metric: Metric,
+    /// Row dimensionality.
+    pub dim: usize,
+    /// Seal/compaction policy.
+    pub config: LiveConfig,
+    /// Next auto-assigned external id.
+    pub next_id: u32,
+    /// Sealed segments, oldest first.
+    pub segments: Vec<UnitState>,
+    /// The memtable.
+    pub memtable: UnitState,
+}
+
+/// One unit (segment or memtable) of a [`LiveState`]: its rows, the
+/// external id of every slot, and which slots are tombstoned.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct UnitState {
+    /// Row-major `ids.len() × dim` vectors.
+    pub rows: Vec<f32>,
+    /// External id per slot.
+    pub ids: Vec<u32>,
+    /// Slots whose row is no longer live (deleted, or superseded by a
+    /// re-insert of the same id elsewhere).
+    pub dead: Vec<u32>,
+}
+
+impl LiveState {
+    /// Total physical rows across segments and memtable (live + dead).
+    pub fn total_rows(&self) -> usize {
+        self.segments.iter().map(|u| u.ids.len()).sum::<usize>() + self.memtable.ids.len()
+    }
+
+    /// Live rows (inserted and not deleted).
+    pub fn live_rows(&self) -> usize {
+        let dead: usize =
+            self.segments.iter().map(|u| u.dead.len()).sum::<usize>() + self.memtable.dead.len();
+        self.total_rows() - dead
+    }
+}
+
+/// The segmented mutable index. See the crate docs for the design.
+pub struct LiveIndex {
+    spec: IndexSpec,
+    metric: Metric,
+    dim: usize,
+    config: LiveConfig,
+    next_id: u32,
+    next_seg_id: u32,
+    segments: Vec<Segment>,
+    /// Flat row-major memtable rows (append-only until seal).
+    mem_rows: Vec<f32>,
+    /// External id per memtable slot.
+    mem_ids: Vec<u32>,
+    /// Tombstoned memtable slots (counted; liveness itself is the map).
+    mem_dead: usize,
+    /// External id → current live location. The single source of truth
+    /// for liveness: a row copy is live iff the map points exactly at it.
+    id_map: HashMap<u32, Loc>,
+}
+
+impl LiveIndex {
+    /// An empty live index for `dim`-dimensional rows whose sealed
+    /// segments are built from `spec` under `metric`.
+    ///
+    /// The spec is *not* validated against the registry here — the first
+    /// seal does that; [`LiveIndex::build_from`] is the constructor that
+    /// proves a spec builds before anything is served.
+    pub fn new(
+        spec: IndexSpec,
+        metric: Metric,
+        dim: usize,
+        config: LiveConfig,
+    ) -> Result<LiveIndex, MutateError> {
+        if dim == 0 {
+            return Err(MutateError::State("dimension must be positive".into()));
+        }
+        Ok(LiveIndex {
+            spec,
+            metric,
+            dim,
+            config: config.validated()?,
+            next_id: 0,
+            next_seg_id: 0,
+            segments: Vec::new(),
+            mem_rows: Vec::new(),
+            mem_ids: Vec::new(),
+            mem_dead: 0,
+            id_map: HashMap::new(),
+        })
+    }
+
+    /// Builds a live index over an initial dataset: bulk-inserts every
+    /// row (auto-assigning ids `0..n`) and seals them into the first
+    /// segment, so a bad spec fails here instead of at the first
+    /// threshold-triggered seal mid-serving.
+    pub fn build_from(
+        spec: IndexSpec,
+        metric: Metric,
+        data: &Dataset,
+        config: LiveConfig,
+    ) -> Result<LiveIndex, MutateError> {
+        let mut live = LiveIndex::new(spec, metric, data.dim(), config)?;
+        live.insert_rows(data, None)?;
+        live.seal()?;
+        Ok(live)
+    }
+
+    /// The spec sealed segments are built from.
+    pub fn spec(&self) -> &IndexSpec {
+        &self.spec
+    }
+
+    /// The verification metric.
+    pub fn metric(&self) -> Metric {
+        self.metric
+    }
+
+    /// Row dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The seal/compaction policy.
+    pub fn config(&self) -> LiveConfig {
+        self.config
+    }
+
+    /// Number of sealed segments.
+    pub fn segment_count(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Physical memtable rows (live + tombstoned).
+    pub fn memtable_rows(&self) -> usize {
+        self.mem_ids.len()
+    }
+
+    /// `(physical_rows, live_rows)` per sealed segment, oldest first —
+    /// the layout `ann-cli describe` and FLUSH report.
+    pub fn segment_layout(&self) -> Vec<(usize, usize)> {
+        self.segments.iter().map(|s| (s.ids.len(), s.live_rows())).collect()
+    }
+
+    /// A copy of the live row stored under `id`, if any.
+    pub fn vector(&self, id: u32) -> Option<Vec<f32>> {
+        match *self.id_map.get(&id)? {
+            Loc::Mem(slot) => Some(self.mem_row(slot as usize).to_vec()),
+            Loc::Seg { seg, slot } => {
+                let s = self.segments.iter().find(|s| s.seg_id == seg)?;
+                Some(s.data.get(slot as usize).to_vec())
+            }
+        }
+    }
+
+    fn mem_row(&self, slot: usize) -> &[f32] {
+        &self.mem_rows[slot * self.dim..(slot + 1) * self.dim]
+    }
+
+    fn insert_rows(&mut self, rows: &Dataset, ids: Option<&[u32]>) -> Result<Vec<u32>, MutateError> {
+        if rows.dim() != self.dim {
+            return Err(MutateError::DimMismatch { expected: self.dim, got: rows.dim() });
+        }
+        if rows.is_empty() {
+            return Ok(Vec::new());
+        }
+        let assigned: Vec<u32> = match ids {
+            Some(ids) => {
+                if ids.len() != rows.len() {
+                    return Err(MutateError::BadIds(format!(
+                        "{} ids for {} rows",
+                        ids.len(),
+                        rows.len()
+                    )));
+                }
+                let mut seen = std::collections::HashSet::with_capacity(ids.len());
+                for &id in ids {
+                    // u32::MAX is reserved so the auto counter can always
+                    // sit one past every assigned id without wrapping into
+                    // a live one.
+                    if id == u32::MAX {
+                        return Err(MutateError::BadIds(format!("id {id} is reserved")));
+                    }
+                    if !seen.insert(id) {
+                        return Err(MutateError::BadIds(format!("id {id} appears twice")));
+                    }
+                    if self.id_map.contains_key(&id) {
+                        return Err(MutateError::IdInUse(id));
+                    }
+                }
+                ids.to_vec()
+            }
+            None => {
+                // Auto ids stay strictly below the reserved u32::MAX.
+                let n = rows.len() as u64;
+                if u64::from(self.next_id) + n > u64::from(u32::MAX) {
+                    return Err(MutateError::IdExhausted);
+                }
+                (self.next_id..).take(rows.len()).collect()
+            }
+        };
+        // Angular-metric rows live on the unit sphere, like every angular
+        // dataset in the workspace; normalize on the way in so wire
+        // inserts and bulk builds agree.
+        let normalized;
+        let rows = if self.metric.is_angular() {
+            normalized = rows.clone().normalized();
+            &normalized
+        } else {
+            rows
+        };
+        // All checks passed: commit. Every assigned id is < u32::MAX, so
+        // `id + 1` cannot wrap and the counter lands past all of them.
+        let rollback_next_id = self.next_id;
+        let rollback_rows = self.mem_ids.len();
+        for (row, &id) in rows.iter().zip(&assigned) {
+            let slot = self.mem_ids.len() as u32;
+            self.mem_rows.extend_from_slice(row);
+            self.mem_ids.push(id);
+            self.id_map.insert(id, Loc::Mem(slot));
+            self.next_id = self.next_id.max(id + 1);
+        }
+        if self.mem_ids.len() >= self.config.seal_threshold {
+            if let Err(e) = self.seal_mem() {
+                // A failed *seal* leaves the memtable untouched (it commits
+                // only after a successful build), so the insert can be
+                // unwound and the whole call keeps its all-or-nothing
+                // contract. If the seal committed and a *compaction* after
+                // it failed, the rows are already live in a segment — the
+                // state is valid (just over the segment cap), so the error
+                // propagates without touching them.
+                if self.mem_ids.len() == rollback_rows + assigned.len() {
+                    for &id in &assigned {
+                        self.id_map.remove(&id);
+                    }
+                    self.mem_ids.truncate(rollback_rows);
+                    self.mem_rows.truncate(rollback_rows * self.dim);
+                    self.next_id = rollback_next_id;
+                }
+                return Err(e);
+            }
+        }
+        Ok(assigned)
+    }
+
+    fn delete_ids(&mut self, ids: &[u32]) -> usize {
+        let mut removed = 0;
+        for id in ids {
+            let Some(loc) = self.id_map.remove(id) else { continue };
+            removed += 1;
+            match loc {
+                Loc::Mem(_) => self.mem_dead += 1,
+                Loc::Seg { seg, .. } => {
+                    let s = self
+                        .segments
+                        .iter_mut()
+                        .find(|s| s.seg_id == seg)
+                        .expect("id map points at a present segment");
+                    s.dead += 1;
+                }
+            }
+        }
+        removed
+    }
+
+    /// Builds a registry index over `(flat, ids)` and returns the new
+    /// segment. Pure with respect to `self` (commit happens at the call
+    /// site) so a builder failure leaves the index untouched.
+    fn build_segment(&self, flat: Vec<f32>, ids: Vec<u32>, seg_id: u32) -> Result<Segment, MutateError> {
+        let data = Arc::new(Dataset::from_flat("live-seg", self.dim, flat));
+        let index = registry::build_index(&self.spec, &BuildCtx { data: &data, metric: self.metric })
+            .map_err(|e| MutateError::Build(e.to_string()))?;
+        Ok(Segment { seg_id, data, ids, dead: 0, index })
+    }
+
+    /// Live memtable rows in slot order, as `(flat, ids)`.
+    fn live_mem_rows(&self) -> (Vec<f32>, Vec<u32>) {
+        let mut flat = Vec::with_capacity((self.mem_ids.len() - self.mem_dead) * self.dim);
+        let mut ids = Vec::with_capacity(self.mem_ids.len() - self.mem_dead);
+        for (slot, &id) in self.mem_ids.iter().enumerate() {
+            if self.id_map.get(&id) == Some(&Loc::Mem(slot as u32)) {
+                flat.extend_from_slice(self.mem_row(slot));
+                ids.push(id);
+            }
+        }
+        (flat, ids)
+    }
+
+    fn seal_mem(&mut self) -> Result<bool, MutateError> {
+        if self.mem_ids.is_empty() {
+            return Ok(false);
+        }
+        let (flat, ids) = self.live_mem_rows();
+        if ids.is_empty() {
+            // Only tombstoned rows buffered: discard them, nothing to seal.
+            self.mem_rows.clear();
+            self.mem_ids.clear();
+            self.mem_dead = 0;
+            return Ok(false);
+        }
+        let seg_id = self.next_seg_id;
+        let segment = self.build_segment(flat, ids, seg_id)?;
+        // Build succeeded — commit.
+        self.next_seg_id += 1;
+        for (slot, &id) in segment.ids.iter().enumerate() {
+            self.id_map.insert(id, Loc::Seg { seg: seg_id, slot: slot as u32 });
+        }
+        self.segments.push(segment);
+        self.mem_rows.clear();
+        self.mem_ids.clear();
+        self.mem_dead = 0;
+        self.compact_if_needed()?;
+        Ok(true)
+    }
+
+    /// Merges the smallest segments until at most
+    /// [`LiveConfig::max_segments`] remain. Merging rebuilds from the
+    /// concatenated *live* vectors, physically dropping tombstoned rows.
+    fn compact_if_needed(&mut self) -> Result<(), MutateError> {
+        while self.segments.len() > self.config.max_segments && self.segments.len() >= 2 {
+            // The two smallest by live rows (ties: older position first).
+            let mut order: Vec<usize> = (0..self.segments.len()).collect();
+            order.sort_by_key(|&i| (self.segments[i].live_rows(), i));
+            let (a, b) = (order[0].min(order[1]), order[0].max(order[1]));
+            self.merge_pair(a, b)?;
+        }
+        Ok(())
+    }
+
+    /// Merges segment positions `a < b` into one new segment.
+    fn merge_pair(&mut self, a: usize, b: usize) -> Result<(), MutateError> {
+        let mut flat = Vec::new();
+        let mut ids = Vec::new();
+        for &pos in &[a, b] {
+            let seg = &self.segments[pos];
+            for (slot, &id) in seg.ids.iter().enumerate() {
+                let here = Loc::Seg { seg: seg.seg_id, slot: slot as u32 };
+                if self.id_map.get(&id) == Some(&here) {
+                    flat.extend_from_slice(seg.data.get(slot));
+                    ids.push(id);
+                }
+            }
+        }
+        if ids.is_empty() {
+            // Both segments were fully tombstoned: drop them outright.
+            self.segments.remove(b);
+            self.segments.remove(a);
+            return Ok(());
+        }
+        let seg_id = self.next_seg_id;
+        let merged = self.build_segment(flat, ids, seg_id)?;
+        // Build succeeded — commit.
+        self.next_seg_id += 1;
+        for (slot, &id) in merged.ids.iter().enumerate() {
+            self.id_map.insert(id, Loc::Seg { seg: seg_id, slot: slot as u32 });
+        }
+        self.segments.remove(b);
+        self.segments.remove(a);
+        self.segments.push(merged);
+        Ok(())
+    }
+
+    /// Exact scan of the live memtable rows: top-`k` by true distance,
+    /// ties by external id — the same surrogate-then-finalize flow the
+    /// exact oracle ([`dataset::ExactKnn`]) and `verify_topk` use, so the
+    /// exact path stays byte-identical to a from-scratch oracle.
+    fn scan_memtable(&self, q: &[f32], k: usize) -> Vec<Neighbor> {
+        let mut heap: std::collections::BinaryHeap<Neighbor> =
+            std::collections::BinaryHeap::with_capacity(k + 1);
+        for (slot, &id) in self.mem_ids.iter().enumerate() {
+            if self.id_map.get(&id) != Some(&Loc::Mem(slot as u32)) {
+                continue;
+            }
+            let s = self.metric.surrogate_unchecked(self.mem_row(slot), q);
+            let cand = Neighbor { id, dist: s };
+            if heap.len() < k {
+                heap.push(cand);
+            } else if cand < *heap.peek().expect("non-empty") {
+                heap.pop();
+                heap.push(cand);
+            }
+        }
+        let mut out = heap.into_sorted_vec();
+        for n in &mut out {
+            n.dist = self.metric.from_surrogate(n.dist);
+        }
+        out
+    }
+
+    /// Queries one segment, over-fetching by its tombstone count so that
+    /// filtering stale hits cannot push live true neighbors out, then
+    /// maps slot ids to external ids and drops non-live rows.
+    fn scan_segment(
+        &self,
+        seg: &Segment,
+        q: &[f32],
+        params: &SearchParams,
+        scratch: &mut Scratch,
+    ) -> Vec<Neighbor> {
+        let want = (params.k + seg.dead).min(seg.data.len());
+        let p = SearchParams { k: want, budget: params.budget, probes: params.probes };
+        seg.index
+            .query_with(q, &p, scratch)
+            .into_iter()
+            .filter_map(|n| {
+                let id = seg.ids[n.id as usize];
+                let here = Loc::Seg { seg: seg.seg_id, slot: n.id };
+                (self.id_map.get(&id) == Some(&here)).then_some(Neighbor { id, dist: n.dist })
+            })
+            .collect()
+    }
+
+    /// Extracts the serializable state (see [`LiveState`]). Rows are
+    /// copied; the index itself is untouched.
+    pub fn state(&self) -> LiveState {
+        let unit = |rows: Vec<f32>, ids: &[u32], is_live: &dyn Fn(usize, u32) -> bool| UnitState {
+            rows,
+            ids: ids.to_vec(),
+            dead: ids
+                .iter()
+                .enumerate()
+                .filter(|&(slot, &id)| !is_live(slot, id))
+                .map(|(slot, _)| slot as u32)
+                .collect(),
+        };
+        let segments = self
+            .segments
+            .iter()
+            .map(|s| {
+                unit(s.data.as_flat().to_vec(), &s.ids, &|slot, id| {
+                    self.id_map.get(&id) == Some(&Loc::Seg { seg: s.seg_id, slot: slot as u32 })
+                })
+            })
+            .collect();
+        let memtable = unit(self.mem_rows.clone(), &self.mem_ids, &|slot, id| {
+            self.id_map.get(&id) == Some(&Loc::Mem(slot as u32))
+        });
+        LiveState {
+            spec: self.spec,
+            metric: self.metric,
+            dim: self.dim,
+            config: self.config,
+            next_id: self.next_id,
+            segments,
+            memtable,
+        }
+    }
+
+    /// Reassembles a live index from persisted state, rebuilding every
+    /// segment index through the registry. Builds are seeded and
+    /// deterministic, so the reassembled index answers queries
+    /// identically to the one [`LiveIndex::state`] was called on — the
+    /// serve e2e test pins this across a daemon restart.
+    pub fn from_state(state: LiveState) -> Result<LiveIndex, MutateError> {
+        let mut live = LiveIndex::new(state.spec, state.metric, state.dim, state.config)?;
+        let mut max_id: Option<u32> = None;
+        let mut install =
+            |map: &mut HashMap<u32, Loc>, unit: &UnitState, mk: &dyn Fn(u32) -> Loc| {
+                if unit.rows.len() != unit.ids.len() * state.dim {
+                    return Err(MutateError::State(format!(
+                        "{} row floats for {} ids at dim {}",
+                        unit.rows.len(),
+                        unit.ids.len(),
+                        state.dim
+                    )));
+                }
+                let mut dead = vec![false; unit.ids.len()];
+                for &slot in &unit.dead {
+                    let d = dead.get_mut(slot as usize).ok_or_else(|| {
+                        MutateError::State(format!(
+                            "dead slot {slot} out of range ({} rows)",
+                            unit.ids.len()
+                        ))
+                    })?;
+                    *d = true;
+                }
+                for (slot, &id) in unit.ids.iter().enumerate() {
+                    max_id = Some(max_id.map_or(id, |m| m.max(id)));
+                    if dead[slot] {
+                        continue;
+                    }
+                    if map.insert(id, mk(slot as u32)).is_some() {
+                        return Err(MutateError::State(format!("id {id} is live twice")));
+                    }
+                }
+                Ok(dead.iter().filter(|&&d| d).count())
+            };
+        for (pos, unit) in state.segments.iter().enumerate() {
+            if unit.ids.is_empty() {
+                return Err(MutateError::State(format!("segment {pos} is empty")));
+            }
+            let seg_id = pos as u32;
+            let dead =
+                install(&mut live.id_map, unit, &|slot| Loc::Seg { seg: seg_id, slot })?;
+            let mut seg = live.build_segment(unit.rows.clone(), unit.ids.clone(), seg_id)?;
+            seg.dead = dead;
+            live.segments.push(seg);
+        }
+        let mem_dead = install(&mut live.id_map, &state.memtable, &Loc::Mem)?;
+        live.mem_rows = state.memtable.rows;
+        live.mem_ids = state.memtable.ids;
+        live.mem_dead = mem_dead;
+        live.next_seg_id = live.segments.len() as u32;
+        live.next_id = state.next_id.max(max_id.map_or(0, |m| m.saturating_add(1)));
+        Ok(live)
+    }
+}
+
+impl MutableAnn for LiveIndex {
+    fn insert(&mut self, rows: &Dataset, ids: Option<&[u32]>) -> Result<Vec<u32>, MutateError> {
+        self.insert_rows(rows, ids)
+    }
+
+    fn delete(&mut self, ids: &[u32]) -> usize {
+        self.delete_ids(ids)
+    }
+
+    fn seal(&mut self) -> Result<bool, MutateError> {
+        self.seal_mem()
+    }
+
+    fn live_len(&self) -> usize {
+        self.id_map.len()
+    }
+}
+
+impl AnnIndex for LiveIndex {
+    fn name(&self) -> &'static str {
+        LIVE_METHOD
+    }
+
+    fn index_bytes(&self) -> usize {
+        let seg_bytes: usize = self
+            .segments
+            .iter()
+            .map(|s| s.index.index_bytes() + s.ids.len() * 4)
+            .sum();
+        // The id map is ~(key + value + bucket) per live id; 16 bytes is
+        // the close-enough accounting the size axes use elsewhere.
+        seg_bytes + self.mem_ids.len() * 4 + self.id_map.len() * 16
+    }
+
+    /// Fans the query out across the memtable and every sealed segment
+    /// through [`ann::executor`], then merges the per-unit top-k by
+    /// `(distance, id)` — deterministic regardless of how the executor
+    /// schedules the units (scratch never influences results; it is an
+    /// allocation cache only).
+    ///
+    /// On a single executor worker the fan-out degenerates to a
+    /// sequential loop that reuses per-segment scratches cached in the
+    /// caller's `scratch` — the hot serving path keeps the
+    /// allocation-amortization the scratch system exists for. With
+    /// multiple workers each unit task builds throwaway scratch (a
+    /// shared cache cannot be handed to concurrent tasks).
+    fn query_with(&self, q: &[f32], params: &SearchParams, scratch: &mut Scratch) -> Vec<Neighbor> {
+        assert!(params.k > 0, "k must be positive");
+        assert_eq!(q.len(), self.dim, "query dimension mismatch");
+        let units = self.segments.len() + 1;
+        let mut merged: Vec<Neighbor> = if executor::worker_threads(units) <= 1 {
+            let cache: &mut Vec<(u32, Scratch)> = scratch.get_or_insert_with(Vec::new);
+            // Drop cache entries for compacted-away segments.
+            cache.retain(|(sid, _)| self.segments.iter().any(|s| s.seg_id == *sid));
+            let mut out = self.scan_memtable(q, params.k);
+            for seg in &self.segments {
+                if !cache.iter().any(|(sid, _)| *sid == seg.seg_id) {
+                    cache.push((seg.seg_id, seg.index.make_scratch()));
+                }
+                let (_, seg_scratch) = cache
+                    .iter_mut()
+                    .find(|(sid, _)| *sid == seg.seg_id)
+                    .expect("just ensured");
+                out.extend(self.scan_segment(seg, q, params, seg_scratch));
+            }
+            out
+        } else {
+            executor::par_map_scratch(units, Scratch::empty, |u, scratch| {
+                if u == 0 {
+                    self.scan_memtable(q, params.k)
+                } else {
+                    self.scan_segment(&self.segments[u - 1], q, params, scratch)
+                }
+            })
+            .into_iter()
+            .flatten()
+            .collect()
+        };
+        merged.sort_unstable();
+        merged.truncate(params.k);
+        merged
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dataset::SynthSpec;
+
+    fn cfg(seal: usize, max_seg: usize) -> LiveConfig {
+        LiveConfig { seal_threshold: seal, max_segments: max_seg }
+    }
+
+    fn rows(n: usize, dim: usize, seed: u64) -> Dataset {
+        SynthSpec::new("live", n, dim).with_clusters(4).generate(seed)
+    }
+
+    fn exact_spec() -> IndexSpec {
+        IndexSpec::linear()
+    }
+
+    #[test]
+    fn insert_assigns_ascending_ids_and_queries_see_them() {
+        let data = rows(10, 4, 1);
+        let mut live = LiveIndex::new(exact_spec(), Metric::Euclidean, 4, cfg(100, 4)).unwrap();
+        let ids = live.insert(&data, None).unwrap();
+        assert_eq!(ids, (0..10).collect::<Vec<u32>>());
+        assert_eq!(live.live_len(), 10);
+        assert_eq!(live.segment_count(), 0, "below the seal threshold");
+        let hits = live.query(data.get(3), &SearchParams::new(1, 16));
+        assert_eq!(hits[0].id, 3);
+        assert_eq!(hits[0].dist, 0.0);
+    }
+
+    #[test]
+    fn seal_moves_rows_into_a_segment_with_stable_ids() {
+        let data = rows(12, 6, 2);
+        let mut live = LiveIndex::new(exact_spec(), Metric::Euclidean, 6, cfg(100, 4)).unwrap();
+        live.insert(&data, None).unwrap();
+        assert!(live.seal().unwrap());
+        assert_eq!(live.segment_count(), 1);
+        assert_eq!(live.memtable_rows(), 0);
+        assert_eq!(live.live_len(), 12);
+        for i in [0u32, 5, 11] {
+            let hits = live.query(data.get(i as usize), &SearchParams::new(1, 16));
+            assert_eq!(hits[0].id, i, "ids survive the seal");
+            assert_eq!(live.vector(i).as_deref(), Some(data.get(i as usize)));
+        }
+        assert!(!live.seal().unwrap(), "empty memtable seals to nothing");
+    }
+
+    #[test]
+    fn threshold_triggers_auto_seal_and_compaction_caps_segments() {
+        let dim = 5;
+        let mut live = LiveIndex::new(exact_spec(), Metric::Euclidean, dim, cfg(4, 2)).unwrap();
+        let data = rows(40, dim, 3);
+        for i in 0..10 {
+            let chunk = Dataset::from_flat("chunk", dim, data.as_flat()[i * 4 * dim..(i + 1) * 4 * dim].to_vec());
+            live.insert(&chunk, None).unwrap();
+        }
+        assert_eq!(live.live_len(), 40);
+        assert_eq!(live.memtable_rows(), 0, "every insert batch hit the threshold");
+        assert!(live.segment_count() <= 2, "compaction merges the smallest segments");
+        // Everything still answers exactly.
+        for i in [0u32, 17, 39] {
+            let hits = live.query(data.get(i as usize), &SearchParams::new(1, 16));
+            assert_eq!(hits[0].id, i);
+        }
+    }
+
+    #[test]
+    fn delete_tombstones_everywhere_and_compaction_drops_them() {
+        let dim = 4;
+        let data = rows(20, dim, 4);
+        let mut live =
+            LiveIndex::build_from(exact_spec(), Metric::Euclidean, &data, cfg(100, 1)).unwrap();
+        assert_eq!(live.segment_count(), 1);
+        // Delete a sealed row and a fresh memtable row.
+        let extra = rows(2, dim, 99);
+        let new_ids = live.insert(&extra, None).unwrap();
+        assert_eq!(new_ids, vec![20, 21]);
+        assert_eq!(live.delete(&[3, 21, 777]), 2, "absent ids do not count");
+        assert_eq!(live.live_len(), 20);
+        let p = SearchParams::new(1, 32);
+        assert_ne!(live.query(data.get(3), &p)[0].id, 3, "deleted sealed row is filtered");
+        assert_ne!(live.query(extra.get(1), &p)[0].id, 21, "deleted memtable row is filtered");
+        assert!(live.vector(3).is_none());
+        // Seal + compact to one segment: the tombstoned rows are dropped.
+        live.seal().unwrap();
+        let layout = live.segment_layout();
+        assert_eq!(layout.len(), 1, "max_segments=1 compacts to a single segment");
+        assert_eq!(layout[0], (20, 20), "compaction dropped the dead rows");
+    }
+
+    #[test]
+    fn deleted_id_can_be_reinserted_with_new_data() {
+        let dim = 3;
+        let data = rows(8, dim, 5);
+        let mut live =
+            LiveIndex::build_from(exact_spec(), Metric::Euclidean, &data, cfg(100, 4)).unwrap();
+        live.delete(&[2]);
+        let replacement = Dataset::from_rows("r", &[vec![100.0, 100.0, 100.0]]);
+        let ids = live.insert(&replacement, Some(&[2])).unwrap();
+        assert_eq!(ids, vec![2]);
+        assert_eq!(live.live_len(), 8);
+        let hits = live.query(&[100.0, 100.0, 100.0], &SearchParams::new(1, 16));
+        assert_eq!(hits[0].id, 2);
+        assert_eq!(hits[0].dist, 0.0);
+        // The stale copy in the segment never resurfaces.
+        let hits = live.query(data.get(2), &SearchParams::new(8, 16));
+        assert!(hits.iter().all(|n| n.id != 2 || n.dist > 0.0), "stale copy filtered");
+    }
+
+    #[test]
+    fn insert_errors_are_typed_and_leave_the_index_unchanged() {
+        let dim = 4;
+        let data = rows(5, dim, 6);
+        let mut live =
+            LiveIndex::build_from(exact_spec(), Metric::Euclidean, &data, cfg(100, 4)).unwrap();
+        let wrong_dim = rows(2, 7, 1);
+        assert_eq!(
+            live.insert(&wrong_dim, None),
+            Err(MutateError::DimMismatch { expected: 4, got: 7 })
+        );
+        let two = rows(2, dim, 7);
+        assert_eq!(
+            live.insert(&two, Some(&[9])).unwrap_err(),
+            MutateError::BadIds("1 ids for 2 rows".into())
+        );
+        assert!(matches!(live.insert(&two, Some(&[9, 9])).unwrap_err(), MutateError::BadIds(_)));
+        assert_eq!(live.insert(&two, Some(&[9, 3])).unwrap_err(), MutateError::IdInUse(3));
+        assert_eq!(live.live_len(), 5, "failed inserts commit nothing");
+        // Explicit ids steer the auto counter past themselves.
+        live.insert(&two, Some(&[100, 40])).unwrap();
+        let auto = live.insert(&rows(1, dim, 8), None).unwrap();
+        assert_eq!(auto, vec![101]);
+    }
+
+    #[test]
+    fn id_space_boundary_cannot_collide() {
+        let dim = 3;
+        let one = rows(1, dim, 20);
+        let mut live = LiveIndex::new(exact_spec(), Metric::Euclidean, dim, cfg(100, 4)).unwrap();
+        // u32::MAX is reserved: an explicit insert of it is rejected, so
+        // the auto counter can never wrap onto a live id.
+        assert!(matches!(
+            live.insert(&one, Some(&[u32::MAX])).unwrap_err(),
+            MutateError::BadIds(_)
+        ));
+        // The largest assignable id works, and afterwards the auto path
+        // reports exhaustion instead of silently re-assigning it.
+        live.insert(&one, Some(&[u32::MAX - 1])).unwrap();
+        assert_eq!(live.insert(&one, None).unwrap_err(), MutateError::IdExhausted);
+        assert_eq!(live.live_len(), 1);
+    }
+
+    #[test]
+    fn threshold_seal_failure_rolls_the_insert_back() {
+        let dim = 4;
+        // `new` does not validate the spec, so the first threshold-crossing
+        // insert is where this bad spec (falconn under Euclidean) fails.
+        let mut live = LiveIndex::new(
+            IndexSpec::falconn(1, 2),
+            Metric::Euclidean,
+            dim,
+            cfg(4, 4),
+        )
+        .unwrap();
+        let three = rows(3, dim, 21);
+        live.insert(&three, None).unwrap();
+        let crossing = rows(2, dim, 22);
+        let err = live.insert(&crossing, None).unwrap_err();
+        assert!(matches!(err, MutateError::Build(_)), "{err}");
+        // All-or-nothing: the failing insert committed nothing.
+        assert_eq!(live.live_len(), 3);
+        assert_eq!(live.memtable_rows(), 3);
+        assert!(live.vector(3).is_none() && live.vector(4).is_none());
+        // The freed ids are assigned again once the insert can succeed.
+        let mut retry =
+            LiveIndex::new(exact_spec(), Metric::Euclidean, dim, cfg(4, 4)).unwrap();
+        retry.insert(&three, None).unwrap();
+        assert_eq!(retry.insert(&crossing, None).unwrap(), vec![3, 4]);
+    }
+
+    #[test]
+    fn state_round_trip_preserves_answers_and_layout() {
+        let dim = 6;
+        let data = rows(30, dim, 9);
+        let mut live =
+            LiveIndex::build_from(IndexSpec::lccs(8).with_w(8.0).with_seed(7), Metric::Euclidean, &data, cfg(100, 4))
+                .unwrap();
+        live.insert(&rows(10, dim, 10), None).unwrap();
+        live.delete(&[1, 35]);
+        let state = live.state();
+        assert_eq!(state.total_rows(), 40);
+        assert_eq!(state.live_rows(), 38);
+        let back = LiveIndex::from_state(state.clone()).unwrap();
+        assert_eq!(back.live_len(), 38);
+        assert_eq!(back.segment_layout(), live.segment_layout());
+        assert_eq!(back.memtable_rows(), live.memtable_rows());
+        let p = SearchParams::new(5, 64);
+        for i in [0usize, 7, 29] {
+            let a = live.query(data.get(i), &p);
+            let b = back.query(data.get(i), &p);
+            assert_eq!(a, b, "rebuilt index answers identically (query {i})");
+        }
+        // Fresh inserts in the rebuilt index do not collide with old ids.
+        let mut back = back;
+        let ids = back.insert(&rows(1, dim, 11), None).unwrap();
+        assert_eq!(ids, vec![40]);
+        // Corrupt states are rejected, not mis-assembled.
+        let mut bad = state.clone();
+        bad.memtable.ids.push(999);
+        assert!(matches!(LiveIndex::from_state(bad), Err(MutateError::State(_))));
+        let mut bad = state.clone();
+        bad.segments[0].dead.push(u32::MAX);
+        assert!(matches!(LiveIndex::from_state(bad), Err(MutateError::State(_))));
+        let mut bad = state;
+        let dup = bad.segments[0].ids[0];
+        bad.memtable.ids.push(dup);
+        bad.memtable.rows.extend_from_slice(&vec![0.0; dim]);
+        assert!(matches!(LiveIndex::from_state(bad), Err(MutateError::State(_))));
+    }
+
+    #[test]
+    fn bad_segment_spec_fails_at_build_from_not_mid_serving() {
+        let data = rows(10, 4, 12);
+        // falconn is Angular-only: the first seal inside build_from must
+        // surface the registry's typed rejection.
+        // `unwrap_err` needs `T: Debug`, which `Box<dyn AnnIndex>` lacks —
+        // unwrap by hand.
+        let err = match LiveIndex::build_from(
+            IndexSpec::falconn(1, 2),
+            Metric::Euclidean,
+            &data,
+            cfg(100, 4),
+        ) {
+            Ok(_) => panic!("falconn must not build under Euclidean"),
+            Err(e) => e,
+        };
+        assert!(matches!(err, MutateError::Build(m) if m.contains("Angular-only")));
+    }
+
+    #[test]
+    fn angular_inserts_are_normalized() {
+        let mut live =
+            LiveIndex::new(exact_spec(), Metric::Angular, 2, cfg(100, 4)).unwrap();
+        let raw = Dataset::from_rows("a", &[vec![3.0, 4.0]]);
+        live.insert(&raw, None).unwrap();
+        let stored = live.vector(0).unwrap();
+        assert!((stored[0] - 0.6).abs() < 1e-6 && (stored[1] - 0.8).abs() < 1e-6);
+    }
+}

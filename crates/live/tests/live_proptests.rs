@@ -1,0 +1,190 @@
+//! Property tests: random interleavings of insert / delete / query /
+//! seal (and the compactions they trigger) against a naive `Vec`-backed
+//! oracle.
+//!
+//! The configuration under test is the **exact** one — Euclidean metric
+//! with `linear` (exact-scan) segments — where the live index's merged
+//! top-k must be *byte-identical* to brute force over the current live
+//! rows: same ids, same distance bits, same (distance, id) order. On top
+//! of the oracle equivalence, every case checks id stability: whatever
+//! external id a row got at insert still retrieves exactly that row after
+//! any number of seals and compactions.
+
+use ann::{AnnIndex, IndexSpec, MutableAnn, SearchParams};
+use ann_live::{LiveConfig, LiveIndex};
+use dataset::exact::Neighbor;
+use dataset::{Dataset, Metric, SynthSpec};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// Shared row pool the interleavings draw inserts and queries from.
+/// Gaussian synthetic data: distance ties across distinct rows are
+/// (measure-)zero, so (distance, id) ordering is unambiguous.
+fn pool() -> Dataset {
+    SynthSpec::new("pool", 600, 8).with_clusters(6).generate(42)
+}
+
+/// The oracle: live rows as plain (id, row) pairs, queried by brute
+/// force with the same surrogate-then-finalize arithmetic the exact
+/// scans use, so equality can be asserted on raw f64 bits.
+struct Oracle {
+    rows: Vec<(u32, Vec<f32>)>,
+}
+
+impl Oracle {
+    fn top_k(&self, q: &[f32], k: usize) -> Vec<(u32, u64)> {
+        let mut all: Vec<Neighbor> = self
+            .rows
+            .iter()
+            .map(|(id, row)| Neighbor {
+                id: *id,
+                dist: Metric::Euclidean.surrogate_unchecked(row, q),
+            })
+            .collect();
+        all.sort_unstable();
+        all.truncate(k);
+        all.iter()
+            .map(|n| (n.id, Metric::Euclidean.from_surrogate(n.dist).to_bits()))
+            .collect()
+    }
+
+    fn delete(&mut self, id: u32) -> bool {
+        let before = self.rows.len();
+        self.rows.retain(|(i, _)| *i != id);
+        self.rows.len() != before
+    }
+}
+
+fn bits(ns: &[Neighbor]) -> Vec<(u32, u64)> {
+    ns.iter().map(|n| (n.id, n.dist.to_bits())).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// One random interleaving per case: ops drive the live index and the
+    /// oracle in lockstep; every query op (and a final sweep) must agree
+    /// bit for bit.
+    #[test]
+    fn interleavings_match_the_exact_oracle(
+        ops in vec((0u32..=3, any::<u32>()), 1..=40),
+        seal_threshold in 2usize..=12,
+        max_segments in 1usize..=3,
+    ) {
+        let pool = pool();
+        let cfg = LiveConfig { seal_threshold, max_segments };
+        let mut live =
+            LiveIndex::new(IndexSpec::linear(), Metric::Euclidean, pool.dim(), cfg).unwrap();
+        let mut oracle = Oracle { rows: Vec::new() };
+        let mut next_pool = 0usize;
+
+        for (op, arg) in ops {
+            match op {
+                // Insert a batch of 1–4 fresh pool rows.
+                0 => {
+                    let n = 1 + (arg as usize) % 4;
+                    let flat: Vec<f32> = pool.as_flat()
+                        [next_pool * pool.dim()..(next_pool + n) * pool.dim()]
+                        .to_vec();
+                    let batch = Dataset::from_flat("batch", pool.dim(), flat);
+                    let ids = live.insert(&batch, None).expect("insert");
+                    prop_assert_eq!(ids.len(), n);
+                    for (i, id) in ids.iter().enumerate() {
+                        oracle.rows.push((*id, pool.get(next_pool + i).to_vec()));
+                    }
+                    next_pool += n;
+                }
+                // Delete one id — usually a live one, sometimes absent.
+                1 => {
+                    let id = if oracle.rows.is_empty() || arg % 5 == 0 {
+                        1_000_000 + arg % 7 // never assigned
+                    } else {
+                        oracle.rows[arg as usize % oracle.rows.len()].0
+                    };
+                    let removed = live.delete(&[id]);
+                    prop_assert_eq!(removed == 1, oracle.delete(id), "delete {}", id);
+                }
+                // Explicit seal (threshold-triggered ones happen inside
+                // insert; both paths may cascade into compaction).
+                2 => {
+                    live.seal().expect("seal");
+                }
+                // Query: top-k over a pool row must equal the oracle.
+                _ => {
+                    if live.live_len() == 0 {
+                        continue;
+                    }
+                    let k = 1 + (arg as usize) % 12;
+                    let q = pool.get(arg as usize % pool.len());
+                    let got = bits(&live.query(q, &SearchParams::new(k, 1)));
+                    let want = oracle.top_k(q, k.min(oracle.rows.len()));
+                    prop_assert_eq!(got, want, "query k={}", k);
+                }
+            }
+            prop_assert_eq!(live.live_len(), oracle.rows.len());
+        }
+
+        // Final sweep: a handful of fixed queries, deeper k.
+        for qi in [0usize, 99, 251, 402] {
+            if oracle.rows.is_empty() {
+                break;
+            }
+            let k = 10.min(oracle.rows.len());
+            let got = bits(&live.query(pool.get(qi), &SearchParams::new(k, 1)));
+            prop_assert_eq!(got, oracle.top_k(pool.get(qi), k), "final sweep query {}", qi);
+        }
+
+        // Id stability: every live id still retrieves exactly the row it
+        // was assigned at insert, wherever seals/compactions moved it.
+        for (id, row) in &oracle.rows {
+            prop_assert_eq!(
+                live.vector(*id).as_deref(),
+                Some(row.as_slice()),
+                "id {} must keep its row",
+                id
+            );
+        }
+        prop_assert!(
+            live.segment_count() <= max_segments.max(1),
+            "compaction must cap segments at {} (got {})",
+            max_segments,
+            live.segment_count()
+        );
+    }
+}
+
+/// After one seal and no deletes, a live index with an approximate spec
+/// answers exactly like a from-scratch registry build of the same spec
+/// over the same rows — the "recall-equivalent to a full rebuild"
+/// guarantee, pinned bit-for-bit in the no-tombstone case.
+#[test]
+fn sealed_live_index_matches_from_scratch_build_of_same_spec() {
+    let data = SynthSpec::new("fresh", 400, 16).with_clusters(8).generate(9);
+    let spec = IndexSpec::lccs(8).with_w(8.0).with_seed(21);
+    let live = LiveIndex::build_from(
+        spec,
+        Metric::Euclidean,
+        &data,
+        LiveConfig { seal_threshold: 1 << 20, max_segments: 4 },
+    )
+    .unwrap();
+    assert_eq!(live.segment_count(), 1);
+    let scratch_built = eval::registry::build_index(
+        &spec,
+        &eval::registry::BuildCtx {
+            data: &std::sync::Arc::new(data.clone()),
+            metric: Metric::Euclidean,
+        },
+    )
+    .unwrap();
+    let params = SearchParams::new(10, 64);
+    for i in [0usize, 57, 200, 399] {
+        // External ids are 0..n in insertion order, so they coincide with
+        // the from-scratch build's slot ids.
+        assert_eq!(
+            bits(&live.query(data.get(i), &params)),
+            bits(&scratch_built.query(data.get(i), &params)),
+            "query {i}"
+        );
+    }
+}

@@ -10,7 +10,12 @@
 //! ann-cli stats --addr ADDR
 //! ann-cli build --addr ADDR --index NAME --spec SPEC --data FILE.fvecs
 //!               [--metric euclidean] [--limit 0]
+//!               [--live true] [--seal-threshold 0] [--max-segments 0]
 //! ann-cli query --addr ADDR --index NAME --k K --budget B [--probes P] --vec 1.0,2.0,…
+//! ann-cli insert --addr ADDR --index NAME (--vec 1.0,2.0,… | --data FILE.fvecs)
+//!                [--ids 7,8,…] [--limit 0]
+//! ann-cli delete --addr ADDR --index NAME --ids 7,8,…
+//! ann-cli flush --addr ADDR --index NAME
 //! ann-cli shutdown --addr ADDR
 //! ```
 //!
@@ -18,8 +23,10 @@
 //! it builds both LCCS schemes from spec strings and snapshots them into
 //! `--out`, ready for `annd --snapshot-dir`. `build` is the same thing
 //! over the wire: the server parses the spec, builds, snapshots, and
-//! serves the result without restarting. `describe` prints a snapshot's
-//! header, including the originating spec when the container carries one.
+//! serves the result without restarting — pass `--live true` for a
+//! mutable LSM-style index that then accepts `insert` / `delete` /
+//! `flush`. `describe` prints a snapshot's header, including the
+//! originating spec and (for live containers) the segment layout.
 
 use dataset::{Metric, SynthSpec};
 use eval::registry::{self, BuildCtx};
@@ -31,7 +38,7 @@ use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Instant;
 
-const USAGE: &str = "usage: ann-cli <demo|gen|spec-help|describe|ping|list|stats|build|query|shutdown> [flags]
+const USAGE: &str = "usage: ann-cli <demo|gen|spec-help|describe|ping|list|stats|build|query|insert|delete|flush|shutdown> [flags]
   demo      --out DIR [--n 2000] [--dim 32] [--m 16] [--seed 42]
   gen       --out FILE.fvecs [--n 2000] [--dim 32] [--seed 42] [--clusters 16]
   spec-help
@@ -40,7 +47,11 @@ const USAGE: &str = "usage: ann-cli <demo|gen|spec-help|describe|ping|list|stats
   list      --addr HOST:PORT
   stats     --addr HOST:PORT
   build     --addr HOST:PORT --index NAME --spec SPEC --data FILE.fvecs [--metric euclidean] [--limit 0]
+            [--live true] [--seal-threshold 0] [--max-segments 0]
   query     --addr HOST:PORT --index NAME [--k 10] [--budget 128] [--probes 0] --vec F,F,…
+  insert    --addr HOST:PORT --index NAME (--vec F,F,… | --data FILE.fvecs) [--ids N,N,…] [--limit 0]
+  delete    --addr HOST:PORT --index NAME --ids N,N,…
+  flush     --addr HOST:PORT --index NAME
   shutdown  --addr HOST:PORT";
 
 /// Flat `--key value` flags after the subcommand.
@@ -136,6 +147,28 @@ fn cmd_describe(flags: &HashMap<String, String>) {
         }
         None => println!("spec:    unknown (pre-v2)"),
     }
+    if let Some(state) = &snap.live {
+        println!("live:    {} live rows / {} physical", state.live_rows(), state.total_rows());
+        println!(
+            "policy:  seal at {} memtable rows, merge beyond {} segments",
+            state.config.seal_threshold, state.config.max_segments
+        );
+        println!("next id: {}", state.next_id);
+        for (i, seg) in state.segments.iter().enumerate() {
+            println!(
+                "seg {i:<3}  {} rows ({} live, {} tombstoned)",
+                seg.ids.len(),
+                seg.ids.len() - seg.dead.len(),
+                seg.dead.len()
+            );
+        }
+        println!(
+            "memtbl   {} rows ({} live, {} tombstoned)",
+            state.memtable.ids.len(),
+            state.memtable.ids.len() - state.memtable.dead.len(),
+            state.memtable.dead.len()
+        );
+    }
 }
 
 fn cmd_build(flags: &HashMap<String, String>) {
@@ -145,9 +178,15 @@ fn cmd_build(flags: &HashMap<String, String>) {
     let data = required(flags, "data");
     let metric = flags.get("metric").map_or("euclidean", String::as_str);
     let limit: usize = flag(flags, "limit", 0);
-    let (info, build_micros, snapshot_path) = client
-        .build(index, spec, metric, data, limit)
-        .unwrap_or_else(|e| panic!("build failed: {e}"));
+    let live: bool = flag(flags, "live", false);
+    let seal_threshold: usize = flag(flags, "seal-threshold", 0);
+    let max_segments: usize = flag(flags, "max-segments", 0);
+    let (info, build_micros, snapshot_path) = if live {
+        client.build_live(index, spec, metric, data, limit, seal_threshold, max_segments)
+    } else {
+        client.build(index, spec, metric, data, limit)
+    }
+    .unwrap_or_else(|e| panic!("build failed: {e}"));
     println!(
         "built {}\tmethod={}\tspec={}\tn={}\tdim={}\tindex_bytes={}\tbuild_us={}",
         info.name, info.method, info.spec, info.len, info.dim, info.index_bytes, build_micros
@@ -165,16 +204,77 @@ fn cmd_query(flags: &HashMap<String, String>) {
     let k: usize = flag(flags, "k", 10);
     let budget: usize = flag(flags, "budget", 128);
     let probes: usize = flag(flags, "probes", 0);
-    let vector: Vec<f32> = required(flags, "vec")
-        .split(',')
-        .map(|s| s.trim().parse().unwrap_or_else(|e| panic!("--vec element {s:?}: {e}")))
-        .collect();
+    let vector = parse_vec(required(flags, "vec"));
     let hits = client
         .query(index, k, budget, probes, &vector)
         .unwrap_or_else(|e| panic!("query failed: {e}"));
     for (rank, n) in hits.iter().enumerate() {
         println!("{rank}\tid={}\tdist={:.6}", n.id, n.dist);
     }
+}
+
+fn parse_vec(raw: &str) -> Vec<f32> {
+    raw.split(',')
+        .map(|s| s.trim().parse().unwrap_or_else(|e| panic!("--vec element {s:?}: {e}")))
+        .collect()
+}
+
+fn parse_ids(raw: &str) -> Vec<u32> {
+    raw.split(',')
+        .map(|s| s.trim().parse().unwrap_or_else(|e| panic!("--ids element {s:?}: {e}")))
+        .collect()
+}
+
+/// Inserts either one `--vec` row or a whole client-side `--data` fvecs
+/// file into a live index, printing the assigned ids.
+fn cmd_insert(flags: &HashMap<String, String>) {
+    let mut client = connect(flags);
+    let index = required(flags, "index");
+    let rows = match (flags.get("vec"), flags.get("data")) {
+        (Some(raw), None) => {
+            let row = parse_vec(raw);
+            dataset::Dataset::from_rows("insert", &[row])
+        }
+        (None, Some(path)) => {
+            let limit: usize = flag(flags, "limit", 0);
+            let limit = if limit == 0 { None } else { Some(limit) };
+            dataset::io::read_fvecs(path, limit)
+                .unwrap_or_else(|e| panic!("reading {path:?}: {e}"))
+        }
+        _ => panic!("insert wants exactly one of --vec or --data\n{USAGE}"),
+    };
+    let ids = flags.get("ids").map(|raw| parse_ids(raw));
+    let assigned = client
+        .insert(index, &rows, ids.as_deref())
+        .unwrap_or_else(|e| panic!("insert failed: {e}"));
+    match assigned.as_slice() {
+        [] => println!("inserted 0 rows"),
+        [one] => println!("inserted 1 row\tid={one}"),
+        many => println!(
+            "inserted {} rows\tids={}..={}",
+            many.len(),
+            many.first().unwrap(),
+            many.last().unwrap()
+        ),
+    }
+}
+
+fn cmd_delete(flags: &HashMap<String, String>) {
+    let mut client = connect(flags);
+    let index = required(flags, "index");
+    let ids = parse_ids(required(flags, "ids"));
+    let removed =
+        client.delete(index, &ids).unwrap_or_else(|e| panic!("delete failed: {e}"));
+    println!("deleted {removed} of {} ids", ids.len());
+}
+
+fn cmd_flush(flags: &HashMap<String, String>) {
+    let mut client = connect(flags);
+    let index = required(flags, "index");
+    let (path, segments, live_rows) =
+        client.flush(index).unwrap_or_else(|e| panic!("flush failed: {e}"));
+    println!("flushed {index}\tsegments={segments}\tlive_rows={live_rows}");
+    println!("snapshot: {path}");
 }
 
 fn main() -> ExitCode {
@@ -212,12 +312,15 @@ fn main() -> ExitCode {
                 connect(&flags).stats().unwrap_or_else(|e| panic!("stats failed: {e}"));
             for s in entries {
                 println!(
-                    "{}\tspec={}\tqueries={}\tbatches={}\tbatch_queries={}\ttotal_us={}\tmax_us={}",
+                    "{}\tspec={}\tqueries={}\tbatches={}\tbatch_queries={}\tinserts={}\tdeletes={}\tflushes={}\ttotal_us={}\tmax_us={}",
                     s.name,
                     if s.spec.is_empty() { "unknown" } else { &s.spec },
                     s.queries,
                     s.batch_requests,
                     s.batch_queries,
+                    s.inserts,
+                    s.deletes,
+                    s.flushes,
                     s.total_micros,
                     s.max_micros
                 );
@@ -225,6 +328,9 @@ fn main() -> ExitCode {
         }
         "build" => cmd_build(&flags),
         "query" => cmd_query(&flags),
+        "insert" => cmd_insert(&flags),
+        "delete" => cmd_delete(&flags),
+        "flush" => cmd_flush(&flags),
         "shutdown" => {
             connect(&flags).shutdown().unwrap_or_else(|e| panic!("shutdown failed: {e}"));
             println!("server is shutting down");

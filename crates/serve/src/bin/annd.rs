@@ -9,7 +9,9 @@
 //! until a SHUTDOWN request arrives (`ann-cli shutdown --addr …`). BUILD
 //! requests (`ann-cli build --spec …`) construct new indexes at runtime
 //! and persist them back into `--snapshot-dir`, so a built index survives
-//! a restart. The bound address is printed as `annd: listening on ADDR`
+//! a restart. A BUILD with `--live true` installs a *mutable* LSM-style
+//! index that then accepts INSERT/DELETE over the wire; FLUSH persists
+//! it (LIVE snapshot section), so live indexes survive restarts too. The bound address is printed as `annd: listening on ADDR`
 //! so scripts can discover ephemeral ports; final per-index counters are
 //! printed on exit.
 
@@ -97,8 +99,17 @@ fn main() -> ExitCode {
     for served in catalog.read().expect("catalog poisoned").iter() {
         let s = served.stats.snapshot(&served.name, &served.spec);
         println!(
-            "annd:   {}  queries={}  batches={} ({} queries)  total={}us  max={}us",
-            s.name, s.queries, s.batch_requests, s.batch_queries, s.total_micros, s.max_micros
+            "annd:   {}  queries={}  batches={} ({} queries)  inserts={}  deletes={}  \
+             flushes={}  total={}us  max={}us",
+            s.name,
+            s.queries,
+            s.batch_requests,
+            s.batch_queries,
+            s.inserts,
+            s.deletes,
+            s.flushes,
+            s.total_micros,
+            s.max_micros
         );
     }
     ExitCode::SUCCESS

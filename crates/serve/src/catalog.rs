@@ -6,15 +6,39 @@
 //! uncontended read locks (only the per-index [`IndexStats`] atomics are
 //! ever written while serving), and the rare BUILD install takes the
 //! write lock for just the map insertion, never for the build itself.
+//!
+//! Since PR 4 an entry is either [`Backend::Static`] — today's frozen
+//! snapshot-restored index, still served lock-free — or
+//! [`Backend::Live`]: an [`ann_live::LiveIndex`] behind its own inner
+//! `RwLock`, giving single-writer INSERT/DELETE/FLUSH mutation with
+//! shared-read queries. All access to a live entry goes through
+//! [`live_read`] / [`with_live_write`], which map a poisoned inner lock
+//! (a writer panicked mid-mutation) onto a clean error string instead of
+//! unwinding the worker thread.
 
 use crate::protocol::IndexInfo;
 use crate::snapshot::{SnapError, Snapshot, SNAPSHOT_EXT};
 use crate::stats::IndexStats;
-use ann::AnnIndex;
+use ann::{AnnIndex, MutableAnn};
+use ann_live::LiveIndex;
 use dataset::Dataset;
 use std::collections::BTreeMap;
 use std::path::Path;
-use std::sync::Arc;
+use std::sync::{Arc, RwLock, RwLockReadGuard};
+
+/// What actually answers queries for one catalog entry.
+pub enum Backend {
+    /// A frozen index over its dataset: the lock-free read path.
+    Static {
+        /// The restored index.
+        index: Box<dyn AnnIndex>,
+        /// The dataset the index answers over (kept for dimension checks
+        /// and because the index only borrows it via `Arc`).
+        data: Arc<Dataset>,
+    },
+    /// A mutable LSM-style index: single-writer mutation, shared reads.
+    Live(RwLock<LiveIndex>),
+}
 
 /// One restored, queryable index plus its serving state.
 pub struct ServedIndex {
@@ -22,35 +46,99 @@ pub struct ServedIndex {
     /// (not the file name): renaming a `.snap` file does not rename the
     /// served index. `write_index_snapshot` keeps the two in sync.
     pub name: String,
-    /// Method name (paper legend).
+    /// Method name (paper legend, or `"Live"` for mutable entries).
     pub method: String,
-    /// The restored index.
-    pub index: Box<dyn AnnIndex>,
-    /// The dataset the index answers over (kept for dimension checks and
-    /// because the index only borrows it via `Arc`).
-    pub data: Arc<Dataset>,
     /// Canonical `ann::spec` string the index was built from; empty when
-    /// unknown (pre-meta snapshot, or inserted without provenance).
+    /// unknown (pre-meta snapshot, or inserted without provenance). For
+    /// live entries: the spec sealed segments are built with.
     pub spec: String,
+    /// The index itself.
+    pub backend: Backend,
     /// Serving counters.
     pub stats: IndexStats,
 }
 
+/// The message served for any access to a live entry whose inner lock a
+/// panicking writer poisoned.
+fn poisoned_msg(name: &str) -> String {
+    format!(
+        "live index {name:?} is poisoned: an earlier mutation panicked mid-write; \
+         rebuild the entry (BUILD) to recover"
+    )
+}
+
+/// Renders a caught panic payload for an error response.
+pub(crate) fn panic_message(panic: Box<dyn std::any::Any + Send>) -> String {
+    panic
+        .downcast_ref::<&str>()
+        .copied()
+        .map(str::to_string)
+        .or_else(|| panic.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".into())
+}
+
+/// Shared-read access to a live entry, with lock poison mapped to a
+/// clean error string (the worker must answer, not unwind).
+pub(crate) fn live_read<'a>(
+    lock: &'a RwLock<LiveIndex>,
+    name: &str,
+) -> Result<RwLockReadGuard<'a, LiveIndex>, String> {
+    lock.read().map_err(|_| poisoned_msg(name))
+}
+
+/// Runs one mutation under the inner write lock. Poison maps to a clean
+/// error, and a *panic inside the mutation* (a segment builder's own
+/// invariant assert on hostile input) is caught here: the guard drops
+/// during the unwind, poisoning the lock — correctly marking the entry
+/// suspect — and the caller gets an error response instead of a dead
+/// worker thread.
+pub(crate) fn with_live_write<R>(
+    lock: &RwLock<LiveIndex>,
+    name: &str,
+    f: impl FnOnce(&mut LiveIndex) -> Result<R, String>,
+) -> Result<R, String> {
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let mut guard = lock.write().map_err(|_| poisoned_msg(name))?;
+        f(&mut guard)
+    }));
+    match result {
+        Ok(r) => r,
+        Err(panic) => Err(format!(
+            "live index {name:?}: mutation panicked ({}); the entry is now poisoned — \
+             rebuild it to recover",
+            panic_message(panic)
+        )),
+    }
+}
+
 impl ServedIndex {
-    /// The wire-format description of this entry.
+    /// The wire-format description of this entry. A poisoned live entry
+    /// still lists (name, method, spec are lock-free) but reports zero
+    /// rows/bytes; its query paths return the full poison error.
     pub fn info(&self) -> IndexInfo {
+        let (len, dim, index_bytes) = match &self.backend {
+            Backend::Static { index, data } => {
+                (data.len() as u64, data.dim() as u32, index.index_bytes() as u64)
+            }
+            Backend::Live(lock) => match lock.read() {
+                Ok(live) => {
+                    (live.live_len() as u64, live.dim() as u32, live.index_bytes() as u64)
+                }
+                Err(_) => (0, 0, 0),
+            },
+        };
         IndexInfo {
             name: self.name.clone(),
             method: self.method.clone(),
-            len: self.data.len() as u64,
-            dim: self.data.dim() as u32,
-            index_bytes: self.index.index_bytes() as u64,
+            len,
+            dim,
+            index_bytes,
             spec: self.spec.clone(),
         }
     }
 }
 
-/// A named, immutable collection of served indexes.
+/// A named collection of served indexes.
 #[derive(Default)]
 pub struct Catalog {
     items: BTreeMap<String, ServedIndex>,
@@ -82,10 +170,31 @@ impl Catalog {
         Ok(catalog)
     }
 
-    /// Restores one decoded snapshot into the catalog through the method
-    /// registry. The snapshot's meta section (when present) supplies the
-    /// served spec string.
+    /// Restores one decoded snapshot into the catalog. A container with a
+    /// LIVE section reassembles into a mutable [`LiveIndex`] (rebuilding
+    /// its segments through the registry); anything else restores through
+    /// the method registry as a static entry.
     pub fn insert_snapshot(&mut self, snap: Snapshot) -> Result<(), SnapError> {
+        if let Some(state) = snap.live {
+            if snap.method != ann_live::LIVE_METHOD {
+                return Err(SnapError::Malformed(format!(
+                    "LIVE section in a {:?} container",
+                    snap.method
+                )));
+            }
+            // Reject a duplicate name before the expensive segment
+            // rebuilds, not after.
+            if self.items.contains_key(&snap.name) {
+                return Err(SnapError::Malformed(format!(
+                    "duplicate catalog name {:?}",
+                    snap.name
+                )));
+            }
+            let spec = state.spec.to_string();
+            let live = LiveIndex::from_state(state)
+                .map_err(|e| SnapError::Malformed(format!("reassembling live index: {e}")))?;
+            return self.install_live(snap.name, spec, live).map(|_| ());
+        }
         let data = Arc::new(snap.data);
         let index = eval::registry::restore_index(&snap.method, &snap.payload, data.clone())
             .map_err(SnapError::Restore)?;
@@ -93,9 +202,9 @@ impl Catalog {
         self.insert(snap.name, snap.method, spec, index, data)
     }
 
-    /// Inserts an already-built index (used by in-process embedding — the
-    /// example and tests serve without touching disk). `spec` is the
-    /// canonical `ann::spec` string, empty when unknown.
+    /// Inserts an already-built static index (used by in-process
+    /// embedding — the example and tests serve without touching disk).
+    /// `spec` is the canonical `ann::spec` string, empty when unknown.
     pub fn insert(
         &mut self,
         name: String,
@@ -110,7 +219,7 @@ impl Catalog {
         self.install(name, method, spec, index, data).map(|_| ())
     }
 
-    /// Inserts or replaces an entry (the BUILD command's semantics:
+    /// Inserts or replaces a static entry (the BUILD command's semantics:
     /// rebuilding under an existing name swaps the index in and resets
     /// its counters). Returns whether an entry was replaced.
     pub fn install(
@@ -120,6 +229,32 @@ impl Catalog {
         spec: String,
         index: Box<dyn AnnIndex>,
         data: Arc<Dataset>,
+    ) -> Result<bool, SnapError> {
+        self.install_backend(name, method, spec, Backend::Static { index, data })
+    }
+
+    /// Inserts or replaces a *live* (mutable) entry. Returns whether an
+    /// entry was replaced.
+    pub fn install_live(
+        &mut self,
+        name: String,
+        spec: String,
+        live: LiveIndex,
+    ) -> Result<bool, SnapError> {
+        self.install_backend(
+            name,
+            ann_live::LIVE_METHOD.to_string(),
+            spec,
+            Backend::Live(RwLock::new(live)),
+        )
+    }
+
+    fn install_backend(
+        &mut self,
+        name: String,
+        method: String,
+        spec: String,
+        backend: Backend,
     ) -> Result<bool, SnapError> {
         // name and method travel through `put_str` (which asserts the wire
         // cap) in LIST responses, so reject oversized ones here instead
@@ -131,9 +266,8 @@ impl Catalog {
             return Err(SnapError::Malformed(format!("bad method name {method:?}")));
         }
         let stats = IndexStats::default();
-        let replaced = self
-            .items
-            .insert(name.clone(), ServedIndex { name, method, spec, index, data, stats });
+        let replaced =
+            self.items.insert(name.clone(), ServedIndex { name, method, spec, backend, stats });
         Ok(replaced.is_some())
     }
 
@@ -163,6 +297,7 @@ mod tests {
     use super::*;
     use crate::snapshot::write_index_snapshot;
     use ann::SearchParams;
+    use ann_live::LiveConfig;
     use dataset::{Metric, SynthSpec};
     use lccs_lsh::{LccsLsh, LccsParams, MpLccsLsh, MpParams};
 
@@ -170,6 +305,14 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("annd-cat-{tag}-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         dir
+    }
+
+    /// Unwraps a static backend (most tests exercise that path).
+    fn static_index(served: &ServedIndex) -> &dyn AnnIndex {
+        match &served.backend {
+            Backend::Static { index, .. } => index.as_ref(),
+            Backend::Live(_) => panic!("expected a static entry"),
+        }
     }
 
     #[test]
@@ -207,7 +350,7 @@ mod tests {
         );
         let p = SearchParams::new(3, 32);
         assert_eq!(
-            served.index.query(data.get(4), &p),
+            static_index(served).query(data.get(4), &p),
             AnnIndex::query(&single, data.get(4), &p),
             "restored index answers identically"
         );
@@ -263,5 +406,109 @@ mod tests {
         assert_eq!(c.len(), 1);
         assert_eq!(c.get("x").unwrap().spec, "lccs:m=8,w=8,seed=2");
         assert_eq!(c.get("x").unwrap().stats.snapshot("x", "").queries, 0, "fresh counters");
+    }
+
+    fn live_entry() -> Catalog {
+        let data = SynthSpec::new("lv", 50, 6).generate(2);
+        let live = LiveIndex::build_from(
+            "linear".parse().unwrap(),
+            Metric::Euclidean,
+            &data,
+            LiveConfig::default(),
+        )
+        .unwrap();
+        let mut c = Catalog::empty();
+        assert!(!c.install_live("lv".into(), "linear".into(), live).unwrap());
+        c
+    }
+
+    #[test]
+    fn live_entries_list_and_replace_like_static_ones() {
+        let mut c = live_entry();
+        let info = c.get("lv").unwrap().info();
+        assert_eq!(info.method, ann_live::LIVE_METHOD);
+        assert_eq!((info.len, info.dim), (50, 6));
+        assert_eq!(info.spec, "linear");
+        // A live entry can be replaced by a static one and vice versa.
+        let data = Arc::new(SynthSpec::new("st", 30, 6).generate(3));
+        let idx = Box::new(LccsLsh::build(
+            data.clone(),
+            Metric::Euclidean,
+            &LccsParams::euclidean(8.0).with_m(8),
+        )) as Box<dyn AnnIndex>;
+        assert!(c.install("lv".into(), "LCCS-LSH".into(), "lccs:m=8".into(), idx, data).unwrap());
+        assert!(matches!(c.get("lv").unwrap().backend, Backend::Static { .. }));
+    }
+
+    /// The poison satellite: after a writer panic inside the inner lock,
+    /// both read and write helpers must answer with a clean error string,
+    /// never propagate the panic into the (worker) thread.
+    #[test]
+    fn poisoned_live_lock_maps_to_clean_errors() {
+        let c = live_entry();
+        let served = c.get("lv").unwrap();
+        let Backend::Live(lock) = &served.backend else { panic!("live entry") };
+
+        // A mutation that panics: caught, reported, and the lock poisons.
+        let err = with_live_write(lock, "lv", |_live| -> Result<(), String> {
+            panic!("builder invariant violated")
+        })
+        .unwrap_err();
+        assert!(err.contains("mutation panicked"), "{err}");
+        assert!(err.contains("builder invariant violated"), "{err}");
+        assert!(lock.is_poisoned(), "the panicking writer must poison the lock");
+
+        // Every subsequent access maps poison to a clean error.
+        let err = live_read(lock, "lv").err().expect("read maps poison");
+        assert!(err.contains("poisoned"), "{err}");
+        let err = with_live_write(lock, "lv", |live| Ok(live.live_len())).unwrap_err();
+        assert!(err.contains("poisoned"), "{err}");
+
+        // LIST still works: lock-free fields intact, sizes zeroed.
+        let info = served.info();
+        assert_eq!(info.method, ann_live::LIVE_METHOD);
+        assert_eq!((info.len, info.dim, info.index_bytes), (0, 0, 0));
+    }
+
+    #[test]
+    fn live_snapshot_round_trips_through_the_catalog() {
+        use ann::MutableAnn;
+        let data = SynthSpec::new("rt", 40, 5).generate(4);
+        let mut live = LiveIndex::build_from(
+            "lccs:m=8,w=8,seed=9".parse().unwrap(),
+            Metric::Euclidean,
+            &data,
+            LiveConfig { seal_threshold: 8, max_segments: 2 },
+        )
+        .unwrap();
+        live.insert(&SynthSpec::new("more", 3, 5).generate(5), None).unwrap();
+        live.delete(&[1]);
+        let state = live.state();
+        let dir = tmp_dir("livert");
+        let meta = crate::snapshot::SnapMeta::of_build(
+            &state.spec,
+            0.1,
+            state.live_rows() as u64,
+        );
+        crate::snapshot::stage_live_snapshot(&dir, "lv", &state, &meta)
+            .unwrap()
+            .commit()
+            .unwrap();
+        let catalog = Catalog::load_dir(&dir).unwrap();
+        let served = catalog.get("lv").unwrap();
+        assert_eq!(served.method, ann_live::LIVE_METHOD);
+        assert_eq!(served.spec, "lccs:m=8,w=8,seed=9");
+        let Backend::Live(lock) = &served.backend else { panic!("live entry") };
+        let reloaded = live_read(lock, "lv").unwrap();
+        assert_eq!(reloaded.live_len(), 42);
+        let p = SearchParams::new(4, 32);
+        for i in [0usize, 20, 39] {
+            assert_eq!(
+                AnnIndex::query(&*reloaded, data.get(i), &p),
+                AnnIndex::query(&live, data.get(i), &p),
+                "reloaded live index answers identically (query {i})"
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

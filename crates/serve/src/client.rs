@@ -153,18 +153,98 @@ impl Client {
         data_path: &str,
         limit: usize,
     ) -> Result<(IndexInfo, u64, String), ClientError> {
+        self.build_inner(name, spec, metric, data_path, limit, false, 0, 0)
+    }
+
+    /// Like [`Client::build`], but the server installs a *live* (mutable,
+    /// LSM-style segmented) index: the dataset becomes the first sealed
+    /// segment and the entry then accepts [`Client::insert`] /
+    /// [`Client::delete`] / [`Client::flush`]. `seal_threshold` and
+    /// `max_segments` tune the seal/compaction policy (`0` = server
+    /// default).
+    #[allow(clippy::too_many_arguments)]
+    pub fn build_live(
+        &mut self,
+        name: &str,
+        spec: &str,
+        metric: &str,
+        data_path: &str,
+        limit: usize,
+        seal_threshold: usize,
+        max_segments: usize,
+    ) -> Result<(IndexInfo, u64, String), ClientError> {
+        self.build_inner(name, spec, metric, data_path, limit, true, seal_threshold, max_segments)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn build_inner(
+        &mut self,
+        name: &str,
+        spec: &str,
+        metric: &str,
+        data_path: &str,
+        limit: usize,
+        live: bool,
+        seal_threshold: usize,
+        max_segments: usize,
+    ) -> Result<(IndexInfo, u64, String), ClientError> {
         let req = Request::Build {
             name: name.to_string(),
             spec: spec.to_string(),
             metric: metric.to_string(),
             data_path: data_path.to_string(),
             limit: u32::try_from(limit).unwrap_or(u32::MAX),
+            live,
+            seal_threshold: u32::try_from(seal_threshold).unwrap_or(u32::MAX),
+            max_segments: u32::try_from(max_segments).unwrap_or(u32::MAX),
         };
         match self.call(&req)? {
             Response::Built { info, build_micros, snapshot_path } => {
                 Ok((info, build_micros, snapshot_path))
             }
             _ => Err(ClientError::Unexpected("BUILT")),
+        }
+    }
+
+    /// Inserts rows into a live index, returning the external id assigned
+    /// to each row in order. `ids` supplies explicit ids (one per row);
+    /// `None` auto-assigns. The write is visible to every later request
+    /// on any connection once this call returns (read-your-writes).
+    pub fn insert(
+        &mut self,
+        index: &str,
+        rows: &Dataset,
+        ids: Option<&[u32]>,
+    ) -> Result<Vec<u32>, ClientError> {
+        let req = Request::Insert {
+            index: index.to_string(),
+            dim: rows.dim() as u32,
+            vectors: rows.as_flat().to_vec(),
+            ids: ids.map(<[u32]>::to_vec).unwrap_or_default(),
+        };
+        match self.call(&req)? {
+            Response::Inserted { ids } => Ok(ids),
+            _ => Err(ClientError::Unexpected("INSERTED")),
+        }
+    }
+
+    /// Deletes ids from a live index; returns how many were live.
+    pub fn delete(&mut self, index: &str, ids: &[u32]) -> Result<u64, ClientError> {
+        let req = Request::Delete { index: index.to_string(), ids: ids.to_vec() };
+        match self.call(&req)? {
+            Response::Deleted { removed } => Ok(removed),
+            _ => Err(ClientError::Unexpected("DELETED")),
+        }
+    }
+
+    /// Seals a live index's memtable and persists the whole index as a
+    /// `.snap`; returns `(snapshot_path, segments, live_rows)`.
+    pub fn flush(&mut self, index: &str) -> Result<(String, u32, u64), ClientError> {
+        match self.call(&Request::Flush { index: index.to_string() })? {
+            Response::Flushed { snapshot_path, segments, live_rows } => {
+                Ok((snapshot_path, segments, live_rows))
+            }
+            _ => Err(ClientError::Unexpected("FLUSHED")),
         }
     }
 

@@ -14,11 +14,21 @@
 //! in its catalog — the full build → snapshot → serve lifecycle over one
 //! socket.
 //!
+//! Since PR 4 `annd` is also *writable*: a BUILD with the live flag
+//! installs an [`ann_live::LiveIndex`] — an LSM-style segmented mutable
+//! index — and the INSERT / DELETE / FLUSH commands mutate it over the
+//! same socket. Live entries sit behind an inner `RwLock` (single-writer
+//! mutation, shared-read queries); static entries keep the lock-free
+//! read path. FLUSH persists the live structure as a back-compatible
+//! LIVE section in the `.snap` container, so a restarted daemon reloads
+//! the index and answers identically.
+//!
 //! * [`snapshot`] — the on-disk container (name + method + vectors +
-//!   [`ann::PersistAnn`] payload + optional spec/provenance meta section)
-//!   and its atomic writer.
+//!   [`ann::PersistAnn`] payload + optional spec/provenance meta section
+//!   + optional live-structure section) and its atomic writer.
 //! * [`catalog`] — the multi-index catalog a server holds; restored
-//!   through `eval::registry` by method name, extended by BUILD installs.
+//!   through `eval::registry` by method name, extended by BUILD installs;
+//!   entries are static (frozen) or live (mutable).
 //! * [`protocol`] — the wire format: framing, requests, responses.
 //! * [`server`] — the worker-pool serving loop behind the `annd` binary:
 //!   one scratch per (worker, index), batches through the parallel

@@ -163,6 +163,25 @@ fn get_index_info(r: &mut Reader) -> Result<IndexInfo, ProtoError> {
     })
 }
 
+fn put_u32s(out: &mut Vec<u8>, vs: &[u32]) {
+    out.extend_from_slice(&(vs.len() as u32).to_le_bytes());
+    for v in vs {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+fn get_u32s(r: &mut Reader) -> Result<Vec<u32>, ProtoError> {
+    let count = r.u32()? as usize;
+    if count > MAX_FRAME / 4 {
+        return Err(ProtoError::BadShape(format!("{count} ids")));
+    }
+    let mut vs = Vec::with_capacity(count.min(1 << 20));
+    for _ in 0..count {
+        vs.push(r.u32()?);
+    }
+    Ok(vs)
+}
+
 fn get_neighbors(r: &mut Reader) -> Result<Vec<Neighbor>, ProtoError> {
     let count = r.u32()? as usize;
     if count > MAX_FRAME / 12 {
@@ -233,6 +252,41 @@ pub enum Request {
         data_path: String,
         /// Cap on rows read from the dataset (`0` = all).
         limit: u32,
+        /// Build a *live* (mutable, LSM-style segmented) index instead of
+        /// a frozen one: the dataset becomes the first sealed segment and
+        /// the entry accepts INSERT/DELETE/FLUSH afterwards.
+        live: bool,
+        /// Live only: memtable rows that trigger an automatic seal
+        /// (`0` = server default).
+        seal_threshold: u32,
+        /// Live only: segment count above which the smallest segments
+        /// are merged (`0` = server default).
+        max_segments: u32,
+    },
+    /// Insert rows into a live index. Row `i` gets `ids[i]` when ids are
+    /// supplied (one per row), or a fresh auto-assigned id otherwise.
+    Insert {
+        /// Catalog name of the target live index.
+        index: String,
+        /// Dimensionality of each row.
+        dim: u32,
+        /// Row-major `n × dim` payload.
+        vectors: Vec<f32>,
+        /// Explicit external ids, one per row; empty = auto-assign.
+        ids: Vec<u32>,
+    },
+    /// Delete ids from a live index (absent ids are ignored, not errors).
+    Delete {
+        /// Catalog name of the target live index.
+        index: String,
+        /// External ids to delete.
+        ids: Vec<u32>,
+    },
+    /// Seal the memtable of a live index and persist the whole index as
+    /// a `.snap` container so it survives a daemon restart.
+    Flush {
+        /// Catalog name of the target live index.
+        index: String,
     },
 }
 
@@ -243,6 +297,9 @@ const REQ_BATCH: u8 = 4;
 const REQ_STATS: u8 = 5;
 const REQ_SHUTDOWN: u8 = 6;
 const REQ_BUILD: u8 = 7;
+const REQ_INSERT: u8 = 8;
+const REQ_DELETE: u8 = 9;
+const REQ_FLUSH: u8 = 10;
 
 impl Request {
     /// Serializes into a frame body.
@@ -277,13 +334,38 @@ impl Request {
             }
             Request::Stats => out.push(REQ_STATS),
             Request::Shutdown => out.push(REQ_SHUTDOWN),
-            Request::Build { name, spec, metric, data_path, limit } => {
+            Request::Build { name, spec, metric, data_path, limit, live, seal_threshold, max_segments } => {
                 out.push(REQ_BUILD);
                 put_str(&mut out, name);
                 put_str16(&mut out, spec);
                 put_str(&mut out, metric);
                 put_str16(&mut out, data_path);
                 out.extend_from_slice(&limit.to_le_bytes());
+                out.push(u8::from(*live));
+                out.extend_from_slice(&seal_threshold.to_le_bytes());
+                out.extend_from_slice(&max_segments.to_le_bytes());
+            }
+            Request::Insert { index, dim, vectors, ids } => {
+                assert_eq!(
+                    vectors.len() % (*dim).max(1) as usize,
+                    0,
+                    "insert payload must be a whole number of rows"
+                );
+                out.push(REQ_INSERT);
+                put_str(&mut out, index);
+                out.extend_from_slice(&dim.to_le_bytes());
+                out.extend_from_slice(&((vectors.len() / (*dim).max(1) as usize) as u32).to_le_bytes());
+                put_f32s(&mut out, vectors);
+                put_u32s(&mut out, ids);
+            }
+            Request::Delete { index, ids } => {
+                out.push(REQ_DELETE);
+                put_str(&mut out, index);
+                put_u32s(&mut out, ids);
+            }
+            Request::Flush { index } => {
+                out.push(REQ_FLUSH);
+                put_str(&mut out, index);
             }
         }
         out
@@ -325,7 +407,29 @@ impl Request {
                 metric: get_str(&mut r)?,
                 data_path: get_str16(&mut r)?,
                 limit: r.u32()?,
+                live: r.u8()? != 0,
+                seal_threshold: r.u32()?,
+                max_segments: r.u32()?,
             },
+            REQ_INSERT => {
+                let index = get_str(&mut r)?;
+                let dim = r.u32()?;
+                let nq = r.u32()? as usize;
+                if dim == 0 || nq == 0 {
+                    return Err(ProtoError::BadShape("empty insert".into()));
+                }
+                let vectors = r.f32s(nq * dim as usize)?;
+                let ids = get_u32s(&mut r)?;
+                if !ids.is_empty() && ids.len() != nq {
+                    return Err(ProtoError::BadShape(format!(
+                        "{} ids for {nq} rows",
+                        ids.len()
+                    )));
+                }
+                Request::Insert { index, dim, vectors, ids }
+            }
+            REQ_DELETE => Request::Delete { index: get_str(&mut r)?, ids: get_u32s(&mut r)? },
+            REQ_FLUSH => Request::Flush { index: get_str(&mut r)? },
             t => return Err(ProtoError::BadTag(t)),
         };
         finish(&r)?;
@@ -367,6 +471,12 @@ pub struct StatsEntry {
     pub batch_requests: u64,
     /// Queries answered inside batch requests.
     pub batch_queries: u64,
+    /// Rows inserted (live indexes only; static entries stay 0).
+    pub inserts: u64,
+    /// Rows deleted (live indexes only).
+    pub deletes: u64,
+    /// FLUSH requests served (live indexes only).
+    pub flushes: u64,
     /// Total serving time across requests, microseconds.
     pub total_micros: u64,
     /// Slowest single request, microseconds.
@@ -399,6 +509,27 @@ pub enum Response {
         /// does not persist, or the server has no snapshot directory).
         snapshot_path: String,
     },
+    /// Reply to [`Request::Insert`]: the external id assigned to each
+    /// inserted row, in request order.
+    Inserted {
+        /// One id per inserted row.
+        ids: Vec<u32>,
+    },
+    /// Reply to [`Request::Delete`].
+    Deleted {
+        /// How many of the requested ids were live (and are now gone).
+        removed: u64,
+    },
+    /// Reply to [`Request::Flush`]: the memtable was sealed and the live
+    /// index persisted.
+    Flushed {
+        /// Path of the written `.snap` container.
+        snapshot_path: String,
+        /// Sealed segments after the flush.
+        segments: u32,
+        /// Live rows covered by the flushed snapshot.
+        live_rows: u64,
+    },
     /// The request could not be served (unknown index, shape mismatch…).
     Error(String),
 }
@@ -410,6 +541,9 @@ const RESP_BATCH: u8 = 4;
 const RESP_STATS: u8 = 5;
 const RESP_SHUTDOWN: u8 = 6;
 const RESP_BUILT: u8 = 7;
+const RESP_INSERTED: u8 = 8;
+const RESP_DELETED: u8 = 9;
+const RESP_FLUSHED: u8 = 10;
 const RESP_ERROR: u8 = 255;
 
 impl Response {
@@ -442,8 +576,16 @@ impl Response {
                 for e in entries {
                     put_str(&mut out, &e.name);
                     put_str16(&mut out, &e.spec);
-                    for v in [e.queries, e.batch_requests, e.batch_queries, e.total_micros, e.max_micros]
-                    {
+                    for v in [
+                        e.queries,
+                        e.batch_requests,
+                        e.batch_queries,
+                        e.inserts,
+                        e.deletes,
+                        e.flushes,
+                        e.total_micros,
+                        e.max_micros,
+                    ] {
                         out.extend_from_slice(&v.to_le_bytes());
                     }
                 }
@@ -454,6 +596,20 @@ impl Response {
                 put_index_info(&mut out, info);
                 out.extend_from_slice(&build_micros.to_le_bytes());
                 put_str16(&mut out, snapshot_path);
+            }
+            Response::Inserted { ids } => {
+                out.push(RESP_INSERTED);
+                put_u32s(&mut out, ids);
+            }
+            Response::Deleted { removed } => {
+                out.push(RESP_DELETED);
+                out.extend_from_slice(&removed.to_le_bytes());
+            }
+            Response::Flushed { snapshot_path, segments, live_rows } => {
+                out.push(RESP_FLUSHED);
+                put_str16(&mut out, snapshot_path);
+                out.extend_from_slice(&segments.to_le_bytes());
+                out.extend_from_slice(&live_rows.to_le_bytes());
             }
             Response::Error(msg) => {
                 out.push(RESP_ERROR);
@@ -507,6 +663,9 @@ impl Response {
                     let queries = r.u64()?;
                     let batch_requests = r.u64()?;
                     let batch_queries = r.u64()?;
+                    let inserts = r.u64()?;
+                    let deletes = r.u64()?;
+                    let flushes = r.u64()?;
                     let total_micros = r.u64()?;
                     let max_micros = r.u64()?;
                     entries.push(StatsEntry {
@@ -515,6 +674,9 @@ impl Response {
                         queries,
                         batch_requests,
                         batch_queries,
+                        inserts,
+                        deletes,
+                        flushes,
                         total_micros,
                         max_micros,
                     });
@@ -526,6 +688,13 @@ impl Response {
                 info: get_index_info(&mut r)?,
                 build_micros: r.u64()?,
                 snapshot_path: get_str16(&mut r)?,
+            },
+            RESP_INSERTED => Response::Inserted { ids: get_u32s(&mut r)? },
+            RESP_DELETED => Response::Deleted { removed: r.u64()? },
+            RESP_FLUSHED => Response::Flushed {
+                snapshot_path: get_str16(&mut r)?,
+                segments: r.u32()?,
+                live_rows: r.u64()?,
             },
             RESP_ERROR => {
                 let len = r.u32()? as usize;
@@ -578,7 +747,48 @@ mod tests {
             metric: "euclidean".into(),
             data_path: "/very/long/".repeat(40) + "data.fvecs",
             limit: 10_000,
+            live: true,
+            seal_threshold: 512,
+            max_segments: 6,
         });
+        round_trip_request(Request::Insert {
+            index: "live".into(),
+            dim: 2,
+            vectors: vec![1.0, 2.0, 3.0, 4.0],
+            ids: vec![],
+        });
+        round_trip_request(Request::Insert {
+            index: "live".into(),
+            dim: 2,
+            vectors: vec![1.0, 2.0, 3.0, 4.0],
+            ids: vec![77, 99],
+        });
+        round_trip_request(Request::Delete { index: "live".into(), ids: vec![1, 2, 3] });
+        round_trip_request(Request::Flush { index: "live".into() });
+    }
+
+    #[test]
+    fn malformed_insert_shapes_are_rejected() {
+        let raw = |nq: u32, ids: &[u32]| {
+            let mut body = vec![REQ_INSERT, 1, b'x'];
+            body.extend_from_slice(&2u32.to_le_bytes()); // dim
+            body.extend_from_slice(&nq.to_le_bytes());
+            for i in 0..nq * 2 {
+                body.extend_from_slice(&(i as f32).to_bits().to_le_bytes());
+            }
+            body.extend_from_slice(&(ids.len() as u32).to_le_bytes());
+            for id in ids {
+                body.extend_from_slice(&id.to_le_bytes());
+            }
+            body
+        };
+        // An id list that is neither empty nor one-per-row.
+        assert!(matches!(Request::decode(&raw(2, &[5])), Err(ProtoError::BadShape(_))));
+        // Zero-row inserts are rejected outright.
+        assert!(matches!(Request::decode(&raw(0, &[])), Err(ProtoError::BadShape(_))));
+        // The valid shapes decode.
+        assert!(Request::decode(&raw(2, &[5, 6])).is_ok());
+        assert!(Request::decode(&raw(2, &[])).is_ok());
     }
 
     #[test]
@@ -621,9 +831,19 @@ mod tests {
             queries: 3,
             batch_requests: 1,
             batch_queries: 100,
+            inserts: 42,
+            deletes: 7,
+            flushes: 2,
             total_micros: 4242,
             max_micros: 999,
         }]));
+        round_trip_response(Response::Inserted { ids: vec![0, 1, 2, 4_000_000_000] });
+        round_trip_response(Response::Deleted { removed: 3 });
+        round_trip_response(Response::Flushed {
+            snapshot_path: "/tmp/snaps/live.snap".into(),
+            segments: 4,
+            live_rows: 12_345,
+        });
     }
 
     #[test]

@@ -20,10 +20,11 @@
 //! pokes the accept loop awake with a loopback connection; the acceptor
 //! stops handing out work, the pool drains, and [`Server::run`] returns.
 
-use crate::catalog::{Catalog, ServedIndex};
+use crate::catalog::{live_read, panic_message, with_live_write, Backend, Catalog, ServedIndex};
 use crate::protocol::{read_frame, write_frame, Request, Response};
 use crate::snapshot::SnapMeta;
-use ann::{IndexSpec, Scratch, SearchParams};
+use ann::{AnnIndex, IndexSpec, MutableAnn, Scratch, SearchParams};
+use ann_live::{LiveConfig, LiveIndex};
 use eval::registry::{self, BuildCtx};
 use std::collections::HashMap;
 use std::io;
@@ -229,27 +230,48 @@ fn dispatch(
         }
         Request::Query { index, k, budget, probes, vector } => {
             let catalog = shared.catalog.read().expect("catalog poisoned");
-            let served = match lookup(&catalog, &index, vector.len(), k) {
+            let served = match lookup(&catalog, &index) {
                 Ok(s) => s,
                 Err(e) => return (Response::Error(e), false),
             };
             let params =
                 SearchParams::new(k as usize, budget as usize).with_probes(probes as usize);
-            let scratch =
-                scratches.entry(index).or_insert_with(|| served.index.make_scratch());
             let t0 = Instant::now();
-            let neighbors = served.index.query_with(&vector, &params, scratch);
+            let neighbors = match &served.backend {
+                Backend::Static { index: idx, data } => {
+                    if let Err(e) = check_shape(&index, k, vector.len(), data.len(), data.dim())
+                    {
+                        return (Response::Error(e), false);
+                    }
+                    let scratch =
+                        scratches.entry(index).or_insert_with(|| idx.make_scratch());
+                    idx.query_with(&vector, &params, scratch)
+                }
+                Backend::Live(lock) => {
+                    let live = match live_read(lock, &index) {
+                        Ok(g) => g,
+                        Err(e) => return (Response::Error(e), false),
+                    };
+                    if let Err(e) =
+                        check_shape(&index, k, vector.len(), live.live_len(), live.dim())
+                    {
+                        return (Response::Error(e), false);
+                    }
+                    let scratch = scratches.entry(index).or_insert_with(Scratch::empty);
+                    live.query_with(&vector, &params, scratch)
+                }
+            };
             served.stats.record_query(t0.elapsed().as_micros() as u64);
             (Response::Neighbors(neighbors), false)
         }
         Request::Batch { index, k, budget, probes, dim, vectors } => {
             let catalog = shared.catalog.read().expect("catalog poisoned");
-            let served = match lookup(&catalog, &index, dim as usize, k) {
+            let served = match lookup(&catalog, &index) {
                 Ok(s) => s,
                 Err(e) => return (Response::Error(e), false),
             };
             // The response must fit one frame: nq lists of up to k
-            // 12-byte neighbors each (k ≤ n is guaranteed by lookup).
+            // 12-byte neighbors each (k ≤ n is checked per backend).
             let nq = vectors.len() / dim.max(1) as usize;
             let resp_bytes = 5 + nq as u64 * (4 + 12 * u64::from(k));
             if resp_bytes > crate::protocol::MAX_FRAME as u64 {
@@ -266,14 +288,185 @@ fn dispatch(
                 SearchParams::new(k as usize, budget as usize).with_probes(probes as usize);
             let queries = dataset::Dataset::from_flat("batch", dim as usize, vectors);
             let t0 = Instant::now();
-            let lists = served.index.query_batch(&queries, &params);
+            let lists = match &served.backend {
+                Backend::Static { index: idx, data } => {
+                    if let Err(e) = check_shape(&index, k, dim as usize, data.len(), data.dim())
+                    {
+                        return (Response::Error(e), false);
+                    }
+                    idx.query_batch(&queries, &params)
+                }
+                Backend::Live(lock) => {
+                    let live = match live_read(lock, &index) {
+                        Ok(g) => g,
+                        Err(e) => return (Response::Error(e), false),
+                    };
+                    if let Err(e) =
+                        check_shape(&index, k, dim as usize, live.live_len(), live.dim())
+                    {
+                        return (Response::Error(e), false);
+                    }
+                    live.query_batch(&queries, &params)
+                }
+            };
             served.stats.record_batch(queries.len() as u64, t0.elapsed().as_micros() as u64);
             (Response::Batch(lists), false)
         }
-        Request::Build { name, spec, metric, data_path, limit } => {
-            (handle_build(shared, &name, &spec, &metric, &data_path, limit), false)
+        Request::Build { name, spec, metric, data_path, limit, live, seal_threshold, max_segments } => {
+            let opts = BuildOpts { live, seal_threshold, max_segments };
+            (handle_build(shared, &name, &spec, &metric, &data_path, limit, opts), false)
+        }
+        Request::Insert { index, dim, vectors, ids } => {
+            let catalog = shared.catalog.read().expect("catalog poisoned");
+            let served = match lookup(&catalog, &index) {
+                Ok(s) => s,
+                Err(e) => return (Response::Error(e), false),
+            };
+            let lock = match require_live(served, &index) {
+                Ok(l) => l,
+                Err(e) => return (Response::Error(e), false),
+            };
+            // The response echoes one u32 id per row; keep it inside a frame.
+            let nq = vectors.len() / dim.max(1) as usize;
+            if 5 + nq as u64 * 4 > crate::protocol::MAX_FRAME as u64 {
+                return (
+                    Response::Error(format!(
+                        "insert of {nq} rows would overflow the response frame; split it"
+                    )),
+                    false,
+                );
+            }
+            let rows = dataset::Dataset::from_flat("insert", dim as usize, vectors);
+            let ids_opt = (!ids.is_empty()).then_some(ids.as_slice());
+            let t0 = Instant::now();
+            let assigned = with_live_write(lock, &index, |live| {
+                live.insert(&rows, ids_opt).map_err(|e| e.to_string())
+            });
+            match assigned {
+                Ok(assigned) => {
+                    served
+                        .stats
+                        .record_insert(assigned.len() as u64, t0.elapsed().as_micros() as u64);
+                    (Response::Inserted { ids: assigned }, false)
+                }
+                Err(e) => (Response::Error(e), false),
+            }
+        }
+        Request::Delete { index, ids } => {
+            let catalog = shared.catalog.read().expect("catalog poisoned");
+            let served = match lookup(&catalog, &index) {
+                Ok(s) => s,
+                Err(e) => return (Response::Error(e), false),
+            };
+            let lock = match require_live(served, &index) {
+                Ok(l) => l,
+                Err(e) => return (Response::Error(e), false),
+            };
+            let t0 = Instant::now();
+            match with_live_write(lock, &index, |live| Ok(live.delete(&ids))) {
+                Ok(removed) => {
+                    served
+                        .stats
+                        .record_delete(removed as u64, t0.elapsed().as_micros() as u64);
+                    (Response::Deleted { removed: removed as u64 }, false)
+                }
+                Err(e) => (Response::Error(e), false),
+            }
+        }
+        Request::Flush { index } => {
+            let catalog = shared.catalog.read().expect("catalog poisoned");
+            let served = match lookup(&catalog, &index) {
+                Ok(s) => s,
+                Err(e) => return (Response::Error(e), false),
+            };
+            let lock = match require_live(served, &index) {
+                Ok(l) => l,
+                Err(e) => return (Response::Error(e), false),
+            };
+            let Some(dir) = shared.snapshot_dir else {
+                return (
+                    Response::Error(
+                        "server has no snapshot directory; FLUSH cannot persist".into(),
+                    ),
+                    false,
+                );
+            };
+            let t0 = Instant::now();
+            // Seal AND persist under one inner write-lock critical
+            // section: two concurrent FLUSHes of the same entry must not
+            // interleave their seal and their `.snap` rename, or the
+            // older state could land on disk *after* the newer FLUSH
+            // already acknowledged its rows as durable. Readers of this
+            // entry wait out the encode+fsync — the price of ordered
+            // durability; other entries are unaffected.
+            let flushed = with_live_write(lock, &index, |live| {
+                live.seal().map_err(|e| e.to_string())?;
+                let state = live.state();
+                if state.total_rows() == 0 {
+                    return Err(format!("live index {index:?} is empty; nothing to flush"));
+                }
+                let meta = SnapMeta::of_build(&state.spec, 0.0, state.live_rows() as u64);
+                let path = crate::snapshot::stage_live_snapshot(dir, &index, &state, &meta)
+                    .and_then(|s| s.commit())
+                    .map_err(|e| format!("flushing {index:?}: {e}"))?;
+                Ok((path, state.segments.len() as u32, state.live_rows() as u64))
+            });
+            match flushed {
+                Ok((path, segments, live_rows)) => {
+                    served.stats.record_flush(t0.elapsed().as_micros() as u64);
+                    (
+                        Response::Flushed {
+                            snapshot_path: path.display().to_string(),
+                            segments,
+                            live_rows,
+                        },
+                        false,
+                    )
+                }
+                Err(e) => (Response::Error(e), false),
+            }
         }
     }
+}
+
+/// The live-build knobs riding on a BUILD request.
+struct BuildOpts {
+    live: bool,
+    seal_threshold: u32,
+    max_segments: u32,
+}
+
+/// Resolves a served entry's inner live lock, or explains that the entry
+/// is static (writes need a live index).
+fn require_live<'a>(
+    served: &'a ServedIndex,
+    name: &str,
+) -> Result<&'a std::sync::RwLock<LiveIndex>, String> {
+    match &served.backend {
+        Backend::Live(lock) => Ok(lock),
+        Backend::Static { .. } => Err(format!(
+            "index {name:?} is a static snapshot and read-only; BUILD it with --live true \
+             to accept INSERT/DELETE/FLUSH"
+        )),
+    }
+}
+
+/// Shared shape validation for the query paths.
+fn check_shape(name: &str, k: u32, dim: usize, len: usize, expect_dim: usize) -> Result<(), String> {
+    if k == 0 {
+        return Err("k must be at least 1".into());
+    }
+    // An untrusted k flows into k-sized allocations (verification heaps);
+    // beyond n it cannot return more neighbors anyway.
+    if k as u64 > len as u64 {
+        return Err(format!("k = {k} exceeds the {len} indexed vectors of {name:?}"));
+    }
+    if dim != expect_dim {
+        return Err(format!(
+            "dimension mismatch: index {name:?} has dim {expect_dim}, query has {dim}"
+        ));
+    }
+    Ok(())
 }
 
 /// BUILD: parse the spec, load the dataset, build through the eval
@@ -286,6 +479,7 @@ fn handle_build(
     metric_name: &str,
     data_path: &str,
     limit: u32,
+    opts: BuildOpts,
 ) -> Response {
     // The name becomes a file name under the snapshot dir, so it must be
     // a plain token: no separators, no leading dot — a hostile
@@ -326,6 +520,11 @@ fn handle_build(
         Ok(d) => d,
         Err(e) => return Response::Error(format!("loading dataset {data_path:?}: {e}")),
     };
+    if opts.live {
+        // The live path hands raw rows to `LiveIndex`, which normalizes
+        // angular inserts itself — pre-normalizing here would round twice.
+        return handle_build_live(shared, name, &spec, spec_text, metric, &data, opts);
+    }
     if metric.is_angular() {
         data = data.normalized();
     }
@@ -344,13 +543,10 @@ fn handle_build(
         Ok(Ok(built)) => built,
         Ok(Err(e)) => return Response::Error(format!("building {spec_text:?}: {e}")),
         Err(panic) => {
-            let msg = panic
-                .downcast_ref::<&str>()
-                .copied()
-                .map(str::to_string)
-                .or_else(|| panic.downcast_ref::<String>().cloned())
-                .unwrap_or_else(|| "non-string panic payload".into());
-            return Response::Error(format!("building {spec_text:?} rejected: {msg}"));
+            return Response::Error(format!(
+                "building {spec_text:?} rejected: {}",
+                panic_message(panic)
+            ));
         }
     };
     let build_secs = t0.elapsed().as_secs_f64();
@@ -406,6 +602,80 @@ fn handle_build(
     }
 }
 
+/// The live half of BUILD: the dataset becomes the first sealed segment
+/// of a fresh [`LiveIndex`], which is snapshotted (LIVE section) and
+/// atomically installed as a mutable catalog entry. Same staging
+/// discipline as the static path: the expensive build and the disk write
+/// run lock-free, only rename + install hold the catalog write lock.
+fn handle_build_live(
+    shared: &Shared,
+    name: &str,
+    spec: &IndexSpec,
+    spec_text: &str,
+    metric: dataset::Metric,
+    data: &dataset::Dataset,
+    opts: BuildOpts,
+) -> Response {
+    let defaults = LiveConfig::default();
+    let config = LiveConfig {
+        seal_threshold: if opts.seal_threshold == 0 {
+            defaults.seal_threshold
+        } else {
+            opts.seal_threshold as usize
+        },
+        max_segments: if opts.max_segments == 0 {
+            defaults.max_segments
+        } else {
+            opts.max_segments as usize
+        },
+    };
+    let t0 = Instant::now();
+    // Builder invariants may assert on hostile specs, exactly like the
+    // static path: catch, answer, keep the worker.
+    let built = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        LiveIndex::build_from(*spec, metric, data, config)
+    }));
+    let live = match built {
+        Ok(Ok(live)) => live,
+        Ok(Err(e)) => return Response::Error(format!("building live {spec_text:?}: {e}")),
+        Err(panic) => {
+            return Response::Error(format!(
+                "building live {spec_text:?} rejected: {}",
+                panic_message(panic)
+            ));
+        }
+    };
+    let build_secs = t0.elapsed().as_secs_f64();
+
+    let staged = match shared.snapshot_dir {
+        Some(dir) => {
+            let state = live.state();
+            let meta = SnapMeta::of_build(spec, build_secs, state.live_rows() as u64);
+            match crate::snapshot::stage_live_snapshot(dir, name, &state, &meta) {
+                Ok(staged) => Some(staged),
+                Err(e) => return Response::Error(format!("snapshotting {name:?}: {e}")),
+            }
+        }
+        None => None,
+    };
+
+    let mut catalog = shared.catalog.write().expect("catalog poisoned");
+    let mut snapshot_path = String::new();
+    if let Some(staged) = staged {
+        match staged.commit() {
+            Ok(path) => snapshot_path = path.display().to_string(),
+            Err(e) => return Response::Error(format!("snapshotting {name:?}: {e}")),
+        }
+    }
+    match catalog.install_live(name.to_string(), spec.to_string(), live) {
+        Ok(_replaced) => {
+            let info = catalog.get(name).expect("just installed").info();
+            Response::Built { info, build_micros: (build_secs * 1e6) as u64, snapshot_path }
+        }
+        Err(e) => Response::Error(format!("installing {name:?}: {e}")),
+    }
+}
+
 /// BUILD names double as snapshot file names: plain tokens only.
 fn valid_build_name(name: &str) -> bool {
     !name.is_empty()
@@ -416,31 +686,8 @@ fn valid_build_name(name: &str) -> bool {
 
 /// The error side is the message for a `Response::Error` (not the
 /// response itself: `Response` grew large enough with BUILT that clippy
-/// rightly objects to it riding in every `Err`).
-fn lookup<'a>(
-    catalog: &'a Catalog,
-    name: &str,
-    dim: usize,
-    k: u32,
-) -> Result<&'a ServedIndex, String> {
-    let served =
-        catalog.get(name).ok_or_else(|| format!("no such index {name:?}"))?;
-    if k == 0 {
-        return Err("k must be at least 1".into());
-    }
-    // An untrusted k flows into k-sized allocations (verification heaps);
-    // beyond n it cannot return more neighbors anyway.
-    if k as u64 > served.data.len() as u64 {
-        return Err(format!(
-            "k = {k} exceeds the {} indexed vectors of {name:?}",
-            served.data.len()
-        ));
-    }
-    if dim != served.data.dim() {
-        return Err(format!(
-            "dimension mismatch: index {name:?} has dim {}, query has {dim}",
-            served.data.dim()
-        ));
-    }
-    Ok(served)
+/// rightly objects to it riding in every `Err`). Shape checks live in
+/// [`check_shape`] — they need the backend's (possibly locked) length.
+fn lookup<'a>(catalog: &'a Catalog, name: &str) -> Result<&'a ServedIndex, String> {
+    catalog.get(name).ok_or_else(|| format!("no such index {name:?}"))
 }

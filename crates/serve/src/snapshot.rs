@@ -16,6 +16,7 @@
 //! vectors  n * dim * f32                  row-major raw bits
 //! payload  u64 length + bytes             PersistAnn payload
 //! meta     (optional) b"META" + u32 len   build provenance, see below
+//! live     (optional) b"LIVE" + u32 len   mutable-index structure, see below
 //! ```
 //!
 //! The trailing **meta section** (added in PR 3, backward compatible: a
@@ -31,12 +32,41 @@
 //! source_rows u64                         rows of the source dataset
 //! ```
 //!
+//! The **LIVE section** (PR 4, same back-compat story as META: older
+//! containers without it decode with [`Snapshot::live`] `None`) makes a
+//! mutable [`ann_live::LiveIndex`] restartable. For a live container the
+//! base `vectors` block holds *every* physical row — each sealed
+//! segment's rows (live **and** tombstoned: an LSH segment's answers
+//! depend on every row it was built over), then the memtable's — and the
+//! section maps structure onto that block:
+//!
+//! ```text
+//! spec            u16 length + UTF-8      segment-build ann::spec string
+//! metric          u16 length + UTF-8      metric name
+//! dim             u32                     row dimensionality
+//! seal_threshold  u64                     seal policy
+//! max_segments    u64                     compaction policy
+//! next_id         u32                     next auto-assigned external id
+//! seg_count       u32
+//! per unit (each segment, then the memtable):
+//!   rows          u64                     row count (consumes the next
+//!                                         rows × dim base vectors)
+//!   ids           rows × u32              external id per slot
+//!   dead          u32 count + count × u32 tombstoned slots
+//! ```
+//!
+//! Segment *indexes* are not stored: each is rebuilt deterministically
+//! from `(spec, rows, metric)` at load time — the spec carries the RNG
+//! seed, so the reloaded index answers bit-identically (the serve e2e
+//! test pins this across a daemon restart).
+//!
 //! Snapshot files use the `.snap` extension; a snapshot directory is just
 //! a flat directory of them, loaded in name order by
 //! [`crate::catalog::Catalog::load_dir`].
 
 use ann::PersistAnn;
-use dataset::Dataset;
+use ann_live::{LiveState, UnitState};
+use dataset::{Dataset, Metric};
 use std::fs;
 use std::io::Write;
 use std::path::{Path, PathBuf};
@@ -83,6 +113,9 @@ impl From<std::io::Error> for SnapError {
 /// Marker opening the optional build-provenance section.
 pub const META_MARKER: &[u8; 4] = b"META";
 
+/// Marker opening the optional live-index structure section.
+pub const LIVE_MARKER: &[u8; 4] = b"LIVE";
+
 /// Build provenance carried in the snapshot's optional meta section: the
 /// originating [`ann::IndexSpec`] (as its canonical grammar string) plus
 /// the measurements `describe` and LIST report.
@@ -118,14 +151,18 @@ impl SnapMeta {
 pub struct Snapshot {
     /// Catalog name the index is served under.
     pub name: String,
-    /// Method name selecting the restorer (e.g. `"MP-LCCS-LSH"`).
+    /// Method name selecting the restorer (e.g. `"MP-LCCS-LSH"`, or
+    /// [`ann_live::LIVE_METHOD`] for a mutable index).
     pub method: String,
-    /// The raw vectors the index was built over.
+    /// The raw vectors the index was built over (for a live container:
+    /// every physical row, segments first, memtable last).
     pub data: Dataset,
-    /// The method's [`PersistAnn`] payload.
+    /// The method's [`PersistAnn`] payload (empty for live containers).
     pub payload: Vec<u8>,
     /// Build provenance; `None` for pre-meta (PR-2 era) containers.
     pub meta: Option<SnapMeta>,
+    /// Live-index structure; `None` for frozen (static) containers.
+    pub live: Option<LiveState>,
 }
 
 /// Container strings reject emptiness before handing off to the shared
@@ -161,6 +198,7 @@ fn encode_parts(
     data: &Dataset,
     payload: &[u8],
     meta: Option<&SnapMeta>,
+    live: Option<&LiveState>,
 ) -> Result<Vec<u8>, SnapError> {
     let flat = data.as_flat();
     let mut out = Vec::with_capacity(64 + flat.len() * 4 + payload.len());
@@ -181,11 +219,114 @@ fn encode_parts(
         section.extend_from_slice(&meta.seed.to_le_bytes());
         section.extend_from_slice(&meta.build_secs.to_bits().to_le_bytes());
         section.extend_from_slice(&meta.source_rows.to_le_bytes());
-        out.extend_from_slice(META_MARKER);
-        out.extend_from_slice(&(section.len() as u32).to_le_bytes());
-        out.extend_from_slice(&section);
+        push_section(&mut out, META_MARKER, &section);
+    }
+    if let Some(state) = live {
+        let mut section = Vec::with_capacity(64 + state.total_rows() * 4);
+        put_str16(&mut section, &state.spec.to_string())?;
+        put_str16(&mut section, state.metric.name())?;
+        section.extend_from_slice(&(state.dim as u32).to_le_bytes());
+        section.extend_from_slice(&(state.config.seal_threshold as u64).to_le_bytes());
+        section.extend_from_slice(&(state.config.max_segments as u64).to_le_bytes());
+        section.extend_from_slice(&state.next_id.to_le_bytes());
+        section.extend_from_slice(&(state.segments.len() as u32).to_le_bytes());
+        for unit in state.segments.iter().chain(std::iter::once(&state.memtable)) {
+            section.extend_from_slice(&(unit.ids.len() as u64).to_le_bytes());
+            for id in &unit.ids {
+                section.extend_from_slice(&id.to_le_bytes());
+            }
+            section.extend_from_slice(&(unit.dead.len() as u32).to_le_bytes());
+            for slot in &unit.dead {
+                section.extend_from_slice(&slot.to_le_bytes());
+            }
+        }
+        push_section(&mut out, LIVE_MARKER, &section);
     }
     Ok(out)
+}
+
+fn push_section(out: &mut Vec<u8>, marker: &[u8; 4], section: &[u8]) {
+    out.extend_from_slice(marker);
+    out.extend_from_slice(&(section.len() as u32).to_le_bytes());
+    out.extend_from_slice(section);
+}
+
+/// Parses the LIVE section body, slicing each unit's rows out of the
+/// base vector block (`flat`, `dim`).
+fn parse_live_section(
+    sr: &mut crate::wire::Reader,
+    flat: &[f32],
+    dim: usize,
+) -> Result<LiveState, SnapError> {
+    let spec_text = get_str16(sr, "live spec")?;
+    let spec = spec_text
+        .parse()
+        .map_err(|e| SnapError::Malformed(format!("live spec {spec_text:?}: {e}")))?;
+    let metric_name = get_str16(sr, "live metric")?;
+    let metric = Metric::from_name(&metric_name)
+        .ok_or_else(|| SnapError::Malformed(format!("unknown live metric {metric_name:?}")))?;
+    let live_dim = ctx(sr.u32(), "live dim")? as usize;
+    if live_dim != dim {
+        return Err(SnapError::Malformed(format!(
+            "live dim {live_dim} disagrees with the vector block dim {dim}"
+        )));
+    }
+    let seal_threshold = ctx(sr.u64(), "live seal_threshold")? as usize;
+    let max_segments = ctx(sr.u64(), "live max_segments")? as usize;
+    let next_id = ctx(sr.u32(), "live next_id")?;
+    let total_rows = flat.len() / dim;
+    let seg_count = ctx(sr.u32(), "live segment count")? as usize;
+    if seg_count > total_rows {
+        return Err(SnapError::Malformed(format!(
+            "{seg_count} segments over {total_rows} rows"
+        )));
+    }
+    let mut row_cursor = 0usize;
+    let mut take_unit = |sr: &mut crate::wire::Reader, what: &str| -> Result<UnitState, SnapError> {
+        let rows = ctx(sr.u64(), what)? as usize;
+        if rows > total_rows - row_cursor {
+            return Err(SnapError::Malformed(format!(
+                "{what} declares {rows} rows, {} remain in the vector block",
+                total_rows - row_cursor
+            )));
+        }
+        let mut ids = Vec::with_capacity(rows);
+        for _ in 0..rows {
+            ids.push(ctx(sr.u32(), what)?);
+        }
+        let dead_count = ctx(sr.u32(), what)? as usize;
+        if dead_count > rows {
+            return Err(SnapError::Malformed(format!(
+                "{what} declares {dead_count} dead slots over {rows} rows"
+            )));
+        }
+        let mut dead = Vec::with_capacity(dead_count);
+        for _ in 0..dead_count {
+            dead.push(ctx(sr.u32(), what)?);
+        }
+        let unit_flat = flat[row_cursor * dim..(row_cursor + rows) * dim].to_vec();
+        row_cursor += rows;
+        Ok(UnitState { rows: unit_flat, ids, dead })
+    };
+    let mut segments = Vec::with_capacity(seg_count);
+    for i in 0..seg_count {
+        segments.push(take_unit(sr, &format!("live segment {i}"))?);
+    }
+    let memtable = take_unit(sr, "live memtable")?;
+    if row_cursor != total_rows {
+        return Err(SnapError::Malformed(format!(
+            "LIVE section covers {row_cursor} of {total_rows} rows"
+        )));
+    }
+    Ok(LiveState {
+        spec,
+        metric,
+        dim,
+        config: ann_live::LiveConfig { seal_threshold, max_segments },
+        next_id,
+        segments,
+        memtable,
+    })
 }
 
 /// Writes `bytes` to `path` atomically (tmp file + rename).
@@ -211,7 +352,24 @@ impl Snapshot {
             data: data.clone(),
             payload: index.snapshot_bytes(),
             meta: None,
+            live: None,
         }
+    }
+
+    /// Builds a live container from a [`LiveState`]
+    /// ([`ann_live::LiveIndex::state`]): the base vector block is the
+    /// concatenation of every unit's physical rows, the method is
+    /// [`ann_live::LIVE_METHOD`], and the structure rides in the LIVE
+    /// section. An index with zero physical rows cannot be containerized.
+    pub fn of_live(name: &str, state: &LiveState) -> Result<Snapshot, SnapError> {
+        Ok(Snapshot {
+            name: name.to_string(),
+            method: ann_live::LIVE_METHOD.to_string(),
+            data: live_base_block(name, state)?,
+            payload: Vec::new(),
+            meta: None,
+            live: Some(state.clone()),
+        })
     }
 
     /// Attaches build provenance (written as the optional meta section).
@@ -222,7 +380,14 @@ impl Snapshot {
 
     /// Serializes the container.
     pub fn encode(&self) -> Result<Vec<u8>, SnapError> {
-        encode_parts(&self.name, &self.method, &self.data, &self.payload, self.meta.as_ref())
+        encode_parts(
+            &self.name,
+            &self.method,
+            &self.data,
+            &self.payload,
+            self.meta.as_ref(),
+            self.live.as_ref(),
+        )
     }
 
     /// Decodes a container produced by [`Snapshot::encode`] — including
@@ -246,36 +411,53 @@ impl Snapshot {
         let flat = ctx(r.f32s((n * u64::from(dim)) as usize), "vector section")?;
         let payload_len = ctx(r.u64(), "payload length")?;
         let payload = ctx(r.take(payload_len as usize), "payload")?.to_vec();
-        // Optional meta section: absent on old containers (clean EOF
-        // here), present as marker + length + fields on new ones.
-        let meta = if r.remaining() == 0 {
-            None
-        } else {
-            if ctx(r.take(META_MARKER.len()), "meta marker")? != META_MARKER {
-                return Err(SnapError::Malformed("trailing bytes are not a META section".into()));
-            }
-            let len = ctx(r.u32(), "meta length")? as usize;
-            if len != r.remaining() {
+        // Optional trailing sections: absent on old containers (clean EOF
+        // here), each present at most once as marker + length + body.
+        // Pre-META (PR-2) files end after the payload; pre-LIVE (PR-3)
+        // files end after META — both still decode.
+        let mut meta = None;
+        let mut live = None;
+        while r.remaining() > 0 {
+            let marker = ctx(r.take(4), "section marker")?;
+            let len = ctx(r.u32(), "section length")? as usize;
+            let body = ctx(r.take(len), "section body")?;
+            let mut sr = crate::wire::Reader::new(body);
+            if marker == META_MARKER {
+                if meta.is_some() {
+                    return Err(SnapError::Malformed("duplicate META section".into()));
+                }
+                let spec = get_str16(&mut sr, "meta spec")?;
+                let w = ctx(sr.f64(), "meta w")?;
+                let seed = ctx(sr.u64(), "meta seed")?;
+                let build_secs = ctx(sr.f64(), "meta build_secs")?;
+                let source_rows = ctx(sr.u64(), "meta source_rows")?;
+                if sr.remaining() != 0 {
+                    return Err(SnapError::Malformed(format!(
+                        "{} trailing bytes inside META",
+                        sr.remaining()
+                    )));
+                }
+                meta = Some(SnapMeta { spec, w, seed, build_secs, source_rows });
+            } else if marker == LIVE_MARKER {
+                if live.is_some() {
+                    return Err(SnapError::Malformed("duplicate LIVE section".into()));
+                }
+                let state = parse_live_section(&mut sr, &flat, dim as usize)?;
+                if sr.remaining() != 0 {
+                    return Err(SnapError::Malformed(format!(
+                        "{} trailing bytes inside LIVE",
+                        sr.remaining()
+                    )));
+                }
+                live = Some(state);
+            } else {
                 return Err(SnapError::Malformed(format!(
-                    "META section declares {len} bytes, {} remain",
-                    r.remaining()
+                    "unknown trailing section marker {marker:?}"
                 )));
             }
-            let spec = get_str16(&mut r, "meta spec")?;
-            let w = ctx(r.f64(), "meta w")?;
-            let seed = ctx(r.u64(), "meta seed")?;
-            let build_secs = ctx(r.f64(), "meta build_secs")?;
-            let source_rows = ctx(r.u64(), "meta source_rows")?;
-            if r.remaining() != 0 {
-                return Err(SnapError::Malformed(format!(
-                    "{} trailing bytes after META",
-                    r.remaining()
-                )));
-            }
-            Some(SnapMeta { spec, w, seed, build_secs, source_rows })
-        };
+        }
         let data = Dataset::from_flat(name.clone(), dim as usize, flat);
-        Ok(Snapshot { name, method, data, payload, meta })
+        Ok(Snapshot { name, method, data, payload, meta, live })
     }
 
     /// Writes the container to `path` atomically (tmp file + rename, so a
@@ -301,7 +483,8 @@ pub fn write_index_snapshot(
 ) -> Result<PathBuf, SnapError> {
     fs::create_dir_all(dir)?;
     let path = dir.join(format!("{name}.{SNAPSHOT_EXT}"));
-    let bytes = encode_parts(name, index.name(), data, &index.snapshot_bytes(), meta.as_ref())?;
+    let bytes =
+        encode_parts(name, index.name(), data, &index.snapshot_bytes(), meta.as_ref(), None)?;
     write_bytes_atomic(&path, &bytes)?;
     Ok(path)
 }
@@ -343,6 +526,42 @@ pub fn stage_built_snapshot(
     payload: &[u8],
     meta: &SnapMeta,
 ) -> Result<StagedSnapshot, SnapError> {
+    let bytes = encode_parts(name, method, data, payload, Some(meta), None)?;
+    stage_bytes(dir, name, &bytes)
+}
+
+/// The base vector block of a live container: every unit's physical
+/// rows, segments first, memtable last. An index with zero physical
+/// rows cannot be containerized.
+fn live_base_block(name: &str, state: &LiveState) -> Result<Dataset, SnapError> {
+    if state.total_rows() == 0 {
+        return Err(SnapError::Malformed("live index holds no rows".into()));
+    }
+    let mut flat = Vec::with_capacity(state.total_rows() * state.dim);
+    for unit in state.segments.iter().chain(std::iter::once(&state.memtable)) {
+        flat.extend_from_slice(&unit.rows);
+    }
+    Ok(Dataset::from_flat(name, state.dim, flat))
+}
+
+/// Encodes and stages a *live* index's container — base vector block plus
+/// the LIVE structure section — for the FLUSH command and live BUILDs.
+/// Same staged-commit discipline as [`stage_built_snapshot`]. Encodes
+/// straight from the borrowed state (no [`Snapshot`] intermediary: that
+/// would deep-clone every row a second time just to drop it).
+pub fn stage_live_snapshot(
+    dir: &Path,
+    name: &str,
+    state: &LiveState,
+    meta: &SnapMeta,
+) -> Result<StagedSnapshot, SnapError> {
+    let data = live_base_block(name, state)?;
+    let bytes =
+        encode_parts(name, ann_live::LIVE_METHOD, &data, &[], Some(meta), Some(state))?;
+    stage_bytes(dir, name, &bytes)
+}
+
+fn stage_bytes(dir: &Path, name: &str, bytes: &[u8]) -> Result<StagedSnapshot, SnapError> {
     use std::sync::atomic::{AtomicU64, Ordering};
     static STAGE_TAG: AtomicU64 = AtomicU64::new(0);
     fs::create_dir_all(dir)?;
@@ -352,10 +571,9 @@ pub fn stage_built_snapshot(
     // is not `.snap`, so `load_dir` ignores stragglers.
     let tag = STAGE_TAG.fetch_add(1, Ordering::Relaxed);
     let tmp = dir.join(format!("{name}.snap-stage-{}-{tag}", std::process::id()));
-    let bytes = encode_parts(name, method, data, payload, Some(meta))?;
     {
         let mut f = fs::File::create(&tmp)?;
-        f.write_all(&bytes)?;
+        f.write_all(bytes)?;
         f.sync_all()?;
     }
     Ok(StagedSnapshot { tmp, path })
@@ -474,6 +692,77 @@ mod tests {
         let shape_off = 8 + 2 + 4 + 2 + "LCCS-LSH".len(); // magic + name + method
         bad[shape_off..shape_off + 8].copy_from_slice(&u64::MAX.to_le_bytes());
         assert!(Snapshot::decode(&bad).is_err());
+    }
+
+    #[test]
+    fn live_section_round_trips() {
+        use ann::MutableAnn;
+        use ann_live::{LiveConfig, LiveIndex};
+        let data = SynthSpec::new("live", 60, 8).with_clusters(4).generate(11);
+        let mut live = LiveIndex::build_from(
+            "lccs:m=8,w=8,seed=3".parse().unwrap(),
+            Metric::Euclidean,
+            &data,
+            LiveConfig { seal_threshold: 100, max_segments: 4 },
+        )
+        .unwrap();
+        live.insert(&SynthSpec::new("extra", 5, 8).generate(12), None).unwrap();
+        live.delete(&[2, 61]);
+        let state = live.state();
+        let snap = Snapshot::of_live("demo-live", &state).unwrap();
+        assert_eq!(snap.method, ann_live::LIVE_METHOD);
+        assert_eq!(snap.data.len(), 65, "base block holds every physical row");
+        let back = Snapshot::decode(&snap.encode().unwrap()).unwrap();
+        assert_eq!(back.name, "demo-live");
+        assert_eq!(back.method, ann_live::LIVE_METHOD);
+        assert!(back.payload.is_empty());
+        let got = back.live.expect("LIVE section survives");
+        assert_eq!(got, state, "state round-trips exactly");
+        // And the reassembled index answers like the original.
+        let rebuilt = LiveIndex::from_state(got).unwrap();
+        let p = ann::SearchParams::new(5, 64);
+        use ann::AnnIndex;
+        for i in [0usize, 30, 59] {
+            assert_eq!(rebuilt.query(data.get(i), &p), live.query(data.get(i), &p));
+        }
+    }
+
+    #[test]
+    fn corrupt_live_sections_are_rejected() {
+        use ann::MutableAnn;
+        use ann_live::{LiveConfig, LiveIndex};
+        let data = SynthSpec::new("live", 30, 6).generate(13);
+        let mut live = LiveIndex::build_from(
+            "linear".parse().unwrap(),
+            Metric::Euclidean,
+            &data,
+            LiveConfig { seal_threshold: 100, max_segments: 4 },
+        )
+        .unwrap();
+        live.delete(&[7]);
+        let state = live.state();
+        let good = Snapshot::of_live("x", &state).unwrap().encode().unwrap();
+        assert!(Snapshot::decode(&good).is_ok());
+        // Truncations anywhere inside the section fail cleanly.
+        for cut in 1..60 {
+            assert!(Snapshot::decode(&good[..good.len() - cut]).is_err(), "cut {cut}");
+        }
+        // Trailing garbage after the section is rejected.
+        let mut bad = good.clone();
+        bad.extend_from_slice(b"junk");
+        assert!(Snapshot::decode(&bad).is_err());
+        // An empty live index cannot be containerized at all.
+        let empty = LiveIndex::new(
+            "linear".parse().unwrap(),
+            Metric::Euclidean,
+            6,
+            LiveConfig::default(),
+        )
+        .unwrap();
+        assert!(matches!(
+            Snapshot::of_live("x", &empty.state()),
+            Err(SnapError::Malformed(_))
+        ));
     }
 
     #[test]

@@ -6,11 +6,18 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// Counters one served index accumulates across all connections. All
 /// fields are relaxed atomics: they are monotone counters read only by
 /// STATS, so cross-field consistency is not required.
+///
+/// The write-path counters (`inserts`, `deletes`, `flushes`) only ever
+/// move for live catalog entries — a static snapshot-backed index serves
+/// reads only, and its write counters stay at zero.
 #[derive(Debug, Default)]
 pub struct IndexStats {
     queries: AtomicU64,
     batch_requests: AtomicU64,
     batch_queries: AtomicU64,
+    inserts: AtomicU64,
+    deletes: AtomicU64,
+    flushes: AtomicU64,
     total_micros: AtomicU64,
     max_micros: AtomicU64,
 }
@@ -34,6 +41,24 @@ impl IndexStats {
         self.record_latency(micros);
     }
 
+    /// Records one INSERT request that landed `rows` rows.
+    pub fn record_insert(&self, rows: u64, micros: u64) {
+        self.inserts.fetch_add(rows, Ordering::Relaxed);
+        self.record_latency(micros);
+    }
+
+    /// Records one DELETE request that removed `rows` live rows.
+    pub fn record_delete(&self, rows: u64, micros: u64) {
+        self.deletes.fetch_add(rows, Ordering::Relaxed);
+        self.record_latency(micros);
+    }
+
+    /// Records one FLUSH request.
+    pub fn record_flush(&self, micros: u64) {
+        self.flushes.fetch_add(1, Ordering::Relaxed);
+        self.record_latency(micros);
+    }
+
     /// A wire-ready snapshot of the counters. `spec` is the served
     /// entry's spec string (empty when unknown).
     pub fn snapshot(&self, name: &str, spec: &str) -> StatsEntry {
@@ -43,6 +68,9 @@ impl IndexStats {
             queries: self.queries.load(Ordering::Relaxed),
             batch_requests: self.batch_requests.load(Ordering::Relaxed),
             batch_queries: self.batch_queries.load(Ordering::Relaxed),
+            inserts: self.inserts.load(Ordering::Relaxed),
+            deletes: self.deletes.load(Ordering::Relaxed),
+            flushes: self.flushes.load(Ordering::Relaxed),
             total_micros: self.total_micros.load(Ordering::Relaxed),
             max_micros: self.max_micros.load(Ordering::Relaxed),
         }
@@ -67,5 +95,21 @@ mod tests {
         assert_eq!(snap.batch_queries, 64);
         assert_eq!(snap.total_micros, 540);
         assert_eq!(snap.max_micros, 500);
+        assert_eq!((snap.inserts, snap.deletes, snap.flushes), (0, 0, 0));
+    }
+
+    #[test]
+    fn write_counters_accumulate() {
+        let s = IndexStats::default();
+        s.record_insert(100, 20);
+        s.record_insert(1, 5);
+        s.record_delete(3, 2);
+        s.record_flush(1_000);
+        let snap = s.snapshot("live", "lccs:m=8");
+        assert_eq!(snap.inserts, 101, "insert counter counts rows, not requests");
+        assert_eq!(snap.deletes, 3);
+        assert_eq!(snap.flushes, 1);
+        assert_eq!(snap.total_micros, 1_027, "write latency rolls into the totals");
+        assert_eq!(snap.max_micros, 1_000);
     }
 }

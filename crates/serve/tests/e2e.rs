@@ -220,7 +220,10 @@ fn build_over_the_wire_matches_in_process_build_bit_for_bit() {
     assert_eq!(reloaded.len(), 1);
     let served = reloaded.get("live-mp").unwrap();
     assert_eq!(served.spec, spec_text);
-    assert_eq!(bits(&served.index.query_batch(&queries, &params)), expected);
+    let serve::catalog::Backend::Static { index: reloaded_index, .. } = &served.backend else {
+        panic!("BUILD without --live restores a static entry");
+    };
+    assert_eq!(bits(&reloaded_index.query_batch(&queries, &params)), expected);
 
     // BUILD onto an existing name replaces the entry (new seed, new spec).
     let (info2, _, _) = client
@@ -273,6 +276,121 @@ fn build_over_the_wire_matches_in_process_build_bit_for_bit() {
     let err = client.build("bad", "lccs:m=16", "euclidean", "/no/such/file.fvecs", 0).unwrap_err();
     assert!(matches!(&err, ClientError::Server(m) if m.contains("loading dataset")), "{err}");
     client.ping().unwrap();
+
+    client.shutdown().unwrap();
+    handle.join().expect("server thread");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn live_index_mutates_over_the_wire_and_survives_a_restart() {
+    // The PR-4 acceptance path: BUILD --live → INSERT (auto + explicit
+    // ids, read-your-writes) → DELETE (memtable + sealed rows) → FLUSH →
+    // kill the daemon → restart from the flushed .snap → answers are
+    // byte-identical to the pre-restart ones.
+    let dir = std::env::temp_dir().join(format!("annd-live-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let data = Arc::new(SynthSpec::new("liveset", 300, 16).with_clusters(8).generate(51));
+    let fvecs = dir.join("liveset.fvecs");
+    dataset::io::write_fvecs(&fvecs, &data).unwrap();
+
+    let server = Server::bind(Catalog::empty(), "127.0.0.1:0", 2)
+        .expect("bind")
+        .with_snapshot_dir(&dir);
+    let addr = server.local_addr().unwrap();
+    let handle = std::thread::spawn(move || server.run().expect("serving loop"));
+    let mut client = Client::connect(addr).unwrap();
+
+    // BUILD --live: the dataset seals into segment 0, small thresholds so
+    // the wire traffic below exercises seal + compaction.
+    let spec_text = "lccs:m=8,w=8,seed=77";
+    let (info, _, snap_path) = client
+        .build_live("lv", spec_text, "euclidean", fvecs.to_str().unwrap(), 0, 64, 3)
+        .expect("BUILD --live");
+    assert_eq!(info.method, "Live");
+    assert_eq!(info.spec, spec_text);
+    assert_eq!((info.len, info.dim), (300, 16));
+    assert!(snap_path.ends_with("lv.snap"), "{snap_path}");
+
+    // INSERT with auto ids continues the id space; read-your-writes on
+    // the same connection: the fresh row is immediately findable.
+    let extra = SynthSpec::new("extra", 100, 16).with_clusters(4).generate(52);
+    let ids = client.insert("lv", &extra, None).expect("INSERT");
+    assert_eq!(ids, (300..400).collect::<Vec<u32>>());
+    let hit = client.query("lv", 1, 64, 0, extra.get(0)).unwrap();
+    assert_eq!(hit[0].id, 300, "read-your-writes");
+    assert_eq!(hit[0].dist, 0.0);
+
+    // Explicit ids; re-using a live one is a clean error.
+    let one = SynthSpec::new("one", 1, 16).generate(53);
+    assert_eq!(client.insert("lv", &one, Some(&[5000])).unwrap(), vec![5000]);
+    let err = client.insert("lv", &one, Some(&[5000])).unwrap_err();
+    assert!(matches!(&err, ClientError::Server(m) if m.contains("already live")), "{err}");
+
+    // DELETE hits both sealed rows (id 3) and memtable rows; absent ids
+    // are counted out, not errors.
+    let removed = client.delete("lv", &[3, 399, 999_999]).expect("DELETE");
+    assert_eq!(removed, 2);
+    let hits = client.query("lv", 5, 64, 0, data.get(3)).unwrap();
+    assert!(hits.iter().all(|n| n.id != 3), "deleted sealed row filtered");
+
+    // Writes are observable in STATS.
+    let stats = client.stats().unwrap();
+    let lv = stats.iter().find(|s| s.name == "lv").unwrap();
+    assert_eq!(lv.inserts, 101, "insert counter counts rows");
+    assert_eq!(lv.deletes, 2);
+    assert_eq!(lv.flushes, 0);
+
+    // Writes against a static entry are clean errors.
+    client
+        .build("frozen", "lccs:m=8,w=8,seed=1", "euclidean", fvecs.to_str().unwrap(), 0)
+        .expect("static BUILD");
+    let err = client.insert("frozen", &one, None).unwrap_err();
+    assert!(matches!(&err, ClientError::Server(m) if m.contains("read-only")), "{err}");
+    let err = client.delete("frozen", &[1]).unwrap_err();
+    assert!(matches!(&err, ClientError::Server(m) if m.contains("read-only")), "{err}");
+    let err = client.flush("frozen").unwrap_err();
+    assert!(matches!(&err, ClientError::Server(m) if m.contains("read-only")), "{err}");
+
+    // FLUSH: seals the memtable and persists the live structure.
+    let (flush_path, segments, live_rows) = client.flush("lv").expect("FLUSH");
+    assert!(flush_path.ends_with("lv.snap"), "{flush_path}");
+    assert!((1..=3).contains(&segments), "compaction caps segments, got {segments}");
+    assert_eq!(live_rows, 399);
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.iter().find(|s| s.name == "lv").unwrap().flushes, 1);
+
+    // Record the answers the live daemon serves right now...
+    let queries = data.sample_queries(20, 9);
+    let params_k = 10;
+    let before = client.query_batch("lv", params_k, 64, 0, &queries).unwrap();
+    let before_single = client.query("lv", 1, 64, 0, extra.get(7)).unwrap();
+
+    // ...kill the daemon, restart over the same snapshot dir...
+    client.shutdown().unwrap();
+    handle.join().expect("server thread");
+    let catalog = Catalog::load_dir(&dir).expect("reload");
+    let served = catalog.get("lv").expect("flushed live index survives restart");
+    assert_eq!(served.method, "Live");
+    assert_eq!(served.spec, spec_text);
+    let server = Server::bind(catalog, "127.0.0.1:0", 2).expect("rebind").with_snapshot_dir(&dir);
+    let addr = server.local_addr().unwrap();
+    let handle = std::thread::spawn(move || server.run().expect("serving loop"));
+    let mut client = Client::connect(addr).unwrap();
+
+    // ...and the reloaded index answers byte-identically.
+    let after = client.query_batch("lv", params_k, 64, 0, &queries).unwrap();
+    assert_eq!(bits(&after), bits(&before), "restart must not change answers");
+    let after_single = client.query("lv", 1, 64, 0, extra.get(7)).unwrap();
+    assert_eq!(bits(&[after_single]), bits(&[before_single]));
+
+    // The restarted index is still mutable, ids keep ascending past
+    // everything ever assigned (5000 steered the counter).
+    let ids = client.insert("lv", &one, None).unwrap();
+    assert_eq!(ids, vec![5001]);
+    assert_eq!(client.delete("lv", &[5001]).unwrap(), 1);
 
     client.shutdown().unwrap();
     handle.join().expect("server thread");

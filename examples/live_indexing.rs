@@ -1,0 +1,98 @@
+//! Live indexing end to end: an LSM-style mutable index absorbing
+//! writes while serving reads, in-process and then over the wire.
+//!
+//! Part 1 drives `ann_live::LiveIndex` directly: insert → query →
+//! delete → seal → compact, watching the segment layout evolve and ids
+//! stay stable. Part 2 serves the same design through `annd`'s protocol
+//! — BUILD --live, INSERT/DELETE/FLUSH over TCP, then a simulated
+//! daemon restart from the flushed `.snap` that answers identically.
+//!
+//! Run with: `cargo run --release --example live_indexing`
+
+use ann::{AnnIndex, IndexSpec, MutableAnn, SearchParams};
+use ann_live::{LiveConfig, LiveIndex};
+use dataset::{Metric, SynthSpec};
+use serve::catalog::Catalog;
+use serve::client::Client;
+use serve::server::Server;
+
+fn main() {
+    // ---- Part 1: the index itself.
+    let dim = 24;
+    let base = SynthSpec::new("base", 3_000, dim).with_clusters(12).generate(7);
+    let spec = IndexSpec::lccs(16).with_w(8.0).with_seed(7);
+    let config = LiveConfig { seal_threshold: 512, max_segments: 3 };
+    let mut live =
+        LiveIndex::build_from(spec, Metric::Euclidean, &base, config).expect("build");
+    println!("built live index: {} live rows, layout {:?}", live.live_len(), live.segment_layout());
+
+    // Writes land in the memtable and are immediately queryable.
+    let fresh = SynthSpec::new("fresh", 1_200, dim).with_clusters(6).generate(8);
+    let ids = live.insert(&fresh, None).expect("insert");
+    println!(
+        "inserted {} rows (ids {}..={}), memtable now {} rows, layout {:?}",
+        ids.len(),
+        ids.first().unwrap(),
+        ids.last().unwrap(),
+        live.memtable_rows(),
+        live.segment_layout()
+    );
+    let params = SearchParams::new(5, 96);
+    let hit = live.query(fresh.get(0), &params)[0];
+    assert_eq!((hit.id, hit.dist), (ids[0], 0.0), "read-your-writes");
+
+    // Deletes tombstone sealed rows; compaction drops them physically.
+    let removed = live.delete(&[0, 1, 2, ids[0]]);
+    println!("deleted {removed} rows; live_len = {}", live.live_len());
+    live.seal().expect("seal");
+    println!("after seal+compact: layout {:?}", live.segment_layout());
+    assert!(live.query(fresh.get(0), &params).iter().all(|n| n.id != ids[0]));
+
+    // ---- Part 2: the same flow over the annd wire protocol.
+    let dir = std::env::temp_dir().join(format!("live-indexing-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    let fvecs = dir.join("base.fvecs");
+    dataset::io::write_fvecs(&fvecs, &base).unwrap();
+
+    let server = Server::bind(Catalog::empty(), "127.0.0.1:0", 2)
+        .expect("bind")
+        .with_snapshot_dir(&dir);
+    let addr = server.local_addr().unwrap();
+    let handle = std::thread::spawn(move || server.run().expect("serve"));
+    let mut client = Client::connect(addr).unwrap();
+
+    client
+        .build_live("demo", "lccs:m=16,w=8,seed=7", "euclidean", fvecs.to_str().unwrap(), 0, 512, 3)
+        .expect("BUILD --live");
+    let ids = client.insert("demo", &fresh, None).expect("INSERT");
+    client.delete("demo", &ids[..10]).expect("DELETE");
+    let (snap, segments, live_rows) = client.flush("demo").expect("FLUSH");
+    println!("flushed over the wire: {segments} segment(s), {live_rows} live rows -> {snap}");
+
+    let queries = base.sample_queries(16, 3);
+    let before = client.query_batch("demo", 10, 96, 0, &queries).expect("query");
+
+    // Simulated restart: a second daemon over the same snapshot dir.
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+    let server = Server::bind(Catalog::load_dir(&dir).expect("reload"), "127.0.0.1:0", 2)
+        .expect("rebind")
+        .with_snapshot_dir(&dir);
+    let addr = server.local_addr().unwrap();
+    let handle = std::thread::spawn(move || server.run().expect("serve"));
+    let mut client = Client::connect(addr).unwrap();
+    let after = client.query_batch("demo", 10, 96, 0, &queries).expect("query after restart");
+    let same = before
+        .iter()
+        .zip(&after)
+        .all(|(a, b)| {
+            a.iter().zip(b).all(|(x, y)| x.id == y.id && x.dist.to_bits() == y.dist.to_bits())
+        });
+    println!("restart answers identical: {same}");
+    assert!(same, "flushed live index must answer identically after a restart");
+
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -37,6 +37,12 @@ serve dir="/tmp/annd-snapshots" addr="127.0.0.1:7700":
 smoke dir="/tmp/annd-smoke" addr="127.0.0.1:38211":
     bash scripts/annd-smoke.sh {{dir}} {{addr}}
 
+# Live-indexing demo: the LSM-style mutable index end to end — insert/
+# delete/seal/compact in process, then INSERT/DELETE/FLUSH over TCP with
+# a daemon restart from the flushed snapshot.
+live-demo:
+    cargo run --release --example live_indexing
+
 # Spec-grammar smoke: print the scheme table and assert every registry
 # entry appears in ann::spec::help() (the same invariant CI pins via the
 # eval unit test).
