@@ -22,6 +22,7 @@
 //! so that swapping `par_map_scratch`'s body for
 //! `rayon::iter::split`-based work stealing is a one-function change.
 
+use crate::request::{SearchRequest, SearchResponse};
 use crate::traits::{AnnIndex, Scratch, SearchParams};
 use dataset::exact::Neighbor;
 use dataset::Dataset;
@@ -111,6 +112,38 @@ pub fn batch_query<I: AnnIndex + ?Sized>(
     )
 }
 
+/// Answers every query in `queries` under one shared [`SearchRequest`],
+/// in query order — the implementation behind the default
+/// [`AnnIndex::search_batch`].
+pub fn batch_search<I: AnnIndex + ?Sized>(
+    index: &I,
+    queries: &Dataset,
+    req: &SearchRequest,
+) -> Vec<SearchResponse> {
+    batch_search_with(index, queries, |_| req)
+}
+
+/// [`batch_search`] with **per-query request overrides**: `req_for(i)`
+/// names the request query `i` runs under, so one batch can mix plain
+/// top-k questions with filtered or range questions (per-tenant
+/// allowlists, per-query thresholds) without splitting the batch — the
+/// scheduling, scratch reuse, and ordering guarantees are unchanged.
+///
+/// Requests are borrowed, not cloned: an [`crate::request::IdFilter`]
+/// can be arbitrarily large, and the common case shares one request
+/// across many queries.
+pub fn batch_search_with<'r, I: AnnIndex + ?Sized>(
+    index: &I,
+    queries: &Dataset,
+    req_for: impl Fn(usize) -> &'r SearchRequest + Sync,
+) -> Vec<SearchResponse> {
+    par_map_scratch(
+        queries.len(),
+        || index.make_scratch(),
+        |i, scratch: &mut Scratch| index.search_with(queries.get(i), req_for(i), scratch),
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -133,6 +166,55 @@ mod tests {
         assert!(none.is_empty());
         let one = par_map_scratch(1, || (), |i, ()| i + 7);
         assert_eq!(one, vec![7]);
+    }
+
+    #[test]
+    fn per_query_overrides_reach_the_right_queries() {
+        // A toy exact index over 1-d integer points.
+        struct Line(usize);
+        impl AnnIndex for Line {
+            fn name(&self) -> &'static str {
+                "Line"
+            }
+            fn len(&self) -> usize {
+                self.0
+            }
+            fn index_bytes(&self) -> usize {
+                0
+            }
+            fn query_with(
+                &self,
+                q: &[f32],
+                params: &SearchParams,
+                _s: &mut Scratch,
+            ) -> Vec<Neighbor> {
+                let mut all: Vec<Neighbor> = (0..self.0 as u32)
+                    .map(|id| Neighbor { id, dist: (f64::from(id) - f64::from(q[0])).abs() })
+                    .collect();
+                all.sort_unstable();
+                all.truncate(params.k);
+                all
+            }
+        }
+        let idx = Line(64);
+        let queries =
+            Dataset::from_rows("q", &(0..40).map(|i| vec![i as f32]).collect::<Vec<_>>());
+        let base = SearchRequest::top_k(1).budget(8);
+        let wide = SearchRequest::top_k(3).budget(8);
+        // Every 4th query asks for three neighbors instead of one.
+        let out = batch_search_with(&idx, &queries, |i| if i % 4 == 0 { &wide } else { &base });
+        for (i, resp) in out.iter().enumerate() {
+            let want = if i % 4 == 0 { 3 } else { 1 };
+            assert_eq!(resp.hits.len(), want, "query {i}");
+            assert_eq!(resp.hits[0].id, i as u32, "nearest point is the query itself");
+        }
+        // The shared-request form equals per-query with a constant.
+        let shared = batch_search(&idx, &queries, &base);
+        let manual = batch_search_with(&idx, &queries, |_| &base);
+        assert_eq!(
+            shared.iter().map(|r| r.hits.clone()).collect::<Vec<_>>(),
+            manual.iter().map(|r| r.hits.clone()).collect::<Vec<_>>()
+        );
     }
 
     #[test]

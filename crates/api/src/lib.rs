@@ -8,8 +8,15 @@
 //! generically (`&dyn AnnIndex` or `impl AnnIndex`) instead of through
 //! per-algorithm signatures.
 //!
-//! * [`AnnIndex`] — object-safe query interface: `query`,
-//!   `query_with(scratch)`, `query_batch`, `index_bytes`, `name`.
+//! * [`AnnIndex`] — object-safe query interface: the [`SearchRequest`] →
+//!   [`SearchResponse`] contract (`search`, `search_with(scratch)`,
+//!   `search_batch`) over the low-level `query`/`query_with`/`query_batch`
+//!   primitives, plus `len`, `index_bytes`, `name`.
+//! * [`request`] — the query contract itself: [`SearchRequest`] (top-k
+//!   knobs + [`IdFilter`] predicate + `max_dist` range threshold, built
+//!   via `SearchRequest::top_k(10).budget(128)`), [`SearchResponse`]
+//!   (hits + [`SearchStats`]), and the one shared legality rule
+//!   [`SearchRequest::validate`].
 //! * [`BuildAnn`] — the build-from-dataset half, with per-algorithm
 //!   parameter types (not object-safe; used generically).
 //! * [`PersistAnn`] — the snapshot contract: indexes that round-trip
@@ -34,10 +41,14 @@
 pub mod executor;
 mod mutable;
 mod persist;
+pub mod request;
 pub mod spec;
 mod traits;
 
 pub use mutable::{MutableAnn, MutateError};
 pub use persist::{PersistAnn, PersistError};
+pub use request::{
+    IdFilter, RequestError, ResponseFields, SearchRequest, SearchResponse, SearchStats,
+};
 pub use spec::{IndexSpec, Scheme, SpecError};
 pub use traits::{AnnIndex, BuildAnn, Scratch, SearchParams};

@@ -1,0 +1,334 @@
+//! The self-describing query contract: [`SearchRequest`] in,
+//! [`SearchResponse`] out.
+//!
+//! Until this module existed every layer of the workspace spoke the bare
+//! `(k, budget, probes)` triple, so adding a query capability meant
+//! changing five signatures at once. A [`SearchRequest`] instead carries
+//! the whole question — top-`k` knobs plus the two capabilities that the
+//! ranked-answer literature motivates beyond plain top-k:
+//!
+//! * **predicate-filtered search** — an [`IdFilter`] restricting which
+//!   object ids may appear in the answer (access-control lists, shard
+//!   routing, "only documents from this user");
+//! * **range / threshold search** — a `max_dist` cap making the answer
+//!   "the nearest `k` objects *within distance `max_dist`*", possibly
+//!   fewer than `k`.
+//!
+//! A [`SearchResponse`] pairs the verified hits with [`SearchStats`]
+//! (candidates scanned, heap pushes, wall time), so budget tuning is
+//! observable at every layer — the serving daemon accumulates the scanned
+//! counter into its per-index STATS.
+//!
+//! Construction goes through the builder (`SearchRequest::top_k(10)
+//! .budget(128).probes(17)`), which replaces the positional-knob footguns
+//! of the older [`SearchParams`] type; [`SearchRequest::validate`] is the
+//! one shared legality rule (`1 ≤ k ≤ rows`, finite threshold) that the
+//! in-process harness, the live index, and the wire server all call
+//! instead of re-implementing their own variants.
+
+use crate::traits::SearchParams;
+use dataset::exact::Neighbor;
+
+/// Default candidate budget a bare `SearchRequest::top_k(k)` carries —
+/// the mid-ladder λ the paper's sweeps center on.
+pub const DEFAULT_BUDGET: usize = 128;
+
+/// A predicate over external object ids, restricting which objects may
+/// appear in a search answer.
+///
+/// The id list is stored sorted and deduplicated (the constructors
+/// normalize), so [`IdFilter::accepts`] is a binary search — cheap enough
+/// to sit inside a verification loop.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IdFilter {
+    /// `true` = allowlist (only these ids may match), `false` = denylist
+    /// (everything but these ids may match).
+    allow: bool,
+    /// Sorted, deduplicated ids.
+    ids: Vec<u32>,
+}
+
+impl IdFilter {
+    fn normalized(allow: bool, mut ids: Vec<u32>) -> IdFilter {
+        ids.sort_unstable();
+        ids.dedup();
+        IdFilter { allow, ids }
+    }
+
+    /// Only the given ids may appear in the answer.
+    pub fn allow(ids: impl Into<Vec<u32>>) -> IdFilter {
+        IdFilter::normalized(true, ids.into())
+    }
+
+    /// The given ids may *not* appear in the answer.
+    pub fn deny(ids: impl Into<Vec<u32>>) -> IdFilter {
+        IdFilter::normalized(false, ids.into())
+    }
+
+    /// Whether this is an allowlist (`true`) or a denylist (`false`).
+    pub fn is_allow(&self) -> bool {
+        self.allow
+    }
+
+    /// The sorted, deduplicated id list.
+    pub fn ids(&self) -> &[u32] {
+        &self.ids
+    }
+
+    /// Does the filter let `id` through?
+    #[inline]
+    pub fn accepts(&self, id: u32) -> bool {
+        self.ids.binary_search(&id).is_ok() == self.allow
+    }
+}
+
+/// Which optional sections a [`SearchResponse`] should carry beyond the
+/// hits themselves. On the wire these become bitflag-gated sections, so
+/// a response never pays for a field nobody asked for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ResponseFields {
+    /// Return [`SearchStats`] alongside the hits. Indexes collect the
+    /// counters either way (they are a few integer bumps); this flag is
+    /// about what travels back to the caller.
+    pub stats: bool,
+}
+
+/// Per-query execution counters, returned inside every
+/// [`SearchResponse`].
+///
+/// The LCCS schemes and the live index report exact counts from inside
+/// their candidate loops; the default trait implementation (which
+/// delegates to the legacy `query_with`) reports the number of returned
+/// candidates as a lower-bound estimate — still monotone in the budget,
+/// which is what tuning needs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SearchStats {
+    /// Candidates the verification phase looked at (λ-bounded for the
+    /// LCCS schemes; the whole dataset for the exact scans).
+    pub candidates_scanned: u64,
+    /// Pushes into the bounded top-`k` heap (a proxy for how contested
+    /// the answer set was).
+    pub heap_pushes: u64,
+    /// Wall-clock time spent answering, in microseconds.
+    pub wall_micros: u64,
+}
+
+impl SearchStats {
+    /// Folds another unit's counters into this one (used by fan-out
+    /// indexes that merge per-segment answers). Wall time takes the max
+    /// rather than the sum: segments run concurrently.
+    pub fn absorb(&mut self, other: &SearchStats) {
+        self.candidates_scanned += other.candidates_scanned;
+        self.heap_pushes += other.heap_pushes;
+        self.wall_micros = self.wall_micros.max(other.wall_micros);
+    }
+}
+
+/// A search answer: the verified top-`k` hits (ascending by true
+/// distance, ties by id) plus the execution counters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchResponse {
+    /// The verified hits. With a `max_dist` threshold the list may be
+    /// shorter than `k`; with an [`IdFilter`] every id satisfies it.
+    pub hits: Vec<Neighbor>,
+    /// Execution counters (see [`SearchStats`] for exactness caveats).
+    pub stats: SearchStats,
+}
+
+/// Why a [`SearchRequest`] was rejected by [`SearchRequest::validate`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum RequestError {
+    /// `k` was zero.
+    ZeroK,
+    /// `k` exceeds the number of indexed rows.
+    KExceedsRows {
+        /// The requested `k`.
+        k: usize,
+        /// Rows the index holds.
+        rows: usize,
+    },
+    /// `max_dist` was NaN or negative.
+    BadMaxDist(f64),
+}
+
+impl std::fmt::Display for RequestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RequestError::ZeroK => write!(f, "k must be at least 1"),
+            RequestError::KExceedsRows { k, rows } => {
+                write!(f, "k = {k} exceeds the {rows} indexed vectors")
+            }
+            RequestError::BadMaxDist(d) => {
+                write!(f, "max_dist must be a finite non-negative distance, got {d}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RequestError {}
+
+/// One self-describing search question. See the module docs for the
+/// capability model; see [`SearchRequest::top_k`] for construction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchRequest {
+    /// Neighbors to return (at most; a threshold may leave fewer).
+    pub k: usize,
+    /// Candidate budget (per-scheme meaning, λ for the LCCS schemes).
+    pub budget: usize,
+    /// Probe count for multi-probe schemes; `0` = scheme default.
+    pub probes: usize,
+    /// Restrict the answer to ids the filter accepts.
+    pub filter: Option<IdFilter>,
+    /// Only return hits with true distance ≤ this threshold.
+    pub max_dist: Option<f64>,
+    /// Optional response sections (stats on/off).
+    pub fields: ResponseFields,
+}
+
+impl SearchRequest {
+    /// Starts a request for the nearest `k` objects, with the default
+    /// candidate budget ([`DEFAULT_BUDGET`]) and no filter/threshold.
+    pub fn top_k(k: usize) -> SearchRequest {
+        SearchRequest {
+            k,
+            budget: DEFAULT_BUDGET,
+            probes: 0,
+            filter: None,
+            max_dist: None,
+            fields: ResponseFields::default(),
+        }
+    }
+
+    /// Sets the candidate budget.
+    pub fn budget(mut self, budget: usize) -> SearchRequest {
+        self.budget = budget;
+        self
+    }
+
+    /// Sets the probe count (multi-probe schemes only; `0` = default).
+    pub fn probes(mut self, probes: usize) -> SearchRequest {
+        self.probes = probes;
+        self
+    }
+
+    /// Restricts the answer to ids the filter accepts.
+    pub fn filter(mut self, filter: IdFilter) -> SearchRequest {
+        self.filter = Some(filter);
+        self
+    }
+
+    /// Caps the answer at true distance `max_dist` (range search).
+    pub fn max_dist(mut self, max_dist: f64) -> SearchRequest {
+        self.max_dist = Some(max_dist);
+        self
+    }
+
+    /// Asks for [`SearchStats`] in the response payload.
+    pub fn with_stats(mut self) -> SearchRequest {
+        self.fields.stats = true;
+        self
+    }
+
+    /// The legacy `(k, budget, probes)` triple this request carries —
+    /// what the per-scheme `query_with` implementations consume.
+    pub fn params(&self) -> SearchParams {
+        SearchParams { k: self.k, budget: self.budget, probes: self.probes }
+    }
+
+    /// The one request-legality rule every layer shares (in-process
+    /// harness, live index, wire server): `1 ≤ k ≤ rows`, and a
+    /// threshold, if present, is a finite non-negative distance.
+    pub fn validate(&self, rows: usize) -> Result<(), RequestError> {
+        if self.k == 0 {
+            return Err(RequestError::ZeroK);
+        }
+        if self.k > rows {
+            return Err(RequestError::KExceedsRows { k: self.k, rows });
+        }
+        if let Some(d) = self.max_dist {
+            if !d.is_finite() || d < 0.0 {
+                return Err(RequestError::BadMaxDist(d));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl From<SearchParams> for SearchRequest {
+    fn from(p: SearchParams) -> SearchRequest {
+        SearchRequest::top_k(p.k).budget(p.budget).probes(p.probes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_composes_in_any_order() {
+        let req = SearchRequest::top_k(10)
+            .budget(256)
+            .probes(17)
+            .max_dist(1.5)
+            .filter(IdFilter::allow(vec![3, 1, 2, 1]))
+            .with_stats();
+        assert_eq!((req.k, req.budget, req.probes), (10, 256, 17));
+        assert_eq!(req.max_dist, Some(1.5));
+        assert!(req.fields.stats);
+        let f = req.filter.as_ref().unwrap();
+        assert_eq!(f.ids(), &[1, 2, 3], "constructor sorts and dedups");
+        assert_eq!(req.params(), SearchParams { k: 10, budget: 256, probes: 17 });
+    }
+
+    #[test]
+    fn filters_accept_and_reject() {
+        let allow = IdFilter::allow(vec![5, 1, 9]);
+        assert!(allow.accepts(5) && allow.accepts(1) && allow.accepts(9));
+        assert!(!allow.accepts(2));
+        let deny = IdFilter::deny(vec![5, 1, 9]);
+        assert!(!deny.accepts(5));
+        assert!(deny.accepts(2) && deny.accepts(u32::MAX));
+        assert!(IdFilter::allow(Vec::new()).ids().is_empty());
+        assert!(!IdFilter::allow(Vec::new()).accepts(0), "empty allowlist matches nothing");
+        assert!(IdFilter::deny(Vec::new()).accepts(0), "empty denylist matches everything");
+    }
+
+    #[test]
+    fn validation_is_the_shared_rule() {
+        assert_eq!(SearchRequest::top_k(0).validate(10), Err(RequestError::ZeroK));
+        assert_eq!(
+            SearchRequest::top_k(11).validate(10),
+            Err(RequestError::KExceedsRows { k: 11, rows: 10 })
+        );
+        assert!(SearchRequest::top_k(10).validate(10).is_ok());
+        assert!(SearchRequest::top_k(1).max_dist(0.0).validate(5).is_ok());
+        assert!(matches!(
+            SearchRequest::top_k(1).max_dist(f64::NAN).validate(5),
+            Err(RequestError::BadMaxDist(_))
+        ));
+        assert!(matches!(
+            SearchRequest::top_k(1).max_dist(-1.0).validate(5),
+            Err(RequestError::BadMaxDist(_))
+        ));
+        assert!(matches!(
+            SearchRequest::top_k(1).max_dist(f64::INFINITY).validate(5),
+            Err(RequestError::BadMaxDist(_))
+        ));
+    }
+
+    #[test]
+    fn params_round_trip_through_requests() {
+        let p = SearchParams { k: 3, budget: 64, probes: 9 };
+        let req = SearchRequest::from(p);
+        assert_eq!(req.params(), p);
+        assert!(req.filter.is_none() && req.max_dist.is_none() && !req.fields.stats);
+    }
+
+    #[test]
+    fn stats_absorb_sums_counts_and_maxes_wall() {
+        let mut a = SearchStats { candidates_scanned: 10, heap_pushes: 3, wall_micros: 40 };
+        let b = SearchStats { candidates_scanned: 5, heap_pushes: 4, wall_micros: 25 };
+        a.absorb(&b);
+        assert_eq!(a, SearchStats { candidates_scanned: 15, heap_pushes: 7, wall_micros: 40 });
+    }
+}

@@ -232,6 +232,10 @@ impl ann::AnnIndex for C2Lsh {
         "C2LSH"
     }
 
+    fn len(&self) -> usize {
+        self.data.len()
+    }
+
     fn index_bytes(&self) -> usize {
         C2Lsh::index_bytes(self)
     }

@@ -155,6 +155,10 @@ impl ann::AnnIndex for E2Lsh {
         "E2LSH"
     }
 
+    fn len(&self) -> usize {
+        self.data.len()
+    }
+
     fn index_bytes(&self) -> usize {
         E2Lsh::index_bytes(self)
     }

@@ -107,6 +107,10 @@ impl ann::AnnIndex for Falconn {
         "FALCONN"
     }
 
+    fn len(&self) -> usize {
+        self.inner.data_len()
+    }
+
     fn index_bytes(&self) -> usize {
         Falconn::index_bytes(self)
     }

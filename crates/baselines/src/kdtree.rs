@@ -173,6 +173,10 @@ impl ann::AnnIndex for KdTree {
         "kd-tree"
     }
 
+    fn len(&self) -> usize {
+        self.points.len() / self.dim.max(1)
+    }
+
     fn index_bytes(&self) -> usize {
         self.nbytes()
     }
@@ -217,6 +221,10 @@ use crate::common::verify_topk;
 impl ann::AnnIndex for KdTreeScan {
     fn name(&self) -> &'static str {
         "KD-Tree"
+    }
+
+    fn len(&self) -> usize {
+        self.data.len()
     }
 
     fn index_bytes(&self) -> usize {

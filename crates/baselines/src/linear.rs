@@ -38,6 +38,10 @@ impl ann::AnnIndex for LinearScan {
         "Linear"
     }
 
+    fn len(&self) -> usize {
+        self.data.len()
+    }
+
     fn index_bytes(&self) -> usize {
         LinearScan::index_bytes(self)
     }

@@ -191,6 +191,10 @@ impl ann::AnnIndex for LshForest {
         "LSH-Forest"
     }
 
+    fn len(&self) -> usize {
+        self.data.len()
+    }
+
     fn index_bytes(&self) -> usize {
         LshForest::index_bytes(self)
     }

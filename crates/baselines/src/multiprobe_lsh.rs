@@ -235,6 +235,10 @@ impl ann::AnnIndex for MultiProbeLsh {
         "Multi-Probe LSH"
     }
 
+    fn len(&self) -> usize {
+        self.data.len()
+    }
+
     fn index_bytes(&self) -> usize {
         MultiProbeLsh::index_bytes(self)
     }

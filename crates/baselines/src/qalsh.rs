@@ -173,6 +173,10 @@ impl ann::AnnIndex for Qalsh {
         "QALSH"
     }
 
+    fn len(&self) -> usize {
+        self.data.len()
+    }
+
     fn index_bytes(&self) -> usize {
         Qalsh::index_bytes(self)
     }

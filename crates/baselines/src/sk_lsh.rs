@@ -173,6 +173,10 @@ impl ann::AnnIndex for SkLsh {
         "SK-LSH"
     }
 
+    fn len(&self) -> usize {
+        self.data.len()
+    }
+
     fn index_bytes(&self) -> usize {
         SkLsh::index_bytes(self)
     }

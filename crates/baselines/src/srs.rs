@@ -138,6 +138,10 @@ impl ann::AnnIndex for Srs {
         "SRS"
     }
 
+    fn len(&self) -> usize {
+        self.data.len()
+    }
+
     fn index_bytes(&self) -> usize {
         Srs::index_bytes(self)
     }

@@ -9,11 +9,13 @@
 //! parameter is `m`; λ trades query time against recall and is the knob the
 //! paper's recall/time curves sweep.
 
+use ann::{SearchRequest, SearchResponse, SearchStats};
 use csa::{Csa, SearchScratch, StringSet};
 use dataset::exact::Neighbor;
 use dataset::{Dataset, Metric};
 use lsh::{hash_dataset, hash_query, sample_family, FamilyKind, FamilyParams, LshFunction};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Build-time parameters of LCCS-LSH.
 #[derive(Debug, Clone)]
@@ -261,6 +263,87 @@ impl LccsLsh {
             n.dist = self.metric.from_surrogate(n.dist);
         }
         out
+    }
+
+    /// Verification phase honoring a [`SearchRequest`]'s id filter and
+    /// distance threshold *inside* the candidate loop: a candidate the
+    /// filter rejects (or whose true distance exceeds `max_dist`) never
+    /// consumes a heap slot, so the k matching rows the λ candidates
+    /// contain always survive — post-hoc filtering could evict them.
+    ///
+    /// With no filter and no threshold this is exactly [`LccsLsh::verify`]
+    /// (same heap, same tie-breaking), which keeps the plain-top-k wire
+    /// path byte-identical to the legacy QUERY path.
+    ///
+    /// Returns the hits and exact [`SearchStats`] counts (wall time is
+    /// filled in by the caller, which owns the whole-query clock).
+    pub(crate) fn verify_request(
+        &self,
+        q: &[f32],
+        req: &SearchRequest,
+        ids: impl Iterator<Item = u32>,
+    ) -> (Vec<Neighbor>, SearchStats) {
+        let k = req.k;
+        let mut stats = SearchStats::default();
+        let mut heap: std::collections::BinaryHeap<Neighbor> =
+            std::collections::BinaryHeap::with_capacity(k + 1);
+        for id in ids {
+            stats.candidates_scanned += 1;
+            if let Some(f) = &req.filter {
+                if !f.accepts(id) {
+                    continue;
+                }
+            }
+            let s = self.metric.surrogate_unchecked(self.data.get(id as usize), q);
+            // The threshold is compared on the *true* distance, not the
+            // surrogate: converting the threshold into surrogate space
+            // could disagree with callers by a rounding ulp.
+            if let Some(d) = req.max_dist {
+                if self.metric.from_surrogate(s) > d {
+                    continue;
+                }
+            }
+            let cand = Neighbor { id, dist: s };
+            if heap.len() < k {
+                heap.push(cand);
+                stats.heap_pushes += 1;
+            } else if cand < *heap.peek().expect("non-empty") {
+                heap.pop();
+                heap.push(cand);
+                stats.heap_pushes += 1;
+            }
+        }
+        let mut out = heap.into_sorted_vec();
+        for n in &mut out {
+            n.dist = self.metric.from_surrogate(n.dist);
+        }
+        (out, stats)
+    }
+
+    /// Answers one [`SearchRequest`]: the usual `(λ + k − 1)`-LCCS search
+    /// collects candidates under the budget, then [`LccsLsh::verify_request`]
+    /// applies the filter/threshold inside the verification loop. This is
+    /// the implementation behind the scheme's [`ann::AnnIndex::search_with`]
+    /// override.
+    ///
+    /// # Panics
+    /// Panics if `req.k == 0` or `q` has the wrong dimension.
+    pub fn search_request(
+        &self,
+        q: &[f32],
+        req: &SearchRequest,
+        scratch: &mut QueryScratch,
+    ) -> SearchResponse {
+        assert!(req.k > 0, "k must be positive");
+        assert_eq!(q.len(), self.data.dim(), "query dimension mismatch");
+        let t0 = Instant::now();
+        let budget = req.budget.max(1) + req.k - 1;
+        scratch.hash.clear();
+        scratch.hash.extend(hash_query(&self.funcs, q));
+        let (cands, _anchors) = self.csa.search_with(&scratch.hash, budget, &mut scratch.csa);
+        let (hits, mut stats) = self.verify_request(q, req, cands.iter().map(|c| c.id));
+        stats.wall_micros = t0.elapsed().as_micros() as u64;
+        SearchResponse { hits, stats }
     }
 }
 

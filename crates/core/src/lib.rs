@@ -38,7 +38,10 @@ pub mod persist;
 pub mod theory;
 pub mod traits;
 
-pub use ann::{AnnIndex, BuildAnn, Scratch, SearchParams};
+pub use ann::{
+    AnnIndex, BuildAnn, IdFilter, Scratch, SearchParams, SearchRequest, SearchResponse,
+    SearchStats,
+};
 pub use index::{LccsLsh, LccsParams, QueryOutput, QueryScratch};
 pub use persist::LoadError;
 pub use multiprobe::{MpLccsLsh, MpParams, Perturbation, PerturbationGenerator, MAX_GAP};

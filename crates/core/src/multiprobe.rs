@@ -232,6 +232,47 @@ impl MpLccsLsh {
         probes: usize,
         scratch: &mut QueryScratch,
     ) -> QueryOutput {
+        let cands = self.probe_candidates(q, k, lambda, probes, scratch);
+        let neighbors = self.inner.verify(q, k, cands.iter().map(|c| c.id));
+        QueryOutput { verified: cands.len(), neighbors }
+    }
+
+    /// Answers one [`ann::SearchRequest`]: the probe sequence collects
+    /// candidates exactly as [`MpLccsLsh::query_probes`] does (the
+    /// request's `probes = 0` falls back to the build-time default), then
+    /// the shared filtered verification applies the id filter and the
+    /// distance threshold inside the loop. Implementation behind the
+    /// scheme's [`ann::AnnIndex::search_with`] override.
+    ///
+    /// # Panics
+    /// Panics if `req.k == 0` or `q` has the wrong dimension.
+    pub fn search_request(
+        &self,
+        q: &[f32],
+        req: &ann::SearchRequest,
+        scratch: &mut QueryScratch,
+    ) -> ann::SearchResponse {
+        assert_eq!(q.len(), self.inner.data().dim(), "query dimension mismatch");
+        let t0 = std::time::Instant::now();
+        let probes = if req.probes == 0 { self.mp.probes } else { req.probes };
+        let cands = self.probe_candidates(q, req.k, req.budget, probes, scratch);
+        let (hits, mut stats) = self.inner.verify_request(q, req, cands.iter().map(|c| c.id));
+        stats.wall_micros = t0.elapsed().as_micros() as u64;
+        ann::SearchResponse { hits, stats }
+    }
+
+    /// The search phase shared by [`MpLccsLsh::query_probes`] and
+    /// [`MpLccsLsh::search_request`]: the unperturbed λ-LCCS probe plus up
+    /// to `probes − 1` perturbed probes, stopping once the `λ + k − 1`
+    /// budget is filled.
+    fn probe_candidates(
+        &self,
+        q: &[f32],
+        k: usize,
+        lambda: usize,
+        probes: usize,
+        scratch: &mut QueryScratch,
+    ) -> Vec<csa::Candidate> {
         assert!(k > 0, "k must be positive");
         assert!(probes >= 1, "need at least the unperturbed probe");
         let m = self.inner.m();
@@ -288,8 +329,7 @@ impl MpLccsLsh {
             }
         }
 
-        let neighbors = self.inner.verify(q, k, cands.iter().map(|c| c.id));
-        QueryOutput { verified: cands.len(), neighbors }
+        cands
     }
 }
 

@@ -6,7 +6,7 @@
 
 use crate::index::{LccsLsh, LccsParams, QueryScratch};
 use crate::multiprobe::{MpLccsLsh, MpParams};
-use ann::{AnnIndex, BuildAnn, Scratch, SearchParams};
+use ann::{AnnIndex, BuildAnn, Scratch, SearchParams, SearchRequest, SearchResponse};
 use dataset::exact::Neighbor;
 use dataset::{Dataset, Metric};
 use std::sync::Arc;
@@ -14,6 +14,10 @@ use std::sync::Arc;
 impl AnnIndex for LccsLsh {
     fn name(&self) -> &'static str {
         "LCCS-LSH"
+    }
+
+    fn len(&self) -> usize {
+        self.data().len()
     }
 
     fn index_bytes(&self) -> usize {
@@ -31,6 +35,18 @@ impl AnnIndex for LccsLsh {
         );
         LccsLsh::query_with(self, q, p.k, p.budget, s).neighbors
     }
+
+    /// Overrides the default post-hoc path: the id filter and distance
+    /// threshold are honored *inside* the verification loop (see
+    /// [`LccsLsh::search_request`]), so filtered rows never consume heap
+    /// slots and the λ budget keeps its meaning under predicates.
+    fn search_with(&self, q: &[f32], req: &SearchRequest, scratch: &mut Scratch) -> SearchResponse {
+        let s = scratch.get_valid_with(
+            |s: &QueryScratch| s.csa.capacity() == self.data().len(),
+            || self.scratch(),
+        );
+        LccsLsh::search_request(self, q, req, s)
+    }
 }
 
 impl BuildAnn for LccsLsh {
@@ -44,6 +60,10 @@ impl BuildAnn for LccsLsh {
 impl AnnIndex for MpLccsLsh {
     fn name(&self) -> &'static str {
         "MP-LCCS-LSH"
+    }
+
+    fn len(&self) -> usize {
+        self.inner().data().len()
     }
 
     fn index_bytes(&self) -> usize {
@@ -66,6 +86,16 @@ impl AnnIndex for MpLccsLsh {
         } else {
             self.query_probes(q, p.k, p.budget, p.probes, s).neighbors
         }
+    }
+
+    /// Overrides the default post-hoc path with the probe-sequence search
+    /// plus in-loop filtering (see [`MpLccsLsh::search_request`]).
+    fn search_with(&self, q: &[f32], req: &SearchRequest, scratch: &mut Scratch) -> SearchResponse {
+        let s: &mut QueryScratch = scratch.get_valid_with(
+            |s: &QueryScratch| s.csa.capacity() == self.inner().data().len(),
+            || self.scratch(),
+        );
+        MpLccsLsh::search_request(self, q, req, s)
     }
 }
 
@@ -125,9 +155,61 @@ mod tests {
         let default_probes = mp.query_with(q, 5, 64, &mut s1).neighbors;
         let via_trait = AnnIndex::query(&mp, q, &SearchParams::new(5, 64));
         assert_eq!(via_trait, default_probes, "probes=0 uses the built-in default");
-        let overridden = AnnIndex::query(&mp, q, &SearchParams::new(5, 64).with_probes(9));
+        let overridden =
+            AnnIndex::query(&mp, q, &SearchRequest::top_k(5).budget(64).probes(9).params());
         let mut s2 = mp.scratch();
         assert_eq!(overridden, mp.query_probes(q, 5, 64, 9, &mut s2).neighbors);
+    }
+
+    #[test]
+    fn search_without_extras_is_byte_identical_to_query() {
+        let data = toy();
+        let lccs =
+            LccsLsh::build(data.clone(), Metric::Euclidean, &LccsParams::euclidean(8.0).with_m(16));
+        let mp = MpLccsLsh::build(
+            data.clone(),
+            Metric::Euclidean,
+            &LccsParams::euclidean(8.0).with_m(16),
+            MpParams { probes: 4, max_alts: 4 },
+        );
+        let req = SearchRequest::top_k(5).budget(64);
+        for idx in [&lccs as &dyn AnnIndex, &mp as &dyn AnnIndex] {
+            for i in [0usize, 50, 399] {
+                let q = data.get(i);
+                let resp = idx.search(q, &req);
+                assert_eq!(resp.hits, idx.query(q, &req.params()), "{} query {i}", idx.name());
+                assert!(resp.stats.candidates_scanned > 0, "stats are collected");
+            }
+            assert_eq!(idx.len(), 400);
+        }
+    }
+
+    #[test]
+    fn filters_are_honored_inside_the_candidate_loop() {
+        let data = toy();
+        let idx =
+            LccsLsh::build(data.clone(), Metric::Euclidean, &LccsParams::euclidean(8.0).with_m(16));
+        let q = data.get(7);
+        // Denying the exact-duplicate id must surface the runner-up, and
+        // the scanned count must stay the λ-bounded candidate count (the
+        // filter runs inside the loop, not as a second query).
+        let plain = idx.search(q, &SearchRequest::top_k(5).budget(64));
+        assert_eq!(plain.hits[0].id, 7);
+        let denied =
+            idx.search(q, &SearchRequest::top_k(5).budget(64).filter(ann::IdFilter::deny(vec![7])));
+        assert!(denied.hits.iter().all(|h| h.id != 7));
+        assert_eq!(denied.stats.candidates_scanned, plain.stats.candidates_scanned);
+        // An allowlist answer only ever contains allowed ids.
+        let allow: Vec<u32> = (0..400).filter(|i| i % 3 == 0).collect();
+        let resp = idx.search(
+            q,
+            &SearchRequest::top_k(5).budget(256).filter(ann::IdFilter::allow(allow.clone())),
+        );
+        assert!(!resp.hits.is_empty());
+        assert!(resp.hits.iter().all(|h| h.id % 3 == 0));
+        // A zero threshold keeps only the exact duplicate.
+        let ranged = idx.search(q, &SearchRequest::top_k(5).budget(64).max_dist(0.0));
+        assert_eq!(ranged.hits.iter().map(|h| h.id).collect::<Vec<_>>(), vec![7]);
     }
 
     #[test]

@@ -125,6 +125,55 @@ impl ExactKnn {
         }
         out
     }
+
+    /// Exact *predicate-filtered range* top-k of one query: the `k`
+    /// nearest rows whose id passes `accepts` and whose true distance is
+    /// within `max_dist` (if given), ascending by (distance, id).
+    ///
+    /// This is the brute-force oracle the filtered/range search tests
+    /// compare every index (and the wire protocol) against. The
+    /// predicate is a plain closure so callers can plug in an
+    /// `ann::IdFilter`, a tombstone set, or anything else without this
+    /// crate growing a dependency.
+    pub fn single_query_filtered(
+        data: &Dataset,
+        query: &[f32],
+        k: usize,
+        metric: Metric,
+        mut accepts: impl FnMut(u32) -> bool,
+        max_dist: Option<f64>,
+    ) -> Vec<Neighbor> {
+        assert_eq!(data.dim(), query.len(), "data/query dimension mismatch");
+        let mut heap: std::collections::BinaryHeap<Neighbor> =
+            std::collections::BinaryHeap::with_capacity(k + 1);
+        for (id, v) in data.iter().enumerate() {
+            let id = id as u32;
+            if !accepts(id) {
+                continue;
+            }
+            let s = metric.surrogate_unchecked(v, query);
+            // The threshold compares the converted distance — identical
+            // arithmetic to what callers see in the result — so index
+            // paths and this oracle can never disagree by a rounding ulp.
+            if let Some(d) = max_dist {
+                if metric.from_surrogate(s) > d {
+                    continue;
+                }
+            }
+            let cand = Neighbor { id, dist: s };
+            if heap.len() < k {
+                heap.push(cand);
+            } else if cand < *heap.peek().expect("non-empty") {
+                heap.pop();
+                heap.push(cand);
+            }
+        }
+        let mut out = heap.into_sorted_vec();
+        for n in &mut out {
+            n.dist = metric.from_surrogate(n.dist);
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -207,6 +256,41 @@ mod tests {
     fn oversized_k_panics() {
         let d = grid();
         ExactKnn::compute(&d, &d, 6, Metric::Euclidean);
+    }
+
+    #[test]
+    fn filtered_oracle_restricts_and_thresholds() {
+        let d = grid(); // points 0, 1, 2, 3, 10
+        // No predicate, no threshold: identical to the plain oracle.
+        let plain = ExactKnn::single_query(&d, &[1.2], 3, Metric::Euclidean);
+        let same =
+            ExactKnn::single_query_filtered(&d, &[1.2], 3, Metric::Euclidean, |_| true, None);
+        assert_eq!(plain, same);
+        // Predicate: only odd ids.
+        let odd =
+            ExactKnn::single_query_filtered(&d, &[1.2], 3, Metric::Euclidean, |id| id % 2 == 1, None);
+        assert_eq!(odd.iter().map(|n| n.id).collect::<Vec<_>>(), vec![1, 3]);
+        // Threshold: the far point never qualifies; fewer than k is fine.
+        let near = ExactKnn::single_query_filtered(
+            &d,
+            &[1.2],
+            5,
+            Metric::Euclidean,
+            |_| true,
+            Some(2.0),
+        );
+        assert_eq!(near.iter().map(|n| n.id).collect::<Vec<_>>(), vec![1, 2, 0, 3]);
+        assert!(near.iter().all(|n| n.dist <= 2.0));
+        // Both compose.
+        let both = ExactKnn::single_query_filtered(
+            &d,
+            &[1.2],
+            5,
+            Metric::Euclidean,
+            |id| id != 1,
+            Some(2.0),
+        );
+        assert_eq!(both.iter().map(|n| n.id).collect::<Vec<_>>(), vec![2, 0, 3]);
     }
 
     #[test]

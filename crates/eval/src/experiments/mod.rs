@@ -312,9 +312,8 @@ pub fn sweep(
             .unwrap_or_else(|e| panic!("building {spec}: {e}"));
         for &budget in &grid.budgets {
             for &probes in &grid.probes {
-                out.push(run_point_mode(
-                    &built, &wl.name, &wl.queries, &wl.gt, k, budget, probes, parallel,
-                ));
+                let req = ann::SearchRequest::top_k(k).budget(budget).probes(probes);
+                out.push(run_point_mode(&built, &wl.name, &wl.queries, &wl.gt, &req, parallel));
             }
         }
     }

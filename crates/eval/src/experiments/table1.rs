@@ -90,10 +90,11 @@ pub fn run(opts: &ExpOptions) -> std::io::Result<String> {
         let lambda = theory::lambda(m, n, p1, p2);
         let spec = IndexSpec::lccs(m).with_w(w).with_seed(opts.seed);
         let built = build_spec(&spec, &data, Metric::Euclidean).expect("build lccs");
+        let req = ann::SearchRequest::top_k(opts.k).budget(lambda);
         let start = Instant::now();
         let mut recall_sum = 0.0;
         for (qi, q) in queries.iter().enumerate() {
-            let got = built.query(q, &ann::SearchParams::new(opts.k, lambda));
+            let got = built.search(q, &req).hits;
             recall_sum += crate::metrics::recall(&got, gt.neighbors(qi));
         }
         let qms = start.elapsed().as_secs_f64() * 1000.0 / queries.len() as f64;

@@ -18,7 +18,7 @@
 //!   wall-clock per query, i.e. the serving-throughput view.
 
 use crate::registry::{self, BuildCtx, BuildError};
-use ann::{AnnIndex, SearchParams};
+use ann::{AnnIndex, SearchParams, SearchRequest, SearchResponse};
 use dataset::exact::Neighbor;
 use dataset::{Dataset, GroundTruth, Metric};
 use std::sync::Arc;
@@ -76,6 +76,18 @@ impl BuiltIndex {
     pub fn query_batch(&self, queries: &Dataset, params: &SearchParams) -> Vec<Vec<Neighbor>> {
         self.index.query_batch(queries, params)
     }
+
+    /// Answers one [`SearchRequest`] (filter, threshold, and stats
+    /// included) — [`AnnIndex::search`] on the erased index.
+    pub fn search(&self, q: &[f32], req: &SearchRequest) -> SearchResponse {
+        self.index.search(q, req)
+    }
+
+    /// Answers the whole query set under one request through the parallel
+    /// batch executor, in query order.
+    pub fn search_batch(&self, queries: &Dataset, req: &SearchRequest) -> Vec<SearchResponse> {
+        self.index.search_batch(queries, req)
+    }
 }
 
 /// One measured point of a sweep: metrics averaged over the query set.
@@ -104,7 +116,9 @@ pub struct RunPoint {
 
 /// Times `built` over every query single-threaded with scratch reuse (the
 /// §6 protocol) and averages the metrics against `gt` (whose k must be
-/// ≥ `k`).
+/// ≥ `k`). Thin wrapper building the [`SearchRequest`] from the bare
+/// triple; drivers with richer questions call [`run_point_mode`] with a
+/// builder-constructed request directly.
 pub fn run_point(
     built: &BuiltIndex,
     dataset_name: &str,
@@ -114,7 +128,8 @@ pub fn run_point(
     budget: usize,
     probes: usize,
 ) -> RunPoint {
-    run_point_mode(built, dataset_name, queries, gt, k, budget, probes, false)
+    let req = SearchRequest::top_k(k).budget(budget).probes(probes);
+    run_point_mode(built, dataset_name, queries, gt, &req, false)
 }
 
 /// [`run_point`] but answering the query set through the parallel batch
@@ -130,29 +145,35 @@ pub fn run_point_parallel(
     budget: usize,
     probes: usize,
 ) -> RunPoint {
-    run_point_mode(built, dataset_name, queries, gt, k, budget, probes, true)
+    let req = SearchRequest::top_k(k).budget(budget).probes(probes);
+    run_point_mode(built, dataset_name, queries, gt, &req, true)
 }
 
-/// Shared implementation of the two timing modes.
-#[allow(clippy::too_many_arguments)]
+/// Shared implementation of the two timing modes, driven by one
+/// [`SearchRequest`] applied to every query. Recall/ratio are measured
+/// against the unfiltered ground truth, so only pass filter-free
+/// requests when interpreting them as the paper's §6 metrics.
 pub fn run_point_mode(
     built: &BuiltIndex,
     dataset_name: &str,
     queries: &Dataset,
     gt: &GroundTruth,
-    k: usize,
-    budget: usize,
-    probes: usize,
+    req: &SearchRequest,
     parallel: bool,
 ) -> RunPoint {
+    let k = req.k;
+    // Same legality rule the serving layer applies — defined once in
+    // `SearchRequest::validate`, not re-derived here.
+    if let Err(e) = req.validate(built.index.len()) {
+        panic!("invalid request: {e}");
+    }
     assert!(gt.k() >= k, "ground truth too shallow: {} < {k}", gt.k());
-    let params = SearchParams { k, budget, probes };
     let start = Instant::now();
     let results: Vec<Vec<Neighbor>> = if parallel {
-        built.index.query_batch(queries, &params)
+        built.index.search_batch(queries, req).into_iter().map(|r| r.hits).collect()
     } else {
         let mut scratch = built.index.make_scratch();
-        queries.iter().map(|q| built.index.query_with(q, &params, &mut scratch)).collect()
+        queries.iter().map(|q| built.index.search_with(q, req, &mut scratch).hits).collect()
     };
     let elapsed = start.elapsed().as_secs_f64();
     let mut recall_sum = 0.0;
@@ -167,9 +188,9 @@ pub fn run_point_mode(
     if !config.is_empty() {
         config.push(',');
     }
-    config.push_str(&format!("budget={budget}"));
-    if probes > 0 {
-        config.push_str(&format!(",probes={probes}"));
+    config.push_str(&format!("budget={}", req.budget));
+    if req.probes > 0 {
+        config.push_str(&format!(",probes={}", req.probes));
     }
     if parallel {
         config.push_str(",par");

@@ -45,12 +45,16 @@
 #![warn(missing_docs)]
 
 use ann::executor;
-use ann::{AnnIndex, IndexSpec, MutableAnn, MutateError, Scratch, SearchParams};
+use ann::{
+    AnnIndex, IdFilter, IndexSpec, MutableAnn, MutateError, ResponseFields, Scratch, SearchParams,
+    SearchRequest, SearchResponse, SearchStats,
+};
 use dataset::exact::Neighbor;
 use dataset::{Dataset, Metric};
 use eval::registry::{self, BuildCtx};
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Method name [`LiveIndex`] reports through [`AnnIndex::name`] (and the
 /// serving layer stores in snapshot containers and LIST responses).
@@ -494,54 +498,128 @@ impl LiveIndex {
         Ok(())
     }
 
-    /// Exact scan of the live memtable rows: top-`k` by true distance,
-    /// ties by external id — the same surrogate-then-finalize flow the
-    /// exact oracle ([`dataset::ExactKnn`]) and `verify_topk` use, so the
-    /// exact path stays byte-identical to a from-scratch oracle.
-    fn scan_memtable(&self, q: &[f32], k: usize) -> Vec<Neighbor> {
+    /// Exact scan of the live memtable rows honoring the request's id
+    /// filter and distance threshold inside the loop: top-`k` by true
+    /// distance, ties by external id — the same surrogate-then-finalize
+    /// flow the exact oracle ([`dataset::ExactKnn`]) and `verify_topk`
+    /// use, so the exact path stays byte-identical to a from-scratch
+    /// oracle (the threshold compares the *converted* distance, exactly
+    /// like the oracle does, never a surrogate-space approximation).
+    fn scan_memtable_request(
+        &self,
+        q: &[f32],
+        req: &SearchRequest,
+    ) -> (Vec<Neighbor>, SearchStats) {
+        let k = req.k;
+        let mut stats = SearchStats::default();
         let mut heap: std::collections::BinaryHeap<Neighbor> =
             std::collections::BinaryHeap::with_capacity(k + 1);
         for (slot, &id) in self.mem_ids.iter().enumerate() {
             if self.id_map.get(&id) != Some(&Loc::Mem(slot as u32)) {
                 continue;
             }
+            stats.candidates_scanned += 1;
+            if let Some(f) = &req.filter {
+                if !f.accepts(id) {
+                    continue;
+                }
+            }
             let s = self.metric.surrogate_unchecked(self.mem_row(slot), q);
+            if let Some(d) = req.max_dist {
+                if self.metric.from_surrogate(s) > d {
+                    continue;
+                }
+            }
             let cand = Neighbor { id, dist: s };
             if heap.len() < k {
                 heap.push(cand);
+                stats.heap_pushes += 1;
             } else if cand < *heap.peek().expect("non-empty") {
                 heap.pop();
                 heap.push(cand);
+                stats.heap_pushes += 1;
             }
         }
         let mut out = heap.into_sorted_vec();
         for n in &mut out {
             n.dist = self.metric.from_surrogate(n.dist);
         }
-        out
+        (out, stats)
     }
 
-    /// Queries one segment, over-fetching by its tombstone count so that
-    /// filtering stale hits cannot push live true neighbors out, then
-    /// maps slot ids to external ids and drops non-live rows.
-    fn scan_segment(
+    /// Queries one segment under a request, applying the external-id
+    /// filter **before** the tombstone over-fetch so filters and deletes
+    /// compose:
+    ///
+    /// * The filter is projected into segment-slot space through the id
+    ///   map — only the *live* copy of an id can match, so an allowlist
+    ///   projects to the exact live slots (stale copies and tombstones
+    ///   are excluded up front and no over-fetch is needed at all), and a
+    ///   denylist projects to the live denied slots (stale copies of any
+    ///   id still need the usual `k + dead` over-fetch).
+    /// * The inner spec-built index then honors the slot filter inside
+    ///   its own candidate loop (LCCS schemes) or via bounded post-hoc
+    ///   filtering (default implementation).
+    ///
+    /// Hits come back as slot ids; they are mapped to external ids with
+    /// stale copies dropped, exactly as before the request redesign.
+    fn scan_segment_request(
         &self,
         seg: &Segment,
         q: &[f32],
-        params: &SearchParams,
+        req: &SearchRequest,
         scratch: &mut Scratch,
-    ) -> Vec<Neighbor> {
-        let want = (params.k + seg.dead).min(seg.data.len());
-        let p = SearchParams { k: want, budget: params.budget, probes: params.probes };
-        seg.index
-            .query_with(q, &p, scratch)
+    ) -> (Vec<Neighbor>, SearchStats) {
+        let slot_filter = match &req.filter {
+            None => None,
+            Some(f) => {
+                let slots: Vec<u32> = f
+                    .ids()
+                    .iter()
+                    .filter_map(|ext| match self.id_map.get(ext) {
+                        Some(&Loc::Seg { seg: sid, slot }) if sid == seg.seg_id => Some(slot),
+                        _ => None,
+                    })
+                    .collect();
+                if f.is_allow() {
+                    if slots.is_empty() {
+                        // No allowed id lives in this segment: skip it.
+                        return (Vec::new(), SearchStats::default());
+                    }
+                    Some(IdFilter::allow(slots))
+                } else if slots.is_empty() {
+                    None
+                } else {
+                    Some(IdFilter::deny(slots))
+                }
+            }
+        };
+        // An allowlist pins the exact live slots, so stale hits are
+        // impossible and the tombstone over-fetch would only waste work.
+        let over = match &slot_filter {
+            Some(f) if f.is_allow() => 0,
+            _ => seg.dead,
+        };
+        let want = (req.k + over).min(seg.data.len());
+        let inner = SearchRequest {
+            k: want,
+            budget: req.budget,
+            probes: req.probes,
+            filter: slot_filter,
+            max_dist: req.max_dist,
+            fields: ResponseFields::default(),
+        };
+        let resp = seg.index.search_with(q, &inner, scratch);
+        let hits = resp
+            .hits
             .into_iter()
             .filter_map(|n| {
                 let id = seg.ids[n.id as usize];
                 let here = Loc::Seg { seg: seg.seg_id, slot: n.id };
                 (self.id_map.get(&id) == Some(&here)).then_some(Neighbor { id, dist: n.dist })
             })
-            .collect()
+            .collect();
+        (hits, resp.stats)
     }
 
     /// Extracts the serializable state (see [`LiveState`]). Rows are
@@ -663,6 +741,10 @@ impl AnnIndex for LiveIndex {
         LIVE_METHOD
     }
 
+    fn len(&self) -> usize {
+        self.live_len()
+    }
+
     fn index_bytes(&self) -> usize {
         let seg_bytes: usize = self
             .segments
@@ -674,11 +756,23 @@ impl AnnIndex for LiveIndex {
         seg_bytes + self.mem_ids.len() * 4 + self.id_map.len() * 16
     }
 
-    /// Fans the query out across the memtable and every sealed segment
+    /// [`LiveIndex::search_with`] with the request derived from the bare
+    /// triple — kept byte-identical to the pre-redesign query path (no
+    /// filter, no threshold ⇒ same per-unit scans, same merge).
+    fn query_with(&self, q: &[f32], params: &SearchParams, scratch: &mut Scratch) -> Vec<Neighbor> {
+        self.search_with(q, &SearchRequest::from(*params), scratch).hits
+    }
+
+    /// Fans the request out across the memtable and every sealed segment
     /// through [`ann::executor`], then merges the per-unit top-k by
     /// `(distance, id)` — deterministic regardless of how the executor
     /// schedules the units (scratch never influences results; it is an
-    /// allocation cache only).
+    /// allocation cache only). The request's id filter is applied before
+    /// each segment's tombstone over-fetch (see
+    /// [`LiveIndex::scan_segment_request`]) and its threshold inside
+    /// every scan loop, so with exact segments (`linear`) the answer is
+    /// byte-identical to a filtered brute-force oracle over the live
+    /// rows — the property the crate's proptests pin.
     ///
     /// On a single executor worker the fan-out degenerates to a
     /// sequential loop that reuses per-segment scratches cached in the
@@ -686,15 +780,18 @@ impl AnnIndex for LiveIndex {
     /// allocation-amortization the scratch system exists for. With
     /// multiple workers each unit task builds throwaway scratch (a
     /// shared cache cannot be handed to concurrent tasks).
-    fn query_with(&self, q: &[f32], params: &SearchParams, scratch: &mut Scratch) -> Vec<Neighbor> {
-        assert!(params.k > 0, "k must be positive");
+    fn search_with(&self, q: &[f32], req: &SearchRequest, scratch: &mut Scratch) -> SearchResponse {
+        assert!(req.k > 0, "k must be positive");
         assert_eq!(q.len(), self.dim, "query dimension mismatch");
+        let t0 = Instant::now();
         let units = self.segments.len() + 1;
+        let mut stats = SearchStats::default();
         let mut merged: Vec<Neighbor> = if executor::worker_threads(units) <= 1 {
             let cache: &mut Vec<(u32, Scratch)> = scratch.get_or_insert_with(Vec::new);
             // Drop cache entries for compacted-away segments.
             cache.retain(|(sid, _)| self.segments.iter().any(|s| s.seg_id == *sid));
-            let mut out = self.scan_memtable(q, params.k);
+            let (mut out, mem_stats) = self.scan_memtable_request(q, req);
+            stats.absorb(&mem_stats);
             for seg in &self.segments {
                 if !cache.iter().any(|(sid, _)| *sid == seg.seg_id) {
                     cache.push((seg.seg_id, seg.index.make_scratch()));
@@ -703,24 +800,30 @@ impl AnnIndex for LiveIndex {
                     .iter_mut()
                     .find(|(sid, _)| *sid == seg.seg_id)
                     .expect("just ensured");
-                out.extend(self.scan_segment(seg, q, params, seg_scratch));
+                let (hits, seg_stats) = self.scan_segment_request(seg, q, req, seg_scratch);
+                stats.absorb(&seg_stats);
+                out.extend(hits);
             }
             out
         } else {
-            executor::par_map_scratch(units, Scratch::empty, |u, scratch| {
+            let per_unit = executor::par_map_scratch(units, Scratch::empty, |u, scratch| {
                 if u == 0 {
-                    self.scan_memtable(q, params.k)
+                    self.scan_memtable_request(q, req)
                 } else {
-                    self.scan_segment(&self.segments[u - 1], q, params, scratch)
+                    self.scan_segment_request(&self.segments[u - 1], q, req, scratch)
                 }
-            })
-            .into_iter()
-            .flatten()
-            .collect()
+            });
+            let mut out = Vec::new();
+            for (hits, unit_stats) in per_unit {
+                stats.absorb(&unit_stats);
+                out.extend(hits);
+            }
+            out
         };
         merged.sort_unstable();
-        merged.truncate(params.k);
-        merged
+        merged.truncate(req.k);
+        stats.wall_micros = t0.elapsed().as_micros() as u64;
+        SearchResponse { hits: merged, stats }
     }
 }
 
@@ -961,6 +1064,75 @@ mod tests {
             Err(e) => e,
         };
         assert!(matches!(err, MutateError::Build(m) if m.contains("Angular-only")));
+    }
+
+    /// Brute-force oracle over the live rows: filter + threshold + exact
+    /// top-k by (distance, id) — what `search_with` must equal with
+    /// `linear` segments.
+    fn oracle(
+        live: &LiveIndex,
+        q: &[f32],
+        req: &SearchRequest,
+        universe: impl Iterator<Item = u32>,
+    ) -> Vec<Neighbor> {
+        let mut all: Vec<Neighbor> = universe
+            .filter_map(|id| {
+                let v = live.vector(id)?;
+                if let Some(f) = &req.filter {
+                    if !f.accepts(id) {
+                        return None;
+                    }
+                }
+                let dist = live.metric().from_surrogate(live.metric().surrogate(&v, q));
+                if let Some(d) = req.max_dist {
+                    if dist > d {
+                        return None;
+                    }
+                }
+                Some(Neighbor { id, dist })
+            })
+            .collect();
+        all.sort_unstable();
+        all.truncate(req.k);
+        all
+    }
+
+    #[test]
+    fn filtered_search_composes_with_deletes_across_units() {
+        let dim = 4;
+        let data = rows(30, dim, 31);
+        // Small seal threshold: rows spread over segments + memtable.
+        let mut live =
+            LiveIndex::build_from(exact_spec(), Metric::Euclidean, &data, cfg(8, 3)).unwrap();
+        live.insert(&rows(5, dim, 32), None).unwrap();
+        live.delete(&[2, 9, 17, 31]);
+        let q = data.get(9); // its exact row is deleted
+        for req in [
+            SearchRequest::top_k(6).budget(64),
+            SearchRequest::top_k(6).budget(64).filter(IdFilter::allow(
+                (0..35).filter(|i| i % 2 == 1).collect::<Vec<u32>>(),
+            )),
+            SearchRequest::top_k(6).budget(64).filter(IdFilter::deny(vec![0, 1, 3, 5, 9])),
+            SearchRequest::top_k(35).budget(64).max_dist(2.5),
+            SearchRequest::top_k(35)
+                .budget(64)
+                .max_dist(3.5)
+                .filter(IdFilter::allow((0..20).collect::<Vec<u32>>())),
+        ] {
+            let got = live.search(q, &req);
+            let want = oracle(&live, q, &req, 0..40);
+            assert_eq!(got.hits, want, "req {req:?}");
+            if req.filter.is_none() && req.max_dist.is_none() {
+                assert_eq!(got.hits, live.query(q, &req.params()), "query path unchanged");
+            }
+            if let Some(f) = &req.filter {
+                assert!(got.hits.iter().all(|h| f.accepts(h.id)));
+            }
+            assert!(got.stats.candidates_scanned > 0);
+        }
+        // A deleted id in an allowlist never resurfaces.
+        let req = SearchRequest::top_k(1).budget(64).filter(IdFilter::allow(vec![9]));
+        assert!(live.search(q, &req).hits.is_empty(), "deleted id filtered even when allowed");
     }
 
     #[test]

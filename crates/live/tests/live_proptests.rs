@@ -10,7 +10,7 @@
 //! external id a row got at insert still retrieves exactly that row after
 //! any number of seals and compactions.
 
-use ann::{AnnIndex, IndexSpec, MutableAnn, SearchParams};
+use ann::{AnnIndex, IdFilter, IndexSpec, MutableAnn, SearchParams, SearchRequest};
 use ann_live::{LiveConfig, LiveIndex};
 use dataset::exact::Neighbor;
 use dataset::{Dataset, Metric, SynthSpec};
@@ -52,6 +52,30 @@ impl Oracle {
         let before = self.rows.len();
         self.rows.retain(|(i, _)| *i != id);
         self.rows.len() != before
+    }
+
+    /// Filtered range top-k: the same brute force restricted to ids the
+    /// filter accepts and rows within `max_dist` — what
+    /// `LiveIndex::search` must match bit for bit with exact segments.
+    fn filtered_top_k(&self, q: &[f32], req: &SearchRequest) -> Vec<(u32, u64)> {
+        let mut all: Vec<Neighbor> = self
+            .rows
+            .iter()
+            .filter(|(id, _)| req.filter.as_ref().is_none_or(|f| f.accepts(*id)))
+            .map(|(id, row)| Neighbor {
+                id: *id,
+                dist: Metric::Euclidean.surrogate_unchecked(row, q),
+            })
+            .filter(|n| {
+                req.max_dist
+                    .is_none_or(|d| Metric::Euclidean.from_surrogate(n.dist) <= d)
+            })
+            .collect();
+        all.sort_unstable();
+        all.truncate(req.k);
+        all.iter()
+            .map(|n| (n.id, Metric::Euclidean.from_surrogate(n.dist).to_bits()))
+            .collect()
     }
 }
 
@@ -150,6 +174,79 @@ proptest! {
             max_segments,
             live.segment_count()
         );
+    }
+
+    /// Filtered + range search under random insert/delete interleavings:
+    /// after every mutation burst, allowlist / denylist / threshold
+    /// requests over the live index must equal the brute-force oracle
+    /// restricted the same way — bit for bit, including the interaction
+    /// with tombstones (a deleted id never resurfaces even when a filter
+    /// explicitly allows it).
+    #[test]
+    fn filtered_search_matches_the_oracle_under_mutation(
+        ops in vec((0u32..=1, any::<u32>()), 1..=24),
+        seal_threshold in 2usize..=10,
+        max_segments in 1usize..=3,
+        probe in any::<u32>(),
+    ) {
+        let pool = pool();
+        let cfg = LiveConfig { seal_threshold, max_segments };
+        let mut live =
+            LiveIndex::new(IndexSpec::linear(), Metric::Euclidean, pool.dim(), cfg).unwrap();
+        let mut oracle = Oracle { rows: Vec::new() };
+        let mut next_pool = 0usize;
+
+        for (op, arg) in ops {
+            match op {
+                0 => {
+                    let n = 1 + (arg as usize) % 4;
+                    let flat: Vec<f32> = pool.as_flat()
+                        [next_pool * pool.dim()..(next_pool + n) * pool.dim()]
+                        .to_vec();
+                    let batch = Dataset::from_flat("batch", pool.dim(), flat);
+                    let ids = live.insert(&batch, None).expect("insert");
+                    for (i, id) in ids.iter().enumerate() {
+                        oracle.rows.push((*id, pool.get(next_pool + i).to_vec()));
+                    }
+                    next_pool += n;
+                }
+                _ => {
+                    if oracle.rows.is_empty() {
+                        continue;
+                    }
+                    let id = oracle.rows[arg as usize % oracle.rows.len()].0;
+                    live.delete(&[id]);
+                    oracle.delete(id);
+                }
+            }
+            if oracle.rows.is_empty() {
+                continue;
+            }
+            let q = pool.get(probe as usize % pool.len());
+            let k = 1 + (probe as usize) % 8;
+            // The id universe seen so far, split into thirds for filters;
+            // the threshold is a mid-range distance so both sides occur.
+            let universe: Vec<u32> = (0..next_pool as u32).collect();
+            let allow: Vec<u32> = universe.iter().copied().filter(|i| i % 3 == 0).collect();
+            let deny: Vec<u32> = universe.iter().copied().filter(|i| i % 3 == 1).collect();
+            let mid = {
+                let exact = oracle.top_k(q, oracle.rows.len());
+                f64::from_bits(exact[exact.len() / 2].1)
+            };
+            for req in [
+                SearchRequest::top_k(k).budget(1).filter(IdFilter::allow(allow.clone())),
+                SearchRequest::top_k(k).budget(1).filter(IdFilter::deny(deny.clone())),
+                SearchRequest::top_k(k).budget(1).max_dist(mid),
+                SearchRequest::top_k(k)
+                    .budget(1)
+                    .filter(IdFilter::deny(deny.clone()))
+                    .max_dist(mid),
+            ] {
+                let got = bits(&live.search(q, &req).hits);
+                let want = oracle.filtered_top_k(q, &req);
+                prop_assert_eq!(got, want, "k={} req={:?}", k, &req);
+            }
+        }
     }
 }
 

@@ -12,6 +12,9 @@
 //!               [--metric euclidean] [--limit 0]
 //!               [--live true] [--seal-threshold 0] [--max-segments 0]
 //! ann-cli query --addr ADDR --index NAME --k K --budget B [--probes P] --vec 1.0,2.0,…
+//! ann-cli search --addr ADDR --index NAME [--k 10] [--budget 128] [--probes 0]
+//!                [--filter ids.txt | --deny ids.txt] [--max-dist 1.5] [--stats true]
+//!                (--vec 1.0,2.0,… | --from queries.fvecs [--limit 0])
 //! ann-cli insert --addr ADDR --index NAME (--vec 1.0,2.0,… | --data FILE.fvecs)
 //!                [--ids 7,8,…] [--limit 0]
 //! ann-cli delete --addr ADDR --index NAME --ids 7,8,…
@@ -38,7 +41,7 @@ use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Instant;
 
-const USAGE: &str = "usage: ann-cli <demo|gen|spec-help|describe|ping|list|stats|build|query|insert|delete|flush|shutdown> [flags]
+const USAGE: &str = "usage: ann-cli <demo|gen|spec-help|describe|ping|list|stats|build|query|search|insert|delete|flush|shutdown> [flags]
   demo      --out DIR [--n 2000] [--dim 32] [--m 16] [--seed 42]
   gen       --out FILE.fvecs [--n 2000] [--dim 32] [--seed 42] [--clusters 16]
   spec-help
@@ -49,6 +52,9 @@ const USAGE: &str = "usage: ann-cli <demo|gen|spec-help|describe|ping|list|stats
   build     --addr HOST:PORT --index NAME --spec SPEC --data FILE.fvecs [--metric euclidean] [--limit 0]
             [--live true] [--seal-threshold 0] [--max-segments 0]
   query     --addr HOST:PORT --index NAME [--k 10] [--budget 128] [--probes 0] --vec F,F,…
+  search    --addr HOST:PORT --index NAME [--k 10] [--budget 128] [--probes 0]
+            [--filter IDS.txt | --deny IDS.txt] [--max-dist D] [--stats true]
+            (--vec F,F,… | --from FILE.fvecs [--limit 0])
   insert    --addr HOST:PORT --index NAME (--vec F,F,… | --data FILE.fvecs) [--ids N,N,…] [--limit 0]
   delete    --addr HOST:PORT --index NAME --ids N,N,…
   flush     --addr HOST:PORT --index NAME
@@ -213,6 +219,68 @@ fn cmd_query(flags: &HashMap<String, String>) {
     }
 }
 
+/// Reads an id list file for `--filter` / `--deny`: ids separated by
+/// whitespace, newlines, or commas (`#`-prefixed lines are comments).
+fn read_ids_file(path: &str) -> Vec<u32> {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("reading {path:?}: {e}"));
+    text.lines()
+        .filter(|l| !l.trim_start().starts_with('#'))
+        .flat_map(|l| l.split([' ', '\t', ',']))
+        .map(str::trim)
+        .filter(|t| !t.is_empty())
+        .map(|t| t.parse().unwrap_or_else(|e| panic!("id {t:?} in {path:?}: {e}")))
+        .collect()
+}
+
+/// The filtered/range search command: builds a full `SearchRequest` from
+/// flags and answers either one `--vec` query or every row of a `--from`
+/// fvecs file over one connection.
+fn cmd_search(flags: &HashMap<String, String>) {
+    let mut client = connect(flags);
+    let index = required(flags, "index");
+    let mut req = ann::SearchRequest::top_k(flag(flags, "k", 10))
+        .budget(flag(flags, "budget", 128))
+        .probes(flag(flags, "probes", 0));
+    match (flags.get("filter"), flags.get("deny")) {
+        (Some(path), None) => req = req.filter(ann::IdFilter::allow(read_ids_file(path))),
+        (None, Some(path)) => req = req.filter(ann::IdFilter::deny(read_ids_file(path))),
+        (Some(_), Some(_)) => panic!("pass at most one of --filter / --deny\n{USAGE}"),
+        (None, None) => {}
+    }
+    if let Some(d) = flags.get("max-dist") {
+        req = req.max_dist(d.parse().unwrap_or_else(|e| panic!("--max-dist {d:?}: {e:?}")));
+    }
+    if flag(flags, "stats", false) {
+        req = req.with_stats();
+    }
+    let queries = match (flags.get("vec"), flags.get("from")) {
+        (Some(raw), None) => dataset::Dataset::from_rows("search", &[parse_vec(raw)]),
+        (None, Some(path)) => {
+            let limit: usize = flag(flags, "limit", 0);
+            let limit = if limit == 0 { None } else { Some(limit) };
+            dataset::io::read_fvecs(path, limit)
+                .unwrap_or_else(|e| panic!("reading {path:?}: {e}"))
+        }
+        _ => panic!("search wants exactly one of --vec or --from\n{USAGE}"),
+    };
+    for (qi, q) in queries.iter().enumerate() {
+        let (hits, stats) =
+            client.search(index, q, &req).unwrap_or_else(|e| panic!("search failed: {e}"));
+        if queries.len() > 1 {
+            println!("query {qi}\t({} hits)", hits.len());
+        }
+        for (rank, n) in hits.iter().enumerate() {
+            println!("{rank}\tid={}\tdist={:.6}", n.id, n.dist);
+        }
+        if let Some(s) = stats {
+            println!(
+                "stats\tscanned={}\theap_pushes={}\twall_us={}",
+                s.candidates_scanned, s.heap_pushes, s.wall_micros
+            );
+        }
+    }
+}
+
 fn parse_vec(raw: &str) -> Vec<f32> {
     raw.split(',')
         .map(|s| s.trim().parse().unwrap_or_else(|e| panic!("--vec element {s:?}: {e}")))
@@ -312,7 +380,7 @@ fn main() -> ExitCode {
                 connect(&flags).stats().unwrap_or_else(|e| panic!("stats failed: {e}"));
             for s in entries {
                 println!(
-                    "{}\tspec={}\tqueries={}\tbatches={}\tbatch_queries={}\tinserts={}\tdeletes={}\tflushes={}\ttotal_us={}\tmax_us={}",
+                    "{}\tspec={}\tqueries={}\tbatches={}\tbatch_queries={}\tinserts={}\tdeletes={}\tflushes={}\tscanned={}\ttotal_us={}\tmax_us={}",
                     s.name,
                     if s.spec.is_empty() { "unknown" } else { &s.spec },
                     s.queries,
@@ -321,6 +389,7 @@ fn main() -> ExitCode {
                     s.inserts,
                     s.deletes,
                     s.flushes,
+                    s.candidates_scanned,
                     s.total_micros,
                     s.max_micros
                 );
@@ -328,6 +397,7 @@ fn main() -> ExitCode {
         }
         "build" => cmd_build(&flags),
         "query" => cmd_query(&flags),
+        "search" => cmd_search(&flags),
         "insert" => cmd_insert(&flags),
         "delete" => cmd_delete(&flags),
         "flush" => cmd_flush(&flags),

@@ -100,7 +100,7 @@ fn main() -> ExitCode {
         let s = served.stats.snapshot(&served.name, &served.spec);
         println!(
             "annd:   {}  queries={}  batches={} ({} queries)  inserts={}  deletes={}  \
-             flushes={}  total={}us  max={}us",
+             flushes={}  scanned={}  total={}us  max={}us",
             s.name,
             s.queries,
             s.batch_requests,
@@ -108,6 +108,7 @@ fn main() -> ExitCode {
             s.inserts,
             s.deletes,
             s.flushes,
+            s.candidates_scanned,
             s.total_micros,
             s.max_micros
         );

@@ -4,6 +4,7 @@
 use crate::protocol::{
     read_frame, write_frame, IndexInfo, ProtoError, Request, Response, StatsEntry,
 };
+use ann::{SearchRequest, SearchStats};
 use dataset::exact::Neighbor;
 use dataset::Dataset;
 use std::io;
@@ -110,6 +111,33 @@ impl Client {
         match self.call(&req)? {
             Response::Neighbors(ns) => Ok(ns),
             _ => Err(ClientError::Unexpected("NEIGHBORS")),
+        }
+    }
+
+    /// One self-describing search: the full [`SearchRequest`] contract
+    /// over the wire — id filter, distance threshold, and (when
+    /// `req.fields.stats` is set) the [`SearchStats`] section in the
+    /// reply. Distances are bit-exact; a request without filter or
+    /// threshold is answered identically to [`Client::query`].
+    pub fn search(
+        &mut self,
+        index: &str,
+        vector: &[f32],
+        req: &SearchRequest,
+    ) -> Result<(Vec<Neighbor>, Option<SearchStats>), ClientError> {
+        let wire = Request::Search {
+            index: index.to_string(),
+            k: u32::try_from(req.k).unwrap_or(u32::MAX),
+            budget: u32::try_from(req.budget).unwrap_or(u32::MAX),
+            probes: u32::try_from(req.probes).unwrap_or(u32::MAX),
+            filter: req.filter.clone(),
+            max_dist: req.max_dist,
+            want_stats: req.fields.stats,
+            vector: vector.to_vec(),
+        };
+        match self.call(&wire)? {
+            Response::Search { hits, stats } => Ok((hits, stats)),
+            _ => Err(ClientError::Unexpected("SEARCH")),
         }
     }
 

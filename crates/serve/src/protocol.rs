@@ -12,6 +12,7 @@
 //! garbage or hostile peer cannot make the server allocate unboundedly.
 
 use crate::wire::Reader;
+use ann::{IdFilter, SearchStats};
 use dataset::exact::Neighbor;
 use std::io::{self, Read, Write};
 
@@ -288,8 +289,55 @@ pub enum Request {
         /// Catalog name of the target live index.
         index: String,
     },
+    /// One self-describing search (the [`ann::SearchRequest`] contract on
+    /// the wire): plain top-k plus the two optional capabilities —
+    /// id-filtered search and range/threshold search — and an opt-in
+    /// stats section in the reply.
+    ///
+    /// The frame is versioned (leading version byte, currently
+    /// [`SEARCH_VERSION`]) with the optional sections gated by a bitflag
+    /// byte ([`flag` constants](SEARCH_FLAG_ALLOW)); unknown versions and
+    /// unknown flag bits are rejected at decode, never misread, so the
+    /// frame can grow fields without a new tag.
+    ///
+    /// `QUERY` remains valid and is answered identically to a `SEARCH`
+    /// with no optional sections.
+    Search {
+        /// Catalog name of the target index.
+        index: String,
+        /// Neighbors to return (at most).
+        k: u32,
+        /// Candidate budget (λ for the LCCS schemes).
+        budget: u32,
+        /// Probe override for multi-probe schemes (`0` = index default).
+        probes: u32,
+        /// Restrict the answer to ids this filter accepts.
+        filter: Option<IdFilter>,
+        /// Only return hits within this true distance.
+        max_dist: Option<f64>,
+        /// Ask the server to include [`SearchStats`] in the reply.
+        want_stats: bool,
+        /// The query vector.
+        vector: Vec<f32>,
+    },
 }
 
+/// Wire version of the SEARCH frame layout. Bump when a field changes
+/// meaning; add a flag bit when a new optional section appears.
+pub const SEARCH_VERSION: u8 = 1;
+
+/// SEARCH flag bit: an allowlist id section follows.
+pub const SEARCH_FLAG_ALLOW: u8 = 1 << 0;
+/// SEARCH flag bit: a denylist id section follows.
+pub const SEARCH_FLAG_DENY: u8 = 1 << 1;
+/// SEARCH flag bit: a `max_dist` threshold section follows.
+pub const SEARCH_FLAG_MAX_DIST: u8 = 1 << 2;
+/// SEARCH flag bit: the client wants the stats section in the reply.
+pub const SEARCH_FLAG_STATS: u8 = 1 << 3;
+const SEARCH_FLAGS_KNOWN: u8 =
+    SEARCH_FLAG_ALLOW | SEARCH_FLAG_DENY | SEARCH_FLAG_MAX_DIST | SEARCH_FLAG_STATS;
+
+const REQ_SEARCH: u8 = 11;
 const REQ_PING: u8 = 1;
 const REQ_LIST: u8 = 2;
 const REQ_QUERY: u8 = 3;
@@ -367,6 +415,33 @@ impl Request {
                 out.push(REQ_FLUSH);
                 put_str(&mut out, index);
             }
+            Request::Search { index, k, budget, probes, filter, max_dist, want_stats, vector } => {
+                out.push(REQ_SEARCH);
+                out.push(SEARCH_VERSION);
+                put_str(&mut out, index);
+                out.extend_from_slice(&k.to_le_bytes());
+                out.extend_from_slice(&budget.to_le_bytes());
+                out.extend_from_slice(&probes.to_le_bytes());
+                let mut flags = 0u8;
+                if let Some(f) = filter {
+                    flags |= if f.is_allow() { SEARCH_FLAG_ALLOW } else { SEARCH_FLAG_DENY };
+                }
+                if max_dist.is_some() {
+                    flags |= SEARCH_FLAG_MAX_DIST;
+                }
+                if *want_stats {
+                    flags |= SEARCH_FLAG_STATS;
+                }
+                out.push(flags);
+                if let Some(f) = filter {
+                    put_u32s(&mut out, f.ids());
+                }
+                if let Some(d) = max_dist {
+                    out.extend_from_slice(&d.to_bits().to_le_bytes());
+                }
+                out.extend_from_slice(&(vector.len() as u32).to_le_bytes());
+                put_f32s(&mut out, vector);
+            }
         }
         out
     }
@@ -430,6 +505,54 @@ impl Request {
             }
             REQ_DELETE => Request::Delete { index: get_str(&mut r)?, ids: get_u32s(&mut r)? },
             REQ_FLUSH => Request::Flush { index: get_str(&mut r)? },
+            REQ_SEARCH => {
+                let ver = r.u8()?;
+                if ver != SEARCH_VERSION {
+                    return Err(ProtoError::BadShape(format!(
+                        "SEARCH version {ver} (this build speaks {SEARCH_VERSION})"
+                    )));
+                }
+                let index = get_str(&mut r)?;
+                let k = r.u32()?;
+                let budget = r.u32()?;
+                let probes = r.u32()?;
+                let flags = r.u8()?;
+                if flags & !SEARCH_FLAGS_KNOWN != 0 {
+                    return Err(ProtoError::BadShape(format!(
+                        "unknown SEARCH flag bits {:#04x}",
+                        flags & !SEARCH_FLAGS_KNOWN
+                    )));
+                }
+                if flags & SEARCH_FLAG_ALLOW != 0 && flags & SEARCH_FLAG_DENY != 0 {
+                    return Err(ProtoError::BadShape(
+                        "SEARCH carries both an allowlist and a denylist".into(),
+                    ));
+                }
+                let filter = if flags & SEARCH_FLAG_ALLOW != 0 {
+                    Some(IdFilter::allow(get_u32s(&mut r)?))
+                } else if flags & SEARCH_FLAG_DENY != 0 {
+                    Some(IdFilter::deny(get_u32s(&mut r)?))
+                } else {
+                    None
+                };
+                let max_dist = if flags & SEARCH_FLAG_MAX_DIST != 0 {
+                    Some(r.f64()?)
+                } else {
+                    None
+                };
+                let dim = r.u32()? as usize;
+                let vector = r.f32s(dim)?;
+                Request::Search {
+                    index,
+                    k,
+                    budget,
+                    probes,
+                    filter,
+                    max_dist,
+                    want_stats: flags & SEARCH_FLAG_STATS != 0,
+                    vector,
+                }
+            }
             t => return Err(ProtoError::BadTag(t)),
         };
         finish(&r)?;
@@ -477,6 +600,11 @@ pub struct StatsEntry {
     pub deletes: u64,
     /// FLUSH requests served (live indexes only).
     pub flushes: u64,
+    /// Cumulative candidates the verification loops scanned across every
+    /// query/batch/search answered — the serving-side view of the budget
+    /// knob (exact for the LCCS schemes and live entries, lower-bound for
+    /// baseline schemes; see [`ann::SearchStats`]).
+    pub candidates_scanned: u64,
     /// Total serving time across requests, microseconds.
     pub total_micros: u64,
     /// Slowest single request, microseconds.
@@ -530,6 +658,17 @@ pub enum Response {
         /// Live rows covered by the flushed snapshot.
         live_rows: u64,
     },
+    /// Reply to [`Request::Search`]: the verified hits plus the stats
+    /// section when the request asked for it (bitflag-gated on the wire,
+    /// so plain answers never pay for it).
+    Search {
+        /// The verified hits (every id passes the request's filter; all
+        /// distances respect its threshold).
+        hits: Vec<Neighbor>,
+        /// Execution counters, present iff the request set
+        /// [`SEARCH_FLAG_STATS`].
+        stats: Option<SearchStats>,
+    },
     /// The request could not be served (unknown index, shape mismatch…).
     Error(String),
 }
@@ -544,7 +683,11 @@ const RESP_BUILT: u8 = 7;
 const RESP_INSERTED: u8 = 8;
 const RESP_DELETED: u8 = 9;
 const RESP_FLUSHED: u8 = 10;
+const RESP_SEARCH: u8 = 11;
 const RESP_ERROR: u8 = 255;
+
+/// SEARCH response flag bit: a stats section follows the hits.
+const SEARCH_RESP_FLAG_STATS: u8 = 1 << 0;
 
 impl Response {
     /// Serializes into a frame body.
@@ -583,6 +726,7 @@ impl Response {
                         e.inserts,
                         e.deletes,
                         e.flushes,
+                        e.candidates_scanned,
                         e.total_micros,
                         e.max_micros,
                     ] {
@@ -610,6 +754,16 @@ impl Response {
                 put_str16(&mut out, snapshot_path);
                 out.extend_from_slice(&segments.to_le_bytes());
                 out.extend_from_slice(&live_rows.to_le_bytes());
+            }
+            Response::Search { hits, stats } => {
+                out.push(RESP_SEARCH);
+                out.push(if stats.is_some() { SEARCH_RESP_FLAG_STATS } else { 0 });
+                put_neighbors(&mut out, hits);
+                if let Some(s) = stats {
+                    out.extend_from_slice(&s.candidates_scanned.to_le_bytes());
+                    out.extend_from_slice(&s.heap_pushes.to_le_bytes());
+                    out.extend_from_slice(&s.wall_micros.to_le_bytes());
+                }
             }
             Response::Error(msg) => {
                 out.push(RESP_ERROR);
@@ -666,6 +820,7 @@ impl Response {
                     let inserts = r.u64()?;
                     let deletes = r.u64()?;
                     let flushes = r.u64()?;
+                    let candidates_scanned = r.u64()?;
                     let total_micros = r.u64()?;
                     let max_micros = r.u64()?;
                     entries.push(StatsEntry {
@@ -677,6 +832,7 @@ impl Response {
                         inserts,
                         deletes,
                         flushes,
+                        candidates_scanned,
                         total_micros,
                         max_micros,
                     });
@@ -696,6 +852,26 @@ impl Response {
                 segments: r.u32()?,
                 live_rows: r.u64()?,
             },
+            RESP_SEARCH => {
+                let flags = r.u8()?;
+                if flags & !SEARCH_RESP_FLAG_STATS != 0 {
+                    return Err(ProtoError::BadShape(format!(
+                        "unknown SEARCH response flag bits {:#04x}",
+                        flags & !SEARCH_RESP_FLAG_STATS
+                    )));
+                }
+                let hits = get_neighbors(&mut r)?;
+                let stats = if flags & SEARCH_RESP_FLAG_STATS != 0 {
+                    Some(SearchStats {
+                        candidates_scanned: r.u64()?,
+                        heap_pushes: r.u64()?,
+                        wall_micros: r.u64()?,
+                    })
+                } else {
+                    None
+                };
+                Response::Search { hits, stats }
+            }
             RESP_ERROR => {
                 let len = r.u32()? as usize;
                 let raw = r.take(len)?;
@@ -765,6 +941,57 @@ mod tests {
         });
         round_trip_request(Request::Delete { index: "live".into(), ids: vec![1, 2, 3] });
         round_trip_request(Request::Flush { index: "live".into() });
+        // SEARCH: every combination of the optional sections.
+        for filter in [None, Some(IdFilter::allow(vec![4, 7, 9])), Some(IdFilter::deny(vec![2]))] {
+            for max_dist in [None, Some(1.5)] {
+                for want_stats in [false, true] {
+                    round_trip_request(Request::Search {
+                        index: "glove".into(),
+                        k: 10,
+                        budget: 128,
+                        probes: 3,
+                        filter: filter.clone(),
+                        max_dist,
+                        want_stats,
+                        vector: vec![0.5, -1.25],
+                    });
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn malformed_search_frames_are_rejected() {
+        let good = Request::Search {
+            index: "x".into(),
+            k: 5,
+            budget: 64,
+            probes: 0,
+            filter: Some(IdFilter::allow(vec![1, 2])),
+            max_dist: Some(0.5),
+            want_stats: true,
+            vector: vec![1.0],
+        }
+        .encode();
+        // Every truncation fails cleanly.
+        for cut in 0..good.len() {
+            assert!(Request::decode(&good[..cut]).is_err(), "cut at {cut}");
+        }
+        // A future version byte is rejected, not misread.
+        let mut future = good.clone();
+        future[1] = SEARCH_VERSION + 1;
+        assert!(matches!(Request::decode(&future), Err(ProtoError::BadShape(m)) if m.contains("version")));
+        // Unknown flag bits are rejected (flags sit after the 1-byte tag,
+        // 1-byte version, 1-length-prefixed 1-byte name, and three u32s).
+        let flags_at = 1 + 1 + 2 + 12;
+        assert_eq!(good[flags_at] & SEARCH_FLAGS_KNOWN, good[flags_at]);
+        let mut unknown = good.clone();
+        unknown[flags_at] |= 1 << 6;
+        assert!(matches!(Request::decode(&unknown), Err(ProtoError::BadShape(m)) if m.contains("flag")));
+        // Allow + deny together is contradictory.
+        let mut both = good;
+        both[flags_at] |= SEARCH_FLAG_DENY;
+        assert!(matches!(Request::decode(&both), Err(ProtoError::BadShape(m)) if m.contains("both")));
     }
 
     #[test]
@@ -834,9 +1061,18 @@ mod tests {
             inserts: 42,
             deletes: 7,
             flushes: 2,
+            candidates_scanned: 123_456,
             total_micros: 4242,
             max_micros: 999,
         }]));
+        round_trip_response(Response::Search {
+            hits: vec![Neighbor { id: 3, dist: 0.75 }],
+            stats: None,
+        });
+        round_trip_response(Response::Search {
+            hits: vec![],
+            stats: Some(SearchStats { candidates_scanned: 64, heap_pushes: 9, wall_micros: 1234 }),
+        });
         round_trip_response(Response::Inserted { ids: vec![0, 1, 2, 4_000_000_000] });
         round_trip_response(Response::Deleted { removed: 3 });
         round_trip_response(Response::Flushed {

@@ -23,7 +23,7 @@
 use crate::catalog::{live_read, panic_message, with_live_write, Backend, Catalog, ServedIndex};
 use crate::protocol::{read_frame, write_frame, Request, Response};
 use crate::snapshot::SnapMeta;
-use ann::{AnnIndex, IndexSpec, MutableAnn, Scratch, SearchParams};
+use ann::{AnnIndex, IndexSpec, MutableAnn, Scratch, SearchRequest, SearchResponse};
 use ann_live::{LiveConfig, LiveIndex};
 use eval::registry::{self, BuildCtx};
 use std::collections::HashMap;
@@ -228,41 +228,32 @@ fn dispatch(
             TcpStream::connect_timeout(&target, Duration::from_millis(100)).ok();
             (Response::ShuttingDown, true)
         }
+        // QUERY stays on the wire unchanged and is answered as a SEARCH
+        // with no optional sections — the search path without a filter or
+        // threshold is byte-identical to the pre-redesign query path (the
+        // e2e back-compat test pins this).
         Request::Query { index, k, budget, probes, vector } => {
-            let catalog = shared.catalog.read().expect("catalog poisoned");
-            let served = match lookup(&catalog, &index) {
-                Ok(s) => s,
-                Err(e) => return (Response::Error(e), false),
-            };
-            let params =
-                SearchParams::new(k as usize, budget as usize).with_probes(probes as usize);
-            let t0 = Instant::now();
-            let neighbors = match &served.backend {
-                Backend::Static { index: idx, data } => {
-                    if let Err(e) = check_shape(&index, k, vector.len(), data.len(), data.dim())
-                    {
-                        return (Response::Error(e), false);
-                    }
-                    let scratch =
-                        scratches.entry(index).or_insert_with(|| idx.make_scratch());
-                    idx.query_with(&vector, &params, scratch)
-                }
-                Backend::Live(lock) => {
-                    let live = match live_read(lock, &index) {
-                        Ok(g) => g,
-                        Err(e) => return (Response::Error(e), false),
-                    };
-                    if let Err(e) =
-                        check_shape(&index, k, vector.len(), live.live_len(), live.dim())
-                    {
-                        return (Response::Error(e), false);
-                    }
-                    let scratch = scratches.entry(index).or_insert_with(Scratch::empty);
-                    live.query_with(&vector, &params, scratch)
-                }
-            };
-            served.stats.record_query(t0.elapsed().as_micros() as u64);
-            (Response::Neighbors(neighbors), false)
+            let req = request_from_knobs(k, budget, probes);
+            match answer_search(shared, scratches, &index, &req, &vector) {
+                Ok(resp) => (Response::Neighbors(resp.hits), false),
+                Err(e) => (Response::Error(e), false),
+            }
+        }
+        Request::Search { index, k, budget, probes, filter, max_dist, want_stats, vector } => {
+            let mut req = request_from_knobs(k, budget, probes);
+            req.filter = filter;
+            req.max_dist = max_dist;
+            req.fields.stats = want_stats;
+            match answer_search(shared, scratches, &index, &req, &vector) {
+                Ok(resp) => (
+                    Response::Search {
+                        hits: resp.hits,
+                        stats: want_stats.then_some(resp.stats),
+                    },
+                    false,
+                ),
+                Err(e) => (Response::Error(e), false),
+            }
         }
         Request::Batch { index, k, budget, probes, dim, vectors } => {
             let catalog = shared.catalog.read().expect("catalog poisoned");
@@ -271,7 +262,7 @@ fn dispatch(
                 Err(e) => return (Response::Error(e), false),
             };
             // The response must fit one frame: nq lists of up to k
-            // 12-byte neighbors each (k ≤ n is checked per backend).
+            // 12-byte neighbors each (k ≤ n is validated per backend).
             let nq = vectors.len() / dim.max(1) as usize;
             let resp_bytes = 5 + nq as u64 * (4 + 12 * u64::from(k));
             if resp_bytes > crate::protocol::MAX_FRAME as u64 {
@@ -284,17 +275,17 @@ fn dispatch(
                     false,
                 );
             }
-            let params =
-                SearchParams::new(k as usize, budget as usize).with_probes(probes as usize);
+            let req = request_from_knobs(k, budget, probes);
             let queries = dataset::Dataset::from_flat("batch", dim as usize, vectors);
             let t0 = Instant::now();
-            let lists = match &served.backend {
+            let responses = match &served.backend {
                 Backend::Static { index: idx, data } => {
-                    if let Err(e) = check_shape(&index, k, dim as usize, data.len(), data.dim())
+                    if let Err(e) =
+                        check_request(&index, &req, dim as usize, idx.len(), data.dim())
                     {
                         return (Response::Error(e), false);
                     }
-                    idx.query_batch(&queries, &params)
+                    idx.search_batch(&queries, &req)
                 }
                 Backend::Live(lock) => {
                     let live = match live_read(lock, &index) {
@@ -302,13 +293,16 @@ fn dispatch(
                         Err(e) => return (Response::Error(e), false),
                     };
                     if let Err(e) =
-                        check_shape(&index, k, dim as usize, live.live_len(), live.dim())
+                        check_request(&index, &req, dim as usize, live.live_len(), live.dim())
                     {
                         return (Response::Error(e), false);
                     }
-                    live.query_batch(&queries, &params)
+                    live.search_batch(&queries, &req)
                 }
             };
+            let scanned: u64 = responses.iter().map(|r| r.stats.candidates_scanned).sum();
+            let lists: Vec<_> = responses.into_iter().map(|r| r.hits).collect();
+            served.stats.record_scanned(scanned);
             served.stats.record_batch(queries.len() as u64, t0.elapsed().as_micros() as u64);
             (Response::Batch(lists), false)
         }
@@ -451,22 +445,63 @@ fn require_live<'a>(
     }
 }
 
-/// Shared shape validation for the query paths.
-fn check_shape(name: &str, k: u32, dim: usize, len: usize, expect_dim: usize) -> Result<(), String> {
-    if k == 0 {
-        return Err("k must be at least 1".into());
-    }
-    // An untrusted k flows into k-sized allocations (verification heaps);
-    // beyond n it cannot return more neighbors anyway.
-    if k as u64 > len as u64 {
-        return Err(format!("k = {k} exceeds the {len} indexed vectors of {name:?}"));
-    }
+/// Builds the in-process request a wire `(k, budget, probes)` triple
+/// describes.
+fn request_from_knobs(k: u32, budget: u32, probes: u32) -> SearchRequest {
+    SearchRequest::top_k(k as usize).budget(budget as usize).probes(probes as usize)
+}
+
+/// Shared validation for the query paths: the dimension check plus the
+/// workspace-wide request-legality rule ([`SearchRequest::validate`] —
+/// the same rule the in-process harness and the live index apply, so a
+/// hostile `k` can never reach the k-sized verification heaps).
+fn check_request(
+    name: &str,
+    req: &SearchRequest,
+    dim: usize,
+    len: usize,
+    expect_dim: usize,
+) -> Result<(), String> {
+    req.validate(len).map_err(|e| format!("index {name:?}: {e}"))?;
     if dim != expect_dim {
         return Err(format!(
             "dimension mismatch: index {name:?} has dim {expect_dim}, query has {dim}"
         ));
     }
     Ok(())
+}
+
+/// Answers one single-vector search (the shared implementation behind
+/// QUERY and SEARCH): look up the entry, validate, run the backend's
+/// `search_with` with this worker's cached scratch, and account the
+/// latency + scanned-candidates counters.
+fn answer_search(
+    shared: &Shared,
+    scratches: &mut HashMap<String, Scratch>,
+    index: &str,
+    req: &SearchRequest,
+    vector: &[f32],
+) -> Result<SearchResponse, String> {
+    let catalog = shared.catalog.read().expect("catalog poisoned");
+    let served = lookup(&catalog, index)?;
+    let t0 = Instant::now();
+    let resp = match &served.backend {
+        Backend::Static { index: idx, data } => {
+            check_request(index, req, vector.len(), idx.len(), data.dim())?;
+            let scratch =
+                scratches.entry(index.to_string()).or_insert_with(|| idx.make_scratch());
+            idx.search_with(vector, req, scratch)
+        }
+        Backend::Live(lock) => {
+            let live = live_read(lock, index)?;
+            check_request(index, req, vector.len(), live.live_len(), live.dim())?;
+            let scratch = scratches.entry(index.to_string()).or_insert_with(Scratch::empty);
+            live.search_with(vector, req, scratch)
+        }
+    };
+    served.stats.record_scanned(resp.stats.candidates_scanned);
+    served.stats.record_query(t0.elapsed().as_micros() as u64);
+    Ok(resp)
 }
 
 /// BUILD: parse the spec, load the dataset, build through the eval
@@ -686,8 +721,9 @@ fn valid_build_name(name: &str) -> bool {
 
 /// The error side is the message for a `Response::Error` (not the
 /// response itself: `Response` grew large enough with BUILT that clippy
-/// rightly objects to it riding in every `Err`). Shape checks live in
-/// [`check_shape`] — they need the backend's (possibly locked) length.
+/// rightly objects to it riding in every `Err`). Request validation
+/// lives in [`check_request`] — it needs the backend's (possibly
+/// locked) length.
 fn lookup<'a>(catalog: &'a Catalog, name: &str) -> Result<&'a ServedIndex, String> {
     catalog.get(name).ok_or_else(|| format!("no such index {name:?}"))
 }

@@ -18,6 +18,7 @@ pub struct IndexStats {
     inserts: AtomicU64,
     deletes: AtomicU64,
     flushes: AtomicU64,
+    candidates_scanned: AtomicU64,
     total_micros: AtomicU64,
     max_micros: AtomicU64,
 }
@@ -59,6 +60,13 @@ impl IndexStats {
         self.record_latency(micros);
     }
 
+    /// Accumulates candidates scanned while answering (from
+    /// [`ann::SearchStats`]), so the budget knob's real cost is visible
+    /// in serving, not just in the eval harness.
+    pub fn record_scanned(&self, candidates: u64) {
+        self.candidates_scanned.fetch_add(candidates, Ordering::Relaxed);
+    }
+
     /// A wire-ready snapshot of the counters. `spec` is the served
     /// entry's spec string (empty when unknown).
     pub fn snapshot(&self, name: &str, spec: &str) -> StatsEntry {
@@ -71,6 +79,7 @@ impl IndexStats {
             inserts: self.inserts.load(Ordering::Relaxed),
             deletes: self.deletes.load(Ordering::Relaxed),
             flushes: self.flushes.load(Ordering::Relaxed),
+            candidates_scanned: self.candidates_scanned.load(Ordering::Relaxed),
             total_micros: self.total_micros.load(Ordering::Relaxed),
             max_micros: self.max_micros.load(Ordering::Relaxed),
         }
@@ -87,12 +96,15 @@ mod tests {
         s.record_query(10);
         s.record_query(30);
         s.record_batch(64, 500);
+        s.record_scanned(128);
+        s.record_scanned(72);
         let snap = s.snapshot("x", "lccs:m=8");
         assert_eq!(snap.name, "x");
         assert_eq!(snap.spec, "lccs:m=8");
         assert_eq!(snap.queries, 2);
         assert_eq!(snap.batch_requests, 1);
         assert_eq!(snap.batch_queries, 64);
+        assert_eq!(snap.candidates_scanned, 200, "scanned counts accumulate across requests");
         assert_eq!(snap.total_micros, 540);
         assert_eq!(snap.max_micros, 500);
         assert_eq!((snap.inserts, snap.deletes, snap.flushes), (0, 0, 0));

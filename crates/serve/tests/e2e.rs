@@ -2,7 +2,7 @@
 //! TCP server → query over the wire → results byte-identical to
 //! in-process `query_batch` on the originally built index.
 
-use ann::{AnnIndex, SearchParams};
+use ann::{AnnIndex, SearchParams, SearchRequest};
 use dataset::exact::Neighbor;
 use dataset::{Metric, SynthSpec};
 use lccs_lsh::{LccsLsh, LccsParams, MpLccsLsh, MpParams};
@@ -106,7 +106,7 @@ fn served_results_are_byte_identical_to_in_process() {
 
         let remote = client.query("e2e-mp", 5, 48, 17, queries.get(i)).unwrap();
         let local =
-            AnnIndex::query(&fx.mp, queries.get(i), &SearchParams::new(5, 48).with_probes(17));
+            AnnIndex::query(&fx.mp, queries.get(i), &SearchRequest::top_k(5).budget(48).probes(17).params());
         assert_eq!(bits(&[remote]), bits(&[local]), "mp query {i} with probe override");
     }
 
@@ -200,7 +200,7 @@ fn build_over_the_wire_matches_in_process_build_bit_for_bit() {
     )
     .expect("in-process build");
     let queries = data.sample_queries(23, 7);
-    let params = SearchParams::new(10, 64).with_probes(17);
+    let params = SearchRequest::top_k(10).budget(64).probes(17).params();
     let expected = bits(&local.query_batch(&queries, &params));
     let remote = client.query_batch("live-mp", 10, 64, 17, &queries).unwrap();
     assert_eq!(bits(&remote), expected, "wire answers must be byte-identical");
@@ -449,6 +449,176 @@ fn concurrent_connections_share_the_catalog() {
     assert_eq!(lccs.batch_requests, 12);
     assert_eq!(lccs.batch_queries, 12 * 16);
 
+    client.shutdown().unwrap();
+    handle.join().expect("server thread");
+}
+
+/// The PR-5 acceptance path: filtered and range SEARCH over real TCP,
+/// byte-identical to an in-process brute-force oracle, with the stats
+/// section present exactly when asked for and the scanned counter
+/// surfacing in STATS.
+#[test]
+fn filtered_and_range_search_over_the_wire_matches_brute_force_oracle() {
+    use dataset::ExactKnn;
+
+    let data = Arc::new(SynthSpec::new("wire-filter", 500, 12).with_clusters(8).generate(77));
+    let exact_index = eval::registry::build_index(
+        &ann::IndexSpec::linear(),
+        &eval::registry::BuildCtx { data: &data, metric: Metric::Euclidean },
+    )
+    .expect("linear builds everywhere");
+    let mut catalog = Catalog::empty();
+    catalog
+        .install("exact".into(), "Linear".into(), "linear".into(), exact_index, data.clone())
+        .unwrap();
+    let server = Server::bind(catalog, "127.0.0.1:0", 2).expect("bind");
+    let addr = server.local_addr().unwrap();
+    let handle = std::thread::spawn(move || server.run().expect("serving loop"));
+    let mut client = Client::connect(addr).unwrap();
+
+    let oracle = |q: &[f32], k: usize, accepts: &dyn Fn(u32) -> bool, max: Option<f64>| {
+        vec![ExactKnn::single_query_filtered(&data, q, k, Metric::Euclidean, accepts, max)]
+    };
+
+    let allow: Vec<u32> = (0..500).filter(|i| i % 7 == 0).collect();
+    let deny: Vec<u32> = (0..500).filter(|i| i % 11 == 0).collect();
+    let queries = data.sample_queries(9, 3);
+    for (qi, q) in queries.iter().enumerate() {
+        // Allowlist.
+        let req = ann::SearchRequest::top_k(5).budget(1).filter(ann::IdFilter::allow(allow.clone()));
+        let (hits, stats) = client.search("exact", q, &req).unwrap();
+        assert!(stats.is_none(), "stats section only when requested");
+        assert_eq!(bits(&[hits]), bits(&oracle(q, 5, &|id| id % 7 == 0, None)), "allow q{qi}");
+
+        // Denylist with stats.
+        let req = ann::SearchRequest::top_k(5)
+            .budget(1)
+            .filter(ann::IdFilter::deny(deny.clone()))
+            .with_stats();
+        let (hits, stats) = client.search("exact", q, &req).unwrap();
+        let stats = stats.expect("stats requested");
+        // The default (non-LCCS) search path reports returned-candidate
+        // counts — a documented lower bound that must cover the deny
+        // over-fetch (k + |denylist| candidates were surfaced).
+        assert!(
+            stats.candidates_scanned >= (5 + deny.len()) as u64,
+            "scanned lower bound, got {}",
+            stats.candidates_scanned
+        );
+        assert_eq!(bits(&[hits]), bits(&oracle(q, 5, &|id| id % 11 != 0, None)), "deny q{qi}");
+
+        // Range search: threshold at the true 3rd-NN distance ⇒ exactly
+        // three of the requested ten qualify.
+        let third = ExactKnn::single_query(&data, q, 3, Metric::Euclidean)[2].dist;
+        let req = ann::SearchRequest::top_k(10).budget(1).max_dist(third);
+        let (hits, _) = client.search("exact", q, &req).unwrap();
+        assert_eq!(hits.len(), 3, "range q{qi}");
+        assert_eq!(bits(&[hits]), bits(&oracle(q, 10, &|_| true, Some(third))), "range q{qi}");
+
+        // Filter + threshold compose.
+        let req = ann::SearchRequest::top_k(10)
+            .budget(1)
+            .filter(ann::IdFilter::deny(deny.clone()))
+            .max_dist(third * 2.0);
+        let (hits, _) = client.search("exact", q, &req).unwrap();
+        assert_eq!(
+            bits(&[hits]),
+            bits(&oracle(q, 10, &|id| id % 11 != 0, Some(third * 2.0))),
+            "combined q{qi}"
+        );
+    }
+
+    // A SEARCH with no optional sections answers exactly like QUERY.
+    let q = queries.get(0);
+    let (via_search, _) =
+        client.search("exact", q, &ann::SearchRequest::top_k(6).budget(1)).unwrap();
+    let via_query = client.query("exact", 6, 1, 0, q).unwrap();
+    assert_eq!(bits(&[via_search]), bits(&[via_query]));
+
+    // Bad requests are typed errors, and validation runs the shared rule.
+    let err = client
+        .search("exact", q, &ann::SearchRequest::top_k(501).budget(1))
+        .unwrap_err();
+    assert!(matches!(&err, ClientError::Server(m) if m.contains("exceeds")), "{err}");
+    let err = client
+        .search("exact", q, &ann::SearchRequest::top_k(1).max_dist(f64::NAN))
+        .unwrap_err();
+    assert!(matches!(&err, ClientError::Server(m) if m.contains("max_dist")), "{err}");
+
+    // The cumulative scanned counter reached STATS: at minimum the 9
+    // range searches each surfaced a full-fetch candidate list (the
+    // threshold path over-fetches the whole index before post-filtering).
+    let stats = client.stats().unwrap();
+    let exact = stats.iter().find(|s| s.name == "exact").unwrap();
+    assert!(
+        exact.candidates_scanned >= 9 * 500,
+        "scanned counter accumulates ({} seen)",
+        exact.candidates_scanned
+    );
+
+    client.shutdown().unwrap();
+    handle.join().expect("server thread");
+}
+
+/// Back-compat: QUERY and BATCH frames encoded with the *pre-redesign*
+/// byte layout (hand-assembled here, independent of today's encoder)
+/// must still decode and be answered byte-identically to the in-process
+/// results — a pre-PR-5 client keeps working against a post-PR-5 daemon.
+#[test]
+fn legacy_query_and_batch_frames_are_answered_unchanged() {
+    use serve::protocol::{read_frame, write_frame, Response};
+    use std::io::Write as _;
+
+    let fx = fixture("legacy");
+    let (addr, handle) = start_server(&fx, 1);
+
+    let put_legacy_header = |out: &mut Vec<u8>, tag: u8, index: &str, k: u32, b: u32, p: u32| {
+        out.push(tag);
+        out.push(index.len() as u8);
+        out.extend_from_slice(index.as_bytes());
+        out.extend_from_slice(&k.to_le_bytes());
+        out.extend_from_slice(&b.to_le_bytes());
+        out.extend_from_slice(&p.to_le_bytes());
+    };
+
+    let queries = fx.data.sample_queries(4, 21);
+    let mut stream = std::net::TcpStream::connect(addr).unwrap();
+
+    // Legacy QUERY: tag 3, str8 name, k/budget/probes u32, dim u32, f32s.
+    let q = queries.get(2);
+    let mut body = Vec::new();
+    put_legacy_header(&mut body, 3, "e2e-lccs", 7, 48, 0);
+    body.extend_from_slice(&(q.len() as u32).to_le_bytes());
+    for v in q {
+        body.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+    write_frame(&mut stream, &body).unwrap();
+    stream.flush().unwrap();
+    let reply = read_frame(&mut stream).unwrap().expect("reply");
+    let Response::Neighbors(hits) = Response::decode(&reply).unwrap() else {
+        panic!("legacy QUERY must get a NEIGHBORS reply");
+    };
+    let local = AnnIndex::query(&fx.single, q, &SearchParams::new(7, 48));
+    assert_eq!(bits(&[hits]), bits(&[local]), "legacy QUERY answered unchanged");
+
+    // Legacy BATCH: tag 4, str8 name, k/budget/probes u32, dim u32,
+    // nq u32, row-major f32s.
+    let mut body = Vec::new();
+    put_legacy_header(&mut body, 4, "e2e-lccs", 5, 64, 0);
+    body.extend_from_slice(&(queries.dim() as u32).to_le_bytes());
+    body.extend_from_slice(&(queries.len() as u32).to_le_bytes());
+    for v in queries.as_flat() {
+        body.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+    write_frame(&mut stream, &body).unwrap();
+    let reply = read_frame(&mut stream).unwrap().expect("reply");
+    let Response::Batch(lists) = Response::decode(&reply).unwrap() else {
+        panic!("legacy BATCH must get a BATCH reply");
+    };
+    let local = AnnIndex::query_batch(&fx.single, &queries, &SearchParams::new(5, 64));
+    assert_eq!(bits(&lists), bits(&local), "legacy BATCH answered unchanged");
+
+    let mut client = Client::connect(addr).unwrap();
     client.shutdown().unwrap();
     handle.join().expect("server thread");
 }

@@ -1,0 +1,125 @@
+//! Property tests of the SEARCH frame codec: encode → decode must be the
+//! identity for every combination of the bitflag-gated optional sections
+//! (allowlist / denylist / threshold / stats), arbitrary knob values, and
+//! arbitrary vectors — and truncating an encoded frame anywhere must fail
+//! cleanly, never panic or misread.
+
+use ann::{IdFilter, SearchStats};
+use dataset::exact::Neighbor;
+use proptest::collection::vec;
+use proptest::prelude::*;
+use serve::protocol::{Request, Response};
+
+/// Strategy over every filter shape: none, allowlist, denylist — with
+/// empty and duplicate-heavy id lists included (the constructor
+/// normalizes, so round-trips stay exact).
+fn any_filter() -> impl Strategy<Value = Option<IdFilter>> {
+    (0u8..3, vec(any::<u32>(), 0..20)).prop_map(|(kind, ids)| match kind {
+        0 => None,
+        1 => Some(IdFilter::allow(ids)),
+        _ => Some(IdFilter::deny(ids)),
+    })
+}
+
+/// Finite, non-NaN thresholds (NaN can't round-trip through `PartialEq`;
+/// the server rejects it at validation anyway).
+fn any_max_dist() -> impl Strategy<Value = Option<f64>> {
+    (any::<bool>(), 0u64..=1 << 52).prop_map(|(present, bits)| {
+        present.then_some(f64::from_bits(bits) % 1e12)
+    })
+}
+
+fn any_search_request() -> impl Strategy<Value = Request> {
+    (
+        any_filter(),
+        any_max_dist(),
+        any::<bool>(),
+        (any::<u32>(), any::<u32>(), any::<u32>()),
+        vec(any::<u32>(), 0..12),
+    )
+        .prop_map(|(filter, max_dist, want_stats, (k, budget, probes), vbits)| {
+            Request::Search {
+                index: "idx-under-test".into(),
+                k,
+                budget,
+                probes,
+                filter,
+                max_dist,
+                want_stats,
+                // NaN payloads do travel bit-exactly, but `PartialEq`
+                // can't witness it — keep the equality-based property on
+                // non-NaN values (the unit suite pins NaN bit-exactness).
+                vector: vbits
+                    .into_iter()
+                    .map(|b| {
+                        let f = f32::from_bits(b);
+                        if f.is_nan() {
+                            f32::from_bits(b & 0x7f7f_ffff)
+                        } else {
+                            f
+                        }
+                    })
+                    .collect(),
+            }
+        })
+}
+
+fn any_search_response() -> impl Strategy<Value = Response> {
+    (
+        vec((any::<u32>(), 0u64..=1 << 60), 0..10),
+        any::<bool>(),
+        (any::<u64>(), any::<u64>(), any::<u64>()),
+    )
+        .prop_map(|(hits, with_stats, (scanned, pushes, wall))| Response::Search {
+            hits: hits
+                .into_iter()
+                .map(|(id, dbits)| Neighbor { id, dist: f64::from_bits(dbits) })
+                .collect(),
+            stats: with_stats.then_some(SearchStats {
+                candidates_scanned: scanned,
+                heap_pushes: pushes,
+                wall_micros: wall,
+            }),
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn search_requests_round_trip(req in any_search_request()) {
+        let body = req.encode();
+        let back = Request::decode(&body).expect("own encoding decodes");
+        prop_assert_eq!(back, req);
+    }
+
+    #[test]
+    fn search_responses_round_trip(resp in any_search_response()) {
+        let body = resp.encode();
+        let back = Response::decode(&body).expect("own encoding decodes");
+        prop_assert_eq!(back, resp);
+    }
+
+    #[test]
+    fn truncated_search_requests_fail_cleanly(
+        req in any_search_request(),
+        frac in 0.0f64..1.0,
+    ) {
+        let body = req.encode();
+        let cut = ((body.len() as f64) * frac) as usize;
+        prop_assert!(cut < body.len());
+        // Any strict prefix must decode to an error, never a value and
+        // never a panic.
+        prop_assert!(Request::decode(&body[..cut]).is_err(), "cut at {}", cut);
+    }
+
+    #[test]
+    fn search_request_with_trailing_garbage_is_rejected(
+        req in any_search_request(),
+        extra in 1usize..4,
+    ) {
+        let mut body = req.encode();
+        body.extend(std::iter::repeat_n(0u8, extra));
+        prop_assert!(Request::decode(&body).is_err());
+    }
+}

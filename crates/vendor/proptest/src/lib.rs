@@ -107,7 +107,7 @@ macro_rules! range_strategy {
         }
     )*};
 }
-range_strategy!(u64, u32, usize, i64, i32, f32, f64);
+range_strategy!(u64, u32, u16, u8, usize, i64, i32, f32, f64);
 
 macro_rules! range_incl_strategy {
     ($($t:ty),*) => {$(
@@ -119,7 +119,7 @@ macro_rules! range_incl_strategy {
         }
     )*};
 }
-range_incl_strategy!(u64, u32, usize, i64, i32);
+range_incl_strategy!(u64, u32, u16, u8, usize, i64, i32);
 
 macro_rules! tuple_strategy {
     ($(($($s:ident),+))*) => {$(

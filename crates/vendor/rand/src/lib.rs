@@ -98,6 +98,16 @@ impl Standard for usize {
         rng.next_u64() as usize
     }
 }
+impl Standard for u16 {
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 48) as u16
+    }
+}
+impl Standard for u8 {
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 56) as u8
+    }
+}
 impl Standard for bool {
     fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
         rng.next_u64() & 1 == 1
@@ -144,7 +154,7 @@ macro_rules! int_range {
         }
     )*};
 }
-int_range!(u64, u32, usize, i64, i32);
+int_range!(u64, u32, u16, u8, usize, i64, i32);
 
 macro_rules! float_range {
     ($($t:ty),*) => {$(

@@ -7,7 +7,7 @@
 
 use baselines::{LinearScan, MultiProbeLsh, MultiProbeLshParams};
 use dataset::{Metric, SynthSpec};
-use lccs_lsh::{AnnIndex, BuildAnn, LccsLsh, LccsParams, SearchParams};
+use lccs_lsh::{AnnIndex, BuildAnn, LccsLsh, LccsParams, SearchRequest};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -40,7 +40,7 @@ fn main() {
         Box::new(LinearScan::build_index(data.clone(), Metric::Euclidean, &())),
     ];
 
-    let params = SearchParams::new(10, 256).with_probes(16);
+    let params = SearchRequest::top_k(10).budget(256).probes(16).params();
     for index in &indexes {
         let start = Instant::now();
         let results = index.query_batch(&queries, &params);

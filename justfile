@@ -43,6 +43,12 @@ smoke dir="/tmp/annd-smoke" addr="127.0.0.1:38211":
 live-demo:
     cargo run --release --example live_indexing
 
+# Filtered + range search demo: the unified SearchRequest/SearchResponse
+# API end to end — allowlist/denylist predicates and max-dist range
+# search, every exact answer verified against the brute-force oracle.
+search-demo:
+    cargo run --release --example filtered_search
+
 # Spec-grammar smoke: print the scheme table and assert every registry
 # entry appears in ann::spec::help() (the same invariant CI pins via the
 # eval unit test).

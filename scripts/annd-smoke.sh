@@ -75,6 +75,27 @@ NINE_VEC=$(printf '9.0,%.0s' $(seq "$DIM") | sed 's/,$//')
 "$CLI" query --addr "$ADDR" --index mut-idx --k 5 --budget 64 --vec "$ZERO_VEC" \
     > "$DIR/before-restart.txt"
 
+# Filtered + range SEARCH round-trip: restrict the answer to an id
+# allowlist, cap it with a distance threshold, and fan a small query file
+# through --from — all against the spec-built live-mp index, capturing
+# the output for a byte-exact diff across the daemon restart below.
+seq 0 2 398 > "$DIR/even-ids.txt"
+"$CLI" gen --out "$DIR/probes.fvecs" --n 3 --dim "$DIM" --seed 9
+"$CLI" search --addr "$ADDR" --index live-mp --k 5 --budget 64 \
+    --filter "$DIR/even-ids.txt" --vec "$ZERO_VEC" | grep -E "^0\sid=" \
+    || (echo "search smoke: filtered search returned nothing" && exit 1)
+"$CLI" search --addr "$ADDR" --index live-mp --k 5 --budget 64 \
+    --filter "$DIR/even-ids.txt" --vec "$ZERO_VEC" | grep -oE "id=[0-9]*[13579]\b" \
+    && (echo "search smoke: allowlist leaked an odd id" && exit 1)
+"$CLI" search --addr "$ADDR" --index live-mp --k 5 --budget 64 --stats true \
+    --vec "$ZERO_VEC" | grep -E "^stats\sscanned=[1-9]" \
+    || (echo "search smoke: stats section missing" && exit 1)
+"$CLI" search --addr "$ADDR" --index live-mp --k 5 --budget 64 \
+    --filter "$DIR/even-ids.txt" --max-dist 1.5 --from "$DIR/probes.fvecs" \
+    > "$DIR/search-before-restart.txt"
+"$CLI" stats --addr "$ADDR" | grep -F "live-mp" | grep -E "scanned=[1-9]" \
+    || (echo "search smoke: scanned counter missing from STATS" && exit 1)
+
 # Restart: stop the daemon, bring a fresh one up over the same dir.
 "$CLI" shutdown --addr "$ADDR"
 wait "$ANND_PID"
@@ -85,6 +106,11 @@ sleep 2
     > "$DIR/after-restart.txt"
 diff "$DIR/before-restart.txt" "$DIR/after-restart.txt" \
     || (echo "live smoke: answers changed across the restart" && exit 1)
+"$CLI" search --addr "$ADDR" --index live-mp --k 5 --budget 64 \
+    --filter "$DIR/even-ids.txt" --max-dist 1.5 --from "$DIR/probes.fvecs" \
+    > "$DIR/search-after-restart.txt"
+diff "$DIR/search-before-restart.txt" "$DIR/search-after-restart.txt" \
+    || (echo "search smoke: filtered/range answers changed across the restart" && exit 1)
 
 "$CLI" shutdown --addr "$ADDR"
 

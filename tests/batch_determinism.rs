@@ -7,7 +7,7 @@
 use baselines::{E2Lsh, E2lshParams, Qalsh, QalshParams};
 use dataset::{Dataset, Metric, SynthSpec};
 use lccs_lsh::{
-    AnnIndex, LccsLsh, LccsParams, MpBuildParams, MpLccsLsh, MpParams, SearchParams,
+    AnnIndex, LccsLsh, LccsParams, MpBuildParams, MpLccsLsh, MpParams, SearchParams, SearchRequest,
 };
 use lccs_lsh::BuildAnn;
 use std::sync::Arc;
@@ -58,7 +58,7 @@ fn mp_lccs_batch_is_deterministic() {
             mp: MpParams { probes: 1, max_alts: 8 },
         },
     );
-    assert_batch_matches_sequential(&idx, &queries, &SearchParams::new(10, 64).with_probes(17));
+    assert_batch_matches_sequential(&idx, &queries, &SearchRequest::top_k(10).budget(64).probes(17).params());
 }
 
 #[test]
