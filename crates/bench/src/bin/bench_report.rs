@@ -1,0 +1,255 @@
+//! `bench_report` — the tracked serving-performance trajectory.
+//!
+//! ```text
+//! bench_report [--out BENCH_serve.json] [--quick] [--min-speedup X]
+//! ```
+//!
+//! Measures the three serving paths PR 6 optimized and writes one JSON
+//! object per bench to `--out` (committed at the repo root as
+//! `BENCH_serve.json`, so the trajectory is tracked commit over commit):
+//!
+//! * `snapshot_open_mapped` / `snapshot_open_owned` — cold-start: open a
+//!   v3 `.snap` container zero-copy via `mmap` vs. reading + copying it.
+//! * `live_scan_sq8` / `live_scan_f32` — a memtable-heavy `LiveIndex`
+//!   query sweep with the SQ8 skip bound on vs. off.
+//! * `exact_batch_sq8` / `exact_batch_f32` — an `ExactKnn` batch over a
+//!   dataset with a primed SQ8 code table vs. a plain f32 scan.
+//!
+//! Every entry is `{"median_us": …, "rows": …, "k": …, "commit": …}`.
+//! Both SQ8 sweeps assert the pruned top-k is bit-identical to the
+//! unpruned one before any timing is reported — a fast wrong answer
+//! must never enter the trajectory. `--quick` shrinks sizes and repeat
+//! counts for CI smoke; `--min-speedup X` fails the run when either SQ8
+//! sweep comes in below `X`× the f32 baseline.
+
+use ann::{AnnIndex, IndexSpec, MutableAnn, SearchRequest};
+use ann_live::{LiveConfig, LiveIndex};
+use bench::bench_data;
+use dataset::exact::ExactKnn;
+use dataset::Metric;
+use serve::snapshot::Snapshot;
+use std::io::Write;
+use std::path::PathBuf;
+use std::time::Instant;
+
+struct Opts {
+    out: PathBuf,
+    quick: bool,
+    min_speedup: f64,
+}
+
+fn parse_opts(args: impl Iterator<Item = String>) -> Opts {
+    let mut opts =
+        Opts { out: PathBuf::from("BENCH_serve.json"), quick: false, min_speedup: 0.0 };
+    let mut it = args.peekable();
+    while let Some(a) = it.next() {
+        let mut take =
+            |name: &str| it.next().unwrap_or_else(|| panic!("{name} requires a value"));
+        match a.as_str() {
+            "--out" => opts.out = PathBuf::from(take("--out")),
+            "--quick" => opts.quick = true,
+            "--min-speedup" => {
+                opts.min_speedup =
+                    take("--min-speedup").parse().expect("--min-speedup wants a number")
+            }
+            other => panic!("unknown flag {other}; known: --out --quick --min-speedup"),
+        }
+    }
+    opts
+}
+
+/// One row of the report: the JSON schema every entry follows.
+struct Entry {
+    name: &'static str,
+    median_us: u64,
+    rows: usize,
+    k: usize,
+}
+
+/// Runs `f` once for warmup, then `repeats` timed times; returns the
+/// median in microseconds.
+fn median_us<R>(repeats: usize, mut f: impl FnMut() -> R) -> u64 {
+    std::hint::black_box(f());
+    let mut samples: Vec<u64> = (0..repeats)
+        .map(|_| {
+            let t = Instant::now();
+            std::hint::black_box(f());
+            u64::try_from(t.elapsed().as_micros()).unwrap_or(u64::MAX)
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+fn git_commit() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".into())
+}
+
+/// Asserts two hit lists carry the same ids and the same f64 distance
+/// bits — the bit-identity contract both SQ8 paths are sold under.
+fn assert_bit_identical(
+    what: &str,
+    fast: &[dataset::exact::Neighbor],
+    slow: &[dataset::exact::Neighbor],
+) {
+    assert_eq!(fast.len(), slow.len(), "{what}: result lengths differ");
+    for (i, (a, b)) in fast.iter().zip(slow).enumerate() {
+        assert_eq!(a.id, b.id, "{what}: hit {i} id differs");
+        assert_eq!(a.dist.to_bits(), b.dist.to_bits(), "{what}: hit {i} dist bits differ");
+    }
+}
+
+/// Cold-start: time `open_mapped` (zero-copy) vs `read_from` (owned)
+/// over the same freshly written v3 container with SQ8 codes.
+fn bench_cold_start(entries: &mut Vec<Entry>, n: usize, repeats: usize) {
+    let dim = 32;
+    let data = bench_data(n, dim);
+    data.sq8(); // primed: the container carries an SQ8C section
+    let snap = Snapshot {
+        name: "bench".into(),
+        method: "Linear".into(),
+        data,
+        payload: Vec::new(),
+        meta: None,
+        live: None,
+    };
+    let path = std::env::temp_dir().join(format!("bench-report-{}.snap", std::process::id()));
+    snap.write_to(&path).expect("write bench snapshot");
+
+    let mapped_us = median_us(repeats, || {
+        let s = Snapshot::open_mapped(&path).expect("open_mapped");
+        // Touch both ends so a lazily faulted mapping cannot cheat.
+        (s.data.as_flat()[0], s.data.as_flat()[n * dim - 1])
+    });
+    let owned_us = median_us(repeats, || {
+        let s = Snapshot::read_from(&path).expect("read_from");
+        (s.data.as_flat()[0], s.data.as_flat()[n * dim - 1])
+    });
+    let _ = std::fs::remove_file(&path);
+
+    println!(
+        "bench_report: cold start over {n}×{dim}: mapped {mapped_us}us vs owned {owned_us}us \
+         ({:.2}x)",
+        owned_us as f64 / mapped_us.max(1) as f64
+    );
+    entries.push(Entry { name: "snapshot_open_mapped", median_us: mapped_us, rows: n, k: 0 });
+    entries.push(Entry { name: "snapshot_open_owned", median_us: owned_us, rows: n, k: 0 });
+}
+
+/// Memtable-heavy live sweep: every row stays in the memtable (seal
+/// threshold above `n`), so the whole query cost is the scan the SQ8
+/// skip bound accelerates.
+fn bench_live_scan(entries: &mut Vec<Entry>, n: usize, nq: usize, repeats: usize) -> f64 {
+    let dim = 32;
+    let k = 10;
+    let data = bench_data(n, dim);
+    let queries = data.sample_queries(nq, 0x9e37);
+    let cfg = LiveConfig { seal_threshold: n + 1, max_segments: 4 };
+    let mut live =
+        LiveIndex::new(IndexSpec::linear(), Metric::Euclidean, dim, cfg).expect("live index");
+    live.insert(&data, None).expect("bulk insert");
+    assert!(live.sq8_active(), "memtable of {n} rows must train SQ8 codes");
+    let req = SearchRequest::top_k(k).budget(64);
+
+    let sweep = |live: &LiveIndex| -> Vec<dataset::exact::Neighbor> {
+        let mut all = Vec::with_capacity(nq * k);
+        for qi in 0..nq {
+            all.extend(live.search(queries.get(qi), &req).hits);
+        }
+        all
+    };
+    let fast_hits = sweep(&live);
+    live.set_sq8_enabled(false);
+    assert_bit_identical("live sweep", &fast_hits, &sweep(&live));
+
+    let slow_us = median_us(repeats, || sweep(&live));
+    live.set_sq8_enabled(true);
+    let fast_us = median_us(repeats, || sweep(&live));
+
+    let speedup = slow_us as f64 / fast_us.max(1) as f64;
+    println!(
+        "bench_report: live sweep ({nq} queries over {n}×{dim} memtable): sq8 {fast_us}us vs \
+         f32 {slow_us}us ({speedup:.2}x, top-k bit-identical)"
+    );
+    entries.push(Entry { name: "live_scan_sq8", median_us: fast_us, rows: n, k });
+    entries.push(Entry { name: "live_scan_f32", median_us: slow_us, rows: n, k });
+    speedup
+}
+
+/// `ExactKnn` batch: the same dataset with and without a primed SQ8
+/// code table (the pruner engages automatically when one is cached).
+fn bench_exact_batch(entries: &mut Vec<Entry>, n: usize, nq: usize, repeats: usize) -> f64 {
+    let dim = 32;
+    let k = 10;
+    let plain = bench_data(n, dim);
+    let queries = plain.sample_queries(nq, 0x51f5);
+    let primed = plain.clone();
+    primed.sq8();
+
+    let fast_gt = ExactKnn::compute(&primed, &queries, k, Metric::Euclidean);
+    let slow_gt = ExactKnn::compute(&plain, &queries, k, Metric::Euclidean);
+    for q in 0..nq {
+        assert_bit_identical("exact batch", fast_gt.neighbors(q), slow_gt.neighbors(q));
+    }
+
+    let slow_us =
+        median_us(repeats, || ExactKnn::compute(&plain, &queries, k, Metric::Euclidean));
+    let fast_us =
+        median_us(repeats, || ExactKnn::compute(&primed, &queries, k, Metric::Euclidean));
+
+    let speedup = slow_us as f64 / fast_us.max(1) as f64;
+    println!(
+        "bench_report: exact batch ({nq} queries over {n}×{dim}): sq8 {fast_us}us vs f32 \
+         {slow_us}us ({speedup:.2}x, top-k bit-identical)"
+    );
+    entries.push(Entry { name: "exact_batch_sq8", median_us: fast_us, rows: n, k });
+    entries.push(Entry { name: "exact_batch_f32", median_us: slow_us, rows: n, k });
+    speedup
+}
+
+fn main() {
+    let opts = parse_opts(std::env::args().skip(1));
+    let (snap_n, scan_n, nq, repeats) =
+        if opts.quick { (4_096, 1_024, 16, 3) } else { (32_768, 8_192, 64, 7) };
+    let commit = git_commit();
+    let mut entries = Vec::new();
+
+    bench_cold_start(&mut entries, snap_n, repeats);
+    let live_speedup = bench_live_scan(&mut entries, scan_n, nq, repeats);
+    let exact_speedup = bench_exact_batch(&mut entries, scan_n, nq, repeats);
+
+    let mut json = String::from("{\n");
+    for (i, e) in entries.iter().enumerate() {
+        let comma = if i + 1 == entries.len() { "" } else { "," };
+        json.push_str(&format!(
+            "  \"{}\": {{ \"median_us\": {}, \"rows\": {}, \"k\": {}, \"commit\": \"{}\" }}{}\n",
+            e.name, e.median_us, e.rows, e.k, commit, comma
+        ));
+    }
+    json.push_str("}\n");
+    let mut f = std::fs::File::create(&opts.out).expect("create report file");
+    f.write_all(json.as_bytes()).expect("write report");
+    println!("bench_report: wrote {} ({} entries, commit {commit})", opts.out.display(), entries.len());
+
+    if opts.min_speedup > 0.0 {
+        assert!(
+            live_speedup >= opts.min_speedup,
+            "live sweep speedup {live_speedup:.2}x below required {:.2}x",
+            opts.min_speedup
+        );
+        assert!(
+            exact_speedup >= opts.min_speedup,
+            "exact batch speedup {exact_speedup:.2}x below required {:.2}x",
+            opts.min_speedup
+        );
+        println!("bench_report: both SQ8 sweeps clear the {:.2}x floor", opts.min_speedup);
+    }
+}

@@ -12,6 +12,7 @@
 use ann::{SearchRequest, SearchResponse, SearchStats};
 use csa::{Csa, SearchScratch, StringSet};
 use dataset::exact::Neighbor;
+use dataset::sq8::Sq8Pruner;
 use dataset::{Dataset, Metric};
 use lsh::{hash_dataset, hash_query, sample_family, FamilyKind, FamilyParams, LshFunction};
 use std::sync::Arc;
@@ -124,6 +125,10 @@ impl LccsLsh {
         let strings = hash_dataset(&funcs, &data);
         let set = StringSet::from_flat(data.len(), params.m, strings);
         let csa = Csa::build(set);
+        // Prime the dataset's SQ8 code table so the verification loops
+        // can consult its certified skip bound from the first query on.
+        // Pure cache: the bound is sound, answers stay bit-identical.
+        data.sq8();
         Self { data, metric, funcs, csa, params: params.clone() }
     }
 
@@ -236,6 +241,18 @@ impl LccsLsh {
         )
     }
 
+    /// The SQ8 skip-bound pruner for `q`, when the dataset carries a
+    /// code table covering every row (built eagerly by [`LccsLsh::build`];
+    /// absent on datasets restored from pre-SQ8 snapshots, which then
+    /// verify pure-f32 exactly as before).
+    fn pruner_for(&self, q: &[f32]) -> Option<Sq8Pruner<'_>> {
+        let sq = self.data.sq8_if_built()?;
+        if sq.rows() != self.data.len() {
+            return None;
+        }
+        sq.pruner(q, self.metric)
+    }
+
     /// Verification phase: exact distances for the candidate ids, keep the
     /// nearest `k` (ascending by distance, ties by id).
     pub(crate) fn verify(
@@ -244,9 +261,20 @@ impl LccsLsh {
         k: usize,
         ids: impl Iterator<Item = u32>,
     ) -> Vec<Neighbor> {
+        let mut pruner = self.pruner_for(q);
         let mut heap: std::collections::BinaryHeap<Neighbor> =
             std::collections::BinaryHeap::with_capacity(k + 1);
         for id in ids {
+            // SQ8 skip bound: a candidate provably farther than the
+            // current k-th distance never pays the full-width scan.
+            // The bound is sound, so the answer set is unchanged.
+            if heap.len() == k {
+                if let Some(p) = pruner.as_mut() {
+                    if p.skips(id as usize, heap.peek().expect("non-empty").dist) {
+                        continue;
+                    }
+                }
+            }
             // The query dimension is asserted once per query in
             // `query_with`; the per-candidate check stays debug-only.
             let s = self.metric.surrogate_unchecked(self.data.get(id as usize), q);
@@ -284,6 +312,7 @@ impl LccsLsh {
         ids: impl Iterator<Item = u32>,
     ) -> (Vec<Neighbor>, SearchStats) {
         let k = req.k;
+        let mut pruner = self.pruner_for(q);
         let mut stats = SearchStats::default();
         let mut heap: std::collections::BinaryHeap<Neighbor> =
             std::collections::BinaryHeap::with_capacity(k + 1);
@@ -292,6 +321,17 @@ impl LccsLsh {
             if let Some(f) = &req.filter {
                 if !f.accepts(id) {
                     continue;
+                }
+            }
+            // SQ8 skip bound (after the filter, before the full-width
+            // distance): sound, so hits and counters are unchanged — a
+            // skipped candidate was counted as scanned and could never
+            // have pushed into the heap.
+            if heap.len() == k {
+                if let Some(p) = pruner.as_mut() {
+                    if p.skips(id as usize, heap.peek().expect("non-empty").dist) {
+                        continue;
+                    }
                 }
             }
             let s = self.metric.surrogate_unchecked(self.data.get(id as usize), q);

@@ -7,6 +7,7 @@
 //! "linear scan" cost reference for the α = 0 row of Table 1.
 
 use crate::metric::Metric;
+use crate::sq8::Sq8Pruner;
 use crate::store::Dataset;
 use std::cmp::Ordering;
 
@@ -92,7 +93,8 @@ impl ExactKnn {
                     let q0 = t * chunk;
                     for (r, slot) in out.chunks_exact_mut(k).enumerate() {
                         let q = queries.get(q0 + r);
-                        let knn = Self::single_query(data, q, k, metric);
+                        let mut pruner = Self::pruner_for(data, q, metric);
+                        let knn = Self::scan(data, q, k, metric, pruner.as_mut());
                         slot.copy_from_slice(&knn);
                     }
                 });
@@ -104,13 +106,49 @@ impl ExactKnn {
     }
 
     /// Exact k-NN of one query, ascending by (distance, id).
+    ///
+    /// When the dataset already carries an [`crate::sq8::Sq8`] code
+    /// table (see [`Dataset::sq8`]), the scan consults its certified
+    /// skip bound to avoid most full-width distance computations. The
+    /// bound is sound, so the result is bit-identical either way.
     pub fn single_query(data: &Dataset, query: &[f32], k: usize, metric: Metric) -> Vec<Neighbor> {
         assert_eq!(data.dim(), query.len(), "data/query dimension mismatch");
-        // Bounded max-heap on the surrogate distance; the dimension was
-        // checked once above, so the scan uses the debug-assert variant.
+        let mut pruner = Self::pruner_for(data, query, metric);
+        Self::scan(data, query, k, metric, pruner.as_mut())
+    }
+
+    /// The skip-bound pruner for a query over `data`'s cached code
+    /// table, when one exists and covers every row.
+    fn pruner_for<'a>(data: &'a Dataset, query: &[f32], metric: Metric) -> Option<Sq8Pruner<'a>> {
+        let sq = data.sq8_if_built()?;
+        if sq.rows() != data.len() {
+            return None;
+        }
+        sq.pruner(query, metric)
+    }
+
+    /// The shared scan loop: bounded max-heap on the surrogate
+    /// distance, with an optional sound skip bound consulted only once
+    /// the heap is full (the dimension was checked by the caller, so
+    /// the scan uses the debug-assert metric variant).
+    fn scan(
+        data: &Dataset,
+        query: &[f32],
+        k: usize,
+        metric: Metric,
+        mut pruner: Option<&mut Sq8Pruner>,
+    ) -> Vec<Neighbor> {
         let mut heap: std::collections::BinaryHeap<Neighbor> =
             std::collections::BinaryHeap::with_capacity(k + 1);
         for (id, v) in data.iter().enumerate() {
+            if heap.len() == k {
+                if let Some(p) = pruner.as_deref_mut() {
+                    let kth = heap.peek().expect("non-empty").dist;
+                    if p.skips(id, kth) {
+                        continue;
+                    }
+                }
+            }
             let s = metric.surrogate_unchecked(v, query);
             if heap.len() < k {
                 heap.push(Neighbor { id: id as u32, dist: s });
@@ -291,6 +329,32 @@ mod tests {
             Some(2.0),
         );
         assert_eq!(both.iter().map(|n| n.id).collect::<Vec<_>>(), vec![2, 0, 3]);
+    }
+
+    #[test]
+    fn sq8_pruned_scan_is_bit_identical() {
+        for metric in [Metric::Euclidean, Metric::Angular] {
+            let mut data = SynthSpec::new("t", 600, 16).generate(11);
+            if metric.is_angular() {
+                data = data.normalized();
+            }
+            let queries = data.sample_queries(20, 7);
+            // Oracle: no code table cached, pure f32 scan.
+            assert!(data.sq8_if_built().is_none());
+            let plain = ExactKnn::compute(&data, &queries, 10, metric);
+            // Primed copy: same vectors, SQ8 skip bound active.
+            let primed = data.clone();
+            primed.sq8();
+            let fast = ExactKnn::compute(&primed, &queries, 10, metric);
+            for q in 0..queries.len() {
+                let (a, b) = (plain.neighbors(q), fast.neighbors(q));
+                assert_eq!(a.len(), b.len());
+                for (x, y) in a.iter().zip(b) {
+                    assert_eq!(x.id, y.id, "{} query {q}", metric.name());
+                    assert_eq!(x.dist.to_bits(), y.dist.to_bits(), "{} query {q}", metric.name());
+                }
+            }
+        }
     }
 
     #[test]

@@ -31,11 +31,13 @@
 pub mod exact;
 pub mod io;
 pub mod metric;
+pub mod sq8;
 pub mod stats;
 pub mod store;
 pub mod synth;
 
 pub use exact::{ExactKnn, GroundTruth};
 pub use metric::Metric;
-pub use store::{Dataset, VectorView};
+pub use sq8::{Sq8, Sq8Pruner};
+pub use store::{Dataset, StorageKind, VectorView};
 pub use synth::SynthSpec;

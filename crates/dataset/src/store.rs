@@ -3,17 +3,71 @@
 //! All n×d datasets in the reproduction live in a single contiguous
 //! allocation so that brute-force verification and hashing scan memory
 //! linearly — matching how the original C++ code lays out its data.
+//!
+//! The flat buffer has two backings: plain owned memory (the default),
+//! or a shared [`mm::FloatBlock`] — an `Arc` over either an mmap'd
+//! snapshot region or a decode buffer — which is how the serving layer
+//! restores snapshots without copying the vector block. A dataset also
+//! lazily caches an [`Sq8`] code table (per-dimension scalar
+//! quantization) that the scan loops use as a sound skip-bound
+//! pre-filter; the cache never changes answers, so equality and
+//! cloning ignore it.
 
 use crate::metric::{self, Metric};
+use crate::sq8::Sq8;
 use rand::seq::index::sample;
 use rand::SeedableRng;
+use std::sync::{Arc, OnceLock};
+
+/// Where a dataset's flat buffer physically lives. Surfaced through
+/// the serving layer so operators can see which path answers queries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StorageKind {
+    /// A plain owned `Vec<f32>`.
+    Owned,
+    /// A shared decode buffer (zero vector-block copy, but the file
+    /// bytes were read into memory).
+    SharedBytes,
+    /// A shared mmap'd file region (zero-copy; pages fault in lazily).
+    Mapped,
+}
+
+impl StorageKind {
+    /// Stable lower-case label (`owned` / `shared` / `mapped`) used in
+    /// daemon logs and CLI output.
+    pub fn label(self) -> &'static str {
+        match self {
+            StorageKind::Owned => "owned",
+            StorageKind::SharedBytes => "shared",
+            StorageKind::Mapped => "mapped",
+        }
+    }
+}
+
+#[derive(Clone)]
+enum Flat {
+    Owned(Vec<f32>),
+    Shared(Arc<mm::FloatBlock>),
+}
+
+impl Flat {
+    fn as_slice(&self) -> &[f32] {
+        match self {
+            Flat::Owned(v) => v,
+            Flat::Shared(b) => b.as_slice(),
+        }
+    }
+}
 
 /// An immutable collection of `n` vectors of dimension `d` stored row-major.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Clone)]
 pub struct Dataset {
     name: String,
     dim: usize,
-    data: Vec<f32>,
+    data: Flat,
+    /// Lazily-built SQ8 code table. Pure cache: derived entirely from
+    /// the vectors, ignored by `PartialEq`, shared by `Clone`.
+    sq8: OnceLock<Arc<Sq8>>,
 }
 
 /// A borrowed view of one vector in a [`Dataset`].
@@ -33,7 +87,24 @@ impl Dataset {
             data.len(),
             dim
         );
-        Self { name: name.into(), dim, data }
+        Self { name: name.into(), dim, data: Flat::Owned(data), sq8: OnceLock::new() }
+    }
+
+    /// Wraps a shared float block (an mmap'd snapshot region or a
+    /// shared decode buffer) without copying it.
+    ///
+    /// # Panics
+    /// Panics if `dim == 0` or `block.len()` is not a multiple of `dim`.
+    pub fn from_shared(name: impl Into<String>, dim: usize, block: Arc<mm::FloatBlock>) -> Self {
+        assert!(dim > 0, "dimension must be positive");
+        assert_eq!(
+            block.len() % dim,
+            0,
+            "block length {} is not a multiple of dim {}",
+            block.len(),
+            dim
+        );
+        Self { name: name.into(), dim, data: Flat::Shared(block), sq8: OnceLock::new() }
     }
 
     /// Builds a dataset from per-vector rows.
@@ -58,17 +129,26 @@ impl Dataset {
 
     /// Number of vectors `n`.
     pub fn len(&self) -> usize {
-        self.data.len() / self.dim
+        self.data.as_slice().len() / self.dim
     }
 
     /// True when the dataset holds no vectors.
     pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
+        self.data.as_slice().is_empty()
     }
 
     /// Dimensionality `d`.
     pub fn dim(&self) -> usize {
         self.dim
+    }
+
+    /// Where the flat buffer physically lives (owned / shared / mapped).
+    pub fn storage(&self) -> StorageKind {
+        match &self.data {
+            Flat::Owned(_) => StorageKind::Owned,
+            Flat::Shared(b) if b.is_mapped() => StorageKind::Mapped,
+            Flat::Shared(_) => StorageKind::SharedBytes,
+        }
     }
 
     /// Borrow vector `i`.
@@ -77,29 +157,56 @@ impl Dataset {
     /// Panics if `i >= len()`.
     #[inline]
     pub fn get(&self, i: usize) -> VectorView<'_> {
-        &self.data[i * self.dim..(i + 1) * self.dim]
+        &self.data.as_slice()[i * self.dim..(i + 1) * self.dim]
     }
 
     /// Iterator over all vectors in id order.
     pub fn iter(&self) -> impl ExactSizeIterator<Item = VectorView<'_>> {
-        self.data.chunks_exact(self.dim)
+        self.data.as_slice().chunks_exact(self.dim)
     }
 
     /// The backing flat buffer.
     pub fn as_flat(&self) -> &[f32] {
-        &self.data
+        self.data.as_slice()
     }
 
     /// In-memory size in bytes of the raw vectors (Table 2's "Data Size").
     pub fn nbytes(&self) -> usize {
-        self.data.len() * std::mem::size_of::<f32>()
+        std::mem::size_of_val(self.data.as_slice())
+    }
+
+    /// The SQ8 code table for this dataset, training it on first use.
+    /// Deterministic in the vectors, so every caller sees the same
+    /// codes regardless of who triggered training.
+    pub fn sq8(&self) -> &Arc<Sq8> {
+        self.sq8.get_or_init(|| Arc::new(Sq8::train(self.as_flat(), self.dim)))
+    }
+
+    /// The SQ8 code table if one has already been trained or installed
+    /// (`None` otherwise). Scan loops use this so that a path nobody
+    /// primed stays pure f32.
+    pub fn sq8_if_built(&self) -> Option<&Arc<Sq8>> {
+        self.sq8.get()
+    }
+
+    /// Installs a pre-built SQ8 table (restored from a snapshot). A
+    /// no-op if a table is already cached.
+    pub fn set_sq8(&self, sq8: Arc<Sq8>) {
+        let _ = self.sq8.set(sq8);
     }
 
     /// Normalizes every vector to unit L2 norm (Angular-distance datasets are
     /// stored on the unit sphere, as FALCONN and the paper's angular
-    /// experiments do). Zero vectors are left untouched.
-    pub fn normalized(mut self) -> Self {
-        for row in self.data.chunks_exact_mut(self.dim) {
+    /// experiments do). Zero vectors are left untouched. Shared backings
+    /// are copied on write; any cached SQ8 table is dropped (codes are
+    /// derived from the vectors being rescaled).
+    pub fn normalized(self) -> Self {
+        let Dataset { name, dim, data, .. } = self;
+        let mut data = match data {
+            Flat::Owned(v) => v,
+            Flat::Shared(b) => b.as_slice().to_vec(),
+        };
+        for row in data.chunks_exact_mut(dim) {
             let n = metric::norm(row);
             if n > 0.0 {
                 let inv = (1.0 / n) as f32;
@@ -108,7 +215,7 @@ impl Dataset {
                 }
             }
         }
-        self
+        Dataset { name, dim, data: Flat::Owned(data), sq8: OnceLock::new() }
     }
 
     /// Splits off `q` vectors chosen uniformly at random (without
@@ -137,7 +244,7 @@ impl Dataset {
     /// Panics if `n > len()`.
     pub fn truncated(&self, n: usize) -> Dataset {
         assert!(n <= self.len());
-        Dataset::from_flat(self.name.clone(), self.dim, self.data[..n * self.dim].to_vec())
+        Dataset::from_flat(self.name.clone(), self.dim, self.as_flat()[..n * self.dim].to_vec())
     }
 
     /// Distance between stored vector `i` and an external query.
@@ -151,6 +258,25 @@ impl std::ops::Index<usize> for Dataset {
     type Output = [f32];
     fn index(&self, i: usize) -> &[f32] {
         self.get(i)
+    }
+}
+
+/// Equality is over the logical content (name, shape, vector bits);
+/// the physical backing and the SQ8 cache are representation details.
+impl PartialEq for Dataset {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name && self.dim == other.dim && self.as_flat() == other.as_flat()
+    }
+}
+
+impl std::fmt::Debug for Dataset {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Dataset")
+            .field("name", &self.name)
+            .field("dim", &self.dim)
+            .field("len", &self.len())
+            .field("storage", &self.storage())
+            .finish()
     }
 }
 
@@ -173,6 +299,7 @@ mod tests {
         assert_eq!(d.get(3), &[3.0, 4.0]);
         assert_eq!(&d[1], &[1.0, 0.0]);
         assert_eq!(d.iter().count(), 4);
+        assert_eq!(d.storage(), StorageKind::Owned);
     }
 
     #[test]
@@ -229,5 +356,49 @@ mod tests {
     fn distance_to_query() {
         let d = small();
         assert!((d.distance_to(3, &[0.0, 0.0], Metric::Euclidean) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shared_backing_is_equal_but_distinguishable() {
+        let owned = small();
+        let bytes: Vec<u8> =
+            owned.as_flat().iter().flat_map(|v| v.to_bits().to_le_bytes()).collect();
+        let n = owned.as_flat().len();
+        match mm::FloatBlock::from_bytes(bytes, 0, n) {
+            Ok(block) => {
+                let shared = Dataset::from_shared("unit", 2, Arc::new(block));
+                assert_eq!(shared.storage(), StorageKind::SharedBytes);
+                assert_eq!(shared, owned, "equality ignores the physical backing");
+                assert_eq!(shared.get(3), owned.get(3));
+                // Copy-on-write: normalizing a shared dataset yields owned data.
+                assert_eq!(shared.clone().normalized().storage(), StorageKind::Owned);
+            }
+            Err(_) => {
+                // A 1-aligned decode buffer is legitimate; the serve
+                // layer falls back to an owned copy in that case.
+            }
+        }
+    }
+
+    #[test]
+    fn sq8_cache_is_lazy_shared_and_ignored_by_eq() {
+        let a = small();
+        let b = small();
+        assert!(a.sq8_if_built().is_none(), "cache starts empty");
+        let codes = Arc::clone(a.sq8());
+        assert!(a.sq8_if_built().is_some());
+        assert_eq!(a, b, "code cache does not affect equality");
+        // Clones share the already-trained table.
+        let c = a.clone();
+        assert!(Arc::ptr_eq(c.sq8(), &codes));
+        // Normalization invalidates the cache (vectors changed).
+        assert!(a.normalized().sq8_if_built().is_none());
+    }
+
+    #[test]
+    fn storage_labels_are_stable() {
+        assert_eq!(StorageKind::Owned.label(), "owned");
+        assert_eq!(StorageKind::SharedBytes.label(), "shared");
+        assert_eq!(StorageKind::Mapped.label(), "mapped");
     }
 }

@@ -1,0 +1,147 @@
+//! Property tests pinning the two guarantees the SQ8 fast-scan path
+//! rests on (see `dataset::sq8` module docs):
+//!
+//! 1. **Reconstruction**: quantize → dequantize moves every trained
+//!    value by at most half a quantization step (`scale/2`, plus f32
+//!    decode rounding).
+//! 2. **Bit-identity**: an exact scan that consults the certified skip
+//!    bound returns the *same bits* as one that does not — same ids,
+//!    same f64 distance bits — across metrics, random data, random
+//!    queries, and random id filters. The bound may only ever discard
+//!    provable losers.
+
+use dataset::exact::ExactKnn;
+use dataset::sq8::Sq8;
+use dataset::{metric, Dataset, Metric};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// Row-major matrix strategy: `n` rows × `dim` columns in ±`span`.
+fn matrix(n: usize, dim: usize, span: f32) -> impl Strategy<Value = Vec<f32>> {
+    vec(-span..span, n * dim)
+}
+
+/// Normalizes every `dim`-row of `flat` onto the unit sphere, nudging
+/// degenerate all-zero rows off the origin first so Angular is defined.
+fn unit_rows(mut flat: Vec<f32>, dim: usize) -> Vec<f32> {
+    for row in flat.chunks_exact_mut(dim) {
+        if metric::norm(row) < 1e-6 {
+            row[0] = 1.0;
+        }
+        let n = metric::norm(row) as f32;
+        row.iter_mut().for_each(|x| *x /= n);
+    }
+    flat
+}
+
+fn bits(ns: &[dataset::exact::Neighbor]) -> Vec<(u32, u64)> {
+    ns.iter().map(|n| (n.id, n.dist.to_bits())).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Quantize → dequantize error stays within half a step of the
+    /// per-dimension affine map. The slack term covers the f32
+    /// arithmetic of `dequantize` (encode itself rounds in f64).
+    #[test]
+    fn quantize_dequantize_error_is_at_most_half_scale(
+        (n, dim, flat) in (1usize..=32, 1usize..=24).prop_flat_map(|(n, dim)| {
+            (Just(n), Just(dim), matrix(n, dim, 100.0))
+        }),
+    ) {
+        let sq = Sq8::train(&flat, dim);
+        prop_assert_eq!(sq.rows(), n);
+        for i in 0..n {
+            let row = &flat[i * dim..(i + 1) * dim];
+            let deq = sq.dequantize(i);
+            for j in 0..dim {
+                let err = f64::from((row[j] - deq[j]).abs());
+                let half_step = f64::from(sq.scales()[j]) * 0.5;
+                let slack = 1e-4 * (1.0 + f64::from(row[j].abs()));
+                prop_assert!(
+                    err <= half_step + slack,
+                    "row {} dim {}: err {} > scale/2 {} (+{})",
+                    i, j, err, half_step, slack
+                );
+            }
+        }
+    }
+
+    /// The skip bound never discards a candidate that would beat the
+    /// k-th distance: whenever `skips` fires, the candidate's true
+    /// surrogate distance strictly exceeds the threshold it was tested
+    /// against. This is the soundness fact that makes bit-identity
+    /// possible at all.
+    #[test]
+    fn skip_bound_never_discards_a_winner(
+        (n, dim, flat, q) in (2usize..=48, 1usize..=16).prop_flat_map(|(n, dim)| {
+            (Just(n), Just(dim), matrix(n, dim, 8.0), vec(-8.0f32..8.0, dim))
+        }),
+        angular in any::<bool>(),
+    ) {
+        let (metric, flat, q) = if angular {
+            (Metric::Angular, unit_rows(flat, dim), unit_rows(q, dim))
+        } else {
+            (Metric::Euclidean, flat, q)
+        };
+        let sq = Sq8::train(&flat, dim);
+        // Gated off (constant table, off-sphere query, …): nothing to
+        // check — the scan simply runs unpruned.
+        prop_assume!(sq.pruner(&q, metric).is_some());
+        let mut pruner = sq.pruner(&q, metric).expect("checked above");
+        let surrogates: Vec<f64> = (0..n)
+            .map(|i| metric.surrogate_unchecked(&flat[i * dim..(i + 1) * dim], &q))
+            .collect();
+        for i in 0..n {
+            for &kth in &surrogates {
+                if pruner.skips(i, kth) {
+                    prop_assert!(
+                        surrogates[i] > kth,
+                        "skipped row {} with surrogate {} <= kth {}",
+                        i, surrogates[i], kth
+                    );
+                }
+            }
+        }
+    }
+
+    /// End to end: `ExactKnn` over a dataset with a primed SQ8 table
+    /// returns bit-identical top-k to the same dataset without one —
+    /// for both prunable metrics, with and without an id filter.
+    #[test]
+    fn pruned_exact_topk_is_bit_identical_to_the_plain_scan(
+        (n, dim, flat, q) in (8usize..=120, 1usize..=16).prop_flat_map(|(n, dim)| {
+            (Just(n), Just(dim), matrix(n, dim, 10.0), vec(-10.0f32..10.0, dim))
+        }),
+        k in 1usize..=8,
+        angular in any::<bool>(),
+        modulus in 2u32..=4,
+    ) {
+        let k = k.min(n);
+        let (metric, flat, q) = if angular {
+            (Metric::Angular, unit_rows(flat, dim), unit_rows(q, dim))
+        } else {
+            (Metric::Euclidean, flat, q)
+        };
+        let plain = Dataset::from_flat("plain", dim, flat.clone());
+        prop_assert!(plain.sq8_if_built().is_none());
+        let primed = Dataset::from_flat("primed", dim, flat);
+        primed.sq8();
+        prop_assert!(primed.sq8_if_built().is_some());
+
+        let want = ExactKnn::single_query(&plain, &q, k, metric);
+        let got = ExactKnn::single_query(&primed, &q, k, metric);
+        prop_assert_eq!(bits(&got), bits(&want));
+
+        // Filtered oracle agreement: both datasets restricted to the
+        // same id subset still answer identically (the pruner must not
+        // interact with which candidates the caller excludes).
+        let accepts = |id: u32| id.is_multiple_of(modulus);
+        let want_f =
+            ExactKnn::single_query_filtered(&plain, &q, k, metric, accepts, None);
+        let got_f =
+            ExactKnn::single_query_filtered(&primed, &q, k, metric, accepts, None);
+        prop_assert_eq!(bits(&got_f), bits(&want_f));
+    }
+}

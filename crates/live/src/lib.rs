@@ -50,6 +50,7 @@ use ann::{
     SearchRequest, SearchResponse, SearchStats,
 };
 use dataset::exact::Neighbor;
+use dataset::sq8::{Sq8, Sq8Pruner};
 use dataset::{Dataset, Metric};
 use eval::registry::{self, BuildCtx};
 use std::collections::HashMap;
@@ -59,6 +60,12 @@ use std::time::Instant;
 /// Method name [`LiveIndex`] reports through [`AnnIndex::name`] (and the
 /// serving layer stores in snapshot containers and LIST responses).
 pub const LIVE_METHOD: &str = "Live";
+
+/// Memtable rows below which SQ8 codes are not worth training: the
+/// exact scan over a few hundred rows is already cheap, and training
+/// on a tiny sample would produce poor per-dimension ranges for the
+/// rows appended after it.
+const MEM_SQ8_MIN_ROWS: usize = 256;
 
 /// Seal/compaction policy knobs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -190,8 +197,24 @@ pub struct LiveIndex {
     mem_rows: Vec<f32>,
     /// External id per memtable slot.
     mem_ids: Vec<u32>,
+    /// Per-slot liveness, kept in lockstep with `mem_ids`: `true` iff
+    /// the id map points exactly at this slot. A dense mirror of the
+    /// map so the memtable scan's per-row liveness check is an indexed
+    /// load instead of a hash lookup — at memtable scale the lookup
+    /// costs as much as the distance computation it guards.
+    mem_live: Vec<bool>,
     /// Tombstoned memtable slots (counted; liveness itself is the map).
     mem_dead: usize,
+    /// SQ8 code rows mirroring `mem_rows`, trained once the memtable
+    /// grows past [`MEM_SQ8_MIN_ROWS`] and appended to on every insert.
+    /// The scan consults its certified skip bound to avoid full-width
+    /// distances; the bound is sound, so answers never change. Reset at
+    /// seal (the memtable empties; sealed segments get their own codes
+    /// through the registry build).
+    mem_sq8: Option<Sq8>,
+    /// Operator toggle for the memtable skip bound (`true` by default;
+    /// the bench harness flips it to measure the f32-only baseline).
+    sq8_enabled: bool,
     /// External id → current live location. The single source of truth
     /// for liveness: a row copy is live iff the map points exactly at it.
     id_map: HashMap<u32, Loc>,
@@ -223,7 +246,10 @@ impl LiveIndex {
             segments: Vec::new(),
             mem_rows: Vec::new(),
             mem_ids: Vec::new(),
+            mem_live: Vec::new(),
             mem_dead: 0,
+            mem_sq8: None,
+            sq8_enabled: true,
             id_map: HashMap::new(),
         })
     }
@@ -295,6 +321,36 @@ impl LiveIndex {
         &self.mem_rows[slot * self.dim..(slot + 1) * self.dim]
     }
 
+    /// Trains the memtable SQ8 table once the buffer is large enough
+    /// for the skip bound to pay for itself (idempotent; appends keep
+    /// it in sync afterwards).
+    fn train_mem_sq8_if_due(&mut self) {
+        if self.mem_sq8.is_none() && self.mem_ids.len() >= MEM_SQ8_MIN_ROWS {
+            self.mem_sq8 = Some(Sq8::train(&self.mem_rows, self.dim));
+        }
+    }
+
+    /// Enables or disables the memtable SQ8 skip bound. Answers are
+    /// bit-identical either way (the bound is sound); the toggle exists
+    /// so benchmarks can measure the f32-only baseline.
+    pub fn set_sq8_enabled(&mut self, on: bool) {
+        self.sq8_enabled = on;
+    }
+
+    /// Whether the memtable scan is currently consulting a trained SQ8
+    /// code table (surfaced per index through STATS/`ann-cli describe`).
+    pub fn sq8_active(&self) -> bool {
+        self.sq8_enabled && self.mem_sq8.as_ref().is_some_and(|sq| sq.rows() == self.mem_ids.len())
+    }
+
+    /// The skip-bound pruner for a memtable scan, when active for `q`.
+    fn mem_pruner(&self, q: &[f32]) -> Option<Sq8Pruner<'_>> {
+        if !self.sq8_active() {
+            return None;
+        }
+        self.mem_sq8.as_ref().and_then(|sq| sq.pruner(q, self.metric))
+    }
+
     fn insert_rows(&mut self, rows: &Dataset, ids: Option<&[u32]>) -> Result<Vec<u32>, MutateError> {
         if rows.dim() != self.dim {
             return Err(MutateError::DimMismatch { expected: self.dim, got: rows.dim() });
@@ -355,6 +411,10 @@ impl LiveIndex {
             let slot = self.mem_ids.len() as u32;
             self.mem_rows.extend_from_slice(row);
             self.mem_ids.push(id);
+            self.mem_live.push(true);
+            if let Some(sq) = &mut self.mem_sq8 {
+                sq.append(row);
+            }
             self.id_map.insert(id, Loc::Mem(slot));
             self.next_id = self.next_id.max(id + 1);
         }
@@ -372,12 +432,17 @@ impl LiveIndex {
                         self.id_map.remove(&id);
                     }
                     self.mem_ids.truncate(rollback_rows);
+                    self.mem_live.truncate(rollback_rows);
                     self.mem_rows.truncate(rollback_rows * self.dim);
+                    if let Some(sq) = &mut self.mem_sq8 {
+                        sq.truncate(rollback_rows);
+                    }
                     self.next_id = rollback_next_id;
                 }
                 return Err(e);
             }
         }
+        self.train_mem_sq8_if_due();
         Ok(assigned)
     }
 
@@ -387,7 +452,10 @@ impl LiveIndex {
             let Some(loc) = self.id_map.remove(id) else { continue };
             removed += 1;
             match loc {
-                Loc::Mem(_) => self.mem_dead += 1,
+                Loc::Mem(slot) => {
+                    self.mem_live[slot as usize] = false;
+                    self.mem_dead += 1;
+                }
                 Loc::Seg { seg, .. } => {
                     let s = self
                         .segments
@@ -416,7 +484,7 @@ impl LiveIndex {
         let mut flat = Vec::with_capacity((self.mem_ids.len() - self.mem_dead) * self.dim);
         let mut ids = Vec::with_capacity(self.mem_ids.len() - self.mem_dead);
         for (slot, &id) in self.mem_ids.iter().enumerate() {
-            if self.id_map.get(&id) == Some(&Loc::Mem(slot as u32)) {
+            if self.mem_live[slot] {
                 flat.extend_from_slice(self.mem_row(slot));
                 ids.push(id);
             }
@@ -433,7 +501,9 @@ impl LiveIndex {
             // Only tombstoned rows buffered: discard them, nothing to seal.
             self.mem_rows.clear();
             self.mem_ids.clear();
+            self.mem_live.clear();
             self.mem_dead = 0;
+            self.mem_sq8 = None;
             return Ok(false);
         }
         let seg_id = self.next_seg_id;
@@ -446,7 +516,9 @@ impl LiveIndex {
         self.segments.push(segment);
         self.mem_rows.clear();
         self.mem_ids.clear();
+        self.mem_live.clear();
         self.mem_dead = 0;
+        self.mem_sq8 = None;
         self.compact_if_needed()?;
         Ok(true)
     }
@@ -511,17 +583,35 @@ impl LiveIndex {
         req: &SearchRequest,
     ) -> (Vec<Neighbor>, SearchStats) {
         let k = req.k;
+        let mut pruner = self.mem_pruner(q);
         let mut stats = SearchStats::default();
         let mut heap: std::collections::BinaryHeap<Neighbor> =
             std::collections::BinaryHeap::with_capacity(k + 1);
+        debug_assert_eq!(self.mem_live.len(), self.mem_ids.len());
         for (slot, &id) in self.mem_ids.iter().enumerate() {
-            if self.id_map.get(&id) != Some(&Loc::Mem(slot as u32)) {
+            debug_assert_eq!(
+                self.mem_live[slot],
+                self.id_map.get(&id) == Some(&Loc::Mem(slot as u32)),
+                "mem_live must mirror the id map"
+            );
+            if !self.mem_live[slot] {
                 continue;
             }
             stats.candidates_scanned += 1;
             if let Some(f) = &req.filter {
                 if !f.accepts(id) {
                     continue;
+                }
+            }
+            // SQ8 skip bound (after the liveness/filter checks, before
+            // the full-width distance): sound, so hits and counters are
+            // unchanged — a skipped row was counted as scanned and could
+            // never have pushed into the heap.
+            if heap.len() == k {
+                if let Some(p) = pruner.as_mut() {
+                    if p.skips(slot, heap.peek().expect("non-empty").dist) {
+                        continue;
+                    }
                 }
             }
             let s = self.metric.surrogate_unchecked(self.mem_row(slot), q);
@@ -644,9 +734,8 @@ impl LiveIndex {
                 })
             })
             .collect();
-        let memtable = unit(self.mem_rows.clone(), &self.mem_ids, &|slot, id| {
-            self.id_map.get(&id) == Some(&Loc::Mem(slot as u32))
-        });
+        let memtable =
+            unit(self.mem_rows.clone(), &self.mem_ids, &|slot, _id| self.mem_live[slot]);
         LiveState {
             spec: self.spec,
             metric: self.metric,
@@ -711,7 +800,16 @@ impl LiveIndex {
         let mem_dead = install(&mut live.id_map, &state.memtable, &Loc::Mem)?;
         live.mem_rows = state.memtable.rows;
         live.mem_ids = state.memtable.ids;
+        live.mem_live = live
+            .mem_ids
+            .iter()
+            .enumerate()
+            .map(|(slot, id)| live.id_map.get(id) == Some(&Loc::Mem(slot as u32)))
+            .collect();
         live.mem_dead = mem_dead;
+        // Codes are derived, not persisted for the memtable: retrain.
+        // The skip bound is sound, so answers match the saved index.
+        live.train_mem_sq8_if_due();
         live.next_seg_id = live.segments.len() as u32;
         live.next_id = state.next_id.max(max_id.map_or(0, |m| m.saturating_add(1)));
         Ok(live)
@@ -1133,6 +1231,53 @@ mod tests {
         // A deleted id in an allowlist never resurfaces.
         let req = SearchRequest::top_k(1).budget(64).filter(IdFilter::allow(vec![9]));
         assert!(live.search(q, &req).hits.is_empty(), "deleted id filtered even when allowed");
+    }
+
+    #[test]
+    fn memtable_sq8_pruning_is_bit_identical() {
+        let dim = 8;
+        for metric in [Metric::Euclidean, Metric::Angular] {
+            let data = rows(400, dim, 77);
+            // Seal threshold above the row count: everything stays in the
+            // memtable, which is the unit the SQ8 skip bound covers.
+            let mut live = LiveIndex::new(exact_spec(), metric, dim, cfg(10_000, 4)).unwrap();
+            live.insert(&data, None).unwrap();
+            live.delete(&[3, 250, 399]);
+            assert!(
+                live.sq8_active(),
+                "{metric:?}: ≥{MEM_SQ8_MIN_ROWS} rows must train the memtable codes"
+            );
+            let queries = rows(16, dim, 78);
+            for qi in 0..queries.len() {
+                let mut q: Vec<f32> = queries.get(qi).to_vec();
+                if metric == Metric::Angular {
+                    // Unit queries are what turns the angular bound on.
+                    let n = dataset::metric::norm(&q) as f32;
+                    q.iter_mut().for_each(|x| *x /= n);
+                }
+                for req in [
+                    SearchRequest::top_k(10).budget(64),
+                    SearchRequest::top_k(10)
+                        .budget(64)
+                        .filter(IdFilter::deny(vec![0, 7, 42, 311])),
+                ] {
+                    let fast = live.search(&q, &req).hits;
+                    live.set_sq8_enabled(false);
+                    assert!(!live.sq8_active());
+                    let slow = live.search(&q, &req).hits;
+                    live.set_sq8_enabled(true);
+                    assert_eq!(fast.len(), slow.len(), "{metric:?} query {qi}");
+                    for (a, b) in fast.iter().zip(&slow) {
+                        assert_eq!(a.id, b.id, "{metric:?} query {qi}");
+                        assert_eq!(
+                            a.dist.to_bits(),
+                            b.dist.to_bits(),
+                            "{metric:?} query {qi}: pruned path must be bit-identical"
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]

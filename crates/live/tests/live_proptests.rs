@@ -248,6 +248,47 @@ proptest! {
             }
         }
     }
+
+    /// Memtable-scale SQ8 pruning: once the memtable is big enough to
+    /// train a code table, the pruned scan must stay bit-identical to
+    /// the same index with the skip bound disabled — across random
+    /// tombstones, filters, range thresholds, and k. (The tests above
+    /// use small memtables, which never train codes; this one pins the
+    /// fast path itself.)
+    #[test]
+    fn memtable_sq8_pruning_matches_the_unpruned_scan(
+        deletes in vec(any::<u32>(), 0..=24),
+        probe in any::<u32>(),
+        k in 1usize..=12,
+        modulus in 2u32..=4,
+    ) {
+        let pool = pool();
+        // Seal threshold above the pool size: every row stays in the
+        // memtable, the unit the SQ8 skip bound covers.
+        let cfg = LiveConfig { seal_threshold: 1 << 20, max_segments: 2 };
+        let mut live =
+            LiveIndex::new(IndexSpec::linear(), Metric::Euclidean, pool.dim(), cfg).unwrap();
+        live.insert(&pool, None).expect("insert");
+        let doomed: Vec<u32> = deletes.iter().map(|d| d % pool.len() as u32).collect();
+        live.delete(&doomed);
+        prop_assert!(live.sq8_active(), "pool is large enough to train memtable codes");
+
+        let q = pool.get(probe as usize % pool.len());
+        let deny: Vec<u32> =
+            (0..pool.len() as u32).filter(|i| i % modulus == 0).collect();
+        for req in [
+            SearchRequest::top_k(k).budget(1),
+            SearchRequest::top_k(k).budget(1).filter(IdFilter::deny(deny.clone())),
+            SearchRequest::top_k(k).budget(1).max_dist(2.5),
+        ] {
+            let fast = bits(&live.search(q, &req).hits);
+            live.set_sq8_enabled(false);
+            prop_assert!(!live.sq8_active());
+            let slow = bits(&live.search(q, &req).hits);
+            live.set_sq8_enabled(true);
+            prop_assert_eq!(fast, slow, "req={:?}", &req);
+        }
+    }
 }
 
 /// After one seal and no deletes, a live index with an approximate spec

@@ -144,6 +144,7 @@ fn cmd_describe(flags: &HashMap<String, String>) {
     println!("rows:    {}", snap.data.len());
     println!("dim:     {}", snap.data.dim());
     println!("payload: {} bytes", snap.payload.len());
+    println!("sq8:     {}", if snap.data.sq8_if_built().is_some() { "persisted" } else { "absent" });
     match &snap.meta {
         Some(m) => {
             println!("spec:    {}", m.spec);
@@ -365,13 +366,15 @@ fn main() -> ExitCode {
             let infos = connect(&flags).list().unwrap_or_else(|e| panic!("list failed: {e}"));
             for i in infos {
                 println!(
-                    "{}\tmethod={}\tspec={}\tn={}\tdim={}\tindex_bytes={}",
+                    "{}\tmethod={}\tspec={}\tn={}\tdim={}\tindex_bytes={}\tload={}\tsq8={}",
                     i.name,
                     i.method,
                     if i.spec.is_empty() { "unknown" } else { &i.spec },
                     i.len,
                     i.dim,
-                    i.index_bytes
+                    i.index_bytes,
+                    i.load_mode,
+                    if i.sq8 { "on" } else { "off" }
                 );
             }
         }
@@ -380,9 +383,11 @@ fn main() -> ExitCode {
                 connect(&flags).stats().unwrap_or_else(|e| panic!("stats failed: {e}"));
             for s in entries {
                 println!(
-                    "{}\tspec={}\tqueries={}\tbatches={}\tbatch_queries={}\tinserts={}\tdeletes={}\tflushes={}\tscanned={}\ttotal_us={}\tmax_us={}",
+                    "{}\tspec={}\tload={}\tsq8={}\tqueries={}\tbatches={}\tbatch_queries={}\tinserts={}\tdeletes={}\tflushes={}\tscanned={}\ttotal_us={}\tmax_us={}",
                     s.name,
                     if s.spec.is_empty() { "unknown" } else { &s.spec },
+                    s.load_mode,
+                    if s.sq8 { "on" } else { "off" },
                     s.queries,
                     s.batch_requests,
                     s.batch_queries,

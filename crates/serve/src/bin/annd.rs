@@ -67,13 +67,15 @@ fn main() -> ExitCode {
     for served in catalog.iter() {
         let info = served.info();
         println!(
-            "annd:   {}  method={}  spec={}  n={}  dim={}  index={} KiB",
+            "annd:   {}  method={}  spec={}  n={}  dim={}  index={} KiB  load={}  sq8={}",
             info.name,
             info.method,
             if info.spec.is_empty() { "unknown" } else { &info.spec },
             info.len,
             info.dim,
-            info.index_bytes / 1024
+            info.index_bytes / 1024,
+            info.load_mode,
+            if info.sq8 { "on" } else { "off" }
         );
     }
     let server = match Server::bind(catalog, opts.addr.as_str(), opts.workers) {
@@ -97,7 +99,12 @@ fn main() -> ExitCode {
     }
     println!("annd: shutting down; final counters:");
     for served in catalog.read().expect("catalog poisoned").iter() {
-        let s = served.stats.snapshot(&served.name, &served.spec);
+        let s = served.stats.snapshot(
+            &served.name,
+            &served.spec,
+            served.load_mode(),
+            served.sq8_active(),
+        );
         println!(
             "annd:   {}  queries={}  batches={} ({} queries)  inserts={}  deletes={}  \
              flushes={}  scanned={}  total={}us  max={}us",

@@ -37,7 +37,9 @@ pub enum Backend {
         data: Arc<Dataset>,
     },
     /// A mutable LSM-style index: single-writer mutation, shared reads.
-    Live(RwLock<LiveIndex>),
+    /// Boxed: a `LiveIndex` is an order of magnitude bigger than the
+    /// static variant, and entries move through `BTreeMap` rebalances.
+    Live(Box<RwLock<LiveIndex>>),
 }
 
 /// One restored, queryable index plus its serving state.
@@ -112,6 +114,28 @@ pub(crate) fn with_live_write<R>(
 }
 
 impl ServedIndex {
+    /// How the entry's vector block is physically served (`mapped` /
+    /// `shared` / `owned`). Live entries mutate their rows, so they are
+    /// always owned regardless of how their snapshot was opened.
+    pub fn load_mode(&self) -> &'static str {
+        match &self.backend {
+            Backend::Static { data, .. } => data.storage().label(),
+            Backend::Live(_) => dataset::StorageKind::Owned.label(),
+        }
+    }
+
+    /// Whether the SQ8 skip-bound pre-filter covers this entry's scans
+    /// (a trained code table spanning every row). A poisoned live entry
+    /// reports `false`.
+    pub fn sq8_active(&self) -> bool {
+        match &self.backend {
+            Backend::Static { data, .. } => {
+                data.sq8_if_built().is_some_and(|sq| sq.rows() == data.len())
+            }
+            Backend::Live(lock) => lock.read().map(|live| live.sq8_active()).unwrap_or(false),
+        }
+    }
+
     /// The wire-format description of this entry. A poisoned live entry
     /// still lists (name, method, spec are lock-free) but reports zero
     /// rows/bytes; its query paths return the full poison error.
@@ -134,6 +158,8 @@ impl ServedIndex {
             dim,
             index_bytes,
             spec: self.spec.clone(),
+            load_mode: self.load_mode().to_string(),
+            sq8: self.sq8_active(),
         }
     }
 }
@@ -153,6 +179,12 @@ impl Catalog {
 
     /// Restores every `*.snap` file in `dir`, in file-name order.
     ///
+    /// Each file is opened through [`Snapshot::open_mapped`], so v3
+    /// containers serve their vector blocks zero-copy from the page
+    /// cache (legacy files and non-unix hosts fall back to an owned
+    /// read — byte-identical answers either way; check
+    /// [`ServedIndex::load_mode`] to see which path an entry took).
+    ///
     /// The directory must exist; a directory with no snapshot files
     /// yields an empty catalog. Non-snapshot files are ignored.
     pub fn load_dir(dir: &Path) -> Result<Catalog, SnapError> {
@@ -165,7 +197,7 @@ impl Catalog {
         paths.sort();
         let mut catalog = Catalog::empty();
         for path in paths {
-            catalog.insert_snapshot(Snapshot::read_from(&path)?)?;
+            catalog.insert_snapshot(Snapshot::open_mapped(&path)?)?;
         }
         Ok(catalog)
     }
@@ -245,7 +277,7 @@ impl Catalog {
             name,
             ann_live::LIVE_METHOD.to_string(),
             spec,
-            Backend::Live(RwLock::new(live)),
+            Backend::Live(Box::new(RwLock::new(live))),
         )
     }
 
@@ -354,6 +386,15 @@ mod tests {
             AnnIndex::query(&single, data.get(4), &p),
             "restored index answers identically"
         );
+        // v3 snapshots on unix serve their vector block zero-copy, and
+        // the build-primed SQ8 table rides along in the container.
+        if cfg!(unix) {
+            assert_eq!(served.load_mode(), "mapped");
+        }
+        assert!(served.sq8_active(), "SQ8C section restores the pre-filter");
+        let info = served.info();
+        assert_eq!(info.load_mode, served.load_mode());
+        assert!(info.sq8);
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -405,7 +446,11 @@ mod tests {
         assert!(replaced, "same name swaps the entry");
         assert_eq!(c.len(), 1);
         assert_eq!(c.get("x").unwrap().spec, "lccs:m=8,w=8,seed=2");
-        assert_eq!(c.get("x").unwrap().stats.snapshot("x", "").queries, 0, "fresh counters");
+        assert_eq!(
+            c.get("x").unwrap().stats.snapshot("x", "", "owned", false).queries,
+            0,
+            "fresh counters"
+        );
     }
 
     fn live_entry() -> Catalog {

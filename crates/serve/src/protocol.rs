@@ -151,6 +151,8 @@ fn put_index_info(out: &mut Vec<u8>, i: &IndexInfo) {
     out.extend_from_slice(&i.dim.to_le_bytes());
     out.extend_from_slice(&i.index_bytes.to_le_bytes());
     put_str16(out, &i.spec);
+    put_str(out, &i.load_mode);
+    out.push(u8::from(i.sq8));
 }
 
 fn get_index_info(r: &mut Reader) -> Result<IndexInfo, ProtoError> {
@@ -161,6 +163,8 @@ fn get_index_info(r: &mut Reader) -> Result<IndexInfo, ProtoError> {
         dim: r.u32()?,
         index_bytes: r.u64()?,
         spec: get_str16(r)?,
+        load_mode: get_str(r)?,
+        sq8: r.u8()? != 0,
     })
 }
 
@@ -578,6 +582,11 @@ pub struct IndexInfo {
     /// Canonical `ann::spec` string the index was built from; empty when
     /// unknown (e.g. restored from a pre-meta snapshot).
     pub spec: String,
+    /// How the entry's vector block is served: `mapped` (zero-copy
+    /// mmap), `shared` (adopted read buffer), or `owned` (copied).
+    pub load_mode: String,
+    /// Whether the SQ8 skip-bound pre-filter is active for this entry.
+    pub sq8: bool,
 }
 
 /// Per-index serving counters as reported by [`Request::Stats`].
@@ -588,6 +597,11 @@ pub struct StatsEntry {
     /// Canonical `ann::spec` string (empty when unknown), so operators
     /// can see what is actually serving next to its counters.
     pub spec: String,
+    /// How the entry's vector block is served (`mapped` / `shared` /
+    /// `owned`) — see [`IndexInfo::load_mode`].
+    pub load_mode: String,
+    /// Whether the SQ8 skip-bound pre-filter is active for this entry.
+    pub sq8: bool,
     /// Single queries answered.
     pub queries: u64,
     /// Batch requests answered.
@@ -719,6 +733,8 @@ impl Response {
                 for e in entries {
                     put_str(&mut out, &e.name);
                     put_str16(&mut out, &e.spec);
+                    put_str(&mut out, &e.load_mode);
+                    out.push(u8::from(e.sq8));
                     for v in [
                         e.queries,
                         e.batch_requests,
@@ -814,6 +830,8 @@ impl Response {
                 for _ in 0..count {
                     let name = get_str(&mut r)?;
                     let spec = get_str16(&mut r)?;
+                    let load_mode = get_str(&mut r)?;
+                    let sq8 = r.u8()? != 0;
                     let queries = r.u64()?;
                     let batch_requests = r.u64()?;
                     let batch_queries = r.u64()?;
@@ -826,6 +844,8 @@ impl Response {
                     entries.push(StatsEntry {
                         name,
                         spec,
+                        load_mode,
+                        sq8,
                         queries,
                         batch_requests,
                         batch_queries,
@@ -1030,6 +1050,8 @@ mod tests {
             dim: 32,
             index_bytes: 1 << 20,
             spec: "lccs:m=16,seed=42".into(),
+            load_mode: "mapped".into(),
+            sq8: true,
         }]));
         round_trip_response(Response::Built {
             info: IndexInfo {
@@ -1039,6 +1061,8 @@ mod tests {
                 dim: 16,
                 index_bytes: 4096,
                 spec: "mp-lccs:m=16".into(),
+                load_mode: "owned".into(),
+                sq8: false,
             },
             build_micros: 123_456,
             snapshot_path: "/tmp/snaps/built.snap".into(),
@@ -1055,6 +1079,8 @@ mod tests {
         round_trip_response(Response::Stats(vec![StatsEntry {
             name: "demo".into(),
             spec: "e2lsh:k=12,l=50".into(),
+            load_mode: "shared".into(),
+            sq8: true,
             queries: 3,
             batch_requests: 1,
             batch_queries: 100,

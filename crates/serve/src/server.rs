@@ -209,7 +209,12 @@ fn dispatch(
             let catalog = shared.catalog.read().expect("catalog poisoned");
             (
                 Response::Stats(
-                    catalog.iter().map(|s| s.stats.snapshot(&s.name, &s.spec)).collect(),
+                    catalog
+                        .iter()
+                        .map(|s| {
+                            s.stats.snapshot(&s.name, &s.spec, s.load_mode(), s.sq8_active())
+                        })
+                        .collect(),
                 ),
                 false,
             )

@@ -4,19 +4,47 @@
 //! queries for one index without rebuilding anything: the catalog name,
 //! the method name (which selects the restorer in
 //! [`eval::registry::snapshot_entries`]), the raw vectors, and the
-//! method's own [`ann::PersistAnn`] payload (parameters + CSA). Layout,
-//! all little-endian:
+//! method's own [`ann::PersistAnn`] payload (parameters + CSA).
+//!
+//! Writers emit the **v3** layout (all little-endian):
 //!
 //! ```text
-//! magic    b"ANNSNP01"                    8 bytes
+//! magic    b"ANNSNP03"                    8 bytes
 //! name     u16 length + UTF-8 bytes       catalog name
 //! method   u16 length + UTF-8 bytes       e.g. "LCCS-LSH"
 //! n        u64                            vector count
 //! dim      u32                            dimensionality
+//! vec_len  u64                            vector block bytes (= n·dim·4)
+//! pad      0–7 zero bytes                 8-aligns the vector block
 //! vectors  n * dim * f32                  row-major raw bits
+//! pad      0–7 zero bytes                 8-aligns the payload prefix
 //! payload  u64 length + bytes             PersistAnn payload
+//! sq8c     (optional) b"SQ8C" + u32 len   SQ8 code table, see below
 //! meta     (optional) b"META" + u32 len   build provenance, see below
 //! live     (optional) b"LIVE" + u32 len   mutable-index structure, see below
+//! ```
+//!
+//! The explicit length prefix and the alignment pads are what make
+//! zero-copy serving possible: the vector block sits at an 8-aligned
+//! file offset, so [`Snapshot::open_mapped`] can hand the mapped bytes
+//! straight to [`mm::FloatBlock`] as an `&[f32]` without copying, and
+//! [`Snapshot::read_from`] can likewise slice its read buffer in place.
+//! **v1** files (magic `ANNSNP01`, no `vec_len`, no pads, no SQ8C
+//! section — everything written before this layout existed) still load
+//! byte-identically through the same decoder; they are simply always
+//! copied into owned memory.
+//!
+//! The **SQ8C section** persists the dataset's [`dataset::Sq8`] code
+//! table (per-dimension scalar quantization) so a restart restores the
+//! scan pre-filter without retraining:
+//!
+//! ```text
+//! flags   u8                              bit 0: every row unit-norm
+//! dim     u32                             must equal the container dim
+//! rows    u64                             must equal the container n
+//! mins    dim × f32                       per-dimension offsets
+//! scales  dim × f32                       per-dimension scales
+//! codes   rows × dim bytes                row-major u8 codes
 //! ```
 //!
 //! The trailing **meta section** (added in PR 3, backward compatible: a
@@ -66,13 +94,19 @@
 
 use ann::PersistAnn;
 use ann_live::{LiveState, UnitState};
-use dataset::{Dataset, Metric};
+use dataset::{Dataset, Metric, Sq8};
 use std::fs;
 use std::io::Write;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
-/// Magic + version prefix of a snapshot container.
-pub const MAGIC: &[u8; 8] = b"ANNSNP01";
+/// Magic + version prefix written by current encoders (v3: length-
+/// prefixed, 8-aligned vector block; optional SQ8C section).
+pub const MAGIC: &[u8; 8] = b"ANNSNP03";
+
+/// Magic of legacy v1/v2 containers (unaligned vector block, no SQ8C);
+/// still decoded, always into owned memory.
+pub const MAGIC_V1: &[u8; 8] = b"ANNSNP01";
 
 /// Extension of snapshot files inside a `--snapshot-dir`.
 pub const SNAPSHOT_EXT: &str = "snap";
@@ -109,6 +143,9 @@ impl From<std::io::Error> for SnapError {
         SnapError::Io(e)
     }
 }
+
+/// Marker opening the optional SQ8 code-table section.
+pub const SQ8_MARKER: &[u8; 4] = b"SQ8C";
 
 /// Marker opening the optional build-provenance section.
 pub const META_MARKER: &[u8; 4] = b"META";
@@ -201,17 +238,35 @@ fn encode_parts(
     live: Option<&LiveState>,
 ) -> Result<Vec<u8>, SnapError> {
     let flat = data.as_flat();
-    let mut out = Vec::with_capacity(64 + flat.len() * 4 + payload.len());
+    let mut out = Vec::with_capacity(80 + flat.len() * 4 + payload.len());
     out.extend_from_slice(MAGIC);
     put_str16(&mut out, name)?;
     put_str16(&mut out, method)?;
     out.extend_from_slice(&(data.len() as u64).to_le_bytes());
     out.extend_from_slice(&(data.dim() as u32).to_le_bytes());
+    out.extend_from_slice(&(flat.len() as u64 * 4).to_le_bytes());
+    pad8(&mut out); // the vector block starts at an 8-aligned offset
     for v in flat {
         out.extend_from_slice(&v.to_bits().to_le_bytes());
     }
+    pad8(&mut out); // ... and so does the payload length prefix
     out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
     out.extend_from_slice(payload);
+    // A code table is persisted only when it covers exactly the rows
+    // being written — a cache primed for a different row count would
+    // deserialize into an unusable (and rejected) section.
+    if let Some(sq) = data.sq8_if_built().filter(|sq| sq.rows() == data.len()) {
+        let mut section =
+            Vec::with_capacity(13 + sq.dim() * 8 + sq.codes().len());
+        section.push(u8::from(sq.unit_rows()));
+        section.extend_from_slice(&(sq.dim() as u32).to_le_bytes());
+        section.extend_from_slice(&(sq.rows() as u64).to_le_bytes());
+        for v in sq.mins().iter().chain(sq.scales()) {
+            section.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+        section.extend_from_slice(sq.codes());
+        push_section(&mut out, SQ8_MARKER, &section);
+    }
     if let Some(meta) = meta {
         let mut section = Vec::with_capacity(40 + meta.spec.len());
         put_str16(&mut section, &meta.spec)?;
@@ -249,6 +304,25 @@ fn push_section(out: &mut Vec<u8>, marker: &[u8; 4], section: &[u8]) {
     out.extend_from_slice(marker);
     out.extend_from_slice(&(section.len() as u32).to_le_bytes());
     out.extend_from_slice(section);
+}
+
+/// Zero-pads `out` to the next 8-byte boundary. `out` holds the whole
+/// file from offset 0, so `out.len()` *is* the file offset.
+fn pad8(out: &mut Vec<u8>) {
+    while !out.len().is_multiple_of(8) {
+        out.push(0);
+    }
+}
+
+/// Consumes the v3 alignment padding at the reader's current position
+/// (`raw_len` − remaining = absolute offset) and rejects non-zero fill.
+fn skip_pad8(r: &mut crate::wire::Reader, raw_len: usize, what: &str) -> Result<(), SnapError> {
+    let pos = raw_len - r.remaining();
+    let pad = (8 - pos % 8) % 8;
+    if ctx(r.take(pad), what)?.iter().any(|&b| b != 0) {
+        return Err(SnapError::Malformed(format!("non-zero {what}")));
+    }
+    Ok(())
 }
 
 /// Parses the LIVE section body, slicing each unit's rows out of the
@@ -390,74 +464,57 @@ impl Snapshot {
         )
     }
 
-    /// Decodes a container produced by [`Snapshot::encode`] — including
-    /// pre-meta (PR-2 era) containers, which yield `meta: None`.
+    /// Decodes a container produced by [`Snapshot::encode`] — current v3
+    /// files and legacy v1/v2 (pre-meta / pre-LIVE) files alike — into
+    /// owned memory.
     pub fn decode(raw: &[u8]) -> Result<Snapshot, SnapError> {
-        let mut r = crate::wire::Reader::new(raw);
-        if ctx(r.take(MAGIC.len()), "magic")? != MAGIC {
-            return Err(SnapError::Malformed("not an ANNSNP01 container".into()));
-        }
-        let name = get_str16(&mut r, "name")?;
-        let method = get_str16(&mut r, "method")?;
-        let n = ctx(r.u64(), "vector count")?;
-        let dim = ctx(r.u32(), "dim")?;
-        if n == 0 || dim == 0 {
-            return Err(SnapError::Malformed(format!("empty shape {n}x{dim}")));
-        }
-        n.checked_mul(u64::from(dim))
-            .and_then(|c| c.checked_mul(4))
-            .filter(|&b| b <= MAX_VECTOR_BYTES)
-            .ok_or_else(|| SnapError::Malformed(format!("vector section {n}x{dim} too large")))?;
-        let flat = ctx(r.f32s((n * u64::from(dim)) as usize), "vector section")?;
-        let payload_len = ctx(r.u64(), "payload length")?;
-        let payload = ctx(r.take(payload_len as usize), "payload")?.to_vec();
-        // Optional trailing sections: absent on old containers (clean EOF
-        // here), each present at most once as marker + length + body.
-        // Pre-META (PR-2) files end after the payload; pre-LIVE (PR-3)
-        // files end after META — both still decode.
-        let mut meta = None;
-        let mut live = None;
-        while r.remaining() > 0 {
-            let marker = ctx(r.take(4), "section marker")?;
-            let len = ctx(r.u32(), "section length")? as usize;
-            let body = ctx(r.take(len), "section body")?;
-            let mut sr = crate::wire::Reader::new(body);
-            if marker == META_MARKER {
-                if meta.is_some() {
-                    return Err(SnapError::Malformed("duplicate META section".into()));
-                }
-                let spec = get_str16(&mut sr, "meta spec")?;
-                let w = ctx(sr.f64(), "meta w")?;
-                let seed = ctx(sr.u64(), "meta seed")?;
-                let build_secs = ctx(sr.f64(), "meta build_secs")?;
-                let source_rows = ctx(sr.u64(), "meta source_rows")?;
-                if sr.remaining() != 0 {
-                    return Err(SnapError::Malformed(format!(
-                        "{} trailing bytes inside META",
-                        sr.remaining()
-                    )));
-                }
-                meta = Some(SnapMeta { spec, w, seed, build_secs, source_rows });
-            } else if marker == LIVE_MARKER {
-                if live.is_some() {
-                    return Err(SnapError::Malformed("duplicate LIVE section".into()));
-                }
-                let state = parse_live_section(&mut sr, &flat, dim as usize)?;
-                if sr.remaining() != 0 {
-                    return Err(SnapError::Malformed(format!(
-                        "{} trailing bytes inside LIVE",
-                        sr.remaining()
-                    )));
-                }
-                live = Some(state);
-            } else {
-                return Err(SnapError::Malformed(format!(
-                    "unknown trailing section marker {marker:?}"
-                )));
+        let parts = parse(raw)?;
+        Ok(assemble_owned(parts, raw))
+    }
+
+    /// [`Snapshot::decode`], but taking ownership of the read buffer so
+    /// the vector block of a v3 container is *sliced in place* instead
+    /// of copied — the buffer itself becomes the dataset's backing
+    /// store ([`dataset::StorageKind::SharedBytes`]). Falls back to an
+    /// owned copy for v1 files, live containers (their rows are
+    /// re-assembled per unit anyway), and buffers whose vector region
+    /// happens to be misaligned for `f32`.
+    pub fn decode_owned(raw: Vec<u8>) -> Result<Snapshot, SnapError> {
+        let parts = parse(&raw)?;
+        if parts.zero_copy && parts.live.is_none() {
+            let (off, count) = (parts.vec_off, parts.n * parts.dim);
+            match mm::FloatBlock::from_bytes(raw, off, count) {
+                Ok(block) => return Ok(assemble_shared(parts, Arc::new(block))),
+                Err(raw) => return Ok(assemble_owned(parts, &raw)),
             }
         }
-        let data = Dataset::from_flat(name.clone(), dim as usize, flat);
-        Ok(Snapshot { name, method, data, payload, meta, live })
+        Ok(assemble_owned(parts, &raw))
+    }
+
+    /// Opens a container by memory-mapping it: the vector block is
+    /// served straight from the page cache ([`dataset::StorageKind::Mapped`]),
+    /// so restart cost is O(page faults), not O(bytes copied). Falls
+    /// back to the owned [`Snapshot::read_from`] path — byte-identical
+    /// results — when mapping is unsupported (non-unix), the file is
+    /// legacy v1 (unaligned vector block), or the container is live.
+    pub fn open_mapped(path: &Path) -> Result<Snapshot, SnapError> {
+        let file = fs::File::open(path)?;
+        match mm::map_file(&file) {
+            Ok(map) => {
+                let parts = parse(&map)?;
+                if parts.zero_copy && parts.live.is_none() {
+                    let (off, count) = (parts.vec_off, parts.n * parts.dim);
+                    match mm::FloatBlock::from_mmap(map, off, count) {
+                        Ok(block) => Ok(assemble_shared(parts, Arc::new(block))),
+                        Err(map) => Ok(assemble_owned(parts, &map)),
+                    }
+                } else {
+                    Ok(assemble_owned(parts, &map))
+                }
+            }
+            Err(mm::MapError::Unsupported | mm::MapError::Empty) => Snapshot::read_from(path),
+            Err(mm::MapError::Io(e)) => Err(SnapError::Io(e)),
+        }
     }
 
     /// Writes the container to `path` atomically (tmp file + rename, so a
@@ -466,9 +523,187 @@ impl Snapshot {
         write_bytes_atomic(path, &self.encode()?)
     }
 
-    /// Reads a container from disk.
+    /// Reads a container from disk. The read buffer is handed to
+    /// [`Snapshot::decode_owned`], so v3 vector blocks are sliced out
+    /// of it in place rather than copied a second time.
     pub fn read_from(path: &Path) -> Result<Snapshot, SnapError> {
-        Snapshot::decode(&fs::read(path)?)
+        Snapshot::decode_owned(fs::read(path)?)
+    }
+}
+
+/// Everything [`parse`] pulls out of a container except the vector
+/// block itself, which stays behind as its byte offset so each caller
+/// can choose the backing (copy, adopted buffer, or mapping).
+struct Parsed {
+    name: String,
+    method: String,
+    n: usize,
+    dim: usize,
+    /// Absolute byte offset of the vector block in the raw input.
+    vec_off: usize,
+    /// v3 container: the vector block offset is 8-aligned by layout.
+    zero_copy: bool,
+    payload: Vec<u8>,
+    sq8: Option<Arc<Sq8>>,
+    meta: Option<SnapMeta>,
+    live: Option<LiveState>,
+}
+
+/// The shared v1/v3 container parser behind every decode entry point.
+fn parse(raw: &[u8]) -> Result<Parsed, SnapError> {
+    let mut r = crate::wire::Reader::new(raw);
+    let magic = ctx(r.take(MAGIC.len()), "magic")?;
+    let v3 = magic == MAGIC;
+    if !v3 && magic != MAGIC_V1 {
+        return Err(SnapError::Malformed("not an ANNSNP01/ANNSNP03 container".into()));
+    }
+    let name = get_str16(&mut r, "name")?;
+    let method = get_str16(&mut r, "method")?;
+    let n = ctx(r.u64(), "vector count")?;
+    let dim = ctx(r.u32(), "dim")?;
+    if n == 0 || dim == 0 {
+        return Err(SnapError::Malformed(format!("empty shape {n}x{dim}")));
+    }
+    let vec_bytes = n
+        .checked_mul(u64::from(dim))
+        .and_then(|c| c.checked_mul(4))
+        .filter(|&b| b <= MAX_VECTOR_BYTES)
+        .ok_or_else(|| SnapError::Malformed(format!("vector section {n}x{dim} too large")))?;
+    if v3 {
+        let declared = ctx(r.u64(), "vector block length")?;
+        if declared != vec_bytes {
+            return Err(SnapError::Malformed(format!(
+                "vector block length {declared} disagrees with shape {n}x{dim}"
+            )));
+        }
+        skip_pad8(&mut r, raw.len(), "vector block padding")?;
+    }
+    let vec_off = raw.len() - r.remaining();
+    let vec_raw = ctx(r.take(vec_bytes as usize), "vector section")?;
+    if v3 {
+        skip_pad8(&mut r, raw.len(), "payload padding")?;
+    }
+    let payload_len = ctx(r.u64(), "payload length")?;
+    let payload = ctx(r.take(payload_len as usize), "payload")?.to_vec();
+    // Optional trailing sections: absent on old containers (clean EOF
+    // here), each present at most once as marker + length + body.
+    // Pre-META (PR-2) files end after the payload; pre-LIVE (PR-3)
+    // files end after META — both still decode.
+    let mut sq8 = None;
+    let mut meta = None;
+    let mut live = None;
+    while r.remaining() > 0 {
+        let marker = ctx(r.take(4), "section marker")?;
+        let len = ctx(r.u32(), "section length")? as usize;
+        let body = ctx(r.take(len), "section body")?;
+        let mut sr = crate::wire::Reader::new(body);
+        if marker == SQ8_MARKER {
+            if sq8.is_some() {
+                return Err(SnapError::Malformed("duplicate SQ8C section".into()));
+            }
+            sq8 = Some(parse_sq8_section(&mut sr, n as usize, dim as usize)?);
+        } else if marker == META_MARKER {
+            if meta.is_some() {
+                return Err(SnapError::Malformed("duplicate META section".into()));
+            }
+            let spec = get_str16(&mut sr, "meta spec")?;
+            let w = ctx(sr.f64(), "meta w")?;
+            let seed = ctx(sr.u64(), "meta seed")?;
+            let build_secs = ctx(sr.f64(), "meta build_secs")?;
+            let source_rows = ctx(sr.u64(), "meta source_rows")?;
+            meta = Some(SnapMeta { spec, w, seed, build_secs, source_rows });
+        } else if marker == LIVE_MARKER {
+            if live.is_some() {
+                return Err(SnapError::Malformed("duplicate LIVE section".into()));
+            }
+            // Live rows are re-assembled into per-unit owned buffers, so
+            // the section parser gets a decoded copy of the block.
+            let flat = read_f32s(vec_raw);
+            live = Some(parse_live_section(&mut sr, &flat, dim as usize)?);
+        } else {
+            return Err(SnapError::Malformed(format!(
+                "unknown trailing section marker {marker:?}"
+            )));
+        }
+        if sr.remaining() != 0 {
+            return Err(SnapError::Malformed(format!(
+                "{} trailing bytes inside {}",
+                sr.remaining(),
+                String::from_utf8_lossy(marker)
+            )));
+        }
+    }
+    Ok(Parsed {
+        name,
+        method,
+        n: n as usize,
+        dim: dim as usize,
+        vec_off,
+        zero_copy: v3,
+        payload,
+        sq8,
+        meta,
+        live,
+    })
+}
+
+/// Decodes little-endian f32 bytes into an owned buffer (bit-exact).
+fn read_f32s(raw: &[u8]) -> Vec<f32> {
+    raw.chunks_exact(4)
+        .map(|c| f32::from_bits(u32::from_le_bytes(c.try_into().expect("4 bytes"))))
+        .collect()
+}
+
+/// Parses the SQ8C section body, validating its shape against the
+/// container's vector block.
+fn parse_sq8_section(
+    sr: &mut crate::wire::Reader,
+    n: usize,
+    dim: usize,
+) -> Result<Arc<Sq8>, SnapError> {
+    let flags = ctx(sr.u8(), "sq8 flags")?;
+    if flags & !1 != 0 {
+        return Err(SnapError::Malformed(format!("unknown sq8 flags {flags:#x}")));
+    }
+    let sq_dim = ctx(sr.u32(), "sq8 dim")? as usize;
+    let sq_rows = ctx(sr.u64(), "sq8 rows")? as usize;
+    if sq_dim != dim || sq_rows != n {
+        return Err(SnapError::Malformed(format!(
+            "sq8 shape {sq_rows}x{sq_dim} disagrees with the vector block {n}x{dim}"
+        )));
+    }
+    let mins = ctx(sr.f32s(dim), "sq8 mins")?;
+    let scales = ctx(sr.f32s(dim), "sq8 scales")?;
+    let codes = ctx(sr.take(n * dim), "sq8 codes")?.to_vec();
+    Ok(Arc::new(Sq8::from_parts(dim, mins, scales, codes, flags & 1 != 0)))
+}
+
+/// Materializes a [`Snapshot`] by copying the vector block out of the
+/// raw input (the v1 path, and every fallback).
+fn assemble_owned(parts: Parsed, raw: &[u8]) -> Snapshot {
+    let flat = read_f32s(&raw[parts.vec_off..parts.vec_off + parts.n * parts.dim * 4]);
+    let data = Dataset::from_flat(parts.name.clone(), parts.dim, flat);
+    finish(parts, data)
+}
+
+/// Materializes a [`Snapshot`] over a zero-copy backing (an adopted
+/// read buffer or a file mapping).
+fn assemble_shared(parts: Parsed, block: Arc<mm::FloatBlock>) -> Snapshot {
+    let data = Dataset::from_shared(parts.name.clone(), parts.dim, block);
+    finish(parts, data)
+}
+
+fn finish(parts: Parsed, data: Dataset) -> Snapshot {
+    if let Some(sq) = parts.sq8 {
+        data.set_sq8(sq);
+    }
+    Snapshot {
+        name: parts.name,
+        method: parts.method,
+        data,
+        payload: parts.payload,
+        meta: parts.meta,
+        live: parts.live,
     }
 }
 
@@ -636,16 +871,153 @@ mod tests {
         assert_eq!(got.source_rows, 200);
     }
 
+    /// Byte-for-byte reproduction of the legacy v1 encoding (magic
+    /// `ANNSNP01`, no length prefix, no pads, no SQ8C) — what every
+    /// pre-v3 writer produced. Kept as a fixture so compatibility is
+    /// tested against the real old layout, not today's encoder.
+    fn encode_v1_legacy(
+        name: &str,
+        method: &str,
+        data: &Dataset,
+        payload: &[u8],
+        meta: Option<&SnapMeta>,
+    ) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(MAGIC_V1);
+        crate::wire::put_str16(&mut out, name);
+        crate::wire::put_str16(&mut out, method);
+        out.extend_from_slice(&(data.len() as u64).to_le_bytes());
+        out.extend_from_slice(&(data.dim() as u32).to_le_bytes());
+        for v in data.as_flat() {
+            out.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+        out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        out.extend_from_slice(payload);
+        if let Some(meta) = meta {
+            let mut section = Vec::new();
+            crate::wire::put_str16(&mut section, &meta.spec);
+            section.extend_from_slice(&meta.w.to_bits().to_le_bytes());
+            section.extend_from_slice(&meta.seed.to_le_bytes());
+            section.extend_from_slice(&meta.build_secs.to_bits().to_le_bytes());
+            section.extend_from_slice(&meta.source_rows.to_le_bytes());
+            push_section(&mut out, META_MARKER, &section);
+        }
+        out
+    }
+
     #[test]
-    fn pre_meta_containers_still_load() {
-        // A PR-2-era container is exactly today's encoding minus the META
-        // section (meta: None reproduces it byte for byte); it must decode
-        // with meta: None rather than erroring on the missing section.
+    fn pre_v3_containers_still_load() {
+        // Legacy v1 files (and v2: v1 + META) must keep decoding into
+        // exactly what today's v3 decoding of the same index yields —
+        // modulo the physical backing, which legacy files can't share.
         let (data, idx) = built();
-        let v1 = Snapshot::of_index("old", &idx, &data).encode().unwrap();
+        let snap = Snapshot::of_index("old", &idx, &data);
+        let v1 = encode_v1_legacy("old", &snap.method, &data, &snap.payload, None);
         let back = Snapshot::decode(&v1).unwrap();
         assert_eq!(back.name, "old");
+        assert_eq!(back.method, snap.method);
+        assert_eq!(back.data.as_flat(), data.as_flat(), "vectors bit-identical");
+        assert_eq!(back.payload, snap.payload);
         assert!(back.meta.is_none(), "pre-v2 snapshots have no spec");
+        assert!(
+            back.data.sq8_if_built().is_none(),
+            "legacy files carry no code table"
+        );
+        // v2 = v1 + META.
+        let spec: ann::IndexSpec = "lccs:m=8,w=8,seed=42".parse().unwrap();
+        let meta = SnapMeta::of_build(&spec, 1.0, data.len() as u64);
+        let v2 = encode_v1_legacy("old", &snap.method, &data, &snap.payload, Some(&meta));
+        let back = Snapshot::decode(&v2).unwrap();
+        assert_eq!(back.meta, Some(meta));
+        assert_eq!(back.data.as_flat(), data.as_flat());
+    }
+
+    #[test]
+    fn v3_and_v1_decodes_agree() {
+        // Cross-load: the same index written as v3 and as legacy v1
+        // decodes to identical logical content through every entry
+        // point (decode borrows, decode_owned adopts the buffer).
+        let (data, idx) = built();
+        let spec: ann::IndexSpec = "lccs:m=8,w=8,seed=42".parse().unwrap();
+        let meta = SnapMeta::of_build(&spec, 0.5, data.len() as u64);
+        let snap = Snapshot::of_index("x", &idx, &data).with_meta(meta.clone());
+        let v3 = snap.encode().unwrap();
+        let v1 = encode_v1_legacy("x", &snap.method, &data, &snap.payload, Some(&meta));
+        let a = Snapshot::decode(&v3).unwrap();
+        let b = Snapshot::decode(&v1).unwrap();
+        let c = Snapshot::decode_owned(v3.clone()).unwrap();
+        let d = Snapshot::decode_owned(v1).unwrap();
+        for other in [&b, &c, &d] {
+            assert_eq!(a.data, other.data, "logical dataset equality");
+            assert_eq!(a.payload, other.payload);
+            assert_eq!(a.meta, other.meta);
+        }
+        use dataset::StorageKind;
+        assert_eq!(a.data.storage(), StorageKind::Owned, "borrowed decode copies");
+        assert_eq!(d.data.storage(), StorageKind::Owned, "v1 always copies");
+        // decode_owned of a v3 buffer slices in place when the buffer
+        // happens to be f32-aligned (1-aligned heap buffers fall back).
+        assert!(matches!(
+            c.data.storage(),
+            StorageKind::SharedBytes | StorageKind::Owned
+        ));
+    }
+
+    #[test]
+    fn v3_layout_is_aligned_and_sq8_round_trips() {
+        let (data, idx) = built();
+        data.sq8(); // prime the code table so encode persists it
+        let raw = Snapshot::of_index("demo", &idx, &data).encode().unwrap();
+        assert_eq!(&raw[..8], MAGIC);
+        // The vector block offset is 8-aligned: magic 8 + name (2+4) +
+        // method (2+8) + n 8 + dim 4 + vec_len 8 = 44, padded to 48.
+        let hdr = 8 + (2 + 4) + (2 + "LCCS-LSH".len()) + 8 + 4 + 8;
+        let vec_off = hdr.div_ceil(8) * 8;
+        assert_eq!(raw[hdr..vec_off], vec![0u8; vec_off - hdr][..], "zero fill");
+        assert_eq!(
+            f32::from_bits(u32::from_le_bytes(raw[vec_off..vec_off + 4].try_into().unwrap())),
+            data.as_flat()[0],
+            "vector block starts at the aligned offset"
+        );
+        let back = Snapshot::decode(&raw).unwrap();
+        let sq = back.data.sq8_if_built().expect("SQ8C section restores the code table");
+        assert_eq!(sq.as_ref(), data.sq8().as_ref(), "codes bit-identical");
+        // Corrupting the SQ8C shape is rejected, not mis-restored.
+        let marker_at = raw
+            .windows(4)
+            .position(|w| w == SQ8_MARKER)
+            .expect("SQ8C section present");
+        let mut bad = raw.clone();
+        bad[marker_at + 8 + 1..marker_at + 8 + 5].copy_from_slice(&999u32.to_le_bytes());
+        assert!(Snapshot::decode(&bad).is_err(), "sq8 dim mismatch rejected");
+    }
+
+    #[test]
+    fn open_mapped_serves_without_copying() {
+        let (data, idx) = built();
+        data.sq8();
+        let dir = std::env::temp_dir().join(format!("snapmap-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("demo.snap");
+        Snapshot::of_index("demo", &idx, &data).write_to(&path).unwrap();
+        let snap = Snapshot::open_mapped(&path).unwrap();
+        if cfg!(unix) {
+            assert_eq!(
+                snap.data.storage(),
+                dataset::StorageKind::Mapped,
+                "v3 + unix must serve from the mapping"
+            );
+        }
+        assert_eq!(snap.data.as_flat(), data.as_flat(), "mapped reads are bit-identical");
+        assert!(snap.data.sq8_if_built().is_some());
+        // A legacy v1 file falls back to the owned path, same content.
+        let v1_path = dir.join("old.snap");
+        let v1 = encode_v1_legacy("demo", &snap.method, &data, &snap.payload, None);
+        std::fs::write(&v1_path, &v1).unwrap();
+        let old = Snapshot::open_mapped(&v1_path).unwrap();
+        assert_eq!(old.data.storage(), dataset::StorageKind::Owned);
+        assert_eq!(old.data.as_flat(), data.as_flat());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -68,11 +68,14 @@ impl IndexStats {
     }
 
     /// A wire-ready snapshot of the counters. `spec` is the served
-    /// entry's spec string (empty when unknown).
-    pub fn snapshot(&self, name: &str, spec: &str) -> StatsEntry {
+    /// entry's spec string (empty when unknown); `load_mode` and `sq8`
+    /// describe the serving path ([`crate::catalog::ServedIndex`]).
+    pub fn snapshot(&self, name: &str, spec: &str, load_mode: &str, sq8: bool) -> StatsEntry {
         StatsEntry {
             name: name.to_string(),
             spec: spec.to_string(),
+            load_mode: load_mode.to_string(),
+            sq8,
             queries: self.queries.load(Ordering::Relaxed),
             batch_requests: self.batch_requests.load(Ordering::Relaxed),
             batch_queries: self.batch_queries.load(Ordering::Relaxed),
@@ -98,9 +101,11 @@ mod tests {
         s.record_batch(64, 500);
         s.record_scanned(128);
         s.record_scanned(72);
-        let snap = s.snapshot("x", "lccs:m=8");
+        let snap = s.snapshot("x", "lccs:m=8", "mapped", true);
         assert_eq!(snap.name, "x");
         assert_eq!(snap.spec, "lccs:m=8");
+        assert_eq!(snap.load_mode, "mapped");
+        assert!(snap.sq8);
         assert_eq!(snap.queries, 2);
         assert_eq!(snap.batch_requests, 1);
         assert_eq!(snap.batch_queries, 64);
@@ -117,7 +122,7 @@ mod tests {
         s.record_insert(1, 5);
         s.record_delete(3, 2);
         s.record_flush(1_000);
-        let snap = s.snapshot("live", "lccs:m=8");
+        let snap = s.snapshot("live", "lccs:m=8", "owned", false);
         assert_eq!(snap.inserts, 101, "insert counter counts rows, not requests");
         assert_eq!(snap.deletes, 3);
         assert_eq!(snap.flushes, 1);

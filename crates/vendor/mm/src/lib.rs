@@ -1,0 +1,360 @@
+//! Offline stand-in for `memmap2`: a read-only file mapping
+//! ([`Mmap`]) plus an aligned f32 view over either a mapping or an
+//! owned buffer ([`FloatBlock`]). The serve layer uses it to serve
+//! snapshot vector blocks straight from the page cache — restart cost
+//! becomes O(page faults) instead of O(bytes copied). See the `rand`
+//! shim for why vendored shims exist at all.
+//!
+//! This is the one workspace crate allowed to contain `unsafe`: the
+//! `mmap`/`munmap` calls and the `[u8] → [f32]` casts live here behind
+//! safe, invariant-checking constructors, and every unsafe block must
+//! carry a `// SAFETY:` comment (`deny(clippy::undocumented_unsafe_blocks)`).
+//!
+//! Platform notes: mapping is implemented for `cfg(unix)` via
+//! `extern "C"` declarations of `mmap`/`munmap` (no registry deps);
+//! elsewhere [`map_file`] returns [`MapError::Unsupported`] and callers
+//! fall back to owned reads. Mappings are `PROT_READ` + `MAP_PRIVATE`,
+//! so the kernel never writes pages back. A mapping of a file another
+//! process truncates can fault (SIGBUS) — snapshot files are written
+//! via atomic rename and never truncated in place, which keeps that
+//! hazard out of this workspace.
+
+#![deny(clippy::undocumented_unsafe_blocks)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::fs::File;
+use std::io;
+
+/// Why a file could not be memory-mapped.
+#[derive(Debug)]
+pub enum MapError {
+    /// The underlying `mmap` call (or a metadata read) failed.
+    Io(io::Error),
+    /// Zero-length files cannot be mapped (`mmap` rejects `len == 0`).
+    Empty,
+    /// Not a unix platform — no `mmap` to call; use an owned read.
+    Unsupported,
+}
+
+impl fmt::Display for MapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MapError::Io(e) => write!(f, "mmap failed: {e}"),
+            MapError::Empty => write!(f, "cannot map a zero-length file"),
+            MapError::Unsupported => write!(f, "memory mapping unsupported on this platform"),
+        }
+    }
+}
+
+impl std::error::Error for MapError {}
+
+/// A read-only, private memory mapping of an entire file.
+///
+/// Dereferences to `&[u8]`. The mapping is released on drop.
+pub struct Mmap {
+    ptr: *const u8,
+    len: usize,
+}
+
+// SAFETY: the mapping is PROT_READ + MAP_PRIVATE — immutable for its
+// whole lifetime, with no interior mutability — so sharing references
+// across threads or moving the owner between threads is sound.
+unsafe impl Send for Mmap {}
+// SAFETY: as above — the mapped bytes are never written through this
+// handle, so concurrent `&Mmap` reads are data-race free.
+unsafe impl Sync for Mmap {}
+
+#[cfg(unix)]
+mod sys {
+    use std::ffi::c_void;
+
+    pub const PROT_READ: i32 = 1;
+    pub const MAP_PRIVATE: i32 = 2;
+
+    extern "C" {
+        pub fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: i32,
+            flags: i32,
+            fd: i32,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, len: usize) -> i32;
+    }
+}
+
+/// Maps `file` read-only in its entirety.
+///
+/// Fails with [`MapError::Empty`] for zero-length files and
+/// [`MapError::Unsupported`] on non-unix platforms; callers are
+/// expected to fall back to `fs::read`.
+#[cfg(unix)]
+pub fn map_file(file: &File) -> Result<Mmap, MapError> {
+    use std::os::unix::io::AsRawFd;
+
+    let len = file.metadata().map_err(MapError::Io)?.len();
+    if len == 0 {
+        return Err(MapError::Empty);
+    }
+    let len = usize::try_from(len).map_err(|_| MapError::Empty)?;
+    // SAFETY: fd is a valid open file descriptor for the lifetime of
+    // this call; addr = null lets the kernel pick the placement; the
+    // PROT_READ/MAP_PRIVATE combination asks for a read-only private
+    // mapping, so no aliasing with writable memory is created.
+    let ptr = unsafe {
+        sys::mmap(
+            std::ptr::null_mut(),
+            len,
+            sys::PROT_READ,
+            sys::MAP_PRIVATE,
+            file.as_raw_fd(),
+            0,
+        )
+    };
+    if ptr as isize == -1 {
+        return Err(MapError::Io(io::Error::last_os_error()));
+    }
+    Ok(Mmap { ptr: ptr as *const u8, len })
+}
+
+/// Non-unix stub: always [`MapError::Unsupported`].
+#[cfg(not(unix))]
+pub fn map_file(_file: &File) -> Result<Mmap, MapError> {
+    Err(MapError::Unsupported)
+}
+
+impl std::ops::Deref for Mmap {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        // SAFETY: `ptr` is the non-null start of a live mapping of
+        // exactly `len` readable bytes (established by `map_file`,
+        // released only in `drop`), and `&self` borrows the mapping
+        // for the returned slice's lifetime.
+        unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+    }
+}
+
+impl Drop for Mmap {
+    fn drop(&mut self) {
+        #[cfg(unix)]
+        // SAFETY: (ptr, len) is exactly what the successful mmap in
+        // `map_file` returned, unmapped at most once (Drop runs once).
+        unsafe {
+            let _ = sys::munmap(self.ptr as *mut std::ffi::c_void, self.len);
+        }
+    }
+}
+
+impl fmt::Debug for Mmap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Mmap").field("len", &self.len).finish()
+    }
+}
+
+/// Reinterprets `bytes` as little-endian `f32`s without copying.
+///
+/// Returns `None` when the cast would be unsound or wrong: misaligned
+/// start, length not a multiple of 4, or a big-endian target (where
+/// the on-disk little-endian encoding does not match memory layout).
+pub fn cast_f32s(bytes: &[u8]) -> Option<&[f32]> {
+    if cfg!(target_endian = "big") {
+        return None;
+    }
+    if !(bytes.as_ptr() as usize).is_multiple_of(std::mem::align_of::<f32>())
+        || !bytes.len().is_multiple_of(4)
+    {
+        return None;
+    }
+    // SAFETY: alignment and length were just checked; every bit
+    // pattern is a valid f32; on little-endian targets the in-memory
+    // representation matches the on-disk LE encoding; the returned
+    // slice borrows `bytes`, so the backing storage outlives it.
+    Some(unsafe { std::slice::from_raw_parts(bytes.as_ptr() as *const f32, bytes.len() / 4) })
+}
+
+enum Backing {
+    Map(Mmap),
+    Bytes(Vec<u8>),
+}
+
+/// An immutable block of `count` f32s living at byte offset `off`
+/// inside either a file mapping or an owned byte buffer.
+///
+/// Construction validates the cast once (bounds, 4-byte alignment,
+/// little-endian target); [`FloatBlock::as_slice`] then serves the
+/// floats zero-copy for the block's lifetime.
+pub struct FloatBlock {
+    backing: Backing,
+    off: usize,
+    count: usize,
+}
+
+impl FloatBlock {
+    fn valid(bytes: &[u8], off: usize, count: usize) -> bool {
+        let Some(len) = count.checked_mul(4) else { return false };
+        let Some(end) = off.checked_add(len) else { return false };
+        end <= bytes.len() && cast_f32s(&bytes[off..end]).is_some()
+    }
+
+    /// Wraps a mapping; gives the mapping back if the f32 region is
+    /// out of bounds or not castable (caller falls back to copying).
+    pub fn from_mmap(map: Mmap, off: usize, count: usize) -> Result<FloatBlock, Mmap> {
+        if !FloatBlock::valid(&map, off, count) {
+            return Err(map);
+        }
+        Ok(FloatBlock { backing: Backing::Map(map), off, count })
+    }
+
+    /// Wraps an owned buffer; gives the buffer back when not castable
+    /// (heap allocations are only 1-byte aligned in general, so this
+    /// legitimately fails and the caller copies instead).
+    pub fn from_bytes(bytes: Vec<u8>, off: usize, count: usize) -> Result<FloatBlock, Vec<u8>> {
+        if !FloatBlock::valid(&bytes, off, count) {
+            return Err(bytes);
+        }
+        Ok(FloatBlock { backing: Backing::Bytes(bytes), off, count })
+    }
+
+    /// The floats, served without copying.
+    pub fn as_slice(&self) -> &[f32] {
+        let bytes = match &self.backing {
+            Backing::Map(m) => &m[self.off..self.off + self.count * 4],
+            Backing::Bytes(b) => &b[self.off..self.off + self.count * 4],
+        };
+        // The constructor validated this exact cast; alignment of an
+        // existing allocation never changes.
+        cast_f32s(bytes).expect("FloatBlock invariant: region validated at construction")
+    }
+
+    /// Number of f32s in the block.
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// True when the block holds no floats.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Whether the block is served from a file mapping (`true`) or an
+    /// owned buffer (`false`).
+    pub fn is_mapped(&self) -> bool {
+        matches!(self.backing, Backing::Map(_))
+    }
+}
+
+impl fmt::Debug for FloatBlock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FloatBlock")
+            .field("mapped", &self.is_mapped())
+            .field("off", &self.off)
+            .field("count", &self.count)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn temp_path(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("mm-shim-test-{}-{tag}", std::process::id()))
+    }
+
+    #[test]
+    fn maps_a_file_and_reads_it_back() {
+        let path = temp_path("roundtrip");
+        let payload: Vec<u8> = (0..=255u8).cycle().take(8192 + 3).collect();
+        std::fs::File::create(&path).unwrap().write_all(&payload).unwrap();
+        let map = map_file(&std::fs::File::open(&path).unwrap()).unwrap();
+        assert_eq!(&*map, &payload[..], "mapped bytes equal file bytes");
+        drop(map);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn empty_files_are_rejected() {
+        let path = temp_path("empty");
+        std::fs::File::create(&path).unwrap();
+        let err = map_file(&std::fs::File::open(&path).unwrap()).unwrap_err();
+        assert!(matches!(err, MapError::Empty));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn cast_checks_alignment_and_length() {
+        // A Vec<f32>'s bytes are always 4-aligned.
+        let floats = vec![1.0f32, -2.5, 3.25];
+        let bytes: Vec<u8> = floats.iter().flat_map(|v| v.to_bits().to_le_bytes()).collect();
+        // Force a 4-aligned view by building from a f32 allocation.
+        let aligned: Vec<f32> = floats.clone();
+        let aligned_bytes =
+            // SAFETY: test-only reborrow of an f32 slice as bytes —
+            // alignment 4 → 1 is always sound.
+            unsafe { std::slice::from_raw_parts(aligned.as_ptr() as *const u8, aligned.len() * 4) };
+        assert_eq!(cast_f32s(aligned_bytes).unwrap(), &floats[..]);
+        // Odd length never casts.
+        assert!(cast_f32s(&bytes[..7]).is_none());
+        // A deliberately misaligned view never casts.
+        if (aligned_bytes.as_ptr() as usize).is_multiple_of(4) {
+            assert!(cast_f32s(&aligned_bytes[1..5]).is_none());
+        }
+    }
+
+    #[test]
+    fn float_block_from_bytes_round_trips() {
+        let floats = [0.5f32, 1.5, -2.0, 4.0];
+        // Build a buffer whose f32 region starts at offset 8 — from a
+        // Vec<u64> so the start (and thus offset 8) is 4-aligned.
+        let mut backing = vec![0u64; 1 + floats.len().div_ceil(2)];
+        let bytes = {
+            let raw: &mut [u8] =
+                // SAFETY: test-only reborrow of a u64 allocation as
+                // bytes — alignment 8 → 1 is always sound.
+                unsafe {
+                    std::slice::from_raw_parts_mut(
+                        backing.as_mut_ptr() as *mut u8,
+                        backing.len() * 8,
+                    )
+                };
+            for (i, v) in floats.iter().enumerate() {
+                raw[8 + i * 4..8 + i * 4 + 4].copy_from_slice(&v.to_bits().to_le_bytes());
+            }
+            raw[..8 + floats.len() * 4].to_vec()
+        };
+        match FloatBlock::from_bytes(bytes.clone(), 8, floats.len()) {
+            Ok(block) => {
+                assert_eq!(block.as_slice(), &floats[..]);
+                assert!(!block.is_mapped());
+                assert_eq!(block.len(), floats.len());
+            }
+            // A 1-aligned heap buffer is a legitimate outcome; the
+            // caller copies in that case.
+            Err(returned) => assert_eq!(returned, bytes),
+        }
+        // Out-of-bounds regions always fail closed.
+        assert!(FloatBlock::from_bytes(bytes.clone(), 8, floats.len() + 8).is_err());
+        assert!(FloatBlock::from_bytes(bytes, usize::MAX, 1).is_err());
+    }
+
+    #[test]
+    fn float_block_from_mmap_serves_zero_copy() {
+        let path = temp_path("block");
+        let floats: Vec<f32> = (0..1024).map(|i| i as f32 * 0.25).collect();
+        let mut payload = vec![0u8; 16]; // 16-byte header keeps offset 4-aligned
+        for v in &floats {
+            payload.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+        std::fs::File::create(&path).unwrap().write_all(&payload).unwrap();
+        let map = map_file(&std::fs::File::open(&path).unwrap()).unwrap();
+        // mmap returns page-aligned memory, so offset 16 is 4-aligned.
+        let block = FloatBlock::from_mmap(map, 16, floats.len()).expect("page-aligned mapping");
+        assert!(block.is_mapped());
+        assert_eq!(block.as_slice(), &floats[..]);
+        drop(block);
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -21,6 +21,13 @@ bench:
 bench-smoke:
     CRITERION_QUICK=1 cargo bench -p bench
 
+# The tracked serving-performance trajectory: regenerates BENCH_serve.json
+# at the repo root (cold-start mapped vs owned, live memtable sweep and
+# ExactKnn batch with SQ8 on vs off), asserting bit-identical top-k and
+# the 1.5x SQ8 speedup floor. Commit the refreshed file with perf PRs.
+bench-report:
+    cargo run --release -p bench --bin bench_report -- --min-speedup 1.5
+
 # The paper's figure/table experiments at a reduced scale.
 figures out="results":
     cargo run -p bench --release --bin table2 -- --out {{out}}

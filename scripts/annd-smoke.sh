@@ -17,10 +17,20 @@ CLI=target/release/ann-cli
 
 rm -rf "$DIR"
 "$CLI" demo --out "$DIR" --n 500 --dim "$DIM"
-"$ANND" --snapshot-dir "$DIR" --addr "$ADDR" &
+"$ANND" --snapshot-dir "$DIR" --addr "$ADDR" > "$DIR/annd.log" 2>&1 &
 ANND_PID=$!
 trap 'kill "$ANND_PID" 2>/dev/null || true' EXIT
 sleep 2
+
+# The startup banner must say how each snapshot was loaded: on a unix
+# host the v3 demo containers are served zero-copy from an mmap
+# (load=mapped) with their persisted SQ8 code tables live (sq8=on).
+grep -F "load=mapped" "$DIR/annd.log" \
+    || (echo "load-mode smoke: daemon did not log a mapped snapshot load" \
+        && cat "$DIR/annd.log" && exit 1)
+grep -F "sq8=on" "$DIR/annd.log" \
+    || (echo "load-mode smoke: daemon did not log an active SQ8 code table" \
+        && cat "$DIR/annd.log" && exit 1)
 
 ZERO_VEC=$(printf '0.0,%.0s' $(seq "$DIM") | sed 's/,$//')
 "$CLI" ping --addr "$ADDR"
