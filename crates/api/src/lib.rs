@@ -34,6 +34,9 @@
 //!   [`AnnIndex::query_batch`]: chunked dynamic scheduling over scoped
 //!   threads with one scratch per worker and deterministic, query-order
 //!   output.
+//!
+//! Where this contract layer sits in the workspace is mapped in
+//! `docs/architecture.md` at the repository root.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -65,6 +65,65 @@ impl std::error::Error for MutateError {}
 /// assigns or accepts an id, every query returns that id for that row
 /// until it is deleted — across seals and compactions, however the
 /// implementation shuffles rows internally.
+///
+/// # Example
+///
+/// A toy 1-d implementation (the production one is `crates/live`'s
+/// `LiveIndex`; the `AnnIndex` half is elided here):
+///
+/// ```
+/// use ann::{AnnIndex, MutableAnn, MutateError, Scratch, SearchParams};
+/// use dataset::{exact::Neighbor, Dataset};
+///
+/// struct Toy { rows: Vec<(u32, f32)>, next: u32 }
+/// # impl AnnIndex for Toy {
+/// #     fn name(&self) -> &'static str { "Toy" }
+/// #     fn len(&self) -> usize { self.rows.len() }
+/// #     fn index_bytes(&self) -> usize { 0 }
+/// #     fn query_with(&self, q: &[f32], p: &SearchParams, _: &mut Scratch) -> Vec<Neighbor> {
+/// #         let mut all: Vec<Neighbor> = self.rows.iter()
+/// #             .map(|&(id, x)| Neighbor { id, dist: f64::from((x - q[0]).abs()) })
+/// #             .collect();
+/// #         all.sort_unstable();
+/// #         all.truncate(p.k);
+/// #         all
+/// #     }
+/// # }
+///
+/// impl MutableAnn for Toy {
+///     fn insert(&mut self, rows: &Dataset, ids: Option<&[u32]>) -> Result<Vec<u32>, MutateError> {
+///         let mut out = Vec::new();
+///         for i in 0..rows.len() {
+///             let id = match ids {
+///                 Some(ids) => ids[i],
+///                 None => { self.next += 1; self.next - 1 }
+///             };
+///             if self.rows.iter().any(|&(live, _)| live == id) {
+///                 return Err(MutateError::IdInUse(id));
+///             }
+///             self.rows.push((id, rows.get(i)[0]));
+///             out.push(id);
+///         }
+///         Ok(out)
+///     }
+///     fn delete(&mut self, ids: &[u32]) -> usize {
+///         let before = self.rows.len();
+///         self.rows.retain(|(id, _)| !ids.contains(id));
+///         before - self.rows.len()
+///     }
+///     fn seal(&mut self) -> Result<bool, MutateError> { Ok(false) } // nothing buffered
+///     fn live_len(&self) -> usize { self.rows.len() }
+/// }
+///
+/// let mut idx = Toy { rows: Vec::new(), next: 0 };
+/// let ids = idx.insert(&Dataset::from_rows("r", &[vec![1.0], vec![2.0]]), None)?;
+/// assert_eq!(ids, vec![0, 1]);                  // auto-assigned, ascending
+/// assert_eq!(idx.delete(&[0, 9]), 1);           // absent ids don't count
+/// assert_eq!(idx.live_len(), 1);
+/// let dup = idx.insert(&Dataset::from_rows("r", &[vec![3.0]]), Some(&[1]));
+/// assert_eq!(dup, Err(MutateError::IdInUse(1))); // delete-then-insert to update
+/// # Ok::<(), MutateError>(())
+/// ```
 pub trait MutableAnn: AnnIndex {
     /// Inserts `rows`, returning the id assigned to each row in order.
     ///

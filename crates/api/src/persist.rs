@@ -45,6 +45,64 @@ impl std::error::Error for PersistError {}
 /// Implementations must guarantee that a restored index answers every
 /// query identically to the index it was saved from (given the same
 /// dataset) — the end-to-end serving test enforces this bit for bit.
+///
+/// # Example
+///
+/// A toy scheme whose whole "structure" is a magic plus the row count
+/// (real schemes serialize parameters + structure and re-sample their
+/// hash functions from the persisted seed; the `AnnIndex` half is
+/// elided):
+///
+/// ```
+/// use ann::{AnnIndex, PersistAnn, PersistError, Scratch, SearchParams};
+/// use dataset::{exact::Neighbor, Dataset};
+/// use std::sync::Arc;
+///
+/// struct Echo { data: Arc<Dataset> }
+/// # impl AnnIndex for Echo {
+/// #     fn name(&self) -> &'static str { "Echo" }
+/// #     fn len(&self) -> usize { self.data.len() }
+/// #     fn index_bytes(&self) -> usize { 0 }
+/// #     fn query_with(&self, q: &[f32], p: &SearchParams, _: &mut Scratch) -> Vec<Neighbor> {
+/// #         let mut all: Vec<Neighbor> = (0..self.data.len() as u32)
+/// #             .map(|id| Neighbor {
+/// #                 id,
+/// #                 dist: f64::from((self.data.get(id as usize)[0] - q[0]).abs()),
+/// #             })
+/// #             .collect();
+/// #         all.sort_unstable();
+/// #         all.truncate(p.k);
+/// #         all
+/// #     }
+/// # }
+///
+/// impl PersistAnn for Echo {
+///     fn snapshot_bytes(&self) -> Vec<u8> {
+///         let mut out = b"ECHO".to_vec();
+///         out.extend_from_slice(&(self.data.len() as u64).to_le_bytes());
+///         out
+///     }
+///     fn restore(payload: &[u8], data: Arc<Dataset>) -> Result<Self, PersistError> {
+///         if payload.len() < 12 || &payload[..4] != b"ECHO" {
+///             return Err(PersistError::BadMagic);
+///         }
+///         let n = u64::from_le_bytes(payload[4..12].try_into().unwrap());
+///         if n as usize != data.len() {
+///             return Err(PersistError::DatasetMismatch(format!(
+///                 "payload built over {n} rows, dataset has {}",
+///                 data.len()
+///             )));
+///         }
+///         Ok(Echo { data })
+///     }
+/// }
+///
+/// let data = Arc::new(Dataset::from_rows("d", &[vec![0.0], vec![1.0]]));
+/// let idx = Echo { data: Arc::clone(&data) };
+/// let restored = Echo::restore(&idx.snapshot_bytes(), data).unwrap();
+/// let p = SearchParams::new(1, 8);
+/// assert_eq!(restored.query(&[0.9], &p), idx.query(&[0.9], &p)); // bit-identical
+/// ```
 pub trait PersistAnn: AnnIndex {
     /// Serializes the index into a standalone payload. The dataset itself
     /// is *not* included; [`PersistAnn::restore`] re-attaches it.

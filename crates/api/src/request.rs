@@ -169,6 +169,23 @@ impl std::error::Error for RequestError {}
 
 /// One self-describing search question. See the module docs for the
 /// capability model; see [`SearchRequest::top_k`] for construction.
+///
+/// ```
+/// use ann::{IdFilter, SearchRequest};
+///
+/// let req = SearchRequest::top_k(10)        // neighbors to return
+///     .budget(128)                          // candidate budget (λ for LCCS)
+///     .probes(17)                           // multi-probe schemes only
+///     .filter(IdFilter::deny(vec![3, 9]))   // tombstones / ACLs
+///     .max_dist(1.5)                        // range search: hits within 1.5
+///     .with_stats();                        // ask for the counters
+///
+/// assert!(req.validate(1_000).is_ok());     // 1 ≤ k ≤ rows, finite threshold
+/// assert!(req.validate(5).is_err());        // k = 10 > 5 rows
+///
+/// let p = req.params();                     // the low-level knob triple
+/// assert_eq!((p.k, p.budget, p.probes), (10, 128, 17));
+/// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct SearchRequest {
     /// Neighbors to return (at most; a threshold may leave fewer).

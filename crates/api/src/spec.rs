@@ -134,6 +134,24 @@ impl Default for BuildOptions {
 
 /// A fully self-describing index construction request: scheme + knobs +
 /// [`BuildOptions`]. See the [module docs](self) for the grammar.
+///
+/// ```
+/// use ann::IndexSpec;
+///
+/// let spec: IndexSpec = "mp-lccs:m=64,seed=7".parse().unwrap();
+/// assert_eq!(spec.build.seed, 7);
+///
+/// // Display emits the canonical form; FromStr round-trips it.
+/// let canon = spec.to_string();
+/// assert_eq!(canon.parse::<IndexSpec>().unwrap(), spec);
+///
+/// // The same data round-trips through the JSON form too.
+/// assert_eq!(IndexSpec::from_json(&spec.to_json()).unwrap(), spec);
+///
+/// // Errors are typed, not stringly: unknown schemes, unknown keys,
+/// // duplicates, and out-of-range values all parse to a `SpecError`.
+/// assert!("warp-drive:q=3".parse::<IndexSpec>().is_err());
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct IndexSpec {
     /// Which scheme to build, with its index-time knobs.

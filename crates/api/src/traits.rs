@@ -125,6 +125,41 @@ impl Scratch {
 /// `Box<dyn AnnIndex>` and drives the paper's ~11 schemes through one
 /// generic loop. Per-query state lives in an opaque [`Scratch`] so that
 /// hot loops and the parallel batch executor can amortize allocations.
+///
+/// # Example
+///
+/// Only `name`, `len`, `index_bytes`, and `query_with` are required; a
+/// minimal implementation over the 1-d points `0..n` already drives
+/// every entry point — `query`, the parallel `query_batch`, and the
+/// filtered/range `search` path, whose default wraps `query_with`:
+///
+/// ```
+/// use ann::{AnnIndex, Scratch, SearchParams, SearchRequest};
+/// use dataset::exact::Neighbor;
+///
+/// struct Grid { n: usize }
+///
+/// impl AnnIndex for Grid {
+///     fn name(&self) -> &'static str { "Grid" }
+///     fn len(&self) -> usize { self.n }
+///     fn index_bytes(&self) -> usize { 0 }
+///     fn query_with(&self, q: &[f32], p: &SearchParams, _: &mut Scratch) -> Vec<Neighbor> {
+///         let mut all: Vec<Neighbor> = (0..self.n as u32)
+///             .map(|id| Neighbor { id, dist: (f64::from(id) - f64::from(q[0])).abs() })
+///             .collect();
+///         all.sort_unstable();   // Neighbor orders by (dist, id)
+///         all.truncate(p.k);
+///         all
+///     }
+/// }
+///
+/// let idx = Grid { n: 100 };
+/// let hits = idx.query(&[41.4], &SearchParams::new(3, 64));
+/// assert_eq!(hits[0].id, 41);
+///
+/// let resp = idx.search(&[41.4], &SearchRequest::top_k(3).max_dist(1.0));
+/// assert_eq!(resp.hits.len(), 2);   // range search: only 41 and 42 are within 1.0
+/// ```
 pub trait AnnIndex: Send + Sync {
     /// The method name as printed in the paper's legends (e.g.
     /// `"LCCS-LSH"`, `"E2LSH"`).

@@ -26,6 +26,9 @@
 //! native parameters), so the eval harness and serving callers drive the
 //! whole suite through one interface, including the parallel
 //! `query_batch` executor.
+//!
+//! Where these schemes sit in the workspace is mapped in
+//! `docs/architecture.md` at the repository root.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -7,6 +7,9 @@
 //! * **Criterion micro-benches** (`benches/`): `csa` (Algorithm 1 build and
 //!   Algorithm 2 k-LCCS search), `families` (per-family hashing cost
 //!   η(d)), and `queries` (end-to-end query paths of every scheme).
+//!
+//! Where this harness sits in the workspace is mapped in
+//! `docs/architecture.md` at the repository root.
 
 #![forbid(unsafe_code)]
 

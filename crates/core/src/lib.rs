@@ -28,6 +28,9 @@
 //! let out = index.query(data.get(0), 5, 64);
 //! assert_eq!(out.neighbors[0].id, 0); // the object itself is its own NN
 //! ```
+//!
+//! Where this crate sits in the workspace is mapped in
+//! `docs/architecture.md` at the repository root.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

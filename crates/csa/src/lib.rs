@@ -36,6 +36,9 @@
 //! assert_eq!(top[0].id, 0);   // o1 has the longest LCCS (= 5) with q
 //! assert_eq!(top[0].len, 5);
 //! ```
+//!
+//! Where this crate sits in the workspace is mapped in
+//! `docs/architecture.md` at the repository root.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -24,6 +24,9 @@
 //! let gt = ExactKnn::compute(&data, &queries, 5, Metric::Euclidean);
 //! assert_eq!(gt.k(), 5);
 //! ```
+//!
+//! Where this substrate sits in the workspace is mapped in
+//! `docs/architecture.md` at the repository root.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -9,6 +9,9 @@
 //! plot, and write TSV series. The per-figure drivers live in
 //! [`experiments`]; the runnable binaries wrapping them live in the
 //! `bench` crate.
+//!
+//! Where this harness sits in the workspace is mapped in
+//! `docs/architecture.md` at the repository root.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

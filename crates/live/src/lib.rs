@@ -16,9 +16,26 @@
 //!   [`LiveConfig::seal_threshold`] rows it is frozen and rebuilt through
 //!   the registry into one more segment;
 //! * a **compaction policy**: once more than
-//!   [`LiveConfig::max_segments`] segments exist, the smallest ones are
-//!   merged (rebuilt from their concatenated live vectors, dropping
-//!   tombstoned rows).
+//!   [`LiveConfig::max_segments`] segments exist, the physically smallest
+//!   ones are merged (rebuilt from their concatenated live vectors,
+//!   dropping tombstoned rows).
+//!
+//! Seal and compaction *decisions* are made synchronously at the insert
+//! that crosses the threshold — the memtable is frozen and the full
+//! compaction cascade is planned with its input rows materialized right
+//! there — but the expensive registry *builds* can be deferred: the
+//! plans queue as pending ops ([`LiveIndex::insert_deferred`]), a
+//! background worker clones each build's inputs ([`LiveIndex::pending_build`]),
+//! builds with no lock held, and swaps the result in under a short
+//! critical section ([`LiveIndex::install_built`]). Queries keep
+//! answering throughout: frozen-but-not-yet-built buffers are scanned
+//! exactly like the memtable. Because every decision (segment
+//! membership, merge selection by physical row count, merge inputs) is
+//! fixed at the crossing, the resulting segment layout is a pure
+//! function of the insert/delete sequence — replaying a write-ahead log
+//! ([`wal`]) over a restored snapshot converges to the same layout the
+//! live process had, which is what makes restart answers reproducible
+//! (see `docs/durability.md`).
 //!
 //! Queries fan out across the memtable and every segment through
 //! [`ann::executor`], merge the per-unit top-k by `(distance, id)` and
@@ -40,9 +57,14 @@
 //! mutation, `&self` query) — the serving layer wraps live catalog
 //! entries in an `RwLock` so readers share and writers exclude, while
 //! static entries keep their lock-free path.
+//!
+//! Where this crate sits in the workspace is mapped in
+//! `docs/architecture.md` at the repository root.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod wal;
 
 use ann::executor;
 use ann::{
@@ -53,7 +75,7 @@ use dataset::exact::Neighbor;
 use dataset::sq8::{Sq8, Sq8Pruner};
 use dataset::{Dataset, Metric};
 use eval::registry::{self, BuildCtx};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -99,6 +121,16 @@ impl LiveConfig {
 enum Loc {
     /// Memtable slot.
     Mem(u32),
+    /// Slot inside a frozen memtable buffer whose segment build is still
+    /// pending. `seg` is the segment id the build was assigned at freeze
+    /// time; `slot` is the *raw* buffer slot (the built segment compacts
+    /// away slots that were already dead at the freeze).
+    Frozen {
+        /// Reserved segment id of the pending build.
+        seg: u32,
+        /// Raw slot in the frozen buffer.
+        slot: u32,
+    },
     /// Slot inside the segment with this stable segment id.
     Seg {
         /// Stable segment id (not the position in the segment vector —
@@ -129,6 +161,130 @@ impl Segment {
     }
 }
 
+/// A memtable frozen at a threshold crossing, waiting for its segment
+/// build. The whole buffer is kept (including slots already dead at the
+/// freeze) so a failed synchronous build can restore the memtable
+/// exactly; queries scan it like the memtable until the build installs.
+struct FrozenMem {
+    /// Monotone op token: [`LiveIndex::install_built`] matches it
+    /// against the front of the queue to reject stale builds.
+    token: u64,
+    /// Segment id reserved at freeze time.
+    seg_id: u32,
+    /// The full memtable row buffer at the freeze.
+    rows: Vec<f32>,
+    /// External id per raw slot.
+    ids: Vec<u32>,
+    /// Liveness *at the freeze* — the fixed membership of the future
+    /// segment (its slots are this vector's `true` entries, compacted).
+    built_live: Vec<bool>,
+    /// Current liveness: deletes arriving while the build is pending
+    /// flip entries here (always a subset of `built_live`).
+    live: Vec<bool>,
+    /// Count of `!live` slots.
+    dead: usize,
+    /// SQ8 codes inherited from the memtable, if they were trained.
+    sq8: Option<Sq8>,
+}
+
+/// A compaction merge planned at a threshold crossing: its input rows
+/// were materialized (live rows only) right at the crossing, so the
+/// merged segment's contents do not depend on when the build runs.
+struct PlannedMerge {
+    token: u64,
+    /// Segment id reserved for the merged segment (unused when `ids` is
+    /// empty — a merge of two fully-tombstoned segments just drops them).
+    seg_id: u32,
+    /// The two segment ids this merge replaces.
+    drop_a: u32,
+    drop_b: u32,
+    /// Live-at-plan rows of both inputs, `drop_a`'s first.
+    flat: Vec<f32>,
+    /// External id per planned slot.
+    ids: Vec<u32>,
+    /// Transitive *root* segment ids (real segments or frozen buffers)
+    /// the rows came from. A planned row is still live exactly while the
+    /// id map points at one of these roots — the check a later crossing
+    /// uses to materialize this not-yet-built segment into a further
+    /// merge.
+    sources: Vec<u32>,
+}
+
+enum PendingOp {
+    Seal(FrozenMem),
+    Merge(PlannedMerge),
+}
+
+impl PendingOp {
+    fn token(&self) -> u64 {
+        match self {
+            PendingOp::Seal(f) => f.token,
+            PendingOp::Merge(m) => m.token,
+        }
+    }
+}
+
+enum BuildKind {
+    Seal { seg_id: u32 },
+    Merge { seg_id: u32 },
+}
+
+/// The cloned inputs of the front pending op: everything a worker needs
+/// to run the registry build with **no reference to the index** (and so
+/// no lock held). Obtain with [`LiveIndex::pending_build`], build off to
+/// the side, hand the result back to [`LiveIndex::install_built`].
+pub struct PendingBuild {
+    token: u64,
+    kind: BuildKind,
+    spec: IndexSpec,
+    metric: Metric,
+    dim: usize,
+    flat: Vec<f32>,
+    ids: Vec<u32>,
+}
+
+impl PendingBuild {
+    /// Runs the registry build. Deterministic from the cloned inputs;
+    /// the index is untouched until the result is installed.
+    pub fn build(self) -> Result<BuiltUnit, MutateError> {
+        let segment = if self.ids.is_empty() {
+            // A merge of fully-tombstoned inputs: nothing to build, the
+            // install just drops them.
+            None
+        } else {
+            let seg_id = match self.kind {
+                BuildKind::Seal { seg_id } => seg_id,
+                BuildKind::Merge { seg_id, .. } => seg_id,
+            };
+            Some(build_segment_parts(&self.spec, self.metric, self.dim, self.flat, self.ids, seg_id)?)
+        };
+        Ok(BuiltUnit { token: self.token, kind: self.kind, segment })
+    }
+}
+
+/// A finished off-thread build, ready for [`LiveIndex::install_built`].
+pub struct BuiltUnit {
+    token: u64,
+    kind: BuildKind,
+    segment: Option<Segment>,
+}
+
+/// Builds a registry index over `(flat, ids)` — the free-function core
+/// of segment construction, shared by the in-place and deferred paths.
+fn build_segment_parts(
+    spec: &IndexSpec,
+    metric: Metric,
+    dim: usize,
+    flat: Vec<f32>,
+    ids: Vec<u32>,
+    seg_id: u32,
+) -> Result<Segment, MutateError> {
+    let data = Arc::new(Dataset::from_flat("live-seg", dim, flat));
+    let index = registry::build_index(spec, &BuildCtx { data: &data, metric })
+        .map_err(|e| MutateError::Build(e.to_string()))?;
+    Ok(Segment { seg_id, data, ids, dead: 0, index })
+}
+
 /// The serializable state of a [`LiveIndex`]: everything needed to
 /// reassemble an identically-answering index after a restart.
 ///
@@ -153,8 +309,17 @@ pub struct LiveState {
     pub next_id: u32,
     /// Sealed segments, oldest first.
     pub segments: Vec<UnitState>,
-    /// The memtable.
+    /// The memtable. When the index had pending (frozen but not yet
+    /// built) buffers at save time they are folded in here — both are
+    /// exact-scanned, so answers are unchanged, and the next threshold
+    /// crossings after a restore re-seal them.
     pub memtable: UnitState,
+    /// Write-ahead-log generation this state was saved under. A WAL
+    /// whose header carries a different generation predates (or
+    /// postdates) this snapshot and must not be replayed over it — the
+    /// guard that makes a crash *between* the snapshot rename and the
+    /// WAL truncation safe. See `docs/durability.md`.
+    pub wal_gen: u64,
 }
 
 /// One unit (segment or memtable) of a [`LiveState`]: its rows, the
@@ -218,6 +383,21 @@ pub struct LiveIndex {
     /// External id → current live location. The single source of truth
     /// for liveness: a row copy is live iff the map points exactly at it.
     id_map: HashMap<u32, Loc>,
+    /// FIFO queue of planned-but-not-built work: frozen memtables and
+    /// compaction merges, in the exact order a synchronous replay of the
+    /// op sequence would perform them.
+    pending: VecDeque<PendingOp>,
+    /// Projection of the segment set *after* every pending op installs:
+    /// `(seg_id, physical_rows)` in the position order a synchronous
+    /// execution would leave. Compaction planning selects against this
+    /// view, so a crossing decides the same merges whether earlier
+    /// builds already installed or not.
+    sim: Vec<(u32, usize)>,
+    /// Monotone counter stamping pending ops (stale-build rejection).
+    op_seq: u64,
+    /// Generation of the write-ahead log this index is paired with (see
+    /// [`LiveState::wal_gen`]). Plumbed, not interpreted, by the index.
+    wal_gen: u64,
 }
 
 impl LiveIndex {
@@ -251,6 +431,10 @@ impl LiveIndex {
             mem_sq8: None,
             sq8_enabled: true,
             id_map: HashMap::new(),
+            pending: VecDeque::new(),
+            sim: Vec::new(),
+            op_seq: 0,
+            wal_gen: 0,
         })
     }
 
@@ -310,11 +494,56 @@ impl LiveIndex {
     pub fn vector(&self, id: u32) -> Option<Vec<f32>> {
         match *self.id_map.get(&id)? {
             Loc::Mem(slot) => Some(self.mem_row(slot as usize).to_vec()),
+            Loc::Frozen { seg, slot } => {
+                let f = self.frozen_buf(seg)?;
+                let slot = slot as usize;
+                Some(f.rows[slot * self.dim..(slot + 1) * self.dim].to_vec())
+            }
             Loc::Seg { seg, slot } => {
                 let s = self.segments.iter().find(|s| s.seg_id == seg)?;
                 Some(s.data.get(slot as usize).to_vec())
             }
         }
+    }
+
+    fn frozen_buf(&self, seg_id: u32) -> Option<&FrozenMem> {
+        self.pending.iter().find_map(|op| match op {
+            PendingOp::Seal(f) if f.seg_id == seg_id => Some(f),
+            _ => None,
+        })
+    }
+
+    /// Planned-but-not-built ops (pending seals + merges) queued for the
+    /// background worker (or the next synchronous [`MutableAnn::seal`]).
+    pub fn pending_ops(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Whether any build work is queued.
+    pub fn has_pending(&self) -> bool {
+        !self.pending.is_empty()
+    }
+
+    /// Rows sitting in frozen (pending-seal) buffers, live + tombstoned.
+    pub fn frozen_rows(&self) -> usize {
+        self.pending
+            .iter()
+            .map(|op| match op {
+                PendingOp::Seal(f) => f.ids.len(),
+                PendingOp::Merge(_) => 0,
+            })
+            .sum()
+    }
+
+    /// The write-ahead-log generation this index was restored under (or
+    /// last flushed at). See [`LiveState::wal_gen`].
+    pub fn wal_gen(&self) -> u64 {
+        self.wal_gen
+    }
+
+    /// Records the WAL generation after a flush bumps it.
+    pub fn set_wal_gen(&mut self, gen: u64) {
+        self.wal_gen = gen;
     }
 
     fn mem_row(&self, slot: usize) -> &[f32] {
@@ -352,6 +581,36 @@ impl LiveIndex {
     }
 
     fn insert_rows(&mut self, rows: &Dataset, ids: Option<&[u32]>) -> Result<Vec<u32>, MutateError> {
+        self.insert_rows_inner(rows, ids, false)
+    }
+
+    /// Like [`MutableAnn::insert`], except a threshold crossing only
+    /// *plans* the seal (and any compaction cascade it triggers) instead
+    /// of building inline: the memtable freezes into a pending buffer
+    /// that queries keep scanning exactly, and the registry builds are
+    /// left for a worker driving [`LiveIndex::pending_build`] /
+    /// [`LiveIndex::install_built`] (or for the next synchronous
+    /// [`MutableAnn::seal`]). Because all layout decisions are made here
+    /// at the crossing, the eventual segment layout is identical to the
+    /// one plain [`MutableAnn::insert`] produces for the same op
+    /// sequence — the property WAL replay relies on.
+    ///
+    /// Returns the assigned ids and whether build work is now pending.
+    pub fn insert_deferred(
+        &mut self,
+        rows: &Dataset,
+        ids: Option<&[u32]>,
+    ) -> Result<(Vec<u32>, bool), MutateError> {
+        let assigned = self.insert_rows_inner(rows, ids, true)?;
+        Ok((assigned, self.has_pending()))
+    }
+
+    fn insert_rows_inner(
+        &mut self,
+        rows: &Dataset,
+        ids: Option<&[u32]>,
+        defer: bool,
+    ) -> Result<Vec<u32>, MutateError> {
         if rows.dim() != self.dim {
             return Err(MutateError::DimMismatch { expected: self.dim, got: rows.dim() });
         }
@@ -419,31 +678,65 @@ impl LiveIndex {
             self.next_id = self.next_id.max(id + 1);
         }
         if self.mem_ids.len() >= self.config.seal_threshold {
-            if let Err(e) = self.seal_mem() {
-                // A failed *seal* leaves the memtable untouched (it commits
-                // only after a successful build), so the insert can be
-                // unwound and the whole call keeps its all-or-nothing
-                // contract. If the seal committed and a *compaction* after
-                // it failed, the rows are already live in a segment — the
-                // state is valid (just over the segment cap), so the error
-                // propagates without touching them.
-                if self.mem_ids.len() == rollback_rows + assigned.len() {
-                    for &id in &assigned {
-                        self.id_map.remove(&id);
+            if defer {
+                self.freeze_and_plan();
+            } else {
+                let checkpoint = (self.sim.clone(), self.next_seg_id);
+                let seal_token = self.freeze_and_plan();
+                if let Err(e) = self.drain_pending() {
+                    // If the drain failed before our freshly frozen buffer
+                    // was built (our seal op is still queued), nothing of
+                    // this crossing installed: unwind the freeze and the
+                    // insert so the call keeps its all-or-nothing
+                    // contract. If our seal installed and a *merge* build
+                    // after it failed, the rows are already live in a
+                    // segment — the state is valid (just over the segment
+                    // cap), so the error propagates without touching them.
+                    if let Some(token) = seal_token {
+                        if self.pending.iter().any(|op| op.token() == token) {
+                            while self.pending.back().is_some_and(|op| op.token() >= token) {
+                                let op = self.pending.pop_back().expect("just checked");
+                                if let PendingOp::Seal(f) = op {
+                                    self.unfreeze(f);
+                                }
+                            }
+                            (self.sim, self.next_seg_id) = checkpoint;
+                            debug_assert_eq!(self.mem_ids.len(), rollback_rows + assigned.len());
+                            for &id in &assigned {
+                                self.id_map.remove(&id);
+                            }
+                            self.mem_ids.truncate(rollback_rows);
+                            self.mem_live.truncate(rollback_rows);
+                            self.mem_rows.truncate(rollback_rows * self.dim);
+                            if let Some(sq) = &mut self.mem_sq8 {
+                                sq.truncate(rollback_rows);
+                            }
+                            self.next_id = rollback_next_id;
+                        }
                     }
-                    self.mem_ids.truncate(rollback_rows);
-                    self.mem_live.truncate(rollback_rows);
-                    self.mem_rows.truncate(rollback_rows * self.dim);
-                    if let Some(sq) = &mut self.mem_sq8 {
-                        sq.truncate(rollback_rows);
-                    }
-                    self.next_id = rollback_next_id;
+                    return Err(e);
                 }
-                return Err(e);
             }
         }
         self.train_mem_sq8_if_due();
         Ok(assigned)
+    }
+
+    /// Restores the memtable from a frozen buffer (the failed-build
+    /// unwind; the memtable must be empty, i.e. nothing ran since the
+    /// freeze being undone).
+    fn unfreeze(&mut self, f: FrozenMem) {
+        debug_assert!(self.mem_ids.is_empty(), "unfreeze only undoes the latest freeze");
+        for (slot, &id) in f.ids.iter().enumerate() {
+            if f.live[slot] {
+                self.id_map.insert(id, Loc::Mem(slot as u32));
+            }
+        }
+        self.mem_rows = f.rows;
+        self.mem_ids = f.ids;
+        self.mem_live = f.live;
+        self.mem_dead = f.dead;
+        self.mem_sq8 = f.sq8;
     }
 
     fn delete_ids(&mut self, ids: &[u32]) -> usize {
@@ -455,6 +748,18 @@ impl LiveIndex {
                 Loc::Mem(slot) => {
                     self.mem_live[slot as usize] = false;
                     self.mem_dead += 1;
+                }
+                Loc::Frozen { seg, slot } => {
+                    let f = self
+                        .pending
+                        .iter_mut()
+                        .find_map(|op| match op {
+                            PendingOp::Seal(f) if f.seg_id == seg => Some(f),
+                            _ => None,
+                        })
+                        .expect("id map points at a queued frozen buffer");
+                    f.live[slot as usize] = false;
+                    f.dead += 1;
                 }
                 Loc::Seg { seg, .. } => {
                     let s = self
@@ -473,100 +778,284 @@ impl LiveIndex {
     /// segment. Pure with respect to `self` (commit happens at the call
     /// site) so a builder failure leaves the index untouched.
     fn build_segment(&self, flat: Vec<f32>, ids: Vec<u32>, seg_id: u32) -> Result<Segment, MutateError> {
-        let data = Arc::new(Dataset::from_flat("live-seg", self.dim, flat));
-        let index = registry::build_index(&self.spec, &BuildCtx { data: &data, metric: self.metric })
-            .map_err(|e| MutateError::Build(e.to_string()))?;
-        Ok(Segment { seg_id, data, ids, dead: 0, index })
+        build_segment_parts(&self.spec, self.metric, self.dim, flat, ids, seg_id)
     }
 
-    /// Live memtable rows in slot order, as `(flat, ids)`.
-    fn live_mem_rows(&self) -> (Vec<f32>, Vec<u32>) {
-        let mut flat = Vec::with_capacity((self.mem_ids.len() - self.mem_dead) * self.dim);
-        let mut ids = Vec::with_capacity(self.mem_ids.len() - self.mem_dead);
-        for (slot, &id) in self.mem_ids.iter().enumerate() {
-            if self.mem_live[slot] {
-                flat.extend_from_slice(self.mem_row(slot));
-                ids.push(id);
-            }
-        }
-        (flat, ids)
-    }
-
-    fn seal_mem(&mut self) -> Result<bool, MutateError> {
+    /// Freezes a non-empty memtable into a pending seal and plans the
+    /// compaction cascade the eventual install will trigger, all at this
+    /// instant — every layout decision (segment membership, merge
+    /// selection, merge inputs) is fixed here, which is what keeps the
+    /// layout a pure function of the op sequence however late the
+    /// builds run. Infallible (no building happens); returns the seal
+    /// op's token, or `None` when there was nothing live to seal (a
+    /// memtable of pure tombstones is discarded, as a synchronous seal
+    /// always did).
+    fn freeze_and_plan(&mut self) -> Option<u64> {
         if self.mem_ids.is_empty() {
-            return Ok(false);
+            return None;
         }
-        let (flat, ids) = self.live_mem_rows();
-        if ids.is_empty() {
+        let live_count = self.mem_ids.len() - self.mem_dead;
+        if live_count == 0 {
             // Only tombstoned rows buffered: discard them, nothing to seal.
             self.mem_rows.clear();
             self.mem_ids.clear();
             self.mem_live.clear();
             self.mem_dead = 0;
             self.mem_sq8 = None;
-            return Ok(false);
+            return None;
         }
         let seg_id = self.next_seg_id;
-        let segment = self.build_segment(flat, ids, seg_id)?;
-        // Build succeeded — commit.
         self.next_seg_id += 1;
-        for (slot, &id) in segment.ids.iter().enumerate() {
-            self.id_map.insert(id, Loc::Seg { seg: seg_id, slot: slot as u32 });
-        }
-        self.segments.push(segment);
-        self.mem_rows.clear();
-        self.mem_ids.clear();
-        self.mem_live.clear();
+        let token = self.op_seq;
+        self.op_seq += 1;
+        let live = std::mem::take(&mut self.mem_live);
+        let f = FrozenMem {
+            token,
+            seg_id,
+            rows: std::mem::take(&mut self.mem_rows),
+            ids: std::mem::take(&mut self.mem_ids),
+            built_live: live.clone(),
+            live,
+            dead: self.mem_dead,
+            sq8: self.mem_sq8.take(),
+        };
         self.mem_dead = 0;
-        self.mem_sq8 = None;
-        self.compact_if_needed()?;
-        Ok(true)
-    }
-
-    /// Merges the smallest segments until at most
-    /// [`LiveConfig::max_segments`] remain. Merging rebuilds from the
-    /// concatenated *live* vectors, physically dropping tombstoned rows.
-    fn compact_if_needed(&mut self) -> Result<(), MutateError> {
-        while self.segments.len() > self.config.max_segments && self.segments.len() >= 2 {
-            // The two smallest by live rows (ties: older position first).
-            let mut order: Vec<usize> = (0..self.segments.len()).collect();
-            order.sort_by_key(|&i| (self.segments[i].live_rows(), i));
-            let (a, b) = (order[0].min(order[1]), order[0].max(order[1]));
-            self.merge_pair(a, b)?;
+        for (slot, &id) in f.ids.iter().enumerate() {
+            if f.live[slot] {
+                self.id_map.insert(id, Loc::Frozen { seg: seg_id, slot: slot as u32 });
+            }
         }
-        Ok(())
+        self.pending.push_back(PendingOp::Seal(f));
+        self.sim.push((seg_id, live_count));
+        self.plan_compaction_cascade();
+        Some(token)
     }
 
-    /// Merges segment positions `a < b` into one new segment.
-    fn merge_pair(&mut self, a: usize, b: usize) -> Result<(), MutateError> {
-        let mut flat = Vec::new();
-        let mut ids = Vec::new();
-        for &pos in &[a, b] {
-            let seg = &self.segments[pos];
+    /// Plans merges against the projected segment set until it fits
+    /// under [`LiveConfig::max_segments`]: repeatedly the two physically
+    /// smallest (ties: older position first) are replaced by one planned
+    /// segment whose input rows are materialized *now* — live rows only,
+    /// so tombstones present at this crossing are physically dropped,
+    /// while rows deleted between now and the install stay in the built
+    /// segment as tombstones (exactly as a synchronous merge followed by
+    /// those deletes would leave them).
+    fn plan_compaction_cascade(&mut self) {
+        while self.sim.len() > self.config.max_segments && self.sim.len() >= 2 {
+            let mut order: Vec<usize> = (0..self.sim.len()).collect();
+            order.sort_by_key(|&i| (self.sim[i].1, i));
+            let (a, b) = (order[0].min(order[1]), order[0].max(order[1]));
+            let (sa, sb) = (self.sim[a].0, self.sim[b].0);
+            let mut flat = Vec::new();
+            let mut ids = Vec::new();
+            let mut sources = Vec::new();
+            self.materialize_live(sa, &mut flat, &mut ids, &mut sources);
+            self.materialize_live(sb, &mut flat, &mut ids, &mut sources);
+            self.sim.remove(b);
+            self.sim.remove(a);
+            let token = self.op_seq;
+            self.op_seq += 1;
+            let seg_id = if ids.is_empty() {
+                // Both inputs fully tombstoned: the install just drops
+                // them; no segment id is spent.
+                u32::MAX
+            } else {
+                let s = self.next_seg_id;
+                self.next_seg_id += 1;
+                self.sim.push((s, ids.len()));
+                s
+            };
+            self.pending.push_back(PendingOp::Merge(PlannedMerge {
+                token,
+                seg_id,
+                drop_a: sa,
+                drop_b: sb,
+                flat,
+                ids,
+                sources,
+            }));
+        }
+    }
+
+    /// Appends the currently-live rows of projected segment `sid` —
+    /// which may be a real segment, a frozen buffer, or an earlier
+    /// planned merge — to `flat`/`ids`, and its root segment ids to
+    /// `sources`.
+    fn materialize_live(
+        &self,
+        sid: u32,
+        flat: &mut Vec<f32>,
+        ids: &mut Vec<u32>,
+        sources: &mut Vec<u32>,
+    ) {
+        if let Some(seg) = self.segments.iter().find(|s| s.seg_id == sid) {
+            sources.push(sid);
             for (slot, &id) in seg.ids.iter().enumerate() {
-                let here = Loc::Seg { seg: seg.seg_id, slot: slot as u32 };
+                let here = Loc::Seg { seg: sid, slot: slot as u32 };
                 if self.id_map.get(&id) == Some(&here) {
                     flat.extend_from_slice(seg.data.get(slot));
                     ids.push(id);
                 }
             }
+            return;
         }
-        if ids.is_empty() {
-            // Both segments were fully tombstoned: drop them outright.
-            self.segments.remove(b);
-            self.segments.remove(a);
-            return Ok(());
+        for op in &self.pending {
+            match op {
+                PendingOp::Seal(f) if f.seg_id == sid => {
+                    sources.push(sid);
+                    for (slot, &id) in f.ids.iter().enumerate() {
+                        if f.live[slot] {
+                            flat.extend_from_slice(&f.rows[slot * self.dim..(slot + 1) * self.dim]);
+                            ids.push(id);
+                        }
+                    }
+                    return;
+                }
+                PendingOp::Merge(m) if m.seg_id == sid => {
+                    sources.extend_from_slice(&m.sources);
+                    for (i, &id) in m.ids.iter().enumerate() {
+                        // A planned row is live while the id map still
+                        // points at one of the plan's root copies (a
+                        // re-insert after a delete lands elsewhere, so a
+                        // root hit is always *this* copy).
+                        let live = match self.id_map.get(&id) {
+                            Some(&Loc::Seg { seg, .. }) => m.sources.contains(&seg),
+                            Some(&Loc::Frozen { seg, .. }) => m.sources.contains(&seg),
+                            _ => false,
+                        };
+                        if live {
+                            flat.extend_from_slice(&m.flat[i * self.dim..(i + 1) * self.dim]);
+                            ids.push(id);
+                        }
+                    }
+                    return;
+                }
+                _ => {}
+            }
         }
-        let seg_id = self.next_seg_id;
-        let merged = self.build_segment(flat, ids, seg_id)?;
-        // Build succeeded — commit.
-        self.next_seg_id += 1;
-        for (slot, &id) in merged.ids.iter().enumerate() {
-            self.id_map.insert(id, Loc::Seg { seg: seg_id, slot: slot as u32 });
+        debug_assert!(false, "projected segment {sid} not found");
+    }
+
+    /// Clones the build inputs of the front pending op, for building
+    /// with no reference to (and in the serving layer, no lock on) the
+    /// index. `None` when nothing is pending.
+    pub fn pending_build(&self) -> Option<PendingBuild> {
+        let op = self.pending.front()?;
+        Some(match op {
+            PendingOp::Seal(f) => {
+                let live_count = f.built_live.iter().filter(|&&l| l).count();
+                let mut flat = Vec::with_capacity(live_count * self.dim);
+                let mut ids = Vec::with_capacity(live_count);
+                for (slot, &id) in f.ids.iter().enumerate() {
+                    // Membership was fixed at the freeze: rows deleted
+                    // since then are built anyway and counted dead at
+                    // install, exactly as a synchronous seal followed by
+                    // those deletes would have left them.
+                    if f.built_live[slot] {
+                        flat.extend_from_slice(&f.rows[slot * self.dim..(slot + 1) * self.dim]);
+                        ids.push(id);
+                    }
+                }
+                PendingBuild {
+                    token: f.token,
+                    kind: BuildKind::Seal { seg_id: f.seg_id },
+                    spec: self.spec,
+                    metric: self.metric,
+                    dim: self.dim,
+                    flat,
+                    ids,
+                }
+            }
+            PendingOp::Merge(m) => PendingBuild {
+                token: m.token,
+                kind: BuildKind::Merge { seg_id: m.seg_id },
+                spec: self.spec,
+                metric: self.metric,
+                dim: self.dim,
+                flat: m.flat.clone(),
+                ids: m.ids.clone(),
+            },
+        })
+    }
+
+    /// Installs a finished build under the caller's short critical
+    /// section: the id map is repointed (rows deleted while the build
+    /// ran become segment tombstones) and the op leaves the queue.
+    /// Returns `false` — leaving the index untouched — when the build is
+    /// stale, i.e. its op is no longer at the front of the queue because
+    /// a synchronous [`MutableAnn::seal`] (FLUSH) already absorbed it.
+    pub fn install_built(&mut self, built: BuiltUnit) -> bool {
+        let Some(front) = self.pending.front() else { return false };
+        if front.token() != built.token {
+            return false;
         }
-        self.segments.remove(b);
-        self.segments.remove(a);
-        self.segments.push(merged);
+        let op = self.pending.pop_front().expect("front exists");
+        match (op, built.kind) {
+            (PendingOp::Seal(f), BuildKind::Seal { seg_id }) => {
+                debug_assert_eq!(f.seg_id, seg_id);
+                let mut seg = built.segment.expect("a seal always has live rows to build");
+                let mut built_slot = 0u32;
+                for (slot, &id) in f.ids.iter().enumerate() {
+                    if !f.built_live[slot] {
+                        continue;
+                    }
+                    let here = Loc::Frozen { seg: f.seg_id, slot: slot as u32 };
+                    if self.id_map.get(&id) == Some(&here) {
+                        self.id_map.insert(id, Loc::Seg { seg: f.seg_id, slot: built_slot });
+                    } else {
+                        seg.dead += 1;
+                    }
+                    built_slot += 1;
+                }
+                self.segments.push(seg);
+            }
+            (PendingOp::Merge(m), BuildKind::Merge { .. }) => {
+                if let Some(mut seg) = built.segment {
+                    for (slot, &id) in m.ids.iter().enumerate() {
+                        // FIFO installs guarantee both inputs are real
+                        // segments by now: a planned row is live iff the
+                        // id map still points into one of them.
+                        let in_inputs = matches!(
+                            self.id_map.get(&id),
+                            Some(&Loc::Seg { seg: s, .. }) if s == m.drop_a || s == m.drop_b
+                        );
+                        if in_inputs {
+                            self.id_map.insert(id, Loc::Seg { seg: m.seg_id, slot: slot as u32 });
+                        } else {
+                            seg.dead += 1;
+                        }
+                    }
+                    self.remove_segment(m.drop_b);
+                    self.remove_segment(m.drop_a);
+                    self.segments.push(seg);
+                } else {
+                    self.remove_segment(m.drop_b);
+                    self.remove_segment(m.drop_a);
+                }
+            }
+            _ => unreachable!("op kind and build kind always agree on the same token"),
+        }
+        true
+    }
+
+    fn remove_segment(&mut self, seg_id: u32) {
+        let pos = self
+            .segments
+            .iter()
+            .position(|s| s.seg_id == seg_id)
+            .expect("merge inputs are installed before the merge");
+        self.segments.remove(pos);
+    }
+
+    /// Builds and installs every pending op, front to back — the
+    /// synchronous path (plain inserts, [`MutableAnn::seal`], FLUSH).
+    /// On a build failure the op stays at the front of the queue and the
+    /// error propagates.
+    fn drain_pending(&mut self) -> Result<(), MutateError> {
+        while let Some(pb) = self.pending_build() {
+            let built = pb.build()?;
+            let installed = self.install_built(built);
+            debug_assert!(installed, "the front op cannot change under &mut self");
+        }
         Ok(())
     }
 
@@ -582,19 +1071,65 @@ impl LiveIndex {
         q: &[f32],
         req: &SearchRequest,
     ) -> (Vec<Neighbor>, SearchStats) {
+        self.scan_buffer_request(
+            &self.mem_rows,
+            &self.mem_ids,
+            &self.mem_live,
+            self.mem_pruner(q),
+            Loc::Mem,
+            q,
+            req,
+        )
+    }
+
+    /// Exact scan of a frozen (pending-seal) buffer: identical to the
+    /// memtable scan — rows the background build has not yet sealed keep
+    /// answering, with deletes honored through the buffer's live flags.
+    fn scan_frozen_request(
+        &self,
+        f: &FrozenMem,
+        q: &[f32],
+        req: &SearchRequest,
+    ) -> (Vec<Neighbor>, SearchStats) {
+        let pruner = if self.sq8_enabled {
+            f.sq8.as_ref().and_then(|sq| sq.pruner(q, self.metric))
+        } else {
+            None
+        };
+        self.scan_buffer_request(
+            &f.rows,
+            &f.ids,
+            &f.live,
+            pruner,
+            |slot| Loc::Frozen { seg: f.seg_id, slot },
+            q,
+            req,
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn scan_buffer_request(
+        &self,
+        rows: &[f32],
+        row_ids: &[u32],
+        live: &[bool],
+        mut pruner: Option<Sq8Pruner<'_>>,
+        mk_loc: impl Fn(u32) -> Loc,
+        q: &[f32],
+        req: &SearchRequest,
+    ) -> (Vec<Neighbor>, SearchStats) {
         let k = req.k;
-        let mut pruner = self.mem_pruner(q);
         let mut stats = SearchStats::default();
         let mut heap: std::collections::BinaryHeap<Neighbor> =
             std::collections::BinaryHeap::with_capacity(k + 1);
-        debug_assert_eq!(self.mem_live.len(), self.mem_ids.len());
-        for (slot, &id) in self.mem_ids.iter().enumerate() {
+        debug_assert_eq!(live.len(), row_ids.len());
+        for (slot, &id) in row_ids.iter().enumerate() {
             debug_assert_eq!(
-                self.mem_live[slot],
-                self.id_map.get(&id) == Some(&Loc::Mem(slot as u32)),
-                "mem_live must mirror the id map"
+                live[slot],
+                self.id_map.get(&id) == Some(&mk_loc(slot as u32)),
+                "buffer liveness must mirror the id map"
             );
-            if !self.mem_live[slot] {
+            if !live[slot] {
                 continue;
             }
             stats.candidates_scanned += 1;
@@ -614,7 +1149,9 @@ impl LiveIndex {
                     }
                 }
             }
-            let s = self.metric.surrogate_unchecked(self.mem_row(slot), q);
+            let s = self
+                .metric
+                .surrogate_unchecked(&rows[slot * self.dim..(slot + 1) * self.dim], q);
             if let Some(d) = req.max_dist {
                 if self.metric.from_surrogate(s) > d {
                     continue;
@@ -714,6 +1251,13 @@ impl LiveIndex {
 
     /// Extracts the serializable state (see [`LiveState`]). Rows are
     /// copied; the index itself is untouched.
+    ///
+    /// Pending work folds away: frozen buffers are serialized as
+    /// memtable rows (both are exact-scanned, so answers are identical)
+    /// and planned merges are dropped (their input segments serialize
+    /// as-is; a restored index re-plans compaction at its next
+    /// crossing). FLUSH drains pending work first, so daemon snapshots
+    /// never hit this fold.
     pub fn state(&self) -> LiveState {
         let unit = |rows: Vec<f32>, ids: &[u32], is_live: &dyn Fn(usize, u32) -> bool| UnitState {
             rows,
@@ -734,8 +1278,23 @@ impl LiveIndex {
                 })
             })
             .collect();
-        let memtable =
-            unit(self.mem_rows.clone(), &self.mem_ids, &|slot, _id| self.mem_live[slot]);
+        let mut mem = UnitState::default();
+        for op in &self.pending {
+            if let PendingOp::Seal(f) = op {
+                let base = mem.ids.len() as u32;
+                mem.rows.extend_from_slice(&f.rows);
+                mem.ids.extend_from_slice(&f.ids);
+                mem.dead.extend(
+                    f.live.iter().enumerate().filter(|&(_, &l)| !l).map(|(s, _)| base + s as u32),
+                );
+            }
+        }
+        let base = mem.ids.len() as u32;
+        mem.rows.extend_from_slice(&self.mem_rows);
+        mem.ids.extend_from_slice(&self.mem_ids);
+        mem.dead.extend(
+            self.mem_live.iter().enumerate().filter(|&(_, &l)| !l).map(|(s, _)| base + s as u32),
+        );
         LiveState {
             spec: self.spec,
             metric: self.metric,
@@ -743,7 +1302,8 @@ impl LiveIndex {
             config: self.config,
             next_id: self.next_id,
             segments,
-            memtable,
+            memtable: mem,
+            wal_gen: self.wal_gen,
         }
     }
 
@@ -812,7 +1372,46 @@ impl LiveIndex {
         live.train_mem_sq8_if_due();
         live.next_seg_id = live.segments.len() as u32;
         live.next_id = state.next_id.max(max_id.map_or(0, |m| m.saturating_add(1)));
+        live.sim = live.segments.iter().map(|s| (s.seg_id, s.ids.len())).collect();
+        live.wal_gen = state.wal_gen;
         Ok(live)
+    }
+
+    /// Replays write-ahead-log records through the ordinary mutation
+    /// path (explicit ids, synchronous seals at the same threshold
+    /// crossings), so a snapshot plus its WAL converges to the same
+    /// layout the live process reached — the recovery half of the
+    /// durability contract in `docs/durability.md`. Torn-tail handling
+    /// is the log's job ([`wal::Wal::load`]); records handed here are
+    /// intact and were all acknowledged, so a failure to apply one is a
+    /// real error, not a crash artifact.
+    pub fn apply_wal_records(&mut self, records: &[wal::WalRecord]) -> Result<(), MutateError> {
+        for rec in records {
+            match rec {
+                wal::WalRecord::Insert { dim, rows, ids } => {
+                    if *dim as usize != self.dim {
+                        return Err(MutateError::DimMismatch {
+                            expected: self.dim,
+                            got: *dim as usize,
+                        });
+                    }
+                    if rows.len() != ids.len() * self.dim {
+                        return Err(MutateError::State(format!(
+                            "WAL insert carries {} floats for {} ids at dim {}",
+                            rows.len(),
+                            ids.len(),
+                            self.dim
+                        )));
+                    }
+                    let data = Dataset::from_flat("wal", self.dim, rows.clone());
+                    self.insert_rows(&data, Some(ids))?;
+                }
+                wal::WalRecord::Delete { ids } => {
+                    self.delete_ids(ids);
+                }
+            }
+        }
+        Ok(())
     }
 }
 
@@ -825,8 +1424,16 @@ impl MutableAnn for LiveIndex {
         self.delete_ids(ids)
     }
 
+    /// Synchronously absorbs all pending background work (building and
+    /// installing queued seals and merges in order), then seals whatever
+    /// the memtable holds — after this returns there are no frozen
+    /// buffers and no queued builds, which is what lets FLUSH snapshot a
+    /// fully-sealed layout and truncate the WAL against it.
     fn seal(&mut self) -> Result<bool, MutateError> {
-        self.seal_mem()
+        self.drain_pending()?;
+        let had_rows = self.freeze_and_plan().is_some();
+        self.drain_pending()?;
+        Ok(had_rows)
     }
 
     fn live_len(&self) -> usize {
@@ -851,7 +1458,7 @@ impl AnnIndex for LiveIndex {
             .sum();
         // The id map is ~(key + value + bucket) per live id; 16 bytes is
         // the close-enough accounting the size axes use elsewhere.
-        seg_bytes + self.mem_ids.len() * 4 + self.id_map.len() * 16
+        seg_bytes + (self.mem_ids.len() + self.frozen_rows()) * 4 + self.id_map.len() * 16
     }
 
     /// [`LiveIndex::search_with`] with the request derived from the bare
@@ -882,7 +1489,17 @@ impl AnnIndex for LiveIndex {
         assert!(req.k > 0, "k must be positive");
         assert_eq!(q.len(), self.dim, "query dimension mismatch");
         let t0 = Instant::now();
-        let units = self.segments.len() + 1;
+        // Frozen (pending-seal) buffers are query units exactly like the
+        // memtable: rows keep answering while their segment build runs.
+        let frozen: Vec<&FrozenMem> = self
+            .pending
+            .iter()
+            .filter_map(|op| match op {
+                PendingOp::Seal(f) => Some(f),
+                PendingOp::Merge(_) => None,
+            })
+            .collect();
+        let units = 1 + frozen.len() + self.segments.len();
         let mut stats = SearchStats::default();
         let mut merged: Vec<Neighbor> = if executor::worker_threads(units) <= 1 {
             let cache: &mut Vec<(u32, Scratch)> = scratch.get_or_insert_with(Vec::new);
@@ -890,6 +1507,11 @@ impl AnnIndex for LiveIndex {
             cache.retain(|(sid, _)| self.segments.iter().any(|s| s.seg_id == *sid));
             let (mut out, mem_stats) = self.scan_memtable_request(q, req);
             stats.absorb(&mem_stats);
+            for f in &frozen {
+                let (hits, f_stats) = self.scan_frozen_request(f, q, req);
+                stats.absorb(&f_stats);
+                out.extend(hits);
+            }
             for seg in &self.segments {
                 if !cache.iter().any(|(sid, _)| *sid == seg.seg_id) {
                     cache.push((seg.seg_id, seg.index.make_scratch()));
@@ -907,8 +1529,10 @@ impl AnnIndex for LiveIndex {
             let per_unit = executor::par_map_scratch(units, Scratch::empty, |u, scratch| {
                 if u == 0 {
                     self.scan_memtable_request(q, req)
+                } else if u <= frozen.len() {
+                    self.scan_frozen_request(frozen[u - 1], q, req)
                 } else {
-                    self.scan_segment_request(&self.segments[u - 1], q, req, scratch)
+                    self.scan_segment_request(&self.segments[u - 1 - frozen.len()], q, req, scratch)
                 }
             });
             let mut out = Vec::new();
@@ -1277,6 +1901,132 @@ mod tests {
                     }
                 }
             }
+        }
+    }
+
+    /// Drives the same op sequence through the inline path and through
+    /// the deferred path (with the build/install loop run at `cadence` —
+    /// simulating a background worker that lags behind) and requires the
+    /// final layouts and answers to be bit-identical.
+    fn deferred_matches_inline(spec: IndexSpec, metric: Metric, cadence: usize) {
+        let dim = 6;
+        let data = rows(64, dim, 50);
+        let queries = rows(8, dim, 51);
+        let mut inline = LiveIndex::new(spec, metric, dim, cfg(6, 2)).unwrap();
+        let mut deferred = LiveIndex::new(spec, metric, dim, cfg(6, 2)).unwrap();
+        let mut ops = 0usize;
+        for step in 0..16 {
+            let chunk =
+                Dataset::from_flat("c", dim, data.as_flat()[step * 4 * dim..(step + 1) * 4 * dim].to_vec());
+            let a = inline.insert(&chunk, None).unwrap();
+            let (b, _) = deferred.insert_deferred(&chunk, None).unwrap();
+            assert_eq!(a, b, "id assignment is path-independent");
+            if step % 3 == 1 {
+                let victims = [step as u32, (step * 3) as u32];
+                assert_eq!(inline.delete(&victims), deferred.delete(&victims));
+            }
+            // Queries keep answering while builds are pending, scanning
+            // frozen buffers exactly.
+            let q = queries.get(step % queries.len());
+            let req = SearchRequest::top_k(5).budget(64);
+            assert_eq!(inline.search(q, &req).hits, deferred.search(q, &req).hits, "step {step}");
+            ops += 1;
+            if ops.is_multiple_of(cadence) {
+                while let Some(pb) = deferred.pending_build() {
+                    let built = pb.build().unwrap();
+                    assert!(deferred.install_built(built));
+                }
+            }
+        }
+        // Let the "worker" finish everything, then compare layouts.
+        while let Some(pb) = deferred.pending_build() {
+            assert!(deferred.install_built(pb.build().unwrap()));
+        }
+        assert_eq!(inline.segment_layout(), deferred.segment_layout());
+        assert_eq!(inline.memtable_rows(), deferred.memtable_rows());
+        assert_eq!(inline.live_len(), deferred.live_len());
+        for qi in 0..queries.len() {
+            let req = SearchRequest::top_k(7).budget(64);
+            let a = inline.search(queries.get(qi), &req).hits;
+            let b = deferred.search(queries.get(qi), &req).hits;
+            assert_eq!(a.len(), b.len(), "query {qi}");
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!((x.id, x.dist.to_bits()), (y.id, y.dist.to_bits()), "query {qi}");
+            }
+        }
+    }
+
+    #[test]
+    fn deferred_inserts_converge_to_the_inline_layout() {
+        // Exact segments: answers must match at every step.
+        deferred_matches_inline(IndexSpec::linear(), Metric::Euclidean, 5);
+        // An aggressive lag: many crossings queue up before any build runs,
+        // exercising frozen-buffer merges inside planned cascades.
+        deferred_matches_inline(IndexSpec::linear(), Metric::Euclidean, 1000);
+    }
+
+    #[test]
+    fn deferred_layout_is_identical_for_approximate_specs() {
+        // With an approximate scheme the *layout* equality is the whole
+        // guarantee (answers follow from it because builds are seeded).
+        let spec = IndexSpec::lccs(4).with_w(8.0).with_seed(11);
+        let dim = 6;
+        let data = rows(64, dim, 52);
+        let mut inline = LiveIndex::new(spec, Metric::Euclidean, dim, cfg(8, 2)).unwrap();
+        let mut deferred = LiveIndex::new(spec, Metric::Euclidean, dim, cfg(8, 2)).unwrap();
+        inline.insert(&data, None).unwrap();
+        deferred.insert_deferred(&data, None).unwrap();
+        deferred.delete(&[2]);
+        inline.delete(&[2]);
+        while let Some(pb) = deferred.pending_build() {
+            assert!(deferred.install_built(pb.build().unwrap()));
+        }
+        assert_eq!(inline.segment_layout(), deferred.segment_layout());
+        let q = data.get(9);
+        let req = SearchRequest::top_k(5).budget(64);
+        let (a, b) = (inline.search(q, &req).hits, deferred.search(q, &req).hits);
+        assert_eq!(a, b, "seeded builds over identical layouts answer identically");
+    }
+
+    #[test]
+    fn stale_background_build_is_discarded_after_a_synchronous_seal() {
+        let dim = 4;
+        let mut live = LiveIndex::new(exact_spec(), Metric::Euclidean, dim, cfg(4, 4)).unwrap();
+        let (_, pending) = live.insert_deferred(&rows(4, dim, 60), None).unwrap();
+        assert!(pending, "threshold crossing queues a build");
+        assert_eq!(live.pending_ops(), 1);
+        let pb = live.pending_build().unwrap();
+        let built = pb.build().unwrap();
+        // FLUSH-style synchronous seal absorbs the queue first…
+        live.seal().unwrap();
+        assert!(!live.has_pending());
+        // …so the out-of-band build is now stale and must be rejected.
+        assert!(!live.install_built(built), "stale build installs nothing");
+        assert_eq!(live.segment_count(), 1);
+        assert_eq!(live.live_len(), 4);
+    }
+
+    #[test]
+    fn state_with_pending_work_folds_into_the_memtable_and_round_trips() {
+        let dim = 5;
+        let data = rows(12, dim, 61);
+        let mut live = LiveIndex::new(exact_spec(), Metric::Euclidean, dim, cfg(4, 8)).unwrap();
+        live.insert_deferred(&data, None).unwrap();
+        live.delete(&[1, 7]);
+        live.set_wal_gen(3);
+        assert!(live.has_pending(), "crossings queued builds");
+        assert!(live.frozen_rows() > 0);
+        let state = live.state();
+        assert_eq!(state.wal_gen, 3);
+        assert_eq!(state.total_rows(), 12, "frozen rows fold into the memtable unit");
+        assert_eq!(state.live_rows(), 10);
+        let back = LiveIndex::from_state(state).unwrap();
+        assert_eq!(back.wal_gen(), 3);
+        assert_eq!(back.live_len(), 10);
+        let req = SearchRequest::top_k(6).budget(64);
+        for qi in [0usize, 5, 11] {
+            let q = data.get(qi);
+            assert_eq!(live.search(q, &req).hits, back.search(q, &req).hits, "query {qi}");
         }
     }
 

@@ -1,0 +1,596 @@
+//! Per-index write-ahead log for the durable write path.
+//!
+//! The serving layer appends one record here for every acknowledged
+//! INSERT/DELETE against a live index, *before* the acknowledgement
+//! leaves the daemon, and replays the log over the last flushed snapshot
+//! at startup — see `docs/durability.md` for the full crash-consistency
+//! contract this module implements. The record codec follows the same
+//! discipline as the serve crate's wire reader: length-prefixed frames,
+//! explicit little-endian fields, and a bounds-checked cursor that can
+//! never read past the buffer.
+//!
+//! # File layout
+//!
+//! ```text
+//! ANNWAL01 | generation u64            16-byte header
+//! [ len u32 | crc32 u32 | payload ]*   one frame per acknowledged op
+//! ```
+//!
+//! `generation` ties the log to a snapshot: FLUSH writes the snapshot
+//! with generation `g+1` and then truncates the log to an empty file
+//! with the same `g+1` header. Replay applies the log only when the two
+//! generations agree, so a crash *between* the snapshot rename and the
+//! WAL truncation leaves a stale log that is detected and discarded
+//! instead of double-applied.
+//!
+//! Each frame's CRC32 (IEEE 802.3, computed over the payload) guards
+//! against torn writes: a crash mid-append leaves a final frame whose
+//! length or checksum cannot validate, and [`Wal::load`] discards
+//! exactly that tail (reporting it) rather than failing the whole load —
+//! by the fsync-before-ack rule a torn record was never acknowledged.
+//!
+//! # Record payloads
+//!
+//! ```text
+//! INSERT  op=1 | dim u32 | n u32 | n×dim f32 rows | n u32 ids
+//! DELETE  op=2 | n u32 | n u32 ids
+//! ```
+//!
+//! Inserts always log the *assigned* ids (even when the client let the
+//! server auto-assign), so replay reproduces id assignment exactly, and
+//! they log the rows as received (replay re-applies the same
+//! normalization the original insert did).
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// Magic opening every WAL file.
+pub const WAL_MAGIC: &[u8; 8] = b"ANNWAL01";
+
+/// File extension WAL files use next to their `.snap` snapshot.
+pub const WAL_EXT: &str = "wal";
+
+/// Header bytes: magic + generation.
+const HEADER_LEN: usize = 16;
+
+/// Frame prefix bytes: payload length + CRC.
+const FRAME_PREFIX: usize = 8;
+
+/// Cap on a single record payload (matches the serving layer's 64 MiB
+/// frame cap with slack); a declared length beyond it is treated as a
+/// torn/corrupt tail, never allocated.
+const MAX_RECORD_BYTES: u32 = 1 << 27;
+
+/// How many records the `batch` sync mode lets accumulate before it
+/// issues the group fsync.
+const GROUP_COMMIT_RECORDS: u32 = 32;
+
+/// When the daemon forces a record to disk relative to acknowledging it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WalSync {
+    /// fsync every record before the acknowledgement: an acked write
+    /// survives both a process kill and a machine crash.
+    #[default]
+    Always,
+    /// Group commit: the record is written to the OS before the ack but
+    /// fsynced once per [`GROUP_COMMIT_RECORDS`] appends. A process kill
+    /// loses nothing (the OS holds the pages); a machine/power crash can
+    /// lose up to the last unsynced group.
+    Batch,
+}
+
+impl std::str::FromStr for WalSync {
+    type Err = String;
+    fn from_str(s: &str) -> Result<WalSync, String> {
+        match s {
+            "always" => Ok(WalSync::Always),
+            "batch" => Ok(WalSync::Batch),
+            other => Err(format!("unknown WAL sync mode {other:?} (always, batch)")),
+        }
+    }
+}
+
+impl WalSync {
+    /// The flag spelling (`always` / `batch`).
+    pub fn name(self) -> &'static str {
+        match self {
+            WalSync::Always => "always",
+            WalSync::Batch => "batch",
+        }
+    }
+}
+
+/// One logged mutation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalRecord {
+    /// An acknowledged INSERT: the rows exactly as received and the ids
+    /// the index assigned (explicit even for auto-assigned inserts, so
+    /// replay never re-runs id assignment).
+    Insert {
+        /// Row dimensionality.
+        dim: u32,
+        /// `ids.len() × dim` row-major vectors, pre-normalization.
+        rows: Vec<f32>,
+        /// Assigned external id per row.
+        ids: Vec<u32>,
+    },
+    /// An acknowledged DELETE: the requested ids (absent ids no-op on
+    /// replay exactly as they did live).
+    Delete {
+        /// The ids the client asked to delete.
+        ids: Vec<u32>,
+    },
+}
+
+const OP_INSERT: u8 = 1;
+const OP_DELETE: u8 = 2;
+
+impl WalRecord {
+    fn encode_payload(&self) -> Vec<u8> {
+        match self {
+            WalRecord::Insert { dim, rows, ids } => {
+                let mut out = Vec::with_capacity(9 + rows.len() * 4 + ids.len() * 4);
+                out.push(OP_INSERT);
+                out.extend_from_slice(&dim.to_le_bytes());
+                out.extend_from_slice(&(ids.len() as u32).to_le_bytes());
+                for v in rows {
+                    out.extend_from_slice(&v.to_bits().to_le_bytes());
+                }
+                for id in ids {
+                    out.extend_from_slice(&id.to_le_bytes());
+                }
+                out
+            }
+            WalRecord::Delete { ids } => {
+                let mut out = Vec::with_capacity(5 + ids.len() * 4);
+                out.push(OP_DELETE);
+                out.extend_from_slice(&(ids.len() as u32).to_le_bytes());
+                for id in ids {
+                    out.extend_from_slice(&id.to_le_bytes());
+                }
+                out
+            }
+        }
+    }
+
+    /// Decodes one payload; `None` for anything malformed (unknown op,
+    /// short buffer, trailing bytes, shape mismatch).
+    fn decode_payload(payload: &[u8]) -> Option<WalRecord> {
+        let mut r = Rd { buf: payload, pos: 0 };
+        let rec = match r.u8()? {
+            OP_INSERT => {
+                let dim = r.u32()?;
+                let n = r.u32()?;
+                let floats = (n as usize).checked_mul(dim as usize)?;
+                let rows = r.f32s(floats)?;
+                let mut ids = Vec::with_capacity(n as usize);
+                for _ in 0..n {
+                    ids.push(r.u32()?);
+                }
+                WalRecord::Insert { dim, rows, ids }
+            }
+            OP_DELETE => {
+                let n = r.u32()?;
+                let mut ids = Vec::with_capacity(n as usize);
+                for _ in 0..n {
+                    ids.push(r.u32()?);
+                }
+                WalRecord::Delete { ids }
+            }
+            _ => return None,
+        };
+        (r.pos == payload.len()).then_some(rec)
+    }
+}
+
+/// Bounds-checked little-endian cursor (the same discipline as the
+/// serving layer's wire reader, which is private to that crate).
+struct Rd<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Rd<'a> {
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        if end > self.buf.len() {
+            return None;
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Some(s)
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        Some(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        Some(u32::from_le_bytes(self.take(4)?.try_into().ok()?))
+    }
+
+    fn f32s(&mut self, n: usize) -> Option<Vec<f32>> {
+        // Guard the allocation before taking: a hostile count must not
+        // reserve gigabytes.
+        let bytes = n.checked_mul(4)?;
+        if bytes > self.buf.len() - self.pos {
+            return None;
+        }
+        let raw = self.take(bytes)?;
+        Some(
+            raw.chunks_exact(4)
+                .map(|c| f32::from_bits(u32::from_le_bytes(c.try_into().expect("4 bytes"))))
+                .collect(),
+        )
+    }
+}
+
+const fn crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+const CRC_TABLE: [u32; 256] = crc_table();
+
+/// CRC32 (IEEE 802.3 reflected polynomial) over `bytes`. Hand-rolled:
+/// the offline build environment vendors no checksum crate, and 30 lines
+/// of table-driven CRC beat a dependency anyway.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC_TABLE[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+/// What [`Wal::load`] found on disk.
+#[derive(Debug)]
+pub struct WalReplay {
+    /// Every frame that validated, in append order.
+    pub records: Vec<WalRecord>,
+    /// The generation in the file header ([`u64::MAX`] when the header
+    /// itself was torn — which can only happen if the process died
+    /// during the very first create, before any record was acked).
+    pub generation: u64,
+    /// Whether a torn/corrupt tail was discarded (and physically
+    /// truncated away so new appends start from a clean frame boundary).
+    pub torn: bool,
+}
+
+/// An open write-ahead log, positioned for appends.
+#[derive(Debug)]
+pub struct Wal {
+    file: File,
+    path: PathBuf,
+    generation: u64,
+    /// Appends since the last fsync (the `batch` group-commit counter).
+    pending: u32,
+}
+
+/// The conventional WAL path next to an index's snapshot: `dir/name.wal`.
+pub fn wal_path(dir: &Path, name: &str) -> PathBuf {
+    dir.join(format!("{name}.{WAL_EXT}"))
+}
+
+impl Wal {
+    /// Creates (or truncates) the log at `path` with a fresh header for
+    /// `generation`, fsynced before returning.
+    pub fn create(path: &Path, generation: u64) -> io::Result<Wal> {
+        let file = OpenOptions::new().read(true).write(true).create(true).truncate(true).open(path)?;
+        let mut wal = Wal { file, path: path.to_path_buf(), generation, pending: 0 };
+        wal.write_header(generation)?;
+        Ok(wal)
+    }
+
+    /// Opens the log at `path` (creating an empty generation-0 log if the
+    /// file is missing), validates every frame, truncates any torn tail,
+    /// and returns the log positioned for appends plus everything it
+    /// held. The caller decides whether the records apply by comparing
+    /// [`WalReplay::generation`] against the snapshot it restored.
+    pub fn load(path: &Path) -> io::Result<(Wal, WalReplay)> {
+        let mut file = OpenOptions::new().read(true).write(true).create(true).truncate(false).open(path)?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)?;
+        if bytes.is_empty() {
+            let mut wal = Wal { file, path: path.to_path_buf(), generation: 0, pending: 0 };
+            wal.write_header(0)?;
+            return Ok((wal, WalReplay { records: Vec::new(), generation: 0, torn: false }));
+        }
+        if bytes.len() < HEADER_LEN {
+            // Torn header: the process died during the initial create,
+            // before any append could have been acknowledged. Surface it
+            // as a generation that can never match, so the caller resets.
+            let wal = Wal { file, path: path.to_path_buf(), generation: u64::MAX, pending: 0 };
+            return Ok((wal, WalReplay { records: Vec::new(), generation: u64::MAX, torn: true }));
+        }
+        if &bytes[..WAL_MAGIC.len()] != WAL_MAGIC {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("{} is not an {} write-ahead log", path.display(), "ANNWAL01"),
+            ));
+        }
+        let generation =
+            u64::from_le_bytes(bytes[WAL_MAGIC.len()..HEADER_LEN].try_into().expect("8 bytes"));
+        let mut records = Vec::new();
+        let mut off = HEADER_LEN;
+        let mut torn = false;
+        while off < bytes.len() {
+            match parse_frame(&bytes[off..]) {
+                Some((rec, used)) => {
+                    records.push(rec);
+                    off += used;
+                }
+                None => {
+                    torn = true;
+                    break;
+                }
+            }
+        }
+        if torn {
+            // Truncate to the last clean frame boundary so future appends
+            // never interleave with the garbage tail.
+            file.set_len(off as u64)?;
+            file.sync_all()?;
+        }
+        file.seek(SeekFrom::End(0))?;
+        let wal = Wal { file, path: path.to_path_buf(), generation, pending: 0 };
+        Ok((wal, WalReplay { records, generation, torn }))
+    }
+
+    fn write_header(&mut self, generation: u64) -> io::Result<()> {
+        let mut header = [0u8; HEADER_LEN];
+        header[..WAL_MAGIC.len()].copy_from_slice(WAL_MAGIC);
+        header[WAL_MAGIC.len()..].copy_from_slice(&generation.to_le_bytes());
+        self.file.set_len(0)?;
+        self.file.seek(SeekFrom::Start(0))?;
+        self.file.write_all(&header)?;
+        self.file.sync_all()?;
+        self.generation = generation;
+        self.pending = 0;
+        Ok(())
+    }
+
+    /// The generation in this log's header.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// The file this log appends to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Appends one record and applies the sync policy; returns the frame
+    /// bytes written. Under [`WalSync::Always`] the record is on disk
+    /// when this returns; under [`WalSync::Batch`] it is in the OS, with
+    /// the fsync amortized over the group.
+    pub fn append(&mut self, rec: &WalRecord, sync: WalSync) -> io::Result<u64> {
+        let payload = rec.encode_payload();
+        let mut frame = Vec::with_capacity(FRAME_PREFIX + payload.len());
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&crc32(&payload).to_le_bytes());
+        frame.extend_from_slice(&payload);
+        self.file.write_all(&frame)?;
+        self.pending += 1;
+        match sync {
+            WalSync::Always => self.sync()?,
+            WalSync::Batch => {
+                if self.pending >= GROUP_COMMIT_RECORDS {
+                    self.sync()?;
+                }
+            }
+        }
+        Ok(frame.len() as u64)
+    }
+
+    /// Forces every appended record to disk now (the group-commit flush).
+    pub fn sync(&mut self) -> io::Result<()> {
+        self.file.sync_data()?;
+        self.pending = 0;
+        Ok(())
+    }
+
+    /// Empties the log under a new generation (the FLUSH truncation: the
+    /// snapshot just renamed into place carries the same generation, so
+    /// replay of anything older can never double-apply). fsynced before
+    /// returning.
+    pub fn reset(&mut self, generation: u64) -> io::Result<()> {
+        self.write_header(generation)
+    }
+}
+
+/// Parses one `len | crc | payload` frame from the front of `bytes`.
+/// `None` for anything that does not validate — the caller treats that
+/// position as the torn tail.
+fn parse_frame(bytes: &[u8]) -> Option<(WalRecord, usize)> {
+    if bytes.len() < FRAME_PREFIX {
+        return None;
+    }
+    let len = u32::from_le_bytes(bytes[..4].try_into().expect("4 bytes"));
+    if len > MAX_RECORD_BYTES {
+        return None;
+    }
+    let crc = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
+    let end = FRAME_PREFIX.checked_add(len as usize)?;
+    if bytes.len() < end {
+        return None;
+    }
+    let payload = &bytes[FRAME_PREFIX..end];
+    if crc32(payload) != crc {
+        return None;
+    }
+    let rec = WalRecord::decode_payload(payload)?;
+    Some((rec, end))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("ann-wal-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        wal_path(&dir, "t")
+    }
+
+    fn sample_records() -> Vec<WalRecord> {
+        vec![
+            WalRecord::Insert { dim: 3, rows: vec![1.0, -2.5, 0.0, 7.0, 8.0, 9.0], ids: vec![4, 9] },
+            WalRecord::Delete { ids: vec![4, 77] },
+            WalRecord::Insert { dim: 3, rows: vec![0.25, 0.5, 0.75], ids: vec![10] },
+            WalRecord::Delete { ids: vec![] },
+        ]
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // The classic IEEE test vector, plus the empty string.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn append_then_load_round_trips_records_and_generation() {
+        let path = tmp("rt");
+        let mut wal = Wal::create(&path, 7).unwrap();
+        for rec in sample_records() {
+            wal.append(&rec, WalSync::Always).unwrap();
+        }
+        drop(wal);
+        let (wal, replay) = Wal::load(&path).unwrap();
+        assert_eq!(replay.generation, 7);
+        assert_eq!(wal.generation(), 7);
+        assert!(!replay.torn);
+        assert_eq!(replay.records, sample_records());
+        std::fs::remove_dir_all(path.parent().unwrap()).ok();
+    }
+
+    #[test]
+    fn missing_file_loads_empty_at_generation_zero() {
+        let path = tmp("fresh");
+        std::fs::remove_file(&path).ok();
+        let (wal, replay) = Wal::load(&path).unwrap();
+        assert_eq!((replay.generation, replay.records.len(), replay.torn), (0, 0, false));
+        assert_eq!(wal.generation(), 0);
+        std::fs::remove_dir_all(path.parent().unwrap()).ok();
+    }
+
+    #[test]
+    fn torn_final_record_is_discarded_not_fatal() {
+        let path = tmp("torn");
+        let mut wal = Wal::create(&path, 1).unwrap();
+        for rec in sample_records() {
+            wal.append(&rec, WalSync::Always).unwrap();
+        }
+        drop(wal);
+        let full = std::fs::metadata(&path).unwrap().len();
+        // Surgically truncate mid-way through the final frame: the crash
+        // the fsync-before-ack rule makes survivable.
+        for cut in [full - 1, full - 3] {
+            let f = OpenOptions::new().write(true).open(&path).unwrap();
+            f.set_len(cut).unwrap();
+            drop(f);
+            let (_wal, replay) = Wal::load(&path).unwrap();
+            assert!(replay.torn, "cut at {cut} of {full} must report a torn tail");
+            assert_eq!(
+                replay.records,
+                sample_records()[..3],
+                "the first three intact records survive"
+            );
+            // The torn tail is physically gone: a second load is clean.
+            let (_wal, replay) = Wal::load(&path).unwrap();
+            assert!(!replay.torn);
+            assert_eq!(replay.records.len(), 3);
+        }
+        std::fs::remove_dir_all(path.parent().unwrap()).ok();
+    }
+
+    #[test]
+    fn corrupt_crc_discards_from_the_bad_frame_on() {
+        let path = tmp("crc");
+        let mut wal = Wal::create(&path, 1).unwrap();
+        let mut offsets = vec![HEADER_LEN as u64];
+        for rec in sample_records() {
+            let n = wal.append(&rec, WalSync::Always).unwrap();
+            offsets.push(offsets.last().unwrap() + n);
+        }
+        drop(wal);
+        // Flip one payload byte of the third record.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let idx = offsets[2] as usize + FRAME_PREFIX;
+        bytes[idx] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+        let (_wal, replay) = Wal::load(&path).unwrap();
+        assert!(replay.torn);
+        assert_eq!(replay.records, sample_records()[..2], "everything after the bad CRC goes");
+        std::fs::remove_dir_all(path.parent().unwrap()).ok();
+    }
+
+    #[test]
+    fn reset_empties_the_log_under_the_new_generation() {
+        let path = tmp("reset");
+        let mut wal = Wal::create(&path, 3).unwrap();
+        wal.append(&sample_records()[0], WalSync::Always).unwrap();
+        wal.reset(4).unwrap();
+        assert_eq!(wal.generation(), 4);
+        wal.append(&sample_records()[1], WalSync::Always).unwrap();
+        drop(wal);
+        let (_wal, replay) = Wal::load(&path).unwrap();
+        assert_eq!(replay.generation, 4);
+        assert_eq!(replay.records, sample_records()[1..2]);
+        std::fs::remove_dir_all(path.parent().unwrap()).ok();
+    }
+
+    #[test]
+    fn batch_mode_group_commits_and_explicit_sync_flushes() {
+        let path = tmp("batch");
+        let mut wal = Wal::create(&path, 0).unwrap();
+        // Batch appends do not fsync per record (observable only as the
+        // pending counter here; durability is the OS's business).
+        for _ in 0..5 {
+            wal.append(&sample_records()[1], WalSync::Batch).unwrap();
+        }
+        assert_eq!(wal.pending, 5);
+        wal.sync().unwrap();
+        assert_eq!(wal.pending, 0);
+        // The group boundary fsyncs by itself.
+        for _ in 0..GROUP_COMMIT_RECORDS {
+            wal.append(&sample_records()[1], WalSync::Batch).unwrap();
+        }
+        assert_eq!(wal.pending, 0, "group-commit boundary flushed");
+        // And always-mode keeps the counter at zero.
+        wal.append(&sample_records()[0], WalSync::Always).unwrap();
+        assert_eq!(wal.pending, 0);
+        std::fs::remove_dir_all(path.parent().unwrap()).ok();
+    }
+
+    #[test]
+    fn foreign_file_is_rejected_not_wiped() {
+        let path = tmp("foreign");
+        std::fs::write(&path, b"definitely not a wal file, but 16+ bytes long").unwrap();
+        let err = Wal::load(&path).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(std::fs::metadata(&path).unwrap().len() > 0, "the file is left untouched");
+        std::fs::remove_dir_all(path.parent().unwrap()).ok();
+    }
+
+    #[test]
+    fn sync_mode_parses_both_spellings() {
+        assert_eq!("always".parse::<WalSync>().unwrap(), WalSync::Always);
+        assert_eq!("batch".parse::<WalSync>().unwrap(), WalSync::Batch);
+        assert!("fsync".parse::<WalSync>().is_err());
+        assert_eq!(WalSync::Batch.name(), "batch");
+    }
+}

@@ -291,6 +291,118 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The durability contract end to end, in-process: random
+    /// insert/delete/flush interleavings run through the deferred write
+    /// path with a lagging background worker, every acknowledged op
+    /// appended to a real WAL file, every FLUSH snapshotting under a
+    /// bumped generation and truncating the log. Then the index is
+    /// dropped mid-flight (the in-process `kill -9`) and recovery —
+    /// the last flushed snapshot plus a WAL replay — must answer
+    /// bit-identically to the uncrashed index, and converge to the
+    /// byte-identical segment layout once the uncrashed side quiesces.
+    #[test]
+    fn crash_replay_of_snapshot_plus_wal_matches_the_uncrashed_index(
+        ops in vec((0u32..=2, any::<u32>()), 1..=30),
+        seal_threshold in 2usize..=10,
+        max_segments in 1usize..=3,
+        lag in 1usize..=6,
+    ) {
+        use ann_live::wal::{Wal, WalRecord, WalSync};
+        static CASE: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let case = CASE.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let dir = std::env::temp_dir()
+            .join(format!("ann-crash-{}-{case}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let wal_file = ann_live::wal::wal_path(&dir, "t");
+
+        let pool = pool();
+        let cfg = LiveConfig { seal_threshold, max_segments };
+        let mut live =
+            LiveIndex::new(IndexSpec::linear(), Metric::Euclidean, pool.dim(), cfg).unwrap();
+        let mut wal = Wal::create(&wal_file, 0).unwrap();
+        let mut flushed = live.state(); // the "snapshot on disk", generation 0
+        let mut next_pool = 0usize;
+        let mut ticks = 0usize;
+
+        for (op, arg) in ops {
+            match op {
+                // Acknowledged insert: mutate first, then log the rows as
+                // received with the ids actually assigned — the exact
+                // discipline the daemon follows before acking.
+                0 => {
+                    let n = 1 + (arg as usize) % 4;
+                    let flat: Vec<f32> = pool.as_flat()
+                        [next_pool * pool.dim()..(next_pool + n) * pool.dim()]
+                        .to_vec();
+                    let batch = Dataset::from_flat("batch", pool.dim(), flat.clone());
+                    let (ids, _) = live.insert_deferred(&batch, None).expect("insert");
+                    wal.append(
+                        &WalRecord::Insert { dim: pool.dim() as u32, rows: flat, ids },
+                        WalSync::Batch,
+                    )
+                    .unwrap();
+                    next_pool += n;
+                }
+                // Acknowledged delete (possibly of an absent id — logged
+                // either way; replay no-ops identically).
+                1 => {
+                    let id = arg % (next_pool.max(1) as u32);
+                    live.delete(&[id]);
+                    wal.append(&WalRecord::Delete { ids: vec![id] }, WalSync::Batch).unwrap();
+                }
+                // FLUSH: drain every pending build, snapshot under a
+                // bumped generation, truncate the WAL to that generation.
+                _ => {
+                    live.seal().expect("seal");
+                    let gen = live.wal_gen() + 1;
+                    live.set_wal_gen(gen);
+                    flushed = live.state();
+                    wal.reset(gen).unwrap();
+                }
+            }
+            // A lagging background worker: builds land every `lag` ops.
+            ticks += 1;
+            if ticks.is_multiple_of(lag) {
+                if let Some(pb) = live.pending_build() {
+                    let built = pb.build().expect("build");
+                    prop_assert!(live.install_built(built));
+                }
+            }
+        }
+
+        // Crash. Recovery reads the snapshot and replays the log over it.
+        drop(wal);
+        let (_wal2, replay) = Wal::load(&wal_file).unwrap();
+        prop_assert!(!replay.torn);
+        prop_assert_eq!(replay.generation, flushed.wal_gen, "log and snapshot pair up");
+        let mut recovered = LiveIndex::from_state(flushed).unwrap();
+        recovered.apply_wal_records(&replay.records).expect("replay");
+
+        prop_assert_eq!(recovered.live_len(), live.live_len());
+        for qi in [0usize, 123, 321, 517] {
+            if live.live_len() == 0 {
+                break;
+            }
+            let q = pool.get(qi);
+            let k = 1 + qi % 9;
+            let got = bits(&recovered.query(q, &SearchParams::new(k, 1)));
+            let want = bits(&live.query(q, &SearchParams::new(k, 1)));
+            prop_assert_eq!(got, want, "recovered answers must match pre-crash (query {})", qi);
+        }
+        // Once the uncrashed side finishes its queued builds, the layouts
+        // are byte-identical — replay reached the same seal/merge plan.
+        while let Some(pb) = live.pending_build() {
+            prop_assert!(live.install_built(pb.build().expect("build")));
+        }
+        prop_assert_eq!(live.segment_layout(), recovered.segment_layout());
+        prop_assert_eq!(live.memtable_rows(), recovered.memtable_rows());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
 /// After one seal and no deletes, a live index with an approximate spec
 /// answers exactly like a from-scratch registry build of the same spec
 /// over the same rows — the "recall-equivalent to a full rebuild"

@@ -23,6 +23,9 @@
 //! object the LCCS framework operates on. Each function can also enumerate
 //! scored *alternative* symbols for multi-probe schemes (Multi-Probe LSH,
 //! FALCONN, and the paper's MP-LCCS-LSH all consume these).
+//!
+//! Where this crate sits in the workspace is mapped in
+//! `docs/architecture.md` at the repository root.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

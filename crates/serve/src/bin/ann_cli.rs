@@ -383,7 +383,7 @@ fn main() -> ExitCode {
                 connect(&flags).stats().unwrap_or_else(|e| panic!("stats failed: {e}"));
             for s in entries {
                 println!(
-                    "{}\tspec={}\tload={}\tsq8={}\tqueries={}\tbatches={}\tbatch_queries={}\tinserts={}\tdeletes={}\tflushes={}\tscanned={}\ttotal_us={}\tmax_us={}",
+                    "{}\tspec={}\tload={}\tsq8={}\tqueries={}\tbatches={}\tbatch_queries={}\tinserts={}\tdeletes={}\tflushes={}\twal_records={}\twal_bytes={}\tseals={}\tscanned={}\ttotal_us={}\tmax_us={}",
                     s.name,
                     if s.spec.is_empty() { "unknown" } else { &s.spec },
                     s.load_mode,
@@ -394,6 +394,9 @@ fn main() -> ExitCode {
                     s.inserts,
                     s.deletes,
                     s.flushes,
+                    s.wal_records,
+                    s.wal_bytes,
+                    s.seals,
                     s.candidates_scanned,
                     s.total_micros,
                     s.max_micros

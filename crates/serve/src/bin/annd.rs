@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! annd --snapshot-dir DIR [--addr 127.0.0.1:7700] [--workers N]
+//!      [--wal-sync always|batch]
 //! ```
 //!
 //! Loads every `*.snap` container in `--snapshot-dir`, binds `--addr`
@@ -10,8 +11,14 @@
 //! requests (`ann-cli build --spec …`) construct new indexes at runtime
 //! and persist them back into `--snapshot-dir`, so a built index survives
 //! a restart. A BUILD with `--live true` installs a *mutable* LSM-style
-//! index that then accepts INSERT/DELETE over the wire; FLUSH persists
-//! it (LIVE snapshot section), so live indexes survive restarts too. The bound address is printed as `annd: listening on ADDR`
+//! index that then accepts INSERT/DELETE over the wire. Every
+//! acknowledged write is appended to the entry's `<name>.wal` in the
+//! snapshot dir and fsynced per `--wal-sync` (`always`, the default,
+//! fsyncs before each ack; `batch` group-commits — see
+//! `docs/durability.md`), so even an un-FLUSHed write survives `kill
+//! -9`: restart replays the log over the last FLUSH snapshot. FLUSH
+//! persists the full structure (LIVE snapshot section) and truncates
+//! the log. The bound address is printed as `annd: listening on ADDR`
 //! so scripts can discover ephemeral ports; final per-index counters are
 //! printed on exit.
 
@@ -24,12 +31,14 @@ struct Opts {
     snapshot_dir: PathBuf,
     addr: String,
     workers: usize,
+    wal_sync: ann_live::wal::WalSync,
 }
 
 fn parse_opts(args: impl Iterator<Item = String>) -> Opts {
     let mut snapshot_dir: Option<PathBuf> = None;
     let mut addr = "127.0.0.1:7700".to_string();
     let mut workers = std::thread::available_parallelism().map_or(4, |p| p.get()).min(16);
+    let mut wal_sync = ann_live::wal::WalSync::Always;
     let mut it = args.peekable();
     while let Some(a) = it.next() {
         let mut take =
@@ -40,13 +49,21 @@ fn parse_opts(args: impl Iterator<Item = String>) -> Opts {
             "--workers" => {
                 workers = take("--workers").parse().expect("--workers wants an integer")
             }
-            other => panic!("unknown flag {other}; known: --snapshot-dir --addr --workers"),
+            "--wal-sync" => {
+                wal_sync = take("--wal-sync")
+                    .parse()
+                    .unwrap_or_else(|e: String| panic!("--wal-sync: {e}"))
+            }
+            other => panic!(
+                "unknown flag {other}; known: --snapshot-dir --addr --workers --wal-sync"
+            ),
         }
     }
     Opts {
         snapshot_dir: snapshot_dir.expect("--snapshot-dir is required"),
         addr,
         workers: workers.max(1),
+        wal_sync,
     }
 }
 
@@ -79,7 +96,7 @@ fn main() -> ExitCode {
         );
     }
     let server = match Server::bind(catalog, opts.addr.as_str(), opts.workers) {
-        Ok(s) => s.with_snapshot_dir(&opts.snapshot_dir),
+        Ok(s) => s.with_snapshot_dir(&opts.snapshot_dir).with_wal_sync(opts.wal_sync),
         Err(e) => {
             eprintln!("annd: failed to bind {}: {e}", opts.addr);
             return ExitCode::FAILURE;
@@ -87,7 +104,11 @@ fn main() -> ExitCode {
     };
     let catalog = server.catalog();
     match server.local_addr() {
-        Ok(addr) => println!("annd: listening on {addr} ({} workers)", opts.workers),
+        Ok(addr) => println!(
+            "annd: listening on {addr} ({} workers, wal-sync={})",
+            opts.workers,
+            opts.wal_sync.name()
+        ),
         Err(e) => {
             eprintln!("annd: no local addr: {e}");
             return ExitCode::FAILURE;
@@ -107,7 +128,7 @@ fn main() -> ExitCode {
         );
         println!(
             "annd:   {}  queries={}  batches={} ({} queries)  inserts={}  deletes={}  \
-             flushes={}  scanned={}  total={}us  max={}us",
+             flushes={}  wal={} ({} B)  seals={}  scanned={}  total={}us  max={}us",
             s.name,
             s.queries,
             s.batch_requests,
@@ -115,6 +136,9 @@ fn main() -> ExitCode {
             s.inserts,
             s.deletes,
             s.flushes,
+            s.wal_records,
+            s.wal_bytes,
+            s.seals,
             s.candidates_scanned,
             s.total_micros,
             s.max_micros

@@ -20,11 +20,12 @@ use crate::protocol::IndexInfo;
 use crate::snapshot::{SnapError, Snapshot, SNAPSHOT_EXT};
 use crate::stats::IndexStats;
 use ann::{AnnIndex, MutableAnn};
+use ann_live::wal::{wal_path, Wal};
 use ann_live::LiveIndex;
 use dataset::Dataset;
 use std::collections::BTreeMap;
 use std::path::Path;
-use std::sync::{Arc, RwLock, RwLockReadGuard};
+use std::sync::{Arc, Mutex, RwLock, RwLockReadGuard};
 
 /// What actually answers queries for one catalog entry.
 pub enum Backend {
@@ -58,6 +59,12 @@ pub struct ServedIndex {
     pub backend: Backend,
     /// Serving counters.
     pub stats: IndexStats,
+    /// The entry's write-ahead log (live entries under a snapshot
+    /// directory only; `None` for static entries and diskless servers).
+    /// Lock order: always the inner live `RwLock` first, then this —
+    /// every writer appends while still holding the index write lock, so
+    /// the log's record order is exactly the order mutations applied.
+    pub wal: Mutex<Option<Wal>>,
 }
 
 /// The message served for any access to a live entry whose inner lock a
@@ -187,6 +194,11 @@ impl Catalog {
     ///
     /// The directory must exist; a directory with no snapshot files
     /// yields an empty catalog. Non-snapshot files are ignored.
+    ///
+    /// After the snapshots restore, every live entry's write-ahead log
+    /// (`<name>.wal`, if present) is replayed over its snapshot state —
+    /// see [`Catalog::attach_wals`] and `docs/durability.md` — so rows
+    /// acknowledged after the last FLUSH survive a crash.
     pub fn load_dir(dir: &Path) -> Result<Catalog, SnapError> {
         let mut paths: Vec<_> = std::fs::read_dir(dir)?
             .collect::<Result<Vec<_>, _>>()?
@@ -199,7 +211,75 @@ impl Catalog {
         for path in paths {
             catalog.insert_snapshot(Snapshot::open_mapped(&path)?)?;
         }
+        catalog.attach_wals(dir)?;
         Ok(catalog)
+    }
+
+    /// Attaches a WAL to every live entry (creating an empty log when
+    /// none exists) and replays whatever the log holds beyond the
+    /// entry's snapshot:
+    ///
+    /// - A log whose header generation matches the snapshot's `wal_gen`
+    ///   is replayed record by record — the restored index then answers
+    ///   exactly like the pre-crash one (the crash-consistency contract
+    ///   in `docs/durability.md`).
+    /// - A torn final record (crash mid-append) is logged and discarded;
+    ///   everything before it replays normally. By definition the torn
+    ///   record was never fsynced completely, so it was never
+    ///   acknowledged.
+    /// - A generation mismatch means the log belongs to a different
+    ///   snapshot epoch — e.g. the process died between a FLUSH's
+    ///   snapshot rename and its WAL truncate, so every logged record is
+    ///   already inside the snapshot. Replaying would double-apply;
+    ///   instead the log is reported and reset to the snapshot's
+    ///   generation.
+    ///
+    /// Static entries get any stale `<name>.wal` removed: a log left by
+    /// a live entry that a static BUILD later replaced must not
+    /// resurrect rows on a future restore.
+    fn attach_wals(&mut self, dir: &Path) -> Result<(), SnapError> {
+        for served in self.items.values_mut() {
+            let path = wal_path(dir, &served.name);
+            let Backend::Live(lock) = &mut served.backend else {
+                std::fs::remove_file(&path).ok();
+                continue;
+            };
+            // The catalog is under construction: no lock can be
+            // contended or poisoned yet.
+            let live = lock.get_mut().expect("freshly built lock");
+            let snap_gen = live.wal_gen();
+            let wal = if path.exists() {
+                let (mut wal, replay) = Wal::load(&path)?;
+                if replay.torn {
+                    eprintln!(
+                        "annd: index {:?}: discarded a torn WAL tail (crash mid-append; \
+                         the torn record was never acknowledged)",
+                        served.name
+                    );
+                }
+                if replay.generation == snap_gen {
+                    live.apply_wal_records(&replay.records).map_err(|e| {
+                        SnapError::Malformed(format!(
+                            "replaying WAL for {:?}: {e}",
+                            served.name
+                        ))
+                    })?;
+                } else {
+                    eprintln!(
+                        "annd: index {:?}: WAL generation {} does not match snapshot \
+                         generation {snap_gen}; its records are already covered by the \
+                         snapshot — resetting the log",
+                        served.name, replay.generation
+                    );
+                    wal.reset(snap_gen)?;
+                }
+                wal
+            } else {
+                Wal::create(&path, snap_gen)?
+            };
+            *served.wal.get_mut().expect("freshly built mutex") = Some(wal);
+        }
+        Ok(())
     }
 
     /// Restores one decoded snapshot into the catalog. A container with a
@@ -298,8 +378,10 @@ impl Catalog {
             return Err(SnapError::Malformed(format!("bad method name {method:?}")));
         }
         let stats = IndexStats::default();
-        let replaced =
-            self.items.insert(name.clone(), ServedIndex { name, method, spec, backend, stats });
+        let replaced = self.items.insert(
+            name.clone(),
+            ServedIndex { name, method, spec, backend, stats, wal: Mutex::new(None) },
+        );
         Ok(replaced.is_some())
     }
 

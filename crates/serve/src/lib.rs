@@ -51,6 +51,10 @@
 //! # let _ = hits;
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
+//!
+//! Where this crate sits in the workspace — and the full durable write
+//! path it implements — is mapped in `docs/architecture.md` and
+//! `docs/durability.md` at the repository root.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -614,6 +614,13 @@ pub struct StatsEntry {
     pub deletes: u64,
     /// FLUSH requests served (live indexes only).
     pub flushes: u64,
+    /// Write-ahead-log records appended (one per acknowledged
+    /// INSERT/DELETE request; live indexes under a snapshot dir only).
+    pub wal_records: u64,
+    /// Write-ahead-log bytes appended (frame headers included).
+    pub wal_bytes: u64,
+    /// Seal/compaction builds installed by the background worker.
+    pub seals: u64,
     /// Cumulative candidates the verification loops scanned across every
     /// query/batch/search answered — the serving-side view of the budget
     /// knob (exact for the LCCS schemes and live entries, lower-bound for
@@ -742,6 +749,9 @@ impl Response {
                         e.inserts,
                         e.deletes,
                         e.flushes,
+                        e.wal_records,
+                        e.wal_bytes,
+                        e.seals,
                         e.candidates_scanned,
                         e.total_micros,
                         e.max_micros,
@@ -838,6 +848,9 @@ impl Response {
                     let inserts = r.u64()?;
                     let deletes = r.u64()?;
                     let flushes = r.u64()?;
+                    let wal_records = r.u64()?;
+                    let wal_bytes = r.u64()?;
+                    let seals = r.u64()?;
                     let candidates_scanned = r.u64()?;
                     let total_micros = r.u64()?;
                     let max_micros = r.u64()?;
@@ -852,6 +865,9 @@ impl Response {
                         inserts,
                         deletes,
                         flushes,
+                        wal_records,
+                        wal_bytes,
+                        seals,
                         candidates_scanned,
                         total_micros,
                         max_micros,
@@ -1087,6 +1103,9 @@ mod tests {
             inserts: 42,
             deletes: 7,
             flushes: 2,
+            wal_records: 49,
+            wal_bytes: 3_210,
+            seals: 4,
             candidates_scanned: 123_456,
             total_micros: 4242,
             max_micros: 999,

@@ -19,11 +19,28 @@
 //! Shutdown is cooperative: a SHUTDOWN request flips a shared flag and
 //! pokes the accept loop awake with a loopback connection; the acceptor
 //! stops handing out work, the pool drains, and [`Server::run`] returns.
+//!
+//! Since PR 7 the write path is durable and off-request-path (the full
+//! contract lives in `docs/durability.md`):
+//!
+//! - Every acknowledged INSERT/DELETE against a live entry under a
+//!   snapshot directory first applies under the entry's write lock,
+//!   then appends a CRC-guarded record to the entry's `<name>.wal` and
+//!   fsyncs per [`Server::with_wal_sync`] — only then is the response
+//!   written. Restart replays the log over the last FLUSH snapshot
+//!   ([`Catalog::load_dir`]), so acknowledged writes survive a crash.
+//! - Seal and compaction *builds* run on a dedicated background thread:
+//!   an insert that crosses the seal threshold only freezes the
+//!   memtable and queues the work ([`ann_live::LiveIndex::insert_deferred`]),
+//!   the sealer rebuilds segments with no lock held, and each finished
+//!   segment is installed under a short write-lock splice — readers are
+//!   served throughout.
 
 use crate::catalog::{live_read, panic_message, with_live_write, Backend, Catalog, ServedIndex};
 use crate::protocol::{read_frame, write_frame, Request, Response};
 use crate::snapshot::SnapMeta;
 use ann::{AnnIndex, IndexSpec, MutableAnn, Scratch, SearchRequest, SearchResponse};
+use ann_live::wal::{wal_path, Wal, WalRecord, WalSync};
 use ann_live::{LiveConfig, LiveIndex};
 use eval::registry::{self, BuildCtx};
 use std::collections::HashMap;
@@ -50,6 +67,7 @@ pub struct Server {
     snapshot_dir: Option<PathBuf>,
     workers: usize,
     shutdown: Arc<AtomicBool>,
+    wal_sync: WalSync,
 }
 
 impl Server {
@@ -62,6 +80,7 @@ impl Server {
             snapshot_dir: None,
             workers: workers.max(1),
             shutdown: Arc::new(AtomicBool::new(false)),
+            wal_sync: WalSync::Always,
         })
     }
 
@@ -70,6 +89,17 @@ impl Server {
     /// it just writes nothing.
     pub fn with_snapshot_dir(mut self, dir: impl Into<PathBuf>) -> Server {
         self.snapshot_dir = Some(dir.into());
+        self
+    }
+
+    /// WAL fsync policy for acknowledged writes (`--wal-sync`): the
+    /// default [`WalSync::Always`] fsyncs every record before its ack;
+    /// [`WalSync::Batch`] group-commits, trading a bounded window of
+    /// acknowledged-but-unsynced records on a *power* failure for much
+    /// higher ingest throughput (a process kill alone loses nothing —
+    /// the records are already in the kernel). See `docs/durability.md`.
+    pub fn with_wal_sync(mut self, sync: WalSync) -> Server {
+        self.wal_sync = sync;
         self
     }
 
@@ -94,13 +124,22 @@ impl Server {
         self.listener.set_nonblocking(true)?;
         let (tx, rx): (Sender<TcpStream>, Receiver<TcpStream>) = mpsc::channel();
         let rx = Arc::new(Mutex::new(rx));
+        let (seal_tx, seal_rx) = mpsc::channel::<String>();
         let shared = Shared {
             catalog: &self.catalog,
             snapshot_dir: self.snapshot_dir.as_deref(),
             shutdown: &self.shutdown,
             local,
+            wal_sync: self.wal_sync,
+            sealer: seal_tx,
         };
         std::thread::scope(|scope| {
+            {
+                // The background seal/compaction worker: one thread per
+                // server, fed index names by the write paths.
+                let shared = &shared;
+                scope.spawn(move || sealer_loop(&seal_rx, shared));
+            }
             for _ in 0..self.workers {
                 let rx = rx.clone();
                 let shared = &shared;
@@ -148,6 +187,70 @@ struct Shared<'a> {
     snapshot_dir: Option<&'a Path>,
     shutdown: &'a AtomicBool,
     local: SocketAddr,
+    wal_sync: WalSync,
+    /// Feeds the background sealer the name of a live entry whose
+    /// insert just froze the memtable (queued seal/compaction work).
+    sealer: Sender<String>,
+}
+
+/// How often the sealer re-checks the shutdown flag while idle.
+const SEALER_POLL: Duration = Duration::from_millis(100);
+
+/// The background seal/compaction loop: waits for index names from the
+/// write paths and drains each one's queued builds. Exits when the
+/// server is shutting down (pending work is not lost — it is folded
+/// back into the memtable by `state()` on FLUSH, or rebuilt after
+/// restart from the WAL).
+fn sealer_loop(rx: &Receiver<String>, shared: &Shared) {
+    loop {
+        match rx.recv_timeout(SEALER_POLL) {
+            Ok(name) => seal_index(shared, &name),
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}
+
+/// Drains one live entry's queued seal/compaction builds. Each segment
+/// rebuild runs with *no lock held* (the queued op carries its own
+/// frozen copy of the rows); only the final install takes the entry's
+/// write lock, and only for the pointer swap — readers are served
+/// throughout, which the e2e concurrency test pins.
+fn seal_index(shared: &Shared, name: &str) {
+    loop {
+        let pending = {
+            let catalog = shared.catalog.read().expect("catalog poisoned");
+            let Ok(served) = lookup(&catalog, name) else { return };
+            let Backend::Live(lock) = &served.backend else { return };
+            let Ok(live) = live_read(lock, name) else { return };
+            live.pending_build()
+        };
+        let Some(build) = pending else { return };
+        let built = match build.build() {
+            Ok(b) => b,
+            Err(e) => {
+                // Leave the op queued: the next synchronous drain (an
+                // insert crossing the threshold, or FLUSH) reports the
+                // error to a client instead of retrying silently here.
+                eprintln!("annd: background seal of {name:?} failed: {e}");
+                return;
+            }
+        };
+        let catalog = shared.catalog.read().expect("catalog poisoned");
+        let Ok(served) = lookup(&catalog, name) else { return };
+        let Backend::Live(lock) = &served.backend else { return };
+        match with_live_write(lock, name, |live| Ok(live.install_built(built))) {
+            Ok(true) => served.stats.record_seal(),
+            // Token mismatch: a FLUSH or failed-insert rollback already
+            // resolved this op synchronously; check for newer work.
+            Ok(false) => {}
+            Err(_) => return,
+        }
+    }
 }
 
 fn worker_loop(rx: &Mutex<Receiver<TcpStream>>, shared: &Shared) {
@@ -338,14 +441,43 @@ fn dispatch(
             let rows = dataset::Dataset::from_flat("insert", dim as usize, vectors);
             let ids_opt = (!ids.is_empty()).then_some(ids.as_slice());
             let t0 = Instant::now();
-            let assigned = with_live_write(lock, &index, |live| {
-                live.insert(&rows, ids_opt).map_err(|e| e.to_string())
+            // Apply, then log, then ack — all under the entry's write
+            // lock, so the WAL's record order is exactly the apply
+            // order. Rows are logged as received (pre-normalization):
+            // replay re-normalizes identically. A seal crossing only
+            // freezes and queues here; the rebuild happens on the
+            // sealer thread after the ack.
+            let result = with_live_write(lock, &index, |live| {
+                let (assigned, froze) =
+                    live.insert_deferred(&rows, ids_opt).map_err(|e| e.to_string())?;
+                let mut wal = served.wal.lock().expect("wal mutex poisoned");
+                if let Some(wal) = wal.as_mut() {
+                    let rec = WalRecord::Insert {
+                        dim,
+                        rows: rows.as_flat().to_vec(),
+                        ids: assigned.clone(),
+                    };
+                    match wal.append(&rec, shared.wal_sync) {
+                        Ok(bytes) => served.stats.record_wal(bytes),
+                        Err(e) => {
+                            // Not durable ⇒ not acknowledged: undo the
+                            // in-memory apply so the index never holds
+                            // rows the log (and thus a restart) lacks.
+                            live.delete(&assigned);
+                            return Err(format!("WAL append for {index:?} failed: {e}"));
+                        }
+                    }
+                }
+                Ok((assigned, froze))
             });
-            match assigned {
-                Ok(assigned) => {
+            match result {
+                Ok((assigned, froze)) => {
                     served
                         .stats
                         .record_insert(assigned.len() as u64, t0.elapsed().as_micros() as u64);
+                    if froze {
+                        shared.sealer.send(index.clone()).ok();
+                    }
                     (Response::Inserted { ids: assigned }, false)
                 }
                 Err(e) => (Response::Error(e), false),
@@ -362,7 +494,25 @@ fn dispatch(
                 Err(e) => return (Response::Error(e), false),
             };
             let t0 = Instant::now();
-            match with_live_write(lock, &index, |live| Ok(live.delete(&ids))) {
+            let result = with_live_write(lock, &index, |live| {
+                let removed = live.delete(&ids);
+                // A no-op delete (no requested id was live) changes
+                // nothing, so nothing needs to survive a crash.
+                if removed > 0 {
+                    let mut wal = served.wal.lock().expect("wal mutex poisoned");
+                    if let Some(wal) = wal.as_mut() {
+                        match wal.append(&WalRecord::Delete { ids: ids.clone() }, shared.wal_sync)
+                        {
+                            Ok(bytes) => served.stats.record_wal(bytes),
+                            Err(e) => {
+                                return Err(format!("WAL append for {index:?} failed: {e}"))
+                            }
+                        }
+                    }
+                }
+                Ok(removed)
+            });
+            match result {
                 Ok(removed) => {
                     served
                         .stats
@@ -398,16 +548,40 @@ fn dispatch(
             // already acknowledged its rows as durable. Readers of this
             // entry wait out the encode+fsync — the price of ordered
             // durability; other entries are unaffected.
+            //
+            // The WAL truncates in the same critical section, *after*
+            // the snapshot rename: the snapshot is committed at a new
+            // generation, so if the process dies between rename and
+            // truncate, restart sees a log whose generation no longer
+            // matches and discards it instead of double-applying — the
+            // rename IS the atomic flush point (`docs/durability.md`).
             let flushed = with_live_write(lock, &index, |live| {
                 live.seal().map_err(|e| e.to_string())?;
+                let old_gen = live.wal_gen();
+                live.set_wal_gen(old_gen + 1);
                 let state = live.state();
                 if state.total_rows() == 0 {
+                    live.set_wal_gen(old_gen);
                     return Err(format!("live index {index:?} is empty; nothing to flush"));
                 }
                 let meta = SnapMeta::of_build(&state.spec, 0.0, state.live_rows() as u64);
-                let path = crate::snapshot::stage_live_snapshot(dir, &index, &state, &meta)
-                    .and_then(|s| s.commit())
-                    .map_err(|e| format!("flushing {index:?}: {e}"))?;
+                let staged = crate::snapshot::stage_live_snapshot(dir, &index, &state, &meta)
+                    .and_then(|s| s.commit());
+                let path = match staged {
+                    Ok(path) => path,
+                    Err(e) => {
+                        live.set_wal_gen(old_gen);
+                        return Err(format!("flushing {index:?}: {e}"));
+                    }
+                };
+                let mut wal = served.wal.lock().expect("wal mutex poisoned");
+                if let Some(wal) = wal.as_mut() {
+                    if let Err(e) = wal.reset(old_gen + 1) {
+                        // Safe to continue: the stale log's generation
+                        // mismatches and is discarded on restart.
+                        eprintln!("annd: WAL truncate after FLUSH of {index:?} failed: {e}");
+                    }
+                }
                 Ok((path, state.segments.len() as u32, state.live_rows() as u64))
             });
             match flushed {
@@ -629,6 +803,12 @@ fn handle_build(
             }
         }
     }
+    // A static entry accepts no writes: drop any WAL left by a live
+    // entry this BUILD replaces, or a restart would replay it over the
+    // wrong index.
+    if let Some(dir) = shared.snapshot_dir {
+        std::fs::remove_file(wal_path(dir, name)).ok();
+    }
     match catalog.install(name.to_string(), method, spec.to_string(), index, data) {
         Ok(_replaced) => {
             let info = catalog.get(name).expect("just installed").info();
@@ -709,7 +889,19 @@ fn handle_build_live(
     }
     match catalog.install_live(name.to_string(), spec.to_string(), live) {
         Ok(_replaced) => {
-            let info = catalog.get(name).expect("just installed").info();
+            let served = catalog.get(name).expect("just installed");
+            // A fresh live entry starts a fresh log at generation 0 —
+            // matching the snapshot just committed — truncating any WAL
+            // a replaced entry left behind. Without a snapshot dir the
+            // entry serves without durability (like FLUSH, which also
+            // needs the dir).
+            if let Some(dir) = shared.snapshot_dir {
+                match Wal::create(&wal_path(dir, name), 0) {
+                    Ok(wal) => *served.wal.lock().expect("wal mutex poisoned") = Some(wal),
+                    Err(e) => eprintln!("annd: creating WAL for {name:?}: {e}"),
+                }
+            }
+            let info = served.info();
             Response::Built { info, build_micros: (build_secs * 1e6) as u64, snapshot_path }
         }
         Err(e) => Response::Error(format!("installing {name:?}: {e}")),

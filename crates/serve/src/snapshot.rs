@@ -81,6 +81,9 @@
 //!                                         rows × dim base vectors)
 //!   ids           rows × u32              external id per slot
 //!   dead          u32 count + count × u32 tombstoned slots
+//! wal_gen         u64                     WAL generation this snapshot
+//!                                         covers (PR 7; absent on older
+//!                                         files, which decode as gen 0)
 //! ```
 //!
 //! Segment *indexes* are not stored: each is rebuilt deterministically
@@ -295,6 +298,7 @@ fn encode_parts(
                 section.extend_from_slice(&slot.to_le_bytes());
             }
         }
+        section.extend_from_slice(&state.wal_gen.to_le_bytes());
         push_section(&mut out, LIVE_MARKER, &section);
     }
     Ok(out)
@@ -392,6 +396,9 @@ fn parse_live_section(
             "LIVE section covers {row_cursor} of {total_rows} rows"
         )));
     }
+    // Trailing WAL generation (PR 7). Absent on older containers — they
+    // predate the WAL entirely, so generation 0 (= "no log expected").
+    let wal_gen = if sr.remaining() >= 8 { ctx(sr.u64(), "live wal_gen")? } else { 0 };
     Ok(LiveState {
         spec,
         metric,
@@ -400,6 +407,7 @@ fn parse_live_section(
         next_id,
         segments,
         memtable,
+        wal_gen,
     })
 }
 

@@ -18,6 +18,9 @@ pub struct IndexStats {
     inserts: AtomicU64,
     deletes: AtomicU64,
     flushes: AtomicU64,
+    wal_records: AtomicU64,
+    wal_bytes: AtomicU64,
+    seals: AtomicU64,
     candidates_scanned: AtomicU64,
     total_micros: AtomicU64,
     max_micros: AtomicU64,
@@ -60,6 +63,19 @@ impl IndexStats {
         self.record_latency(micros);
     }
 
+    /// Records one WAL append of `bytes` framed bytes (a durable
+    /// INSERT/DELETE acknowledgement).
+    pub fn record_wal(&self, bytes: u64) {
+        self.wal_records.fetch_add(1, Ordering::Relaxed);
+        self.wal_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Records one background seal/compaction build installed off the
+    /// request path.
+    pub fn record_seal(&self) {
+        self.seals.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Accumulates candidates scanned while answering (from
     /// [`ann::SearchStats`]), so the budget knob's real cost is visible
     /// in serving, not just in the eval harness.
@@ -82,6 +98,9 @@ impl IndexStats {
             inserts: self.inserts.load(Ordering::Relaxed),
             deletes: self.deletes.load(Ordering::Relaxed),
             flushes: self.flushes.load(Ordering::Relaxed),
+            wal_records: self.wal_records.load(Ordering::Relaxed),
+            wal_bytes: self.wal_bytes.load(Ordering::Relaxed),
+            seals: self.seals.load(Ordering::Relaxed),
             candidates_scanned: self.candidates_scanned.load(Ordering::Relaxed),
             total_micros: self.total_micros.load(Ordering::Relaxed),
             max_micros: self.max_micros.load(Ordering::Relaxed),
@@ -122,10 +141,16 @@ mod tests {
         s.record_insert(1, 5);
         s.record_delete(3, 2);
         s.record_flush(1_000);
+        s.record_wal(640);
+        s.record_wal(32);
+        s.record_seal();
         let snap = s.snapshot("live", "lccs:m=8", "owned", false);
         assert_eq!(snap.inserts, 101, "insert counter counts rows, not requests");
         assert_eq!(snap.deletes, 3);
         assert_eq!(snap.flushes, 1);
+        assert_eq!(snap.wal_records, 2, "one WAL record per acknowledged write request");
+        assert_eq!(snap.wal_bytes, 672);
+        assert_eq!(snap.seals, 1);
         assert_eq!(snap.total_micros, 1_027, "write latency rolls into the totals");
         assert_eq!(snap.max_micros, 1_000);
     }

@@ -63,10 +63,16 @@ spec-help:
     cargo run --release -p serve --bin ann-cli -- spec-help
     cargo test -q --release -p eval registry::tests::every_registry_entry_appears_in_spec_help
 
+# Rustdoc the workspace warning-clean and verify that every intra-repo
+# link in README.md and docs/*.md resolves (the CI docs step).
+docs:
+    RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
+    bash scripts/check-doc-links.sh
+
 # The offline-guard CI job: build with no network, assert no registry deps.
 offline-guard:
     cargo build --release --offline --workspace
     @! grep -qE '^source = ' Cargo.lock || (echo 'non-vendored dependency in Cargo.lock' && exit 1)
 
 # Everything the CI workflow runs.
-verify: build test clippy spec-help offline-guard
+verify: build test clippy docs spec-help offline-guard

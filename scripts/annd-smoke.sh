@@ -122,6 +122,41 @@ diff "$DIR/before-restart.txt" "$DIR/after-restart.txt" \
 diff "$DIR/search-before-restart.txt" "$DIR/search-after-restart.txt" \
     || (echo "search smoke: filtered/range answers changed across the restart" && exit 1)
 
+# Durable write path: an acknowledged INSERT with *no* FLUSH must
+# survive kill -9 — the daemon appends every acked write to
+# <name>.wal (fsynced per --wal-sync) before answering, and a restart
+# replays the log over the last flushed snapshot. docs/durability.md is
+# the full contract; this is the real-SIGKILL half of its test matrix
+# (the e2e suite covers the in-process half).
+"$CLI" shutdown --addr "$ADDR"
+wait "$ANND_PID"
+"$ANND" --snapshot-dir "$DIR" --addr "$ADDR" --wal-sync always > "$DIR/annd-wal.log" 2>&1 &
+ANND_PID=$!
+sleep 2
+grep -F "wal-sync=always" "$DIR/annd-wal.log" \
+    || (echo "wal smoke: daemon did not log its wal-sync mode" && exit 1)
+"$CLI" insert --addr "$ADDR" --index mut-idx --vec "$NINE_VEC" | grep -F "id=401" \
+    || (echo "wal smoke: auto id should continue at 401" && exit 1)
+test -s "$DIR/mut-idx.wal" \
+    || (echo "wal smoke: no WAL next to the snapshot after an acked insert" && exit 1)
+"$CLI" stats --addr "$ADDR" | grep -F "mut-idx" | grep -E "wal_records=[1-9]" \
+    || (echo "wal smoke: wal counters missing from STATS" && exit 1)
+"$CLI" query --addr "$ADDR" --index mut-idx --k 3 --budget 64 --vec "$NINE_VEC" \
+    > "$DIR/wal-before-kill.txt"
+grep -F "id=401" "$DIR/wal-before-kill.txt" \
+    || (echo "wal smoke: acked row not served before the kill" && exit 1)
+
+kill -9 "$ANND_PID" # no FLUSH, no graceful anything
+wait "$ANND_PID" 2>/dev/null || true
+
+"$ANND" --snapshot-dir "$DIR" --addr "$ADDR" &
+ANND_PID=$!
+sleep 2
+"$CLI" query --addr "$ADDR" --index mut-idx --k 3 --budget 64 --vec "$NINE_VEC" \
+    > "$DIR/wal-after-kill.txt"
+diff "$DIR/wal-before-kill.txt" "$DIR/wal-after-kill.txt" \
+    || (echo "wal smoke: acked insert lost or changed across kill -9" && exit 1)
+
 "$CLI" shutdown --addr "$ADDR"
 
 wait "$ANND_PID"

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Verifies that every intra-repo markdown link in README.md and docs/*.md
+# points at a file that actually exists. External links (http/https/...)
+# are skipped — this is a bitrot tripwire for relative paths, not a web
+# crawler. Used by CI and `just docs`.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+for doc in README.md docs/*.md; do
+    dir=$(dirname "$doc")
+    # Every markdown link target: the (...) of []() pairs.
+    while IFS= read -r target; do
+        case "$target" in
+            http://* | https://* | mailto:* | \#*) continue ;;
+        esac
+        path="${target%%#*}" # drop any #fragment
+        [ -n "$path" ] || continue
+        # Relative to the linking file first, then to the repo root.
+        if [ ! -e "$dir/$path" ] && [ ! -e "$path" ]; then
+            echo "$doc: broken link -> $target"
+            fail=1
+        fi
+    done < <(grep -oE '\]\([^)]+\)' "$doc" | sed -E 's/^\]\(//; s/\)$//')
+done
+
+if [ "$fail" -ne 0 ]; then
+    echo "check-doc-links: FAILED"
+    exit 1
+fi
+echo "check-doc-links: OK"

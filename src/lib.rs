@@ -1,6 +1,7 @@
 //! Facade crate: re-exports all member crates of the LCCS-LSH reproduction
 //! workspace and hosts the runnable examples and cross-crate integration
-//! tests. See README.md for the tour.
+//! tests. See README.md for the tour and `docs/architecture.md` for the
+//! crate map and data flow.
 
 #![forbid(unsafe_code)]
 
