@@ -4,8 +4,8 @@
 //! bench_report [--out BENCH_serve.json] [--quick] [--min-speedup X]
 //! ```
 //!
-//! Measures the three serving paths PR 6 optimized and writes one JSON
-//! object per bench to `--out` (committed at the repo root as
+//! Measures the serving paths the perf PRs optimized and writes one
+//! JSON object per bench to `--out` (committed at the repo root as
 //! `BENCH_serve.json`, so the trajectory is tracked commit over commit):
 //!
 //! * `snapshot_open_mapped` / `snapshot_open_owned` — cold-start: open a
@@ -14,6 +14,9 @@
 //!   query sweep with the SQ8 skip bound on vs. off.
 //! * `exact_batch_sq8` / `exact_batch_f32` — an `ExactKnn` batch over a
 //!   dataset with a primed SQ8 code table vs. a plain f32 scan.
+//! * `search_direct` / `search_router` — the same wire sweep against one
+//!   `annd` directly vs through a one-shard router (the scatter-gather
+//!   hop's overhead; no speedup floor applies to this pair).
 //!
 //! Every entry is `{"median_us": …, "rows": …, "k": …, "commit": …}`.
 //! Both SQ8 sweeps assert the pruned top-k is bit-identical to the
@@ -215,6 +218,72 @@ fn bench_exact_batch(entries: &mut Vec<Entry>, n: usize, nq: usize, repeats: usi
     speedup
 }
 
+/// Router overhead: the same query sweep against one `annd` server
+/// directly vs through a one-shard router in front of it. The delta is
+/// the price of the extra hop + merge (no speedup expected — this pair
+/// tracks that the scatter-gather layer stays thin).
+fn bench_router_overhead(entries: &mut Vec<Entry>, n: usize, nq: usize, repeats: usize) {
+    use serve::client::Client;
+    use serve::router::{Router, RouterConfig, ShardSpec};
+    use serve::server::Server;
+
+    let dim = 32;
+    let k = 10;
+    let dir = std::env::temp_dir().join(format!("bench-router-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("bench dir");
+    let data = bench_data(n, dim);
+    let queries = data.sample_queries(nq, 0x7a21);
+    let fvecs = dir.join("bench.fvecs");
+    dataset::io::write_fvecs(&fvecs, &data).expect("write fvecs");
+
+    let server = Server::bind(serve::catalog::Catalog::empty(), "127.0.0.1:0", 2)
+        .expect("bind server")
+        .with_snapshot_dir(&dir);
+    let saddr = server.local_addr().unwrap();
+    let shandle = std::thread::spawn(move || server.run().expect("server loop"));
+    let mut direct = Client::connect(saddr).expect("connect server");
+    direct
+        .build_live("bench", "linear", "euclidean", fvecs.to_str().unwrap(), 0, n + 1, 4)
+        .expect("build");
+
+    let config = RouterConfig::new(vec![ShardSpec {
+        primary: saddr.to_string(),
+        replicas: Vec::new(),
+    }]);
+    let router = Router::bind(config, "127.0.0.1:0", 2).expect("bind router");
+    let raddr = router.local_addr().unwrap();
+    let rhandle = std::thread::spawn(move || router.run().expect("router loop"));
+    let mut routed = Client::connect(raddr).expect("connect router");
+
+    let req = SearchRequest::top_k(k).budget(64);
+    let sweep = |c: &mut Client| -> Vec<dataset::exact::Neighbor> {
+        let mut all = Vec::with_capacity(nq * k);
+        for qi in 0..nq {
+            all.extend(c.search("bench", queries.get(qi), &req).expect("search").0);
+        }
+        all
+    };
+    assert_bit_identical("router hop", &sweep(&mut routed), &sweep(&mut direct));
+
+    let direct_us = median_us(repeats, || sweep(&mut direct));
+    let routed_us = median_us(repeats, || sweep(&mut routed));
+
+    println!(
+        "bench_report: router hop ({nq} queries over {n}×{dim}): direct {direct_us}us vs \
+         routed {routed_us}us ({:.2}x overhead, top-k bit-identical)",
+        routed_us as f64 / direct_us.max(1) as f64
+    );
+    entries.push(Entry { name: "search_direct", median_us: direct_us, rows: n, k });
+    entries.push(Entry { name: "search_router", median_us: routed_us, rows: n, k });
+
+    routed.shutdown().expect("router shutdown");
+    rhandle.join().expect("router thread");
+    direct.shutdown().expect("server shutdown");
+    shandle.join().expect("server thread");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 fn main() {
     let opts = parse_opts(std::env::args().skip(1));
     let (snap_n, scan_n, nq, repeats) =
@@ -225,6 +294,7 @@ fn main() {
     bench_cold_start(&mut entries, snap_n, repeats);
     let live_speedup = bench_live_scan(&mut entries, scan_n, nq, repeats);
     let exact_speedup = bench_exact_batch(&mut entries, scan_n, nq, repeats);
+    bench_router_overhead(&mut entries, scan_n, nq, repeats);
 
     let mut json = String::from("{\n");
     for (i, e) in entries.iter().enumerate() {

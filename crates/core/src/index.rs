@@ -361,7 +361,7 @@ impl LccsLsh {
     }
 
     /// Answers one [`SearchRequest`]: the usual `(λ + k − 1)`-LCCS search
-    /// collects candidates under the budget, then [`LccsLsh::verify_request`]
+    /// collects candidates under the budget, then `LccsLsh::verify_request`
     /// applies the filter/threshold inside the verification loop. This is
     /// the implementation behind the scheme's [`ann::AnnIndex::search_with`]
     /// override.

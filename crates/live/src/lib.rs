@@ -454,6 +454,27 @@ impl LiveIndex {
         Ok(live)
     }
 
+    /// Like [`LiveIndex::build_from`], but row `i` gets the explicit
+    /// external id `ids[i]` instead of the dense `0..n` assignment. A
+    /// sharded cluster uses this to give shard *s* of *m* the strided
+    /// ids `s, s+m, s+2m, …`, so shard-local results carry global ids
+    /// and a router can merge per-shard top-k lists by `(distance, id)`
+    /// exactly as a single node merges segments. The usual id rules
+    /// apply (no duplicates, no `u32::MAX`); auto-assignment for later
+    /// inserts continues above the largest id given here.
+    pub fn build_from_ids(
+        spec: IndexSpec,
+        metric: Metric,
+        data: &Dataset,
+        config: LiveConfig,
+        ids: &[u32],
+    ) -> Result<LiveIndex, MutateError> {
+        let mut live = LiveIndex::new(spec, metric, data.dim(), config)?;
+        live.insert_rows(data, Some(ids))?;
+        live.seal()?;
+        Ok(live)
+    }
+
     /// The spec sealed segments are built from.
     pub fn spec(&self) -> &IndexSpec {
         &self.spec
@@ -1474,7 +1495,7 @@ impl AnnIndex for LiveIndex {
     /// schedules the units (scratch never influences results; it is an
     /// allocation cache only). The request's id filter is applied before
     /// each segment's tombstone over-fetch (see
-    /// [`LiveIndex::scan_segment_request`]) and its threshold inside
+    /// `LiveIndex::scan_segment_request`) and its threshold inside
     /// every scan loop, so with exact segments (`linear`) the answer is
     /// byte-identical to a filtered brute-force oracle over the live
     /// rows — the property the crate's proptests pin.
@@ -1577,6 +1598,35 @@ mod tests {
         let hits = live.query(data.get(3), &SearchParams::new(1, 16));
         assert_eq!(hits[0].id, 3);
         assert_eq!(hits[0].dist, 0.0);
+    }
+
+    #[test]
+    fn build_from_ids_gives_rows_strided_global_ids() {
+        let data = rows(9, 4, 7);
+        // Shard 1 of a 3-shard cluster: ids 1, 4, 7, …
+        let ids: Vec<u32> = (0..9u32).map(|i| 1 + 3 * i).collect();
+        let live =
+            LiveIndex::build_from_ids(exact_spec(), Metric::Euclidean, &data, cfg(100, 4), &ids)
+                .unwrap();
+        assert_eq!(live.live_len(), 9);
+        for (row, &id) in ids.iter().enumerate() {
+            let hits = live.query(data.get(row), &SearchParams::new(1, 16));
+            assert_eq!(hits[0].id, id, "row {row} answers under its explicit id");
+            assert_eq!(hits[0].dist, 0.0);
+        }
+        // Auto-assignment continues above the largest explicit id.
+        let mut live = live;
+        let extra = live.insert(&rows(1, 4, 8), None).unwrap();
+        assert_eq!(extra, vec![26], "next_id = max explicit id + 1");
+        // Duplicate explicit ids are rejected up front.
+        let err = LiveIndex::build_from_ids(
+            exact_spec(),
+            Metric::Euclidean,
+            &rows(2, 4, 9),
+            cfg(100, 4),
+            &[5, 5],
+        );
+        assert!(err.is_err(), "duplicate ids must not build");
     }
 
     #[test]

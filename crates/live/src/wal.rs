@@ -74,7 +74,7 @@ pub enum WalSync {
     #[default]
     Always,
     /// Group commit: the record is written to the OS before the ack but
-    /// fsynced once per [`GROUP_COMMIT_RECORDS`] appends. A process kill
+    /// fsynced once per `GROUP_COMMIT_RECORDS` appends. A process kill
     /// loses nothing (the OS holds the pages); a machine/power crash can
     /// lose up to the last unsynced group.
     Batch,

@@ -265,15 +265,19 @@ fn cmd_search(flags: &HashMap<String, String>) {
         _ => panic!("search wants exactly one of --vec or --from\n{USAGE}"),
     };
     for (qi, q) in queries.iter().enumerate() {
-        let (hits, stats) =
-            client.search(index, q, &req).unwrap_or_else(|e| panic!("search failed: {e}"));
+        let out = client
+            .search_outcome(index, q, &req)
+            .unwrap_or_else(|e| panic!("search failed: {e}"));
         if queries.len() > 1 {
-            println!("query {qi}\t({} hits)", hits.len());
+            println!("query {qi}\t({} hits)", out.hits.len());
         }
-        for (rank, n) in hits.iter().enumerate() {
+        if !out.missing_shards.is_empty() {
+            println!("partial\tmissing={}", out.missing_shards.join(","));
+        }
+        for (rank, n) in out.hits.iter().enumerate() {
             println!("{rank}\tid={}\tdist={:.6}", n.id, n.dist);
         }
-        if let Some(s) = stats {
+        if let Some(s) = out.stats {
             println!(
                 "stats\tscanned={}\theap_pushes={}\twall_us={}",
                 s.candidates_scanned, s.heap_pushes, s.wall_micros
@@ -383,7 +387,7 @@ fn main() -> ExitCode {
                 connect(&flags).stats().unwrap_or_else(|e| panic!("stats failed: {e}"));
             for s in entries {
                 println!(
-                    "{}\tspec={}\tload={}\tsq8={}\tqueries={}\tbatches={}\tbatch_queries={}\tinserts={}\tdeletes={}\tflushes={}\twal_records={}\twal_bytes={}\tseals={}\tscanned={}\ttotal_us={}\tmax_us={}",
+                    "{}\tspec={}\tload={}\tsq8={}\tqueries={}\tbatches={}\tbatch_queries={}\tinserts={}\tdeletes={}\tflushes={}\twal_records={}\twal_bytes={}\tseals={}\tscanned={}\ttotal_us={}\tmax_us={}\tp50_us={}\tp99_us={}",
                     s.name,
                     if s.spec.is_empty() { "unknown" } else { &s.spec },
                     s.load_mode,
@@ -399,7 +403,9 @@ fn main() -> ExitCode {
                     s.seals,
                     s.candidates_scanned,
                     s.total_micros,
-                    s.max_micros
+                    s.max_micros,
+                    s.p50_micros,
+                    s.p99_micros
                 );
             }
         }

@@ -1,8 +1,12 @@
-//! `annd` — the snapshot-backed ANN serving daemon.
+//! `annd` — the snapshot-backed ANN serving daemon, and (in `--router`
+//! mode) the sharded-cluster front that speaks the same protocol.
 //!
 //! ```text
 //! annd --snapshot-dir DIR [--addr 127.0.0.1:7700] [--workers N]
 //!      [--wal-sync always|batch]
+//! annd --router SHARD,SHARD[,rN@REPLICA]… [--addr 127.0.0.1:7700]
+//!      [--workers N] [--router-dir DIR] [--require-all]
+//!      [--shard-timeout-ms 5000]
 //! ```
 //!
 //! Loads every `*.snap` container in `--snapshot-dir`, binds `--addr`
@@ -19,19 +23,36 @@
 //! -9`: restart replays the log over the last FLUSH snapshot. FLUSH
 //! persists the full structure (LIVE snapshot section) and truncates
 //! the log. The bound address is printed as `annd: listening on ADDR`
-//! so scripts can discover ephemeral ports; final per-index counters are
-//! printed on exit.
+//! so scripts can discover ephemeral ports; final per-index counters
+//! (including the p50/p99 of the query-latency histogram) are printed
+//! on exit.
+//!
+//! `--router` starts no local catalog at all: the process fronts the
+//! listed shard daemons, hash-partitioning writes by `id % n_shards`
+//! and scatter-gathering reads so results are byte-identical to a
+//! single-node index over the union of rows. `rN@host:port` attaches a
+//! read-only replica to shard `N`. `--router-dir` persists the routed
+//! catalog (placement modulus + auto-id high-water mark per index) so a
+//! restarted router routes identically; `--require-all` turns degraded
+//! reads into errors instead of typed partial results. See
+//! `docs/cluster.md`.
 
 use serve::catalog::Catalog;
+use serve::router::{parse_topology, Router, RouterConfig};
 use serve::server::Server;
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Duration;
 
 struct Opts {
-    snapshot_dir: PathBuf,
+    snapshot_dir: Option<PathBuf>,
     addr: String,
     workers: usize,
     wal_sync: ann_live::wal::WalSync,
+    router: Option<String>,
+    router_dir: Option<PathBuf>,
+    require_all: bool,
+    shard_timeout_ms: u64,
 }
 
 fn parse_opts(args: impl Iterator<Item = String>) -> Opts {
@@ -39,6 +60,10 @@ fn parse_opts(args: impl Iterator<Item = String>) -> Opts {
     let mut addr = "127.0.0.1:7700".to_string();
     let mut workers = std::thread::available_parallelism().map_or(4, |p| p.get()).min(16);
     let mut wal_sync = ann_live::wal::WalSync::Always;
+    let mut router: Option<String> = None;
+    let mut router_dir: Option<PathBuf> = None;
+    let mut require_all = false;
+    let mut shard_timeout_ms = 5000u64;
     let mut it = args.peekable();
     while let Some(a) = it.next() {
         let mut take =
@@ -54,32 +79,103 @@ fn parse_opts(args: impl Iterator<Item = String>) -> Opts {
                     .parse()
                     .unwrap_or_else(|e: String| panic!("--wal-sync: {e}"))
             }
+            "--router" => router = Some(take("--router")),
+            "--router-dir" => router_dir = Some(PathBuf::from(take("--router-dir"))),
+            "--require-all" => require_all = true,
+            "--shard-timeout-ms" => {
+                shard_timeout_ms = take("--shard-timeout-ms")
+                    .parse()
+                    .expect("--shard-timeout-ms wants an integer")
+            }
             other => panic!(
-                "unknown flag {other}; known: --snapshot-dir --addr --workers --wal-sync"
+                "unknown flag {other}; known: --snapshot-dir --addr --workers --wal-sync \
+                 --router --router-dir --require-all --shard-timeout-ms"
             ),
         }
     }
+    if router.is_some() && snapshot_dir.is_some() {
+        panic!("--router and --snapshot-dir are mutually exclusive: a router holds no indexes");
+    }
     Opts {
-        snapshot_dir: snapshot_dir.expect("--snapshot-dir is required"),
+        snapshot_dir,
         addr,
         workers: workers.max(1),
         wal_sync,
+        router,
+        router_dir,
+        require_all,
+        shard_timeout_ms,
     }
+}
+
+fn run_router(opts: &Opts, topology: &str) -> ExitCode {
+    let shards = match parse_topology(topology) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("annd: bad --router topology: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let n_replicas: usize = shards.iter().map(|s| s.replicas.len()).sum();
+    let config = RouterConfig {
+        shards,
+        require_all: opts.require_all,
+        dir: opts.router_dir.clone(),
+        shard_timeout: Duration::from_millis(opts.shard_timeout_ms.max(1)),
+    };
+    if config.dir.is_none() {
+        eprintln!(
+            "annd: router has no --router-dir; placement will be re-learned from shard LISTs \
+             on restart and auto-id INSERTs will be refused for adopted indexes"
+        );
+    }
+    let n_shards = config.shards.len();
+    let router = match Router::bind(config, opts.addr.as_str(), opts.workers) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("annd: failed to start router on {}: {e}", opts.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    match router.local_addr() {
+        Ok(addr) => println!(
+            "annd: listening on {addr} (router: {n_shards} shard(s), {n_replicas} replica(s), \
+             {} workers, require-all={})",
+            opts.workers, opts.require_all
+        ),
+        Err(e) => {
+            eprintln!("annd: no local addr: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Err(e) = router.run() {
+        eprintln!("annd: router loop failed: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("annd: router shutting down (shards keep running; stop them individually)");
+    ExitCode::SUCCESS
 }
 
 fn main() -> ExitCode {
     let opts = parse_opts(std::env::args().skip(1));
-    let catalog = match Catalog::load_dir(&opts.snapshot_dir) {
+    if let Some(topology) = opts.router.clone() {
+        return run_router(&opts, &topology);
+    }
+    let Some(snapshot_dir) = opts.snapshot_dir.clone() else {
+        eprintln!("annd: pass --snapshot-dir DIR (serve mode) or --router SHARDS (router mode)");
+        return ExitCode::FAILURE;
+    };
+    let catalog = match Catalog::load_dir(&snapshot_dir) {
         Ok(c) => c,
         Err(e) => {
-            eprintln!("annd: failed to load {}: {e}", opts.snapshot_dir.display());
+            eprintln!("annd: failed to load {}: {e}", snapshot_dir.display());
             return ExitCode::FAILURE;
         }
     };
     println!(
         "annd: serving {} index(es) from {}",
         catalog.len(),
-        opts.snapshot_dir.display()
+        snapshot_dir.display()
     );
     for served in catalog.iter() {
         let info = served.info();
@@ -96,7 +192,7 @@ fn main() -> ExitCode {
         );
     }
     let server = match Server::bind(catalog, opts.addr.as_str(), opts.workers) {
-        Ok(s) => s.with_snapshot_dir(&opts.snapshot_dir).with_wal_sync(opts.wal_sync),
+        Ok(s) => s.with_snapshot_dir(&snapshot_dir).with_wal_sync(opts.wal_sync),
         Err(e) => {
             eprintln!("annd: failed to bind {}: {e}", opts.addr);
             return ExitCode::FAILURE;
@@ -128,7 +224,8 @@ fn main() -> ExitCode {
         );
         println!(
             "annd:   {}  queries={}  batches={} ({} queries)  inserts={}  deletes={}  \
-             flushes={}  wal={} ({} B)  seals={}  scanned={}  total={}us  max={}us",
+             flushes={}  wal={} ({} B)  seals={}  scanned={}  total={}us  max={}us  \
+             p50={}us  p99={}us",
             s.name,
             s.queries,
             s.batch_requests,
@@ -141,7 +238,9 @@ fn main() -> ExitCode {
             s.seals,
             s.candidates_scanned,
             s.total_micros,
-            s.max_micros
+            s.max_micros,
+            s.p50_micros,
+            s.p99_micros
         );
     }
     ExitCode::SUCCESS

@@ -12,7 +12,7 @@
 //! [`Backend::Live`]: an [`ann_live::LiveIndex`] behind its own inner
 //! `RwLock`, giving single-writer INSERT/DELETE/FLUSH mutation with
 //! shared-read queries. All access to a live entry goes through
-//! [`live_read`] / [`with_live_write`], which map a poisoned inner lock
+//! `live_read` / `with_live_write`, which map a poisoned inner lock
 //! (a writer panicked mid-mutation) onto a clean error string instead of
 //! unwinding the worker thread.
 
@@ -197,7 +197,7 @@ impl Catalog {
     ///
     /// After the snapshots restore, every live entry's write-ahead log
     /// (`<name>.wal`, if present) is replayed over its snapshot state —
-    /// see [`Catalog::attach_wals`] and `docs/durability.md` — so rows
+    /// see `Catalog::attach_wals` and `docs/durability.md` — so rows
     /// acknowledged after the last FLUSH survive a crash.
     pub fn load_dir(dir: &Path) -> Result<Catalog, SnapError> {
         let mut paths: Vec<_> = std::fs::read_dir(dir)?

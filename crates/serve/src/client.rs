@@ -1,5 +1,6 @@
 //! Blocking client for the `annd` protocol, used by `ann-cli`, the
-//! end-to-end tests, and any Rust caller that wants remote ANN queries.
+//! end-to-end tests, the cluster router's shard pool, and any Rust
+//! caller that wants remote ANN queries.
 
 use crate::protocol::{
     read_frame, write_frame, IndexInfo, ProtoError, Request, Response, StatsEntry,
@@ -8,7 +9,8 @@ use ann::{SearchRequest, SearchStats};
 use dataset::exact::Neighbor;
 use dataset::Dataset;
 use std::io;
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 /// Errors surfaced by [`Client`] calls.
 #[derive(Debug)]
@@ -19,6 +21,12 @@ pub enum ClientError {
     Proto(ProtoError),
     /// The server answered with an error message.
     Server(String),
+    /// A router answered with degraded results: the named shards did not
+    /// respond. Returned by the strict single-answer methods
+    /// ([`Client::query`], [`Client::search`], [`Client::query_batch`]);
+    /// use [`Client::search_outcome`] to consume partial answers instead
+    /// of treating them as failures.
+    Partial(Vec<String>),
     /// The server answered with the wrong response variant.
     Unexpected(&'static str),
 }
@@ -29,6 +37,9 @@ impl std::fmt::Display for ClientError {
             ClientError::Io(e) => write!(f, "io error: {e}"),
             ClientError::Proto(e) => write!(f, "protocol error: {e}"),
             ClientError::Server(m) => write!(f, "server error: {m}"),
+            ClientError::Partial(missing) => {
+                write!(f, "partial results: missing shards [{}]", missing.join(", "))
+            }
             ClientError::Unexpected(what) => write!(f, "unexpected response, wanted {what}"),
         }
     }
@@ -42,22 +53,110 @@ impl From<io::Error> for ClientError {
     }
 }
 
-/// One connection to an `annd` instance. Requests are answered in order
-/// on the same connection (the protocol has no pipelining or request
-/// ids), so a `Client` is cheap, single-threaded state.
+/// A search answer that may be degraded: `missing_shards` is empty for a
+/// complete answer (always, when talking to a single-node server) and
+/// names the unresponsive shards when a router degraded the result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchOutcome {
+    /// The (possibly partial) merged hits.
+    pub hits: Vec<Neighbor>,
+    /// Execution counters, present iff the request asked for stats and
+    /// the answer was complete (a degraded answer carries no stats).
+    pub stats: Option<SearchStats>,
+    /// `shard<i>@<addr>` labels of shards that did not answer.
+    pub missing_shards: Vec<String>,
+}
+
+/// One connection to an `annd` instance (single-node server or cluster
+/// router — same protocol). Requests are answered in order on the same
+/// connection (the protocol has no pipelining or request ids), so a
+/// `Client` is cheap, single-threaded state.
+///
+/// The connection is reused across calls. If the server closed it in the
+/// meantime (idle timeout, restart), the next *idempotent* request
+/// (PING/LIST/STATS/QUERY/SEARCH/BATCH) transparently redials and
+/// retries once; writes (BUILD/INSERT/DELETE/FLUSH) surface the
+/// transport error instead, because blindly retrying one could apply it
+/// twice.
 pub struct Client {
     stream: TcpStream,
+    /// Resolved peer addresses, kept for the reconnect path.
+    addrs: Vec<SocketAddr>,
+    /// Connect/read timeout when dialed via [`Client::connect_timeout`]
+    /// (the router's shard pool); `None` means blocking system defaults.
+    timeout: Option<Duration>,
 }
 
 impl Client {
     /// Connects to a running server.
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
-        let stream = TcpStream::connect(addr)?;
+        let addrs: Vec<SocketAddr> = addr.to_socket_addrs()?.collect();
+        let stream = TcpStream::connect(&addrs[..])?;
         stream.set_nodelay(true).ok();
-        Ok(Client { stream })
+        Ok(Client { stream, addrs, timeout: None })
     }
 
-    fn call(&mut self, req: &Request) -> Result<Response, ClientError> {
+    /// Connects with a deadline on the dial *and* on every later read —
+    /// the variant the cluster router uses so one dead shard cannot pin
+    /// a fan-out. The timeout also applies to transparent reconnects.
+    pub fn connect_timeout(addr: impl ToSocketAddrs, timeout: Duration) -> io::Result<Client> {
+        let addrs: Vec<SocketAddr> = addr.to_socket_addrs()?.collect();
+        let first = addrs.first().ok_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidInput, "address resolved to nothing")
+        })?;
+        let stream = TcpStream::connect_timeout(first, timeout)?;
+        stream.set_nodelay(true).ok();
+        stream.set_read_timeout(Some(timeout)).ok();
+        Ok(Client { stream, addrs, timeout: Some(timeout) })
+    }
+
+    fn redial(&mut self) -> io::Result<()> {
+        let stream = match self.timeout {
+            Some(t) => {
+                let first = self.addrs.first().ok_or_else(|| {
+                    io::Error::new(io::ErrorKind::InvalidInput, "no address to redial")
+                })?;
+                let s = TcpStream::connect_timeout(first, t)?;
+                s.set_read_timeout(Some(t)).ok();
+                s
+            }
+            None => TcpStream::connect(&self.addrs[..])?,
+        };
+        stream.set_nodelay(true).ok();
+        self.stream = stream;
+        Ok(())
+    }
+
+    /// Whether retrying this request on a fresh connection is safe: true
+    /// for reads (re-asking cannot change server state), false for
+    /// writes (an INSERT whose ack was lost may already be applied).
+    fn idempotent(req: &Request) -> bool {
+        matches!(
+            req,
+            Request::Ping
+                | Request::List
+                | Request::Stats
+                | Request::Query { .. }
+                | Request::Search { .. }
+                | Request::Batch { .. }
+        )
+    }
+
+    /// Whether this transport error means the connection is gone (stale
+    /// pooled stream, server restart) rather than the request failing in
+    /// flight for its own reasons. Timeouts are deliberately excluded:
+    /// the server may simply be slow, and retrying would double the wait.
+    fn disconnected(e: &io::Error) -> bool {
+        matches!(
+            e.kind(),
+            io::ErrorKind::UnexpectedEof
+                | io::ErrorKind::ConnectionReset
+                | io::ErrorKind::ConnectionAborted
+                | io::ErrorKind::BrokenPipe
+        )
+    }
+
+    fn call_once(&mut self, req: &Request) -> Result<Response, ClientError> {
         write_frame(&mut self.stream, &req.encode())?;
         let body = read_frame(&mut self.stream)?.ok_or_else(|| {
             ClientError::Io(io::Error::new(io::ErrorKind::UnexpectedEof, "server closed"))
@@ -65,6 +164,18 @@ impl Client {
         match Response::decode(&body).map_err(ClientError::Proto)? {
             Response::Error(msg) => Err(ClientError::Server(msg)),
             resp => Ok(resp),
+        }
+    }
+
+    fn call(&mut self, req: &Request) -> Result<Response, ClientError> {
+        match self.call_once(req) {
+            Err(ClientError::Io(e)) if Self::idempotent(req) && Self::disconnected(&e) => {
+                // One reconnect, one retry: enough to ride out an idle
+                // drop or a restart, without hammering a dead peer.
+                self.redial()?;
+                self.call_once(req)
+            }
+            other => other,
         }
     }
 
@@ -93,6 +204,9 @@ impl Client {
     }
 
     /// One c-k-ANNS query. `probes = 0` uses the index's default.
+    /// Against a degraded router this fails with
+    /// [`ClientError::Partial`]; use [`Client::search_outcome`] to
+    /// accept partial answers.
     pub fn query(
         &mut self,
         index: &str,
@@ -110,6 +224,7 @@ impl Client {
         };
         match self.call(&req)? {
             Response::Neighbors(ns) => Ok(ns),
+            Response::Partial { missing_shards, .. } => Err(ClientError::Partial(missing_shards)),
             _ => Err(ClientError::Unexpected("NEIGHBORS")),
         }
     }
@@ -118,13 +233,31 @@ impl Client {
     /// over the wire — id filter, distance threshold, and (when
     /// `req.fields.stats` is set) the [`SearchStats`] section in the
     /// reply. Distances are bit-exact; a request without filter or
-    /// threshold is answered identically to [`Client::query`].
+    /// threshold is answered identically to [`Client::query`]. A
+    /// degraded router answer fails with [`ClientError::Partial`].
     pub fn search(
         &mut self,
         index: &str,
         vector: &[f32],
         req: &SearchRequest,
     ) -> Result<(Vec<Neighbor>, Option<SearchStats>), ClientError> {
+        let out = self.search_outcome(index, vector, req)?;
+        if out.missing_shards.is_empty() {
+            Ok((out.hits, out.stats))
+        } else {
+            Err(ClientError::Partial(out.missing_shards))
+        }
+    }
+
+    /// Like [`Client::search`], but a router's degraded answer comes
+    /// back as data ([`SearchOutcome::missing_shards`] non-empty)
+    /// instead of an error — the call for availability-first readers.
+    pub fn search_outcome(
+        &mut self,
+        index: &str,
+        vector: &[f32],
+        req: &SearchRequest,
+    ) -> Result<SearchOutcome, ClientError> {
         let wire = Request::Search {
             index: index.to_string(),
             k: u32::try_from(req.k).unwrap_or(u32::MAX),
@@ -136,13 +269,21 @@ impl Client {
             vector: vector.to_vec(),
         };
         match self.call(&wire)? {
-            Response::Search { hits, stats } => Ok((hits, stats)),
+            Response::Search { hits, stats } => {
+                Ok(SearchOutcome { hits, stats, missing_shards: Vec::new() })
+            }
+            Response::Partial { mut lists, missing_shards } => Ok(SearchOutcome {
+                hits: lists.pop().unwrap_or_default(),
+                stats: None,
+                missing_shards,
+            }),
             _ => Err(ClientError::Unexpected("SEARCH")),
         }
     }
 
     /// A whole query batch; the server answers through its parallel
-    /// executor and returns one list per query, in request order.
+    /// executor and returns one list per query, in request order. A
+    /// degraded router answer fails with [`ClientError::Partial`].
     pub fn query_batch(
         &mut self,
         index: &str,
@@ -161,6 +302,7 @@ impl Client {
         };
         match self.call(&req)? {
             Response::Batch(lists) => Ok(lists),
+            Response::Partial { missing_shards, .. } => Err(ClientError::Partial(missing_shards)),
             _ => Err(ClientError::Unexpected("BATCH")),
         }
     }
@@ -181,7 +323,7 @@ impl Client {
         data_path: &str,
         limit: usize,
     ) -> Result<(IndexInfo, u64, String), ClientError> {
-        self.build_inner(name, spec, metric, data_path, limit, false, 0, 0)
+        self.build_inner(name, spec, metric, data_path, limit, false, 0, 0, (0, 1))
     }
 
     /// Like [`Client::build`], but the server installs a *live* (mutable,
@@ -201,7 +343,46 @@ impl Client {
         seal_threshold: usize,
         max_segments: usize,
     ) -> Result<(IndexInfo, u64, String), ClientError> {
-        self.build_inner(name, spec, metric, data_path, limit, true, seal_threshold, max_segments)
+        self.build_inner(
+            name,
+            spec,
+            metric,
+            data_path,
+            limit,
+            true,
+            seal_threshold,
+            max_segments,
+            (0, 1),
+        )
+    }
+
+    /// [`Client::build_live`] with an explicit id layout: dataset row
+    /// `i` gets external id `id_base + i * id_step`. The router builds
+    /// shard *s* of an *m*-shard cluster with `(s, m)`, so shard-local
+    /// ids are exactly the global ids of its rows.
+    #[allow(clippy::too_many_arguments)]
+    pub fn build_live_ids(
+        &mut self,
+        name: &str,
+        spec: &str,
+        metric: &str,
+        data_path: &str,
+        seal_threshold: usize,
+        max_segments: usize,
+        id_base: u32,
+        id_step: u32,
+    ) -> Result<(IndexInfo, u64, String), ClientError> {
+        self.build_inner(
+            name,
+            spec,
+            metric,
+            data_path,
+            0,
+            true,
+            seal_threshold,
+            max_segments,
+            (id_base, id_step),
+        )
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -215,6 +396,7 @@ impl Client {
         live: bool,
         seal_threshold: usize,
         max_segments: usize,
+        (id_base, id_step): (u32, u32),
     ) -> Result<(IndexInfo, u64, String), ClientError> {
         let req = Request::Build {
             name: name.to_string(),
@@ -225,6 +407,8 @@ impl Client {
             live,
             seal_threshold: u32::try_from(seal_threshold).unwrap_or(u32::MAX),
             max_segments: u32::try_from(max_segments).unwrap_or(u32::MAX),
+            id_base,
+            id_step,
         };
         match self.call(&req)? {
             Response::Built { info, build_micros, snapshot_path } => {

@@ -33,7 +33,16 @@
 //! * [`server`] — the worker-pool serving loop behind the `annd` binary:
 //!   one scratch per (worker, index), batches through the parallel
 //!   executor, per-index latency counters, cooperative shutdown.
-//! * [`client`] — the blocking client behind `ann-cli` and the tests.
+//! * [`client`] — the blocking client behind `ann-cli`, the tests, and
+//!   the router's shard pool (pooled connections, reconnect-on-EOF with
+//!   one retry for idempotent requests).
+//! * [`router`] — the sharded-cluster front: one `annd --router`
+//!   process that hash-partitions writes over unmodified shard daemons
+//!   (`id % n_shards`), scatter-gathers top-k byte-identically to a
+//!   single-node index over the union of rows, round-robins reads over
+//!   replicas, and degrades to typed partial results when a shard dies.
+//! * [`placement`] — the routed-catalog file freezing each index's
+//!   placement modulus and auto-id high-water mark across restarts.
 //!
 //! Everything runs on `std::net` — no new dependencies, in keeping with
 //! the workspace's fully-vendored offline build.
@@ -61,7 +70,9 @@
 
 pub mod catalog;
 pub mod client;
+pub mod placement;
 pub mod protocol;
+pub mod router;
 pub mod server;
 pub mod snapshot;
 pub mod stats;

@@ -1,0 +1,209 @@
+//! Routed-catalog persistence for the cluster router: which indexes are
+//! sharded, over how many shards, and where auto-id assignment resumes.
+//!
+//! The placement rule itself is a single line — row `id` lives on shard
+//! `id % n_shards` — but two numbers must survive a router restart for
+//! that line to keep routing identically:
+//!
+//! * the **placement modulus** each index was built with (frozen at
+//!   BUILD time, so growing the shard list later never scrambles the
+//!   placement of existing indexes), and
+//! * the **next auto-assigned id**, so INSERTs without explicit ids
+//!   resume above every id ever handed out instead of colliding.
+//!
+//! Both live in a tiny dependency-free text file (one header line, one
+//! line per index) written with the same atomic temp-file + rename
+//! discipline as `.snap` containers. Routers configured without a
+//! `--router-dir` keep the table in memory only and log a warning: they
+//! re-learn placement from shard LISTs but cannot know `next_id` across
+//! a restart, so explicit-id inserts are the safe mode there.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Magic first line of the routed-catalog file; versioned so a future
+/// layout can be detected instead of misparsed.
+const HEADER: &str = "annd-router-catalog v1";
+
+/// Placement state for one routed index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Placement {
+    /// The modulus rows are hashed with: row `id` lives on shard
+    /// `id % mod_shards`. Frozen when the index is built.
+    pub mod_shards: u32,
+    /// Next id to auto-assign for INSERTs that carry no explicit ids.
+    pub next_id: u32,
+}
+
+/// The router's per-index placement table, optionally backed by a file.
+#[derive(Debug)]
+pub struct PlacementTable {
+    /// `BTreeMap` so the file is written in a stable order (byte-equal
+    /// files for equal states — easy to diff, easy to test).
+    entries: BTreeMap<String, Placement>,
+    path: Option<PathBuf>,
+}
+
+impl PlacementTable {
+    /// An in-memory table (no persistence).
+    pub fn in_memory() -> PlacementTable {
+        PlacementTable { entries: BTreeMap::new(), path: None }
+    }
+
+    /// Opens (or prepares to create) the table at
+    /// `<dir>/router-catalog.txt`. A missing file is an empty table; a
+    /// present one must parse, so a corrupt catalog fails loudly at
+    /// startup instead of silently re-routing.
+    pub fn open(dir: &Path) -> io::Result<PlacementTable> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join("router-catalog.txt");
+        let entries = match std::fs::read_to_string(&path) {
+            Ok(text) => parse(&text).map_err(|e| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("routed catalog {}: {e}", path.display()),
+                )
+            })?,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => BTreeMap::new(),
+            Err(e) => return Err(e),
+        };
+        Ok(PlacementTable { entries, path: Some(path) })
+    }
+
+    /// Looks up one index's placement.
+    pub fn get(&self, index: &str) -> Option<Placement> {
+        self.entries.get(index).copied()
+    }
+
+    /// Iterates `(name, placement)` in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, Placement)> {
+        self.entries.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Largest placement modulus on record (0 when empty) — the minimum
+    /// shard count a restarted router must be configured with.
+    pub fn max_mod(&self) -> u32 {
+        self.entries.values().map(|p| p.mod_shards).max().unwrap_or(0)
+    }
+
+    /// Records (or replaces) one index's placement and persists.
+    pub fn set(&mut self, index: &str, placement: Placement) -> io::Result<()> {
+        self.entries.insert(index.to_string(), placement);
+        self.persist()
+    }
+
+    /// Bumps `next_id` for an index to at least `next_id` and persists.
+    /// (Monotone: concurrent bumps can only move it forward.)
+    pub fn bump_next_id(&mut self, index: &str, next_id: u32) -> io::Result<()> {
+        if let Some(p) = self.entries.get_mut(index) {
+            if next_id > p.next_id {
+                p.next_id = next_id;
+                return self.persist();
+            }
+        }
+        Ok(())
+    }
+
+    /// Atomic write-through: serialize, write `<path>.tmp`, fsync,
+    /// rename over the old file — a crash leaves either the old catalog
+    /// or the new one, never a torn file.
+    fn persist(&self) -> io::Result<()> {
+        let Some(path) = &self.path else { return Ok(()) };
+        let mut text = String::from(HEADER);
+        text.push('\n');
+        for (name, p) in &self.entries {
+            writeln!(text, "index\t{name}\t{}\t{}", p.mod_shards, p.next_id)
+                .expect("string write is infallible");
+        }
+        let tmp = path.with_extension("txt.tmp");
+        std::fs::write(&tmp, text.as_bytes())?;
+        let f = std::fs::File::open(&tmp)?;
+        f.sync_all()?;
+        drop(f);
+        std::fs::rename(&tmp, path)
+    }
+}
+
+fn parse(text: &str) -> Result<BTreeMap<String, Placement>, String> {
+    let mut lines = text.lines();
+    match lines.next() {
+        Some(h) if h == HEADER => {}
+        Some(h) => return Err(format!("unknown header {h:?} (expected {HEADER:?})")),
+        None => return Err("empty file".into()),
+    }
+    let mut entries = BTreeMap::new();
+    for (no, line) in lines.enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split('\t').collect();
+        let [kind, name, mod_shards, next_id] = fields[..] else {
+            return Err(format!("line {}: expected 4 tab-separated fields", no + 2));
+        };
+        if kind != "index" {
+            return Err(format!("line {}: unknown record kind {kind:?}", no + 2));
+        }
+        let mod_shards: u32 =
+            mod_shards.parse().map_err(|_| format!("line {}: bad modulus", no + 2))?;
+        let next_id: u32 =
+            next_id.parse().map_err(|_| format!("line {}: bad next_id", no + 2))?;
+        if mod_shards == 0 {
+            return Err(format!("line {}: zero-shard placement", no + 2));
+        }
+        if entries.insert(name.to_string(), Placement { mod_shards, next_id }).is_some() {
+            return Err(format!("line {}: duplicate index {name:?}", no + 2));
+        }
+    }
+    Ok(entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_through_the_file() {
+        let dir = std::env::temp_dir().join(format!("router-cat-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        {
+            let mut t = PlacementTable::open(&dir).unwrap();
+            assert!(t.get("vectors").is_none(), "missing file is an empty table");
+            t.set("vectors", Placement { mod_shards: 3, next_id: 900 }).unwrap();
+            t.set("other", Placement { mod_shards: 2, next_id: 10 }).unwrap();
+            t.bump_next_id("vectors", 950).unwrap();
+            t.bump_next_id("vectors", 940).unwrap(); // monotone: no-op
+        }
+        let t = PlacementTable::open(&dir).unwrap();
+        assert_eq!(t.get("vectors"), Some(Placement { mod_shards: 3, next_id: 950 }));
+        assert_eq!(t.get("other"), Some(Placement { mod_shards: 2, next_id: 10 }));
+        assert_eq!(t.max_mod(), 3);
+        assert_eq!(t.iter().count(), 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_catalogs_fail_loudly() {
+        for bad in [
+            "",                                   // empty
+            "annd-router-catalog v999\n",         // future version
+            "annd-router-catalog v1\nindex\tx\n", // short line
+            "annd-router-catalog v1\nindex\tx\t0\t5\n", // zero shards
+            "annd-router-catalog v1\nindex\tx\t2\t5\nindex\tx\t2\t5\n", // dup
+            "annd-router-catalog v1\nshard\tx\t2\t5\n", // unknown kind
+        ] {
+            assert!(parse(bad).is_err(), "{bad:?} must be rejected");
+        }
+        // Blank trailing lines are tolerated (trailing newline).
+        let ok = "annd-router-catalog v1\nindex\tx\t2\t5\n\n";
+        assert_eq!(parse(ok).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn in_memory_table_skips_persistence() {
+        let mut t = PlacementTable::in_memory();
+        t.set("x", Placement { mod_shards: 4, next_id: 0 }).unwrap();
+        assert_eq!(t.get("x").unwrap().mod_shards, 4);
+    }
+}

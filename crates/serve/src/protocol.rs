@@ -267,6 +267,14 @@ pub enum Request {
         /// Live only: segment count above which the smallest segments
         /// are merged (`0` = server default).
         max_segments: u32,
+        /// External id assigned to the first dataset row (live only).
+        /// `(0, 1)` is the classic dense assignment `0..n`; a router
+        /// building shard *s* of an *m*-shard cluster sends `(s, m)` so
+        /// shard-local ids are exactly the global ids of its rows.
+        id_base: u32,
+        /// Stride between consecutive row ids (live only; `0` is
+        /// normalized to `1` on decode so legacy-shaped frames behave).
+        id_step: u32,
     },
     /// Insert rows into a live index. Row `i` gets `ids[i]` when ids are
     /// supplied (one per row), or a fresh auto-assigned id otherwise.
@@ -386,7 +394,18 @@ impl Request {
             }
             Request::Stats => out.push(REQ_STATS),
             Request::Shutdown => out.push(REQ_SHUTDOWN),
-            Request::Build { name, spec, metric, data_path, limit, live, seal_threshold, max_segments } => {
+            Request::Build {
+                name,
+                spec,
+                metric,
+                data_path,
+                limit,
+                live,
+                seal_threshold,
+                max_segments,
+                id_base,
+                id_step,
+            } => {
                 out.push(REQ_BUILD);
                 put_str(&mut out, name);
                 put_str16(&mut out, spec);
@@ -396,6 +415,8 @@ impl Request {
                 out.push(u8::from(*live));
                 out.extend_from_slice(&seal_threshold.to_le_bytes());
                 out.extend_from_slice(&max_segments.to_le_bytes());
+                out.extend_from_slice(&id_base.to_le_bytes());
+                out.extend_from_slice(&id_step.to_le_bytes());
             }
             Request::Insert { index, dim, vectors, ids } => {
                 assert_eq!(
@@ -489,6 +510,8 @@ impl Request {
                 live: r.u8()? != 0,
                 seal_threshold: r.u32()?,
                 max_segments: r.u32()?,
+                id_base: r.u32()?,
+                id_step: r.u32()?.max(1),
             },
             REQ_INSERT => {
                 let index = get_str(&mut r)?;
@@ -630,6 +653,21 @@ pub struct StatsEntry {
     pub total_micros: u64,
     /// Slowest single request, microseconds.
     pub max_micros: u64,
+    /// Log2-bucketed query-latency histogram: `latency_hist[i]` counts
+    /// QUERY/BATCH/SEARCH requests whose wall time fell in
+    /// `[2^i, 2^(i+1))` microseconds (bucket 0 also holds sub-µs
+    /// requests; the last bucket is open-ended). Length is
+    /// [`crate::stats::HIST_BUCKETS`] for entries produced by this
+    /// build, but decoders accept any length so the histogram can grow
+    /// buckets without a protocol bump. Routers aggregate shards by
+    /// summing these element-wise.
+    pub latency_hist: Vec<u64>,
+    /// Median query latency in microseconds, estimated from
+    /// `latency_hist` (upper bound of the bucket holding the median;
+    /// 0 when no queries were answered).
+    pub p50_micros: u64,
+    /// 99th-percentile query latency in microseconds, same estimator.
+    pub p99_micros: u64,
 }
 
 /// A server-to-client message.
@@ -690,6 +728,20 @@ pub enum Response {
         /// [`SEARCH_FLAG_STATS`].
         stats: Option<SearchStats>,
     },
+    /// A degraded scatter-gather answer from a router: the merged result
+    /// lists cover every shard that responded, and `missing_shards`
+    /// names the ones that did not (after a retry with backoff). Sent
+    /// in place of [`Response::Neighbors`] / [`Response::Search`] /
+    /// [`Response::Batch`] when the router runs without `--require-all`
+    /// and at least one shard is down; single-node servers never emit
+    /// it. `lists` holds one entry for QUERY/SEARCH and one per query
+    /// for BATCH, in request order.
+    Partial {
+        /// Merged per-query results from the surviving shards.
+        lists: Vec<Vec<Neighbor>>,
+        /// `shard<i>@<addr>` labels of the shards that did not answer.
+        missing_shards: Vec<String>,
+    },
     /// The request could not be served (unknown index, shape mismatch…).
     Error(String),
 }
@@ -705,6 +757,7 @@ const RESP_INSERTED: u8 = 8;
 const RESP_DELETED: u8 = 9;
 const RESP_FLUSHED: u8 = 10;
 const RESP_SEARCH: u8 = 11;
+const RESP_PARTIAL: u8 = 12;
 const RESP_ERROR: u8 = 255;
 
 /// SEARCH response flag bit: a stats section follows the hits.
@@ -758,6 +811,12 @@ impl Response {
                     ] {
                         out.extend_from_slice(&v.to_le_bytes());
                     }
+                    out.push(e.latency_hist.len() as u8);
+                    for b in &e.latency_hist {
+                        out.extend_from_slice(&b.to_le_bytes());
+                    }
+                    out.extend_from_slice(&e.p50_micros.to_le_bytes());
+                    out.extend_from_slice(&e.p99_micros.to_le_bytes());
                 }
             }
             Response::ShuttingDown => out.push(RESP_SHUTDOWN),
@@ -789,6 +848,17 @@ impl Response {
                     out.extend_from_slice(&s.candidates_scanned.to_le_bytes());
                     out.extend_from_slice(&s.heap_pushes.to_le_bytes());
                     out.extend_from_slice(&s.wall_micros.to_le_bytes());
+                }
+            }
+            Response::Partial { lists, missing_shards } => {
+                out.push(RESP_PARTIAL);
+                out.extend_from_slice(&(lists.len() as u32).to_le_bytes());
+                for ns in lists {
+                    put_neighbors(&mut out, ns);
+                }
+                out.extend_from_slice(&(missing_shards.len() as u32).to_le_bytes());
+                for s in missing_shards {
+                    put_str(&mut out, s);
                 }
             }
             Response::Error(msg) => {
@@ -854,6 +924,13 @@ impl Response {
                     let candidates_scanned = r.u64()?;
                     let total_micros = r.u64()?;
                     let max_micros = r.u64()?;
+                    let nbuckets = r.u8()? as usize;
+                    let mut latency_hist = Vec::with_capacity(nbuckets);
+                    for _ in 0..nbuckets {
+                        latency_hist.push(r.u64()?);
+                    }
+                    let p50_micros = r.u64()?;
+                    let p99_micros = r.u64()?;
                     entries.push(StatsEntry {
                         name,
                         spec,
@@ -871,6 +948,9 @@ impl Response {
                         candidates_scanned,
                         total_micros,
                         max_micros,
+                        latency_hist,
+                        p50_micros,
+                        p99_micros,
                     });
                 }
                 Response::Stats(entries)
@@ -907,6 +987,25 @@ impl Response {
                     None
                 };
                 Response::Search { hits, stats }
+            }
+            RESP_PARTIAL => {
+                let nq = r.u32()? as usize;
+                if nq > MAX_FRAME / 4 {
+                    return Err(ProtoError::BadShape(format!("{nq} partial result lists")));
+                }
+                let mut lists = Vec::with_capacity(nq.min(65_536));
+                for _ in 0..nq {
+                    lists.push(get_neighbors(&mut r)?);
+                }
+                let nmiss = r.u32()? as usize;
+                if nmiss > MAX_FRAME / 2 {
+                    return Err(ProtoError::BadShape(format!("{nmiss} missing shards")));
+                }
+                let mut missing_shards = Vec::with_capacity(nmiss.min(1024));
+                for _ in 0..nmiss {
+                    missing_shards.push(get_str(&mut r)?);
+                }
+                Response::Partial { lists, missing_shards }
             }
             RESP_ERROR => {
                 let len = r.u32()? as usize;
@@ -962,6 +1061,21 @@ mod tests {
             live: true,
             seal_threshold: 512,
             max_segments: 6,
+            id_base: 0,
+            id_step: 1,
+        });
+        // Strided id assignment (shard 2 of a 3-shard routed build).
+        round_trip_request(Request::Build {
+            name: "shard2".into(),
+            spec: "linear".into(),
+            metric: "euclidean".into(),
+            data_path: "/tmp/slice2.fvecs".into(),
+            limit: 0,
+            live: true,
+            seal_threshold: 0,
+            max_segments: 0,
+            id_base: 2,
+            id_step: 3,
         });
         round_trip_request(Request::Insert {
             index: "live".into(),
@@ -1109,7 +1223,18 @@ mod tests {
             candidates_scanned: 123_456,
             total_micros: 4242,
             max_micros: 999,
+            latency_hist: vec![0, 2, 50, 40, 9, 2, 0, 1],
+            p50_micros: 7,
+            p99_micros: 63,
         }]));
+        round_trip_response(Response::Partial {
+            lists: vec![
+                vec![Neighbor { id: 4, dist: 0.125 }, Neighbor { id: 1, dist: 0.5 }],
+                vec![],
+            ],
+            missing_shards: vec!["shard1@127.0.0.1:7701".into()],
+        });
+        round_trip_response(Response::Partial { lists: vec![], missing_shards: vec![] });
         round_trip_response(Response::Search {
             hits: vec![Neighbor { id: 3, dist: 0.75 }],
             stats: None,

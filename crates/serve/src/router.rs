@@ -1,0 +1,1290 @@
+//! The cluster router: one `annd` process that speaks the client
+//! protocol downstream and fans out to unmodified `annd` shard
+//! processes upstream.
+//!
+//! The design lifts the live index's segment merge one level up: every
+//! row lives on exactly one shard (`id % n_shards`, the modulus frozen
+//! per index at BUILD time in a [`crate::placement`] catalog file), so
+//! per-shard top-k lists are disjoint candidate sets and merging them by
+//! `(distance, id)` — the same total order
+//! [`dataset::exact::Neighbor`]'s `Ord` defines for segments — yields a
+//! result byte-identical to a single-node index built over the union of
+//! rows. The router over-fetches `min(k, shard_rows)` from each shard,
+//! concatenates, sorts, truncates to `k`; the e2e suite pins the
+//! byte-identity (ids and raw `f64` distance bits) including filtered
+//! and range requests and after INSERT/DELETE/FLUSH through the router.
+//!
+//! Request handling:
+//!
+//! * **BUILD** (live only): the router reads the dataset, slices row
+//!   `i` to shard `i % m`, spools each slice as a shard-local `.fvecs`,
+//!   and issues per-shard BUILDs with the strided id layout
+//!   `(id_base = s, id_step = m)` so shard-local ids are the global
+//!   ids. Writes fail closed: any shard failure is an error.
+//! * **INSERT/DELETE** group rows by `id % m` and apply per shard in
+//!   parallel; auto-assigned ids come from the persisted `next_id`
+//!   high-water mark so a restarted router never re-issues an id.
+//! * **SEARCH/QUERY/BATCH** scatter-gather through
+//!   [`ann::executor::par_map_scratch`] over a per-shard connection
+//!   pool, round-robining read traffic across a shard's primary and
+//!   its read-only replicas, with failover to the next endpoint.
+//! * **LIST/STATS** aggregate across shards; STATS keeps per-shard
+//!   breakdowns (`name@shard<i>` entries) next to the cluster-wide
+//!   aggregate, latency histograms summed element-wise.
+//!
+//! Partial failure: a shard that refuses connections or times out gets
+//! one retry with backoff (on a different endpoint when replicas
+//! exist); if it still fails, reads degrade to a typed
+//! [`Response::Partial`] naming the missing shards — or, under
+//! `--require-all`, a typed error with the stable `unavailable:`
+//! prefix. Writes always fail closed. The failure matrix lives in
+//! `docs/cluster.md`.
+
+use crate::client::{Client, ClientError};
+use crate::placement::{Placement, PlacementTable};
+use crate::protocol::{
+    read_frame, write_frame, IndexInfo, Request, Response, StatsEntry, MAX_FRAME, MAX_NAME,
+};
+use crate::stats::hist_quantile;
+use ann::{SearchRequest, SearchStats};
+use dataset::exact::Neighbor;
+use dataset::Dataset;
+use std::collections::{BTreeMap, HashMap};
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{self, Receiver, Sender};
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::{Duration, Instant};
+
+/// Hygiene timeout on downstream-client reads (same rationale as the
+/// single-node server's).
+const READ_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Accept-loop poll interval (mirrors the single-node server).
+const ACCEPT_POLL: Duration = Duration::from_millis(10);
+
+/// Backoff between the two attempts at an unresponsive shard.
+const RETRY_BACKOFF: Duration = Duration::from_millis(50);
+
+/// Cap on pooled idle connections per endpoint.
+const POOL_CAP: usize = 8;
+
+/// One shard's addresses: a read-write primary plus read-only replicas.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardSpec {
+    /// The primary's `host:port` — all writes, and its turn of reads.
+    pub primary: String,
+    /// Read-only replicas the router round-robins SEARCH/QUERY to.
+    pub replicas: Vec<String>,
+}
+
+/// Parses the `--router` topology string: comma-separated elements,
+/// each either a shard primary `host:port` (shard index = position) or
+/// a replica `r<N>@host:port` / `replica<N>@host:port` attached to
+/// shard `N` (`r@host:port` attaches to the most recent shard).
+///
+/// ```
+/// let shards = serve::router::parse_topology(
+///     "127.0.0.1:7701,127.0.0.1:7702,r0@127.0.0.1:7711",
+/// ).unwrap();
+/// assert_eq!(shards.len(), 2);
+/// assert_eq!(shards[0].replicas, vec!["127.0.0.1:7711".to_string()]);
+/// ```
+pub fn parse_topology(spec: &str) -> Result<Vec<ShardSpec>, String> {
+    let mut shards: Vec<ShardSpec> = Vec::new();
+    for raw in spec.split(',') {
+        let element = raw.trim();
+        if element.is_empty() {
+            return Err("empty element in the shard list".into());
+        }
+        let replica_of = element
+            .split_once('@')
+            .and_then(|(tag, _)| tag.strip_prefix("replica").or_else(|| tag.strip_prefix('r')));
+        match replica_of {
+            Some(n_text) => {
+                let addr = element.split_once('@').expect("checked above").1;
+                check_addr(addr)?;
+                let target = if n_text.is_empty() {
+                    shards.len().checked_sub(1).ok_or("replica listed before any shard")?
+                } else {
+                    let n: usize =
+                        n_text.parse().map_err(|_| format!("bad replica tag in {element:?}"))?;
+                    if n >= shards.len() {
+                        return Err(format!(
+                            "replica {element:?} references shard {n}, but only {} shards are \
+                             listed before it",
+                            shards.len()
+                        ));
+                    }
+                    n
+                };
+                shards[target].replicas.push(addr.to_string());
+            }
+            None => {
+                check_addr(element)?;
+                shards.push(ShardSpec { primary: element.to_string(), replicas: Vec::new() });
+            }
+        }
+    }
+    if shards.is_empty() {
+        return Err("no shards in the topology".into());
+    }
+    Ok(shards)
+}
+
+fn check_addr(addr: &str) -> Result<(), String> {
+    if addr.contains(':') && !addr.ends_with(':') {
+        Ok(())
+    } else {
+        Err(format!("{addr:?} is not a host:port address"))
+    }
+}
+
+/// Router configuration (the `--router*` flags).
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// The shard topology (see [`parse_topology`]).
+    pub shards: Vec<ShardSpec>,
+    /// Fail closed: turn degraded reads into typed errors instead of
+    /// [`Response::Partial`].
+    pub require_all: bool,
+    /// Directory for the routed-catalog file and BUILD spool slices;
+    /// `None` keeps placement in memory only (restart re-learns it from
+    /// shard LISTs, and auto-id INSERT is then refused for safety).
+    pub dir: Option<PathBuf>,
+    /// Connect + read deadline on every shard call.
+    pub shard_timeout: Duration,
+}
+
+impl RouterConfig {
+    /// A config with the default timeout and no persistence.
+    pub fn new(shards: Vec<ShardSpec>) -> RouterConfig {
+        RouterConfig {
+            shards,
+            require_all: false,
+            dir: None,
+            shard_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// A bound, not-yet-running router (the cluster-facing counterpart of
+/// [`crate::server::Server`]).
+pub struct Router {
+    listener: TcpListener,
+    workers: usize,
+    shutdown: Arc<AtomicBool>,
+    state: RouterState,
+}
+
+/// One upstream endpoint (a primary or a replica) with its idle pool.
+struct Endpoint {
+    addr: String,
+    idle: Mutex<Vec<Client>>,
+}
+
+impl Endpoint {
+    fn new(addr: String) -> Endpoint {
+        Endpoint { addr, idle: Mutex::new(Vec::new()) }
+    }
+}
+
+/// One shard's endpoints plus the read round-robin cursor.
+struct ShardPool {
+    label: String,
+    primary: Endpoint,
+    replicas: Vec<Endpoint>,
+    rr: AtomicUsize,
+}
+
+impl ShardPool {
+    fn endpoint(&self, i: usize) -> &Endpoint {
+        if i == 0 {
+            &self.primary
+        } else {
+            &self.replicas[i - 1]
+        }
+    }
+
+    fn endpoints(&self) -> usize {
+        1 + self.replicas.len()
+    }
+
+    /// The label a missing shard is reported under.
+    fn down_label(&self) -> String {
+        format!("{}@{}", self.label, self.primary.addr)
+    }
+}
+
+/// Why one shard call failed.
+enum ShardError {
+    /// The shard (every endpoint tried) is unreachable or timed out.
+    Down(String),
+    /// The shard answered with a server-side error — the request's
+    /// problem, not the shard's availability.
+    Remote(String),
+}
+
+/// What `try_endpoint` distinguishes for the retry loop.
+enum EndpointError {
+    Transport,
+    Remote(String),
+}
+
+struct RouterState {
+    pools: Vec<ShardPool>,
+    require_all: bool,
+    timeout: Duration,
+    placement: Mutex<PlacementTable>,
+    /// Per-index, per-shard live row counts, used to clamp the
+    /// over-fetch `k` per shard (`SearchRequest::validate` rejects
+    /// `k > rows`). Write-through from routed BUILD/INSERT/DELETE,
+    /// refreshed from shard LISTs, invalidated when a shard rejects a
+    /// clamped request (drift from writes that bypassed the router).
+    lens: RwLock<HashMap<String, Vec<Option<u64>>>>,
+    spool: PathBuf,
+}
+
+impl Router {
+    /// Binds `addr` and prepares the shard pools. Fails if a persisted
+    /// routed catalog names more shards than `config` provides — a
+    /// shrunk cluster cannot route identically, and silently re-hashing
+    /// would scatter every index.
+    pub fn bind(config: RouterConfig, addr: impl ToSocketAddrs, workers: usize) -> io::Result<Router> {
+        let placement = match &config.dir {
+            Some(dir) => PlacementTable::open(dir)?,
+            None => PlacementTable::in_memory(),
+        };
+        let n = config.shards.len() as u32;
+        if placement.max_mod() > n {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!(
+                    "routed catalog was written for {} shards but the topology lists {n}; \
+                     restore the missing shards (placement is frozen per index)",
+                    placement.max_mod()
+                ),
+            ));
+        }
+        let spool = match &config.dir {
+            Some(dir) => dir.join("spool"),
+            None => std::env::temp_dir().join(format!("annd-router-spool-{}", std::process::id())),
+        };
+        let pools = config
+            .shards
+            .iter()
+            .enumerate()
+            .map(|(i, s)| ShardPool {
+                label: format!("shard{i}"),
+                primary: Endpoint::new(s.primary.clone()),
+                replicas: s.replicas.iter().cloned().map(Endpoint::new).collect(),
+                rr: AtomicUsize::new(i), // stagger the starting endpoint
+            })
+            .collect();
+        Ok(Router {
+            listener: TcpListener::bind(addr)?,
+            workers: workers.max(1),
+            shutdown: Arc::new(AtomicBool::new(false)),
+            state: RouterState {
+                pools,
+                require_all: config.require_all,
+                timeout: config.shard_timeout,
+                placement: Mutex::new(placement),
+                lens: RwLock::new(HashMap::new()),
+                spool,
+            },
+        })
+    }
+
+    /// The bound address (the real port when bound with port `0`).
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Serves until a SHUTDOWN request arrives, then drains and returns.
+    /// Shards are *not* shut down — they are independent processes; stop
+    /// them individually.
+    pub fn run(self) -> io::Result<()> {
+        let local = self.local_addr()?;
+        self.listener.set_nonblocking(true)?;
+        let (tx, rx): (Sender<TcpStream>, Receiver<TcpStream>) = mpsc::channel();
+        let rx = Arc::new(Mutex::new(rx));
+        let state = &self.state;
+        let shutdown = &self.shutdown;
+        std::thread::scope(|scope| {
+            for _ in 0..self.workers {
+                let rx = rx.clone();
+                scope.spawn(move || {
+                    loop {
+                        let stream = {
+                            let guard = rx.lock().expect("receiver poisoned");
+                            guard.recv()
+                        };
+                        match stream {
+                            Ok(s) => handle_connection(s, state, shutdown, local),
+                            Err(_) => break,
+                        }
+                    }
+                });
+            }
+            loop {
+                if self.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                match self.listener.accept() {
+                    Ok((stream, _)) => {
+                        if stream.set_nonblocking(false).is_err() {
+                            continue;
+                        }
+                        if tx.send(stream).is_err() {
+                            break;
+                        }
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(ACCEPT_POLL);
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                    Err(e) => {
+                        eprintln!("annd-router: accept failed (retrying): {e}");
+                        std::thread::sleep(ACCEPT_POLL);
+                    }
+                }
+            }
+            drop(tx);
+        });
+        Ok(())
+    }
+}
+
+fn handle_connection(
+    mut stream: TcpStream,
+    state: &RouterState,
+    shutdown: &AtomicBool,
+    local: SocketAddr,
+) {
+    stream.set_nodelay(true).ok();
+    stream.set_read_timeout(Some(READ_TIMEOUT)).ok();
+    loop {
+        let body = match read_frame(&mut stream) {
+            Ok(Some(body)) => body,
+            Ok(None) => return,
+            Err(_) => return,
+        };
+        let (resp, stop) = match Request::decode(&body) {
+            Ok(req) => dispatch(req, state, shutdown, local),
+            Err(e) => (Response::Error(format!("bad request: {e}")), true),
+        };
+        if write_frame(&mut stream, &resp.encode()).is_err() {
+            return;
+        }
+        if stop {
+            return;
+        }
+    }
+}
+
+fn dispatch(
+    req: Request,
+    state: &RouterState,
+    shutdown: &AtomicBool,
+    local: SocketAddr,
+) -> (Response, bool) {
+    match req {
+        Request::Ping => (Response::Pong, false),
+        Request::Shutdown => {
+            shutdown.store(true, Ordering::SeqCst);
+            let target: SocketAddr = if local.ip().is_unspecified() {
+                (std::net::Ipv4Addr::LOCALHOST, local.port()).into()
+            } else {
+                local
+            };
+            TcpStream::connect_timeout(&target, Duration::from_millis(100)).ok();
+            (Response::ShuttingDown, true)
+        }
+        Request::List => (state.route_list(), false),
+        Request::Stats => (state.route_stats(), false),
+        Request::Query { index, k, budget, probes, vector } => (
+            state.route_search(&index, k, budget, probes, None, None, false, &vector, false),
+            false,
+        ),
+        Request::Search { index, k, budget, probes, filter, max_dist, want_stats, vector } => (
+            state.route_search(
+                &index, k, budget, probes, filter, max_dist, want_stats, &vector, true,
+            ),
+            false,
+        ),
+        Request::Batch { index, k, budget, probes, dim, vectors } => {
+            (state.route_batch(&index, k, budget, probes, dim, vectors), false)
+        }
+        Request::Build {
+            name,
+            spec,
+            metric,
+            data_path,
+            limit,
+            live,
+            seal_threshold,
+            max_segments,
+            id_base,
+            id_step,
+        } => {
+            if (id_base, id_step) != (0, 1) {
+                return (
+                    Response::Error(
+                        "the router owns the cluster id layout; BUILD without id_base/id_step"
+                            .into(),
+                    ),
+                    false,
+                );
+            }
+            (
+                state.route_build(&name, &spec, &metric, &data_path, limit, live, seal_threshold, max_segments),
+                false,
+            )
+        }
+        Request::Insert { index, dim, vectors, ids } => {
+            (state.route_insert(&index, dim, vectors, ids), false)
+        }
+        Request::Delete { index, ids } => (state.route_delete(&index, &ids), false),
+        Request::Flush { index } => (state.route_flush(&index), false),
+    }
+}
+
+impl RouterState {
+    fn n_shards(&self) -> u32 {
+        self.pools.len() as u32
+    }
+
+    // ------------------------------------------------------ shard calls
+
+    /// One call against one endpoint: check a pooled connection out (or
+    /// dial), run `f`, check it back in on success. A server-side error
+    /// keeps the connection (it is healthy); transport errors drop it.
+    fn try_endpoint<T>(
+        &self,
+        ep: &Endpoint,
+        f: &(impl Fn(&mut Client) -> Result<T, ClientError> + Sync),
+    ) -> Result<T, EndpointError> {
+        let pooled = ep.idle.lock().expect("pool poisoned").pop();
+        let mut client = match pooled {
+            Some(c) => c,
+            None => Client::connect_timeout(&ep.addr, self.timeout)
+                .map_err(|_| EndpointError::Transport)?,
+        };
+        match f(&mut client) {
+            Ok(v) => {
+                let mut idle = ep.idle.lock().expect("pool poisoned");
+                if idle.len() < POOL_CAP {
+                    idle.push(client);
+                }
+                Ok(v)
+            }
+            Err(ClientError::Server(msg)) => {
+                let mut idle = ep.idle.lock().expect("pool poisoned");
+                if idle.len() < POOL_CAP {
+                    idle.push(client);
+                }
+                Err(EndpointError::Remote(msg))
+            }
+            Err(_) => Err(EndpointError::Transport),
+        }
+    }
+
+    /// One call against shard `s` with the cluster's availability
+    /// policy: reads round-robin across primary + replicas and fail
+    /// over to the next endpoint; writes always hit the primary. An
+    /// unresponsive endpoint gets exactly one retry after
+    /// [`RETRY_BACKOFF`] before the shard is declared down.
+    fn call_shard<T>(
+        &self,
+        s: usize,
+        write: bool,
+        f: &(impl Fn(&mut Client) -> Result<T, ClientError> + Sync),
+    ) -> Result<T, ShardError> {
+        let pool = &self.pools[s];
+        let eps = pool.endpoints();
+        let start = if write || eps == 1 {
+            0
+        } else {
+            pool.rr.fetch_add(1, Ordering::Relaxed) % eps
+        };
+        for attempt in 0..2 {
+            let ep = pool.endpoint(if write { 0 } else { (start + attempt) % eps });
+            match self.try_endpoint(ep, f) {
+                Ok(v) => return Ok(v),
+                Err(EndpointError::Remote(msg)) => return Err(ShardError::Remote(msg)),
+                Err(EndpointError::Transport) if attempt == 0 => {
+                    std::thread::sleep(RETRY_BACKOFF);
+                }
+                Err(EndpointError::Transport) => break,
+            }
+        }
+        Err(ShardError::Down(pool.down_label()))
+    }
+
+    /// Scatter one call over `shards` through the workspace executor
+    /// (the same chunked scheduler batches run on), gathering one
+    /// result per shard in order.
+    fn fan_out<T, F>(&self, shards: &[usize], write: bool, f: F) -> Vec<Result<T, ShardError>>
+    where
+        T: Send + Sync,
+        F: Fn(usize, &mut Client) -> Result<T, ClientError> + Sync,
+    {
+        ann::executor::par_map_scratch(shards.len(), || (), |i, (): &mut ()| {
+            let s = shards[i];
+            self.call_shard(s, write, &|c: &mut Client| f(s, c))
+        })
+    }
+
+    // ------------------------------------------------- placement + lens
+
+    /// The placement for `index`, adopting `mod = n_shards` (with an
+    /// unknown id high-water mark) when the index exists on the shards
+    /// but the router has no record — the restart-without-`--router-dir`
+    /// path. Returns `None` when no shard serves the index.
+    fn placement_of(&self, index: &str) -> Option<Placement> {
+        if let Some(p) = self.placement.lock().expect("placement poisoned").get(index) {
+            return Some(p);
+        }
+        // Learn from the shards: any shard listing the index means it
+        // is servable; adopt the full-cluster modulus.
+        let lens = self.refresh_lens(index);
+        if lens.iter().any(|l| matches!(l, Some(n) if *n > 0)) {
+            let adopted = Placement { mod_shards: self.n_shards(), next_id: 0 };
+            let mut table = self.placement.lock().expect("placement poisoned");
+            if table.get(index).is_none() {
+                if let Err(e) = table.set(index, adopted) {
+                    eprintln!("annd-router: persisting adopted placement for {index:?}: {e}");
+                }
+            }
+            Some(adopted)
+        } else {
+            None
+        }
+    }
+
+    /// Per-shard row counts for `index` (cache, then shard LISTs).
+    fn lens_of(&self, index: &str, m: u32) -> Vec<Option<u64>> {
+        if let Some(lens) = self.lens.read().expect("lens poisoned").get(index) {
+            return lens[..m as usize].to_vec();
+        }
+        self.refresh_lens(index)[..m as usize].to_vec()
+    }
+
+    /// Fans LIST to every shard and rebuilds the length cache for all
+    /// indexes it sees; returns `index`'s per-shard lengths (a down
+    /// shard's slot stays `None`).
+    fn refresh_lens(&self, index: &str) -> Vec<Option<u64>> {
+        let all: Vec<usize> = (0..self.pools.len()).collect();
+        let results = self.fan_out(&all, false, |_, c| c.list());
+        let mut fresh: HashMap<String, Vec<Option<u64>>> = HashMap::new();
+        for (s, result) in results.iter().enumerate() {
+            if let Ok(infos) = result {
+                for info in infos {
+                    fresh
+                        .entry(info.name.clone())
+                        .or_insert_with(|| vec![None; self.pools.len()])[s] = Some(info.len);
+                }
+            }
+        }
+        let out =
+            fresh.get(index).cloned().unwrap_or_else(|| vec![None; self.pools.len()]);
+        *self.lens.write().expect("lens poisoned") = fresh;
+        out
+    }
+
+    /// Write-through after a routed write: apply `delta` to the cached
+    /// length of `index` on shard `s`.
+    fn adjust_len(&self, index: &str, s: usize, delta: i64) {
+        if let Some(lens) = self.lens.write().expect("lens poisoned").get_mut(index) {
+            if let Some(Some(len)) = lens.get_mut(s) {
+                *len = len.saturating_add_signed(delta);
+            }
+        }
+    }
+
+    fn set_lens(&self, index: &str, per_shard: Vec<Option<u64>>) {
+        self.lens.write().expect("lens poisoned").insert(index.to_string(), per_shard);
+    }
+
+    fn drop_lens(&self, index: &str) {
+        self.lens.write().expect("lens poisoned").remove(index);
+    }
+
+    /// The degraded-read policy in one place: `missing` non-empty turns
+    /// into either the typed `unavailable:` error (`--require-all`) or
+    /// a [`Response::Partial`] carrying `lists`.
+    fn degraded(&self, lists: Vec<Vec<Neighbor>>, missing: Vec<String>) -> Response {
+        if self.require_all {
+            Response::Error(format!(
+                "unavailable: shards [{}] did not answer and --require-all is set",
+                missing.join(", ")
+            ))
+        } else {
+            Response::Partial { lists, missing_shards: missing }
+        }
+    }
+
+    // ------------------------------------------------------------ reads
+
+    /// The scatter-gather core behind QUERY and SEARCH (`wire_search`
+    /// picks the complete-answer response variant).
+    #[allow(clippy::too_many_arguments)]
+    fn route_search(
+        &self,
+        index: &str,
+        k: u32,
+        budget: u32,
+        probes: u32,
+        filter: Option<ann::IdFilter>,
+        max_dist: Option<f64>,
+        want_stats: bool,
+        vector: &[f32],
+        wire_search: bool,
+    ) -> Response {
+        let Some(p) = self.placement_of(index) else {
+            return Response::Error(format!("no such index {index:?}"));
+        };
+        let lens = self.lens_of(index, p.mod_shards);
+        // Mirror single-node request legality over the union row count,
+        // so a router in front of the same rows answers bad requests
+        // with the same message. Unknown lengths (a shard was down
+        // during refresh) skip the rows check — the shard's own
+        // validation still applies.
+        let mut check = SearchRequest::top_k(k as usize);
+        check.max_dist = max_dist;
+        let total: u64 = lens.iter().map(|l| l.unwrap_or(0)).sum();
+        let rows =
+            if lens.iter().all(Option::is_some) { total as usize } else { usize::MAX };
+        if let Err(e) = check.validate(rows) {
+            return Response::Error(format!("index {index:?}: {e}"));
+        }
+        let t0 = Instant::now();
+        let targets: Vec<usize> = (0..p.mod_shards as usize)
+            .filter(|&s| lens[s].is_none_or(|n| n > 0))
+            .collect();
+        let results = self.fan_out(&targets, false, |s, c| {
+            let mut req = SearchRequest::top_k(lens[s].map_or(k as u64, |n| n.min(k as u64)) as usize)
+                .budget(budget as usize)
+                .probes(probes as usize);
+            req.filter = filter.clone();
+            req.max_dist = max_dist;
+            req.fields.stats = want_stats;
+            c.search(index, vector, &req)
+        });
+        let mut hits: Vec<Neighbor> = Vec::new();
+        let mut stats = SearchStats::default();
+        let mut missing = Vec::new();
+        for result in results {
+            match result {
+                Ok((shard_hits, shard_stats)) => {
+                    hits.extend(shard_hits);
+                    if let Some(s) = shard_stats {
+                        stats.candidates_scanned += s.candidates_scanned;
+                        stats.heap_pushes += s.heap_pushes;
+                    }
+                }
+                Err(ShardError::Remote(msg)) => {
+                    // Likely length drift (a write bypassed the router
+                    // and our clamp overshot): refetch next time.
+                    self.drop_lens(index);
+                    return Response::Error(msg);
+                }
+                Err(ShardError::Down(label)) => missing.push(label),
+            }
+        }
+        hits.sort_unstable();
+        hits.truncate(k as usize);
+        if !missing.is_empty() {
+            return self.degraded(vec![hits], missing);
+        }
+        if wire_search {
+            stats.wall_micros = t0.elapsed().as_micros() as u64;
+            Response::Search { hits, stats: want_stats.then_some(stats) }
+        } else {
+            Response::Neighbors(hits)
+        }
+    }
+
+    fn route_batch(
+        &self,
+        index: &str,
+        k: u32,
+        budget: u32,
+        probes: u32,
+        dim: u32,
+        vectors: Vec<f32>,
+    ) -> Response {
+        let Some(p) = self.placement_of(index) else {
+            return Response::Error(format!("no such index {index:?}"));
+        };
+        let lens = self.lens_of(index, p.mod_shards);
+        let total: u64 = lens.iter().map(|l| l.unwrap_or(0)).sum();
+        let rows =
+            if lens.iter().all(Option::is_some) { total as usize } else { usize::MAX };
+        if let Err(e) = SearchRequest::top_k(k as usize).validate(rows) {
+            return Response::Error(format!("index {index:?}: {e}"));
+        }
+        let nq = vectors.len() / dim.max(1) as usize;
+        let resp_bytes = 5 + nq as u64 * (4 + 12 * u64::from(k));
+        if resp_bytes > MAX_FRAME as u64 {
+            return Response::Error(format!(
+                "batch of {nq} queries at k={k} would need a {resp_bytes}-byte response, over \
+                 the {MAX_FRAME}-byte frame cap; split the batch"
+            ));
+        }
+        let queries = Dataset::from_flat("batch", dim as usize, vectors);
+        let targets: Vec<usize> = (0..p.mod_shards as usize)
+            .filter(|&s| lens[s].is_none_or(|n| n > 0))
+            .collect();
+        let results = self.fan_out(&targets, false, |s, c| {
+            let k_s = lens[s].map_or(k as u64, |n| n.min(k as u64)) as usize;
+            c.query_batch(index, k_s, budget as usize, probes as usize, &queries)
+        });
+        let mut merged: Vec<Vec<Neighbor>> = vec![Vec::new(); nq];
+        let mut missing = Vec::new();
+        for result in results {
+            match result {
+                Ok(lists) => {
+                    for (q, list) in lists.into_iter().enumerate() {
+                        merged[q].extend(list);
+                    }
+                }
+                Err(ShardError::Remote(msg)) => {
+                    self.drop_lens(index);
+                    return Response::Error(msg);
+                }
+                Err(ShardError::Down(label)) => missing.push(label),
+            }
+        }
+        for list in &mut merged {
+            list.sort_unstable();
+            list.truncate(k as usize);
+        }
+        if missing.is_empty() {
+            Response::Batch(merged)
+        } else {
+            self.degraded(merged, missing)
+        }
+    }
+
+    fn route_list(&self) -> Response {
+        let all: Vec<usize> = (0..self.pools.len()).collect();
+        let results = self.fan_out(&all, false, |_, c| c.list());
+        let mut agg: BTreeMap<String, IndexInfo> = BTreeMap::new();
+        let mut fresh: HashMap<String, Vec<Option<u64>>> = HashMap::new();
+        let mut missing = Vec::new();
+        for (s, result) in results.into_iter().enumerate() {
+            match result {
+                Ok(infos) => {
+                    for info in infos {
+                        fresh
+                            .entry(info.name.clone())
+                            .or_insert_with(|| vec![None; self.pools.len()])[s] =
+                            Some(info.len);
+                        match agg.get_mut(&info.name) {
+                            Some(existing) => {
+                                existing.len += info.len;
+                                existing.index_bytes += info.index_bytes;
+                                existing.sq8 &= info.sq8;
+                            }
+                            None => {
+                                let mut first = info;
+                                first.load_mode = "router".into();
+                                agg.insert(first.name.clone(), first);
+                            }
+                        }
+                    }
+                }
+                Err(ShardError::Remote(msg)) => {
+                    return Response::Error(format!(
+                        "{}: {msg}",
+                        self.pools[s].down_label()
+                    ))
+                }
+                Err(ShardError::Down(label)) => missing.push(label),
+            }
+        }
+        *self.lens.write().expect("lens poisoned") = fresh;
+        if !missing.is_empty() && self.require_all {
+            return Response::Error(format!(
+                "unavailable: shards [{}] did not answer and --require-all is set",
+                missing.join(", ")
+            ));
+        }
+        // LIST has no partial variant: serve the surviving aggregate
+        // (row counts are lower bounds while shards are down).
+        Response::List(agg.into_values().collect())
+    }
+
+    fn route_stats(&self) -> Response {
+        let all: Vec<usize> = (0..self.pools.len()).collect();
+        let results = self.fan_out(&all, false, |_, c| c.stats());
+        let mut aggregates: BTreeMap<String, StatsEntry> = BTreeMap::new();
+        let mut breakdowns: Vec<StatsEntry> = Vec::new();
+        let mut missing = Vec::new();
+        for (s, result) in results.into_iter().enumerate() {
+            match result {
+                Ok(entries) => {
+                    for entry in entries {
+                        match aggregates.get_mut(&entry.name) {
+                            Some(agg) => merge_stats(agg, &entry),
+                            None => {
+                                let mut first = entry.clone();
+                                first.load_mode = "router".into();
+                                aggregates.insert(first.name.clone(), first);
+                            }
+                        }
+                        breakdowns.push(shard_entry(entry, &self.pools[s].label));
+                    }
+                }
+                Err(ShardError::Remote(msg)) => {
+                    return Response::Error(format!(
+                        "{}: {msg}",
+                        self.pools[s].down_label()
+                    ))
+                }
+                Err(ShardError::Down(label)) => missing.push(label),
+            }
+        }
+        if !missing.is_empty() && self.require_all {
+            return Response::Error(format!(
+                "unavailable: shards [{}] did not answer and --require-all is set",
+                missing.join(", ")
+            ));
+        }
+        let mut out: Vec<StatsEntry> = aggregates.into_values().collect();
+        for agg in &mut out {
+            agg.p50_micros = hist_quantile(&agg.latency_hist, 0.50);
+            agg.p99_micros = hist_quantile(&agg.latency_hist, 0.99);
+        }
+        out.extend(breakdowns);
+        Response::Stats(out)
+    }
+
+    // ----------------------------------------------------------- writes
+
+    /// The error writes fail closed with: name the shards that did not
+    /// apply, and say so — the cluster may be partially written.
+    fn write_failure(&self, verb: &str, index: &str, failures: &[String]) -> Response {
+        Response::Error(format!(
+            "{verb} on {index:?} failed on [{}]; writes fail closed and other shards may \
+             already have applied — retry once every shard is reachable",
+            failures.join(", ")
+        ))
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn route_build(
+        &self,
+        name: &str,
+        spec: &str,
+        metric: &str,
+        data_path: &str,
+        limit: u32,
+        live: bool,
+        seal_threshold: u32,
+        max_segments: u32,
+    ) -> Response {
+        if !live {
+            return Response::Error(
+                "routed BUILDs are live-only: static indexes answer with positional ids, which \
+                 cannot be made cluster-unique; pass --live true"
+                    .into(),
+            );
+        }
+        if !crate::server::valid_build_name(name) {
+            return Response::Error(format!(
+                "bad catalog name {name:?}: use letters, digits, '-', '_', '.' (not leading), \
+                 at most {MAX_NAME} bytes"
+            ));
+        }
+        match std::fs::metadata(data_path) {
+            Ok(m) if m.len() > crate::server::MAX_BUILD_DATASET_BYTES => {
+                return Response::Error(format!(
+                    "dataset {data_path:?} is {} bytes, over the {}-byte BUILD cap; pass \
+                     --limit or pre-slice the file",
+                    m.len(),
+                    crate::server::MAX_BUILD_DATASET_BYTES
+                ));
+            }
+            Ok(_) => {}
+            Err(e) => return Response::Error(format!("loading dataset {data_path:?}: {e}")),
+        }
+        let limit = if limit == 0 { None } else { Some(limit as usize) };
+        let data = match dataset::io::read_fvecs(data_path, limit) {
+            Ok(d) => d,
+            Err(e) => return Response::Error(format!("loading dataset {data_path:?}: {e}")),
+        };
+        let m = self.n_shards();
+        if (data.len() as u64) < u64::from(m) {
+            return Response::Error(format!(
+                "dataset has {} rows but the cluster has {m} shards; every shard needs at \
+                 least one row",
+                data.len()
+            ));
+        }
+        // Slice row i to shard i % m (row i's global id is i, so this IS
+        // the placement rule) and spool each slice where its shard can
+        // read it. Routed BUILD therefore requires shards to share a
+        // filesystem with the router — the docs call this out.
+        if let Err(e) = std::fs::create_dir_all(&self.spool) {
+            return Response::Error(format!("creating spool dir: {e}"));
+        }
+        let mut slice_paths = Vec::with_capacity(m as usize);
+        for s in 0..m {
+            let rows: Vec<&[f32]> =
+                (s as usize..data.len()).step_by(m as usize).map(|i| data.get(i)).collect();
+            let flat: Vec<f32> = rows.concat();
+            let slice = Dataset::from_flat("slice", data.dim(), flat);
+            let path = self.spool.join(format!("{name}.shard{s}.fvecs"));
+            if let Err(e) = dataset::io::write_fvecs(&path, &slice) {
+                return Response::Error(format!("spooling shard {s} slice: {e}"));
+            }
+            slice_paths.push(path);
+        }
+        let targets: Vec<usize> = (0..m as usize).collect();
+        let results = self.fan_out(&targets, true, |s, c| {
+            c.build_live_ids(
+                name,
+                spec,
+                metric,
+                &slice_paths[s].display().to_string(),
+                seal_threshold as usize,
+                max_segments as usize,
+                s as u32,
+                m,
+            )
+        });
+        for path in &slice_paths {
+            std::fs::remove_file(path).ok();
+        }
+        let mut failures = Vec::new();
+        let mut info_agg: Option<IndexInfo> = None;
+        let mut build_micros = 0u64;
+        let mut snapshot_paths = Vec::new();
+        for (s, result) in results.into_iter().enumerate() {
+            match result {
+                Ok((info, micros, snap)) => {
+                    build_micros = build_micros.max(micros);
+                    if !snap.is_empty() {
+                        snapshot_paths.push(snap);
+                    }
+                    match &mut info_agg {
+                        Some(agg) => {
+                            agg.len += info.len;
+                            agg.index_bytes += info.index_bytes;
+                            agg.sq8 &= info.sq8;
+                        }
+                        None => {
+                            let mut first = info;
+                            first.load_mode = "router".into();
+                            info_agg = Some(first);
+                        }
+                    }
+                }
+                Err(ShardError::Remote(msg)) => {
+                    failures.push(format!("{}: {msg}", self.pools[s].down_label()))
+                }
+                Err(ShardError::Down(label)) => failures.push(label),
+            }
+        }
+        if !failures.is_empty() {
+            return self.write_failure("BUILD", name, &failures);
+        }
+        let placement = Placement { mod_shards: m, next_id: data.len() as u32 };
+        if let Err(e) = self.placement.lock().expect("placement poisoned").set(name, placement) {
+            return Response::Error(format!("persisting routed catalog for {name:?}: {e}"));
+        }
+        let per_shard: Vec<Option<u64>> = (0..m as u64)
+            .map(|s| Some((data.len() as u64 + (m as u64 - 1) - s) / m as u64))
+            .collect();
+        self.set_lens(name, per_shard);
+        let info = info_agg.expect("at least one shard built");
+        Response::Built { info, build_micros, snapshot_path: snapshot_paths.join("; ") }
+    }
+
+    fn route_insert(&self, index: &str, dim: u32, vectors: Vec<f32>, ids: Vec<u32>) -> Response {
+        let Some(p) = self.placement_of(index) else {
+            return Response::Error(format!("no such index {index:?}"));
+        };
+        let nq = vectors.len() / dim.max(1) as usize;
+        if 5 + nq as u64 * 4 > MAX_FRAME as u64 {
+            return Response::Error(format!(
+                "insert of {nq} rows would overflow the response frame; split it"
+            ));
+        }
+        let m = p.mod_shards;
+        let assigned: Vec<u32> = if ids.is_empty() {
+            // Auto-assign from the persisted high-water mark. An adopted
+            // placement (next_id unknown, recorded as 0 over a non-empty
+            // index) cannot do this safely.
+            let lens = self.lens_of(index, m);
+            let total: u64 = lens.iter().map(|l| l.unwrap_or(0)).sum();
+            if p.next_id == 0 && total > 0 {
+                return Response::Error(format!(
+                    "cannot auto-assign ids for {index:?}: the routed catalog has no id \
+                     high-water mark for it (adopted index); pass explicit ids or rebuild \
+                     through the router"
+                ));
+            }
+            if u64::from(p.next_id) + nq as u64 >= u64::from(u32::MAX) {
+                return Response::Error("id space exhausted".into());
+            }
+            (p.next_id..p.next_id + nq as u32).collect()
+        } else {
+            ids
+        };
+        // Burn the ids *before* fanning out: if the insert half-fails,
+        // a retry (or the next auto-assign) must not re-issue them.
+        let high = assigned.iter().copied().max().unwrap_or(0);
+        if let Err(e) = self
+            .placement
+            .lock()
+            .expect("placement poisoned")
+            .bump_next_id(index, high.saturating_add(1))
+        {
+            return Response::Error(format!("persisting routed catalog for {index:?}: {e}"));
+        }
+        // Group rows by their placement shard, preserving request order
+        // within each group.
+        let dim_usize = dim.max(1) as usize;
+        let mut groups: HashMap<usize, (Vec<f32>, Vec<u32>)> = HashMap::new();
+        for (j, &id) in assigned.iter().enumerate() {
+            let (flat, gids) = groups.entry((id % m) as usize).or_default();
+            flat.extend_from_slice(&vectors[j * dim_usize..(j + 1) * dim_usize]);
+            gids.push(id);
+        }
+        let targets: Vec<usize> = {
+            let mut t: Vec<usize> = groups.keys().copied().collect();
+            t.sort_unstable();
+            t
+        };
+        let results = self.fan_out(&targets, true, |s, c| {
+            let (flat, gids) = &groups[&s];
+            let rows = Dataset::from_flat("insert", dim_usize, flat.clone());
+            c.insert(index, &rows, Some(gids))
+        });
+        let mut failures = Vec::new();
+        for (i, result) in results.into_iter().enumerate() {
+            let s = targets[i];
+            match result {
+                Ok(got) => {
+                    self.adjust_len(index, s, got.len() as i64);
+                }
+                Err(ShardError::Remote(msg)) => {
+                    failures.push(format!("{}: {msg}", self.pools[s].down_label()))
+                }
+                Err(ShardError::Down(label)) => failures.push(label),
+            }
+        }
+        if !failures.is_empty() {
+            return self.write_failure("INSERT", index, &failures);
+        }
+        Response::Inserted { ids: assigned }
+    }
+
+    fn route_delete(&self, index: &str, ids: &[u32]) -> Response {
+        let Some(p) = self.placement_of(index) else {
+            return Response::Error(format!("no such index {index:?}"));
+        };
+        let mut groups: HashMap<usize, Vec<u32>> = HashMap::new();
+        for &id in ids {
+            groups.entry((id % p.mod_shards) as usize).or_default().push(id);
+        }
+        let targets: Vec<usize> = {
+            let mut t: Vec<usize> = groups.keys().copied().collect();
+            t.sort_unstable();
+            t
+        };
+        let results = self.fan_out(&targets, true, |s, c| c.delete(index, &groups[&s]));
+        let mut removed = 0u64;
+        let mut failures = Vec::new();
+        for (i, result) in results.into_iter().enumerate() {
+            let s = targets[i];
+            match result {
+                Ok(n) => {
+                    removed += n;
+                    self.adjust_len(index, s, -(n as i64));
+                }
+                Err(ShardError::Remote(msg)) => {
+                    failures.push(format!("{}: {msg}", self.pools[s].down_label()))
+                }
+                Err(ShardError::Down(label)) => failures.push(label),
+            }
+        }
+        if !failures.is_empty() {
+            return self.write_failure("DELETE", index, &failures);
+        }
+        Response::Deleted { removed }
+    }
+
+    fn route_flush(&self, index: &str) -> Response {
+        let Some(p) = self.placement_of(index) else {
+            return Response::Error(format!("no such index {index:?}"));
+        };
+        let targets: Vec<usize> = (0..p.mod_shards as usize).collect();
+        let results = self.fan_out(&targets, true, |_, c| c.flush(index));
+        let mut paths = Vec::new();
+        let mut segments = 0u32;
+        let mut live_rows = 0u64;
+        let mut failures = Vec::new();
+        for (i, result) in results.into_iter().enumerate() {
+            match result {
+                Ok((path, segs, rows)) => {
+                    paths.push(path);
+                    segments += segs;
+                    live_rows += rows;
+                }
+                Err(ShardError::Remote(msg)) => {
+                    failures.push(format!("{}: {msg}", self.pools[targets[i]].down_label()))
+                }
+                Err(ShardError::Down(label)) => failures.push(label),
+            }
+        }
+        if !failures.is_empty() {
+            return self.write_failure("FLUSH", index, &failures);
+        }
+        Response::Flushed { snapshot_path: paths.join("; "), segments, live_rows }
+    }
+}
+
+/// Renames a shard's stats entry `name` → `name@shard<i>`, truncating
+/// the base name if the suffix would push past the wire's name cap.
+fn shard_entry(mut entry: StatsEntry, label: &str) -> StatsEntry {
+    let budget = MAX_NAME - (label.len() + 1);
+    if entry.name.len() > budget {
+        let mut end = budget;
+        while !entry.name.is_char_boundary(end) {
+            end -= 1;
+        }
+        entry.name.truncate(end);
+    }
+    entry.name = format!("{}@{label}", entry.name);
+    entry
+}
+
+/// Folds one shard's stats entry into the cluster aggregate: counters
+/// sum, `max_micros` maxes, histograms add element-wise (quantiles are
+/// recomputed by the caller once every shard is folded in).
+fn merge_stats(agg: &mut StatsEntry, e: &StatsEntry) {
+    agg.queries += e.queries;
+    agg.batch_requests += e.batch_requests;
+    agg.batch_queries += e.batch_queries;
+    agg.inserts += e.inserts;
+    agg.deletes += e.deletes;
+    agg.flushes += e.flushes;
+    agg.wal_records += e.wal_records;
+    agg.wal_bytes += e.wal_bytes;
+    agg.seals += e.seals;
+    agg.candidates_scanned += e.candidates_scanned;
+    agg.total_micros += e.total_micros;
+    agg.max_micros = agg.max_micros.max(e.max_micros);
+    if agg.latency_hist.len() < e.latency_hist.len() {
+        agg.latency_hist.resize(e.latency_hist.len(), 0);
+    }
+    for (i, b) in e.latency_hist.iter().enumerate() {
+        agg.latency_hist[i] += b;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn topology_parses_primaries_and_replicas() {
+        let shards =
+            parse_topology("127.0.0.1:7701, 127.0.0.1:7702,r0@127.0.0.1:7711,replica1@h:9,r@h:10")
+                .unwrap();
+        assert_eq!(shards.len(), 2);
+        assert_eq!(shards[0].primary, "127.0.0.1:7701");
+        assert_eq!(shards[0].replicas, vec!["127.0.0.1:7711".to_string()]);
+        assert_eq!(
+            shards[1].replicas,
+            vec!["h:9".to_string(), "h:10".to_string()],
+            "bare r@ attaches to the most recent shard"
+        );
+    }
+
+    #[test]
+    fn bad_topologies_are_rejected() {
+        for bad in [
+            "",                      // nothing
+            "127.0.0.1:1,,127.0.0.1:2", // empty element
+            "r0@127.0.0.1:1",        // replica before any shard
+            "127.0.0.1:1,r5@h:2",    // replica of an unlisted shard
+            "localhost",             // no port
+            "r@h:1",                 // bare replica with no shard yet
+        ] {
+            assert!(parse_topology(bad).is_err(), "{bad:?} must be rejected");
+        }
+    }
+
+    #[test]
+    fn shard_entries_respect_the_name_cap() {
+        let long = "x".repeat(MAX_NAME);
+        let entry = StatsEntry {
+            name: long,
+            spec: String::new(),
+            load_mode: "owned".into(),
+            sq8: false,
+            queries: 0,
+            batch_requests: 0,
+            batch_queries: 0,
+            inserts: 0,
+            deletes: 0,
+            flushes: 0,
+            wal_records: 0,
+            wal_bytes: 0,
+            seals: 0,
+            candidates_scanned: 0,
+            total_micros: 0,
+            max_micros: 0,
+            latency_hist: vec![],
+            p50_micros: 0,
+            p99_micros: 0,
+        };
+        let renamed = shard_entry(entry, "shard12");
+        assert!(renamed.name.len() <= MAX_NAME);
+        assert!(renamed.name.ends_with("@shard12"));
+    }
+
+    #[test]
+    fn stats_merge_sums_histograms_and_maxes_max() {
+        let mut agg = StatsEntry {
+            name: "x".into(),
+            spec: String::new(),
+            load_mode: "router".into(),
+            sq8: true,
+            queries: 5,
+            batch_requests: 0,
+            batch_queries: 0,
+            inserts: 1,
+            deletes: 0,
+            flushes: 0,
+            wal_records: 0,
+            wal_bytes: 0,
+            seals: 0,
+            candidates_scanned: 10,
+            total_micros: 100,
+            max_micros: 40,
+            latency_hist: vec![1, 2],
+            p50_micros: 0,
+            p99_micros: 0,
+        };
+        let other = StatsEntry {
+            latency_hist: vec![0, 1, 7],
+            max_micros: 90,
+            queries: 2,
+            ..agg.clone()
+        };
+        merge_stats(&mut agg, &other);
+        assert_eq!(agg.queries, 7);
+        assert_eq!(agg.max_micros, 90);
+        assert_eq!(agg.latency_hist, vec![1, 3, 7], "histograms add element-wise");
+        assert_eq!(agg.total_micros, 200);
+    }
+}

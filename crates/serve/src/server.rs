@@ -58,7 +58,7 @@ const READ_TIMEOUT: Duration = Duration::from_secs(30);
 
 /// Cap on the dataset file a BUILD request may ask the server to load
 /// (matches the snapshot loader's 1 GiB vector-section cap).
-const MAX_BUILD_DATASET_BYTES: u64 = 1 << 30;
+pub(crate) const MAX_BUILD_DATASET_BYTES: u64 = 1 << 30;
 
 /// A bound, not-yet-running server.
 pub struct Server {
@@ -414,8 +414,19 @@ fn dispatch(
             served.stats.record_batch(queries.len() as u64, t0.elapsed().as_micros() as u64);
             (Response::Batch(lists), false)
         }
-        Request::Build { name, spec, metric, data_path, limit, live, seal_threshold, max_segments } => {
-            let opts = BuildOpts { live, seal_threshold, max_segments };
+        Request::Build {
+            name,
+            spec,
+            metric,
+            data_path,
+            limit,
+            live,
+            seal_threshold,
+            max_segments,
+            id_base,
+            id_step,
+        } => {
+            let opts = BuildOpts { live, seal_threshold, max_segments, id_base, id_step };
             (handle_build(shared, &name, &spec, &metric, &data_path, limit, opts), false)
         }
         Request::Insert { index, dim, vectors, ids } => {
@@ -607,6 +618,11 @@ struct BuildOpts {
     live: bool,
     seal_threshold: u32,
     max_segments: u32,
+    /// External id of the first dataset row (live only; a router builds
+    /// shard *s* of *m* with `(s, m)` so shard-local ids are global).
+    id_base: u32,
+    /// Stride between consecutive row ids (live only, `>= 1`).
+    id_step: u32,
 }
 
 /// Resolves a served entry's inner live lock, or explains that the entry
@@ -729,6 +745,13 @@ fn handle_build(
         Ok(_) => {}
         Err(e) => return Response::Error(format!("loading dataset {data_path:?}: {e}")),
     }
+    if !opts.live && (opts.id_base, opts.id_step) != (0, 1) {
+        // Static indexes answer with positional ids; only the live path
+        // can honor an explicit id layout.
+        return Response::Error(
+            "id_base/id_step require a live build (static ids are positional)".into(),
+        );
+    }
     let limit = if limit == 0 { None } else { Some(limit as usize) };
     let mut data = match dataset::io::read_fvecs(data_path, limit) {
         Ok(d) => d,
@@ -849,11 +872,29 @@ fn handle_build_live(
             opts.max_segments as usize
         },
     };
+    // Strided id assignment for routed shard builds: row i gets
+    // id_base + i * id_step. Reject layouts that would overflow the id
+    // space before touching the builder.
+    let ids: Option<Vec<u32>> = if (opts.id_base, opts.id_step) == (0, 1) {
+        None
+    } else {
+        let last = opts.id_base as u64 + (data.len() as u64).saturating_sub(1) * opts.id_step as u64;
+        if last >= u32::MAX as u64 {
+            return Response::Error(format!(
+                "id layout base={} step={} over {} rows reaches id {last}, past the u32 id space",
+                opts.id_base,
+                opts.id_step,
+                data.len()
+            ));
+        }
+        Some((0..data.len() as u32).map(|i| opts.id_base + i * opts.id_step).collect())
+    };
     let t0 = Instant::now();
     // Builder invariants may assert on hostile specs, exactly like the
     // static path: catch, answer, keep the worker.
-    let built = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        LiveIndex::build_from(*spec, metric, data, config)
+    let built = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match &ids {
+        None => LiveIndex::build_from(*spec, metric, data, config),
+        Some(ids) => LiveIndex::build_from_ids(*spec, metric, data, config, ids),
     }));
     let live = match built {
         Ok(Ok(live)) => live,
@@ -909,7 +950,7 @@ fn handle_build_live(
 }
 
 /// BUILD names double as snapshot file names: plain tokens only.
-fn valid_build_name(name: &str) -> bool {
+pub(crate) fn valid_build_name(name: &str) -> bool {
     !name.is_empty()
         && name.len() <= crate::protocol::MAX_NAME
         && !name.starts_with('.')

@@ -3,6 +3,46 @@
 use crate::protocol::StatsEntry;
 use std::sync::atomic::{AtomicU64, Ordering};
 
+/// Buckets in the log2 query-latency histogram: bucket `i` counts
+/// requests whose wall time fell in `[2^i, 2^(i+1))` microseconds
+/// (bucket 0 also absorbs sub-µs requests, the last bucket is
+/// open-ended at ~134 s — far beyond the 30 s connection read timeout).
+pub const HIST_BUCKETS: usize = 28;
+
+/// Histogram bucket for a latency: `floor(log2(micros))`, clamped to
+/// the bucket range.
+fn bucket(micros: u64) -> usize {
+    if micros == 0 {
+        0
+    } else {
+        (63 - micros.leading_zeros() as usize).min(HIST_BUCKETS - 1)
+    }
+}
+
+/// Estimates a quantile (`q` in `[0, 1]`) from a log2 latency
+/// histogram, returning the *upper bound* of the bucket holding the
+/// q-th sample — a deterministic, slightly pessimistic estimate that
+/// is exact to within a factor of two. Returns 0 for an empty
+/// histogram. Shared by the STATS snapshot, the router's per-shard
+/// aggregation, `ann-cli stats`, and the annd exit summary.
+pub fn hist_quantile(hist: &[u64], q: f64) -> u64 {
+    let total: u64 = hist.iter().sum();
+    if total == 0 {
+        return 0;
+    }
+    // Rank of the q-th sample, 1-based, clamped into [1, total].
+    let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+    let mut seen = 0u64;
+    for (i, &count) in hist.iter().enumerate() {
+        seen += count;
+        if seen >= rank {
+            // Upper bound of bucket i is 2^(i+1) - 1 µs.
+            return (1u64 << (i + 1)) - 1;
+        }
+    }
+    unreachable!("rank {rank} exceeds histogram total {total}");
+}
+
 /// Counters one served index accumulates across all connections. All
 /// fields are relaxed atomics: they are monotone counters read only by
 /// STATS, so cross-field consistency is not required.
@@ -24,6 +64,11 @@ pub struct IndexStats {
     candidates_scanned: AtomicU64,
     total_micros: AtomicU64,
     max_micros: AtomicU64,
+    /// Query-path latencies only (QUERY/BATCH/SEARCH); write latencies
+    /// roll into `total_micros`/`max_micros` but not the histogram, so
+    /// p50/p99 describe read tail latency — the number the ROADMAP's
+    /// interference work cares about.
+    latency_hist: [AtomicU64; HIST_BUCKETS],
 }
 
 impl IndexStats {
@@ -32,17 +77,22 @@ impl IndexStats {
         self.max_micros.fetch_max(micros, Ordering::Relaxed);
     }
 
+    fn record_query_latency(&self, micros: u64) {
+        self.record_latency(micros);
+        self.latency_hist[bucket(micros)].fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Records one single-query request.
     pub fn record_query(&self, micros: u64) {
         self.queries.fetch_add(1, Ordering::Relaxed);
-        self.record_latency(micros);
+        self.record_query_latency(micros);
     }
 
     /// Records one batch request covering `nq` queries.
     pub fn record_batch(&self, nq: u64, micros: u64) {
         self.batch_requests.fetch_add(1, Ordering::Relaxed);
         self.batch_queries.fetch_add(nq, Ordering::Relaxed);
-        self.record_latency(micros);
+        self.record_query_latency(micros);
     }
 
     /// Records one INSERT request that landed `rows` rows.
@@ -87,6 +137,10 @@ impl IndexStats {
     /// entry's spec string (empty when unknown); `load_mode` and `sq8`
     /// describe the serving path ([`crate::catalog::ServedIndex`]).
     pub fn snapshot(&self, name: &str, spec: &str, load_mode: &str, sq8: bool) -> StatsEntry {
+        let latency_hist: Vec<u64> =
+            self.latency_hist.iter().map(|b| b.load(Ordering::Relaxed)).collect();
+        let p50_micros = hist_quantile(&latency_hist, 0.50);
+        let p99_micros = hist_quantile(&latency_hist, 0.99);
         StatsEntry {
             name: name.to_string(),
             spec: spec.to_string(),
@@ -104,6 +158,9 @@ impl IndexStats {
             candidates_scanned: self.candidates_scanned.load(Ordering::Relaxed),
             total_micros: self.total_micros.load(Ordering::Relaxed),
             max_micros: self.max_micros.load(Ordering::Relaxed),
+            latency_hist,
+            p50_micros,
+            p99_micros,
         }
     }
 }
@@ -153,5 +210,57 @@ mod tests {
         assert_eq!(snap.seals, 1);
         assert_eq!(snap.total_micros, 1_027, "write latency rolls into the totals");
         assert_eq!(snap.max_micros, 1_000);
+    }
+
+    #[test]
+    fn latency_buckets_are_log2() {
+        assert_eq!(bucket(0), 0);
+        assert_eq!(bucket(1), 0);
+        assert_eq!(bucket(2), 1);
+        assert_eq!(bucket(3), 1);
+        assert_eq!(bucket(4), 2);
+        assert_eq!(bucket(1023), 9);
+        assert_eq!(bucket(1024), 10);
+        assert_eq!(bucket(u64::MAX), HIST_BUCKETS - 1, "huge latencies clamp to the last bucket");
+    }
+
+    #[test]
+    fn histogram_tracks_query_latency_only() {
+        let s = IndexStats::default();
+        s.record_query(3); // bucket 1
+        s.record_query(5); // bucket 2
+        s.record_batch(10, 700); // bucket 9
+        s.record_insert(100, 1 << 20); // writes stay out of the histogram
+        s.record_flush(1 << 20);
+        let snap = s.snapshot("x", "", "owned", false);
+        assert_eq!(snap.latency_hist.len(), HIST_BUCKETS);
+        assert_eq!(snap.latency_hist.iter().sum::<u64>(), 3, "3 query-path requests recorded");
+        assert_eq!(snap.latency_hist[1], 1);
+        assert_eq!(snap.latency_hist[2], 1);
+        assert_eq!(snap.latency_hist[9], 1);
+        // p50 = 2nd of 3 samples -> bucket 2, upper bound 2^3-1.
+        assert_eq!(snap.p50_micros, 7);
+        // p99 = 3rd sample -> bucket 9, upper bound 2^10-1.
+        assert_eq!(snap.p99_micros, 1023);
+    }
+
+    #[test]
+    fn quantiles_of_empty_and_single_histograms() {
+        assert_eq!(hist_quantile(&[], 0.5), 0);
+        assert_eq!(hist_quantile(&[0, 0, 0], 0.99), 0);
+        // One sample in bucket 4: every quantile reports its bucket cap.
+        let mut h = vec![0u64; HIST_BUCKETS];
+        h[4] = 1;
+        assert_eq!(hist_quantile(&h, 0.0), 31);
+        assert_eq!(hist_quantile(&h, 0.5), 31);
+        assert_eq!(hist_quantile(&h, 1.0), 31);
+        // 100 samples in bucket 0, one straggler in bucket 20: p50 stays
+        // low, p99 still low (rank 100 of 101), p100 catches the tail.
+        let mut h = vec![0u64; HIST_BUCKETS];
+        h[0] = 100;
+        h[20] = 1;
+        assert_eq!(hist_quantile(&h, 0.5), 1);
+        assert_eq!(hist_quantile(&h, 0.99), 1);
+        assert_eq!(hist_quantile(&h, 1.0), (1 << 21) - 1);
     }
 }

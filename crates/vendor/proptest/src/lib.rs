@@ -179,7 +179,7 @@ pub mod collection {
     use rand::rngs::StdRng;
     use rand::Rng;
 
-    /// Inclusive-exclusive element-count range for [`vec`].
+    /// Inclusive-exclusive element-count range for [`fn@vec`].
     #[derive(Debug, Clone, Copy)]
     pub struct SizeRange {
         lo: usize,
@@ -205,7 +205,7 @@ pub mod collection {
         }
     }
 
-    /// See [`vec`].
+    /// See [`fn@vec`].
     pub struct VecStrategy<S> {
         elem: S,
         size: SizeRange,

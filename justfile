@@ -44,6 +44,12 @@ serve dir="/tmp/annd-snapshots" addr="127.0.0.1:7700":
 smoke dir="/tmp/annd-smoke" addr="127.0.0.1:38211":
     bash scripts/annd-smoke.sh {{dir}} {{addr}}
 
+# Sharded-cluster demo: two annd shards behind an annd --router — routed
+# BUILD with the strided id layout, scatter-gather search, a real kill -9
+# of one shard (typed partial results), restart, byte-exact recovery.
+cluster-demo dir="/tmp/annd-cluster-smoke" base_port="38400":
+    bash scripts/cluster-smoke.sh {{dir}} {{base_port}}
+
 # Live-indexing demo: the LSM-style mutable index end to end — insert/
 # delete/seal/compact in process, then INSERT/DELETE/FLUSH over TCP with
 # a daemon restart from the flushed snapshot.

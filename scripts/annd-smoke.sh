@@ -79,6 +79,8 @@ NINE_VEC=$(printf '9.0,%.0s' $(seq "$DIM") | sed 's/,$//')
     | grep -F "id=400" && (echo "live smoke: deleted row still served" && exit 1)
 "$CLI" stats --addr "$ADDR" | grep -F "mut-idx" | grep -F "inserts=1" | grep -F "deletes=1" \
     || (echo "live smoke: write counters missing from STATS" && exit 1)
+"$CLI" stats --addr "$ADDR" | grep -F "mut-idx" | grep -E "p50_us=[0-9]+" | grep -E "p99_us=[0-9]+" \
+    || (echo "live smoke: latency quantiles missing from STATS" && exit 1)
 "$CLI" flush --addr "$ADDR" --index mut-idx
 "$CLI" describe --snap "$DIR/mut-idx.snap" | grep -F "live:" \
     || (echo "live smoke: flushed snapshot has no LIVE section" && exit 1)

@@ -1,0 +1,105 @@
+#!/usr/bin/env bash
+# Cluster smoke: two real annd shard daemons behind an annd --router,
+# exercised end to end over TCP — routed BUILD, insert, search, then a
+# real kill -9 of one shard (degraded typed-partial search), restart,
+# and a byte-exact recovery diff. Used verbatim by the CI test job and
+# by `just cluster-demo`.
+set -euo pipefail
+
+DIR="${1:-/tmp/annd-cluster-smoke}"
+BASE_PORT="${2:-38400}"
+DIM=16
+
+ROUTER_ADDR="127.0.0.1:$BASE_PORT"
+S0_ADDR="127.0.0.1:$((BASE_PORT + 1))"
+S1_ADDR="127.0.0.1:$((BASE_PORT + 2))"
+
+# Build once and run the binaries directly: the PIDs must be the
+# daemons' own (not a cargo wrapper), so the failure trap really kills
+# them and never leaves an orphan holding a port.
+cargo build --release -p serve
+ANND=target/release/annd
+CLI=target/release/ann-cli
+
+rm -rf "$DIR"
+mkdir -p "$DIR/s0" "$DIR/s1" "$DIR/router"
+
+"$ANND" --snapshot-dir "$DIR/s0" --addr "$S0_ADDR" > "$DIR/s0.log" 2>&1 &
+S0_PID=$!
+"$ANND" --snapshot-dir "$DIR/s1" --addr "$S1_ADDR" > "$DIR/s1.log" 2>&1 &
+S1_PID=$!
+"$ANND" --router "$S0_ADDR,$S1_ADDR" --router-dir "$DIR/router" \
+    --addr "$ROUTER_ADDR" --shard-timeout-ms 1500 > "$DIR/router.log" 2>&1 &
+ROUTER_PID=$!
+trap 'kill "$S0_PID" "$S1_PID" "$ROUTER_PID" 2>/dev/null || true' EXIT
+sleep 2
+
+grep -F "router: 2 shard(s)" "$DIR/router.log" \
+    || (echo "cluster smoke: router banner missing" && cat "$DIR/router.log" && exit 1)
+
+# Routed BUILD: the router slices the dataset across both shards with
+# the strided id layout, so each shard holds one residue class.
+"$CLI" gen --out "$DIR/cluster.fvecs" --n 300 --dim "$DIM" --seed 11
+"$CLI" build --addr "$ROUTER_ADDR" --index smoke --spec linear \
+    --data "$DIR/cluster.fvecs" --live true
+"$CLI" list --addr "$ROUTER_ADDR" | grep -F "smoke" | grep -F "n=300" | grep -F "load=router" \
+    || (echo "cluster smoke: routed LIST should aggregate 300 rows" && exit 1)
+"$CLI" list --addr "$S0_ADDR" | grep -F "n=150" \
+    || (echo "cluster smoke: shard 0 should hold half the rows" && exit 1)
+
+# Routed writes: an auto-id insert lands above every built row, and the
+# row is immediately searchable through the router (read-your-writes).
+NINE_VEC=$(printf '9.0,%.0s' $(seq "$DIM") | sed 's/,$//')
+"$CLI" insert --addr "$ROUTER_ADDR" --index smoke --vec "$NINE_VEC" | grep -F "id=300" \
+    || (echo "cluster smoke: auto id should continue at 300" && exit 1)
+"$CLI" query --addr "$ROUTER_ADDR" --index smoke --k 1 --budget 512 --vec "$NINE_VEC" \
+    | grep -F "id=300" || (echo "cluster smoke: routed read-your-writes failed" && exit 1)
+"$CLI" delete --addr "$ROUTER_ADDR" --index smoke --ids 300 | grep -F "deleted 1 of 1" \
+    || (echo "cluster smoke: routed delete miscounted" && exit 1)
+
+# Routed STATS: the aggregate row plus per-shard breakdowns, with the
+# latency-histogram quantiles on every line.
+"$CLI" stats --addr "$ROUTER_ADDR" | grep -F "smoke@shard0" \
+    || (echo "cluster smoke: per-shard STATS breakdown missing" && exit 1)
+"$CLI" stats --addr "$ROUTER_ADDR" | grep -F "smoke	" | grep -E "p50_us=[0-9]+" \
+    || (echo "cluster smoke: latency quantiles missing from routed STATS" && exit 1)
+
+ZERO_VEC=$(printf '0.0,%.0s' $(seq "$DIM") | sed 's/,$//')
+"$CLI" search --addr "$ROUTER_ADDR" --index smoke --k 5 --budget 512 --vec "$ZERO_VEC" \
+    > "$DIR/search-healthy.txt"
+grep -E "^0\sid=" "$DIR/search-healthy.txt" \
+    || (echo "cluster smoke: healthy search returned nothing" && exit 1)
+grep -F "missing=" "$DIR/search-healthy.txt" \
+    && (echo "cluster smoke: healthy search flagged missing shards" && exit 1)
+
+# Kill one shard for real. The router must keep answering with a typed
+# partial that names exactly the dead shard — no hang, no error.
+kill -9 "$S1_PID"
+wait "$S1_PID" 2>/dev/null || true
+"$CLI" search --addr "$ROUTER_ADDR" --index smoke --k 5 --budget 512 --vec "$ZERO_VEC" \
+    > "$DIR/search-degraded.txt"
+grep -F "partial	missing=shard1@$S1_ADDR" "$DIR/search-degraded.txt" \
+    || (echo "cluster smoke: degraded search did not name the dead shard" \
+        && cat "$DIR/search-degraded.txt" && exit 1)
+grep -E "^0\sid=" "$DIR/search-degraded.txt" \
+    || (echo "cluster smoke: degraded search lost the surviving hits" && exit 1)
+
+# Restart the shard over its surviving directory (WAL + snapshot): the
+# next routed search is whole again and byte-identical to pre-kill.
+"$ANND" --snapshot-dir "$DIR/s1" --addr "$S1_ADDR" > "$DIR/s1-restart.log" 2>&1 &
+S1_PID=$!
+sleep 2
+"$CLI" search --addr "$ROUTER_ADDR" --index smoke --k 5 --budget 512 --vec "$ZERO_VEC" \
+    > "$DIR/search-recovered.txt"
+diff "$DIR/search-healthy.txt" "$DIR/search-recovered.txt" \
+    || (echo "cluster smoke: answers changed across the shard kill + restart" && exit 1)
+
+# Graceful teardown: the router first (it doesn't own the shards), then
+# each shard.
+"$CLI" shutdown --addr "$ROUTER_ADDR"
+wait "$ROUTER_PID"
+"$CLI" shutdown --addr "$S0_ADDR"
+"$CLI" shutdown --addr "$S1_ADDR"
+wait "$S0_PID" "$S1_PID"
+trap - EXIT
+echo "cluster smoke: OK"
