@@ -111,6 +111,12 @@ pub struct SearchStats {
     pub heap_pushes: u64,
     /// Wall-clock time spent answering, in microseconds.
     pub wall_micros: u64,
+    /// Candidates the SQ8 certified skip bound pruned before their
+    /// full-width distance was computed (a subset of
+    /// `candidates_scanned`; zero on paths without trained codes).
+    /// Node-local telemetry: it feeds the METRICS exposition but does
+    /// not travel in the wire stats section, whose layout is pinned.
+    pub sq8_pruned: u64,
 }
 
 impl SearchStats {
@@ -121,6 +127,7 @@ impl SearchStats {
         self.candidates_scanned += other.candidates_scanned;
         self.heap_pushes += other.heap_pushes;
         self.wall_micros = self.wall_micros.max(other.wall_micros);
+        self.sq8_pruned += other.sq8_pruned;
     }
 }
 
@@ -343,9 +350,14 @@ mod tests {
 
     #[test]
     fn stats_absorb_sums_counts_and_maxes_wall() {
-        let mut a = SearchStats { candidates_scanned: 10, heap_pushes: 3, wall_micros: 40 };
-        let b = SearchStats { candidates_scanned: 5, heap_pushes: 4, wall_micros: 25 };
+        let mut a =
+            SearchStats { candidates_scanned: 10, heap_pushes: 3, wall_micros: 40, sq8_pruned: 2 };
+        let b =
+            SearchStats { candidates_scanned: 5, heap_pushes: 4, wall_micros: 25, sq8_pruned: 1 };
         a.absorb(&b);
-        assert_eq!(a, SearchStats { candidates_scanned: 15, heap_pushes: 7, wall_micros: 40 });
+        assert_eq!(
+            a,
+            SearchStats { candidates_scanned: 15, heap_pushes: 7, wall_micros: 40, sq8_pruned: 3 }
+        );
     }
 }

@@ -235,7 +235,11 @@ pub trait AnnIndex: Send + Sync {
             let seen = hits.len() as u64;
             SearchResponse {
                 hits,
-                stats: SearchStats { candidates_scanned: seen, heap_pushes: seen, wall_micros: 0 },
+                stats: SearchStats {
+                    candidates_scanned: seen,
+                    heap_pushes: seen,
+                    ..SearchStats::default()
+                },
             }
         } else {
             // Over-fetch so post-hoc filtering cannot starve the top-k.
@@ -273,7 +277,11 @@ pub trait AnnIndex: Send + Sync {
             let kept = hits.len() as u64;
             SearchResponse {
                 hits,
-                stats: SearchStats { candidates_scanned: seen, heap_pushes: kept, wall_micros: 0 },
+                stats: SearchStats {
+                    candidates_scanned: seen,
+                    heap_pushes: kept,
+                    ..SearchStats::default()
+                },
             }
         };
         resp.stats.wall_micros = t0.elapsed().as_micros() as u64;

@@ -17,6 +17,9 @@
 //! * `search_direct` / `search_router` — the same wire sweep against one
 //!   `annd` directly vs through a one-shard router (the scatter-gather
 //!   hop's overhead; no speedup floor applies to this pair).
+//! * `search_plain` / `search_instrumented` — the same wire sweep with
+//!   legacy frames vs TRACE-carrying frames and the slow-query check
+//!   armed; the run fails if instrumentation costs more than 5%.
 //!
 //! Every entry is `{"median_us": …, "rows": …, "k": …, "commit": …}`.
 //! Both SQ8 sweeps assert the pruned top-k is bit-identical to the
@@ -284,6 +287,82 @@ fn bench_router_overhead(entries: &mut Vec<Entry>, n: usize, nq: usize, repeats:
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Observability tax: the same wire sweep with every request carrying a
+/// TRACE section and the server's slow-query comparator armed (at a
+/// threshold the sweep never crosses, so the hot path pays the check
+/// but stderr stays quiet) vs plain legacy frames. Pins the promise
+/// that instrumentation costs ≤5% — the run fails if it doesn't.
+fn bench_instrumented_search(entries: &mut Vec<Entry>, n: usize, nq: usize, repeats: usize) {
+    use serve::client::Client;
+    use serve::server::Server;
+
+    let dim = 32;
+    let k = 10;
+    let dir = std::env::temp_dir().join(format!("bench-instr-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("bench dir");
+    let data = bench_data(n, dim);
+    let queries = data.sample_queries(nq, 0x3d41);
+    let fvecs = dir.join("bench.fvecs");
+    dataset::io::write_fvecs(&fvecs, &data).expect("write fvecs");
+
+    let server = Server::bind(serve::catalog::Catalog::empty(), "127.0.0.1:0", 2)
+        .expect("bind server")
+        .with_snapshot_dir(&dir);
+    let saddr = server.local_addr().unwrap();
+    let shandle = std::thread::spawn(move || server.run().expect("server loop"));
+    let mut client = Client::connect(saddr).expect("connect server");
+    client
+        .build_live("bench", "linear", "euclidean", fvecs.to_str().unwrap(), 0, n + 1, 4)
+        .expect("build");
+
+    obs::set_slow_query_micros(u64::MAX);
+    let trace = obs::TraceContext::mint();
+    let req = SearchRequest::top_k(k).budget(64);
+    let sweep = |c: &mut Client, traced: bool| -> Vec<dataset::exact::Neighbor> {
+        let mut all = Vec::with_capacity(nq * k);
+        for qi in 0..nq {
+            c.trace = traced.then(|| trace.child());
+            all.extend(c.search("bench", queries.get(qi), &req).expect("search").0);
+        }
+        c.trace = None;
+        all
+    };
+    assert_bit_identical(
+        "instrumented sweep",
+        &sweep(&mut client, true),
+        &sweep(&mut client, false),
+    );
+
+    // Two interleaved rounds, min-of-medians: wire sweeps are noisy and
+    // the 5% gate must not flake on scheduler jitter.
+    let mut plain_us = u64::MAX;
+    let mut instr_us = u64::MAX;
+    for _ in 0..2 {
+        plain_us = plain_us.min(median_us(repeats, || sweep(&mut client, false)));
+        instr_us = instr_us.min(median_us(repeats, || sweep(&mut client, true)));
+    }
+    obs::set_slow_query_micros(0);
+
+    println!(
+        "bench_report: instrumented sweep ({nq} queries over {n}×{dim}): traced {instr_us}us \
+         vs plain {plain_us}us ({:.2}x overhead, top-k bit-identical)",
+        instr_us as f64 / plain_us.max(1) as f64
+    );
+    entries.push(Entry { name: "search_plain", median_us: plain_us, rows: n, k });
+    entries.push(Entry { name: "search_instrumented", median_us: instr_us, rows: n, k });
+    // 5% relative plus a small absolute floor so a quick run's tiny
+    // sweep doesn't fail on a single timer quantum.
+    assert!(
+        instr_us as f64 <= plain_us as f64 * 1.05 + 200.0,
+        "tracing + slow-query arming cost {instr_us}us vs {plain_us}us plain — over the 5% budget"
+    );
+
+    client.shutdown().expect("server shutdown");
+    shandle.join().expect("server thread");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 fn main() {
     let opts = parse_opts(std::env::args().skip(1));
     let (snap_n, scan_n, nq, repeats) =
@@ -295,6 +374,7 @@ fn main() {
     let live_speedup = bench_live_scan(&mut entries, scan_n, nq, repeats);
     let exact_speedup = bench_exact_batch(&mut entries, scan_n, nq, repeats);
     bench_router_overhead(&mut entries, scan_n, nq, repeats);
+    bench_instrumented_search(&mut entries, scan_n, nq, repeats);
 
     let mut json = String::from("{\n");
     for (i, e) in entries.iter().enumerate() {

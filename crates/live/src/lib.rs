@@ -252,11 +252,25 @@ impl PendingBuild {
             // install just drops them.
             None
         } else {
+            let kind = match self.kind {
+                BuildKind::Seal { .. } => "seal",
+                BuildKind::Merge { .. } => "merge",
+            };
             let seg_id = match self.kind {
                 BuildKind::Seal { seg_id } => seg_id,
                 BuildKind::Merge { seg_id, .. } => seg_id,
             };
-            Some(build_segment_parts(&self.spec, self.metric, self.dim, self.flat, self.ids, seg_id)?)
+            let t0 = Instant::now();
+            let seg =
+                build_segment_parts(&self.spec, self.metric, self.dim, self.flat, self.ids, seg_id)?;
+            obs::global()
+                .histogram(
+                    "ann_live_build_micros",
+                    &[("kind", kind)],
+                    "seal/compaction segment build duration, in microseconds",
+                )
+                .observe(t0.elapsed().as_micros() as u64);
+            Some(seg)
         };
         Ok(BuiltUnit { token: self.token, kind: self.kind, segment })
     }
@@ -1166,6 +1180,7 @@ impl LiveIndex {
             if heap.len() == k {
                 if let Some(p) = pruner.as_mut() {
                     if p.skips(slot, heap.peek().expect("non-empty").dist) {
+                        stats.sq8_pruned += 1;
                         continue;
                     }
                 }

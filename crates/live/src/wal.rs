@@ -277,6 +277,9 @@ pub struct Wal {
     generation: u64,
     /// Appends since the last fsync (the `batch` group-commit counter).
     pending: u32,
+    /// Per-index fsync latency, fed to the METRICS exposition — the
+    /// write-path number the durability contract pays for per ack.
+    fsync_micros: obs::Histogram,
 }
 
 /// The conventional WAL path next to an index's snapshot: `dir/name.wal`.
@@ -284,12 +287,24 @@ pub fn wal_path(dir: &Path, name: &str) -> PathBuf {
     dir.join(format!("{name}.{WAL_EXT}"))
 }
 
+/// The global fsync-latency histogram for the index this WAL backs
+/// (labelled by the file stem, which is the catalog name).
+fn fsync_histogram(path: &Path) -> obs::Histogram {
+    let index = path.file_stem().and_then(|s| s.to_str()).unwrap_or("unknown");
+    obs::global().histogram(
+        "ann_wal_fsync_micros",
+        &[("index", index)],
+        "WAL fsync latency per synced group, in microseconds",
+    )
+}
+
 impl Wal {
     /// Creates (or truncates) the log at `path` with a fresh header for
     /// `generation`, fsynced before returning.
     pub fn create(path: &Path, generation: u64) -> io::Result<Wal> {
         let file = OpenOptions::new().read(true).write(true).create(true).truncate(true).open(path)?;
-        let mut wal = Wal { file, path: path.to_path_buf(), generation, pending: 0 };
+        let fsync_micros = fsync_histogram(path);
+        let mut wal = Wal { file, path: path.to_path_buf(), generation, pending: 0, fsync_micros };
         wal.write_header(generation)?;
         Ok(wal)
     }
@@ -301,10 +316,12 @@ impl Wal {
     /// [`WalReplay::generation`] against the snapshot it restored.
     pub fn load(path: &Path) -> io::Result<(Wal, WalReplay)> {
         let mut file = OpenOptions::new().read(true).write(true).create(true).truncate(false).open(path)?;
+        let fsync_micros = fsync_histogram(path);
         let mut bytes = Vec::new();
         file.read_to_end(&mut bytes)?;
         if bytes.is_empty() {
-            let mut wal = Wal { file, path: path.to_path_buf(), generation: 0, pending: 0 };
+            let mut wal =
+                Wal { file, path: path.to_path_buf(), generation: 0, pending: 0, fsync_micros };
             wal.write_header(0)?;
             return Ok((wal, WalReplay { records: Vec::new(), generation: 0, torn: false }));
         }
@@ -312,7 +329,13 @@ impl Wal {
             // Torn header: the process died during the initial create,
             // before any append could have been acknowledged. Surface it
             // as a generation that can never match, so the caller resets.
-            let wal = Wal { file, path: path.to_path_buf(), generation: u64::MAX, pending: 0 };
+            let wal = Wal {
+                file,
+                path: path.to_path_buf(),
+                generation: u64::MAX,
+                pending: 0,
+                fsync_micros,
+            };
             return Ok((wal, WalReplay { records: Vec::new(), generation: u64::MAX, torn: true }));
         }
         if &bytes[..WAL_MAGIC.len()] != WAL_MAGIC {
@@ -345,7 +368,7 @@ impl Wal {
             file.sync_all()?;
         }
         file.seek(SeekFrom::End(0))?;
-        let wal = Wal { file, path: path.to_path_buf(), generation, pending: 0 };
+        let wal = Wal { file, path: path.to_path_buf(), generation, pending: 0, fsync_micros };
         Ok((wal, WalReplay { records, generation, torn }))
     }
 
@@ -397,7 +420,9 @@ impl Wal {
 
     /// Forces every appended record to disk now (the group-commit flush).
     pub fn sync(&mut self) -> io::Result<()> {
+        let t0 = std::time::Instant::now();
         self.file.sync_data()?;
+        self.fsync_micros.observe(t0.elapsed().as_micros() as u64);
         self.pending = 0;
         Ok(())
     }

@@ -1,0 +1,242 @@
+//! Structured leveled logging to stderr.
+//!
+//! One event = a level, a message, and a list of `key=value` fields.
+//! The default rendering is logfmt (`ts=… level=info msg="listening"
+//! addr=127.0.0.1:7700`); [`set_log_json`] switches to one JSON object
+//! per line for machine consumers. Both forms write a whole line with a
+//! single `write_all`, so concurrent connections never interleave
+//! mid-line.
+
+use std::fmt::Display;
+use std::io::Write;
+use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
+
+/// Log severity, ordered `Error < Warn < Info < Debug` by verbosity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// The process is losing data or refusing service.
+    Error = 0,
+    /// Something degraded but the process keeps serving.
+    Warn = 1,
+    /// Lifecycle events: startup, shutdown, installs, slow queries.
+    Info = 2,
+    /// Per-connection / per-request detail.
+    Debug = 3,
+}
+
+impl Level {
+    /// The lowercase name logfmt/JSON lines carry.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+        }
+    }
+}
+
+impl std::str::FromStr for Level {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Level, String> {
+        match s {
+            "error" => Ok(Level::Error),
+            "warn" => Ok(Level::Warn),
+            "info" => Ok(Level::Info),
+            "debug" => Ok(Level::Debug),
+            other => Err(format!("unknown log level {other:?} (error|warn|info|debug)")),
+        }
+    }
+}
+
+/// Current max verbosity (default: info).
+static MAX_LEVEL: AtomicU8 = AtomicU8::new(Level::Info as u8);
+/// Whether lines render as JSON objects instead of logfmt.
+static JSON: AtomicBool = AtomicBool::new(false);
+
+/// Sets the process-global maximum verbosity.
+pub fn set_level(level: Level) {
+    MAX_LEVEL.store(level as u8, Ordering::Relaxed);
+}
+
+/// Switches line rendering between logfmt (`false`, default) and JSON.
+pub fn set_log_json(json: bool) {
+    JSON.store(json, Ordering::Relaxed);
+}
+
+/// Whether events at `level` are currently emitted — the cheap guard the
+/// logging macros check before formatting anything.
+#[inline]
+pub fn enabled(level: Level) -> bool {
+    (level as u8) <= MAX_LEVEL.load(Ordering::Relaxed)
+}
+
+/// Microseconds since the Unix epoch (0 if the clock is before it).
+fn epoch_micros() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::SystemTime::UNIX_EPOCH)
+        .map(|d| d.as_micros() as u64)
+        .unwrap_or(0)
+}
+
+/// Quotes a logfmt value when it contains whitespace, quotes, or `=`.
+fn push_logfmt_value(out: &mut String, value: &str) {
+    let needs_quotes =
+        value.is_empty() || value.chars().any(|c| c.is_whitespace() || c == '"' || c == '=');
+    if !needs_quotes {
+        out.push_str(value);
+        return;
+    }
+    out.push('"');
+    for c in value.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// JSON string escaping (quotes, backslash, control characters).
+fn push_json_string(out: &mut String, value: &str) {
+    out.push('"');
+    for c in value.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Renders one event to a line (no trailing newline).
+fn render(json: bool, ts: u64, level: Level, msg: &str, fields: &[(&str, &dyn Display)]) -> String {
+    let mut out = String::with_capacity(64 + 16 * fields.len());
+    if json {
+        out.push_str("{\"ts\":");
+        out.push_str(&ts.to_string());
+        out.push_str(",\"level\":\"");
+        out.push_str(level.as_str());
+        out.push_str("\",\"msg\":");
+        push_json_string(&mut out, msg);
+        for (k, v) in fields {
+            out.push(',');
+            push_json_string(&mut out, k);
+            out.push(':');
+            push_json_string(&mut out, &v.to_string());
+        }
+        out.push('}');
+    } else {
+        out.push_str("ts=");
+        out.push_str(&ts.to_string());
+        out.push_str(" level=");
+        out.push_str(level.as_str());
+        out.push_str(" msg=");
+        push_logfmt_value(&mut out, msg);
+        for (k, v) in fields {
+            out.push(' ');
+            out.push_str(k);
+            out.push('=');
+            push_logfmt_value(&mut out, &v.to_string());
+        }
+    }
+    out
+}
+
+/// Emits one structured event to stderr if `level` is enabled. Prefer
+/// the [`error!`](crate::error)/[`warn!`](crate::warn)/
+/// [`info!`](crate::info)/[`debug!`](crate::debug) macros, which check
+/// [`enabled`] before evaluating their fields.
+pub fn log(level: Level, msg: &str, fields: &[(&str, &dyn Display)]) {
+    if !enabled(level) {
+        return;
+    }
+    let mut line = render(JSON.load(Ordering::Relaxed), epoch_micros(), level, msg, fields);
+    line.push('\n');
+    // One write_all per line keeps concurrent events from interleaving;
+    // a logging failure must never take the server down with it.
+    let _ = std::io::stderr().write_all(line.as_bytes());
+}
+
+/// Emits one structured event at an explicit level:
+/// `log_event!(Level::Info, "listening", addr = addr, workers = 4)`.
+#[macro_export]
+macro_rules! log_event {
+    ($level:expr, $msg:expr $(, $key:ident = $val:expr)* $(,)?) => {{
+        let level = $level;
+        if $crate::enabled(level) {
+            $crate::log(
+                level,
+                $msg,
+                &[$((stringify!($key), &$val as &dyn ::std::fmt::Display)),*],
+            );
+        }
+    }};
+}
+
+/// `error!("msg", key = value, …)` — see [`log_event!`](crate::log_event).
+#[macro_export]
+macro_rules! error { ($($t:tt)*) => { $crate::log_event!($crate::Level::Error, $($t)*) }; }
+
+/// `warn!("msg", key = value, …)` — see [`log_event!`](crate::log_event).
+#[macro_export]
+macro_rules! warn { ($($t:tt)*) => { $crate::log_event!($crate::Level::Warn, $($t)*) }; }
+
+/// `info!("msg", key = value, …)` — see [`log_event!`](crate::log_event).
+#[macro_export]
+macro_rules! info { ($($t:tt)*) => { $crate::log_event!($crate::Level::Info, $($t)*) }; }
+
+/// `debug!("msg", key = value, …)` — see [`log_event!`](crate::log_event).
+#[macro_export]
+macro_rules! debug { ($($t:tt)*) => { $crate::log_event!($crate::Level::Debug, $($t)*) }; }
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_parse_and_order() {
+        assert_eq!("debug".parse::<Level>(), Ok(Level::Debug));
+        assert_eq!("error".parse::<Level>(), Ok(Level::Error));
+        assert!("verbose".parse::<Level>().is_err());
+        assert!(Level::Error < Level::Warn && Level::Warn < Level::Info && Level::Info < Level::Debug);
+    }
+
+    #[test]
+    fn logfmt_quotes_only_when_needed() {
+        let line = render(
+            false,
+            7,
+            Level::Info,
+            "listening",
+            &[("addr", &"127.0.0.1:7700"), ("spec", &"lccs m=16"), ("err", &"a \"b\"")],
+        );
+        assert_eq!(
+            line,
+            "ts=7 level=info msg=listening addr=127.0.0.1:7700 spec=\"lccs m=16\" err=\"a \\\"b\\\"\""
+        );
+    }
+
+    #[test]
+    fn json_lines_escape_values() {
+        let line = render(true, 7, Level::Warn, "bad \"frame\"", &[("peer", &"1.2.3.4:5")]);
+        assert_eq!(
+            line,
+            "{\"ts\":7,\"level\":\"warn\",\"msg\":\"bad \\\"frame\\\"\",\"peer\":\"1.2.3.4:5\"}"
+        );
+    }
+
+    #[test]
+    fn empty_and_equals_values_stay_parseable() {
+        let line = render(false, 1, Level::Debug, "m", &[("a", &""), ("b", &"x=y")]);
+        assert_eq!(line, "ts=1 level=debug msg=m a=\"\" b=\"x=y\"");
+    }
+}

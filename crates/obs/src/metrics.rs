@@ -1,0 +1,475 @@
+//! Process-global metrics: counters, gauges, and log2 histograms with
+//! Prometheus text exposition.
+//!
+//! The histogram bucket scheme is the serving layer's proven one
+//! (generalized out of `serve::stats`): bucket `i` counts samples in
+//! `[2^i, 2^(i+1))`, bucket 0 absorbs zero, the last bucket is
+//! open-ended. [`hist_quantile`] estimates quantiles as bucket upper
+//! bounds — deterministic and exact to within a factor of two.
+//!
+//! Handles ([`Counter`], [`Gauge`], [`Histogram`]) are cheap `Arc`
+//! clones over relaxed atomics: registration takes the registry lock
+//! once, the hot path never does. [`PromText`] renders everything in
+//! Prometheus text format (`# HELP` / `# TYPE` headers emitted once per
+//! metric name), which is also what callers use to append samples of
+//! their own that live outside the registry.
+
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Buckets in a log2 histogram: bucket `i` counts samples whose value
+/// fell in `[2^i, 2^(i+1))` (bucket 0 also absorbs zero, the last
+/// bucket is open-ended at ~134M — beyond any latency in microseconds
+/// this workspace can observe under its 30 s read timeout).
+pub const HIST_BUCKETS: usize = 28;
+
+/// Histogram bucket for a value: `floor(log2(value))`, clamped to the
+/// bucket range.
+pub fn bucket_index(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        (63 - value.leading_zeros() as usize).min(HIST_BUCKETS - 1)
+    }
+}
+
+/// Upper bound of bucket `i`: `2^(i+1) - 1`.
+pub fn bucket_upper(i: usize) -> u64 {
+    (1u64 << (i + 1)) - 1
+}
+
+/// Estimates a quantile (`q` in `[0, 1]`) from a log2 histogram,
+/// returning the *upper bound* of the bucket holding the q-th sample —
+/// deterministic and slightly pessimistic, exact to within a factor of
+/// two. Returns 0 for an empty histogram.
+pub fn hist_quantile(hist: &[u64], q: f64) -> u64 {
+    let total: u64 = hist.iter().sum();
+    if total == 0 {
+        return 0;
+    }
+    // Rank of the q-th sample, 1-based, clamped into [1, total].
+    let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+    let mut seen = 0u64;
+    for (i, &count) in hist.iter().enumerate() {
+        seen += count;
+        if seen >= rank {
+            return bucket_upper(i);
+        }
+    }
+    unreachable!("rank {rank} exceeds histogram total {total}");
+}
+
+/// A monotone counter handle. Clones share the underlying cell.
+#[derive(Debug, Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// A standalone counter not attached to any registry.
+    pub fn unregistered() -> Counter {
+        Counter(Arc::new(AtomicU64::new(0)))
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins gauge handle. Clones share the underlying cell.
+#[derive(Debug, Clone)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// A standalone gauge not attached to any registry.
+    pub fn unregistered() -> Gauge {
+        Gauge(Arc::new(AtomicU64::new(0)))
+    }
+
+    /// Overwrites the value.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug)]
+struct HistCells {
+    buckets: [AtomicU64; HIST_BUCKETS],
+    sum: AtomicU64,
+}
+
+/// A log2 histogram handle. Clones share the underlying cells.
+#[derive(Debug, Clone)]
+pub struct Histogram(Arc<HistCells>);
+
+impl Histogram {
+    /// A standalone histogram not attached to any registry.
+    pub fn unregistered() -> Histogram {
+        Histogram(Arc::new(HistCells {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+        }))
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn observe(&self, value: u64) {
+        self.0.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.0.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// `(per-bucket counts, sum of samples)` at this instant.
+    pub fn snapshot(&self) -> (Vec<u64>, u64) {
+        let buckets = self.0.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
+        (buckets, self.0.sum.load(Ordering::Relaxed))
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.0.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Value {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+impl Value {
+    fn kind(&self) -> &'static str {
+        match self {
+            Value::Counter(_) => "counter",
+            Value::Gauge(_) => "gauge",
+            Value::Histogram(_) => "histogram",
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Entry {
+    name: String,
+    help: &'static str,
+    labels: Vec<(String, String)>,
+    value: Value,
+}
+
+/// A named collection of metrics. Most callers want the process-global
+/// [`global`] registry; separate instances exist for tests.
+#[derive(Debug, Default)]
+pub struct Registry {
+    entries: Mutex<Vec<Entry>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    fn get_or_insert(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        help: &'static str,
+        mk: impl FnOnce() -> Value,
+    ) -> Value {
+        let mut entries = self.entries.lock().expect("metrics registry poisoned");
+        if let Some(e) = entries
+            .iter()
+            .find(|e| e.name == name && e.labels.len() == labels.len()
+                && e.labels.iter().zip(labels).all(|(a, b)| a.0 == b.0 && a.1 == b.1))
+        {
+            return e.value.clone();
+        }
+        let value = mk();
+        entries.push(Entry {
+            name: name.to_string(),
+            help,
+            labels: labels.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect(),
+            value: value.clone(),
+        });
+        value
+    }
+
+    /// The counter registered under `(name, labels)`, created on first
+    /// use. Panics if the series was registered as a different kind.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)], help: &'static str) -> Counter {
+        match self.get_or_insert(name, labels, help, || Value::Counter(Counter::unregistered())) {
+            Value::Counter(c) => c,
+            other => panic!("{name} is registered as a {}", other.kind()),
+        }
+    }
+
+    /// The gauge registered under `(name, labels)`, created on first
+    /// use. Panics if the series was registered as a different kind.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)], help: &'static str) -> Gauge {
+        match self.get_or_insert(name, labels, help, || Value::Gauge(Gauge::unregistered())) {
+            Value::Gauge(g) => g,
+            other => panic!("{name} is registered as a {}", other.kind()),
+        }
+    }
+
+    /// The histogram registered under `(name, labels)`, created on
+    /// first use. Panics if the series was registered as a different
+    /// kind.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)], help: &'static str) -> Histogram {
+        match self.get_or_insert(name, labels, help, || Value::Histogram(Histogram::unregistered()))
+        {
+            Value::Histogram(h) => h,
+            other => panic!("{name} is registered as a {}", other.kind()),
+        }
+    }
+
+    /// Renders every registered series into `out`, grouped by metric
+    /// name in registration order.
+    pub fn render_into(&self, out: &mut PromText) {
+        let entries = self.entries.lock().expect("metrics registry poisoned");
+        let mut done: BTreeSet<&str> = BTreeSet::new();
+        for e in entries.iter() {
+            if !done.insert(&e.name) {
+                continue;
+            }
+            out.header(&e.name, e.value.kind(), e.help);
+            for s in entries.iter().filter(|s| s.name == e.name) {
+                let labels: Vec<(&str, &str)> =
+                    s.labels.iter().map(|(k, v)| (k.as_str(), v.as_str())).collect();
+                match &s.value {
+                    Value::Counter(c) => out.sample(&s.name, &labels, c.get()),
+                    Value::Gauge(g) => out.sample(&s.name, &labels, g.get()),
+                    Value::Histogram(h) => {
+                        let (buckets, sum) = h.snapshot();
+                        out.histogram_samples(&s.name, &labels, &buckets, sum);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The process-global registry the serving layer records into.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+/// Prometheus text-format assembler: `# HELP`/`# TYPE` headers emitted
+/// once per metric name, samples appended with escaped label values.
+#[derive(Debug, Default)]
+pub struct PromText {
+    buf: String,
+    typed: BTreeSet<String>,
+}
+
+fn push_label_set(buf: &mut String, labels: &[(&str, &str)], le: Option<&str>) {
+    if labels.is_empty() && le.is_none() {
+        return;
+    }
+    buf.push('{');
+    let mut first = true;
+    for (k, v) in labels {
+        if !first {
+            buf.push(',');
+        }
+        first = false;
+        buf.push_str(k);
+        buf.push_str("=\"");
+        for c in v.chars() {
+            match c {
+                '\\' => buf.push_str("\\\\"),
+                '"' => buf.push_str("\\\""),
+                '\n' => buf.push_str("\\n"),
+                c => buf.push(c),
+            }
+        }
+        buf.push('"');
+    }
+    if let Some(le) = le {
+        if !first {
+            buf.push(',');
+        }
+        buf.push_str("le=\"");
+        buf.push_str(le);
+        buf.push('"');
+    }
+    buf.push('}');
+}
+
+impl PromText {
+    /// An empty document.
+    pub fn new() -> PromText {
+        PromText::default()
+    }
+
+    /// Emits the `# HELP` / `# TYPE` header for `name` once; later calls
+    /// for the same name are no-ops, so interleaved producers stay valid.
+    pub fn header(&mut self, name: &str, kind: &str, help: &str) {
+        if !self.typed.insert(name.to_string()) {
+            return;
+        }
+        let _ = writeln!(self.buf, "# HELP {name} {help}");
+        let _ = writeln!(self.buf, "# TYPE {name} {kind}");
+    }
+
+    /// Appends one sample line.
+    pub fn sample(&mut self, name: &str, labels: &[(&str, &str)], value: u64) {
+        self.buf.push_str(name);
+        push_label_set(&mut self.buf, labels, None);
+        let _ = writeln!(self.buf, " {value}");
+    }
+
+    /// Appends the cumulative `_bucket`/`_sum`/`_count` series of one
+    /// log2 histogram (`buckets` are per-bucket counts, not cumulative;
+    /// `sum` is the sum of raw samples).
+    pub fn histogram_samples(
+        &mut self,
+        name: &str,
+        labels: &[(&str, &str)],
+        buckets: &[u64],
+        sum: u64,
+    ) {
+        let bucket_name = format!("{name}_bucket");
+        let mut cumulative = 0u64;
+        for (i, &count) in buckets.iter().enumerate() {
+            cumulative += count;
+            self.buf.push_str(&bucket_name);
+            push_label_set(&mut self.buf, labels, Some(&bucket_upper(i).to_string()));
+            let _ = writeln!(self.buf, " {cumulative}");
+        }
+        self.buf.push_str(&bucket_name);
+        push_label_set(&mut self.buf, labels, Some("+Inf"));
+        let _ = writeln!(self.buf, " {cumulative}");
+        self.sample(&format!("{name}_sum"), labels, sum);
+        self.sample(&format!("{name}_count"), labels, cumulative);
+    }
+
+    /// The assembled document.
+    pub fn into_string(self) -> String {
+        self.buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_log2_with_zero_absorbed() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(2), 1);
+        assert_eq!(bucket_index(1023), 9);
+        assert_eq!(bucket_index(1024), 10);
+        assert_eq!(bucket_index(u64::MAX), HIST_BUCKETS - 1);
+        assert_eq!(bucket_upper(0), 1);
+        assert_eq!(bucket_upper(9), 1023);
+    }
+
+    #[test]
+    fn quantiles_report_bucket_upper_bounds() {
+        assert_eq!(hist_quantile(&[], 0.5), 0);
+        let mut h = vec![0u64; HIST_BUCKETS];
+        h[0] = 100;
+        h[20] = 1;
+        assert_eq!(hist_quantile(&h, 0.5), 1);
+        assert_eq!(hist_quantile(&h, 0.99), 1);
+        assert_eq!(hist_quantile(&h, 1.0), (1 << 21) - 1);
+    }
+
+    #[test]
+    fn handles_share_state_through_the_registry() {
+        let r = Registry::new();
+        let a = r.counter("reqs_total", &[("op", "query")], "requests");
+        let b = r.counter("reqs_total", &[("op", "query")], "requests");
+        let other = r.counter("reqs_total", &[("op", "batch")], "requests");
+        a.inc();
+        b.add(2);
+        other.inc();
+        assert_eq!(a.get(), 3, "same (name, labels) resolves to the same cell");
+        assert_eq!(other.get(), 1, "different labels are a different series");
+
+        let g = r.gauge("rows", &[], "rows");
+        g.set(7);
+        g.set(5);
+        assert_eq!(r.gauge("rows", &[], "rows").get(), 5);
+
+        let h = r.histogram("lat", &[], "latency");
+        h.observe(3);
+        h.observe(900);
+        let (buckets, sum) = r.histogram("lat", &[], "latency").snapshot();
+        assert_eq!(sum, 903);
+        assert_eq!(buckets[1], 1);
+        assert_eq!(buckets[9], 1);
+        assert_eq!(h.count(), 2);
+    }
+
+    #[test]
+    fn render_groups_by_name_with_single_headers() {
+        let r = Registry::new();
+        r.counter("reqs_total", &[("op", "query")], "requests served").inc();
+        r.counter("reqs_total", &[("op", "batch")], "requests served").add(4);
+        r.gauge("segments", &[("index", "lv")], "sealed segments").set(3);
+        let mut out = PromText::new();
+        r.render_into(&mut out);
+        let text = out.into_string();
+        assert_eq!(text.matches("# TYPE reqs_total counter").count(), 1);
+        assert!(text.contains("# HELP reqs_total requests served\n"));
+        assert!(text.contains("reqs_total{op=\"query\"} 1\n"));
+        assert!(text.contains("reqs_total{op=\"batch\"} 4\n"));
+        assert!(text.contains("# TYPE segments gauge\n"));
+        assert!(text.contains("segments{index=\"lv\"} 3\n"));
+    }
+
+    #[test]
+    fn histogram_renders_cumulative_buckets() {
+        let r = Registry::new();
+        let h = r.histogram("lat_us", &[("index", "x")], "latency");
+        h.observe(0); // bucket 0
+        h.observe(3); // bucket 1
+        h.observe(3); // bucket 1
+        let mut out = PromText::new();
+        r.render_into(&mut out);
+        let text = out.into_string();
+        assert!(text.contains("# TYPE lat_us histogram\n"));
+        assert!(text.contains("lat_us_bucket{index=\"x\",le=\"1\"} 1\n"));
+        assert!(text.contains("lat_us_bucket{index=\"x\",le=\"3\"} 3\n"));
+        assert!(text.contains("lat_us_bucket{index=\"x\",le=\"7\"} 3\n"), "cumulative from here");
+        assert!(text.contains("lat_us_bucket{index=\"x\",le=\"+Inf\"} 3\n"));
+        assert!(text.contains("lat_us_sum{index=\"x\"} 6\n"));
+        assert!(text.contains("lat_us_count{index=\"x\"} 3\n"));
+    }
+
+    #[test]
+    fn label_values_escape() {
+        let mut out = PromText::new();
+        out.sample("m", &[("spec", "a\"b\\c")], 1);
+        assert_eq!(out.into_string(), "m{spec=\"a\\\"b\\\\c\"} 1\n");
+    }
+
+    #[test]
+    fn global_registry_is_shared() {
+        let c = global().counter("obs_test_global_total", &[], "test counter");
+        c.inc();
+        assert!(global().counter("obs_test_global_total", &[], "test counter").get() >= 1);
+    }
+}

@@ -1,0 +1,209 @@
+//! Request tracing: wire-propagated trace contexts and span trees.
+//!
+//! A [`TraceContext`] is the pair `(trace_id, span_id)` a request
+//! carries. The serving edge (annd in either mode) mints one when a
+//! request arrives without a context; the router mints a *child*
+//! context per downstream shard call, so every frame a shard logs
+//! carries the same `trace_id` as the routed request that caused it.
+//!
+//! [`SpanRecord`] is the offline/side of the same story: the router
+//! (and the direct server) assemble one span tree per request —
+//! per-shard queue wait, connect, downstream RTT, merge — and render it
+//! into the slow-query log when the request crosses the
+//! `--slow-query-ms` threshold.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+/// The identity a traced request carries across the wire.
+///
+/// Both ids are non-zero: `trace_id` names the end-to-end request (it
+/// survives hops unchanged), `span_id` names one hop's unit of work
+/// (the router re-mints it per shard call via [`TraceContext::child`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceContext {
+    /// End-to-end request id, stable across hops.
+    pub trace_id: u64,
+    /// This hop's span id.
+    pub span_id: u64,
+}
+
+impl TraceContext {
+    /// Mints a fresh context (new trace, new root span) — what the
+    /// serving edge does when a request arrives untraced.
+    pub fn mint() -> TraceContext {
+        TraceContext { trace_id: next_id(), span_id: next_id() }
+    }
+
+    /// A child context: same trace, fresh span — what the router
+    /// attaches to each downstream shard call.
+    pub fn child(&self) -> TraceContext {
+        TraceContext { trace_id: self.trace_id, span_id: next_id() }
+    }
+}
+
+impl std::fmt::Display for TraceContext {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:016x}/{:016x}", self.trace_id, self.span_id)
+    }
+}
+
+/// splitmix64 — a full-period mixer over a process-unique counter, so
+/// ids are unique within a process and unlikely to collide across
+/// processes (the seed folds in time-of-start and pid).
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn id_counter() -> &'static AtomicU64 {
+    static COUNTER: OnceLock<AtomicU64> = OnceLock::new();
+    COUNTER.get_or_init(|| {
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::SystemTime::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0);
+        AtomicU64::new(nanos ^ (u64::from(std::process::id()) << 32))
+    })
+}
+
+/// The next non-zero trace/span id.
+fn next_id() -> u64 {
+    loop {
+        let raw = id_counter().fetch_add(1, Ordering::Relaxed);
+        let id = splitmix64(raw);
+        if id != 0 {
+            return id;
+        }
+    }
+}
+
+/// One node of a finished span tree: a named unit of work with its
+/// offset from the request start, its duration, optional `key=value`
+/// annotations, and child spans.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// What the span covers (`search`, `shard0`, `merge`, …).
+    pub name: String,
+    /// Microseconds from the request (root span) start.
+    pub start_micros: u64,
+    /// Microseconds the span took.
+    pub duration_micros: u64,
+    /// Extra annotations rendered after the timing.
+    pub fields: Vec<(String, String)>,
+    /// Nested child spans, in start order.
+    pub children: Vec<SpanRecord>,
+}
+
+impl SpanRecord {
+    /// A span named `name` covering `start_micros..start_micros + duration_micros`.
+    pub fn new(name: impl Into<String>, start_micros: u64, duration_micros: u64) -> SpanRecord {
+        SpanRecord {
+            name: name.into(),
+            start_micros,
+            duration_micros,
+            fields: Vec::new(),
+            children: Vec::new(),
+        }
+    }
+
+    /// Adds a `key=value` annotation (builder-style).
+    pub fn field(mut self, key: impl Into<String>, value: impl ToString) -> SpanRecord {
+        self.fields.push((key.into(), value.to_string()));
+        self
+    }
+
+    /// Adds a child span.
+    pub fn push_child(&mut self, child: SpanRecord) {
+        self.children.push(child);
+    }
+
+    /// Renders the tree, one span per line:
+    ///
+    /// ```text
+    /// search +0us 18234us index=smoke k=10
+    /// ├─ shard0 +41us 17002us queue_us=12 connect_us=3 rtt_us=16987
+    /// ├─ shard1 +44us 9120us queue_us=15 connect_us=2 rtt_us=9103
+    /// └─ merge +17110us 64us hits=10
+    /// ```
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out, "", true, true);
+        out
+    }
+
+    fn render_into(&self, out: &mut String, prefix: &str, is_root: bool, is_last: bool) {
+        if !is_root {
+            out.push_str(prefix);
+            out.push_str(if is_last { "└─ " } else { "├─ " });
+        }
+        out.push_str(&self.name);
+        out.push_str(&format!(" +{}us {}us", self.start_micros, self.duration_micros));
+        for (k, v) in &self.fields {
+            out.push_str(&format!(" {k}={v}"));
+        }
+        out.push('\n');
+        let child_prefix = if is_root {
+            String::new()
+        } else {
+            format!("{prefix}{}", if is_last { "   " } else { "│  " })
+        };
+        for (i, child) in self.children.iter().enumerate() {
+            child.render_into(out, &child_prefix, false, i + 1 == self.children.len());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn minted_ids_are_nonzero_and_distinct() {
+        let mut seen = HashSet::new();
+        for _ in 0..1000 {
+            let ctx = TraceContext::mint();
+            assert_ne!(ctx.trace_id, 0);
+            assert_ne!(ctx.span_id, 0);
+            assert!(seen.insert(ctx.trace_id), "trace ids repeat");
+            assert!(seen.insert(ctx.span_id), "span ids collide with trace ids");
+        }
+    }
+
+    #[test]
+    fn children_keep_the_trace_and_change_the_span() {
+        let root = TraceContext::mint();
+        let a = root.child();
+        let b = root.child();
+        assert_eq!(a.trace_id, root.trace_id);
+        assert_eq!(b.trace_id, root.trace_id);
+        assert_ne!(a.span_id, root.span_id);
+        assert_ne!(a.span_id, b.span_id);
+    }
+
+    #[test]
+    fn display_is_fixed_width_hex() {
+        let ctx = TraceContext { trace_id: 0xab, span_id: 1 };
+        assert_eq!(ctx.to_string(), "00000000000000ab/0000000000000001");
+    }
+
+    #[test]
+    fn span_trees_render_with_guides() {
+        let mut root = SpanRecord::new("search", 0, 18234).field("index", "smoke").field("k", 10);
+        let mut s0 = SpanRecord::new("shard0", 41, 17002).field("rtt_us", 16987);
+        s0.push_child(SpanRecord::new("connect", 41, 3));
+        root.push_child(s0);
+        root.push_child(SpanRecord::new("shard1", 44, 9120));
+        root.push_child(SpanRecord::new("merge", 17110, 64).field("hits", 10));
+        let text = root.render();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "search +0us 18234us index=smoke k=10");
+        assert_eq!(lines[1], "├─ shard0 +41us 17002us rtt_us=16987");
+        assert_eq!(lines[2], "│  └─ connect +41us 3us");
+        assert_eq!(lines[3], "├─ shard1 +44us 9120us");
+        assert_eq!(lines[4], "└─ merge +17110us 64us hits=10");
+    }
+}

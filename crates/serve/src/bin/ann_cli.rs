@@ -8,6 +8,7 @@
 //! ann-cli ping --addr ADDR
 //! ann-cli list --addr ADDR
 //! ann-cli stats --addr ADDR
+//! ann-cli metrics --addr ADDR
 //! ann-cli build --addr ADDR --index NAME --spec SPEC --data FILE.fvecs
 //!               [--metric euclidean] [--limit 0]
 //!               [--live true] [--seal-threshold 0] [--max-segments 0]
@@ -41,7 +42,7 @@ use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Instant;
 
-const USAGE: &str = "usage: ann-cli <demo|gen|spec-help|describe|ping|list|stats|build|query|search|insert|delete|flush|shutdown> [flags]
+const USAGE: &str = "usage: ann-cli <demo|gen|spec-help|describe|ping|list|stats|metrics|build|query|search|insert|delete|flush|shutdown> [flags]
   demo      --out DIR [--n 2000] [--dim 32] [--m 16] [--seed 42]
   gen       --out FILE.fvecs [--n 2000] [--dim 32] [--seed 42] [--clusters 16]
   spec-help
@@ -49,6 +50,7 @@ const USAGE: &str = "usage: ann-cli <demo|gen|spec-help|describe|ping|list|stats
   ping      --addr HOST:PORT
   list      --addr HOST:PORT
   stats     --addr HOST:PORT
+  metrics   --addr HOST:PORT
   build     --addr HOST:PORT --index NAME --spec SPEC --data FILE.fvecs [--metric euclidean] [--limit 0]
             [--live true] [--seal-threshold 0] [--max-segments 0]
   query     --addr HOST:PORT --index NAME [--k 10] [--budget 128] [--probes 0] --vec F,F,…
@@ -386,28 +388,13 @@ fn main() -> ExitCode {
             let entries =
                 connect(&flags).stats().unwrap_or_else(|e| panic!("stats failed: {e}"));
             for s in entries {
-                println!(
-                    "{}\tspec={}\tload={}\tsq8={}\tqueries={}\tbatches={}\tbatch_queries={}\tinserts={}\tdeletes={}\tflushes={}\twal_records={}\twal_bytes={}\tseals={}\tscanned={}\ttotal_us={}\tmax_us={}\tp50_us={}\tp99_us={}",
-                    s.name,
-                    if s.spec.is_empty() { "unknown" } else { &s.spec },
-                    s.load_mode,
-                    if s.sq8 { "on" } else { "off" },
-                    s.queries,
-                    s.batch_requests,
-                    s.batch_queries,
-                    s.inserts,
-                    s.deletes,
-                    s.flushes,
-                    s.wal_records,
-                    s.wal_bytes,
-                    s.seals,
-                    s.candidates_scanned,
-                    s.total_micros,
-                    s.max_micros,
-                    s.p50_micros,
-                    s.p99_micros
-                );
+                println!("{}", serve::stats::render_entry(&s));
             }
+        }
+        "metrics" => {
+            let text =
+                connect(&flags).metrics().unwrap_or_else(|e| panic!("metrics failed: {e}"));
+            print!("{text}");
         }
         "build" => cmd_build(&flags),
         "query" => cmd_query(&flags),

@@ -7,7 +7,17 @@
 //! annd --router SHARD,SHARD[,rN@REPLICA]… [--addr 127.0.0.1:7700]
 //!      [--workers N] [--router-dir DIR] [--require-all]
 //!      [--shard-timeout-ms 5000]
+//!
+//! observability (both modes):
+//!      [--log-level error|warn|info|debug] [--log-json]
+//!      [--slow-query-ms N]
 //! ```
+//!
+//! Diagnostics go to stderr as structured logfmt lines (`--log-json`
+//! switches to JSON); `--slow-query-ms` logs a span-tree breakdown of
+//! any request that runs past the threshold (see
+//! `docs/observability.md`). The Prometheus scrape surface is the
+//! METRICS opcode (`ann-cli metrics`).
 //!
 //! Loads every `*.snap` container in `--snapshot-dir`, binds `--addr`
 //! (port `0` picks an ephemeral port), and serves the binary protocol
@@ -53,6 +63,9 @@ struct Opts {
     router_dir: Option<PathBuf>,
     require_all: bool,
     shard_timeout_ms: u64,
+    log_level: obs::Level,
+    log_json: bool,
+    slow_query_ms: u64,
 }
 
 fn parse_opts(args: impl Iterator<Item = String>) -> Opts {
@@ -64,6 +77,9 @@ fn parse_opts(args: impl Iterator<Item = String>) -> Opts {
     let mut router_dir: Option<PathBuf> = None;
     let mut require_all = false;
     let mut shard_timeout_ms = 5000u64;
+    let mut log_level = obs::Level::Info;
+    let mut log_json = false;
+    let mut slow_query_ms = 0u64;
     let mut it = args.peekable();
     while let Some(a) = it.next() {
         let mut take =
@@ -87,9 +103,21 @@ fn parse_opts(args: impl Iterator<Item = String>) -> Opts {
                     .parse()
                     .expect("--shard-timeout-ms wants an integer")
             }
+            "--log-level" => {
+                log_level = take("--log-level")
+                    .parse()
+                    .unwrap_or_else(|e: String| panic!("--log-level: {e}"))
+            }
+            "--log-json" => log_json = true,
+            "--slow-query-ms" => {
+                slow_query_ms = take("--slow-query-ms")
+                    .parse()
+                    .expect("--slow-query-ms wants an integer")
+            }
             other => panic!(
                 "unknown flag {other}; known: --snapshot-dir --addr --workers --wal-sync \
-                 --router --router-dir --require-all --shard-timeout-ms"
+                 --router --router-dir --require-all --shard-timeout-ms --log-level \
+                 --log-json --slow-query-ms"
             ),
         }
     }
@@ -105,6 +133,9 @@ fn parse_opts(args: impl Iterator<Item = String>) -> Opts {
         router_dir,
         require_all,
         shard_timeout_ms,
+        log_level,
+        log_json,
+        slow_query_ms,
     }
 }
 
@@ -112,7 +143,7 @@ fn run_router(opts: &Opts, topology: &str) -> ExitCode {
     let shards = match parse_topology(topology) {
         Ok(s) => s,
         Err(e) => {
-            eprintln!("annd: bad --router topology: {e}");
+            obs::error!("bad --router topology", error = e);
             return ExitCode::FAILURE;
         }
     };
@@ -124,16 +155,16 @@ fn run_router(opts: &Opts, topology: &str) -> ExitCode {
         shard_timeout: Duration::from_millis(opts.shard_timeout_ms.max(1)),
     };
     if config.dir.is_none() {
-        eprintln!(
-            "annd: router has no --router-dir; placement will be re-learned from shard LISTs \
-             on restart and auto-id INSERTs will be refused for adopted indexes"
+        obs::warn!(
+            "router has no --router-dir; placement will be re-learned from shard LISTs on \
+             restart and auto-id INSERTs will be refused for adopted indexes"
         );
     }
     let n_shards = config.shards.len();
     let router = match Router::bind(config, opts.addr.as_str(), opts.workers) {
         Ok(r) => r,
         Err(e) => {
-            eprintln!("annd: failed to start router on {}: {e}", opts.addr);
+            obs::error!("failed to start router", addr = opts.addr, error = e);
             return ExitCode::FAILURE;
         }
     };
@@ -144,12 +175,12 @@ fn run_router(opts: &Opts, topology: &str) -> ExitCode {
             opts.workers, opts.require_all
         ),
         Err(e) => {
-            eprintln!("annd: no local addr: {e}");
+            obs::error!("no local addr", error = e);
             return ExitCode::FAILURE;
         }
     }
     if let Err(e) = router.run() {
-        eprintln!("annd: router loop failed: {e}");
+        obs::error!("router loop failed", error = e);
         return ExitCode::FAILURE;
     }
     println!("annd: router shutting down (shards keep running; stop them individually)");
@@ -158,17 +189,20 @@ fn run_router(opts: &Opts, topology: &str) -> ExitCode {
 
 fn main() -> ExitCode {
     let opts = parse_opts(std::env::args().skip(1));
+    obs::set_level(opts.log_level);
+    obs::set_log_json(opts.log_json);
+    obs::set_slow_query_micros(opts.slow_query_ms.saturating_mul(1000));
     if let Some(topology) = opts.router.clone() {
         return run_router(&opts, &topology);
     }
     let Some(snapshot_dir) = opts.snapshot_dir.clone() else {
-        eprintln!("annd: pass --snapshot-dir DIR (serve mode) or --router SHARDS (router mode)");
+        obs::error!("pass --snapshot-dir DIR (serve mode) or --router SHARDS (router mode)");
         return ExitCode::FAILURE;
     };
     let catalog = match Catalog::load_dir(&snapshot_dir) {
         Ok(c) => c,
         Err(e) => {
-            eprintln!("annd: failed to load {}: {e}", snapshot_dir.display());
+            obs::error!("failed to load snapshot dir", dir = snapshot_dir.display(), error = e);
             return ExitCode::FAILURE;
         }
     };
@@ -194,7 +228,7 @@ fn main() -> ExitCode {
     let server = match Server::bind(catalog, opts.addr.as_str(), opts.workers) {
         Ok(s) => s.with_snapshot_dir(&snapshot_dir).with_wal_sync(opts.wal_sync),
         Err(e) => {
-            eprintln!("annd: failed to bind {}: {e}", opts.addr);
+            obs::error!("failed to bind", addr = opts.addr, error = e);
             return ExitCode::FAILURE;
         }
     };
@@ -206,12 +240,12 @@ fn main() -> ExitCode {
             opts.wal_sync.name()
         ),
         Err(e) => {
-            eprintln!("annd: no local addr: {e}");
+            obs::error!("no local addr", error = e);
             return ExitCode::FAILURE;
         }
     }
     if let Err(e) = server.run() {
-        eprintln!("annd: serving loop failed: {e}");
+        obs::error!("serving loop failed", error = e);
         return ExitCode::FAILURE;
     }
     println!("annd: shutting down; final counters:");
@@ -222,26 +256,8 @@ fn main() -> ExitCode {
             served.load_mode(),
             served.sq8_active(),
         );
-        println!(
-            "annd:   {}  queries={}  batches={} ({} queries)  inserts={}  deletes={}  \
-             flushes={}  wal={} ({} B)  seals={}  scanned={}  total={}us  max={}us  \
-             p50={}us  p99={}us",
-            s.name,
-            s.queries,
-            s.batch_requests,
-            s.batch_queries,
-            s.inserts,
-            s.deletes,
-            s.flushes,
-            s.wal_records,
-            s.wal_bytes,
-            s.seals,
-            s.candidates_scanned,
-            s.total_micros,
-            s.max_micros,
-            s.p50_micros,
-            s.p99_micros
-        );
+        // Same line `ann-cli stats` prints — one renderer, no drift.
+        println!("annd:   {}", serve::stats::render_entry(&s));
     }
     ExitCode::SUCCESS
 }

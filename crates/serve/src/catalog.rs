@@ -251,10 +251,10 @@ impl Catalog {
             let wal = if path.exists() {
                 let (mut wal, replay) = Wal::load(&path)?;
                 if replay.torn {
-                    eprintln!(
-                        "annd: index {:?}: discarded a torn WAL tail (crash mid-append; \
-                         the torn record was never acknowledged)",
-                        served.name
+                    obs::warn!(
+                        "discarded a torn WAL tail (crash mid-append; the torn record was \
+                         never acknowledged)",
+                        index = served.name
                     );
                 }
                 if replay.generation == snap_gen {
@@ -265,11 +265,12 @@ impl Catalog {
                         ))
                     })?;
                 } else {
-                    eprintln!(
-                        "annd: index {:?}: WAL generation {} does not match snapshot \
-                         generation {snap_gen}; its records are already covered by the \
-                         snapshot — resetting the log",
-                        served.name, replay.generation
+                    obs::warn!(
+                        "WAL generation does not match the snapshot; its records are \
+                         already covered by the snapshot — resetting the log",
+                        index = served.name,
+                        wal_gen = replay.generation,
+                        snap_gen = snap_gen
                     );
                     wal.reset(snap_gen)?;
                 }

@@ -85,6 +85,11 @@ pub struct Client {
     /// Connect/read timeout when dialed via [`Client::connect_timeout`]
     /// (the router's shard pool); `None` means blocking system defaults.
     timeout: Option<Duration>,
+    /// Trace context stamped onto every outgoing request frame; `None`
+    /// (the default) leaves frames byte-identical to untraced builds.
+    /// The router sets a child context here before each downstream call
+    /// so shard logs share the request's trace id.
+    pub trace: Option<obs::TraceContext>,
 }
 
 impl Client {
@@ -93,7 +98,7 @@ impl Client {
         let addrs: Vec<SocketAddr> = addr.to_socket_addrs()?.collect();
         let stream = TcpStream::connect(&addrs[..])?;
         stream.set_nodelay(true).ok();
-        Ok(Client { stream, addrs, timeout: None })
+        Ok(Client { stream, addrs, timeout: None, trace: None })
     }
 
     /// Connects with a deadline on the dial *and* on every later read —
@@ -107,7 +112,7 @@ impl Client {
         let stream = TcpStream::connect_timeout(first, timeout)?;
         stream.set_nodelay(true).ok();
         stream.set_read_timeout(Some(timeout)).ok();
-        Ok(Client { stream, addrs, timeout: Some(timeout) })
+        Ok(Client { stream, addrs, timeout: Some(timeout), trace: None })
     }
 
     fn redial(&mut self) -> io::Result<()> {
@@ -139,6 +144,7 @@ impl Client {
                 | Request::Query { .. }
                 | Request::Search { .. }
                 | Request::Batch { .. }
+                | Request::Metrics
         )
     }
 
@@ -157,7 +163,7 @@ impl Client {
     }
 
     fn call_once(&mut self, req: &Request) -> Result<Response, ClientError> {
-        write_frame(&mut self.stream, &req.encode())?;
+        write_frame(&mut self.stream, &req.encode_traced(self.trace))?;
         let body = read_frame(&mut self.stream)?.ok_or_else(|| {
             ClientError::Io(io::Error::new(io::ErrorKind::UnexpectedEof, "server closed"))
         })?;
@@ -200,6 +206,14 @@ impl Client {
         match self.call(&Request::Stats)? {
             Response::Stats(entries) => Ok(entries),
             _ => Err(ClientError::Unexpected("STATS")),
+        }
+    }
+
+    /// Fetches the node's telemetry in Prometheus text exposition format.
+    pub fn metrics(&mut self) -> Result<String, ClientError> {
+        match self.call(&Request::Metrics)? {
+            Response::Metrics(text) => Ok(text),
+            _ => Err(ClientError::Unexpected("METRICS")),
         }
     }
 

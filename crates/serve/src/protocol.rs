@@ -14,6 +14,7 @@
 use crate::wire::Reader;
 use ann::{IdFilter, SearchStats};
 use dataset::exact::Neighbor;
+use obs::TraceContext;
 use std::io::{self, Read, Write};
 
 /// Hard cap on one frame body (64 MiB — a 1024-query batch of 960-d
@@ -22,6 +23,20 @@ pub const MAX_FRAME: usize = 64 << 20;
 
 /// Hard cap on index/method name length on the wire.
 pub const MAX_NAME: usize = 255;
+
+/// Leading byte of the optional trailing trace section on request
+/// frames. Chosen outside the tag space so a truncated frame can never
+/// be misread as a traced one.
+pub const TRACE_MAGIC: u8 = 0xF5;
+
+/// Version byte of the trace section. Bump when its layout changes;
+/// unknown versions are rejected at decode, never misread.
+pub const TRACE_VERSION: u8 = 1;
+
+/// Exact byte length of the trace section: magic, version, trace id,
+/// span id. Any other trailing length is a shape error, which keeps
+/// untraced frames byte-identical to pre-trace builds.
+pub const TRACE_SECTION_LEN: usize = 1 + 1 + 8 + 8;
 
 /// Errors raised while decoding a frame body.
 #[derive(Debug, PartialEq, Eq)]
@@ -112,6 +127,38 @@ fn finish(r: &Reader) -> Result<(), ProtoError> {
     } else {
         Err(ProtoError::BadShape(format!("{} trailing bytes", r.remaining())))
     }
+}
+
+/// Parses the optional trailing trace section of a request body. The
+/// section is all-or-nothing: exactly [`TRACE_SECTION_LEN`] bytes remain
+/// (magic, version, trace id, span id) or none do; any other remainder
+/// is rejected, so legacy frames and garbage both fail the same way they
+/// always did.
+fn get_trace(r: &mut Reader) -> Result<Option<TraceContext>, ProtoError> {
+    match r.remaining() {
+        0 => Ok(None),
+        TRACE_SECTION_LEN => {
+            let magic = r.u8()?;
+            let version = r.u8()?;
+            if magic != TRACE_MAGIC {
+                return Err(ProtoError::BadShape(format!("trace section magic {magic:#04x}")));
+            }
+            if version != TRACE_VERSION {
+                return Err(ProtoError::BadShape(format!(
+                    "trace section version {version} (this build speaks {TRACE_VERSION})"
+                )));
+            }
+            Ok(Some(TraceContext { trace_id: r.u64()?, span_id: r.u64()? }))
+        }
+        n => Err(ProtoError::BadShape(format!("{n} trailing bytes"))),
+    }
+}
+
+fn put_trace(out: &mut Vec<u8>, t: TraceContext) {
+    out.push(TRACE_MAGIC);
+    out.push(TRACE_VERSION);
+    out.extend_from_slice(&t.trace_id.to_le_bytes());
+    out.extend_from_slice(&t.span_id.to_le_bytes());
 }
 
 fn put_str(out: &mut Vec<u8>, s: &str) {
@@ -332,6 +379,11 @@ pub enum Request {
         /// The query vector.
         vector: Vec<f32>,
     },
+    /// Fetch the node's telemetry in Prometheus text exposition format:
+    /// process-wide counters/gauges/histograms plus per-index serving
+    /// metrics. Routers answer with router-process metrics (per-shard
+    /// health counters, hop-latency histogram), not a shard aggregate.
+    Metrics,
 }
 
 /// Wire version of the SEARCH frame layout. Bump when a field changes
@@ -360,6 +412,7 @@ const REQ_BUILD: u8 = 7;
 const REQ_INSERT: u8 = 8;
 const REQ_DELETE: u8 = 9;
 const REQ_FLUSH: u8 = 10;
+const REQ_METRICS: u8 = 12;
 
 impl Request {
     /// Serializes into a frame body.
@@ -467,12 +520,49 @@ impl Request {
                 out.extend_from_slice(&(vector.len() as u32).to_le_bytes());
                 put_f32s(&mut out, vector);
             }
+            Request::Metrics => out.push(REQ_METRICS),
         }
         out
     }
 
-    /// Decodes a frame body.
+    /// Serializes into a frame body, appending the trace section when a
+    /// context is supplied. With `None` the bytes are identical to
+    /// [`encode`](Request::encode), so untraced clients and old peers
+    /// interoperate unchanged.
+    pub fn encode_traced(&self, trace: Option<TraceContext>) -> Vec<u8> {
+        let mut out = self.encode();
+        if let Some(t) = trace {
+            put_trace(&mut out, t);
+        }
+        out
+    }
+
+    /// The request's wire opcode as an uppercase name, for log fields
+    /// and metric labels.
+    pub fn op_name(&self) -> &'static str {
+        match self {
+            Request::Ping => "PING",
+            Request::List => "LIST",
+            Request::Query { .. } => "QUERY",
+            Request::Batch { .. } => "BATCH",
+            Request::Stats => "STATS",
+            Request::Shutdown => "SHUTDOWN",
+            Request::Build { .. } => "BUILD",
+            Request::Insert { .. } => "INSERT",
+            Request::Delete { .. } => "DELETE",
+            Request::Flush { .. } => "FLUSH",
+            Request::Search { .. } => "SEARCH",
+            Request::Metrics => "METRICS",
+        }
+    }
+
+    /// Decodes a frame body, discarding any trace section.
     pub fn decode(body: &[u8]) -> Result<Request, ProtoError> {
+        Self::decode_traced(body).map(|(req, _)| req)
+    }
+
+    /// Decodes a frame body plus its optional trailing trace section.
+    pub fn decode_traced(body: &[u8]) -> Result<(Request, Option<TraceContext>), ProtoError> {
         let mut r = Reader::new(body);
         let req = match r.u8()? {
             REQ_PING => Request::Ping,
@@ -580,10 +670,12 @@ impl Request {
                     vector,
                 }
             }
+            REQ_METRICS => Request::Metrics,
             t => return Err(ProtoError::BadTag(t)),
         };
+        let trace = get_trace(&mut r)?;
         finish(&r)?;
-        Ok(req)
+        Ok((req, trace))
     }
 }
 
@@ -668,6 +760,14 @@ pub struct StatsEntry {
     pub p50_micros: u64,
     /// 99th-percentile query latency in microseconds, same estimator.
     pub p99_micros: u64,
+    /// Cumulative result-heap insertions across every query answered —
+    /// the "kept" side of the scan/keep funnel (see
+    /// [`ann::SearchStats::heap_pushes`]).
+    pub heap_pushes: u64,
+    /// Candidates the SQ8 certified skip bound pruned before a
+    /// full-width distance was computed (0 for entries serving without
+    /// trained codes).
+    pub sq8_pruned: u64,
 }
 
 /// A server-to-client message.
@@ -742,6 +842,9 @@ pub enum Response {
         /// `shard<i>@<addr>` labels of the shards that did not answer.
         missing_shards: Vec<String>,
     },
+    /// Reply to [`Request::Metrics`]: the node's telemetry rendered in
+    /// Prometheus text exposition format (UTF-8, one sample per line).
+    Metrics(String),
     /// The request could not be served (unknown index, shape mismatch…).
     Error(String),
 }
@@ -758,6 +861,7 @@ const RESP_DELETED: u8 = 9;
 const RESP_FLUSHED: u8 = 10;
 const RESP_SEARCH: u8 = 11;
 const RESP_PARTIAL: u8 = 12;
+const RESP_METRICS: u8 = 13;
 const RESP_ERROR: u8 = 255;
 
 /// SEARCH response flag bit: a stats section follows the hits.
@@ -817,6 +921,8 @@ impl Response {
                     }
                     out.extend_from_slice(&e.p50_micros.to_le_bytes());
                     out.extend_from_slice(&e.p99_micros.to_le_bytes());
+                    out.extend_from_slice(&e.heap_pushes.to_le_bytes());
+                    out.extend_from_slice(&e.sq8_pruned.to_le_bytes());
                 }
             }
             Response::ShuttingDown => out.push(RESP_SHUTDOWN),
@@ -860,6 +966,11 @@ impl Response {
                 for s in missing_shards {
                     put_str(&mut out, s);
                 }
+            }
+            Response::Metrics(text) => {
+                out.push(RESP_METRICS);
+                out.extend_from_slice(&(text.len() as u32).to_le_bytes());
+                out.extend_from_slice(text.as_bytes());
             }
             Response::Error(msg) => {
                 out.push(RESP_ERROR);
@@ -931,6 +1042,8 @@ impl Response {
                     }
                     let p50_micros = r.u64()?;
                     let p99_micros = r.u64()?;
+                    let heap_pushes = r.u64()?;
+                    let sq8_pruned = r.u64()?;
                     entries.push(StatsEntry {
                         name,
                         spec,
@@ -951,6 +1064,8 @@ impl Response {
                         latency_hist,
                         p50_micros,
                         p99_micros,
+                        heap_pushes,
+                        sq8_pruned,
                     });
                 }
                 Response::Stats(entries)
@@ -978,10 +1093,13 @@ impl Response {
                 }
                 let hits = get_neighbors(&mut r)?;
                 let stats = if flags & SEARCH_RESP_FLAG_STATS != 0 {
+                    // `sq8_pruned` is node-local telemetry and does not
+                    // travel in this section, whose layout is pinned.
                     Some(SearchStats {
                         candidates_scanned: r.u64()?,
                         heap_pushes: r.u64()?,
                         wall_micros: r.u64()?,
+                        sq8_pruned: 0,
                     })
                 } else {
                     None
@@ -1006,6 +1124,13 @@ impl Response {
                     missing_shards.push(get_str(&mut r)?);
                 }
                 Response::Partial { lists, missing_shards }
+            }
+            RESP_METRICS => {
+                let len = r.u32()? as usize;
+                let raw = r.take(len)?;
+                Response::Metrics(
+                    String::from_utf8(raw.to_vec()).map_err(|_| ProtoError::BadUtf8)?,
+                )
             }
             RESP_ERROR => {
                 let len = r.u32()? as usize;
@@ -1226,6 +1351,8 @@ mod tests {
             latency_hist: vec![0, 2, 50, 40, 9, 2, 0, 1],
             p50_micros: 7,
             p99_micros: 63,
+            heap_pushes: 888,
+            sq8_pruned: 70_000,
         }]));
         round_trip_response(Response::Partial {
             lists: vec![
@@ -1241,8 +1368,17 @@ mod tests {
         });
         round_trip_response(Response::Search {
             hits: vec![],
-            stats: Some(SearchStats { candidates_scanned: 64, heap_pushes: 9, wall_micros: 1234 }),
+            // sq8_pruned stays 0: it is node-local and never encoded.
+            stats: Some(SearchStats {
+                candidates_scanned: 64,
+                heap_pushes: 9,
+                wall_micros: 1234,
+                sq8_pruned: 0,
+            }),
         });
+        round_trip_response(Response::Metrics(
+            "# TYPE ann_requests_total counter\nann_requests_total 7\n".into(),
+        ));
         round_trip_response(Response::Inserted { ids: vec![0, 1, 2, 4_000_000_000] });
         round_trip_response(Response::Deleted { removed: 3 });
         round_trip_response(Response::Flushed {
@@ -1301,6 +1437,108 @@ mod tests {
         let mut body = Request::Ping.encode();
         body.push(0);
         assert!(matches!(Request::decode(&body), Err(ProtoError::BadShape(_))));
+    }
+
+    #[test]
+    fn metrics_request_round_trips() {
+        round_trip_request(Request::Metrics);
+    }
+
+    #[test]
+    fn trace_section_round_trips_on_every_request_kind() {
+        let ctx = TraceContext { trace_id: 0xdead_beef_cafe_f00d, span_id: 0x0123_4567_89ab_cdef };
+        let kinds = [
+            Request::Ping,
+            Request::List,
+            Request::Stats,
+            Request::Shutdown,
+            Request::Metrics,
+            Request::Query {
+                index: "glove".into(),
+                k: 10,
+                budget: 128,
+                probes: 0,
+                vector: vec![1.5, -2.25],
+            },
+            Request::Batch {
+                index: "sift".into(),
+                k: 5,
+                budget: 64,
+                probes: 17,
+                dim: 3,
+                vectors: vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0],
+            },
+            Request::Build {
+                name: "b".into(),
+                spec: "linear".into(),
+                metric: "euclidean".into(),
+                data_path: "/tmp/d.fvecs".into(),
+                limit: 0,
+                live: false,
+                seal_threshold: 0,
+                max_segments: 0,
+                id_base: 0,
+                id_step: 1,
+            },
+            Request::Insert {
+                index: "live".into(),
+                dim: 2,
+                vectors: vec![1.0, 2.0],
+                ids: vec![7],
+            },
+            Request::Delete { index: "live".into(), ids: vec![1, 2] },
+            Request::Flush { index: "live".into() },
+            Request::Search {
+                index: "glove".into(),
+                k: 10,
+                budget: 128,
+                probes: 3,
+                filter: Some(IdFilter::allow(vec![4, 7])),
+                max_dist: Some(1.5),
+                want_stats: true,
+                vector: vec![0.5, -1.25],
+            },
+        ];
+        for req in kinds {
+            // Traced frames carry the context through intact.
+            let traced = req.encode_traced(Some(ctx));
+            assert_eq!(
+                Request::decode_traced(&traced).expect("traced decode"),
+                (req.clone(), Some(ctx))
+            );
+            // Plain decode accepts the same bytes and discards the context.
+            assert_eq!(Request::decode(&traced).expect("plain decode"), req);
+            // An absent context leaves the encoding byte-identical to the
+            // pre-trace wire format.
+            assert_eq!(req.encode_traced(None), req.encode());
+            assert_eq!(
+                Request::decode_traced(&req.encode()).expect("untraced decode"),
+                (req.clone(), None)
+            );
+        }
+    }
+
+    #[test]
+    fn malformed_trace_sections_are_rejected() {
+        let ctx = TraceContext { trace_id: 1, span_id: 2 };
+        let good = Request::Ping.encode_traced(Some(ctx));
+        assert_eq!(good.len(), 1 + TRACE_SECTION_LEN);
+        // Wrong magic.
+        let mut bad = good.clone();
+        bad[1] = 0x00;
+        assert!(matches!(Request::decode_traced(&bad), Err(ProtoError::BadShape(m)) if m.contains("magic")));
+        // A future section version is rejected, not misread.
+        let mut bad = good.clone();
+        bad[2] = TRACE_VERSION + 1;
+        assert!(matches!(Request::decode_traced(&bad), Err(ProtoError::BadShape(m)) if m.contains("version")));
+        // Any trailing length other than 0 or the full section is junk —
+        // including a truncated section and an oversized one.
+        for cut in 2..good.len() {
+            assert!(Request::decode_traced(&good[..cut]).is_err(), "cut at {cut}");
+        }
+        let mut long = good.clone();
+        long.push(0);
+        assert!(matches!(Request::decode_traced(&long), Err(ProtoError::BadShape(_))));
     }
 
     #[test]

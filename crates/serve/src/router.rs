@@ -45,15 +45,16 @@ use crate::placement::{Placement, PlacementTable};
 use crate::protocol::{
     read_frame, write_frame, IndexInfo, Request, Response, StatsEntry, MAX_FRAME, MAX_NAME,
 };
-use crate::stats::hist_quantile;
+use crate::stats::{hist_quantile, IndexStats};
 use ann::{SearchRequest, SearchStats};
 use dataset::exact::Neighbor;
 use dataset::Dataset;
+use obs::TraceContext;
 use std::collections::{BTreeMap, HashMap};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{self, Receiver, Sender};
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::{Duration, Instant};
@@ -229,8 +230,68 @@ enum ShardError {
 
 /// What `try_endpoint` distinguishes for the retry loop.
 enum EndpointError {
-    Transport,
+    /// Connect/read failure; `timed_out` splits deadline expiry from
+    /// refused/reset connections for the health counters.
+    Transport { timed_out: bool },
     Remote(String),
+}
+
+/// Wall-clock breakdown of one shard call, filled in as the call moves
+/// through queue → dial → wire; these become the fields on the
+/// per-shard child span of a routed SEARCH.
+#[derive(Default, Clone, Copy)]
+struct CallTiming {
+    /// Time the call sat waiting for an executor slot.
+    queue_micros: u64,
+    /// Time dialing fresh connections (0 when a pooled one was reused).
+    connect_micros: u64,
+    /// Time on the wire: request write through response read, summed
+    /// over attempts.
+    rtt_micros: u64,
+    /// Endpoint tries made (1 normally, 2 after a failover/retry).
+    attempts: u32,
+}
+
+/// Pre-registered per-shard health counters (registry lookups are
+/// hash-map hits; the hot path should bump atomics instead).
+struct ShardObs {
+    attempts: obs::Counter,
+    failures: obs::Counter,
+    timeouts: obs::Counter,
+}
+
+impl ShardObs {
+    fn new(label: &str) -> ShardObs {
+        let reg = obs::global();
+        let labels = &[("shard", label)];
+        ShardObs {
+            attempts: reg.counter(
+                "ann_router_shard_attempts_total",
+                labels,
+                "Endpoint tries per shard, including retries and failovers",
+            ),
+            failures: reg.counter(
+                "ann_router_shard_failures_total",
+                labels,
+                "Endpoint tries that failed at the transport layer",
+            ),
+            timeouts: reg.counter(
+                "ann_router_shard_timeouts_total",
+                labels,
+                "Transport failures that were deadline expiries",
+            ),
+        }
+    }
+}
+
+/// Whether a client error is a deadline expiry (read timeout or
+/// connect timeout) rather than a refused/reset connection.
+fn is_timeout(e: &ClientError) -> bool {
+    matches!(
+        e,
+        ClientError::Io(io)
+            if matches!(io.kind(), io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock)
+    )
 }
 
 struct RouterState {
@@ -245,6 +306,13 @@ struct RouterState {
     /// clamped request (drift from writes that bypassed the router).
     lens: RwLock<HashMap<String, Vec<Option<u64>>>>,
     spool: PathBuf,
+    /// The router's own hop stats — what the shards cannot see: queue
+    /// wait, scatter, merge. Reported as the `router` row in STATS and
+    /// as this process's `ann_*` series in METRICS.
+    stats: IndexStats,
+    /// Health counters parallel to `pools`.
+    shard_obs: Vec<ShardObs>,
+    degraded_reads: obs::Counter,
 }
 
 impl Router {
@@ -272,7 +340,7 @@ impl Router {
             Some(dir) => dir.join("spool"),
             None => std::env::temp_dir().join(format!("annd-router-spool-{}", std::process::id())),
         };
-        let pools = config
+        let pools: Vec<ShardPool> = config
             .shards
             .iter()
             .enumerate()
@@ -283,6 +351,7 @@ impl Router {
                 rr: AtomicUsize::new(i), // stagger the starting endpoint
             })
             .collect();
+        let shard_obs = pools.iter().map(|p| ShardObs::new(&p.label)).collect();
         Ok(Router {
             listener: TcpListener::bind(addr)?,
             workers: workers.max(1),
@@ -294,6 +363,13 @@ impl Router {
                 placement: Mutex::new(placement),
                 lens: RwLock::new(HashMap::new()),
                 spool,
+                stats: IndexStats::default(),
+                shard_obs,
+                degraded_reads: obs::global().counter(
+                    "ann_router_degraded_reads_total",
+                    &[],
+                    "Reads that lost at least one shard (Partial or unavailable error)",
+                ),
             },
         })
     }
@@ -347,7 +423,7 @@ impl Router {
                     }
                     Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
                     Err(e) => {
-                        eprintln!("annd-router: accept failed (retrying): {e}");
+                        obs::warn!("accept failed, retrying", error = e);
                         std::thread::sleep(ACCEPT_POLL);
                     }
                 }
@@ -358,6 +434,10 @@ impl Router {
     }
 }
 
+/// Connection ids for log correlation (shared with nothing — the
+/// router is its own process, so its sequence restarts at 1).
+static NEXT_CONN_ID: AtomicU64 = AtomicU64::new(1);
+
 fn handle_connection(
     mut stream: TcpStream,
     state: &RouterState,
@@ -366,15 +446,40 @@ fn handle_connection(
 ) {
     stream.set_nodelay(true).ok();
     stream.set_read_timeout(Some(READ_TIMEOUT)).ok();
+    let conn = NEXT_CONN_ID.fetch_add(1, Ordering::Relaxed);
+    let peer = stream.peer_addr().map_or_else(|_| "?".to_string(), |a| a.to_string());
+    obs::debug!("connection open", conn = conn, peer = peer);
     loop {
         let body = match read_frame(&mut stream) {
             Ok(Some(body)) => body,
-            Ok(None) => return,
-            Err(_) => return,
+            Ok(None) => {
+                obs::debug!("connection closed", conn = conn);
+                return;
+            }
+            Err(e) => {
+                obs::debug!("connection dropped", conn = conn, error = e);
+                return;
+            }
         };
-        let (resp, stop) = match Request::decode(&body) {
-            Ok(req) => dispatch(req, state, shutdown, local),
-            Err(e) => (Response::Error(format!("bad request: {e}")), true),
+        let (resp, stop) = match Request::decode_traced(&body) {
+            Ok((req, trace)) => {
+                let ctx = trace.unwrap_or_else(TraceContext::mint);
+                let op = req.op_name();
+                let t0 = Instant::now();
+                let out = dispatch(req, ctx, state, shutdown, local);
+                obs::debug!(
+                    "request",
+                    conn = conn,
+                    trace = ctx,
+                    op = op,
+                    us = t0.elapsed().as_micros()
+                );
+                out
+            }
+            Err(e) => {
+                obs::warn!("bad request", conn = conn, peer = peer, error = e);
+                (Response::Error(format!("bad request: {e}")), true)
+            }
         };
         if write_frame(&mut stream, &resp.encode()).is_err() {
             return;
@@ -387,6 +492,7 @@ fn handle_connection(
 
 fn dispatch(
     req: Request,
+    ctx: TraceContext,
     state: &RouterState,
     shutdown: &AtomicBool,
     local: SocketAddr,
@@ -405,18 +511,19 @@ fn dispatch(
         }
         Request::List => (state.route_list(), false),
         Request::Stats => (state.route_stats(), false),
+        Request::Metrics => (state.route_metrics(), false),
         Request::Query { index, k, budget, probes, vector } => (
-            state.route_search(&index, k, budget, probes, None, None, false, &vector, false),
+            state.route_search(ctx, &index, k, budget, probes, None, None, false, &vector, false),
             false,
         ),
         Request::Search { index, k, budget, probes, filter, max_dist, want_stats, vector } => (
             state.route_search(
-                &index, k, budget, probes, filter, max_dist, want_stats, &vector, true,
+                ctx, &index, k, budget, probes, filter, max_dist, want_stats, &vector, true,
             ),
             false,
         ),
         Request::Batch { index, k, budget, probes, dim, vectors } => {
-            (state.route_batch(&index, k, budget, probes, dim, vectors), false)
+            (state.route_batch(ctx, &index, k, budget, probes, dim, vectors), false)
         }
         Request::Build {
             name,
@@ -466,14 +573,27 @@ impl RouterState {
         &self,
         ep: &Endpoint,
         f: &(impl Fn(&mut Client) -> Result<T, ClientError> + Sync),
+        timing: &mut CallTiming,
     ) -> Result<T, EndpointError> {
         let pooled = ep.idle.lock().expect("pool poisoned").pop();
         let mut client = match pooled {
             Some(c) => c,
-            None => Client::connect_timeout(&ep.addr, self.timeout)
-                .map_err(|_| EndpointError::Transport)?,
+            None => {
+                let dial = Instant::now();
+                let out = Client::connect_timeout(&ep.addr, self.timeout);
+                timing.connect_micros += dial.elapsed().as_micros() as u64;
+                out.map_err(|e| EndpointError::Transport {
+                    timed_out: matches!(
+                        e.kind(),
+                        io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock
+                    ),
+                })?
+            }
         };
-        match f(&mut client) {
+        let wire = Instant::now();
+        let result = f(&mut client);
+        timing.rtt_micros += wire.elapsed().as_micros() as u64;
+        match result {
             Ok(v) => {
                 let mut idle = ep.idle.lock().expect("pool poisoned");
                 if idle.len() < POOL_CAP {
@@ -488,7 +608,7 @@ impl RouterState {
                 }
                 Err(EndpointError::Remote(msg))
             }
-            Err(_) => Err(EndpointError::Transport),
+            Err(e) => Err(EndpointError::Transport { timed_out: is_timeout(&e) }),
         }
     }
 
@@ -496,14 +616,17 @@ impl RouterState {
     /// policy: reads round-robin across primary + replicas and fail
     /// over to the next endpoint; writes always hit the primary. An
     /// unresponsive endpoint gets exactly one retry after
-    /// [`RETRY_BACKOFF`] before the shard is declared down.
-    fn call_shard<T>(
+    /// [`RETRY_BACKOFF`] before the shard is declared down. Fills
+    /// `timing` and bumps the shard's health counters as it goes.
+    fn call_shard_timed<T>(
         &self,
         s: usize,
         write: bool,
         f: &(impl Fn(&mut Client) -> Result<T, ClientError> + Sync),
+        timing: &mut CallTiming,
     ) -> Result<T, ShardError> {
         let pool = &self.pools[s];
+        let watch = &self.shard_obs[s];
         let eps = pool.endpoints();
         let start = if write || eps == 1 {
             0
@@ -512,16 +635,32 @@ impl RouterState {
         };
         for attempt in 0..2 {
             let ep = pool.endpoint(if write { 0 } else { (start + attempt) % eps });
-            match self.try_endpoint(ep, f) {
+            timing.attempts += 1;
+            watch.attempts.inc();
+            match self.try_endpoint(ep, f, timing) {
                 Ok(v) => return Ok(v),
                 Err(EndpointError::Remote(msg)) => return Err(ShardError::Remote(msg)),
-                Err(EndpointError::Transport) if attempt == 0 => {
-                    std::thread::sleep(RETRY_BACKOFF);
+                Err(EndpointError::Transport { timed_out }) => {
+                    watch.failures.inc();
+                    if timed_out {
+                        watch.timeouts.inc();
+                    }
+                    if attempt == 0 {
+                        std::thread::sleep(RETRY_BACKOFF);
+                    }
                 }
-                Err(EndpointError::Transport) => break,
             }
         }
         Err(ShardError::Down(pool.down_label()))
+    }
+
+    fn call_shard<T>(
+        &self,
+        s: usize,
+        write: bool,
+        f: &(impl Fn(&mut Client) -> Result<T, ClientError> + Sync),
+    ) -> Result<T, ShardError> {
+        self.call_shard_timed(s, write, f, &mut CallTiming::default())
     }
 
     /// Scatter one call over `shards` through the workspace executor
@@ -535,6 +674,33 @@ impl RouterState {
         ann::executor::par_map_scratch(shards.len(), || (), |i, (): &mut ()| {
             let s = shards[i];
             self.call_shard(s, write, &|c: &mut Client| f(s, c))
+        })
+    }
+
+    /// [`fan_out`](RouterState::fan_out) plus the per-call
+    /// [`CallTiming`] — the variant routed SEARCH uses to build its
+    /// span tree. Queue wait is measured from this call's entry to the
+    /// moment the executor actually starts the shard call.
+    fn fan_out_timed<T, F>(
+        &self,
+        shards: &[usize],
+        write: bool,
+        f: F,
+    ) -> Vec<(Result<T, ShardError>, CallTiming)>
+    where
+        T: Send + Sync,
+        F: Fn(usize, &mut Client) -> Result<T, ClientError> + Sync,
+    {
+        let submitted = Instant::now();
+        ann::executor::par_map_scratch(shards.len(), || (), |i, (): &mut ()| {
+            let mut timing = CallTiming {
+                queue_micros: submitted.elapsed().as_micros() as u64,
+                ..CallTiming::default()
+            };
+            let s = shards[i];
+            let result =
+                self.call_shard_timed(s, write, &|c: &mut Client| f(s, c), &mut timing);
+            (result, timing)
         })
     }
 
@@ -556,7 +722,7 @@ impl RouterState {
             let mut table = self.placement.lock().expect("placement poisoned");
             if table.get(index).is_none() {
                 if let Err(e) = table.set(index, adopted) {
-                    eprintln!("annd-router: persisting adopted placement for {index:?}: {e}");
+                    obs::error!("persisting adopted placement failed", index = index, error = e);
                 }
             }
             Some(adopted)
@@ -617,6 +783,8 @@ impl RouterState {
     /// into either the typed `unavailable:` error (`--require-all`) or
     /// a [`Response::Partial`] carrying `lists`.
     fn degraded(&self, lists: Vec<Vec<Neighbor>>, missing: Vec<String>) -> Response {
+        self.degraded_reads.inc();
+        obs::warn!("degraded read", missing = missing.join(", "));
         if self.require_all {
             Response::Error(format!(
                 "unavailable: shards [{}] did not answer and --require-all is set",
@@ -630,10 +798,15 @@ impl RouterState {
     // ------------------------------------------------------------ reads
 
     /// The scatter-gather core behind QUERY and SEARCH (`wire_search`
-    /// picks the complete-answer response variant).
+    /// picks the complete-answer response variant). Each shard call
+    /// carries a child of `ctx` on the wire and comes back with its
+    /// [`CallTiming`]; the whole scatter-gather is assembled into a
+    /// span tree that the slow-query log prints when the request runs
+    /// past `--slow-query-ms`.
     #[allow(clippy::too_many_arguments)]
     fn route_search(
         &self,
+        ctx: TraceContext,
         index: &str,
         k: u32,
         budget: u32,
@@ -665,19 +838,34 @@ impl RouterState {
         let targets: Vec<usize> = (0..p.mod_shards as usize)
             .filter(|&s| lens[s].is_none_or(|n| n > 0))
             .collect();
-        let results = self.fan_out(&targets, false, |s, c| {
+        let results = self.fan_out_timed(&targets, false, |s, c| {
             let mut req = SearchRequest::top_k(lens[s].map_or(k as u64, |n| n.min(k as u64)) as usize)
                 .budget(budget as usize)
                 .probes(probes as usize);
             req.filter = filter.clone();
             req.max_dist = max_dist;
             req.fields.stats = want_stats;
-            c.search(index, vector, &req)
+            c.trace = Some(ctx.child());
+            let out = c.search(index, vector, &req);
+            c.trace = None;
+            out
         });
+        let scatter_micros = t0.elapsed().as_micros() as u64;
+        let merge_start = Instant::now();
         let mut hits: Vec<Neighbor> = Vec::new();
         let mut stats = SearchStats::default();
         let mut missing = Vec::new();
-        for result in results {
+        let mut shard_spans: Vec<obs::SpanRecord> = Vec::new();
+        for (i, (result, timing)) in results.into_iter().enumerate() {
+            let mut span = obs::SpanRecord::new(
+                self.pools[targets[i]].label.clone(),
+                timing.queue_micros,
+                timing.connect_micros + timing.rtt_micros,
+            )
+            .field("queue_us", timing.queue_micros)
+            .field("connect_us", timing.connect_micros)
+            .field("rtt_us", timing.rtt_micros)
+            .field("attempts", timing.attempts);
             match result {
                 Ok((shard_hits, shard_stats)) => {
                     hits.extend(shard_hits);
@@ -692,24 +880,50 @@ impl RouterState {
                     self.drop_lens(index);
                     return Response::Error(msg);
                 }
-                Err(ShardError::Down(label)) => missing.push(label),
+                Err(ShardError::Down(label)) => {
+                    span = span.field("down", &label);
+                    missing.push(label);
+                }
             }
+            shard_spans.push(span);
         }
         hits.sort_unstable();
         hits.truncate(k as usize);
+        let wall = t0.elapsed().as_micros() as u64;
+        self.stats.record_query(wall);
+        self.stats.record_scanned(stats.candidates_scanned);
+        self.stats.record_funnel(stats.heap_pushes, 0);
+        if obs::is_slow(wall) {
+            let op = if wire_search { "SEARCH" } else { "QUERY" };
+            let mut root = obs::SpanRecord::new(op, 0, wall).field("index", index);
+            for span in shard_spans {
+                root.push_child(span);
+            }
+            root.push_child(
+                obs::SpanRecord::new(
+                    "merge",
+                    scatter_micros,
+                    merge_start.elapsed().as_micros() as u64,
+                )
+                .field("hits", hits.len()),
+            );
+            obs::warn!("slow request", trace = ctx, us = wall, span = root.render());
+        }
         if !missing.is_empty() {
             return self.degraded(vec![hits], missing);
         }
         if wire_search {
-            stats.wall_micros = t0.elapsed().as_micros() as u64;
+            stats.wall_micros = wall;
             Response::Search { hits, stats: want_stats.then_some(stats) }
         } else {
             Response::Neighbors(hits)
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn route_batch(
         &self,
+        ctx: TraceContext,
         index: &str,
         k: u32,
         budget: u32,
@@ -736,12 +950,16 @@ impl RouterState {
             ));
         }
         let queries = Dataset::from_flat("batch", dim as usize, vectors);
+        let t0 = Instant::now();
         let targets: Vec<usize> = (0..p.mod_shards as usize)
             .filter(|&s| lens[s].is_none_or(|n| n > 0))
             .collect();
         let results = self.fan_out(&targets, false, |s, c| {
             let k_s = lens[s].map_or(k as u64, |n| n.min(k as u64)) as usize;
-            c.query_batch(index, k_s, budget as usize, probes as usize, &queries)
+            c.trace = Some(ctx.child());
+            let out = c.query_batch(index, k_s, budget as usize, probes as usize, &queries);
+            c.trace = None;
+            out
         });
         let mut merged: Vec<Vec<Neighbor>> = vec![Vec::new(); nq];
         let mut missing = Vec::new();
@@ -763,6 +981,7 @@ impl RouterState {
             list.sort_unstable();
             list.truncate(k as usize);
         }
+        self.stats.record_batch(nq as u64, t0.elapsed().as_micros() as u64);
         if missing.is_empty() {
             Response::Batch(merged)
         } else {
@@ -860,8 +1079,28 @@ impl RouterState {
             agg.p50_micros = hist_quantile(&agg.latency_hist, 0.50);
             agg.p99_micros = hist_quantile(&agg.latency_hist, 0.99);
         }
+        // The router's own hop: end-to-end latencies as clients see
+        // them, next to (not folded into) the shard-side numbers, so
+        // `router p99 - shard p99` reads off the scatter/merge cost.
+        out.push(self.router_entry());
         out.extend(breakdowns);
         Response::Stats(out)
+    }
+
+    /// The `router` pseudo-index: this process's own request counters.
+    fn router_entry(&self) -> StatsEntry {
+        self.stats.snapshot("router", "", "router", false)
+    }
+
+    /// METRICS answers with the *router process's* series — the
+    /// health counters and the hop histogram. Shard internals are
+    /// scraped from the shards themselves, which keeps every exporter
+    /// owning exactly its own process.
+    fn route_metrics(&self) -> Response {
+        let mut out = obs::PromText::new();
+        obs::global().render_into(&mut out);
+        crate::stats::render_prom(&[self.router_entry()], &mut out);
+        Response::Metrics(out.into_string())
     }
 
     // ----------------------------------------------------------- writes
@@ -1180,6 +1419,8 @@ fn merge_stats(agg: &mut StatsEntry, e: &StatsEntry) {
     agg.wal_bytes += e.wal_bytes;
     agg.seals += e.seals;
     agg.candidates_scanned += e.candidates_scanned;
+    agg.heap_pushes += e.heap_pushes;
+    agg.sq8_pruned += e.sq8_pruned;
     agg.total_micros += e.total_micros;
     agg.max_micros = agg.max_micros.max(e.max_micros);
     if agg.latency_hist.len() < e.latency_hist.len() {
@@ -1246,6 +1487,8 @@ mod tests {
             latency_hist: vec![],
             p50_micros: 0,
             p99_micros: 0,
+            heap_pushes: 0,
+            sq8_pruned: 0,
         };
         let renamed = shard_entry(entry, "shard12");
         assert!(renamed.name.len() <= MAX_NAME);
@@ -1274,6 +1517,8 @@ mod tests {
             latency_hist: vec![1, 2],
             p50_micros: 0,
             p99_micros: 0,
+            heap_pushes: 4,
+            sq8_pruned: 3,
         };
         let other = StatsEntry {
             latency_hist: vec![0, 1, 7],
@@ -1286,5 +1531,7 @@ mod tests {
         assert_eq!(agg.max_micros, 90);
         assert_eq!(agg.latency_hist, vec![1, 3, 7], "histograms add element-wise");
         assert_eq!(agg.total_micros, 200);
+        assert_eq!(agg.heap_pushes, 8, "funnel counters sum like the others");
+        assert_eq!(agg.sq8_pruned, 6);
     }
 }

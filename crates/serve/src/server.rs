@@ -43,11 +43,12 @@ use ann::{AnnIndex, IndexSpec, MutableAnn, Scratch, SearchRequest, SearchRespons
 use ann_live::wal::{wal_path, Wal, WalRecord, WalSync};
 use ann_live::{LiveConfig, LiveIndex};
 use eval::registry::{self, BuildCtx};
+use obs::TraceContext;
 use std::collections::HashMap;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::{mpsc, Arc, Mutex, RwLock};
 use std::time::{Duration, Instant};
@@ -166,7 +167,7 @@ impl Server {
                     }
                     Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
                     Err(e) => {
-                        eprintln!("annd: accept failed (retrying): {e}");
+                        obs::warn!("accept failed, retrying", error = e);
                         std::thread::sleep(ACCEPT_POLL);
                     }
                 }
@@ -236,7 +237,7 @@ fn seal_index(shared: &Shared, name: &str) {
                 // Leave the op queued: the next synchronous drain (an
                 // insert crossing the threshold, or FLUSH) reports the
                 // error to a client instead of retrying silently here.
-                eprintln!("annd: background seal of {name:?} failed: {e}");
+                obs::error!("background seal failed", index = name, error = e);
                 return;
             }
         };
@@ -269,6 +270,25 @@ fn worker_loop(rx: &Mutex<Receiver<TcpStream>>, shared: &Shared) {
     }
 }
 
+/// Process-wide connection counter: every accepted connection gets a
+/// stable id for correlating its log lines.
+static NEXT_CONN_ID: AtomicU64 = AtomicU64::new(1);
+
+/// The catalog entry a request targets, for log fields (`None` for
+/// catalog-wide requests like LIST/STATS/METRICS).
+fn req_index(req: &Request) -> Option<&str> {
+    match req {
+        Request::Query { index, .. }
+        | Request::Batch { index, .. }
+        | Request::Search { index, .. }
+        | Request::Insert { index, .. }
+        | Request::Delete { index, .. }
+        | Request::Flush { index } => Some(index),
+        Request::Build { name, .. } => Some(name),
+        _ => None,
+    }
+}
+
 fn handle_connection(
     mut stream: TcpStream,
     shared: &Shared,
@@ -276,15 +296,63 @@ fn handle_connection(
 ) {
     stream.set_nodelay(true).ok();
     stream.set_read_timeout(Some(READ_TIMEOUT)).ok();
+    let conn = NEXT_CONN_ID.fetch_add(1, Ordering::Relaxed);
+    let peer = stream.peer_addr().map_or_else(|_| "?".to_string(), |a| a.to_string());
+    obs::global()
+        .counter("ann_connections_total", &[], "Connections accepted by the serving loop")
+        .inc();
+    obs::debug!("connection open", conn = conn, peer = peer);
     loop {
         let body = match read_frame(&mut stream) {
             Ok(Some(body)) => body,
-            Ok(None) => return,  // clean close
-            Err(_) => return,    // timeout, mid-frame EOF, oversized frame
+            Ok(None) => {
+                obs::debug!("connection closed", conn = conn, peer = peer);
+                return; // clean close
+            }
+            Err(e) => {
+                // Timeout, mid-frame EOF, oversized frame.
+                obs::debug!("connection dropped", conn = conn, peer = peer, error = e);
+                return;
+            }
         };
-        let (resp, stop) = match Request::decode(&body) {
-            Ok(req) => dispatch(req, shared, scratches),
-            Err(e) => (Response::Error(format!("bad request: {e}")), true),
+        let (resp, stop) = match Request::decode_traced(&body) {
+            Ok((req, trace)) => {
+                // Requests arriving without a trace context (legacy
+                // clients, ad-hoc tools) mint one at this edge so every
+                // log line downstream is still correlatable.
+                let trace = trace.unwrap_or_else(TraceContext::mint);
+                let op = req.op_name();
+                let index = req_index(&req).map(str::to_string);
+                let t0 = Instant::now();
+                let out = dispatch(req, shared, scratches);
+                let micros = t0.elapsed().as_micros() as u64;
+                obs::debug!(
+                    "request",
+                    conn = conn,
+                    trace = trace,
+                    op = op,
+                    index = index.as_deref().unwrap_or("-"),
+                    us = micros
+                );
+                if obs::is_slow(micros) {
+                    let mut span = obs::SpanRecord::new(op, 0, micros);
+                    if let Some(ix) = &index {
+                        span = span.field("index", ix);
+                    }
+                    obs::warn!(
+                        "slow request",
+                        conn = conn,
+                        trace = trace,
+                        us = micros,
+                        span = span.render()
+                    );
+                }
+                out
+            }
+            Err(e) => {
+                obs::warn!("bad request", conn = conn, peer = peer, error = e);
+                (Response::Error(format!("bad request: {e}")), true)
+            }
         };
         if write_frame(&mut stream, &resp.encode()).is_err() {
             return;
@@ -321,6 +389,55 @@ fn dispatch(
                 ),
                 false,
             )
+        }
+        Request::Metrics => {
+            let catalog = shared.catalog.read().expect("catalog poisoned");
+            let entries: Vec<_> = catalog
+                .iter()
+                .map(|s| s.stats.snapshot(&s.name, &s.spec, s.load_mode(), s.sq8_active()))
+                .collect();
+            // Live-index internals are sampled at scrape time (they are
+            // sizes, not event counters): memtable rows, sealed
+            // segments, and queued background ops per live entry.
+            // (name, memtable rows, sealed segments, pending ops)
+            type LiveRow = (String, u64, u64, u64);
+            type GaugeCol = fn(&LiveRow) -> u64;
+            let mut live_sizes: Vec<LiveRow> = Vec::new();
+            for served in catalog.iter() {
+                if let Backend::Live(lock) = &served.backend {
+                    if let Ok(live) = live_read(lock, &served.name) {
+                        live_sizes.push((
+                            served.name.clone(),
+                            live.memtable_rows() as u64,
+                            live.segment_count() as u64,
+                            live.pending_ops() as u64,
+                        ));
+                    }
+                }
+            }
+            drop(catalog);
+            let mut out = obs::PromText::new();
+            // Process-global series first (WAL fsync + seal/compaction
+            // build histograms, connection counter), then the per-index
+            // serving counters, then the sampled live-index gauges.
+            obs::global().render_into(&mut out);
+            crate::stats::render_prom(&entries, &mut out);
+            let gauges: [(&str, &str, GaugeCol); 3] = [
+                ("ann_live_memtable_rows", "Rows currently buffered in the live memtable", |r| {
+                    r.1
+                }),
+                ("ann_live_segments", "Sealed segments in the live index", |r| r.2),
+                ("ann_live_pending_ops", "Seal/compaction builds queued for the sealer", |r| {
+                    r.3
+                }),
+            ];
+            for (name, help, get) in gauges {
+                out.header(name, "gauge", help);
+                for row in &live_sizes {
+                    out.sample(name, &[("index", &row.0)], get(row));
+                }
+            }
+            (Response::Metrics(out.into_string()), false)
         }
         Request::Shutdown => {
             shared.shutdown.store(true, Ordering::SeqCst);
@@ -409,8 +526,11 @@ fn dispatch(
                 }
             };
             let scanned: u64 = responses.iter().map(|r| r.stats.candidates_scanned).sum();
+            let pushes: u64 = responses.iter().map(|r| r.stats.heap_pushes).sum();
+            let pruned: u64 = responses.iter().map(|r| r.stats.sq8_pruned).sum();
             let lists: Vec<_> = responses.into_iter().map(|r| r.hits).collect();
             served.stats.record_scanned(scanned);
+            served.stats.record_funnel(pushes, pruned);
             served.stats.record_batch(queries.len() as u64, t0.elapsed().as_micros() as u64);
             (Response::Batch(lists), false)
         }
@@ -590,7 +710,7 @@ fn dispatch(
                     if let Err(e) = wal.reset(old_gen + 1) {
                         // Safe to continue: the stale log's generation
                         // mismatches and is discarded on restart.
-                        eprintln!("annd: WAL truncate after FLUSH of {index:?} failed: {e}");
+                        obs::error!("WAL truncate after FLUSH failed", index = index, error = e);
                     }
                 }
                 Ok((path, state.segments.len() as u32, state.live_rows() as u64))
@@ -695,6 +815,7 @@ fn answer_search(
         }
     };
     served.stats.record_scanned(resp.stats.candidates_scanned);
+    served.stats.record_funnel(resp.stats.heap_pushes, resp.stats.sq8_pruned);
     served.stats.record_query(t0.elapsed().as_micros() as u64);
     Ok(resp)
 }
@@ -939,7 +1060,7 @@ fn handle_build_live(
             if let Some(dir) = shared.snapshot_dir {
                 match Wal::create(&wal_path(dir, name), 0) {
                     Ok(wal) => *served.wal.lock().expect("wal mutex poisoned") = Some(wal),
-                    Err(e) => eprintln!("annd: creating WAL for {name:?}: {e}"),
+                    Err(e) => obs::error!("creating WAL failed", index = name, error = e),
                 }
             }
             let info = served.info();

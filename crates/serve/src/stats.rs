@@ -1,4 +1,9 @@
 //! Lock-free per-index serving counters behind the STATS command.
+//!
+//! The log2-bucket scheme and quantile estimator that started here are
+//! now the workspace-wide ones in the `obs` crate; this module keeps
+//! thin aliases so existing callers (the router's shard aggregation,
+//! `ann-cli stats`) don't churn.
 
 use crate::protocol::StatsEntry;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -7,16 +12,12 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// requests whose wall time fell in `[2^i, 2^(i+1))` microseconds
 /// (bucket 0 also absorbs sub-µs requests, the last bucket is
 /// open-ended at ~134 s — far beyond the 30 s connection read timeout).
-pub const HIST_BUCKETS: usize = 28;
+pub const HIST_BUCKETS: usize = obs::HIST_BUCKETS;
 
 /// Histogram bucket for a latency: `floor(log2(micros))`, clamped to
 /// the bucket range.
 fn bucket(micros: u64) -> usize {
-    if micros == 0 {
-        0
-    } else {
-        (63 - micros.leading_zeros() as usize).min(HIST_BUCKETS - 1)
-    }
+    obs::bucket_index(micros)
 }
 
 /// Estimates a quantile (`q` in `[0, 1]`) from a log2 latency
@@ -26,21 +27,7 @@ fn bucket(micros: u64) -> usize {
 /// histogram. Shared by the STATS snapshot, the router's per-shard
 /// aggregation, `ann-cli stats`, and the annd exit summary.
 pub fn hist_quantile(hist: &[u64], q: f64) -> u64 {
-    let total: u64 = hist.iter().sum();
-    if total == 0 {
-        return 0;
-    }
-    // Rank of the q-th sample, 1-based, clamped into [1, total].
-    let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
-    let mut seen = 0u64;
-    for (i, &count) in hist.iter().enumerate() {
-        seen += count;
-        if seen >= rank {
-            // Upper bound of bucket i is 2^(i+1) - 1 µs.
-            return (1u64 << (i + 1)) - 1;
-        }
-    }
-    unreachable!("rank {rank} exceeds histogram total {total}");
+    obs::hist_quantile(hist, q)
 }
 
 /// Counters one served index accumulates across all connections. All
@@ -62,6 +49,8 @@ pub struct IndexStats {
     wal_bytes: AtomicU64,
     seals: AtomicU64,
     candidates_scanned: AtomicU64,
+    heap_pushes: AtomicU64,
+    sq8_pruned: AtomicU64,
     total_micros: AtomicU64,
     max_micros: AtomicU64,
     /// Query-path latencies only (QUERY/BATCH/SEARCH); write latencies
@@ -133,6 +122,15 @@ impl IndexStats {
         self.candidates_scanned.fetch_add(candidates, Ordering::Relaxed);
     }
 
+    /// Accumulates the rest of the search funnel next to
+    /// [`record_scanned`](IndexStats::record_scanned): result-heap
+    /// insertions (the "kept" side) and candidates the SQ8 skip bound
+    /// pruned before a full-width distance was computed.
+    pub fn record_funnel(&self, heap_pushes: u64, sq8_pruned: u64) {
+        self.heap_pushes.fetch_add(heap_pushes, Ordering::Relaxed);
+        self.sq8_pruned.fetch_add(sq8_pruned, Ordering::Relaxed);
+    }
+
     /// A wire-ready snapshot of the counters. `spec` is the served
     /// entry's spec string (empty when unknown); `load_mode` and `sq8`
     /// describe the serving path ([`crate::catalog::ServedIndex`]).
@@ -161,7 +159,98 @@ impl IndexStats {
             latency_hist,
             p50_micros,
             p99_micros,
+            heap_pushes: self.heap_pushes.load(Ordering::Relaxed),
+            sq8_pruned: self.sq8_pruned.load(Ordering::Relaxed),
         }
+    }
+}
+
+/// Renders one stats entry as the canonical tab-separated counter line —
+/// the single format `ann-cli stats` prints and the annd exit summary
+/// reuses, so the two can never drift apart.
+pub fn render_entry(e: &StatsEntry) -> String {
+    format!(
+        "{}\tspec={}\tload={}\tsq8={}\tqueries={}\tbatches={}\tbatch_queries={}\tinserts={}\
+         \tdeletes={}\tflushes={}\twal_records={}\twal_bytes={}\tseals={}\tscanned={}\
+         \tpushes={}\tpruned={}\ttotal_us={}\tmax_us={}\tp50_us={}\tp99_us={}",
+        e.name,
+        if e.spec.is_empty() { "unknown" } else { &e.spec },
+        e.load_mode,
+        if e.sq8 { "on" } else { "off" },
+        e.queries,
+        e.batch_requests,
+        e.batch_queries,
+        e.inserts,
+        e.deletes,
+        e.flushes,
+        e.wal_records,
+        e.wal_bytes,
+        e.seals,
+        e.candidates_scanned,
+        e.heap_pushes,
+        e.sq8_pruned,
+        e.total_micros,
+        e.max_micros,
+        e.p50_micros,
+        e.p99_micros
+    )
+}
+
+/// Appends the Prometheus series of a set of stats entries to `out`,
+/// one `index`-labeled sample per entry per metric. The `_sum` of the
+/// latency histogram is `total_micros`, which also includes write-path
+/// requests (the buckets are query-path only; see
+/// [`StatsEntry::latency_hist`]).
+pub fn render_prom(entries: &[StatsEntry], out: &mut obs::PromText) {
+    type Col = fn(&StatsEntry) -> u64;
+    let counters: [(&str, &str, Col); 12] = [
+        ("ann_queries_total", "Single QUERY/SEARCH requests answered", |e| e.queries),
+        ("ann_batch_requests_total", "BATCH requests answered", |e| e.batch_requests),
+        ("ann_batch_queries_total", "Queries answered inside BATCH requests", |e| {
+            e.batch_queries
+        }),
+        ("ann_inserts_total", "Rows inserted (live indexes)", |e| e.inserts),
+        ("ann_deletes_total", "Rows deleted (live indexes)", |e| e.deletes),
+        ("ann_flushes_total", "FLUSH requests served", |e| e.flushes),
+        ("ann_wal_records_total", "Write-ahead-log records appended", |e| e.wal_records),
+        ("ann_wal_bytes_total", "Write-ahead-log bytes appended", |e| e.wal_bytes),
+        ("ann_seals_total", "Background seal/compaction builds installed", |e| e.seals),
+        (
+            "ann_candidates_scanned_total",
+            "Candidates the verification loops scanned",
+            |e| e.candidates_scanned,
+        ),
+        ("ann_heap_pushes_total", "Result-heap insertions while answering", |e| {
+            e.heap_pushes
+        }),
+        (
+            "ann_sq8_pruned_total",
+            "Candidates pruned by the SQ8 certified skip bound",
+            |e| e.sq8_pruned,
+        ),
+    ];
+    for (name, help, get) in counters {
+        out.header(name, "counter", help);
+        for e in entries {
+            out.sample(name, &[("index", &e.name)], get(e));
+        }
+    }
+    out.header("ann_request_max_micros", "gauge", "Slowest single request, microseconds");
+    for e in entries {
+        out.sample("ann_request_max_micros", &[("index", &e.name)], e.max_micros);
+    }
+    out.header(
+        "ann_search_latency_micros",
+        "histogram",
+        "Query-path (QUERY/BATCH/SEARCH) request latency, microseconds",
+    );
+    for e in entries {
+        out.histogram_samples(
+            "ann_search_latency_micros",
+            &[("index", &e.name)],
+            &e.latency_hist,
+            e.total_micros,
+        );
     }
 }
 
@@ -242,6 +331,72 @@ mod tests {
         assert_eq!(snap.p50_micros, 7);
         // p99 = 3rd sample -> bucket 9, upper bound 2^10-1.
         assert_eq!(snap.p99_micros, 1023);
+    }
+
+    #[test]
+    fn funnel_counters_accumulate() {
+        let s = IndexStats::default();
+        s.record_scanned(100);
+        s.record_funnel(12, 40);
+        s.record_funnel(3, 0);
+        let snap = s.snapshot("x", "", "mapped", true);
+        assert_eq!(snap.candidates_scanned, 100);
+        assert_eq!(snap.heap_pushes, 15);
+        assert_eq!(snap.sq8_pruned, 40);
+    }
+
+    #[test]
+    fn rendered_entry_keeps_the_pinned_tokens() {
+        let s = IndexStats::default();
+        s.record_query(10);
+        s.record_insert(1, 5);
+        s.record_delete(1, 2);
+        s.record_wal(64);
+        s.record_scanned(9);
+        s.record_funnel(4, 2);
+        let line = render_entry(&s.snapshot("smoke", "", "mapped", true));
+        // The exact fields scripts and operators grep for.
+        assert!(line.starts_with("smoke\t"));
+        for token in [
+            "spec=unknown",
+            "load=mapped",
+            "sq8=on",
+            "queries=1",
+            "inserts=1",
+            "deletes=1",
+            "wal_records=1",
+            "scanned=9",
+            "pushes=4",
+            "pruned=2",
+            "p50_us=15",
+            "p99_us=15",
+        ] {
+            assert!(line.contains(token), "{token:?} missing from {line:?}");
+        }
+    }
+
+    #[test]
+    fn prom_render_covers_every_entry() {
+        let a = IndexStats::default();
+        a.record_query(10);
+        a.record_scanned(50);
+        a.record_funnel(7, 3);
+        let b = IndexStats::default();
+        b.record_batch(4, 900);
+        let entries =
+            [a.snapshot("alpha", "", "mapped", true), b.snapshot("beta", "", "owned", false)];
+        let mut out = obs::PromText::new();
+        render_prom(&entries, &mut out);
+        let text = out.into_string();
+        assert_eq!(text.matches("# TYPE ann_queries_total counter").count(), 1);
+        assert!(text.contains("ann_queries_total{index=\"alpha\"} 1\n"));
+        assert!(text.contains("ann_queries_total{index=\"beta\"} 0\n"));
+        assert!(text.contains("ann_batch_queries_total{index=\"beta\"} 4\n"));
+        assert!(text.contains("ann_heap_pushes_total{index=\"alpha\"} 7\n"));
+        assert!(text.contains("ann_sq8_pruned_total{index=\"alpha\"} 3\n"));
+        assert!(text.contains("ann_search_latency_micros_count{index=\"alpha\"} 1\n"));
+        assert!(text.contains("ann_search_latency_micros_sum{index=\"beta\"} 900\n"));
+        assert!(text.contains("ann_search_latency_micros_bucket{index=\"beta\",le=\"+Inf\"} 1\n"));
     }
 
     #[test]

@@ -822,3 +822,78 @@ fn legacy_query_and_batch_frames_are_answered_unchanged() {
     client.shutdown().unwrap();
     handle.join().expect("server thread");
 }
+
+/// The trace section is strictly additive on the wire: a traced frame is
+/// the untraced frame plus the 18-byte section, the server answers both
+/// identically, and METRICS exposes the Prometheus scrape text with the
+/// serving histogram in it.
+#[test]
+fn traced_frames_interop_and_metrics_scrape() {
+    use obs::TraceContext;
+    use serve::protocol::{read_frame, write_frame, Request, Response, TRACE_SECTION_LEN};
+
+    let fx = fixture("traced");
+    let (addr, handle) = start_server(&fx, 1);
+
+    let q = fx.data.sample_queries(1, 33);
+    let req = Request::Query {
+        index: "e2e-lccs".into(),
+        k: 6,
+        budget: 64,
+        probes: 0,
+        vector: q.get(0).to_vec(),
+    };
+    let plain = req.encode();
+    let ctx = TraceContext { trace_id: 0x1122_3344_5566_7788, span_id: 0x99aa_bbcc_ddee_ff00 };
+    let traced = req.encode_traced(Some(ctx));
+    assert_eq!(
+        &traced[..traced.len() - TRACE_SECTION_LEN],
+        plain.as_slice(),
+        "a traced frame is the untraced frame plus the trailing section"
+    );
+
+    // Same connection, both layouts: answers must be byte-identical.
+    let mut stream = std::net::TcpStream::connect(addr).unwrap();
+    let mut answers = Vec::new();
+    for body in [&plain, &traced] {
+        write_frame(&mut stream, body).unwrap();
+        let reply = read_frame(&mut stream).unwrap().expect("reply");
+        let Response::Neighbors(hits) = Response::decode(&reply).unwrap() else {
+            panic!("QUERY must get a NEIGHBORS reply");
+        };
+        answers.push(hits);
+    }
+    assert_eq!(
+        bits(&[answers[0].clone()]),
+        bits(&[answers[1].clone()]),
+        "the server ignores the trace section when answering"
+    );
+
+    // The client-side knob produces the same interop.
+    let mut client = Client::connect(addr).unwrap();
+    client.trace = Some(TraceContext::mint());
+    let hits = client.query("e2e-lccs", 6, 64, 0, q.get(0)).unwrap();
+    assert_eq!(bits(&[hits]), bits(&[answers[0].clone()]));
+
+    // And the scrape surface knows about the queries we just ran.
+    client.trace = None;
+    let text = client.metrics().expect("METRICS answers");
+    for needle in [
+        "# TYPE ann_queries_total counter",
+        "# TYPE ann_search_latency_micros histogram",
+        "ann_search_latency_micros_count{index=\"e2e-lccs\"}",
+        "ann_connections_total",
+        "ann_candidates_scanned_total",
+    ] {
+        assert!(text.contains(needle), "metrics text is missing {needle:?}:\n{text}");
+    }
+    let q_line = text
+        .lines()
+        .find(|l| l.starts_with("ann_queries_total{index=\"e2e-lccs\"}"))
+        .expect("per-index query counter");
+    let count: f64 = q_line.rsplit(' ').next().unwrap().parse().unwrap();
+    assert!(count >= 3.0, "three QUERYs ran, metrics say {count}");
+
+    client.shutdown().unwrap();
+    handle.join().expect("server thread");
+}

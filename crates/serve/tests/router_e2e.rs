@@ -448,3 +448,94 @@ fn replica_reads_round_robin_and_fail_over() {
     drop(replica);
     std::fs::remove_dir_all(&root).ok();
 }
+
+/// Observability across the scatter-gather: traced requests answer
+/// byte-identically to untraced ones, STATS carries a distinct `router`
+/// row for the hop the shards cannot see, and METRICS exposes the
+/// per-shard health counters — including the degraded-read counter
+/// after a real `kill -9`.
+#[test]
+fn routed_requests_carry_traces_and_expose_router_metrics() {
+    let root = tmp("obs");
+    let data = SynthSpec::new("obs", 140, 10).with_clusters(6).generate(51);
+    let fvecs = root.join("obs.fvecs");
+    dataset::io::write_fvecs(&fvecs, &data).unwrap();
+
+    let mut shards: Vec<Shard> =
+        (0..2).map(|i| spawn_annd(&root.join(format!("s{i}")), "127.0.0.1:0")).collect();
+    let topology = format!("{},{}", shards[0].addr, shards[1].addr);
+    let (raddr, rhandle) = spawn_router(&topology, false, Some(&root.join("router")));
+    let mut rc = Client::connect(raddr).unwrap();
+    rc.build_live("obs", "linear", "euclidean", fvecs.to_str().unwrap(), 0, 64, 4)
+        .expect("routed build");
+
+    // A traced SEARCH answers exactly like an untraced one; the trace
+    // context rides the request frame and fans out as child spans.
+    let q = data.get(5).to_vec();
+    let req = ann::SearchRequest::top_k(6).budget(100);
+    let plain = rc.search("obs", &q, &req).expect("untraced search").0;
+    rc.trace = Some(obs::TraceContext::mint());
+    for _ in 0..3 {
+        let traced = rc.search("obs", &q, &req).expect("traced search").0;
+        assert_eq!(bits(&traced), bits(&plain), "tracing never changes answers");
+    }
+    rc.trace = None;
+
+    // STATS: the router's own hop shows up as a distinct `router` row
+    // next to the per-shard breakdowns, counting every routed read.
+    let entries = rc.stats().expect("routed stats");
+    let router_row = entries
+        .iter()
+        .find(|e| e.name == "router" && e.load_mode == "router")
+        .expect("STATS carries the router's own row");
+    assert!(router_row.queries >= 4, "4 routed searches ran, row says {}", router_row.queries);
+    assert!(router_row.total_micros > 0, "the router row has its own latency sum");
+    assert!(
+        entries.iter().any(|e| e.name == "obs@shard0"),
+        "per-shard breakdowns still present"
+    );
+
+    // METRICS on the router: its own process series, with one health
+    // counter set per shard label.
+    let text = rc.metrics().expect("router METRICS");
+    for needle in [
+        "# TYPE ann_router_shard_attempts_total counter",
+        "ann_router_shard_attempts_total{shard=\"shard0\"}",
+        "ann_router_shard_attempts_total{shard=\"shard1\"}",
+        "ann_router_degraded_reads_total",
+        "ann_queries_total{index=\"router\"}",
+        "# TYPE ann_search_latency_micros histogram",
+    ] {
+        assert!(text.contains(needle), "router metrics missing {needle:?}:\n{text}");
+    }
+    let degraded_before = prom_value(&text, "ann_router_degraded_reads_total");
+
+    // kill -9 one shard: the next reads degrade, and the degraded-read
+    // and per-shard failure counters move.
+    shards[1].kill();
+    let out = rc.search_outcome("obs", &q, &req).expect("degraded search");
+    assert!(!out.missing_shards.is_empty(), "shard1 is dead, the read must degrade");
+    let text = rc.metrics().expect("router METRICS after kill");
+    let degraded_after = prom_value(&text, "ann_router_degraded_reads_total");
+    assert!(
+        degraded_after > degraded_before,
+        "degraded reads must be counted ({degraded_before} -> {degraded_after})"
+    );
+    let failures = prom_value(&text, "ann_router_shard_failures_total{shard=\"shard1\"}");
+    assert!(failures > 0.0, "the dead shard's failure counter must move");
+
+    rc.shutdown().unwrap();
+    rhandle.join().unwrap();
+    drop(shards);
+    std::fs::remove_dir_all(&root).ok();
+}
+
+/// The value of the first sample line starting with `prefix` (0.0 when
+/// the series is absent, which only happens before it first moves).
+fn prom_value(text: &str, prefix: &str) -> f64 {
+    text.lines()
+        .find(|l| l.starts_with(prefix) && !l.starts_with("# "))
+        .and_then(|l| l.rsplit(' ').next())
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.0)
+}

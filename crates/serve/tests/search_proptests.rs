@@ -6,9 +6,10 @@
 
 use ann::{IdFilter, SearchStats};
 use dataset::exact::Neighbor;
+use obs::TraceContext;
 use proptest::collection::vec;
 use proptest::prelude::*;
-use serve::protocol::{Request, Response};
+use serve::protocol::{Request, Response, TRACE_MAGIC, TRACE_SECTION_LEN};
 
 /// Strategy over every filter shape: none, allowlist, denylist — with
 /// empty and duplicate-heavy id lists included (the constructor
@@ -79,6 +80,9 @@ fn any_search_response() -> impl Strategy<Value = Response> {
                 candidates_scanned: scanned,
                 heap_pushes: pushes,
                 wall_micros: wall,
+                // Node-local telemetry; not carried by the pinned wire
+                // layout, so it must be zero to round-trip.
+                sq8_pruned: 0,
             }),
         })
 }
@@ -121,5 +125,48 @@ proptest! {
         let mut body = req.encode();
         body.extend(std::iter::repeat_n(0u8, extra));
         prop_assert!(Request::decode(&body).is_err());
+    }
+
+    #[test]
+    fn traced_search_requests_round_trip(
+        req in any_search_request(),
+        trace_id in any::<u64>(),
+        span_id in any::<u64>(),
+    ) {
+        let ctx = TraceContext { trace_id, span_id };
+        let body = req.encode_traced(Some(ctx));
+        prop_assert_eq!(&body[..body.len() - TRACE_SECTION_LEN], req.encode().as_slice(),
+            "the trace section is strictly additive");
+        let (back, got) = Request::decode_traced(&body).expect("traced encoding decodes");
+        prop_assert_eq!(back, req.clone());
+        prop_assert_eq!(got, Some(ctx));
+        // The trace-oblivious decode path accepts (and discards) it too.
+        prop_assert_eq!(Request::decode(&body).expect("plain decode tolerates trace"), req);
+    }
+
+    #[test]
+    fn truncated_trace_sections_fail_cleanly(
+        req in any_search_request(),
+        trace_id in any::<u64>(),
+        span_id in any::<u64>(),
+        cut_back in 1usize..TRACE_SECTION_LEN,
+    ) {
+        let ctx = TraceContext { trace_id, span_id };
+        let body = req.encode_traced(Some(ctx));
+        // Any partial trace section is a malformed frame, not a silent
+        // fallback to the untraced layout.
+        prop_assert!(Request::decode(&body[..body.len() - cut_back]).is_err());
+    }
+
+    #[test]
+    fn garbage_trace_sections_are_rejected(
+        req in any_search_request(),
+        tail_words in vec(any::<u32>(), TRACE_SECTION_LEN..=TRACE_SECTION_LEN),
+    ) {
+        let tail: Vec<u8> = tail_words.iter().map(|w| (w % 256) as u8).collect();
+        prop_assume!(tail[0] != TRACE_MAGIC);
+        let mut body = req.encode();
+        body.extend_from_slice(&tail);
+        prop_assert!(Request::decode(&body).is_err(), "bad magic must be rejected");
     }
 }

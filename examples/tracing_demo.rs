@@ -1,0 +1,91 @@
+//! Observability end to end: structured logs, request traces, slow-query
+//! span trees, and a Prometheus scrape — against a real in-process server.
+//!
+//! The demo builds a small snapshot catalog, serves it over TCP, then:
+//!
+//! 1. turns the log level up to `debug` so every request leaves a
+//!    correlatable logfmt line on stderr,
+//! 2. mints a [`obs::TraceContext`] client-side and sends it with each
+//!    query (the optional trailing TRACE section on the request frame),
+//!    so the server's log lines carry *our* trace id,
+//! 3. sets the slow-query threshold to 100µs — low enough that these
+//!    demo queries cross it and emit the span-tree breakdown a
+//!    production operator would see on a genuinely slow request,
+//! 4. scrapes the METRICS opcode and prints the Prometheus text.
+//!
+//! Run with: `cargo run --release --example tracing_demo` (stderr carries
+//! the log lines, stdout the narration — pipe them apart to see the split).
+//!
+//! See `docs/observability.md` for the span model and metric catalogue.
+
+use dataset::{Metric, SynthSpec};
+use lccs_lsh::{LccsLsh, LccsParams};
+use serve::catalog::Catalog;
+use serve::client::Client;
+use serve::server::Server;
+use serve::snapshot::write_index_snapshot;
+use std::sync::Arc;
+
+fn main() {
+    // Log configuration is global, set once at process start — exactly
+    // what `annd --log-level debug --slow-query-ms N` does (the daemon
+    // flag has millisecond granularity; in-process callers get micros).
+    obs::set_level(obs::Level::Debug);
+    obs::set_slow_query_micros(100);
+
+    let dir = std::env::temp_dir().join(format!("tracing-demo-{}", std::process::id()));
+    let spec = SynthSpec::sift_like().with_n(5_000);
+    let data = Arc::new(spec.generate(7));
+    let index = LccsLsh::build(data.clone(), Metric::Euclidean, &LccsParams::euclidean(8.0));
+    let meta = serve::snapshot::SnapMeta::of_build(
+        &"lccs:m=16,w=8".parse().expect("spec"),
+        0.0,
+        data.len() as u64,
+    );
+    write_index_snapshot(&dir, "demo", &index, &data, Some(meta)).expect("snapshot");
+    drop(index);
+
+    let catalog = Catalog::load_dir(&dir).expect("load snapshots");
+    let server = Server::bind(catalog, "127.0.0.1:0", 2).expect("bind");
+    let addr = server.local_addr().unwrap();
+    let handle = std::thread::spawn(move || server.run().expect("serve"));
+    println!("serving 'demo' on {addr}; watch stderr for the structured log lines");
+
+    // ---- Traced queries: one trace, one span per request. A request
+    // that arrives without a TRACE section still gets a context minted
+    // at the server edge; sending our own is what lets a client-side
+    // error report and the server's slow-query warning correlate.
+    let queries = spec.generate_queries(4, 7);
+    let mut client = Client::connect(addr).expect("connect");
+    let trace = obs::TraceContext::mint();
+    println!("\nissuing {} queries under trace {trace}", queries.len());
+    for (i, q) in queries.iter().enumerate() {
+        client.trace = Some(trace.child());
+        let hits = client.query("demo", 3, 256, 0, q).expect("query");
+        println!("  query {i}: top-3 = {:?}", hits.iter().map(|n| n.id).collect::<Vec<_>>());
+    }
+    client.trace = None;
+
+    // ---- Span trees are plain values too — a client can build its own
+    // breakdown of a multi-step operation and log it through the same
+    // renderer the server uses for slow queries.
+    let mut root = obs::SpanRecord::new("demo-session", 0, 4_200).field("queries", queries.len());
+    root.push_child(obs::SpanRecord::new("connect", 0, 180));
+    root.push_child(obs::SpanRecord::new("queries", 200, 4_000).field("trace", trace));
+    println!("\na client-side span tree renders like the server's slow-query log:");
+    println!("{}", root.render());
+
+    // ---- The scrape surface: Prometheus text over the METRICS opcode,
+    // the same bytes `ann-cli metrics --addr …` prints.
+    let text = client.metrics().expect("metrics");
+    println!("\nMETRICS scrape ({} bytes):", text.len());
+    for line in text.lines().filter(|l| {
+        l.starts_with("# TYPE") || l.starts_with("ann_queries_total") || l.contains("_count")
+    }) {
+        println!("  {line}");
+    }
+
+    client.shutdown().expect("shutdown");
+    handle.join().expect("server thread");
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -23,8 +23,10 @@ bench-smoke:
 
 # The tracked serving-performance trajectory: regenerates BENCH_serve.json
 # at the repo root (cold-start mapped vs owned, live memtable sweep and
-# ExactKnn batch with SQ8 on vs off), asserting bit-identical top-k and
-# the 1.5x SQ8 speedup floor. Commit the refreshed file with perf PRs.
+# ExactKnn batch with SQ8 on vs off, router hop, traced vs plain wire
+# sweep), asserting bit-identical top-k, the 1.5x SQ8 speedup floor, and
+# the ≤5% instrumentation-overhead gate. Commit the refreshed file with
+# perf PRs.
 bench-report:
     cargo run --release -p bench --bin bench_report -- --min-speedup 1.5
 
@@ -61,6 +63,12 @@ live-demo:
 # search, every exact answer verified against the brute-force oracle.
 search-demo:
     cargo run --release --example filtered_search
+
+# Observability demo: structured debug logs, client-minted traces on the
+# wire, slow-query span trees, and a Prometheus METRICS scrape — against
+# a real in-process server (see docs/observability.md).
+obs-demo:
+    cargo run --release --example tracing_demo
 
 # Spec-grammar smoke: print the scheme table and assert every registry
 # entry appears in ann::spec::help() (the same invariant CI pins via the

@@ -132,7 +132,8 @@ diff "$DIR/search-before-restart.txt" "$DIR/search-after-restart.txt" \
 # (the e2e suite covers the in-process half).
 "$CLI" shutdown --addr "$ADDR"
 wait "$ANND_PID"
-"$ANND" --snapshot-dir "$DIR" --addr "$ADDR" --wal-sync always > "$DIR/annd-wal.log" 2>&1 &
+"$ANND" --snapshot-dir "$DIR" --addr "$ADDR" --wal-sync always \
+    --log-level debug > "$DIR/annd-wal.log" 2>&1 &
 ANND_PID=$!
 sleep 2
 grep -F "wal-sync=always" "$DIR/annd-wal.log" \
@@ -143,6 +144,23 @@ test -s "$DIR/mut-idx.wal" \
     || (echo "wal smoke: no WAL next to the snapshot after an acked insert" && exit 1)
 "$CLI" stats --addr "$ADDR" | grep -F "mut-idx" | grep -E "wal_records=[1-9]" \
     || (echo "wal smoke: wal counters missing from STATS" && exit 1)
+
+# Observability surface: at --log-level debug every request leaves a
+# structured logfmt line with a trace id, and METRICS serves Prometheus
+# text whose series cover the search hot path and the WAL fsync
+# latency histogram the acked insert above just populated.
+grep -E 'level=debug msg=request conn=[0-9]+ trace=[0-9a-f]{16}/[0-9a-f]{16}' "$DIR/annd-wal.log" \
+    || (echo "obs smoke: no structured request log line" && cat "$DIR/annd-wal.log" && exit 1)
+"$CLI" metrics --addr "$ADDR" > "$DIR/metrics.txt"
+grep -F "# TYPE ann_search_latency_micros histogram" "$DIR/metrics.txt" \
+    || (echo "obs smoke: search latency histogram missing from METRICS" && exit 1)
+grep -E '^ann_wal_fsync_micros_count\{index="mut-idx"\} [1-9]' "$DIR/metrics.txt" \
+    || (echo "obs smoke: WAL fsync histogram did not count the acked insert" \
+        && cat "$DIR/metrics.txt" && exit 1)
+grep -E '^ann_inserts_total\{index="mut-idx"\} [1-9]' "$DIR/metrics.txt" \
+    || (echo "obs smoke: per-index insert counter did not move" && exit 1)
+grep -E '^ann_connections_total [1-9]' "$DIR/metrics.txt" \
+    || (echo "obs smoke: connection counter missing from METRICS" && exit 1)
 "$CLI" query --addr "$ADDR" --index mut-idx --k 3 --budget 64 --vec "$NINE_VEC" \
     > "$DIR/wal-before-kill.txt"
 grep -F "id=401" "$DIR/wal-before-kill.txt" \

@@ -84,6 +84,20 @@ grep -F "partial	missing=shard1@$S1_ADDR" "$DIR/search-degraded.txt" \
 grep -E "^0\sid=" "$DIR/search-degraded.txt" \
     || (echo "cluster smoke: degraded search lost the surviving hits" && exit 1)
 
+# Router telemetry: the scrape surface must show the degraded read we
+# just forced, the per-shard failure counter for the dead shard, and
+# the router's own hop-latency histogram.
+"$CLI" metrics --addr "$ROUTER_ADDR" > "$DIR/router-metrics.txt"
+grep -E '^ann_router_degraded_reads_total [1-9]' "$DIR/router-metrics.txt" \
+    || (echo "cluster smoke: degraded-read counter did not move" \
+        && cat "$DIR/router-metrics.txt" && exit 1)
+grep -E '^ann_router_shard_failures_total\{shard="shard1"\} [1-9]' "$DIR/router-metrics.txt" \
+    || (echo "cluster smoke: dead shard's failure counter did not move" && exit 1)
+grep -E '^ann_router_shard_attempts_total\{shard="shard0"\} [1-9]' "$DIR/router-metrics.txt" \
+    || (echo "cluster smoke: per-shard attempt counters missing" && exit 1)
+grep -F 'ann_search_latency_micros_count{index="router"}' "$DIR/router-metrics.txt" \
+    || (echo "cluster smoke: router hop histogram missing from METRICS" && exit 1)
+
 # Restart the shard over its surviving directory (WAL + snapshot): the
 # next routed search is whole again and byte-identical to pre-kill.
 "$ANND" --snapshot-dir "$DIR/s1" --addr "$S1_ADDR" > "$DIR/s1-restart.log" 2>&1 &
