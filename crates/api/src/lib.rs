@@ -51,7 +51,7 @@ mod traits;
 pub use mutable::{MutableAnn, MutateError};
 pub use persist::{PersistAnn, PersistError};
 pub use request::{
-    IdFilter, RequestError, ResponseFields, SearchRequest, SearchResponse, SearchStats,
+    IdFilter, PlanChoice, RequestError, ResponseFields, SearchRequest, SearchResponse, SearchStats,
 };
 pub use spec::{IndexSpec, Scheme, SpecError};
 pub use traits::{AnnIndex, BuildAnn, Scratch, SearchParams};

@@ -93,6 +93,25 @@ pub struct ResponseFields {
     pub stats: bool,
 }
 
+/// What the recall planner decided for a query, reported inside
+/// [`SearchStats`] when the request asked for a recall target instead of
+/// explicit knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlanChoice {
+    /// The candidate budget the planner substituted.
+    pub budget: u32,
+    /// The probe count the planner substituted.
+    pub probes: u32,
+    /// The calibration table's measured recall at the chosen point (may
+    /// fall short of the target when the target exceeds what the table
+    /// can reach — the shortfall is reported, never hidden).
+    pub predicted_recall: f64,
+    /// The target actually planned for, after the overload dial: equals
+    /// the requested target unless degradation stepped it down toward
+    /// the configured recall floor.
+    pub effective_target: f64,
+}
+
 /// Per-query execution counters, returned inside every
 /// [`SearchResponse`].
 ///
@@ -101,7 +120,7 @@ pub struct ResponseFields {
 /// delegates to the legacy `query_with`) reports the number of returned
 /// candidates as a lower-bound estimate — still monotone in the budget,
 /// which is what tuning needs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct SearchStats {
     /// Candidates the verification phase looked at (λ-bounded for the
     /// LCCS schemes; the whole dataset for the exact scans).
@@ -117,6 +136,10 @@ pub struct SearchStats {
     /// Node-local telemetry: it feeds the METRICS exposition but does
     /// not travel in the wire stats section, whose layout is pinned.
     pub sq8_pruned: u64,
+    /// What the recall planner chose, when the request carried a
+    /// `target_recall` instead of explicit knobs (`None` for manual
+    /// requests). Travels in its own flag-gated wire section.
+    pub plan: Option<PlanChoice>,
 }
 
 impl SearchStats {
@@ -128,6 +151,17 @@ impl SearchStats {
         self.heap_pushes += other.heap_pushes;
         self.wall_micros = self.wall_micros.max(other.wall_micros);
         self.sq8_pruned += other.sq8_pruned;
+        // Plans merge conservatively: the costliest knobs any unit chose,
+        // the weakest promise any unit could make.
+        self.plan = match (self.plan, other.plan) {
+            (Some(a), Some(b)) => Some(PlanChoice {
+                budget: a.budget.max(b.budget),
+                probes: a.probes.max(b.probes),
+                predicted_recall: a.predicted_recall.min(b.predicted_recall),
+                effective_target: a.effective_target.min(b.effective_target),
+            }),
+            (a, b) => a.or(b),
+        };
     }
 }
 
@@ -156,6 +190,12 @@ pub enum RequestError {
     },
     /// `max_dist` was NaN or negative.
     BadMaxDist(f64),
+    /// `target_recall` was NaN, infinite, or outside `(0, 1]`.
+    BadTargetRecall(f64),
+    /// `target_recall` was combined with an explicit `budget` or
+    /// `probes` — the two modes are mutually exclusive (the planner
+    /// exists to *choose* the knobs).
+    TargetRecallWithKnobs,
 }
 
 impl std::fmt::Display for RequestError {
@@ -167,6 +207,12 @@ impl std::fmt::Display for RequestError {
             }
             RequestError::BadMaxDist(d) => {
                 write!(f, "max_dist must be a finite non-negative distance, got {d}")
+            }
+            RequestError::BadTargetRecall(t) => {
+                write!(f, "target_recall must be in (0, 1], got {t}")
+            }
+            RequestError::TargetRecallWithKnobs => {
+                write!(f, "target_recall is mutually exclusive with explicit budget/probes")
             }
         }
     }
@@ -207,6 +253,16 @@ pub struct SearchRequest {
     pub max_dist: Option<f64>,
     /// Optional response sections (stats on/off).
     pub fields: ResponseFields,
+    /// Ask the serving layer to *plan* the knobs: answer with at least
+    /// this recall, as cheaply as the index's calibration table allows.
+    /// Mutually exclusive with explicit [`budget`](Self::budget) /
+    /// [`probes`](Self::probes); requires a calibrated index.
+    pub target_recall: Option<f64>,
+    /// Whether `budget` or `probes` were set explicitly (the builder
+    /// tracks this so [`validate`](Self::validate) can reject the
+    /// knobs + target combination; a bare `top_k(k)` carries only the
+    /// *default* budget, which does not count as explicit).
+    pub knobs_set: bool,
 }
 
 impl SearchRequest {
@@ -220,18 +276,31 @@ impl SearchRequest {
             filter: None,
             max_dist: None,
             fields: ResponseFields::default(),
+            target_recall: None,
+            knobs_set: false,
         }
     }
 
     /// Sets the candidate budget.
     pub fn budget(mut self, budget: usize) -> SearchRequest {
         self.budget = budget;
+        self.knobs_set = true;
         self
     }
 
     /// Sets the probe count (multi-probe schemes only; `0` = default).
     pub fn probes(mut self, probes: usize) -> SearchRequest {
         self.probes = probes;
+        self.knobs_set = true;
+        self
+    }
+
+    /// Asks the serving layer to plan the knobs for at least this
+    /// recall (in `(0, 1]`). Mutually exclusive with explicit
+    /// `budget`/`probes`; the server answers with a typed error when
+    /// the index has no calibration table.
+    pub fn target_recall(mut self, target: f64) -> SearchRequest {
+        self.target_recall = Some(target);
         self
     }
 
@@ -272,6 +341,14 @@ impl SearchRequest {
         if let Some(d) = self.max_dist {
             if !d.is_finite() || d < 0.0 {
                 return Err(RequestError::BadMaxDist(d));
+            }
+        }
+        if let Some(t) = self.target_recall {
+            if !t.is_finite() || t <= 0.0 || t > 1.0 {
+                return Err(RequestError::BadTargetRecall(t));
+            }
+            if self.knobs_set {
+                return Err(RequestError::TargetRecallWithKnobs);
             }
         }
         Ok(())
@@ -350,14 +427,72 @@ mod tests {
 
     #[test]
     fn stats_absorb_sums_counts_and_maxes_wall() {
-        let mut a =
-            SearchStats { candidates_scanned: 10, heap_pushes: 3, wall_micros: 40, sq8_pruned: 2 };
-        let b =
-            SearchStats { candidates_scanned: 5, heap_pushes: 4, wall_micros: 25, sq8_pruned: 1 };
+        let mut a = SearchStats {
+            candidates_scanned: 10,
+            heap_pushes: 3,
+            wall_micros: 40,
+            sq8_pruned: 2,
+            plan: None,
+        };
+        let b = SearchStats {
+            candidates_scanned: 5,
+            heap_pushes: 4,
+            wall_micros: 25,
+            sq8_pruned: 1,
+            plan: None,
+        };
         a.absorb(&b);
         assert_eq!(
             a,
-            SearchStats { candidates_scanned: 15, heap_pushes: 7, wall_micros: 40, sq8_pruned: 3 }
+            SearchStats {
+                candidates_scanned: 15,
+                heap_pushes: 7,
+                wall_micros: 40,
+                sq8_pruned: 3,
+                plan: None,
+            }
         );
+    }
+
+    #[test]
+    fn stats_absorb_merges_plans_conservatively() {
+        let choice = |budget, probes, predicted_recall, effective_target| PlanChoice {
+            budget,
+            probes,
+            predicted_recall,
+            effective_target,
+        };
+        let mut a = SearchStats { plan: Some(choice(64, 4, 0.95, 0.9)), ..Default::default() };
+        let b = SearchStats { plan: Some(choice(128, 2, 0.92, 0.85)), ..Default::default() };
+        a.absorb(&b);
+        assert_eq!(a.plan, Some(choice(128, 4, 0.92, 0.85)), "max knobs, min promises");
+        let mut none = SearchStats::default();
+        none.absorb(&a);
+        assert_eq!(none.plan, a.plan, "a plan survives merging with a plan-less unit");
+    }
+
+    #[test]
+    fn target_recall_validation() {
+        assert!(SearchRequest::top_k(1).target_recall(0.9).validate(5).is_ok());
+        assert!(SearchRequest::top_k(1).target_recall(1.0).validate(5).is_ok());
+        for bad in [0.0, -0.5, 1.5, f64::NAN, f64::INFINITY] {
+            assert!(
+                matches!(
+                    SearchRequest::top_k(1).target_recall(bad).validate(5),
+                    Err(RequestError::BadTargetRecall(_))
+                ),
+                "target {bad} must be rejected"
+            );
+        }
+        assert_eq!(
+            SearchRequest::top_k(1).budget(64).target_recall(0.9).validate(5),
+            Err(RequestError::TargetRecallWithKnobs)
+        );
+        assert_eq!(
+            SearchRequest::top_k(1).probes(4).target_recall(0.9).validate(5),
+            Err(RequestError::TargetRecallWithKnobs)
+        );
+        // The default budget a bare top_k carries is not "explicit".
+        assert!(!SearchRequest::top_k(1).target_recall(0.9).knobs_set);
     }
 }

@@ -20,6 +20,10 @@
 //! * `search_plain` / `search_instrumented` — the same wire sweep with
 //!   legacy frames vs TRACE-carrying frames and the slow-query check
 //!   armed; the run fails if instrumentation costs more than 5%.
+//! * `search_manual` / `search_planned` — the same wire sweep with the
+//!   knobs passed explicitly vs re-derived per request by the recall
+//!   planner from a calibration table; the run fails if planning costs
+//!   more than 5%.
 //!
 //! Every entry is `{"median_us": …, "rows": …, "k": …, "commit": …}`.
 //! Both SQ8 sweeps assert the pruned top-k is bit-identical to the
@@ -126,6 +130,7 @@ fn bench_cold_start(entries: &mut Vec<Entry>, n: usize, repeats: usize) {
         payload: Vec::new(),
         meta: None,
         live: None,
+        calibration: None,
     };
     let path = std::env::temp_dir().join(format!("bench-report-{}.snap", std::process::id()));
     snap.write_to(&path).expect("write bench snapshot");
@@ -363,6 +368,87 @@ fn bench_instrumented_search(entries: &mut Vec<Entry>, n: usize, nq: usize, repe
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Planner tax: the same wire sweep with the knobs the planner picks
+/// passed explicitly vs re-derived per request from the calibration
+/// table (`target_recall` mode). Both sweeps execute the identical
+/// backend search, so the delta is pure planning cost — table clone +
+/// grid scan — and the run fails if it exceeds 5%.
+fn bench_planned_search(entries: &mut Vec<Entry>, n: usize, nq: usize, repeats: usize) {
+    use serve::client::Client;
+    use serve::server::Server;
+
+    let dim = 32;
+    let k = 10;
+    let dir = std::env::temp_dir().join(format!("bench-plan-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("bench dir");
+    let data = bench_data(n, dim);
+    let queries = data.sample_queries(nq, 0x6b19);
+    let fvecs = dir.join("bench.fvecs");
+    dataset::io::write_fvecs(&fvecs, &data).expect("write fvecs");
+
+    let server = Server::bind(serve::catalog::Catalog::empty(), "127.0.0.1:0", 2)
+        .expect("bind server")
+        .with_snapshot_dir(&dir);
+    let saddr = server.local_addr().unwrap();
+    let shandle = std::thread::spawn(move || server.run().expect("server loop"));
+    let mut client = Client::connect(saddr).expect("connect server");
+    client
+        .build_live("bench", "linear", "euclidean", fvecs.to_str().unwrap(), 0, n + 1, 4)
+        .expect("build");
+    client.calibrate("bench", 16, k).expect("calibrate");
+
+    // One planned probe request reads back the knobs the planner picks,
+    // so the manual sweep runs the exact same backend search.
+    let mut probe = SearchRequest::top_k(k).target_recall(0.9);
+    probe.fields.stats = true;
+    let (_, stats) = client.search("bench", queries.get(0), &probe).expect("planned probe");
+    let choice = stats.and_then(|s| s.plan).expect("planned search reports its plan");
+
+    let planned_req = SearchRequest::top_k(k).target_recall(0.9);
+    let manual_req =
+        SearchRequest::top_k(k).budget(choice.budget as usize).probes(choice.probes as usize);
+    let sweep = |c: &mut Client, req: &SearchRequest| -> Vec<dataset::exact::Neighbor> {
+        let mut all = Vec::with_capacity(nq * k);
+        for qi in 0..nq {
+            all.extend(c.search("bench", queries.get(qi), req).expect("search").0);
+        }
+        all
+    };
+    assert_bit_identical(
+        "planned sweep",
+        &sweep(&mut client, &planned_req),
+        &sweep(&mut client, &manual_req),
+    );
+
+    // Interleaved rounds, min-of-medians — same anti-flake shape as the
+    // instrumentation gate.
+    let mut manual_us = u64::MAX;
+    let mut planned_us = u64::MAX;
+    for _ in 0..2 {
+        manual_us = manual_us.min(median_us(repeats, || sweep(&mut client, &manual_req)));
+        planned_us = planned_us.min(median_us(repeats, || sweep(&mut client, &planned_req)));
+    }
+
+    println!(
+        "bench_report: planned sweep ({nq} queries over {n}×{dim}): planned {planned_us}us vs \
+         manual {manual_us}us at budget={} probes={} ({:.2}x overhead, top-k bit-identical)",
+        choice.budget,
+        choice.probes,
+        planned_us as f64 / manual_us.max(1) as f64
+    );
+    entries.push(Entry { name: "search_manual", median_us: manual_us, rows: n, k });
+    entries.push(Entry { name: "search_planned", median_us: planned_us, rows: n, k });
+    assert!(
+        planned_us as f64 <= manual_us as f64 * 1.05 + 200.0,
+        "recall planning cost {planned_us}us vs {manual_us}us manual — over the 5% budget"
+    );
+
+    client.shutdown().expect("server shutdown");
+    shandle.join().expect("server thread");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 fn main() {
     let opts = parse_opts(std::env::args().skip(1));
     let (snap_n, scan_n, nq, repeats) =
@@ -375,6 +461,7 @@ fn main() {
     let exact_speedup = bench_exact_batch(&mut entries, scan_n, nq, repeats);
     bench_router_overhead(&mut entries, scan_n, nq, repeats);
     bench_instrumented_search(&mut entries, scan_n, nq, repeats);
+    bench_planned_search(&mut entries, scan_n, nq, repeats);
 
     let mut json = String::from("{\n");
     for (i, e) in entries.iter().enumerate() {

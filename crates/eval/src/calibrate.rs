@@ -1,0 +1,199 @@
+//! The fig9/fig10-style calibration sweep behind recall-targeted
+//! planning: measure recall and latency over a `(budget, probes)` grid
+//! on a sample of the index's own rows, producing the
+//! [`plan::CalibrationTable`] the serving layer plans
+//! `target_recall` requests against.
+//!
+//! Ground truth is the index's *own* answers at saturated parameters
+//! (budget = n, the grid's highest probe level): the sweep needs no
+//! metric object and no external exact-scan, and the saturated grid
+//! point measures recall exactly 1.0 by construction — so every target
+//! in `(0, 1]` is satisfiable and the planner's fallback never
+//! triggers on a fresh table. Absolute recall against an independent
+//! exact scan is pinned separately by the serve e2e tests.
+//!
+//! The budget ladder is geometric between `max(4k, 16)` and `n`
+//! (§5: candidate quality scales with `m^{1−1/ρ}`, so recall moves on
+//! a log-budget axis), with Theorem 5.1's λ spliced in as an analytic
+//! anchor when the caller knows the scheme's `m`.
+
+use ann::{AnnIndex, SearchRequest};
+use dataset::exact::Neighbor;
+use dataset::Dataset;
+use plan::{CalPoint, CalibrationTable};
+use std::time::Instant;
+
+/// Probe levels every sweep measures (0 = the scheme's default probing).
+pub const PROBE_LEVELS: [usize; 3] = [0, 4, 16];
+
+/// Rungs in the geometric budget ladder (before the λ anchor).
+const BUDGET_RUNGS: usize = 5;
+
+/// Canonical hash-quality pair `(p₁, p₂)` used to seed the λ anchor
+/// when the caller supplies `m` but no measured collision
+/// probabilities.
+const CANONICAL_P: (f64, f64) = (0.9, 0.6);
+
+/// Knobs of one calibration sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct CalibrateConfig {
+    /// Indexed rows to sample as queries (capped at the row count).
+    pub sample: usize,
+    /// The `k` to measure recall at.
+    pub k: usize,
+    /// Seed of the deterministic row-sampling stride.
+    pub seed: u64,
+    /// Unix seconds to stamp the table with (0 = unknown).
+    pub built_unix: u64,
+    /// The scheme's `m` when known: adds Theorem 5.1's λ to the grid.
+    pub m_hint: Option<usize>,
+}
+
+impl Default for CalibrateConfig {
+    fn default() -> CalibrateConfig {
+        CalibrateConfig { sample: 64, k: 10, seed: 7, built_unix: 0, m_hint: None }
+    }
+}
+
+/// The budget ladder for an `n`-row index at depth `k`: geometric rungs
+/// from `max(4k, 16)` to `n`, plus the λ anchor when `m` is known.
+/// Sorted, deduplicated, every value in `[1, n]`.
+pub fn budget_grid(n: usize, k: usize, m_hint: Option<usize>) -> Vec<usize> {
+    let n = n.max(1);
+    let lo = (4 * k.max(1)).max(16).min(n);
+    let mut grid = Vec::with_capacity(BUDGET_RUNGS + 2);
+    for i in 0..=BUDGET_RUNGS {
+        let t = i as f64 / BUDGET_RUNGS as f64;
+        let b = ((lo as f64).ln() * (1.0 - t) + (n as f64).ln() * t).exp().round() as usize;
+        grid.push(b.clamp(1, n));
+    }
+    if let Some(m) = m_hint.filter(|&m| m >= 2) {
+        grid.push(lccs_lsh::theory::lambda(m, n, CANONICAL_P.0, CANONICAL_P.1));
+    }
+    grid.sort_unstable();
+    grid.dedup();
+    grid
+}
+
+/// `count` distinct row indices spread across `len` rows with a
+/// seed-dependent offset: deterministic, so repeated sweeps of an
+/// unchanged index measure identical queries.
+fn sample_indices(len: usize, count: usize, seed: u64) -> Vec<usize> {
+    let count = count.max(1).min(len);
+    let step = (len / count).max(1);
+    let start = (seed as usize) % len;
+    (0..count).map(|i| (start + i * step) % len).collect()
+}
+
+/// Runs the sweep: saturated ground truth per sampled query, then one
+/// recall + median-latency measurement per grid point. The returned
+/// table is already monotone-regularized and ready for
+/// [`plan::CalibrationTable::plan`].
+pub fn sweep(index: &dyn AnnIndex, rows: &Dataset, cfg: &CalibrateConfig) -> CalibrationTable {
+    let n = index.len().max(1);
+    let k = cfg.k.clamp(1, n);
+    let idxs = sample_indices(rows.len().max(1), cfg.sample, cfg.seed);
+    let budgets = budget_grid(n, k, cfg.m_hint);
+    let max_probes = *PROBE_LEVELS.iter().max().expect("non-empty");
+    let saturated = SearchRequest::top_k(k).budget(n).probes(max_probes);
+    let truth: Vec<Vec<Neighbor>> =
+        idxs.iter().map(|&i| index.search(rows.get(i), &saturated).hits).collect();
+    let mut points = Vec::with_capacity(PROBE_LEVELS.len() * budgets.len());
+    for &probes in &PROBE_LEVELS {
+        for &budget in &budgets {
+            let req = SearchRequest::top_k(k).budget(budget).probes(probes);
+            let mut recall_sum = 0.0;
+            let mut times: Vec<u64> = Vec::with_capacity(idxs.len());
+            for (qi, &i) in idxs.iter().enumerate() {
+                let t0 = Instant::now();
+                let resp = index.search(rows.get(i), &req);
+                times.push(t0.elapsed().as_micros() as u64);
+                recall_sum += crate::metrics::recall(&resp.hits, &truth[qi]);
+            }
+            times.sort_unstable();
+            points.push(CalPoint {
+                budget: budget as u32,
+                probes: probes as u32,
+                recall: recall_sum / idxs.len() as f64,
+                micros: times[times.len() / 2],
+            });
+        }
+    }
+    let mut table = CalibrationTable {
+        sample_queries: idxs.len() as u32,
+        k: k as u32,
+        rows: index.len() as u64,
+        built_unix: cfg.built_unix,
+        stale: false,
+        points,
+    };
+    table.regularize();
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dataset::{Metric, SynthSpec};
+    use lccs_lsh::{LccsLsh, LccsParams};
+    use std::sync::Arc;
+
+    #[test]
+    fn budget_grid_is_sorted_capped_and_anchored() {
+        let grid = budget_grid(10_000, 10, Some(64));
+        assert!(grid.windows(2).all(|w| w[0] < w[1]), "sorted + deduped: {grid:?}");
+        assert_eq!(*grid.last().unwrap(), 10_000, "ladder tops out at n");
+        assert!(grid.iter().all(|&b| (1..=10_000).contains(&b)));
+        let anchor = lccs_lsh::theory::lambda(64, 10_000, 0.9, 0.6);
+        assert!(grid.contains(&anchor), "λ anchor {anchor} in {grid:?}");
+        // Degenerate shapes stay legal.
+        assert_eq!(budget_grid(1, 10, None), vec![1]);
+    }
+
+    #[test]
+    fn sampling_is_deterministic_and_distinct() {
+        let a = sample_indices(1000, 64, 7);
+        let b = sample_indices(1000, 64, 7);
+        assert_eq!(a, b);
+        let mut uniq = a.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), 64, "indices distinct");
+        assert_eq!(sample_indices(5, 64, 7).len(), 5, "capped at len");
+    }
+
+    #[test]
+    fn sweep_measures_a_plannable_monotone_table() {
+        let data = Arc::new(SynthSpec::new("cal", 600, 16).with_clusters(6).generate(3));
+        let index = LccsLsh::build(
+            data.clone(),
+            Metric::Euclidean,
+            &LccsParams::euclidean(4.0).with_m(16),
+        );
+        let cfg = CalibrateConfig { sample: 24, k: 5, m_hint: Some(16), ..Default::default() };
+        let table = sweep(&index, &data, &cfg);
+        assert_eq!(table.sample_queries, 24);
+        assert_eq!(table.k, 5);
+        assert_eq!(table.rows, 600);
+        assert!(!table.stale);
+        assert!(
+            (table.max_recall() - 1.0).abs() < 1e-12,
+            "the saturated grid point is its own ground truth"
+        );
+        // Every target is satisfiable on a fresh table, and the planner
+        // never picks a costlier point than the saturated corner.
+        let p = table.plan(0.9).expect("plannable");
+        assert!(p.predicted_recall >= 0.9);
+        assert!(p.budget <= 600);
+        // Regularized recall is monotone along budget per probe level.
+        for &probes in &PROBE_LEVELS {
+            let mut level: Vec<_> =
+                table.points.iter().filter(|p| p.probes == probes as u32).collect();
+            level.sort_by_key(|p| p.budget);
+            assert!(
+                level.windows(2).all(|w| w[0].recall <= w[1].recall + 1e-12),
+                "monotone at probes={probes}"
+            );
+        }
+    }
+}

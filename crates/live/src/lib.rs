@@ -1271,6 +1271,10 @@ impl LiveIndex {
             filter: slot_filter,
             max_dist: req.max_dist,
             fields: ResponseFields::default(),
+            // Planning resolves to concrete knobs before the index is
+            // consulted, so segment-level requests never carry a target.
+            target_recall: None,
+            knobs_set: req.knobs_set,
         };
         let resp = seg.index.search_with(q, &inner, scratch);
         let hits = resp

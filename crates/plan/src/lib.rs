@@ -1,0 +1,559 @@
+//! Recall-targeted query planning (the PR-10 subsystem).
+//!
+//! Users of an ANN service ask for a *recall target*, not for the
+//! paper's raw `(budget, probes)` knobs. This crate holds the data
+//! structure and decision logic that turn `target_recall(0.9)` into the
+//! cheapest satisfying parameter pair:
+//!
+//! * [`CalibrationTable`] — a compact per-index table of measured
+//!   `(budget, probes) → (recall, latency)` grid points, produced by the
+//!   eval harness's fig9/fig10-style sweep (`eval::calibrate`), made
+//!   monotone by [`CalibrationTable::regularize`], and persisted as a
+//!   back-compatible `CALB` section in the `.snap` container.
+//! * [`CalibrationTable::plan`] — the planner: the cheapest grid point
+//!   (budget first, probes as tiebreak) whose measured recall meets the
+//!   target. Between grid anchors, [`CalibrationTable::predict`]
+//!   interpolates recall **log-linearly in budget** — the shape the
+//!   paper's §5 model implies (the budget needed for a recall level
+//!   scales like `m^(1-1/ρ)`, so recall is closer to linear in
+//!   `log budget` than in budget); the grid itself is seeded from
+//!   `theory::lambda` by the sweep driver.
+//! * [`Degrader`] — the load-shedding dial: when the serving p99 runs
+//!   past its bound, requested targets are stepped down toward
+//!   `--recall-floor` instead of letting the daemon time out, and the
+//!   effective target is reported honestly in `SearchStats` / METRICS.
+//!
+//! The crate is dependency-free on purpose: `eval` measures into it,
+//! `serve` persists and plans out of it, and neither pulls the other in.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+
+/// Magic prefix of the encoded table (also the `.snap` section marker).
+pub const CAL_MAGIC: [u8; 4] = *b"CALT";
+
+/// Encoding version; bump when the point layout changes.
+pub const CAL_VERSION: u8 = 1;
+
+/// Fixed encoded size of one [`CalPoint`]: budget + probes (u32 each),
+/// recall (f64 bits), micros (u64).
+pub const POINT_BYTES: usize = 4 + 4 + 8 + 8;
+
+/// Encoded size of the header before the point array: magic, version,
+/// sample_queries u32, k u32, rows u64, built_unix u64, stale u8,
+/// count u32.
+pub const HEADER_BYTES: usize = 4 + 1 + 4 + 4 + 8 + 8 + 1 + 4;
+
+/// One measured grid point of the calibration sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CalPoint {
+    /// Verification budget the point was measured at.
+    pub budget: u32,
+    /// Probe count the point was measured at (0 = scheme default).
+    pub probes: u32,
+    /// Measured recall at `(budget, probes)`, in `[0, 1]`.
+    pub recall: f64,
+    /// Median per-query latency at this point, microseconds.
+    pub micros: u64,
+}
+
+/// The per-index calibration asset: measured recall + latency over a
+/// `(budget, probes)` grid, plus the provenance needed to judge
+/// staleness. Persisted in the snapshot container (`CALB` section) and
+/// carried in the serving catalog.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CalibrationTable {
+    /// How many sampled queries the sweep measured against.
+    pub sample_queries: u32,
+    /// The `k` the sweep measured recall at.
+    pub k: u32,
+    /// Row count of the index when calibrated (drift indicator).
+    pub rows: u64,
+    /// Unix seconds when the sweep ran (0 = unknown).
+    pub built_unix: u64,
+    /// Set when the index mutated after calibration: the table still
+    /// plans, but its numbers describe a previous state of the index.
+    pub stale: bool,
+    /// The measured grid, sorted by `(probes, budget)`.
+    pub points: Vec<CalPoint>,
+}
+
+/// Why a table failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeError(pub String);
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bad calibration table: {}", self.0)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Why planning failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanError {
+    /// The index has no calibration table (or an empty one): the server
+    /// cannot honor `target_recall` and answers with this typed error.
+    Uncalibrated,
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::Uncalibrated => write!(
+                f,
+                "not calibrated for target_recall; run `ann-cli calibrate` \
+                 or pass explicit budget/probes"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+/// The planner's answer: the cheapest grid point meeting the target.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Plan {
+    /// Chosen verification budget.
+    pub budget: u32,
+    /// Chosen probe count.
+    pub probes: u32,
+    /// The measured (monotone-regularized) recall at the chosen point.
+    /// Below the target only when the target exceeds everything the
+    /// table can reach — the planner then returns its best point and
+    /// reports the shortfall honestly rather than failing the query.
+    pub predicted_recall: f64,
+}
+
+/// Cost order the planner minimizes: budget dominates (it is the number
+/// of candidates verified with full f32 distances — the dominant cost
+/// in the paper's model), probes break ties.
+fn cost(p: &CalPoint) -> (u32, u32) {
+    (p.budget, p.probes)
+}
+
+impl CalibrationTable {
+    /// Serializes the table: `CALT` magic, version, header fields, then
+    /// the fixed-size point array. Everything little-endian.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(HEADER_BYTES + self.points.len() * POINT_BYTES);
+        out.extend_from_slice(&CAL_MAGIC);
+        out.push(CAL_VERSION);
+        out.extend_from_slice(&self.sample_queries.to_le_bytes());
+        out.extend_from_slice(&self.k.to_le_bytes());
+        out.extend_from_slice(&self.rows.to_le_bytes());
+        out.extend_from_slice(&self.built_unix.to_le_bytes());
+        out.push(u8::from(self.stale));
+        out.extend_from_slice(&(self.points.len() as u32).to_le_bytes());
+        for p in &self.points {
+            out.extend_from_slice(&p.budget.to_le_bytes());
+            out.extend_from_slice(&p.probes.to_le_bytes());
+            out.extend_from_slice(&p.recall.to_bits().to_le_bytes());
+            out.extend_from_slice(&p.micros.to_le_bytes());
+        }
+        out
+    }
+
+    /// Decodes an encoded table, rejecting bad magic, unknown versions,
+    /// truncation, trailing bytes, non-finite or out-of-range recalls,
+    /// and empty grids (a table with no points cannot plan; absence is
+    /// spelled "no CALB section", never an empty one).
+    pub fn decode(raw: &[u8]) -> Result<CalibrationTable, DecodeError> {
+        let mut r = Cursor { raw, at: 0 };
+        let magic = r.take(4)?;
+        if magic != CAL_MAGIC {
+            return Err(DecodeError(format!("magic {magic:02x?}")));
+        }
+        let version = r.u8()?;
+        if version != CAL_VERSION {
+            return Err(DecodeError(format!("unknown version {version}")));
+        }
+        let sample_queries = r.u32()?;
+        let k = r.u32()?;
+        let rows = r.u64()?;
+        let built_unix = r.u64()?;
+        let stale = match r.u8()? {
+            0 => false,
+            1 => true,
+            b => return Err(DecodeError(format!("stale byte {b}"))),
+        };
+        let count = r.u32()? as usize;
+        if count == 0 {
+            return Err(DecodeError("empty grid".into()));
+        }
+        if count > raw.len() / POINT_BYTES + 1 {
+            return Err(DecodeError(format!("count {count} exceeds the body")));
+        }
+        let mut points = Vec::with_capacity(count);
+        for i in 0..count {
+            let budget = r.u32()?;
+            let probes = r.u32()?;
+            let recall = f64::from_bits(r.u64()?);
+            let micros = r.u64()?;
+            if !recall.is_finite() || !(0.0..=1.0).contains(&recall) {
+                return Err(DecodeError(format!("point {i} recall {recall}")));
+            }
+            points.push(CalPoint { budget, probes, recall, micros });
+        }
+        if r.at != raw.len() {
+            return Err(DecodeError(format!("{} trailing bytes", raw.len() - r.at)));
+        }
+        Ok(CalibrationTable { sample_queries, k, rows, built_unix, stale, points })
+    }
+
+    /// Monotone regularization: measured recall must never *decrease*
+    /// as budget grows (within a probe level) or as probes grow (at a
+    /// fixed budget) — sampling noise can dent that, and a dented table
+    /// would make the planner non-monotone. Each pass takes the running
+    /// max along one axis; the result is sorted by `(probes, budget)`.
+    pub fn regularize(&mut self) {
+        self.points.sort_by_key(|p| (p.probes, p.budget));
+        // Running max along budget within each probe level.
+        let mut i = 0;
+        while i < self.points.len() {
+            let probes = self.points[i].probes;
+            let mut best = 0.0f64;
+            while i < self.points.len() && self.points[i].probes == probes {
+                best = best.max(self.points[i].recall);
+                self.points[i].recall = best;
+                i += 1;
+            }
+        }
+        // Running max along probes at each budget (probe groups are
+        // already sorted ascending).
+        let budgets: Vec<u32> = {
+            let mut b: Vec<u32> = self.points.iter().map(|p| p.budget).collect();
+            b.sort_unstable();
+            b.dedup();
+            b
+        };
+        for budget in budgets {
+            let mut best = 0.0f64;
+            for p in self.points.iter_mut().filter(|p| p.budget == budget) {
+                best = best.max(p.recall);
+                p.recall = best;
+            }
+        }
+    }
+
+    /// The highest recall any grid point reaches.
+    pub fn max_recall(&self) -> f64 {
+        self.points.iter().map(|p| p.recall).fold(0.0, f64::max)
+    }
+
+    /// Picks the cheapest grid point whose measured recall meets
+    /// `target` (cost order: budget, then probes). When the target is
+    /// beyond everything measured, returns the highest-recall point
+    /// (most expensive among ties) with `predicted_recall < target` —
+    /// the caller reports the shortfall instead of failing the query.
+    ///
+    /// Monotone by construction: raising the target shrinks the set the
+    /// minimum is taken over, so the chosen cost can only rise.
+    pub fn plan(&self, target: f64) -> Result<Plan, PlanError> {
+        let satisfying = self
+            .points
+            .iter()
+            .filter(|p| p.recall >= target)
+            .min_by_key(|p| cost(p));
+        let chosen = match satisfying {
+            Some(p) => p,
+            None => self
+                .points
+                .iter()
+                .max_by(|a, b| {
+                    a.recall.total_cmp(&b.recall).then_with(|| cost(a).cmp(&cost(b)))
+                })
+                .ok_or(PlanError::Uncalibrated)?,
+        };
+        Ok(Plan {
+            budget: chosen.budget,
+            probes: chosen.probes,
+            predicted_recall: chosen.recall,
+        })
+    }
+
+    /// Predicted recall at an arbitrary `(budget, probes)`: within the
+    /// nearest measured probe level (largest level ≤ `probes`, else the
+    /// smallest), recall is interpolated **log-linearly in budget**
+    /// between the bracketing grid anchors and clamped to the endpoint
+    /// values outside them. The log-linear shape follows the §5 model:
+    /// required budget grows like `m^(1-1/ρ)` per recall level, so
+    /// equal recall steps correspond to equal *ratios* of budget.
+    pub fn predict(&self, budget: u32, probes: u32) -> f64 {
+        let level = self
+            .points
+            .iter()
+            .map(|p| p.probes)
+            .filter(|&p| p <= probes)
+            .max()
+            .or_else(|| self.points.iter().map(|p| p.probes).min());
+        let Some(level) = level else { return 0.0 };
+        let group: Vec<&CalPoint> =
+            self.points.iter().filter(|p| p.probes == level).collect();
+        // (sorted by budget: regularize() and the sweep both order it.)
+        let first = match group.first() {
+            Some(p) => **p,
+            None => return 0.0,
+        };
+        let last = **group.last().expect("non-empty group");
+        if budget <= first.budget {
+            return first.recall;
+        }
+        if budget >= last.budget {
+            return last.recall;
+        }
+        for w in group.windows(2) {
+            let (lo, hi) = (w[0], w[1]);
+            if (lo.budget..=hi.budget).contains(&budget) {
+                if hi.budget == lo.budget {
+                    return hi.recall;
+                }
+                let t = ((budget as f64).ln() - (lo.budget as f64).ln())
+                    / ((hi.budget as f64).ln() - (lo.budget as f64).ln());
+                return lo.recall + t * (hi.recall - lo.recall);
+            }
+        }
+        last.recall
+    }
+
+    /// Seconds elapsed since the sweep ran, given the current unix time
+    /// (0 when the table carries no timestamp).
+    pub fn age_secs(&self, now_unix: u64) -> u64 {
+        if self.built_unix == 0 {
+            0
+        } else {
+            now_unix.saturating_sub(self.built_unix)
+        }
+    }
+}
+
+/// The load-shedding dial: steps a requested recall target down toward
+/// a floor when the serving p99 runs past its bound, instead of letting
+/// the daemon breach its latency promise. Disabled (passes targets
+/// through) when the floor or the bound is unset.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Degrader {
+    /// The lowest effective target degradation may reach; `0.0`
+    /// disables degradation entirely.
+    pub floor: f64,
+    /// The p99 latency bound in microseconds; `0` disables degradation.
+    pub p99_bound_micros: u64,
+}
+
+/// How much one overload step lowers the target.
+pub const DEGRADE_STEP: f64 = 0.05;
+
+impl Degrader {
+    /// A disabled dial (targets pass through unchanged).
+    pub fn off() -> Degrader {
+        Degrader { floor: 0.0, p99_bound_micros: 0 }
+    }
+
+    /// Whether degradation is armed at all.
+    pub fn enabled(&self) -> bool {
+        self.floor > 0.0 && self.p99_bound_micros > 0
+    }
+
+    /// The effective target for a request asking for `requested` while
+    /// the serving p99 is `p99_micros`: each doubling of the p99 over
+    /// its bound sheds one [`DEGRADE_STEP`], clamped at the floor (and
+    /// never *raised* — a request below the floor passes through).
+    pub fn effective(&self, requested: f64, p99_micros: u64) -> f64 {
+        if !self.enabled() || p99_micros <= self.p99_bound_micros {
+            return requested;
+        }
+        let over = p99_micros as f64 / self.p99_bound_micros as f64;
+        let steps = over.log2().ceil().max(1.0);
+        (requested - DEGRADE_STEP * steps).max(self.floor).min(requested)
+    }
+}
+
+struct Cursor<'a> {
+    raw: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if self.at + n > self.raw.len() {
+            return Err(DecodeError("truncated".into()));
+        }
+        let s = &self.raw[self.at..self.at + n];
+        self.at += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, DecodeError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    fn u64(&mut self) -> Result<u64, DecodeError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> CalibrationTable {
+        CalibrationTable {
+            sample_queries: 64,
+            k: 10,
+            rows: 1000,
+            built_unix: 1_700_000_000,
+            stale: false,
+            points: vec![
+                CalPoint { budget: 16, probes: 0, recall: 0.42, micros: 30 },
+                CalPoint { budget: 64, probes: 0, recall: 0.80, micros: 90 },
+                CalPoint { budget: 256, probes: 0, recall: 0.97, micros: 300 },
+                CalPoint { budget: 16, probes: 8, recall: 0.55, micros: 45 },
+                CalPoint { budget: 64, probes: 8, recall: 0.91, micros: 120 },
+                CalPoint { budget: 256, probes: 8, recall: 1.0, micros: 400 },
+            ],
+        }
+    }
+
+    #[test]
+    fn codec_round_trips() {
+        for stale in [false, true] {
+            let mut t = table();
+            t.stale = stale;
+            let back = CalibrationTable::decode(&t.encode()).expect("own encoding decodes");
+            assert_eq!(back, t);
+        }
+    }
+
+    #[test]
+    fn truncation_and_garbage_are_rejected() {
+        let body = table().encode();
+        for cut in 0..body.len() {
+            assert!(
+                CalibrationTable::decode(&body[..cut]).is_err(),
+                "prefix of {cut} bytes must not decode"
+            );
+        }
+        let mut trailing = body.clone();
+        trailing.push(0);
+        assert!(CalibrationTable::decode(&trailing).is_err(), "trailing byte");
+        let mut bad_magic = body.clone();
+        bad_magic[0] = b'X';
+        assert!(CalibrationTable::decode(&bad_magic).is_err(), "magic");
+        let mut bad_version = body.clone();
+        bad_version[4] = CAL_VERSION + 1;
+        assert!(CalibrationTable::decode(&bad_version).is_err(), "version");
+        // Non-finite recall in the first point.
+        let mut bad_recall = body;
+        let off = HEADER_BYTES + 8;
+        bad_recall[off..off + 8].copy_from_slice(&f64::NAN.to_bits().to_le_bytes());
+        assert!(CalibrationTable::decode(&bad_recall).is_err(), "NaN recall");
+    }
+
+    #[test]
+    fn empty_grids_do_not_decode() {
+        let t = CalibrationTable {
+            sample_queries: 1,
+            k: 1,
+            rows: 1,
+            built_unix: 0,
+            stale: false,
+            points: vec![],
+        };
+        assert!(CalibrationTable::decode(&t.encode()).is_err());
+    }
+
+    #[test]
+    fn regularize_makes_recall_monotone_along_both_axes() {
+        let mut t = table();
+        // Dent the measurements: recall dips at a higher budget and at a
+        // higher probe level.
+        t.points[1].recall = 0.30; // (64, 0) below (16, 0)
+        t.points[3].recall = 0.10; // (16, 8) below (16, 0)
+        t.regularize();
+        let at = |budget, probes| {
+            t.points.iter().find(|p| p.budget == budget && p.probes == probes).unwrap().recall
+        };
+        assert_eq!(at(64, 0), 0.42, "budget axis: running max");
+        assert_eq!(at(16, 8), 0.42, "probe axis: running max");
+        assert!(at(256, 8) >= at(64, 8));
+    }
+
+    #[test]
+    fn planner_picks_the_cheapest_satisfying_point() {
+        let t = table();
+        let p = t.plan(0.75).unwrap();
+        assert_eq!((p.budget, p.probes), (64, 0), "cheapest ≥0.75 is (64, 0)");
+        assert_eq!(p.predicted_recall, 0.80);
+        let p = t.plan(0.9).unwrap();
+        assert_eq!((p.budget, p.probes), (64, 8), "probes beat a 4x budget");
+        let p = t.plan(0.99).unwrap();
+        assert_eq!((p.budget, p.probes), (256, 8));
+    }
+
+    #[test]
+    fn unreachable_targets_fall_back_to_the_best_point_honestly() {
+        let mut t = table();
+        t.points.retain(|p| p.probes == 0);
+        let p = t.plan(0.999).unwrap();
+        assert_eq!((p.budget, p.probes), (256, 0));
+        assert!(p.predicted_recall < 0.999, "shortfall is reported, not hidden");
+    }
+
+    #[test]
+    fn planning_over_no_points_is_uncalibrated() {
+        let t = CalibrationTable {
+            sample_queries: 0,
+            k: 0,
+            rows: 0,
+            built_unix: 0,
+            stale: false,
+            points: vec![],
+        };
+        assert_eq!(t.plan(0.5), Err(PlanError::Uncalibrated));
+    }
+
+    #[test]
+    fn predict_interpolates_between_anchors_and_clamps_outside() {
+        let t = table();
+        assert_eq!(t.predict(8, 0), 0.42, "below the grid clamps low");
+        assert_eq!(t.predict(1024, 0), 0.97, "above the grid clamps high");
+        let mid = t.predict(128, 0);
+        assert!(mid > 0.80 && mid < 0.97, "between anchors, got {mid}");
+        // Log-linear: halfway in log space between 64 and 256 is 128.
+        let expected = 0.80 + 0.5 * (0.97 - 0.80);
+        assert!((mid - expected).abs() < 1e-9, "log-linear midpoint, got {mid}");
+        assert!(t.predict(128, 8) > t.predict(128, 0), "higher probe level");
+        assert!(t.predict(128, 3) == t.predict(128, 0), "probe level rounds down");
+    }
+
+    #[test]
+    fn degrader_steps_down_toward_the_floor() {
+        let d = Degrader { floor: 0.7, p99_bound_micros: 1000 };
+        assert_eq!(d.effective(0.9, 500), 0.9, "under the bound: untouched");
+        assert_eq!(d.effective(0.9, 1000), 0.9, "at the bound: untouched");
+        let one = d.effective(0.9, 1500);
+        assert!((one - 0.85).abs() < 1e-12, "one step over, got {one}");
+        assert_eq!(d.effective(0.9, 1_000_000), 0.7, "deep overload clamps at the floor");
+        assert_eq!(d.effective(0.5, 1_000_000), 0.5, "requests below the floor pass through");
+        assert_eq!(Degrader::off().effective(0.9, u64::MAX), 0.9, "disabled dial is inert");
+        let unarmed = Degrader { floor: 0.0, p99_bound_micros: 1000 };
+        assert_eq!(unarmed.effective(0.9, u64::MAX), 0.9, "no floor = no degradation");
+    }
+
+    #[test]
+    fn age_is_relative_to_build_time() {
+        let t = table();
+        assert_eq!(t.age_secs(1_700_000_050), 50);
+        assert_eq!(t.age_secs(0), 0, "clock behind the build never underflows");
+        let mut t0 = t;
+        t0.built_unix = 0;
+        assert_eq!(t0.age_secs(123), 0, "no timestamp, no age");
+    }
+}

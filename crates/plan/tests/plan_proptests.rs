@@ -1,0 +1,93 @@
+//! Property tests for the calibration-table codec and the planner.
+
+use plan::{CalPoint, CalibrationTable, CAL_MAGIC};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+fn any_point() -> impl Strategy<Value = CalPoint> {
+    (1u32..100_000, 0u32..64, 0.0f64..1.0, 0u64..1_000_000).prop_map(
+        |(budget, probes, recall, micros)| CalPoint { budget, probes, recall, micros },
+    )
+}
+
+fn any_table() -> impl Strategy<Value = CalibrationTable> {
+    (
+        vec(any_point(), 1..24),
+        0u32..10_000,
+        1u32..200,
+        0u64..u32::MAX as u64,
+        0u64..2_000_000_000,
+        any::<bool>(),
+    )
+        .prop_map(|(points, sample_queries, k, rows, built_unix, stale)| {
+            CalibrationTable { sample_queries, k, rows, built_unix, stale, points }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn codec_round_trips(t in any_table()) {
+        let back = CalibrationTable::decode(&t.encode()).expect("own encoding decodes");
+        prop_assert_eq!(back, t);
+    }
+
+    #[test]
+    fn every_truncation_is_rejected(t in any_table(), frac in 0.0f64..1.0) {
+        let body = t.encode();
+        let cut = ((body.len() as f64) * frac) as usize;
+        prop_assume!(cut < body.len());
+        prop_assert!(CalibrationTable::decode(&body[..cut]).is_err());
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected(t in any_table(), tail in vec(0u8..=255, 1..16)) {
+        let mut body = t.encode();
+        body.extend_from_slice(&tail);
+        prop_assert!(CalibrationTable::decode(&body).is_err());
+    }
+
+    #[test]
+    fn random_bytes_do_not_decode_unless_well_formed(raw in vec(0u8..=255, 0..256)) {
+        // Decoding arbitrary bytes must never panic; if it does succeed,
+        // re-encoding must reproduce the input exactly (no silent
+        // normalization of a malformed body).
+        if let Ok(t) = CalibrationTable::decode(&raw) {
+            prop_assert_eq!(t.encode(), raw);
+            prop_assert_eq!(&raw[..4], &CAL_MAGIC[..]);
+        }
+    }
+
+    #[test]
+    fn planner_is_monotone_in_the_target(
+        mut t in any_table(),
+        lo in 0.0f64..1.0,
+        hi in 0.0f64..1.0,
+    ) {
+        prop_assume!(lo <= hi);
+        t.regularize();
+        let cheap = t.plan(lo).expect("non-empty table plans");
+        let dear = t.plan(hi).expect("non-empty table plans");
+        // Higher target ⇒ never-cheaper params (budget-major cost order)
+        // and never-lower predicted recall.
+        prop_assert!(
+            (cheap.budget, cheap.probes) <= (dear.budget, dear.probes),
+            "target {} chose ({}, {}), target {} chose ({}, {})",
+            lo, cheap.budget, cheap.probes, hi, dear.budget, dear.probes
+        );
+        prop_assert!(cheap.predicted_recall <= dear.predicted_recall);
+    }
+
+    #[test]
+    fn regularized_tables_predict_monotonically_in_budget(
+        mut t in any_table(),
+        b1 in 1u32..100_000,
+        b2 in 1u32..100_000,
+        probes in 0u32..64,
+    ) {
+        prop_assume!(b1 <= b2);
+        t.regularize();
+        prop_assert!(t.predict(b1, probes) <= t.predict(b2, probes) + 1e-12);
+    }
+}

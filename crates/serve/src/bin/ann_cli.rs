@@ -14,8 +14,10 @@
 //!               [--live true] [--seal-threshold 0] [--max-segments 0]
 //! ann-cli query --addr ADDR --index NAME --k K --budget B [--probes P] --vec 1.0,2.0,…
 //! ann-cli search --addr ADDR --index NAME [--k 10] [--budget 128] [--probes 0]
+//!                [--target-recall 0.9]
 //!                [--filter ids.txt | --deny ids.txt] [--max-dist 1.5] [--stats true]
 //!                (--vec 1.0,2.0,… | --from queries.fvecs [--limit 0])
+//! ann-cli calibrate --addr ADDR --index NAME [--sample 0] [--k 0]
 //! ann-cli insert --addr ADDR --index NAME (--vec 1.0,2.0,… | --data FILE.fvecs)
 //!                [--ids 7,8,…] [--limit 0]
 //! ann-cli delete --addr ADDR --index NAME --ids 7,8,…
@@ -31,6 +33,12 @@
 //! mutable LSM-style index that then accepts `insert` / `delete` /
 //! `flush`. `describe` prints a snapshot's header, including the
 //! originating spec and (for live containers) the segment layout.
+//!
+//! `calibrate` runs the server-side recall/latency sweep that backs
+//! `search --target-recall` (recall-targeted planning — see
+//! `docs/planning.md`): the table is installed immediately and attached
+//! to the index's snapshot. `--sample 0` / `--k 0` take the server
+//! defaults.
 
 use dataset::{Metric, SynthSpec};
 use eval::registry::{self, BuildCtx};
@@ -42,7 +50,7 @@ use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Instant;
 
-const USAGE: &str = "usage: ann-cli <demo|gen|spec-help|describe|ping|list|stats|metrics|build|query|search|insert|delete|flush|shutdown> [flags]
+const USAGE: &str = "usage: ann-cli <demo|gen|spec-help|describe|ping|list|stats|metrics|build|query|search|calibrate|insert|delete|flush|shutdown> [flags]
   demo      --out DIR [--n 2000] [--dim 32] [--m 16] [--seed 42]
   gen       --out FILE.fvecs [--n 2000] [--dim 32] [--seed 42] [--clusters 16]
   spec-help
@@ -55,8 +63,9 @@ const USAGE: &str = "usage: ann-cli <demo|gen|spec-help|describe|ping|list|stats
             [--live true] [--seal-threshold 0] [--max-segments 0]
   query     --addr HOST:PORT --index NAME [--k 10] [--budget 128] [--probes 0] --vec F,F,…
   search    --addr HOST:PORT --index NAME [--k 10] [--budget 128] [--probes 0]
-            [--filter IDS.txt | --deny IDS.txt] [--max-dist D] [--stats true]
+            [--target-recall R] [--filter IDS.txt | --deny IDS.txt] [--max-dist D] [--stats true]
             (--vec F,F,… | --from FILE.fvecs [--limit 0])
+  calibrate --addr HOST:PORT --index NAME [--sample 0] [--k 0]
   insert    --addr HOST:PORT --index NAME (--vec F,F,… | --data FILE.fvecs) [--ids N,N,…] [--limit 0]
   delete    --addr HOST:PORT --index NAME --ids N,N,…
   flush     --addr HOST:PORT --index NAME
@@ -156,6 +165,23 @@ fn cmd_describe(flags: &HashMap<String, String>) {
         }
         None => println!("spec:    unknown (pre-v2)"),
     }
+    match &snap.calibration {
+        Some(t) => {
+            println!(
+                "calibration: {} points over {} sample queries at k={}{}",
+                t.points.len(),
+                t.sample_queries,
+                t.k,
+                if t.stale { " (STALE: index mutated after the sweep)" } else { "" }
+            );
+            println!(
+                "             max measured recall {:.4}; built_unix={}",
+                t.max_recall(),
+                t.built_unix
+            );
+        }
+        None => println!("calibration: none (run `ann-cli calibrate`)"),
+    }
     if let Some(state) = &snap.live {
         println!("live:    {} live rows / {} physical", state.live_rows(), state.total_rows());
         println!(
@@ -241,9 +267,24 @@ fn read_ids_file(path: &str) -> Vec<u32> {
 fn cmd_search(flags: &HashMap<String, String>) {
     let mut client = connect(flags);
     let index = required(flags, "index");
-    let mut req = ann::SearchRequest::top_k(flag(flags, "k", 10))
-        .budget(flag(flags, "budget", 128))
-        .probes(flag(flags, "probes", 0));
+    let mut req = ann::SearchRequest::top_k(flag(flags, "k", 10));
+    // `--target-recall` switches to planned mode, where the knob
+    // defaults must stay unset (the two modes are mutually exclusive);
+    // knobs the user *did* pass are transmitted so the server answers
+    // with its typed rejection.
+    if let Some(t) = flags.get("target-recall") {
+        req = req.target_recall(
+            t.parse().unwrap_or_else(|e| panic!("--target-recall {t:?}: {e:?}")),
+        );
+        if flags.contains_key("budget") {
+            req = req.budget(flag(flags, "budget", 0));
+        }
+        if flags.contains_key("probes") {
+            req = req.probes(flag(flags, "probes", 0));
+        }
+    } else {
+        req = req.budget(flag(flags, "budget", 128)).probes(flag(flags, "probes", 0));
+    }
     match (flags.get("filter"), flags.get("deny")) {
         (Some(path), None) => req = req.filter(ann::IdFilter::allow(read_ids_file(path))),
         (None, Some(path)) => req = req.filter(ann::IdFilter::deny(read_ids_file(path))),
@@ -280,6 +321,12 @@ fn cmd_search(flags: &HashMap<String, String>) {
             println!("{rank}\tid={}\tdist={:.6}", n.id, n.dist);
         }
         if let Some(s) = out.stats {
+            if let Some(p) = s.plan {
+                println!(
+                    "plan\tbudget={}\tprobes={}\tpredicted_recall={:.4}\teffective_target={:.4}",
+                    p.budget, p.probes, p.predicted_recall, p.effective_target
+                );
+            }
             println!(
                 "stats\tscanned={}\theap_pushes={}\twall_us={}",
                 s.candidates_scanned, s.heap_pushes, s.wall_micros
@@ -334,6 +381,21 @@ fn cmd_insert(flags: &HashMap<String, String>) {
     }
 }
 
+/// Runs the server-side calibration sweep for recall-targeted search.
+fn cmd_calibrate(flags: &HashMap<String, String>) {
+    let mut client = connect(flags);
+    let index = required(flags, "index");
+    let sample: usize = flag(flags, "sample", 0);
+    let k: usize = flag(flags, "k", 0);
+    let (points, max_recall, sample_used) = client
+        .calibrate(index, sample, k)
+        .unwrap_or_else(|e| panic!("calibrate failed: {e}"));
+    println!(
+        "calibrated {index}\tpoints={points}\tsample={sample_used}\tmax_recall={max_recall:.4}"
+    );
+    println!("targets up to {max_recall:.4} are now plannable via `search --target-recall R`");
+}
+
 fn cmd_delete(flags: &HashMap<String, String>) {
     let mut client = connect(flags);
     let index = required(flags, "index");
@@ -372,7 +434,7 @@ fn main() -> ExitCode {
             let infos = connect(&flags).list().unwrap_or_else(|e| panic!("list failed: {e}"));
             for i in infos {
                 println!(
-                    "{}\tmethod={}\tspec={}\tn={}\tdim={}\tindex_bytes={}\tload={}\tsq8={}",
+                    "{}\tmethod={}\tspec={}\tn={}\tdim={}\tindex_bytes={}\tload={}\tsq8={}\tcal={}",
                     i.name,
                     i.method,
                     if i.spec.is_empty() { "unknown" } else { &i.spec },
@@ -380,7 +442,12 @@ fn main() -> ExitCode {
                     i.dim,
                     i.index_bytes,
                     i.load_mode,
-                    if i.sq8 { "on" } else { "off" }
+                    if i.sq8 { "on" } else { "off" },
+                    if i.cal == "none" {
+                        i.cal.clone()
+                    } else {
+                        format!("{} ({}s old)", i.cal, i.cal_age_secs)
+                    }
                 );
             }
         }
@@ -399,6 +466,7 @@ fn main() -> ExitCode {
         "build" => cmd_build(&flags),
         "query" => cmd_query(&flags),
         "search" => cmd_search(&flags),
+        "calibrate" => cmd_calibrate(&flags),
         "insert" => cmd_insert(&flags),
         "delete" => cmd_delete(&flags),
         "flush" => cmd_flush(&flags),

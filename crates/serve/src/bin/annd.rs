@@ -11,6 +11,9 @@
 //! observability (both modes):
 //!      [--log-level error|warn|info|debug] [--log-json]
 //!      [--slow-query-ms N]
+//!
+//! recall-target degradation (both modes, off unless both are set):
+//!      [--recall-floor 0.7] [--p99-bound-us N]
 //! ```
 //!
 //! Diagnostics go to stderr as structured logfmt lines (`--log-json`
@@ -46,6 +49,13 @@
 //! restarted router routes identically; `--require-all` turns degraded
 //! reads into errors instead of typed partial results. See
 //! `docs/cluster.md`.
+//!
+//! `--recall-floor` + `--p99-bound-us` arm the overload dial for
+//! `target_recall` requests: when the process's p99 query latency runs
+//! past the bound, requested targets are stepped down (never below the
+//! floor) before planning, and the step-down is reported in SearchStats
+//! and METRICS instead of silently breaching the latency bound. See
+//! `docs/planning.md`.
 
 use serve::catalog::Catalog;
 use serve::router::{parse_topology, Router, RouterConfig};
@@ -66,6 +76,8 @@ struct Opts {
     log_level: obs::Level,
     log_json: bool,
     slow_query_ms: u64,
+    recall_floor: f64,
+    p99_bound_us: u64,
 }
 
 fn parse_opts(args: impl Iterator<Item = String>) -> Opts {
@@ -80,6 +92,8 @@ fn parse_opts(args: impl Iterator<Item = String>) -> Opts {
     let mut log_level = obs::Level::Info;
     let mut log_json = false;
     let mut slow_query_ms = 0u64;
+    let mut recall_floor = 0.0f64;
+    let mut p99_bound_us = 0u64;
     let mut it = args.peekable();
     while let Some(a) = it.next() {
         let mut take =
@@ -114,10 +128,24 @@ fn parse_opts(args: impl Iterator<Item = String>) -> Opts {
                     .parse()
                     .expect("--slow-query-ms wants an integer")
             }
+            "--recall-floor" => {
+                recall_floor = take("--recall-floor")
+                    .parse()
+                    .expect("--recall-floor wants a number in (0, 1]");
+                assert!(
+                    recall_floor > 0.0 && recall_floor <= 1.0,
+                    "--recall-floor wants a number in (0, 1]"
+                );
+            }
+            "--p99-bound-us" => {
+                p99_bound_us = take("--p99-bound-us")
+                    .parse()
+                    .expect("--p99-bound-us wants an integer")
+            }
             other => panic!(
                 "unknown flag {other}; known: --snapshot-dir --addr --workers --wal-sync \
                  --router --router-dir --require-all --shard-timeout-ms --log-level \
-                 --log-json --slow-query-ms"
+                 --log-json --slow-query-ms --recall-floor --p99-bound-us"
             ),
         }
     }
@@ -136,6 +164,8 @@ fn parse_opts(args: impl Iterator<Item = String>) -> Opts {
         log_level,
         log_json,
         slow_query_ms,
+        recall_floor,
+        p99_bound_us,
     }
 }
 
@@ -153,6 +183,8 @@ fn run_router(opts: &Opts, topology: &str) -> ExitCode {
         require_all: opts.require_all,
         dir: opts.router_dir.clone(),
         shard_timeout: Duration::from_millis(opts.shard_timeout_ms.max(1)),
+        recall_floor: opts.recall_floor,
+        p99_bound_micros: opts.p99_bound_us,
     };
     if config.dir.is_none() {
         obs::warn!(
@@ -226,7 +258,11 @@ fn main() -> ExitCode {
         );
     }
     let server = match Server::bind(catalog, opts.addr.as_str(), opts.workers) {
-        Ok(s) => s.with_snapshot_dir(&snapshot_dir).with_wal_sync(opts.wal_sync),
+        Ok(s) => s
+            .with_snapshot_dir(&snapshot_dir)
+            .with_wal_sync(opts.wal_sync)
+            .with_recall_floor(opts.recall_floor)
+            .with_p99_bound_micros(opts.p99_bound_us),
         Err(e) => {
             obs::error!("failed to bind", addr = opts.addr, error = e);
             return ExitCode::FAILURE;

@@ -23,6 +23,7 @@ use ann::{AnnIndex, MutableAnn};
 use ann_live::wal::{wal_path, Wal};
 use ann_live::LiveIndex;
 use dataset::Dataset;
+use plan::CalibrationTable;
 use std::collections::BTreeMap;
 use std::path::Path;
 use std::sync::{Arc, Mutex, RwLock, RwLockReadGuard};
@@ -65,6 +66,12 @@ pub struct ServedIndex {
     /// every writer appends while still holding the index write lock, so
     /// the log's record order is exactly the order mutations applied.
     pub wal: Mutex<Option<Wal>>,
+    /// The entry's calibration table (the `plan` crate's measured
+    /// recall/latency grid), restored from the snapshot's `CALB` section
+    /// or installed by a CALIBRATE sweep; `None` until calibrated. The
+    /// mutex is held only to clone or swap the table — planning clones
+    /// it out, never computes under the lock.
+    pub calibration: Mutex<Option<CalibrationTable>>,
 }
 
 /// The message served for any access to a live entry whose inner lock a
@@ -143,6 +150,34 @@ impl ServedIndex {
         }
     }
 
+    /// Calibration presence (`"none"` / `"fresh"` / `"stale"`) plus the
+    /// table's age in seconds — what LIST, STATS and `ann-cli describe`
+    /// surface so operators can judge whether planned answers still
+    /// describe the index being served.
+    pub fn cal_summary(&self) -> (&'static str, u64) {
+        let guard = self.calibration.lock().unwrap_or_else(|e| e.into_inner());
+        match &*guard {
+            None => ("none", 0),
+            Some(t) => {
+                let now = std::time::SystemTime::now()
+                    .duration_since(std::time::UNIX_EPOCH)
+                    .map(|d| d.as_secs())
+                    .unwrap_or(0);
+                (if t.stale { "stale" } else { "fresh" }, t.age_secs(now))
+            }
+        }
+    }
+
+    /// Marks the calibration table stale (the index mutated after its
+    /// sweep: the table still plans, but honesty demands the label).
+    /// No-op when uncalibrated.
+    pub fn mark_cal_stale(&self) {
+        let mut guard = self.calibration.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(t) = guard.as_mut() {
+            t.stale = true;
+        }
+    }
+
     /// The wire-format description of this entry. A poisoned live entry
     /// still lists (name, method, spec are lock-free) but reports zero
     /// rows/bytes; its query paths return the full poison error.
@@ -158,6 +193,7 @@ impl ServedIndex {
                 Err(_) => (0, 0, 0),
             },
         };
+        let (cal, cal_age_secs) = self.cal_summary();
         IndexInfo {
             name: self.name.clone(),
             method: self.method.clone(),
@@ -167,6 +203,8 @@ impl ServedIndex {
             spec: self.spec.clone(),
             load_mode: self.load_mode().to_string(),
             sq8: self.sq8_active(),
+            cal: cal.to_string(),
+            cal_age_secs,
         }
     }
 }
@@ -288,6 +326,7 @@ impl Catalog {
     /// its segments through the registry); anything else restores through
     /// the method registry as a static entry.
     pub fn insert_snapshot(&mut self, snap: Snapshot) -> Result<(), SnapError> {
+        let calibration = snap.calibration;
         if let Some(state) = snap.live {
             if snap.method != ann_live::LIVE_METHOD {
                 return Err(SnapError::Malformed(format!(
@@ -306,13 +345,27 @@ impl Catalog {
             let spec = state.spec.to_string();
             let live = LiveIndex::from_state(state)
                 .map_err(|e| SnapError::Malformed(format!("reassembling live index: {e}")))?;
-            return self.install_live(snap.name, spec, live).map(|_| ());
+            let name = snap.name.clone();
+            self.install_live(snap.name, spec, live)?;
+            self.set_calibration(&name, calibration);
+            return Ok(());
         }
         let data = Arc::new(snap.data);
         let index = eval::registry::restore_index(&snap.method, &snap.payload, data.clone())
             .map_err(SnapError::Restore)?;
         let spec = snap.meta.map(|m| m.spec).unwrap_or_default();
-        self.insert(snap.name, snap.method, spec, index, data)
+        let name = snap.name.clone();
+        self.insert(snap.name, snap.method, spec, index, data)?;
+        self.set_calibration(&name, calibration);
+        Ok(())
+    }
+
+    /// Installs (or clears) an entry's calibration table. Used by the
+    /// snapshot restore path and by the CALIBRATE handler.
+    pub fn set_calibration(&mut self, name: &str, table: Option<CalibrationTable>) {
+        if let Some(served) = self.items.get_mut(name) {
+            *served.calibration.get_mut().unwrap_or_else(|e| e.into_inner()) = table;
+        }
     }
 
     /// Inserts an already-built static index (used by in-process
@@ -381,7 +434,15 @@ impl Catalog {
         let stats = IndexStats::default();
         let replaced = self.items.insert(
             name.clone(),
-            ServedIndex { name, method, spec, backend, stats, wal: Mutex::new(None) },
+            ServedIndex {
+                name,
+                method,
+                spec,
+                backend,
+                stats,
+                wal: Mutex::new(None),
+                calibration: Mutex::new(None),
+            },
         );
         Ok(replaced.is_some())
     }
@@ -618,7 +679,7 @@ mod tests {
             0.1,
             state.live_rows() as u64,
         );
-        crate::snapshot::stage_live_snapshot(&dir, "lv", &state, &meta)
+        crate::snapshot::stage_live_snapshot(&dir, "lv", &state, &meta, None)
             .unwrap()
             .commit()
             .unwrap();

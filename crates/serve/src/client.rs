@@ -272,14 +272,20 @@ impl Client {
         vector: &[f32],
         req: &SearchRequest,
     ) -> Result<SearchOutcome, ClientError> {
+        // A planned request (target set, knobs untouched) sends the
+        // 0-sentinels the server expects; a request carrying *both* a
+        // target and explicit knobs is transmitted faithfully so the
+        // server rejects it with exactly the in-process error text.
+        let sentinel = req.target_recall.is_some() && !req.knobs_set;
         let wire = Request::Search {
             index: index.to_string(),
             k: u32::try_from(req.k).unwrap_or(u32::MAX),
-            budget: u32::try_from(req.budget).unwrap_or(u32::MAX),
-            probes: u32::try_from(req.probes).unwrap_or(u32::MAX),
+            budget: if sentinel { 0 } else { u32::try_from(req.budget).unwrap_or(u32::MAX) },
+            probes: if sentinel { 0 } else { u32::try_from(req.probes).unwrap_or(u32::MAX) },
             filter: req.filter.clone(),
             max_dist: req.max_dist,
             want_stats: req.fields.stats,
+            target_recall: req.target_recall,
             vector: vector.to_vec(),
         };
         match self.call(&wire)? {
@@ -471,6 +477,31 @@ impl Client {
                 Ok((snapshot_path, segments, live_rows))
             }
             _ => Err(ClientError::Unexpected("FLUSHED")),
+        }
+    }
+
+    /// Runs the server-side calibration sweep over `index`: the server
+    /// samples `sample` of the index's own rows as queries (`0` = server
+    /// default), measures recall@`k` (`0` = default) and latency across
+    /// its `(budget, probes)` grid, installs the table for
+    /// `target_recall` planning, and persists it into the index's
+    /// snapshot. Returns `(grid_points, max_recall, sampled_queries)`.
+    pub fn calibrate(
+        &mut self,
+        index: &str,
+        sample: usize,
+        k: usize,
+    ) -> Result<(u32, f64, u32), ClientError> {
+        let req = Request::Calibrate {
+            index: index.to_string(),
+            sample: u32::try_from(sample).unwrap_or(u32::MAX),
+            k: u32::try_from(k).unwrap_or(u32::MAX),
+        };
+        match self.call(&req)? {
+            Response::Calibrated { points, max_recall, sample } => {
+                Ok((points, max_recall, sample))
+            }
+            _ => Err(ClientError::Unexpected("CALIBRATED")),
         }
     }
 

@@ -12,7 +12,7 @@
 //! garbage or hostile peer cannot make the server allocate unboundedly.
 
 use crate::wire::Reader;
-use ann::{IdFilter, SearchStats};
+use ann::{IdFilter, PlanChoice, SearchStats};
 use dataset::exact::Neighbor;
 use obs::TraceContext;
 use std::io::{self, Read, Write};
@@ -200,6 +200,8 @@ fn put_index_info(out: &mut Vec<u8>, i: &IndexInfo) {
     put_str16(out, &i.spec);
     put_str(out, &i.load_mode);
     out.push(u8::from(i.sq8));
+    put_str(out, &i.cal);
+    out.extend_from_slice(&i.cal_age_secs.to_le_bytes());
 }
 
 fn get_index_info(r: &mut Reader) -> Result<IndexInfo, ProtoError> {
@@ -212,6 +214,8 @@ fn get_index_info(r: &mut Reader) -> Result<IndexInfo, ProtoError> {
         spec: get_str16(r)?,
         load_mode: get_str(r)?,
         sq8: r.u8()? != 0,
+        cal: get_str(r)?,
+        cal_age_secs: r.u64()?,
     })
 }
 
@@ -376,8 +380,29 @@ pub enum Request {
         max_dist: Option<f64>,
         /// Ask the server to include [`SearchStats`] in the reply.
         want_stats: bool,
+        /// Ask the server to *plan* the knobs from the index's
+        /// calibration table instead of taking `budget`/`probes`
+        /// literally. Carried in a version-2 SEARCH frame (flag
+        /// [`SEARCH_FLAG_TARGET_RECALL`]); when present the `budget` and
+        /// `probes` fields travel as `0` sentinels, and any other value
+        /// is rejected by request validation as an explicit-knobs
+        /// conflict — with the same error text as the in-process
+        /// builder path.
+        target_recall: Option<f64>,
         /// The query vector.
         vector: Vec<f32>,
+    },
+    /// Run the fig9/fig10-style calibration sweep server-side against a
+    /// sample of the named index's own rows, install the resulting
+    /// [`plan`]-crate table in the catalog, and persist it as the
+    /// snapshot's `CALB` section so it survives restarts.
+    Calibrate {
+        /// Catalog name of the target index.
+        index: String,
+        /// Rows to sample as calibration queries (`0` = server default).
+        sample: u32,
+        /// The `k` to measure recall at (`0` = server default).
+        k: u32,
     },
     /// Fetch the node's telemetry in Prometheus text exposition format:
     /// process-wide counters/gauges/histograms plus per-index serving
@@ -386,9 +411,16 @@ pub enum Request {
     Metrics,
 }
 
-/// Wire version of the SEARCH frame layout. Bump when a field changes
-/// meaning; add a flag bit when a new optional section appears.
+/// Wire version of the baseline SEARCH frame layout. Bump when a field
+/// changes meaning; add a flag bit when a new optional section appears.
 pub const SEARCH_VERSION: u8 = 1;
+
+/// SEARCH frame version that may carry the target-recall section.
+/// Encoders only emit it when the section is present, so manual
+/// requests stay byte-identical to version-1 frames and old peers
+/// interoperate unchanged; version-1 frames carrying the flag are
+/// rejected as unknown-bit errors, exactly as an old build would.
+pub const SEARCH_VERSION_PLANNED: u8 = 2;
 
 /// SEARCH flag bit: an allowlist id section follows.
 pub const SEARCH_FLAG_ALLOW: u8 = 1 << 0;
@@ -398,8 +430,12 @@ pub const SEARCH_FLAG_DENY: u8 = 1 << 1;
 pub const SEARCH_FLAG_MAX_DIST: u8 = 1 << 2;
 /// SEARCH flag bit: the client wants the stats section in the reply.
 pub const SEARCH_FLAG_STATS: u8 = 1 << 3;
+/// SEARCH flag bit (version ≥ 2 only): a target-recall section (one
+/// f64, between the `max_dist` section and the vector) follows.
+pub const SEARCH_FLAG_TARGET_RECALL: u8 = 1 << 4;
 const SEARCH_FLAGS_KNOWN: u8 =
     SEARCH_FLAG_ALLOW | SEARCH_FLAG_DENY | SEARCH_FLAG_MAX_DIST | SEARCH_FLAG_STATS;
+const SEARCH_FLAGS_KNOWN_V2: u8 = SEARCH_FLAGS_KNOWN | SEARCH_FLAG_TARGET_RECALL;
 
 const REQ_SEARCH: u8 = 11;
 const REQ_PING: u8 = 1;
@@ -413,6 +449,7 @@ const REQ_INSERT: u8 = 8;
 const REQ_DELETE: u8 = 9;
 const REQ_FLUSH: u8 = 10;
 const REQ_METRICS: u8 = 12;
+const REQ_CALIBRATE: u8 = 13;
 
 impl Request {
     /// Serializes into a frame body.
@@ -493,9 +530,23 @@ impl Request {
                 out.push(REQ_FLUSH);
                 put_str(&mut out, index);
             }
-            Request::Search { index, k, budget, probes, filter, max_dist, want_stats, vector } => {
+            Request::Search {
+                index,
+                k,
+                budget,
+                probes,
+                filter,
+                max_dist,
+                want_stats,
+                target_recall,
+                vector,
+            } => {
                 out.push(REQ_SEARCH);
-                out.push(SEARCH_VERSION);
+                out.push(if target_recall.is_some() {
+                    SEARCH_VERSION_PLANNED
+                } else {
+                    SEARCH_VERSION
+                });
                 put_str(&mut out, index);
                 out.extend_from_slice(&k.to_le_bytes());
                 out.extend_from_slice(&budget.to_le_bytes());
@@ -510,6 +561,9 @@ impl Request {
                 if *want_stats {
                     flags |= SEARCH_FLAG_STATS;
                 }
+                if target_recall.is_some() {
+                    flags |= SEARCH_FLAG_TARGET_RECALL;
+                }
                 out.push(flags);
                 if let Some(f) = filter {
                     put_u32s(&mut out, f.ids());
@@ -517,8 +571,17 @@ impl Request {
                 if let Some(d) = max_dist {
                     out.extend_from_slice(&d.to_bits().to_le_bytes());
                 }
+                if let Some(t) = target_recall {
+                    out.extend_from_slice(&t.to_bits().to_le_bytes());
+                }
                 out.extend_from_slice(&(vector.len() as u32).to_le_bytes());
                 put_f32s(&mut out, vector);
+            }
+            Request::Calibrate { index, sample, k } => {
+                out.push(REQ_CALIBRATE);
+                put_str(&mut out, index);
+                out.extend_from_slice(&sample.to_le_bytes());
+                out.extend_from_slice(&k.to_le_bytes());
             }
             Request::Metrics => out.push(REQ_METRICS),
         }
@@ -552,6 +615,7 @@ impl Request {
             Request::Delete { .. } => "DELETE",
             Request::Flush { .. } => "FLUSH",
             Request::Search { .. } => "SEARCH",
+            Request::Calibrate { .. } => "CALIBRATE",
             Request::Metrics => "METRICS",
         }
     }
@@ -624,20 +688,22 @@ impl Request {
             REQ_FLUSH => Request::Flush { index: get_str(&mut r)? },
             REQ_SEARCH => {
                 let ver = r.u8()?;
-                if ver != SEARCH_VERSION {
+                if ver != SEARCH_VERSION && ver != SEARCH_VERSION_PLANNED {
                     return Err(ProtoError::BadShape(format!(
-                        "SEARCH version {ver} (this build speaks {SEARCH_VERSION})"
+                        "SEARCH version {ver} (this build speaks up to {SEARCH_VERSION_PLANNED})"
                     )));
                 }
+                let known =
+                    if ver >= SEARCH_VERSION_PLANNED { SEARCH_FLAGS_KNOWN_V2 } else { SEARCH_FLAGS_KNOWN };
                 let index = get_str(&mut r)?;
                 let k = r.u32()?;
                 let budget = r.u32()?;
                 let probes = r.u32()?;
                 let flags = r.u8()?;
-                if flags & !SEARCH_FLAGS_KNOWN != 0 {
+                if flags & !known != 0 {
                     return Err(ProtoError::BadShape(format!(
                         "unknown SEARCH flag bits {:#04x}",
-                        flags & !SEARCH_FLAGS_KNOWN
+                        flags & !known
                     )));
                 }
                 if flags & SEARCH_FLAG_ALLOW != 0 && flags & SEARCH_FLAG_DENY != 0 {
@@ -657,6 +723,15 @@ impl Request {
                 } else {
                     None
                 };
+                // The target travels as raw f64 bits: NaN and
+                // out-of-range values decode fine and are rejected by
+                // request *validation*, so the wire error text matches
+                // the in-process builder path exactly.
+                let target_recall = if flags & SEARCH_FLAG_TARGET_RECALL != 0 {
+                    Some(r.f64()?)
+                } else {
+                    None
+                };
                 let dim = r.u32()? as usize;
                 let vector = r.f32s(dim)?;
                 Request::Search {
@@ -667,8 +742,12 @@ impl Request {
                     filter,
                     max_dist,
                     want_stats: flags & SEARCH_FLAG_STATS != 0,
+                    target_recall,
                     vector,
                 }
+            }
+            REQ_CALIBRATE => {
+                Request::Calibrate { index: get_str(&mut r)?, sample: r.u32()?, k: r.u32()? }
             }
             REQ_METRICS => Request::Metrics,
             t => return Err(ProtoError::BadTag(t)),
@@ -702,6 +781,12 @@ pub struct IndexInfo {
     pub load_mode: String,
     /// Whether the SQ8 skip-bound pre-filter is active for this entry.
     pub sq8: bool,
+    /// Calibration presence: `"none"`, `"fresh"`, or `"stale"` (the
+    /// index mutated after its sweep).
+    pub cal: String,
+    /// Seconds since the calibration sweep ran (0 when absent or
+    /// untimestamped).
+    pub cal_age_secs: u64,
 }
 
 /// Per-index serving counters as reported by [`Request::Stats`].
@@ -768,6 +853,17 @@ pub struct StatsEntry {
     /// full-width distance was computed (0 for entries serving without
     /// trained codes).
     pub sq8_pruned: u64,
+    /// Searches whose knobs were chosen by the recall planner (the
+    /// `target_recall` request mode).
+    pub planned: u64,
+    /// Planned searches whose target was stepped down by the overload
+    /// degradation dial before planning.
+    pub degraded: u64,
+    /// Calibration presence: `"none"`, `"fresh"`, or `"stale"` — see
+    /// [`IndexInfo::cal`].
+    pub cal: String,
+    /// Seconds since the calibration sweep ran (0 when absent).
+    pub cal_age_secs: u64,
 }
 
 /// A server-to-client message.
@@ -845,6 +941,16 @@ pub enum Response {
     /// Reply to [`Request::Metrics`]: the node's telemetry rendered in
     /// Prometheus text exposition format (UTF-8, one sample per line).
     Metrics(String),
+    /// Reply to [`Request::Calibrate`]: the sweep ran and the table is
+    /// installed (and persisted when the index has a snapshot).
+    Calibrated {
+        /// Grid points the table holds.
+        points: u32,
+        /// Highest measured recall any grid point reached.
+        max_recall: f64,
+        /// Queries the sweep sampled.
+        sample: u32,
+    },
     /// The request could not be served (unknown index, shape mismatch…).
     Error(String),
 }
@@ -862,10 +968,17 @@ const RESP_FLUSHED: u8 = 10;
 const RESP_SEARCH: u8 = 11;
 const RESP_PARTIAL: u8 = 12;
 const RESP_METRICS: u8 = 13;
+const RESP_CALIBRATED: u8 = 14;
 const RESP_ERROR: u8 = 255;
 
 /// SEARCH response flag bit: a stats section follows the hits.
 const SEARCH_RESP_FLAG_STATS: u8 = 1 << 0;
+/// SEARCH response flag bit: a plan section (chosen budget + probes,
+/// predicted recall, post-degradation effective target) follows the
+/// stats section. Only legal alongside the stats flag — the plan is
+/// part of [`SearchStats`].
+const SEARCH_RESP_FLAG_PLAN: u8 = 1 << 1;
+const SEARCH_RESP_FLAGS_KNOWN: u8 = SEARCH_RESP_FLAG_STATS | SEARCH_RESP_FLAG_PLAN;
 
 impl Response {
     /// Serializes into a frame body.
@@ -923,6 +1036,10 @@ impl Response {
                     out.extend_from_slice(&e.p99_micros.to_le_bytes());
                     out.extend_from_slice(&e.heap_pushes.to_le_bytes());
                     out.extend_from_slice(&e.sq8_pruned.to_le_bytes());
+                    out.extend_from_slice(&e.planned.to_le_bytes());
+                    out.extend_from_slice(&e.degraded.to_le_bytes());
+                    put_str(&mut out, &e.cal);
+                    out.extend_from_slice(&e.cal_age_secs.to_le_bytes());
                 }
             }
             Response::ShuttingDown => out.push(RESP_SHUTDOWN),
@@ -948,12 +1065,25 @@ impl Response {
             }
             Response::Search { hits, stats } => {
                 out.push(RESP_SEARCH);
-                out.push(if stats.is_some() { SEARCH_RESP_FLAG_STATS } else { 0 });
+                let mut flags = 0u8;
+                if let Some(s) = stats {
+                    flags |= SEARCH_RESP_FLAG_STATS;
+                    if s.plan.is_some() {
+                        flags |= SEARCH_RESP_FLAG_PLAN;
+                    }
+                }
+                out.push(flags);
                 put_neighbors(&mut out, hits);
                 if let Some(s) = stats {
                     out.extend_from_slice(&s.candidates_scanned.to_le_bytes());
                     out.extend_from_slice(&s.heap_pushes.to_le_bytes());
                     out.extend_from_slice(&s.wall_micros.to_le_bytes());
+                    if let Some(p) = &s.plan {
+                        out.extend_from_slice(&p.budget.to_le_bytes());
+                        out.extend_from_slice(&p.probes.to_le_bytes());
+                        out.extend_from_slice(&p.predicted_recall.to_bits().to_le_bytes());
+                        out.extend_from_slice(&p.effective_target.to_bits().to_le_bytes());
+                    }
                 }
             }
             Response::Partial { lists, missing_shards } => {
@@ -971,6 +1101,12 @@ impl Response {
                 out.push(RESP_METRICS);
                 out.extend_from_slice(&(text.len() as u32).to_le_bytes());
                 out.extend_from_slice(text.as_bytes());
+            }
+            Response::Calibrated { points, max_recall, sample } => {
+                out.push(RESP_CALIBRATED);
+                out.extend_from_slice(&points.to_le_bytes());
+                out.extend_from_slice(&max_recall.to_bits().to_le_bytes());
+                out.extend_from_slice(&sample.to_le_bytes());
             }
             Response::Error(msg) => {
                 out.push(RESP_ERROR);
@@ -1044,6 +1180,10 @@ impl Response {
                     let p99_micros = r.u64()?;
                     let heap_pushes = r.u64()?;
                     let sq8_pruned = r.u64()?;
+                    let planned = r.u64()?;
+                    let degraded = r.u64()?;
+                    let cal = get_str(&mut r)?;
+                    let cal_age_secs = r.u64()?;
                     entries.push(StatsEntry {
                         name,
                         spec,
@@ -1066,6 +1206,10 @@ impl Response {
                         p99_micros,
                         heap_pushes,
                         sq8_pruned,
+                        planned,
+                        degraded,
+                        cal,
+                        cal_age_secs,
                     });
                 }
                 Response::Stats(entries)
@@ -1085,22 +1229,37 @@ impl Response {
             },
             RESP_SEARCH => {
                 let flags = r.u8()?;
-                if flags & !SEARCH_RESP_FLAG_STATS != 0 {
+                if flags & !SEARCH_RESP_FLAGS_KNOWN != 0 {
                     return Err(ProtoError::BadShape(format!(
                         "unknown SEARCH response flag bits {:#04x}",
-                        flags & !SEARCH_RESP_FLAG_STATS
+                        flags & !SEARCH_RESP_FLAGS_KNOWN
                     )));
+                }
+                if flags & SEARCH_RESP_FLAG_PLAN != 0 && flags & SEARCH_RESP_FLAG_STATS == 0 {
+                    return Err(ProtoError::BadShape(
+                        "SEARCH response carries a plan section without stats".into(),
+                    ));
                 }
                 let hits = get_neighbors(&mut r)?;
                 let stats = if flags & SEARCH_RESP_FLAG_STATS != 0 {
                     // `sq8_pruned` is node-local telemetry and does not
                     // travel in this section, whose layout is pinned.
-                    Some(SearchStats {
+                    let mut s = SearchStats {
                         candidates_scanned: r.u64()?,
                         heap_pushes: r.u64()?,
                         wall_micros: r.u64()?,
                         sq8_pruned: 0,
-                    })
+                        plan: None,
+                    };
+                    if flags & SEARCH_RESP_FLAG_PLAN != 0 {
+                        s.plan = Some(PlanChoice {
+                            budget: r.u32()?,
+                            probes: r.u32()?,
+                            predicted_recall: r.f64()?,
+                            effective_target: r.f64()?,
+                        });
+                    }
+                    Some(s)
                 } else {
                     None
                 };
@@ -1131,6 +1290,9 @@ impl Response {
                 Response::Metrics(
                     String::from_utf8(raw.to_vec()).map_err(|_| ProtoError::BadUtf8)?,
                 )
+            }
+            RESP_CALIBRATED => {
+                Response::Calibrated { points: r.u32()?, max_recall: r.f64()?, sample: r.u32()? }
             }
             RESP_ERROR => {
                 let len = r.u32()? as usize;
@@ -1220,19 +1382,84 @@ mod tests {
         for filter in [None, Some(IdFilter::allow(vec![4, 7, 9])), Some(IdFilter::deny(vec![2]))] {
             for max_dist in [None, Some(1.5)] {
                 for want_stats in [false, true] {
-                    round_trip_request(Request::Search {
-                        index: "glove".into(),
-                        k: 10,
-                        budget: 128,
-                        probes: 3,
-                        filter: filter.clone(),
-                        max_dist,
-                        want_stats,
-                        vector: vec![0.5, -1.25],
-                    });
+                    for target_recall in [None, Some(0.9)] {
+                        // Planned requests carry 0-sentinel knobs, the
+                        // shape real clients emit.
+                        let (budget, probes) =
+                            if target_recall.is_some() { (0, 0) } else { (128, 3) };
+                        round_trip_request(Request::Search {
+                            index: "glove".into(),
+                            k: 10,
+                            budget,
+                            probes,
+                            filter: filter.clone(),
+                            max_dist,
+                            want_stats,
+                            target_recall,
+                            vector: vec![0.5, -1.25],
+                        });
+                    }
                 }
             }
         }
+        round_trip_request(Request::Calibrate { index: "glove".into(), sample: 256, k: 10 });
+        round_trip_request(Request::Calibrate { index: "d".into(), sample: 0, k: 0 });
+    }
+
+    #[test]
+    fn planned_search_frames_are_versioned() {
+        let manual = Request::Search {
+            index: "x".into(),
+            k: 5,
+            budget: 64,
+            probes: 0,
+            filter: None,
+            max_dist: None,
+            want_stats: false,
+            target_recall: None,
+            vector: vec![1.0],
+        };
+        assert_eq!(manual.encode()[1], SEARCH_VERSION, "manual requests stay version 1");
+        let planned = Request::Search {
+            index: "x".into(),
+            k: 5,
+            budget: 0,
+            probes: 0,
+            filter: None,
+            max_dist: None,
+            want_stats: false,
+            target_recall: Some(0.9),
+            vector: vec![1.0],
+        };
+        let body = planned.encode();
+        assert_eq!(body[1], SEARCH_VERSION_PLANNED);
+        // The same flag bit on a version-1 frame is rejected as an
+        // unknown bit — exactly how a pre-plan build would react.
+        let mut v1 = body;
+        v1[1] = SEARCH_VERSION;
+        assert!(
+            matches!(Request::decode(&v1), Err(ProtoError::BadShape(m)) if m.contains("flag")),
+            "v1 + target flag must be an unknown-bit error"
+        );
+        // NaN targets cross the wire bit-intact for validation to reject
+        // with the shared error text.
+        let nan = Request::Search {
+            index: "x".into(),
+            k: 5,
+            budget: 0,
+            probes: 0,
+            filter: None,
+            max_dist: None,
+            want_stats: false,
+            target_recall: Some(f64::NAN),
+            vector: vec![1.0],
+        };
+        let Request::Search { target_recall: Some(back), .. } =
+            Request::decode(&nan.encode()).expect("NaN target decodes")
+        else {
+            panic!("wrong variant")
+        };
+        assert!(back.is_nan());
     }
 
     #[test]
@@ -1245,6 +1472,7 @@ mod tests {
             filter: Some(IdFilter::allow(vec![1, 2])),
             max_dist: Some(0.5),
             want_stats: true,
+            target_recall: None,
             vector: vec![1.0],
         }
         .encode();
@@ -1254,7 +1482,7 @@ mod tests {
         }
         // A future version byte is rejected, not misread.
         let mut future = good.clone();
-        future[1] = SEARCH_VERSION + 1;
+        future[1] = SEARCH_VERSION_PLANNED + 1;
         assert!(matches!(Request::decode(&future), Err(ProtoError::BadShape(m)) if m.contains("version")));
         // Unknown flag bits are rejected (flags sit after the 1-byte tag,
         // 1-byte version, 1-length-prefixed 1-byte name, and three u32s).
@@ -1307,6 +1535,8 @@ mod tests {
             spec: "lccs:m=16,seed=42".into(),
             load_mode: "mapped".into(),
             sq8: true,
+            cal: "fresh".into(),
+            cal_age_secs: 42,
         }]));
         round_trip_response(Response::Built {
             info: IndexInfo {
@@ -1318,6 +1548,8 @@ mod tests {
                 spec: "mp-lccs:m=16".into(),
                 load_mode: "owned".into(),
                 sq8: false,
+                cal: "none".into(),
+                cal_age_secs: 0,
             },
             build_micros: 123_456,
             snapshot_path: "/tmp/snaps/built.snap".into(),
@@ -1353,6 +1585,10 @@ mod tests {
             p99_micros: 63,
             heap_pushes: 888,
             sq8_pruned: 70_000,
+            planned: 12,
+            degraded: 3,
+            cal: "stale".into(),
+            cal_age_secs: 3600,
         }]));
         round_trip_response(Response::Partial {
             lists: vec![
@@ -1374,8 +1610,25 @@ mod tests {
                 heap_pushes: 9,
                 wall_micros: 1234,
                 sq8_pruned: 0,
+                plan: None,
             }),
         });
+        round_trip_response(Response::Search {
+            hits: vec![Neighbor { id: 5, dist: 0.5 }],
+            stats: Some(SearchStats {
+                candidates_scanned: 64,
+                heap_pushes: 9,
+                wall_micros: 1234,
+                sq8_pruned: 0,
+                plan: Some(PlanChoice {
+                    budget: 96,
+                    probes: 8,
+                    predicted_recall: 0.93,
+                    effective_target: 0.9,
+                }),
+            }),
+        });
+        round_trip_response(Response::Calibrated { points: 24, max_recall: 0.995, sample: 256 });
         round_trip_response(Response::Metrics(
             "# TYPE ann_requests_total counter\nann_requests_total 7\n".into(),
         ));
@@ -1386,6 +1639,17 @@ mod tests {
             segments: 4,
             live_rows: 12_345,
         });
+    }
+
+    #[test]
+    fn plan_section_requires_the_stats_section() {
+        // tag, flags = plan-only, zero hits: contradictory by construction.
+        let mut body = vec![RESP_SEARCH, SEARCH_RESP_FLAG_PLAN];
+        body.extend_from_slice(&0u32.to_le_bytes());
+        assert!(matches!(
+            Response::decode(&body),
+            Err(ProtoError::BadShape(m)) if m.contains("plan")
+        ));
     }
 
     #[test]
@@ -1496,8 +1760,21 @@ mod tests {
                 filter: Some(IdFilter::allow(vec![4, 7])),
                 max_dist: Some(1.5),
                 want_stats: true,
+                target_recall: None,
                 vector: vec![0.5, -1.25],
             },
+            Request::Search {
+                index: "glove".into(),
+                k: 10,
+                budget: 0,
+                probes: 0,
+                filter: None,
+                max_dist: None,
+                want_stats: true,
+                target_recall: Some(0.95),
+                vector: vec![0.5, -1.25],
+            },
+            Request::Calibrate { index: "glove".into(), sample: 128, k: 10 },
         ];
         for req in kinds {
             // Traced frames carry the context through intact.

@@ -157,6 +157,11 @@ pub struct RouterConfig {
     pub dir: Option<PathBuf>,
     /// Connect + read deadline on every shard call.
     pub shard_timeout: Duration,
+    /// The `--recall-floor` dial: lowest effective `target_recall` the
+    /// router degrades planned requests to under overload (`0.0` off).
+    pub recall_floor: f64,
+    /// The `--p99-bound-us` overload signal for the dial (`0` off).
+    pub p99_bound_micros: u64,
 }
 
 impl RouterConfig {
@@ -167,6 +172,8 @@ impl RouterConfig {
             require_all: false,
             dir: None,
             shard_timeout: Duration::from_secs(5),
+            recall_floor: 0.0,
+            p99_bound_micros: 0,
         }
     }
 }
@@ -313,6 +320,11 @@ struct RouterState {
     /// Health counters parallel to `pools`.
     shard_obs: Vec<ShardObs>,
     degraded_reads: obs::Counter,
+    /// The router-edge overload dial: steps `target_recall` down toward
+    /// the floor *before* the target fans out, reading this process's
+    /// own end-to-end p99 (which sees scatter + merge cost the shards
+    /// cannot). Shards may degrade again against their own signals.
+    degrader: plan::Degrader,
 }
 
 impl Router {
@@ -370,6 +382,10 @@ impl Router {
                     &[],
                     "Reads that lost at least one shard (Partial or unavailable error)",
                 ),
+                degrader: plan::Degrader {
+                    floor: config.recall_floor,
+                    p99_bound_micros: config.p99_bound_micros,
+                },
             },
         })
     }
@@ -513,12 +529,34 @@ fn dispatch(
         Request::Stats => (state.route_stats(), false),
         Request::Metrics => (state.route_metrics(), false),
         Request::Query { index, k, budget, probes, vector } => (
-            state.route_search(ctx, &index, k, budget, probes, None, None, false, &vector, false),
+            state.route_search(
+                ctx, &index, k, budget, probes, None, None, false, None, &vector, false,
+            ),
             false,
         ),
-        Request::Search { index, k, budget, probes, filter, max_dist, want_stats, vector } => (
+        Request::Search {
+            index,
+            k,
+            budget,
+            probes,
+            filter,
+            max_dist,
+            want_stats,
+            target_recall,
+            vector,
+        } => (
             state.route_search(
-                ctx, &index, k, budget, probes, filter, max_dist, want_stats, &vector, true,
+                ctx,
+                &index,
+                k,
+                budget,
+                probes,
+                filter,
+                max_dist,
+                want_stats,
+                target_recall,
+                &vector,
+                true,
             ),
             false,
         ),
@@ -556,6 +594,9 @@ fn dispatch(
         }
         Request::Delete { index, ids } => (state.route_delete(&index, &ids), false),
         Request::Flush { index } => (state.route_flush(&index), false),
+        Request::Calibrate { index, sample, k } => {
+            (state.route_calibrate(&index, sample, k), false)
+        }
     }
 }
 
@@ -814,12 +855,28 @@ impl RouterState {
         filter: Option<ann::IdFilter>,
         max_dist: Option<f64>,
         want_stats: bool,
+        target_recall: Option<f64>,
         vector: &[f32],
         wire_search: bool,
     ) -> Response {
         let Some(p) = self.placement_of(index) else {
             return Response::Error(format!("no such index {index:?}"));
         };
+        // Target validation mirrors the single-node server (where the
+        // plan resolves before the substituted request is checked), so
+        // the router answers bad targets with byte-identical text. The
+        // wire's 0-sentinel convention makes `budget|probes != 0` the
+        // explicit-knobs signal.
+        if let Some(t) = target_recall {
+            if !t.is_finite() || t <= 0.0 || t > 1.0 {
+                let e = ann::RequestError::BadTargetRecall(t);
+                return Response::Error(format!("index {index:?}: {e}"));
+            }
+            if budget != 0 || probes != 0 {
+                let e = ann::RequestError::TargetRecallWithKnobs;
+                return Response::Error(format!("index {index:?}: {e}"));
+            }
+        }
         let lens = self.lens_of(index, p.mod_shards);
         // Mirror single-node request legality over the union row count,
         // so a router in front of the same rows answers bad requests
@@ -834,14 +891,27 @@ impl RouterState {
         if let Err(e) = check.validate(rows) {
             return Response::Error(format!("index {index:?}: {e}"));
         }
+        // The router-edge overload dial: step the target down toward
+        // the floor against this process's end-to-end p99, then fan the
+        // *effective* target out. Each shard plans against its own
+        // calibration table (candidate sets are disjoint, so per-shard
+        // recall composes into cluster recall), and may step down again
+        // against its own signals.
+        let effective = target_recall.map(|t| self.degrader.effective(t, self.stats.p99_micros()));
+        let edge_degraded = matches!((target_recall, effective), (Some(r), Some(e)) if e < r);
         let t0 = Instant::now();
         let targets: Vec<usize> = (0..p.mod_shards as usize)
             .filter(|&s| lens[s].is_none_or(|n| n > 0))
             .collect();
         let results = self.fan_out_timed(&targets, false, |s, c| {
-            let mut req = SearchRequest::top_k(lens[s].map_or(k as u64, |n| n.min(k as u64)) as usize)
-                .budget(budget as usize)
-                .probes(probes as usize);
+            let k_s = lens[s].map_or(k as u64, |n| n.min(k as u64)) as usize;
+            let mut req = match effective {
+                // Planned mode: sentinel knobs ride the wire (the
+                // client encodes 0/0 when a target is set and no knobs
+                // are), so the shard plans locally.
+                Some(t) => SearchRequest::top_k(k_s).target_recall(t),
+                None => SearchRequest::top_k(k_s).budget(budget as usize).probes(probes as usize),
+            };
             req.filter = filter.clone();
             req.max_dist = max_dist;
             req.fields.stats = want_stats;
@@ -872,6 +942,15 @@ impl RouterState {
                     if let Some(s) = shard_stats {
                         stats.candidates_scanned += s.candidates_scanned;
                         stats.heap_pushes += s.heap_pushes;
+                        // Cluster plan summary: worst-case knobs, most
+                        // pessimistic prediction — the binding shard.
+                        if let Some(sp) = s.plan {
+                            let agg = stats.plan.get_or_insert(sp);
+                            agg.budget = agg.budget.max(sp.budget);
+                            agg.probes = agg.probes.max(sp.probes);
+                            agg.predicted_recall = agg.predicted_recall.min(sp.predicted_recall);
+                            agg.effective_target = agg.effective_target.min(sp.effective_target);
+                        }
                     }
                 }
                 Err(ShardError::Remote(msg)) => {
@@ -893,6 +972,9 @@ impl RouterState {
         self.stats.record_query(wall);
         self.stats.record_scanned(stats.candidates_scanned);
         self.stats.record_funnel(stats.heap_pushes, 0);
+        if target_recall.is_some() {
+            self.stats.record_planned(edge_degraded);
+        }
         if obs::is_slow(wall) {
             let op = if wire_search { "SEARCH" } else { "QUERY" };
             let mut root = obs::SpanRecord::new(op, 0, wall).field("index", index);
@@ -1388,6 +1470,41 @@ impl RouterState {
         }
         Response::Flushed { snapshot_path: paths.join("; "), segments, live_rows }
     }
+
+    /// CALIBRATE fans to every shard primary and fails closed like a
+    /// write: a cluster where only some shards hold a table would turn
+    /// planned requests into per-shard `Uncalibrated` errors. The
+    /// summary aggregates pessimistically — the cluster can only
+    /// promise the recall its weakest shard measured.
+    fn route_calibrate(&self, index: &str, sample: u32, k: u32) -> Response {
+        let Some(p) = self.placement_of(index) else {
+            return Response::Error(format!("no such index {index:?}"));
+        };
+        let targets: Vec<usize> = (0..p.mod_shards as usize).collect();
+        let results =
+            self.fan_out(&targets, true, |_, c| c.calibrate(index, sample as usize, k as usize));
+        let mut points = 0u32;
+        let mut max_recall = f64::INFINITY;
+        let mut sample_out = 0u32;
+        let mut failures = Vec::new();
+        for (i, result) in results.into_iter().enumerate() {
+            match result {
+                Ok((pts, mr, smp)) => {
+                    points += pts;
+                    max_recall = max_recall.min(mr);
+                    sample_out = sample_out.max(smp);
+                }
+                Err(ShardError::Remote(msg)) => {
+                    failures.push(format!("{}: {msg}", self.pools[targets[i]].down_label()))
+                }
+                Err(ShardError::Down(label)) => failures.push(label),
+            }
+        }
+        if !failures.is_empty() {
+            return self.write_failure("CALIBRATE", index, &failures);
+        }
+        Response::Calibrated { points, max_recall, sample: sample_out }
+    }
 }
 
 /// Renames a shard's stats entry `name` → `name@shard<i>`, truncating
@@ -1421,6 +1538,16 @@ fn merge_stats(agg: &mut StatsEntry, e: &StatsEntry) {
     agg.candidates_scanned += e.candidates_scanned;
     agg.heap_pushes += e.heap_pushes;
     agg.sq8_pruned += e.sq8_pruned;
+    agg.planned += e.planned;
+    agg.degraded += e.degraded;
+    // The cluster is only as calibrated as its least-calibrated shard;
+    // the age reports the oldest sweep still serving.
+    agg.cal = match (agg.cal.as_str(), e.cal.as_str()) {
+        ("none", _) | (_, "none") => "none".into(),
+        ("stale", _) | (_, "stale") => "stale".into(),
+        _ => "fresh".into(),
+    };
+    agg.cal_age_secs = agg.cal_age_secs.max(e.cal_age_secs);
     agg.total_micros += e.total_micros;
     agg.max_micros = agg.max_micros.max(e.max_micros);
     if agg.latency_hist.len() < e.latency_hist.len() {
@@ -1489,6 +1616,10 @@ mod tests {
             p99_micros: 0,
             heap_pushes: 0,
             sq8_pruned: 0,
+            planned: 0,
+            degraded: 0,
+            cal: "none".into(),
+            cal_age_secs: 0,
         };
         let renamed = shard_entry(entry, "shard12");
         assert!(renamed.name.len() <= MAX_NAME);
@@ -1519,11 +1650,19 @@ mod tests {
             p99_micros: 0,
             heap_pushes: 4,
             sq8_pruned: 3,
+            planned: 2,
+            degraded: 1,
+            cal: "fresh".into(),
+            cal_age_secs: 10,
         };
         let other = StatsEntry {
             latency_hist: vec![0, 1, 7],
             max_micros: 90,
             queries: 2,
+            planned: 3,
+            degraded: 0,
+            cal: "stale".into(),
+            cal_age_secs: 45,
             ..agg.clone()
         };
         merge_stats(&mut agg, &other);
@@ -1533,5 +1672,9 @@ mod tests {
         assert_eq!(agg.total_micros, 200);
         assert_eq!(agg.heap_pushes, 8, "funnel counters sum like the others");
         assert_eq!(agg.sq8_pruned, 6);
+        assert_eq!(agg.planned, 5, "planner counters sum");
+        assert_eq!(agg.degraded, 1);
+        assert_eq!(agg.cal, "stale", "a stale shard makes the cluster stale");
+        assert_eq!(agg.cal_age_secs, 45, "age is the oldest sweep");
     }
 }

@@ -69,6 +69,7 @@ pub struct Server {
     workers: usize,
     shutdown: Arc<AtomicBool>,
     wal_sync: WalSync,
+    degrader: plan::Degrader,
 }
 
 impl Server {
@@ -82,6 +83,7 @@ impl Server {
             workers: workers.max(1),
             shutdown: Arc::new(AtomicBool::new(false)),
             wal_sync: WalSync::Always,
+            degrader: plan::Degrader::off(),
         })
     }
 
@@ -101,6 +103,23 @@ impl Server {
     /// the records are already in the kernel). See `docs/durability.md`.
     pub fn with_wal_sync(mut self, sync: WalSync) -> Server {
         self.wal_sync = sync;
+        self
+    }
+
+    /// Arms the overload dial for recall-targeted requests
+    /// (`--recall-floor`): when the serving p99 runs past the bound set
+    /// with [`Server::with_p99_bound_micros`], planned targets are
+    /// stepped down toward `floor` instead of letting latency grow
+    /// unbounded. `0.0` (the default) never degrades.
+    pub fn with_recall_floor(mut self, floor: f64) -> Server {
+        self.degrader.floor = floor;
+        self
+    }
+
+    /// The p99 latency bound (µs) that triggers recall-target
+    /// degradation (`--p99-bound-us`); `0` (the default) never degrades.
+    pub fn with_p99_bound_micros(mut self, bound: u64) -> Server {
+        self.degrader.p99_bound_micros = bound;
         self
     }
 
@@ -133,6 +152,7 @@ impl Server {
             local,
             wal_sync: self.wal_sync,
             sealer: seal_tx,
+            degrader: self.degrader,
         };
         std::thread::scope(|scope| {
             {
@@ -192,6 +212,8 @@ struct Shared<'a> {
     /// Feeds the background sealer the name of a live entry whose
     /// insert just froze the memtable (queued seal/compaction work).
     sealer: Sender<String>,
+    /// The load-shedding dial for recall-targeted requests.
+    degrader: plan::Degrader,
 }
 
 /// How often the sealer re-checks the shutdown flag while idle.
@@ -283,6 +305,7 @@ fn req_index(req: &Request) -> Option<&str> {
         | Request::Search { index, .. }
         | Request::Insert { index, .. }
         | Request::Delete { index, .. }
+        | Request::Calibrate { index, .. }
         | Request::Flush { index } => Some(index),
         Request::Build { name, .. } => Some(name),
         _ => None,
@@ -378,24 +401,11 @@ fn dispatch(
         }
         Request::Stats => {
             let catalog = shared.catalog.read().expect("catalog poisoned");
-            (
-                Response::Stats(
-                    catalog
-                        .iter()
-                        .map(|s| {
-                            s.stats.snapshot(&s.name, &s.spec, s.load_mode(), s.sq8_active())
-                        })
-                        .collect(),
-                ),
-                false,
-            )
+            (Response::Stats(catalog.iter().map(stats_entry).collect()), false)
         }
         Request::Metrics => {
             let catalog = shared.catalog.read().expect("catalog poisoned");
-            let entries: Vec<_> = catalog
-                .iter()
-                .map(|s| s.stats.snapshot(&s.name, &s.spec, s.load_mode(), s.sq8_active()))
-                .collect();
+            let entries: Vec<_> = catalog.iter().map(stats_entry).collect();
             // Live-index internals are sampled at scrape time (they are
             // sizes, not event counters): memtable rows, sealed
             // segments, and queued background ops per live entry.
@@ -464,11 +474,29 @@ fn dispatch(
                 Err(e) => (Response::Error(e), false),
             }
         }
-        Request::Search { index, k, budget, probes, filter, max_dist, want_stats, vector } => {
+        Request::Search {
+            index,
+            k,
+            budget,
+            probes,
+            filter,
+            max_dist,
+            want_stats,
+            target_recall,
+            vector,
+        } => {
             let mut req = request_from_knobs(k, budget, probes);
             req.filter = filter;
             req.max_dist = max_dist;
             req.fields.stats = want_stats;
+            if target_recall.is_some() {
+                // A well-formed planned frame carries 0-sentinels for
+                // both knobs; anything else counts as "explicit knobs"
+                // so validation rejects the combination with exactly
+                // the in-process error text.
+                req.knobs_set = budget != 0 || probes != 0;
+                req.target_recall = target_recall;
+            }
             match answer_search(shared, scratches, &index, &req, &vector) {
                 Ok(resp) => (
                     Response::Search {
@@ -479,6 +507,9 @@ fn dispatch(
                 ),
                 Err(e) => (Response::Error(e), false),
             }
+        }
+        Request::Calibrate { index, sample, k } => {
+            (handle_calibrate(shared, &index, sample, k), false)
         }
         Request::Batch { index, k, budget, probes, dim, vectors } => {
             let catalog = shared.catalog.read().expect("catalog poisoned");
@@ -606,6 +637,9 @@ fn dispatch(
                     served
                         .stats
                         .record_insert(assigned.len() as u64, t0.elapsed().as_micros() as u64);
+                    // The index the table was measured on no longer
+                    // exists: keep planning, but report it stale.
+                    served.mark_cal_stale();
                     if froze {
                         shared.sealer.send(index.clone()).ok();
                     }
@@ -648,6 +682,9 @@ fn dispatch(
                     served
                         .stats
                         .record_delete(removed as u64, t0.elapsed().as_micros() as u64);
+                    if removed > 0 {
+                        served.mark_cal_stale();
+                    }
                     (Response::Deleted { removed: removed as u64 }, false)
                 }
                 Err(e) => (Response::Error(e), false),
@@ -696,8 +733,17 @@ fn dispatch(
                     return Err(format!("live index {index:?} is empty; nothing to flush"));
                 }
                 let meta = SnapMeta::of_build(&state.spec, 0.0, state.live_rows() as u64);
-                let staged = crate::snapshot::stage_live_snapshot(dir, &index, &state, &meta)
-                    .and_then(|s| s.commit());
+                // Persist whatever table the entry holds — stale bit
+                // and all — so a restart keeps planning (and keeps
+                // reporting the staleness honestly).
+                let cal = served
+                    .calibration
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .clone();
+                let staged =
+                    crate::snapshot::stage_live_snapshot(dir, &index, &state, &meta, cal.as_ref())
+                        .and_then(|s| s.commit());
                 let path = match staged {
                     Ok(path) => path,
                     Err(e) => {
@@ -799,8 +845,12 @@ fn answer_search(
 ) -> Result<SearchResponse, String> {
     let catalog = shared.catalog.read().expect("catalog poisoned");
     let served = lookup(&catalog, index)?;
+    // A recall target resolves to concrete knobs *before* the backend
+    // sees the request; the backend then runs an ordinary search.
+    let planned = plan_request(shared, served, index, req)?;
+    let req = planned.as_ref().map_or(req, |(r, _, _)| r);
     let t0 = Instant::now();
-    let resp = match &served.backend {
+    let mut resp = match &served.backend {
         Backend::Static { index: idx, data } => {
             check_request(index, req, vector.len(), idx.len(), data.dim())?;
             let scratch =
@@ -814,10 +864,151 @@ fn answer_search(
             live.search_with(vector, req, scratch)
         }
     };
+    if let Some((_, choice, degraded)) = planned {
+        resp.stats.plan = Some(choice);
+        served.stats.record_planned(degraded);
+    }
     served.stats.record_scanned(resp.stats.candidates_scanned);
     served.stats.record_funnel(resp.stats.heap_pushes, resp.stats.sq8_pruned);
     served.stats.record_query(t0.elapsed().as_micros() as u64);
     Ok(resp)
+}
+
+/// Resolves a `target_recall` request against the entry's calibration
+/// table: validate the target (identical [`ann::RequestError`] texts to
+/// the in-process path), apply the overload dial, and pick the cheapest
+/// satisfying `(budget, probes)`. `Ok(None)` when the request carries
+/// no target; the `bool` reports whether the dial lowered the target.
+fn plan_request(
+    shared: &Shared,
+    served: &ServedIndex,
+    index: &str,
+    req: &SearchRequest,
+) -> Result<Option<(SearchRequest, ann::PlanChoice, bool)>, String> {
+    let Some(requested) = req.target_recall else {
+        return Ok(None);
+    };
+    if !requested.is_finite() || requested <= 0.0 || requested > 1.0 {
+        return Err(format!(
+            "index {index:?}: {}",
+            ann::RequestError::BadTargetRecall(requested)
+        ));
+    }
+    if req.knobs_set {
+        return Err(format!("index {index:?}: {}", ann::RequestError::TargetRecallWithKnobs));
+    }
+    let table = served
+        .calibration
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .clone();
+    let Some(table) = table else {
+        return Err(format!("index {index:?}: {}", plan::PlanError::Uncalibrated));
+    };
+    let effective = shared.degrader.effective(requested, served.stats.p99_micros());
+    let degraded = effective < requested;
+    let p = table.plan(effective).map_err(|e| format!("index {index:?}: {e}"))?;
+    let choice = ann::PlanChoice {
+        budget: p.budget,
+        probes: p.probes,
+        predicted_recall: p.predicted_recall,
+        effective_target: effective,
+    };
+    let mut planned = req.clone();
+    planned.target_recall = None;
+    planned.knobs_set = true;
+    planned.budget = p.budget as usize;
+    planned.probes = p.probes as usize;
+    Ok(Some((planned, choice, degraded)))
+}
+
+/// One STATS/METRICS row for a served entry: the atomic counters, plus
+/// the calibration presence/age that lives on the catalog entry rather
+/// than in the counter block.
+fn stats_entry(s: &ServedIndex) -> crate::protocol::StatsEntry {
+    let mut e = s.stats.snapshot(&s.name, &s.spec, s.load_mode(), s.sq8_active());
+    let (cal, cal_age_secs) = s.cal_summary();
+    e.cal = cal.to_string();
+    e.cal_age_secs = cal_age_secs;
+    e
+}
+
+/// Default queries sampled by a CALIBRATE with `sample = 0`.
+const DEFAULT_CAL_SAMPLE: usize = 64;
+
+/// Default recall depth measured by a CALIBRATE with `k = 0`.
+const DEFAULT_CAL_K: usize = 10;
+
+/// CALIBRATE: sweep the entry's own rows through the eval harness's
+/// calibration driver, install the measured table on the catalog entry
+/// (a mutex swap — concurrent readers plan against the old table until
+/// the swap), and persist it into the entry's `.snap` so it survives a
+/// restart. The sweep runs under the catalog *read* lock: queries keep
+/// flowing, only BUILD installs wait.
+fn handle_calibrate(shared: &Shared, name: &str, sample: u32, k: u32) -> Response {
+    let cfg_base = eval::calibrate::CalibrateConfig {
+        sample: if sample == 0 { DEFAULT_CAL_SAMPLE } else { sample as usize },
+        k: if k == 0 { DEFAULT_CAL_K } else { k as usize },
+        built_unix: std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map_or(0, |d| d.as_secs()),
+        ..Default::default()
+    };
+    let catalog = shared.catalog.read().expect("catalog poisoned");
+    let served = match lookup(&catalog, name) {
+        Ok(s) => s,
+        Err(e) => return Response::Error(e),
+    };
+    // The scheme's m (when the spec parses and carries one) anchors the
+    // budget grid with Theorem 5.1's λ.
+    let m_hint = served.spec.parse::<IndexSpec>().ok().and_then(|s| match s.scheme {
+        ann::Scheme::Lccs { m } | ann::Scheme::MpLccs { m } => Some(m),
+        _ => None,
+    });
+    let cfg = eval::calibrate::CalibrateConfig { m_hint, ..cfg_base };
+    let table = match &served.backend {
+        Backend::Static { index: idx, data } => {
+            eval::calibrate::sweep(idx.as_ref(), data, &cfg)
+        }
+        Backend::Live(lock) => {
+            let live = match live_read(lock, name) {
+                Ok(g) => g,
+                Err(e) => return Response::Error(e),
+            };
+            // Sample queries from the live index's physical rows; the
+            // sweep only needs vectors shaped like real data, liveness
+            // is irrelevant for a query vector.
+            let state = live.state();
+            let mut flat = Vec::with_capacity(state.total_rows() * state.dim);
+            for unit in state.segments.iter().chain(std::iter::once(&state.memtable)) {
+                flat.extend_from_slice(&unit.rows);
+            }
+            if flat.is_empty() {
+                return Response::Error(format!("index {name:?} is empty; nothing to calibrate"));
+            }
+            let rows = dataset::Dataset::from_flat("calibrate", state.dim, flat);
+            eval::calibrate::sweep(&*live, &rows, &cfg)
+        }
+    };
+    let resp = Response::Calibrated {
+        points: table.points.len() as u32,
+        max_recall: table.max_recall(),
+        sample: table.sample_queries,
+    };
+    *served.calibration.lock().unwrap_or_else(std::sync::PoisonError::into_inner) =
+        Some(table.clone());
+    drop(catalog);
+    if let Some(dir) = shared.snapshot_dir {
+        let path = dir.join(format!("{name}.{}", crate::snapshot::SNAPSHOT_EXT));
+        if path.exists() {
+            if let Err(e) = crate::snapshot::attach_calibration(&path, &table) {
+                // The table still serves from memory; only restart
+                // persistence is lost, which the next CALIBRATE heals.
+                obs::error!("persisting calibration failed", index = name, error = e);
+            }
+        }
+    }
+    resp
 }
 
 /// BUILD: parse the spec, load the dataset, build through the eval
@@ -1033,7 +1224,7 @@ fn handle_build_live(
         Some(dir) => {
             let state = live.state();
             let meta = SnapMeta::of_build(spec, build_secs, state.live_rows() as u64);
-            match crate::snapshot::stage_live_snapshot(dir, name, &state, &meta) {
+            match crate::snapshot::stage_live_snapshot(dir, name, &state, &meta, None) {
                 Ok(staged) => Some(staged),
                 Err(e) => return Response::Error(format!("snapshotting {name:?}: {e}")),
             }

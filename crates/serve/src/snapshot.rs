@@ -22,6 +22,7 @@
 //! sq8c     (optional) b"SQ8C" + u32 len   SQ8 code table, see below
 //! meta     (optional) b"META" + u32 len   build provenance, see below
 //! live     (optional) b"LIVE" + u32 len   mutable-index structure, see below
+//! calb     (optional) b"CALB" + u32 len   recall-calibration table, see below
 //! ```
 //!
 //! The explicit length prefix and the alignment pads are what make
@@ -85,6 +86,15 @@
 //!                                         covers (PR 7; absent on older
 //!                                         files, which decode as gen 0)
 //! ```
+//!
+//! The **CALB section** (PR 10, same back-compat story: pre-calibration
+//! containers without it load byte-identically with
+//! [`Snapshot::calibration`] `None`) persists the index's measured
+//! recall/latency grid — a [`plan::CalibrationTable`] in its own `CALT`
+//! codec — so a restarted server can keep planning `target_recall`
+//! requests without re-sweeping. BUILD and FLUSH writers only attach a
+//! table the serving process already holds;
+//! [`attach_calibration`] swaps the section on an existing file.
 //!
 //! Segment *indexes* are not stored: each is rebuilt deterministically
 //! from `(spec, rows, metric)` at load time — the spec carries the RNG
@@ -156,6 +166,9 @@ pub const META_MARKER: &[u8; 4] = b"META";
 /// Marker opening the optional live-index structure section.
 pub const LIVE_MARKER: &[u8; 4] = b"LIVE";
 
+/// Marker opening the optional recall-calibration table section.
+pub const CAL_MARKER: &[u8; 4] = b"CALB";
+
 /// Build provenance carried in the snapshot's optional meta section: the
 /// originating [`ann::IndexSpec`] (as its canonical grammar string) plus
 /// the measurements `describe` and LIST report.
@@ -203,6 +216,9 @@ pub struct Snapshot {
     pub meta: Option<SnapMeta>,
     /// Live-index structure; `None` for frozen (static) containers.
     pub live: Option<LiveState>,
+    /// Measured recall-calibration table; `None` for uncalibrated (and
+    /// every pre-calibration) container.
+    pub calibration: Option<plan::CalibrationTable>,
 }
 
 /// Container strings reject emptiness before handing off to the shared
@@ -239,6 +255,7 @@ fn encode_parts(
     payload: &[u8],
     meta: Option<&SnapMeta>,
     live: Option<&LiveState>,
+    calibration: Option<&plan::CalibrationTable>,
 ) -> Result<Vec<u8>, SnapError> {
     let flat = data.as_flat();
     let mut out = Vec::with_capacity(80 + flat.len() * 4 + payload.len());
@@ -300,6 +317,9 @@ fn encode_parts(
         }
         section.extend_from_slice(&state.wal_gen.to_le_bytes());
         push_section(&mut out, LIVE_MARKER, &section);
+    }
+    if let Some(table) = calibration {
+        push_section(&mut out, CAL_MARKER, &table.encode());
     }
     Ok(out)
 }
@@ -435,6 +455,7 @@ impl Snapshot {
             payload: index.snapshot_bytes(),
             meta: None,
             live: None,
+            calibration: None,
         }
     }
 
@@ -451,6 +472,7 @@ impl Snapshot {
             payload: Vec::new(),
             meta: None,
             live: Some(state.clone()),
+            calibration: None,
         })
     }
 
@@ -469,6 +491,7 @@ impl Snapshot {
             &self.payload,
             self.meta.as_ref(),
             self.live.as_ref(),
+            self.calibration.as_ref(),
         )
     }
 
@@ -555,6 +578,7 @@ struct Parsed {
     sq8: Option<Arc<Sq8>>,
     meta: Option<SnapMeta>,
     live: Option<LiveState>,
+    calibration: Option<plan::CalibrationTable>,
 }
 
 /// The shared v1/v3 container parser behind every decode entry point.
@@ -600,6 +624,7 @@ fn parse(raw: &[u8]) -> Result<Parsed, SnapError> {
     let mut sq8 = None;
     let mut meta = None;
     let mut live = None;
+    let mut calibration = None;
     while r.remaining() > 0 {
         let marker = ctx(r.take(4), "section marker")?;
         let len = ctx(r.u32(), "section length")? as usize;
@@ -628,6 +653,17 @@ fn parse(raw: &[u8]) -> Result<Parsed, SnapError> {
             // the section parser gets a decoded copy of the block.
             let flat = read_f32s(vec_raw);
             live = Some(parse_live_section(&mut sr, &flat, dim as usize)?);
+        } else if marker == CAL_MARKER {
+            if calibration.is_some() {
+                return Err(SnapError::Malformed("duplicate CALB section".into()));
+            }
+            // The table codec validates the whole body itself (magic,
+            // version, point ranges, trailing bytes).
+            calibration = Some(
+                plan::CalibrationTable::decode(body)
+                    .map_err(|e| SnapError::Malformed(format!("CALB section: {e}")))?,
+            );
+            ctx(sr.take(len), "CALB body")?;
         } else {
             return Err(SnapError::Malformed(format!(
                 "unknown trailing section marker {marker:?}"
@@ -652,6 +688,7 @@ fn parse(raw: &[u8]) -> Result<Parsed, SnapError> {
         sq8,
         meta,
         live,
+        calibration,
     })
 }
 
@@ -712,6 +749,7 @@ fn finish(parts: Parsed, data: Dataset) -> Snapshot {
         payload: parts.payload,
         meta: parts.meta,
         live: parts.live,
+        calibration: parts.calibration,
     }
 }
 
@@ -726,10 +764,31 @@ pub fn write_index_snapshot(
 ) -> Result<PathBuf, SnapError> {
     fs::create_dir_all(dir)?;
     let path = dir.join(format!("{name}.{SNAPSHOT_EXT}"));
-    let bytes =
-        encode_parts(name, index.name(), data, &index.snapshot_bytes(), meta.as_ref(), None)?;
+    let bytes = encode_parts(
+        name,
+        index.name(),
+        data,
+        &index.snapshot_bytes(),
+        meta.as_ref(),
+        None,
+        None,
+    )?;
     write_bytes_atomic(&path, &bytes)?;
     Ok(path)
+}
+
+/// Attaches (or replaces) a recall-calibration table on an existing
+/// snapshot file: the container is decoded, its CALB section swapped
+/// for `table`, and the file rewritten atomically. Everything else —
+/// vectors, payload, SQ8C, META, LIVE — round-trips through the
+/// decoder unchanged.
+pub fn attach_calibration(
+    path: &Path,
+    table: &plan::CalibrationTable,
+) -> Result<(), SnapError> {
+    let mut snap = Snapshot::read_from(path)?;
+    snap.calibration = Some(table.clone());
+    snap.write_to(path)
 }
 
 /// A built snapshot fully written to a unique temp file, awaiting an
@@ -769,7 +828,7 @@ pub fn stage_built_snapshot(
     payload: &[u8],
     meta: &SnapMeta,
 ) -> Result<StagedSnapshot, SnapError> {
-    let bytes = encode_parts(name, method, data, payload, Some(meta), None)?;
+    let bytes = encode_parts(name, method, data, payload, Some(meta), None, None)?;
     stage_bytes(dir, name, &bytes)
 }
 
@@ -797,10 +856,18 @@ pub fn stage_live_snapshot(
     name: &str,
     state: &LiveState,
     meta: &SnapMeta,
+    calibration: Option<&plan::CalibrationTable>,
 ) -> Result<StagedSnapshot, SnapError> {
     let data = live_base_block(name, state)?;
-    let bytes =
-        encode_parts(name, ann_live::LIVE_METHOD, &data, &[], Some(meta), Some(state))?;
+    let bytes = encode_parts(
+        name,
+        ann_live::LIVE_METHOD,
+        &data,
+        &[],
+        Some(meta),
+        Some(state),
+        calibration,
+    )?;
     stage_bytes(dir, name, &bytes)
 }
 
@@ -1049,6 +1116,81 @@ mod tests {
         let mut bad = good;
         bad.push(0);
         assert!(Snapshot::decode(&bad).is_err());
+    }
+
+    fn cal_table() -> plan::CalibrationTable {
+        plan::CalibrationTable {
+            sample_queries: 64,
+            k: 10,
+            rows: 200,
+            built_unix: 1_700_000_000,
+            stale: false,
+            points: vec![
+                plan::CalPoint { budget: 32, probes: 0, recall: 0.71, micros: 90 },
+                plan::CalPoint { budget: 64, probes: 4, recall: 0.93, micros: 240 },
+                plan::CalPoint { budget: 128, probes: 8, recall: 0.99, micros: 610 },
+            ],
+        }
+    }
+
+    #[test]
+    fn calibration_section_round_trips_and_is_optional() {
+        let (data, idx) = built();
+        let mut snap = Snapshot::of_index("demo", &idx, &data);
+        // Uncalibrated containers carry no CALB section at all — the
+        // encoding is byte-identical to the pre-calibration layout.
+        let plain = snap.encode().unwrap();
+        assert!(!plain.windows(4).any(|w| w == CAL_MARKER));
+        assert!(Snapshot::decode(&plain).unwrap().calibration.is_none());
+        let table = cal_table();
+        snap.calibration = Some(table.clone());
+        let raw = snap.encode().unwrap();
+        let back = Snapshot::decode(&raw).unwrap();
+        assert_eq!(back.calibration, Some(table.clone()));
+        assert_eq!(back.data.as_flat(), data.as_flat());
+        // Truncations inside the CALB section fail cleanly.
+        for cut in 1..30 {
+            assert!(Snapshot::decode(&raw[..raw.len() - cut]).is_err(), "cut {cut}");
+        }
+        // A corrupted table body (bad CALT magic) is rejected, not skipped.
+        let calb_at = raw.windows(4).position(|w| w == CAL_MARKER).unwrap();
+        let mut bad = raw.clone();
+        bad[calb_at + 8] = b'X'; // first body byte = table magic
+        match Snapshot::decode(&bad) {
+            Err(SnapError::Malformed(m)) => assert!(m.contains("CALB"), "{m}"),
+            other => panic!("bad table accepted: {:?}", other.map(|_| ())),
+        }
+    }
+
+    #[test]
+    fn attach_calibration_swaps_the_section_in_place() {
+        let (data, idx) = built();
+        let dir = std::env::temp_dir().join(format!("snapcal-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("demo.snap");
+        let spec: ann::IndexSpec = "lccs:m=8,w=8,seed=42".parse().unwrap();
+        let meta = SnapMeta::of_build(&spec, 0.5, data.len() as u64);
+        data.sq8();
+        Snapshot::of_index("demo", &idx, &data)
+            .with_meta(meta.clone())
+            .write_to(&path)
+            .unwrap();
+        let table = cal_table();
+        attach_calibration(&path, &table).unwrap();
+        let back = Snapshot::read_from(&path).unwrap();
+        assert_eq!(back.calibration, Some(table));
+        assert_eq!(back.meta, Some(meta), "META survives the rewrite");
+        assert!(back.data.sq8_if_built().is_some(), "SQ8C survives the rewrite");
+        assert_eq!(back.data.as_flat(), data.as_flat());
+        // Attaching again replaces, never duplicates, the section.
+        let mut newer = cal_table();
+        newer.stale = true;
+        newer.built_unix += 60;
+        attach_calibration(&path, &newer).unwrap();
+        let raw = std::fs::read(&path).unwrap();
+        assert_eq!(raw.windows(4).filter(|w| *w == CAL_MARKER).count(), 1);
+        assert_eq!(Snapshot::decode(&raw).unwrap().calibration, Some(newer));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

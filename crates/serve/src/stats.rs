@@ -51,6 +51,8 @@ pub struct IndexStats {
     candidates_scanned: AtomicU64,
     heap_pushes: AtomicU64,
     sq8_pruned: AtomicU64,
+    planned: AtomicU64,
+    degraded: AtomicU64,
     total_micros: AtomicU64,
     max_micros: AtomicU64,
     /// Query-path latencies only (QUERY/BATCH/SEARCH); write latencies
@@ -131,6 +133,24 @@ impl IndexStats {
         self.sq8_pruned.fetch_add(sq8_pruned, Ordering::Relaxed);
     }
 
+    /// Records one search whose knobs came from the recall planner;
+    /// `degraded` marks whether the overload dial lowered the target
+    /// before planning.
+    pub fn record_planned(&self, degraded: bool) {
+        self.planned.fetch_add(1, Ordering::Relaxed);
+        if degraded {
+            self.degraded.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// The current p99 query latency estimate in microseconds — the
+    /// overload signal the degradation dial reads on the request path
+    /// (one pass over the relaxed histogram, no locks).
+    pub fn p99_micros(&self) -> u64 {
+        let hist: Vec<u64> = self.latency_hist.iter().map(|b| b.load(Ordering::Relaxed)).collect();
+        hist_quantile(&hist, 0.99)
+    }
+
     /// A wire-ready snapshot of the counters. `spec` is the served
     /// entry's spec string (empty when unknown); `load_mode` and `sq8`
     /// describe the serving path ([`crate::catalog::ServedIndex`]).
@@ -161,6 +181,12 @@ impl IndexStats {
             p99_micros,
             heap_pushes: self.heap_pushes.load(Ordering::Relaxed),
             sq8_pruned: self.sq8_pruned.load(Ordering::Relaxed),
+            planned: self.planned.load(Ordering::Relaxed),
+            degraded: self.degraded.load(Ordering::Relaxed),
+            // Calibration state lives on the catalog entry, not in the
+            // counters; the server overwrites these before replying.
+            cal: "none".to_string(),
+            cal_age_secs: 0,
         }
     }
 }
@@ -172,7 +198,8 @@ pub fn render_entry(e: &StatsEntry) -> String {
     format!(
         "{}\tspec={}\tload={}\tsq8={}\tqueries={}\tbatches={}\tbatch_queries={}\tinserts={}\
          \tdeletes={}\tflushes={}\twal_records={}\twal_bytes={}\tseals={}\tscanned={}\
-         \tpushes={}\tpruned={}\ttotal_us={}\tmax_us={}\tp50_us={}\tp99_us={}",
+         \tpushes={}\tpruned={}\tplanned={}\tdegraded={}\tcal={}\tcal_age_s={}\ttotal_us={}\
+         \tmax_us={}\tp50_us={}\tp99_us={}",
         e.name,
         if e.spec.is_empty() { "unknown" } else { &e.spec },
         e.load_mode,
@@ -189,6 +216,10 @@ pub fn render_entry(e: &StatsEntry) -> String {
         e.candidates_scanned,
         e.heap_pushes,
         e.sq8_pruned,
+        e.planned,
+        e.degraded,
+        if e.cal.is_empty() { "none" } else { &e.cal },
+        e.cal_age_secs,
         e.total_micros,
         e.max_micros,
         e.p50_micros,
@@ -203,7 +234,7 @@ pub fn render_entry(e: &StatsEntry) -> String {
 /// [`StatsEntry::latency_hist`]).
 pub fn render_prom(entries: &[StatsEntry], out: &mut obs::PromText) {
     type Col = fn(&StatsEntry) -> u64;
-    let counters: [(&str, &str, Col); 12] = [
+    let counters: [(&str, &str, Col); 14] = [
         ("ann_queries_total", "Single QUERY/SEARCH requests answered", |e| e.queries),
         ("ann_batch_requests_total", "BATCH requests answered", |e| e.batch_requests),
         ("ann_batch_queries_total", "Queries answered inside BATCH requests", |e| {
@@ -228,6 +259,17 @@ pub fn render_prom(entries: &[StatsEntry], out: &mut obs::PromText) {
             "Candidates pruned by the SQ8 certified skip bound",
             |e| e.sq8_pruned,
         ),
+        // The plan funnel: of the searches answered, how many asked for
+        // a recall target, and of those, how many had their target
+        // stepped down by the overload dial.
+        ("ann_planned_total", "Searches whose knobs came from the recall planner", |e| {
+            e.planned
+        }),
+        (
+            "ann_degraded_total",
+            "Planned searches whose recall target was degraded under load",
+            |e| e.degraded,
+        ),
     ];
     for (name, help, get) in counters {
         out.header(name, "counter", help);
@@ -238,6 +280,18 @@ pub fn render_prom(entries: &[StatsEntry], out: &mut obs::PromText) {
     out.header("ann_request_max_micros", "gauge", "Slowest single request, microseconds");
     for e in entries {
         out.sample("ann_request_max_micros", &[("index", &e.name)], e.max_micros);
+    }
+    out.header(
+        "ann_calibration_age_seconds",
+        "gauge",
+        "Seconds since the index's calibration sweep ran (0 when uncalibrated)",
+    );
+    for e in entries {
+        out.sample(
+            "ann_calibration_age_seconds",
+            &[("index", &e.name), ("state", if e.cal.is_empty() { "none" } else { &e.cal })],
+            e.cal_age_secs,
+        );
     }
     out.header(
         "ann_search_latency_micros",
@@ -354,6 +408,8 @@ mod tests {
         s.record_wal(64);
         s.record_scanned(9);
         s.record_funnel(4, 2);
+        s.record_planned(true);
+        s.record_planned(false);
         let line = render_entry(&s.snapshot("smoke", "", "mapped", true));
         // The exact fields scripts and operators grep for.
         assert!(line.starts_with("smoke\t"));
@@ -368,11 +424,43 @@ mod tests {
             "scanned=9",
             "pushes=4",
             "pruned=2",
+            "planned=2",
+            "degraded=1",
+            "cal=none",
+            "cal_age_s=0",
             "p50_us=15",
             "p99_us=15",
         ] {
             assert!(line.contains(token), "{token:?} missing from {line:?}");
         }
+    }
+
+    #[test]
+    fn planner_counters_accumulate_and_render() {
+        let s = IndexStats::default();
+        s.record_planned(false);
+        s.record_planned(false);
+        s.record_planned(true);
+        let snap = s.snapshot("planned", "", "mapped", false);
+        assert_eq!(snap.planned, 3);
+        assert_eq!(snap.degraded, 1, "only the degraded plan bumps the second counter");
+        let mut out = obs::PromText::new();
+        render_prom(&[snap], &mut out);
+        let text = out.into_string();
+        assert!(text.contains("ann_planned_total{index=\"planned\"} 3\n"));
+        assert!(text.contains("ann_degraded_total{index=\"planned\"} 1\n"));
+        assert!(text.contains("ann_calibration_age_seconds{index=\"planned\",state=\"none\"} 0\n"));
+    }
+
+    #[test]
+    fn p99_accessor_matches_the_snapshot() {
+        let s = IndexStats::default();
+        assert_eq!(s.p99_micros(), 0, "empty histogram reports 0");
+        for _ in 0..100 {
+            s.record_query(3);
+        }
+        s.record_query(5000);
+        assert_eq!(s.p99_micros(), s.snapshot("x", "", "owned", false).p99_micros);
     }
 
     #[test]

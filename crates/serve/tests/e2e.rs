@@ -897,3 +897,246 @@ fn traced_frames_interop_and_metrics_scrape() {
     client.shutdown().unwrap();
     handle.join().expect("server thread");
 }
+
+/// Fraction of `truth`'s ids that `hits` recovered — recall@k against
+/// an exact oracle, computed inline so the test owns its own metric.
+fn recall_of(hits: &[Neighbor], truth: &[Neighbor]) -> f64 {
+    let want: std::collections::HashSet<u32> = truth.iter().map(|n| n.id).collect();
+    hits.iter().filter(|n| want.contains(&n.id)).count() as f64 / truth.len().max(1) as f64
+}
+
+/// The PR-10 tentpole acceptance path: CALIBRATE over real TCP turns
+/// `target_recall(0.9)` from a typed error into a planned search whose
+/// *measured* recall against an independent exact oracle meets the
+/// target on held-out queries — while scanning fewer candidates than
+/// the worst-case manual grid point. Uncalibrated and malformed
+/// targets answer with text byte-identical to in-process validation,
+/// and the table survives a restart through the snapshot's CALB
+/// section.
+#[test]
+fn calibrated_target_recall_plans_cheap_params_and_survives_restart() {
+    use dataset::ExactKnn;
+
+    let fx = fixture("plan");
+    let catalog = Catalog::load_dir(&fx.dir).unwrap();
+    let server =
+        Server::bind(catalog, "127.0.0.1:0", 2).unwrap().with_snapshot_dir(&fx.dir);
+    let addr = server.local_addr().unwrap();
+    let handle = std::thread::spawn(move || server.run().expect("serving loop"));
+    let mut client = Client::connect(addr).unwrap();
+    let q0 = fx.data.get(0);
+
+    // Pre-calibration snapshots load and serve with calibration "none".
+    let infos = client.list().unwrap();
+    assert!(infos.iter().all(|i| i.cal == "none" && i.cal_age_secs == 0));
+
+    // Planned search before calibration: a typed, actionable error.
+    let planned = SearchRequest::top_k(10).target_recall(0.9);
+    match client.search("e2e-lccs", q0, &planned) {
+        Err(ClientError::Server(msg)) => assert!(
+            msg.contains("not calibrated") && msg.contains("ann-cli calibrate"),
+            "unhelpful uncalibrated error: {msg}"
+        ),
+        other => panic!("uncalibrated target must fail, got {other:?}"),
+    }
+
+    // Malformed targets answer with the exact text in-process
+    // validation produces — one validator, zero drift.
+    for bad in [
+        SearchRequest::top_k(10).target_recall(1.5),
+        SearchRequest::top_k(10).target_recall(0.0),
+        SearchRequest::top_k(10).target_recall(f64::NAN),
+        SearchRequest::top_k(10).budget(64).target_recall(0.9),
+        SearchRequest::top_k(10).probes(4).target_recall(0.9),
+    ] {
+        let local = bad.validate(fx.data.len()).expect_err("invalid in-process");
+        match client.search("e2e-lccs", q0, &bad) {
+            Err(ClientError::Server(msg)) => assert_eq!(
+                msg,
+                format!("index \"e2e-lccs\": {local}"),
+                "wire error text must match in-process validation"
+            ),
+            other => panic!("invalid target must fail, got {other:?}"),
+        }
+    }
+
+    // Calibrate over the wire: the saturated corner measures 1.0, so
+    // every target is plannable from here on.
+    let (points, max_recall, sample) = client.calibrate("e2e-lccs", 32, 10).unwrap();
+    assert!(points >= 6, "grid should carry several points, got {points}");
+    assert_eq!(sample, 32);
+    assert!((max_recall - 1.0).abs() < 1e-9, "saturated corner must measure 1.0");
+    let infos = client.list().unwrap();
+    let lccs = infos.iter().find(|i| i.name == "e2e-lccs").unwrap();
+    assert_eq!(lccs.cal, "fresh");
+
+    // Held-out queries (perturbed rows, never calibration inputs):
+    // planned recall vs an exact oracle meets the target, and the
+    // planner spends strictly fewer candidates than the worst-case
+    // manual grid point.
+    let queries = fx.data.sample_queries(32, 123);
+    let mut planned = SearchRequest::top_k(10).target_recall(0.9);
+    planned.fields.stats = true;
+    let mut saturated = SearchRequest::top_k(10).budget(fx.data.len()).probes(16);
+    saturated.fields.stats = true;
+    let mut recall_sum = 0.0;
+    let (mut planned_scanned, mut manual_scanned) = (0u64, 0u64);
+    for qi in 0..queries.len() {
+        let q = queries.get(qi);
+        let (hits, stats) = client.search("e2e-lccs", q, &planned).unwrap();
+        let stats = stats.expect("stats requested");
+        let plan = stats.plan.expect("planned searches report their plan");
+        assert!(plan.predicted_recall >= 0.9, "plan must satisfy the target");
+        assert!((plan.effective_target - 0.9).abs() < 1e-12, "no degradation armed");
+        assert!((plan.budget as usize) <= fx.data.len());
+        planned_scanned += stats.candidates_scanned;
+        let (_, sat_stats) = client.search("e2e-lccs", q, &saturated).unwrap();
+        manual_scanned += sat_stats.unwrap().candidates_scanned;
+        let truth = ExactKnn::single_query(&fx.data, q, 10, Metric::Euclidean);
+        recall_sum += recall_of(&hits, &truth);
+    }
+    let measured = recall_sum / queries.len() as f64;
+    assert!(measured >= 0.9, "measured recall {measured:.4} misses the 0.9 target");
+    assert!(
+        planned_scanned < manual_scanned,
+        "planning must beat the worst-case grid point: {planned_scanned} vs {manual_scanned}"
+    );
+
+    // The funnel surfaces in STATS and METRICS.
+    let entries = client.stats().unwrap();
+    let e = entries.iter().find(|s| s.name == "e2e-lccs").unwrap();
+    assert_eq!(e.planned, queries.len() as u64);
+    assert_eq!(e.degraded, 0);
+    assert_eq!(e.cal, "fresh");
+    let text = client.metrics().unwrap();
+    assert!(text.contains("ann_planned_total{index=\"e2e-lccs\"} 32\n"), "metrics:\n{text}");
+    assert!(text.contains("ann_calibration_age_seconds{index=\"e2e-lccs\",state=\"fresh\"}"));
+
+    client.shutdown().unwrap();
+    handle.join().expect("server thread");
+
+    // Restart from disk: the CALB section brings the table back and
+    // planned searches keep working without re-calibrating.
+    let catalog = Catalog::load_dir(&fx.dir).unwrap();
+    let server = Server::bind(catalog, "127.0.0.1:0", 2).unwrap().with_snapshot_dir(&fx.dir);
+    let addr = server.local_addr().unwrap();
+    let handle = std::thread::spawn(move || server.run().expect("serving loop"));
+    let mut client = Client::connect(addr).unwrap();
+    let infos = client.list().unwrap();
+    let lccs = infos.iter().find(|i| i.name == "e2e-lccs").unwrap();
+    assert_eq!(lccs.cal, "fresh", "calibration must survive the restart");
+    let (hits, stats) = client.search("e2e-lccs", q0, &planned).unwrap();
+    assert!(!hits.is_empty());
+    assert!(stats.unwrap().plan.expect("plan after restart").predicted_recall >= 0.9);
+    // The uncalibrated sibling still answers its typed error.
+    match client.search("e2e-mp", q0, &SearchRequest::top_k(10).target_recall(0.9)) {
+        Err(ClientError::Server(msg)) => assert!(msg.contains("not calibrated")),
+        other => panic!("e2e-mp was never calibrated, got {other:?}"),
+    }
+    client.shutdown().unwrap();
+    handle.join().expect("server thread");
+}
+
+/// Overload degradation: with `--recall-floor 0.7` and a 1µs p99 bound
+/// (every real request breaches it), planned targets step down toward
+/// the floor — honestly reported in the plan's `effective_target`, the
+/// STATS `degraded` counter, and METRICS — instead of silently
+/// breaching the latency bound.
+#[test]
+fn overload_steps_recall_targets_down_toward_the_floor() {
+    let fx = fixture("degrade");
+    let catalog = Catalog::load_dir(&fx.dir).unwrap();
+    let server = Server::bind(catalog, "127.0.0.1:0", 2)
+        .unwrap()
+        .with_snapshot_dir(&fx.dir)
+        .with_recall_floor(0.7)
+        .with_p99_bound_micros(1);
+    let addr = server.local_addr().unwrap();
+    let handle = std::thread::spawn(move || server.run().expect("serving loop"));
+    let mut client = Client::connect(addr).unwrap();
+    client.calibrate("e2e-lccs", 16, 10).unwrap();
+
+    // Prime the latency histogram: the dial reads the per-index p99,
+    // which needs at least one answered query to exceed the 1µs bound.
+    let q0 = fx.data.get(0);
+    for _ in 0..4 {
+        client.query("e2e-lccs", 10, 64, 0, q0).unwrap();
+    }
+
+    let mut req = SearchRequest::top_k(10).target_recall(0.95);
+    req.fields.stats = true;
+    let (hits, stats) = client.search("e2e-lccs", q0, &req).unwrap();
+    assert!(!hits.is_empty());
+    let plan = stats.unwrap().plan.expect("degraded searches still report their plan");
+    assert!(
+        plan.effective_target < 0.95,
+        "p99 over bound must step the target down, got {}",
+        plan.effective_target
+    );
+    assert!(plan.effective_target >= 0.7 - 1e-12, "never below the floor");
+
+    let entries = client.stats().unwrap();
+    let e = entries.iter().find(|s| s.name == "e2e-lccs").unwrap();
+    assert_eq!(e.planned, 1);
+    assert_eq!(e.degraded, 1, "the step-down must be counted, not hidden");
+    let text = client.metrics().unwrap();
+    assert!(text.contains("ann_degraded_total{index=\"e2e-lccs\"} 1\n"), "metrics:\n{text}");
+
+    client.shutdown().unwrap();
+    handle.join().expect("server thread");
+}
+
+/// The small-fix satellite: mutating a live index after its sweep marks
+/// the table stale (visible in LIST/STATS), FLUSH persists the stale
+/// bit through the snapshot, and a restart still plans from it.
+#[test]
+fn mutations_mark_calibration_stale_and_flush_persists_the_bit() {
+    let dir = std::env::temp_dir().join(format!("annd-e2e-stale-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let data = SynthSpec::new("stale", 400, 16).with_clusters(8).generate(5);
+    let fvecs = dir.join("rows.fvecs");
+    dataset::io::write_fvecs(&fvecs, &data).unwrap();
+
+    let server = Server::bind(Catalog::empty(), "127.0.0.1:0", 2)
+        .unwrap()
+        .with_snapshot_dir(&dir);
+    let addr = server.local_addr().unwrap();
+    let handle = std::thread::spawn(move || server.run().expect("serving loop"));
+    let mut client = Client::connect(addr).unwrap();
+    client
+        .build_live("st", "linear", "euclidean", fvecs.to_str().unwrap(), 0, 1000, 4)
+        .unwrap();
+    client.calibrate("st", 16, 5).unwrap();
+    let infos = client.list().unwrap();
+    assert_eq!(infos[0].cal, "fresh");
+
+    // INSERT: the measured index no longer exists → stale, but planning
+    // keeps working from the old table.
+    let row = dataset::Dataset::from_rows("ins", &[data.get(0).to_vec()]);
+    client.insert("st", &row, None).unwrap();
+    let infos = client.list().unwrap();
+    assert_eq!(infos[0].cal, "stale", "mutation must mark the table stale");
+    let mut req = SearchRequest::top_k(5).target_recall(0.9);
+    req.fields.stats = true;
+    let (_, stats) = client.search("st", data.get(1), &req).unwrap();
+    assert!(stats.unwrap().plan.is_some(), "stale tables still plan");
+
+    // FLUSH persists the (stale) table; a restart reloads it as stale.
+    client.flush("st").unwrap();
+    client.shutdown().unwrap();
+    handle.join().expect("server thread");
+    let catalog = Catalog::load_dir(&dir).unwrap();
+    let server = Server::bind(catalog, "127.0.0.1:0", 2).unwrap().with_snapshot_dir(&dir);
+    let addr = server.local_addr().unwrap();
+    let handle = std::thread::spawn(move || server.run().expect("serving loop"));
+    let mut client = Client::connect(addr).unwrap();
+    let infos = client.list().unwrap();
+    let st = infos.iter().find(|i| i.name == "st").unwrap();
+    assert_eq!(st.cal, "stale", "the stale bit must survive FLUSH + restart");
+    let (_, stats) = client.search("st", data.get(1), &req).unwrap();
+    assert!(stats.unwrap().plan.is_some());
+    client.shutdown().unwrap();
+    handle.join().expect("server thread");
+    let _ = std::fs::remove_dir_all(&dir);
+}

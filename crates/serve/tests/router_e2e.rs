@@ -91,6 +91,8 @@ fn spawn_router(
         require_all,
         dir: dir.map(Path::to_path_buf),
         shard_timeout: Duration::from_millis(1500),
+        recall_floor: 0.0,
+        p99_bound_micros: 0,
     };
     let router = Router::bind(config, "127.0.0.1:0", 3).expect("bind router");
     let addr = router.local_addr().unwrap();
@@ -538,4 +540,79 @@ fn prom_value(text: &str, prefix: &str) -> f64 {
         .and_then(|l| l.rsplit(' ').next())
         .and_then(|v| v.parse().ok())
         .unwrap_or(0.0)
+}
+
+/// PR-10 through the cluster: CALIBRATE fans out to every shard, the
+/// routed `target_recall` search forwards the target so each shard
+/// plans against its own table, and the merged response reports the
+/// binding (most pessimistic) plan. Bad targets answer with the same
+/// typed text the single-node server produces, and STATS aggregates
+/// the planner funnel and calibration state across shards.
+#[test]
+fn routed_target_recall_plans_per_shard_and_aggregates_the_funnel() {
+    use ann::SearchRequest;
+
+    let root = tmp("plan");
+    let data = SynthSpec::new("plan", 300, 12).with_clusters(8).generate(44);
+    let fvecs = root.join("plan.fvecs");
+    dataset::io::write_fvecs(&fvecs, &data).unwrap();
+
+    let shards: Vec<Shard> =
+        (0..2).map(|i| spawn_annd(&root.join(format!("s{i}")), "127.0.0.1:0")).collect();
+    let topology = shards.iter().map(|s| s.addr.clone()).collect::<Vec<_>>().join(",");
+    let (raddr, rhandle) = spawn_router(&topology, false, Some(&root.join("router")));
+    let mut rc = Client::connect(raddr).unwrap();
+    rc.build_live("u", "linear", "euclidean", fvecs.to_str().unwrap(), 0, 1000, 4)
+        .expect("routed build");
+
+    // Uncalibrated cluster: the shard's typed error comes through.
+    let planned = SearchRequest::top_k(5).target_recall(0.9);
+    match rc.search("u", data.get(0), &planned) {
+        Err(ClientError::Server(msg)) => {
+            assert!(msg.contains("not calibrated"), "got {msg}")
+        }
+        other => panic!("uncalibrated routed target must fail, got {other:?}"),
+    }
+    // Malformed targets are rejected at the router edge with the
+    // single-node error text.
+    match rc.search("u", data.get(0), &SearchRequest::top_k(5).target_recall(2.0)) {
+        Err(ClientError::Server(msg)) => {
+            assert_eq!(msg, "index \"u\": target_recall must be in (0, 1], got 2")
+        }
+        other => panic!("bad routed target must fail, got {other:?}"),
+    }
+    match rc.search("u", data.get(0), &SearchRequest::top_k(5).budget(32).target_recall(0.9)) {
+        Err(ClientError::Server(msg)) => {
+            assert_eq!(
+                msg,
+                "index \"u\": target_recall is mutually exclusive with explicit budget/probes"
+            )
+        }
+        other => panic!("target+knobs through the router must fail, got {other:?}"),
+    }
+
+    // One CALIBRATE against the router calibrates every shard.
+    let (points, max_recall, _) = rc.calibrate("u", 16, 5).expect("routed calibrate");
+    assert!(points > 0);
+    assert!((max_recall - 1.0).abs() < 1e-9, "every shard's saturated corner is 1.0");
+
+    // Planned search through the router merges shard plans.
+    let mut planned = SearchRequest::top_k(5).target_recall(0.9);
+    planned.fields.stats = true;
+    let (hits, stats) = rc.search("u", data.get(0), &planned).expect("routed planned search");
+    assert_eq!(hits.len(), 5);
+    let plan = stats.expect("stats requested").plan.expect("merged plan reported");
+    assert!(plan.predicted_recall >= 0.9, "binding shard still satisfies the target");
+    assert!((plan.effective_target - 0.9).abs() < 1e-12);
+
+    // The aggregate row sums the per-shard planner counters and folds
+    // calibration state (both shards fresh → fresh).
+    let entries = rc.stats().unwrap();
+    let agg = entries.iter().find(|e| e.name == "u").expect("aggregate row");
+    assert_eq!(agg.planned, 2, "one planned search hit both shards");
+    assert_eq!(agg.degraded, 0);
+    assert_eq!(agg.cal, "fresh");
+
+    rc.shutdown().unwrap();
+    rhandle.join().unwrap();
 }

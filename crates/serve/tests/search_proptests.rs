@@ -4,7 +4,7 @@
 //! arbitrary vectors — and truncating an encoded frame anywhere must fail
 //! cleanly, never panic or misread.
 
-use ann::{IdFilter, SearchStats};
+use ann::{IdFilter, PlanChoice, SearchStats};
 use dataset::exact::Neighbor;
 use obs::TraceContext;
 use proptest::collection::vec;
@@ -30,15 +30,25 @@ fn any_max_dist() -> impl Strategy<Value = Option<f64>> {
     })
 }
 
+/// Optional `target_recall` payload: values in `(0, 1]` plus a sprinkle
+/// of out-of-range ones — the codec must carry what validation rejects.
+fn any_target_recall() -> impl Strategy<Value = Option<f64>> {
+    (0u8..3, 0.001f64..2.0).prop_map(|(kind, t)| match kind {
+        0 => None,
+        1 => Some(t.min(1.0)),
+        _ => Some(t),
+    })
+}
+
 fn any_search_request() -> impl Strategy<Value = Request> {
     (
         any_filter(),
         any_max_dist(),
-        any::<bool>(),
+        (any::<bool>(), any_target_recall()),
         (any::<u32>(), any::<u32>(), any::<u32>()),
         vec(any::<u32>(), 0..12),
     )
-        .prop_map(|(filter, max_dist, want_stats, (k, budget, probes), vbits)| {
+        .prop_map(|(filter, max_dist, (want_stats, target_recall), (k, budget, probes), vbits)| {
             Request::Search {
                 index: "idx-under-test".into(),
                 k,
@@ -47,6 +57,7 @@ fn any_search_request() -> impl Strategy<Value = Request> {
                 filter,
                 max_dist,
                 want_stats,
+                target_recall,
                 // NaN payloads do travel bit-exactly, but `PartialEq`
                 // can't witness it — keep the equality-based property on
                 // non-NaN values (the unit suite pins NaN bit-exactness).
@@ -65,13 +76,23 @@ fn any_search_request() -> impl Strategy<Value = Request> {
         })
 }
 
+/// Optional plan summary inside stats (the `PLAN` response flag): only
+/// non-NaN recalls, so `PartialEq` can witness the round-trip.
+fn any_plan() -> impl Strategy<Value = Option<PlanChoice>> {
+    (any::<bool>(), any::<u32>(), any::<u32>(), 0.0f64..1.0, 0.0f64..1.0).prop_map(
+        |(present, budget, probes, predicted_recall, effective_target)| {
+            present.then_some(PlanChoice { budget, probes, predicted_recall, effective_target })
+        },
+    )
+}
+
 fn any_search_response() -> impl Strategy<Value = Response> {
     (
         vec((any::<u32>(), 0u64..=1 << 60), 0..10),
-        any::<bool>(),
+        (any::<bool>(), any_plan()),
         (any::<u64>(), any::<u64>(), any::<u64>()),
     )
-        .prop_map(|(hits, with_stats, (scanned, pushes, wall))| Response::Search {
+        .prop_map(|(hits, (with_stats, plan), (scanned, pushes, wall))| Response::Search {
             hits: hits
                 .into_iter()
                 .map(|(id, dbits)| Neighbor { id, dist: f64::from_bits(dbits) })
@@ -83,6 +104,7 @@ fn any_search_response() -> impl Strategy<Value = Response> {
                 // Node-local telemetry; not carried by the pinned wire
                 // layout, so it must be zero to round-trip.
                 sq8_pruned: 0,
+                plan,
             }),
         })
 }

@@ -1,0 +1,106 @@
+//! Recall-targeted planning end to end: calibrate once, then ask for
+//! `recall ≥ t` instead of hand-tuning `(budget, probes)`.
+//!
+//! The demo builds an LCCS snapshot, serves it over TCP, then:
+//!
+//! 1. shows the typed error an *uncalibrated* `target_recall` request
+//!    gets (the same text `SearchRequest::validate` produces in-process),
+//! 2. runs the server-side calibration sweep (`ann-cli calibrate` over
+//!    the wire): sampled rows of the index itself become queries, the
+//!    `(budget, probes)` grid is measured for recall and latency, and
+//!    the monotone-regularized table is persisted into the snapshot,
+//! 3. plans a ladder of targets — watch the chosen knobs (and the
+//!    candidates actually scanned) grow with the requested recall,
+//! 4. compares the planned 0.9-target search against the saturated
+//!    manual corner: same neighbors, a fraction of the scanning,
+//! 5. shows the overload dial ([`plan::Degrader`], `annd --recall-floor`)
+//!    stepping a target down toward the floor as p99 runs past its bound.
+//!
+//! Run with: `cargo run --release --example recall_planning`
+//! (or `just plan-demo`). See `docs/planning.md` for the model.
+
+use ann::SearchRequest;
+use dataset::{Metric, SynthSpec};
+use lccs_lsh::{LccsLsh, LccsParams};
+use serve::catalog::Catalog;
+use serve::client::{Client, ClientError};
+use serve::server::Server;
+use serve::snapshot::write_index_snapshot;
+use std::sync::Arc;
+
+fn main() {
+    let dir = std::env::temp_dir().join(format!("recall-planning-{}", std::process::id()));
+    let spec = SynthSpec::new("plan-demo", 4_000, 24).with_clusters(24);
+    let data = Arc::new(spec.generate(11));
+    let index = LccsLsh::build(data.clone(), Metric::Euclidean, &LccsParams::euclidean(8.0));
+    let meta = serve::snapshot::SnapMeta::of_build(
+        &"lccs:m=16,w=8".parse().expect("spec"),
+        0.0,
+        data.len() as u64,
+    );
+    write_index_snapshot(&dir, "demo", &index, &data, Some(meta)).expect("snapshot");
+    drop(index);
+
+    let catalog = Catalog::load_dir(&dir).expect("load snapshots");
+    let server = Server::bind(catalog, "127.0.0.1:0", 2).expect("bind").with_snapshot_dir(&dir);
+    let addr = server.local_addr().unwrap();
+    let handle = std::thread::spawn(move || server.run().expect("serve"));
+    let mut client = Client::connect(addr).expect("connect");
+    println!("serving 'demo' ({} rows) on {addr}", data.len());
+
+    // ---- Before calibration, a recall target is an error, not a guess.
+    let q = data.get(0);
+    match client.search("demo", q, &SearchRequest::top_k(10).target_recall(0.9)) {
+        Err(ClientError::Server(msg)) => println!("\nuncalibrated target_recall → {msg}"),
+        other => panic!("expected the typed uncalibrated error, got {other:?}"),
+    }
+
+    // ---- Calibrate: one wire call, table persisted into the snapshot.
+    let (points, max_recall, sampled) = client.calibrate("demo", 64, 10).expect("calibrate");
+    println!(
+        "\ncalibrated: {points} grid points from {sampled} sampled queries, \
+         max measured recall {max_recall:.3}"
+    );
+
+    // ---- The planner ladder: higher targets buy more budget/probes.
+    println!("\n{:>7}  {:>7}  {:>7}  {:>10}  {:>8}", "target", "budget", "probes", "predicted", "scanned");
+    for target in [0.5, 0.75, 0.9, 0.99] {
+        let mut req = SearchRequest::top_k(10).target_recall(target);
+        req.fields.stats = true;
+        let (_, stats) = client.search("demo", q, &req).expect("planned search");
+        let stats = stats.expect("stats requested");
+        let plan = stats.plan.expect("plan reported");
+        println!(
+            "{target:>7.2}  {:>7}  {:>7}  {:>10.3}  {:>8}",
+            plan.budget, plan.probes, plan.predicted_recall, stats.candidates_scanned
+        );
+    }
+
+    // ---- Planned vs the saturated manual corner: same answers, less work.
+    let mut planned = SearchRequest::top_k(10).target_recall(0.9);
+    planned.fields.stats = true;
+    let (p_hits, p_stats) = client.search("demo", q, &planned).expect("planned");
+    let mut manual = SearchRequest::top_k(10).budget(data.len()).probes(16);
+    manual.fields.stats = true;
+    let (m_hits, m_stats) = client.search("demo", q, &manual).expect("manual");
+    let shared = p_hits.iter().filter(|h| m_hits.iter().any(|m| m.id == h.id)).count();
+    println!(
+        "\ntarget 0.9 vs saturated manual: {shared}/{} neighbors shared, \
+         {} vs {} candidates scanned",
+        m_hits.len(),
+        p_stats.unwrap().candidates_scanned,
+        m_stats.unwrap().candidates_scanned
+    );
+
+    // ---- The overload dial, in process. `annd --recall-floor 0.7
+    // --p99-bound-us 800` arms exactly this object at the server edge.
+    let dial = plan::Degrader { floor: 0.7, p99_bound_micros: 800 };
+    println!("\noverload degradation (floor 0.7, p99 bound 800µs):");
+    for p99 in [400u64, 900, 2_000, 8_000] {
+        println!("  p99 {p99:>5}µs: target 0.95 → effective {:.2}", dial.effective(0.95, p99));
+    }
+
+    client.shutdown().expect("shutdown");
+    handle.join().expect("server thread");
+    std::fs::remove_dir_all(&dir).ok();
+}

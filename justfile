@@ -64,6 +64,13 @@ live-demo:
 search-demo:
     cargo run --release --example filtered_search
 
+# Recall-planning demo: calibrate over the wire, plan a ladder of
+# recall targets (watch the chosen knobs grow), compare the planned
+# 0.9-target search against the saturated manual corner, and step the
+# overload dial (see docs/planning.md).
+plan-demo:
+    cargo run --release --example recall_planning
+
 # Observability demo: structured debug logs, client-minted traces on the
 # wire, slow-query span trees, and a Prometheus METRICS scrape — against
 # a real in-process server (see docs/observability.md).

@@ -62,6 +62,26 @@ head -c "$((SNAP_SIZE - 64))" "$DIR/live-mp.snap" > "$DIR/prev2.snap"
 # name; drop it or the restart below would see a duplicate entry.
 rm "$DIR/prev2.snap"
 
+# Recall-planning round-trip: a fresh BUILD carries no calibration
+# section (that is what keeps the META-strip arithmetic above valid), a
+# target_recall search is a typed error until CALIBRATE runs, and after
+# it the planner picks the knobs and reports them in the stats plan line.
+"$CLI" describe --snap "$DIR/live-mp.snap" | grep -F "calibration: none" \
+    || (echo "plan smoke: BUILD must not attach a calibration section" && exit 1)
+("$CLI" search --addr "$ADDR" --index live-mp --k 5 --target-recall 0.9 \
+    --vec "$ZERO_VEC" 2>&1 || true) | grep -F "not calibrated" \
+    || (echo "plan smoke: uncalibrated target_recall should be a typed error" && exit 1)
+"$CLI" calibrate --addr "$ADDR" --index live-mp --sample 32 --k 5 \
+    | grep -E "points=[1-9]" \
+    || (echo "plan smoke: calibrate reported no grid points" && exit 1)
+"$CLI" search --addr "$ADDR" --index live-mp --k 5 --target-recall 0.9 --stats true \
+    --vec "$ZERO_VEC" | grep -E "^plan\sbudget=[1-9]" \
+    || (echo "plan smoke: planned search reported no plan line" && exit 1)
+"$CLI" list --addr "$ADDR" | grep -F "live-mp" | grep -E "cal=fresh" \
+    || (echo "plan smoke: LIST should show fresh calibration" && exit 1)
+"$CLI" describe --snap "$DIR/live-mp.snap" | grep -E "calibration: [1-9][0-9]* points" \
+    || (echo "plan smoke: calibration table not persisted into the snapshot" && exit 1)
+
 # Live indexing round-trip: BUILD --live, insert a recognizable row,
 # query it back (read-your-writes), delete + re-check, flush, restart
 # the daemon from the flushed .snap, and verify the reloaded index
@@ -123,6 +143,11 @@ diff "$DIR/before-restart.txt" "$DIR/after-restart.txt" \
     > "$DIR/search-after-restart.txt"
 diff "$DIR/search-before-restart.txt" "$DIR/search-after-restart.txt" \
     || (echo "search smoke: filtered/range answers changed across the restart" && exit 1)
+"$CLI" list --addr "$ADDR" | grep -F "live-mp" | grep -E "cal=fresh" \
+    || (echo "plan smoke: calibration lost across the restart" && exit 1)
+"$CLI" search --addr "$ADDR" --index live-mp --k 5 --target-recall 0.9 --stats true \
+    --vec "$ZERO_VEC" | grep -E "^plan\sbudget=[1-9]" \
+    || (echo "plan smoke: restarted daemon cannot plan from the reloaded table" && exit 1)
 
 # Durable write path: an acknowledged INSERT with *no* FLUSH must
 # survive kill -9 — the daemon appends every acked write to
